@@ -1,0 +1,132 @@
+// Experiment S6-DR — grid integration (Bates [6], Patki [36]): the ESP
+// requests the site to shed to a limit for a window. Compare ignoring the
+// event, shedding via system capping (demand-response policy), and
+// shedding with on-site generation absorbing the cut (RIKEN's gas-turbine
+// line).
+#include <cstdio>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "epa/demand_response.hpp"
+#include "epa/source_selection.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+struct DrOutcome {
+  core::RunResult result;
+  double grid_overdraw_kwh = 0.0;  ///< energy above the DR limit (grid)
+  double turbine_kwh = 0.0;
+};
+
+DrOutcome run_case(bool honour, bool turbine, const std::string& label) {
+  core::ScenarioConfig config;
+  config.label = label;
+  config.nodes = 48;
+  config.job_count = 120;
+  config.horizon = 30 * sim::kDay;
+  config.seed = 8;
+  config.mix = core::WorkloadMix::kCapacity;
+  config.target_utilization = 0.8;
+  config.solution.enable_thermal = false;
+  core::Scenario scenario(config);
+
+  const double peak = scenario.solution().power_model().peak_watts(
+                          scenario.cluster().node(0).config()) *
+                      config.nodes;
+  const double facility_peak =
+      peak * scenario.cluster().facility().config().base_pue;
+  const double dr_limit = 0.55 * facility_peak;
+
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::flat(0.11), .startup_time = 0,
+                     .dispatchable = false});
+  if (turbine) {
+    supply.add_source({.name = "gas-turbine",
+                       .capacity_watts = 0.35 * facility_peak,
+                       .tariff = power::Tariff::flat(0.28),
+                       .startup_time = 10 * sim::kMinute,
+                       .dispatchable = true});
+  }
+  // Three DR windows while the machine is busy (the workload drains in
+  // roughly a day at this load).
+  for (sim::SimTime start :
+       {5 * sim::kHour, 12 * sim::kHour, 20 * sim::kHour}) {
+    supply.add_event({.start = start, .duration = 2 * sim::kHour,
+                      .limit_watts = dr_limit,
+                      .notice = 30 * sim::kMinute,
+                      .incentive_per_kwh = 0.08});
+  }
+
+  // Track grid overdraw during events via the source-selection telemetry.
+  auto source = std::make_unique<epa::SourceSelectionPolicy>();
+  epa::SourceSelectionPolicy* source_p = source.get();
+  scenario.solution().set_supply(std::move(supply));
+  scenario.solution().add_policy(std::move(source));
+  if (honour) {
+    scenario.solution().add_policy(
+        std::make_unique<epa::DemandResponsePolicy>());
+  }
+
+  // Sample grid draw above the limit during events.
+  double overdraw_joules = 0.0;
+  auto* solution = &scenario.solution();
+  auto* cluster = &scenario.cluster();
+  scenario.solution().monitor().add_observer([=, &overdraw_joules](
+                                                 sim::SimTime now) {
+    const power::SupplyPortfolio* s = solution->supply();
+    if (s == nullptr) return;
+    const power::DemandResponseEvent* e = s->active_event(now);
+    if (e == nullptr) return;
+    const double facility = cluster->facility().facility_watts(
+        cluster->it_power_watts(), now);
+    const double turbine_cap =
+        s->sources().size() > 1 ? s->sources()[1].capacity_watts : 0.0;
+    const double grid_draw = std::max(0.0, facility - turbine_cap);
+    if (grid_draw > e->limit_watts) {
+      overdraw_joules += (grid_draw - e->limit_watts) * 10.0;  // 10 s tick
+    }
+  });
+
+  DrOutcome outcome;
+  outcome.result = scenario.run();
+  outcome.grid_overdraw_kwh = overdraw_joules / 3.6e6;
+  outcome.turbine_kwh = source_p->dispatchable_kwh();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const DrOutcome ignore = run_case(false, false, "ignore-event");
+  const DrOutcome shed = run_case(true, false, "shed-by-capping");
+  const DrOutcome sourced = run_case(true, true, "shed+gas-turbine");
+
+  metrics::AsciiTable table({"strategy", "grid overdraw in DR windows",
+                             "turbine energy", "p50 wait (min)",
+                             "makespan (h)", "jobs done", "energy"});
+  table.set_title(
+      "S6-DR: three 2-hour demand-response windows at 55 % of facility "
+      "peak (48 nodes, 80 % load)");
+  for (const auto& [label, o] :
+       {std::pair{"ignore-event", &ignore}, {"shed-by-capping", &shed},
+        {"shed+gas-turbine", &sourced}}) {
+    table.add_row(
+        {label, metrics::format_kwh(o->grid_overdraw_kwh),
+         metrics::format_kwh(o->turbine_kwh),
+         metrics::format_double(o->result.report.wait_minutes.median, 1),
+         metrics::format_double(sim::to_hours(o->result.report.makespan), 1),
+         std::to_string(o->result.report.jobs_completed),
+         metrics::format_kwh(o->result.total_it_kwh_exact)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "shape check: ignoring the event overdraws the grid; capping honours "
+      "it at a throughput cost; on-site generation honours it while "
+      "keeping the machine busy.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment S6-DVFS — the DVFS line of Section VI (Freeh [21], Auweter
+// [4], Etinski [18][19], Hsu&Feng [23]).
+//
+// Part 1: the energy-time trade-off curve per P-state for a compute-bound
+// and a memory-bound application (single job on a fixed allocation) —
+// the classic "slowing memory-bound codes is nearly free" result that
+// motivates LRZ's energy-to-solution scheduling.
+// Part 2: the LRZ policy end-to-end — energy-to-solution goal vs. best
+// performance goal on a mixed workload.
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "epa/energy_to_solution.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+struct CurvePoint {
+  double time_h;
+  double energy_kwh;
+};
+
+CurvePoint run_single_job(double beta, std::uint32_t pstate) {
+  sim::Simulation sim;
+  platform::NodeConfig node;
+  node.cores = 32;
+  node.idle_watts = 100.0;
+  node.dynamic_watts = 200.0;
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(node)
+                                  .pstates(platform::PstateTable::linear(
+                                      2.6, 1.2, 8))
+                                  .build();
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  config.enforce_walltime = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.nodes = 4;
+  spec.runtime_ref = 2 * sim::kHour;
+  spec.walltime_estimate = 24 * sim::kHour;
+  spec.profile.freq_sensitive_fraction = beta;
+  spec.profile.comm_fraction = 0.0;
+  spec.profile.power_intensity = 1.0;
+  solution.submit(spec);
+  solution.start();
+  sim.run_until(sim::kSecond);
+  solution.set_job_pstate(1, pstate);
+  sim.run_until(48 * sim::kHour);
+
+  workload::Job* job = solution.find_job(1);
+  CurvePoint point;
+  point.time_h = sim::to_hours(job->end_time() - job->start_time());
+  point.energy_kwh = job->energy_joules() / 3.6e6;
+  return point;
+}
+
+core::RunResult run_lrz(epa::EnergyToSolutionPolicy::Goal goal) {
+  core::ScenarioConfig config;
+  config.label = goal == epa::EnergyToSolutionPolicy::Goal::kEnergyToSolution
+                     ? "energy-to-solution"
+                     : "best-performance";
+  config.nodes = 32;
+  config.job_count = 120;
+  config.horizon = 30 * sim::kDay;
+  config.seed = 5;
+  config.mix = core::WorkloadMix::kStandard;
+  config.solution.enable_thermal = false;
+  core::Scenario scenario(config);
+  scenario.solution().add_policy(
+      std::make_unique<epa::EnergyToSolutionPolicy>(goal, 1.5));
+  return scenario.run();
+}
+
+}  // namespace
+
+int main() {
+  const platform::PstateTable pstates =
+      platform::PstateTable::linear(2.6, 1.2, 8);
+
+  metrics::AsciiTable curve({"P-state", "GHz", "compute-bound t (h)",
+                             "compute-bound E (kWh)", "memory-bound t (h)",
+                             "memory-bound E (kWh)"});
+  curve.set_title(
+      "S6-DVFS part 1: energy-time trade-off per P-state (4-node job, "
+      "2 h at reference frequency; beta = 0.95 vs 0.15)");
+  for (std::uint32_t p = 0; p < pstates.size(); ++p) {
+    const CurvePoint compute = run_single_job(0.95, p);
+    const CurvePoint memory = run_single_job(0.15, p);
+    curve.add_row({std::to_string(p),
+                   metrics::format_double(pstates.freq_ghz(p), 2),
+                   metrics::format_double(compute.time_h, 2),
+                   metrics::format_double(compute.energy_kwh, 3),
+                   metrics::format_double(memory.time_h, 2),
+                   metrics::format_double(memory.energy_kwh, 3)});
+  }
+  std::printf("%s\n", curve.render().c_str());
+
+  const core::RunResult perf =
+      run_lrz(epa::EnergyToSolutionPolicy::Goal::kBestPerformance);
+  const core::RunResult energy =
+      run_lrz(epa::EnergyToSolutionPolicy::Goal::kEnergyToSolution);
+
+  metrics::AsciiTable lrz({"admin goal", "energy", "p50 wait (min)",
+                           "p50 runtime (min)", "makespan (h)",
+                           "jobs done"});
+  lrz.set_title(
+      "S6-DVFS part 2: LRZ LoadLeveler-style characterise-then-optimise "
+      "(same workload, admin goal switched)");
+  for (const core::RunResult* r : {&perf, &energy}) {
+    lrz.add_row({r->report.label, metrics::format_kwh(r->total_it_kwh_exact),
+                 metrics::format_double(r->report.wait_minutes.median, 1),
+                 metrics::format_double(r->report.job_runtime_minutes.median, 1),
+                 metrics::format_double(sim::to_hours(r->report.makespan), 1),
+                 std::to_string(r->report.jobs_completed)});
+  }
+  std::printf("%s\n", lrz.render().c_str());
+
+  const double saved = (perf.total_it_kwh_exact - energy.total_it_kwh_exact) /
+                       perf.total_it_kwh_exact;
+  std::printf("energy-to-solution goal saved %.1f %% energy vs. best "
+              "performance\n",
+              saved * 100.0);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment S6-ORDER — job-order-only energy/cost-aware scheduling
+// ([4][7][28][29]): under a peak/off-peak tariff, delaying deferrable work
+// into cheap hours cuts the electricity bill with no hardware control and
+// no frequency changes.
+#include <cstdio>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "epa/energy_cost_order.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+core::RunResult run_case(bool cost_aware, bool idle_shutdown,
+                         const std::string& label) {
+  core::ScenarioConfig config;
+  config.label = label;
+  config.nodes = 32;
+  config.job_count = 120;
+  config.horizon = 30 * sim::kDay;
+  config.seed = 23;
+  config.mix = core::WorkloadMix::kCapacity;
+  config.target_utilization = 0.5;
+  config.solution.enable_thermal = false;
+  config.solution.tariff =
+      power::Tariff::peak_offpeak(0.35, 0.09, 8.0, 20.0);
+  core::Scenario scenario(config);
+
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::peak_offpeak(0.35, 0.09, 8.0,
+                                                           20.0),
+                     .startup_time = 0, .dispatchable = false});
+  scenario.solution().set_supply(std::move(supply));
+  if (cost_aware) {
+    scenario.solution().add_policy(
+        std::make_unique<epa::EnergyCostOrderPolicy>());
+  }
+  if (idle_shutdown) {
+    // Ordering moves only the *dynamic* energy; powering idle nodes off
+    // moves the static share too, so the tariff arbitrage compounds.
+    epa::IdleShutdownPolicy::Config cfg;
+    cfg.idle_timeout = 10 * sim::kMinute;
+    cfg.min_idle_online = 2;
+    scenario.solution().add_policy(
+        std::make_unique<epa::IdleShutdownPolicy>(cfg));
+  }
+  return scenario.run();
+}
+
+}  // namespace
+
+int main() {
+  const core::RunResult baseline = run_case(false, false, "fifo-order");
+  const core::RunResult aware = run_case(true, false, "cost-aware-order");
+  const core::RunResult combined =
+      run_case(true, true, "cost-aware+idle-off");
+
+  metrics::AsciiTable table({"ordering", "electricity cost", "energy",
+                             "p50 wait (min)", "p90 wait (min)",
+                             "jobs done", "killed"});
+  table.set_title(
+      "S6-ORDER: cost-aware ordering under a 0.35/0.09 peak/off-peak "
+      "tariff (20 % of jobs deferrable, identical workload)");
+  for (const core::RunResult* r : {&baseline, &aware, &combined}) {
+    table.add_row({r->report.label,
+                   metrics::format_double(r->report.electricity_cost, 2),
+                   metrics::format_kwh(r->total_it_kwh_exact),
+                   metrics::format_double(r->report.wait_minutes.median, 1),
+                   metrics::format_double(r->report.wait_minutes.p90, 1),
+                   std::to_string(r->report.jobs_completed),
+                   std::to_string(r->report.jobs_killed)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double saving =
+      (baseline.report.electricity_cost - aware.report.electricity_cost) /
+      baseline.report.electricity_cost;
+  std::printf("cost saved by ordering alone: %.1f %% (energy unchanged "
+              "within noise — no frequency control involved)\n",
+              saving * 100.0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment F2 — Figure 2: "Map of the geographic location of the
+// participating centers."
+//
+// Prints the ASCII world map of the nine sites, the regional grouping the
+// paper discusses (Asia / Europe / US), and the pairwise great-circle
+// distance matrix.
+#include <cstdio>
+
+#include "metrics/table.hpp"
+#include "survey/centers.hpp"
+
+int main() {
+  using namespace epajsrm;
+
+  std::printf("FIGURE 2 (reproduced)\n%s\n",
+              survey::ascii_map().c_str());
+
+  // Regional grouping.
+  metrics::AsciiTable regions({"Region", "Centers"});
+  regions.set_title("Regional grouping (Section III)");
+  for (survey::Region region :
+       {survey::Region::kAsia, survey::Region::kEurope,
+        survey::Region::kMiddleEast, survey::Region::kNorthAmerica}) {
+    std::string members;
+    for (const auto& c : survey::all_centers()) {
+      if (c.region == region) {
+        if (!members.empty()) members += ", ";
+        members += c.short_name;
+      }
+    }
+    regions.add_row({survey::to_string(region), members});
+  }
+  std::printf("%s\n", regions.render().c_str());
+
+  // Distance matrix (rounded to 100 km).
+  const auto& centers = survey::all_centers();
+  std::vector<std::string> headers{"km"};
+  for (const auto& c : centers) headers.push_back(c.short_name);
+  metrics::AsciiTable distances(headers);
+  distances.set_title("Pairwise great-circle distances");
+  for (const auto& a : centers) {
+    std::vector<std::string> row{a.short_name};
+    for (const auto& b : centers) {
+      row.push_back(std::to_string(
+          static_cast<long>(survey::distance_km(a, b) / 100.0 + 0.5) * 100));
+    }
+    distances.add_row(row);
+  }
+  std::printf("%s\n", distances.render().c_str());
+
+  // Machine inventory (the Q2 hardware context per site).
+  metrics::AsciiTable machines({"Center", "Machine", "Nodes", "Peak MW",
+                                "Site MW", "JSRM stack"});
+  machines.set_title("Surveyed systems (Q2 summary)");
+  for (const auto& c : centers) {
+    machines.add_row({c.short_name, c.machine_name,
+                      std::to_string(c.machine_nodes),
+                      metrics::format_double(c.peak_system_mw, 1),
+                      metrics::format_double(c.site_power_capacity_mw, 1),
+                      c.jsrm_software});
+  }
+  std::printf("%s\n", machines.render().c_str());
+  return 0;
+}

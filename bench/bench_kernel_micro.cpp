@@ -1,0 +1,142 @@
+// Experiment PERF — google-benchmark microbenchmarks of the framework's
+// hot paths: event queue, simulation dispatch, allocator selection, power
+// resolution, predictor math, energy accounting.
+#include <benchmark/benchmark.h>
+
+#include "platform/cluster.hpp"
+#include "power/node_power_model.hpp"
+#include "predict/ridge.hpp"
+#include "rm/allocator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/energy_accounting.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::int64_t i = 0; i < n; ++i) {
+      queue.push(rng.uniform_int(0, 1'000'000), [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulationDispatch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::int64_t counter = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.schedule_at(i, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulationDispatch)->Arg(4096);
+
+void BM_PowerModelResolve(benchmark::State& state) {
+  platform::Cluster cluster =
+      platform::ClusterBuilder().node_count(256).build();
+  power::NodePowerModel model(cluster.pstates());
+  for (platform::Node& node : cluster.nodes()) {
+    node.allocate(1, node.cores_total() / 2, 0.8);
+    node.set_power_cap_watts(200.0);
+  }
+  for (auto _ : state) {
+    double total = 0.0;
+    for (platform::Node& node : cluster.nodes()) {
+      total += model.apply(node).watts;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PowerModelResolve);
+
+void BM_FirstFitAllocator(benchmark::State& state) {
+  platform::Cluster cluster =
+      platform::ClusterBuilder().node_count(1024).build();
+  rm::FirstFitAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc.select(cluster, 64, rm::Allocator::default_eligible));
+  }
+}
+BENCHMARK(BM_FirstFitAllocator);
+
+void BM_TopologyAwareAllocator(benchmark::State& state) {
+  platform::Cluster cluster =
+      platform::ClusterBuilder()
+          .node_count(512)
+          .topology(std::make_unique<platform::FatTreeTopology>(8, 3))
+          .build();
+  rm::TopologyAwareAllocator alloc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc.select(cluster, static_cast<std::uint32_t>(state.range(0)),
+                     rm::Allocator::default_eligible));
+  }
+}
+BENCHMARK(BM_TopologyAwareAllocator)->Arg(16)->Arg(64);
+
+void BM_RidgeObservePredict(benchmark::State& state) {
+  workload::GeneratorConfig config;
+  config.machine_nodes = 128;
+  workload::WorkloadGenerator generator(
+      config, workload::AppCatalog::standard(), 3);
+  const auto jobs = generator.generate(512);
+  for (auto _ : state) {
+    predict::RidgePowerPredictor predictor(300.0);
+    for (const auto& job : jobs) {
+      predictor.observe(job, 150.0 + job.profile.power_intensity * 100.0);
+      benchmark::DoNotOptimize(predictor.predict_node_watts(job));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_RidgeObservePredict);
+
+void BM_EnergyCheckpoint(benchmark::State& state) {
+  platform::Cluster cluster =
+      platform::ClusterBuilder().node_count(512).build();
+  for (platform::Node& node : cluster.nodes()) {
+    node.set_current_watts(200.0);
+  }
+  telemetry::EnergyAccountant accountant(
+      cluster, [](workload::JobId) -> workload::Job* { return nullptr; });
+  sim::SimTime t = 0;
+  for (auto _ : state) {
+    t += sim::kSecond;
+    accountant.checkpoint(t);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_EnergyCheckpoint);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::GeneratorConfig config;
+    config.machine_nodes = 256;
+    workload::WorkloadGenerator generator(
+        config, workload::AppCatalog::standard(), 7);
+    benchmark::DoNotOptimize(generator.generate(1000));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

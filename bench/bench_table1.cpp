@@ -1,0 +1,36 @@
+// Experiment T1 — reproduction of Table I ("Part 1 of the summary of the
+// answers from each center"): RIKEN, Tokyo Tech, CEA, KAUST, LRZ.
+//
+// Output 1 is the qualitative activity matrix (the table's literal
+// content, from the survey data model). Output 2 backs each center's
+// production techniques with simulation: the same workload run with and
+// without the production EPA JSRM stack on the center's scaled replica.
+#include <cstdio>
+
+#include "center_bench.hpp"
+#include "sim/thread_pool.hpp"
+
+int main() {
+  using namespace epajsrm;
+  const std::vector<std::string> centers = {"RIKEN", "TokyoTech", "CEA",
+                                            "KAUST", "LRZ"};
+
+  std::printf("%s\n",
+              bench::activity_matrix(
+                  centers,
+                  "TABLE I (reproduced): summary of the answers, part 1")
+                  .c_str());
+
+  std::vector<bench::CenterRow> rows(centers.size());
+  sim::ThreadPool::parallel_for(centers.size(), [&](std::size_t i) {
+    rows[i] = bench::run_center(centers[i]);
+  });
+
+  std::printf("%s\n",
+              bench::quantitative_table(
+                  rows,
+                  "TABLE I (simulation): production EPA techniques vs. "
+                  "baseline on each center's scaled replica")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment T2 — reproduction of Table II ("Part 2 of the summary of the
+// answers from each center"): STFC, Trinity (LANL+Sandia), CINECA, JCAHPC.
+#include <cstdio>
+
+#include "center_bench.hpp"
+#include "sim/thread_pool.hpp"
+
+int main() {
+  using namespace epajsrm;
+  const std::vector<std::string> centers = {"STFC", "Trinity", "CINECA",
+                                            "JCAHPC"};
+
+  std::printf("%s\n",
+              bench::activity_matrix(
+                  centers,
+                  "TABLE II (reproduced): summary of the answers, part 2")
+                  .c_str());
+
+  std::vector<bench::CenterRow> rows(centers.size());
+  sim::ThreadPool::parallel_for(centers.size(), [&](std::size_t i) {
+    rows[i] = bench::run_center(centers[i]);
+  });
+
+  std::printf("%s\n",
+              bench::quantitative_table(
+                  rows,
+                  "TABLE II (simulation): production EPA techniques vs. "
+                  "baseline on each center's scaled replica")
+                  .c_str());
+
+  // Cross-site commonality counts (the analysis the paper defers to the
+  // follow-up publication) for the full nine-center set.
+  metrics::AsciiTable commonality(
+      {"Technique", "Research", "Tech. development", "Production"});
+  commonality.set_title(
+      "Cross-site technique commonality (all nine centers)");
+  using survey::Maturity;
+  using survey::Technique;
+  for (Technique t :
+       {Technique::kPowerCapping, Technique::kDynamicPowerSharing,
+        Technique::kDvfsScheduling, Technique::kNodeShutdown,
+        Technique::kEnergyReporting, Technique::kPowerPrediction,
+        Technique::kEmergencyResponse, Technique::kSourceSelection,
+        Technique::kLayoutAware, Technique::kThermalAware,
+        Technique::kMonitoring}) {
+    commonality.add_row(
+        {survey::to_string(t),
+         std::to_string(survey::centers_with(t, Maturity::kResearch)),
+         std::to_string(survey::centers_with(t, Maturity::kTechDevelopment)),
+         std::to_string(survey::centers_with(t, Maturity::kProduction))});
+  }
+  std::printf("%s\n", commonality.render().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment Q3 — the workload statistics of survey question 3(e):
+// min / 10th / 25th / median / 75th / 90th / max of job size and wallclock
+// time, for the three synthetic mixes (standard, capability, capacity),
+// plus throughput and backlog snapshots (Q3 a-c).
+#include <cstdio>
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+void add_summary_row(metrics::AsciiTable& table, const std::string& label,
+                     const metrics::DistributionSummary& s,
+                     int precision = 1) {
+  const auto f = [precision](double v) {
+    return metrics::format_double(v, precision);
+  };
+  table.add_row({label, std::to_string(s.count), f(s.min), f(s.p10),
+                 f(s.p25), f(s.median), f(s.p75), f(s.p90), f(s.max)});
+}
+
+void report_mix(const char* name, core::WorkloadMix mix) {
+  const std::uint32_t machine_nodes = 128;
+  workload::GeneratorConfig config;
+  config.machine_nodes = machine_nodes;
+  workload::AppCatalog catalog = core::catalog_for(mix, machine_nodes);
+  config.arrival_rate_per_hour =
+      core::arrival_rate_for_utilization(catalog, machine_nodes, 0.75);
+  workload::WorkloadGenerator generator(config, std::move(catalog), 2024);
+  const auto jobs = generator.generate(4000);
+
+  std::vector<double> sizes, hours, walltime_hours;
+  for (const auto& job : jobs) {
+    sizes.push_back(job.nodes);
+    hours.push_back(sim::to_hours(job.runtime_ref));
+    walltime_hours.push_back(sim::to_hours(job.walltime_estimate));
+  }
+
+  metrics::AsciiTable table({"quantity", "n", "min", "p10", "p25", "median",
+                             "p75", "p90", "max"});
+  table.set_title(std::string("Q3(e) statistics - ") + name + " mix on " +
+                  std::to_string(machine_nodes) + " nodes");
+  add_summary_row(table, "job size (nodes)", metrics::summarize(sizes), 0);
+  add_summary_row(table, "runtime (hours)", metrics::summarize(hours), 2);
+  add_summary_row(table, "walltime estimate (hours)",
+                  metrics::summarize(walltime_hours), 2);
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  report_mix("standard", core::WorkloadMix::kStandard);
+  report_mix("capability", core::WorkloadMix::kCapability);
+  report_mix("capacity", core::WorkloadMix::kCapacity);
+
+  // Q3(a-c): snapshot and throughput from a live run.
+  core::ScenarioConfig config;
+  config.label = "q3-snapshot";
+  config.nodes = 128;
+  config.job_count = 0;
+  config.horizon = 7 * sim::kDay;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+
+  // Take the snapshot mid-run by scheduling an observer event.
+  std::size_t running_snapshot = 0, queued_snapshot = 0;
+  scenario.solution().start();
+  scenario.simulation().schedule_at(3 * sim::kDay + 5 * sim::kHour, [&] {
+    running_snapshot = scenario.solution().running_jobs().size();
+    queued_snapshot = scenario.solution().pending_jobs().size();
+  });
+  const core::RunResult result = scenario.run();
+
+  std::printf("Q3(a/b) snapshot at day 3: %zu jobs running, %zu queued\n",
+              running_snapshot, queued_snapshot);
+  std::printf("Q3(c) throughput: %.1f jobs/day (~%.0f jobs/month)\n",
+              result.report.throughput_jobs_per_day,
+              result.report.throughput_jobs_per_day * 30.0);
+  std::printf("utilization %.1f %%, completed %llu of %llu\n",
+              result.report.mean_core_utilization * 100.0,
+              static_cast<unsigned long long>(result.report.jobs_completed),
+              static_cast<unsigned long long>(result.report.jobs_submitted));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a small cluster, run a synthetic workload under an
+// energy/power-aware stack, and print the run report plus a user-facing
+// job energy report — the smallest end-to-end tour of the public API.
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "metrics/collector.hpp"
+#include "telemetry/energy_accounting.hpp"
+
+int main() {
+  using namespace epajsrm;
+
+  // 1. Describe the experiment: a 64-node machine, ~75 % loaded, EASY
+  //    backfilling (the default scheduler).
+  core::ScenarioConfig config;
+  config.label = "quickstart";
+  config.nodes = 64;
+  config.job_count = 0;  // fill the horizon
+  config.seed = 7;
+  core::Scenario scenario(config);
+
+  // 2. Make it energy/power aware: a 22 kW IT power budget enforced at
+  //    admission with DVFS degradation, plus idle-node shutdown.
+  scenario.solution().add_policy(
+      std::make_unique<epa::PowerBudgetDvfsPolicy>(22'000.0));
+  scenario.solution().add_policy(std::make_unique<epa::IdleShutdownPolicy>());
+
+  // 3. Run to completion and report.
+  const core::RunResult result = scenario.run();
+
+  std::printf("%s\n", metrics::format_report(result.report).c_str());
+  std::printf("exact IT energy: %.1f kWh (overhead %.1f kWh)\n",
+              result.total_it_kwh_exact, result.overhead_kwh);
+  std::printf("node boots: %llu, shutdowns: %llu, scheduling passes: %llu\n",
+              static_cast<unsigned long long>(result.node_boots),
+              static_cast<unsigned long long>(result.node_shutdowns),
+              static_cast<unsigned long long>(result.scheduling_passes));
+
+  // 4. The per-job energy report users get at job end (Tokyo Tech /
+  //    JCAHPC production capability).
+  if (!result.job_reports.empty()) {
+    std::printf("\nSample end-of-job report (of %zu):\n%s",
+                result.job_reports.size(),
+                telemetry::format_energy_report(result.job_reports.front())
+                    .c_str());
+  }
+  return 0;
+}

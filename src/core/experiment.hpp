@@ -1,0 +1,40 @@
+// Replicated experiments: run the same scenario across independent seeds
+// in parallel and report across-seed statistics. Single runs of a
+// stochastic workload can mislead; the survey-backed benches use this to
+// state effects with their spread.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "metrics/stats.hpp"
+
+namespace epajsrm::core {
+
+/// Across-seed aggregate of the headline run metrics.
+struct ReplicatedResult {
+  std::string label;
+  std::size_t replications = 0;
+  metrics::DistributionSummary total_kwh;
+  metrics::DistributionSummary mean_utilization;
+  metrics::DistributionSummary median_wait_minutes;
+  metrics::DistributionSummary violation_fraction;
+  metrics::DistributionSummary jobs_completed;
+  metrics::DistributionSummary makespan_hours;
+
+  /// "value ±spread" convenience for one summary.
+  static std::string format(const metrics::DistributionSummary& s,
+                            int precision = 2);
+};
+
+/// Runs `make_config(seed)` for `replications` distinct seeds (base_seed,
+/// base_seed+1, ...) on a thread pool; `customize` (may be null) installs
+/// policies/suppliers per scenario before it runs.
+ReplicatedResult run_replicated(
+    const std::function<ScenarioConfig(std::uint64_t seed)>& make_config,
+    const std::function<void(Scenario&)>& customize,
+    std::size_t replications = 8, std::uint64_t base_seed = 1000);
+
+}  // namespace epajsrm::core

@@ -1,0 +1,106 @@
+#include "core/facility_coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::core {
+
+void FacilityCoordinator::add_member(EpaJsrmSolution& solution,
+                                     double min_budget_watts, double weight) {
+  if (started_) throw std::logic_error("coordinator already started");
+  if (weight <= 0.0) throw std::invalid_argument("weight must be positive");
+  auto policy =
+      std::make_unique<epa::PowerBudgetDvfsPolicy>(min_budget_watts);
+  Member member;
+  member.solution = &solution;
+  member.budget_policy = policy.get();
+  member.min_budget = min_budget_watts;
+  member.weight = weight;
+  member.current_budget = min_budget_watts;
+  solution.add_policy(std::move(policy));
+  members_.push_back(member);
+}
+
+double FacilityCoordinator::member_demand(
+    const EpaJsrmSolution& solution) const {
+  auto& mutable_solution = const_cast<EpaJsrmSolution&>(solution);
+  // Demand is what the machine *wants* to draw, not what its current cap
+  // lets it draw — otherwise a hard-capped busy machine reads as idle and
+  // starves permanently (positive feedback).
+  const power::NodePowerModel& model = mutable_solution.power_model();
+  const platform::Cluster& cluster = mutable_solution.cluster();
+  double demand = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (node.schedulable() ||
+        node.state() == platform::NodeState::kDraining) {
+      demand += model.watts_at(node.config(),
+                               cluster.pstates().ratio(node.pstate()),
+                               node.utilization());
+    } else {
+      demand += node.current_watts();
+    }
+  }
+  std::size_t counted = 0;
+  for (const workload::Job* job : solution.pending()) {
+    if (counted++ >= config_.queue_depth) break;
+    const double node_watts =
+        mutable_solution.predict_node_watts(job->spec());
+    demand += config_.queue_pressure_weight * node_watts *
+              job->spec().nodes;
+  }
+  return demand;
+}
+
+void FacilityCoordinator::rebalance() {
+  if (members_.empty()) return;
+  double floor_total = 0.0;
+  double weighted_surplus_demand = 0.0;
+  for (Member& member : members_) {
+    member.last_demand = member_demand(*member.solution);
+    floor_total += member.min_budget;
+    weighted_surplus_demand +=
+        member.weight *
+        std::max(0.0, member.last_demand - member.min_budget);
+  }
+
+  const double surplus =
+      std::max(0.0, config_.total_budget_watts - floor_total);
+  for (Member& member : members_) {
+    double share = 0.0;
+    if (weighted_surplus_demand > 0.0) {
+      share = surplus * member.weight *
+              std::max(0.0, member.last_demand - member.min_budget) /
+              weighted_surplus_demand;
+    } else {
+      share = surplus / static_cast<double>(members_.size());
+    }
+    member.current_budget = member.min_budget + share;
+    member.budget_policy->set_budget_watts(member.current_budget);
+    if (config_.hard_enforce) {
+      member.solution->set_system_cap(member.current_budget);
+    }
+    member.solution->metrics_collector().set_budget_watts(
+        member.current_budget);
+  }
+  ++rebalances_;
+}
+
+void FacilityCoordinator::start() {
+  if (started_) return;
+  started_ = true;
+  rebalance();
+  sim_->schedule_every(config_.period, [this]() -> bool {
+    rebalance();
+    return true;
+  });
+}
+
+double FacilityCoordinator::budget_of(std::size_t i) const {
+  return members_.at(i).current_budget;
+}
+
+double FacilityCoordinator::demand_of(std::size_t i) const {
+  return members_.at(i).last_demand;
+}
+
+}  // namespace epajsrm::core

@@ -1,0 +1,88 @@
+// Inter-system power capping — Tokyo Tech's technology-development row
+// ("TSUBAME2 and TSUBAME3 will need to share the facility power budget")
+// and CEA's production practice of shifting power budget between systems.
+//
+// Several EpaJsrmSolution instances (one per machine) run on one
+// simulator; the coordinator owns the *facility* IT budget and
+// periodically re-divides it among the machines: each gets a guaranteed
+// floor, and the remainder follows measured demand (draw plus queued
+// pressure). Each member enforces its slice through its own
+// PowerBudgetDvfsPolicy, so the division composes with everything else a
+// member runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "epa/power_budget_dvfs.hpp"
+
+namespace epajsrm::core {
+
+/// Re-divides one IT power budget across multiple solutions.
+class FacilityCoordinator {
+ public:
+  struct Config {
+    double total_budget_watts = 0.0;
+    sim::SimTime period = sim::kMinute;
+    /// Weight of queued demand (predicted watts of head-of-queue jobs)
+    /// relative to measured draw when computing a member's demand.
+    double queue_pressure_weight = 0.5;
+    /// How many pending jobs contribute to queue pressure.
+    std::size_t queue_depth = 4;
+    /// Besides admission gating, hard-enforce each slice with a CAPMC
+    /// system cap so running jobs slow down when their machine's slice
+    /// shrinks (the Tokyo Tech facility cap is hard).
+    bool hard_enforce = true;
+  };
+
+  FacilityCoordinator(sim::Simulation& sim, Config config)
+      : sim_(&sim), config_(config) {}
+
+  /// Registers a machine. `min_budget_watts` is its guaranteed floor
+  /// (choose at least the idle draw so the machine never starves);
+  /// `weight` scales its share of the surplus. Installs a budget-DVFS
+  /// policy into the solution; the coordinator retunes it every period.
+  /// Must be called before start().
+  void add_member(EpaJsrmSolution& solution, double min_budget_watts,
+                  double weight = 1.0);
+
+  /// Starts periodic rebalancing (also performs one immediate division).
+  void start();
+
+  std::size_t member_count() const { return members_.size(); }
+
+  /// Current budget slice of member i.
+  double budget_of(std::size_t i) const;
+
+  /// Current measured+queued demand of member i (as of the last
+  /// rebalance).
+  double demand_of(std::size_t i) const;
+
+  std::uint64_t rebalances() const { return rebalances_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  void rebalance();
+  double member_demand(const EpaJsrmSolution& solution) const;
+
+  struct Member {
+    EpaJsrmSolution* solution = nullptr;
+    epa::PowerBudgetDvfsPolicy* budget_policy = nullptr;
+    double min_budget = 0.0;
+    double weight = 1.0;
+    double current_budget = 0.0;
+    double last_demand = 0.0;
+  };
+
+  sim::Simulation* sim_;
+  Config config_;
+  std::vector<Member> members_;
+  bool started_ = false;
+  std::uint64_t rebalances_ = 0;
+};
+
+}  // namespace epajsrm::core

@@ -1,0 +1,128 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::core {
+
+workload::AppCatalog catalog_for(WorkloadMix mix, std::uint32_t nodes) {
+  switch (mix) {
+    case WorkloadMix::kStandard:   return workload::AppCatalog::standard();
+    case WorkloadMix::kCapability: return workload::AppCatalog::capability(nodes);
+    case WorkloadMix::kCapacity:   return workload::AppCatalog::capacity(nodes);
+  }
+  throw std::logic_error("bad mix");
+}
+
+double arrival_rate_for_utilization(const workload::AppCatalog& catalog,
+                                    std::uint32_t nodes, double utilization) {
+  // Weighted mean of node-hours demanded per job across archetypes
+  // (log-uniform size -> mean ≈ (max-min)/ln(max/min); lognormal runtime
+  // -> mean = median · exp(sigma²/2)).
+  double weight_sum = 0.0;
+  double node_hours_per_job = 0.0;
+  for (const workload::AppArchetype& a : catalog.archetypes()) {
+    // Sizes are clamped to the machine at generation time; clamp here too
+    // or the estimate overshoots per-job demand on small machines.
+    const double lo = std::min(std::max(1u, a.min_nodes), nodes);
+    const double hi =
+        std::max<double>(lo + 1, std::min(a.max_nodes, nodes));
+    const double mean_nodes = (hi - lo) / std::log(hi / lo);
+    const double mean_runtime_h =
+        sim::to_hours(a.median_runtime) *
+        std::exp(a.runtime_sigma * a.runtime_sigma / 2.0);
+    node_hours_per_job += a.weight * mean_nodes * mean_runtime_h;
+    weight_sum += a.weight;
+  }
+  node_hours_per_job /= weight_sum;
+  const double capacity_node_hours_per_hour = nodes;
+  return utilization * capacity_node_hours_per_hour / node_hours_per_job;
+}
+
+namespace {
+platform::Cluster build_cluster(const ScenarioConfig& config) {
+  return platform::ClusterBuilder()
+      .name(config.label)
+      .node_count(config.nodes)
+      .node_config(config.node_config)
+      .nodes_per_rack(config.nodes_per_rack)
+      .racks_per_pdu(config.racks_per_pdu)
+      .racks_per_cooling_loop(config.racks_per_cooling_loop)
+      .pstates(platform::PstateTable::linear(config.top_ghz,
+                                             config.bottom_ghz,
+                                             config.pstate_steps))
+      .facility_config(config.facility)
+      .ambient(config.ambient)
+      .variability_sigma(config.variability_sigma, config.seed + 17)
+      .build();
+}
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), cluster_(build_cluster(config_)) {
+  solution_ =
+      std::make_unique<EpaJsrmSolution>(sim_, cluster_, config_.solution);
+  solution_->metrics_collector().set_label(config_.label);
+}
+
+ScenarioConfig Scenario::center_config(const survey::CenterProfile& profile,
+                                       std::size_t job_count,
+                                       std::uint64_t seed) {
+  ScenarioConfig config;
+  config.label = profile.short_name;
+  config.nodes = profile.sim_nodes;
+
+  platform::NodeConfig node;
+  node.cores = profile.cores_per_node;
+  node.idle_watts = profile.node_idle_watts;
+  node.dynamic_watts =
+      std::max(1.0, profile.node_peak_watts - profile.node_idle_watts);
+  // Thermal design point: full load lands at ~75 C with a ~22 C inlet
+  // regardless of the node's absolute wattage.
+  node.thermal_resistance = 53.0 / profile.node_peak_watts;
+  config.node_config = node;
+
+  // Scale the facility envelope to the replica size.
+  const double scale = profile.machine_nodes > 0
+                           ? static_cast<double>(profile.sim_nodes) /
+                                 profile.machine_nodes
+                           : 1.0;
+  config.facility.site_power_capacity_watts =
+      profile.site_power_capacity_mw * 1e6 * scale;
+  config.facility.cooling_capacity_watts =
+      config.facility.site_power_capacity_watts;
+
+  config.mix = profile.capability_oriented ? WorkloadMix::kCapability
+                                           : WorkloadMix::kCapacity;
+  config.job_count = job_count;
+  config.seed = seed;
+  return config;
+}
+
+RunResult Scenario::run() {
+  if (ran_) throw std::logic_error("scenario already ran");
+  ran_ = true;
+
+  workload::GeneratorConfig gen_config;
+  gen_config.machine_nodes = config_.nodes;
+  workload::AppCatalog catalog = catalog_for(config_.mix, config_.nodes);
+  gen_config.arrival_rate_per_hour =
+      config_.arrival_rate_per_hour > 0.0
+          ? config_.arrival_rate_per_hour
+          : arrival_rate_for_utilization(catalog, config_.nodes,
+                                         config_.target_utilization);
+  workload::WorkloadGenerator generator(gen_config, std::move(catalog),
+                                        config_.seed);
+  if (config_.job_count == 0) {
+    // Fill the horizon: arrivals stop at 80 % of it so the tail can drain.
+    solution_->submit_all(
+        generator.generate_until(0, config_.horizon * 4 / 5));
+  } else {
+    solution_->submit_all(generator.generate(config_.job_count));
+  }
+
+  solution_->run_until(config_.horizon);
+  return solution_->finalize();
+}
+
+}  // namespace epajsrm::core

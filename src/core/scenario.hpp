@@ -1,0 +1,94 @@
+// Scenario: one self-contained simulation experiment — cluster + solution
+// + synthetic workload — buildable from an explicit config or from a
+// surveyed center's profile. The bench and example programs are thin
+// layers over this.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/solution.hpp"
+#include "platform/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "survey/centers.hpp"
+#include "workload/generator.hpp"
+
+namespace epajsrm::core {
+
+/// Workload mixes per the survey's Q3(d) capability/capacity distinction.
+enum class WorkloadMix { kStandard, kCapability, kCapacity };
+
+/// Everything needed to run one experiment.
+struct ScenarioConfig {
+  std::string label = "scenario";
+
+  // Cluster.
+  std::uint32_t nodes = 64;
+  platform::NodeConfig node_config{};
+  double variability_sigma = 0.0;
+  platform::Facility::Config facility{};
+  platform::AmbientModel ambient{};
+  std::uint32_t pstate_steps = 8;
+  double top_ghz = 2.6;
+  double bottom_ghz = 1.2;
+  std::uint32_t nodes_per_rack = 16;
+  std::uint32_t racks_per_pdu = 2;
+  std::uint32_t racks_per_cooling_loop = 4;
+
+  // Workload.
+  WorkloadMix mix = WorkloadMix::kStandard;
+  /// Jobs to generate; 0 = generate arrivals across 80 % of the horizon
+  /// (utilisation-driven experiments).
+  std::size_t job_count = 0;
+  /// Target mean core utilisation the arrival rate is derived for (the
+  /// explicit arrival_rate overrides when > 0).
+  double target_utilization = 0.75;
+  double arrival_rate_per_hour = 0.0;
+  std::uint64_t seed = 1;
+
+  // Solution.
+  SolutionConfig solution{};
+
+  /// Wall-clock horizon; the run also ends when the workload drains.
+  sim::SimTime horizon = 4 * sim::kDay;
+};
+
+/// Derives a Poisson arrival rate that loads `nodes` nodes to roughly
+/// `utilization` given the catalog's mean job size and runtime.
+double arrival_rate_for_utilization(const workload::AppCatalog& catalog,
+                                    std::uint32_t nodes, double utilization);
+
+/// Builds the workload catalog for a mix on a machine of `nodes` nodes.
+workload::AppCatalog catalog_for(WorkloadMix mix, std::uint32_t nodes);
+
+/// A runnable experiment. Construction builds the cluster and solution;
+/// callers may then customise (policies, scheduler, supply) before run().
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  /// A replica of a surveyed center: its scaled node counts, per-node
+  /// power envelope, facility capacity (scaled) and workload orientation.
+  static ScenarioConfig center_config(const survey::CenterProfile& profile,
+                                      std::size_t job_count = 300,
+                                      std::uint64_t seed = 1);
+
+  sim::Simulation& simulation() { return sim_; }
+  platform::Cluster& cluster() { return cluster_; }
+  EpaJsrmSolution& solution() { return *solution_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Generates the workload (deterministic from the seed), submits it,
+  /// runs to drain-or-horizon and finalises. Call once.
+  RunResult run();
+
+ private:
+  ScenarioConfig config_;
+  sim::Simulation sim_;
+  platform::Cluster cluster_;
+  std::unique_ptr<EpaJsrmSolution> solution_;
+  bool ran_ = false;
+};
+
+}  // namespace epajsrm::core

@@ -1,0 +1,520 @@
+#include "core/solution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "predict/tag_history.hpp"
+#include "sched/fcfs.hpp"
+
+namespace epajsrm::core {
+
+namespace {
+/// Reference per-node draw used to centre energy-report grades: a typical
+/// well-utilised node (70 % effective load at full frequency).
+double reference_watts(const power::NodePowerModel& model,
+                       const platform::NodeConfig& cfg) {
+  return model.watts_at(cfg, 1.0, 0.7);
+}
+}  // namespace
+
+EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
+                                 platform::Cluster& cluster,
+                                 SolutionConfig config)
+    : sim_(&sim), cluster_(&cluster), config_(config),
+      logger_([&sim] { return sim.now(); }),
+      model_(cluster.pstates(), config.power_alpha, config.cap_mode),
+      capmc_(cluster, model_), thermal_() {
+  rm_ = std::make_unique<rm::ResourceManager>(
+      sim, cluster, model_, std::make_unique<rm::FirstFitAllocator>());
+  monitor_ = std::make_unique<telemetry::MonitoringService>(
+      sim, cluster, config_.control_period);
+  accountant_ = std::make_unique<telemetry::EnergyAccountant>(
+      cluster, [this](workload::JobId id) { return find_job(id); });
+  metrics_ = std::make_unique<metrics::MetricsCollector>(
+      0.0, config_.tariff ? &*config_.tariff : nullptr);
+  scheduler_ = std::make_unique<sched::EasyBackfillScheduler>();
+  power_predictor_ = std::make_unique<predict::TagHistoryPowerPredictor>(
+      model_.peak_watts(cluster.node(0).config()));
+
+  rm_->lifecycle().set_pre_power_change([this] { checkpoint_energy(); });
+  rm_->lifecycle().set_post_power_change([this](platform::NodeId id) {
+    platform::Node& node = cluster_->node(id);
+    model_.apply(node);
+    if (node.state() == platform::NodeState::kIdle) request_schedule();
+  });
+}
+
+EpaJsrmSolution::~EpaJsrmSolution() = default;
+
+void EpaJsrmSolution::set_scheduler(
+    std::unique_ptr<sched::SchedulerPolicy> scheduler) {
+  if (!scheduler) throw std::invalid_argument("scheduler required");
+  scheduler_ = std::move(scheduler);
+}
+
+void EpaJsrmSolution::set_allocator(std::unique_ptr<rm::Allocator> allocator) {
+  rm_->set_allocator(std::move(allocator));
+}
+
+void EpaJsrmSolution::add_policy(std::unique_ptr<epa::EpaPolicy> policy) {
+  if (!policy) throw std::invalid_argument("policy required");
+  policies_.push_back(std::move(policy));
+  if (started_) policies_.back()->install(*this);
+}
+
+void EpaJsrmSolution::set_power_predictor(
+    std::unique_ptr<predict::PowerPredictor> p) {
+  if (!p) throw std::invalid_argument("predictor required");
+  power_predictor_ = std::move(p);
+}
+
+void EpaJsrmSolution::set_runtime_predictor(
+    std::unique_ptr<predict::RuntimePredictor> p) {
+  runtime_predictor_ = std::move(p);
+}
+
+// --- workload ----------------------------------------------------------------
+
+void EpaJsrmSolution::submit(workload::JobSpec spec) {
+  if (spec.id == platform::kNoJob) {
+    throw std::invalid_argument("job needs an id");
+  }
+  if (jobs_.contains(spec.id)) {
+    throw std::invalid_argument("duplicate job id");
+  }
+  const sim::SimTime arrival = spec.submit_time;
+  const workload::JobId id = spec.id;
+  auto job = std::make_unique<workload::Job>(std::move(spec));
+  jobs_.emplace(id, std::move(job));
+  ++arrivals_outstanding_;
+  sim_->schedule_at(arrival, [this, id] { on_arrival(id); });
+}
+
+void EpaJsrmSolution::submit_all(std::vector<workload::JobSpec> specs) {
+  for (auto& spec : specs) submit(std::move(spec));
+}
+
+void EpaJsrmSolution::on_arrival(workload::JobId id) {
+  workload::Job* job = find_job(id);
+  assert(job != nullptr);
+  assert(arrivals_outstanding_ > 0);
+  --arrivals_outstanding_;
+  pending_.push_back(job);
+  metrics_->on_job_submitted(job->spec());
+  request_schedule();
+}
+
+// --- execution -----------------------------------------------------------------
+
+void EpaJsrmSolution::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Prime the power model so idle draws are accounted from t = 0.
+  for (platform::Node& node : cluster_->nodes()) model_.apply(node);
+
+  for (auto& policy : policies_) policy->install(*this);
+
+  sim_->schedule_every(config_.control_period, [this]() -> bool {
+    if (stopping_) return false;
+    control_tick();
+    return true;
+  });
+  sim_->schedule_every(config_.reschedule_period, [this]() -> bool {
+    if (stopping_) return false;
+    request_schedule();
+    return true;
+  });
+  request_schedule();
+}
+
+void EpaJsrmSolution::run_until(sim::SimTime until) {
+  start();
+  // Run in hour-granular slices so a drained workload ends the run early.
+  while (sim_->now() < until && !workload_drained()) {
+    sim_->run_until(std::min(until, sim_->now() + sim::kHour));
+  }
+}
+
+RunResult EpaJsrmSolution::finalize() {
+  stopping_ = true;
+  checkpoint_energy();
+
+  RunResult result;
+  result.report = metrics_->finalize(sim_->now());
+  result.total_it_kwh_exact = accountant_->total_it_joules() / 3.6e6;
+  result.overhead_kwh = accountant_->overhead_joules() / 3.6e6;
+  result.node_boots = rm_->lifecycle().boots();
+  result.node_shutdowns = rm_->lifecycle().shutdowns();
+  result.scheduling_passes = passes_;
+  result.job_reports = job_reports_;
+  result.kills_by_reason = kills_by_reason_;
+  return result;
+}
+
+workload::Job* EpaJsrmSolution::find_job(workload::JobId id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+// --- SchedulingContext ------------------------------------------------------
+
+sim::SimTime EpaJsrmSolution::now() const { return sim_->now(); }
+
+std::uint32_t EpaJsrmSolution::allocatable_nodes() const {
+  return rm_->allocatable_nodes();
+}
+
+bool EpaJsrmSolution::run_plan(epa::StartPlan& plan) const {
+  auto* self = const_cast<EpaJsrmSolution*>(this);
+  for (const auto& policy : self->policies_) {
+    if (!policy->plan_start(plan)) return false;
+  }
+  return true;
+}
+
+bool EpaJsrmSolution::power_feasible(const workload::Job& job,
+                                     std::uint32_t nodes) const {
+  epa::StartPlan plan;
+  plan.job = const_cast<workload::Job*>(&job);
+  plan.nodes = nodes;
+  plan.dry_run = true;
+  plan.predicted_node_watts =
+      const_cast<EpaJsrmSolution*>(this)->predict_node_watts(job.spec());
+  return run_plan(plan);
+}
+
+bool EpaJsrmSolution::try_start(workload::Job& job,
+                                const workload::MoldableConfig* shape) {
+  if (job.state() != workload::JobState::kQueued) return false;
+
+  epa::StartPlan plan;
+  plan.job = &job;
+  plan.nodes = shape != nullptr ? shape->nodes : job.spec().nodes;
+  plan.runtime_scale = shape != nullptr ? shape->runtime_scale : 1.0;
+  plan.predicted_node_watts = predict_node_watts(job.spec());
+  if (!run_plan(plan)) return false;
+  if (plan.nodes == 0) return false;
+
+  if (rm_->allocatable_nodes() < plan.nodes) return false;
+
+  checkpoint_energy();
+  const std::vector<platform::NodeId> nodes = rm_->allocate(job, plan.nodes);
+  if (nodes.empty()) return false;
+
+  for (platform::NodeId id : nodes) {
+    platform::Node& node = cluster_->node(id);
+    node.set_pstate(plan.pstate);
+    if (plan.node_cap_watts > 0.0) {
+      node.set_power_cap_watts(plan.node_cap_watts);
+    }
+    model_.apply(node);
+  }
+
+  job.set_runtime_scale(plan.runtime_scale);
+  pending_.erase(std::find(pending_.begin(), pending_.end(), &job));
+  running_.push_back(&job);
+
+  job.begin_execution(sim_->now(), min_freq_ratio(job));
+  schedule_completion(job);
+
+  if (config_.enforce_walltime) {
+    const workload::JobId id = job.id();
+    const sim::SimTime started = job.start_time();
+    sim_->schedule_in(job.spec().walltime_estimate, [this, id, started] {
+      workload::Job* j = find_job(id);
+      if (j != nullptr && j->state() == workload::JobState::kRunning &&
+          j->start_time() == started) {
+        finish_job(*j, workload::JobState::kKilled, "walltime-limit");
+      }
+    });
+  }
+
+  // Co-resident jobs on shared nodes may have changed speed (utilisation
+  // affects capped frequency).
+  refresh_jobs_on_nodes(nodes);
+
+  for (auto& policy : policies_) policy->on_job_start(job);
+  logger_.debug("core", "started job " + std::to_string(job.id()) + " on " +
+                            std::to_string(nodes.size()) + " nodes");
+  return true;
+}
+
+sim::SimTime EpaJsrmSolution::planned_end(const workload::Job& job) const {
+  sim::SimTime horizon = job.spec().walltime_estimate;
+  if (runtime_predictor_ != nullptr) {
+    horizon = std::min(
+        horizon, runtime_predictor_->predict_runtime(job.spec()));
+  }
+  const sim::SimTime anchor =
+      job.start_time() >= 0 ? job.start_time() : sim_->now();
+  return anchor + horizon;
+}
+
+sim::SimTime EpaJsrmSolution::earliest_admission(
+    const workload::Job& job) const {
+  sim::SimTime earliest = sim_->now();
+  for (const auto& policy : policies_) {
+    earliest = std::max(earliest,
+                        policy->earliest_start_hint(job, sim_->now()));
+  }
+  return earliest;
+}
+
+// --- PolicyHost ---------------------------------------------------------------
+
+double EpaJsrmSolution::predict_node_watts(const workload::JobSpec& spec) {
+  return power_predictor_->predict_node_watts(spec);
+}
+
+void EpaJsrmSolution::set_node_cap(platform::NodeId node, double watts) {
+  checkpoint_energy();
+  capmc_.set_node_cap(node, watts);
+  refresh_jobs_on_nodes({&node, 1});
+}
+
+void EpaJsrmSolution::set_group_cap(std::span<const platform::NodeId> nodes,
+                                    double watts) {
+  checkpoint_energy();
+  capmc_.set_group_cap(nodes, watts);
+  refresh_jobs_on_nodes(nodes);
+}
+
+void EpaJsrmSolution::set_system_cap(double watts) {
+  checkpoint_energy();
+  capmc_.set_system_cap(watts);
+  for (workload::Job* job : std::vector<workload::Job*>(running_)) {
+    refresh_job(*job);
+  }
+}
+
+void EpaJsrmSolution::set_node_pstate(platform::NodeId node,
+                                      std::uint32_t pstate) {
+  checkpoint_energy();
+  platform::Node& n = cluster_->node(node);
+  n.set_pstate(pstate);
+  model_.apply(n);
+  refresh_jobs_on_nodes({&node, 1});
+}
+
+void EpaJsrmSolution::set_job_pstate(workload::JobId job_id,
+                                     std::uint32_t pstate) {
+  workload::Job* job = find_job(job_id);
+  if (job == nullptr || job->state() != workload::JobState::kRunning) return;
+  checkpoint_energy();
+  for (platform::NodeId id : job->allocated_nodes()) {
+    platform::Node& node = cluster_->node(id);
+    node.set_pstate(pstate);
+    model_.apply(node);
+  }
+  refresh_jobs_on_nodes(job->allocated_nodes());
+}
+
+bool EpaJsrmSolution::power_off_node(platform::NodeId node) {
+  return rm_->lifecycle().power_off(node);
+}
+
+bool EpaJsrmSolution::power_on_node(platform::NodeId node) {
+  return rm_->lifecycle().power_on(node);
+}
+
+void EpaJsrmSolution::kill_job(workload::JobId job_id,
+                               const std::string& reason) {
+  workload::Job* job = find_job(job_id);
+  if (job == nullptr) return;
+  if (job->state() == workload::JobState::kRunning) {
+    finish_job(*job, workload::JobState::kKilled, reason);
+  } else if (job->state() == workload::JobState::kQueued) {
+    pending_.erase(std::find(pending_.begin(), pending_.end(), job));
+    job->set_state(workload::JobState::kCancelled);
+    job->set_end_time(sim_->now());
+    finished_.push_back(job);
+    ++kills_by_reason_[reason];
+    metrics_->on_job_finished(*job);
+  }
+}
+
+workload::JobId EpaJsrmSolution::requeue_job(workload::JobId job_id,
+                                             const std::string& reason) {
+  workload::Job* job = find_job(job_id);
+  if (job == nullptr || job->state() != workload::JobState::kRunning) {
+    return platform::kNoJob;
+  }
+  // Clone the spec under a fresh id; the copy arrives now, with queue
+  // position at the back (its submit time is the requeue instant).
+  workload::JobSpec spec = job->spec();
+  spec.id = next_synthetic_id();
+  spec.submit_time = sim_->now();
+  finish_job(*job, workload::JobState::kKilled, reason);
+  const workload::JobId new_id = spec.id;
+  submit(std::move(spec));
+  return new_id;
+}
+
+void EpaJsrmSolution::request_schedule() {
+  if (pass_requested_ || stopping_) return;
+  pass_requested_ = true;
+  sim_->schedule_at(sim_->now(), [this] {
+    pass_requested_ = false;
+    schedule_pass();
+  });
+}
+
+// --- internals ------------------------------------------------------------------
+
+void EpaJsrmSolution::checkpoint_energy() {
+  accountant_->checkpoint(sim_->now());
+}
+
+void EpaJsrmSolution::sort_pending() {
+  const sim::SimTime t = sim_->now();
+  std::stable_sort(
+      pending_.begin(), pending_.end(),
+      [this, t](const workload::Job* a, const workload::Job* b) {
+        const double pa = sched::effective_priority(
+            a->spec().priority,
+            fairshare_.usage_factor(a->spec().user, t),
+            config_.fairshare_weight);
+        const double pb = sched::effective_priority(
+            b->spec().priority,
+            fairshare_.usage_factor(b->spec().user, t),
+            config_.fairshare_weight);
+        if (pa != pb) return pa > pb;
+        if (a->submit_time() != b->submit_time()) {
+          return a->submit_time() < b->submit_time();
+        }
+        return a->id() < b->id();
+      });
+}
+
+void EpaJsrmSolution::schedule_pass() {
+  if (in_pass_ || stopping_) return;
+  in_pass_ = true;
+  ++passes_;
+  sort_pending();
+  for (auto& policy : policies_) policy->reorder_queue(pending_, sim_->now());
+  scheduler_->schedule(*this);
+  in_pass_ = false;
+}
+
+double EpaJsrmSolution::min_freq_ratio(const workload::Job& job) const {
+  double ratio = 1.0;
+  for (platform::NodeId id : job.allocated_nodes()) {
+    ratio = std::min(ratio, cluster_->node(id).effective_freq_ratio());
+  }
+  return ratio;
+}
+
+void EpaJsrmSolution::schedule_completion(workload::Job& job) {
+  const std::uint64_t gen = job.bump_completion_generation();
+  const workload::JobId id = job.id();
+  const sim::SimTime at = sim_->now() + job.remaining_time(sim_->now());
+  sim_->schedule_at(at, [this, id, gen] {
+    workload::Job* j = find_job(id);
+    if (j != nullptr && j->state() == workload::JobState::kRunning &&
+        j->completion_generation() == gen) {
+      finish_job(*j, workload::JobState::kCompleted);
+    }
+  });
+}
+
+void EpaJsrmSolution::refresh_job(workload::Job& job) {
+  if (job.state() != workload::JobState::kRunning) return;
+  job.update_speed(sim_->now(), min_freq_ratio(job));
+  schedule_completion(job);
+}
+
+void EpaJsrmSolution::refresh_jobs_on_nodes(
+    std::span<const platform::NodeId> nodes) {
+  std::vector<workload::JobId> affected;
+  for (platform::NodeId id : nodes) {
+    for (const auto& [job_id, alloc] : cluster_->node(id).allocations()) {
+      if (std::find(affected.begin(), affected.end(), job_id) ==
+          affected.end()) {
+        affected.push_back(job_id);
+      }
+    }
+  }
+  for (workload::JobId id : affected) {
+    workload::Job* job = find_job(id);
+    if (job != nullptr) refresh_job(*job);
+  }
+}
+
+void EpaJsrmSolution::finish_job(workload::Job& job,
+                                 workload::JobState final_state,
+                                 const std::string& kill_reason) {
+  checkpoint_energy();
+  // Bank the remaining progress before the nodes disappear.
+  job.update_speed(sim_->now(), min_freq_ratio(job));
+  const std::vector<platform::NodeId> nodes = job.allocated_nodes();
+  rm_->release(job);
+
+  job.set_end_time(sim_->now());
+  job.set_state(final_state);
+  running_.erase(std::find(running_.begin(), running_.end(), &job));
+  finished_.push_back(&job);
+
+  const sim::SimTime elapsed = job.end_time() - job.start_time();
+  const double core_seconds =
+      sim::to_seconds(elapsed) *
+      static_cast<double>(job.allocated_nodes().size()) *
+      job.cores_per_node_allocated();
+  fairshare_.record_usage(job.spec().user, core_seconds, sim_->now());
+
+  metrics_->on_job_finished(job);
+
+  const double ref =
+      reference_watts(model_, cluster_->node(0).config());
+  job_reports_.push_back(telemetry::make_energy_report(job, ref));
+
+  if (final_state == workload::JobState::kCompleted && elapsed > 0 &&
+      !job.allocated_nodes().empty()) {
+    const double avg_node_watts =
+        job.energy_joules() / sim::to_seconds(elapsed) /
+        static_cast<double>(job.allocated_nodes().size());
+    power_predictor_->observe(job.spec(), avg_node_watts);
+    if (runtime_predictor_ != nullptr) {
+      runtime_predictor_->observe(job.spec(), elapsed);
+    }
+  }
+  if (final_state == workload::JobState::kKilled) {
+    ++kills_by_reason_[kill_reason.empty() ? "killed" : kill_reason];
+  }
+
+  for (auto& policy : policies_) policy->on_job_end(job);
+
+  // Shared nodes' utilisation changed.
+  refresh_jobs_on_nodes(nodes);
+  request_schedule();
+}
+
+double EpaJsrmSolution::tightest_budget(sim::SimTime t) const {
+  double budget = 0.0;
+  for (const auto& policy : policies_) {
+    const double b = policy->power_budget_watts(t);
+    if (b > 0.0 && (budget == 0.0 || b < budget)) budget = b;
+  }
+  return budget;
+}
+
+void EpaJsrmSolution::control_tick() {
+  const sim::SimTime t = sim_->now();
+  if (config_.enable_thermal) {
+    thermal_.step_cluster(*cluster_, config_.control_period);
+  }
+  monitor_->tick(t);  // sample + external observers
+  for (auto& policy : policies_) policy->on_tick(t);
+
+  // Policies provide the compliance budget; a manually set reporting
+  // budget (baseline runs) is kept when no policy declares one.
+  const double budget = tightest_budget(t);
+  if (budget > 0.0) metrics_->set_budget_watts(budget);
+  const double it_watts = cluster_->it_power_watts();
+  metrics_->on_power_sample(t, it_watts,
+                            cluster_->facility().facility_watts(it_watts, t),
+                            cluster_->core_utilization());
+}
+
+}  // namespace epajsrm::core

@@ -1,0 +1,258 @@
+// EpaJsrmSolution: the integrated EPA JSRM stack of Figure 1.
+//
+// One object wires together the cluster, the power and thermal models, the
+// telemetry substrate, the scheduler, the resource manager and the EPA
+// policy chain, and drives jobs through their lifecycle on the simulator.
+// It implements both:
+//   * sched::SchedulingContext — what the scheduling policy sees, and
+//   * epa::PolicyHost          — what EPA policies act through.
+//
+// Every power-relevant mutation funnels through this class so the energy
+// integrals stay exact and running jobs' progress is re-planned whenever
+// their nodes' effective frequency changes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "epa/policy.hpp"
+#include "metrics/collector.hpp"
+#include "platform/cluster.hpp"
+#include "power/capmc.hpp"
+#include "power/energy_source.hpp"
+#include "power/node_power_model.hpp"
+#include "power/thermal.hpp"
+#include "predict/predictor.hpp"
+#include "rm/resource_manager.hpp"
+#include "sched/backfill.hpp"
+#include "sched/fairshare.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/logger.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/energy_accounting.hpp"
+#include "telemetry/monitor.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::core {
+
+/// Tunables of the integrated stack.
+struct SolutionConfig {
+  /// Monitoring/control-loop period (telemetry sampling, policy ticks,
+  /// thermal stepping).
+  sim::SimTime control_period = 10 * sim::kSecond;
+  /// Periodic scheduling pass (jobs also trigger passes on arrival and
+  /// completion).
+  sim::SimTime reschedule_period = 30 * sim::kSecond;
+  /// Kill jobs at their walltime limit (production behaviour).
+  bool enforce_walltime = true;
+  /// Frequency exponent of the power model.
+  double power_alpha = 2.4;
+  /// Cap translation mode (RAPL continuous vs CAPMC discrete).
+  power::CapMode cap_mode = power::CapMode::kContinuous;
+  /// Fair-share priority weight (0 disables fair-share ordering).
+  double fairshare_weight = 2.0;
+  /// Step thermal state on control ticks.
+  bool enable_thermal = true;
+  /// Electricity tariff for cost accounting (facility energy).
+  std::optional<power::Tariff> tariff;
+};
+
+/// Result of a completed run.
+struct RunResult {
+  metrics::RunReport report;
+  double total_it_kwh_exact = 0.0;  ///< from the event-exact accountant
+  double overhead_kwh = 0.0;        ///< idle/boot/untracked energy
+  std::uint64_t node_boots = 0;
+  std::uint64_t node_shutdowns = 0;
+  std::uint64_t scheduling_passes = 0;
+  std::vector<telemetry::JobEnergyReport> job_reports;
+  /// kill reason -> count (emergency responses, walltime, ...).
+  std::unordered_map<std::string, std::uint64_t> kills_by_reason;
+};
+
+/// The integrated EPA JSRM solution.
+class EpaJsrmSolution final : public sched::SchedulingContext,
+                              public epa::PolicyHost {
+ public:
+  EpaJsrmSolution(sim::Simulation& sim, platform::Cluster& cluster,
+                  SolutionConfig config = {});
+  ~EpaJsrmSolution() override;
+
+  EpaJsrmSolution(const EpaJsrmSolution&) = delete;
+  EpaJsrmSolution& operator=(const EpaJsrmSolution&) = delete;
+
+  // --- configuration (before start()) --------------------------------------
+
+  /// Replaces the scheduling policy (default: EASY backfilling).
+  void set_scheduler(std::unique_ptr<sched::SchedulerPolicy> scheduler);
+
+  /// Replaces the allocator (default: first-fit).
+  void set_allocator(std::unique_ptr<rm::Allocator> allocator);
+
+  /// Installs an EPA policy at the end of the chain.
+  void add_policy(std::unique_ptr<epa::EpaPolicy> policy);
+
+  /// Replaces the power predictor (default: tag history with the model
+  /// peak as prior).
+  void set_power_predictor(std::unique_ptr<predict::PowerPredictor> p);
+
+  /// Installs a runtime predictor used for planning (default: the user
+  /// walltime estimate).
+  void set_runtime_predictor(std::unique_ptr<predict::RuntimePredictor> p);
+
+  /// Installs an electricity supply portfolio (sources + DR calendar).
+  void set_supply(power::SupplyPortfolio portfolio) {
+    supply_ = std::move(portfolio);
+  }
+
+  // --- workload -------------------------------------------------------------
+
+  /// Schedules the job's arrival at spec.submit_time.
+  void submit(workload::JobSpec spec);
+  void submit_all(std::vector<workload::JobSpec> specs);
+
+  // --- execution -------------------------------------------------------------
+
+  /// Starts the control/monitoring loops. Must be called once before
+  /// Simulation::run*.
+  void start();
+
+  /// Convenience: start() if needed, then run the simulation until `until`
+  /// or until the workload drains, whichever comes first.
+  void run_until(sim::SimTime until);
+
+  /// Stops the periodic loops and produces the final result.
+  RunResult finalize();
+
+  // --- inspection -------------------------------------------------------------
+
+  workload::Job* find_job(workload::JobId id);
+  const std::vector<workload::Job*>& finished_jobs() const {
+    return finished_;
+  }
+  const telemetry::EnergyAccountant& accountant() const {
+    return *accountant_;
+  }
+  metrics::MetricsCollector& metrics_collector() { return *metrics_; }
+  sim::Logger& logger() { return logger_; }
+  const power::CapmcController& capmc() const { return capmc_; }
+  const sched::FairShareTracker& fairshare() const { return fairshare_; }
+  predict::PowerPredictor& power_predictor() { return *power_predictor_; }
+
+  bool workload_drained() const {
+    return pending_.empty() && running_.empty() && arrivals_outstanding_ == 0;
+  }
+
+  // --- sched::SchedulingContext ---------------------------------------------
+
+  sim::SimTime now() const override;
+  const std::vector<workload::Job*>& pending() const override {
+    return pending_;
+  }
+  const std::vector<workload::Job*>& running() const override {
+    return running_;
+  }
+  const platform::Cluster& cluster() const override { return *cluster_; }
+  std::uint32_t allocatable_nodes() const override;
+  bool power_feasible(const workload::Job& job,
+                      std::uint32_t nodes) const override;
+  bool try_start(workload::Job& job,
+                 const workload::MoldableConfig* shape) override;
+  sim::SimTime planned_end(const workload::Job& job) const override;
+  sim::SimTime earliest_admission(const workload::Job& job) const override;
+
+  // --- epa::PolicyHost --------------------------------------------------------
+
+  sim::Simulation& simulation() override { return *sim_; }
+  platform::Cluster& cluster() override { return *cluster_; }
+  rm::ResourceManager& resource_manager() override { return *rm_; }
+  const power::NodePowerModel& power_model() const override { return model_; }
+  telemetry::MonitoringService& monitor() override { return *monitor_; }
+  power::SupplyPortfolio* supply() override {
+    return supply_ ? &*supply_ : nullptr;
+  }
+  const std::vector<workload::Job*>& running_jobs() const override {
+    return running_;
+  }
+  const std::vector<workload::Job*>& pending_jobs() const override {
+    return pending_;
+  }
+  double predict_node_watts(const workload::JobSpec& spec) override;
+  double worst_case_it_watts() const override {
+    return capmc_.worst_case_watts();
+  }
+  void set_node_cap(platform::NodeId node, double watts) override;
+  void set_group_cap(std::span<const platform::NodeId> nodes,
+                     double watts) override;
+  void set_system_cap(double watts) override;
+  void set_node_pstate(platform::NodeId node, std::uint32_t pstate) override;
+  void set_job_pstate(workload::JobId job, std::uint32_t pstate) override;
+  bool power_off_node(platform::NodeId node) override;
+  bool power_on_node(platform::NodeId node) override;
+  void kill_job(workload::JobId job, const std::string& reason) override;
+  workload::JobId requeue_job(workload::JobId job,
+                              const std::string& reason) override;
+  void request_schedule() override;
+
+ private:
+  /// Ids for internally created jobs (requeues) live in a high range that
+  /// cannot collide with workload-assigned ids.
+  workload::JobId next_synthetic_id() { return next_synthetic_++; }
+
+  void on_arrival(workload::JobId id);
+  void schedule_pass();
+  void sort_pending();
+  void schedule_completion(workload::Job& job);
+  void finish_job(workload::Job& job, workload::JobState final_state,
+                  const std::string& kill_reason = "");
+  /// Re-plans progress of every running job touching `nodes` (empty span =
+  /// all running jobs).
+  void refresh_jobs_on_nodes(std::span<const platform::NodeId> nodes);
+  void refresh_job(workload::Job& job);
+  double min_freq_ratio(const workload::Job& job) const;
+  void control_tick();
+  double tightest_budget(sim::SimTime t) const;
+  void checkpoint_energy();
+  bool run_plan(epa::StartPlan& plan) const;
+
+  sim::Simulation* sim_;
+  platform::Cluster* cluster_;
+  SolutionConfig config_;
+  sim::Logger logger_;
+
+  power::NodePowerModel model_;
+  power::CapmcController capmc_;
+  power::ThermalModel thermal_;
+  std::unique_ptr<rm::ResourceManager> rm_;
+  std::unique_ptr<telemetry::MonitoringService> monitor_;
+  std::unique_ptr<telemetry::EnergyAccountant> accountant_;
+  std::unique_ptr<metrics::MetricsCollector> metrics_;
+  sched::FairShareTracker fairshare_;
+
+  std::unique_ptr<sched::SchedulerPolicy> scheduler_;
+  std::vector<std::unique_ptr<epa::EpaPolicy>> policies_;
+  std::unique_ptr<predict::PowerPredictor> power_predictor_;
+  std::unique_ptr<predict::RuntimePredictor> runtime_predictor_;
+  std::optional<power::SupplyPortfolio> supply_;
+
+  std::unordered_map<workload::JobId, std::unique_ptr<workload::Job>> jobs_;
+  std::vector<workload::Job*> pending_;
+  std::vector<workload::Job*> running_;
+  std::vector<workload::Job*> finished_;
+  std::uint64_t arrivals_outstanding_ = 0;
+
+  bool started_ = false;
+  bool stopping_ = false;
+  bool pass_requested_ = false;
+  bool in_pass_ = false;
+  std::uint64_t passes_ = 0;
+  workload::JobId next_synthetic_ = workload::JobId{1} << 62;
+  std::unordered_map<std::string, std::uint64_t> kills_by_reason_;
+  std::vector<telemetry::JobEnergyReport> job_reports_;
+};
+
+}  // namespace epajsrm::core

@@ -1,0 +1,57 @@
+#include "epa/capability_window.hpp"
+
+namespace epajsrm::epa {
+
+bool CapabilityWindowPolicy::in_window(sim::SimTime t) const {
+  if (t < config_.first_window) return false;
+  const sim::SimTime phase = (t - config_.first_window) % config_.period;
+  return phase < config_.window_length;
+}
+
+sim::SimTime CapabilityWindowPolicy::next_window(sim::SimTime t) const {
+  if (t < config_.first_window) return config_.first_window;
+  const sim::SimTime phase = (t - config_.first_window) % config_.period;
+  if (phase < config_.window_length) return t;  // already inside
+  return t + (config_.period - phase);
+}
+
+sim::SimTime CapabilityWindowPolicy::earliest_start_hint(
+    const workload::Job& job, sim::SimTime now) const {
+  if (host_ == nullptr) return now;
+  const std::uint32_t machine = host_->cluster().node_count();
+  if (job.spec().nodes < config_.large_fraction * machine) return now;
+
+  sim::SimTime candidate = next_window(now);
+  if (config_.require_fit && in_window(now) && candidate == now) {
+    const sim::SimTime phase =
+        (now - config_.first_window) % config_.period;
+    if (job.spec().walltime_estimate > config_.window_length - phase) {
+      candidate = now + (config_.period - phase);  // next cycle
+    }
+  }
+  return candidate;
+}
+
+bool CapabilityWindowPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || plan.job == nullptr) return true;
+  const std::uint32_t machine = host_->cluster().node_count();
+  if (plan.nodes < config_.large_fraction * machine) return true;
+
+  const sim::SimTime now = host_->simulation().now();
+  if (!in_window(now)) {
+    if (!plan.dry_run) ++held_;
+    return false;  // wait for the next capability window
+  }
+  if (config_.require_fit) {
+    const sim::SimTime phase =
+        (now - config_.first_window) % config_.period;
+    const sim::SimTime remaining = config_.window_length - phase;
+    if (plan.job->spec().walltime_estimate > remaining) {
+      if (!plan.dry_run) ++held_;
+      return false;  // would outlive the window; hold for the next one
+    }
+  }
+  return true;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,51 @@
+// Capability windows — RIKEN's production row: "3 days for large jobs
+// each month". Large (capability) jobs only launch inside recurring
+// dedicated windows; outside them the machine serves capacity work. This
+// both guarantees the hero runs contiguous resources and concentrates the
+// machine's highest power excursions into known, planned periods (which
+// is why it appears in a *power-aware* survey).
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Gates large-job starts into recurring windows.
+class CapabilityWindowPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    /// Jobs needing at least this fraction of the machine are "large".
+    double large_fraction = 0.5;
+    /// Window cadence (RIKEN: monthly) and length (RIKEN: 3 days).
+    sim::SimTime period = 30 * sim::kDay;
+    sim::SimTime window_length = 3 * sim::kDay;
+    /// Offset of the first window start.
+    sim::SimTime first_window = 0;
+    /// Hold back large jobs whose walltime cannot fit the remaining
+    /// window (they would be killed at the window edge otherwise... the
+    /// policy does not kill; it just avoids doomed starts).
+    bool require_fit = true;
+  };
+
+  explicit CapabilityWindowPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "capability-window"; }
+
+  bool plan_start(StartPlan& plan) override;
+  sim::SimTime earliest_start_hint(const workload::Job& job,
+                                   sim::SimTime now) const override;
+
+  /// True when `t` lies inside a capability window.
+  bool in_window(sim::SimTime t) const;
+
+  /// Start of the next window at or after `t`.
+  sim::SimTime next_window(sim::SimTime t) const;
+
+  std::uint64_t held_large_jobs() const { return held_; }
+
+ private:
+  Config config_;
+  std::uint64_t held_ = 0;
+};
+
+}  // namespace epajsrm::epa

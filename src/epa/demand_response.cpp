@@ -1,0 +1,60 @@
+#include "epa/demand_response.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::epa {
+
+double DemandResponsePolicy::it_limit_for_event(
+    const power::DemandResponseEvent& event, sim::SimTime t) const {
+  // The DR limit binds the *grid* draw; dispatchable on-site generation
+  // (RIKEN's gas turbines) can keep carrying load on top of it.
+  double facility_limit = event.limit_watts;
+  if (const power::SupplyPortfolio* supply =
+          const_cast<DemandResponsePolicy*>(this)->host_->supply()) {
+    for (const power::EnergySource& s : supply->sources()) {
+      if (s.dispatchable && s.capacity_watts > 0.0) {
+        facility_limit += s.capacity_watts;
+      }
+    }
+  }
+  const double pue = host_->cluster().facility().pue(t);
+  return facility_limit / pue * (1.0 - config_.safety_margin);
+}
+
+double DemandResponsePolicy::power_budget_watts(sim::SimTime now) const {
+  if (host_ == nullptr) return 0.0;
+  power::SupplyPortfolio* supply =
+      const_cast<DemandResponsePolicy*>(this)->host_->supply();
+  if (supply == nullptr) return 0.0;
+  if (const power::DemandResponseEvent* e = supply->active_event(now)) {
+    return it_limit_for_event(*e, now);
+  }
+  return 0.0;
+}
+
+void DemandResponsePolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  power::SupplyPortfolio* supply = host_->supply();
+  if (supply == nullptr) return;
+
+  const power::DemandResponseEvent* active = supply->active_event(now);
+  const power::DemandResponseEvent* next = supply->next_event(now);
+
+  const bool should_shed =
+      active != nullptr ||
+      (next != nullptr && next->start - now <= config_.preshed_lead);
+
+  if (should_shed && !shedding_) {
+    const power::DemandResponseEvent& event =
+        active != nullptr ? *active : *next;
+    host_->set_system_cap(it_limit_for_event(event, event.start));
+    shedding_ = true;
+    ++events_honoured_;
+  } else if (!should_shed && shedding_) {
+    host_->set_system_cap(0.0);
+    shedding_ = false;
+    host_->request_schedule();
+  }
+}
+
+}  // namespace epajsrm::epa

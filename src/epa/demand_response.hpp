@@ -1,0 +1,46 @@
+// Demand-response handling — the ESP-SC interaction of Bates et al. [6] /
+// Patki et al. [36] that motivated the whole EPA JSRM effort: the
+// electricity service provider requests the site to hold its draw under a
+// limit for a window; the site sheds load ahead of the window and restores
+// afterwards.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Sheds IT load for announced DR windows via system capping.
+class DemandResponsePolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    /// Start shedding this long before the event (ramping down takes time
+    /// because running jobs only slow, not stop).
+    sim::SimTime preshed_lead = 10 * sim::kMinute;
+    /// Facility-to-IT conversion uses the facility PUE at event time; this
+    /// extra margin covers PUE drift during the window.
+    double safety_margin = 0.05;
+  };
+
+  DemandResponsePolicy() = default;
+  explicit DemandResponsePolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "demand-response"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime now) const override;
+
+  bool shedding() const { return shedding_; }
+  std::uint64_t events_honoured() const { return events_honoured_; }
+
+ private:
+  /// IT watts that keep facility draw within the event limit at time t.
+  double it_limit_for_event(const power::DemandResponseEvent& event,
+                            sim::SimTime t) const;
+
+  Config config_{};
+  bool shedding_ = false;
+  std::uint64_t events_honoured_ = 0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,49 @@
+#include "epa/dynamic_power_share.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace epajsrm::epa {
+
+void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
+  if (host_ == nullptr || budget_ <= 0.0) return;
+  platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+
+  // Demand = what each powered-on node would draw uncapped at its selected
+  // P-state and current load; off/sleeping nodes keep their fixed draws and
+  // consume part of the budget off the top.
+  std::vector<double> demand(cluster.node_count(), 0.0);
+  std::vector<double> floor(cluster.node_count(), 0.0);
+  double fixed = 0.0;
+  double total_demand = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (!node.schedulable() &&
+        node.state() != platform::NodeState::kDraining) {
+      fixed += node.current_watts();
+      continue;
+    }
+    const double uncapped = model.watts_at(
+        node.config(), pstates.ratio(node.pstate()), node.utilization());
+    demand[node.id()] = uncapped;
+    floor[node.id()] = node.config().idle_watts * (1.0 + floor_margin_);
+    total_demand += uncapped;
+  }
+
+  const double distributable = std::max(0.0, budget_ - fixed);
+  for (platform::Node& node : cluster.nodes()) {
+    const platform::NodeId id = node.id();
+    if (demand[id] <= 0.0) continue;
+    double cap = total_demand > 0.0
+                     ? distributable * demand[id] / total_demand
+                     : floor[id];
+    cap = std::max(cap, floor[id]);
+    // Give idle nodes only their floor; the freed watts implicitly flow to
+    // busy nodes on the next tick (their demand share grows).
+    host_->set_node_cap(id, cap);
+  }
+  ++redistributions_;
+}
+
+}  // namespace epajsrm::epa

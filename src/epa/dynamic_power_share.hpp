@@ -1,0 +1,37 @@
+// Dynamic power sharing of a global budget — Ellsworth et al. [17]
+// (POWsched) and Bodas et al. [8]: instead of a fixed per-node cap, the
+// controller periodically measures per-node demand and re-divides the
+// system budget so power flows to the nodes that can use it.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Periodic proportional re-division of a system power budget into node
+/// caps.
+class DynamicPowerSharePolicy final : public EpaPolicy {
+ public:
+  /// `budget_watts`: the global IT budget to divide. `floor_margin`: each
+  /// node's cap never drops below idle_watts × (1 + floor_margin) so nodes
+  /// stay responsive.
+  explicit DynamicPowerSharePolicy(double budget_watts,
+                                   double floor_margin = 0.02)
+      : budget_(budget_watts), floor_margin_(floor_margin) {}
+
+  std::string name() const override { return "dynamic-power-share"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+  void set_budget_watts(double watts) { budget_ = watts; }
+
+  std::uint64_t redistributions() const { return redistributions_; }
+
+ private:
+  double budget_;
+  double floor_margin_;
+  std::uint64_t redistributions_ = 0;
+};
+
+}  // namespace epajsrm::epa

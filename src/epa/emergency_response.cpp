@@ -1,0 +1,69 @@
+#include "epa/emergency_response.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace epajsrm::epa {
+
+void EmergencyResponsePolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr || config_.limit_watts <= 0.0) return;
+  const double draw = host_->cluster().it_power_watts();
+
+  if (draw <= config_.limit_watts) {
+    breach_ticks_ = 0;
+    // Manual caps are lifted once the situation clears well below the
+    // limit (10 % hysteresis).
+    if (manual_cap_active_ && draw < config_.limit_watts * 0.85) {
+      host_->set_system_cap(0.0);
+      manual_cap_active_ = false;
+    }
+    return;
+  }
+
+  ++breach_ticks_;
+  if (breach_ticks_ < config_.confirm_ticks) return;
+
+  if (config_.mode == Mode::kAutomatedKill) {
+    ++emergencies_;
+    automated_kill();
+    breach_ticks_ = 0;
+  } else {
+    manual_response(now);
+  }
+}
+
+void EmergencyResponsePolicy::automated_kill() {
+  // Victims: lowest priority first, then youngest (least sunk work).
+  std::vector<workload::Job*> victims = host_->running_jobs();
+  std::sort(victims.begin(), victims.end(),
+            [](const workload::Job* a, const workload::Job* b) {
+              if (a->spec().priority != b->spec().priority) {
+                return a->spec().priority < b->spec().priority;
+              }
+              return a->start_time() > b->start_time();
+            });
+
+  for (workload::Job* job : victims) {
+    if (host_->cluster().it_power_watts() <= config_.limit_watts) break;
+    if (config_.requeue_victims) {
+      host_->requeue_job(job->id(), "emergency-power-limit");
+    } else {
+      host_->kill_job(job->id(), "emergency-power-limit");
+    }
+    ++killed_;
+  }
+}
+
+void EmergencyResponsePolicy::manual_response(sim::SimTime) {
+  if (admin_dispatched_ || manual_cap_active_) return;
+  admin_dispatched_ = true;
+  ++emergencies_;
+  host_->simulation().schedule_in(config_.admin_latency, [this] {
+    // The admin clamps the system; the cap stays until the draw recovers.
+    host_->set_system_cap(config_.limit_watts * config_.manual_cap_fraction);
+    manual_cap_active_ = true;
+    admin_dispatched_ = false;
+  });
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,61 @@
+// Emergency power response.
+//
+// Two production modes from the survey:
+//  * RIKEN: "automated emergency job killing if power limit exceeded" —
+//    the controller kills the cheapest victims until the draw is back
+//    under the limit.
+//  * JCAHPC: "manual emergency response, admin sets power cap" — a human
+//    reacts after a latency by clamping the whole system.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Automated or manual last-line defence of a hard power limit.
+class EmergencyResponsePolicy final : public EpaPolicy {
+ public:
+  enum class Mode { kAutomatedKill, kManualCap };
+
+  struct Config {
+    double limit_watts = 0.0;
+    Mode mode = Mode::kAutomatedKill;
+    /// Breach must persist this many consecutive ticks before acting
+    /// (sensor glitch tolerance).
+    std::uint32_t confirm_ticks = 2;
+    /// Manual mode: how long the admin takes to react after confirmation.
+    sim::SimTime admin_latency = 5 * sim::kMinute;
+    /// Manual mode: the cap the admin sets, as a fraction of the limit.
+    double manual_cap_fraction = 0.9;
+    /// Automated mode: resubmit killed victims at the back of the queue
+    /// (production-friendly — the work is lost but not the job).
+    bool requeue_victims = false;
+  };
+
+  explicit EmergencyResponsePolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "emergency-response"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime) const override {
+    return config_.limit_watts;
+  }
+
+  std::uint64_t emergencies() const { return emergencies_; }
+  std::uint64_t jobs_killed() const { return killed_; }
+  bool manual_cap_active() const { return manual_cap_active_; }
+
+ private:
+  void automated_kill();
+  void manual_response(sim::SimTime now);
+
+  Config config_;
+  std::uint32_t breach_ticks_ = 0;
+  std::uint64_t emergencies_ = 0;
+  std::uint64_t killed_ = 0;
+  bool manual_cap_active_ = false;
+  bool admin_dispatched_ = false;
+};
+
+}  // namespace epajsrm::epa

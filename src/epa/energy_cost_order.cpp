@@ -1,0 +1,54 @@
+#include "epa/energy_cost_order.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace epajsrm::epa {
+
+bool EnergyCostOrderPolicy::price_premium(sim::SimTime now) const {
+  power::SupplyPortfolio* s = host_->supply();
+  if (s == nullptr || s->sources().empty()) return false;
+  const power::Tariff& tariff = s->sources().front().tariff;
+  double cheapest = std::numeric_limits<double>::max();
+  for (const power::Tariff::Band& band : tariff.bands()) {
+    cheapest = std::min(cheapest, band.price_per_kwh);
+  }
+  const double now_price = tariff.price_at(now);
+  return now_price > cheapest * (1.0 + config_.premium_threshold);
+}
+
+bool EnergyCostOrderPolicy::deadline_pressure(const workload::Job& job,
+                                              sim::SimTime now) const {
+  const workload::JobSpec& spec = job.spec();
+  if (spec.deadline <= 0) return false;
+  const sim::SimTime slack = spec.deadline - now;
+  return slack < static_cast<sim::SimTime>(
+                     static_cast<double>(spec.walltime_estimate) *
+                     config_.deadline_safety);
+}
+
+void EnergyCostOrderPolicy::reorder_queue(
+    std::vector<workload::Job*>& pending, sim::SimTime now) {
+  if (host_ == nullptr || !price_premium(now)) return;
+  // Stable partition: non-deferrable (or deadline-pressured) work first,
+  // deferrable work to the back of the queue.
+  std::stable_partition(pending.begin(), pending.end(),
+                        [this, now](const workload::Job* job) {
+                          return !job->spec().deferrable ||
+                                 deadline_pressure(*job, now);
+                        });
+}
+
+bool EnergyCostOrderPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || plan.job == nullptr) return true;
+  const workload::Job& job = *plan.job;
+  const sim::SimTime now = host_->simulation().now();
+  if (job.spec().deferrable && price_premium(now) &&
+      !deadline_pressure(job, now)) {
+    if (!plan.dry_run) ++deferrals_;
+    return false;  // hold until prices drop (or deadline pressure builds)
+  }
+  return true;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,44 @@
+// Job-order-only energy/cost-aware scheduling — the line of work the
+// survey cites as [4][7][28][29]: no hardware knobs, no frequency changes;
+// the scheduler only reorders (delays) deferrable work into cheap
+// electricity hours under a time-of-use tariff.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Delays deferrable jobs while electricity is expensive.
+class EnergyCostOrderPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    /// Jobs are deferred while price_now > cheapest_daily_price ×
+    /// (1 + premium_threshold).
+    double premium_threshold = 0.25;
+    /// Never defer when the job could miss its deadline (slack below the
+    /// walltime × safety factor).
+    double deadline_safety = 1.5;
+  };
+
+  EnergyCostOrderPolicy() = default;
+  explicit EnergyCostOrderPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "energy-cost-order"; }
+
+  void reorder_queue(std::vector<workload::Job*>& pending,
+                     sim::SimTime now) override;
+  bool plan_start(StartPlan& plan) override;
+
+  std::uint64_t deferrals() const { return deferrals_; }
+
+ private:
+  /// True when prices are currently at a premium vs. the daily minimum.
+  bool price_premium(sim::SimTime now) const;
+  /// True when the job must run now to make its deadline.
+  bool deadline_pressure(const workload::Job& job, sim::SimTime now) const;
+
+  Config config_{};
+  std::uint64_t deferrals_ = 0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,73 @@
+#include "epa/energy_to_solution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::epa {
+
+bool EnergyToSolutionPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || plan.job == nullptr) return true;
+  if (goal_ == Goal::kBestPerformance) return true;  // pstate stays fast
+
+  const auto it = characterization_.find(plan.job->spec().tag);
+  if (it == characterization_.end()) {
+    return true;  // first run: characterise at reference frequency
+  }
+  const AppCharacterization& app = it->second;
+
+  const platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+  const double idle = cluster.node(0).config().idle_watts;
+  const double dyn = std::max(0.0, app.measured_node_watts - idle);
+
+  // Never stretch a job into its walltime limit: the admissible slowdown
+  // is also bounded by the measured runtime's headroom (LoadLeveler EAS
+  // adjusts limits accordingly; we leave a 10 % guard band).
+  double slowdown_cap = max_slowdown_;
+  if (app.mean_runtime_s > 0.0) {
+    const double headroom =
+        0.9 * sim::to_seconds(plan.job->spec().walltime_estimate) /
+        app.mean_runtime_s;
+    slowdown_cap = std::min(slowdown_cap, headroom);
+  }
+
+  // E(f)/E(f0) with P(f) = idle + dyn·r^alpha and T(f) = beta/r + (1-beta).
+  std::uint32_t best_state = plan.pstate;
+  double best_energy = std::numeric_limits<double>::max();
+  for (std::uint32_t p = plan.pstate; p <= pstates.deepest(); ++p) {
+    const double r = pstates.ratio(p);
+    const double time_factor = app.beta / r + (1.0 - app.beta);
+    if (time_factor > slowdown_cap) break;  // deeper only gets slower
+    const double watts = idle + dyn * std::pow(r, model.alpha());
+    const double energy = watts * time_factor;
+    if (energy < best_energy) {
+      best_energy = energy;
+      best_state = p;
+    }
+  }
+  if (best_state != plan.pstate && !plan.dry_run) ++optimized_;
+  plan.pstate = best_state;
+  return true;
+}
+
+void EnergyToSolutionPolicy::on_job_end(const workload::Job& job) {
+  if (job.state() != workload::JobState::kCompleted) return;
+  const sim::SimTime elapsed = job.end_time() - job.start_time();
+  if (elapsed <= 0 || job.allocated_nodes().empty()) return;
+  // Characterise on the first completed run only (LRZ re-characterises
+  // manually; we keep the first measurement stable).
+  const std::string& tag = job.spec().tag;
+  if (characterization_.contains(tag)) return;
+  AppCharacterization app;
+  app.measured_node_watts =
+      job.energy_joules() / sim::to_seconds(elapsed) /
+      static_cast<double>(job.allocated_nodes().size());
+  app.beta = job.spec().profile.freq_sensitive_fraction;
+  // Normalise the measured wall time back to reference frequency using
+  // the achieved average speed (work done / elapsed).
+  app.mean_runtime_s = job.work_total();
+  characterization_.emplace(tag, app);
+}
+
+}  // namespace epajsrm::epa

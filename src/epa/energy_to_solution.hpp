@@ -1,0 +1,60 @@
+// Per-application frequency characterisation — LRZ's production capability
+// (LoadLeveler energy-aware scheduling, since ported to LSF [24], studied
+// on SuperMUC in Auweter et al. [4]):
+//   "First time new app runs: characterized for frequency, runtime and
+//    energy. Administrator selects job scheduling goal, energy to solution
+//    or best performance."
+//
+// The first run of each tag executes at reference frequency and records
+// the measured per-node draw. Later runs are planned at the P-state that
+// minimises predicted energy-to-solution, E(f) = P(f) · T(f), using the
+// job's phase mix (the site's characterisation database) — unless the
+// administrator has selected the performance goal.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// LRZ-style characterise-then-optimise frequency selection.
+class EnergyToSolutionPolicy final : public EpaPolicy {
+ public:
+  enum class Goal { kEnergyToSolution, kBestPerformance };
+
+  /// `max_slowdown`: cap on acceptable runtime stretch when minimising
+  /// energy (admins rarely accept arbitrarily slow "optimal" points).
+  explicit EnergyToSolutionPolicy(Goal goal = Goal::kEnergyToSolution,
+                                  double max_slowdown = 1.3)
+      : goal_(goal), max_slowdown_(max_slowdown) {}
+
+  std::string name() const override { return "energy-to-solution"; }
+
+  bool plan_start(StartPlan& plan) override;
+  void on_job_end(const workload::Job& job) override;
+
+  /// Administrator goal switch.
+  void set_goal(Goal goal) { goal_ = goal; }
+  Goal goal() const { return goal_; }
+
+  bool characterized(const std::string& tag) const {
+    return characterization_.contains(tag);
+  }
+  std::uint64_t optimized_starts() const { return optimized_; }
+
+ private:
+  struct AppCharacterization {
+    double measured_node_watts = 0.0;
+    double beta = 0.7;  ///< frequency-sensitive fraction from the profile
+    double mean_runtime_s = 0.0;  ///< measured reference-frequency runtime
+  };
+
+  Goal goal_;
+  double max_slowdown_;
+  std::unordered_map<std::string, AppCharacterization> characterization_;
+  std::uint64_t optimized_ = 0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,46 @@
+#include "epa/group_power_cap.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::epa {
+
+void GroupPowerCapPolicy::install(PolicyHost& host) {
+  EpaPolicy::install(host);
+  platform::Cluster& cluster = host.cluster();
+  const auto& pdus = cluster.facility().pdus();
+
+  budget_ = 0.0;
+  for (const platform::Pdu& pdu : pdus) {
+    double cap = 0.0;
+    if (uniform_fraction_ > 0.0) {
+      double peak = 0.0;
+      for (platform::NodeId id : pdu.nodes) {
+        peak += host.power_model().peak_watts(cluster.node(id).config());
+      }
+      cap = peak * uniform_fraction_;
+    } else if (pdu.id < group_caps_.size()) {
+      cap = group_caps_[pdu.id];
+    }
+    if (cap > 0.0 && !pdu.nodes.empty()) {
+      host.set_group_cap(pdu.nodes,
+                         cap / static_cast<double>(pdu.nodes.size()));
+      budget_ += cap;
+    } else {
+      for (platform::NodeId id : pdu.nodes) {
+        budget_ += host.power_model().peak_watts(cluster.node(id).config());
+      }
+    }
+  }
+}
+
+void GroupPowerCapPolicy::set_group_cap(PolicyHost& host,
+                                        platform::PduId group, double watts) {
+  const platform::Pdu& pdu = host.cluster().facility().pdu(group);
+  if (pdu.nodes.empty()) return;
+  host.set_group_cap(pdu.nodes,
+                     watts > 0.0
+                         ? watts / static_cast<double>(pdu.nodes.size())
+                         : 0.0);
+}
+
+}  // namespace epajsrm::epa

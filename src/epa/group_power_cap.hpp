@@ -1,0 +1,46 @@
+// Group power caps — JCAHPC's production capability ("ability to set power
+// caps for groups of nodes via the resource manager", a Fujitsu
+// proprietary product on Oakforest-PACS). Groups here follow the
+// facility's PDU membership; each group's cap defaults to a fraction of
+// its PDU breaker capacity.
+#pragma once
+
+#include <vector>
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Per-PDU (node-group) power capping set via the resource-manager path.
+class GroupPowerCapPolicy final : public EpaPolicy {
+ public:
+  /// `group_cap_watts[p]` caps the nodes of PDU p; groups beyond the
+  /// vector (or entries <= 0) stay uncapped. Per-node cap = group cap /
+  /// group size.
+  explicit GroupPowerCapPolicy(std::vector<double> group_cap_watts)
+      : group_caps_(std::move(group_cap_watts)) {}
+
+  /// Uniform variant: every PDU group capped at `fraction` of the sum of
+  /// its nodes' model peaks.
+  static GroupPowerCapPolicy uniform_fraction(double fraction) {
+    GroupPowerCapPolicy p({});
+    p.uniform_fraction_ = fraction;
+    return p;
+  }
+
+  std::string name() const override { return "group-power-cap"; }
+
+  void install(PolicyHost& host) override;
+
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+
+  /// Re-caps one group at runtime (the manual admin knob).
+  void set_group_cap(PolicyHost& host, platform::PduId group, double watts);
+
+ private:
+  std::vector<double> group_caps_;
+  double uniform_fraction_ = 0.0;
+  double budget_ = 0.0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,81 @@
+#include "epa/idle_shutdown.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::epa {
+
+std::uint32_t IdleShutdownPolicy::shortfall() const {
+  const auto& pending = host_->pending_jobs();
+  if (pending.empty()) return 0;
+  // Nodes the head-of-queue jobs want, versus nodes usable now or already
+  // booting.
+  std::uint32_t wanted = 0;
+  for (const workload::Job* job : pending) {
+    wanted += job->spec().nodes;
+    if (wanted > host_->cluster().node_count()) break;
+  }
+  std::uint32_t usable = 0;
+  for (const platform::Node& node : host_->cluster().nodes()) {
+    switch (node.state()) {
+      case platform::NodeState::kIdle:
+      case platform::NodeState::kBooting:
+        ++usable;
+        break;
+      default:
+        break;
+    }
+  }
+  return wanted > usable ? wanted - usable : 0;
+}
+
+void IdleShutdownPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  platform::Cluster& cluster = host_->cluster();
+
+  // Track how long each node has been continuously idle.
+  for (const platform::Node& node : cluster.nodes()) {
+    if (node.state() == platform::NodeState::kIdle) {
+      idle_since_.try_emplace(node.id(), now);
+    } else {
+      idle_since_.erase(node.id());
+    }
+  }
+
+  // Demand side first: boot nodes back when the queue is starved.
+  std::uint32_t need = shortfall();
+  if (need > 0) {
+    for (const platform::Node& node : cluster.nodes()) {
+      if (need == 0) break;
+      const bool resumable =
+          config_.use_sleep
+              ? node.state() == platform::NodeState::kSleeping
+              : node.state() == platform::NodeState::kOff;
+      if (!resumable) continue;
+      const bool ok = config_.use_sleep
+                          ? host_->resource_manager().lifecycle().wake(node.id())
+                          : host_->power_on_node(node.id());
+      if (ok) {
+        ++boots_;
+        --need;
+      }
+    }
+    return;  // do not shut anything down while starved
+  }
+
+  // Supply side: power off nodes idle past the timeout, keeping the
+  // reserve.
+  std::uint32_t idle_online = cluster.count_in_state(platform::NodeState::kIdle);
+  for (const auto& [id, since] : idle_since_) {
+    if (idle_online <= config_.min_idle_online) break;
+    if (now - since < config_.idle_timeout) continue;
+    const bool ok = config_.use_sleep
+                        ? host_->resource_manager().lifecycle().sleep(id)
+                        : host_->power_off_node(id);
+    if (ok) {
+      ++shutdowns_;
+      --idle_online;
+    }
+  }
+}
+
+}  // namespace epajsrm::epa

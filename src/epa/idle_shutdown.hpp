@@ -1,0 +1,48 @@
+// Idle-node shutdown — Mammela et al. [33] and Tokyo Tech's production
+// "resource manager shuts down nodes that have been idle for a long time".
+//
+// Nodes idle beyond a timeout are powered off; when the queue needs more
+// nodes than are available, off nodes are booted back (paying the boot
+// latency and transient energy). A configurable spinning reserve keeps
+// some idle nodes on for responsiveness.
+#pragma once
+
+#include <unordered_map>
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Powers idle nodes off and boots them on demand.
+class IdleShutdownPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    sim::SimTime idle_timeout = 10 * sim::kMinute;
+    /// Idle nodes always kept on (the spinning reserve).
+    std::uint32_t min_idle_online = 2;
+    /// Use sleep/wake instead of full off/boot (faster, higher floor).
+    bool use_sleep = false;
+  };
+
+  IdleShutdownPolicy() = default;
+  explicit IdleShutdownPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "idle-shutdown"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  std::uint64_t shutdowns_requested() const { return shutdowns_; }
+  std::uint64_t boots_requested() const { return boots_; }
+
+ private:
+  /// Nodes the pending queue needs beyond what is allocatable or already
+  /// coming up.
+  std::uint32_t shortfall() const;
+
+  Config config_{};
+  std::unordered_map<platform::NodeId, sim::SimTime> idle_since_;
+  std::uint64_t shutdowns_ = 0;
+  std::uint64_t boots_ = 0;
+};
+
+}  // namespace epajsrm::epa

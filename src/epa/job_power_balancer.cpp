@@ -1,0 +1,99 @@
+#include "epa/job_power_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace epajsrm::epa {
+
+void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
+  if (host_ == nullptr || budget_ <= 0.0) return;
+  platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+
+  // Fixed charges first: idle/off/transitioning nodes keep their draw.
+  double fixed = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (node.allocations().empty()) fixed += node.current_watts();
+  }
+
+  // Classify running jobs and collect their full-speed demand.
+  struct Entry {
+    const workload::Job* job;
+    double idle_watts = 0.0;     ///< idle floor of its nodes
+    double dyn_watts_full = 0.0; ///< dynamic demand at f_ref
+    bool compute_bound = false;
+  };
+  std::vector<Entry> entries;
+  double idle_total = 0.0;
+  for (const workload::Job* job : host_->running_jobs()) {
+    if (job->allocated_nodes().empty()) continue;
+    Entry e;
+    e.job = job;
+    for (platform::NodeId id : job->allocated_nodes()) {
+      const platform::Node& node = cluster.node(id);
+      e.idle_watts += node.config().idle_watts;
+      e.dyn_watts_full += node.config().dynamic_watts *
+                          node.config().variability * node.utilization();
+    }
+    e.compute_bound =
+        job->spec().profile.freq_sensitive_fraction >= beta_split_;
+    idle_total += e.idle_watts;
+    entries.push_back(e);
+  }
+  if (entries.empty()) return;
+
+  const double distributable =
+      std::max(0.0, budget_ - fixed - idle_total);
+  double demand_full = 0.0;
+  for (const Entry& e : entries) demand_full += e.dyn_watts_full;
+  if (demand_full <= 0.0) return;
+
+  if (demand_full <= distributable) {
+    // Budget is loose: everyone runs at full frequency.
+    for (const Entry& e : entries) {
+      host_->set_job_pstate(e.job->id(), 0);
+    }
+    compute_watts_ = 0.0;
+    ++rebalances_;
+    return;
+  }
+
+  // Tight budget. Give the memory-bound class the deepest P-state (their
+  // progress barely cares), then spend whatever remains on the
+  // compute-bound class at the fastest affordable state.
+  const double deep_ratio = pstates.ratio(pstates.deepest());
+  const double deep_scale = std::pow(deep_ratio, model.alpha());
+  double memory_dyn = 0.0;
+  double compute_dyn_full = 0.0;
+  for (const Entry& e : entries) {
+    if (e.compute_bound) {
+      compute_dyn_full += e.dyn_watts_full;
+    } else {
+      memory_dyn += e.dyn_watts_full * deep_scale;
+    }
+  }
+
+  const double compute_share = std::max(0.0, distributable - memory_dyn);
+  // Fastest common P-state the compute class can afford.
+  std::uint32_t compute_state = pstates.deepest();
+  for (std::uint32_t p = 0; p <= pstates.deepest(); ++p) {
+    const double scale = std::pow(pstates.ratio(p), model.alpha());
+    if (compute_dyn_full * scale <= compute_share ||
+        p == pstates.deepest()) {
+      compute_state = p;
+      break;
+    }
+  }
+
+  for (const Entry& e : entries) {
+    host_->set_job_pstate(e.job->id(),
+                          e.compute_bound ? compute_state
+                                          : pstates.deepest());
+  }
+  compute_watts_ = compute_share;
+  ++rebalances_;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,42 @@
+// Job-aware power balancing — the research direction LRZ and STFC report
+// ("investigating merging SLURM and GEOPM for system energy & power
+// control", Eastep et al. [14]): instead of dividing a global budget by
+// *node demand* (POWsched), divide it by *job benefit*. Compute-bound
+// jobs (high β) convert watts into progress almost linearly; memory-bound
+// jobs barely notice — so under a tight budget the balancer deepens the
+// memory-bound jobs' P-states and spends the freed watts on the
+// compute-bound ones.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Periodic benefit-proportional division of a global budget into per-job
+/// frequency levels (GEOPM's budget-balancing shape at job granularity).
+class JobPowerBalancerPolicy final : public EpaPolicy {
+ public:
+  /// `budget_watts`: global IT budget. `beta_split`: jobs with
+  /// frequency-sensitive fraction >= this are treated as compute-bound.
+  explicit JobPowerBalancerPolicy(double budget_watts,
+                                  double beta_split = 0.5)
+      : budget_(budget_watts), beta_split_(beta_split) {}
+
+  std::string name() const override { return "job-power-balancer"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+
+  std::uint64_t rebalances() const { return rebalances_; }
+  /// Watts currently assigned to the compute-bound class (diagnostics).
+  double compute_class_watts() const { return compute_watts_; }
+
+ private:
+  double budget_;
+  double beta_split_;
+  std::uint64_t rebalances_ = 0;
+  double compute_watts_ = 0.0;
+};
+
+}  // namespace epajsrm::epa

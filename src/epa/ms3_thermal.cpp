@@ -1,0 +1,56 @@
+#include "epa/ms3_thermal.hpp"
+
+#include <algorithm>
+
+#include "power/thermal.hpp"
+
+namespace epajsrm::epa {
+
+void Ms3ThermalPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  platform::Cluster& cluster = host_->cluster();
+  const double hottest = power::ThermalModel::max_temperature_c(cluster);
+  const double ambient = cluster.facility().ambient().temperature_c(now);
+
+  if (hot_ && last_tick_ > 0) throttled_time_ += now - last_tick_;
+  last_tick_ = now;
+
+  const bool over = hottest > config_.node_temp_limit_c ||
+                    ambient > config_.ambient_limit_c;
+  const bool recovered =
+      hottest < config_.node_temp_limit_c - config_.recovery_margin_c &&
+      ambient < config_.ambient_limit_c - config_.recovery_margin_c;
+
+  if (!hot_ && over) {
+    hot_ = true;
+    if (config_.deepen_pstate_when_hot) {
+      const std::uint32_t deepest = cluster.pstates().deepest();
+      for (const workload::Job* job : host_->running_jobs()) {
+        if (job->allocated_nodes().empty()) continue;
+        const std::uint32_t current =
+            cluster.node(job->allocated_nodes().front()).pstate();
+        host_->set_job_pstate(job->id(),
+                              std::min(deepest, current + 1));
+      }
+    }
+  } else if (hot_ && recovered) {
+    hot_ = false;
+    if (config_.deepen_pstate_when_hot) {
+      for (const workload::Job* job : host_->running_jobs()) {
+        host_->set_job_pstate(job->id(), 0);
+      }
+    }
+    host_->request_schedule();
+  }
+}
+
+bool Ms3ThermalPolicy::plan_start(StartPlan& plan) {
+  if (!hot_ || plan.job == nullptr) return true;
+  if (plan.job->spec().priority >= config_.min_priority_when_hot) {
+    return true;  // urgent work still runs during the siesta
+  }
+  if (!plan.dry_run) ++vetoed_;
+  return false;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,48 @@
+// MS3, the "Mediterranean-style" thermal-aware scheduler — Borghesi et al.
+// [11]: "do less when it's too hot". When the thermal environment degrades
+// (hot outside air, struggling chillers), the policy reduces the machine's
+// concurrent load instead of letting node temperatures run away, and
+// relaxes again when the siesta is over.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Thermal-excursion-driven admission throttling.
+class Ms3ThermalPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    /// Start throttling when the hottest node exceeds this.
+    double node_temp_limit_c = 75.0;
+    /// Or when the outside air exceeds this (pre-emptive siesta).
+    double ambient_limit_c = 32.0;
+    /// While throttled, only jobs with priority >= this may start.
+    int min_priority_when_hot = 2;
+    /// Also push running jobs one P-state deeper while hot.
+    bool deepen_pstate_when_hot = true;
+    /// Hysteresis on recovery (degrees below the limit).
+    double recovery_margin_c = 3.0;
+  };
+
+  Ms3ThermalPolicy() = default;
+  explicit Ms3ThermalPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "ms3-thermal"; }
+
+  void on_tick(sim::SimTime now) override;
+  bool plan_start(StartPlan& plan) override;
+
+  bool throttling() const { return hot_; }
+  std::uint64_t vetoed_starts() const { return vetoed_; }
+  sim::SimTime throttled_time() const { return throttled_time_; }
+
+ private:
+  Config config_{};
+  bool hot_ = false;
+  sim::SimTime last_tick_ = 0;
+  sim::SimTime throttled_time_ = 0;
+  std::uint64_t vetoed_ = 0;
+};
+
+}  // namespace epajsrm::epa

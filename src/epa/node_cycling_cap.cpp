@@ -1,0 +1,70 @@
+#include "epa/node_cycling_cap.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::epa {
+
+bool NodeCyclingCapPolicy::enforcing(sim::SimTime now) const {
+  if (config_.cap_watts <= 0.0 || host_ == nullptr) return false;
+  const double ambient =
+      host_->cluster().facility().ambient().temperature_c(now);
+  return ambient >= config_.enforce_above_ambient_c;
+}
+
+double NodeCyclingCapPolicy::power_budget_watts(sim::SimTime now) const {
+  return enforcing(now) ? config_.cap_watts : 0.0;
+}
+
+void NodeCyclingCapPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr || config_.cap_watts <= 0.0) return;
+  platform::Cluster& cluster = host_->cluster();
+
+  if (!enforcing(now)) {
+    // Out of season: restore any nodes this policy turned off.
+    for (const platform::Node& node : cluster.nodes()) {
+      if (node.state() == platform::NodeState::kOff &&
+          host_->power_on_node(node.id())) {
+        ++cycled_on_;
+      }
+    }
+    return;
+  }
+
+  const double rolling =
+      host_->monitor().machine_power().trailing_mean(config_.window);
+  const double instant = cluster.it_power_watts();
+  const double per_node_peak =
+      host_->power_model().peak_watts(cluster.node(0).config());
+
+  if (std::max(rolling, instant) > config_.cap_watts) {
+    // Shed: power off enough idle nodes to bring the worst case under the
+    // cap. One node at a time per excess chunk keeps the loop stable.
+    double excess = std::max(rolling, instant) - config_.cap_watts;
+    for (const platform::Node& node : cluster.nodes()) {
+      if (excess <= 0.0) break;
+      if (node.state() != platform::NodeState::kIdle) continue;
+      if (host_->power_off_node(node.id())) {
+        ++cycled_off_;
+        excess -= node.config().idle_watts;
+      }
+    }
+  } else if (std::max(rolling, instant) <
+             config_.cap_watts * (1.0 - config_.restore_margin)) {
+    // Restore one node per tick if the headroom could absorb its peak —
+    // conservative ramp that avoids oscillation around the cap.
+    const double headroom =
+        config_.cap_watts * (1.0 - config_.restore_margin) -
+        std::max(rolling, instant);
+    if (headroom >= per_node_peak) {
+      for (const platform::Node& node : cluster.nodes()) {
+        if (node.state() == platform::NodeState::kOff &&
+            host_->power_on_node(node.id())) {
+          ++cycled_on_;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace epajsrm::epa

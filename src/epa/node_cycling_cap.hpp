@@ -1,0 +1,50 @@
+// Facility-cap enforcement by booting/shutting nodes — Tokyo Tech's
+// production mechanism (NEC-implemented, cooperating with PBS Pro):
+// "resource manager dynamically boots or shuts down nodes to stay under
+// power cap (summer only, enforced over ~30 min window). Interacts with
+// job scheduler to avoid killing jobs."
+//
+// The controller watches the rolling mean of machine power over the
+// enforcement window. Above the cap it drains capacity by powering off
+// idle nodes (never killing jobs); comfortably below, it restores nodes.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Rolling-window power cap enforced through node on/off cycling.
+class NodeCyclingCapPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    double cap_watts = 0.0;
+    /// Rolling enforcement window (Tokyo Tech: ~30 minutes).
+    sim::SimTime window = 30 * sim::kMinute;
+    /// Hysteresis: power nodes back on only when the rolling mean is below
+    /// cap × (1 − restore_margin).
+    double restore_margin = 0.10;
+    /// Seasonal gate: enforce only when the outside temperature is above
+    /// this (Tokyo Tech caps in summer); set very low to always enforce.
+    double enforce_above_ambient_c = -100.0;
+  };
+
+  explicit NodeCyclingCapPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "node-cycling-cap"; }
+
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime now) const override;
+
+  std::uint64_t cycled_off() const { return cycled_off_; }
+  std::uint64_t cycled_on() const { return cycled_on_; }
+
+ private:
+  bool enforcing(sim::SimTime now) const;
+
+  Config config_;
+  std::uint64_t cycled_off_ = 0;
+  std::uint64_t cycled_on_ = 0;
+};
+
+}  // namespace epajsrm::epa

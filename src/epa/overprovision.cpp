@@ -1,0 +1,73 @@
+#include "epa/overprovision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace epajsrm::epa {
+
+bool OverprovisionPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || budget_ <= 0.0 || plan.job == nullptr) return true;
+
+  const platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+  const workload::JobSpec& spec = plan.job->spec();
+  const double idle = cluster.node(0).config().idle_watts;
+  const double dyn_per_node =
+      std::max(0.0, plan.predicted_node_watts - idle);
+
+  const double headroom = budget_ - cluster.it_power_watts();
+
+  // Candidate shapes: the planned one plus any moldable alternatives.
+  struct Candidate {
+    std::uint32_t nodes;
+    double runtime_scale;
+    std::uint32_t pstate;
+    double score;  // completed work per joule, higher is better
+  };
+  std::vector<Candidate> candidates;
+
+  const auto consider = [&](std::uint32_t nodes, double runtime_scale) {
+    if (nodes == 0) return;
+    for (std::uint32_t p = 0; p <= pstates.deepest(); ++p) {
+      const double ratio = pstates.ratio(p);
+      const double delta =
+          dyn_per_node * std::pow(ratio, model.alpha()) * nodes;
+      if (delta > headroom) continue;  // does not fit: deeper state maybe
+      // Runtime at this shape/state (Etinski model with the job's beta).
+      const double beta = spec.profile.freq_sensitive_fraction;
+      const double time_factor =
+          runtime_scale * (beta / ratio + (1.0 - beta));
+      const double watts = nodes * (idle + dyn_per_node *
+                                               std::pow(ratio, model.alpha()));
+      // Score: inverse energy-delay product of the configuration.
+      const double score = 1.0 / (time_factor * time_factor * watts);
+      candidates.push_back({nodes, runtime_scale, p, score});
+      break;  // fastest fitting state for this shape is enough
+    }
+  };
+
+  consider(plan.nodes, plan.runtime_scale);
+  for (const workload::MoldableConfig& m : spec.moldable) {
+    if (m.nodes == plan.nodes) continue;
+    consider(m.nodes, m.runtime_scale);
+  }
+
+  if (candidates.empty()) return false;  // nothing fits: wait
+
+  const Candidate* best = &candidates.front();
+  for (const Candidate& c : candidates) {
+    if (c.score > best->score) best = &c;
+  }
+  if ((best->nodes != plan.nodes || best->pstate != plan.pstate) &&
+      !plan.dry_run) {
+    ++reshaped_;
+  }
+  plan.nodes = best->nodes;
+  plan.runtime_scale = best->runtime_scale;
+  plan.pstate = std::max(plan.pstate, best->pstate);
+  return true;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,36 @@
+// Over-provisioned power-constrained scheduling — Sarood et al. [38] and
+// Patki et al.'s RMAP [37]: the machine has more nodes than the power
+// budget can run at full tilt, so the policy chooses, per job, the
+// (node count, frequency) configuration that maximises throughput under
+// the remaining headroom — run *more* jobs *slower*.
+//
+// Shape selection uses the job's moldable configurations (rigid jobs only
+// get DVFS). Heuristic: prefer the configuration with the best predicted
+// work-per-watt that still fits the headroom, favouring wider shapes when
+// power is plentiful and narrower ones when tight.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Moldable-shape + DVFS co-selection under a system budget.
+class OverprovisionPolicy final : public EpaPolicy {
+ public:
+  explicit OverprovisionPolicy(double budget_watts)
+      : budget_(budget_watts) {}
+
+  std::string name() const override { return "overprovision"; }
+
+  bool plan_start(StartPlan& plan) override;
+
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+
+  std::uint64_t reshaped_starts() const { return reshaped_; }
+
+ private:
+  double budget_;
+  std::uint64_t reshaped_ = 0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,20 @@
+#include "epa/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::epa {
+
+double StartPlan::predicted_watts(double idle_watts,
+                                  const power::NodePowerModel& model,
+                                  const platform::PstateTable& pstates) const {
+  if (job == nullptr || nodes == 0) return 0.0;
+  const double ratio =
+      pstates.ratio(std::min<std::uint32_t>(pstate, pstates.deepest()));
+  const double dynamic = std::max(0.0, predicted_node_watts - idle_watts);
+  const double per_node =
+      idle_watts + dynamic * std::pow(ratio, model.alpha());
+  return per_node * nodes;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,167 @@
+// EPA policy framework: the pluggable "energy and power aware" brain that
+// Figure 1 wires between monitoring and control.
+//
+// A policy participates at three points:
+//   * plan_start — admission and shaping of every job launch (power
+//     budgeting, DVFS selection, moldable-shape choice, caps);
+//   * on_tick    — the periodic control loop (dynamic power sharing, node
+//     cycling, thermal reaction, demand-response handling);
+//   * job/queue hooks — ordering and lifecycle notifications.
+//
+// Policies act on the system exclusively through PolicyHost, which the
+// core solution implements. The host funnels every power-relevant mutation
+// through energy-accounting checkpoints and job-speed refreshes, so
+// policies cannot corrupt the energy integrals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "power/energy_source.hpp"
+#include "power/node_power_model.hpp"
+#include "rm/resource_manager.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/monitor.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::epa {
+
+/// A job-launch plan a policy may veto or reshape.
+struct StartPlan {
+  workload::Job* job = nullptr;
+  /// Nodes to allocate (mutable: moldable/overprovision policies change it).
+  std::uint32_t nodes = 0;
+  /// Runtime scale of the chosen shape (1.0 = base shape).
+  double runtime_scale = 1.0;
+  /// Initial P-state for the job's nodes (0 = fastest).
+  std::uint32_t pstate = 0;
+  /// Per-node power cap to set at launch; 0 = leave as is.
+  double node_cap_watts = 0.0;
+  /// Predictor's per-node draw at reference frequency for this job.
+  double predicted_node_watts = 0.0;
+  /// True when the plan is a feasibility probe, not an actual launch;
+  /// policies must not update statistics on dry runs.
+  bool dry_run = false;
+
+  /// Predicted draw of the whole allocation at the planned P-state:
+  /// per node, the idle floor stays and the dynamic remainder scales with
+  /// ratio(pstate)^alpha. `idle_watts` is the node idle draw (clusters are
+  /// homogeneous; pass any node's config value).
+  double predicted_watts(double idle_watts,
+                         const power::NodePowerModel& model,
+                         const platform::PstateTable& pstates) const;
+};
+
+/// Services the core solution offers to policies. All mutations are
+/// checkpointed and propagate to running-job progress automatically.
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+
+  virtual sim::Simulation& simulation() = 0;
+  virtual platform::Cluster& cluster() = 0;
+  virtual rm::ResourceManager& resource_manager() = 0;
+  virtual const power::NodePowerModel& power_model() const = 0;
+  virtual telemetry::MonitoringService& monitor() = 0;
+
+  /// The supply portfolio (tariffs, sources, DR calendar); may be null
+  /// when the scenario models none.
+  virtual power::SupplyPortfolio* supply() = 0;
+
+  virtual const std::vector<workload::Job*>& running_jobs() const = 0;
+  virtual const std::vector<workload::Job*>& pending_jobs() const = 0;
+
+  /// Predicted per-node draw (reference frequency) for a job.
+  virtual double predict_node_watts(const workload::JobSpec& spec) = 0;
+
+  /// Sum of node caps / peaks — the guaranteed worst-case draw.
+  virtual double worst_case_it_watts() const = 0;
+
+  // --- control actions (checkpointed) --------------------------------------
+
+  virtual void set_node_cap(platform::NodeId node, double watts) = 0;
+  virtual void set_group_cap(std::span<const platform::NodeId> nodes,
+                             double watts) = 0;
+  virtual void set_system_cap(double watts) = 0;
+  virtual void set_node_pstate(platform::NodeId node,
+                               std::uint32_t pstate) = 0;
+  /// Sets the P-state of every node a running job occupies.
+  virtual void set_job_pstate(workload::JobId job, std::uint32_t pstate) = 0;
+  virtual bool power_off_node(platform::NodeId node) = 0;
+  virtual bool power_on_node(platform::NodeId node) = 0;
+
+  /// Terminates a running job (RIKEN's automated emergency response).
+  virtual void kill_job(workload::JobId job, const std::string& reason) = 0;
+
+  /// Terminates a running job and puts a fresh copy (new id, zero
+  /// progress) back at the end of the queue — kill-with-requeue, the
+  /// production-friendly emergency variant. Returns the requeued id, or
+  /// kNoJob when the job was not running.
+  virtual workload::JobId requeue_job(workload::JobId job,
+                                      const std::string& reason) = 0;
+
+  /// Requests a scheduling pass at the current time (after the current
+  /// event cascade).
+  virtual void request_schedule() = 0;
+};
+
+/// Base class for EPA policies. Default implementations are no-ops so a
+/// policy overrides only the hooks it needs.
+class EpaPolicy {
+ public:
+  virtual ~EpaPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Called once when installed into a solution; schedule future events or
+  /// set initial caps here.
+  virtual void install(PolicyHost& host) { host_ = &host; }
+
+  /// Launch admission/shaping. Must not mutate system state (it also runs
+  /// in dry-run feasibility checks); reshape `plan` or return false to
+  /// veto. Policies are consulted in installation order, each seeing the
+  /// previous ones' reshaping.
+  virtual bool plan_start(StartPlan& plan) {
+    (void)plan;
+    return true;
+  }
+
+  /// Periodic control-loop hook (monitoring period).
+  virtual void on_tick(sim::SimTime now) { (void)now; }
+
+  /// Queue-ordering hook, applied after priority sorting; policies may
+  /// reorder/rotate pending jobs (cost-aware ordering).
+  virtual void reorder_queue(std::vector<workload::Job*>& pending,
+                             sim::SimTime now) {
+    (void)pending;
+    (void)now;
+  }
+
+  virtual void on_job_start(const workload::Job& job) { (void)job; }
+  virtual void on_job_end(const workload::Job& job) { (void)job; }
+
+  /// The IT power budget this policy enforces (0 = none). Metrics judge
+  /// compliance against the tightest installed budget.
+  virtual double power_budget_watts(sim::SimTime now) const {
+    (void)now;
+    return 0.0;
+  }
+
+  /// Earliest time this policy would admit `job` (>= now). Time-gating
+  /// policies (capability windows, cost ordering) override this so
+  /// backfilling schedulers place the job's reservation where it can
+  /// actually start instead of blocking the machine "now".
+  virtual sim::SimTime earliest_start_hint(const workload::Job& job,
+                                           sim::SimTime now) const {
+    (void)job;
+    return now;
+  }
+
+ protected:
+  PolicyHost* host_ = nullptr;
+};
+
+}  // namespace epajsrm::epa

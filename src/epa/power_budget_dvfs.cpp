@@ -1,0 +1,37 @@
+#include "epa/power_budget_dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::epa {
+
+bool PowerBudgetDvfsPolicy::plan_start(StartPlan& plan) {
+  if (budget_ <= 0.0 || host_ == nullptr) return true;
+
+  const platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+  const double idle = cluster.node(0).config().idle_watts;
+
+  // Incremental admission: the job's nodes are already drawing idle power
+  // (they are on and idle), so only the dynamic part is new draw.
+  const double current = cluster.it_power_watts();
+  const double headroom = budget_ - current;
+  const double dynamic_ref =
+      std::max(0.0, plan.predicted_node_watts - idle) * plan.nodes;
+
+  const std::uint32_t deepest = allow_dvfs_ ? pstates.deepest() : 0;
+  for (std::uint32_t p = plan.pstate; p <= deepest; ++p) {
+    const double delta =
+        dynamic_ref * std::pow(pstates.ratio(p), model.alpha());
+    if (delta <= headroom) {
+      if (p != plan.pstate && !plan.dry_run) ++degraded_;
+      plan.pstate = p;
+      return true;
+    }
+  }
+  if (!plan.dry_run) ++vetoed_;
+  return false;
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,42 @@
+// Power-budget admission with DVFS degradation — the Etinski [18][19]
+// power-budget scheduler and the shape of SLURM's Dynamic Power Management
+// that KAUST co-developed with SchedMD, and of CEA+BULL's power-adaptive
+// SLURM scheduling.
+//
+// A system IT-power budget is enforced at admission: a job starts at the
+// highest P-state whose predicted incremental draw fits the remaining
+// headroom; if even the deepest P-state does not fit, the job waits.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Budgeted admission with per-job DVFS selection.
+class PowerBudgetDvfsPolicy final : public EpaPolicy {
+ public:
+  /// `budget_watts`: the IT power budget. `allow_dvfs`: when false the
+  /// policy only admits at full frequency (pure power-aware admission, no
+  /// frequency trading — the Bodas [8] variant).
+  explicit PowerBudgetDvfsPolicy(double budget_watts, bool allow_dvfs = true)
+      : budget_(budget_watts), allow_dvfs_(allow_dvfs) {}
+
+  std::string name() const override { return "power-budget-dvfs"; }
+
+  bool plan_start(StartPlan& plan) override;
+
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+
+  void set_budget_watts(double watts) { budget_ = watts; }
+
+  std::uint64_t dvfs_degraded_starts() const { return degraded_; }
+  std::uint64_t vetoed_starts() const { return vetoed_; }
+
+ private:
+  double budget_;
+  bool allow_dvfs_;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t vetoed_ = 0;
+};
+
+}  // namespace epajsrm::epa

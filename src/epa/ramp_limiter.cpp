@@ -1,0 +1,124 @@
+#include "epa/ramp_limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace epajsrm::epa {
+
+void RampLimiterPolicy::install(PolicyHost& host) {
+  EpaPolicy::install(host);
+  // Seed the ramp base so admissions before the first tick are bounded
+  // against the pre-existing draw.
+  samples_.emplace_back(host.simulation().now(),
+                        host.cluster().it_power_watts());
+}
+
+double RampLimiterPolicy::window_min() const {
+  double lo = std::numeric_limits<double>::max();
+  for (const auto& [t, w] : samples_) lo = std::min(lo, w);
+  return samples_.empty() ? 0.0 : lo;
+}
+
+double RampLimiterPolicy::headroom() const {
+  const double current = host_->cluster().it_power_watts();
+  return config_.max_ramp_watts - (current - window_min());
+}
+
+double RampLimiterPolicy::job_delta(const StartPlan& plan,
+                                    std::uint32_t p) const {
+  const platform::Cluster& cluster = host_->cluster();
+  const double idle = cluster.node(0).config().idle_watts;
+  const double dyn =
+      std::max(0.0, plan.predicted_node_watts - idle) * plan.nodes;
+  const double ratio = cluster.pstates().ratio(
+      std::min(p, cluster.pstates().deepest()));
+  return dyn * std::pow(ratio, host_->power_model().alpha());
+}
+
+bool RampLimiterPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || config_.max_ramp_watts <= 0.0 ||
+      plan.job == nullptr || samples_.empty()) {
+    return true;
+  }
+  const double room = headroom();
+  if (job_delta(plan, plan.pstate) <= room) return true;
+
+  // Soft start: deepest-first search for a P-state whose step fits the
+  // remaining headroom; the tick loop raises the frequency later.
+  const platform::PstateTable& pstates = host_->cluster().pstates();
+  for (std::uint32_t p = pstates.deepest(); p > plan.pstate; --p) {
+    if (job_delta(plan, p) <= room) {
+      plan.pstate = p;
+      if (!plan.dry_run) {
+        ++soft_starts_;
+        ramping_jobs_.insert(plan.job->id());
+      }
+      return true;
+    }
+  }
+  if (!plan.dry_run) ++deferred_;
+  return false;  // not even the deepest state fits: wait for headroom
+}
+
+void RampLimiterPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  const double watts = host_->cluster().it_power_watts();
+  samples_.emplace_back(now, watts);
+  while (!samples_.empty() &&
+         samples_.front().first < now - config_.window) {
+    samples_.pop_front();
+  }
+  worst_ramp_ = std::max(worst_ramp_, watts - window_min());
+
+  // Ramp soft-started jobs back up, one P-state per tick, inside the
+  // remaining headroom.
+  if (ramping_jobs_.empty()) return;
+  const platform::Cluster& cluster = host_->cluster();
+  const power::NodePowerModel& model = host_->power_model();
+  const platform::PstateTable& pstates = cluster.pstates();
+  double room = headroom();
+
+  for (auto it = ramping_jobs_.begin(); it != ramping_jobs_.end();) {
+    const workload::JobId id = *it;
+    // Resolve the job's current state through its first node.
+    const workload::Job* job = nullptr;
+    for (const workload::Job* candidate : host_->running_jobs()) {
+      if (candidate->id() == id) {
+        job = candidate;
+        break;
+      }
+    }
+    if (job == nullptr || job->allocated_nodes().empty()) {
+      it = ramping_jobs_.erase(it);
+      continue;
+    }
+    const std::uint32_t p =
+        cluster.node(job->allocated_nodes().front()).pstate();
+    if (p == 0) {
+      it = ramping_jobs_.erase(it);  // fully ramped
+      continue;
+    }
+    // Step cost: dynamic draw difference between p and p-1 on its nodes.
+    double dyn = 0.0;
+    for (platform::NodeId node_id : job->allocated_nodes()) {
+      const platform::Node& node = cluster.node(node_id);
+      dyn += node.config().dynamic_watts * node.config().variability *
+             node.utilization();
+    }
+    const double step =
+        dyn * (std::pow(pstates.ratio(p - 1), model.alpha()) -
+               std::pow(pstates.ratio(p), model.alpha()));
+    if (step <= room) {
+      host_->set_job_pstate(id, p - 1);
+      room -= step;
+    }
+    ++it;
+  }
+}
+
+void RampLimiterPolicy::on_job_end(const workload::Job& job) {
+  ramping_jobs_.erase(job.id());
+}
+
+}  // namespace epajsrm::epa

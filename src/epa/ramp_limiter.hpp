@@ -1,0 +1,64 @@
+// Power ramp-rate limiting.
+//
+// The paper's introduction names "an increase in both the rate of change
+// and magnitude of system power fluctuations" as a core motivation, and
+// Bates et al. [6] show electricity providers care about ramps as much as
+// levels (large synchronous job starts/stops look like grid faults).
+//
+// Two mechanisms bound the upward slope:
+//  * start metering — jobs whose incremental draw exceeds the remaining
+//    window headroom wait;
+//  * soft starts — a job whose *own* step is larger than the whole limit
+//    launches at the P-state that fits, then the policy raises its
+//    frequency one step per tick as window headroom frees up.
+#pragma once
+
+#include <deque>
+#include <set>
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Bounds dP/dt by metering and soft-starting job launches.
+class RampLimiterPolicy final : public EpaPolicy {
+ public:
+  struct Config {
+    /// Maximum allowed increase of IT power within the window.
+    double max_ramp_watts = 0.0;
+    /// Trailing observation window.
+    sim::SimTime window = 5 * sim::kMinute;
+  };
+
+  explicit RampLimiterPolicy(Config config) : config_(config) {}
+
+  std::string name() const override { return "ramp-limiter"; }
+
+  void install(PolicyHost& host) override;
+  void on_tick(sim::SimTime now) override;
+  bool plan_start(StartPlan& plan) override;
+  void on_job_end(const workload::Job& job) override;
+
+  std::uint64_t deferred_starts() const { return deferred_; }
+  std::uint64_t soft_starts() const { return soft_starts_; }
+  /// Largest upward ramp observed within any window (diagnostics).
+  double worst_observed_ramp() const { return worst_ramp_; }
+
+ private:
+  /// Minimum draw within the trailing window (the ramp base).
+  double window_min() const;
+  /// Remaining upward headroom in the current window.
+  double headroom() const;
+  /// Dynamic draw the job adds at P-state `p` (watts).
+  double job_delta(const StartPlan& plan, std::uint32_t p) const;
+
+  Config config_;
+  std::deque<std::pair<sim::SimTime, double>> samples_;
+  /// Jobs launched below full frequency by this policy, still ramping up.
+  std::set<workload::JobId> ramping_jobs_;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t soft_starts_ = 0;
+  double worst_ramp_ = 0.0;
+};
+
+}  // namespace epajsrm::epa

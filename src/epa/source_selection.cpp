@@ -1,0 +1,71 @@
+#include "epa/source_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace epajsrm::epa {
+
+double SourceSelectionPolicy::deliverable_it_watts(sim::SimTime t) const {
+  auto* self = const_cast<SourceSelectionPolicy*>(this);
+  power::SupplyPortfolio* supply = self->host_->supply();
+  if (supply == nullptr) return 0.0;
+
+  double total = supply->grid_limit_watts(t);
+  for (const power::EnergySource& s : supply->sources()) {
+    if (!s.dispatchable) continue;
+    if (s.capacity_watts <= 0.0) return 0.0;  // unlimited: no budget needed
+    if (total != std::numeric_limits<double>::max()) {
+      total += s.capacity_watts;
+    }
+  }
+  if (total == std::numeric_limits<double>::max()) return 0.0;
+  return total / host_->cluster().facility().pue(t);
+}
+
+double SourceSelectionPolicy::power_budget_watts(sim::SimTime now) const {
+  if (host_ == nullptr) return 0.0;
+  return deliverable_it_watts(now);
+}
+
+bool SourceSelectionPolicy::plan_start(StartPlan& plan) {
+  if (host_ == nullptr || plan.job == nullptr) return true;
+  const sim::SimTime now = host_->simulation().now();
+  const double budget = deliverable_it_watts(now);
+  if (budget <= 0.0) return true;  // no portfolio constraint
+
+  const platform::Cluster& cluster = host_->cluster();
+  const double idle = cluster.node(0).config().idle_watts;
+  const double dyn =
+      std::max(0.0, plan.predicted_node_watts - idle) * plan.nodes;
+  const double ratio = cluster.pstates().ratio(plan.pstate);
+  const double delta =
+      dyn * std::pow(ratio, host_->power_model().alpha());
+  return cluster.it_power_watts() + delta <= budget;
+}
+
+void SourceSelectionPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  power::SupplyPortfolio* supply = host_->supply();
+  if (supply == nullptr) return;
+
+  const double it_watts = host_->cluster().it_power_watts();
+  const double facility_watts =
+      host_->cluster().facility().facility_watts(it_watts, now);
+  const power::SupplyPortfolio::Dispatch dispatch =
+      supply->dispatch(facility_watts, now);
+
+  if (last_tick_ >= 0 && now > last_tick_) {
+    const double dt = sim::to_seconds(now - last_tick_);
+    cost_ += supply->cost_per_hour(dispatch, now) * (dt / 3600.0);
+    for (std::size_t i = 0; i < supply->sources().size(); ++i) {
+      if (supply->sources()[i].dispatchable) {
+        dispatchable_joules_ += dispatch.watts[i] * dt;
+      }
+    }
+    unserved_joules_ += dispatch.unserved_watts * dt;
+  }
+  last_tick_ = now;
+}
+
+}  // namespace epajsrm::epa

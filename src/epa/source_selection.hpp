@@ -1,0 +1,47 @@
+// Energy-source selection — RIKEN's research row: "integrating job
+// scheduler info with decision to use grid vs. gas turbine energy". The K
+// computer site runs co-generation gas turbines; when grid power is
+// constrained (price, DR, capacity), dispatchable on-site generation can
+// carry load — at a different cost.
+//
+// The policy treats the portfolio's total deliverable power as the budget
+// at admission time, and tracks how the load would be dispatched across
+// sources at every tick (cost and turbine-utilisation telemetry).
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Portfolio-aware budgeting + dispatch telemetry.
+class SourceSelectionPolicy final : public EpaPolicy {
+ public:
+  SourceSelectionPolicy() = default;
+
+  std::string name() const override { return "source-selection"; }
+
+  bool plan_start(StartPlan& plan) override;
+  void on_tick(sim::SimTime now) override;
+
+  double power_budget_watts(sim::SimTime now) const override;
+
+  /// Time-integrated cost of the dispatched supply so far.
+  double dispatch_cost() const { return cost_; }
+  /// kWh served by dispatchable (on-site) sources.
+  double dispatchable_kwh() const { return dispatchable_joules_ / 3.6e6; }
+  /// Watt-seconds of load no source could serve (should stay ~0 when the
+  /// admission budget works).
+  double unserved_joules() const { return unserved_joules_; }
+
+ private:
+  /// Total deliverable IT watts right now (grid limit + dispatchables,
+  /// converted through PUE).
+  double deliverable_it_watts(sim::SimTime t) const;
+
+  sim::SimTime last_tick_ = -1;
+  double cost_ = 0.0;
+  double dispatchable_joules_ = 0.0;
+  double unserved_joules_ = 0.0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,30 @@
+#include "epa/static_power_cap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace epajsrm::epa {
+
+void StaticPowerCapPolicy::install(PolicyHost& host) {
+  EpaPolicy::install(host);
+  platform::Cluster& cluster = host.cluster();
+  const std::uint32_t total = cluster.node_count();
+  capped_nodes_ = static_cast<std::uint32_t>(
+      std::clamp(fraction_, 0.0, 1.0) * total);
+
+  std::vector<platform::NodeId> capped;
+  capped.reserve(capped_nodes_);
+  for (platform::NodeId id = 0; id < capped_nodes_; ++id) {
+    capped.push_back(id);
+  }
+  host.set_group_cap(capped, cap_watts_);
+
+  budget_ = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {
+    budget_ += node.power_cap_watts() > 0.0
+                   ? node.power_cap_watts()
+                   : host.power_model().peak_watts(node.config());
+  }
+}
+
+}  // namespace epajsrm::epa

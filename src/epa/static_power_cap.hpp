@@ -1,0 +1,33 @@
+// Static power capping — KAUST's production configuration on Shaheen
+// (Cray XC40): "30 % of nodes run uncapped, 70 % run with 270 W power
+// cap", set once through CAPMC and left in place.
+#pragma once
+
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+/// Caps a fixed fraction of the machine at install time.
+class StaticPowerCapPolicy final : public EpaPolicy {
+ public:
+  /// `capped_fraction` of nodes (lowest ids) get `cap_watts`; the rest run
+  /// uncapped. KAUST: fraction 0.7, cap 270.
+  StaticPowerCapPolicy(double capped_fraction, double cap_watts)
+      : fraction_(capped_fraction), cap_watts_(cap_watts) {}
+
+  std::string name() const override { return "static-power-cap"; }
+  void install(PolicyHost& host) override;
+
+  /// The worst-case draw guaranteed by the installed caps.
+  double power_budget_watts(sim::SimTime) const override { return budget_; }
+
+  std::uint32_t capped_nodes() const { return capped_nodes_; }
+
+ private:
+  double fraction_;
+  double cap_watts_;
+  double budget_ = 0.0;
+  std::uint32_t capped_nodes_ = 0;
+};
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,143 @@
+#include "metrics/collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace epajsrm::metrics {
+
+void MetricsCollector::on_job_finished(const workload::Job& job) {
+  const workload::JobState state = job.state();
+  if (state == workload::JobState::kKilled) {
+    ++killed_;
+  } else if (state == workload::JobState::kCompleted) {
+    ++completed_;
+  } else {
+    return;  // cancelled before start: counts only as submitted
+  }
+  if (job.start_time() < 0) return;
+
+  node_counts_.push_back(
+      static_cast<double>(job.allocated_nodes().size()));
+
+  if (state != workload::JobState::kCompleted) return;
+  const sim::SimTime run = job.end_time() - job.start_time();
+  const sim::SimTime wait = job.wait_time();
+  wait_minutes_.push_back(sim::to_seconds(wait) / 60.0);
+  runtime_minutes_.push_back(sim::to_seconds(run) / 60.0);
+  // Bounded slowdown with the standard 10-minute interactivity threshold.
+  const double tau = 10.0 * 60.0;
+  const double slowdown =
+      std::max(1.0, sim::to_seconds(wait + run) /
+                        std::max(sim::to_seconds(run), tau));
+  slowdowns_.push_back(slowdown);
+  completed_core_hours_ +=
+      sim::to_hours(run) *
+      static_cast<double>(job.allocated_nodes().size()) *
+      job.cores_per_node_allocated();
+}
+
+void MetricsCollector::on_power_sample(sim::SimTime now, double it_watts,
+                                       double facility_watts,
+                                       double core_utilization) {
+  if (have_sample_ && now > last_sample_time_) {
+    const double dt = sim::to_seconds(now - last_sample_time_);
+    it_joules_ += last_it_watts_ * dt;
+    facility_joules_ += last_facility_watts_ * dt;
+    if (tariff_ != nullptr) {
+      cost_ += tariff_->cost(last_facility_watts_, last_sample_time_, now);
+    }
+    if (budget_watts_ > 0.0 && last_it_watts_ > budget_watts_) {
+      violation_joules_ += (last_it_watts_ - budget_watts_) * dt;
+    }
+  }
+  if (!have_sample_) first_sample_time_ = now;
+
+  it_watts_stats_.add(it_watts);
+  utilization_stats_.add(core_utilization);
+  ++total_samples_;
+  if (budget_watts_ > 0.0 && it_watts > budget_watts_) {
+    ++violation_samples_;
+    worst_violation_ = std::max(worst_violation_, it_watts - budget_watts_);
+  }
+
+  have_sample_ = true;
+  last_sample_time_ = now;
+  last_it_watts_ = it_watts;
+  last_facility_watts_ = facility_watts;
+}
+
+RunReport MetricsCollector::finalize(sim::SimTime end_time) {
+  // Close the integration interval at end_time (without registering a new
+  // sample — the sample statistics must reflect only real samples).
+  if (have_sample_ && end_time > last_sample_time_) {
+    const double dt = sim::to_seconds(end_time - last_sample_time_);
+    it_joules_ += last_it_watts_ * dt;
+    facility_joules_ += last_facility_watts_ * dt;
+    if (tariff_ != nullptr) {
+      cost_ += tariff_->cost(last_facility_watts_, last_sample_time_,
+                             end_time);
+    }
+    if (budget_watts_ > 0.0 && last_it_watts_ > budget_watts_) {
+      violation_joules_ += (last_it_watts_ - budget_watts_) * dt;
+    }
+    last_sample_time_ = end_time;
+  }
+
+  RunReport r;
+  r.label = label_;
+  r.jobs_submitted = submitted_;
+  r.jobs_completed = completed_;
+  r.jobs_killed = killed_;
+  r.wait_minutes = summarize(wait_minutes_);
+  r.bounded_slowdown = summarize(slowdowns_);
+  r.job_node_counts = summarize(node_counts_);
+  r.job_runtime_minutes = summarize(runtime_minutes_);
+
+  r.mean_it_watts = it_watts_stats_.count() ? it_watts_stats_.mean() : 0.0;
+  r.max_it_watts = it_watts_stats_.count() ? it_watts_stats_.max() : 0.0;
+  r.total_it_kwh = it_joules_ / 3.6e6;
+  r.total_facility_kwh = facility_joules_ / 3.6e6;
+  r.electricity_cost = cost_;
+
+  r.budget_watts = budget_watts_;
+  r.violation_samples = violation_samples_;
+  r.violation_fraction =
+      total_samples_ > 0
+          ? static_cast<double>(violation_samples_) / total_samples_
+          : 0.0;
+  r.worst_violation_watts = worst_violation_;
+  r.violation_kwh = violation_joules_ / 3.6e6;
+
+  r.mean_core_utilization =
+      utilization_stats_.count() ? utilization_stats_.mean() : 0.0;
+
+  const sim::SimTime span = end_time - first_sample_time_;
+  if (span > 0) {
+    r.throughput_jobs_per_day =
+        static_cast<double>(completed_) / (sim::to_hours(span) / 24.0);
+  }
+  if (r.total_it_kwh > 0.0) {
+    r.core_hours_per_mwh = completed_core_hours_ / (r.total_it_kwh / 1000.0);
+  }
+  r.makespan = span;
+  return r;
+}
+
+std::string format_report(const RunReport& r) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "[%s] jobs: %llu submitted / %llu completed / %llu killed | "
+      "wait p50 %.1f min | util %.1f %% | power mean %.1f kW max %.1f kW | "
+      "energy %.1f kWh | cost %.2f | violations %.2f %% of time (worst "
+      "+%.1f kW)",
+      r.label.c_str(), static_cast<unsigned long long>(r.jobs_submitted),
+      static_cast<unsigned long long>(r.jobs_completed),
+      static_cast<unsigned long long>(r.jobs_killed), r.wait_minutes.median,
+      r.mean_core_utilization * 100.0, r.mean_it_watts / 1e3,
+      r.max_it_watts / 1e3, r.total_it_kwh, r.electricity_cost,
+      r.violation_fraction * 100.0, r.worst_violation_watts / 1e3);
+  return buf;
+}
+
+}  // namespace epajsrm::metrics

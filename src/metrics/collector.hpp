@@ -1,0 +1,119 @@
+// Run-level metrics: job outcomes, power-budget compliance, utilisation,
+// energy and electricity cost. The collector is fed by the core solution
+// during a run and produces the RunReport every bench prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "power/tariff.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::metrics {
+
+/// End-of-run summary.
+struct RunReport {
+  std::string label;
+
+  // Job outcomes.
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_killed = 0;
+  DistributionSummary wait_minutes;          ///< completed jobs
+  DistributionSummary bounded_slowdown;      ///< completed jobs
+  DistributionSummary job_node_counts;       ///< all started jobs
+  DistributionSummary job_runtime_minutes;   ///< completed jobs
+  double throughput_jobs_per_day = 0.0;
+
+  // Power / energy.
+  double mean_it_watts = 0.0;
+  double max_it_watts = 0.0;
+  double total_it_kwh = 0.0;
+  double total_facility_kwh = 0.0;
+  double electricity_cost = 0.0;
+
+  // Budget compliance (0 budget = unconstrained; violations stay 0).
+  double budget_watts = 0.0;
+  std::uint64_t violation_samples = 0;
+  double violation_fraction = 0.0;   ///< sampled-time fraction over budget
+  double worst_violation_watts = 0.0;
+  double violation_kwh = 0.0;        ///< energy above the budget line
+
+  // Utilisation.
+  double mean_core_utilization = 0.0;
+
+  // Scheduler-productivity summary statistic: completed reference
+  // core-hours per megawatt-hour — "science per joule".
+  double core_hours_per_mwh = 0.0;
+
+  sim::SimTime makespan = 0;
+};
+
+/// Accumulates samples and job outcomes during one simulation run.
+class MetricsCollector {
+ public:
+  /// `budget_watts` = the IT power budget compliance is judged against
+  /// (0 = none). `tariff` prices facility energy; pass nullptr to skip
+  /// cost.
+  explicit MetricsCollector(double budget_watts = 0.0,
+                            const power::Tariff* tariff = nullptr)
+      : budget_watts_(budget_watts), tariff_(tariff) {}
+
+  void set_label(std::string label) { label_ = std::move(label); }
+  void set_budget_watts(double w) { budget_watts_ = w; }
+  double budget_watts() const { return budget_watts_; }
+
+  /// Called once per submitted job.
+  void on_job_submitted(const workload::JobSpec&) { ++submitted_; }
+
+  /// Called when a job reaches a terminal state.
+  void on_job_finished(const workload::Job& job);
+
+  /// Periodic power/utilisation sample (typically from the monitoring
+  /// tick). Integrates energy and cost piecewise-constantly between calls.
+  void on_power_sample(sim::SimTime now, double it_watts,
+                       double facility_watts, double core_utilization);
+
+  /// Completes integration and produces the report.
+  RunReport finalize(sim::SimTime end_time);
+
+  std::uint64_t violation_samples() const { return violation_samples_; }
+
+ private:
+  std::string label_;
+  double budget_watts_;
+  const power::Tariff* tariff_;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t killed_ = 0;
+  std::vector<double> wait_minutes_;
+  std::vector<double> slowdowns_;
+  std::vector<double> node_counts_;
+  std::vector<double> runtime_minutes_;
+  double completed_core_hours_ = 0.0;
+
+  bool have_sample_ = false;
+  sim::SimTime last_sample_time_ = 0;
+  double last_it_watts_ = 0.0;
+  double last_facility_watts_ = 0.0;
+
+  RunningStats it_watts_stats_;
+  RunningStats utilization_stats_;
+  double it_joules_ = 0.0;
+  double facility_joules_ = 0.0;
+  double cost_ = 0.0;
+  std::uint64_t violation_samples_ = 0;
+  std::uint64_t total_samples_ = 0;
+  double worst_violation_ = 0.0;
+  double violation_joules_ = 0.0;
+  sim::SimTime first_sample_time_ = 0;
+};
+
+/// Renders the headline rows of a report (used by benches for quick dumps).
+std::string format_report(const RunReport& report);
+
+}  // namespace epajsrm::metrics

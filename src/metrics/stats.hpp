@@ -1,0 +1,50 @@
+// Descriptive statistics — exactly the quantities the survey's Q3(e) asks
+// centers for: min, median, max and the 10/25/75/90-th percentiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace epajsrm::metrics {
+
+/// Linear-interpolated percentile of an unsorted sample (p in [0,100]).
+/// Returns 0 for empty input.
+double percentile(std::span<const double> values, double p);
+
+/// The Q3(e) summary of a distribution.
+struct DistributionSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p10 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Computes the full summary in one pass over a copy of the data.
+DistributionSummary summarize(std::span<const double> values);
+
+/// Online mean/variance (Welford) for streams too large to retain.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace epajsrm::metrics

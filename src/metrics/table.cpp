@@ -1,0 +1,122 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace epajsrm::metrics {
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("row wider than header");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& cell) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : cell) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+}  // namespace
+
+std::string AsciiTable::render() const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      for (const std::string& line : split_lines(row[c])) {
+        widths[c] = std::max(widths[c], line.size());
+      }
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  const auto rule = [&](char fill) {
+    out << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << std::string(widths[c] + 2, fill) << '+';
+    }
+    out << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    std::vector<std::vector<std::string>> cell_lines(cols);
+    std::size_t height = 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      cell_lines[c] = split_lines(c < row.size() ? row[c] : "");
+      height = std::max(height, cell_lines[c].size());
+    }
+    for (std::size_t l = 0; l < height; ++l) {
+      out << '|';
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::string& text =
+            l < cell_lines[c].size() ? cell_lines[c][l] : "";
+        out << ' ' << text << std::string(widths[c] - text.size(), ' ')
+            << " |";
+      }
+      out << '\n';
+    }
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  rule('-');
+  emit_row(headers_);
+  rule('=');
+  for (const auto& row : rows_) {
+    emit_row(row);
+    rule('-');
+  }
+  return out.str();
+}
+
+std::string format_watts(double watts) {
+  char buf[64];
+  if (watts >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MW", watts / 1e6);
+  } else if (watts >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f kW", watts / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f W", watts);
+  }
+  return buf;
+}
+
+std::string format_kwh(double kwh) {
+  char buf[64];
+  if (kwh >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f MWh", kwh / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f kWh", kwh);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace epajsrm::metrics

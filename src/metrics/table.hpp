@@ -1,0 +1,45 @@
+// Plain-text table rendering for bench output — the reproduced Tables I/II
+// and experiment result grids are printed through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epajsrm::metrics {
+
+/// Column-aligned ASCII table with an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row; short rows are padded with empty cells, long rows throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with box-drawing rules. Cells containing '\n' wrap into
+  /// multiple physical lines.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 kW" / "1.2 MW" style formatting.
+std::string format_watts(double watts);
+
+/// "824 kWh" / "1.21 MWh" style formatting.
+std::string format_kwh(double kwh);
+
+/// Fixed-precision helper.
+std::string format_double(double v, int precision = 2);
+
+/// "42.0 %" from a [0,1] fraction.
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace epajsrm::metrics

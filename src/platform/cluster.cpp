@@ -1,0 +1,201 @@
+#include "platform/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::platform {
+
+Cluster::Cluster(std::string name, std::vector<Node> nodes,
+                 std::unique_ptr<Topology> topology, PstateTable pstates,
+                 Facility facility)
+    : name_(std::move(name)), nodes_(std::move(nodes)),
+      topology_(std::move(topology)), pstates_(std::move(pstates)),
+      facility_(std::move(facility)) {
+  if (nodes_.empty()) throw std::invalid_argument("cluster needs nodes");
+  if (!topology_) throw std::invalid_argument("cluster needs a topology");
+  if (topology_->node_count() < nodes_.size()) {
+    throw std::invalid_argument("topology smaller than node count");
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("bad node id");
+  return nodes_[id];
+}
+const Node& Cluster::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("bad node id");
+  return nodes_[id];
+}
+
+std::vector<NodeId> Cluster::nodes_in_state(NodeState state) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.state() == state) out.push_back(n.id());
+  }
+  return out;
+}
+
+std::uint32_t Cluster::count_in_state(NodeState state) const {
+  return static_cast<std::uint32_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [state](const Node& n) { return n.state() == state; }));
+}
+
+std::uint64_t Cluster::cores_total() const {
+  std::uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (n.schedulable()) total += n.cores_total();
+  }
+  return total;
+}
+
+std::uint64_t Cluster::cores_free() const {
+  std::uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (n.schedulable()) total += n.cores_free();
+  }
+  return total;
+}
+
+double Cluster::core_utilization() const {
+  const std::uint64_t total = cores_total();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(cores_free()) / static_cast<double>(total);
+}
+
+double Cluster::it_power_watts() const {
+  double sum = 0.0;
+  for (const Node& n : nodes_) sum += n.current_watts();
+  return sum;
+}
+
+double Cluster::pdu_power_watts(PduId pdu) const {
+  double sum = 0.0;
+  for (NodeId id : facility_.pdu(pdu).nodes) sum += nodes_[id].current_watts();
+  return sum;
+}
+
+double Cluster::cooling_load_watts(CoolingId loop) const {
+  double sum = 0.0;
+  for (NodeId id : facility_.cooling_loop(loop).nodes) {
+    sum += nodes_[id].current_watts();
+  }
+  return sum;
+}
+
+// --- ClusterBuilder ---------------------------------------------------------
+
+ClusterBuilder& ClusterBuilder::name(std::string n) {
+  name_ = std::move(n);
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::node_count(std::uint32_t n) {
+  node_count_ = n;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::node_config(NodeConfig cfg) {
+  node_config_ = cfg;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::nodes_per_rack(std::uint32_t n) {
+  nodes_per_rack_ = n;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::racks_per_pdu(std::uint32_t n) {
+  racks_per_pdu_ = n;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::racks_per_cooling_loop(std::uint32_t n) {
+  racks_per_cooling_ = n;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::pdu_capacity_watts(double w) {
+  pdu_capacity_watts_ = w;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::cooling_capacity_watts(double w) {
+  cooling_capacity_watts_ = w;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::pstates(PstateTable table) {
+  pstates_ = std::make_unique<PstateTable>(std::move(table));
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::topology(std::unique_ptr<Topology> topo) {
+  topology_ = std::move(topo);
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::facility_config(Facility::Config cfg) {
+  facility_config_ = cfg;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::ambient(AmbientModel ambient) {
+  ambient_ = ambient;
+  return *this;
+}
+ClusterBuilder& ClusterBuilder::variability_sigma(double sigma,
+                                                  std::uint64_t seed) {
+  variability_sigma_ = sigma;
+  variability_seed_ = seed;
+  return *this;
+}
+
+Cluster ClusterBuilder::build() const {
+  if (node_count_ == 0) throw std::invalid_argument("node_count must be > 0");
+  if (nodes_per_rack_ == 0 || racks_per_pdu_ == 0 || racks_per_cooling_ == 0) {
+    throw std::invalid_argument("grouping factors must be > 0");
+  }
+
+  const std::uint32_t racks =
+      (node_count_ + nodes_per_rack_ - 1) / nodes_per_rack_;
+  const std::uint32_t pdus = (racks + racks_per_pdu_ - 1) / racks_per_pdu_;
+  const std::uint32_t loops =
+      (racks + racks_per_cooling_ - 1) / racks_per_cooling_;
+
+  Facility facility(facility_config_, ambient_);
+  for (std::uint32_t p = 0; p < pdus; ++p) {
+    facility.add_pdu(Pdu{.id = 0,
+                         .name = "pdu-" + std::to_string(p),
+                         .capacity_watts = pdu_capacity_watts_,
+                         .under_maintenance = false,
+                         .nodes = {}});
+  }
+  for (std::uint32_t c = 0; c < loops; ++c) {
+    facility.add_cooling_loop(
+        CoolingLoop{.id = 0,
+                    .name = "loop-" + std::to_string(c),
+                    .heat_capacity_watts = cooling_capacity_watts_,
+                    .supply_temp_c = 18.0,
+                    .under_maintenance = false,
+                    .nodes = {}});
+  }
+
+  sim::Rng rng(variability_seed_);
+  std::vector<Node> nodes;
+  nodes.reserve(node_count_);
+  for (std::uint32_t i = 0; i < node_count_; ++i) {
+    const RackId rack = i / nodes_per_rack_;
+    const PduId pdu = rack / racks_per_pdu_;
+    const CoolingId loop = rack / racks_per_cooling_;
+    NodeConfig cfg = node_config_;
+    if (variability_sigma_ > 0.0) {
+      const double lo = 1.0 - 3.0 * variability_sigma_;
+      const double hi = 1.0 + 3.0 * variability_sigma_;
+      cfg.variability =
+          std::clamp(rng.normal(1.0, variability_sigma_), lo, hi);
+    }
+    nodes.emplace_back(static_cast<NodeId>(i), cfg, rack, pdu, loop);
+    facility.pdu(pdu).nodes.push_back(static_cast<NodeId>(i));
+    facility.cooling_loop(loop).nodes.push_back(static_cast<NodeId>(i));
+  }
+
+  auto topo =
+      topology_ ? std::move(topology_) : make_default_topology(node_count_);
+  PstateTable table =
+      pstates_ ? *pstates_ : PstateTable::linear(2.6, 1.2, 8);
+
+  return Cluster(name_, std::move(nodes), std::move(topo), std::move(table),
+                 std::move(facility));
+}
+
+}  // namespace epajsrm::platform

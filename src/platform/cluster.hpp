@@ -1,0 +1,117 @@
+// The Cluster aggregate: nodes + interconnect + P-state ladder + facility.
+// This is the "major high-performance computing system" of the survey's Q2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/facility.hpp"
+#include "platform/ids.hpp"
+#include "platform/node.hpp"
+#include "platform/pstate.hpp"
+#include "platform/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace epajsrm::platform {
+
+/// A complete machine: owns its nodes, fabric, P-state table and plant.
+class Cluster {
+ public:
+  Cluster(std::string name, std::vector<Node> nodes,
+          std::unique_ptr<Topology> topology, PstateTable pstates,
+          Facility facility);
+
+  const std::string& name() const { return name_; }
+
+  // --- nodes -------------------------------------------------------------
+
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::span<Node> nodes() { return nodes_; }
+  std::span<const Node> nodes() const { return nodes_; }
+
+  /// Ids of nodes currently in `state`.
+  std::vector<NodeId> nodes_in_state(NodeState state) const;
+  std::uint32_t count_in_state(NodeState state) const;
+
+  /// Total / free schedulable cores across powered-on nodes.
+  std::uint64_t cores_total() const;
+  std::uint64_t cores_free() const;
+
+  /// Fraction of powered-on (schedulable) cores that are allocated.
+  double core_utilization() const;
+
+  // --- power aggregation (reads the cached per-node sensor values) -------
+
+  /// Sum of node draws (IT power only, watts).
+  double it_power_watts() const;
+
+  /// Sum of draws of the nodes fed by a PDU.
+  double pdu_power_watts(PduId pdu) const;
+
+  /// Sum of draws of nodes on a cooling loop (the heat the loop removes).
+  double cooling_load_watts(CoolingId loop) const;
+
+  // --- shared hardware tables ---------------------------------------------
+
+  const Topology& topology() const { return *topology_; }
+  const PstateTable& pstates() const { return pstates_; }
+  Facility& facility() { return facility_; }
+  const Facility& facility() const { return facility_; }
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<Topology> topology_;
+  PstateTable pstates_;
+  Facility facility_;
+};
+
+/// Convenience builder producing a homogeneous cluster with evenly-divided
+/// racks/PDUs/cooling loops and optional manufacturing variability.
+class ClusterBuilder {
+ public:
+  ClusterBuilder& name(std::string n);
+  ClusterBuilder& node_count(std::uint32_t n);
+  ClusterBuilder& node_config(NodeConfig cfg);
+  ClusterBuilder& nodes_per_rack(std::uint32_t n);
+  ClusterBuilder& racks_per_pdu(std::uint32_t n);
+  ClusterBuilder& racks_per_cooling_loop(std::uint32_t n);
+  ClusterBuilder& pdu_capacity_watts(double w);
+  ClusterBuilder& cooling_capacity_watts(double w);
+  ClusterBuilder& pstates(PstateTable table);
+  ClusterBuilder& topology(std::unique_ptr<Topology> topo);
+  ClusterBuilder& facility_config(Facility::Config cfg);
+  ClusterBuilder& ambient(AmbientModel ambient);
+
+  /// Draws per-node variability multipliers from N(1, sigma), clamped to
+  /// [1-3sigma, 1+3sigma]; sigma = 0 disables (Inadomi et al. use ~0.04).
+  ClusterBuilder& variability_sigma(double sigma, std::uint64_t seed = 42);
+
+  /// Builds the cluster. Nodes start Idle.
+  Cluster build() const;
+
+ private:
+  std::string name_ = "cluster";
+  std::uint32_t node_count_ = 64;
+  NodeConfig node_config_{};
+  std::uint32_t nodes_per_rack_ = 16;
+  std::uint32_t racks_per_pdu_ = 2;
+  std::uint32_t racks_per_cooling_ = 4;
+  double pdu_capacity_watts_ = 0.0;
+  double cooling_capacity_watts_ = 0.0;
+  std::unique_ptr<PstateTable> pstates_;
+  mutable std::unique_ptr<Topology> topology_;  // moved out by build()
+  Facility::Config facility_config_{};
+  AmbientModel ambient_{};
+  double variability_sigma_ = 0.0;
+  std::uint64_t variability_seed_ = 42;
+};
+
+}  // namespace epajsrm::platform

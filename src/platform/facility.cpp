@@ -1,0 +1,62 @@
+#include "platform/facility.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace epajsrm::platform {
+
+double AmbientModel::temperature_c(sim::SimTime t) const {
+  const double hours = sim::to_hours(t);
+  const double hour_of_day = std::fmod(hours, 24.0);
+  const double phase =
+      (hour_of_day - peak_hour_) / 24.0 * 2.0 * std::numbers::pi;
+  return mean_c_ + swing_c_ * std::cos(phase);
+}
+
+double Facility::pue(sim::SimTime t) const {
+  const double outside = ambient_.temperature_c(t);
+  const double excess =
+      std::max(0.0, outside - config_.free_cooling_threshold_c);
+  return config_.base_pue + config_.pue_slope_per_c * excess;
+}
+
+double Facility::it_watts_headroom(sim::SimTime t) const {
+  if (config_.site_power_capacity_watts <= 0.0) {
+    return std::numeric_limits<double>::max();
+  }
+  return config_.site_power_capacity_watts / pue(t);
+}
+
+PduId Facility::add_pdu(Pdu pdu) {
+  pdu.id = static_cast<PduId>(pdus_.size());
+  pdus_.push_back(std::move(pdu));
+  return pdus_.back().id;
+}
+
+CoolingId Facility::add_cooling_loop(CoolingLoop loop) {
+  loop.id = static_cast<CoolingId>(cooling_.size());
+  cooling_.push_back(std::move(loop));
+  return cooling_.back().id;
+}
+
+Pdu& Facility::pdu(PduId id) {
+  if (id >= pdus_.size()) throw std::out_of_range("bad pdu id");
+  return pdus_[id];
+}
+const Pdu& Facility::pdu(PduId id) const {
+  if (id >= pdus_.size()) throw std::out_of_range("bad pdu id");
+  return pdus_[id];
+}
+
+CoolingLoop& Facility::cooling_loop(CoolingId id) {
+  if (id >= cooling_.size()) throw std::out_of_range("bad cooling id");
+  return cooling_[id];
+}
+const CoolingLoop& Facility::cooling_loop(CoolingId id) const {
+  if (id >= cooling_.size()) throw std::out_of_range("bad cooling id");
+  return cooling_[id];
+}
+
+}  // namespace epajsrm::platform

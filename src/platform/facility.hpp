@@ -1,0 +1,119 @@
+// Physical-plant model: PDUs, cooling loops, ambient environment and the
+// facility power envelope. This is the layer the survey's Figure 1 calls
+// "physical plant actuation" — CEA's layout logic (avoid nodes whose PDU or
+// chiller is in maintenance), Tokyo Tech's facility cap, and LRZ's
+// "delay jobs when IT infrastructure is inefficient" all act here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/ids.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::platform {
+
+/// A power distribution unit feeding a set of nodes.
+struct Pdu {
+  PduId id = 0;
+  std::string name;
+  double capacity_watts = 0.0;  ///< breaker limit; 0 = unlimited
+  bool under_maintenance = false;
+  std::vector<NodeId> nodes;  ///< nodes fed by this PDU
+};
+
+/// A cooling loop (CRAH/chiller circuit) serving a set of nodes.
+struct CoolingLoop {
+  CoolingId id = 0;
+  std::string name;
+  double heat_capacity_watts = 0.0;  ///< removable heat; 0 = unlimited
+  double supply_temp_c = 18.0;       ///< air/water supply temperature
+  bool under_maintenance = false;
+  std::vector<NodeId> nodes;  ///< nodes cooled by this loop
+};
+
+/// Sinusoidal outside-air temperature: daily cycle plus optional seasonal
+/// drift. Drives cooling efficiency (PUE) and the MS3 thermal policy.
+class AmbientModel {
+ public:
+  /// `mean_c` daily mean, `daily_swing_c` peak-to-mean amplitude,
+  /// `peak_hour` hour-of-day of the maximum (default 15:00).
+  AmbientModel(double mean_c = 18.0, double daily_swing_c = 6.0,
+               double peak_hour = 15.0)
+      : mean_c_(mean_c), swing_c_(daily_swing_c), peak_hour_(peak_hour) {}
+
+  /// Outside temperature at simulation time t.
+  double temperature_c(sim::SimTime t) const;
+
+  double mean_c() const { return mean_c_; }
+  void set_mean_c(double c) { mean_c_ = c; }
+  double daily_swing_c() const { return swing_c_; }
+
+ private:
+  double mean_c_;
+  double swing_c_;
+  double peak_hour_;
+};
+
+/// Facility-level electrical/cooling description.
+///
+/// Total facility draw = IT power + cooling overhead, where the overhead is
+/// a PUE-style factor that degrades as outside temperature rises above the
+/// free-cooling threshold (coarse model of chiller COP loss).
+class Facility {
+ public:
+  struct Config {
+    double site_power_capacity_watts = 0.0;  ///< Q2(a); 0 = unlimited
+    double cooling_capacity_watts = 0.0;     ///< Q2(b); 0 = unlimited
+    /// PUE at/below the free-cooling threshold temperature.
+    double base_pue = 1.25;
+    /// Additional PUE per degree C above the threshold.
+    double pue_slope_per_c = 0.01;
+    double free_cooling_threshold_c = 16.0;
+  };
+
+  explicit Facility(Config config, AmbientModel ambient = AmbientModel())
+      : config_(config), ambient_(ambient) {}
+
+  const Config& config() const { return config_; }
+  const AmbientModel& ambient() const { return ambient_; }
+  AmbientModel& ambient() { return ambient_; }
+
+  /// Effective PUE at time t given the ambient model.
+  double pue(sim::SimTime t) const;
+
+  /// Facility draw (watts from the feed) for a given IT load at time t.
+  double facility_watts(double it_watts, sim::SimTime t) const {
+    return it_watts * pue(t);
+  }
+
+  /// The IT power that would exactly hit the site capacity at time t
+  /// (infinity surrogate when the site is uncapacitated).
+  double it_watts_headroom(sim::SimTime t) const;
+
+  // --- plant inventory ---------------------------------------------------
+
+  /// Registers a PDU; returns its id. Node membership is filled by the
+  /// ClusterBuilder.
+  PduId add_pdu(Pdu pdu);
+  CoolingId add_cooling_loop(CoolingLoop loop);
+
+  std::vector<Pdu>& pdus() { return pdus_; }
+  const std::vector<Pdu>& pdus() const { return pdus_; }
+  Pdu& pdu(PduId id);
+  const Pdu& pdu(PduId id) const;
+
+  std::vector<CoolingLoop>& cooling_loops() { return cooling_; }
+  const std::vector<CoolingLoop>& cooling_loops() const { return cooling_; }
+  CoolingLoop& cooling_loop(CoolingId id);
+  const CoolingLoop& cooling_loop(CoolingId id) const;
+
+ private:
+  Config config_;
+  AmbientModel ambient_;
+  std::vector<Pdu> pdus_;
+  std::vector<CoolingLoop> cooling_;
+};
+
+}  // namespace epajsrm::platform

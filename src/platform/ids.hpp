@@ -1,0 +1,26 @@
+// Strongly-named integral identifiers shared across subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace epajsrm::platform {
+
+/// Index of a compute node within its Cluster (dense, 0-based).
+using NodeId = std::uint32_t;
+
+/// Index of a rack within the Cluster.
+using RackId = std::uint32_t;
+
+/// Index of a power distribution unit within the Facility.
+using PduId = std::uint32_t;
+
+/// Index of a cooling loop within the Facility.
+using CoolingId = std::uint32_t;
+
+/// Globally unique job identifier (assigned by the workload source).
+using JobId = std::uint64_t;
+
+/// Sentinel meaning "no job".
+inline constexpr JobId kNoJob = 0;
+
+}  // namespace epajsrm::platform

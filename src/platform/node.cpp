@@ -1,0 +1,71 @@
+#include "platform/node.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace epajsrm::platform {
+
+const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kOff:          return "off";
+    case NodeState::kBooting:      return "booting";
+    case NodeState::kIdle:         return "idle";
+    case NodeState::kBusy:         return "busy";
+    case NodeState::kDraining:     return "draining";
+    case NodeState::kShuttingDown: return "shutting-down";
+    case NodeState::kSleeping:     return "sleeping";
+  }
+  return "?";
+}
+
+void Node::set_state(NodeState s) {
+  if (!allocations_.empty() && (s == NodeState::kOff ||
+                                s == NodeState::kShuttingDown ||
+                                s == NodeState::kSleeping ||
+                                s == NodeState::kBooting)) {
+    throw std::logic_error("node " + std::to_string(id_) +
+                           ": cannot power-transition with jobs allocated");
+  }
+  state_ = s;
+}
+
+void Node::allocate(JobId job, std::uint32_t cores, double intensity) {
+  if (!schedulable()) {
+    throw std::logic_error("node " + std::to_string(id_) +
+                           " not schedulable (state " +
+                           std::string(to_string(state_)) + ")");
+  }
+  if (cores == 0 || cores > cores_free()) {
+    throw std::invalid_argument("node " + std::to_string(id_) +
+                                ": bad core request " + std::to_string(cores) +
+                                " (free " + std::to_string(cores_free()) + ")");
+  }
+  if (intensity <= 0.0 || intensity > 1.0) {
+    throw std::invalid_argument("intensity must be in (0, 1]");
+  }
+  if (allocations_.contains(job)) {
+    throw std::logic_error("job already allocated on node " +
+                           std::to_string(id_));
+  }
+  allocations_.emplace(job, Allocation{cores, intensity});
+  cores_in_use_ += cores;
+  load_ += cores * intensity;
+  state_ = NodeState::kBusy;
+}
+
+std::uint32_t Node::release(JobId job) {
+  auto it = allocations_.find(job);
+  if (it == allocations_.end()) return 0;
+  const std::uint32_t cores = it->second.cores;
+  load_ -= it->second.cores * it->second.intensity;
+  if (load_ < 1e-9) load_ = 0.0;
+  allocations_.erase(it);
+  assert(cores_in_use_ >= cores);
+  cores_in_use_ -= cores;
+  if (allocations_.empty() && state_ == NodeState::kBusy) {
+    state_ = NodeState::kIdle;
+  }
+  return cores;
+}
+
+}  // namespace epajsrm::platform

@@ -1,0 +1,162 @@
+// Compute-node model: state machine, core allocation, DVFS/P-state and
+// power-cap bookkeeping. Power *computation* lives in power::NodePowerModel;
+// the node carries the state that model reads plus a cache of the last
+// computed draw for telemetry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform/ids.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::platform {
+
+/// Lifecycle states of a compute node.
+///
+/// Transitions (driven by rm::NodeLifecycle):
+///   Off -> Booting -> Idle <-> Busy
+///   Idle -> ShuttingDown -> Off
+///   Idle -> Sleeping -> Idle        (fast low-power suspend)
+///   Idle|Busy -> Draining -> Idle   (layout maintenance; no new work)
+enum class NodeState {
+  kOff,
+  kBooting,
+  kIdle,
+  kBusy,
+  kDraining,
+  kShuttingDown,
+  kSleeping,
+};
+
+/// Human-readable state name.
+const char* to_string(NodeState s);
+
+/// Static, per-node hardware description.
+struct NodeConfig {
+  std::uint32_t cores = 32;          ///< schedulable cores
+  std::uint32_t memory_gib = 128;    ///< DRAM capacity
+  double idle_watts = 90.0;          ///< draw when powered on and idle
+  double dynamic_watts = 180.0;      ///< extra draw at 100 % load, f_ref
+  double sleep_watts = 12.0;         ///< draw in Sleeping state
+  double off_watts = 4.0;            ///< BMC draw when Off
+  double boot_watts = 140.0;         ///< draw while Booting/ShuttingDown
+  sim::SimTime boot_time = 3 * sim::kMinute;      ///< Off -> Idle latency
+  sim::SimTime shutdown_time = 1 * sim::kMinute;  ///< Idle -> Off latency
+  sim::SimTime sleep_time = 5 * sim::kSecond;     ///< Idle -> Sleeping
+  sim::SimTime wake_time = 20 * sim::kSecond;     ///< Sleeping -> Idle
+  /// Manufacturing variability multiplier on dynamic power (Inadomi et al.
+  /// SC'15 report ~±10 % within a homogeneous system). 1.0 = nominal part.
+  double variability = 1.0;
+  /// Lumped thermal resistance (K/W) and capacitance (J/K) for the RC
+  /// model. The default puts a fully loaded default node (270 W) at
+  /// ~62 °C with a 22 °C inlet — a healthy air-cooled operating point.
+  double thermal_resistance = 0.15;
+  double thermal_capacitance = 8000.0;
+};
+
+/// A compute node. Owned by Cluster; referenced everywhere by NodeId.
+class Node {
+ public:
+  Node(NodeId id, NodeConfig config, RackId rack, PduId pdu, CoolingId loop)
+      : id_(id), config_(config), rack_(rack), pdu_(pdu), cooling_(loop) {}
+
+  NodeId id() const { return id_; }
+  const NodeConfig& config() const { return config_; }
+  RackId rack() const { return rack_; }
+  PduId pdu() const { return pdu_; }
+  CoolingId cooling_loop() const { return cooling_; }
+
+  NodeState state() const { return state_; }
+  /// Sets the lifecycle state. Callers (rm::NodeLifecycle) are responsible
+  /// for legal transition sequencing; the node only forbids leaving
+  /// Busy/Draining with jobs still allocated to Off-like states.
+  void set_state(NodeState s);
+
+  /// True when the node could accept work *now* (Idle, or Busy with spare
+  /// cores when core-level sharing / VM splitting is enabled).
+  bool schedulable() const {
+    return state_ == NodeState::kIdle || state_ == NodeState::kBusy;
+  }
+
+  // --- core allocation --------------------------------------------------
+
+  std::uint32_t cores_total() const { return config_.cores; }
+  std::uint32_t cores_in_use() const { return cores_in_use_; }
+  std::uint32_t cores_free() const { return config_.cores - cores_in_use_; }
+
+  /// One job's share of this node.
+  struct Allocation {
+    std::uint32_t cores = 0;
+    /// How hard the job drives its cores, in (0, 1]: 1.0 = power-virus
+    /// compute kernel, ~0.4 = memory/IO-bound. Scales dynamic power.
+    double intensity = 1.0;
+  };
+
+  /// Allocates `cores` cores to `job` at the given power intensity.
+  /// Requires schedulable() and enough free cores. Moves Idle -> Busy.
+  void allocate(JobId job, std::uint32_t cores, double intensity = 1.0);
+
+  /// Releases the allocation of `job` (all its cores). Moves Busy -> Idle
+  /// when the node empties. Returns the number of cores freed.
+  std::uint32_t release(JobId job);
+
+  /// Jobs currently allocated on this node.
+  const std::map<JobId, Allocation>& allocations() const {
+    return allocations_;
+  }
+
+  /// Effective node load in [0,1]: intensity-weighted allocated core
+  /// fraction — what the dynamic-power term scales with.
+  double utilization() const {
+    return config_.cores == 0 ? 0.0 : load_ / config_.cores;
+  }
+
+  // --- DVFS / capping knobs (read by power::NodePowerModel) -------------
+
+  /// Index into the platform's P-state table (0 = highest frequency).
+  std::uint32_t pstate() const { return pstate_; }
+  void set_pstate(std::uint32_t p) { pstate_ = p; }
+
+  /// Node-level power cap in watts; 0 means uncapped. Set by CAPMC-style
+  /// out-of-band control or the RAPL controller.
+  double power_cap_watts() const { return power_cap_watts_; }
+  void set_power_cap_watts(double w) { power_cap_watts_ = w < 0 ? 0 : w; }
+
+  // --- cached sensor values (written by power/thermal models) -----------
+
+  double current_watts() const { return current_watts_; }
+  void set_current_watts(double w) { current_watts_ = w; }
+
+  double temperature_c() const { return temperature_c_; }
+  void set_temperature_c(double t) { temperature_c_ = t; }
+
+  /// The effective frequency ratio (f/f_ref in (0,1]) the node is running
+  /// at after DVFS and cap clamping; written by the power model, read by
+  /// job-progress accounting.
+  double effective_freq_ratio() const { return effective_freq_ratio_; }
+  void set_effective_freq_ratio(double r) { effective_freq_ratio_ = r; }
+
+ private:
+  NodeId id_;
+  NodeConfig config_;
+  RackId rack_;
+  PduId pdu_;
+  CoolingId cooling_;
+
+  NodeState state_ = NodeState::kIdle;
+  std::map<JobId, Allocation> allocations_;
+  std::uint32_t cores_in_use_ = 0;
+  double load_ = 0.0;  ///< sum of cores * intensity over allocations
+
+  std::uint32_t pstate_ = 0;
+  double power_cap_watts_ = 0.0;
+
+  double current_watts_ = 0.0;
+  double temperature_c_ = 25.0;
+  double effective_freq_ratio_ = 1.0;
+};
+
+}  // namespace epajsrm::platform

@@ -1,0 +1,42 @@
+#include "platform/pstate.hpp"
+
+namespace epajsrm::platform {
+
+PstateTable::PstateTable(std::vector<double> freqs_ghz)
+    : freqs_ghz_(std::move(freqs_ghz)) {
+  if (freqs_ghz_.empty()) {
+    throw std::invalid_argument("pstate table must not be empty");
+  }
+  for (std::size_t i = 0; i < freqs_ghz_.size(); ++i) {
+    if (freqs_ghz_[i] <= 0.0) {
+      throw std::invalid_argument("pstate frequencies must be positive");
+    }
+    if (i > 0 && freqs_ghz_[i] >= freqs_ghz_[i - 1]) {
+      throw std::invalid_argument(
+          "pstate frequencies must be strictly decreasing");
+    }
+  }
+}
+
+PstateTable PstateTable::linear(double top_ghz, double bottom_ghz,
+                                std::uint32_t steps) {
+  if (steps == 0) throw std::invalid_argument("steps must be >= 1");
+  if (steps == 1) return PstateTable({top_ghz});
+  if (bottom_ghz >= top_ghz || bottom_ghz <= 0.0) {
+    throw std::invalid_argument("need 0 < bottom < top");
+  }
+  std::vector<double> freqs(steps);
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    freqs[i] = top_ghz - (top_ghz - bottom_ghz) * i / (steps - 1);
+  }
+  return PstateTable(std::move(freqs));
+}
+
+std::uint32_t PstateTable::state_at_or_below(double ratio) const {
+  for (std::uint32_t i = 0; i < freqs_ghz_.size(); ++i) {
+    if (this->ratio(i) <= ratio + 1e-12) return i;
+  }
+  return deepest();
+}
+
+}  // namespace epajsrm::platform

@@ -1,0 +1,53 @@
+// DVFS P-state table: the discrete frequency ladder every node shares.
+// Part of the hardware description, hence in platform (the power model in
+// src/power turns a state index into watts).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace epajsrm::platform {
+
+/// An ordered list of processor frequencies, index 0 = fastest. The power
+/// and runtime models work in frequency *ratios* relative to the nominal
+/// (index 0) frequency.
+class PstateTable {
+ public:
+  /// Builds from absolute frequencies in GHz, which must be strictly
+  /// decreasing and positive.
+  explicit PstateTable(std::vector<double> freqs_ghz);
+
+  /// Evenly spaced ladder from `top_ghz` down to `bottom_ghz` in `steps`
+  /// states (steps >= 1; steps == 1 gives a single fixed frequency).
+  static PstateTable linear(double top_ghz, double bottom_ghz,
+                            std::uint32_t steps);
+
+  std::size_t size() const { return freqs_ghz_.size(); }
+
+  /// Absolute frequency of state i.
+  double freq_ghz(std::uint32_t i) const {
+    if (i >= freqs_ghz_.size()) throw std::out_of_range("bad pstate");
+    return freqs_ghz_[i];
+  }
+
+  /// f_i / f_0 in (0, 1].
+  double ratio(std::uint32_t i) const {
+    return freq_ghz(i) / freqs_ghz_.front();
+  }
+
+  /// Lowest-index (fastest) state whose ratio is <= `ratio`; returns the
+  /// deepest state if even that is above the request. Used by capping
+  /// controllers to translate a continuous clamp into a discrete state.
+  std::uint32_t state_at_or_below(double ratio) const;
+
+  /// Index of the slowest (deepest) state.
+  std::uint32_t deepest() const {
+    return static_cast<std::uint32_t>(freqs_ghz_.size() - 1);
+  }
+
+ private:
+  std::vector<double> freqs_ghz_;
+};
+
+}  // namespace epajsrm::platform

@@ -1,0 +1,135 @@
+#include "platform/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace epajsrm::platform {
+
+double Topology::allocation_spread(std::span<const NodeId> nodes) const {
+  if (nodes.size() < 2) return 0.0;
+  const std::uint32_t diam = diameter();
+  if (diam == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      sum += distance(nodes[i], nodes[j]);
+      ++pairs;
+    }
+  }
+  return (sum / static_cast<double>(pairs)) / static_cast<double>(diam);
+}
+
+// --- FatTreeTopology -------------------------------------------------------
+
+FatTreeTopology::FatTreeTopology(std::uint32_t arity, std::uint32_t levels)
+    : arity_(arity), levels_(levels) {
+  if (arity < 2 || levels < 1) {
+    throw std::invalid_argument("fat tree needs arity >= 2, levels >= 1");
+  }
+  std::uint64_t n = 1;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    n *= arity;
+    if (n > (1ull << 31)) throw std::invalid_argument("fat tree too large");
+  }
+  node_count_ = static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t FatTreeTopology::distance(NodeId a, NodeId b) const {
+  assert(a < node_count_ && b < node_count_);
+  if (a == b) return 0;
+  // Walk both leaves up until they meet; each level divides ids by arity.
+  std::uint32_t level = 0;
+  std::uint32_t ia = a, ib = b;
+  while (ia != ib) {
+    ia /= arity_;
+    ib /= arity_;
+    ++level;
+  }
+  return 2 * level;
+}
+
+std::string FatTreeTopology::describe() const {
+  return "fat-tree(arity=" + std::to_string(arity_) +
+         ", levels=" + std::to_string(levels_) +
+         ", nodes=" + std::to_string(node_count_) + ")";
+}
+
+// --- Torus3DTopology -------------------------------------------------------
+
+Torus3DTopology::Torus3DTopology(std::uint32_t dim_x, std::uint32_t dim_y,
+                                 std::uint32_t dim_z)
+    : dx_(dim_x), dy_(dim_y), dz_(dim_z) {
+  if (dx_ == 0 || dy_ == 0 || dz_ == 0) {
+    throw std::invalid_argument("torus dimensions must be positive");
+  }
+}
+
+Torus3DTopology::Coord Torus3DTopology::coord(NodeId n) const {
+  assert(n < node_count());
+  return Coord{n % dx_, (n / dx_) % dy_, n / (dx_ * dy_)};
+}
+
+namespace {
+std::uint32_t ring_distance(std::uint32_t a, std::uint32_t b,
+                            std::uint32_t dim) {
+  const std::uint32_t d = a > b ? a - b : b - a;
+  return std::min(d, dim - d);
+}
+}  // namespace
+
+std::uint32_t Torus3DTopology::distance(NodeId a, NodeId b) const {
+  const Coord ca = coord(a), cb = coord(b);
+  return ring_distance(ca.x, cb.x, dx_) + ring_distance(ca.y, cb.y, dy_) +
+         ring_distance(ca.z, cb.z, dz_);
+}
+
+std::string Torus3DTopology::describe() const {
+  return "torus3d(" + std::to_string(dx_) + "x" + std::to_string(dy_) + "x" +
+         std::to_string(dz_) + ")";
+}
+
+// --- DragonflyTopology -----------------------------------------------------
+
+DragonflyTopology::DragonflyTopology(std::uint32_t groups,
+                                     std::uint32_t routers_per_group,
+                                     std::uint32_t nodes_per_router)
+    : groups_(groups), routers_(routers_per_group),
+      endpoints_(nodes_per_router) {
+  if (groups == 0 || routers_per_group == 0 || nodes_per_router == 0) {
+    throw std::invalid_argument("dragonfly dimensions must be positive");
+  }
+}
+
+std::uint32_t DragonflyTopology::distance(NodeId a, NodeId b) const {
+  assert(a < node_count() && b < node_count());
+  if (a == b) return 0;
+  const std::uint32_t router_a = a / endpoints_;
+  const std::uint32_t router_b = b / endpoints_;
+  if (router_a == router_b) return 1;
+  const std::uint32_t group_a = router_a / routers_;
+  const std::uint32_t group_b = router_b / routers_;
+  return group_a == group_b ? 2 : 3;
+}
+
+std::string DragonflyTopology::describe() const {
+  return "dragonfly(groups=" + std::to_string(groups_) +
+         ", routers/group=" + std::to_string(routers_) +
+         ", nodes/router=" + std::to_string(endpoints_) + ")";
+}
+
+std::unique_ptr<Topology> make_default_topology(std::uint32_t min_nodes) {
+  // Smallest arity-8 fat tree covering min_nodes keeps the endpoint count
+  // close to the requested size.
+  std::uint32_t levels = 1;
+  std::uint64_t n = 8;
+  while (n < min_nodes) {
+    n *= 8;
+    ++levels;
+  }
+  return std::make_unique<FatTreeTopology>(8, levels);
+}
+
+}  // namespace epajsrm::platform

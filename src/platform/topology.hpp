@@ -1,0 +1,114 @@
+// Interconnect topology models.
+//
+// The survey's Q6 asks about topology-aware task allocation as an indirect
+// energy lever (better placement -> shorter communication -> shorter
+// runtime -> less energy). The framework models a topology as a hop-count
+// metric between nodes; allocation quality of a node set is its mean
+// pairwise distance normalised to the topology diameter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "platform/ids.hpp"
+
+namespace epajsrm::platform {
+
+/// Abstract interconnect: a metric over node ids.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of endpoints (node slots) in the fabric.
+  virtual std::uint32_t node_count() const = 0;
+
+  /// Hop distance between two endpoints; distance(a,a) == 0.
+  virtual std::uint32_t distance(NodeId a, NodeId b) const = 0;
+
+  /// Maximum distance between any two endpoints.
+  virtual std::uint32_t diameter() const = 0;
+
+  /// Short description, e.g. "fat-tree(arity=8, levels=3)".
+  virtual std::string describe() const = 0;
+
+  /// Mean pairwise hop distance of an allocation, normalised to the
+  /// diameter: 0 = perfectly compact, 1 = maximally spread. Single-node
+  /// allocations score 0.
+  double allocation_spread(std::span<const NodeId> nodes) const;
+};
+
+/// k-ary fat tree: nodes are leaves; distance = 2 * levels-to-common-
+/// ancestor. node ids are assigned in leaf order, so contiguous id ranges
+/// are compact.
+class FatTreeTopology final : public Topology {
+ public:
+  /// `arity` children per switch, `levels` switch levels above the nodes.
+  /// Endpoint count is arity^levels.
+  FatTreeTopology(std::uint32_t arity, std::uint32_t levels);
+
+  std::uint32_t node_count() const override { return node_count_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  std::uint32_t diameter() const override { return 2 * levels_; }
+  std::string describe() const override;
+
+  std::uint32_t arity() const { return arity_; }
+  std::uint32_t levels() const { return levels_; }
+
+ private:
+  std::uint32_t arity_;
+  std::uint32_t levels_;
+  std::uint32_t node_count_;
+};
+
+/// 3-D torus with wrap-around links (K-computer / Cray Gemini style).
+/// node id = x + dim_x * (y + dim_y * z).
+class Torus3DTopology final : public Topology {
+ public:
+  Torus3DTopology(std::uint32_t dim_x, std::uint32_t dim_y,
+                  std::uint32_t dim_z);
+
+  std::uint32_t node_count() const override { return dx_ * dy_ * dz_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  std::uint32_t diameter() const override {
+    return dx_ / 2 + dy_ / 2 + dz_ / 2;
+  }
+  std::string describe() const override;
+
+  /// Decomposes a node id into torus coordinates.
+  struct Coord {
+    std::uint32_t x, y, z;
+  };
+  Coord coord(NodeId n) const;
+
+ private:
+  std::uint32_t dx_, dy_, dz_;
+};
+
+/// Dragonfly (Cray Aries style): groups of routers, all-to-all between
+/// groups, all-to-all within a group, `nodes_per_router` endpoints each.
+/// Distances: same router 0 hops apart endpoints -> 1; same group -> 2;
+/// different group -> 3 (minimal routing, one global link).
+class DragonflyTopology final : public Topology {
+ public:
+  DragonflyTopology(std::uint32_t groups, std::uint32_t routers_per_group,
+                    std::uint32_t nodes_per_router);
+
+  std::uint32_t node_count() const override {
+    return groups_ * routers_ * endpoints_;
+  }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  std::uint32_t diameter() const override { return 3; }
+  std::string describe() const override;
+
+ private:
+  std::uint32_t groups_, routers_, endpoints_;
+};
+
+/// Builds the smallest fat tree with at least `min_nodes` endpoints — the
+/// default fabric when a scenario does not specify one.
+std::unique_ptr<Topology> make_default_topology(std::uint32_t min_nodes);
+
+}  // namespace epajsrm::platform

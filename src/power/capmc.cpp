@@ -1,0 +1,62 @@
+#include "power/capmc.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::power {
+
+void CapmcController::set_node_cap(platform::NodeId node, double watts) {
+  platform::Node& n = cluster_->node(node);
+  n.set_power_cap_watts(watts);
+  model_->apply(n);
+}
+
+void CapmcController::set_group_cap(std::span<const platform::NodeId> nodes,
+                                    double watts) {
+  for (platform::NodeId id : nodes) set_node_cap(id, watts);
+}
+
+void CapmcController::set_system_cap(double total_watts) {
+  const std::uint32_t n = cluster_->node_count();
+  if (n == 0) return;
+  if (total_watts <= 0.0) {
+    clear_all_caps();
+    return;
+  }
+  const double per_node = total_watts / n;
+  double guaranteed = 0.0;
+  for (platform::Node& node : cluster_->nodes()) {
+    // A cap below the idle floor can never be met by DVFS; clamp to the
+    // floor plus a sliver of dynamic headroom so the node stays usable.
+    const double floor = node.config().idle_watts * 1.02;
+    const double cap = std::max(per_node, floor);
+    node.set_power_cap_watts(cap);
+    model_->apply(node);
+    guaranteed += cap;
+  }
+  system_cap_error_ = std::max(0.0, guaranteed - total_watts);
+}
+
+void CapmcController::clear_all_caps() {
+  for (platform::Node& node : cluster_->nodes()) {
+    node.set_power_cap_watts(0.0);
+    model_->apply(node);
+  }
+  system_cap_error_ = 0.0;
+}
+
+double CapmcController::worst_case_watts() const {
+  double total = 0.0;
+  for (const platform::Node& node : cluster_->nodes()) {
+    const double cap = node.power_cap_watts();
+    total += cap > 0.0 ? cap : model_->peak_watts(node.config());
+  }
+  return total;
+}
+
+std::uint32_t CapmcController::capped_node_count() const {
+  return static_cast<std::uint32_t>(std::count_if(
+      cluster_->nodes().begin(), cluster_->nodes().end(),
+      [](const platform::Node& n) { return n.power_cap_watts() > 0.0; }));
+}
+
+}  // namespace epajsrm::power

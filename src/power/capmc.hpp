@@ -1,0 +1,58 @@
+// CAPMC-style out-of-band power control plane (Cray Advanced Platform
+// Monitoring and Control), the production capping mechanism at KAUST and
+// LANL+Sandia (Tables I/II). Provides administrator-facing system-wide and
+// node-level caps, translated into per-node cap values that the
+// NodePowerModel honours.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "power/node_power_model.hpp"
+
+namespace epajsrm::power {
+
+/// Out-of-band capping controller over a cluster.
+class CapmcController {
+ public:
+  CapmcController(platform::Cluster& cluster, const NodePowerModel& model)
+      : cluster_(&cluster), model_(&model) {}
+
+  /// Sets (or clears, with watts == 0) a node-level cap.
+  void set_node_cap(platform::NodeId node, double watts);
+
+  /// Sets the same cap on a set of nodes — JCAHPC's "power caps for groups
+  /// of nodes via the resource manager".
+  void set_group_cap(std::span<const platform::NodeId> nodes, double watts);
+
+  /// Distributes a system-wide IT cap evenly across all nodes
+  /// (administrator "system-wide power cap" in the LANL+Sandia row).
+  /// Caps below a node's idle floor are clamped to the floor so the cap is
+  /// always individually feasible; the residual error is reported by
+  /// system_cap_error().
+  void set_system_cap(double total_watts);
+
+  /// Clears every node cap.
+  void clear_all_caps();
+
+  /// Sum of active node caps (0-capped nodes contribute their model peak),
+  /// i.e. the guaranteed worst-case system draw.
+  double worst_case_watts() const;
+
+  /// Number of nodes with an active cap.
+  std::uint32_t capped_node_count() const;
+
+  /// Difference between the last requested system cap and what the evenly
+  /// divided per-node caps actually guarantee (> 0 when idle floors forced
+  /// clamping).
+  double system_cap_error() const { return system_cap_error_; }
+
+ private:
+  platform::Cluster* cluster_;
+  const NodePowerModel* model_;
+  double system_cap_error_ = 0.0;
+};
+
+}  // namespace epajsrm::power

@@ -1,0 +1,103 @@
+#include "power/energy_source.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace epajsrm::power {
+
+void SupplyPortfolio::add_source(EnergySource source) {
+  sources_.push_back(std::move(source));
+}
+
+void SupplyPortfolio::add_event(DemandResponseEvent event) {
+  events_.push_back(event);
+  std::sort(events_.begin(), events_.end(),
+            [](const DemandResponseEvent& a, const DemandResponseEvent& b) {
+              return a.start < b.start;
+            });
+}
+
+const DemandResponseEvent* SupplyPortfolio::active_event(
+    sim::SimTime t) const {
+  for (const auto& e : events_) {
+    if (e.active_at(t)) return &e;
+  }
+  return nullptr;
+}
+
+const DemandResponseEvent* SupplyPortfolio::next_event(sim::SimTime t) const {
+  for (const auto& e : events_) {
+    if (e.start >= t) return &e;
+  }
+  return nullptr;
+}
+
+double SupplyPortfolio::grid_limit_watts(sim::SimTime t) const {
+  double limit = 0.0;
+  bool any_grid = false;
+  for (const auto& s : sources_) {
+    if (s.dispatchable) continue;
+    any_grid = true;
+    if (s.capacity_watts <= 0.0) {
+      limit = std::numeric_limits<double>::max();
+    } else if (limit != std::numeric_limits<double>::max()) {
+      limit += s.capacity_watts;
+    }
+  }
+  if (!any_grid) return 0.0;
+  if (const DemandResponseEvent* e = active_event(t)) {
+    limit = std::min(limit, e->limit_watts);
+  }
+  return limit;
+}
+
+SupplyPortfolio::Dispatch SupplyPortfolio::dispatch(double facility_watts,
+                                                    sim::SimTime t) const {
+  Dispatch d;
+  d.watts.assign(sources_.size(), 0.0);
+  if (sources_.empty()) {
+    d.unserved_watts = facility_watts;
+    return d;
+  }
+
+  // Merit order: ascending current price. Grid sources are collectively
+  // limited by an active DR event.
+  std::vector<std::size_t> order(sources_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sources_[a].tariff.price_at(t) < sources_[b].tariff.price_at(t);
+  });
+
+  const DemandResponseEvent* dr = active_event(t);
+  double grid_remaining =
+      dr ? dr->limit_watts : std::numeric_limits<double>::max();
+
+  double remaining = facility_watts;
+  for (std::size_t idx : order) {
+    if (remaining <= 0.0) break;
+    const EnergySource& s = sources_[idx];
+    double avail = s.capacity_watts > 0.0
+                       ? s.capacity_watts
+                       : std::numeric_limits<double>::max();
+    if (!s.dispatchable) avail = std::min(avail, grid_remaining);
+    const double take = std::min(remaining, avail);
+    if (take <= 0.0) continue;
+    d.watts[idx] = take;
+    remaining -= take;
+    if (!s.dispatchable) grid_remaining -= take;
+    d.marginal_price = s.tariff.price_at(t);
+  }
+  d.unserved_watts = std::max(0.0, remaining);
+  return d;
+}
+
+double SupplyPortfolio::cost_per_hour(const Dispatch& d, sim::SimTime t) const {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < sources_.size() && i < d.watts.size(); ++i) {
+    cost += d.watts[i] / 1000.0 * sources_[i].tariff.price_at(t);
+  }
+  return cost;
+}
+
+}  // namespace epajsrm::power

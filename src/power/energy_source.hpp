@@ -1,0 +1,94 @@
+// Electricity supply: grid feed, on-site generation, and demand-response
+// events from the electricity service provider (ESP).
+//
+// Models the RIKEN research line ("integrating job scheduler info with the
+// decision to use grid vs. gas turbine energy") and the ESP-SC interaction
+// of Bates [6] / Patki [36]: the ESP can ask the site to shed load for a
+// window; the site can split its draw across sources with different costs
+// and capacities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/tariff.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::power {
+
+/// One electricity source (grid feed or on-site generator).
+struct EnergySource {
+  std::string name;
+  /// Maximum deliverable power in watts (0 = unlimited).
+  double capacity_watts = 0.0;
+  /// Pricing. Grid sources use a time-of-use tariff; generators typically a
+  /// flat fuel cost.
+  Tariff tariff = Tariff::flat(0.10);
+  /// Generators need spin-up lead time before they can carry load.
+  sim::SimTime startup_time = 0;
+  /// True for dispatchable on-site generation (gas turbine), false for the
+  /// grid feed.
+  bool dispatchable = false;
+};
+
+/// An ESP demand-response request: hold facility draw at or below
+/// `limit_watts` during [start, start+duration).
+struct DemandResponseEvent {
+  sim::SimTime start = 0;
+  sim::SimTime duration = 0;
+  double limit_watts = 0.0;
+  /// Advance notice the ESP gives before `start`.
+  sim::SimTime notice = 30 * sim::kMinute;
+  /// Payment per avoided kWh for honouring the request.
+  double incentive_per_kwh = 0.0;
+
+  sim::SimTime end() const { return start + duration; }
+  bool active_at(sim::SimTime t) const { return t >= start && t < end(); }
+};
+
+/// A portfolio of sources plus the DR calendar; answers "how should this
+/// facility load be split right now, and what does it cost?".
+class SupplyPortfolio {
+ public:
+  /// Adds a source; the first added source is the default (grid).
+  void add_source(EnergySource source);
+  const std::vector<EnergySource>& sources() const { return sources_; }
+
+  /// Registers a future demand-response event.
+  void add_event(DemandResponseEvent event);
+  const std::vector<DemandResponseEvent>& events() const { return events_; }
+
+  /// The DR event active at time t, or nullptr.
+  const DemandResponseEvent* active_event(sim::SimTime t) const;
+
+  /// The next event with start >= t, or nullptr.
+  const DemandResponseEvent* next_event(sim::SimTime t) const;
+
+  /// Result of dispatching a facility load across sources.
+  struct Dispatch {
+    /// Watts drawn per source, parallel to sources().
+    std::vector<double> watts;
+    /// Marginal cost per kWh of the last watt served.
+    double marginal_price = 0.0;
+    /// Load that no source could carry (capacity exhausted).
+    double unserved_watts = 0.0;
+  };
+
+  /// Splits `facility_watts` across sources in ascending price-at-t order
+  /// (merit order), respecting capacities. A DR event caps the *grid*
+  /// (non-dispatchable) contribution at its limit, pushing overflow to
+  /// dispatchable sources.
+  Dispatch dispatch(double facility_watts, sim::SimTime t) const;
+
+  /// Cost per hour of a dispatch at time t.
+  double cost_per_hour(const Dispatch& d, sim::SimTime t) const;
+
+  /// Grid watts the site may draw at time t (capacity or DR limit).
+  double grid_limit_watts(sim::SimTime t) const;
+
+ private:
+  std::vector<EnergySource> sources_;
+  std::vector<DemandResponseEvent> events_;
+};
+
+}  // namespace epajsrm::power

@@ -1,0 +1,92 @@
+#include "power/node_power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epajsrm::power {
+
+NodePowerModel::NodePowerModel(const platform::PstateTable& pstates,
+                               double alpha, CapMode cap_mode)
+    : pstates_(pstates), alpha_(alpha), cap_mode_(cap_mode) {
+  if (alpha <= 0.0) throw std::invalid_argument("alpha must be positive");
+}
+
+double NodePowerModel::watts_at(const platform::NodeConfig& cfg,
+                                double freq_ratio, double utilization) const {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  freq_ratio = std::clamp(freq_ratio, 0.0, 1.0);
+  return cfg.idle_watts + utilization * cfg.dynamic_watts * cfg.variability *
+                              std::pow(freq_ratio, alpha_);
+}
+
+double NodePowerModel::freq_ratio_for_cap(const platform::NodeConfig& cfg,
+                                          double cap_watts,
+                                          double utilization) const {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  const double dyn = utilization * cfg.dynamic_watts * cfg.variability;
+  if (dyn <= 0.0) return 1.0;  // no dynamic draw: any frequency fits
+  const double budget = cap_watts - cfg.idle_watts;
+  if (budget <= 0.0) return 0.0;  // cap below idle floor: infeasible
+  return std::min(1.0, std::pow(budget / dyn, 1.0 / alpha_));
+}
+
+OperatingPoint NodePowerModel::resolve(const platform::Node& node) const {
+  using platform::NodeState;
+  const platform::NodeConfig& cfg = node.config();
+  OperatingPoint op;
+
+  switch (node.state()) {
+    case NodeState::kOff:
+      op.watts = cfg.off_watts;
+      op.freq_ratio = 0.0;
+      return op;
+    case NodeState::kBooting:
+    case NodeState::kShuttingDown:
+      op.watts = cfg.boot_watts;
+      op.freq_ratio = 0.0;
+      return op;
+    case NodeState::kSleeping:
+      op.watts = cfg.sleep_watts;
+      op.freq_ratio = 0.0;
+      return op;
+    case NodeState::kIdle:
+    case NodeState::kBusy:
+    case NodeState::kDraining:
+      break;
+  }
+
+  const double pstate_ratio = pstates_.ratio(
+      std::min<std::uint32_t>(node.pstate(), pstates_.deepest()));
+  const double util = node.utilization();
+  double freq = pstate_ratio;
+
+  const double cap = node.power_cap_watts();
+  if (cap > 0.0 && watts_at(cfg, freq, util) > cap) {
+    op.cap_binding = true;
+    double clamped = freq_ratio_for_cap(cfg, cap, util);
+    if (clamped <= 0.0) {
+      // Cap below the idle floor: run at the deepest state, flag violation.
+      op.cap_infeasible = true;
+      clamped = pstates_.ratio(pstates_.deepest());
+    } else if (cap_mode_ == CapMode::kDiscrete) {
+      clamped = pstates_.ratio(pstates_.state_at_or_below(clamped));
+    }
+    freq = std::min(freq, clamped);
+  }
+
+  // A node that is on but has no work still burns idle power; frequency
+  // ratio stays meaningful for when work lands.
+  op.freq_ratio = freq;
+  op.watts = watts_at(cfg, freq, util);
+  return op;
+}
+
+OperatingPoint NodePowerModel::apply(platform::Node& node) const {
+  const OperatingPoint op = resolve(node);
+  node.set_current_watts(op.watts);
+  node.set_effective_freq_ratio(op.freq_ratio);
+  return op;
+}
+
+}  // namespace epajsrm::power

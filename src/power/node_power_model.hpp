@@ -1,0 +1,84 @@
+// Node power model with DVFS and RAPL-style cap clamping.
+//
+// Model (DESIGN.md §5):
+//   P(f, u) = P_idle + u · P_dyn_ref · (f/f_ref)^alpha · v
+// where u is core utilisation, v the per-node manufacturing-variability
+// multiplier and alpha ≈ 2.4 (dynamic power ~ C·V²·f with V roughly linear
+// in f over the DVFS range). Off / boot / sleep states use fixed draws from
+// NodeConfig.
+//
+// A node-level power cap (RAPL [13] in-band, or Cray CAPMC out-of-band) is
+// honoured by lowering the effective frequency until the model power fits
+// under the cap; the resulting frequency ratio is what job-progress
+// accounting uses, which reproduces the "capping slows jobs down" behaviour
+// KAUST and LANL+Sandia describe.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/node.hpp"
+#include "platform/pstate.hpp"
+
+namespace epajsrm::power {
+
+/// How a cap is translated into a frequency clamp.
+enum class CapMode {
+  /// RAPL: continuous frequency between P-states (hardware duty-cycling).
+  kContinuous,
+  /// CAPMC: snap down to the next discrete P-state.
+  kDiscrete,
+};
+
+/// Result of resolving a node's operating point.
+struct OperatingPoint {
+  double watts = 0.0;        ///< modelled draw
+  double freq_ratio = 1.0;   ///< effective f/f_ref actually achieved
+  bool cap_binding = false;  ///< the power cap forced a slowdown
+  bool cap_infeasible = false;  ///< cap below idle floor; cannot be met
+};
+
+/// Stateless power calculator shared by every node of a cluster.
+class NodePowerModel {
+ public:
+  /// `alpha` is the dynamic-power frequency exponent; `min_freq_ratio`
+  /// bounds how far continuous clamping may slow a core below the deepest
+  /// P-state.
+  explicit NodePowerModel(const platform::PstateTable& pstates,
+                          double alpha = 2.4, CapMode cap_mode = CapMode::kContinuous);
+
+  double alpha() const { return alpha_; }
+  CapMode cap_mode() const { return cap_mode_; }
+  void set_cap_mode(CapMode m) { cap_mode_ = m; }
+
+  /// Draw at an explicit operating point for a powered-on node.
+  double watts_at(const platform::NodeConfig& cfg, double freq_ratio,
+                  double utilization) const;
+
+  /// Peak draw of a node type (f_ref, fully loaded) — used for budget
+  /// planning and worst-case admission.
+  double peak_watts(const platform::NodeConfig& cfg) const {
+    return watts_at(cfg, 1.0, 1.0);
+  }
+
+  /// Resolves the operating point of `node` from its lifecycle state,
+  /// utilisation, selected P-state and power cap.
+  OperatingPoint resolve(const platform::Node& node) const;
+
+  /// Resolves and writes the cached sensor values (current_watts,
+  /// effective_freq_ratio) back onto the node. Returns the point.
+  OperatingPoint apply(platform::Node& node) const;
+
+  /// Largest frequency ratio whose modelled power fits under `cap_watts`
+  /// at the given utilisation (continuous solution, before mode snapping).
+  double freq_ratio_for_cap(const platform::NodeConfig& cfg, double cap_watts,
+                            double utilization) const;
+
+  const platform::PstateTable& pstates() const { return pstates_; }
+
+ private:
+  const platform::PstateTable& pstates_;
+  double alpha_;
+  CapMode cap_mode_;
+};
+
+}  // namespace epajsrm::power

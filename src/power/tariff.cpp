@@ -1,0 +1,90 @@
+#include "power/tariff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::power {
+
+Tariff Tariff::flat(double price_per_kwh) {
+  return Tariff({Band{0.0, 24.0, price_per_kwh}});
+}
+
+Tariff Tariff::peak_offpeak(double peak_price, double offpeak_price,
+                            double peak_begin, double peak_end) {
+  std::vector<Band> bands;
+  if (peak_begin > 0.0) bands.push_back({0.0, peak_begin, offpeak_price});
+  bands.push_back({peak_begin, peak_end, peak_price});
+  if (peak_end < 24.0) bands.push_back({peak_end, 24.0, offpeak_price});
+  return Tariff(std::move(bands));
+}
+
+Tariff::Tariff(std::vector<Band> bands) : bands_(std::move(bands)) {
+  if (bands_.empty()) throw std::invalid_argument("tariff needs bands");
+  std::sort(bands_.begin(), bands_.end(),
+            [](const Band& a, const Band& b) {
+              return a.begin_hour < b.begin_hour;
+            });
+  double cursor = 0.0;
+  for (const Band& b : bands_) {
+    if (b.begin_hour != cursor || b.end_hour <= b.begin_hour ||
+        b.price_per_kwh < 0.0) {
+      throw std::invalid_argument("tariff bands must tile [0,24)");
+    }
+    cursor = b.end_hour;
+  }
+  if (cursor != 24.0) throw std::invalid_argument("tariff must cover 24 h");
+}
+
+double Tariff::price_at(sim::SimTime t) const {
+  const double hour = std::fmod(sim::to_hours(t), 24.0);
+  for (const Band& b : bands_) {
+    if (hour >= b.begin_hour && hour < b.end_hour) return b.price_per_kwh;
+  }
+  return bands_.back().price_per_kwh;  // hour == 24 boundary
+}
+
+double Tariff::cost(double watts, sim::SimTime begin, sim::SimTime end) const {
+  if (end <= begin || watts <= 0.0) return 0.0;
+  // Integrate band-by-band; bands are hour-aligned cycles, so walk in
+  // sub-hour steps bounded by band edges.
+  double total = 0.0;
+  sim::SimTime cursor = begin;
+  while (cursor < end) {
+    const double hour = std::fmod(sim::to_hours(cursor), 24.0);
+    double band_end_hour = 24.0;
+    double price = bands_.back().price_per_kwh;
+    for (const Band& b : bands_) {
+      if (hour >= b.begin_hour && hour < b.end_hour) {
+        band_end_hour = b.end_hour;
+        price = b.price_per_kwh;
+        break;
+      }
+    }
+    sim::SimTime band_end = cursor + sim::from_hours(band_end_hour - hour);
+    // Floating-point guard: when `cursor` sits within rounding distance of
+    // a band boundary the increment can truncate to zero; force progress
+    // (one microsecond of misattributed price is far below any tolerance).
+    if (band_end <= cursor) band_end = cursor + 1;
+    const sim::SimTime seg_end = std::min(end, band_end);
+    total += watts / 1000.0 * sim::to_hours(seg_end - cursor) * price;
+    cursor = seg_end;
+  }
+  return total;
+}
+
+sim::SimTime Tariff::cheapest_start(double watts, sim::SimTime earliest,
+                                    sim::SimTime duration) const {
+  sim::SimTime best = earliest;
+  double best_cost = cost(watts, earliest, earliest + duration);
+  for (int h = 1; h <= 24; ++h) {
+    const sim::SimTime start = earliest + h * sim::kHour;
+    const double c = cost(watts, start, start + duration);
+    if (c < best_cost - 1e-9) {
+      best_cost = c;
+      best = start;
+    }
+  }
+  return best;
+}
+
+}  // namespace epajsrm::power

@@ -1,0 +1,58 @@
+// Electricity tariffs: time-of-use pricing plus peak-demand charges.
+//
+// The survey's motivation section ties EPA JSRM to operational cost and to
+// the ESP relationship studied in Bates et al. [6] / Patki et al. [36];
+// job-order-only energy schedulers [4][7][28][29] optimise against exactly
+// this structure.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::power {
+
+/// Time-of-use electricity tariff over a 24-hour cycle.
+class Tariff {
+ public:
+  /// One pricing band: [begin_hour, end_hour) at `price` currency per kWh.
+  struct Band {
+    double begin_hour;
+    double end_hour;  ///< exclusive; must be > begin_hour, <= 24
+    double price_per_kwh;
+  };
+
+  /// Flat price all day.
+  static Tariff flat(double price_per_kwh);
+
+  /// Classic peak/off-peak split: `peak_price` in [peak_begin, peak_end),
+  /// `offpeak_price` elsewhere.
+  static Tariff peak_offpeak(double peak_price, double offpeak_price,
+                             double peak_begin = 8.0, double peak_end = 20.0);
+
+  /// Builds from explicit bands, which must tile [0, 24) without overlap.
+  explicit Tariff(std::vector<Band> bands);
+
+  /// Price per kWh at simulation time t.
+  double price_at(sim::SimTime t) const;
+
+  /// Cost of drawing a constant `watts` across [begin, end).
+  double cost(double watts, sim::SimTime begin, sim::SimTime end) const;
+
+  /// Cheapest hour-of-day start for a constant-power run of `duration`
+  /// beginning within the next 24 h after `earliest` (granularity 1 h).
+  sim::SimTime cheapest_start(double watts, sim::SimTime earliest,
+                              sim::SimTime duration) const;
+
+  const std::vector<Band>& bands() const { return bands_; }
+
+  /// Peak-demand charge per kW of the billing period's maximum demand;
+  /// applied by metrics, not by cost().
+  double demand_charge_per_kw = 0.0;
+
+ private:
+  std::vector<Band> bands_;
+};
+
+}  // namespace epajsrm::power

@@ -1,0 +1,48 @@
+#include "power/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::power {
+
+void ThermalModel::step_node(platform::Node& node, double inlet_c,
+                             sim::SimTime dt) const {
+  const platform::NodeConfig& cfg = node.config();
+  const double tau = cfg.thermal_resistance * cfg.thermal_capacitance;
+  const double target = steady_state_c(cfg, node.current_watts(), inlet_c);
+  const double t = node.temperature_c();
+  const double decay = std::exp(-sim::to_seconds(dt) / tau);
+  node.set_temperature_c(target + (t - target) * decay);
+}
+
+double ThermalModel::inlet_c(const platform::Cluster& cluster,
+                             const platform::Node& node) const {
+  const platform::CoolingLoop& loop =
+      cluster.facility().cooling_loop(node.cooling_loop());
+  double inlet = loop.supply_temp_c + inlet_offset_c_;
+  // Overloaded loop: supply temperature creeps up proportionally to the
+  // overload fraction (coarse but monotone — what MS3 needs to react to).
+  if (loop.heat_capacity_watts > 0.0) {
+    const double load = cluster.cooling_load_watts(loop.id);
+    const double overload = load / loop.heat_capacity_watts - 1.0;
+    if (overload > 0.0) inlet += 10.0 * overload;
+  }
+  return inlet;
+}
+
+void ThermalModel::step_cluster(platform::Cluster& cluster,
+                                sim::SimTime dt) const {
+  for (platform::Node& node : cluster.nodes()) {
+    step_node(node, inlet_c(cluster, node), dt);
+  }
+}
+
+double ThermalModel::max_temperature_c(const platform::Cluster& cluster) {
+  double max_t = -1e9;
+  for (const platform::Node& node : cluster.nodes()) {
+    max_t = std::max(max_t, node.temperature_c());
+  }
+  return max_t;
+}
+
+}  // namespace epajsrm::power

@@ -1,0 +1,51 @@
+// Lumped-RC node thermal model.
+//
+//   C · dT/dt = P − (T − T_inlet) / R
+//
+// Exact exponential update between telemetry ticks (power is piecewise
+// constant in the discrete-event model, so the ODE has a closed form).
+// Feeds the MS3 "do less when it's too hot" policy [11] and LRZ's
+// infrastructure-efficiency-aware delays.
+#pragma once
+
+#include "platform/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::power {
+
+/// Advances node temperatures and reports thermal excursions.
+class ThermalModel {
+ public:
+  /// `inlet_offset_c`: how much warmer the node inlet runs than the cooling
+  /// loop supply (rack recirculation).
+  explicit ThermalModel(double inlet_offset_c = 4.0)
+      : inlet_offset_c_(inlet_offset_c) {}
+
+  /// Steady-state temperature of a node drawing `watts` with inlet
+  /// `inlet_c`.
+  static double steady_state_c(const platform::NodeConfig& cfg, double watts,
+                               double inlet_c) {
+    return inlet_c + watts * cfg.thermal_resistance;
+  }
+
+  /// Exact RC update of one node over `dt`, assuming its current_watts()
+  /// was constant across the interval. Writes temperature_c back.
+  void step_node(platform::Node& node, double inlet_c, sim::SimTime dt) const;
+
+  /// Steps every node of a cluster over `dt`; inlet temperature comes from
+  /// the node's cooling loop supply plus the recirculation offset, degraded
+  /// when the loop is overloaded.
+  void step_cluster(platform::Cluster& cluster, sim::SimTime dt) const;
+
+  /// Inlet temperature seen by `node` right now.
+  double inlet_c(const platform::Cluster& cluster,
+                 const platform::Node& node) const;
+
+  /// Hottest node temperature in the cluster.
+  static double max_temperature_c(const platform::Cluster& cluster);
+
+ private:
+  double inlet_offset_c_;
+};
+
+}  // namespace epajsrm::power

@@ -1,0 +1,48 @@
+// Prediction-accuracy bookkeeping for the S6-PRED experiment.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace epajsrm::predict {
+
+/// Accumulates (actual, predicted) pairs and reports standard error
+/// metrics.
+class AccuracyTracker {
+ public:
+  void add(double actual, double predicted) {
+    ++count_;
+    const double err = predicted - actual;
+    sum_abs_ += std::abs(err);
+    sum_sq_ += err * err;
+    sum_bias_ += err;
+    if (actual != 0.0) {
+      sum_ape_ += std::abs(err / actual);
+      ++ape_count_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  /// Mean absolute error.
+  double mae() const { return count_ ? sum_abs_ / count_ : 0.0; }
+
+  /// Root mean squared error.
+  double rmse() const { return count_ ? std::sqrt(sum_sq_ / count_) : 0.0; }
+
+  /// Mean absolute percentage error in [0, inf), e.g. 0.12 = 12 %.
+  double mape() const { return ape_count_ ? sum_ape_ / ape_count_ : 0.0; }
+
+  /// Mean signed error; > 0 means systematic over-prediction.
+  double bias() const { return count_ ? sum_bias_ / count_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t ape_count_ = 0;
+  double sum_abs_ = 0.0;
+  double sum_sq_ = 0.0;
+  double sum_ape_ = 0.0;
+  double sum_bias_ = 0.0;
+};
+
+}  // namespace epajsrm::predict

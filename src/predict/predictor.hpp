@@ -1,0 +1,75 @@
+// Job power/runtime prediction interfaces.
+//
+// The survey calls pre-execution knowledge of application behaviour "a very
+// important aspect" of EPA JSRM: RIKEN estimates each job's power before it
+// runs, LRZ characterises new applications on first run, CINECA builds
+// predictive per-job power models (Borghesi [9]), Shoukourian [40] and
+// Sîrbu [41] regress on job features. Predictors expose a common interface
+// so policies can be evaluated with any of them (or with the conservative
+// peak baseline).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace epajsrm::predict {
+
+/// Predicts the average per-node power draw of a job before it runs and
+/// learns from completed jobs.
+class PowerPredictor {
+ public:
+  virtual ~PowerPredictor() = default;
+
+  /// Predicted average watts per allocated node at reference frequency.
+  virtual double predict_node_watts(const workload::JobSpec& spec) = 0;
+
+  /// Feeds back a completed job's measured average per-node watts.
+  virtual void observe(const workload::JobSpec& spec,
+                       double actual_node_watts) = 0;
+
+  /// Identifier for reports ("tag-history", "ridge", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Predicts job runtime (used by energy-to-solution and backfill quality
+/// studies; schedulers otherwise plan with the user walltime estimate).
+class RuntimePredictor {
+ public:
+  virtual ~RuntimePredictor() = default;
+  virtual sim::SimTime predict_runtime(const workload::JobSpec& spec) = 0;
+  virtual void observe(const workload::JobSpec& spec,
+                       sim::SimTime actual_runtime) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Conservative baseline: every job is assumed to draw `peak_node_watts`.
+/// This is what a site without prediction must do to stay safe under a cap
+/// — the gap between this and a learned predictor is the value of
+/// prediction (bench S6-PRED).
+class PeakPowerPredictor final : public PowerPredictor {
+ public:
+  explicit PeakPowerPredictor(double peak_node_watts)
+      : peak_(peak_node_watts) {}
+  double predict_node_watts(const workload::JobSpec&) override {
+    return peak_;
+  }
+  void observe(const workload::JobSpec&, double) override {}
+  std::string name() const override { return "peak-baseline"; }
+
+ private:
+  double peak_;
+};
+
+/// Walltime-estimate baseline for runtimes (what plain backfilling uses).
+class WalltimeRuntimePredictor final : public RuntimePredictor {
+ public:
+  sim::SimTime predict_runtime(const workload::JobSpec& spec) override {
+    return spec.walltime_estimate;
+  }
+  void observe(const workload::JobSpec&, sim::SimTime) override {}
+  std::string name() const override { return "walltime-estimate"; }
+};
+
+}  // namespace epajsrm::predict

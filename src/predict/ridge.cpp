@@ -1,0 +1,88 @@
+#include "predict/ridge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epajsrm::predict {
+
+std::array<double, RidgePowerPredictor::kDim> RidgePowerPredictor::features(
+    const workload::JobSpec& spec) {
+  return {
+      1.0,
+      std::log(static_cast<double>(std::max(1u, spec.nodes))),
+      std::log(std::max(0.01, sim::to_hours(spec.walltime_estimate))),
+      spec.profile.freq_sensitive_fraction,
+      spec.profile.comm_fraction,
+      spec.profile.power_intensity,
+  };
+}
+
+void RidgePowerPredictor::observe(const workload::JobSpec& spec,
+                                  double actual_node_watts) {
+  const auto x = features(spec);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      xtx_[i * kDim + j] += x[i] * x[j];
+    }
+    xty_[i] += x[i] * actual_node_watts;
+  }
+  ++samples_;
+  dirty_ = true;
+}
+
+void RidgePowerPredictor::solve() {
+  // Cholesky factorisation of (XᵀX + lambda·I); kDim is tiny so this is
+  // essentially free.
+  std::array<double, kDim * kDim> a = xtx_;
+  for (std::size_t i = 0; i < kDim; ++i) a[i * kDim + i] += lambda_;
+
+  std::array<double, kDim * kDim> l{};
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * kDim + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l[i * kDim + k] * l[j * kDim + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) throw std::runtime_error("ridge: matrix not SPD");
+        l[i * kDim + i] = std::sqrt(sum);
+      } else {
+        l[i * kDim + j] = sum / l[j * kDim + j];
+      }
+    }
+  }
+
+  // Forward substitution L z = Xᵀy, then back substitution Lᵀ w = z.
+  std::array<double, kDim> z{};
+  for (std::size_t i = 0; i < kDim; ++i) {
+    double sum = xty_[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * kDim + k] * z[k];
+    z[i] = sum / l[i * kDim + i];
+  }
+  for (std::size_t ii = kDim; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < kDim; ++k) {
+      sum -= l[k * kDim + ii] * weights_[k];
+    }
+    weights_[ii] = sum / l[ii * kDim + ii];
+  }
+  dirty_ = false;
+}
+
+std::array<double, RidgePowerPredictor::kDim> RidgePowerPredictor::weights() {
+  if (dirty_) solve();
+  return weights_;
+}
+
+double RidgePowerPredictor::predict_node_watts(const workload::JobSpec& spec) {
+  if (samples_ < min_samples_) return prior_;
+  if (dirty_) solve();
+  const auto x = features(spec);
+  double y = 0.0;
+  for (std::size_t i = 0; i < kDim; ++i) y += weights_[i] * x[i];
+  // Physical floor: a node never draws negative or absurdly low power.
+  return std::max(1.0, y);
+}
+
+}  // namespace epajsrm::predict

@@ -1,0 +1,58 @@
+// Ridge-regression power predictor over job submission features.
+//
+// The Sîrbu & Babaoglu [41] / Shoukourian [40] approach: regress measured
+// per-node power on features known at submission (size, requested time,
+// application behaviour hints). Online: the model keeps the normal-equation
+// accumulators (XᵀX, Xᵀy) and re-solves lazily, so observe() is O(d²) and
+// predict O(d) with a cached weight vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "predict/predictor.hpp"
+
+namespace epajsrm::predict {
+
+/// Online ridge regression y ≈ wᵀx with L2 penalty lambda.
+class RidgePowerPredictor final : public PowerPredictor {
+ public:
+  /// Feature dimension: bias, log nodes, log walltime-estimate hours,
+  /// frequency-sensitive fraction, comm fraction, power intensity.
+  static constexpr std::size_t kDim = 6;
+
+  /// `prior_node_watts` is used until `min_samples` observations arrive.
+  RidgePowerPredictor(double prior_node_watts, double lambda = 1.0,
+                      std::uint64_t min_samples = 8)
+      : prior_(prior_node_watts), lambda_(lambda), min_samples_(min_samples) {
+    xtx_.fill(0.0);
+    xty_.fill(0.0);
+    weights_.fill(0.0);
+  }
+
+  double predict_node_watts(const workload::JobSpec& spec) override;
+  void observe(const workload::JobSpec& spec,
+               double actual_node_watts) override;
+  std::string name() const override { return "ridge"; }
+
+  std::uint64_t samples() const { return samples_; }
+
+  /// Current weight vector (for tests / introspection). Solves lazily.
+  std::array<double, kDim> weights();
+
+ private:
+  static std::array<double, kDim> features(const workload::JobSpec& spec);
+  void solve();
+
+  double prior_;
+  double lambda_;
+  std::uint64_t min_samples_;
+  std::uint64_t samples_ = 0;
+  bool dirty_ = false;
+
+  std::array<double, kDim * kDim> xtx_;
+  std::array<double, kDim> xty_;
+  std::array<double, kDim> weights_;
+};
+
+}  // namespace epajsrm::predict

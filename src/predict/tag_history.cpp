@@ -1,0 +1,58 @@
+#include "predict/tag_history.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::predict {
+
+double TagHistoryPowerPredictor::predict_node_watts(
+    const workload::JobSpec& spec) {
+  const auto it = stats_.find(spec.tag);
+  if (it == stats_.end() || it->second.count == 0) return prior_;
+  return it->second.mean;
+}
+
+void TagHistoryPowerPredictor::observe(const workload::JobSpec& spec,
+                                       double actual_node_watts) {
+  Stats& s = stats_[spec.tag];
+  ++s.count;
+  s.mean += (actual_node_watts - s.mean) / static_cast<double>(s.count);
+}
+
+std::uint64_t TagHistoryPowerPredictor::samples(const std::string& tag) const {
+  const auto it = stats_.find(tag);
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+double EwmaPowerPredictor::predict_node_watts(const workload::JobSpec& spec) {
+  const auto it = ewma_.find(spec.tag);
+  return it == ewma_.end() ? prior_ : it->second;
+}
+
+void EwmaPowerPredictor::observe(const workload::JobSpec& spec,
+                                 double actual_node_watts) {
+  auto [it, inserted] = ewma_.try_emplace(spec.tag, actual_node_watts);
+  if (!inserted) {
+    it->second += alpha_ * (actual_node_watts - it->second);
+  }
+}
+
+sim::SimTime TagHistoryRuntimePredictor::predict_runtime(
+    const workload::JobSpec& spec) {
+  const auto it = stats_.find(spec.tag);
+  if (it == stats_.end() || it->second.count < 3) {
+    return spec.walltime_estimate;  // too little history: trust the user
+  }
+  // Never exceed the walltime limit (the job dies there anyway).
+  return std::min(spec.walltime_estimate,
+                  sim::from_seconds(it->second.mean_s));
+}
+
+void TagHistoryRuntimePredictor::observe(const workload::JobSpec& spec,
+                                         sim::SimTime actual_runtime) {
+  Stats& s = stats_[spec.tag];
+  ++s.count;
+  s.mean_s += (sim::to_seconds(actual_runtime) - s.mean_s) /
+              static_cast<double>(s.count);
+}
+
+}  // namespace epajsrm::predict

@@ -1,0 +1,77 @@
+// Tag-history predictors: per-application running statistics.
+//
+// The simplest production-grade approach (and what LRZ's first-run
+// characterisation amounts to): key on the application tag, keep a running
+// mean (or EWMA) of observed behaviour, fall back to a conservative prior
+// for unseen tags.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace epajsrm::predict {
+
+/// Running-mean per-tag power predictor.
+class TagHistoryPowerPredictor final : public PowerPredictor {
+ public:
+  /// `prior_node_watts` is returned for tags never seen (choose the model
+  /// peak for safety under caps).
+  explicit TagHistoryPowerPredictor(double prior_node_watts)
+      : prior_(prior_node_watts) {}
+
+  double predict_node_watts(const workload::JobSpec& spec) override;
+  void observe(const workload::JobSpec& spec,
+               double actual_node_watts) override;
+  std::string name() const override { return "tag-history"; }
+
+  /// Observations recorded for a tag (0 when unseen).
+  std::uint64_t samples(const std::string& tag) const;
+
+ private:
+  struct Stats {
+    double mean = 0.0;
+    std::uint64_t count = 0;
+  };
+  double prior_;
+  std::unordered_map<std::string, Stats> stats_;
+};
+
+/// Exponentially weighted moving average per tag — adapts when application
+/// behaviour drifts (dataset growth, code changes).
+class EwmaPowerPredictor final : public PowerPredictor {
+ public:
+  EwmaPowerPredictor(double prior_node_watts, double alpha = 0.3)
+      : prior_(prior_node_watts), alpha_(alpha) {}
+
+  double predict_node_watts(const workload::JobSpec& spec) override;
+  void observe(const workload::JobSpec& spec,
+               double actual_node_watts) override;
+  std::string name() const override { return "ewma"; }
+
+ private:
+  double prior_;
+  double alpha_;
+  std::unordered_map<std::string, double> ewma_;
+};
+
+/// Running-mean per-tag runtime predictor with the user estimate as prior
+/// and an optional safety factor (never predict below `floor_fraction` of
+/// the rolling mean).
+class TagHistoryRuntimePredictor final : public RuntimePredictor {
+ public:
+  sim::SimTime predict_runtime(const workload::JobSpec& spec) override;
+  void observe(const workload::JobSpec& spec,
+               sim::SimTime actual_runtime) override;
+  std::string name() const override { return "tag-history-runtime"; }
+
+ private:
+  struct Stats {
+    double mean_s = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::string, Stats> stats_;
+};
+
+}  // namespace epajsrm::predict

@@ -1,0 +1,105 @@
+#include "rm/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace epajsrm::rm {
+
+std::uint32_t Allocator::available(const platform::Cluster& cluster,
+                                   const EligibilityFn& eligible) {
+  std::uint32_t count = 0;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (eligible(node)) ++count;
+  }
+  return count;
+}
+
+std::vector<platform::NodeId> FirstFitAllocator::select(
+    const platform::Cluster& cluster, std::uint32_t nodes,
+    const EligibilityFn& eligible) const {
+  std::vector<platform::NodeId> out;
+  out.reserve(nodes);
+  for (const platform::Node& node : cluster.nodes()) {
+    if (!eligible(node)) continue;
+    out.push_back(node.id());
+    if (out.size() == nodes) return out;
+  }
+  return {};
+}
+
+std::vector<platform::NodeId> TopologyAwareAllocator::select(
+    const platform::Cluster& cluster, std::uint32_t nodes,
+    const EligibilityFn& eligible) const {
+  std::vector<platform::NodeId> candidates;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (eligible(node)) candidates.push_back(node.id());
+  }
+  if (candidates.size() < nodes) return {};
+  if (nodes == candidates.size()) return candidates;
+
+  const platform::Topology& topo = cluster.topology();
+  const std::uint32_t seed_count =
+      std::min<std::uint32_t>(seeds_, static_cast<std::uint32_t>(candidates.size()));
+
+  std::vector<platform::NodeId> best;
+  double best_spread = std::numeric_limits<double>::max();
+
+  for (std::uint32_t s = 0; s < seed_count; ++s) {
+    // Spread seeds evenly over the candidate list.
+    const std::size_t seed_idx =
+        static_cast<std::size_t>(s) * candidates.size() / seed_count;
+    std::vector<platform::NodeId> chosen{candidates[seed_idx]};
+    std::vector<bool> used(candidates.size(), false);
+    used[seed_idx] = true;
+
+    // Greedy growth: each step adds the candidate with the smallest total
+    // distance to the already-chosen set.
+    while (chosen.size() < nodes) {
+      std::size_t best_idx = candidates.size();
+      std::uint64_t best_dist = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (used[i]) continue;
+        std::uint64_t dist = 0;
+        for (platform::NodeId member : chosen) {
+          dist += topo.distance(candidates[i], member);
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_idx = i;
+        }
+      }
+      used[best_idx] = true;
+      chosen.push_back(candidates[best_idx]);
+    }
+
+    const double spread = topo.allocation_spread(chosen);
+    if (spread < best_spread) {
+      best_spread = spread;
+      best = std::move(chosen);
+    }
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+std::vector<platform::NodeId> VariabilityAwareAllocator::select(
+    const platform::Cluster& cluster, std::uint32_t nodes,
+    const EligibilityFn& eligible) const {
+  std::vector<platform::NodeId> candidates;
+  for (const platform::Node& node : cluster.nodes()) {
+    if (eligible(node)) candidates.push_back(node.id());
+  }
+  if (candidates.size() < nodes) return {};
+  std::sort(candidates.begin(), candidates.end(),
+            [&cluster](platform::NodeId a, platform::NodeId b) {
+              const double va = cluster.node(a).config().variability;
+              const double vb = cluster.node(b).config().variability;
+              if (va != vb) return va < vb;
+              return a < b;
+            });
+  candidates.resize(nodes);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace epajsrm::rm

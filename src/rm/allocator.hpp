@@ -1,0 +1,87 @@
+// Node-selection strategies.
+//
+// Allocation quality is an energy lever twice over in the survey: Q6's
+// topology-aware placement shortens communication (indirect energy), and
+// variability-aware placement (Inadomi [25], Fraternali [20]) puts work on
+// frequency-efficient parts. All allocators select whole idle nodes; an
+// eligibility predicate lets the layout service exclude nodes whose PDU or
+// cooling loop is in maintenance (CEA row).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace epajsrm::rm {
+
+/// Filter deciding whether a node may receive new work.
+using EligibilityFn = std::function<bool(const platform::Node&)>;
+
+/// Whole-node allocator interface.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Selects exactly `nodes` eligible idle nodes, or returns an empty
+  /// vector when impossible. Does not mutate the cluster.
+  virtual std::vector<platform::NodeId> select(
+      const platform::Cluster& cluster, std::uint32_t nodes,
+      const EligibilityFn& eligible) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Count of nodes currently selectable under `eligible`.
+  static std::uint32_t available(const platform::Cluster& cluster,
+                                 const EligibilityFn& eligible);
+
+  /// Default eligibility: idle, whole node free.
+  static bool default_eligible(const platform::Node& node) {
+    return node.state() == platform::NodeState::kIdle &&
+           node.cores_free() == node.cores_total();
+  }
+};
+
+/// Lowest-id-first. In a fat tree with leaf-ordered ids this is already
+/// fairly compact; it is the SLURM-default-flavoured baseline.
+class FirstFitAllocator final : public Allocator {
+ public:
+  std::vector<platform::NodeId> select(
+      const platform::Cluster& cluster, std::uint32_t nodes,
+      const EligibilityFn& eligible) const override;
+  std::string name() const override { return "first-fit"; }
+};
+
+/// Topology-aware: greedy min-spread growth from the best seed. For each
+/// candidate seed, repeatedly adds the eligible node closest (hop metric)
+/// to the chosen set; keeps the seed whose final set has the smallest
+/// spread. Seeds are sampled to keep the pass O(seeds · n · k).
+class TopologyAwareAllocator final : public Allocator {
+ public:
+  explicit TopologyAwareAllocator(std::uint32_t seed_candidates = 8)
+      : seeds_(seed_candidates) {}
+
+  std::vector<platform::NodeId> select(
+      const platform::Cluster& cluster, std::uint32_t nodes,
+      const EligibilityFn& eligible) const override;
+  std::string name() const override { return "topology-aware"; }
+
+ private:
+  std::uint32_t seeds_;
+};
+
+/// Variability-aware: prefers nodes with the lowest variability multiplier
+/// (most power-efficient silicon), breaking ties by id. Under a uniform
+/// power cap this also equalises effective frequency (Inadomi's
+/// variability-aware power budgeting, first-order).
+class VariabilityAwareAllocator final : public Allocator {
+ public:
+  std::vector<platform::NodeId> select(
+      const platform::Cluster& cluster, std::uint32_t nodes,
+      const EligibilityFn& eligible) const override;
+  std::string name() const override { return "variability-aware"; }
+};
+
+}  // namespace epajsrm::rm

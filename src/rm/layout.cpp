@@ -1,0 +1,24 @@
+#include "rm/layout.hpp"
+
+#include <set>
+
+namespace epajsrm::rm {
+
+std::vector<platform::NodeId> LayoutService::blocked_nodes() const {
+  std::vector<platform::NodeId> out;
+  for (const platform::Node& node : cluster_->nodes()) {
+    if (!plant_ok(node)) out.push_back(node.id());
+  }
+  return out;
+}
+
+std::uint32_t LayoutService::draining_job_count() const {
+  std::set<platform::JobId> jobs;
+  for (const platform::Node& node : cluster_->nodes()) {
+    if (plant_ok(node)) continue;
+    for (const auto& [job, alloc] : node.allocations()) jobs.insert(job);
+  }
+  return static_cast<std::uint32_t>(jobs.size());
+}
+
+}  // namespace epajsrm::rm

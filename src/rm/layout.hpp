@@ -1,0 +1,59 @@
+// Layout logic — CEA's technology-development row: "be able to tell what
+// PDUs/Chillers a node or rack depends on and avoid scheduling jobs on
+// them when maintenance [is planned]".
+//
+// The service answers dependency queries over the facility wiring and
+// contributes an eligibility veto to allocation.
+#pragma once
+
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace epajsrm::rm {
+
+/// Facility-dependency queries and maintenance windows.
+class LayoutService {
+ public:
+  explicit LayoutService(platform::Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Nodes that lose power when this PDU goes down.
+  const std::vector<platform::NodeId>& nodes_on_pdu(platform::PduId id) const {
+    return cluster_->facility().pdu(id).nodes;
+  }
+
+  /// Nodes that lose cooling when this loop goes down.
+  const std::vector<platform::NodeId>& nodes_on_loop(
+      platform::CoolingId id) const {
+    return cluster_->facility().cooling_loop(id).nodes;
+  }
+
+  /// Flags a PDU for maintenance: dependent nodes become ineligible for
+  /// new work (running jobs finish — the drain semantic).
+  void set_pdu_maintenance(platform::PduId id, bool maintenance) {
+    cluster_->facility().pdu(id).under_maintenance = maintenance;
+  }
+
+  void set_cooling_maintenance(platform::CoolingId id, bool maintenance) {
+    cluster_->facility().cooling_loop(id).under_maintenance = maintenance;
+  }
+
+  /// True when the node's PDU and cooling loop are both serviceable.
+  bool plant_ok(const platform::Node& node) const {
+    const platform::Facility& f = cluster_->facility();
+    return !f.pdu(node.pdu()).under_maintenance &&
+           !f.cooling_loop(node.cooling_loop()).under_maintenance;
+  }
+
+  /// Nodes currently blocked by maintenance.
+  std::vector<platform::NodeId> blocked_nodes() const;
+
+  /// Count of running jobs that still occupy maintenance-flagged plant
+  /// (they are draining; maintenance can begin once this reaches zero).
+  std::uint32_t draining_job_count() const;
+
+ private:
+  platform::Cluster* cluster_;
+};
+
+}  // namespace epajsrm::rm

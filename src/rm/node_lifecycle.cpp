@@ -1,0 +1,65 @@
+#include "rm/node_lifecycle.hpp"
+
+namespace epajsrm::rm {
+
+void NodeLifecycle::transition(platform::NodeId id,
+                               platform::NodeState during,
+                               platform::NodeState after,
+                               sim::SimTime delay) {
+  if (pre_) pre_();
+  platform::Node& node = cluster_->node(id);
+  node.set_state(during);
+  ++in_transition_;
+  if (post_) post_(id);
+
+  sim_->schedule_in(delay, [this, id, during, after] {
+    platform::Node& n = cluster_->node(id);
+    // A transition can only be completed by the schedule that started it;
+    // state changes in between (not allowed by the callers) would be bugs.
+    if (n.state() != during) return;
+    if (pre_) pre_();
+    n.set_state(after);
+    --in_transition_;
+    if (post_) post_(id);
+  });
+}
+
+bool NodeLifecycle::power_off(platform::NodeId id) {
+  platform::Node& node = cluster_->node(id);
+  if (node.state() != platform::NodeState::kIdle) return false;
+  ++shutdowns_;
+  transition(id, platform::NodeState::kShuttingDown,
+             platform::NodeState::kOff, node.config().shutdown_time);
+  return true;
+}
+
+bool NodeLifecycle::power_on(platform::NodeId id) {
+  platform::Node& node = cluster_->node(id);
+  if (node.state() != platform::NodeState::kOff) return false;
+  ++boots_;
+  transition(id, platform::NodeState::kBooting, platform::NodeState::kIdle,
+             node.config().boot_time);
+  return true;
+}
+
+bool NodeLifecycle::sleep(platform::NodeId id) {
+  platform::Node& node = cluster_->node(id);
+  if (node.state() != platform::NodeState::kIdle) return false;
+  ++sleeps_;
+  // Sleep entry is fast enough to model as instantaneous draw change after
+  // sleep_time spent in shutdown-like transition.
+  transition(id, platform::NodeState::kShuttingDown,
+             platform::NodeState::kSleeping, node.config().sleep_time);
+  return true;
+}
+
+bool NodeLifecycle::wake(platform::NodeId id) {
+  platform::Node& node = cluster_->node(id);
+  if (node.state() != platform::NodeState::kSleeping) return false;
+  ++wakes_;
+  transition(id, platform::NodeState::kBooting, platform::NodeState::kIdle,
+             node.config().wake_time);
+  return true;
+}
+
+}  // namespace epajsrm::rm

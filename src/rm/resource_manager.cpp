@@ -1,0 +1,68 @@
+#include "rm/resource_manager.hpp"
+
+#include <stdexcept>
+
+namespace epajsrm::rm {
+
+ResourceManager::ResourceManager(sim::Simulation& sim,
+                                 platform::Cluster& cluster,
+                                 const power::NodePowerModel& model,
+                                 std::unique_ptr<Allocator> allocator)
+    : cluster_(&cluster), model_(&model), allocator_(std::move(allocator)),
+      layout_(cluster), lifecycle_(sim, cluster) {
+  if (!allocator_) throw std::invalid_argument("allocator required");
+}
+
+void ResourceManager::set_allocator(std::unique_ptr<Allocator> allocator) {
+  if (!allocator) throw std::invalid_argument("allocator required");
+  allocator_ = std::move(allocator);
+}
+
+EligibilityFn ResourceManager::eligibility() const {
+  const LayoutService* layout = &layout_;
+  const EligibilityFn extra = extra_eligibility_;
+  return [layout, extra](const platform::Node& node) {
+    if (!Allocator::default_eligible(node)) return false;
+    if (!layout->plant_ok(node)) return false;
+    if (extra && !extra(node)) return false;
+    return true;
+  };
+}
+
+std::uint32_t ResourceManager::allocatable_nodes() const {
+  return Allocator::available(*cluster_, eligibility());
+}
+
+std::vector<platform::NodeId> ResourceManager::allocate(workload::Job& job,
+                                                        std::uint32_t nodes) {
+  const std::vector<platform::NodeId> selected =
+      allocator_->select(*cluster_, nodes, eligibility());
+  if (selected.empty()) return {};
+
+  const workload::JobSpec& spec = job.spec();
+  for (platform::NodeId id : selected) {
+    platform::Node& node = cluster_->node(id);
+    const std::uint32_t cores = spec.cores_per_node == 0
+                                    ? node.cores_total()
+                                    : spec.cores_per_node;
+    node.allocate(job.id(), cores, spec.profile.power_intensity);
+    model_->apply(node);
+  }
+
+  job.set_allocated_nodes(selected);
+  job.set_cores_per_node_allocated(
+      spec.cores_per_node == 0 ? cluster_->node(selected.front()).cores_total()
+                               : spec.cores_per_node);
+  job.set_placement_spread(cluster_->topology().allocation_spread(selected));
+  return selected;
+}
+
+void ResourceManager::release(workload::Job& job) {
+  for (platform::NodeId id : job.allocated_nodes()) {
+    platform::Node& node = cluster_->node(id);
+    node.release(job.id());
+    model_->apply(node);
+  }
+}
+
+}  // namespace epajsrm::rm

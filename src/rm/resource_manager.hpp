@@ -1,0 +1,70 @@
+// The resource manager: privileged owner of node allocation and release.
+//
+// Figure 1's "resource manager" box: the scheduler decides *which* job
+// starts; this component turns that decision into node state — selecting
+// nodes (allocator strategy), charging cores, refreshing the power model,
+// and freezing the job's placement spread. It also bundles the layout
+// service and the node lifecycle driver.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "power/node_power_model.hpp"
+#include "rm/allocator.hpp"
+#include "rm/layout.hpp"
+#include "rm/node_lifecycle.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::rm {
+
+/// Allocation/release front-end over the cluster.
+class ResourceManager {
+ public:
+  ResourceManager(sim::Simulation& sim, platform::Cluster& cluster,
+                  const power::NodePowerModel& model,
+                  std::unique_ptr<Allocator> allocator);
+
+  /// Swaps the allocation strategy (e.g. topology-aware experiments).
+  void set_allocator(std::unique_ptr<Allocator> allocator);
+  const Allocator& allocator() const { return *allocator_; }
+
+  /// Adds an extra eligibility veto on top of idle + layout checks (EPA
+  /// policies use this, e.g. to fence off powered-down node pools).
+  void set_extra_eligibility(EligibilityFn extra) {
+    extra_eligibility_ = std::move(extra);
+  }
+
+  /// Combined eligibility: idle whole node + plant serviceable + extra.
+  EligibilityFn eligibility() const;
+
+  /// Nodes an allocation could use right now.
+  std::uint32_t allocatable_nodes() const;
+
+  /// Allocates `nodes` nodes to the job (cores per the spec, intensity per
+  /// the profile), refreshes node power, freezes placement spread on the
+  /// job. Empty result = could not allocate (nothing changed).
+  std::vector<platform::NodeId> allocate(workload::Job& job,
+                                         std::uint32_t nodes);
+
+  /// Releases every node of `job` and refreshes node power.
+  void release(workload::Job& job);
+
+  LayoutService& layout() { return layout_; }
+  const LayoutService& layout() const { return layout_; }
+  NodeLifecycle& lifecycle() { return lifecycle_; }
+  platform::Cluster& cluster() { return *cluster_; }
+  const power::NodePowerModel& power_model() const { return *model_; }
+
+ private:
+  platform::Cluster* cluster_;
+  const power::NodePowerModel* model_;
+  std::unique_ptr<Allocator> allocator_;
+  LayoutService layout_;
+  NodeLifecycle lifecycle_;
+  EligibilityFn extra_eligibility_;
+};
+
+}  // namespace epajsrm::rm

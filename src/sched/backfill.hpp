@@ -1,0 +1,40 @@
+// Backfilling schedulers.
+//
+// EASY backfilling (Mu'alem & Feitelson [35]): the queue head gets a
+// reservation at the earliest feasible time; any later job may jump ahead
+// if starting it now cannot delay that reservation. Conservative
+// backfilling gives *every* queued job a reservation and only allows jumps
+// that delay none of them. Both plan with user walltime estimates (or the
+// runtime predictor, when the solution installs one) via
+// SchedulingContext::planned_end.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace epajsrm::sched {
+
+/// EASY (aggressive) backfilling.
+class EasyBackfillScheduler final : public SchedulerPolicy {
+ public:
+  /// `max_backfill_depth` bounds how many queued jobs are examined as
+  /// backfill candidates per pass (0 = unlimited).
+  explicit EasyBackfillScheduler(std::uint32_t max_backfill_depth = 0)
+      : max_depth_(max_backfill_depth) {}
+
+  void schedule(SchedulingContext& ctx) override;
+  std::string name() const override { return "easy-backfill"; }
+
+ private:
+  std::uint32_t max_depth_;
+};
+
+/// Conservative backfilling: reservations for every queued job.
+class ConservativeBackfillScheduler final : public SchedulerPolicy {
+ public:
+  void schedule(SchedulingContext& ctx) override;
+  std::string name() const override { return "conservative-backfill"; }
+};
+
+}  // namespace epajsrm::sched

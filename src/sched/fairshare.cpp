@@ -1,0 +1,45 @@
+#include "sched/fairshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epajsrm::sched {
+
+double FairShareTracker::decayed(double value, sim::SimTime from,
+                                 sim::SimTime to) const {
+  if (to <= from || half_life_ <= 0) return value;
+  const double halves = static_cast<double>(to - from) /
+                        static_cast<double>(half_life_);
+  return value * std::pow(0.5, halves);
+}
+
+void FairShareTracker::record_usage(const std::string& user,
+                                    double core_seconds, sim::SimTime now) {
+  Entry& e = usage_[user];
+  e.core_seconds = decayed(e.core_seconds, e.as_of, now) + core_seconds;
+  e.as_of = now;
+}
+
+double FairShareTracker::usage(const std::string& user,
+                               sim::SimTime now) const {
+  const auto it = usage_.find(user);
+  if (it == usage_.end()) return 0.0;
+  return decayed(it->second.core_seconds, it->second.as_of, now);
+}
+
+double FairShareTracker::usage_factor(const std::string& user,
+                                      sim::SimTime now) const {
+  double max_usage = 0.0;
+  for (const auto& [name, entry] : usage_) {
+    max_usage = std::max(max_usage, decayed(entry.core_seconds, entry.as_of, now));
+  }
+  if (max_usage <= 0.0) return 0.0;
+  return usage(user, now) / max_usage;
+}
+
+double effective_priority(int job_priority, double usage_factor,
+                          double weight) {
+  return static_cast<double>(job_priority) - weight * usage_factor;
+}
+
+}  // namespace epajsrm::sched

@@ -1,0 +1,50 @@
+// Fair-share usage tracking — the "fairness" scheduling goal of Q3(d).
+//
+// Consumed core-seconds per user decay with a configurable half-life; the
+// queue comparator subtracts a usage penalty from job priority so heavy
+// users sink. (SLURM's multifactor plugin shape, reduced to its core.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::sched {
+
+/// Decayed per-user resource usage.
+class FairShareTracker {
+ public:
+  /// `half_life` of historical usage (default one week).
+  explicit FairShareTracker(sim::SimTime half_life = 7 * sim::kDay)
+      : half_life_(half_life) {}
+
+  /// Records `core_seconds` consumed by `user` at time `now`.
+  void record_usage(const std::string& user, double core_seconds,
+                    sim::SimTime now);
+
+  /// Decayed usage of `user` as of `now` (core-seconds).
+  double usage(const std::string& user, sim::SimTime now) const;
+
+  /// Usage normalised to the heaviest user at `now`, in [0,1]; 0 for
+  /// unknown users or when nobody has usage.
+  double usage_factor(const std::string& user, sim::SimTime now) const;
+
+ private:
+  double decayed(double value, sim::SimTime from, sim::SimTime to) const;
+
+  struct Entry {
+    double core_seconds = 0.0;
+    sim::SimTime as_of = 0;
+  };
+  sim::SimTime half_life_;
+  std::unordered_map<std::string, Entry> usage_;
+};
+
+/// Effective priority for queue ordering: static job priority minus the
+/// fair-share penalty (`weight` priority units at factor 1).
+double effective_priority(int job_priority, double usage_factor,
+                          double weight = 2.0);
+
+}  // namespace epajsrm::sched

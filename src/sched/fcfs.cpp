@@ -1,0 +1,16 @@
+#include "sched/fcfs.hpp"
+
+namespace epajsrm::sched {
+
+void FcfsScheduler::schedule(SchedulingContext& ctx) {
+  // pending() is a snapshot; try_start mutates the underlying queue, so
+  // walk a copy.
+  const std::vector<workload::Job*> queue = ctx.pending();
+  for (workload::Job* job : queue) {
+    if (!ctx.try_start(*job, nullptr)) {
+      break;  // strict FCFS: the head blocks
+    }
+  }
+}
+
+}  // namespace epajsrm::sched

@@ -1,0 +1,17 @@
+// First-come-first-served scheduling (no backfilling): the queue head
+// blocks everything behind it. The baseline every backfilling study
+// compares against.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace epajsrm::sched {
+
+/// Strict in-order launcher.
+class FcfsScheduler final : public SchedulerPolicy {
+ public:
+  void schedule(SchedulingContext& ctx) override;
+  std::string name() const override { return "fcfs"; }
+};
+
+}  // namespace epajsrm::sched

@@ -1,0 +1,90 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace epajsrm::sched {
+
+AvailabilityTimeline::AvailabilityTimeline(
+    std::uint32_t free_now, const std::vector<workload::Job*>& running,
+    const SchedulingContext& ctx) {
+  // Collect release events, then prefix-sum into a free-count staircase.
+  std::vector<Point> deltas;
+  deltas.push_back({ctx.now(), static_cast<std::int64_t>(free_now)});
+  for (const workload::Job* job : running) {
+    const sim::SimTime end = std::max(ctx.planned_end(*job), ctx.now());
+    deltas.push_back(
+        {end, static_cast<std::int64_t>(job->allocated_nodes().size())});
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Point& a, const Point& b) { return a.time < b.time; });
+  std::int64_t free = 0;
+  for (const Point& d : deltas) {
+    free += d.free;
+    if (!points_.empty() && points_.back().time == d.time) {
+      points_.back().free = free;
+    } else {
+      points_.push_back({d.time, free});
+    }
+  }
+}
+
+std::int64_t AvailabilityTimeline::free_at(sim::SimTime t) const {
+  std::int64_t free = 0;
+  for (const Point& p : points_) {
+    if (p.time > t) break;
+    free = p.free;
+  }
+  return free;
+}
+
+std::uint32_t AvailabilityTimeline::min_free(sim::SimTime start,
+                                             sim::SimTime duration) const {
+  std::int64_t min_free = free_at(start);
+  const sim::SimTime end = start + duration;
+  for (const Point& p : points_) {
+    if (p.time > start && p.time < end) {
+      min_free = std::min(min_free, p.free);
+    }
+  }
+  return static_cast<std::uint32_t>(std::max<std::int64_t>(0, min_free));
+}
+
+sim::SimTime AvailabilityTimeline::earliest_start(std::uint32_t nodes,
+                                                  sim::SimTime duration,
+                                                  sim::SimTime from) const {
+  // Candidate starts: `from` and every breakpoint after it.
+  if (min_free(from, duration) >= nodes) return from;
+  for (const Point& p : points_) {
+    if (p.time <= from) continue;
+    if (min_free(p.time, duration) >= nodes) return p.time;
+  }
+  return std::numeric_limits<sim::SimTime>::max();
+}
+
+void AvailabilityTimeline::reserve(std::uint32_t nodes, sim::SimTime start,
+                                   sim::SimTime duration) {
+  const sim::SimTime end = start + duration;
+  // Ensure breakpoints exist at start and end, then subtract inside.
+  const auto ensure_point = [this](sim::SimTime t) {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].time == t) return;
+      if (points_[i].time > t) {
+        const std::int64_t prev = i > 0 ? points_[i - 1].free : 0;
+        points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(i),
+                       {t, prev});
+        return;
+      }
+    }
+    points_.push_back({t, points_.empty() ? 0 : points_.back().free});
+  };
+  ensure_point(start);
+  ensure_point(end);
+  for (Point& p : points_) {
+    if (p.time >= start && p.time < end) {
+      p.free -= static_cast<std::int64_t>(nodes);
+    }
+  }
+}
+
+}  // namespace epajsrm::sched

@@ -1,0 +1,108 @@
+// Scheduling-policy interface.
+//
+// The scheduler sees the queue and the machine through a SchedulingContext
+// provided by the JSRM core on every scheduling pass (job arrival, job
+// completion, periodic tick, power-budget change). Policies decide *order
+// and timing*; allocation, power admission and job launching are the
+// resource manager's business and are reached through the context — the
+// same split the survey's Figure 1 draws between job scheduler and
+// resource manager.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::sched {
+
+/// The core's services exposed to a scheduling policy during one pass.
+class SchedulingContext {
+ public:
+  virtual ~SchedulingContext() = default;
+
+  virtual sim::SimTime now() const = 0;
+
+  /// Queued jobs in queue order (effective priority desc, submit asc).
+  /// Pointers stay valid for the duration of the pass.
+  virtual const std::vector<workload::Job*>& pending() const = 0;
+
+  /// Currently running (or starting) jobs.
+  virtual const std::vector<workload::Job*>& running() const = 0;
+
+  virtual const platform::Cluster& cluster() const = 0;
+
+  /// Nodes an allocation could use right now (idle or booting-toward-idle
+  /// are not counted; whole-node allocations).
+  virtual std::uint32_t allocatable_nodes() const = 0;
+
+  /// True when starting `job` with `nodes` nodes now would keep the system
+  /// inside the active power budget (per the installed EPA policy and
+  /// power predictor). Does not start anything.
+  virtual bool power_feasible(const workload::Job& job,
+                              std::uint32_t nodes) const = 0;
+
+  /// Attempts to start `job` now, optionally with a moldable shape
+  /// (nullptr = base shape). Performs power admission, node allocation and
+  /// launch. Returns false (and changes nothing) when it cannot.
+  virtual bool try_start(workload::Job& job,
+                         const workload::MoldableConfig* shape) = 0;
+
+  /// Planning-time end estimate of a running job (start + walltime limit,
+  /// or the runtime predictor's value when the solution uses one).
+  virtual sim::SimTime planned_end(const workload::Job& job) const = 0;
+
+  /// Earliest time any admission policy would let `job` start (>= now()).
+  /// Backfilling schedulers anchor the job's reservation here.
+  virtual sim::SimTime earliest_admission(const workload::Job& job) const = 0;
+};
+
+/// A scheduling policy: orders and places the queue.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// One scheduling pass. Implementations call ctx.try_start for each job
+  /// they decide to launch now.
+  virtual void schedule(SchedulingContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Future node-availability profile built from running jobs' planned ends;
+/// the planning substrate for backfilling.
+class AvailabilityTimeline {
+ public:
+  /// Builds from the context: `free_now` nodes available immediately plus
+  /// each running job's nodes at its planned end.
+  AvailabilityTimeline(std::uint32_t free_now,
+                       const std::vector<workload::Job*>& running,
+                       const SchedulingContext& ctx);
+
+  /// Earliest time >= `from` at which at least `nodes` nodes are free for
+  /// the contiguous duration `duration` given current reservations.
+  sim::SimTime earliest_start(std::uint32_t nodes, sim::SimTime duration,
+                              sim::SimTime from) const;
+
+  /// Nodes free throughout [start, start+duration).
+  std::uint32_t min_free(sim::SimTime start, sim::SimTime duration) const;
+
+  /// Blocks `nodes` nodes during [start, start+duration) (a reservation).
+  void reserve(std::uint32_t nodes, sim::SimTime start, sim::SimTime duration);
+
+ private:
+  // Piecewise-constant free-node count as breakpoints; last segment
+  // extends to infinity.
+  struct Point {
+    sim::SimTime time;
+    std::int64_t free;
+  };
+  std::vector<Point> points_;
+
+  std::int64_t free_at(sim::SimTime t) const;
+};
+
+}  // namespace epajsrm::sched

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace epajsrm::sim {
+
+EventId EventQueue::push(SimTime t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_dead() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skip_dead();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_dead();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  assert(it != callbacks_.end());
+  Popped out{e.time, e.id, std::move(it->second)};
+  callbacks_.erase(it);
+  assert(live_ > 0);
+  --live_;
+  return out;
+}
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,82 @@
+// Cancellable discrete-event queue.
+//
+// Events are (time, sequence) ordered: ties in time fire in scheduling
+// order, which makes multi-component interactions (telemetry tick before
+// scheduler tick scheduled later, etc.) deterministic. Cancellation is
+// lazy: a cancelled id stays in the heap but its callback is dropped, so
+// cancel is O(log n) amortised over pops rather than O(n) heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event" (EventId 0 is never issued).
+inline constexpr EventId kNoEvent = 0;
+
+/// A time-ordered queue of callbacks with O(log n) push/pop and lazy
+/// cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `t`. Returns a handle that can
+  /// be passed to cancel().
+  EventId push(SimTime t, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending;
+  /// false if it already fired, was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Must not be called when empty().
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest live event. Must not be called when
+  /// empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top so next_time()/pop() see a
+  /// live event.
+  void skip_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace epajsrm::sim

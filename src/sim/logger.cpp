@@ -1,0 +1,32 @@
+#include "sim/logger.hpp"
+
+#include <cstdio>
+
+namespace epajsrm::sim {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < threshold_) return;
+  const std::string stamp = clock_ ? format_hms(clock_()) : "--:--:--";
+  std::string line = "[" + stamp + "] [" + to_string(level) + "] [" +
+                     component + "] " + message;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,84 @@
+// Deterministic random-number utilities for workload generation and model
+// noise. Every stochastic component takes an explicit Rng (or a seed) so a
+// whole simulation replays bit-identically from one seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace epajsrm::sim {
+
+/// Seedable pseudo-random generator wrapping std::mt19937_64 with the
+/// distributions the framework needs. Not thread-safe; use one Rng per
+/// replication (see ThreadPool::parallel_for).
+class Rng {
+ public:
+  /// Constructs with an explicit seed; identical seeds replay identically.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Returns a double uniformly distributed in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Returns an integer uniformly distributed in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normally distributed value.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normally distributed value parameterised by the *underlying*
+  /// normal's mu/sigma (the standard parameterisation; median = exp(mu)).
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and at least one must be > 0.
+  std::size_t weighted_index(std::span<const double> weights) {
+    assert(!weights.empty());
+    std::discrete_distribution<std::size_t> dist(weights.begin(),
+                                                 weights.end());
+    return dist(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Derives an independent child generator; used to give each replication
+  /// or each workload stream its own deterministic stream.
+  Rng fork() { return Rng(engine_()); }
+
+  /// Direct access for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,37 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace epajsrm::sim {
+
+EventId Simulation::schedule_at(SimTime t, Callback cb) {
+  return queue_.push(std::max(t, now_), std::move(cb));
+}
+
+EventId Simulation::schedule_every(SimTime period, std::function<bool()> cb) {
+  // Each firing reschedules itself; capturing `this` is safe because the
+  // queue lives inside the Simulation.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), tick]() {
+    if (cb()) {
+      schedule_in(period, *tick);
+    }
+  };
+  return schedule_in(period, *tick);
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
+    auto popped = queue_.pop();
+    now_ = popped.time;
+    ++events_processed_;
+    popped.callback();
+  }
+  if (!stopped_ && now_ < t && t != std::numeric_limits<SimTime>::max()) {
+    now_ = t;
+  }
+}
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,76 @@
+// The discrete-event simulation driver: a monotone clock plus the event
+// queue. Every model component holds a Simulation& and expresses behaviour
+// as scheduled callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::sim {
+
+/// Discrete-event simulation engine.
+///
+/// Usage:
+///   Simulation sim;
+///   sim.schedule_in(5 * kSecond, [&]{ ... });
+///   sim.run();
+///
+/// The engine is single-threaded by design: determinism matters more than
+/// intra-replication parallelism at this model scale, and replications
+/// parallelise embarrassingly (see ThreadPool).
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now() if in the past,
+  /// which models "fire as soon as possible").
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + dt (dt < 0 clamps to now()).
+  EventId schedule_in(SimTime dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Schedules a periodic callback firing first at now() + period and then
+  /// every `period` until it returns false. Returns the id of the *first*
+  /// firing; cancelling it stops the chain only before the first firing —
+  /// use the callback's return value for clean shutdown.
+  EventId schedule_every(SimTime period, std::function<bool()> cb);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty or stop() is called.
+  void run() { run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Runs until the queue is empty, stop() is called, or the next event
+  /// would fire strictly after `t`; the clock then advances to min(t, ...).
+  void run_until(SimTime t);
+
+  /// Requests termination; the current callback finishes, the loop exits.
+  void stop() { stopped_ = true; }
+
+  /// True once stop() has been called.
+  bool stopped() const { return stopped_; }
+
+  /// Total callbacks executed (for kernel benchmarks and tests).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Live events still pending.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace epajsrm::sim

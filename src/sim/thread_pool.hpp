@@ -1,0 +1,60 @@
+// Fixed-size thread pool used to run independent simulation replications
+// and benchmark parameter sweeps in parallel.
+//
+// The simulator itself is single-threaded for determinism; parallelism in
+// this framework is across replications (different seeds / parameter
+// points), which is the standard HPC "embarrassingly parallel ensemble"
+// pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace epajsrm::sim {
+
+/// A minimal work-queue thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 → hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, n) across the pool and blocks until all
+  /// iterations are done. Exceptions escaping `body` terminate (tasks must
+  /// handle their own errors — kernel-level policy, keeps the pool simple).
+  static void parallel_for(std::size_t n,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace epajsrm::sim

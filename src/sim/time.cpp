@@ -1,0 +1,31 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace epajsrm::sim {
+
+std::string format_hms(SimTime t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  const SimTime total_seconds = t / kSecond;
+  const SimTime days = total_seconds / (24 * 3600);
+  const SimTime hours = (total_seconds / 3600) % 24;
+  const SimTime minutes = (total_seconds / 60) % 60;
+  const SimTime seconds = total_seconds % 60;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld",
+                  negative ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld",
+                  negative ? "-" : "", static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  }
+  return buf;
+}
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,55 @@
+// Simulation time: 64-bit integer microseconds since simulation start.
+//
+// Integer time keeps the discrete-event kernel fully deterministic (no
+// floating-point drift in event ordering) while microsecond resolution is
+// far below any physical time constant in the modelled system (node boot
+// takes minutes, telemetry sampling seconds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epajsrm::sim {
+
+/// Simulation timestamp / duration in microseconds.
+using SimTime = std::int64_t;
+
+/// One microsecond (the base tick).
+inline constexpr SimTime kMicrosecond = 1;
+/// One millisecond in SimTime units.
+inline constexpr SimTime kMillisecond = 1000;
+/// One second in SimTime units.
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+/// One minute in SimTime units.
+inline constexpr SimTime kMinute = 60 * kSecond;
+/// One hour in SimTime units.
+inline constexpr SimTime kHour = 60 * kMinute;
+/// One day in SimTime units.
+inline constexpr SimTime kDay = 24 * kHour;
+
+/// Builds a SimTime from (possibly fractional) seconds.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Builds a SimTime from (possibly fractional) minutes.
+constexpr SimTime from_minutes(double m) { return from_seconds(m * 60.0); }
+
+/// Builds a SimTime from (possibly fractional) hours.
+constexpr SimTime from_hours(double h) { return from_seconds(h * 3600.0); }
+
+/// Converts a SimTime to seconds as a double (for power/energy integrals).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a SimTime to hours as a double (for tariff / energy-kWh math).
+constexpr double to_hours(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kHour);
+}
+
+/// Renders a SimTime as "D+HH:MM:SS" (days omitted when zero) for logs and
+/// report tables.
+std::string format_hms(SimTime t);
+
+}  // namespace epajsrm::sim

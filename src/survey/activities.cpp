@@ -1,0 +1,230 @@
+#include "survey/activities.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace epajsrm::survey {
+
+const char* to_string(Maturity m) {
+  switch (m) {
+    case Maturity::kResearch:        return "Research";
+    case Maturity::kTechDevelopment: return "Tech. development";
+    case Maturity::kProduction:      return "Production";
+  }
+  return "?";
+}
+
+const char* to_string(Technique t) {
+  switch (t) {
+    case Technique::kPowerCapping:        return "power capping";
+    case Technique::kDynamicPowerSharing: return "dynamic power sharing";
+    case Technique::kDvfsScheduling:      return "DVFS-aware scheduling";
+    case Technique::kNodeShutdown:        return "node shutdown";
+    case Technique::kEnergyReporting:     return "energy reporting";
+    case Technique::kPowerPrediction:     return "power prediction";
+    case Technique::kEmergencyResponse:   return "emergency response";
+    case Technique::kSourceSelection:     return "energy-source selection";
+    case Technique::kLayoutAware:         return "layout-aware scheduling";
+    case Technique::kThermalAware:        return "thermal-aware scheduling";
+    case Technique::kCostAwareOrdering:   return "cost-aware ordering";
+    case Technique::kMoldableJobs:        return "moldable jobs";
+    case Technique::kMonitoring:          return "power/energy monitoring";
+    case Technique::kInterSystemCapping:  return "inter-system capping";
+    case Technique::kVmSplitting:         return "VM node splitting";
+  }
+  return "?";
+}
+
+const std::vector<Activity>& all_activities() {
+  using M = Maturity;
+  using T = Technique;
+  static const std::vector<Activity> activities = {
+      // --- Table I: RIKEN ----------------------------------------------------
+      {"RIKEN", M::kResearch, T::kSourceSelection,
+       "Integrating job scheduler info with decision to use grid vs. gas "
+       "turbine energy",
+       "epa/source_selection"},
+      {"RIKEN", M::kTechDevelopment, T::kDvfsScheduling,
+       "Power-aware job scheduling for Post-K, with Fujitsu",
+       "epa/power_budget_dvfs"},
+      {"RIKEN", M::kProduction, T::kCostAwareOrdering,
+       "3 days for large jobs each month", "workload (capability mix)"},
+      {"RIKEN", M::kProduction, T::kEmergencyResponse,
+       "Automated emergency job killing if power limit exceeded",
+       "epa/emergency_response"},
+      {"RIKEN", M::kProduction, T::kPowerPrediction,
+       "Pre-run estimate of power usage of each job, based on temperature",
+       "predict/tag_history"},
+
+      // --- Table I: Tokyo Tech -----------------------------------------------
+      {"TokyoTech", M::kResearch, T::kMonitoring,
+       "Activities to facilitate production development", "telemetry"},
+      {"TokyoTech", M::kTechDevelopment, T::kInterSystemCapping,
+       "Inter-system power capping: TSUBAME2 and TSUBAME3 share the "
+       "facility power budget",
+       "epa/group_power_cap"},
+      {"TokyoTech", M::kProduction, T::kNodeShutdown,
+       "RM dynamically boots or shuts down nodes to stay under power cap "
+       "(summer only, ~30 min window), cooperates with PBS Pro, no job "
+       "kills (NEC implemented)",
+       "epa/node_cycling_cap"},
+      {"TokyoTech", M::kProduction, T::kNodeShutdown,
+       "RM shuts down nodes that have been idle for a long time",
+       "epa/idle_shutdown"},
+      {"TokyoTech", M::kProduction, T::kVmSplitting,
+       "Uses virtual machines to split compute nodes (complicates physical "
+       "node shutdown)",
+       "platform/node (core-level sharing)"},
+      {"TokyoTech", M::kResearch, T::kPowerPrediction,
+       "Analyze archived power/energy info for EPA scheduling",
+       "predict/ridge"},
+      {"TokyoTech", M::kTechDevelopment, T::kEnergyReporting,
+       "Gives users mark on how well they used power and energy",
+       "telemetry/energy_accounting (grade)"},
+      {"TokyoTech", M::kProduction, T::kEnergyReporting,
+       "Energy use provided to users at end of every job",
+       "telemetry/energy_accounting"},
+
+      // --- Table I: CEA --------------------------------------------------------
+      {"CEA", M::kResearch, T::kDvfsScheduling,
+       "Investigating mpi_yield_when_idle; BULL power capping and DVFS",
+       "power/node_power_model"},
+      {"CEA", M::kTechDevelopment, T::kDvfsScheduling,
+       "With BULL, developing power-adaptive scheduling in SLURM",
+       "epa/power_budget_dvfs"},
+      {"CEA", M::kTechDevelopment, T::kLayoutAware,
+       "Developing 'layout logic' in SLURM: know which PDUs/chillers a "
+       "node depends on; avoid scheduling onto them during maintenance",
+       "rm/layout"},
+      {"CEA", M::kProduction, T::kNodeShutdown,
+       "Manually shutting down nodes to shift power budget between systems",
+       "rm/node_lifecycle"},
+
+      // --- Table I: KAUST -------------------------------------------------------
+      {"KAUST", M::kResearch, T::kMonitoring,
+       "Monitoring and managing power under data-center power and cooling "
+       "limits",
+       "telemetry/monitor"},
+      {"KAUST", M::kTechDevelopment, T::kPowerPrediction,
+       "Analyzing and detecting the most power-hungry applications in "
+       "production; optimal power-limit strategy for users on Shaheen",
+       "predict/*"},
+      {"KAUST", M::kProduction, T::kPowerCapping,
+       "Static power capping via Cray CAPMC: 30% of nodes uncapped, 70% at "
+       "270 W",
+       "epa/static_power_cap"},
+      {"KAUST", M::kProduction, T::kDynamicPowerSharing,
+       "SLURM Dynamic Power Management interfacing with Cray CAPMC "
+       "(co-developed with SchedMD)",
+       "epa/power_budget_dvfs + epa/dynamic_power_share"},
+
+      // --- Table I: LRZ -----------------------------------------------------------
+      {"LRZ", M::kResearch, T::kDvfsScheduling,
+       "Investigating merging SLURM and GEOPM for system energy & power "
+       "control; scheduling for power instead of energy",
+       "epa/power_budget_dvfs"},
+      {"LRZ", M::kResearch, T::kThermalAware,
+       "Linking job scheduler with IT infrastructure + cooling; delay jobs "
+       "when infrastructure is inefficient",
+       "epa/ms3_thermal (infrastructure variant)"},
+      {"LRZ", M::kTechDevelopment, T::kDvfsScheduling,
+       "Adding energy-aware scheduling to SLURM, like LoadLeveler today",
+       "epa/energy_to_solution"},
+      {"LRZ", M::kProduction, T::kDvfsScheduling,
+       "First run of a new app characterized for frequency, runtime, "
+       "energy; admin selects energy-to-solution or best performance "
+       "(LoadLeveler EAS with IBM, ported to LSF)",
+       "epa/energy_to_solution"},
+
+      // --- Table II: STFC -----------------------------------------------------------
+      {"STFC", M::kResearch, T::kDvfsScheduling,
+       "IBM/LSF energy-aware scheduling on a 360-node system; PowerAPI "
+       "interface for code-segment power measurement; GEOPM-style policies",
+       "epa/energy_to_solution + telemetry/sensor"},
+      {"STFC", M::kTechDevelopment, T::kEnergyReporting,
+       "Deployment of user power-consumption reporting at job level (fine "
+       "and coarse granularity)",
+       "telemetry/energy_accounting"},
+      {"STFC", M::kProduction, T::kMonitoring,
+       "Continuously collecting power/energy monitoring info at data "
+       "center, machine and job level",
+       "telemetry/monitor"},
+
+      // --- Table II: Trinity (LANL + Sandia) -------------------------------------------
+      {"Trinity", M::kResearch, T::kPowerPrediction,
+       "Analyzing power monitoring info to assess EPA scheduling "
+       "potential; gathering traces for evaluating EPA approaches",
+       "workload/swf + predict/*"},
+      {"Trinity", M::kTechDevelopment, T::kDvfsScheduling,
+       "EPA job scheduling with Adaptive for MOAB/Torque via Cray CAPMC "
+       "and Power API; Power API implementation with Cray",
+       "epa/power_budget_dvfs + telemetry/sensor"},
+      {"Trinity", M::kProduction, T::kPowerCapping,
+       "Cray CAPMC power capping: out-of-band, admin system-wide and "
+       "node-level caps on all Cray XC systems",
+       "power/capmc + epa/static_power_cap"},
+
+      // --- Table II: CINECA ------------------------------------------------------------
+      {"CINECA", M::kResearch, T::kPowerPrediction,
+       "Scalable power monitoring used to predict per-job power and to "
+       "build predictive node power/temperature models (with U. Bologna)",
+       "predict/ridge + power/thermal"},
+      {"CINECA", M::kTechDevelopment, T::kDvfsScheduling,
+       "Developing EPA job scheduling in SLURM with E4; tracking BULL and "
+       "SchedMD EPA SLURM work",
+       "epa/power_budget_dvfs"},
+      {"CINECA", M::kProduction, T::kThermalAware,
+       "EPA job scheduling on Eurora (PBSPro, with Altair; now "
+       "decommissioned)",
+       "epa/ms3_thermal"},
+
+      // --- Table II: JCAHPC -------------------------------------------------------------
+      {"JCAHPC", M::kResearch, T::kMonitoring,
+       "Activities to facilitate production development", "telemetry"},
+      {"JCAHPC", M::kProduction, T::kPowerCapping,
+       "Ability to set power caps for groups of nodes via the RM (Fujitsu "
+       "proprietary)",
+       "epa/group_power_cap"},
+      {"JCAHPC", M::kProduction, T::kEmergencyResponse,
+       "Manual emergency response: admin sets power cap",
+       "epa/emergency_response (manual mode)"},
+      {"JCAHPC", M::kProduction, T::kEnergyReporting,
+       "Delivering post-job energy use reports to users",
+       "telemetry/energy_accounting"},
+  };
+  return activities;
+}
+
+std::vector<Activity> activities_of(const std::string& center) {
+  std::vector<Activity> out;
+  for (const Activity& a : all_activities()) {
+    if (a.center == center) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Activity> activities_of(const std::string& center, Maturity m) {
+  std::vector<Activity> out;
+  for (const Activity& a : all_activities()) {
+    if (a.center == center && a.maturity == m) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Activity> activities_with(Technique t) {
+  std::vector<Activity> out;
+  for (const Activity& a : all_activities()) {
+    if (a.technique == t) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t centers_with(Technique t, Maturity m) {
+  std::set<std::string> centers;
+  for (const Activity& a : all_activities()) {
+    if (a.technique == t && a.maturity == m) centers.insert(a.center);
+  }
+  return centers.size();
+}
+
+}  // namespace epajsrm::survey

@@ -1,0 +1,64 @@
+// Tables I and II of the paper as queryable data: every activity each
+// center reported, classified by maturity column and technique category,
+// and mapped to the framework module that models it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epajsrm::survey {
+
+/// The three maturity columns of Tables I/II.
+enum class Maturity {
+  kResearch,
+  kTechDevelopment,  ///< "Technology Development with Intent to Deploy"
+  kProduction,
+};
+
+const char* to_string(Maturity m);
+
+/// Technique taxonomy distilled from Section VI + the table cells.
+enum class Technique {
+  kPowerCapping,
+  kDynamicPowerSharing,
+  kDvfsScheduling,
+  kNodeShutdown,
+  kEnergyReporting,
+  kPowerPrediction,
+  kEmergencyResponse,
+  kSourceSelection,
+  kLayoutAware,
+  kThermalAware,
+  kCostAwareOrdering,
+  kMoldableJobs,
+  kMonitoring,
+  kInterSystemCapping,
+  kVmSplitting,
+};
+
+const char* to_string(Technique t);
+
+/// One table cell item.
+struct Activity {
+  std::string center;       ///< CenterProfile::short_name
+  Maturity maturity;
+  Technique technique;
+  std::string description;  ///< abridged cell text from the paper
+  /// Framework module that models the technique ("" when it is outside
+  /// the simulation scope, e.g. pure organisational work).
+  std::string module;
+};
+
+/// Every activity of Tables I and II, center by center.
+const std::vector<Activity>& all_activities();
+
+/// Filtered views.
+std::vector<Activity> activities_of(const std::string& center);
+std::vector<Activity> activities_of(const std::string& center, Maturity m);
+std::vector<Activity> activities_with(Technique t);
+
+/// Count of centers that reported `t` at `m` (the cross-site commonality
+/// analysis the paper defers to future work).
+std::size_t centers_with(Technique t, Maturity m);
+
+}  // namespace epajsrm::survey

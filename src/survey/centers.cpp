@@ -1,0 +1,150 @@
+#include "survey/centers.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace epajsrm::survey {
+
+const char* to_string(Region r) {
+  switch (r) {
+    case Region::kAsia:         return "Asia";
+    case Region::kEurope:       return "Europe";
+    case Region::kMiddleEast:   return "Middle East";
+    case Region::kNorthAmerica: return "North America";
+  }
+  return "?";
+}
+
+const std::vector<CenterProfile>& all_centers() {
+  static const std::vector<CenterProfile> centers = {
+      {.short_name = "RIKEN", .full_name = "RIKEN AICS", .country = "Japan",
+       .region = Region::kAsia, .latitude = 34.65, .longitude = 135.22,
+       .machine_name = "K computer", .machine_nodes = 82944,
+       .cores_per_node = 8, .peak_system_mw = 12.7,
+       .site_power_capacity_mw = 15.0,
+       .jsrm_software = "Fujitsu parallel job scheduler",
+       .node_idle_watts = 60.0, .node_peak_watts = 150.0,
+       .sim_nodes = 128, .capability_oriented = true},
+      {.short_name = "TokyoTech",
+       .full_name = "Tokyo Institute of Technology GSIC", .country = "Japan",
+       .region = Region::kAsia, .latitude = 35.60, .longitude = 139.68,
+       .machine_name = "TSUBAME 2.5/3.0", .machine_nodes = 1980,
+       .cores_per_node = 28, .peak_system_mw = 1.8,
+       .site_power_capacity_mw = 2.0,
+       .jsrm_software = "PBS Professional + NEC power management",
+       .node_idle_watts = 120.0, .node_peak_watts = 900.0,
+       .sim_nodes = 96, .capability_oriented = false},
+      {.short_name = "CEA", .full_name = "CEA / TGCC", .country = "France",
+       .region = Region::kEurope, .latitude = 48.71, .longitude = 2.18,
+       .machine_name = "Curie / CCRT systems", .machine_nodes = 5040,
+       .cores_per_node = 16, .peak_system_mw = 2.5,
+       .site_power_capacity_mw = 4.0,
+       .jsrm_software = "SLURM (with BULL power-adaptive extensions)",
+       .node_idle_watts = 100.0, .node_peak_watts = 350.0,
+       .sim_nodes = 96, .capability_oriented = false},
+      {.short_name = "KAUST",
+       .full_name = "King Abdullah University of Science and Technology",
+       .country = "Saudi Arabia", .region = Region::kMiddleEast,
+       .latitude = 22.31, .longitude = 39.10,
+       .machine_name = "Shaheen II (Cray XC40)", .machine_nodes = 6174,
+       .cores_per_node = 32, .peak_system_mw = 2.8,
+       .site_power_capacity_mw = 3.2,
+       .jsrm_software = "SLURM + Cray CAPMC (SDPM co-developed with SchedMD)",
+       .node_idle_watts = 110.0, .node_peak_watts = 390.0,
+       .sim_nodes = 128, .capability_oriented = false},
+      {.short_name = "LRZ", .full_name = "Leibniz Supercomputing Centre",
+       .country = "Germany", .region = Region::kEurope,
+       .latitude = 48.26, .longitude = 11.67,
+       .machine_name = "SuperMUC Phase 1+2", .machine_nodes = 9421,
+       .cores_per_node = 28, .peak_system_mw = 3.0,
+       .site_power_capacity_mw = 10.0,
+       .jsrm_software = "IBM LoadLeveler EAS (ported to LSF)",
+       .node_idle_watts = 100.0, .node_peak_watts = 380.0,
+       .sim_nodes = 128, .capability_oriented = false},
+      {.short_name = "STFC", .full_name = "STFC Hartree Centre",
+       .country = "United Kingdom", .region = Region::kEurope,
+       .latitude = 53.34, .longitude = -2.64,
+       .machine_name = "Scafell Pike / 360-node EAS testbed",
+       .machine_nodes = 846, .cores_per_node = 32, .peak_system_mw = 0.7,
+       .site_power_capacity_mw = 1.5,
+       .jsrm_software = "IBM LSF energy-aware scheduling + PowerAPI tools",
+       .node_idle_watts = 105.0, .node_peak_watts = 400.0,
+       .sim_nodes = 64, .capability_oriented = false},
+      {.short_name = "Trinity", .full_name = "Trinity (LANL + Sandia, ACES)",
+       .country = "United States", .region = Region::kNorthAmerica,
+       .latitude = 35.88, .longitude = -106.30,
+       .machine_name = "Trinity (Cray XC40)", .machine_nodes = 19420,
+       .cores_per_node = 32, .peak_system_mw = 8.5,
+       .site_power_capacity_mw = 12.0,
+       .jsrm_software =
+           "MOAB/Torque with Power API, later SLURM; Cray CAPMC",
+       .node_idle_watts = 120.0, .node_peak_watts = 420.0,
+       .sim_nodes = 160, .capability_oriented = true},
+      {.short_name = "CINECA", .full_name = "CINECA", .country = "Italy",
+       .region = Region::kEurope, .latitude = 44.50, .longitude = 11.34,
+       .machine_name = "Eurora / Marconi", .machine_nodes = 7000,
+       .cores_per_node = 36, .peak_system_mw = 3.0,
+       .site_power_capacity_mw = 4.0,
+       .jsrm_software = "PBS Professional (Eurora, with Altair), SLURM (E4)",
+       .node_idle_watts = 95.0, .node_peak_watts = 360.0,
+       .sim_nodes = 96, .capability_oriented = false},
+      {.short_name = "JCAHPC",
+       .full_name = "JCAHPC (U. Tsukuba + U. Tokyo)", .country = "Japan",
+       .region = Region::kAsia, .latitude = 35.90, .longitude = 139.94,
+       .machine_name = "Oakforest-PACS", .machine_nodes = 8208,
+       .cores_per_node = 68, .peak_system_mw = 3.2,
+       .site_power_capacity_mw = 4.2,
+       .jsrm_software = "Fujitsu proprietary RM with group power caps",
+       .node_idle_watts = 90.0, .node_peak_watts = 380.0,
+       .sim_nodes = 128, .capability_oriented = true},
+  };
+  return centers;
+}
+
+const CenterProfile& center(const std::string& short_name) {
+  for (const CenterProfile& c : all_centers()) {
+    if (c.short_name == short_name) return c;
+  }
+  throw std::out_of_range("unknown center: " + short_name);
+}
+
+double distance_km(const CenterProfile& a, const CenterProfile& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double deg = std::numbers::pi / 180.0;
+  const double lat1 = a.latitude * deg, lat2 = b.latitude * deg;
+  const double dlat = (b.latitude - a.latitude) * deg;
+  const double dlon = (b.longitude - a.longitude) * deg;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+std::string ascii_map(std::uint32_t width, std::uint32_t height) {
+  std::vector<std::string> grid(height, std::string(width, '.'));
+  const auto& centers = all_centers();
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const CenterProfile& c = centers[i];
+    // Equirectangular projection: lon [-180,180] -> x, lat [90,-90] -> y.
+    const int x = static_cast<int>((c.longitude + 180.0) / 360.0 * width);
+    const int y = static_cast<int>((90.0 - c.latitude) / 180.0 * height);
+    const int cx = std::min<int>(std::max(0, x), static_cast<int>(width) - 1);
+    const int cy =
+        std::min<int>(std::max(0, y), static_cast<int>(height) - 1);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
+        static_cast<char>('1' + i);
+  }
+  std::ostringstream out;
+  out << "Participating centers (equirectangular; 1-9 in listing order):\n";
+  for (const std::string& row : grid) out << row << '\n';
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    out << (i + 1) << " = " << centers[i].short_name << " ("
+        << centers[i].country << ", " << to_string(centers[i].region)
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace epajsrm::survey

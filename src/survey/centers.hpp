@@ -1,0 +1,64 @@
+// The nine surveyed centers (Section III) as structured data.
+//
+// Machine parameters are approximate public descriptions of the systems
+// the centers operated during the survey window (2016–2017); they seed the
+// per-center simulation scenarios of the Table I/II benches. `sim_nodes`
+// is the scaled-down node count actually simulated — the benches preserve
+// per-node power fidelity and scale the facility numbers accordingly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epajsrm::survey {
+
+/// Geographic region grouping used in the paper's Figure 2 discussion.
+enum class Region { kAsia, kEurope, kMiddleEast, kNorthAmerica };
+
+const char* to_string(Region r);
+
+/// One surveyed site and its headline machine (survey Q2).
+struct CenterProfile {
+  std::string short_name;   ///< key used across the framework
+  std::string full_name;
+  std::string country;
+  Region region;
+  double latitude = 0.0;
+  double longitude = 0.0;
+
+  std::string machine_name;
+  std::uint32_t machine_nodes = 0;      ///< real system scale
+  std::uint32_t cores_per_node = 0;
+  double peak_system_mw = 0.0;          ///< approximate IT peak
+  double site_power_capacity_mw = 0.0;  ///< Q2(a)
+  std::string jsrm_software;            ///< scheduler / RM stack
+
+  /// Node-level power model parameters for the simulated replica.
+  double node_idle_watts = 0.0;
+  double node_peak_watts = 0.0;  ///< idle + dynamic at full tilt
+
+  /// Scaled-down replica size used by benches.
+  std::uint32_t sim_nodes = 0;
+  /// True when the center's typical workload is capability-dominated
+  /// (Q3(d)); drives the synthetic mix.
+  bool capability_oriented = false;
+};
+
+/// All nine surveyed centers, in the paper's listing order.
+const std::vector<CenterProfile>& all_centers();
+
+/// Lookup by short name ("RIKEN", "TokyoTech", "CEA", "KAUST", "LRZ",
+/// "STFC", "Trinity", "CINECA", "JCAHPC"). Throws std::out_of_range when
+/// unknown.
+const CenterProfile& center(const std::string& short_name);
+
+/// Great-circle distance between two centers in kilometres (spherical
+/// earth, R = 6371 km).
+double distance_km(const CenterProfile& a, const CenterProfile& b);
+
+/// Renders an ASCII world map (equirectangular) with the centers marked by
+/// index (1-9) — the reproduction of Figure 2's content.
+std::string ascii_map(std::uint32_t width = 72, std::uint32_t height = 24);
+
+}  // namespace epajsrm::survey

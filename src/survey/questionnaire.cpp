@@ -1,0 +1,110 @@
+#include "survey/questionnaire.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace epajsrm::survey {
+
+const std::vector<Question>& questionnaire() {
+  static const std::vector<Question> questions = {
+      {"Q1",
+       "What motivated your site's development and implementation of energy "
+       "or power aware job scheduling or resource management capabilities?",
+       {},
+       "Determine each center's motivations and identify motives common "
+       "among multiple centers.",
+       {}},
+      {"Q2",
+       "Describe your data center and major HPC system(s) where EPA JSRM "
+       "capabilities have been deployed.",
+       {"Total site power budget or capacity in watts",
+        "Total site cooling capacity",
+        "Systems: cabinets, nodes, cores; peak performance; node "
+        "architecture, network, memory; peak/average/idle power draw"},
+       "Understand each center's hardware environment; any EPA JSRM "
+       "approach must fit the hardware characteristics.",
+       {"survey::CenterProfile", "platform::Cluster", "platform::Facility"}},
+      {"Q3",
+       "Describe the general workload on your HPC system(s).",
+       {"Current snapshot: running job count, sizes, durations",
+        "Backlog: waiting job count, sizes, durations",
+        "Throughput: jobs per month",
+        "Main scheduling goal; capability vs. capacity percentage",
+        "Min/median/max and 10/25/75/90th percentile job size and "
+        "wallclock time"},
+       "Any EPA JSRM approach must also fit the workload characteristics.",
+       {"workload::WorkloadGenerator", "metrics::DistributionSummary",
+        "metrics::RunReport"}},
+      {"Q4",
+       "Describe the EPA JSRM capabilities of your large-scale HPC "
+       "system(s).",
+       {},
+       "The specific point of the questionnaire: what is actually "
+       "deployed.",
+       {"epa::EpaPolicy catalog", "survey::Activity"}},
+      {"Q5",
+       "List and briefly describe all elements that comprise your EPA JSRM "
+       "capabilities.",
+       {"When was each element implemented?",
+        "Are these commercially available supported products?",
+        "How much non-portable/non-product work was done?"},
+       "Identify vendor involvement and one-off homegrown control systems "
+       "worth studying in detail.",
+       {"survey::Activity::module"}},
+      {"Q6",
+       "Do you have application/task level joint optimization, such as "
+       "topology-aware task allocation, to directly or indirectly improve "
+       "energy consumption? Did you engage software development "
+       "communities?",
+       {},
+       "A positive response indicates a very high level of sophistication "
+       "in EPA JSRM techniques, usually requiring application-developer "
+       "assistance.",
+       {"rm::TopologyAwareAllocator", "workload::AppProfile::comm_fraction"}},
+      {"Q7",
+       "How well does your solution work? Advantages, disadvantages, "
+       "results, benefits, unintended consequences.",
+       {},
+       "Each center is the subject-matter expert for its unique solution; "
+       "let it assess efficacy openly.",
+       {"metrics::RunReport", "core::RunResult"}},
+      {"Q8",
+       "What are the next steps for your EPA JSRM capability?",
+       {"Continue site development and/or product deployment?",
+        "Will next steps drive new procurement/NRE requirements?"},
+       "Capture the trajectory: production deployments drive procurement "
+       "language (as seen in petascale procurements such as SuperMUC).",
+       {}},
+  };
+  return questions;
+}
+
+const Question& question(const std::string& id) {
+  for (const Question& q : questionnaire()) {
+    if (q.id == id) return q;
+  }
+  throw std::out_of_range("unknown question: " + id);
+}
+
+std::string format_questionnaire() {
+  std::ostringstream out;
+  out << "EE HPC WG EPA JSRM survey questionnaire (Section IV)\n";
+  out << "====================================================\n";
+  for (const Question& q : questionnaire()) {
+    out << q.id << ": " << q.text << '\n';
+    char item = 'a';
+    for (const std::string& sub : q.sub_items) {
+      out << "  (" << item++ << ") " << sub << '\n';
+    }
+    out << "  rationale: " << q.rationale << '\n';
+    if (!q.measured_by.empty()) {
+      out << "  measured in framework by:";
+      for (const std::string& m : q.measured_by) out << ' ' << m << ';';
+      out << '\n';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace epajsrm::survey

@@ -1,0 +1,32 @@
+// The survey questionnaire (Section IV): the eight questions, their
+// sub-items and the paper's stated rationale, as data — so tooling can
+// render the instrument and map answers onto the framework's measurable
+// quantities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epajsrm::survey {
+
+/// One survey question.
+struct Question {
+  std::string id;  ///< "Q1".."Q8"
+  std::string text;
+  std::vector<std::string> sub_items;  ///< (a), (b), ... where present
+  std::string rationale;               ///< the paper's explanation
+  /// Framework quantities that answer the question for a simulated center
+  /// (empty when the question is organisational).
+  std::vector<std::string> measured_by;
+};
+
+/// All eight questions in order.
+const std::vector<Question>& questionnaire();
+
+/// Lookup by id; throws std::out_of_range when unknown.
+const Question& question(const std::string& id);
+
+/// Renders the full instrument as text (the Section IV listing).
+std::string format_questionnaire();
+
+}  // namespace epajsrm::survey

@@ -1,0 +1,27 @@
+// Survey report generation: renders the complete survey corpus — center
+// selection, questionnaire, per-center profiles and activity breakdowns,
+// cross-site analysis — as one Markdown document. This is the framework's
+// analogue of the EE HPC WG whitepaper [16] that the paper's Section V
+// says the full analysis will be synthesised from.
+#pragma once
+
+#include <string>
+
+namespace epajsrm::survey {
+
+/// Options controlling which sections the report includes.
+struct ReportOptions {
+  bool include_map = true;
+  bool include_questionnaire = true;
+  bool include_center_sections = true;
+  bool include_cross_site_analysis = true;
+};
+
+/// Renders the full survey report as Markdown.
+std::string render_report(const ReportOptions& options = {});
+
+/// Renders just one center's section (profile + activity breakdown +
+/// framework-module mapping). Throws std::out_of_range for unknown names.
+std::string render_center_section(const std::string& short_name);
+
+}  // namespace epajsrm::survey

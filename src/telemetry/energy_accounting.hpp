@@ -1,0 +1,85 @@
+// Exact energy accounting and per-job attribution.
+//
+// In the discrete-event model node power is piecewise constant between
+// events, so integrating it exactly is just "bank P·dt at every change".
+// The accountant must be checkpointed *before* any action that changes
+// power (job start/finish, cap or P-state change, node lifecycle step);
+// core::EpaJsrmSolution does this.
+//
+// Job attribution follows production practice for user energy reports
+// (Tokyo Tech / JCAHPC rows): a node's draw is split across its resident
+// jobs by allocated-core share (idle draw included — the job occupies the
+// node); draw of empty nodes lands in the system-overhead bucket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::telemetry {
+
+/// Integrates node power and attributes it to jobs.
+class EnergyAccountant {
+ public:
+  /// `job_resolver` maps a JobId to its runtime record (nullptr when the
+  /// job is no longer tracked; its share then falls into overhead).
+  EnergyAccountant(platform::Cluster& cluster,
+                   std::function<workload::Job*(workload::JobId)> job_resolver)
+      : cluster_(&cluster), resolve_(std::move(job_resolver)),
+        node_energy_(cluster.node_count(), 0.0) {}
+
+  /// Banks energy for [last checkpoint, now] using the *current* cached
+  /// node draws, then moves the checkpoint. Call before changing power.
+  void checkpoint(sim::SimTime now);
+
+  /// Total IT energy integrated so far (J).
+  double total_it_joules() const { return total_joules_; }
+
+  /// Energy of one node so far (J).
+  double node_joules(platform::NodeId id) const { return node_energy_[id]; }
+
+  /// Energy drawn by on-but-empty nodes, boot/shutdown transients, and
+  /// untracked jobs (J).
+  double overhead_joules() const { return overhead_joules_; }
+
+  sim::SimTime last_checkpoint() const { return last_; }
+
+ private:
+  platform::Cluster* cluster_;
+  std::function<workload::Job*(workload::JobId)> resolve_;
+  std::vector<double> node_energy_;
+  double total_joules_ = 0.0;
+  double overhead_joules_ = 0.0;
+  sim::SimTime last_ = 0;
+};
+
+/// End-of-job energy report delivered to the user (Tokyo Tech: "energy use
+/// provided to users at end of every job"; plus the efficiency mark they
+/// are developing).
+struct JobEnergyReport {
+  workload::JobId job = platform::kNoJob;
+  std::string user;
+  std::string tag;
+  double energy_kwh = 0.0;
+  double average_watts = 0.0;
+  double node_hours = 0.0;
+  /// kWh per node-hour — the basis of the efficiency grade.
+  double kwh_per_node_hour = 0.0;
+  /// 'A' (frugal) .. 'E' (power virus), graded against a reference draw.
+  char grade = 'C';
+};
+
+/// Builds the report for a finished job. `reference_node_watts` is the
+/// fleet-typical per-node draw used to centre the grade scale (grade C
+/// spans 0.8×..1.2× the reference).
+JobEnergyReport make_energy_report(const workload::Job& job,
+                                   double reference_node_watts);
+
+/// Renders the report as the user-facing text block.
+std::string format_energy_report(const JobEnergyReport& report);
+
+}  // namespace epajsrm::telemetry

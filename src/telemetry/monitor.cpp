@@ -1,0 +1,74 @@
+#include "telemetry/monitor.hpp"
+
+#include <algorithm>
+
+#include "power/thermal.hpp"
+
+namespace epajsrm::telemetry {
+
+MonitoringService::MonitoringService(sim::Simulation& sim,
+                                     platform::Cluster& cluster,
+                                     sim::SimTime period, std::size_t history)
+    : sim_(&sim), cluster_(&cluster), period_(period),
+      machine_power_(history), facility_power_(history),
+      utilization_(history), max_temperature_(history) {
+  for (std::size_t i = 0; i < cluster.facility().pdus().size(); ++i) {
+    pdu_power_.push_back(std::make_unique<TimeSeries>(history));
+  }
+  build_sensors();
+}
+
+void MonitoringService::build_sensors() {
+  const std::string root = cluster_->name();
+  platform::Cluster* cluster = cluster_;
+
+  registry_.add({root + ".power", SensorKind::kPowerWatts,
+                 [cluster] { return cluster->it_power_watts(); }});
+  registry_.add({root + ".utilization", SensorKind::kUtilization,
+                 [cluster] { return cluster->core_utilization(); }});
+
+  for (const platform::Pdu& pdu : cluster_->facility().pdus()) {
+    const platform::PduId id = pdu.id;
+    registry_.add({root + ".plant." + pdu.name + ".power",
+                   SensorKind::kPowerWatts,
+                   [cluster, id] { return cluster->pdu_power_watts(id); }});
+  }
+
+  for (const platform::Node& node : cluster_->nodes()) {
+    const platform::NodeId id = node.id();
+    const std::string base = root + ".rack" + std::to_string(node.rack()) +
+                             ".node" + std::to_string(id);
+    registry_.add({base + ".power", SensorKind::kPowerWatts,
+                   [cluster, id] { return cluster->node(id).current_watts(); }});
+    registry_.add({base + ".temp", SensorKind::kTemperatureC, [cluster, id] {
+                     return cluster->node(id).temperature_c();
+                   }});
+  }
+}
+
+void MonitoringService::sample(sim::SimTime now) {
+  const double it_watts = cluster_->it_power_watts();
+  machine_power_.record(now, it_watts);
+  facility_power_.record(now,
+                         cluster_->facility().facility_watts(it_watts, now));
+  utilization_.record(now, cluster_->core_utilization());
+  max_temperature_.record(now,
+                          power::ThermalModel::max_temperature_c(*cluster_));
+  for (std::size_t i = 0; i < pdu_power_.size(); ++i) {
+    pdu_power_[i]->record(
+        now, cluster_->pdu_power_watts(static_cast<platform::PduId>(i)));
+  }
+  ++ticks_;
+}
+
+void MonitoringService::start() {
+  if (running_) return;
+  running_ = true;
+  sim_->schedule_every(period_, [this]() -> bool {
+    if (!running_) return false;
+    tick(sim_->now());
+    return true;
+  });
+}
+
+}  // namespace epajsrm::telemetry

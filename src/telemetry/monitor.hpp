@@ -1,0 +1,87 @@
+// Periodic monitoring service: builds the sensor hierarchy for a cluster
+// and samples the headline series every tick. This is the "monitoring"
+// half of Figure 1; control policies subscribe as observers to close the
+// loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/sensor.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace epajsrm::telemetry {
+
+/// Samples cluster sensors on a fixed period and retains key series.
+class MonitoringService {
+ public:
+  /// Builds node/PDU/machine sensors under "<cluster name>." in `registry`.
+  MonitoringService(sim::Simulation& sim, platform::Cluster& cluster,
+                    sim::SimTime period = 10 * sim::kSecond,
+                    std::size_t history = 16384);
+
+  /// Begins periodic sampling (idempotent).
+  void start();
+
+  /// Stops sampling at the next tick.
+  void stop() { running_ = false; }
+
+  sim::SimTime period() const { return period_; }
+
+  /// Registers an observer called on every tick after sampling; the hook
+  /// is how control loops (Figure 1 "control") attach to monitoring.
+  void add_observer(std::function<void(sim::SimTime)> observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// The sensor hierarchy (Power API shape).
+  const SensorRegistry& registry() const { return registry_; }
+
+  // --- retained series ----------------------------------------------------
+
+  const TimeSeries& machine_power() const { return machine_power_; }
+  const TimeSeries& facility_power() const { return facility_power_; }
+  const TimeSeries& utilization() const { return utilization_; }
+  const TimeSeries& max_temperature() const { return max_temperature_; }
+  const TimeSeries& pdu_power(platform::PduId pdu) const {
+    return *pdu_power_.at(pdu);
+  }
+
+  /// Forces one sample now (also used by tests). Does not notify
+  /// observers; use tick() for the full sampling + notification step.
+  void sample(sim::SimTime now);
+
+  /// One full monitoring step: sample, then notify every observer. This
+  /// is what an external driver (core::EpaJsrmSolution's control loop)
+  /// calls; start() drives it internally.
+  void tick(sim::SimTime now) {
+    sample(now);
+    for (auto& observer : observers_) observer(now);
+  }
+
+  std::uint64_t tick_count() const { return ticks_; }
+
+ private:
+  void build_sensors();
+
+  sim::Simulation* sim_;
+  platform::Cluster* cluster_;
+  sim::SimTime period_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+
+  SensorRegistry registry_;
+  TimeSeries machine_power_;
+  TimeSeries facility_power_;
+  TimeSeries utilization_;
+  TimeSeries max_temperature_;
+  std::vector<std::unique_ptr<TimeSeries>> pdu_power_;
+
+  std::vector<std::function<void(sim::SimTime)>> observers_;
+};
+
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,182 @@
+#include "telemetry/power_api.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::telemetry {
+
+const char* to_string(PwrObjType t) {
+  switch (t) {
+    case PwrObjType::kPlatform: return "platform";
+    case PwrObjType::kCabinet:  return "cabinet";
+    case PwrObjType::kNode:     return "node";
+  }
+  return "?";
+}
+
+const char* to_string(PwrAttr a) {
+  switch (a) {
+    case PwrAttr::kPower:         return "PWR_ATTR_POWER";
+    case PwrAttr::kPowerLimitMax: return "PWR_ATTR_POWER_LIMIT_MAX";
+    case PwrAttr::kTemp:          return "PWR_ATTR_TEMP";
+    case PwrAttr::kFreq:          return "PWR_ATTR_FREQ";
+    case PwrAttr::kEnergy:        return "PWR_ATTR_ENERGY";
+  }
+  return "?";
+}
+
+PwrNotImplemented::PwrNotImplemented(const PwrObject& object, PwrAttr attr)
+    : std::logic_error(std::string(to_string(attr)) + " not implemented on " +
+                       to_string(object.type) + " '" + object.name + "'") {}
+
+PowerApiContext::PowerApiContext(
+    platform::Cluster& cluster, power::CapmcController* capmc,
+    std::function<double(platform::NodeId)> energy_meter)
+    : cluster_(&cluster), capmc_(capmc),
+      energy_meter_(std::move(energy_meter)) {
+  for (const platform::Node& node : cluster.nodes()) {
+    rack_count_ = std::max(rack_count_, node.rack() + 1);
+  }
+}
+
+PwrObject PowerApiContext::entry_point() const {
+  return PwrObject{PwrObjType::kPlatform, 0, cluster_->name()};
+}
+
+std::vector<PwrObject> PowerApiContext::children(
+    const PwrObject& object) const {
+  std::vector<PwrObject> out;
+  switch (object.type) {
+    case PwrObjType::kPlatform:
+      for (std::uint32_t r = 0; r < rack_count_; ++r) {
+        out.push_back({PwrObjType::kCabinet, r,
+                       cluster_->name() + ".cab" + std::to_string(r)});
+      }
+      break;
+    case PwrObjType::kCabinet:
+      for (const platform::Node& node : cluster_->nodes()) {
+        if (node.rack() == object.index) {
+          out.push_back({PwrObjType::kNode, node.id(),
+                         object.name + ".node" + std::to_string(node.id())});
+        }
+      }
+      break;
+    case PwrObjType::kNode:
+      break;
+  }
+  return out;
+}
+
+PwrObject PowerApiContext::parent(const PwrObject& object) const {
+  switch (object.type) {
+    case PwrObjType::kPlatform:
+      return object;
+    case PwrObjType::kCabinet:
+      return entry_point();
+    case PwrObjType::kNode: {
+      const std::uint32_t rack = cluster_->node(object.index).rack();
+      return PwrObject{PwrObjType::kCabinet, rack,
+                       cluster_->name() + ".cab" + std::to_string(rack)};
+    }
+  }
+  return entry_point();
+}
+
+std::vector<platform::NodeId> PowerApiContext::nodes_of(
+    const PwrObject& object) const {
+  std::vector<platform::NodeId> out;
+  switch (object.type) {
+    case PwrObjType::kPlatform:
+      for (const platform::Node& node : cluster_->nodes()) {
+        out.push_back(node.id());
+      }
+      break;
+    case PwrObjType::kCabinet:
+      for (const platform::Node& node : cluster_->nodes()) {
+        if (node.rack() == object.index) out.push_back(node.id());
+      }
+      break;
+    case PwrObjType::kNode:
+      out.push_back(object.index);
+      break;
+  }
+  return out;
+}
+
+double PowerApiContext::attr_get(const PwrObject& object, PwrAttr attr) const {
+  switch (attr) {
+    case PwrAttr::kPower: {
+      double sum = 0.0;
+      for (platform::NodeId id : nodes_of(object)) {
+        sum += cluster_->node(id).current_watts();
+      }
+      return sum;
+    }
+    case PwrAttr::kPowerLimitMax: {
+      if (object.type != PwrObjType::kNode) {
+        // Aggregate limit: sum of node caps; 0 if any member is uncapped.
+        double sum = 0.0;
+        for (platform::NodeId id : nodes_of(object)) {
+          const double cap = cluster_->node(id).power_cap_watts();
+          if (cap <= 0.0) return 0.0;
+          sum += cap;
+        }
+        return sum;
+      }
+      return cluster_->node(object.index).power_cap_watts();
+    }
+    case PwrAttr::kTemp:
+      if (object.type != PwrObjType::kNode) {
+        throw PwrNotImplemented(object, attr);
+      }
+      return cluster_->node(object.index).temperature_c();
+    case PwrAttr::kFreq:
+      if (object.type != PwrObjType::kNode) {
+        throw PwrNotImplemented(object, attr);
+      }
+      return cluster_->node(object.index).effective_freq_ratio() *
+             cluster_->pstates().freq_ghz(0);
+    case PwrAttr::kEnergy: {
+      if (!energy_meter_) throw PwrNotImplemented(object, attr);
+      double sum = 0.0;
+      for (platform::NodeId id : nodes_of(object)) {
+        sum += energy_meter_(id);
+      }
+      return sum;
+    }
+  }
+  throw PwrNotImplemented(object, attr);
+}
+
+void PowerApiContext::attr_set(const PwrObject& object, PwrAttr attr,
+                               double value) {
+  if (attr != PwrAttr::kPowerLimitMax) {
+    throw PwrNotImplemented(object, attr);
+  }
+  if (capmc_ == nullptr) {
+    throw std::logic_error("read-only Power API context");
+  }
+  switch (object.type) {
+    case PwrObjType::kPlatform:
+      capmc_->set_system_cap(value);
+      break;
+    case PwrObjType::kCabinet: {
+      const auto nodes = nodes_of(object);
+      if (!nodes.empty()) {
+        capmc_->set_group_cap(nodes,
+                              value > 0.0
+                                  ? value / static_cast<double>(nodes.size())
+                                  : 0.0);
+      }
+      break;
+    }
+    case PwrObjType::kNode:
+      capmc_->set_node_cap(object.index, value);
+      break;
+  }
+}
+
+std::size_t PowerApiContext::object_count() const {
+  return 1 + rack_count_ + cluster_->node_count();
+}
+
+}  // namespace epajsrm::telemetry

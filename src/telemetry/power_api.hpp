@@ -1,0 +1,103 @@
+// Power API facade — the measurement/control interface shape of Sandia's
+// Power API (Laros et al.), which the survey's Trinity row ("Developed
+// Power API implementation with Cray, utilized by MOAB/Torque") and STFC
+// row ("Programmable interface (PowerAPI-based) for application power
+// measurements") rely on.
+//
+// The API models the machine as a navigable object hierarchy
+// (platform -> cabinet -> node) whose objects expose typed attributes
+// that tools get (measurements) and set (control knobs). This facade maps
+// that shape onto the framework's Cluster/CapmcController.
+//
+// Note: attribute *writes* go straight through the CAPMC controller; when
+// a core::EpaJsrmSolution is running, prefer the PolicyHost mutation
+// funnel so energy accounting and job re-planning stay exact. The facade
+// is the right tool for external measurement agents and standalone
+// tooling (the STFC use case).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "power/capmc.hpp"
+
+namespace epajsrm::telemetry {
+
+/// Object kinds of the hierarchy.
+enum class PwrObjType { kPlatform, kCabinet, kNode };
+
+const char* to_string(PwrObjType t);
+
+/// Typed attributes (the PWR_ATTR_* subset the framework can serve).
+enum class PwrAttr {
+  kPower,          ///< instantaneous draw, watts (read)
+  kPowerLimitMax,  ///< power cap, watts (read/write; 0 = uncapped)
+  kTemp,           ///< temperature, Celsius (read; nodes only)
+  kFreq,           ///< effective frequency, GHz (read; nodes only)
+  kEnergy,         ///< accumulated energy, joules (read; needs meter hook)
+};
+
+const char* to_string(PwrAttr a);
+
+/// Handle to one object in the hierarchy.
+struct PwrObject {
+  PwrObjType type = PwrObjType::kPlatform;
+  /// kCabinet: rack id; kNode: node id; unused for kPlatform.
+  std::uint32_t index = 0;
+  std::string name;
+};
+
+/// Error for unsupported attribute/object combinations (the Power API's
+/// PWR_RET_NOT_IMPLEMENTED, surfaced as an exception).
+class PwrNotImplemented : public std::logic_error {
+ public:
+  PwrNotImplemented(const PwrObject& object, PwrAttr attr);
+};
+
+/// Navigation + attribute access over a cluster.
+class PowerApiContext {
+ public:
+  /// `capmc` may be null for a read-only context; writes then throw.
+  /// `energy_meter` supplies kEnergy reads per node (e.g. the accountant's
+  /// node_joules); null disables kEnergy.
+  PowerApiContext(platform::Cluster& cluster,
+                  power::CapmcController* capmc = nullptr,
+                  std::function<double(platform::NodeId)> energy_meter = {});
+
+  /// The hierarchy root (PWR_CntxtGetEntryPoint).
+  PwrObject entry_point() const;
+
+  /// Children of an object (platform -> cabinets -> nodes); nodes have
+  /// none.
+  std::vector<PwrObject> children(const PwrObject& object) const;
+
+  /// Parent of an object; the platform is its own parent.
+  PwrObject parent(const PwrObject& object) const;
+
+  /// Reads an attribute; aggregating reads (power/energy on platform or
+  /// cabinet) sum over descendants. Throws PwrNotImplemented for
+  /// unsupported pairs.
+  double attr_get(const PwrObject& object, PwrAttr attr) const;
+
+  /// Writes an attribute (only kPowerLimitMax is writable): node objects
+  /// cap the node, cabinets cap each member node at value/size, the
+  /// platform sets a system-wide cap. Requires a capmc controller.
+  void attr_set(const PwrObject& object, PwrAttr attr, double value);
+
+  /// Total objects in the hierarchy (1 + cabinets + nodes).
+  std::size_t object_count() const;
+
+ private:
+  std::vector<platform::NodeId> nodes_of(const PwrObject& object) const;
+
+  platform::Cluster* cluster_;
+  power::CapmcController* capmc_;
+  std::function<double(platform::NodeId)> energy_meter_;
+  std::uint32_t rack_count_ = 0;
+};
+
+}  // namespace epajsrm::telemetry

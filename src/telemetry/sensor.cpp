@@ -1,0 +1,51 @@
+#include "telemetry/sensor.hpp"
+
+#include <stdexcept>
+
+namespace epajsrm::telemetry {
+
+void SensorRegistry::add(Sensor sensor) {
+  if (sensor.path.empty()) throw std::invalid_argument("empty sensor path");
+  if (!sensor.read) throw std::invalid_argument("sensor needs a read fn");
+  if (sensors_.contains(sensor.path)) {
+    throw std::invalid_argument("duplicate sensor path: " + sensor.path);
+  }
+  sensors_.emplace(sensor.path, std::move(sensor));
+}
+
+double SensorRegistry::read(const std::string& path) const {
+  const auto it = sensors_.find(path);
+  if (it == sensors_.end()) {
+    throw std::out_of_range("no such sensor: " + path);
+  }
+  return it->second.read();
+}
+
+bool SensorRegistry::prefix_matches(const std::string& prefix,
+                                    const std::string& path) {
+  if (prefix.empty()) return true;
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '.';
+}
+
+std::vector<std::string> SensorRegistry::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, sensor] : sensors_) {
+    if (prefix_matches(prefix, path)) out.push_back(path);
+  }
+  return out;
+}
+
+double SensorRegistry::aggregate(const std::string& prefix,
+                                 SensorKind kind) const {
+  double sum = 0.0;
+  for (const auto& [path, sensor] : sensors_) {
+    if (sensor.kind == kind && prefix_matches(prefix, path)) {
+      sum += sensor.read();
+    }
+  }
+  return sum;
+}
+
+}  // namespace epajsrm::telemetry

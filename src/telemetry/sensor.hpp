@@ -1,0 +1,58 @@
+// Power API-style hierarchical sensor registry.
+//
+// Sandia's Power API (Laros et al., used in the LANL+Sandia and STFC rows)
+// names measurement points hierarchically (platform.cabinet.node.cpu …) and
+// lets tools read individual points or aggregate subtrees. We reproduce
+// that shape: sensors are dotted paths bound to read callbacks; prefix
+// queries aggregate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace epajsrm::telemetry {
+
+/// Measurement kind (unit) of a sensor.
+enum class SensorKind { kPowerWatts, kTemperatureC, kUtilization, kCustom };
+
+/// One named measurement point.
+struct Sensor {
+  std::string path;  ///< dotted hierarchy, e.g. "machine.rack0.node3.power"
+  SensorKind kind = SensorKind::kCustom;
+  std::function<double()> read;
+};
+
+/// Registry with prefix aggregation. Paths are unique.
+class SensorRegistry {
+ public:
+  /// Registers a sensor; throws on duplicate path.
+  void add(Sensor sensor);
+
+  /// True when `path` exists.
+  bool contains(const std::string& path) const {
+    return sensors_.contains(path);
+  }
+
+  /// Reads a single sensor; throws std::out_of_range when absent.
+  double read(const std::string& path) const;
+
+  /// All paths with the given prefix (a prefix matches whole components:
+  /// "machine.rack1" matches "machine.rack1.node0.power" but not
+  /// "machine.rack10...").
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Sum of readings of all sensors under `prefix` with matching `kind`.
+  double aggregate(const std::string& prefix, SensorKind kind) const;
+
+  /// Number of registered sensors.
+  std::size_t size() const { return sensors_.size(); }
+
+ private:
+  static bool prefix_matches(const std::string& prefix,
+                             const std::string& path);
+  std::map<std::string, Sensor> sensors_;
+};
+
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,72 @@
+#include "telemetry/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::telemetry {
+
+TimeSeries::TimeSeries(std::size_t capacity) : buffer_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("capacity must be > 0");
+}
+
+void TimeSeries::record(sim::SimTime t, double value) {
+  if (size_ > 0) {
+    const Sample last = at(size_ - 1);
+    if (t < last.time) {
+      throw std::invalid_argument("time series must be non-decreasing");
+    }
+  }
+  buffer_[head_] = Sample{t, value};
+  head_ = (head_ + 1) % buffer_.size();
+  size_ = std::min(size_ + 1, buffer_.size());
+}
+
+std::optional<Sample> TimeSeries::latest() const {
+  if (size_ == 0) return std::nullopt;
+  return at(size_ - 1);
+}
+
+Sample TimeSeries::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("sample index");
+  const std::size_t oldest = (head_ + buffer_.size() - size_) % buffer_.size();
+  return buffer_[(oldest + i) % buffer_.size()];
+}
+
+TimeSeries::WindowStats TimeSeries::window_stats(sim::SimTime begin,
+                                                 sim::SimTime end) const {
+  WindowStats stats;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Sample s = at(i);
+    if (s.time < begin || s.time > end) continue;
+    if (stats.count == 0) {
+      stats.min = stats.max = s.value;
+    } else {
+      stats.min = std::min(stats.min, s.value);
+      stats.max = std::max(stats.max, s.value);
+    }
+    sum += s.value;
+    ++stats.count;
+  }
+  if (stats.count > 0) stats.mean = sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+double TimeSeries::trailing_mean(sim::SimTime window) const {
+  if (size_ == 0) return 0.0;
+  const sim::SimTime end = at(size_ - 1).time;
+  const WindowStats stats = window_stats(end - window, end);
+  return stats.count > 0 ? stats.mean : 0.0;
+}
+
+double TimeSeries::integral_seconds() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < size_; ++i) {
+    const Sample a = at(i - 1);
+    const Sample b = at(i);
+    total += a.value * sim::to_seconds(b.time - a.time);
+  }
+  return total;
+}
+
+}  // namespace epajsrm::telemetry

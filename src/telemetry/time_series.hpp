@@ -1,0 +1,67 @@
+// Fixed-capacity ring-buffer time series for telemetry samples.
+//
+// STFC's production row is "continuously collecting power and energy
+// system monitoring info, data center, machine, and job levels" — this is
+// the storage primitive for that: bounded memory, append-only, windowed
+// statistics for control loops (e.g. Tokyo Tech's ~30-minute enforcement
+// window).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::telemetry {
+
+/// One sample.
+struct Sample {
+  sim::SimTime time = 0;
+  double value = 0.0;
+};
+
+/// Append-only ring buffer of (time, value) samples with windowed queries.
+class TimeSeries {
+ public:
+  /// `capacity` bounds retained samples; older samples are overwritten.
+  explicit TimeSeries(std::size_t capacity = 4096);
+
+  /// Appends a sample; times must be non-decreasing.
+  void record(sim::SimTime t, double value);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buffer_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Latest sample, if any.
+  std::optional<Sample> latest() const;
+
+  /// i-th retained sample, oldest first (i < size()).
+  Sample at(std::size_t i) const;
+
+  /// Statistics over samples with time in [begin, end].
+  struct WindowStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  WindowStats window_stats(sim::SimTime begin, sim::SimTime end) const;
+
+  /// Mean of samples within the trailing `window` ending at the latest
+  /// sample (the Tokyo Tech rolling-average the cap is enforced over).
+  double trailing_mean(sim::SimTime window) const;
+
+  /// Time-weighted integral of value·dt over the retained range, treating
+  /// the series as piecewise constant (left-continuous). For power series
+  /// this is energy in joule when values are watts and dt in seconds.
+  double integral_seconds() const;
+
+ private:
+  std::vector<Sample> buffer_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+};
+
+}  // namespace epajsrm::telemetry

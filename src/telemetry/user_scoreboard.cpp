@@ -1,0 +1,74 @@
+#include "telemetry/user_scoreboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "metrics/table.hpp"
+
+namespace epajsrm::telemetry {
+
+void UserScoreboard::add(const JobEnergyReport& report) {
+  Accum& a = users_[report.user];
+  ++a.jobs;
+  a.kwh += report.energy_kwh;
+  a.node_hours += report.node_hours;
+  a.grade_points += static_cast<double>(report.grade - 'A') + 1.0;
+}
+
+void UserScoreboard::add_all(const std::vector<JobEnergyReport>& reports) {
+  for (const JobEnergyReport& r : reports) add(r);
+}
+
+UserScore UserScoreboard::to_score(const std::string& user, const Accum& a) {
+  UserScore s;
+  s.user = user;
+  s.jobs = a.jobs;
+  s.total_kwh = a.kwh;
+  s.node_hours = a.node_hours;
+  s.kwh_per_node_hour = a.node_hours > 0.0 ? a.kwh / a.node_hours : 0.0;
+  if (a.jobs > 0) {
+    const double mean = a.grade_points / static_cast<double>(a.jobs);
+    const int idx = std::clamp(static_cast<int>(std::lround(mean)), 1, 5);
+    s.mark = static_cast<char>('A' + idx - 1);
+  }
+  return s;
+}
+
+std::vector<UserScore> UserScoreboard::ranking(std::uint64_t min_jobs) const {
+  std::vector<UserScore> out;
+  for (const auto& [user, accum] : users_) {
+    if (accum.jobs >= min_jobs) out.push_back(to_score(user, accum));
+  }
+  std::sort(out.begin(), out.end(), [](const UserScore& a, const UserScore& b) {
+    if (a.kwh_per_node_hour != b.kwh_per_node_hour) {
+      return a.kwh_per_node_hour < b.kwh_per_node_hour;
+    }
+    return a.user < b.user;
+  });
+  return out;
+}
+
+UserScore UserScoreboard::score_of(const std::string& user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return UserScore{.user = user};
+  return to_score(user, it->second);
+}
+
+std::string UserScoreboard::format_ranking(
+    const std::vector<UserScore>& scores) {
+  metrics::AsciiTable table(
+      {"#", "user", "jobs", "energy", "node-hours", "kWh/node-h", "mark"});
+  table.set_title("User energy scoreboard (thriftiest first)");
+  std::size_t rank = 1;
+  for (const UserScore& s : scores) {
+    table.add_row({std::to_string(rank++), s.user, std::to_string(s.jobs),
+                   metrics::format_kwh(s.total_kwh),
+                   metrics::format_double(s.node_hours, 1),
+                   metrics::format_double(s.kwh_per_node_hour, 3),
+                   std::string(1, s.mark)});
+  }
+  return table.render();
+}
+
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,61 @@
+// Per-user energy scoreboard — Tokyo Tech's technology-development row:
+// "Gives users mark on how well they used power and energy". Aggregates
+// the end-of-job energy reports into per-user totals, average efficiency
+// and a letter mark, and renders the ranking sites would publish to their
+// users.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/energy_accounting.hpp"
+
+namespace epajsrm::telemetry {
+
+/// Aggregated energy behaviour of one user.
+struct UserScore {
+  std::string user;
+  std::uint64_t jobs = 0;
+  double total_kwh = 0.0;
+  double node_hours = 0.0;
+  /// Energy intensity: kWh per node-hour (lower = thriftier).
+  double kwh_per_node_hour = 0.0;
+  /// Mean of per-job grades mapped A=1..E=5, rendered back to a letter.
+  char mark = 'C';
+};
+
+/// Accumulates job reports into user scores.
+class UserScoreboard {
+ public:
+  /// Ingests one end-of-job report.
+  void add(const JobEnergyReport& report);
+
+  /// Ingests a batch (e.g. core::RunResult::job_reports).
+  void add_all(const std::vector<JobEnergyReport>& reports);
+
+  /// Scores sorted by energy intensity, thriftiest first. Users need at
+  /// least `min_jobs` finished jobs to be ranked (default 1).
+  std::vector<UserScore> ranking(std::uint64_t min_jobs = 1) const;
+
+  /// Score of one user; nullptr-like empty optional semantics via jobs==0.
+  UserScore score_of(const std::string& user) const;
+
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Renders the user-facing leaderboard.
+  static std::string format_ranking(const std::vector<UserScore>& scores);
+
+ private:
+  struct Accum {
+    std::uint64_t jobs = 0;
+    double kwh = 0.0;
+    double node_hours = 0.0;
+    double grade_points = 0.0;  // A=1..E=5 summed
+  };
+  static UserScore to_score(const std::string& user, const Accum& a);
+
+  std::map<std::string, Accum> users_;
+};
+
+}  // namespace epajsrm::telemetry

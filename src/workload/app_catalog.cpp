@@ -1,0 +1,118 @@
+#include "workload/app_catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::workload {
+
+AppCatalog AppCatalog::standard() {
+  AppCatalog c;
+  // β = frequency-sensitive fraction, comm = communication fraction,
+  // intensity = dynamic-power drive. Medians/sizes loosely follow the job
+  // mix the survey's Q3 answers describe (many small, few huge).
+  c.add({.tag = "cfd-solver",
+         .profile = {.freq_sensitive_fraction = 0.85, .comm_fraction = 0.20,
+                     .power_intensity = 0.95},
+         .weight = 2.0, .median_runtime = 2 * sim::kHour,
+         .runtime_sigma = 0.6, .min_nodes = 8, .max_nodes = 256});
+  c.add({.tag = "lattice-qcd",
+         .profile = {.freq_sensitive_fraction = 0.90, .comm_fraction = 0.30,
+                     .power_intensity = 1.00},
+         .weight = 1.0, .median_runtime = 6 * sim::kHour,
+         .runtime_sigma = 0.4, .min_nodes = 64, .max_nodes = 1024});
+  c.add({.tag = "genomics-pipeline",
+         .profile = {.freq_sensitive_fraction = 0.35, .comm_fraction = 0.05,
+                     .power_intensity = 0.55},
+         .weight = 3.0, .median_runtime = 45 * sim::kMinute,
+         .runtime_sigma = 1.0, .min_nodes = 1, .max_nodes = 8});
+  c.add({.tag = "climate-model",
+         .profile = {.freq_sensitive_fraction = 0.60, .comm_fraction = 0.35,
+                     .power_intensity = 0.80},
+         .weight = 1.5, .median_runtime = 8 * sim::kHour,
+         .runtime_sigma = 0.5, .min_nodes = 32, .max_nodes = 512});
+  c.add({.tag = "md-simulation",
+         .profile = {.freq_sensitive_fraction = 0.80, .comm_fraction = 0.15,
+                     .power_intensity = 0.90},
+         .weight = 2.5, .median_runtime = 90 * sim::kMinute,
+         .runtime_sigma = 0.7, .min_nodes = 4, .max_nodes = 128});
+  c.add({.tag = "ml-training",
+         .profile = {.freq_sensitive_fraction = 0.75, .comm_fraction = 0.10,
+                     .power_intensity = 1.00},
+         .weight = 1.5, .median_runtime = 4 * sim::kHour,
+         .runtime_sigma = 0.9, .min_nodes = 2, .max_nodes = 64});
+  c.add({.tag = "graph-analytics",
+         .profile = {.freq_sensitive_fraction = 0.30, .comm_fraction = 0.40,
+                     .power_intensity = 0.50},
+         .weight = 1.0, .median_runtime = 30 * sim::kMinute,
+         .runtime_sigma = 0.8, .min_nodes = 4, .max_nodes = 64});
+  c.add({.tag = "post-processing",
+         .profile = {.freq_sensitive_fraction = 0.45, .comm_fraction = 0.02,
+                     .power_intensity = 0.40},
+         .weight = 2.0, .median_runtime = 15 * sim::kMinute,
+         .runtime_sigma = 1.1, .min_nodes = 1, .max_nodes = 4});
+  return c;
+}
+
+AppCatalog AppCatalog::capability(std::uint32_t machine_nodes) {
+  AppCatalog c;
+  const std::uint32_t half = std::max(1u, machine_nodes / 2);
+  c.add({.tag = "capability-hero",
+         .profile = {.freq_sensitive_fraction = 0.85, .comm_fraction = 0.30,
+                     .power_intensity = 1.00},
+         .weight = 1.0, .median_runtime = 12 * sim::kHour,
+         .runtime_sigma = 0.3, .min_nodes = half,
+         .max_nodes = machine_nodes});
+  c.add({.tag = "capability-large",
+         .profile = {.freq_sensitive_fraction = 0.80, .comm_fraction = 0.25,
+                     .power_intensity = 0.95},
+         .weight = 2.0, .median_runtime = 6 * sim::kHour,
+         .runtime_sigma = 0.4, .min_nodes = std::max(1u, machine_nodes / 8),
+         .max_nodes = half});
+  c.add({.tag = "capability-prep",
+         .profile = {.freq_sensitive_fraction = 0.50, .comm_fraction = 0.10,
+                     .power_intensity = 0.60},
+         .weight = 2.0, .median_runtime = 1 * sim::kHour,
+         .runtime_sigma = 0.8, .min_nodes = 1,
+         .max_nodes = std::max(1u, machine_nodes / 16)});
+  return c;
+}
+
+AppCatalog AppCatalog::capacity(std::uint32_t machine_nodes) {
+  AppCatalog c;
+  c.add({.tag = "capacity-ensemble",
+         .profile = {.freq_sensitive_fraction = 0.70, .comm_fraction = 0.05,
+                     .power_intensity = 0.85},
+         .weight = 4.0, .median_runtime = 40 * sim::kMinute,
+         .runtime_sigma = 0.9, .min_nodes = 1,
+         .max_nodes = std::max(1u, machine_nodes / 32)});
+  c.add({.tag = "capacity-batch",
+         .profile = {.freq_sensitive_fraction = 0.55, .comm_fraction = 0.10,
+                     .power_intensity = 0.70},
+         .weight = 3.0, .median_runtime = 2 * sim::kHour,
+         .runtime_sigma = 0.7, .min_nodes = 2,
+         .max_nodes = std::max(2u, machine_nodes / 16)});
+  c.add({.tag = "capacity-medium",
+         .profile = {.freq_sensitive_fraction = 0.75, .comm_fraction = 0.20,
+                     .power_intensity = 0.90},
+         .weight = 1.0, .median_runtime = 4 * sim::kHour,
+         .runtime_sigma = 0.5, .min_nodes = std::max(2u, machine_nodes / 16),
+         .max_nodes = std::max(4u, machine_nodes / 4)});
+  return c;
+}
+
+const AppArchetype& AppCatalog::sample(sim::Rng& rng) const {
+  if (archetypes_.empty()) throw std::logic_error("empty catalog");
+  std::vector<double> weights(archetypes_.size());
+  std::transform(archetypes_.begin(), archetypes_.end(), weights.begin(),
+                 [](const AppArchetype& a) { return a.weight; });
+  return archetypes_[rng.weighted_index(weights)];
+}
+
+std::optional<AppArchetype> AppCatalog::find(const std::string& tag) const {
+  for (const auto& a : archetypes_) {
+    if (a.tag == tag) return a;
+  }
+  return std::nullopt;
+}
+
+}  // namespace epajsrm::workload

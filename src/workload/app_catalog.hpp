@@ -1,0 +1,61 @@
+// Catalog of application archetypes.
+//
+// The survey repeatedly distinguishes applications by how they use the
+// machine: power-hungry vs. light (KAUST Q-analysis), compute- vs.
+// memory-bound (DVFS sensitivity, Freeh [21]), communication-heavy
+// (topology-aware placement, Q6). The catalog gives the workload generator
+// a realistic palette of such archetypes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::workload {
+
+/// One application archetype: a tag plus behaviour ranges.
+struct AppArchetype {
+  std::string tag;
+  AppProfile profile;
+  /// Relative popularity in the generated mix.
+  double weight = 1.0;
+  /// Runtime distribution (lognormal over the archetype's scale).
+  sim::SimTime median_runtime = 30 * sim::kMinute;
+  double runtime_sigma = 0.8;  ///< lognormal sigma of runtime spread
+  /// Typical node-count range (log-uniform between min and max).
+  std::uint32_t min_nodes = 1;
+  std::uint32_t max_nodes = 64;
+};
+
+/// A named set of archetypes.
+class AppCatalog {
+ public:
+  /// The default mix: eight archetypes spanning the compute/memory/comm and
+  /// power-intensity space (see .cpp for the table).
+  static AppCatalog standard();
+
+  /// A catalog dominated by full-machine capability runs (Q3d: capability
+  /// centers such as Trinity or RIKEN).
+  static AppCatalog capability(std::uint32_t machine_nodes);
+
+  /// A catalog of many small/medium jobs (capacity centers).
+  static AppCatalog capacity(std::uint32_t machine_nodes);
+
+  void add(AppArchetype a) { archetypes_.push_back(std::move(a)); }
+  const std::vector<AppArchetype>& archetypes() const { return archetypes_; }
+  bool empty() const { return archetypes_.empty(); }
+
+  /// Weighted random pick.
+  const AppArchetype& sample(sim::Rng& rng) const;
+
+  /// Lookup by tag; nullopt when absent.
+  std::optional<AppArchetype> find(const std::string& tag) const;
+
+ private:
+  std::vector<AppArchetype> archetypes_;
+};
+
+}  // namespace epajsrm::workload

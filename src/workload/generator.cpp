@@ -1,0 +1,105 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epajsrm::workload {
+
+WorkloadGenerator::WorkloadGenerator(GeneratorConfig config,
+                                     AppCatalog catalog, std::uint64_t seed)
+    : config_(config), catalog_(std::move(catalog)), rng_(seed) {
+  if (catalog_.empty()) throw std::invalid_argument("catalog must not be empty");
+  if (config_.arrival_rate_per_hour <= 0.0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  if (config_.machine_nodes == 0) {
+    throw std::invalid_argument("machine_nodes must be positive");
+  }
+}
+
+JobSpec WorkloadGenerator::make_job(sim::SimTime submit) {
+  const AppArchetype& app = catalog_.sample(rng_);
+  JobSpec spec;
+  spec.id = next_id_++;
+  spec.tag = app.tag;
+  spec.user = "user" + std::to_string(rng_.uniform_int(
+                           0, std::max<std::int64_t>(
+                                  0, config_.user_count - 1)));
+  spec.profile = app.profile;
+  spec.submit_time = submit;
+
+  // Size: log-uniform over the archetype's node range, clamped to machine.
+  const std::uint32_t lo = std::min(app.min_nodes, config_.machine_nodes);
+  const std::uint32_t hi =
+      std::max(lo, std::min(app.max_nodes, config_.machine_nodes));
+  const double log_lo = std::log(static_cast<double>(lo));
+  const double log_hi = std::log(static_cast<double>(hi) + 1.0);
+  spec.nodes = static_cast<std::uint32_t>(std::clamp<double>(
+      std::exp(rng_.uniform(log_lo, log_hi)), lo, hi));
+
+  // Runtime: lognormal around the archetype median.
+  const double mu = std::log(sim::to_seconds(app.median_runtime));
+  const double runtime_s =
+      std::clamp(rng_.lognormal(mu, app.runtime_sigma), 30.0, 7.0 * 24 * 3600);
+  spec.runtime_ref = sim::from_seconds(runtime_s);
+
+  // Walltime estimate: padded true runtime, rounded up to 5 min.
+  const double pad = rng_.uniform(1.05, 1.0 + config_.overestimate_max);
+  const sim::SimTime est = sim::from_seconds(runtime_s * pad);
+  spec.walltime_estimate =
+      ((est + 5 * sim::kMinute - 1) / (5 * sim::kMinute)) * (5 * sim::kMinute);
+
+  // Priority: 0 normal, 1 elevated, 2 urgent.
+  if (rng_.bernoulli(config_.high_priority_fraction)) {
+    spec.priority = rng_.bernoulli(0.3) ? 2 : 1;
+  }
+
+  if (rng_.bernoulli(config_.deferrable_fraction)) {
+    spec.deferrable = true;
+    spec.deadline =
+        submit + spec.walltime_estimate +
+        sim::from_hours(rng_.uniform(12.0, 48.0));
+  }
+
+  if (rng_.bernoulli(config_.moldable_fraction) && spec.nodes >= 4) {
+    // Shapes at half and double the requested nodes; imperfect scaling
+    // (Amdahl-flavoured): halving nodes less than doubles runtime, doubling
+    // nodes less than halves it.
+    spec.moldable.push_back({spec.nodes, 1.0});
+    spec.moldable.push_back({spec.nodes / 2, rng_.uniform(1.6, 1.95)});
+    if (spec.nodes * 2 <= config_.machine_nodes) {
+      spec.moldable.push_back({spec.nodes * 2, rng_.uniform(0.55, 0.75)});
+    }
+  }
+
+  return spec;
+}
+
+std::vector<JobSpec> WorkloadGenerator::generate(std::size_t count,
+                                                 sim::SimTime start) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  sim::SimTime t = start;
+  const double mean_gap_s = 3600.0 / config_.arrival_rate_per_hour;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += sim::from_seconds(rng_.exponential(mean_gap_s));
+    jobs.push_back(make_job(t));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> WorkloadGenerator::generate_until(sim::SimTime start,
+                                                       sim::SimTime end) {
+  std::vector<JobSpec> jobs;
+  sim::SimTime t = start;
+  const double mean_gap_s = 3600.0 / config_.arrival_rate_per_hour;
+  for (;;) {
+    t += sim::from_seconds(rng_.exponential(mean_gap_s));
+    if (t > end) break;
+    jobs.push_back(make_job(t));
+  }
+  return jobs;
+}
+
+}  // namespace epajsrm::workload

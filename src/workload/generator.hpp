@@ -1,0 +1,63 @@
+// Synthetic workload generation.
+//
+// Produces job streams with the statistical structure the survey's Q3
+// probes: Poisson arrivals, archetype-driven sizes and runtimes, user
+// walltime overestimation (Mu'alem & Feitelson [35]), a tunable
+// capability/capacity balance, priorities and deferrable work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::workload {
+
+/// Knobs of the synthetic stream.
+struct GeneratorConfig {
+  /// Mean job arrivals per hour (Poisson process).
+  double arrival_rate_per_hour = 20.0;
+  /// Node count the generated sizes are clamped to.
+  std::uint32_t machine_nodes = 64;
+  /// Users cycled through round-robin-with-noise.
+  std::uint32_t user_count = 12;
+  /// Walltime estimate = true runtime × U(1, 1 + overestimate_max).
+  /// Feitelson-style: users pad heavily (default up to 4×).
+  double overestimate_max = 3.0;
+  /// Fraction of jobs flagged deferrable (cost-aware ordering material);
+  /// deferrable jobs get a deadline a few multiples of their runtime out.
+  double deferrable_fraction = 0.2;
+  /// Fraction of jobs that carry moldable alternatives (Patki/RMAP).
+  double moldable_fraction = 0.15;
+  /// Priority classes 0..2 sampled with decreasing probability.
+  double high_priority_fraction = 0.1;
+};
+
+/// Deterministic (seeded) job-stream generator.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(GeneratorConfig config, AppCatalog catalog,
+                    std::uint64_t seed = 1);
+
+  /// Generates `count` jobs with arrivals starting at `start`. Job ids are
+  /// assigned sequentially from the generator's counter (never reused).
+  std::vector<JobSpec> generate(std::size_t count, sim::SimTime start = 0);
+
+  /// Generates jobs until arrivals pass `end` (open-ended count).
+  std::vector<JobSpec> generate_until(sim::SimTime start, sim::SimTime end);
+
+  const GeneratorConfig& config() const { return config_; }
+  const AppCatalog& catalog() const { return catalog_; }
+
+ private:
+  JobSpec make_job(sim::SimTime submit);
+
+  GeneratorConfig config_;
+  AppCatalog catalog_;
+  sim::Rng rng_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace epajsrm::workload

@@ -1,0 +1,67 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epajsrm::workload {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:    return "queued";
+    case JobState::kStarting:  return "starting";
+    case JobState::kRunning:   return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kKilled:    return "killed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Job::Job(JobSpec spec) : spec_(std::move(spec)) {
+  if (spec_.nodes == 0) throw std::invalid_argument("job needs >= 1 node");
+  if (spec_.runtime_ref <= 0) {
+    throw std::invalid_argument("job runtime must be positive");
+  }
+}
+
+double Job::speed_at(double freq_ratio) const {
+  freq_ratio = std::clamp(freq_ratio, 1e-6, 1.0);
+  const double beta = spec_.profile.freq_sensitive_fraction;
+  return 1.0 / (beta / freq_ratio + (1.0 - beta));
+}
+
+void Job::begin_execution(sim::SimTime now, double freq_ratio) {
+  // Placement spread stretches the communication fraction linearly: a
+  // maximally spread allocation doubles communication time.
+  const double comm_stretch =
+      1.0 + spec_.profile.comm_fraction * placement_spread_;
+  work_total_ = sim::to_seconds(spec_.runtime_ref) * runtime_scale_ *
+                comm_stretch;
+  work_done_ = 0.0;
+  speed_ = speed_at(freq_ratio);
+  last_update_ = now;
+  start_time_ = now;
+  state_ = JobState::kRunning;
+}
+
+sim::SimTime Job::update_speed(sim::SimTime now, double freq_ratio) {
+  if (now > last_update_) {
+    work_done_ += sim::to_seconds(now - last_update_) * speed_;
+    work_done_ = std::min(work_done_, work_total_);
+    last_update_ = now;
+  }
+  speed_ = speed_at(freq_ratio);
+  return remaining_time(now);
+}
+
+sim::SimTime Job::remaining_time(sim::SimTime now) const {
+  double done = work_done_;
+  if (now > last_update_) {
+    done += sim::to_seconds(now - last_update_) * speed_;
+  }
+  const double remaining = std::max(0.0, work_total_ - done);
+  return sim::from_seconds(remaining / speed_);
+}
+
+}  // namespace epajsrm::workload

@@ -1,0 +1,190 @@
+// Jobs: the unit of work the scheduler manages.
+//
+// A JobSpec is the immutable submission (what the user asked for plus the
+// ground truth the simulator knows but the scheduler must not read); a Job
+// is the runtime record with state, allocation and progress accounting.
+//
+// Progress accounting implements the Etinski/Freeh runtime model
+// (DESIGN.md §5): a job owns `work` expressed in reference-seconds; its
+// progress rate ("speed") depends on the slowest allocated node's effective
+// frequency and on placement spread. Speed changes (DVFS, cap changes) are
+// handled by banking progress at the old speed and rescheduling completion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/ids.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::workload {
+
+using platform::JobId;
+using platform::NodeId;
+
+/// Application behaviour class — what EPA decisions need to know about how
+/// the code uses the machine.
+struct AppProfile {
+  /// β: fraction of runtime that scales with 1/f (compute phases). The
+  /// remaining 1−β is frequency-insensitive (memory/communication stalls).
+  double freq_sensitive_fraction = 0.7;
+  /// Fraction of runtime spent communicating; placement spread stretches
+  /// this part (topology-aware allocation shrinks it).
+  double comm_fraction = 0.15;
+  /// How hard the code drives its cores, in (0,1]; scales dynamic power.
+  double power_intensity = 1.0;
+};
+
+/// An alternative shape for a moldable job [5][35][37]: running on
+/// `nodes` nodes takes `runtime_scale` × the base reference runtime.
+struct MoldableConfig {
+  std::uint32_t nodes = 1;
+  double runtime_scale = 1.0;
+};
+
+/// Immutable job submission record.
+struct JobSpec {
+  JobId id = platform::kNoJob;
+  std::string user = "user";
+  /// Application tag — the identity predictors and per-app frequency
+  /// characterisation (LRZ) key on.
+  std::string tag = "app";
+  std::uint32_t nodes = 1;           ///< nodes requested (base shape)
+  std::uint32_t cores_per_node = 0;  ///< 0 = whole node
+  /// User-supplied walltime limit (the scheduler kills at this point and
+  /// backfilling plans with it). Typically an overestimate.
+  sim::SimTime walltime_estimate = sim::kHour;
+  /// Ground-truth runtime at reference frequency with compact placement.
+  /// Hidden from scheduling decisions; used only to drive the simulation.
+  sim::SimTime runtime_ref = 30 * sim::kMinute;
+  AppProfile profile;
+  sim::SimTime submit_time = 0;
+  int priority = 0;  ///< larger = more important
+  /// True when the job may be delayed for cost/energy reasons (cost-aware
+  /// ordering policies only move deferrable work).
+  bool deferrable = false;
+  /// Completion deadline for deferrable work; 0 = none.
+  sim::SimTime deadline = 0;
+  /// Alternative shapes; empty = rigid job.
+  std::vector<MoldableConfig> moldable;
+
+  /// Requested core total of the base shape given a node's core count.
+  std::uint64_t total_cores(std::uint32_t node_cores) const {
+    const std::uint32_t per =
+        cores_per_node == 0 ? node_cores : cores_per_node;
+    return static_cast<std::uint64_t>(nodes) * per;
+  }
+};
+
+/// Lifecycle of a job inside the JSRM stack.
+enum class JobState {
+  kQueued,     ///< waiting in a scheduler queue
+  kStarting,   ///< allocation chosen; waiting for node boot
+  kRunning,
+  kCompleted,  ///< finished its work
+  kKilled,     ///< terminated (walltime limit or emergency response)
+  kCancelled,  ///< removed before it ever started
+};
+
+const char* to_string(JobState s);
+
+/// Runtime record for one job.
+class Job {
+ public:
+  explicit Job(JobSpec spec);
+
+  const JobSpec& spec() const { return spec_; }
+  JobId id() const { return spec_.id; }
+
+  JobState state() const { return state_; }
+  void set_state(JobState s) { state_ = s; }
+
+  // --- allocation ---------------------------------------------------------
+
+  /// Nodes the job runs on (filled when it starts).
+  const std::vector<NodeId>& allocated_nodes() const { return nodes_; }
+  void set_allocated_nodes(std::vector<NodeId> nodes) {
+    nodes_ = std::move(nodes);
+  }
+  std::uint32_t cores_per_node_allocated() const { return cores_alloc_; }
+  void set_cores_per_node_allocated(std::uint32_t c) { cores_alloc_ = c; }
+
+  /// The moldable shape actually chosen (1.0 runtime scale for the base
+  /// shape).
+  double runtime_scale() const { return runtime_scale_; }
+  void set_runtime_scale(double s) { runtime_scale_ = s; }
+
+  /// Normalised placement spread in [0,1] frozen at start time.
+  double placement_spread() const { return placement_spread_; }
+  void set_placement_spread(double s) { placement_spread_ = s; }
+
+  // --- timeline -----------------------------------------------------------
+
+  sim::SimTime submit_time() const { return spec_.submit_time; }
+  sim::SimTime start_time() const { return start_time_; }
+  void set_start_time(sim::SimTime t) { start_time_ = t; }
+  sim::SimTime end_time() const { return end_time_; }
+  void set_end_time(sim::SimTime t) { end_time_ = t; }
+
+  sim::SimTime wait_time() const {
+    return start_time_ >= submit_time() ? start_time_ - submit_time() : 0;
+  }
+
+  // --- progress accounting (Etinski/Freeh model) ---------------------------
+
+  /// Total reference-seconds of work, including moldable-shape and
+  /// placement-spread stretching. Set once at start.
+  double work_total() const { return work_total_; }
+  double work_done() const { return work_done_; }
+
+  /// Progress rate (reference-seconds per second) at a given effective
+  /// frequency ratio: speed(f) = 1 / (β/f + (1 − β)).
+  double speed_at(double freq_ratio) const;
+
+  /// Initialises progress accounting at job start.
+  void begin_execution(sim::SimTime now, double freq_ratio);
+
+  /// Banks progress up to `now` at the current speed, then switches to the
+  /// speed implied by `freq_ratio`. Returns the remaining wall-clock time
+  /// to completion at the new speed (SimTime).
+  sim::SimTime update_speed(sim::SimTime now, double freq_ratio);
+
+  /// Remaining wall-clock time at the current speed.
+  sim::SimTime remaining_time(sim::SimTime now) const;
+
+  double current_speed() const { return speed_; }
+
+  /// Generation counter for invalidating stale completion events: bump on
+  /// every reschedule, check on fire.
+  std::uint64_t completion_generation() const { return completion_gen_; }
+  std::uint64_t bump_completion_generation() { return ++completion_gen_; }
+
+  // --- accounting ----------------------------------------------------------
+
+  /// Energy attributed to this job (set by telemetry::EnergyAccountant).
+  double energy_joules() const { return energy_joules_; }
+  void add_energy_joules(double j) { energy_joules_ += j; }
+
+ private:
+  JobSpec spec_;
+  JobState state_ = JobState::kQueued;
+
+  std::vector<NodeId> nodes_;
+  std::uint32_t cores_alloc_ = 0;
+  double runtime_scale_ = 1.0;
+  double placement_spread_ = 0.0;
+
+  sim::SimTime start_time_ = -1;
+  sim::SimTime end_time_ = -1;
+
+  double work_total_ = 0.0;
+  double work_done_ = 0.0;
+  double speed_ = 1.0;
+  sim::SimTime last_update_ = 0;
+  std::uint64_t completion_gen_ = 0;
+
+  double energy_joules_ = 0.0;
+};
+
+}  // namespace epajsrm::workload

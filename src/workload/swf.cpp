@@ -1,0 +1,104 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace epajsrm::workload {
+
+std::vector<SwfRecord> parse_swf(std::istream& in) {
+  std::vector<SwfRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == ';') continue;  // comment/header
+
+    std::istringstream fields(line);
+    SwfRecord r;
+    if (!(fields >> r.job_number >> r.submit_time >> r.wait_time >>
+          r.run_time >> r.allocated_processors >> r.avg_cpu_time >>
+          r.used_memory >> r.requested_processors >> r.requested_time >>
+          r.requested_memory >> r.status >> r.user_id >> r.group_id >>
+          r.executable >> r.queue >> r.partition >> r.preceding_job >>
+          r.think_time)) {
+      throw std::runtime_error("malformed SWF line " +
+                               std::to_string(line_no));
+    }
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<SwfRecord> parse_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF file: " + path);
+  return parse_swf(in);
+}
+
+std::vector<JobSpec> to_jobs(const std::vector<SwfRecord>& records,
+                             std::uint32_t cores_per_node,
+                             std::uint32_t machine_nodes,
+                             const AppProfile& profile) {
+  if (cores_per_node == 0) {
+    throw std::invalid_argument("cores_per_node must be positive");
+  }
+  std::vector<JobSpec> jobs;
+  jobs.reserve(records.size());
+  for (const SwfRecord& r : records) {
+    const long long procs = r.allocated_processors > 0
+                                ? r.allocated_processors
+                                : r.requested_processors;
+    if (procs <= 0 || r.run_time <= 0 || r.submit_time < 0) continue;
+
+    JobSpec spec;
+    spec.id = static_cast<JobId>(r.job_number > 0 ? r.job_number
+                                                  : jobs.size() + 1);
+    spec.user = "user" + std::to_string(std::max(0ll, r.user_id));
+    spec.tag = "swf-app-" + std::to_string(std::max(0ll, r.executable));
+    spec.nodes = static_cast<std::uint32_t>(std::clamp<long long>(
+        (procs + cores_per_node - 1) / cores_per_node, 1, machine_nodes));
+    spec.runtime_ref = r.run_time * sim::kSecond;
+    spec.walltime_estimate = r.requested_time > 0
+                                 ? r.requested_time * sim::kSecond
+                                 : spec.runtime_ref * 2;
+    spec.walltime_estimate =
+        std::max(spec.walltime_estimate, spec.runtime_ref);
+    spec.submit_time = r.submit_time * sim::kSecond;
+    spec.profile = profile;
+    jobs.push_back(std::move(spec));
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.submit_time < b.submit_time;
+  });
+  return jobs;
+}
+
+void write_swf(std::ostream& out, const std::vector<const Job*>& jobs,
+               std::uint32_t cores_per_node) {
+  out << "; SWF written by epajsrm\n";
+  out << "; MaxProcs from cores_per_node=" << cores_per_node << "\n";
+  for (const Job* job : jobs) {
+    const JobSpec& s = job->spec();
+    const long long submit = s.submit_time / sim::kSecond;
+    const long long wait = job->start_time() >= 0
+                               ? job->wait_time() / sim::kSecond
+                               : -1;
+    const long long run =
+        (job->start_time() >= 0 && job->end_time() >= 0)
+            ? (job->end_time() - job->start_time()) / sim::kSecond
+            : -1;
+    const long long procs =
+        static_cast<long long>(s.nodes) * cores_per_node;
+    const int status = job->state() == JobState::kCompleted ? 1 : 0;
+    out << s.id << ' ' << submit << ' ' << wait << ' ' << run << ' ' << procs
+        << " -1 -1 " << procs << ' '
+        << s.walltime_estimate / sim::kSecond << " -1 " << status << ' '
+        << 0 << " -1 " << 0 << " -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace epajsrm::workload

@@ -1,0 +1,58 @@
+// Standard Workload Format (SWF) interchange.
+//
+// SWF is the de-facto trace format of the Parallel Workloads Archive
+// (Feitelson); LANL+Sandia's "gather traces for evaluating EPA approaches"
+// row is exactly this workflow. We read the 18 standard fields and map the
+// subset the simulator uses onto JobSpec; the writer emits completed-job
+// records so simulated schedules round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace epajsrm::workload {
+
+/// One SWF record (the 18 standard fields; -1 = unknown, as per the spec).
+struct SwfRecord {
+  long long job_number = -1;
+  long long submit_time = -1;       ///< seconds
+  long long wait_time = -1;         ///< seconds
+  long long run_time = -1;          ///< seconds
+  long long allocated_processors = -1;
+  double avg_cpu_time = -1;
+  double used_memory = -1;
+  long long requested_processors = -1;
+  long long requested_time = -1;    ///< seconds
+  double requested_memory = -1;
+  int status = -1;                  ///< 1 completed, 0/5 failed/cancelled
+  long long user_id = -1;
+  long long group_id = -1;
+  long long executable = -1;        ///< application id -> tag
+  long long queue = -1;
+  long long partition = -1;
+  long long preceding_job = -1;
+  long long think_time = -1;
+};
+
+/// Parses SWF text (';' comment lines ignored). Throws std::runtime_error
+/// on malformed data lines.
+std::vector<SwfRecord> parse_swf(std::istream& in);
+std::vector<SwfRecord> parse_swf_file(const std::string& path);
+
+/// Converts SWF records to JobSpecs for a machine with `cores_per_node`
+/// cores per node. Processor counts are rounded up to whole nodes; records
+/// without usable runtime/processors are skipped. The `executable` id
+/// becomes the tag ("swf-app-<id>"); profiles default to `profile`.
+std::vector<JobSpec> to_jobs(const std::vector<SwfRecord>& records,
+                             std::uint32_t cores_per_node,
+                             std::uint32_t machine_nodes,
+                             const AppProfile& profile = {});
+
+/// Serialises completed jobs as SWF (one line per job, header comment).
+void write_swf(std::ostream& out, const std::vector<const Job*>& jobs,
+               std::uint32_t cores_per_node);
+
+}  // namespace epajsrm::workload

@@ -1,0 +1,110 @@
+#include "rm/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::rm {
+namespace {
+
+platform::Cluster make_cluster(std::uint32_t nodes = 64,
+                               double sigma = 0.0) {
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .topology(std::make_unique<platform::FatTreeTopology>(4, 3))
+      .variability_sigma(sigma, 3)
+      .build();
+}
+
+TEST(FirstFit, PicksLowestIds) {
+  platform::Cluster c = make_cluster();
+  FirstFitAllocator alloc;
+  const auto picked = alloc.select(c, 4, Allocator::default_eligible);
+  EXPECT_EQ(picked, (std::vector<platform::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(FirstFit, SkipsIneligible) {
+  platform::Cluster c = make_cluster();
+  c.node(1).set_state(platform::NodeState::kOff);
+  c.node(2).allocate(99, c.node(2).cores_total());
+  FirstFitAllocator alloc;
+  const auto picked = alloc.select(c, 3, Allocator::default_eligible);
+  EXPECT_EQ(picked, (std::vector<platform::NodeId>{0, 3, 4}));
+}
+
+TEST(FirstFit, FailsWhenNotEnough) {
+  platform::Cluster c = make_cluster(8);
+  FirstFitAllocator alloc;
+  EXPECT_TRUE(alloc.select(c, 9, Allocator::default_eligible).empty());
+}
+
+TEST(Allocator, AvailableCountsEligible) {
+  platform::Cluster c = make_cluster(8);
+  c.node(0).set_state(platform::NodeState::kOff);
+  EXPECT_EQ(Allocator::available(c, Allocator::default_eligible), 7u);
+}
+
+TEST(TopologyAware, ProducesCompactAllocationsInFragmentedMachine) {
+  platform::Cluster c = make_cluster(64);
+  // Fragment: occupy every other node in the first half of the machine;
+  // leave a pristine contiguous block in the second half.
+  for (platform::NodeId id = 0; id < 32; id += 2) {
+    c.node(id).allocate(99, c.node(id).cores_total());
+  }
+  TopologyAwareAllocator topo;
+  FirstFitAllocator first;
+  const auto t = topo.select(c, 8, Allocator::default_eligible);
+  const auto f = first.select(c, 8, Allocator::default_eligible);
+  ASSERT_EQ(t.size(), 8u);
+  ASSERT_EQ(f.size(), 8u);
+  EXPECT_LE(c.topology().allocation_spread(t),
+            c.topology().allocation_spread(f));
+}
+
+TEST(TopologyAware, ExactFitReturnsAllCandidates) {
+  platform::Cluster c = make_cluster(8);
+  TopologyAwareAllocator topo;
+  const auto picked = topo.select(c, 8, Allocator::default_eligible);
+  EXPECT_EQ(picked.size(), 8u);
+}
+
+TEST(TopologyAware, FailsWhenInsufficient) {
+  platform::Cluster c = make_cluster(8);
+  TopologyAwareAllocator topo;
+  EXPECT_TRUE(topo.select(c, 9, Allocator::default_eligible).empty());
+}
+
+TEST(TopologyAware, ResultSortedAndUnique) {
+  platform::Cluster c = make_cluster(64);
+  TopologyAwareAllocator topo;
+  const auto picked = topo.select(c, 12, Allocator::default_eligible);
+  ASSERT_EQ(picked.size(), 12u);
+  for (std::size_t i = 1; i < picked.size(); ++i) {
+    EXPECT_LT(picked[i - 1], picked[i]);
+  }
+}
+
+TEST(VariabilityAware, PrefersEfficientSilicon) {
+  platform::Cluster c = make_cluster(16, 0.05);
+  VariabilityAwareAllocator alloc;
+  const auto picked = alloc.select(c, 4, Allocator::default_eligible);
+  ASSERT_EQ(picked.size(), 4u);
+  // Every picked node must have variability <= every unpicked node.
+  double worst_picked = 0.0;
+  for (platform::NodeId id : picked) {
+    worst_picked = std::max(worst_picked, c.node(id).config().variability);
+  }
+  for (const platform::Node& n : c.nodes()) {
+    if (std::find(picked.begin(), picked.end(), n.id()) == picked.end()) {
+      EXPECT_GE(n.config().variability, worst_picked - 1e-12);
+    }
+  }
+}
+
+TEST(VariabilityAware, FallsBackToIdOrderWithoutVariability) {
+  platform::Cluster c = make_cluster(16, 0.0);
+  VariabilityAwareAllocator alloc;
+  const auto picked = alloc.select(c, 3, Allocator::default_eligible);
+  EXPECT_EQ(picked, (std::vector<platform::NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace epajsrm::rm

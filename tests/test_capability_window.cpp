@@ -1,0 +1,135 @@
+#include "epa/capability_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster() {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder().node_count(8).node_config(cfg).build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 2;
+  spec.submit_time = submit;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+CapabilityWindowPolicy::Config weekly_window() {
+  CapabilityWindowPolicy::Config cfg;
+  cfg.large_fraction = 0.5;
+  cfg.period = 7 * sim::kDay;
+  cfg.window_length = sim::kDay;
+  cfg.first_window = 2 * sim::kDay;
+  return cfg;
+}
+
+TEST(CapabilityWindow, WindowArithmetic) {
+  CapabilityWindowPolicy policy(weekly_window());
+  EXPECT_FALSE(policy.in_window(0));
+  EXPECT_TRUE(policy.in_window(2 * sim::kDay));
+  EXPECT_TRUE(policy.in_window(2 * sim::kDay + 23 * sim::kHour));
+  EXPECT_FALSE(policy.in_window(3 * sim::kDay));
+  EXPECT_TRUE(policy.in_window(9 * sim::kDay + sim::kHour));  // next cycle
+
+  EXPECT_EQ(policy.next_window(0), 2 * sim::kDay);
+  EXPECT_EQ(policy.next_window(2 * sim::kDay + sim::kHour),
+            2 * sim::kDay + sim::kHour);  // already inside
+  EXPECT_EQ(policy.next_window(4 * sim::kDay), 9 * sim::kDay);
+}
+
+TEST(CapabilityWindow, LargeJobWaitsForWindow) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<CapabilityWindowPolicy>(weekly_window());
+  CapabilityWindowPolicy* window = policy.get();
+  solution.add_policy(std::move(policy));
+
+  solution.submit(job_spec(1, 8, 2 * sim::kHour));      // large, at t=0
+  solution.submit(job_spec(2, 2, sim::kHour, sim::kMinute));  // small
+  solution.run_until(5 * sim::kDay);
+
+  workload::Job* large = solution.find_job(1);
+  workload::Job* small = solution.find_job(2);
+  ASSERT_EQ(large->state(), workload::JobState::kCompleted);
+  ASSERT_EQ(small->state(), workload::JobState::kCompleted);
+  EXPECT_GE(large->start_time(), 2 * sim::kDay);   // held to the window
+  EXPECT_LT(small->start_time(), sim::kHour);      // ran immediately
+  EXPECT_GT(window->held_large_jobs(), 0u);
+}
+
+TEST(CapabilityWindow, JobTooLongForRemainingWindowHolds) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  CapabilityWindowPolicy::Config cfg = weekly_window();
+  auto policy = std::make_unique<CapabilityWindowPolicy>(cfg);
+  solution.add_policy(std::move(policy));
+
+  // Arrives 20 h into the 24 h window with a 12 h walltime: cannot fit,
+  // must wait for the next cycle.
+  workload::JobSpec spec = job_spec(1, 8, 6 * sim::kHour,
+                                    2 * sim::kDay + 20 * sim::kHour);
+  solution.submit(spec);
+  solution.run_until(12 * sim::kDay);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_GE(job->start_time(), 9 * sim::kDay);
+}
+
+TEST(CapabilityWindow, NoFitCheckAllowsRiskyStart) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  CapabilityWindowPolicy::Config cfg = weekly_window();
+  cfg.require_fit = false;
+  solution.add_policy(std::make_unique<CapabilityWindowPolicy>(cfg));
+  workload::JobSpec spec = job_spec(1, 8, 6 * sim::kHour,
+                                    2 * sim::kDay + 20 * sim::kHour);
+  solution.submit(spec);
+  solution.run_until(4 * sim::kDay);
+  EXPECT_GE(solution.find_job(1)->start_time(), 0);
+  EXPECT_LT(solution.find_job(1)->start_time(), 3 * sim::kDay);
+}
+
+TEST(CapabilityWindow, SmallJobsNeverGated) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<CapabilityWindowPolicy>(weekly_window());
+  CapabilityWindowPolicy* window = policy.get();
+  solution.add_policy(std::move(policy));
+  for (workload::JobId id = 1; id <= 6; ++id) {
+    solution.submit(job_spec(id, 3, sim::kHour));  // 3/8 < 0.5: small
+  }
+  solution.run_until(2 * sim::kDay);
+  for (workload::JobId id = 1; id <= 6; ++id) {
+    EXPECT_EQ(solution.find_job(id)->state(),
+              workload::JobState::kCompleted);
+  }
+  EXPECT_EQ(window->held_large_jobs(), 0u);
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

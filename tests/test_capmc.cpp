@@ -1,0 +1,92 @@
+#include "power/capmc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::power {
+namespace {
+
+class CapmcTest : public ::testing::Test {
+ protected:
+  CapmcTest()
+      : cluster_(platform::ClusterBuilder()
+                     .node_count(8)
+                     .node_config(node_config())
+                     .pstates(platform::PstateTable::linear(2.0, 1.0, 4))
+                     .build()),
+        model_(cluster_.pstates()), capmc_(cluster_, model_) {}
+
+  static platform::NodeConfig node_config() {
+    platform::NodeConfig cfg;
+    cfg.idle_watts = 100.0;
+    cfg.dynamic_watts = 200.0;
+    return cfg;
+  }
+
+  platform::Cluster cluster_;
+  NodePowerModel model_;
+  CapmcController capmc_;
+};
+
+TEST_F(CapmcTest, NodeCapAppliesAndRefreshesPower) {
+  cluster_.node(0).allocate(1, cluster_.node(0).cores_total(), 1.0);
+  capmc_.set_node_cap(0, 150.0);
+  EXPECT_DOUBLE_EQ(cluster_.node(0).power_cap_watts(), 150.0);
+  EXPECT_NEAR(cluster_.node(0).current_watts(), 150.0, 1e-6);
+  EXPECT_EQ(capmc_.capped_node_count(), 1u);
+}
+
+TEST_F(CapmcTest, GroupCapCoversAllMembers) {
+  const std::vector<platform::NodeId> group{1, 3, 5};
+  capmc_.set_group_cap(group, 200.0);
+  EXPECT_EQ(capmc_.capped_node_count(), 3u);
+  EXPECT_DOUBLE_EQ(cluster_.node(3).power_cap_watts(), 200.0);
+  EXPECT_DOUBLE_EQ(cluster_.node(0).power_cap_watts(), 0.0);
+}
+
+TEST_F(CapmcTest, SystemCapDividesEvenly) {
+  capmc_.set_system_cap(1600.0);
+  for (const platform::Node& n : cluster_.nodes()) {
+    EXPECT_DOUBLE_EQ(n.power_cap_watts(), 200.0);
+  }
+  EXPECT_DOUBLE_EQ(capmc_.system_cap_error(), 0.0);
+  EXPECT_DOUBLE_EQ(capmc_.worst_case_watts(), 1600.0);
+}
+
+TEST_F(CapmcTest, SystemCapClampsToIdleFloor) {
+  capmc_.set_system_cap(400.0);  // 50 W/node < 102 W floor
+  for (const platform::Node& n : cluster_.nodes()) {
+    EXPECT_NEAR(n.power_cap_watts(), 102.0, 1e-9);
+  }
+  EXPECT_NEAR(capmc_.system_cap_error(), 8 * 102.0 - 400.0, 1e-9);
+}
+
+TEST_F(CapmcTest, ZeroSystemCapClearsAll) {
+  capmc_.set_system_cap(1600.0);
+  capmc_.set_system_cap(0.0);
+  EXPECT_EQ(capmc_.capped_node_count(), 0u);
+}
+
+TEST_F(CapmcTest, ClearAllRemovesCaps) {
+  capmc_.set_node_cap(2, 150.0);
+  capmc_.set_node_cap(4, 180.0);
+  capmc_.clear_all_caps();
+  EXPECT_EQ(capmc_.capped_node_count(), 0u);
+  EXPECT_DOUBLE_EQ(capmc_.system_cap_error(), 0.0);
+}
+
+TEST_F(CapmcTest, WorstCaseMixesCapsAndPeaks) {
+  capmc_.set_node_cap(0, 150.0);
+  // 1 capped node at 150 + 7 uncapped at 300 W peak.
+  EXPECT_DOUBLE_EQ(capmc_.worst_case_watts(), 150.0 + 7 * 300.0);
+}
+
+TEST_F(CapmcTest, ClearingSingleNodeCap) {
+  capmc_.set_node_cap(0, 150.0);
+  capmc_.set_node_cap(0, 0.0);
+  EXPECT_EQ(capmc_.capped_node_count(), 0u);
+  EXPECT_DOUBLE_EQ(cluster_.node(0).current_watts(),
+                   node_config().idle_watts);
+}
+
+}  // namespace
+}  // namespace epajsrm::power

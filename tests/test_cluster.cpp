@@ -1,0 +1,119 @@
+#include "platform/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace epajsrm::platform {
+namespace {
+
+Cluster small_cluster(std::uint32_t nodes = 32, double sigma = 0.0) {
+  return ClusterBuilder()
+      .name("test")
+      .node_count(nodes)
+      .nodes_per_rack(8)
+      .racks_per_pdu(2)
+      .racks_per_cooling_loop(2)
+      .variability_sigma(sigma)
+      .build();
+}
+
+TEST(ClusterBuilder, BuildsRequestedNodeCount) {
+  Cluster c = small_cluster(32);
+  EXPECT_EQ(c.node_count(), 32u);
+  EXPECT_EQ(c.name(), "test");
+}
+
+TEST(ClusterBuilder, GroupsNodesIntoPdusAndLoops) {
+  Cluster c = small_cluster(32);
+  // 32 nodes / 8 per rack = 4 racks; 2 racks/pdu = 2 pdus; 2 racks/loop = 2.
+  EXPECT_EQ(c.facility().pdus().size(), 2u);
+  EXPECT_EQ(c.facility().cooling_loops().size(), 2u);
+  std::set<NodeId> seen;
+  for (const Pdu& pdu : c.facility().pdus()) {
+    EXPECT_EQ(pdu.nodes.size(), 16u);
+    seen.insert(pdu.nodes.begin(), pdu.nodes.end());
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(ClusterBuilder, NodePlantBackreferencesConsistent) {
+  Cluster c = small_cluster(32);
+  for (const Node& node : c.nodes()) {
+    const Pdu& pdu = c.facility().pdu(node.pdu());
+    EXPECT_NE(std::find(pdu.nodes.begin(), pdu.nodes.end(), node.id()),
+              pdu.nodes.end());
+  }
+}
+
+TEST(ClusterBuilder, VariabilityDrawsSpread) {
+  Cluster c = small_cluster(64, 0.05);
+  double lo = 10.0, hi = 0.0;
+  for (const Node& n : c.nodes()) {
+    lo = std::min(lo, n.config().variability);
+    hi = std::max(hi, n.config().variability);
+  }
+  EXPECT_LT(lo, 1.0);
+  EXPECT_GT(hi, 1.0);
+  EXPECT_GE(lo, 1.0 - 0.15);  // 3-sigma clamp
+  EXPECT_LE(hi, 1.0 + 0.15);
+}
+
+TEST(ClusterBuilder, VariabilityDeterministicPerSeed) {
+  Cluster a = ClusterBuilder().node_count(16).variability_sigma(0.04, 5).build();
+  Cluster b = ClusterBuilder().node_count(16).variability_sigma(0.04, 5).build();
+  for (NodeId i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).config().variability,
+                     b.node(i).config().variability);
+  }
+}
+
+TEST(ClusterBuilder, ZeroNodesRejected) {
+  EXPECT_THROW(ClusterBuilder().node_count(0).build(), std::invalid_argument);
+}
+
+TEST(Cluster, CountsByState) {
+  Cluster c = small_cluster(8);
+  EXPECT_EQ(c.count_in_state(NodeState::kIdle), 8u);
+  c.node(0).set_state(NodeState::kOff);
+  c.node(1).set_state(NodeState::kOff);
+  EXPECT_EQ(c.count_in_state(NodeState::kOff), 2u);
+  EXPECT_EQ(c.nodes_in_state(NodeState::kOff).size(), 2u);
+}
+
+TEST(Cluster, CoreAccountingTracksAllocations) {
+  Cluster c = small_cluster(4);
+  const std::uint64_t per_node = c.node(0).cores_total();
+  EXPECT_EQ(c.cores_total(), 4 * per_node);
+  c.node(0).allocate(1, static_cast<std::uint32_t>(per_node));
+  EXPECT_EQ(c.cores_free(), 3 * per_node);
+  EXPECT_NEAR(c.core_utilization(), 0.25, 1e-12);
+}
+
+TEST(Cluster, OffNodesLeaveSchedulablePool) {
+  Cluster c = small_cluster(4);
+  c.node(3).set_state(NodeState::kOff);
+  const std::uint64_t per_node = c.node(0).cores_total();
+  EXPECT_EQ(c.cores_total(), 3 * per_node);
+}
+
+TEST(Cluster, PowerAggregationSumsCachedDraws) {
+  Cluster c = small_cluster(32);
+  for (Node& n : c.nodes()) n.set_current_watts(100.0);
+  EXPECT_DOUBLE_EQ(c.it_power_watts(), 3200.0);
+  EXPECT_DOUBLE_EQ(c.pdu_power_watts(0), 1600.0);
+  EXPECT_DOUBLE_EQ(c.cooling_load_watts(1), 1600.0);
+}
+
+TEST(Cluster, NodeAccessorBoundsChecked) {
+  Cluster c = small_cluster(4);
+  EXPECT_THROW(c.node(4), std::out_of_range);
+}
+
+TEST(Cluster, DefaultTopologyCoversNodes) {
+  Cluster c = small_cluster(100);
+  EXPECT_GE(c.topology().node_count(), 100u);
+}
+
+}  // namespace
+}  // namespace epajsrm::platform

@@ -1,0 +1,140 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::metrics {
+namespace {
+
+workload::Job finished_job(workload::JobId id, sim::SimTime submit,
+                           sim::SimTime start, sim::SimTime end,
+                           workload::JobState state,
+                           std::uint32_t nodes = 2) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.submit_time = submit;
+  workload::Job job(spec);
+  std::vector<platform::NodeId> ids;
+  for (std::uint32_t i = 0; i < nodes; ++i) ids.push_back(i);
+  job.set_allocated_nodes(ids);
+  job.set_cores_per_node_allocated(32);
+  job.set_start_time(start);
+  job.set_end_time(end);
+  job.set_state(state);
+  return job;
+}
+
+TEST(Collector, CountsOutcomes) {
+  MetricsCollector c;
+  workload::JobSpec spec;
+  c.on_job_submitted(spec);
+  c.on_job_submitted(spec);
+  c.on_job_submitted(spec);
+  const auto done = finished_job(1, 0, sim::kMinute, sim::kHour,
+                                 workload::JobState::kCompleted);
+  const auto dead = finished_job(2, 0, sim::kMinute, sim::kHour,
+                                 workload::JobState::kKilled);
+  c.on_job_finished(done);
+  c.on_job_finished(dead);
+  const RunReport r = c.finalize(2 * sim::kHour);
+  EXPECT_EQ(r.jobs_submitted, 3u);
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.jobs_killed, 1u);
+}
+
+TEST(Collector, WaitAndSlowdownFromCompletedJobs) {
+  MetricsCollector c;
+  // Wait 30 min, run 60 min -> slowdown (30+60)/60 = 1.5.
+  const auto job = finished_job(1, 0, 30 * sim::kMinute, 90 * sim::kMinute,
+                                workload::JobState::kCompleted);
+  c.on_job_finished(job);
+  const RunReport r = c.finalize(2 * sim::kHour);
+  EXPECT_NEAR(r.wait_minutes.median, 30.0, 1e-9);
+  EXPECT_NEAR(r.bounded_slowdown.median, 1.5, 1e-9);
+  EXPECT_NEAR(r.job_runtime_minutes.median, 60.0, 1e-9);
+}
+
+TEST(Collector, BoundedSlowdownUsesTenMinuteFloor) {
+  MetricsCollector c;
+  // 1-minute job waits 10 minutes: slowdown bounded by the 10-min tau.
+  const auto job = finished_job(1, 0, 10 * sim::kMinute, 11 * sim::kMinute,
+                                workload::JobState::kCompleted);
+  c.on_job_finished(job);
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_NEAR(r.bounded_slowdown.median, 1.1, 1e-9);
+}
+
+TEST(Collector, PowerIntegrationPiecewise) {
+  MetricsCollector c;
+  c.on_power_sample(0, 1000.0, 1500.0, 0.5);
+  c.on_power_sample(sim::kHour, 2000.0, 3000.0, 0.7);
+  const RunReport r = c.finalize(2 * sim::kHour);
+  // 1 kW for 1 h + 2 kW for 1 h = 3 kWh IT.
+  EXPECT_NEAR(r.total_it_kwh, 3.0, 1e-9);
+  EXPECT_NEAR(r.total_facility_kwh, 4.5, 1e-9);
+  EXPECT_NEAR(r.mean_it_watts, 1500.0, 1e-9);
+  EXPECT_NEAR(r.max_it_watts, 2000.0, 1e-9);
+}
+
+TEST(Collector, ViolationsAgainstBudget) {
+  MetricsCollector c(1500.0);
+  c.on_power_sample(0, 1000.0, 1200.0, 0.5);             // under
+  c.on_power_sample(sim::kHour, 2000.0, 2400.0, 0.9);    // over by 500
+  c.on_power_sample(2 * sim::kHour, 1400.0, 1700.0, 0.6);  // under
+  const RunReport r = c.finalize(3 * sim::kHour);
+  EXPECT_EQ(r.violation_samples, 1u);
+  EXPECT_NEAR(r.violation_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.worst_violation_watts, 500.0, 1e-9);
+  // 500 W over for 1 h = 0.5 kWh above the line.
+  EXPECT_NEAR(r.violation_kwh, 0.5, 1e-9);
+}
+
+TEST(Collector, NoBudgetNoViolations) {
+  MetricsCollector c(0.0);
+  c.on_power_sample(0, 99999.0, 99999.0, 1.0);
+  c.on_power_sample(sim::kHour, 99999.0, 99999.0, 1.0);
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_EQ(r.violation_samples, 0u);
+  EXPECT_DOUBLE_EQ(r.violation_kwh, 0.0);
+}
+
+TEST(Collector, CostUsesTariff) {
+  const power::Tariff tariff = power::Tariff::flat(0.20);
+  MetricsCollector c(0.0, &tariff);
+  c.on_power_sample(0, 1000.0, 2000.0, 0.5);
+  c.on_power_sample(sim::kHour, 1000.0, 2000.0, 0.5);
+  const RunReport r = c.finalize(sim::kHour);
+  // 2 kW facility for 1 h at 0.20 = 0.40.
+  EXPECT_NEAR(r.electricity_cost, 0.40, 1e-9);
+}
+
+TEST(Collector, ThroughputPerDay) {
+  MetricsCollector c;
+  c.on_power_sample(0, 0.0, 0.0, 0.0);
+  for (int i = 1; i <= 12; ++i) {
+    c.on_job_finished(finished_job(static_cast<workload::JobId>(i), 0, 0,
+                                   sim::kHour,
+                                   workload::JobState::kCompleted));
+  }
+  const RunReport r = c.finalize(12 * sim::kHour);
+  EXPECT_NEAR(r.throughput_jobs_per_day, 24.0, 1e-9);
+}
+
+TEST(Collector, CancelledJobsOnlyCountSubmitted) {
+  MetricsCollector c;
+  auto job = finished_job(1, 0, -1, -1, workload::JobState::kCancelled);
+  c.on_job_finished(job);
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_EQ(r.jobs_completed, 0u);
+  EXPECT_EQ(r.jobs_killed, 0u);
+}
+
+TEST(Collector, FormatReportContainsLabel) {
+  MetricsCollector c;
+  c.set_label("my-run");
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_NE(format_report(r).find("my-run"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm::metrics

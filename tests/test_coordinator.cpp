@@ -1,0 +1,170 @@
+#include "core/facility_coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::core {
+namespace {
+
+platform::Cluster make_machine(const std::string& name,
+                               std::uint32_t nodes = 8) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .name(name)
+      .node_count(nodes)
+      .node_config(cfg)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 4;
+  spec.submit_time = submit;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  CoordinatorTest()
+      : cluster_a_(make_machine("a")), cluster_b_(make_machine("b")),
+        solution_a_(sim_, cluster_a_, config()),
+        solution_b_(sim_, cluster_b_, config()) {}
+
+  static SolutionConfig config() {
+    SolutionConfig c;
+    c.enable_thermal = false;
+    return c;
+  }
+
+  sim::Simulation sim_;
+  platform::Cluster cluster_a_;
+  platform::Cluster cluster_b_;
+  EpaJsrmSolution solution_a_;
+  EpaJsrmSolution solution_b_;
+};
+
+TEST_F(CoordinatorTest, FloorsAlwaysGuaranteed) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 3000.0;
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 1000.0);
+  coordinator.add_member(solution_b_, 1000.0);
+  solution_a_.start();
+  solution_b_.start();
+  coordinator.start();
+  sim_.run_until(5 * sim::kMinute);
+  EXPECT_GE(coordinator.budget_of(0), 1000.0);
+  EXPECT_GE(coordinator.budget_of(1), 1000.0);
+  EXPECT_LE(coordinator.budget_of(0) + coordinator.budget_of(1),
+            3000.0 + 1e-6);
+  EXPECT_GT(coordinator.rebalances(), 0u);
+}
+
+TEST_F(CoordinatorTest, SurplusFollowsTheBusyMachine) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 3200.0;  // floors 2x900 + 1400 surplus
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 900.0);
+  coordinator.add_member(solution_b_, 900.0);
+  // Only machine A has work.
+  solution_a_.submit(job_spec(1, 8, 2 * sim::kHour));
+  solution_a_.start();
+  solution_b_.start();
+  coordinator.start();
+  sim_.run_until(30 * sim::kMinute);
+  EXPECT_GT(coordinator.budget_of(0), coordinator.budget_of(1) + 500.0);
+  EXPECT_GT(coordinator.demand_of(0), coordinator.demand_of(1));
+}
+
+TEST_F(CoordinatorTest, HardEnforceHoldsEachSlice) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 2600.0;
+  cfg.hard_enforce = true;
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 900.0);
+  coordinator.add_member(solution_b_, 900.0);
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution_a_.submit(job_spec(id, 1, sim::kHour));
+    solution_b_.submit(job_spec(100 + id, 1, sim::kHour));
+  }
+  solution_a_.start();
+  solution_b_.start();
+  coordinator.start();
+  sim_.run_until(30 * sim::kMinute);
+  EXPECT_LE(cluster_a_.it_power_watts(), coordinator.budget_of(0) + 1e-6);
+  EXPECT_LE(cluster_b_.it_power_watts(), coordinator.budget_of(1) + 1e-6);
+  EXPECT_LE(cluster_a_.it_power_watts() + cluster_b_.it_power_watts(),
+            2600.0 + 1e-6);
+}
+
+TEST_F(CoordinatorTest, BudgetReturnsWhenLoadEnds) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 3200.0;
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 900.0);
+  coordinator.add_member(solution_b_, 900.0);
+  solution_a_.submit(job_spec(1, 8, 30 * sim::kMinute));
+  // B's work arrives after A finishes.
+  solution_b_.submit(job_spec(2, 8, 30 * sim::kMinute, 2 * sim::kHour));
+  solution_a_.start();
+  solution_b_.start();
+  coordinator.start();
+
+  sim_.run_until(20 * sim::kMinute);
+  EXPECT_GT(coordinator.budget_of(0), coordinator.budget_of(1));
+  // Mid-way through B's job (2:00-2:30): the surplus has moved to B.
+  sim_.run_until(2 * sim::kHour + 15 * sim::kMinute);
+  EXPECT_GT(coordinator.budget_of(1), coordinator.budget_of(0));
+
+  sim_.run_until(12 * sim::kHour);
+  EXPECT_EQ(solution_a_.find_job(1)->state(),
+            workload::JobState::kCompleted);
+  EXPECT_EQ(solution_b_.find_job(2)->state(),
+            workload::JobState::kCompleted);
+}
+
+TEST_F(CoordinatorTest, AddMemberAfterStartThrows) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 3000.0;
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 900.0);
+  coordinator.start();
+  EXPECT_THROW(coordinator.add_member(solution_b_, 900.0),
+               std::logic_error);
+}
+
+TEST_F(CoordinatorTest, BadWeightRejected) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 3000.0;
+  FacilityCoordinator coordinator(sim_, cfg);
+  EXPECT_THROW(coordinator.add_member(solution_a_, 900.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(CoordinatorTest, WeightsBiasTheSurplus) {
+  FacilityCoordinator::Config cfg;
+  cfg.total_budget_watts = 4000.0;
+  cfg.hard_enforce = false;
+  FacilityCoordinator coordinator(sim_, cfg);
+  coordinator.add_member(solution_a_, 900.0, /*weight=*/3.0);
+  coordinator.add_member(solution_b_, 900.0, /*weight=*/1.0);
+  // Identical demand on both machines.
+  solution_a_.submit(job_spec(1, 8, 2 * sim::kHour));
+  solution_b_.submit(job_spec(2, 8, 2 * sim::kHour));
+  solution_a_.start();
+  solution_b_.start();
+  coordinator.start();
+  sim_.run_until(30 * sim::kMinute);
+  EXPECT_GT(coordinator.budget_of(0), coordinator.budget_of(1));
+}
+
+}  // namespace
+}  // namespace epajsrm::core

@@ -1,0 +1,136 @@
+#include "telemetry/energy_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace epajsrm::telemetry {
+namespace {
+
+class AccountingTest : public ::testing::Test {
+ protected:
+  AccountingTest()
+      : cluster_(platform::ClusterBuilder().node_count(4).build()),
+        accountant_(cluster_, [this](workload::JobId id) {
+          const auto it = jobs_.find(id);
+          return it == jobs_.end() ? nullptr : it->second.get();
+        }) {}
+
+  workload::Job& add_job(workload::JobId id) {
+    workload::JobSpec spec;
+    spec.id = id;
+    jobs_.emplace(id, std::make_unique<workload::Job>(spec));
+    return *jobs_[id];
+  }
+
+  platform::Cluster cluster_;
+  std::unordered_map<workload::JobId, std::unique_ptr<workload::Job>> jobs_;
+  EnergyAccountant accountant_;
+};
+
+TEST_F(AccountingTest, IntegratesConstantPower) {
+  for (platform::Node& n : cluster_.nodes()) n.set_current_watts(100.0);
+  accountant_.checkpoint(10 * sim::kSecond);
+  EXPECT_NEAR(accountant_.total_it_joules(), 4 * 100.0 * 10.0, 1e-9);
+}
+
+TEST_F(AccountingTest, EmptyNodesAreOverhead) {
+  for (platform::Node& n : cluster_.nodes()) n.set_current_watts(50.0);
+  accountant_.checkpoint(sim::kSecond);
+  EXPECT_NEAR(accountant_.overhead_joules(), 200.0, 1e-9);
+}
+
+TEST_F(AccountingTest, AttributesByCoreShare) {
+  workload::Job& job = add_job(1);
+  platform::Node& node = cluster_.node(0);
+  node.allocate(1, node.cores_total() / 2);  // half the node
+  node.set_current_watts(200.0);
+  accountant_.checkpoint(10 * sim::kSecond);
+  EXPECT_NEAR(job.energy_joules(), 200.0 * 10.0 / 2, 1e-9);
+  // Other half of node 0 (1000 J) + 3 idle nodes (0 W) are overhead.
+  EXPECT_NEAR(accountant_.overhead_joules(), 1000.0, 1e-9);
+}
+
+TEST_F(AccountingTest, MultipleJobsSplitNode) {
+  workload::Job& a = add_job(1);
+  workload::Job& b = add_job(2);
+  platform::Node& node = cluster_.node(0);
+  const std::uint32_t cores = node.cores_total();
+  node.allocate(1, cores / 4);
+  node.allocate(2, 3 * cores / 4);
+  node.set_current_watts(400.0);
+  accountant_.checkpoint(sim::kSecond);
+  EXPECT_NEAR(a.energy_joules(), 100.0, 1e-9);
+  EXPECT_NEAR(b.energy_joules(), 300.0, 1e-9);
+}
+
+TEST_F(AccountingTest, PiecewiseConstantAcrossChanges) {
+  platform::Node& node = cluster_.node(0);
+  node.set_current_watts(100.0);
+  accountant_.checkpoint(5 * sim::kSecond);
+  node.set_current_watts(300.0);
+  accountant_.checkpoint(10 * sim::kSecond);
+  EXPECT_NEAR(accountant_.node_joules(0), 100.0 * 5 + 300.0 * 5, 1e-9);
+}
+
+TEST_F(AccountingTest, BackwardCheckpointIsNoop) {
+  cluster_.node(0).set_current_watts(100.0);
+  accountant_.checkpoint(10 * sim::kSecond);
+  const double before = accountant_.total_it_joules();
+  accountant_.checkpoint(5 * sim::kSecond);  // ignored
+  EXPECT_DOUBLE_EQ(accountant_.total_it_joules(), before);
+}
+
+TEST_F(AccountingTest, UntrackedJobFallsToOverhead) {
+  platform::Node& node = cluster_.node(0);
+  node.allocate(999, node.cores_total());  // job id with no Job record
+  node.set_current_watts(100.0);
+  accountant_.checkpoint(sim::kSecond);
+  EXPECT_NEAR(accountant_.overhead_joules(), 100.0, 1e-9);
+}
+
+TEST(EnergyReport, GradesAgainstReference) {
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.user = "alice";
+  spec.tag = "cfd";
+  workload::Job job(spec);
+  job.set_allocated_nodes({0, 1});
+  job.set_cores_per_node_allocated(32);
+  job.set_start_time(0);
+  job.set_end_time(sim::kHour);
+  // 2 nodes for 1 h at 250 W/node -> 0.5 kWh, 500 J/s.
+  job.add_energy_joules(2 * 250.0 * 3600.0);
+
+  const JobEnergyReport c = make_energy_report(job, 250.0);
+  EXPECT_EQ(c.grade, 'C');
+  EXPECT_NEAR(c.energy_kwh, 0.5, 1e-9);
+  EXPECT_NEAR(c.average_watts, 500.0, 1e-9);
+  EXPECT_NEAR(c.node_hours, 2.0, 1e-9);
+
+  const JobEnergyReport a = make_energy_report(job, 600.0);
+  EXPECT_EQ(a.grade, 'A');
+  const JobEnergyReport e = make_energy_report(job, 150.0);
+  EXPECT_EQ(e.grade, 'E');
+}
+
+TEST(EnergyReport, FormatsKeyFields) {
+  workload::JobSpec spec;
+  spec.id = 42;
+  spec.user = "bob";
+  spec.tag = "qcd";
+  workload::Job job(spec);
+  job.set_allocated_nodes({0});
+  job.set_start_time(0);
+  job.set_end_time(30 * sim::kMinute);
+  job.add_energy_joules(3.6e5);
+
+  const std::string text = format_energy_report(make_energy_report(job, 200.0));
+  EXPECT_NE(text.find("Job 42"), std::string::npos);
+  EXPECT_NE(text.find("bob"), std::string::npos);
+  EXPECT_NE(text.find("qcd"), std::string::npos);
+  EXPECT_NE(text.find("kWh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,125 @@
+// System-level conservation properties: energy attributed to jobs plus
+// overhead must equal the total integral, exactly, across arbitrarily
+// complicated runs (caps, DVFS changes, node cycling, kills). These are
+// the invariants production energy reports depend on.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "epa/dynamic_power_share.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "epa/power_budget_dvfs.hpp"
+
+namespace epajsrm {
+namespace {
+
+/// Runs one scenario and checks energy conservation at the end.
+void check_conservation(core::Scenario& scenario) {
+  const core::RunResult result = scenario.run();
+
+  double job_joules = 0.0;
+  for (const workload::Job* job : scenario.solution().finished_jobs()) {
+    job_joules += job->energy_joules();
+  }
+  // Running/pending jobs at the horizon also carry attributed energy.
+  for (const workload::Job* job : scenario.solution().running()) {
+    job_joules += job->energy_joules();
+  }
+  const auto& accountant = scenario.solution().accountant();
+  const double total = accountant.total_it_joules();
+  const double parts = job_joules + accountant.overhead_joules();
+  EXPECT_NEAR(parts, total, 1e-6 * std::max(1.0, total))
+      << "jobs=" << job_joules
+      << " overhead=" << accountant.overhead_joules() << " total=" << total;
+  EXPECT_GT(total, 0.0);
+
+  // Node energies also sum to the total.
+  double node_sum = 0.0;
+  for (const platform::Node& node : scenario.cluster().nodes()) {
+    node_sum += accountant.node_joules(node.id());
+  }
+  EXPECT_NEAR(node_sum, total, 1e-6 * std::max(1.0, total));
+  (void)result;
+}
+
+TEST(EnergyConservation, PlainRun) {
+  core::ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 40;
+  config.horizon = 20 * sim::kDay;
+  config.seed = 7;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+  check_conservation(scenario);
+}
+
+TEST(EnergyConservation, UnderDvfsBudgetAndSharing) {
+  core::ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 40;
+  config.horizon = 20 * sim::kDay;
+  config.seed = 8;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+  const double budget = 16 * 200.0;
+  scenario.solution().add_policy(
+      std::make_unique<epa::PowerBudgetDvfsPolicy>(budget));
+  scenario.solution().add_policy(
+      std::make_unique<epa::DynamicPowerSharePolicy>(budget));
+  check_conservation(scenario);
+}
+
+TEST(EnergyConservation, WithNodeCyclingTransients) {
+  core::ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 30;
+  config.horizon = 20 * sim::kDay;
+  config.seed = 9;
+  config.mix = core::WorkloadMix::kCapacity;
+  config.target_utilization = 0.3;  // idle valleys -> boot/shutdown churn
+  core::Scenario scenario(config);
+  epa::IdleShutdownPolicy::Config idle;
+  idle.idle_timeout = 5 * sim::kMinute;
+  idle.min_idle_online = 1;
+  scenario.solution().add_policy(
+      std::make_unique<epa::IdleShutdownPolicy>(idle));
+  check_conservation(scenario);
+}
+
+TEST(EnergyConservation, SampledSeriesTracksExactIntegral) {
+  core::ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 30;
+  config.horizon = 20 * sim::kDay;
+  config.seed = 10;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+  const core::RunResult result = scenario.run();
+  // Sampled (10 s ticks) vs event-exact integrals agree within 5 %.
+  EXPECT_NEAR(result.report.total_it_kwh, result.total_it_kwh_exact,
+              0.05 * result.total_it_kwh_exact + 0.01);
+}
+
+TEST(EnergyConservation, JobEnergyPositiveAndBounded) {
+  core::ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 30;
+  config.horizon = 20 * sim::kDay;
+  config.seed = 11;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+  scenario.run();
+  const double peak = scenario.solution().power_model().peak_watts(
+      scenario.cluster().node(0).config());
+  for (const workload::Job* job : scenario.solution().finished_jobs()) {
+    if (job->state() != workload::JobState::kCompleted) continue;
+    EXPECT_GT(job->energy_joules(), 0.0);
+    const double elapsed =
+        sim::to_seconds(job->end_time() - job->start_time());
+    const double upper =
+        peak * elapsed * static_cast<double>(job->allocated_nodes().size());
+    EXPECT_LE(job->energy_joules(), upper * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace epajsrm

@@ -1,0 +1,105 @@
+#include "power/energy_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::power {
+namespace {
+
+SupplyPortfolio grid_plus_turbine() {
+  SupplyPortfolio p;
+  p.add_source({.name = "grid", .capacity_watts = 10000.0,
+                .tariff = Tariff::flat(0.10), .startup_time = 0,
+                .dispatchable = false});
+  p.add_source({.name = "turbine", .capacity_watts = 5000.0,
+                .tariff = Tariff::flat(0.25),
+                .startup_time = 10 * sim::kMinute, .dispatchable = true});
+  return p;
+}
+
+TEST(Supply, CheapSourceServesFirst) {
+  SupplyPortfolio p = grid_plus_turbine();
+  const auto d = p.dispatch(8000.0, 0);
+  EXPECT_DOUBLE_EQ(d.watts[0], 8000.0);
+  EXPECT_DOUBLE_EQ(d.watts[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.marginal_price, 0.10);
+  EXPECT_DOUBLE_EQ(d.unserved_watts, 0.0);
+}
+
+TEST(Supply, OverflowSpillsToTurbine) {
+  SupplyPortfolio p = grid_plus_turbine();
+  const auto d = p.dispatch(12000.0, 0);
+  EXPECT_DOUBLE_EQ(d.watts[0], 10000.0);
+  EXPECT_DOUBLE_EQ(d.watts[1], 2000.0);
+  EXPECT_DOUBLE_EQ(d.marginal_price, 0.25);
+}
+
+TEST(Supply, UnservedWhenEverythingFull) {
+  SupplyPortfolio p = grid_plus_turbine();
+  const auto d = p.dispatch(20000.0, 0);
+  EXPECT_DOUBLE_EQ(d.unserved_watts, 5000.0);
+}
+
+TEST(Supply, CostPerHourSumsSources) {
+  SupplyPortfolio p = grid_plus_turbine();
+  const auto d = p.dispatch(12000.0, 0);
+  // 10 kW at 0.10 + 2 kW at 0.25 = 1.0 + 0.5 per hour.
+  EXPECT_NEAR(p.cost_per_hour(d, 0), 1.5, 1e-9);
+}
+
+TEST(Supply, DemandResponseCapsGrid) {
+  SupplyPortfolio p = grid_plus_turbine();
+  p.add_event({.start = sim::kHour, .duration = sim::kHour,
+               .limit_watts = 4000.0, .notice = 0, .incentive_per_kwh = 0});
+  const auto during = p.dispatch(8000.0, sim::kHour + sim::kMinute);
+  EXPECT_DOUBLE_EQ(during.watts[0], 4000.0);  // grid held at DR limit
+  EXPECT_DOUBLE_EQ(during.watts[1], 4000.0);  // turbine carries the rest
+  const auto after = p.dispatch(8000.0, 3 * sim::kHour);
+  EXPECT_DOUBLE_EQ(after.watts[0], 8000.0);
+}
+
+TEST(Supply, GridLimitReflectsDrWindow) {
+  SupplyPortfolio p = grid_plus_turbine();
+  p.add_event({.start = sim::kHour, .duration = sim::kHour,
+               .limit_watts = 4000.0, .notice = 0, .incentive_per_kwh = 0});
+  EXPECT_DOUBLE_EQ(p.grid_limit_watts(0), 10000.0);
+  EXPECT_DOUBLE_EQ(p.grid_limit_watts(sim::kHour), 4000.0);
+  EXPECT_DOUBLE_EQ(p.grid_limit_watts(2 * sim::kHour), 10000.0);
+}
+
+TEST(Supply, EventsSortAndQuery) {
+  SupplyPortfolio p = grid_plus_turbine();
+  p.add_event({.start = 5 * sim::kHour, .duration = sim::kHour,
+               .limit_watts = 1.0, .notice = 0, .incentive_per_kwh = 0});
+  p.add_event({.start = 2 * sim::kHour, .duration = sim::kHour,
+               .limit_watts = 2.0, .notice = 0, .incentive_per_kwh = 0});
+  EXPECT_DOUBLE_EQ(p.next_event(0)->limit_watts, 2.0);
+  EXPECT_DOUBLE_EQ(p.next_event(3 * sim::kHour)->limit_watts, 1.0);
+  EXPECT_EQ(p.next_event(7 * sim::kHour), nullptr);
+  EXPECT_EQ(p.active_event(0), nullptr);
+  EXPECT_NE(p.active_event(2 * sim::kHour + 1), nullptr);
+}
+
+TEST(Supply, EmptyPortfolioReportsUnserved) {
+  SupplyPortfolio p;
+  const auto d = p.dispatch(1000.0, 0);
+  EXPECT_DOUBLE_EQ(d.unserved_watts, 1000.0);
+  EXPECT_DOUBLE_EQ(p.grid_limit_watts(0), 0.0);
+}
+
+TEST(Supply, TimeOfUseChangesMeritOrder) {
+  SupplyPortfolio p;
+  p.add_source({.name = "grid", .capacity_watts = 10000.0,
+                .tariff = Tariff::peak_offpeak(0.40, 0.08, 8.0, 20.0),
+                .startup_time = 0, .dispatchable = false});
+  p.add_source({.name = "turbine", .capacity_watts = 5000.0,
+                .tariff = Tariff::flat(0.25), .startup_time = 0,
+                .dispatchable = true});
+  // Off-peak: grid first. Peak: turbine becomes the cheap source.
+  const auto night = p.dispatch(4000.0, sim::from_hours(3.0));
+  EXPECT_DOUBLE_EQ(night.watts[0], 4000.0);
+  const auto noon = p.dispatch(4000.0, sim::from_hours(12.0));
+  EXPECT_DOUBLE_EQ(noon.watts[1], 4000.0);
+}
+
+}  // namespace
+}  // namespace epajsrm::power

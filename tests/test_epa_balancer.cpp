@@ -1,0 +1,164 @@
+// Tests for the GEOPM-style job power balancer and the emergency requeue
+// variant.
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+#include "epa/emergency_response.hpp"
+#include "epa/job_power_balancer.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, double beta,
+                           sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 4;
+  spec.submit_time = submit;
+  spec.profile.freq_sensitive_fraction = beta;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(Balancer, LooseBudgetKeepsEveryoneFast) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<JobPowerBalancerPolicy>(5000.0);
+  JobPowerBalancerPolicy* balancer = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 2, sim::kHour, 0.9));
+  solution.submit(job_spec(2, 2, sim::kHour, 0.2));
+  solution.start();
+  sim.run_until(30 * sim::kMinute);
+  EXPECT_GT(balancer->rebalances(), 0u);
+  EXPECT_EQ(cluster.node(0).pstate(), 0u);
+  EXPECT_EQ(cluster.node(2).pstate(), 0u);
+}
+
+TEST(Balancer, TightBudgetFavoursComputeBound) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  // Idle floor 400 W; full demand 800 W dynamic. Budget 400 + 450 = 850:
+  // memory-bound job drops to the deepest state, freeing watts for the
+  // compute-bound one.
+  solution.add_policy(std::make_unique<JobPowerBalancerPolicy>(850.0));
+  solution.submit(job_spec(1, 2, sim::kHour, 0.95));  // compute-bound
+  solution.submit(job_spec(2, 2, sim::kHour, 0.10));  // memory-bound
+  solution.start();
+  sim.run_until(30 * sim::kMinute);
+  workload::Job* compute = solution.find_job(1);
+  workload::Job* memory = solution.find_job(2);
+  ASSERT_EQ(compute->state(), workload::JobState::kRunning);
+  ASSERT_EQ(memory->state(), workload::JobState::kRunning);
+  const std::uint32_t compute_pstate =
+      cluster.node(compute->allocated_nodes().front()).pstate();
+  const std::uint32_t memory_pstate =
+      cluster.node(memory->allocated_nodes().front()).pstate();
+  EXPECT_EQ(memory_pstate, cluster.pstates().deepest());
+  EXPECT_LT(compute_pstate, memory_pstate);
+  // And the budget holds.
+  EXPECT_LE(cluster.it_power_watts(), 850.0 + 1e-6);
+}
+
+TEST(Balancer, BeatsUniformSlowdownOnThroughput) {
+  // Same tight budget: balancer (smart split) vs forcing every node to
+  // the deepest state (dumb uniform slowdown). The compute-bound job
+  // finishes sooner under the balancer.
+  const auto compute_job_runtime = [](bool use_balancer) {
+    sim::Simulation sim;
+    platform::Cluster cluster = test_cluster(4);
+    core::SolutionConfig config;
+    config.enable_thermal = false;
+    core::EpaJsrmSolution solution(sim, cluster, config);
+    if (use_balancer) {
+      solution.add_policy(std::make_unique<JobPowerBalancerPolicy>(850.0));
+    } else {
+      // Uniform deep P-state via a system cap matching the same budget.
+      solution.start();
+      solution.set_system_cap(850.0);
+    }
+    solution.submit(job_spec(1, 2, sim::kHour, 0.95));
+    solution.submit(job_spec(2, 2, sim::kHour, 0.10));
+    solution.run_until(12 * sim::kHour);
+    const workload::Job* job = solution.find_job(1);
+    return job->end_time() - job->start_time();
+  };
+  EXPECT_LT(compute_job_runtime(true), compute_job_runtime(false));
+}
+
+TEST(EmergencyRequeue, VictimsComeBackAndFinish) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  EmergencyResponsePolicy::Config cfg;
+  cfg.limit_watts = 1800.0;  // full machine draws 2400
+  cfg.mode = EmergencyResponsePolicy::Mode::kAutomatedKill;
+  cfg.requeue_victims = true;
+  auto policy = std::make_unique<EmergencyResponsePolicy>(cfg);
+  EmergencyResponsePolicy* emergency = policy.get();
+  solution.add_policy(std::move(policy));
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, sim::kHour, 0.7, 0));
+  }
+  solution.run_until(3 * sim::kDay);
+  const core::RunResult result = solution.finalize();
+  EXPECT_GT(emergency->jobs_killed(), 0u);
+  // Every original job either completed, or its requeued clone did:
+  // submitted > 8 (clones were created) and nothing is left pending.
+  EXPECT_GT(result.report.jobs_submitted, 8u);
+  EXPECT_TRUE(solution.workload_drained());
+}
+
+TEST(RequeueHost, DirectRequeueClonesSpec) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  workload::JobSpec spec = job_spec(1, 2, sim::kHour, 0.5);
+  spec.tag = "resubmit-me";
+  solution.submit(spec);
+  solution.start();
+  sim.run_until(10 * sim::kMinute);
+  ASSERT_EQ(solution.find_job(1)->state(), workload::JobState::kRunning);
+
+  const workload::JobId clone = solution.requeue_job(1, "test");
+  ASSERT_NE(clone, platform::kNoJob);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kKilled);
+  sim.run_until(6 * sim::kHour);
+  workload::Job* requeued = solution.find_job(clone);
+  ASSERT_NE(requeued, nullptr);
+  EXPECT_EQ(requeued->state(), workload::JobState::kCompleted);
+  EXPECT_EQ(requeued->spec().tag, "resubmit-me");
+  EXPECT_EQ(requeued->spec().nodes, 2u);
+
+  // Requeueing a non-running job is a no-op.
+  EXPECT_EQ(solution.requeue_job(1, "again"), platform::kNoJob);
+  EXPECT_EQ(solution.requeue_job(9999, "ghost"), platform::kNoJob);
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

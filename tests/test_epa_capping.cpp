@@ -1,0 +1,210 @@
+// EPA policy tests: static capping, budget+DVFS admission, dynamic power
+// sharing, group caps.
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+#include "epa/dynamic_power_share.hpp"
+#include "epa/group_power_cap.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "epa/static_power_cap.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .nodes_per_rack(4)
+      .racks_per_pdu(1)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 2;
+  spec.submit_time = submit;
+  spec.profile.freq_sensitive_fraction = 0.5;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(StaticCap, CapsTheConfiguredFraction) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  auto policy = std::make_unique<StaticPowerCapPolicy>(0.75, 180.0);
+  StaticPowerCapPolicy* cap = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  EXPECT_EQ(cap->capped_nodes(), 6u);
+  EXPECT_DOUBLE_EQ(cluster.node(0).power_cap_watts(), 180.0);
+  EXPECT_DOUBLE_EQ(cluster.node(5).power_cap_watts(), 180.0);
+  EXPECT_DOUBLE_EQ(cluster.node(6).power_cap_watts(), 0.0);
+  // Budget = 6 * 180 + 2 * 300 peak.
+  EXPECT_DOUBLE_EQ(cap->power_budget_watts(0), 6 * 180.0 + 2 * 300.0);
+}
+
+TEST(StaticCap, CappedNodesRunSlowerButSystemStaysUnderWorstCase) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  solution.add_policy(std::make_unique<StaticPowerCapPolicy>(1.0, 200.0));
+  solution.submit(job_spec(1, 8, sim::kHour));
+  solution.run_until(12 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_GT(job->end_time() - job->start_time(), sim::kHour);  // slowed
+  const core::RunResult result = solution.finalize();
+  EXPECT_LE(result.report.max_it_watts, 8 * 200.0 + 1e-6);
+}
+
+TEST(BudgetDvfs, AdmitsAtFullSpeedWithHeadroom) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  solution.add_policy(std::make_unique<PowerBudgetDvfsPolicy>(5000.0));
+  solution.submit(job_spec(1, 2, 30 * sim::kMinute));
+  solution.run_until(4 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_EQ(job->end_time() - job->start_time(), 30 * sim::kMinute);
+}
+
+TEST(BudgetDvfs, DegradesFrequencyWhenTight) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  // Idle floor = 800 W. A whole-machine job at full tilt adds 1600 W.
+  // Budget 1600 leaves 800 headroom: jobs must degrade.
+  auto policy = std::make_unique<PowerBudgetDvfsPolicy>(1600.0);
+  PowerBudgetDvfsPolicy* dvfs = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 8, sim::kHour));
+  solution.run_until(12 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_GT(dvfs->dvfs_degraded_starts(), 0u);
+  EXPECT_GT(job->end_time() - job->start_time(), sim::kHour);
+  const core::RunResult result = solution.finalize();
+  EXPECT_LE(result.report.max_it_watts, 1600.0 + 1e-6);
+}
+
+TEST(BudgetDvfs, VetoesWhenNothingFits) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  // Budget below the idle floor: no dynamic headroom at all, and the
+  // deepest P-state still adds power -> every start is vetoed.
+  auto policy = std::make_unique<PowerBudgetDvfsPolicy>(700.0);
+  PowerBudgetDvfsPolicy* dvfs = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 4, sim::kHour));
+  solution.run_until(2 * sim::kHour);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kQueued);
+  EXPECT_GT(dvfs->vetoed_starts(), 0u);
+}
+
+TEST(BudgetDvfs, DisallowedDvfsOnlyAdmitsFullSpeed) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<PowerBudgetDvfsPolicy>(1600.0, false);
+  PowerBudgetDvfsPolicy* nodvfs = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 8, sim::kHour));
+  solution.run_until(2 * sim::kHour);
+  // 8-node job needs 1600 W dynamic, headroom 800 -> veto, never degrade.
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kQueued);
+  EXPECT_EQ(nodvfs->dvfs_degraded_starts(), 0u);
+}
+
+TEST(DynamicShare, RedistributesBudgetTowardLoad) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<DynamicPowerSharePolicy>(1000.0);
+  DynamicPowerSharePolicy* share = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 1, 2 * sim::kHour));  // one busy node
+  solution.run_until(30 * sim::kMinute);
+  EXPECT_GT(share->redistributions(), 0u);
+  // The busy node's cap must exceed any idle node's cap.
+  const double busy_cap = cluster.node(0).power_cap_watts();
+  const double idle_cap = cluster.node(3).power_cap_watts();
+  EXPECT_GT(busy_cap, idle_cap);
+  // Sum of caps stays within the budget (idle floors permitting).
+  double total = 0.0;
+  for (const platform::Node& n : cluster.nodes()) {
+    total += n.power_cap_watts();
+  }
+  EXPECT_LE(total, 1000.0 + 1e-6);
+}
+
+TEST(DynamicShare, SystemPowerStaysNearBudgetUnderLoad) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  solution.add_policy(std::make_unique<DynamicPowerSharePolicy>(800.0));
+  for (workload::JobId id = 1; id <= 4; ++id) {
+    solution.submit(job_spec(id, 1, sim::kHour));
+  }
+  solution.run_until(30 * sim::kMinute);
+  EXPECT_LE(cluster.it_power_watts(), 800.0 + 1e-6);
+}
+
+TEST(GroupCap, UniformFractionCapsPerPdu) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);  // 2 PDUs of 4 nodes
+  core::EpaJsrmSolution solution(sim, cluster);
+  solution.add_policy(std::make_unique<GroupPowerCapPolicy>(
+      GroupPowerCapPolicy::uniform_fraction(0.5)));
+  solution.start();
+  // Per PDU: 4 * 300 peak * 0.5 = 600 -> 150 W per node.
+  for (const platform::Node& n : cluster.nodes()) {
+    EXPECT_NEAR(n.power_cap_watts(), 150.0, 1e-9);
+  }
+}
+
+TEST(GroupCap, ExplicitPerGroupCaps) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  auto policy = std::make_unique<GroupPowerCapPolicy>(
+      std::vector<double>{800.0});  // only group 0 capped
+  GroupPowerCapPolicy* caps = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  EXPECT_NEAR(cluster.node(0).power_cap_watts(), 200.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cluster.node(4).power_cap_watts(), 0.0);
+  // Budget: 800 for group 0 + 4*300 peak for group 1.
+  EXPECT_DOUBLE_EQ(caps->power_budget_watts(0), 800.0 + 1200.0);
+
+  // Manual admin re-cap of group 1.
+  caps->set_group_cap(solution, 1, 400.0);
+  EXPECT_NEAR(cluster.node(4).power_cap_watts(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

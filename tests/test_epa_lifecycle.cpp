@@ -1,0 +1,178 @@
+// EPA policy tests: idle shutdown, node cycling under a facility cap.
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "epa/node_cycling_cap.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8,
+                               double ambient_mean = 18.0) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  cfg.boot_time = 2 * sim::kMinute;
+  cfg.shutdown_time = 30 * sim::kSecond;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .ambient(platform::AmbientModel(ambient_mean, 0.0))
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 2;
+  spec.submit_time = submit;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(IdleShutdown, PowersOffIdleNodesAfterTimeout) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  IdleShutdownPolicy::Config cfg;
+  cfg.idle_timeout = 5 * sim::kMinute;
+  cfg.min_idle_online = 2;
+  auto policy = std::make_unique<IdleShutdownPolicy>(cfg);
+  IdleShutdownPolicy* idle = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  sim.run_until(30 * sim::kMinute);
+  EXPECT_EQ(cluster.count_in_state(platform::NodeState::kOff), 6u);
+  EXPECT_EQ(cluster.count_in_state(platform::NodeState::kIdle), 2u);
+  EXPECT_EQ(idle->shutdowns_requested(), 6u);
+}
+
+TEST(IdleShutdown, BootsNodesBackWhenQueueNeedsThem) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  IdleShutdownPolicy::Config cfg;
+  cfg.idle_timeout = 5 * sim::kMinute;
+  cfg.min_idle_online = 1;
+  auto policy = std::make_unique<IdleShutdownPolicy>(cfg);
+  IdleShutdownPolicy* idle = policy.get();
+  solution.add_policy(std::move(policy));
+  // Arrives after the fleet has been powered down.
+  solution.submit(job_spec(1, 6, 20 * sim::kMinute, sim::kHour));
+  solution.run_until(4 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_GT(idle->boots_requested(), 0u);
+  // Job start paid (at least part of) the boot latency.
+  EXPECT_GT(job->start_time(), sim::kHour);
+}
+
+TEST(IdleShutdown, SavesEnergyOnSparseWorkload) {
+  const auto run_with = [](bool enable_policy) {
+    sim::Simulation sim;
+    platform::Cluster cluster = test_cluster(8);
+    core::SolutionConfig config;
+    config.enable_thermal = false;
+    core::EpaJsrmSolution solution(sim, cluster, config);
+    if (enable_policy) {
+      IdleShutdownPolicy::Config cfg;
+      cfg.idle_timeout = 5 * sim::kMinute;
+      cfg.min_idle_online = 1;
+      solution.add_policy(std::make_unique<IdleShutdownPolicy>(cfg));
+    }
+    solution.submit(job_spec(1, 1, 10 * sim::kMinute));
+    solution.run_until(12 * sim::kHour);
+    sim.run_until(12 * sim::kHour);  // idle tail
+    return solution.finalize().total_it_kwh_exact;
+  };
+  const double baseline = run_with(false);
+  const double with_policy = run_with(true);
+  EXPECT_LT(with_policy, baseline * 0.3);  // mostly-idle fleet off
+}
+
+TEST(IdleShutdown, SleepModeUsesSleepStates) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster);
+  IdleShutdownPolicy::Config cfg;
+  cfg.idle_timeout = 2 * sim::kMinute;
+  cfg.min_idle_online = 0;
+  cfg.use_sleep = true;
+  solution.add_policy(std::make_unique<IdleShutdownPolicy>(cfg));
+  solution.start();
+  sim.run_until(20 * sim::kMinute);
+  EXPECT_EQ(cluster.count_in_state(platform::NodeState::kSleeping), 4u);
+}
+
+TEST(NodeCycling, HoldsRollingMeanUnderCap) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  NodeCyclingCapPolicy::Config cfg;
+  cfg.cap_watts = 600.0;  // idle fleet alone draws 800 W
+  cfg.window = 10 * sim::kMinute;
+  auto policy = std::make_unique<NodeCyclingCapPolicy>(cfg);
+  NodeCyclingCapPolicy* cycling = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  sim.run_until(2 * sim::kHour);
+  EXPECT_GT(cycling->cycled_off(), 0u);
+  EXPECT_LE(cluster.it_power_watts(), 600.0 + 1e-6);
+  // No jobs were harmed (there were none to kill, and the policy never
+  // kills anyway).
+  EXPECT_GT(cluster.count_in_state(platform::NodeState::kOff), 0u);
+}
+
+TEST(NodeCycling, SummerOnlyGateRespectsAmbient) {
+  sim::Simulation sim;
+  // Cold site: gate at 25 C, ambient 10 C -> no enforcement.
+  platform::Cluster cluster = test_cluster(8, 10.0);
+  core::EpaJsrmSolution solution(sim, cluster);
+  NodeCyclingCapPolicy::Config cfg;
+  cfg.cap_watts = 600.0;
+  cfg.enforce_above_ambient_c = 25.0;
+  auto policy = std::make_unique<NodeCyclingCapPolicy>(cfg);
+  NodeCyclingCapPolicy* cycling = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  sim.run_until(sim::kHour);
+  EXPECT_EQ(cycling->cycled_off(), 0u);
+  EXPECT_DOUBLE_EQ(cycling->power_budget_watts(sim.now()), 0.0);
+}
+
+TEST(NodeCycling, RestoresNodesWhenLoadDrops) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  NodeCyclingCapPolicy::Config cfg;
+  cfg.cap_watts = 2000.0;
+  cfg.window = 5 * sim::kMinute;
+  auto policy = std::make_unique<NodeCyclingCapPolicy>(cfg);
+  NodeCyclingCapPolicy* cycling = policy.get();
+  solution.add_policy(std::move(policy));
+  // Heavy phase pushes over the cap; afterwards the fleet is idle and far
+  // below it, so nodes return.
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, 30 * sim::kMinute));
+  }
+  solution.run_until(6 * sim::kHour);
+  sim.run_until(6 * sim::kHour);
+  if (cycling->cycled_off() > 0) {
+    EXPECT_GT(cycling->cycled_on(), 0u);
+  }
+  // Fleet idle at 800 W: every node should be back on eventually.
+  EXPECT_EQ(cluster.count_in_state(platform::NodeState::kOff), 0u);
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

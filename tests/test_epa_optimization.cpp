@@ -1,0 +1,282 @@
+// EPA policy tests: energy-to-solution (LRZ), overprovisioning/moldable,
+// energy-cost ordering, source selection.
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+#include "epa/energy_cost_order.hpp"
+#include "epa/energy_to_solution.hpp"
+#include "epa/overprovision.hpp"
+#include "epa/source_selection.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 3;
+  spec.submit_time = submit;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(EnergyToSolution, FirstRunCharacterizesSecondRunOptimizes) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<EnergyToSolutionPolicy>(
+      EnergyToSolutionPolicy::Goal::kEnergyToSolution, /*max_slowdown=*/2.0);
+  EnergyToSolutionPolicy* eas = policy.get();
+  solution.add_policy(std::move(policy));
+
+  // Memory-bound app: slowing it barely stretches runtime, so the energy
+  // optimum is a deep P-state.
+  workload::JobSpec first = job_spec(1, 1, 30 * sim::kMinute);
+  first.tag = "membound";
+  first.profile.freq_sensitive_fraction = 0.1;
+  solution.submit(first);
+  solution.run_until(2 * sim::kHour);
+  EXPECT_TRUE(eas->characterized("membound"));
+  EXPECT_EQ(eas->optimized_starts(), 0u);  // first run at reference freq
+
+  workload::JobSpec second = job_spec(2, 1, 30 * sim::kMinute,
+                                      sim.now() + sim::kMinute);
+  second.tag = "membound";
+  second.profile.freq_sensitive_fraction = 0.1;
+  solution.submit(second);
+  solution.run_until(sim.now() + 4 * sim::kHour);
+  EXPECT_EQ(eas->optimized_starts(), 1u);
+  workload::Job* job2 = solution.find_job(2);
+  ASSERT_EQ(job2->state(), workload::JobState::kCompleted);
+  // Deep P-state: cheaper per node-second than the first run.
+  workload::Job* job1 = solution.find_job(1);
+  const double rate1 = job1->energy_joules() /
+                       sim::to_seconds(job1->end_time() - job1->start_time());
+  const double rate2 = job2->energy_joules() /
+                       sim::to_seconds(job2->end_time() - job2->start_time());
+  EXPECT_LT(rate2, rate1);
+}
+
+TEST(EnergyToSolution, PerformanceGoalKeepsFullSpeed) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster);
+  auto policy = std::make_unique<EnergyToSolutionPolicy>(
+      EnergyToSolutionPolicy::Goal::kBestPerformance);
+  EnergyToSolutionPolicy* eas = policy.get();
+  solution.add_policy(std::move(policy));
+  workload::JobSpec spec = job_spec(1, 1, 20 * sim::kMinute);
+  spec.tag = "x";
+  solution.submit(spec);
+  solution.run_until(2 * sim::kHour);
+  workload::JobSpec again = job_spec(2, 1, 20 * sim::kMinute, sim.now());
+  again.tag = "x";
+  solution.submit(again);
+  solution.run_until(sim.now() + 2 * sim::kHour);
+  EXPECT_EQ(eas->optimized_starts(), 0u);
+  EXPECT_EQ(solution.find_job(2)->end_time() -
+                solution.find_job(2)->start_time(),
+            20 * sim::kMinute);  // no stretch
+}
+
+TEST(EnergyToSolution, ComputeBoundStaysFast) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  auto policy = std::make_unique<EnergyToSolutionPolicy>(
+      EnergyToSolutionPolicy::Goal::kEnergyToSolution, /*max_slowdown=*/1.2);
+  EnergyToSolutionPolicy* eas = policy.get();
+  solution.add_policy(std::move(policy));
+  // Fully compute-bound: T(f) = 1/r; energy at idle-dominated nodes only
+  // grows when slowing. Optimal stays near full speed within the slowdown
+  // budget.
+  workload::JobSpec first = job_spec(1, 1, 20 * sim::kMinute);
+  first.tag = "compute";
+  first.profile.freq_sensitive_fraction = 1.0;
+  solution.submit(first);
+  solution.run_until(3 * sim::kHour);
+  workload::JobSpec second = job_spec(2, 1, 20 * sim::kMinute, sim.now());
+  second.tag = "compute";
+  second.profile.freq_sensitive_fraction = 1.0;
+  solution.submit(second);
+  solution.run_until(sim.now() + 3 * sim::kHour);
+  workload::Job* job2 = solution.find_job(2);
+  ASSERT_EQ(job2->state(), workload::JobState::kCompleted);
+  // Runtime must respect the 1.2x slowdown cap.
+  EXPECT_LE(job2->end_time() - job2->start_time(),
+            static_cast<sim::SimTime>(20 * sim::kMinute * 1.25));
+  (void)eas;
+}
+
+TEST(Overprovision, ReshapesMoldableJobUnderTightBudget) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  // Idle floor 800 W; budget leaves only 120 W dynamic headroom — the
+  // 4-node shape cannot fit even at the deepest P-state (800 W dynamic
+  // scaled by 0.5^2.4 is still ~151 W), so only the 2-node shape fits.
+  auto policy = std::make_unique<OverprovisionPolicy>(920.0);
+  OverprovisionPolicy* over = policy.get();
+  solution.add_policy(std::move(policy));
+
+  workload::JobSpec spec = job_spec(1, 4, 30 * sim::kMinute);
+  spec.moldable = {{4, 1.0}, {2, 1.8}};
+  // The narrow shape at a deep P-state stretches ~3x; leave walltime room.
+  spec.walltime_estimate = 4 * sim::kHour;
+  solution.submit(spec);
+  solution.run_until(6 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_GT(over->reshaped_starts(), 0u);
+  EXPECT_EQ(job->allocated_nodes().size(), 2u);
+  const core::RunResult result = solution.finalize();
+  EXPECT_LE(result.report.max_it_watts, 920.0 + 1e-6);
+}
+
+TEST(Overprovision, RigidJobFallsBackToDvfs) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  solution.add_policy(std::make_unique<OverprovisionPolicy>(1200.0));
+  workload::JobSpec spec = job_spec(1, 4, 30 * sim::kMinute);  // rigid
+  solution.submit(spec);
+  solution.run_until(6 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_EQ(job->allocated_nodes().size(), 4u);
+  // Started at a degraded P-state to fit 400 W headroom.
+  EXPECT_GT(job->end_time() - job->start_time(), 30 * sim::kMinute);
+}
+
+TEST(CostOrder, DefersDeferrableWorkInPeakHours) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::peak_offpeak(0.40, 0.10, 8.0,
+                                                           20.0),
+                     .startup_time = 0, .dispatchable = false});
+  solution.set_supply(std::move(supply));
+  auto policy = std::make_unique<EnergyCostOrderPolicy>();
+  EnergyCostOrderPolicy* order = policy.get();
+  solution.add_policy(std::move(policy));
+
+  // Submit at 09:00 (peak): deferrable job waits for 20:00, urgent runs.
+  workload::JobSpec deferrable = job_spec(1, 1, sim::kHour,
+                                          sim::from_hours(9.0));
+  deferrable.deferrable = true;
+  deferrable.deadline = sim::from_hours(9.0) + 2 * sim::kDay;
+  workload::JobSpec urgent = job_spec(2, 1, sim::kHour, sim::from_hours(9.0));
+  solution.submit(deferrable);
+  solution.submit(urgent);
+  solution.run_until(sim::from_hours(30.0));
+
+  workload::Job* d = solution.find_job(1);
+  workload::Job* u = solution.find_job(2);
+  ASSERT_EQ(d->state(), workload::JobState::kCompleted);
+  ASSERT_EQ(u->state(), workload::JobState::kCompleted);
+  EXPECT_GT(order->deferrals(), 0u);
+  EXPECT_LT(u->start_time(), sim::from_hours(9.5));
+  EXPECT_GE(d->start_time(), sim::from_hours(20.0));  // off-peak start
+}
+
+TEST(CostOrder, DeadlinePressureOverridesPrice) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster);
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::peak_offpeak(0.40, 0.10, 0.0,
+                                                           24.0),
+                     .startup_time = 0, .dispatchable = false});
+  solution.set_supply(std::move(supply));
+  solution.add_policy(std::make_unique<EnergyCostOrderPolicy>());
+  // Always-peak tariff, but the deadline is tight: must run immediately.
+  workload::JobSpec spec = job_spec(1, 1, sim::kHour, 0);
+  spec.deferrable = true;
+  spec.deadline = 5 * sim::kHour;  // slack < safety * walltime? walltime 3h
+  solution.submit(spec);
+  solution.run_until(12 * sim::kHour);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kCompleted);
+}
+
+TEST(CostOrder, NoSupplyMeansNoDeferral) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster);
+  auto policy = std::make_unique<EnergyCostOrderPolicy>();
+  EnergyCostOrderPolicy* order = policy.get();
+  solution.add_policy(std::move(policy));
+  workload::JobSpec spec = job_spec(1, 1, sim::kHour);
+  spec.deferrable = true;
+  solution.submit(spec);
+  solution.run_until(6 * sim::kHour);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kCompleted);
+  EXPECT_EQ(order->deferrals(), 0u);
+}
+
+TEST(SourceSelection, BudgetsAgainstPortfolioCapacity) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  power::SupplyPortfolio supply;
+  // PUE 1.25 default: grid 1500 W + turbine 500 W = 2000 facility
+  // -> 1600 W IT deliverable.
+  supply.add_source({.name = "grid", .capacity_watts = 1500.0,
+                     .tariff = power::Tariff::flat(0.10), .startup_time = 0,
+                     .dispatchable = false});
+  supply.add_source({.name = "turbine", .capacity_watts = 500.0,
+                     .tariff = power::Tariff::flat(0.30), .startup_time = 0,
+                     .dispatchable = true});
+  solution.set_supply(std::move(supply));
+  auto policy = std::make_unique<SourceSelectionPolicy>();
+  SourceSelectionPolicy* source = policy.get();
+  solution.add_policy(std::move(policy));
+
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, sim::kHour));
+  }
+  solution.run_until(8 * sim::kHour);
+  // Admission respected the deliverable budget.
+  const core::RunResult result = solution.finalize();
+  const double budget = source->power_budget_watts(0);
+  EXPECT_GT(budget, 0.0);
+  EXPECT_LE(result.report.max_it_watts, budget + 1e-6);
+  // The fleet's idle floor (800 W) exceeds the grid's IT share
+  // (1500/1.25 = 1200)? No: 800 < 1200, so turbine engagement depends on
+  // load; with jobs running the draw passes 1200 and the turbine fires.
+  EXPECT_GT(source->dispatch_cost(), 0.0);
+  EXPECT_GT(source->dispatchable_kwh(), 0.0);
+  EXPECT_DOUBLE_EQ(source->unserved_joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

@@ -1,0 +1,234 @@
+// EPA policy tests: emergency response (automated + manual), demand
+// response, MS3 thermal throttling.
+#include <gtest/gtest.h>
+
+#include "core/solution.hpp"
+#include "epa/demand_response.hpp"
+#include "epa/emergency_response.hpp"
+#include "epa/ms3_thermal.hpp"
+
+namespace epajsrm::epa {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8,
+                               double ambient_mean = 18.0) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .ambient(platform::AmbientModel(ambient_mean, 0.0))
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0,
+                           int priority = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 2;
+  spec.submit_time = submit;
+  spec.priority = priority;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(Emergency, AutomatedKillRestoresLimit) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  EmergencyResponsePolicy::Config cfg;
+  cfg.limit_watts = 1800.0;  // full machine draws 2400
+  cfg.mode = EmergencyResponsePolicy::Mode::kAutomatedKill;
+  cfg.confirm_ticks = 2;
+  auto policy = std::make_unique<EmergencyResponsePolicy>(cfg);
+  EmergencyResponsePolicy* emergency = policy.get();
+  solution.add_policy(std::move(policy));
+  // 8 single-node jobs; victims should be the newest/lowest priority.
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, 2 * sim::kHour, 0,
+                             id <= 4 ? 2 : 0));  // first four urgent
+  }
+  solution.run_until(sim::kHour);
+  EXPECT_GT(emergency->emergencies(), 0u);
+  EXPECT_GT(emergency->jobs_killed(), 0u);
+  EXPECT_LE(cluster.it_power_watts(), 1800.0 + 1e-6);
+  // Urgent jobs survived.
+  for (workload::JobId id = 1; id <= 4; ++id) {
+    EXPECT_NE(solution.find_job(id)->state(),
+              workload::JobState::kKilled)
+        << "job " << id;
+  }
+  const core::RunResult result = solution.finalize();
+  EXPECT_GT(result.kills_by_reason.at("emergency-power-limit"), 0u);
+}
+
+TEST(Emergency, NoBreachNoAction) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::EpaJsrmSolution solution(sim, cluster);
+  EmergencyResponsePolicy::Config cfg;
+  cfg.limit_watts = 10000.0;
+  auto policy = std::make_unique<EmergencyResponsePolicy>(cfg);
+  EmergencyResponsePolicy* emergency = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 4, sim::kHour));
+  solution.run_until(3 * sim::kHour);
+  EXPECT_EQ(emergency->emergencies(), 0u);
+  EXPECT_EQ(emergency->jobs_killed(), 0u);
+}
+
+TEST(Emergency, ManualModeSetsCapAfterLatency) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  EmergencyResponsePolicy::Config cfg;
+  cfg.limit_watts = 1800.0;
+  cfg.mode = EmergencyResponsePolicy::Mode::kManualCap;
+  cfg.admin_latency = 5 * sim::kMinute;
+  auto policy = std::make_unique<EmergencyResponsePolicy>(cfg);
+  EmergencyResponsePolicy* emergency = policy.get();
+  solution.add_policy(std::move(policy));
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, 4 * sim::kHour));
+  }
+  solution.run_until(sim::kHour);
+  EXPECT_TRUE(emergency->manual_cap_active());
+  EXPECT_EQ(emergency->jobs_killed(), 0u);  // manual mode never kills
+  // The admin cap holds the draw under ~90 % of the limit.
+  EXPECT_LE(cluster.it_power_watts(), 1800.0 * 0.9 + 1e-6);
+}
+
+TEST(DemandResponse, ShedsForTheWindowAndRestores) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::flat(0.10), .startup_time = 0,
+                     .dispatchable = false});
+  supply.add_event({.start = 2 * sim::kHour, .duration = sim::kHour,
+                    .limit_watts = 1500.0, .notice = 30 * sim::kMinute,
+                    .incentive_per_kwh = 0.05});
+  solution.set_supply(std::move(supply));
+
+  DemandResponsePolicy::Config cfg;
+  cfg.preshed_lead = 10 * sim::kMinute;
+  auto policy = std::make_unique<DemandResponsePolicy>(cfg);
+  DemandResponsePolicy* dr = policy.get();
+  solution.add_policy(std::move(policy));
+
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    solution.submit(job_spec(id, 1, 6 * sim::kHour));
+  }
+  solution.start();
+
+  sim.run_until(sim::kHour);
+  EXPECT_FALSE(dr->shedding());
+  const double before = cluster.it_power_watts();
+
+  sim.run_until(2 * sim::kHour + 30 * sim::kMinute);  // mid-event
+  EXPECT_TRUE(dr->shedding());
+  const double during = cluster.it_power_watts();
+  const double pue = cluster.facility().pue(sim.now());
+  EXPECT_LE(during * pue, 1500.0 + 1e-6);
+  EXPECT_LT(during, before);
+
+  sim.run_until(4 * sim::kHour);  // after the window
+  EXPECT_FALSE(dr->shedding());
+  EXPECT_GT(cluster.it_power_watts(), during);
+  EXPECT_EQ(dr->events_honoured(), 1u);
+}
+
+TEST(DemandResponse, BudgetReportedDuringEventOnly) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster);
+  power::SupplyPortfolio supply;
+  supply.add_source({.name = "grid", .capacity_watts = 0.0,
+                     .tariff = power::Tariff::flat(0.10), .startup_time = 0,
+                     .dispatchable = false});
+  supply.add_event({.start = sim::kHour, .duration = sim::kHour,
+                    .limit_watts = 600.0, .notice = 0,
+                    .incentive_per_kwh = 0.0});
+  solution.set_supply(std::move(supply));
+  auto policy = std::make_unique<DemandResponsePolicy>();
+  DemandResponsePolicy* dr = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.start();
+  EXPECT_DOUBLE_EQ(dr->power_budget_watts(0), 0.0);
+  EXPECT_GT(dr->power_budget_watts(sim::kHour + sim::kMinute), 0.0);
+}
+
+TEST(Ms3, ThrottlesWhenAmbientHot) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4, /*ambient=*/36.0);  // heatwave
+  core::EpaJsrmSolution solution(sim, cluster);
+  Ms3ThermalPolicy::Config cfg;
+  cfg.ambient_limit_c = 32.0;
+  cfg.min_priority_when_hot = 2;
+  auto policy = std::make_unique<Ms3ThermalPolicy>(cfg);
+  Ms3ThermalPolicy* ms3 = policy.get();
+  solution.add_policy(std::move(policy));
+
+  solution.submit(job_spec(1, 1, 30 * sim::kMinute, sim::kMinute));     // normal
+  solution.submit(job_spec(2, 1, 30 * sim::kMinute, sim::kMinute, 2));  // urgent
+  solution.run_until(2 * sim::kHour);
+
+  EXPECT_TRUE(ms3->throttling());
+  EXPECT_GT(ms3->throttled_time(), 0);
+  EXPECT_GT(ms3->vetoed_starts(), 0u);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kQueued);
+  EXPECT_EQ(solution.find_job(2)->state(), workload::JobState::kCompleted);
+}
+
+TEST(Ms3, RecoversWhenCool) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4, 20.0);
+  core::EpaJsrmSolution solution(sim, cluster);
+  Ms3ThermalPolicy::Config cfg;
+  cfg.ambient_limit_c = 32.0;
+  cfg.node_temp_limit_c = 75.0;
+  auto policy = std::make_unique<Ms3ThermalPolicy>(cfg);
+  Ms3ThermalPolicy* ms3 = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 1, 30 * sim::kMinute));
+  solution.run_until(2 * sim::kHour);
+  EXPECT_FALSE(ms3->throttling());
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kCompleted);
+}
+
+TEST(Ms3, NodeOverheatTriggersPstateDeepening) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4, 20.0);
+  // Make nodes run hot: big thermal resistance.
+  core::SolutionConfig config;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  Ms3ThermalPolicy::Config cfg;
+  cfg.node_temp_limit_c = 40.0;  // low limit: busy nodes cross quickly
+  cfg.deepen_pstate_when_hot = true;
+  auto policy = std::make_unique<Ms3ThermalPolicy>(cfg);
+  Ms3ThermalPolicy* ms3 = policy.get();
+  solution.add_policy(std::move(policy));
+  solution.submit(job_spec(1, 4, 2 * sim::kHour));
+  solution.start();
+  sim.run_until(sim::kHour);
+  if (ms3->throttling()) {
+    EXPECT_GT(cluster.node(0).pstate(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace epajsrm::epa

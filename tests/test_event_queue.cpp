@@ -1,0 +1,113 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epajsrm::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  q.push(50, [] {});
+  const EventId early = q.push(10, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(5, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(5, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_FALSE(q.cancel(kNoEvent));
+}
+
+TEST(EventQueue, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(q.push(i, [] {}));
+  // Cancel every even event.
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  int count = 0;
+  SimTime last = -1;
+  while (!q.empty()) {
+    const auto popped = q.pop();
+    EXPECT_GT(popped.time, last);
+    EXPECT_EQ(popped.time % 2, 1);  // only odd times survive
+    last = popped.time;
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST(EventQueue, PoppedCarriesTimeAndId) {
+  EventQueue q;
+  const EventId id = q.push(77, [] {});
+  const auto popped = q.pop();
+  EXPECT_EQ(popped.time, 77);
+  EXPECT_EQ(popped.id, id);
+  EXPECT_TRUE(popped.callback != nullptr);
+}
+
+}  // namespace
+}  // namespace epajsrm::sim

@@ -1,0 +1,85 @@
+#include "platform/facility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::platform {
+namespace {
+
+TEST(AmbientModel, PeaksAtPeakHour) {
+  const AmbientModel ambient(20.0, 5.0, 15.0);
+  EXPECT_NEAR(ambient.temperature_c(sim::from_hours(15.0)), 25.0, 1e-9);
+  EXPECT_NEAR(ambient.temperature_c(sim::from_hours(3.0)), 15.0, 1e-9);
+}
+
+TEST(AmbientModel, DailyPeriodicity) {
+  const AmbientModel ambient(18.0, 6.0);
+  const double t1 = ambient.temperature_c(sim::from_hours(10.0));
+  const double t2 = ambient.temperature_c(sim::from_hours(34.0));
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+TEST(AmbientModel, MeanIsMean) {
+  const AmbientModel ambient(22.0, 4.0);
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    sum += ambient.temperature_c(sim::from_hours(h + 0.5));
+  }
+  EXPECT_NEAR(sum / 24.0, 22.0, 0.1);
+}
+
+TEST(Facility, PueGrowsWithHeat) {
+  Facility::Config cfg;
+  cfg.base_pue = 1.2;
+  cfg.pue_slope_per_c = 0.02;
+  cfg.free_cooling_threshold_c = 16.0;
+  Facility cold(cfg, AmbientModel(10.0, 0.0));
+  Facility hot(cfg, AmbientModel(30.0, 0.0));
+  EXPECT_DOUBLE_EQ(cold.pue(0), 1.2);
+  EXPECT_NEAR(hot.pue(0), 1.2 + 0.02 * 14.0, 1e-9);
+}
+
+TEST(Facility, FacilityWattsApplyPue) {
+  Facility f({.site_power_capacity_watts = 0, .cooling_capacity_watts = 0,
+              .base_pue = 1.5, .pue_slope_per_c = 0.0,
+              .free_cooling_threshold_c = 16.0},
+             AmbientModel(10.0, 0.0));
+  EXPECT_DOUBLE_EQ(f.facility_watts(1000.0, 0), 1500.0);
+}
+
+TEST(Facility, HeadroomUnlimitedWhenUncapacitated) {
+  Facility f({});
+  EXPECT_GT(f.it_watts_headroom(0), 1e12);
+}
+
+TEST(Facility, HeadroomDividesByPue) {
+  Facility f({.site_power_capacity_watts = 3000.0,
+              .cooling_capacity_watts = 0, .base_pue = 1.5,
+              .pue_slope_per_c = 0.0, .free_cooling_threshold_c = 16.0},
+             AmbientModel(10.0, 0.0));
+  EXPECT_NEAR(f.it_watts_headroom(0), 2000.0, 1e-9);
+}
+
+TEST(Facility, PduRegistryAssignsIds) {
+  Facility f({});
+  const PduId a = f.add_pdu({.id = 99, .name = "a", .capacity_watts = 100,
+                             .under_maintenance = false, .nodes = {}});
+  const PduId b = f.add_pdu({.id = 99, .name = "b", .capacity_watts = 200,
+                             .under_maintenance = false, .nodes = {}});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(f.pdu(1).name, "b");
+  EXPECT_THROW(f.pdu(2), std::out_of_range);
+}
+
+TEST(Facility, CoolingRegistryAssignsIds) {
+  Facility f({});
+  f.add_cooling_loop({.id = 0, .name = "loop", .heat_capacity_watts = 1e4,
+                      .supply_temp_c = 17.0, .under_maintenance = false,
+                      .nodes = {}});
+  EXPECT_EQ(f.cooling_loops().size(), 1u);
+  EXPECT_DOUBLE_EQ(f.cooling_loop(0).supply_temp_c, 17.0);
+  EXPECT_THROW(f.cooling_loop(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace epajsrm::platform

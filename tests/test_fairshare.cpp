@@ -1,0 +1,61 @@
+#include "sched/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::sched {
+namespace {
+
+TEST(FairShare, UnknownUserHasZeroUsage) {
+  FairShareTracker t;
+  EXPECT_DOUBLE_EQ(t.usage("nobody", 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.usage_factor("nobody", 0), 0.0);
+}
+
+TEST(FairShare, UsageAccumulates) {
+  FairShareTracker t;
+  t.record_usage("alice", 100.0, 0);
+  t.record_usage("alice", 50.0, 0);
+  EXPECT_DOUBLE_EQ(t.usage("alice", 0), 150.0);
+}
+
+TEST(FairShare, HalfLifeDecay) {
+  FairShareTracker t(sim::kDay);
+  t.record_usage("alice", 100.0, 0);
+  EXPECT_NEAR(t.usage("alice", sim::kDay), 50.0, 1e-9);
+  EXPECT_NEAR(t.usage("alice", 2 * sim::kDay), 25.0, 1e-9);
+}
+
+TEST(FairShare, DecayAppliedOnRecordToo) {
+  FairShareTracker t(sim::kDay);
+  t.record_usage("alice", 100.0, 0);
+  t.record_usage("alice", 10.0, sim::kDay);
+  EXPECT_NEAR(t.usage("alice", sim::kDay), 60.0, 1e-9);
+}
+
+TEST(FairShare, FactorNormalisesToHeaviestUser) {
+  FairShareTracker t;
+  t.record_usage("heavy", 1000.0, 0);
+  t.record_usage("light", 250.0, 0);
+  EXPECT_DOUBLE_EQ(t.usage_factor("heavy", 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.usage_factor("light", 0), 0.25);
+}
+
+TEST(FairShare, ZeroHalfLifeMeansNoDecay) {
+  FairShareTracker t(0);
+  t.record_usage("alice", 100.0, 0);
+  EXPECT_DOUBLE_EQ(t.usage("alice", 30 * sim::kDay), 100.0);
+}
+
+TEST(EffectivePriority, PenalisesHeavyUsers) {
+  EXPECT_DOUBLE_EQ(effective_priority(0, 0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_priority(0, 1.0, 2.0), -2.0);
+  EXPECT_DOUBLE_EQ(effective_priority(2, 0.5, 2.0), 1.0);
+}
+
+TEST(EffectivePriority, HighStaticPriorityCanOutweighUsage) {
+  EXPECT_GT(effective_priority(2, 1.0, 1.0),
+            effective_priority(0, 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace epajsrm::sched

@@ -1,0 +1,170 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace epajsrm::workload {
+namespace {
+
+GeneratorConfig config(std::uint32_t machine = 64) {
+  GeneratorConfig cfg;
+  cfg.machine_nodes = machine;
+  cfg.arrival_rate_per_hour = 30.0;
+  return cfg;
+}
+
+TEST(AppCatalog, StandardHasVariety) {
+  const AppCatalog cat = AppCatalog::standard();
+  EXPECT_GE(cat.archetypes().size(), 6u);
+  // Spread of behaviour: at least one compute-bound and one memory-bound.
+  bool compute = false, memory = false;
+  for (const auto& a : cat.archetypes()) {
+    compute |= a.profile.freq_sensitive_fraction > 0.8;
+    memory |= a.profile.freq_sensitive_fraction < 0.4;
+  }
+  EXPECT_TRUE(compute);
+  EXPECT_TRUE(memory);
+}
+
+TEST(AppCatalog, CapabilityMixHasHeroJobs) {
+  const AppCatalog cat = AppCatalog::capability(128);
+  bool full_machine = false;
+  for (const auto& a : cat.archetypes()) {
+    full_machine |= a.max_nodes == 128;
+  }
+  EXPECT_TRUE(full_machine);
+}
+
+TEST(AppCatalog, FindByTag) {
+  const AppCatalog cat = AppCatalog::standard();
+  EXPECT_TRUE(cat.find("cfd-solver").has_value());
+  EXPECT_FALSE(cat.find("no-such-app").has_value());
+}
+
+TEST(AppCatalog, SampleRespectsWeightsDeterministically) {
+  const AppCatalog cat = AppCatalog::standard();
+  sim::Rng a(9), b(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(cat.sample(a).tag, cat.sample(b).tag);
+  }
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  WorkloadGenerator g1(config(), AppCatalog::standard(), 77);
+  WorkloadGenerator g2(config(), AppCatalog::standard(), 77);
+  const auto a = g1.generate(50);
+  const auto b = g2.generate(50);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_EQ(a[i].runtime_ref, b[i].runtime_ref);
+    EXPECT_EQ(a[i].tag, b[i].tag);
+  }
+}
+
+TEST(Generator, IdsAreSequentialAndUnique) {
+  WorkloadGenerator g(config(), AppCatalog::standard(), 3);
+  std::set<JobId> ids;
+  for (const JobSpec& spec : g.generate(100)) ids.insert(spec.id);
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_EQ(*ids.begin(), 1u);
+  // A second batch continues numbering.
+  const auto more = g.generate(10);
+  EXPECT_EQ(more.front().id, 101u);
+}
+
+TEST(Generator, ArrivalsMonotone) {
+  WorkloadGenerator g(config(), AppCatalog::standard(), 3);
+  sim::SimTime last = -1;
+  for (const JobSpec& spec : g.generate(200)) {
+    EXPECT_GE(spec.submit_time, last);
+    last = spec.submit_time;
+  }
+}
+
+TEST(Generator, SizesClampToMachine) {
+  WorkloadGenerator g(config(16), AppCatalog::standard(), 5);
+  for (const JobSpec& spec : g.generate(300)) {
+    EXPECT_GE(spec.nodes, 1u);
+    EXPECT_LE(spec.nodes, 16u);
+  }
+}
+
+TEST(Generator, WalltimeAlwaysCoversRuntime) {
+  WorkloadGenerator g(config(), AppCatalog::standard(), 5);
+  for (const JobSpec& spec : g.generate(300)) {
+    EXPECT_GE(spec.walltime_estimate, spec.runtime_ref);
+  }
+}
+
+TEST(Generator, WalltimeRoundedToFiveMinutes) {
+  WorkloadGenerator g(config(), AppCatalog::standard(), 5);
+  for (const JobSpec& spec : g.generate(100)) {
+    EXPECT_EQ(spec.walltime_estimate % (5 * sim::kMinute), 0);
+  }
+}
+
+TEST(Generator, DeferrableJobsGetDeadlines) {
+  GeneratorConfig cfg = config();
+  cfg.deferrable_fraction = 1.0;
+  WorkloadGenerator g(cfg, AppCatalog::standard(), 5);
+  for (const JobSpec& spec : g.generate(50)) {
+    EXPECT_TRUE(spec.deferrable);
+    EXPECT_GT(spec.deadline, spec.submit_time + spec.walltime_estimate);
+  }
+}
+
+TEST(Generator, MoldableShapesIncludeBaseAndAreOrdered) {
+  GeneratorConfig cfg = config();
+  cfg.moldable_fraction = 1.0;
+  WorkloadGenerator g(cfg, AppCatalog::standard(), 5);
+  int moldable_count = 0;
+  for (const JobSpec& spec : g.generate(200)) {
+    if (spec.moldable.empty()) continue;  // small jobs stay rigid
+    ++moldable_count;
+    EXPECT_EQ(spec.moldable.front().nodes, spec.nodes);
+    EXPECT_DOUBLE_EQ(spec.moldable.front().runtime_scale, 1.0);
+    for (const MoldableConfig& m : spec.moldable) {
+      // Imperfect scaling: fewer nodes -> more than proportionally slower
+      // is not required, but total work (nodes * scale) must stay within
+      // sane bounds.
+      EXPECT_GE(m.nodes, 1u);
+      EXPECT_GT(m.runtime_scale, 0.0);
+    }
+  }
+  EXPECT_GT(moldable_count, 0);
+}
+
+TEST(Generator, RateRoughlyMatchesRequest) {
+  GeneratorConfig cfg = config();
+  cfg.arrival_rate_per_hour = 60.0;
+  WorkloadGenerator g(cfg, AppCatalog::standard(), 21);
+  const auto jobs = g.generate(3000);
+  const double hours = sim::to_hours(jobs.back().submit_time);
+  EXPECT_NEAR(3000.0 / hours, 60.0, 5.0);
+}
+
+TEST(Generator, GenerateUntilStopsAtHorizon) {
+  WorkloadGenerator g(config(), AppCatalog::standard(), 5);
+  const auto jobs = g.generate_until(0, 10 * sim::kHour);
+  EXPECT_FALSE(jobs.empty());
+  EXPECT_LE(jobs.back().submit_time, 10 * sim::kHour);
+}
+
+TEST(Generator, InvalidConfigRejected) {
+  GeneratorConfig cfg = config();
+  cfg.arrival_rate_per_hour = 0.0;
+  EXPECT_THROW(WorkloadGenerator(cfg, AppCatalog::standard(), 1),
+               std::invalid_argument);
+  cfg = config();
+  cfg.machine_nodes = 0;
+  EXPECT_THROW(WorkloadGenerator(cfg, AppCatalog::standard(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(WorkloadGenerator(config(), AppCatalog(), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epajsrm::workload

@@ -1,0 +1,136 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::workload {
+namespace {
+
+JobSpec base_spec() {
+  JobSpec spec;
+  spec.id = 1;
+  spec.nodes = 4;
+  spec.runtime_ref = 100 * sim::kSecond;
+  spec.walltime_estimate = 200 * sim::kSecond;
+  spec.profile.freq_sensitive_fraction = 0.5;
+  spec.profile.comm_fraction = 0.2;
+  return spec;
+}
+
+TEST(Job, ValidatesSpec) {
+  JobSpec bad = base_spec();
+  bad.nodes = 0;
+  EXPECT_THROW(Job{bad}, std::invalid_argument);
+  bad = base_spec();
+  bad.runtime_ref = 0;
+  EXPECT_THROW(Job{bad}, std::invalid_argument);
+}
+
+TEST(Job, SpeedAtFullFrequencyIsOne) {
+  Job job(base_spec());
+  EXPECT_DOUBLE_EQ(job.speed_at(1.0), 1.0);
+}
+
+TEST(Job, SpeedFollowsEtinskiModel) {
+  Job job(base_spec());  // beta = 0.5
+  // T(f)/T(1) = 0.5/0.5 + 0.5 = 1.5 -> speed = 1/1.5.
+  EXPECT_NEAR(job.speed_at(0.5), 1.0 / 1.5, 1e-12);
+}
+
+TEST(Job, FrequencyInsensitiveJobIgnoresFrequency) {
+  JobSpec spec = base_spec();
+  spec.profile.freq_sensitive_fraction = 0.0;
+  Job job(spec);
+  EXPECT_DOUBLE_EQ(job.speed_at(0.3), 1.0);
+}
+
+TEST(Job, BeginExecutionSetsWork) {
+  Job job(base_spec());
+  job.set_placement_spread(0.0);
+  job.begin_execution(0, 1.0);
+  EXPECT_EQ(job.state(), JobState::kRunning);
+  EXPECT_DOUBLE_EQ(job.work_total(), 100.0);
+  EXPECT_EQ(job.remaining_time(0), 100 * sim::kSecond);
+}
+
+TEST(Job, PlacementSpreadStretchesWork) {
+  Job job(base_spec());
+  job.set_placement_spread(1.0);  // comm fraction 0.2 -> 20 % stretch
+  job.begin_execution(0, 1.0);
+  EXPECT_NEAR(job.work_total(), 120.0, 1e-9);
+}
+
+TEST(Job, MoldableRuntimeScaleStretchesWork) {
+  Job job(base_spec());
+  job.set_runtime_scale(1.8);
+  job.begin_execution(0, 1.0);
+  EXPECT_NEAR(job.work_total(), 180.0, 1e-9);
+}
+
+TEST(Job, ProgressBanksAcrossSpeedChange) {
+  Job job(base_spec());
+  job.begin_execution(0, 1.0);
+  // Run 40 s at full speed, then drop to half frequency (speed 2/3).
+  const sim::SimTime remaining =
+      job.update_speed(40 * sim::kSecond, 0.5);
+  EXPECT_NEAR(job.work_done(), 40.0, 1e-9);
+  // 60 s of work left at speed 1/1.5 -> 90 s wall clock.
+  EXPECT_EQ(remaining, sim::from_seconds(90.0));
+}
+
+TEST(Job, RemainingTimeProjectsWithoutMutating) {
+  Job job(base_spec());
+  job.begin_execution(0, 1.0);
+  EXPECT_EQ(job.remaining_time(30 * sim::kSecond), 70 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(job.work_done(), 0.0);  // projection did not bank
+}
+
+TEST(Job, SpeedUpShortensRemaining) {
+  Job job(base_spec());
+  job.begin_execution(0, 0.5);  // starts slow
+  const sim::SimTime slow_remaining = job.remaining_time(0);
+  job.update_speed(0, 1.0);
+  EXPECT_LT(job.remaining_time(0), slow_remaining);
+}
+
+TEST(Job, WorkDoneSaturatesAtTotal) {
+  Job job(base_spec());
+  job.begin_execution(0, 1.0);
+  job.update_speed(1000 * sim::kSecond, 1.0);  // way past completion
+  EXPECT_DOUBLE_EQ(job.work_done(), job.work_total());
+  EXPECT_EQ(job.remaining_time(1000 * sim::kSecond), 0);
+}
+
+TEST(Job, CompletionGenerationBumps) {
+  Job job(base_spec());
+  const std::uint64_t g0 = job.completion_generation();
+  EXPECT_EQ(job.bump_completion_generation(), g0 + 1);
+  EXPECT_EQ(job.completion_generation(), g0 + 1);
+}
+
+TEST(Job, WaitTimeFromSubmitToStart) {
+  JobSpec spec = base_spec();
+  spec.submit_time = 50 * sim::kSecond;
+  Job job(spec);
+  job.set_start_time(80 * sim::kSecond);
+  EXPECT_EQ(job.wait_time(), 30 * sim::kSecond);
+}
+
+TEST(Job, TotalCoresUsesNodeSizeWhenWholeNode) {
+  JobSpec spec = base_spec();
+  spec.cores_per_node = 0;
+  EXPECT_EQ(spec.total_cores(32), 4u * 32u);
+  spec.cores_per_node = 8;
+  EXPECT_EQ(spec.total_cores(32), 4u * 8u);
+}
+
+TEST(JobState, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(JobState::kQueued), "queued");
+  EXPECT_STREQ(to_string(JobState::kStarting), "starting");
+  EXPECT_STREQ(to_string(JobState::kRunning), "running");
+  EXPECT_STREQ(to_string(JobState::kCompleted), "completed");
+  EXPECT_STREQ(to_string(JobState::kKilled), "killed");
+  EXPECT_STREQ(to_string(JobState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace epajsrm::workload

@@ -1,0 +1,85 @@
+#include "sim/logger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epajsrm::sim {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string line;
+};
+
+Logger make_logger(std::vector<Captured>& out, SimTime now = 0,
+                   LogLevel threshold = LogLevel::kTrace) {
+  Logger logger([now] { return now; }, threshold);
+  logger.set_sink([&out](LogLevel level, const std::string& line) {
+    out.push_back({level, line});
+  });
+  return logger;
+}
+
+TEST(Logger, EmitsAtOrAboveThreshold) {
+  std::vector<Captured> out;
+  Logger logger = make_logger(out, 0, LogLevel::kInfo);
+  logger.debug("c", "dropped");
+  logger.info("c", "kept");
+  logger.error("c", "kept too");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].level, LogLevel::kInfo);
+  EXPECT_EQ(out[1].level, LogLevel::kError);
+}
+
+TEST(Logger, LineContainsTimestampLevelComponentMessage) {
+  std::vector<Captured> out;
+  Logger logger = make_logger(out, 3 * kHour + 25 * kMinute);
+  logger.warn("sched", "queue is deep");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].line.find("03:25:00"), std::string::npos);
+  EXPECT_NE(out[0].line.find("WARN"), std::string::npos);
+  EXPECT_NE(out[0].line.find("[sched]"), std::string::npos);
+  EXPECT_NE(out[0].line.find("queue is deep"), std::string::npos);
+}
+
+TEST(Logger, ClocklessLoggerUsesPlaceholder) {
+  std::vector<Captured> out;
+  Logger logger;
+  logger.set_threshold(LogLevel::kTrace);
+  logger.set_sink([&out](LogLevel level, const std::string& line) {
+    out.push_back({level, line});
+  });
+  logger.info("x", "msg");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].line.find("--:--:--"), std::string::npos);
+}
+
+TEST(Logger, ThresholdOffSilencesEverything) {
+  std::vector<Captured> out;
+  Logger logger = make_logger(out, 0, LogLevel::kOff);
+  logger.error("x", "even errors");
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Logger, ThresholdAdjustable) {
+  std::vector<Captured> out;
+  Logger logger = make_logger(out, 0, LogLevel::kError);
+  logger.info("x", "dropped");
+  logger.set_threshold(LogLevel::kDebug);
+  logger.debug("x", "kept");
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(logger.threshold(), LogLevel::kDebug);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace epajsrm::sim

@@ -1,0 +1,92 @@
+#include "telemetry/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/node_power_model.hpp"
+
+namespace epajsrm::telemetry {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : cluster_(platform::ClusterBuilder()
+                     .name("mach")
+                     .node_count(8)
+                     .nodes_per_rack(4)
+                     .racks_per_pdu(1)
+                     .build()),
+        model_(cluster_.pstates()),
+        monitor_(sim_, cluster_, 10 * sim::kSecond) {
+    for (platform::Node& n : cluster_.nodes()) model_.apply(n);
+  }
+
+  sim::Simulation sim_;
+  platform::Cluster cluster_;
+  power::NodePowerModel model_;
+  MonitoringService monitor_;
+};
+
+TEST_F(MonitorTest, BuildsSensorHierarchy) {
+  const SensorRegistry& reg = monitor_.registry();
+  EXPECT_TRUE(reg.contains("mach.power"));
+  EXPECT_TRUE(reg.contains("mach.utilization"));
+  EXPECT_TRUE(reg.contains("mach.rack0.node0.power"));
+  EXPECT_TRUE(reg.contains("mach.rack1.node7.temp"));
+  EXPECT_TRUE(reg.contains("mach.plant.pdu-0.power"));
+  // 2 machine + 2 pdu + 16 node sensors.
+  EXPECT_EQ(reg.size(), 2u + 2u + 16u);
+}
+
+TEST_F(MonitorTest, MachineSensorAggregatesNodeSensors) {
+  const SensorRegistry& reg = monitor_.registry();
+  const double machine = reg.read("mach.power");
+  const double summed =
+      reg.aggregate("mach.rack0", SensorKind::kPowerWatts) +
+      reg.aggregate("mach.rack1", SensorKind::kPowerWatts);
+  EXPECT_NEAR(machine, summed, 1e-9);
+  EXPECT_GT(machine, 0.0);
+}
+
+TEST_F(MonitorTest, PeriodicSamplingRecordsSeries) {
+  monitor_.start();
+  sim_.run_until(65 * sim::kSecond);
+  EXPECT_EQ(monitor_.tick_count(), 6u);
+  EXPECT_EQ(monitor_.machine_power().size(), 6u);
+  EXPECT_EQ(monitor_.utilization().size(), 6u);
+  EXPECT_EQ(monitor_.pdu_power(0).size(), 6u);
+  EXPECT_GT(monitor_.machine_power().latest()->value, 0.0);
+}
+
+TEST_F(MonitorTest, ObserversFireEachTick) {
+  int observed = 0;
+  monitor_.add_observer([&](sim::SimTime) { ++observed; });
+  monitor_.start();
+  sim_.run_until(30 * sim::kSecond);
+  EXPECT_EQ(observed, 3);
+}
+
+TEST_F(MonitorTest, StopEndsSampling) {
+  monitor_.start();
+  sim_.run_until(30 * sim::kSecond);
+  monitor_.stop();
+  sim_.run_until(2 * sim::kMinute);
+  EXPECT_EQ(monitor_.tick_count(), 3u);
+}
+
+TEST_F(MonitorTest, FacilityPowerIncludesPue) {
+  monitor_.sample(0);
+  const double it = monitor_.machine_power().latest()->value;
+  const double facility = monitor_.facility_power().latest()->value;
+  EXPECT_GT(facility, it);
+}
+
+TEST_F(MonitorTest, StartIsIdempotent) {
+  monitor_.start();
+  monitor_.start();
+  sim_.run_until(10 * sim::kSecond);
+  EXPECT_EQ(monitor_.tick_count(), 1u);
+}
+
+}  // namespace
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,120 @@
+#include "platform/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::platform {
+namespace {
+
+Node make_node(std::uint32_t cores = 32) {
+  NodeConfig cfg;
+  cfg.cores = cores;
+  return Node(0, cfg, /*rack=*/0, /*pdu=*/0, /*loop=*/0);
+}
+
+TEST(Node, StartsIdleAndFree) {
+  Node n = make_node();
+  EXPECT_EQ(n.state(), NodeState::kIdle);
+  EXPECT_EQ(n.cores_free(), 32u);
+  EXPECT_TRUE(n.schedulable());
+  EXPECT_DOUBLE_EQ(n.utilization(), 0.0);
+}
+
+TEST(Node, AllocateMovesToBusy) {
+  Node n = make_node();
+  n.allocate(1, 16);
+  EXPECT_EQ(n.state(), NodeState::kBusy);
+  EXPECT_EQ(n.cores_in_use(), 16u);
+  EXPECT_EQ(n.cores_free(), 16u);
+}
+
+TEST(Node, UtilizationWeightsIntensity) {
+  Node n = make_node();
+  n.allocate(1, 16, 0.5);
+  EXPECT_DOUBLE_EQ(n.utilization(), 0.25);  // 16 * 0.5 / 32
+  n.allocate(2, 16, 1.0);
+  EXPECT_DOUBLE_EQ(n.utilization(), 0.75);
+}
+
+TEST(Node, ReleaseRestoresIdle) {
+  Node n = make_node();
+  n.allocate(1, 32);
+  EXPECT_EQ(n.release(1), 32u);
+  EXPECT_EQ(n.state(), NodeState::kIdle);
+  EXPECT_DOUBLE_EQ(n.utilization(), 0.0);
+}
+
+TEST(Node, ReleaseUnknownJobReturnsZero) {
+  Node n = make_node();
+  EXPECT_EQ(n.release(99), 0u);
+}
+
+TEST(Node, MultipleJobsShareNode) {
+  Node n = make_node();
+  n.allocate(1, 8);
+  n.allocate(2, 8);
+  n.allocate(3, 16);
+  EXPECT_EQ(n.cores_free(), 0u);
+  n.release(2);
+  EXPECT_EQ(n.cores_free(), 8u);
+  EXPECT_EQ(n.state(), NodeState::kBusy);  // others remain
+}
+
+TEST(Node, OverAllocationThrows) {
+  Node n = make_node();
+  n.allocate(1, 30);
+  EXPECT_THROW(n.allocate(2, 4), std::invalid_argument);
+}
+
+TEST(Node, ZeroCoreAllocationThrows) {
+  Node n = make_node();
+  EXPECT_THROW(n.allocate(1, 0), std::invalid_argument);
+}
+
+TEST(Node, DuplicateJobAllocationThrows) {
+  Node n = make_node();
+  n.allocate(1, 4);
+  EXPECT_THROW(n.allocate(1, 4), std::logic_error);
+}
+
+TEST(Node, BadIntensityThrows) {
+  Node n = make_node();
+  EXPECT_THROW(n.allocate(1, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(n.allocate(1, 4, 1.5), std::invalid_argument);
+}
+
+TEST(Node, AllocateOnOffNodeThrows) {
+  Node n = make_node();
+  n.set_state(NodeState::kOff);
+  EXPECT_FALSE(n.schedulable());
+  EXPECT_THROW(n.allocate(1, 4), std::logic_error);
+}
+
+TEST(Node, PowerTransitionWithJobsThrows) {
+  Node n = make_node();
+  n.allocate(1, 4);
+  EXPECT_THROW(n.set_state(NodeState::kOff), std::logic_error);
+  EXPECT_THROW(n.set_state(NodeState::kShuttingDown), std::logic_error);
+  // Draining with jobs is legal (finish-then-maintain semantics).
+  EXPECT_NO_THROW(n.set_state(NodeState::kDraining));
+}
+
+TEST(Node, CapSetterClampsNegative) {
+  Node n = make_node();
+  n.set_power_cap_watts(-5.0);
+  EXPECT_DOUBLE_EQ(n.power_cap_watts(), 0.0);
+  n.set_power_cap_watts(250.0);
+  EXPECT_DOUBLE_EQ(n.power_cap_watts(), 250.0);
+}
+
+TEST(NodeState, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(NodeState::kOff), "off");
+  EXPECT_STREQ(to_string(NodeState::kBooting), "booting");
+  EXPECT_STREQ(to_string(NodeState::kIdle), "idle");
+  EXPECT_STREQ(to_string(NodeState::kBusy), "busy");
+  EXPECT_STREQ(to_string(NodeState::kDraining), "draining");
+  EXPECT_STREQ(to_string(NodeState::kShuttingDown), "shutting-down");
+  EXPECT_STREQ(to_string(NodeState::kSleeping), "sleeping");
+}
+
+}  // namespace
+}  // namespace epajsrm::platform

@@ -1,0 +1,162 @@
+// Property suite: whichever EPA policy is installed, a full run must
+// preserve the system invariants — energy conservation, job timeline
+// sanity, walltime enforcement, and termination. Catches policies that
+// corrupt progress accounting or wedge the scheduler.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "epa/capability_window.hpp"
+#include "epa/dynamic_power_share.hpp"
+#include "epa/energy_to_solution.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "epa/job_power_balancer.hpp"
+#include "epa/ms3_thermal.hpp"
+#include "epa/overprovision.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "epa/ramp_limiter.hpp"
+#include "epa/static_power_cap.hpp"
+
+namespace epajsrm {
+namespace {
+
+struct PolicyCase {
+  const char* name;
+  std::function<void(core::EpaJsrmSolution&)> install;
+};
+
+class PolicyInvariantTest : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicyInvariantTest, FullRunPreservesInvariants) {
+  core::ScenarioConfig config;
+  config.label = GetParam().name;
+  config.nodes = 16;
+  config.job_count = 35;
+  config.horizon = 25 * sim::kDay;
+  config.seed = 77;
+  config.mix = core::WorkloadMix::kCapacity;
+  core::Scenario scenario(config);
+  GetParam().install(scenario.solution());
+  const core::RunResult result = scenario.run();
+
+  // 1. Termination: with a generous horizon the workload drains (policies
+  // must not wedge the queue forever).
+  EXPECT_TRUE(scenario.solution().workload_drained()) << GetParam().name;
+  EXPECT_EQ(result.report.jobs_completed + result.report.jobs_killed, 35u);
+
+  // 2. Energy conservation: jobs + overhead == total, exactly.
+  double job_joules = 0.0;
+  for (const workload::Job* job : scenario.solution().finished_jobs()) {
+    job_joules += job->energy_joules();
+  }
+  const auto& accountant = scenario.solution().accountant();
+  EXPECT_NEAR(job_joules + accountant.overhead_joules(),
+              accountant.total_it_joules(),
+              1e-6 * accountant.total_it_joules())
+      << GetParam().name;
+
+  // 3. Timeline sanity + walltime enforcement per job.
+  for (const workload::Job* job : scenario.solution().finished_jobs()) {
+    if (job->state() == workload::JobState::kCancelled) continue;
+    EXPECT_GE(job->start_time(), job->submit_time()) << GetParam().name;
+    EXPECT_GE(job->end_time(), job->start_time()) << GetParam().name;
+    EXPECT_LE(job->end_time() - job->start_time(),
+              job->spec().walltime_estimate + sim::kSecond)
+        << GetParam().name << " job " << job->id();
+    // 4. Completed jobs did all their work; killed jobs did not overrun.
+    if (job->state() == workload::JobState::kCompleted) {
+      EXPECT_NEAR(job->work_done(), job->work_total(),
+                  1e-6 * job->work_total())
+          << GetParam().name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariantTest,
+    ::testing::Values(
+        PolicyCase{"none", [](core::EpaJsrmSolution&) {}},
+        PolicyCase{"static-cap",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::StaticPowerCapPolicy>(
+                             0.7, 200.0));
+                   }},
+        PolicyCase{"budget-dvfs",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::PowerBudgetDvfsPolicy>(
+                             16 * 220.0));
+                   }},
+        PolicyCase{"dyn-share",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::DynamicPowerSharePolicy>(
+                             16 * 220.0));
+                   }},
+        PolicyCase{"idle-shutdown",
+                   [](core::EpaJsrmSolution& s) {
+                     epa::IdleShutdownPolicy::Config cfg;
+                     cfg.idle_timeout = 10 * sim::kMinute;
+                     s.add_policy(
+                         std::make_unique<epa::IdleShutdownPolicy>(cfg));
+                   }},
+        PolicyCase{"ms3",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(std::make_unique<epa::Ms3ThermalPolicy>());
+                   }},
+        PolicyCase{"balancer",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::JobPowerBalancerPolicy>(
+                             16 * 220.0));
+                   }},
+        PolicyCase{"ramp-limiter",
+                   [](core::EpaJsrmSolution& s) {
+                     epa::RampLimiterPolicy::Config cfg;
+                     cfg.max_ramp_watts = 800.0;
+                     s.add_policy(
+                         std::make_unique<epa::RampLimiterPolicy>(cfg));
+                   }},
+        PolicyCase{"capability-window",
+                   [](core::EpaJsrmSolution& s) {
+                     epa::CapabilityWindowPolicy::Config cfg;
+                     cfg.period = 2 * sim::kDay;
+                     cfg.window_length = sim::kDay;
+                     s.add_policy(
+                         std::make_unique<epa::CapabilityWindowPolicy>(cfg));
+                   }},
+        PolicyCase{"energy-to-solution",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::EnergyToSolutionPolicy>());
+                   }},
+        PolicyCase{"overprovision",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(std::make_unique<epa::OverprovisionPolicy>(
+                         16 * 230.0));
+                   }},
+        PolicyCase{"stacked",
+                   [](core::EpaJsrmSolution& s) {
+                     s.add_policy(
+                         std::make_unique<epa::PowerBudgetDvfsPolicy>(
+                             16 * 230.0));
+                     epa::IdleShutdownPolicy::Config idle;
+                     idle.idle_timeout = 15 * sim::kMinute;
+                     s.add_policy(
+                         std::make_unique<epa::IdleShutdownPolicy>(idle));
+                     s.add_policy(
+                         std::make_unique<epa::EnergyToSolutionPolicy>());
+                   }}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace epajsrm

@@ -1,0 +1,128 @@
+#include "telemetry/power_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/node_power_model.hpp"
+
+namespace epajsrm::telemetry {
+namespace {
+
+class PowerApiTest : public ::testing::Test {
+ protected:
+  PowerApiTest()
+      : cluster_(platform::ClusterBuilder()
+                     .name("plat")
+                     .node_count(8)
+                     .nodes_per_rack(4)
+                     .build()),
+        model_(cluster_.pstates()), capmc_(cluster_, model_),
+        ctx_(cluster_, &capmc_,
+             [this](platform::NodeId id) { return 100.0 * (id + 1); }) {
+    for (platform::Node& n : cluster_.nodes()) model_.apply(n);
+  }
+
+  platform::Cluster cluster_;
+  power::NodePowerModel model_;
+  power::CapmcController capmc_;
+  PowerApiContext ctx_;
+};
+
+TEST_F(PowerApiTest, HierarchyNavigation) {
+  const PwrObject root = ctx_.entry_point();
+  EXPECT_EQ(root.type, PwrObjType::kPlatform);
+  EXPECT_EQ(root.name, "plat");
+
+  const auto cabinets = ctx_.children(root);
+  ASSERT_EQ(cabinets.size(), 2u);
+  EXPECT_EQ(cabinets[0].type, PwrObjType::kCabinet);
+
+  const auto nodes = ctx_.children(cabinets[1]);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0].type, PwrObjType::kNode);
+  EXPECT_EQ(nodes[0].index, 4u);
+  EXPECT_TRUE(ctx_.children(nodes[0]).empty());
+
+  EXPECT_EQ(ctx_.parent(nodes[0]).index, 1u);
+  EXPECT_EQ(ctx_.parent(cabinets[0]).type, PwrObjType::kPlatform);
+  EXPECT_EQ(ctx_.parent(root).type, PwrObjType::kPlatform);
+  EXPECT_EQ(ctx_.object_count(), 1u + 2u + 8u);
+}
+
+TEST_F(PowerApiTest, PowerAggregatesUpTheTree) {
+  const double idle = cluster_.node(0).config().idle_watts;
+  const PwrObject root = ctx_.entry_point();
+  EXPECT_NEAR(ctx_.attr_get(root, PwrAttr::kPower), 8 * idle, 1e-9);
+  const auto cabinets = ctx_.children(root);
+  EXPECT_NEAR(ctx_.attr_get(cabinets[0], PwrAttr::kPower), 4 * idle, 1e-9);
+  const auto nodes = ctx_.children(cabinets[0]);
+  EXPECT_NEAR(ctx_.attr_get(nodes[0], PwrAttr::kPower), idle, 1e-9);
+}
+
+TEST_F(PowerApiTest, NodeOnlyAttributes) {
+  const PwrObject root = ctx_.entry_point();
+  const auto node = ctx_.children(ctx_.children(root)[0])[0];
+  EXPECT_GT(ctx_.attr_get(node, PwrAttr::kTemp), 0.0);
+  EXPECT_NEAR(ctx_.attr_get(node, PwrAttr::kFreq),
+              cluster_.pstates().freq_ghz(0), 1e-9);
+  EXPECT_THROW(ctx_.attr_get(root, PwrAttr::kTemp), PwrNotImplemented);
+  EXPECT_THROW(ctx_.attr_get(root, PwrAttr::kFreq), PwrNotImplemented);
+}
+
+TEST_F(PowerApiTest, EnergyUsesMeter) {
+  const PwrObject root = ctx_.entry_point();
+  // Meter returns 100*(id+1): platform total = 100*(1+..+8) = 3600.
+  EXPECT_NEAR(ctx_.attr_get(root, PwrAttr::kEnergy), 3600.0, 1e-9);
+  PowerApiContext no_meter(cluster_, &capmc_);
+  EXPECT_THROW(no_meter.attr_get(root, PwrAttr::kEnergy),
+               PwrNotImplemented);
+}
+
+TEST_F(PowerApiTest, NodeCapWrite) {
+  const auto node = ctx_.children(ctx_.children(ctx_.entry_point())[0])[2];
+  ctx_.attr_set(node, PwrAttr::kPowerLimitMax, 150.0);
+  EXPECT_DOUBLE_EQ(cluster_.node(node.index).power_cap_watts(), 150.0);
+  EXPECT_DOUBLE_EQ(ctx_.attr_get(node, PwrAttr::kPowerLimitMax), 150.0);
+}
+
+TEST_F(PowerApiTest, CabinetCapDividesAcrossMembers) {
+  const auto cabinet = ctx_.children(ctx_.entry_point())[1];
+  ctx_.attr_set(cabinet, PwrAttr::kPowerLimitMax, 800.0);
+  for (platform::NodeId id = 4; id < 8; ++id) {
+    EXPECT_NEAR(cluster_.node(id).power_cap_watts(), 200.0, 1e-9);
+  }
+  EXPECT_NEAR(ctx_.attr_get(cabinet, PwrAttr::kPowerLimitMax), 800.0, 1e-9);
+}
+
+TEST_F(PowerApiTest, PlatformCapIsSystemWide) {
+  ctx_.attr_set(ctx_.entry_point(), PwrAttr::kPowerLimitMax, 1600.0);
+  EXPECT_EQ(capmc_.capped_node_count(), 8u);
+}
+
+TEST_F(PowerApiTest, AggregateLimitZeroWhenAnyUncapped) {
+  const auto cabinet = ctx_.children(ctx_.entry_point())[0];
+  EXPECT_DOUBLE_EQ(ctx_.attr_get(cabinet, PwrAttr::kPowerLimitMax), 0.0);
+}
+
+TEST_F(PowerApiTest, WritesRejectedWithoutController) {
+  PowerApiContext read_only(cluster_);
+  EXPECT_THROW(
+      read_only.attr_set(read_only.entry_point(), PwrAttr::kPowerLimitMax,
+                         1000.0),
+      std::logic_error);
+}
+
+TEST_F(PowerApiTest, OnlyCapIsWritable) {
+  const auto node = ctx_.children(ctx_.children(ctx_.entry_point())[0])[0];
+  EXPECT_THROW(ctx_.attr_set(node, PwrAttr::kPower, 1.0),
+               PwrNotImplemented);
+  EXPECT_THROW(ctx_.attr_set(node, PwrAttr::kTemp, 1.0), PwrNotImplemented);
+}
+
+TEST(PowerApiNames, EnumStrings) {
+  EXPECT_STREQ(to_string(PwrObjType::kPlatform), "platform");
+  EXPECT_STREQ(to_string(PwrAttr::kPowerLimitMax),
+               "PWR_ATTR_POWER_LIMIT_MAX");
+}
+
+}  // namespace
+}  // namespace epajsrm::telemetry

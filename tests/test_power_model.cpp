@@ -1,0 +1,175 @@
+#include "power/node_power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/pstate.hpp"
+
+namespace epajsrm::power {
+namespace {
+
+platform::NodeConfig config() {
+  platform::NodeConfig cfg;
+  cfg.cores = 32;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return cfg;
+}
+
+platform::Node make_node() { return platform::Node(0, config(), 0, 0, 0); }
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  platform::PstateTable pstates_ = platform::PstateTable::linear(2.0, 1.0, 5);
+  NodePowerModel model_{pstates_, 2.4};
+};
+
+TEST_F(PowerModelTest, IdleNodeDrawsIdlePower) {
+  platform::Node n = make_node();
+  const OperatingPoint op = model_.resolve(n);
+  EXPECT_DOUBLE_EQ(op.watts, 100.0);
+  EXPECT_FALSE(op.cap_binding);
+}
+
+TEST_F(PowerModelTest, FullLoadFullFrequencyIsPeak) {
+  platform::Node n = make_node();
+  n.allocate(1, 32, 1.0);
+  const OperatingPoint op = model_.resolve(n);
+  EXPECT_DOUBLE_EQ(op.watts, 300.0);
+  EXPECT_DOUBLE_EQ(model_.peak_watts(config()), 300.0);
+  EXPECT_DOUBLE_EQ(op.freq_ratio, 1.0);
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInUtilization) {
+  double last = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double w = model_.watts_at(config(), 1.0, u);
+    EXPECT_GE(w, last);
+    last = w;
+  }
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInFrequency) {
+  double last = 0.0;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const double w = model_.watts_at(config(), f, 1.0);
+    EXPECT_GT(w, last);
+    last = w;
+  }
+}
+
+TEST_F(PowerModelTest, VariabilityScalesDynamicOnly) {
+  platform::NodeConfig hot = config();
+  hot.variability = 1.1;
+  EXPECT_DOUBLE_EQ(model_.watts_at(hot, 1.0, 0.0), 100.0);
+  EXPECT_NEAR(model_.watts_at(hot, 1.0, 1.0), 100.0 + 220.0, 1e-9);
+}
+
+TEST_F(PowerModelTest, PstateReducesPower) {
+  platform::Node n = make_node();
+  n.allocate(1, 32, 1.0);
+  n.set_pstate(4);  // ratio 0.5
+  const OperatingPoint op = model_.resolve(n);
+  EXPECT_NEAR(op.watts, 100.0 + 200.0 * std::pow(0.5, 2.4), 1e-9);
+  EXPECT_DOUBLE_EQ(op.freq_ratio, 0.5);
+}
+
+TEST_F(PowerModelTest, CapClampsFrequencyContinuously) {
+  platform::Node n = make_node();
+  n.allocate(1, 32, 1.0);
+  n.set_power_cap_watts(200.0);  // below the 300 W peak
+  const OperatingPoint op = model_.apply(n);
+  EXPECT_TRUE(op.cap_binding);
+  EXPECT_FALSE(op.cap_infeasible);
+  EXPECT_NEAR(op.watts, 200.0, 1e-6);
+  // f = (100/200)^(1/2.4)
+  EXPECT_NEAR(op.freq_ratio, std::pow(0.5, 1.0 / 2.4), 1e-9);
+  EXPECT_DOUBLE_EQ(n.current_watts(), op.watts);
+  EXPECT_DOUBLE_EQ(n.effective_freq_ratio(), op.freq_ratio);
+}
+
+TEST_F(PowerModelTest, DiscreteCapSnapsToPstate) {
+  NodePowerModel discrete(pstates_, 2.4, CapMode::kDiscrete);
+  platform::Node n = make_node();
+  n.allocate(1, 32, 1.0);
+  n.set_power_cap_watts(200.0);
+  const OperatingPoint op = discrete.resolve(n);
+  // Continuous clamp would be ~0.749; the next discrete ratio <= that is
+  // 0.625 (state 3 of 1, .875, .75, .625, .5)... 0.75 <= 0.749? No (1e-12
+  // tolerance), so 0.625.
+  EXPECT_NEAR(op.freq_ratio, 0.625, 1e-9);
+  EXPECT_LE(op.watts, 200.0 + 1e-9);
+}
+
+TEST_F(PowerModelTest, InfeasibleCapFlagsViolation) {
+  platform::Node n = make_node();
+  n.allocate(1, 32, 1.0);
+  n.set_power_cap_watts(50.0);  // below the 100 W idle floor
+  const OperatingPoint op = model_.resolve(n);
+  EXPECT_TRUE(op.cap_binding);
+  EXPECT_TRUE(op.cap_infeasible);
+  EXPECT_GT(op.watts, 50.0);  // cannot actually meet the cap
+}
+
+TEST_F(PowerModelTest, CapAboveDemandNotBinding) {
+  platform::Node n = make_node();
+  n.allocate(1, 16, 0.5);  // util 0.25 -> 150 W
+  n.set_power_cap_watts(250.0);
+  const OperatingPoint op = model_.resolve(n);
+  EXPECT_FALSE(op.cap_binding);
+  EXPECT_DOUBLE_EQ(op.freq_ratio, 1.0);
+}
+
+TEST_F(PowerModelTest, LifecycleStateDraws) {
+  platform::Node n = make_node();
+  n.set_state(platform::NodeState::kOff);
+  EXPECT_DOUBLE_EQ(model_.resolve(n).watts, n.config().off_watts);
+  n.set_state(platform::NodeState::kBooting);
+  EXPECT_DOUBLE_EQ(model_.resolve(n).watts, n.config().boot_watts);
+  n.set_state(platform::NodeState::kSleeping);
+  EXPECT_DOUBLE_EQ(model_.resolve(n).watts, n.config().sleep_watts);
+  n.set_state(platform::NodeState::kShuttingDown);
+  EXPECT_DOUBLE_EQ(model_.resolve(n).watts, n.config().boot_watts);
+}
+
+TEST_F(PowerModelTest, FreqForCapInverseOfWatts) {
+  const double cap = 220.0;
+  const double f = model_.freq_ratio_for_cap(config(), cap, 1.0);
+  EXPECT_NEAR(model_.watts_at(config(), f, 1.0), cap, 1e-6);
+}
+
+TEST_F(PowerModelTest, FreqForCapZeroUtilizationIsFull) {
+  EXPECT_DOUBLE_EQ(model_.freq_ratio_for_cap(config(), 150.0, 0.0), 1.0);
+}
+
+TEST_F(PowerModelTest, RejectsNonPositiveAlpha) {
+  EXPECT_THROW(NodePowerModel(pstates_, 0.0), std::invalid_argument);
+}
+
+// Property sweep: for any utilisation and cap, the resolved power never
+// exceeds a feasible cap.
+class CapSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapSweepTest, ResolvedPowerRespectsFeasibleCap) {
+  platform::PstateTable pstates = platform::PstateTable::linear(2.5, 1.0, 6);
+  NodePowerModel model(pstates, 2.4);
+  const double util = GetParam();
+  platform::Node n = make_node();
+  if (util > 0.0) {
+    n.allocate(1, static_cast<std::uint32_t>(util * 32), 1.0);
+  }
+  for (double cap = 110.0; cap <= 320.0; cap += 30.0) {
+    n.set_power_cap_watts(cap);
+    const OperatingPoint op = model.resolve(n);
+    if (!op.cap_infeasible) {
+      EXPECT_LE(op.watts, cap + 1e-6) << "util=" << util << " cap=" << cap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, CapSweepTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace epajsrm::power

@@ -1,0 +1,154 @@
+#include "predict/accuracy.hpp"
+#include "predict/predictor.hpp"
+#include "predict/ridge.hpp"
+#include "predict/tag_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace epajsrm::predict {
+namespace {
+
+workload::JobSpec spec_with_tag(const std::string& tag) {
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.tag = tag;
+  spec.nodes = 4;
+  return spec;
+}
+
+TEST(PeakPredictor, AlwaysReturnsPeak) {
+  PeakPowerPredictor p(350.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("a")), 350.0);
+  p.observe(spec_with_tag("a"), 120.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("a")), 350.0);
+}
+
+TEST(TagHistory, PriorUntilObserved) {
+  TagHistoryPowerPredictor p(300.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("x")), 300.0);
+  p.observe(spec_with_tag("x"), 200.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("x")), 200.0);
+  EXPECT_EQ(p.samples("x"), 1u);
+  EXPECT_EQ(p.samples("y"), 0u);
+}
+
+TEST(TagHistory, RunningMeanConverges) {
+  TagHistoryPowerPredictor p(300.0);
+  p.observe(spec_with_tag("x"), 100.0);
+  p.observe(spec_with_tag("x"), 200.0);
+  p.observe(spec_with_tag("x"), 300.0);
+  EXPECT_NEAR(p.predict_node_watts(spec_with_tag("x")), 200.0, 1e-9);
+}
+
+TEST(TagHistory, TagsAreIndependent) {
+  TagHistoryPowerPredictor p(300.0);
+  p.observe(spec_with_tag("x"), 100.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("y")), 300.0);
+}
+
+TEST(Ewma, AdaptsToDrift) {
+  EwmaPowerPredictor p(300.0, 0.5);
+  p.observe(spec_with_tag("x"), 100.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("x")), 100.0);
+  p.observe(spec_with_tag("x"), 200.0);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("x")), 150.0);
+  // Keep observing the new level: EWMA approaches it.
+  for (int i = 0; i < 10; ++i) p.observe(spec_with_tag("x"), 200.0);
+  EXPECT_NEAR(p.predict_node_watts(spec_with_tag("x")), 200.0, 1.0);
+}
+
+TEST(TagHistoryRuntime, TrustsUserUntilHistoryAccumulates) {
+  TagHistoryRuntimePredictor p;
+  workload::JobSpec spec = spec_with_tag("x");
+  spec.walltime_estimate = sim::kHour;
+  EXPECT_EQ(p.predict_runtime(spec), sim::kHour);
+  p.observe(spec, 10 * sim::kMinute);
+  p.observe(spec, 10 * sim::kMinute);
+  EXPECT_EQ(p.predict_runtime(spec), sim::kHour);  // < 3 samples
+  p.observe(spec, 10 * sim::kMinute);
+  EXPECT_EQ(p.predict_runtime(spec), 10 * sim::kMinute);
+}
+
+TEST(TagHistoryRuntime, NeverExceedsWalltime) {
+  TagHistoryRuntimePredictor p;
+  workload::JobSpec spec = spec_with_tag("x");
+  spec.walltime_estimate = 20 * sim::kMinute;
+  for (int i = 0; i < 5; ++i) p.observe(spec, sim::kHour);
+  EXPECT_EQ(p.predict_runtime(spec), 20 * sim::kMinute);
+}
+
+TEST(WalltimePredictor, ReturnsEstimate) {
+  WalltimeRuntimePredictor p;
+  workload::JobSpec spec = spec_with_tag("x");
+  spec.walltime_estimate = 42 * sim::kMinute;
+  EXPECT_EQ(p.predict_runtime(spec), 42 * sim::kMinute);
+}
+
+TEST(Ridge, PriorUntilMinSamples) {
+  RidgePowerPredictor p(333.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(p.predict_node_watts(spec_with_tag("a")), 333.0);
+}
+
+TEST(Ridge, RecoversLinearRelationship) {
+  // Ground truth: watts = 80 + 120 * intensity + 30 * beta.
+  RidgePowerPredictor p(300.0, 0.01, 8);
+  sim::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    workload::JobSpec spec;
+    spec.nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+    spec.walltime_estimate = sim::from_hours(rng.uniform(0.5, 12.0));
+    spec.profile.power_intensity = rng.uniform(0.3, 1.0);
+    spec.profile.freq_sensitive_fraction = rng.uniform(0.2, 0.9);
+    spec.profile.comm_fraction = rng.uniform(0.0, 0.4);
+    const double watts = 80.0 + 120.0 * spec.profile.power_intensity +
+                         30.0 * spec.profile.freq_sensitive_fraction;
+    p.observe(spec, watts);
+  }
+  workload::JobSpec probe;
+  probe.nodes = 16;
+  probe.walltime_estimate = sim::kHour;
+  probe.profile.power_intensity = 0.8;
+  probe.profile.freq_sensitive_fraction = 0.5;
+  probe.profile.comm_fraction = 0.1;
+  EXPECT_NEAR(p.predict_node_watts(probe), 80.0 + 96.0 + 15.0, 3.0);
+}
+
+TEST(Ridge, PredictionsHavePhysicalFloor) {
+  RidgePowerPredictor p(300.0, 0.01, 2);
+  workload::JobSpec spec = spec_with_tag("x");
+  p.observe(spec, 1.0);
+  p.observe(spec, 1.0);
+  EXPECT_GE(p.predict_node_watts(spec), 1.0);
+}
+
+TEST(Accuracy, PerfectPredictionsZeroError) {
+  AccuracyTracker t;
+  t.add(100.0, 100.0);
+  t.add(50.0, 50.0);
+  EXPECT_DOUBLE_EQ(t.mape(), 0.0);
+  EXPECT_DOUBLE_EQ(t.rmse(), 0.0);
+  EXPECT_DOUBLE_EQ(t.bias(), 0.0);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Accuracy, MetricsMatchHandComputation) {
+  AccuracyTracker t;
+  t.add(100.0, 110.0);  // +10 %, err +10
+  t.add(200.0, 180.0);  // -10 %, err -20
+  EXPECT_NEAR(t.mape(), 0.10, 1e-12);
+  EXPECT_NEAR(t.mae(), 15.0, 1e-12);
+  EXPECT_NEAR(t.bias(), -5.0, 1e-12);
+  EXPECT_NEAR(t.rmse(), std::sqrt((100.0 + 400.0) / 2.0), 1e-12);
+}
+
+TEST(Accuracy, ZeroActualSkippedInMape) {
+  AccuracyTracker t;
+  t.add(0.0, 10.0);
+  t.add(100.0, 120.0);
+  EXPECT_NEAR(t.mape(), 0.20, 1e-12);
+}
+
+}  // namespace
+}  // namespace epajsrm::predict

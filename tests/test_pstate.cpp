@@ -1,0 +1,60 @@
+#include "platform/pstate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::platform {
+namespace {
+
+TEST(PstateTable, LinearLadderEndpoints) {
+  const PstateTable t = PstateTable::linear(2.6, 1.2, 8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_DOUBLE_EQ(t.freq_ghz(0), 2.6);
+  EXPECT_DOUBLE_EQ(t.freq_ghz(7), 1.2);
+  EXPECT_EQ(t.deepest(), 7u);
+}
+
+TEST(PstateTable, RatiosDescendFromOne) {
+  const PstateTable t = PstateTable::linear(2.0, 1.0, 5);
+  EXPECT_DOUBLE_EQ(t.ratio(0), 1.0);
+  for (std::uint32_t i = 1; i < t.size(); ++i) {
+    EXPECT_LT(t.ratio(i), t.ratio(i - 1));
+  }
+  EXPECT_DOUBLE_EQ(t.ratio(4), 0.5);
+}
+
+TEST(PstateTable, SingleStateLadder) {
+  const PstateTable t = PstateTable::linear(3.0, 1.0, 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.ratio(0), 1.0);
+}
+
+TEST(PstateTable, StateAtOrBelowSnapsDown) {
+  const PstateTable t = PstateTable::linear(2.0, 1.0, 5);  // ratios 1,.875,.75,.625,.5
+  EXPECT_EQ(t.state_at_or_below(1.0), 0u);
+  EXPECT_EQ(t.state_at_or_below(0.9), 1u);
+  EXPECT_EQ(t.state_at_or_below(0.75), 2u);
+  EXPECT_EQ(t.state_at_or_below(0.60), 4u);
+  EXPECT_EQ(t.state_at_or_below(0.10), 4u);  // deepest when nothing fits
+}
+
+TEST(PstateTable, ExplicitTableValidated) {
+  EXPECT_THROW(PstateTable({}), std::invalid_argument);
+  EXPECT_THROW(PstateTable({2.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(PstateTable({2.0, 2.5}), std::invalid_argument);
+  EXPECT_THROW(PstateTable({2.0, -1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(PstateTable({2.6, 2.2, 1.8}));
+}
+
+TEST(PstateTable, OutOfRangeIndexThrows) {
+  const PstateTable t = PstateTable::linear(2.0, 1.0, 3);
+  EXPECT_THROW(t.freq_ghz(3), std::out_of_range);
+}
+
+TEST(PstateTable, LinearRejectsBadArguments) {
+  EXPECT_THROW(PstateTable::linear(2.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(PstateTable::linear(1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(PstateTable::linear(2.0, -1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epajsrm::platform

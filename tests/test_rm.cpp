@@ -1,0 +1,175 @@
+// ResourceManager + LayoutService + NodeLifecycle tests.
+#include "rm/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::rm {
+namespace {
+
+class RmTest : public ::testing::Test {
+ protected:
+  RmTest()
+      : cluster_(platform::ClusterBuilder()
+                     .node_count(16)
+                     .nodes_per_rack(4)
+                     .racks_per_pdu(2)
+                     .racks_per_cooling_loop(2)
+                     .build()),
+        model_(cluster_.pstates()),
+        rm_(sim_, cluster_, model_, std::make_unique<FirstFitAllocator>()) {}
+
+  workload::Job make_job(workload::JobId id, std::uint32_t nodes,
+                         double intensity = 1.0) {
+    workload::JobSpec spec;
+    spec.id = id;
+    spec.nodes = nodes;
+    spec.profile.power_intensity = intensity;
+    return workload::Job(spec);
+  }
+
+  sim::Simulation sim_;
+  platform::Cluster cluster_;
+  power::NodePowerModel model_;
+  ResourceManager rm_;
+};
+
+TEST_F(RmTest, AllocateChargesWholeNodes) {
+  workload::Job job = make_job(1, 4);
+  const auto nodes = rm_.allocate(job, 4);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(job.allocated_nodes().size(), 4u);
+  EXPECT_EQ(job.cores_per_node_allocated(), cluster_.node(0).cores_total());
+  for (platform::NodeId id : nodes) {
+    EXPECT_EQ(cluster_.node(id).state(), platform::NodeState::kBusy);
+    EXPECT_GT(cluster_.node(id).current_watts(),
+              cluster_.node(id).config().idle_watts);
+  }
+  EXPECT_EQ(rm_.allocatable_nodes(), 12u);
+}
+
+TEST_F(RmTest, AllocateSetsPlacementSpread) {
+  workload::Job job = make_job(1, 4);
+  rm_.allocate(job, 4);
+  EXPECT_GE(job.placement_spread(), 0.0);
+  EXPECT_LE(job.placement_spread(), 1.0);
+}
+
+TEST_F(RmTest, ReleaseRestoresIdleAndPower) {
+  workload::Job job = make_job(1, 2);
+  const auto nodes = rm_.allocate(job, 2);
+  rm_.release(job);
+  for (platform::NodeId id : nodes) {
+    EXPECT_EQ(cluster_.node(id).state(), platform::NodeState::kIdle);
+    EXPECT_DOUBLE_EQ(cluster_.node(id).current_watts(),
+                     cluster_.node(id).config().idle_watts);
+  }
+  EXPECT_EQ(rm_.allocatable_nodes(), 16u);
+}
+
+TEST_F(RmTest, AllocationFailureLeavesStateUntouched) {
+  workload::Job job = make_job(1, 17);
+  EXPECT_TRUE(rm_.allocate(job, 17).empty());
+  EXPECT_EQ(rm_.allocatable_nodes(), 16u);
+}
+
+TEST_F(RmTest, IntensityFlowsIntoNodeLoad) {
+  workload::Job job = make_job(1, 1, 0.5);
+  const auto nodes = rm_.allocate(job, 1);
+  EXPECT_DOUBLE_EQ(cluster_.node(nodes[0]).utilization(), 0.5);
+}
+
+TEST_F(RmTest, LayoutMaintenanceBlocksDependentNodes) {
+  rm_.layout().set_pdu_maintenance(0, true);
+  // PDU 0 feeds racks 0-1 = nodes 0-7.
+  EXPECT_EQ(rm_.allocatable_nodes(), 8u);
+  workload::Job job = make_job(1, 8);
+  const auto nodes = rm_.allocate(job, 8);
+  ASSERT_EQ(nodes.size(), 8u);
+  for (platform::NodeId id : nodes) EXPECT_GE(id, 8u);
+
+  rm_.layout().set_pdu_maintenance(0, false);
+  EXPECT_EQ(rm_.allocatable_nodes(), 8u);  // other 8 still busy
+}
+
+TEST_F(RmTest, LayoutCoolingMaintenanceAlsoBlocks) {
+  rm_.layout().set_cooling_maintenance(0, true);
+  EXPECT_LT(rm_.allocatable_nodes(), 16u);
+  EXPECT_FALSE(rm_.layout().blocked_nodes().empty());
+}
+
+TEST_F(RmTest, DrainingJobCountTracksOccupiedMaintenance) {
+  workload::Job job = make_job(1, 2);
+  rm_.allocate(job, 2);  // lands on nodes 0,1 (PDU 0)
+  rm_.layout().set_pdu_maintenance(0, true);
+  EXPECT_EQ(rm_.layout().draining_job_count(), 1u);
+  rm_.release(job);
+  EXPECT_EQ(rm_.layout().draining_job_count(), 0u);
+}
+
+TEST_F(RmTest, ExtraEligibilityVeto) {
+  rm_.set_extra_eligibility(
+      [](const platform::Node& n) { return n.id() < 4; });
+  EXPECT_EQ(rm_.allocatable_nodes(), 4u);
+}
+
+TEST_F(RmTest, LifecyclePowerOffOnRoundTrip) {
+  NodeLifecycle& lc = rm_.lifecycle();
+  EXPECT_TRUE(lc.power_off(0));
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kShuttingDown);
+  EXPECT_EQ(lc.in_transition(), 1u);
+  sim_.run();
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kOff);
+  EXPECT_EQ(lc.in_transition(), 0u);
+
+  EXPECT_TRUE(lc.power_on(0));
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kBooting);
+  sim_.run();
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kIdle);
+  EXPECT_EQ(lc.boots(), 1u);
+  EXPECT_EQ(lc.shutdowns(), 1u);
+}
+
+TEST_F(RmTest, LifecycleRefusesWrongStates) {
+  NodeLifecycle& lc = rm_.lifecycle();
+  EXPECT_FALSE(lc.power_on(0));   // already idle
+  workload::Job job = make_job(1, 1);
+  rm_.allocate(job, 1);
+  EXPECT_FALSE(lc.power_off(0));  // busy
+  EXPECT_FALSE(lc.wake(0));
+}
+
+TEST_F(RmTest, LifecycleSleepWakeRoundTrip) {
+  NodeLifecycle& lc = rm_.lifecycle();
+  EXPECT_TRUE(lc.sleep(3));
+  sim_.run();
+  EXPECT_EQ(cluster_.node(3).state(), platform::NodeState::kSleeping);
+  EXPECT_TRUE(lc.wake(3));
+  sim_.run();
+  EXPECT_EQ(cluster_.node(3).state(), platform::NodeState::kIdle);
+  EXPECT_EQ(lc.sleeps(), 1u);
+  EXPECT_EQ(lc.wakes(), 1u);
+}
+
+TEST_F(RmTest, LifecycleHooksFire) {
+  int pre = 0;
+  std::vector<platform::NodeId> post;
+  rm_.lifecycle().set_pre_power_change([&] { ++pre; });
+  rm_.lifecycle().set_post_power_change(
+      [&](platform::NodeId id) { post.push_back(id); });
+  rm_.lifecycle().power_off(5);
+  sim_.run();
+  EXPECT_EQ(pre, 2);  // transition start + completion
+  EXPECT_EQ(post, (std::vector<platform::NodeId>{5, 5}));
+}
+
+TEST_F(RmTest, LifecycleTransitionDurationsHonoured) {
+  const sim::SimTime shutdown = cluster_.node(0).config().shutdown_time;
+  rm_.lifecycle().power_off(0);
+  sim_.run_until(shutdown - 1);
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kShuttingDown);
+  sim_.run_until(shutdown);
+  EXPECT_EQ(cluster_.node(0).state(), platform::NodeState::kOff);
+}
+
+}  // namespace
+}  // namespace epajsrm::rm

@@ -1,0 +1,117 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::core {
+namespace {
+
+TEST(Scenario, RunsToDrainWithinHorizon) {
+  ScenarioConfig config;
+  config.label = "t";
+  config.nodes = 16;
+  config.job_count = 40;
+  config.horizon = 30 * sim::kDay;
+  config.mix = WorkloadMix::kCapacity;
+  Scenario scenario(config);
+  const RunResult result = scenario.run();
+  EXPECT_EQ(result.report.jobs_submitted, 40u);
+  EXPECT_EQ(result.report.jobs_completed + result.report.jobs_killed, 40u);
+  EXPECT_GT(result.total_it_kwh_exact, 0.0);
+}
+
+TEST(Scenario, RunTwiceThrows) {
+  ScenarioConfig config;
+  config.nodes = 8;
+  config.job_count = 2;
+  Scenario scenario(config);
+  scenario.run();
+  EXPECT_THROW(scenario.run(), std::logic_error);
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const auto run_once = [] {
+    ScenarioConfig config;
+    config.nodes = 16;
+    config.job_count = 30;
+    config.seed = 11;
+    config.horizon = 30 * sim::kDay;
+    Scenario scenario(config);
+    return scenario.run();
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_it_kwh_exact, b.total_it_kwh_exact);
+  EXPECT_EQ(a.report.jobs_completed, b.report.jobs_completed);
+}
+
+TEST(Scenario, SeedChangesWorkload) {
+  const auto energy_for = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.nodes = 16;
+    config.job_count = 30;
+    config.seed = seed;
+    config.horizon = 30 * sim::kDay;
+    Scenario scenario(config);
+    return scenario.run().total_it_kwh_exact;
+  };
+  EXPECT_NE(energy_for(1), energy_for(2));
+}
+
+TEST(Scenario, ZeroJobCountFillsHorizon) {
+  ScenarioConfig config;
+  config.nodes = 16;
+  config.job_count = 0;
+  config.horizon = 12 * sim::kHour;
+  config.mix = WorkloadMix::kCapacity;
+  Scenario scenario(config);
+  const RunResult result = scenario.run();
+  EXPECT_GT(result.report.jobs_submitted, 0u);
+}
+
+TEST(Scenario, CenterConfigScalesFacility) {
+  const survey::CenterProfile& kaust = survey::center("KAUST");
+  const ScenarioConfig config = Scenario::center_config(kaust);
+  EXPECT_EQ(config.label, "KAUST");
+  EXPECT_EQ(config.nodes, kaust.sim_nodes);
+  EXPECT_EQ(config.node_config.cores, kaust.cores_per_node);
+  EXPECT_DOUBLE_EQ(config.node_config.idle_watts, kaust.node_idle_watts);
+  // Facility capacity scaled by sim_nodes / machine_nodes.
+  const double expected = kaust.site_power_capacity_mw * 1e6 *
+                          kaust.sim_nodes / kaust.machine_nodes;
+  EXPECT_NEAR(config.facility.site_power_capacity_watts, expected, 1.0);
+}
+
+TEST(Scenario, CenterConfigTracksWorkloadOrientation) {
+  EXPECT_EQ(Scenario::center_config(survey::center("RIKEN")).mix,
+            WorkloadMix::kCapability);
+  EXPECT_EQ(Scenario::center_config(survey::center("TokyoTech")).mix,
+            WorkloadMix::kCapacity);
+}
+
+TEST(Scenario, EveryCenterScenarioRuns) {
+  for (const survey::CenterProfile& profile : survey::all_centers()) {
+    ScenarioConfig config = Scenario::center_config(profile, 10, 3);
+    config.horizon = 10 * sim::kDay;
+    Scenario scenario(config);
+    const RunResult result = scenario.run();
+    EXPECT_EQ(result.report.jobs_submitted, 10u) << profile.short_name;
+    EXPECT_GT(result.total_it_kwh_exact, 0.0) << profile.short_name;
+  }
+}
+
+TEST(ArrivalRate, ScalesWithUtilizationTarget) {
+  const workload::AppCatalog catalog = workload::AppCatalog::capacity(64);
+  const double half = arrival_rate_for_utilization(catalog, 64, 0.4);
+  const double full = arrival_rate_for_utilization(catalog, 64, 0.8);
+  EXPECT_NEAR(full / half, 2.0, 1e-9);
+  EXPECT_GT(half, 0.0);
+}
+
+TEST(ArrivalRate, ScalesWithMachineSize) {
+  const workload::AppCatalog catalog = workload::AppCatalog::standard();
+  EXPECT_GT(arrival_rate_for_utilization(catalog, 256, 0.7),
+            arrival_rate_for_utilization(catalog, 64, 0.7));
+}
+
+}  // namespace
+}  // namespace epajsrm::core

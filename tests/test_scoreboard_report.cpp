@@ -1,0 +1,122 @@
+// Tests for the user energy scoreboard and the survey report generator.
+#include <gtest/gtest.h>
+
+#include "survey/centers.hpp"
+#include "survey/report.hpp"
+#include "telemetry/user_scoreboard.hpp"
+
+namespace epajsrm {
+namespace {
+
+telemetry::JobEnergyReport report(const std::string& user, double kwh,
+                                  double node_hours, char grade,
+                                  workload::JobId id = 1) {
+  telemetry::JobEnergyReport r;
+  r.job = id;
+  r.user = user;
+  r.tag = "app";
+  r.energy_kwh = kwh;
+  r.node_hours = node_hours;
+  r.kwh_per_node_hour = node_hours > 0 ? kwh / node_hours : 0.0;
+  r.grade = grade;
+  return r;
+}
+
+TEST(Scoreboard, AggregatesPerUser) {
+  telemetry::UserScoreboard board;
+  board.add(report("alice", 2.0, 10.0, 'B'));
+  board.add(report("alice", 4.0, 10.0, 'D'));
+  board.add(report("bob", 1.0, 10.0, 'A'));
+  EXPECT_EQ(board.user_count(), 2u);
+
+  const telemetry::UserScore alice = board.score_of("alice");
+  EXPECT_EQ(alice.jobs, 2u);
+  EXPECT_DOUBLE_EQ(alice.total_kwh, 6.0);
+  EXPECT_DOUBLE_EQ(alice.node_hours, 20.0);
+  EXPECT_DOUBLE_EQ(alice.kwh_per_node_hour, 0.3);
+  EXPECT_EQ(alice.mark, 'C');  // mean of B(2) and D(4) = 3 = C
+}
+
+TEST(Scoreboard, RankingThriftiestFirst) {
+  telemetry::UserScoreboard board;
+  board.add(report("hungry", 10.0, 10.0, 'E'));
+  board.add(report("frugal", 1.0, 10.0, 'A'));
+  board.add(report("middle", 3.0, 10.0, 'C'));
+  const auto ranking = board.ranking();
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].user, "frugal");
+  EXPECT_EQ(ranking[1].user, "middle");
+  EXPECT_EQ(ranking[2].user, "hungry");
+}
+
+TEST(Scoreboard, MinJobsFilter) {
+  telemetry::UserScoreboard board;
+  board.add(report("newbie", 1.0, 1.0, 'C'));
+  board.add(report("regular", 1.0, 1.0, 'C'));
+  board.add(report("regular", 1.0, 1.0, 'C', 2));
+  EXPECT_EQ(board.ranking(2).size(), 1u);
+  EXPECT_EQ(board.ranking(1).size(), 2u);
+}
+
+TEST(Scoreboard, UnknownUserScoresZero) {
+  telemetry::UserScoreboard board;
+  const telemetry::UserScore s = board.score_of("ghost");
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.total_kwh, 0.0);
+}
+
+TEST(Scoreboard, FormatRendersRanksAndMarks) {
+  telemetry::UserScoreboard board;
+  board.add(report("frugal", 1.0, 10.0, 'A'));
+  board.add(report("hungry", 10.0, 10.0, 'E'));
+  const std::string text =
+      telemetry::UserScoreboard::format_ranking(board.ranking());
+  EXPECT_NE(text.find("frugal"), std::string::npos);
+  EXPECT_LT(text.find("frugal"), text.find("hungry"));
+  EXPECT_NE(text.find("| A"), std::string::npos);
+}
+
+TEST(SurveyReport, FullReportContainsEveryCenter) {
+  const std::string report = survey::render_report();
+  for (const auto& c : survey::all_centers()) {
+    EXPECT_NE(report.find(c.full_name), std::string::npos) << c.short_name;
+  }
+  EXPECT_NE(report.find("## Questionnaire"), std::string::npos);
+  EXPECT_NE(report.find("Cross-site analysis"), std::string::npos);
+  EXPECT_NE(report.find("Figure 2"), std::string::npos);
+}
+
+TEST(SurveyReport, OptionsPruneSections) {
+  survey::ReportOptions options;
+  options.include_map = false;
+  options.include_questionnaire = false;
+  options.include_center_sections = false;
+  options.include_cross_site_analysis = false;
+  const std::string report = survey::render_report(options);
+  EXPECT_EQ(report.find("## Questionnaire"), std::string::npos);
+  EXPECT_EQ(report.find("## Geography"), std::string::npos);
+  // The selection list always renders.
+  EXPECT_NE(report.find("Center selection"), std::string::npos);
+}
+
+TEST(SurveyReport, CenterSectionHasAllThreeMaturityBlocks) {
+  const std::string section = survey::render_center_section("KAUST");
+  EXPECT_NE(section.find("### Research activities"), std::string::npos);
+  EXPECT_NE(section.find("### Technology development"), std::string::npos);
+  EXPECT_NE(section.find("### Production deployment"), std::string::npos);
+  EXPECT_NE(section.find("270 W"), std::string::npos);
+  EXPECT_NE(section.find("epa/static_power_cap"), std::string::npos);
+}
+
+TEST(SurveyReport, UnknownCenterThrows) {
+  EXPECT_THROW(survey::render_center_section("Narnia"), std::out_of_range);
+}
+
+TEST(SurveyReport, JcahpcHasNoTechDevRow) {
+  // Table II shows a dash for JCAHPC tech development.
+  const std::string section = survey::render_center_section("JCAHPC");
+  EXPECT_NE(section.find("*(none reported)*"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm

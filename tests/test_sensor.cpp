@@ -1,0 +1,79 @@
+#include "telemetry/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::telemetry {
+namespace {
+
+TEST(SensorRegistry, AddAndRead) {
+  SensorRegistry reg;
+  reg.add({"m.node0.power", SensorKind::kPowerWatts, [] { return 120.0; }});
+  EXPECT_TRUE(reg.contains("m.node0.power"));
+  EXPECT_DOUBLE_EQ(reg.read("m.node0.power"), 120.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(SensorRegistry, ReadUnknownThrows) {
+  SensorRegistry reg;
+  EXPECT_THROW(reg.read("nope"), std::out_of_range);
+}
+
+TEST(SensorRegistry, DuplicatePathRejected) {
+  SensorRegistry reg;
+  reg.add({"a.b", SensorKind::kCustom, [] { return 0.0; }});
+  EXPECT_THROW(reg.add({"a.b", SensorKind::kCustom, [] { return 1.0; }}),
+               std::invalid_argument);
+}
+
+TEST(SensorRegistry, InvalidSensorsRejected) {
+  SensorRegistry reg;
+  EXPECT_THROW(reg.add({"", SensorKind::kCustom, [] { return 0.0; }}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add({"x", SensorKind::kCustom, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(SensorRegistry, PrefixMatchesWholeComponents) {
+  SensorRegistry reg;
+  reg.add({"m.rack1.node0.power", SensorKind::kPowerWatts, [] { return 1.0; }});
+  reg.add({"m.rack10.node0.power", SensorKind::kPowerWatts, [] { return 2.0; }});
+  reg.add({"m.rack1.node1.power", SensorKind::kPowerWatts, [] { return 4.0; }});
+  const auto paths = reg.list("m.rack1");
+  EXPECT_EQ(paths.size(), 2u);  // rack10 must NOT match
+  EXPECT_DOUBLE_EQ(reg.aggregate("m.rack1", SensorKind::kPowerWatts), 5.0);
+  EXPECT_DOUBLE_EQ(reg.aggregate("m", SensorKind::kPowerWatts), 7.0);
+}
+
+TEST(SensorRegistry, AggregateFiltersByKind) {
+  SensorRegistry reg;
+  reg.add({"m.n0.power", SensorKind::kPowerWatts, [] { return 100.0; }});
+  reg.add({"m.n0.temp", SensorKind::kTemperatureC, [] { return 60.0; }});
+  EXPECT_DOUBLE_EQ(reg.aggregate("m", SensorKind::kPowerWatts), 100.0);
+  EXPECT_DOUBLE_EQ(reg.aggregate("m", SensorKind::kTemperatureC), 60.0);
+}
+
+TEST(SensorRegistry, EmptyPrefixMatchesEverything) {
+  SensorRegistry reg;
+  reg.add({"a.x", SensorKind::kPowerWatts, [] { return 1.0; }});
+  reg.add({"b.y", SensorKind::kPowerWatts, [] { return 2.0; }});
+  EXPECT_EQ(reg.list("").size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.aggregate("", SensorKind::kPowerWatts), 3.0);
+}
+
+TEST(SensorRegistry, ExactPathIsItsOwnPrefix) {
+  SensorRegistry reg;
+  reg.add({"a.b.c", SensorKind::kUtilization, [] { return 0.5; }});
+  EXPECT_EQ(reg.list("a.b.c").size(), 1u);
+}
+
+TEST(SensorRegistry, SensorsReadLive) {
+  SensorRegistry reg;
+  double value = 1.0;
+  reg.add({"live", SensorKind::kCustom, [&value] { return value; }});
+  EXPECT_DOUBLE_EQ(reg.read("live"), 1.0);
+  value = 7.0;
+  EXPECT_DOUBLE_EQ(reg.read("live"), 7.0);
+}
+
+}  // namespace
+}  // namespace epajsrm::telemetry

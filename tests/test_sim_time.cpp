@@ -1,0 +1,46 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::sim {
+namespace {
+
+TEST(SimTime, ConstantsRelate) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(SimTime, FromSecondsRoundTrips) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(123.25)), 123.25);
+}
+
+TEST(SimTime, FromMinutesAndHours) {
+  EXPECT_EQ(from_minutes(2.0), 2 * kMinute);
+  EXPECT_EQ(from_hours(1.5), kHour + 30 * kMinute);
+  EXPECT_DOUBLE_EQ(to_hours(36 * kHour), 36.0);
+}
+
+TEST(SimTime, FormatHmsBasic) {
+  EXPECT_EQ(format_hms(0), "00:00:00");
+  EXPECT_EQ(format_hms(61 * kSecond), "00:01:01");
+  EXPECT_EQ(format_hms(3 * kHour + 25 * kMinute + 9 * kSecond), "03:25:09");
+}
+
+TEST(SimTime, FormatHmsDays) {
+  EXPECT_EQ(format_hms(2 * kDay + kHour), "2+01:00:00");
+}
+
+TEST(SimTime, FormatHmsNegative) {
+  EXPECT_EQ(format_hms(-kMinute), "-00:01:00");
+}
+
+TEST(SimTime, SubSecondTruncates) {
+  EXPECT_EQ(format_hms(999 * kMillisecond), "00:00:00");
+}
+
+}  // namespace
+}  // namespace epajsrm::sim

@@ -1,0 +1,121 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epajsrm::sim {
+namespace {
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, RunAdvancesClockToEventTimes) {
+  Simulation sim;
+  std::vector<SimTime> observed;
+  sim.schedule_at(10, [&] { observed.push_back(sim.now()); });
+  sim.schedule_at(25, [&] { observed.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<SimTime>{10, 25}));
+  EXPECT_EQ(sim.now(), 25);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(21, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(30);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulation, StopTerminatesRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, CancelPendingEvent) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, ScheduleEveryRepeatsUntilFalse) {
+  Simulation sim;
+  int ticks = 0;
+  sim.schedule_every(10, [&]() -> bool {
+    ++ticks;
+    return ticks < 5;
+  });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, EventsProcessedCounts) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulation, CascadedEventsSameTimeRunSameInstant) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(1);
+    sim.schedule_at(5, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  // Cascaded event was scheduled later, so it fires after event 3.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+}  // namespace
+}  // namespace epajsrm::sim

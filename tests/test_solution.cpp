@@ -1,0 +1,276 @@
+// Integration tests of the full EpaJsrmSolution stack.
+#include "core/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fcfs.hpp"
+
+namespace epajsrm::core {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 8) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime,
+                           sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 2;
+  spec.submit_time = submit;
+  spec.profile.freq_sensitive_fraction = 0.5;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+TEST(Solution, SingleJobRunsToCompletion) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  solution.submit(job_spec(1, 2, 30 * sim::kMinute));
+  solution.run_until(4 * sim::kHour);
+
+  workload::Job* job = solution.find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_EQ(job->end_time() - job->start_time(), 30 * sim::kMinute);
+  EXPECT_GT(job->energy_joules(), 0.0);
+  EXPECT_TRUE(solution.workload_drained());
+}
+
+TEST(Solution, ReportCountsAndEnergyConsistent) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  for (workload::JobId id = 1; id <= 5; ++id) {
+    solution.submit(job_spec(id, 2, 20 * sim::kMinute,
+                             (id - 1) * 5 * sim::kMinute));
+  }
+  solution.run_until(6 * sim::kHour);
+  const RunResult result = solution.finalize();
+  EXPECT_EQ(result.report.jobs_submitted, 5u);
+  EXPECT_EQ(result.report.jobs_completed, 5u);
+  EXPECT_EQ(result.report.jobs_killed, 0u);
+  // Sampled energy tracks the exact accountant within a few percent.
+  EXPECT_NEAR(result.report.total_it_kwh, result.total_it_kwh_exact,
+              0.05 * result.total_it_kwh_exact + 0.05);
+}
+
+TEST(Solution, JobEnergyMatchesHandComputation) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  SolutionConfig config;
+  config.enable_thermal = false;
+  EpaJsrmSolution solution(sim, cluster, config);
+  // Whole-node job, intensity 1, full frequency: node draws 300 W.
+  workload::JobSpec spec = job_spec(1, 1, sim::kHour);
+  spec.profile.power_intensity = 1.0;
+  solution.submit(spec);
+  solution.run_until(3 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  EXPECT_NEAR(job->energy_joules(), 300.0 * 3600.0, 1.0);
+}
+
+TEST(Solution, WalltimeLimitKillsOverrunningJob) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  workload::JobSpec spec = job_spec(1, 1, 2 * sim::kHour);
+  spec.walltime_estimate = sim::kHour;  // will overrun
+  solution.submit(spec);
+  solution.run_until(5 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  EXPECT_EQ(job->state(), workload::JobState::kKilled);
+  EXPECT_EQ(job->end_time() - job->start_time(), sim::kHour);
+  const RunResult result = solution.finalize();
+  EXPECT_EQ(result.kills_by_reason.at("walltime-limit"), 1u);
+}
+
+TEST(Solution, QueuedJobsWaitForResources) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  EpaJsrmSolution solution(sim, cluster);
+  solution.submit(job_spec(1, 4, sim::kHour));           // fills machine
+  solution.submit(job_spec(2, 4, sim::kHour, sim::kMinute));
+  solution.run_until(6 * sim::kHour);
+  workload::Job* second = solution.find_job(2);
+  ASSERT_EQ(second->state(), workload::JobState::kCompleted);
+  EXPECT_GE(second->start_time(), sim::kHour);  // had to wait for job 1
+}
+
+TEST(Solution, PriorityOrdersQueue) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  EpaJsrmSolution solution(sim, cluster);
+  solution.submit(job_spec(1, 4, sim::kHour));  // running
+  workload::JobSpec low = job_spec(2, 4, sim::kHour, sim::kMinute);
+  workload::JobSpec high = job_spec(3, 4, sim::kHour, 2 * sim::kMinute);
+  high.priority = 2;
+  solution.submit(low);
+  solution.submit(high);
+  solution.run_until(8 * sim::kHour);
+  EXPECT_LT(solution.find_job(3)->start_time(),
+            solution.find_job(2)->start_time());
+}
+
+TEST(Solution, KillJobOnQueuedCancels) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(2);
+  EpaJsrmSolution solution(sim, cluster);
+  solution.submit(job_spec(1, 2, sim::kHour));
+  solution.submit(job_spec(2, 2, sim::kHour, sim::kMinute));
+  solution.start();
+  sim.run_until(10 * sim::kMinute);
+  solution.kill_job(2, "operator");
+  EXPECT_EQ(solution.find_job(2)->state(), workload::JobState::kCancelled);
+  sim.run_until(2 * sim::kHour);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kCompleted);
+}
+
+TEST(Solution, CapSlowsRunningJob) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(2);
+  SolutionConfig config;
+  config.enable_thermal = false;
+  EpaJsrmSolution solution(sim, cluster, config);
+  solution.submit(job_spec(1, 1, sim::kHour));  // beta 0.5
+  solution.start();
+  sim.run_until(10 * sim::kMinute);
+  ASSERT_EQ(solution.find_job(1)->state(), workload::JobState::kRunning);
+  // Clamp the whole machine hard: dynamic power must shrink ~8x.
+  solution.set_system_cap(2 * 125.0);
+  sim.run_until(10 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+  // Ran 10 min at full speed; the rest slower -> total > 1 h.
+  EXPECT_GT(job->end_time() - job->start_time(), sim::kHour);
+}
+
+TEST(Solution, PstateChangeStretchesRuntimePredictably) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(2);
+  SolutionConfig config;
+  config.enable_thermal = false;
+  config.enforce_walltime = false;
+  EpaJsrmSolution solution(sim, cluster, config);
+  workload::JobSpec spec = job_spec(1, 1, sim::kHour);
+  spec.profile.freq_sensitive_fraction = 1.0;  // fully compute bound
+  solution.submit(spec);
+  solution.start();
+  sim.run_until(sim::kSecond);
+  solution.set_job_pstate(1, 4);  // ratio 0.5 -> speed 0.5
+  sim.run_until(10 * sim::kHour);
+  workload::Job* job = solution.find_job(1);
+  ASSERT_EQ(job->state(), workload::JobState::kCompleted);
+  // ~1 s at full speed then 2x stretch: just under 2 h total.
+  EXPECT_NEAR(sim::to_seconds(job->end_time() - job->start_time()),
+              2.0 * 3600.0, 5.0);
+}
+
+TEST(Solution, FcfsConvoyVsBackfillThroughput) {
+  const auto run_with =
+      [](std::unique_ptr<sched::SchedulerPolicy> sched) -> sim::SimTime {
+    sim::Simulation sim;
+    platform::Cluster cluster = test_cluster(8);
+    EpaJsrmSolution solution(sim, cluster);
+    solution.set_scheduler(std::move(sched));
+    // A 6-node job leaves a 2-node hole; the wide job behind it blocks
+    // FCFS, while EASY slips the short narrow jobs into the hole.
+    solution.submit(job_spec(1, 6, sim::kHour));
+    solution.submit(job_spec(2, 8, 2 * sim::kHour, sim::kMinute));
+    for (workload::JobId id = 3; id <= 6; ++id) {
+      solution.submit(job_spec(id, 1, 20 * sim::kMinute, 2 * sim::kMinute));
+    }
+    solution.run_until(24 * sim::kHour);
+    sim::SimTime total_wait = 0;
+    for (workload::JobId id = 3; id <= 6; ++id) {
+      total_wait += solution.find_job(id)->wait_time();
+    }
+    return total_wait;
+  };
+  const sim::SimTime fcfs_wait =
+      run_with(std::make_unique<sched::FcfsScheduler>());
+  const sim::SimTime easy_wait =
+      run_with(std::make_unique<sched::EasyBackfillScheduler>());
+  EXPECT_LT(easy_wait, fcfs_wait);
+}
+
+TEST(Solution, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    sim::Simulation sim;
+    platform::Cluster cluster = test_cluster(8);
+    EpaJsrmSolution solution(sim, cluster);
+    for (workload::JobId id = 1; id <= 10; ++id) {
+      solution.submit(job_spec(id, 1 + id % 4, 20 * sim::kMinute,
+                               id * 3 * sim::kMinute));
+    }
+    solution.run_until(12 * sim::kHour);
+    return solution.finalize();
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_it_kwh_exact, b.total_it_kwh_exact);
+  EXPECT_EQ(a.report.jobs_completed, b.report.jobs_completed);
+  EXPECT_DOUBLE_EQ(a.report.wait_minutes.mean, b.report.wait_minutes.mean);
+}
+
+TEST(Solution, EnergyReportsProducedPerFinishedJob) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  for (workload::JobId id = 1; id <= 3; ++id) {
+    solution.submit(job_spec(id, 1, 10 * sim::kMinute));
+  }
+  solution.run_until(4 * sim::kHour);
+  const RunResult result = solution.finalize();
+  EXPECT_EQ(result.job_reports.size(), 3u);
+  for (const auto& report : result.job_reports) {
+    EXPECT_GT(report.energy_kwh, 0.0);
+    EXPECT_GE(report.grade, 'A');
+    EXPECT_LE(report.grade, 'E');
+  }
+}
+
+TEST(Solution, RejectsInvalidSubmissions) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  workload::JobSpec bad = job_spec(0, 1, sim::kHour);
+  EXPECT_THROW(solution.submit(bad), std::invalid_argument);
+  solution.submit(job_spec(1, 1, sim::kHour));
+  EXPECT_THROW(solution.submit(job_spec(1, 1, sim::kHour)),
+               std::invalid_argument);
+}
+
+TEST(Solution, PowerPredictorLearnsFromCompletions) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster();
+  EpaJsrmSolution solution(sim, cluster);
+  workload::JobSpec spec = job_spec(1, 1, 30 * sim::kMinute);
+  spec.tag = "learn-me";
+  solution.submit(spec);
+  solution.run_until(2 * sim::kHour);
+  // After one completion the tag-history predictor should be close to the
+  // actual ~300 W draw, far from the 300 W peak prior... the prior IS the
+  // peak here; check it learned a plausible sub-peak value.
+  workload::JobSpec probe = job_spec(99, 1, sim::kHour);
+  probe.tag = "learn-me";
+  const double predicted = solution.power_predictor().predict_node_watts(probe);
+  EXPECT_GT(predicted, 100.0);
+  EXPECT_LE(predicted, 301.0);
+}
+
+}  // namespace
+}  // namespace epajsrm::core

@@ -1,0 +1,154 @@
+#include "survey/activities.hpp"
+#include "survey/centers.hpp"
+#include "survey/questionnaire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace epajsrm::survey {
+namespace {
+
+TEST(Centers, NineCentersInPaperOrder) {
+  const auto& centers = all_centers();
+  ASSERT_EQ(centers.size(), 9u);
+  EXPECT_EQ(centers[0].short_name, "RIKEN");
+  EXPECT_EQ(centers[1].short_name, "TokyoTech");
+  EXPECT_EQ(centers[2].short_name, "CEA");
+  EXPECT_EQ(centers[3].short_name, "KAUST");
+  EXPECT_EQ(centers[4].short_name, "LRZ");
+  EXPECT_EQ(centers[5].short_name, "STFC");
+  EXPECT_EQ(centers[6].short_name, "Trinity");
+  EXPECT_EQ(centers[7].short_name, "CINECA");
+  EXPECT_EQ(centers[8].short_name, "JCAHPC");
+}
+
+TEST(Centers, RegionsSpanAsiaEuropeAmerica) {
+  std::set<Region> regions;
+  for (const auto& c : all_centers()) regions.insert(c.region);
+  EXPECT_TRUE(regions.contains(Region::kAsia));
+  EXPECT_TRUE(regions.contains(Region::kEurope));
+  EXPECT_TRUE(regions.contains(Region::kNorthAmerica));
+}
+
+TEST(Centers, ProfilesArePhysical) {
+  for (const auto& c : all_centers()) {
+    EXPECT_GT(c.machine_nodes, 0u) << c.short_name;
+    EXPECT_GT(c.cores_per_node, 0u) << c.short_name;
+    EXPECT_GT(c.node_peak_watts, c.node_idle_watts) << c.short_name;
+    EXPECT_GT(c.sim_nodes, 0u) << c.short_name;
+    EXPECT_LE(c.sim_nodes, c.machine_nodes) << c.short_name;
+    EXPECT_GE(c.latitude, -90.0);
+    EXPECT_LE(c.latitude, 90.0);
+    EXPECT_GE(c.longitude, -180.0);
+    EXPECT_LE(c.longitude, 180.0);
+    EXPECT_GE(c.site_power_capacity_mw, c.peak_system_mw) << c.short_name;
+  }
+}
+
+TEST(Centers, LookupByName) {
+  EXPECT_EQ(center("KAUST").country, "Saudi Arabia");
+  EXPECT_THROW(center("Hogwarts"), std::out_of_range);
+}
+
+TEST(Centers, DistancesSane) {
+  const auto& riken = center("RIKEN");
+  const auto& tokyo = center("TokyoTech");
+  const auto& trinity = center("Trinity");
+  EXPECT_DOUBLE_EQ(distance_km(riken, riken), 0.0);
+  EXPECT_NEAR(distance_km(riken, tokyo), 420.0, 100.0);  // Kobe-Tokyo
+  EXPECT_GT(distance_km(riken, trinity), 8000.0);        // Japan-NM
+  EXPECT_NEAR(distance_km(riken, trinity), distance_km(trinity, riken),
+              1e-9);
+}
+
+TEST(Centers, AsciiMapMarksAllNine) {
+  const std::string map = ascii_map();
+  for (char c = '1'; c <= '9'; ++c) {
+    EXPECT_NE(map.find(c), std::string::npos) << "marker " << c;
+  }
+  EXPECT_NE(map.find("RIKEN"), std::string::npos);
+}
+
+TEST(Activities, EveryCenterHasProductionDeployment) {
+  // Section V: "all sites have some type of production deployment".
+  for (const auto& c : all_centers()) {
+    EXPECT_FALSE(activities_of(c.short_name, Maturity::kProduction).empty())
+        << c.short_name;
+  }
+}
+
+TEST(Activities, EveryActivityNamesAKnownCenter) {
+  for (const auto& a : all_activities()) {
+    EXPECT_NO_THROW(center(a.center)) << a.description;
+  }
+}
+
+TEST(Activities, KnownTableFacts) {
+  // Spot-check cells against the paper.
+  const auto kaust_prod = activities_of("KAUST", Maturity::kProduction);
+  bool found_static_cap = false;
+  for (const auto& a : kaust_prod) {
+    found_static_cap |= a.technique == Technique::kPowerCapping &&
+                        a.description.find("270") != std::string::npos;
+  }
+  EXPECT_TRUE(found_static_cap);
+
+  const auto riken_prod = activities_of("RIKEN", Maturity::kProduction);
+  bool found_emergency = false;
+  for (const auto& a : riken_prod) {
+    found_emergency |= a.technique == Technique::kEmergencyResponse;
+  }
+  EXPECT_TRUE(found_emergency);
+}
+
+TEST(Activities, TechniqueQueriesCrossCenters) {
+  // Energy reporting is in production at Tokyo Tech and JCAHPC.
+  EXPECT_GE(centers_with(Technique::kEnergyReporting, Maturity::kProduction),
+            2u);
+  const auto reports = activities_with(Technique::kEnergyReporting);
+  EXPECT_GE(reports.size(), 3u);
+}
+
+TEST(Activities, ModulesMappedForProductionTechniques) {
+  for (const auto& a : all_activities()) {
+    if (a.maturity == Maturity::kProduction) {
+      EXPECT_FALSE(a.module.empty()) << a.center << ": " << a.description;
+    }
+  }
+}
+
+TEST(Activities, EnumNamesRender) {
+  EXPECT_STREQ(to_string(Maturity::kResearch), "Research");
+  EXPECT_STREQ(to_string(Maturity::kProduction), "Production");
+  EXPECT_STREQ(to_string(Technique::kPowerCapping), "power capping");
+  EXPECT_STREQ(to_string(Technique::kVmSplitting), "VM node splitting");
+}
+
+TEST(Questionnaire, EightQuestionsInOrder) {
+  const auto& qs = questionnaire();
+  ASSERT_EQ(qs.size(), 8u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(qs[i].id, "Q" + std::to_string(i + 1));
+    EXPECT_FALSE(qs[i].text.empty());
+    EXPECT_FALSE(qs[i].rationale.empty());
+  }
+}
+
+TEST(Questionnaire, SubItemsMatchPaper) {
+  EXPECT_EQ(question("Q2").sub_items.size(), 3u);
+  EXPECT_EQ(question("Q3").sub_items.size(), 5u);
+  EXPECT_EQ(question("Q5").sub_items.size(), 3u);
+  EXPECT_EQ(question("Q8").sub_items.size(), 2u);
+  EXPECT_TRUE(question("Q1").sub_items.empty());
+}
+
+TEST(Questionnaire, LookupAndFormat) {
+  EXPECT_THROW(question("Q9"), std::out_of_range);
+  const std::string text = format_questionnaire();
+  EXPECT_NE(text.find("Q4"), std::string::npos);
+  EXPECT_NE(text.find("topology-aware"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm::survey

@@ -1,0 +1,116 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace epajsrm::workload {
+namespace {
+
+constexpr const char* kSample =
+    "; Comment header\n"
+    ";  MaxProcs: 128\n"
+    "\n"
+    "1 0 10 3600 64 -1 -1 64 7200 -1 1 5 1 2 1 1 -1 -1\n"
+    "2 100 0 1800 32 -1 -1 32 3600 -1 1 6 1 3 1 1 -1 -1\n"
+    "3 200 5 -1 16 -1 -1 16 900 -1 0 7 1 2 1 1 -1 -1\n";
+
+TEST(Swf, ParsesDataLinesSkipsComments) {
+  std::istringstream in(kSample);
+  const auto records = parse_swf(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_EQ(records[0].run_time, 3600);
+  EXPECT_EQ(records[0].allocated_processors, 64);
+  EXPECT_EQ(records[1].submit_time, 100);
+  EXPECT_EQ(records[2].status, 0);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW(parse_swf(in), std::runtime_error);
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(parse_swf_file("/nonexistent/trace.swf"), std::runtime_error);
+}
+
+TEST(Swf, ToJobsRoundsProcessorsToNodes) {
+  std::istringstream in(kSample);
+  const auto jobs = to_jobs(parse_swf(in), /*cores_per_node=*/32,
+                            /*machine_nodes=*/64);
+  // Record 3 has run_time -1 and is dropped.
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].nodes, 2u);  // 64 procs / 32
+  EXPECT_EQ(jobs[1].nodes, 1u);
+  EXPECT_EQ(jobs[0].runtime_ref, 3600 * sim::kSecond);
+  EXPECT_EQ(jobs[0].walltime_estimate, 7200 * sim::kSecond);
+  EXPECT_EQ(jobs[0].tag, "swf-app-2");
+}
+
+TEST(Swf, ToJobsSortsBySubmitTime) {
+  std::istringstream in(
+      "5 500 0 100 8 -1 -1 8 200 -1 1 1 1 1 1 1 -1 -1\n"
+      "6 100 0 100 8 -1 -1 8 200 -1 1 1 1 1 1 1 -1 -1\n");
+  const auto jobs = to_jobs(parse_swf(in), 8, 16);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LE(jobs[0].submit_time, jobs[1].submit_time);
+  EXPECT_EQ(jobs[0].id, 6u);
+}
+
+TEST(Swf, ToJobsRejectsZeroCoresPerNode) {
+  EXPECT_THROW(to_jobs({}, 0, 16), std::invalid_argument);
+}
+
+TEST(Swf, WalltimeNeverBelowRuntime) {
+  // requested_time (100 s) below run_time (200 s) must be raised.
+  std::istringstream in("1 0 0 200 8 -1 -1 8 100 -1 1 1 1 1 1 1 -1 -1\n");
+  const auto jobs = to_jobs(parse_swf(in), 8, 16);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_GE(jobs[0].walltime_estimate, jobs[0].runtime_ref);
+}
+
+TEST(Swf, WriterRoundTripsThroughParser) {
+  JobSpec spec;
+  spec.id = 7;
+  spec.nodes = 2;
+  spec.submit_time = 50 * sim::kSecond;
+  spec.runtime_ref = 600 * sim::kSecond;
+  spec.walltime_estimate = 900 * sim::kSecond;
+  Job job(spec);
+  job.set_allocated_nodes({0, 1});
+  job.set_cores_per_node_allocated(16);
+  job.begin_execution(100 * sim::kSecond, 1.0);
+  job.set_end_time(700 * sim::kSecond);
+  job.set_state(JobState::kCompleted);
+
+  std::ostringstream out;
+  write_swf(out, {&job}, 16);
+
+  std::istringstream in(out.str());
+  const auto records = parse_swf(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].job_number, 7);
+  EXPECT_EQ(records[0].submit_time, 50);
+  EXPECT_EQ(records[0].wait_time, 50);
+  EXPECT_EQ(records[0].run_time, 600);
+  EXPECT_EQ(records[0].allocated_processors, 32);
+  EXPECT_EQ(records[0].status, 1);
+}
+
+TEST(Swf, WriterMarksUnfinishedJobs) {
+  JobSpec spec;
+  spec.id = 9;
+  spec.nodes = 1;
+  Job job(spec);
+  std::ostringstream out;
+  write_swf(out, {&job}, 8);
+  std::istringstream in(out.str());
+  const auto records = parse_swf(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].run_time, -1);
+  EXPECT_EQ(records[0].status, 0);
+}
+
+}  // namespace
+}  // namespace epajsrm::workload

@@ -1,0 +1,83 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::metrics {
+namespace {
+
+TEST(AsciiTable, RendersHeadersAndRows) {
+  AsciiTable t({"center", "energy"});
+  t.add_row({"KAUST", "12.5 kWh"});
+  t.add_row({"LRZ", "9.1 kWh"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("center"), std::string::npos);
+  EXPECT_NE(out.find("KAUST"), std::string::npos);
+  EXPECT_NE(out.find("9.1 kWh"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, TitleAppearsFirst) {
+  AsciiTable t({"a"});
+  t.set_title("TABLE I");
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.rfind("TABLE I", 0), 0u);
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(AsciiTable, WideRowsRejected) {
+  AsciiTable t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, MultilineCellsWrap) {
+  AsciiTable t({"center", "activities"});
+  t.add_row({"RIKEN", "line one\nline two"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("line one"), std::string::npos);
+  EXPECT_NE(out.find("line two"), std::string::npos);
+  // Two physical lines inside one logical row.
+  EXPECT_GT(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(AsciiTable, ColumnsAlignAcrossRows) {
+  AsciiTable t({"h"});
+  t.add_row({"short"});
+  t.add_row({"a much longer cell"});
+  const std::string out = t.render();
+  // Every rendered line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(Format, Watts) {
+  EXPECT_EQ(format_watts(500.0), "500 W");
+  EXPECT_EQ(format_watts(12500.0), "12.5 kW");
+  EXPECT_EQ(format_watts(2.3e6), "2.30 MW");
+}
+
+TEST(Format, Kwh) {
+  EXPECT_EQ(format_kwh(12.34), "12.3 kWh");
+  EXPECT_EQ(format_kwh(2500.0), "2.50 MWh");
+}
+
+TEST(Format, DoubleAndPercent) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.4213), "42.1 %");
+  EXPECT_EQ(format_percent(1.0, 0), "100 %");
+}
+
+}  // namespace
+}  // namespace epajsrm::metrics

@@ -1,0 +1,78 @@
+#include "power/tariff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::power {
+namespace {
+
+TEST(Tariff, FlatPriceEverywhere) {
+  const Tariff t = Tariff::flat(0.12);
+  EXPECT_DOUBLE_EQ(t.price_at(0), 0.12);
+  EXPECT_DOUBLE_EQ(t.price_at(sim::from_hours(13.7)), 0.12);
+  EXPECT_DOUBLE_EQ(t.price_at(5 * sim::kDay), 0.12);
+}
+
+TEST(Tariff, PeakOffpeakBands) {
+  const Tariff t = Tariff::peak_offpeak(0.30, 0.10, 8.0, 20.0);
+  EXPECT_DOUBLE_EQ(t.price_at(sim::from_hours(3.0)), 0.10);
+  EXPECT_DOUBLE_EQ(t.price_at(sim::from_hours(8.0)), 0.30);
+  EXPECT_DOUBLE_EQ(t.price_at(sim::from_hours(19.99)), 0.30);
+  EXPECT_DOUBLE_EQ(t.price_at(sim::from_hours(20.0)), 0.10);
+}
+
+TEST(Tariff, BandsMustTile) {
+  EXPECT_THROW(Tariff({}), std::invalid_argument);
+  EXPECT_THROW(Tariff({{0.0, 12.0, 0.1}}), std::invalid_argument);  // gap
+  EXPECT_THROW(Tariff({{0.0, 14.0, 0.1}, {12.0, 24.0, 0.2}}),
+               std::invalid_argument);  // overlap
+  EXPECT_THROW(Tariff({{0.0, 24.0, -0.1}}), std::invalid_argument);
+  EXPECT_NO_THROW(Tariff({{0.0, 6.0, 0.1}, {6.0, 24.0, 0.2}}));
+}
+
+TEST(Tariff, CostOfConstantLoadFlat) {
+  const Tariff t = Tariff::flat(0.10);
+  // 2000 W for 3 h = 6 kWh at 0.10 = 0.60.
+  EXPECT_NEAR(t.cost(2000.0, 0, sim::from_hours(3.0)), 0.60, 1e-9);
+}
+
+TEST(Tariff, CostCrossesBandBoundary) {
+  const Tariff t = Tariff::peak_offpeak(0.30, 0.10, 8.0, 20.0);
+  // 1000 W from 07:00 to 09:00: 1 h off-peak + 1 h peak.
+  const double cost =
+      t.cost(1000.0, sim::from_hours(7.0), sim::from_hours(9.0));
+  EXPECT_NEAR(cost, 1.0 * 0.10 + 1.0 * 0.30, 1e-9);
+}
+
+TEST(Tariff, CostCrossesMidnight) {
+  const Tariff t = Tariff::peak_offpeak(0.30, 0.10, 8.0, 20.0);
+  // 1000 W from 23:00 to 01:00 next day: 2 h off-peak.
+  const double cost =
+      t.cost(1000.0, sim::from_hours(23.0), sim::from_hours(25.0));
+  EXPECT_NEAR(cost, 2.0 * 0.10, 1e-9);
+}
+
+TEST(Tariff, ZeroOrNegativeInputsCostNothing) {
+  const Tariff t = Tariff::flat(0.10);
+  EXPECT_DOUBLE_EQ(t.cost(0.0, 0, sim::kHour), 0.0);
+  EXPECT_DOUBLE_EQ(t.cost(1000.0, sim::kHour, sim::kHour), 0.0);
+  EXPECT_DOUBLE_EQ(t.cost(1000.0, 2 * sim::kHour, sim::kHour), 0.0);
+}
+
+TEST(Tariff, CheapestStartAvoidsPeak) {
+  const Tariff t = Tariff::peak_offpeak(0.30, 0.10, 8.0, 20.0);
+  // A 2-hour run requested at 07:30 is cheapest started after 20:00 (or
+  // before 06:00 the next day); definitely not in the peak.
+  const sim::SimTime start =
+      t.cheapest_start(1000.0, sim::from_hours(7.5), 2 * sim::kHour);
+  const double chosen_cost = t.cost(1000.0, start, start + 2 * sim::kHour);
+  EXPECT_NEAR(chosen_cost, 2.0 * 0.10, 1e-9);
+}
+
+TEST(Tariff, CheapestStartKeepsImmediateWhenFlat) {
+  const Tariff t = Tariff::flat(0.10);
+  const sim::SimTime earliest = sim::from_hours(5.0);
+  EXPECT_EQ(t.cheapest_start(500.0, earliest, sim::kHour), earliest);
+}
+
+}  // namespace
+}  // namespace epajsrm::power

@@ -1,0 +1,106 @@
+#include "power/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epajsrm::power {
+namespace {
+
+platform::NodeConfig config() {
+  platform::NodeConfig cfg;
+  cfg.thermal_resistance = 0.2;     // K/W
+  cfg.thermal_capacitance = 1000.0; // J/K -> tau = 200 s
+  return cfg;
+}
+
+TEST(Thermal, SteadyStateFormula) {
+  EXPECT_DOUBLE_EQ(ThermalModel::steady_state_c(config(), 200.0, 20.0),
+                   60.0);
+  EXPECT_DOUBLE_EQ(ThermalModel::steady_state_c(config(), 0.0, 22.0), 22.0);
+}
+
+TEST(Thermal, StepConvergesTowardSteadyState) {
+  ThermalModel model(0.0);
+  platform::Node n(0, config(), 0, 0, 0);
+  n.set_current_watts(200.0);
+  n.set_temperature_c(20.0);
+  double prev_gap = std::abs(60.0 - n.temperature_c());
+  for (int i = 0; i < 10; ++i) {
+    model.step_node(n, 20.0, 100 * sim::kSecond);
+    const double gap = std::abs(60.0 - n.temperature_c());
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  EXPECT_NEAR(n.temperature_c(), 60.0, 0.5);
+}
+
+TEST(Thermal, ExactExponentialStep) {
+  ThermalModel model(0.0);
+  platform::Node n(0, config(), 0, 0, 0);
+  n.set_current_watts(200.0);  // target 60 C at 20 C inlet
+  n.set_temperature_c(20.0);
+  model.step_node(n, 20.0, 200 * sim::kSecond);  // exactly one tau
+  EXPECT_NEAR(n.temperature_c(), 60.0 + (20.0 - 60.0) * std::exp(-1.0),
+              1e-9);
+}
+
+TEST(Thermal, CoolingStepLowersTemperature) {
+  ThermalModel model(0.0);
+  platform::Node n(0, config(), 0, 0, 0);
+  n.set_current_watts(0.0);
+  n.set_temperature_c(80.0);
+  model.step_node(n, 20.0, 300 * sim::kSecond);
+  EXPECT_LT(n.temperature_c(), 80.0);
+  EXPECT_GT(n.temperature_c(), 20.0);
+}
+
+TEST(Thermal, InletIncludesRecirculationOffset) {
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(config())
+                                  .build();
+  ThermalModel model(4.0);
+  // Supply default 18 C + 4 C offset.
+  EXPECT_DOUBLE_EQ(model.inlet_c(cluster, cluster.node(0)), 22.0);
+}
+
+TEST(Thermal, OverloadedLoopRaisesInlet) {
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(config())
+                                  .cooling_capacity_watts(100.0)
+                                  .build();
+  for (platform::Node& n : cluster.nodes()) n.set_current_watts(50.0);
+  ThermalModel model(4.0);
+  // Load 200 W on a 100 W loop: overload 1.0 -> +10 C.
+  EXPECT_NEAR(model.inlet_c(cluster, cluster.node(0)), 32.0, 1e-9);
+}
+
+TEST(Thermal, MaxTemperatureFindsHottest) {
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(config())
+                                  .build();
+  cluster.node(2).set_temperature_c(71.5);
+  EXPECT_DOUBLE_EQ(ThermalModel::max_temperature_c(cluster), 71.5);
+}
+
+TEST(Thermal, StepClusterAdvancesEveryNode) {
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(config())
+                                  .build();
+  for (platform::Node& n : cluster.nodes()) {
+    n.set_current_watts(150.0);
+    n.set_temperature_c(25.0);
+  }
+  ThermalModel model(4.0);
+  model.step_cluster(cluster, 100 * sim::kSecond);
+  for (const platform::Node& n : cluster.nodes()) {
+    EXPECT_GT(n.temperature_c(), 25.0);
+  }
+}
+
+}  // namespace
+}  // namespace epajsrm::power

@@ -1,0 +1,99 @@
+#include "telemetry/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epajsrm::telemetry {
+namespace {
+
+TEST(TimeSeries, StartsEmpty) {
+  TimeSeries ts(8);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.capacity(), 8u);
+  EXPECT_FALSE(ts.latest().has_value());
+}
+
+TEST(TimeSeries, RecordsAndReadsBack) {
+  TimeSeries ts(8);
+  ts.record(10, 1.5);
+  ts.record(20, 2.5);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.at(0).time, 10);
+  EXPECT_DOUBLE_EQ(ts.at(1).value, 2.5);
+  EXPECT_EQ(ts.latest()->time, 20);
+}
+
+TEST(TimeSeries, RejectsTimeTravel) {
+  TimeSeries ts(8);
+  ts.record(10, 1.0);
+  EXPECT_THROW(ts.record(5, 2.0), std::invalid_argument);
+  EXPECT_NO_THROW(ts.record(10, 3.0));  // equal times allowed
+}
+
+TEST(TimeSeries, RingOverwritesOldest) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.record(i, static_cast<double>(i));
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.at(0).time, 6);
+  EXPECT_EQ(ts.at(3).time, 9);
+}
+
+TEST(TimeSeries, OutOfRangeIndexThrows) {
+  TimeSeries ts(4);
+  ts.record(1, 1.0);
+  EXPECT_THROW(ts.at(1), std::out_of_range);
+}
+
+TEST(TimeSeries, WindowStats) {
+  TimeSeries ts(16);
+  for (int i = 0; i <= 10; ++i) ts.record(i * 10, static_cast<double>(i));
+  const auto stats = ts.window_stats(30, 70);
+  EXPECT_EQ(stats.count, 5u);  // samples at t=30..70
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 3.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+}
+
+TEST(TimeSeries, WindowStatsEmptyWindow) {
+  TimeSeries ts(8);
+  ts.record(100, 1.0);
+  const auto stats = ts.window_stats(0, 50);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(TimeSeries, TrailingMeanUsesWindowFromLatest) {
+  TimeSeries ts(16);
+  ts.record(0, 100.0);
+  ts.record(10, 10.0);
+  ts.record(20, 20.0);
+  ts.record(30, 30.0);
+  EXPECT_DOUBLE_EQ(ts.trailing_mean(20), 20.0);  // t in [10,30]
+  EXPECT_DOUBLE_EQ(ts.trailing_mean(0), 30.0);   // just the latest
+}
+
+TEST(TimeSeries, TrailingMeanEmpty) {
+  TimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.trailing_mean(100), 0.0);
+}
+
+TEST(TimeSeries, IntegralPiecewiseConstant) {
+  TimeSeries ts(8);
+  ts.record(0, 100.0);                 // 100 W for 2 s
+  ts.record(2 * sim::kSecond, 50.0);   // 50 W for 3 s
+  ts.record(5 * sim::kSecond, 0.0);
+  EXPECT_NEAR(ts.integral_seconds(), 100.0 * 2 + 50.0 * 3, 1e-9);
+}
+
+TEST(TimeSeries, IntegralNeedsTwoSamples) {
+  TimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.integral_seconds(), 0.0);
+  ts.record(0, 42.0);
+  EXPECT_DOUBLE_EQ(ts.integral_seconds(), 0.0);
+}
+
+TEST(TimeSeries, ZeroCapacityRejected) {
+  EXPECT_THROW(TimeSeries(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epajsrm::telemetry

@@ -1,0 +1,144 @@
+#include "platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace epajsrm::platform {
+namespace {
+
+TEST(FatTree, NodeCountIsArityPowLevels) {
+  FatTreeTopology t(4, 3);
+  EXPECT_EQ(t.node_count(), 64u);
+  EXPECT_EQ(t.diameter(), 6u);
+}
+
+TEST(FatTree, SiblingsAreTwoHops) {
+  FatTreeTopology t(4, 3);
+  EXPECT_EQ(t.distance(0, 1), 2u);
+  EXPECT_EQ(t.distance(0, 3), 2u);
+}
+
+TEST(FatTree, CrossSubtreeDistancesGrow) {
+  FatTreeTopology t(4, 3);
+  EXPECT_EQ(t.distance(0, 4), 4u);    // same level-2 subtree
+  EXPECT_EQ(t.distance(0, 16), 6u);   // across the root
+}
+
+TEST(FatTree, RejectsDegenerateShape) {
+  EXPECT_THROW(FatTreeTopology(1, 3), std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(4, 0), std::invalid_argument);
+}
+
+TEST(Torus3D, CoordinateRoundTrip) {
+  Torus3DTopology t(4, 3, 2);
+  EXPECT_EQ(t.node_count(), 24u);
+  const auto c = t.coord(4 + 4 * (2 + 3 * 1));  // x=0? compute: id=4+4*5=...
+  (void)c;
+  const auto c2 = t.coord(13);  // 13 = 1 + 4*(3 = y + 3z) -> x=1,y=0,z=1
+  EXPECT_EQ(c2.x, 1u);
+  EXPECT_EQ(c2.y, 0u);
+  EXPECT_EQ(c2.z, 1u);
+}
+
+TEST(Torus3D, WrapAroundShortensDistance) {
+  Torus3DTopology t(8, 1, 1);
+  EXPECT_EQ(t.distance(0, 7), 1u);  // ring wrap
+  EXPECT_EQ(t.distance(0, 4), 4u);  // antipode
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Torus3D, ManhattanWithWrap) {
+  Torus3DTopology t(4, 4, 4);
+  EXPECT_EQ(t.distance(0, 0), 0u);
+  // (0,0,0) -> (3,3,3): each axis wraps to 1 hop.
+  const NodeId corner = 3 + 4 * (3 + 4 * 3);
+  EXPECT_EQ(t.distance(0, corner), 3u);
+}
+
+TEST(Dragonfly, DistanceTiers) {
+  DragonflyTopology t(4, 4, 4);
+  EXPECT_EQ(t.node_count(), 64u);
+  EXPECT_EQ(t.distance(0, 0), 0u);
+  EXPECT_EQ(t.distance(0, 1), 1u);    // same router
+  EXPECT_EQ(t.distance(0, 4), 2u);    // same group, different router
+  EXPECT_EQ(t.distance(0, 16), 3u);   // different group
+  EXPECT_EQ(t.diameter(), 3u);
+}
+
+TEST(DefaultTopology, CoversRequestedNodes) {
+  const auto t = make_default_topology(100);
+  EXPECT_GE(t->node_count(), 100u);
+}
+
+TEST(AllocationSpread, SingleNodeIsZero) {
+  FatTreeTopology t(4, 2);
+  const std::vector<NodeId> one{3};
+  EXPECT_DOUBLE_EQ(t.allocation_spread(one), 0.0);
+}
+
+TEST(AllocationSpread, CompactBeatsScattered) {
+  FatTreeTopology t(4, 3);
+  const std::vector<NodeId> compact{0, 1, 2, 3};
+  const std::vector<NodeId> scattered{0, 16, 32, 48};
+  EXPECT_LT(t.allocation_spread(compact), t.allocation_spread(scattered));
+  EXPECT_DOUBLE_EQ(t.allocation_spread(scattered), 1.0);  // all at diameter
+}
+
+// --- metric properties across all topology families (property tests) -------
+
+class TopologyMetricTest
+    : public ::testing::TestWithParam<std::shared_ptr<Topology>> {};
+
+TEST_P(TopologyMetricTest, IdentityOfIndiscernibles) {
+  const auto& t = *GetParam();
+  for (NodeId i = 0; i < t.node_count(); i += 7) {
+    EXPECT_EQ(t.distance(i, i), 0u);
+  }
+}
+
+TEST_P(TopologyMetricTest, Symmetry) {
+  const auto& t = *GetParam();
+  const NodeId n = t.node_count();
+  for (NodeId a = 0; a < n; a += 5) {
+    for (NodeId b = 0; b < n; b += 11) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    }
+  }
+}
+
+TEST_P(TopologyMetricTest, BoundedByDiameter) {
+  const auto& t = *GetParam();
+  const NodeId n = t.node_count();
+  for (NodeId a = 0; a < n; a += 5) {
+    for (NodeId b = 0; b < n; b += 7) {
+      EXPECT_LE(t.distance(a, b), t.diameter());
+    }
+  }
+}
+
+TEST_P(TopologyMetricTest, TriangleInequalitySampled) {
+  const auto& t = *GetParam();
+  const NodeId n = t.node_count();
+  for (NodeId a = 0; a < n; a += 13) {
+    for (NodeId b = 0; b < n; b += 17) {
+      for (NodeId c = 0; c < n; c += 19) {
+        EXPECT_LE(t.distance(a, c), t.distance(a, b) + t.distance(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(TopologyMetricTest, DescribeIsNonEmpty) {
+  EXPECT_FALSE(GetParam()->describe().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, TopologyMetricTest,
+    ::testing::Values(std::make_shared<FatTreeTopology>(4, 3),
+                      std::make_shared<Torus3DTopology>(4, 4, 4),
+                      std::make_shared<DragonflyTopology>(4, 4, 4)));
+
+}  // namespace
+}  // namespace epajsrm::platform
