@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocation_ablation.dir/bench_allocation_ablation.cpp.o"
+  "CMakeFiles/bench_allocation_ablation.dir/bench_allocation_ablation.cpp.o.d"
+  "bench_allocation_ablation"
+  "bench_allocation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demand_response.dir/bench_demand_response.cpp.o"
+  "CMakeFiles/bench_demand_response.dir/bench_demand_response.cpp.o.d"
+  "bench_demand_response"
+  "bench_demand_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demand_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvfs_tradeoff.dir/bench_dvfs_tradeoff.cpp.o"
+  "CMakeFiles/bench_dvfs_tradeoff.dir/bench_dvfs_tradeoff.cpp.o.d"
+  "bench_dvfs_tradeoff"
+  "bench_dvfs_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvfs_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

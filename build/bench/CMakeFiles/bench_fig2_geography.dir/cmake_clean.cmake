@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_geography.dir/bench_fig2_geography.cpp.o"
+  "CMakeFiles/bench_fig2_geography.dir/bench_fig2_geography.cpp.o.d"
+  "bench_fig2_geography"
+  "bench_fig2_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geopm_balancer.dir/bench_geopm_balancer.cpp.o"
+  "CMakeFiles/bench_geopm_balancer.dir/bench_geopm_balancer.cpp.o.d"
+  "bench_geopm_balancer"
+  "bench_geopm_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geopm_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idle_shutdown.dir/bench_idle_shutdown.cpp.o"
+  "CMakeFiles/bench_idle_shutdown.dir/bench_idle_shutdown.cpp.o.d"
+  "bench_idle_shutdown"
+  "bench_idle_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idle_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

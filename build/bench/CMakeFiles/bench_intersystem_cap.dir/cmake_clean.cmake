@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intersystem_cap.dir/bench_intersystem_cap.cpp.o"
+  "CMakeFiles/bench_intersystem_cap.dir/bench_intersystem_cap.cpp.o.d"
+  "bench_intersystem_cap"
+  "bench_intersystem_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intersystem_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ms3_thermal.cpp" "bench/CMakeFiles/bench_ms3_thermal.dir/bench_ms3_thermal.cpp.o" "gcc" "bench/CMakeFiles/bench_ms3_thermal.dir/bench_ms3_thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epajsrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/epajsrm_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/epa/CMakeFiles/epajsrm_epa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/epajsrm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/epajsrm_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/epajsrm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/epajsrm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epajsrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epajsrm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ms3_thermal.dir/bench_ms3_thermal.cpp.o"
+  "CMakeFiles/bench_ms3_thermal.dir/bench_ms3_thermal.cpp.o.d"
+  "bench_ms3_thermal"
+  "bench_ms3_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ms3_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

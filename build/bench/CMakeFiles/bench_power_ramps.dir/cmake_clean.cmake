@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_ramps.dir/bench_power_ramps.cpp.o"
+  "CMakeFiles/bench_power_ramps.dir/bench_power_ramps.cpp.o.d"
+  "bench_power_ramps"
+  "bench_power_ramps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_ramps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_powercap_sweep.dir/bench_powercap_sweep.cpp.o"
+  "CMakeFiles/bench_powercap_sweep.dir/bench_powercap_sweep.cpp.o.d"
+  "bench_powercap_sweep"
+  "bench_powercap_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_powercap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_demand_response.dir/grid_demand_response.cpp.o"
+  "CMakeFiles/grid_demand_response.dir/grid_demand_response.cpp.o.d"
+  "grid_demand_response"
+  "grid_demand_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_demand_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kaust_static_cap.dir/kaust_static_cap.cpp.o"
+  "CMakeFiles/kaust_static_cap.dir/kaust_static_cap.cpp.o.d"
+  "kaust_static_cap"
+  "kaust_static_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kaust_static_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kaust_static_cap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrz_energy_to_solution.dir/lrz_energy_to_solution.cpp.o"
+  "CMakeFiles/lrz_energy_to_solution.dir/lrz_energy_to_solution.cpp.o.d"
+  "lrz_energy_to_solution"
+  "lrz_energy_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrz_energy_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

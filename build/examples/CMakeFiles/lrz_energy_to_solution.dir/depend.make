@@ -1,0 +1,2 @@
+# Empty dependencies file for lrz_energy_to_solution.
+# This may be replaced when dependencies are built.

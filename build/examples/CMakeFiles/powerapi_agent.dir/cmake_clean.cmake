@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerapi_agent.dir/powerapi_agent.cpp.o"
+  "CMakeFiles/powerapi_agent.dir/powerapi_agent.cpp.o.d"
+  "powerapi_agent"
+  "powerapi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerapi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

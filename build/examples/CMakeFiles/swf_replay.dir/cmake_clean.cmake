@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swf_replay.dir/swf_replay.cpp.o"
+  "CMakeFiles/swf_replay.dir/swf_replay.cpp.o.d"
+  "swf_replay"
+  "swf_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swf_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokyotech_node_cycling.dir/tokyotech_node_cycling.cpp.o"
+  "CMakeFiles/tokyotech_node_cycling.dir/tokyotech_node_cycling.cpp.o.d"
+  "tokyotech_node_cycling"
+  "tokyotech_node_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokyotech_node_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

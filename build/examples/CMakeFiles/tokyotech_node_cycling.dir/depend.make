@@ -1,0 +1,2 @@
+# Empty dependencies file for tokyotech_node_cycling.
+# This may be replaced when dependencies are built.

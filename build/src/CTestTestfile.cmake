@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("platform")
+subdirs("power")
+subdirs("telemetry")
+subdirs("workload")
+subdirs("predict")
+subdirs("metrics")
+subdirs("sched")
+subdirs("rm")
+subdirs("epa")
+subdirs("survey")
+subdirs("core")

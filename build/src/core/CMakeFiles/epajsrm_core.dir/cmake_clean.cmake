@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_core.dir/experiment.cpp.o"
+  "CMakeFiles/epajsrm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/epajsrm_core.dir/facility_coordinator.cpp.o"
+  "CMakeFiles/epajsrm_core.dir/facility_coordinator.cpp.o.d"
+  "CMakeFiles/epajsrm_core.dir/scenario.cpp.o"
+  "CMakeFiles/epajsrm_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/epajsrm_core.dir/solution.cpp.o"
+  "CMakeFiles/epajsrm_core.dir/solution.cpp.o.d"
+  "libepajsrm_core.a"
+  "libepajsrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epa/capability_window.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/capability_window.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/capability_window.cpp.o.d"
+  "/root/repo/src/epa/demand_response.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/demand_response.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/demand_response.cpp.o.d"
+  "/root/repo/src/epa/dynamic_power_share.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/dynamic_power_share.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/dynamic_power_share.cpp.o.d"
+  "/root/repo/src/epa/emergency_response.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/emergency_response.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/emergency_response.cpp.o.d"
+  "/root/repo/src/epa/energy_cost_order.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/energy_cost_order.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/energy_cost_order.cpp.o.d"
+  "/root/repo/src/epa/energy_to_solution.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/energy_to_solution.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/energy_to_solution.cpp.o.d"
+  "/root/repo/src/epa/group_power_cap.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/group_power_cap.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/group_power_cap.cpp.o.d"
+  "/root/repo/src/epa/idle_shutdown.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/idle_shutdown.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/idle_shutdown.cpp.o.d"
+  "/root/repo/src/epa/job_power_balancer.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/job_power_balancer.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/job_power_balancer.cpp.o.d"
+  "/root/repo/src/epa/ms3_thermal.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/ms3_thermal.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/ms3_thermal.cpp.o.d"
+  "/root/repo/src/epa/node_cycling_cap.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/node_cycling_cap.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/node_cycling_cap.cpp.o.d"
+  "/root/repo/src/epa/overprovision.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/overprovision.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/overprovision.cpp.o.d"
+  "/root/repo/src/epa/policy.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/policy.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/policy.cpp.o.d"
+  "/root/repo/src/epa/power_budget_dvfs.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/power_budget_dvfs.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/power_budget_dvfs.cpp.o.d"
+  "/root/repo/src/epa/ramp_limiter.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/ramp_limiter.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/ramp_limiter.cpp.o.d"
+  "/root/repo/src/epa/source_selection.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/source_selection.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/source_selection.cpp.o.d"
+  "/root/repo/src/epa/static_power_cap.cpp" "src/epa/CMakeFiles/epajsrm_epa.dir/static_power_cap.cpp.o" "gcc" "src/epa/CMakeFiles/epajsrm_epa.dir/static_power_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rm/CMakeFiles/epajsrm_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epajsrm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/epajsrm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epajsrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

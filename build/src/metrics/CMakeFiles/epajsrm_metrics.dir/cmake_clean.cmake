@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_metrics.dir/collector.cpp.o"
+  "CMakeFiles/epajsrm_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/epajsrm_metrics.dir/stats.cpp.o"
+  "CMakeFiles/epajsrm_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/epajsrm_metrics.dir/table.cpp.o"
+  "CMakeFiles/epajsrm_metrics.dir/table.cpp.o.d"
+  "libepajsrm_metrics.a"
+  "libepajsrm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

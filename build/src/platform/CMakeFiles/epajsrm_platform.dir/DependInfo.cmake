@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cluster.cpp" "src/platform/CMakeFiles/epajsrm_platform.dir/cluster.cpp.o" "gcc" "src/platform/CMakeFiles/epajsrm_platform.dir/cluster.cpp.o.d"
+  "/root/repo/src/platform/facility.cpp" "src/platform/CMakeFiles/epajsrm_platform.dir/facility.cpp.o" "gcc" "src/platform/CMakeFiles/epajsrm_platform.dir/facility.cpp.o.d"
+  "/root/repo/src/platform/node.cpp" "src/platform/CMakeFiles/epajsrm_platform.dir/node.cpp.o" "gcc" "src/platform/CMakeFiles/epajsrm_platform.dir/node.cpp.o.d"
+  "/root/repo/src/platform/pstate.cpp" "src/platform/CMakeFiles/epajsrm_platform.dir/pstate.cpp.o" "gcc" "src/platform/CMakeFiles/epajsrm_platform.dir/pstate.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "src/platform/CMakeFiles/epajsrm_platform.dir/topology.cpp.o" "gcc" "src/platform/CMakeFiles/epajsrm_platform.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

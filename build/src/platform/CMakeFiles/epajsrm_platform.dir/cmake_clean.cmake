@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_platform.dir/cluster.cpp.o"
+  "CMakeFiles/epajsrm_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/epajsrm_platform.dir/facility.cpp.o"
+  "CMakeFiles/epajsrm_platform.dir/facility.cpp.o.d"
+  "CMakeFiles/epajsrm_platform.dir/node.cpp.o"
+  "CMakeFiles/epajsrm_platform.dir/node.cpp.o.d"
+  "CMakeFiles/epajsrm_platform.dir/pstate.cpp.o"
+  "CMakeFiles/epajsrm_platform.dir/pstate.cpp.o.d"
+  "CMakeFiles/epajsrm_platform.dir/topology.cpp.o"
+  "CMakeFiles/epajsrm_platform.dir/topology.cpp.o.d"
+  "libepajsrm_platform.a"
+  "libepajsrm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/capmc.cpp" "src/power/CMakeFiles/epajsrm_power.dir/capmc.cpp.o" "gcc" "src/power/CMakeFiles/epajsrm_power.dir/capmc.cpp.o.d"
+  "/root/repo/src/power/energy_source.cpp" "src/power/CMakeFiles/epajsrm_power.dir/energy_source.cpp.o" "gcc" "src/power/CMakeFiles/epajsrm_power.dir/energy_source.cpp.o.d"
+  "/root/repo/src/power/node_power_model.cpp" "src/power/CMakeFiles/epajsrm_power.dir/node_power_model.cpp.o" "gcc" "src/power/CMakeFiles/epajsrm_power.dir/node_power_model.cpp.o.d"
+  "/root/repo/src/power/tariff.cpp" "src/power/CMakeFiles/epajsrm_power.dir/tariff.cpp.o" "gcc" "src/power/CMakeFiles/epajsrm_power.dir/tariff.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/power/CMakeFiles/epajsrm_power.dir/thermal.cpp.o" "gcc" "src/power/CMakeFiles/epajsrm_power.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

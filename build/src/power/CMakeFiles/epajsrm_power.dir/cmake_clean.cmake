@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_power.dir/capmc.cpp.o"
+  "CMakeFiles/epajsrm_power.dir/capmc.cpp.o.d"
+  "CMakeFiles/epajsrm_power.dir/energy_source.cpp.o"
+  "CMakeFiles/epajsrm_power.dir/energy_source.cpp.o.d"
+  "CMakeFiles/epajsrm_power.dir/node_power_model.cpp.o"
+  "CMakeFiles/epajsrm_power.dir/node_power_model.cpp.o.d"
+  "CMakeFiles/epajsrm_power.dir/tariff.cpp.o"
+  "CMakeFiles/epajsrm_power.dir/tariff.cpp.o.d"
+  "CMakeFiles/epajsrm_power.dir/thermal.cpp.o"
+  "CMakeFiles/epajsrm_power.dir/thermal.cpp.o.d"
+  "libepajsrm_power.a"
+  "libepajsrm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/ridge.cpp" "src/predict/CMakeFiles/epajsrm_predict.dir/ridge.cpp.o" "gcc" "src/predict/CMakeFiles/epajsrm_predict.dir/ridge.cpp.o.d"
+  "/root/repo/src/predict/tag_history.cpp" "src/predict/CMakeFiles/epajsrm_predict.dir/tag_history.cpp.o" "gcc" "src/predict/CMakeFiles/epajsrm_predict.dir/tag_history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

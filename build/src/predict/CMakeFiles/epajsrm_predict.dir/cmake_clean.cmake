@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_predict.dir/ridge.cpp.o"
+  "CMakeFiles/epajsrm_predict.dir/ridge.cpp.o.d"
+  "CMakeFiles/epajsrm_predict.dir/tag_history.cpp.o"
+  "CMakeFiles/epajsrm_predict.dir/tag_history.cpp.o.d"
+  "libepajsrm_predict.a"
+  "libepajsrm_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/allocator.cpp" "src/rm/CMakeFiles/epajsrm_rm.dir/allocator.cpp.o" "gcc" "src/rm/CMakeFiles/epajsrm_rm.dir/allocator.cpp.o.d"
+  "/root/repo/src/rm/layout.cpp" "src/rm/CMakeFiles/epajsrm_rm.dir/layout.cpp.o" "gcc" "src/rm/CMakeFiles/epajsrm_rm.dir/layout.cpp.o.d"
+  "/root/repo/src/rm/node_lifecycle.cpp" "src/rm/CMakeFiles/epajsrm_rm.dir/node_lifecycle.cpp.o" "gcc" "src/rm/CMakeFiles/epajsrm_rm.dir/node_lifecycle.cpp.o.d"
+  "/root/repo/src/rm/resource_manager.cpp" "src/rm/CMakeFiles/epajsrm_rm.dir/resource_manager.cpp.o" "gcc" "src/rm/CMakeFiles/epajsrm_rm.dir/resource_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epajsrm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_rm.dir/allocator.cpp.o"
+  "CMakeFiles/epajsrm_rm.dir/allocator.cpp.o.d"
+  "CMakeFiles/epajsrm_rm.dir/layout.cpp.o"
+  "CMakeFiles/epajsrm_rm.dir/layout.cpp.o.d"
+  "CMakeFiles/epajsrm_rm.dir/node_lifecycle.cpp.o"
+  "CMakeFiles/epajsrm_rm.dir/node_lifecycle.cpp.o.d"
+  "CMakeFiles/epajsrm_rm.dir/resource_manager.cpp.o"
+  "CMakeFiles/epajsrm_rm.dir/resource_manager.cpp.o.d"
+  "libepajsrm_rm.a"
+  "libepajsrm_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backfill.cpp" "src/sched/CMakeFiles/epajsrm_sched.dir/backfill.cpp.o" "gcc" "src/sched/CMakeFiles/epajsrm_sched.dir/backfill.cpp.o.d"
+  "/root/repo/src/sched/fairshare.cpp" "src/sched/CMakeFiles/epajsrm_sched.dir/fairshare.cpp.o" "gcc" "src/sched/CMakeFiles/epajsrm_sched.dir/fairshare.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/epajsrm_sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/epajsrm_sched.dir/fcfs.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/epajsrm_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/epajsrm_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_sched.dir/backfill.cpp.o"
+  "CMakeFiles/epajsrm_sched.dir/backfill.cpp.o.d"
+  "CMakeFiles/epajsrm_sched.dir/fairshare.cpp.o"
+  "CMakeFiles/epajsrm_sched.dir/fairshare.cpp.o.d"
+  "CMakeFiles/epajsrm_sched.dir/fcfs.cpp.o"
+  "CMakeFiles/epajsrm_sched.dir/fcfs.cpp.o.d"
+  "CMakeFiles/epajsrm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/epajsrm_sched.dir/scheduler.cpp.o.d"
+  "libepajsrm_sched.a"
+  "libepajsrm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/epajsrm_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/epajsrm_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/logger.cpp" "src/sim/CMakeFiles/epajsrm_sim.dir/logger.cpp.o" "gcc" "src/sim/CMakeFiles/epajsrm_sim.dir/logger.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/epajsrm_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/epajsrm_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/sim/CMakeFiles/epajsrm_sim.dir/thread_pool.cpp.o" "gcc" "src/sim/CMakeFiles/epajsrm_sim.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/epajsrm_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/epajsrm_sim.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

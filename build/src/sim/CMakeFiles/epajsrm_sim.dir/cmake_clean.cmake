@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/epajsrm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/epajsrm_sim.dir/logger.cpp.o"
+  "CMakeFiles/epajsrm_sim.dir/logger.cpp.o.d"
+  "CMakeFiles/epajsrm_sim.dir/simulation.cpp.o"
+  "CMakeFiles/epajsrm_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/epajsrm_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/epajsrm_sim.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/epajsrm_sim.dir/time.cpp.o"
+  "CMakeFiles/epajsrm_sim.dir/time.cpp.o.d"
+  "libepajsrm_sim.a"
+  "libepajsrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

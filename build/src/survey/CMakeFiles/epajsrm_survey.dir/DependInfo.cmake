@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/activities.cpp" "src/survey/CMakeFiles/epajsrm_survey.dir/activities.cpp.o" "gcc" "src/survey/CMakeFiles/epajsrm_survey.dir/activities.cpp.o.d"
+  "/root/repo/src/survey/centers.cpp" "src/survey/CMakeFiles/epajsrm_survey.dir/centers.cpp.o" "gcc" "src/survey/CMakeFiles/epajsrm_survey.dir/centers.cpp.o.d"
+  "/root/repo/src/survey/questionnaire.cpp" "src/survey/CMakeFiles/epajsrm_survey.dir/questionnaire.cpp.o" "gcc" "src/survey/CMakeFiles/epajsrm_survey.dir/questionnaire.cpp.o.d"
+  "/root/repo/src/survey/report.cpp" "src/survey/CMakeFiles/epajsrm_survey.dir/report.cpp.o" "gcc" "src/survey/CMakeFiles/epajsrm_survey.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

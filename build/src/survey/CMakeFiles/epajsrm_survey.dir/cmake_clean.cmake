@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_survey.dir/activities.cpp.o"
+  "CMakeFiles/epajsrm_survey.dir/activities.cpp.o.d"
+  "CMakeFiles/epajsrm_survey.dir/centers.cpp.o"
+  "CMakeFiles/epajsrm_survey.dir/centers.cpp.o.d"
+  "CMakeFiles/epajsrm_survey.dir/questionnaire.cpp.o"
+  "CMakeFiles/epajsrm_survey.dir/questionnaire.cpp.o.d"
+  "CMakeFiles/epajsrm_survey.dir/report.cpp.o"
+  "CMakeFiles/epajsrm_survey.dir/report.cpp.o.d"
+  "libepajsrm_survey.a"
+  "libepajsrm_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/energy_accounting.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/energy_accounting.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/energy_accounting.cpp.o.d"
+  "/root/repo/src/telemetry/monitor.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/monitor.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/monitor.cpp.o.d"
+  "/root/repo/src/telemetry/power_api.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/power_api.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/power_api.cpp.o.d"
+  "/root/repo/src/telemetry/sensor.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/sensor.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/sensor.cpp.o.d"
+  "/root/repo/src/telemetry/time_series.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/time_series.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/time_series.cpp.o.d"
+  "/root/repo/src/telemetry/user_scoreboard.cpp" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/user_scoreboard.cpp.o" "gcc" "src/telemetry/CMakeFiles/epajsrm_telemetry.dir/user_scoreboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epajsrm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epajsrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_telemetry.dir/energy_accounting.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/energy_accounting.cpp.o.d"
+  "CMakeFiles/epajsrm_telemetry.dir/monitor.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/monitor.cpp.o.d"
+  "CMakeFiles/epajsrm_telemetry.dir/power_api.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/power_api.cpp.o.d"
+  "CMakeFiles/epajsrm_telemetry.dir/sensor.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/sensor.cpp.o.d"
+  "CMakeFiles/epajsrm_telemetry.dir/time_series.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/time_series.cpp.o.d"
+  "CMakeFiles/epajsrm_telemetry.dir/user_scoreboard.cpp.o"
+  "CMakeFiles/epajsrm_telemetry.dir/user_scoreboard.cpp.o.d"
+  "libepajsrm_telemetry.a"
+  "libepajsrm_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_catalog.cpp" "src/workload/CMakeFiles/epajsrm_workload.dir/app_catalog.cpp.o" "gcc" "src/workload/CMakeFiles/epajsrm_workload.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/epajsrm_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/epajsrm_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/epajsrm_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/epajsrm_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/epajsrm_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/epajsrm_workload.dir/swf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

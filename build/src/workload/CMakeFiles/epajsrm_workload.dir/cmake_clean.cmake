@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epajsrm_workload.dir/app_catalog.cpp.o"
+  "CMakeFiles/epajsrm_workload.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/epajsrm_workload.dir/generator.cpp.o"
+  "CMakeFiles/epajsrm_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/epajsrm_workload.dir/job.cpp.o"
+  "CMakeFiles/epajsrm_workload.dir/job.cpp.o.d"
+  "CMakeFiles/epajsrm_workload.dir/swf.cpp.o"
+  "CMakeFiles/epajsrm_workload.dir/swf.cpp.o.d"
+  "libepajsrm_workload.a"
+  "libepajsrm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epajsrm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

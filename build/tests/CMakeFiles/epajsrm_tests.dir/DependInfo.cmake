@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_allocator.cpp.o.d"
+  "/root/repo/tests/test_capability_window.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_capability_window.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_capability_window.cpp.o.d"
+  "/root/repo/tests/test_capmc.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_capmc.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_capmc.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_collector.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_collector.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_collector.cpp.o.d"
+  "/root/repo/tests/test_coordinator.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_coordinator.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_coordinator.cpp.o.d"
+  "/root/repo/tests/test_energy_accounting.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_accounting.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_accounting.cpp.o.d"
+  "/root/repo/tests/test_energy_conservation.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_conservation.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_conservation.cpp.o.d"
+  "/root/repo/tests/test_energy_source.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_source.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_energy_source.cpp.o.d"
+  "/root/repo/tests/test_epa_balancer.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_balancer.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_balancer.cpp.o.d"
+  "/root/repo/tests/test_epa_capping.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_capping.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_capping.cpp.o.d"
+  "/root/repo/tests/test_epa_lifecycle.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_lifecycle.cpp.o.d"
+  "/root/repo/tests/test_epa_optimization.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_optimization.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_optimization.cpp.o.d"
+  "/root/repo/tests/test_epa_response.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_response.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_epa_response.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_facility.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_facility.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_facility.cpp.o.d"
+  "/root/repo/tests/test_fairshare.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_fairshare.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_fairshare.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_job.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_job.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_job.cpp.o.d"
+  "/root/repo/tests/test_logger.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_logger.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_logger.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_policy_invariants.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_policy_invariants.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_policy_invariants.cpp.o.d"
+  "/root/repo/tests/test_power_api.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_power_api.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_power_api.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_predict.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_predict.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_predict.cpp.o.d"
+  "/root/repo/tests/test_pstate.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_pstate.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_pstate.cpp.o.d"
+  "/root/repo/tests/test_ramp_and_experiment.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_ramp_and_experiment.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_ramp_and_experiment.cpp.o.d"
+  "/root/repo/tests/test_rm.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_rm.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_rm.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_scoreboard_report.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_scoreboard_report.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_scoreboard_report.cpp.o.d"
+  "/root/repo/tests/test_sensor.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_sensor.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_sensor.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_solution.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_solution.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_solution.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_survey.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_survey.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_survey.cpp.o.d"
+  "/root/repo/tests/test_swf.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_swf.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_swf.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tariff.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_tariff.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_tariff.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_time_series.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_time_series.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_time_series.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/epajsrm_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/epajsrm_tests.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epajsrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/epajsrm_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/epa/CMakeFiles/epajsrm_epa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/epajsrm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/epajsrm_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/epajsrm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/epajsrm_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epajsrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epajsrm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epajsrm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/epajsrm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epajsrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
