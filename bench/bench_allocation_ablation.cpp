@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "metrics/table.hpp"
 #include "rm/allocator.hpp"
@@ -100,8 +101,11 @@ core::RunResult run_variability(bool variability_aware) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_allocation_ablation");
   const AblationResult first = run_topology(false);
   const AblationResult topo = run_topology(true);
+  summary.add_run(first.result);
+  summary.add_run(topo.result);
 
   metrics::AsciiTable part1({"allocator", "mean placement spread",
                              "p50 runtime (min)", "energy", "p50 wait (min)",
@@ -122,6 +126,8 @@ int main() {
 
   const core::RunResult ff = run_variability(false);
   const core::RunResult va = run_variability(true);
+  summary.add_run(ff);
+  summary.add_run(va);
   metrics::AsciiTable part2({"allocator", "p50 runtime (min)",
                              "makespan (h)", "energy", "jobs done"});
   part2.set_title(

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/demand_response.hpp"
 #include "epa/source_selection.hpp"
@@ -102,9 +103,13 @@ DrOutcome run_case(bool honour, bool turbine, const std::string& label) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_demand_response");
   const DrOutcome ignore = run_case(false, false, "ignore-event");
   const DrOutcome shed = run_case(true, false, "shed-by-capping");
   const DrOutcome sourced = run_case(true, true, "shed+gas-turbine");
+  summary.add_run(ignore.result);
+  summary.add_run(shed.result);
+  summary.add_run(sourced.result);
 
   metrics::AsciiTable table({"strategy", "grid overdraw in DR windows",
                              "turbine energy", "p50 wait (min)",

@@ -9,6 +9,7 @@
 // performance goal on a mixed workload.
 #include <cstdio>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/energy_to_solution.hpp"
 #include "metrics/table.hpp"
@@ -20,6 +21,7 @@ using namespace epajsrm;
 struct CurvePoint {
   double time_h;
   double energy_kwh;
+  std::uint64_t sim_events = 0;
 };
 
 CurvePoint run_single_job(double beta, std::uint32_t pstate) {
@@ -57,6 +59,7 @@ CurvePoint run_single_job(double beta, std::uint32_t pstate) {
   CurvePoint point;
   point.time_h = sim::to_hours(job->end_time() - job->start_time());
   point.energy_kwh = job->energy_joules() / 3.6e6;
+  point.sim_events = sim.events_processed();
   return point;
 }
 
@@ -80,6 +83,7 @@ core::RunResult run_lrz(epa::EnergyToSolutionPolicy::Goal goal) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_dvfs_tradeoff");
   const platform::PstateTable pstates =
       platform::PstateTable::linear(2.6, 1.2, 8);
 
@@ -92,6 +96,7 @@ int main() {
   for (std::uint32_t p = 0; p < pstates.size(); ++p) {
     const CurvePoint compute = run_single_job(0.95, p);
     const CurvePoint memory = run_single_job(0.15, p);
+    summary.add_events(compute.sim_events + memory.sim_events);
     curve.add_row({std::to_string(p),
                    metrics::format_double(pstates.freq_ghz(p), 2),
                    metrics::format_double(compute.time_h, 2),
@@ -105,6 +110,8 @@ int main() {
       run_lrz(epa::EnergyToSolutionPolicy::Goal::kBestPerformance);
   const core::RunResult energy =
       run_lrz(epa::EnergyToSolutionPolicy::Goal::kEnergyToSolution);
+  summary.add_run(perf);
+  summary.add_run(energy);
 
   metrics::AsciiTable lrz({"admin goal", "energy", "p50 wait (min)",
                            "p50 runtime (min)", "makespan (h)",

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/energy_cost_order.hpp"
 #include "epa/idle_shutdown.hpp"
@@ -55,10 +56,14 @@ core::RunResult run_case(bool cost_aware, bool idle_shutdown,
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_energy_cost");
   const core::RunResult baseline = run_case(false, false, "fifo-order");
   const core::RunResult aware = run_case(true, false, "cost-aware-order");
   const core::RunResult combined =
       run_case(true, true, "cost-aware+idle-off");
+  summary.add_run(baseline);
+  summary.add_run(aware);
+  summary.add_run(combined);
 
   metrics::AsciiTable table({"ordering", "electricity cost", "energy",
                              "p50 wait (min)", "p90 wait (min)",

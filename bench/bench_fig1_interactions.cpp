@@ -9,6 +9,7 @@
 // the figure's content, backed by a live run.
 #include <cstdio>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/demand_response.hpp"
 #include "epa/dynamic_power_share.hpp"
@@ -18,6 +19,7 @@
 
 int main() {
   using namespace epajsrm;
+  bench::BenchSummary summary("bench_fig1_interactions");
 
   core::ScenarioConfig config;
   config.label = "fig1";
@@ -58,6 +60,7 @@ int main() {
   scenario.solution().add_policy(std::move(dr));
 
   const core::RunResult result = scenario.run();
+  summary.add_run(result);
   const auto& monitor = scenario.solution().monitor();
 
   metrics::AsciiTable matrix({"From component", "To component",

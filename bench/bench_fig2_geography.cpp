@@ -6,11 +6,14 @@
 // distance matrix.
 #include <cstdio>
 
+#include "center_bench.hpp"
 #include "metrics/table.hpp"
 #include "survey/centers.hpp"
 
 int main() {
   using namespace epajsrm;
+  // No simulation runs here — the summary still reports the wall time.
+  bench::BenchSummary summary("bench_fig2_geography");
 
   std::printf("FIGURE 2 (reproduced)\n%s\n",
               survey::ascii_map().c_str());

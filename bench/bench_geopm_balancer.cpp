@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/solution.hpp"
 #include "epa/dynamic_power_share.hpp"
 #include "epa/job_power_balancer.hpp"
@@ -76,6 +77,7 @@ core::RunResult run_strategy(
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_geopm_balancer");
   const core::RunResult even = run_strategy(
       "static-even", [](core::EpaJsrmSolution& s, double budget) {
         s.add_policy(std::make_unique<epa::StaticPowerCapPolicy>(
@@ -89,6 +91,9 @@ int main() {
       "job-balancer", [](core::EpaJsrmSolution& s, double budget) {
         s.add_policy(std::make_unique<epa::JobPowerBalancerPolicy>(budget));
       });
+  summary.add_run(even);
+  summary.add_run(share);
+  summary.add_run(balancer);
 
   metrics::AsciiTable table({"strategy", "p50 runtime (min)",
                              "p90 runtime (min)", "makespan (h)", "energy",

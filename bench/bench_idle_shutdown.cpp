@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/idle_shutdown.hpp"
 #include "metrics/table.hpp"
@@ -54,10 +55,12 @@ int main() {
       {10 * sim::kMinute, true, "sleep after 10 min"},
   };
 
+  epajsrm::bench::BenchSummary summary("bench_idle_shutdown");
   std::vector<core::RunResult> results(points.size());
   sim::ThreadPool::parallel_for(points.size(), [&](std::size_t i) {
     results[i] = run_with_timeout(points[i].timeout, points[i].sleep);
   });
+  for (const core::RunResult& r : results) summary.add_run(r);
 
   const double baseline_kwh = results[0].total_it_kwh_exact;
   metrics::AsciiTable table({"policy", "energy", "saved", "p50 wait (min)",

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/facility_coordinator.hpp"
 #include "core/solution.hpp"
 #include "metrics/table.hpp"
@@ -110,8 +111,13 @@ TwoSystemOutcome run_shared(bool coordinated) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_intersystem_cap");
   const TwoSystemOutcome fixed = run_shared(false);
   const TwoSystemOutcome coordinated = run_shared(true);
+  for (const TwoSystemOutcome* o : {&fixed, &coordinated}) {
+    summary.add_run(o->a);
+    summary.add_run(o->b);
+  }
 
   metrics::AsciiTable table({"division", "system", "p50 wait (min)",
                              "p50 runtime (min)", "makespan (h)", "energy",

@@ -3,6 +3,7 @@
 // resolution, predictor math, energy accounting.
 #include <benchmark/benchmark.h>
 
+#include "center_bench.hpp"
 #include "platform/cluster.hpp"
 #include "power/node_power_model.hpp"
 #include "predict/ridge.hpp"
@@ -139,4 +140,11 @@ BENCHMARK(BM_WorkloadGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  epajsrm::bench::BenchSummary summary("bench_kernel_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/ms3_thermal.hpp"
 #include "metrics/table.hpp"
@@ -80,8 +81,11 @@ ThermalOutcome run_case(bool ms3_enabled, const std::string& label) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_ms3_thermal");
   const ThermalOutcome off = run_case(false, "no-thermal-policy");
   const ThermalOutcome on = run_case(true, "ms3");
+  summary.add_run(off.result);
+  summary.add_run(on.result);
 
   metrics::AsciiTable table({"policy", "hottest node (C)",
                              "time over 80 C", "throttled time (h)",

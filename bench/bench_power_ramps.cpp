@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/ramp_limiter.hpp"
 #include "metrics/stats.hpp"
@@ -26,6 +27,7 @@ struct RampRun {
   double deferred = 0.0;
   double median_wait_min = 0.0;
   double makespan_h = 0.0;
+  std::uint64_t sim_events = 0;
 };
 
 RampRun run_once(double limit_watts, std::uint64_t seed) {
@@ -52,6 +54,7 @@ RampRun run_once(double limit_watts, std::uint64_t seed) {
   out.deferred = static_cast<double>(ramp->deferred_starts());
   out.median_wait_min = result.report.wait_minutes.median;
   out.makespan_h = sim::to_hours(result.report.makespan);
+  out.sim_events = result.sim_events;
   return out;
 }
 
@@ -68,12 +71,14 @@ int main() {
   constexpr std::size_t kSeeds = 6;
   const std::vector<double> limits = {0.0, 8000.0, 4000.0, 2000.0};
 
+  epajsrm::bench::BenchSummary summary("bench_power_ramps");
   std::vector<RampRun> cells(limits.size() * kSeeds);
   sim::ThreadPool::parallel_for(cells.size(), [&](std::size_t i) {
     const std::size_t l = i / kSeeds;
     const std::uint64_t seed = 7000 + i % kSeeds;
     cells[i] = run_once(limits[l], seed);
   });
+  for (const RampRun& r : cells) summary.add_events(r.sim_events);
 
   metrics::AsciiTable table({"ramp limit", "worst 5-min ramp (kW)",
                              "starts deferred", "p50 wait (min)",

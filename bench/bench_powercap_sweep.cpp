@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/dynamic_power_share.hpp"
 #include "epa/overprovision.hpp"
@@ -86,12 +87,14 @@ int main() {
   const std::vector<double> fractions = {0.95, 0.85, 0.75, 0.65, 0.55};
 
   // All (variant, fraction) cells are independent: run them on the pool.
+  epajsrm::bench::BenchSummary summary("bench_powercap_sweep");
   std::vector<core::RunResult> cells(variants.size() * fractions.size());
   sim::ThreadPool::parallel_for(cells.size(), [&](std::size_t i) {
     const std::size_t v = i / fractions.size();
     const std::size_t f = i % fractions.size();
     cells[i] = run_variant(variants[v], fractions[f]);
   });
+  for (const core::RunResult& r : cells) summary.add_run(r);
 
   metrics::AsciiTable table({"budget (of peak)", "strategy", "makespan (h)",
                              "p50 wait (min)", "viol. time", "worst over",

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "epa/power_budget_dvfs.hpp"
 #include "metrics/table.hpp"
@@ -98,6 +99,7 @@ core::RunResult run_with_predictor(
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_prediction");
   offline_accuracy();
 
   const double node_peak = 290.0;  // default node: 90 + 200 at full tilt
@@ -124,6 +126,7 @@ int main() {
   for (auto& variant : variants) {
     const core::RunResult r =
         run_with_predictor(std::move(variant.predictor), variant.name);
+    summary.add_run(r);
     table.add_row({variant.name,
                    metrics::format_double(r.report.wait_minutes.median, 1),
                    metrics::format_double(r.report.wait_minutes.p90, 1),

@@ -16,10 +16,15 @@ int main() {
                   "TABLE II (reproduced): summary of the answers, part 2")
                   .c_str());
 
+  bench::BenchSummary summary("bench_table2");
   std::vector<bench::CenterRow> rows(centers.size());
   sim::ThreadPool::parallel_for(centers.size(), [&](std::size_t i) {
     rows[i] = bench::run_center(centers[i]);
   });
+  for (const bench::CenterRow& row : rows) {
+    summary.add_run(row.baseline);
+    summary.add_run(row.epa);
+  }
 
   std::printf("%s\n",
               bench::quantitative_table(

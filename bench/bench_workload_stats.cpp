@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "center_bench.hpp"
 #include "core/scenario.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
@@ -56,6 +57,7 @@ void report_mix(const char* name, core::WorkloadMix mix) {
 }  // namespace
 
 int main() {
+  epajsrm::bench::BenchSummary summary("bench_workload_stats");
   report_mix("standard", core::WorkloadMix::kStandard);
   report_mix("capability", core::WorkloadMix::kCapability);
   report_mix("capacity", core::WorkloadMix::kCapacity);
@@ -77,6 +79,7 @@ int main() {
     queued_snapshot = scenario.solution().pending_jobs().size();
   });
   const core::RunResult result = scenario.run();
+  summary.add_run(result);
 
   std::printf("Q3(a/b) snapshot at day 3: %zu jobs running, %zu queued\n",
               running_snapshot, queued_snapshot);

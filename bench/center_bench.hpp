@@ -9,6 +9,10 @@
 // content) and (b) the quantitative effect of the production techniques.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +32,48 @@
 #include "survey/centers.hpp"
 
 namespace epajsrm::bench {
+
+/// RAII bench summary: prints one machine-readable JSON line when the
+/// bench exits — wall time plus simulator event throughput across every
+/// run the bench executed. Event accumulation is thread-safe because the
+/// table benches run centers on a thread pool.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string label)
+      : label_(std::move(label)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchSummary(const BenchSummary&) = delete;
+  BenchSummary& operator=(const BenchSummary&) = delete;
+
+  /// Accumulates one finished run's dispatched-event count.
+  void add_run(const core::RunResult& r) { add_events(r.sim_events); }
+  void add_events(std::uint64_t n) {
+    sim_events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ~BenchSummary() {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::uint64_t events =
+        sim_events_.load(std::memory_order_relaxed);
+    const double events_per_sec =
+        wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1000.0)
+                      : 0.0;
+    std::printf(
+        "{\"bench\":\"%s\",\"wall_ms\":%.1f,\"sim_events\":%llu,"
+        "\"events_per_sec\":%.0f}\n",
+        label_.c_str(), wall_ms, static_cast<unsigned long long>(events),
+        events_per_sec);
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> sim_events_{0};
+};
 
 /// Result pair for one center.
 struct CenterRow {

@@ -1,16 +1,51 @@
 // Quickstart: build a small cluster, run a synthetic workload under an
 // energy/power-aware stack, and print the run report plus a user-facing
 // job energy report — the smallest end-to-end tour of the public API.
+//
+// Observability flags:
+//   --trace-out=<path>    write a Chrome trace_event JSON (Perfetto /
+//                         chrome://tracing loadable) of the run
+//   --metrics-out=<path>  write the periodic metrics snapshots as CSV
+//   --log-level=<level>   logger threshold (trace..error, off)
+// Passing either output flag enables the observability plane; without
+// them the run is exactly the zero-overhead disabled configuration.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/scenario.hpp"
 #include "epa/idle_shutdown.hpp"
 #include "epa/power_budget_dvfs.hpp"
 #include "metrics/collector.hpp"
+#include "obs/observability.hpp"
+#include "sim/logger.hpp"
 #include "telemetry/energy_accounting.hpp"
 
-int main() {
+namespace {
+
+bool flag_value(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace epajsrm;
+
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_level;
+  for (int i = 1; i < argc; ++i) {
+    if (flag_value(argv[i], "--trace-out=", &trace_out)) continue;
+    if (flag_value(argv[i], "--metrics-out=", &metrics_out)) continue;
+    if (flag_value(argv[i], "--log-level=", &log_level)) continue;
+    std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    return 2;
+  }
 
   // 1. Describe the experiment: a 64-node machine, ~75 % loaded, EASY
   //    backfilling (the default scheduler).
@@ -19,7 +54,17 @@ int main() {
   config.nodes = 64;
   config.job_count = 0;  // fill the horizon
   config.seed = 7;
+  config.solution.obs.enabled = !trace_out.empty() || !metrics_out.empty();
   core::Scenario scenario(config);
+
+  if (!log_level.empty()) {
+    const auto level = sim::parse_log_level(log_level);
+    if (!level) {
+      std::fprintf(stderr, "unknown log level: %s\n", log_level.c_str());
+      return 2;
+    }
+    scenario.solution().logger().set_threshold(*level);
+  }
 
   // 2. Make it energy/power aware: a 22 kW IT power budget enforced at
   //    admission with DVFS degradation, plus idle-node shutdown.
@@ -45,6 +90,43 @@ int main() {
                 result.job_reports.size(),
                 telemetry::format_energy_report(result.job_reports.front())
                     .c_str());
+  }
+
+  // 5. Export the observability artifacts when requested.
+  if (obs::Observability* o = scenario.solution().observability()) {
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open trace output: %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      // A .jsonl path selects the line-oriented export; anything else gets
+      // the Perfetto-loadable Chrome trace.
+      if (trace_out.size() >= 6 &&
+          trace_out.compare(trace_out.size() - 6, 6, ".jsonl") == 0) {
+        o->trace().export_jsonl(out);
+      } else {
+        o->trace().export_chrome_trace(out);
+      }
+      std::printf("\ntrace: %llu events recorded (%llu retained) -> %s\n",
+                  static_cast<unsigned long long>(o->trace().recorded()),
+                  static_cast<unsigned long long>(o->trace().size()),
+                  trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open metrics output: %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      o->sampler().write_csv(out);
+      std::printf("metrics: %zu instruments, %zu rows -> %s\n",
+                  o->metrics().metric_count(), o->sampler().row_count(),
+                  metrics_out.c_str());
+    }
+    std::printf("%s", o->profiler().format_report().c_str());
   }
   return 0;
 }

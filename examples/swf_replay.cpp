@@ -6,13 +6,23 @@
 // resulting schedule back out as SWF — demonstrating trace-driven
 // evaluation end to end. Pass a path to an SWF file to replay your own
 // trace instead.
+//
+// Observability flags (applied to the budgeted replay):
+//   --trace-out=<path>    write a Chrome trace_event JSON (Perfetto /
+//                         chrome://tracing loadable)
+//   --metrics-out=<path>  write the periodic metrics snapshots as CSV
+//   --log-level=<level>   logger threshold (trace..error, off)
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/solution.hpp"
 #include "epa/power_budget_dvfs.hpp"
 #include "metrics/table.hpp"
+#include "obs/observability.hpp"
+#include "sim/logger.hpp"
 #include "workload/swf.hpp"
 
 namespace {
@@ -32,9 +42,17 @@ constexpr const char* kBuiltinTrace = R"(; builtin demo trace
 8 9000  0 1800  96  -1 -1 96  3600  -1 1 8 1 2 1 1 -1 -1
 )";
 
+struct ReplayOptions {
+  bool observability = false;
+  std::string log_level;
+  std::string trace_out;
+  std::string metrics_out;
+};
+
 core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
                        double budget_watts, const std::string& label,
-                       std::vector<const workload::Job*>* finished) {
+                       std::vector<const workload::Job*>* finished,
+                       const ReplayOptions& opts = {}) {
   sim::Simulation sim;
   platform::Cluster cluster = platform::ClusterBuilder()
                                   .name(label)
@@ -42,8 +60,14 @@ core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
                                   .build();
   core::SolutionConfig config;
   config.enable_thermal = false;
+  config.obs.enabled = opts.observability;
   core::EpaJsrmSolution solution(sim, cluster, config);
   solution.metrics_collector().set_label(label);
+  if (!opts.log_level.empty()) {
+    if (const auto level = sim::parse_log_level(opts.log_level)) {
+      solution.logger().set_threshold(*level);
+    }
+  }
   if (budget_watts > 0.0) {
     solution.add_policy(
         std::make_unique<epa::PowerBudgetDvfsPolicy>(budget_watts));
@@ -55,7 +79,52 @@ core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
     finished->assign(solution.finished_jobs().begin(),
                      solution.finished_jobs().end());
   }
+
+  if (obs::Observability* o = solution.observability()) {
+    if (!opts.trace_out.empty()) {
+      std::ofstream out(opts.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open trace output: %s\n",
+                     opts.trace_out.c_str());
+        std::exit(1);
+      }
+      // A .jsonl path selects the line-oriented export; anything else gets
+      // the Perfetto-loadable Chrome trace.
+      if (opts.trace_out.size() >= 6 &&
+          opts.trace_out.compare(opts.trace_out.size() - 6, 6, ".jsonl") ==
+              0) {
+        o->trace().export_jsonl(out);
+      } else {
+        o->trace().export_chrome_trace(out);
+      }
+      std::printf("[%s] trace: %llu events recorded (%llu retained) -> %s\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(o->trace().recorded()),
+                  static_cast<unsigned long long>(o->trace().size()),
+                  opts.trace_out.c_str());
+    }
+    if (!opts.metrics_out.empty()) {
+      std::ofstream out(opts.metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open metrics output: %s\n",
+                     opts.metrics_out.c_str());
+        std::exit(1);
+      }
+      o->sampler().write_csv(out);
+      std::printf("[%s] metrics: %zu instruments, %zu rows -> %s\n",
+                  label.c_str(), o->metrics().metric_count(),
+                  o->sampler().row_count(), opts.metrics_out.c_str());
+    }
+    std::printf("%s\n", o->profiler().format_report().c_str());
+  }
   return result;
+}
+
+bool flag_value(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
 }
 
 }  // namespace
@@ -63,10 +132,29 @@ core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
 int main(int argc, char** argv) {
   using namespace epajsrm;
 
+  ReplayOptions opts;
+  std::string swf_path;
+  for (int i = 1; i < argc; ++i) {
+    if (flag_value(argv[i], "--trace-out=", &opts.trace_out)) continue;
+    if (flag_value(argv[i], "--metrics-out=", &opts.metrics_out)) continue;
+    if (flag_value(argv[i], "--log-level=", &opts.log_level)) continue;
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+    swf_path = argv[i];
+  }
+  opts.observability = !opts.trace_out.empty() || !opts.metrics_out.empty();
+  if (!opts.log_level.empty() && !sim::parse_log_level(opts.log_level)) {
+    std::fprintf(stderr, "unknown log level: %s\n", opts.log_level.c_str());
+    return 2;
+  }
+
   std::vector<workload::SwfRecord> records;
-  if (argc > 1) {
-    records = workload::parse_swf_file(argv[1]);
-    std::printf("replaying %zu records from %s\n", records.size(), argv[1]);
+  if (!swf_path.empty()) {
+    records = workload::parse_swf_file(swf_path);
+    std::printf("replaying %zu records from %s\n", records.size(),
+                swf_path.c_str());
   } else {
     std::istringstream in(kBuiltinTrace);
     records = workload::parse_swf(in);
@@ -82,7 +170,7 @@ int main(int argc, char** argv) {
   std::vector<const workload::Job*> finished;
   const core::RunResult unbounded = replay(jobs, 0.0, "trace", nullptr);
   const core::RunResult budgeted =
-      replay(jobs, 8 * 220.0, "trace-budget", &finished);
+      replay(jobs, 8 * 220.0, "trace-budget", &finished, opts);
 
   metrics::AsciiTable table({"variant", "makespan (h)", "p50 wait (min)",
                              "max power", "energy", "jobs done"});

@@ -43,6 +43,35 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
     model_.apply(node);
     if (node.state() == platform::NodeState::kIdle) request_schedule();
   });
+
+  obs_ = obs::Observability::create_if(config_.obs);
+  if (obs_ != nullptr) {
+    obs_->trace().set_sim_clock([&sim] { return sim.now(); });
+    if (obs_->config().profile_event_loop) {
+      sim_->set_dispatch_hook(
+          [this](const char* category, std::int64_t wall_ns) {
+            obs_->profiler().record(category, wall_ns);
+          });
+    }
+    if (obs_->config().trace_log_lines) {
+      logger_.set_event_sink([this](sim::LogLevel level, sim::SimTime,
+                                    const std::string& component,
+                                    const std::string& message) {
+        obs_->trace().log_line(component, message, sim::to_string(level));
+      });
+    }
+    capmc_.set_observability(obs_.get());
+    rm_->set_observability(obs_.get());
+    metrics_->attach_registry(&obs_->metrics());
+
+    obs::MetricsRegistry& reg = obs_->metrics();
+    jobs_started_counter_ = &reg.counter("sched.jobs_started");
+    cap_actuations_counter_ = &reg.counter("epa.cap_actuations");
+    pstate_changes_counter_ = &reg.counter("epa.pstate_changes");
+    queue_depth_gauge_ = &reg.gauge("sim.queue_depth");
+    pending_gauge_ = &reg.gauge("sched.pending_jobs");
+    running_gauge_ = &reg.gauge("sched.running_jobs");
+  }
 }
 
 EpaJsrmSolution::~EpaJsrmSolution() = default;
@@ -88,7 +117,7 @@ void EpaJsrmSolution::submit(workload::JobSpec spec) {
   auto job = std::make_unique<workload::Job>(std::move(spec));
   jobs_.emplace(id, std::move(job));
   ++arrivals_outstanding_;
-  sim_->schedule_at(arrival, [this, id] { on_arrival(id); });
+  sim_->schedule_at(arrival, [this, id] { on_arrival(id); }, "core.arrival");
 }
 
 void EpaJsrmSolution::submit_all(std::vector<workload::JobSpec> specs) {
@@ -116,16 +145,22 @@ void EpaJsrmSolution::start() {
 
   for (auto& policy : policies_) policy->install(*this);
 
-  sim_->schedule_every(config_.control_period, [this]() -> bool {
-    if (stopping_) return false;
-    control_tick();
-    return true;
-  });
-  sim_->schedule_every(config_.reschedule_period, [this]() -> bool {
-    if (stopping_) return false;
-    request_schedule();
-    return true;
-  });
+  sim_->schedule_every(
+      config_.control_period,
+      [this]() -> bool {
+        if (stopping_) return false;
+        control_tick();
+        return true;
+      },
+      "core.control");
+  sim_->schedule_every(
+      config_.reschedule_period,
+      [this]() -> bool {
+        if (stopping_) return false;
+        request_schedule();
+        return true;
+      },
+      "core.reschedule");
   request_schedule();
 }
 
@@ -148,6 +183,7 @@ RunResult EpaJsrmSolution::finalize() {
   result.node_boots = rm_->lifecycle().boots();
   result.node_shutdowns = rm_->lifecycle().shutdowns();
   result.scheduling_passes = passes_;
+  result.sim_events = sim_->events_processed();
   result.job_reports = job_reports_;
   result.kills_by_reason = kills_by_reason_;
   return result;
@@ -222,13 +258,16 @@ bool EpaJsrmSolution::try_start(workload::Job& job,
   if (config_.enforce_walltime) {
     const workload::JobId id = job.id();
     const sim::SimTime started = job.start_time();
-    sim_->schedule_in(job.spec().walltime_estimate, [this, id, started] {
-      workload::Job* j = find_job(id);
-      if (j != nullptr && j->state() == workload::JobState::kRunning &&
-          j->start_time() == started) {
-        finish_job(*j, workload::JobState::kKilled, "walltime-limit");
-      }
-    });
+    sim_->schedule_in(
+        job.spec().walltime_estimate,
+        [this, id, started] {
+          workload::Job* j = find_job(id);
+          if (j != nullptr && j->state() == workload::JobState::kRunning &&
+              j->start_time() == started) {
+            finish_job(*j, workload::JobState::kKilled, "walltime-limit");
+          }
+        },
+        "core.walltime");
   }
 
   // Co-resident jobs on shared nodes may have changed speed (utilisation
@@ -236,6 +275,14 @@ bool EpaJsrmSolution::try_start(workload::Job& job,
   refresh_jobs_on_nodes(nodes);
 
   for (auto& policy : policies_) policy->on_job_start(job);
+  if (obs_ != nullptr) {
+    jobs_started_counter_->add(1);
+    obs_->trace().instant(
+        "sched", "job_start", static_cast<std::int64_t>(job.id()), -1,
+        {{"nodes", static_cast<double>(nodes.size())},
+         {"pstate", static_cast<double>(plan.pstate)},
+         {"wait_s", sim::to_seconds(sim_->now() - job.submit_time())}});
+  }
   logger_.debug("core", "started job " + std::to_string(job.id()) + " on " +
                             std::to_string(nodes.size()) + " nodes");
   return true;
@@ -272,6 +319,7 @@ void EpaJsrmSolution::set_node_cap(platform::NodeId node, double watts) {
   checkpoint_energy();
   capmc_.set_node_cap(node, watts);
   refresh_jobs_on_nodes({&node, 1});
+  if (obs_ != nullptr) cap_actuations_counter_->add(1);
 }
 
 void EpaJsrmSolution::set_group_cap(std::span<const platform::NodeId> nodes,
@@ -279,6 +327,7 @@ void EpaJsrmSolution::set_group_cap(std::span<const platform::NodeId> nodes,
   checkpoint_energy();
   capmc_.set_group_cap(nodes, watts);
   refresh_jobs_on_nodes(nodes);
+  if (obs_ != nullptr) cap_actuations_counter_->add(1);
 }
 
 void EpaJsrmSolution::set_system_cap(double watts) {
@@ -287,6 +336,7 @@ void EpaJsrmSolution::set_system_cap(double watts) {
   for (workload::Job* job : std::vector<workload::Job*>(running_)) {
     refresh_job(*job);
   }
+  if (obs_ != nullptr) cap_actuations_counter_->add(1);
 }
 
 void EpaJsrmSolution::set_node_pstate(platform::NodeId node,
@@ -296,6 +346,12 @@ void EpaJsrmSolution::set_node_pstate(platform::NodeId node,
   n.set_pstate(pstate);
   model_.apply(n);
   refresh_jobs_on_nodes({&node, 1});
+  if (obs_ != nullptr) {
+    pstate_changes_counter_->add(1);
+    obs_->trace().instant("epa", "node_pstate", -1,
+                          static_cast<std::int64_t>(node),
+                          {{"pstate", static_cast<double>(pstate)}});
+  }
 }
 
 void EpaJsrmSolution::set_job_pstate(workload::JobId job_id,
@@ -309,6 +365,13 @@ void EpaJsrmSolution::set_job_pstate(workload::JobId job_id,
     model_.apply(node);
   }
   refresh_jobs_on_nodes(job->allocated_nodes());
+  if (obs_ != nullptr) {
+    pstate_changes_counter_->add(1);
+    obs_->trace().instant(
+        "epa", "job_pstate", static_cast<std::int64_t>(job_id), -1,
+        {{"pstate", static_cast<double>(pstate)},
+         {"nodes", static_cast<double>(job->allocated_nodes().size())}});
+  }
 }
 
 bool EpaJsrmSolution::power_off_node(platform::NodeId node) {
@@ -355,10 +418,13 @@ workload::JobId EpaJsrmSolution::requeue_job(workload::JobId job_id,
 void EpaJsrmSolution::request_schedule() {
   if (pass_requested_ || stopping_) return;
   pass_requested_ = true;
-  sim_->schedule_at(sim_->now(), [this] {
-    pass_requested_ = false;
-    schedule_pass();
-  });
+  sim_->schedule_at(
+      sim_->now(),
+      [this] {
+        pass_requested_ = false;
+        schedule_pass();
+      },
+      "sched.pass");
 }
 
 // --- internals ------------------------------------------------------------------
@@ -392,9 +458,16 @@ void EpaJsrmSolution::schedule_pass() {
   if (in_pass_ || stopping_) return;
   in_pass_ = true;
   ++passes_;
+  obs::ScopedSpan span = obs::span_of(obs_.get(), "core", "schedule_pass");
+  const std::size_t pending_before = pending_.size();
   sort_pending();
   for (auto& policy : policies_) policy->reorder_queue(pending_, sim_->now());
   scheduler_->schedule(*this);
+  if (span.active()) {
+    span.attr("pending", static_cast<double>(pending_before));
+    span.attr("started", static_cast<double>(pending_before) -
+                             static_cast<double>(pending_.size()));
+  }
   in_pass_ = false;
 }
 
@@ -410,13 +483,16 @@ void EpaJsrmSolution::schedule_completion(workload::Job& job) {
   const std::uint64_t gen = job.bump_completion_generation();
   const workload::JobId id = job.id();
   const sim::SimTime at = sim_->now() + job.remaining_time(sim_->now());
-  sim_->schedule_at(at, [this, id, gen] {
-    workload::Job* j = find_job(id);
-    if (j != nullptr && j->state() == workload::JobState::kRunning &&
-        j->completion_generation() == gen) {
-      finish_job(*j, workload::JobState::kCompleted);
-    }
-  });
+  sim_->schedule_at(
+      at,
+      [this, id, gen] {
+        workload::Job* j = find_job(id);
+        if (j != nullptr && j->state() == workload::JobState::kRunning &&
+            j->completion_generation() == gen) {
+          finish_job(*j, workload::JobState::kCompleted);
+        }
+      },
+      "core.completion");
 }
 
 void EpaJsrmSolution::refresh_job(workload::Job& job) {
@@ -481,6 +557,12 @@ void EpaJsrmSolution::finish_job(workload::Job& job,
   }
   if (final_state == workload::JobState::kKilled) {
     ++kills_by_reason_[kill_reason.empty() ? "killed" : kill_reason];
+    if (obs_ != nullptr) {
+      obs_->trace().instant(
+          "core", "job_killed", static_cast<std::int64_t>(job.id()), -1,
+          {{"reason", kill_reason.empty() ? std::string("killed")
+                                          : kill_reason}});
+    }
   }
 
   for (auto& policy : policies_) policy->on_job_end(job);
@@ -515,6 +597,13 @@ void EpaJsrmSolution::control_tick() {
   metrics_->on_power_sample(t, it_watts,
                             cluster_->facility().facility_watts(it_watts, t),
                             cluster_->core_utilization());
+
+  if (obs_ != nullptr) {
+    queue_depth_gauge_->set(static_cast<double>(sim_->pending_events()));
+    pending_gauge_->set(static_cast<double>(pending_.size()));
+    running_gauge_->set(static_cast<double>(running_.size()));
+    obs_->sampler().sample(t);
+  }
 }
 
 }  // namespace epajsrm::core

@@ -21,6 +21,7 @@
 
 #include "epa/policy.hpp"
 #include "metrics/collector.hpp"
+#include "obs/observability.hpp"
 #include "platform/cluster.hpp"
 #include "power/capmc.hpp"
 #include "power/energy_source.hpp"
@@ -59,6 +60,10 @@ struct SolutionConfig {
   bool enable_thermal = true;
   /// Electricity tariff for cost accounting (facility energy).
   std::optional<power::Tariff> tariff;
+  /// Observability plane (trace ring, metrics registry, loop profiler).
+  /// Disabled by default: with obs.enabled false the stack allocates
+  /// nothing and instrumented code paths reduce to one null check.
+  obs::ObsConfig obs;
 };
 
 /// Result of a completed run.
@@ -69,6 +74,8 @@ struct RunResult {
   std::uint64_t node_boots = 0;
   std::uint64_t node_shutdowns = 0;
   std::uint64_t scheduling_passes = 0;
+  /// Simulator callbacks dispatched over the run (events/sec numerator).
+  std::uint64_t sim_events = 0;
   std::vector<telemetry::JobEnergyReport> job_reports;
   /// kill reason -> count (emergency responses, walltime, ...).
   std::unordered_map<std::string, std::uint64_t> kills_by_reason;
@@ -139,6 +146,9 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   }
   metrics::MetricsCollector& metrics_collector() { return *metrics_; }
   sim::Logger& logger() { return logger_; }
+  /// The observability plane, or null when SolutionConfig.obs is disabled.
+  obs::Observability* observability() override { return obs_.get(); }
+  obs::Observability* observability() const override { return obs_.get(); }
   const power::CapmcController& capmc() const { return capmc_; }
   const sched::FairShareTracker& fairshare() const { return fairshare_; }
   predict::PowerPredictor& power_predictor() { return *power_predictor_; }
@@ -223,6 +233,9 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   platform::Cluster* cluster_;
   SolutionConfig config_;
   sim::Logger logger_;
+  // Declared before the instrumented components so it outlives their
+  // cached instrument pointers.
+  std::unique_ptr<obs::Observability> obs_;
 
   power::NodePowerModel model_;
   power::CapmcController capmc_;
@@ -253,6 +266,15 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   workload::JobId next_synthetic_ = workload::JobId{1} << 62;
   std::unordered_map<std::string, std::uint64_t> kills_by_reason_;
   std::vector<telemetry::JobEnergyReport> job_reports_;
+
+  // Registry handles (null when observability is off; resolved once in the
+  // constructor so hot paths never do name lookups).
+  obs::Counter* jobs_started_counter_ = nullptr;
+  obs::Counter* cap_actuations_counter_ = nullptr;
+  obs::Counter* pstate_changes_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
 };
 
 }  // namespace epajsrm::core

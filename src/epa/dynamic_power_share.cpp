@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/observability.hpp"
+
 namespace epajsrm::epa {
 
 void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
   if (host_ == nullptr || budget_ <= 0.0) return;
+  obs::ScopedSpan span =
+      obs::span_of(host_->observability(), "epa", "power_rebalance");
   platform::Cluster& cluster = host_->cluster();
   const power::NodePowerModel& model = host_->power_model();
   const platform::PstateTable& pstates = cluster.pstates();
@@ -44,6 +48,12 @@ void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
     host_->set_node_cap(id, cap);
   }
   ++redistributions_;
+  if (span.active()) {
+    span.attr("budget_watts", budget_);
+    span.attr("fixed_watts", fixed);
+    span.attr("total_demand_watts", total_demand);
+    host_->observability()->metrics().counter("epa.rebalances").add(1);
+  }
 }
 
 }  // namespace epajsrm::epa

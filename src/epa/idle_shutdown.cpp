@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observability.hpp"
+
 namespace epajsrm::epa {
 
 std::uint32_t IdleShutdownPolicy::shortfall() const {
@@ -57,6 +59,12 @@ void IdleShutdownPolicy::on_tick(sim::SimTime now) {
       if (ok) {
         ++boots_;
         --need;
+        if (obs::Observability* o = host_->observability()) {
+          o->metrics().counter("epa.node_boots").add(1);
+          o->trace().instant("epa", config_.use_sleep ? "node_wake"
+                                                      : "node_boot",
+                             -1, static_cast<std::int64_t>(node.id()));
+        }
       }
     }
     return;  // do not shut anything down while starved
@@ -74,6 +82,13 @@ void IdleShutdownPolicy::on_tick(sim::SimTime now) {
     if (ok) {
       ++shutdowns_;
       --idle_online;
+      if (obs::Observability* o = host_->observability()) {
+        o->metrics().counter("epa.node_shutdowns").add(1);
+        o->trace().instant("epa", config_.use_sleep ? "node_sleep"
+                                                    : "node_shutdown",
+                           -1, static_cast<std::int64_t>(id),
+                           {{"idle_s", sim::to_seconds(now - since)}});
+      }
     }
   }
 }

@@ -28,6 +28,10 @@
 #include "telemetry/monitor.hpp"
 #include "workload/job.hpp"
 
+namespace epajsrm::obs {
+class Observability;
+}
+
 namespace epajsrm::epa {
 
 /// A job-launch plan a policy may veto or reshape.
@@ -107,6 +111,11 @@ class PolicyHost {
   /// Requests a scheduling pass at the current time (after the current
   /// event cascade).
   virtual void request_schedule() = 0;
+
+  /// The run's observability plane (trace + metrics), or null when
+  /// observability is disabled — policies must treat null as "record
+  /// nothing".
+  virtual obs::Observability* observability() { return nullptr; }
 };
 
 /// Base class for EPA policies. Default implementations are no-ops so a

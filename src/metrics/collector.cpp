@@ -5,12 +5,41 @@
 
 namespace epajsrm::metrics {
 
+void MetricsCollector::attach_registry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    violation_counter_ = nullptr;
+    completed_counter_ = nullptr;
+    killed_counter_ = nullptr;
+    submitted_counter_ = nullptr;
+    it_watts_gauge_ = nullptr;
+    facility_watts_gauge_ = nullptr;
+    utilization_gauge_ = nullptr;
+    budget_gauge_ = nullptr;
+    wait_minutes_hist_ = nullptr;
+    return;
+  }
+  violation_counter_ = &registry->counter("power.violation_samples");
+  violation_counter_->add(violation_samples_);  // carry over pre-attach count
+  violation_samples_ = 0;
+  completed_counter_ = &registry->counter("jobs.completed");
+  killed_counter_ = &registry->counter("jobs.killed");
+  submitted_counter_ = &registry->counter("jobs.submitted");
+  it_watts_gauge_ = &registry->gauge("power.it_watts");
+  facility_watts_gauge_ = &registry->gauge("power.facility_watts");
+  utilization_gauge_ = &registry->gauge("util.core_fraction");
+  budget_gauge_ = &registry->gauge("power.budget_watts");
+  wait_minutes_hist_ = &registry->histogram(
+      "sched.wait_minutes", {1.0, 5.0, 15.0, 60.0, 240.0, 1440.0});
+}
+
 void MetricsCollector::on_job_finished(const workload::Job& job) {
   const workload::JobState state = job.state();
   if (state == workload::JobState::kKilled) {
     ++killed_;
+    if (killed_counter_ != nullptr) killed_counter_->add(1);
   } else if (state == workload::JobState::kCompleted) {
     ++completed_;
+    if (completed_counter_ != nullptr) completed_counter_->add(1);
   } else {
     return;  // cancelled before start: counts only as submitted
   }
@@ -23,6 +52,9 @@ void MetricsCollector::on_job_finished(const workload::Job& job) {
   const sim::SimTime run = job.end_time() - job.start_time();
   const sim::SimTime wait = job.wait_time();
   wait_minutes_.push_back(sim::to_seconds(wait) / 60.0);
+  if (wait_minutes_hist_ != nullptr) {
+    wait_minutes_hist_->observe(sim::to_seconds(wait) / 60.0);
+  }
   runtime_minutes_.push_back(sim::to_seconds(run) / 60.0);
   // Bounded slowdown with the standard 10-minute interactivity threshold.
   const double tau = 10.0 * 60.0;
@@ -56,8 +88,18 @@ void MetricsCollector::on_power_sample(sim::SimTime now, double it_watts,
   utilization_stats_.add(core_utilization);
   ++total_samples_;
   if (budget_watts_ > 0.0 && it_watts > budget_watts_) {
-    ++violation_samples_;
+    if (violation_counter_ != nullptr) {
+      violation_counter_->add(1);
+    } else {
+      ++violation_samples_;
+    }
     worst_violation_ = std::max(worst_violation_, it_watts - budget_watts_);
+  }
+  if (it_watts_gauge_ != nullptr) {
+    it_watts_gauge_->set(it_watts);
+    facility_watts_gauge_->set(facility_watts);
+    utilization_gauge_->set(core_utilization);
+    budget_gauge_->set(budget_watts_);
   }
 
   have_sample_ = true;
@@ -100,10 +142,10 @@ RunReport MetricsCollector::finalize(sim::SimTime end_time) {
   r.electricity_cost = cost_;
 
   r.budget_watts = budget_watts_;
-  r.violation_samples = violation_samples_;
+  r.violation_samples = violation_samples();
   r.violation_fraction =
       total_samples_ > 0
-          ? static_cast<double>(violation_samples_) / total_samples_
+          ? static_cast<double>(r.violation_samples) / total_samples_
           : 0.0;
   r.worst_violation_watts = worst_violation_;
   r.violation_kwh = violation_joules_ / 3.6e6;
@@ -112,7 +154,12 @@ RunReport MetricsCollector::finalize(sim::SimTime end_time) {
       utilization_stats_.count() ? utilization_stats_.mean() : 0.0;
 
   const sim::SimTime span = end_time - first_sample_time_;
-  if (span > 0) {
+  if (span <= 0) {
+    // Zero (or negative) span: finalizing at the first-sample instant, or
+    // with no samples at all. Throughput is undefined there — report 0
+    // explicitly instead of dividing by zero.
+    r.throughput_jobs_per_day = 0.0;
+  } else {
     r.throughput_jobs_per_day =
         static_cast<double>(completed_) / (sim::to_hours(span) / 24.0);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "metrics/stats.hpp"
+#include "obs/metrics_registry.hpp"
 #include "power/tariff.hpp"
 #include "sim/time.hpp"
 #include "workload/job.hpp"
@@ -66,8 +67,17 @@ class MetricsCollector {
   void set_budget_watts(double w) { budget_watts_ = w; }
   double budget_watts() const { return budget_watts_; }
 
+  /// Attaches the runtime metrics registry: per-sample series (power,
+  /// utilisation, budget violations, job outcomes) are published as named
+  /// instruments instead of living only in this collector's private state,
+  /// so the periodic sampler's CSV carries them. Pass nullptr to detach.
+  void attach_registry(obs::MetricsRegistry* registry);
+
   /// Called once per submitted job.
-  void on_job_submitted(const workload::JobSpec&) { ++submitted_; }
+  void on_job_submitted(const workload::JobSpec&) {
+    ++submitted_;
+    if (submitted_counter_ != nullptr) submitted_counter_->add(1);
+  }
 
   /// Called when a job reaches a terminal state.
   void on_job_finished(const workload::Job& job);
@@ -80,7 +90,13 @@ class MetricsCollector {
   /// Completes integration and produces the report.
   RunReport finalize(sim::SimTime end_time);
 
-  std::uint64_t violation_samples() const { return violation_samples_; }
+  /// Count of power samples over budget. Served from the registry counter
+  /// when one is attached (single source of truth), else from the private
+  /// fallback count.
+  std::uint64_t violation_samples() const {
+    return violation_counter_ != nullptr ? violation_counter_->value()
+                                         : violation_samples_;
+  }
 
  private:
   std::string label_;
@@ -111,6 +127,18 @@ class MetricsCollector {
   double worst_violation_ = 0.0;
   double violation_joules_ = 0.0;
   sim::SimTime first_sample_time_ = 0;
+
+  // Registry handles (null = not attached; resolved once in
+  // attach_registry so the per-sample path never does name lookups).
+  obs::Counter* violation_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* killed_counter_ = nullptr;
+  obs::Counter* submitted_counter_ = nullptr;
+  obs::Gauge* it_watts_gauge_ = nullptr;
+  obs::Gauge* facility_watts_gauge_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
+  obs::Gauge* budget_gauge_ = nullptr;
+  obs::Histogram* wait_minutes_hist_ = nullptr;
 };
 
 /// Renders the headline rows of a report (used by benches for quick dumps).

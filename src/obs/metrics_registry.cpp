@@ -1,0 +1,123 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace epajsrm::obs {
+
+// --- Histogram ----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double v) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  if (!enabled_) return scratch_counter_;
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  if (!enabled_) return scratch_gauge_;
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  if (!enabled_) return scratch_histogram_;
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  if (!enabled_) return out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, MetricKind::kCounter,
+                   static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, MetricKind::kGauge, g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".count", MetricKind::kHistogram,
+                   static_cast<double>(h->count())});
+    out.push_back({name + ".sum", MetricKind::kHistogram, h->sum()});
+    out.push_back({name + ".mean", MetricKind::kHistogram, h->mean()});
+    out.push_back({name + ".max", MetricKind::kHistogram, h->max()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+// --- MetricsSampler -----------------------------------------------------------
+
+void MetricsSampler::sample(sim::SimTime now) {
+  if (!registry_->enabled()) return;
+  rows_.push_back({now, registry_->snapshot()});
+}
+
+void MetricsSampler::write_csv(std::ostream& out) const {
+  // Column union across all rows (snapshots are name-sorted; late-registered
+  // metrics appear in later rows only).
+  std::vector<std::string> columns;
+  for (const Row& row : rows_) {
+    for (const MetricSample& s : row.samples) {
+      const auto it =
+          std::lower_bound(columns.begin(), columns.end(), s.name);
+      if (it == columns.end() || *it != s.name) columns.insert(it, s.name);
+    }
+  }
+
+  out << "time_s";
+  for (const std::string& c : columns) out << ',' << c;
+  out << '\n';
+
+  char buf[64];
+  for (const Row& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%.3f", sim::to_seconds(row.time));
+    out << buf;
+    std::size_t cursor = 0;
+    for (const std::string& c : columns) {
+      out << ',';
+      // Row samples are sorted by name too; advance a cursor instead of
+      // searching from scratch.
+      while (cursor < row.samples.size() && row.samples[cursor].name < c) {
+        ++cursor;
+      }
+      if (cursor < row.samples.size() && row.samples[cursor].name == c) {
+        std::snprintf(buf, sizeof(buf), "%g", row.samples[cursor].value);
+        out << buf;
+      }
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace epajsrm::obs

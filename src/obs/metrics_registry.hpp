@@ -1,0 +1,144 @@
+// Runtime metrics registry: named counters, gauges and fixed-bucket
+// histograms that components update on the hot path.
+//
+// Registration (name lookup, allocation) happens once, when a component
+// attaches; after that the component holds a stable reference and updates
+// are a single add/store — no hashing, no locks (the simulator is
+// single-threaded). Snapshots copy values on demand, and a MetricsSampler
+// turns periodic snapshots into a time-series CSV.
+//
+// A registry constructed disabled hands out shared scratch instruments and
+// reports nothing: the no-op path for observability-off runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: counts per (v <= bound) bucket plus an overflow
+/// bucket, with running count/sum/min/max.
+class Histogram {
+ public:
+  /// `upper_bounds` must be sorted ascending; an implicit +inf bucket is
+  /// appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One scalar of a snapshot. Histograms expand to `<name>.count`,
+/// `<name>.sum`, `<name>.mean` and `<name>.max` samples.
+struct MetricSample {
+  std::string name;
+  MetricKind kind;
+  double value;
+};
+
+/// Owner of all named instruments.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Gets or creates the named instrument. References stay valid for the
+  /// registry's lifetime. On a disabled registry, a shared scratch
+  /// instrument is returned and nothing is registered.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies on first registration only.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Number of registered instruments.
+  std::size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Copies current values, sorted by name. Disabled registries return an
+  /// empty snapshot.
+  std::vector<MetricSample> snapshot() const;
+
+ private:
+  bool enabled_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  Counter scratch_counter_;
+  Gauge scratch_gauge_;
+  Histogram scratch_histogram_{{}};
+};
+
+/// Collects periodic registry snapshots and renders them as a CSV time
+/// series (`time_s` column + one column per metric; metrics registered
+/// after the first sample get empty cells in earlier rows).
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(const MetricsRegistry& registry)
+      : registry_(&registry) {}
+
+  /// Appends one row stamped at `now`. No-op on a disabled registry.
+  void sample(sim::SimTime now);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void write_csv(std::ostream& out) const;
+
+ private:
+  struct Row {
+    sim::SimTime time;
+    std::vector<MetricSample> samples;
+  };
+  const MetricsRegistry* registry_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace epajsrm::obs

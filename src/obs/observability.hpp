@@ -1,0 +1,72 @@
+// The observability plane: one bundle owning the trace ring, the metrics
+// registry (+ periodic sampler) and the event-loop profiler.
+//
+// The core solution creates one of these when ObsConfig.enabled is set and
+// hands out a raw pointer to every instrumented component; a null pointer
+// is the zero-overhead disabled path (components test the pointer once per
+// decision, never per-event formatting or allocation).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace epajsrm::obs {
+
+/// Tunables of the observability plane. Disabled by default: the stack
+/// must cost nothing when nobody is watching.
+struct ObsConfig {
+  bool enabled = false;
+  /// Trace ring capacity (events); oldest events are evicted beyond this.
+  std::size_t trace_capacity = 1 << 16;
+  /// Attach the event-loop profiler to the simulation dispatch hook.
+  bool profile_event_loop = true;
+  /// Route sim::Logger lines into the trace ring.
+  bool trace_log_lines = true;
+};
+
+/// Owner of the three observability pieces.
+class Observability {
+ public:
+  explicit Observability(ObsConfig config = {})
+      : config_(config),
+        trace_(config.trace_capacity),
+        metrics_(true),
+        sampler_(metrics_) {}
+
+  /// Builds the plane when `config.enabled`, else returns null (the
+  /// disabled path components check for).
+  static std::unique_ptr<Observability> create_if(const ObsConfig& config) {
+    return config.enabled ? std::make_unique<Observability>(config)
+                          : nullptr;
+  }
+
+  const ObsConfig& config() const { return config_; }
+
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsSampler& sampler() { return sampler_; }
+  const MetricsSampler& sampler() const { return sampler_; }
+  LoopProfiler& profiler() { return profiler_; }
+  const LoopProfiler& profiler() const { return profiler_; }
+
+ private:
+  ObsConfig config_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  LoopProfiler profiler_;
+  MetricsSampler sampler_;
+};
+
+/// Opens a span on `o`'s trace, or a no-op span when `o` is null.
+inline ScopedSpan span_of(Observability* o, const char* component,
+                          const char* name) {
+  return o != nullptr ? o->trace().span(component, name) : ScopedSpan{};
+}
+
+}  // namespace epajsrm::obs

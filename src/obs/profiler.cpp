@@ -1,0 +1,65 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace epajsrm::obs {
+
+double LoopProfiler::events_per_sec() const {
+  if (total_ns_ <= 0) return 0.0;
+  return static_cast<double>(total_events_) /
+         (static_cast<double>(total_ns_) / 1e9);
+}
+
+std::vector<LoopProfiler::CategoryStats> LoopProfiler::report() const {
+  // Merge by name: the same literal text may live at different addresses
+  // across translation units.
+  std::map<std::string, CategoryStats> merged;
+  for (const auto& [category, bucket] : buckets_) {
+    CategoryStats& s = merged[category];
+    s.category = category;
+    s.count += bucket.count;
+    s.total_ns += bucket.total_ns;
+    s.max_ns = std::max(s.max_ns, bucket.max_ns);
+  }
+  std::vector<CategoryStats> out;
+  out.reserve(merged.size());
+  for (auto& [name, stats] : merged) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(),
+            [](const CategoryStats& a, const CategoryStats& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.category < b.category;
+            });
+  return out;
+}
+
+std::string LoopProfiler::format_report() const {
+  std::string out = "event-loop profile (category: events, total, mean, max)\n";
+  char buf[192];
+  for (const CategoryStats& s : report()) {
+    const double mean_us =
+        s.count > 0 ? static_cast<double>(s.total_ns) / s.count / 1e3 : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s %10llu  %9.3f ms  %8.2f us  %8.2f us\n",
+                  s.category.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) / 1e6, mean_us,
+                  static_cast<double>(s.max_ns) / 1e3);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  total: %llu events in %.3f ms (%.0f events/sec)\n",
+                static_cast<unsigned long long>(total_events_),
+                static_cast<double>(total_ns_) / 1e6, events_per_sec());
+  out += buf;
+  return out;
+}
+
+void LoopProfiler::reset() {
+  buckets_.clear();
+  total_events_ = 0;
+  total_ns_ = 0;
+}
+
+}  // namespace epajsrm::obs

@@ -1,0 +1,65 @@
+// Event-loop profiler: attributes the simulator's wall-clock time to
+// callback categories so perf work has a baseline.
+//
+// sim::Simulation invokes an attached dispatch hook with (category,
+// wall_ns) after every callback; the profiler aggregates per category.
+// Categories are static string literals supplied at scheduling time, so
+// the hot path keys the accumulation map by pointer — no string hashing
+// per event. Equal-content literals from different translation units are
+// merged by name at report time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace epajsrm::obs {
+
+/// Accumulates per-category dispatch costs for one simulation run.
+class LoopProfiler {
+ public:
+  /// Adds one dispatched callback of `category` costing `wall_ns`.
+  /// `category` must outlive the profiler (static literals do).
+  void record(const char* category, std::int64_t wall_ns) {
+    Bucket& b = buckets_[category];
+    ++b.count;
+    b.total_ns += wall_ns;
+    if (wall_ns > b.max_ns) b.max_ns = wall_ns;
+    ++total_events_;
+    total_ns_ += wall_ns;
+  }
+
+  struct CategoryStats {
+    std::string category;
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+
+  std::uint64_t total_events() const { return total_events_; }
+  std::int64_t total_wall_ns() const { return total_ns_; }
+
+  /// Dispatched events per wall second (0 when nothing was recorded).
+  double events_per_sec() const;
+
+  /// Per-category stats, merged by name, sorted by total time descending.
+  std::vector<CategoryStats> report() const;
+
+  /// Human-readable table: one line per category plus a totals line.
+  std::string format_report() const;
+
+  void reset();
+
+ private:
+  struct Bucket {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+  std::unordered_map<const char*, Bucket> buckets_;
+  std::uint64_t total_events_ = 0;
+  std::int64_t total_ns_ = 0;
+};
+
+}  // namespace epajsrm::obs

@@ -1,0 +1,288 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace epajsrm::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping (control characters, quote, backslash).
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  // %g keeps integral values integral ("3" not "3.000000"), which matters
+  // for the golden-file tests and keeps exports compact.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+void append_attrs_object(std::string& out, const TraceEvent& e) {
+  out += '{';
+  bool first = true;
+  for (const TraceAttr& a : e.attrs) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, a.key);
+    out += "\":";
+    if (a.numeric) {
+      append_number(out, a.num);
+    } else {
+      out += '"';
+      append_escaped(out, a.str);
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kInstant: return "instant";
+    case TraceKind::kSpan:    return "span";
+    case TraceKind::kLog:     return "log";
+  }
+  return "?";
+}
+
+// --- ScopedSpan ---------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, std::string component,
+                       std::string name)
+    : recorder_(recorder) {
+  event_.kind = TraceKind::kSpan;
+  event_.component = std::move(component);
+  event_.name = std::move(name);
+  event_.sim_time = recorder_->sim_now();
+  event_.wall_ns = recorder_->wall_now_ns();
+  event_.depth = recorder_->open_spans_++;
+}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    finish();
+    recorder_ = std::exchange(other.recorder_, nullptr);
+    event_ = std::move(other.event_);
+  }
+  return *this;
+}
+
+void ScopedSpan::attr(std::string key, double value) {
+  if (recorder_ != nullptr) event_.attrs.emplace_back(std::move(key), value);
+}
+
+void ScopedSpan::attr(std::string key, std::string value) {
+  if (recorder_ != nullptr) {
+    event_.attrs.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void ScopedSpan::set_job(std::int64_t id) {
+  if (recorder_ != nullptr) event_.job_id = id;
+}
+
+void ScopedSpan::set_node(std::int64_t id) {
+  if (recorder_ != nullptr) event_.node_id = id;
+}
+
+void ScopedSpan::finish() {
+  if (recorder_ == nullptr) return;
+  event_.dur_ns = recorder_->wall_now_ns() - event_.wall_ns;
+  --recorder_->open_spans_;
+  recorder_->record(std::move(event_));
+  recorder_ = nullptr;
+}
+
+// --- TraceRecorder ------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(std::size_t capacity, WallClock wall_clock)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      wall_clock_(wall_clock ? std::move(wall_clock) : WallClock(steady_ns)) {
+  epoch_ns_ = wall_clock_();
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+std::int64_t TraceRecorder::wall_now_ns() const {
+  return wall_clock_() - epoch_ns_;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++recorded_;
+}
+
+void TraceRecorder::instant(std::string component, std::string name,
+                            std::int64_t job_id, std::int64_t node_id,
+                            std::vector<TraceAttr> attrs) {
+  TraceEvent e;
+  e.kind = TraceKind::kInstant;
+  e.sim_time = sim_now();
+  e.wall_ns = wall_now_ns();
+  e.depth = open_spans_;
+  e.component = std::move(component);
+  e.name = std::move(name);
+  e.job_id = job_id;
+  e.node_id = node_id;
+  e.attrs = std::move(attrs);
+  record(std::move(e));
+}
+
+void TraceRecorder::log_line(std::string component, std::string message,
+                             std::string level) {
+  TraceEvent e;
+  e.kind = TraceKind::kLog;
+  e.sim_time = sim_now();
+  e.wall_ns = wall_now_ns();
+  e.depth = open_spans_;
+  e.component = std::move(component);
+  e.name = "log";
+  e.attrs.emplace_back("level", std::move(level));
+  e.attrs.emplace_back("message", std::move(message));
+  record(std::move(e));
+}
+
+ScopedSpan TraceRecorder::span(std::string component, std::string name) {
+  return ScopedSpan(this, std::move(component), std::move(name));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: when the ring has wrapped it sits at next_, otherwise at 0.
+  const std::size_t start = size_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+void TraceRecorder::export_jsonl(std::ostream& out) const {
+  std::string line;
+  for (const TraceEvent& e : events()) {
+    line.clear();
+    char head[192];
+    std::snprintf(head, sizeof(head),
+                  "{\"sim_time_us\":%" PRId64 ",\"wall_ns\":%" PRId64
+                  ",\"dur_ns\":%" PRId64 ",\"depth\":%d,\"kind\":\"%s\"",
+                  e.sim_time, e.wall_ns, e.dur_ns, e.depth,
+                  to_string(e.kind));
+    line += head;
+    line += ",\"component\":\"";
+    append_escaped(line, e.component);
+    line += "\",\"name\":\"";
+    append_escaped(line, e.name);
+    line += "\"";
+    if (e.job_id >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ",\"job_id\":%" PRId64, e.job_id);
+      line += buf;
+    }
+    if (e.node_id >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ",\"node_id\":%" PRId64, e.node_id);
+      line += buf;
+    }
+    line += ",\"attrs\":";
+    append_attrs_object(line, e);
+    line += "}\n";
+    out << line;
+  }
+}
+
+void TraceRecorder::export_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string line;
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    line.clear();
+    if (!first) line += ',';
+    first = false;
+    line += "\n{\"pid\":1,\"tid\":1,";
+    char buf[160];
+    if (e.kind == TraceKind::kSpan) {
+      std::snprintf(buf, sizeof(buf), "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(e.wall_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+    } else {
+      std::snprintf(buf, sizeof(buf), "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f",
+                    static_cast<double>(e.wall_ns) / 1000.0);
+    }
+    line += buf;
+    line += ",\"cat\":\"";
+    append_escaped(line, e.component);
+    line += "\",\"name\":\"";
+    append_escaped(line, e.name);
+    line += "\",\"args\":{";
+    std::snprintf(buf, sizeof(buf), "\"sim_time_us\":%" PRId64, e.sim_time);
+    line += buf;
+    if (e.job_id >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"job_id\":%" PRId64, e.job_id);
+      line += buf;
+    }
+    if (e.node_id >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"node_id\":%" PRId64, e.node_id);
+      line += buf;
+    }
+    for (const TraceAttr& a : e.attrs) {
+      line += ",\"";
+      append_escaped(line, a.key);
+      line += "\":";
+      if (a.numeric) {
+        append_number(line, a.num);
+      } else {
+        line += '"';
+        append_escaped(line, a.str);
+        line += '"';
+      }
+    }
+    line += "}}";
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace epajsrm::obs

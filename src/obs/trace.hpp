@@ -1,0 +1,165 @@
+// Structured event tracing: a bounded in-memory ring of timestamped trace
+// events with JSONL and Chrome trace_event exporters.
+//
+// Every production EPA JSRM stack the survey covers couples its scheduler
+// and power-control loop to a telemetry plane; this is the reproduction's
+// equivalent. Components record *decisions* (dispatch, cap actuation,
+// P-state change, allocation) as instants or scoped spans; the ring keeps
+// the most recent `capacity` events so tracing is safe to leave on for
+// long runs. All recording is single-threaded (the simulator is), lock
+// free, and O(1) per event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+
+/// One key/value attribute of a trace event. Values are numeric or string;
+/// numeric is the fast path (no allocation beyond the key).
+struct TraceAttr {
+  TraceAttr(std::string k, double v)
+      : key(std::move(k)), numeric(true), num(v) {}
+  TraceAttr(std::string k, std::string v)
+      : key(std::move(k)), numeric(false), str(std::move(v)) {}
+
+  std::string key;
+  bool numeric;
+  double num = 0.0;
+  std::string str;
+};
+
+/// Event flavours: a point-in-time decision, a completed span (with wall
+/// duration), or a log line routed from sim::Logger.
+enum class TraceKind { kInstant, kSpan, kLog };
+
+/// Name of a kind ("instant" / "span" / "log").
+const char* to_string(TraceKind kind);
+
+/// A recorded event. `wall_ns` is monotonic wall time relative to the
+/// recorder's epoch; `dur_ns` is the span's wall duration (0 for instants).
+struct TraceEvent {
+  sim::SimTime sim_time = 0;
+  std::int64_t wall_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int32_t depth = 0;  ///< span nesting depth at record time
+  TraceKind kind = TraceKind::kInstant;
+  std::string component;
+  std::string name;
+  std::int64_t job_id = -1;   ///< -1 = not job-related
+  std::int64_t node_id = -1;  ///< -1 = not node-related
+  std::vector<TraceAttr> attrs;
+};
+
+class TraceRecorder;
+
+/// RAII span: created open, records one kSpan event (with wall duration)
+/// into its recorder when it finishes or goes out of scope. A
+/// default-constructed span is a no-op — the disabled-observability path.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ~ScopedSpan() { finish(); }
+
+  /// True when destruction will record an event.
+  bool active() const { return recorder_ != nullptr; }
+
+  /// Attaches an attribute (no-op when inactive).
+  void attr(std::string key, double value);
+  void attr(std::string key, std::string value);
+  void set_job(std::int64_t id);
+  void set_node(std::int64_t id);
+
+  /// Records the span now (idempotent).
+  void finish();
+
+ private:
+  friend class TraceRecorder;
+  ScopedSpan(TraceRecorder* recorder, std::string component,
+             std::string name);
+
+  TraceRecorder* recorder_ = nullptr;
+  TraceEvent event_;
+};
+
+/// Bounded ring of trace events with on-demand exporters.
+class TraceRecorder {
+ public:
+  /// `wall_clock` returns monotonic nanoseconds; the default reads
+  /// std::chrono::steady_clock. Injectable for deterministic tests.
+  using WallClock = std::function<std::int64_t()>;
+
+  explicit TraceRecorder(std::size_t capacity = 1 << 16,
+                         WallClock wall_clock = {});
+
+  /// Installs the simulation clock; events recorded before this read
+  /// sim_time 0.
+  void set_sim_clock(std::function<sim::SimTime()> clock) {
+    sim_clock_ = std::move(clock);
+  }
+
+  /// Monotonic wall nanoseconds since the recorder's epoch.
+  std::int64_t wall_now_ns() const;
+
+  /// Records an instant event.
+  void instant(std::string component, std::string name,
+               std::int64_t job_id = -1, std::int64_t node_id = -1,
+               std::vector<TraceAttr> attrs = {});
+
+  /// Records a log line (sim::Logger routes here when attached).
+  void log_line(std::string component, std::string message,
+                std::string level);
+
+  /// Opens a scoped span; the returned object records on destruction.
+  ScopedSpan span(std::string component, std::string name);
+
+  /// Low-level append (used by ScopedSpan; sim_time/wall must be filled).
+  void record(TraceEvent event);
+
+  // --- ring inspection ------------------------------------------------------
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  /// Total events ever recorded (including evicted ones).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events evicted because the ring was full.
+  std::uint64_t dropped() const { return recorded_ - size_; }
+  /// Copies the retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  // --- exporters ------------------------------------------------------------
+
+  /// One JSON object per line, oldest first.
+  void export_jsonl(std::ostream& out) const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of "X"/"i" phases;
+  /// loadable in Perfetto / chrome://tracing). Timestamps are wall
+  /// microseconds; sim time rides along in args.
+  void export_chrome_trace(std::ostream& out) const;
+
+ private:
+  friend class ScopedSpan;
+  sim::SimTime sim_now() const { return sim_clock_ ? sim_clock_() : 0; }
+
+  std::size_t capacity_;
+  WallClock wall_clock_;
+  std::function<sim::SimTime()> sim_clock_;
+  std::int64_t epoch_ns_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< ring slot the next event lands in
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::int32_t open_spans_ = 0;
+};
+
+}  // namespace epajsrm::obs

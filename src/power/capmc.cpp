@@ -2,17 +2,55 @@
 
 #include <algorithm>
 
+#include "obs/observability.hpp"
+
 namespace epajsrm::power {
 
-void CapmcController::set_node_cap(platform::NodeId node, double watts) {
+void CapmcController::set_observability(obs::Observability* o) {
+  obs_ = o;
+  if (o == nullptr) {
+    calls_counter_ = nullptr;
+    latency_hist_ = nullptr;
+    return;
+  }
+  calls_counter_ = &o->metrics().counter("power.capmc_calls");
+  latency_hist_ = &o->metrics().histogram(
+      "power.capmc_call_us", {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0});
+}
+
+void CapmcController::record_call(const char* name, std::int64_t t0_ns,
+                                  std::int64_t node_id, double watts,
+                                  double node_count) {
+  calls_counter_->add(1);
+  const std::int64_t dt_ns = obs_->trace().wall_now_ns() - t0_ns;
+  latency_hist_->observe(static_cast<double>(dt_ns) / 1000.0);
+  obs_->trace().instant(
+      "capmc", name, -1, node_id,
+      {{"watts", watts}, {"nodes", node_count}});
+}
+
+void CapmcController::apply_node_cap(platform::NodeId node, double watts) {
   platform::Node& n = cluster_->node(node);
   n.set_power_cap_watts(watts);
   model_->apply(n);
 }
 
+void CapmcController::set_node_cap(platform::NodeId node, double watts) {
+  const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  apply_node_cap(node, watts);
+  if (obs_ != nullptr) {
+    record_call("node_cap", t0, static_cast<std::int64_t>(node), watts, 1.0);
+  }
+}
+
 void CapmcController::set_group_cap(std::span<const platform::NodeId> nodes,
                                     double watts) {
-  for (platform::NodeId id : nodes) set_node_cap(id, watts);
+  const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  for (platform::NodeId id : nodes) apply_node_cap(id, watts);
+  if (obs_ != nullptr) {
+    record_call("group_cap", t0, -1, watts,
+                static_cast<double>(nodes.size()));
+  }
 }
 
 void CapmcController::set_system_cap(double total_watts) {
@@ -22,6 +60,7 @@ void CapmcController::set_system_cap(double total_watts) {
     clear_all_caps();
     return;
   }
+  const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
   const double per_node = total_watts / n;
   double guaranteed = 0.0;
   for (platform::Node& node : cluster_->nodes()) {
@@ -34,14 +73,22 @@ void CapmcController::set_system_cap(double total_watts) {
     guaranteed += cap;
   }
   system_cap_error_ = std::max(0.0, guaranteed - total_watts);
+  if (obs_ != nullptr) {
+    record_call("system_cap", t0, -1, total_watts, static_cast<double>(n));
+  }
 }
 
 void CapmcController::clear_all_caps() {
+  const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
   for (platform::Node& node : cluster_->nodes()) {
     node.set_power_cap_watts(0.0);
     model_->apply(node);
   }
   system_cap_error_ = 0.0;
+  if (obs_ != nullptr) {
+    record_call("clear_caps", t0, -1, 0.0,
+                static_cast<double>(cluster_->node_count()));
+  }
 }
 
 double CapmcController::worst_case_watts() const {

@@ -12,6 +12,12 @@
 #include "platform/cluster.hpp"
 #include "power/node_power_model.hpp"
 
+namespace epajsrm::obs {
+class Observability;
+class Counter;
+class Histogram;
+}
+
 namespace epajsrm::power {
 
 /// Out-of-band capping controller over a cluster.
@@ -19,6 +25,12 @@ class CapmcController {
  public:
   CapmcController(platform::Cluster& cluster, const NodePowerModel& model)
       : cluster_(&cluster), model_(&model) {}
+
+  /// Attaches (or with null, detaches) the observability plane. Every
+  /// public control entry point then records one `power.capmc_calls`
+  /// increment, its wall latency into `power.capmc_call_us`, and a trace
+  /// instant — modelling the out-of-band control path's cost.
+  void set_observability(obs::Observability* o);
 
   /// Sets (or clears, with watts == 0) a node-level cap.
   void set_node_cap(platform::NodeId node, double watts);
@@ -50,9 +62,18 @@ class CapmcController {
   double system_cap_error() const { return system_cap_error_; }
 
  private:
+  void apply_node_cap(platform::NodeId node, double watts);
+  /// Records one control call (counter + latency + trace instant).
+  void record_call(const char* name, std::int64_t t0_ns,
+                   std::int64_t node_id, double watts, double node_count);
+
   platform::Cluster* cluster_;
   const NodePowerModel* model_;
   double system_cap_error_ = 0.0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace epajsrm::power

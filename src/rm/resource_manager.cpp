@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/observability.hpp"
+
 namespace epajsrm::rm {
 
 ResourceManager::ResourceManager(sim::Simulation& sim,
@@ -35,9 +37,21 @@ std::uint32_t ResourceManager::allocatable_nodes() const {
 
 std::vector<platform::NodeId> ResourceManager::allocate(workload::Job& job,
                                                         std::uint32_t nodes) {
+  obs::ScopedSpan span = obs::span_of(obs_, "rm", "allocate");
+  if (span.active()) {
+    span.set_job(static_cast<std::int64_t>(job.id()));
+    span.attr("nodes_requested", static_cast<double>(nodes));
+  }
+
   const std::vector<platform::NodeId> selected =
       allocator_->select(*cluster_, nodes, eligibility());
-  if (selected.empty()) return {};
+  if (selected.empty()) {
+    if (obs_ != nullptr) {
+      span.attr("outcome", "no_nodes");
+      obs_->metrics().counter("rm.alloc_failures").add(1);
+    }
+    return {};
+  }
 
   const workload::JobSpec& spec = job.spec();
   for (platform::NodeId id : selected) {
@@ -54,6 +68,10 @@ std::vector<platform::NodeId> ResourceManager::allocate(workload::Job& job,
       spec.cores_per_node == 0 ? cluster_->node(selected.front()).cores_total()
                                : spec.cores_per_node);
   job.set_placement_spread(cluster_->topology().allocation_spread(selected));
+  if (obs_ != nullptr) {
+    span.attr("spread", job.placement_spread());
+    obs_->metrics().counter("rm.allocations").add(1);
+  }
   return selected;
 }
 
@@ -62,6 +80,12 @@ void ResourceManager::release(workload::Job& job) {
     platform::Node& node = cluster_->node(id);
     node.release(job.id());
     model_->apply(node);
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("rm.releases").add(1);
+    obs_->trace().instant(
+        "rm", "release", static_cast<std::int64_t>(job.id()), -1,
+        {{"nodes", static_cast<double>(job.allocated_nodes().size())}});
   }
 }
 

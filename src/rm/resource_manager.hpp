@@ -18,6 +18,10 @@
 #include "rm/node_lifecycle.hpp"
 #include "workload/job.hpp"
 
+namespace epajsrm::obs {
+class Observability;
+}
+
 namespace epajsrm::rm {
 
 /// Allocation/release front-end over the cluster.
@@ -58,7 +62,12 @@ class ResourceManager {
   platform::Cluster& cluster() { return *cluster_; }
   const power::NodePowerModel& power_model() const { return *model_; }
 
+  /// Attaches (or with null, detaches) the observability plane; allocate/
+  /// release then record spans, instants and rm.* counters.
+  void set_observability(obs::Observability* o) { obs_ = o; }
+
  private:
+  obs::Observability* obs_ = nullptr;
   platform::Cluster* cluster_;
   const power::NodePowerModel* model_;
   std::unique_ptr<Allocator> allocator_;

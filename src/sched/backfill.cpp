@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/observability.hpp"
+
 namespace epajsrm::sched {
 
 void EasyBackfillScheduler::schedule(SchedulingContext& ctx) {
+  obs::Observability* o = ctx.observability();
+  obs::ScopedSpan span = obs::span_of(o, "sched", "easy_backfill");
+
   // Phase 1: start jobs strictly in order while they fit (resources AND
   // power). The first blocked job becomes the reservation holder.
   std::vector<workload::Job*> queue = ctx.pending();
@@ -14,9 +19,14 @@ void EasyBackfillScheduler::schedule(SchedulingContext& ctx) {
     if (!ctx.try_start(*queue[head], nullptr)) break;
     ++head;
   }
+  if (span.active()) {
+    span.attr("queued", static_cast<double>(queue.size()));
+    span.attr("started_in_order", static_cast<double>(head));
+  }
   if (head >= queue.size()) return;  // everything started
 
   workload::Job* blocked = queue[head];
+  if (span.active()) span.set_job(static_cast<std::int64_t>(blocked->id()));
 
   // Phase 2: compute the blocked job's reservation from the availability
   // timeline, anchored at the earliest time admission policies would let
@@ -35,6 +45,7 @@ void EasyBackfillScheduler::schedule(SchedulingContext& ctx) {
   // blocked job, the timeline still has room for it from now for its whole
   // walltime (this is exactly "does not delay the reservation").
   std::uint32_t examined = 0;
+  std::uint32_t backfilled = 0;
   for (std::size_t i = head + 1; i < queue.size(); ++i) {
     if (max_depth_ != 0 && examined >= max_depth_) break;
     ++examined;
@@ -44,16 +55,27 @@ void EasyBackfillScheduler::schedule(SchedulingContext& ctx) {
     if (timeline.min_free(ctx.now(), walltime) < nodes) continue;
     if (ctx.try_start(*job, nullptr)) {
       timeline.reserve(nodes, ctx.now(), walltime);
+      ++backfilled;
     }
+  }
+  if (span.active()) {
+    span.attr("window_examined", examined);
+    span.attr("backfilled", backfilled);
+    o->metrics().counter("sched.backfill_examined").add(examined);
+    o->metrics().counter("sched.backfilled_jobs").add(backfilled);
   }
 }
 
 void ConservativeBackfillScheduler::schedule(SchedulingContext& ctx) {
+  obs::ScopedSpan span =
+      obs::span_of(ctx.observability(), "sched", "conservative_backfill");
+
   // Walk the queue once, giving each job the earliest start that respects
   // all earlier jobs' reservations; jobs whose earliest start is "now" are
   // started immediately (subject to power admission).
   AvailabilityTimeline timeline(ctx.allocatable_nodes(), ctx.running(), ctx);
   const std::vector<workload::Job*> queue = ctx.pending();
+  if (span.active()) span.attr("queued", static_cast<double>(queue.size()));
 
   for (workload::Job* job : queue) {
     const std::uint32_t nodes = job->spec().nodes;

@@ -17,6 +17,10 @@
 #include "sim/time.hpp"
 #include "workload/job.hpp"
 
+namespace epajsrm::obs {
+class Observability;
+}
+
 namespace epajsrm::sched {
 
 /// The core's services exposed to a scheduling policy during one pass.
@@ -58,6 +62,11 @@ class SchedulingContext {
   /// Earliest time any admission policy would let `job` start (>= now()).
   /// Backfilling schedulers anchor the job's reservation here.
   virtual sim::SimTime earliest_admission(const workload::Job& job) const = 0;
+
+  /// The run's observability plane (trace + metrics), or null when
+  /// observability is disabled — policies must treat null as "record
+  /// nothing".
+  virtual obs::Observability* observability() const { return nullptr; }
 };
 
 /// A scheduling policy: orders and places the queue.

@@ -5,10 +5,10 @@
 
 namespace epajsrm::sim {
 
-EventId EventQueue::push(SimTime t, Callback cb) {
+EventId EventQueue::push(SimTime t, Callback cb, const char* category) {
   const EventId id = next_id_++;
   heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Stored{std::move(cb), category});
   ++live_;
   return id;
 }
@@ -41,7 +41,8 @@ EventQueue::Popped EventQueue::pop() {
   heap_.pop();
   auto it = callbacks_.find(e.id);
   assert(it != callbacks_.end());
-  Popped out{e.time, e.id, std::move(it->second)};
+  Popped out{e.time, e.id, std::move(it->second.callback),
+             it->second.category};
   callbacks_.erase(it);
   assert(live_ > 0);
   --live_;

@@ -23,6 +23,9 @@ using EventId = std::uint64_t;
 /// Sentinel for "no event" (EventId 0 is never issued).
 inline constexpr EventId kNoEvent = 0;
 
+/// Default category tag for events scheduled without one.
+inline constexpr const char* kDefaultEventCategory = "sim.event";
+
 /// A time-ordered queue of callbacks with O(log n) push/pop and lazy
 /// cancellation.
 class EventQueue {
@@ -30,8 +33,10 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `cb` to fire at absolute time `t`. Returns a handle that can
-  /// be passed to cancel().
-  EventId push(SimTime t, Callback cb);
+  /// be passed to cancel(). `category` tags the event for the event-loop
+  /// profiler and must be a static string (literals; never freed).
+  EventId push(SimTime t, Callback cb,
+               const char* category = kDefaultEventCategory);
 
   /// Cancels a pending event. Returns true if the event was still pending;
   /// false if it already fired, was already cancelled, or never existed.
@@ -52,6 +57,7 @@ class EventQueue {
     SimTime time;
     EventId id;
     Callback callback;
+    const char* category;
   };
   Popped pop();
 
@@ -72,8 +78,13 @@ class EventQueue {
   /// live event.
   void skip_dead() const;
 
+  struct Stored {
+    Callback callback;
+    const char* category;
+  };
+
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Stored> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t live_ = 0;

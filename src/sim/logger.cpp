@@ -1,5 +1,6 @@
 #include "sim/logger.hpp"
 
+#include <cctype>
 #include <cstdio>
 
 namespace epajsrm::sim {
@@ -16,10 +17,36 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void Logger::log(LogLevel level, const std::string& component,
                  const std::string& message) {
-  if (level < threshold_) return;
-  const std::string stamp = clock_ ? format_hms(clock_()) : "--:--:--";
+  // kOff is a threshold, not a message severity: logging *at* kOff is
+  // always dropped (previously such messages leaked through as "[OFF]").
+  if (level >= LogLevel::kOff || level < threshold_) return;
+
+  // Single emission point: the structured tap fires first, then the text
+  // line is formatted once — identical with and without a clock, the only
+  // difference being the timestamp rendering.
+  const SimTime stamp_time = clock_ ? clock_() : -1;
+  if (event_sink_) event_sink_(level, stamp_time, component, message);
+
+  const std::string stamp =
+      clock_ ? format_hms(stamp_time) : std::string("--:--:--");
   std::string line = "[" + stamp + "] [" + to_string(level) + "] [" +
                      component + "] " + message;
   if (sink_) {

@@ -2,11 +2,16 @@
 //
 // The logger is deliberately minimal: synchronous, stdio-backed, filterable
 // by level, and silenceable for benchmarks. Components log through a
-// Logger& so tests can capture output via a custom sink.
+// Logger& so tests can capture output via a custom sink. An optional
+// structured event sink taps every emitted message *before* text
+// formatting — the observability layer attaches the trace recorder there,
+// so log lines and trace events share a single emission point.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hpp"
 
@@ -18,18 +23,34 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Human-readable name of a level ("TRACE".."ERROR").
 const char* to_string(LogLevel level);
 
+/// Parses a level name ("trace", "DEBUG", "warn"/"warning", "off", ...),
+/// case-insensitively. Returns nullopt for unknown names — CLI flag
+/// parsing wants the error, not a silent default.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
 /// Sim-time-stamped leveled logger.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  /// Structured tap: (level, sim time or -1 when clockless, component,
+  /// message), called for every emitted message before text formatting.
+  using EventSink = std::function<void(LogLevel, SimTime, const std::string&,
+                                       const std::string&)>;
 
   /// Creates a logger reading timestamps from `clock` (the Simulation's
-  /// now(), injected as a callable to avoid a dependency cycle).
-  explicit Logger(std::function<SimTime()> clock, LogLevel threshold = LogLevel::kWarn)
+  /// now(), injected as a callable to avoid a dependency cycle). A null
+  /// clock renders timestamps as "--:--:--"; filtering and sinks behave
+  /// identically either way.
+  explicit Logger(std::function<SimTime()> clock,
+                  LogLevel threshold = LogLevel::kWarn)
       : clock_(std::move(clock)), threshold_(threshold) {}
 
   /// Creates a clockless logger (timestamps rendered as "--:--:--").
-  Logger() : threshold_(LogLevel::kWarn) {}
+  Logger() : Logger(nullptr) {}
+
+  /// Installs or replaces the clock after construction.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  bool has_clock() const { return static_cast<bool>(clock_); }
 
   /// Sets the minimum severity that is emitted.
   void set_threshold(LogLevel level) { threshold_ = level; }
@@ -39,7 +60,12 @@ class Logger {
   /// fully formatted line.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Emits a message at `level` tagged with `component`.
+  /// Attaches (or clears, with {}) the structured tap. The observability
+  /// layer routes messages into the trace recorder through this.
+  void set_event_sink(EventSink sink) { event_sink_ = std::move(sink); }
+
+  /// Emits a message at `level` tagged with `component`. Messages below
+  /// the threshold, and any message at level kOff, are dropped.
   void log(LogLevel level, const std::string& component,
            const std::string& message);
 
@@ -53,6 +79,7 @@ class Logger {
   std::function<SimTime()> clock_;
   LogLevel threshold_;
   Sink sink_;
+  EventSink event_sink_;
 };
 
 }  // namespace epajsrm::sim

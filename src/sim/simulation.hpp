@@ -26,23 +26,37 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
+  /// Observer invoked after each dispatched callback with the event's
+  /// category tag and its wall-clock cost. Attaching one enables per-event
+  /// timing (the event-loop profiler); detached, dispatch is not timed.
+  using DispatchHook = std::function<void(const char* category,
+                                          std::int64_t wall_ns)>;
+
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (clamped to now() if in the past,
-  /// which models "fire as soon as possible").
-  EventId schedule_at(SimTime t, Callback cb);
+  /// which models "fire as soon as possible"). `category` tags the event
+  /// for profiling and must point at a static string (a literal).
+  EventId schedule_at(SimTime t, Callback cb,
+                      const char* category = kDefaultEventCategory);
 
   /// Schedules `cb` at now() + dt (dt < 0 clamps to now()).
-  EventId schedule_in(SimTime dt, Callback cb) {
-    return schedule_at(now_ + dt, std::move(cb));
+  EventId schedule_in(SimTime dt, Callback cb,
+                      const char* category = kDefaultEventCategory) {
+    return schedule_at(now_ + dt, std::move(cb), category);
   }
 
   /// Schedules a periodic callback firing first at now() + period and then
   /// every `period` until it returns false. Returns the id of the *first*
   /// firing; cancelling it stops the chain only before the first firing —
   /// use the callback's return value for clean shutdown.
-  EventId schedule_every(SimTime period, std::function<bool()> cb);
+  EventId schedule_every(SimTime period, std::function<bool()> cb,
+                         const char* category = kDefaultEventCategory);
+
+  /// Attaches (or clears, with {}) the dispatch observer.
+  void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
+  bool has_dispatch_hook() const { return static_cast<bool>(hook_); }
 
   /// Cancels a pending event; see EventQueue::cancel.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -71,6 +85,7 @@ class Simulation {
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  DispatchHook hook_;
 };
 
 }  // namespace epajsrm::sim

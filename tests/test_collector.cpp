@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace epajsrm::metrics {
 namespace {
 
@@ -118,6 +120,39 @@ TEST(Collector, ThroughputPerDay) {
   }
   const RunReport r = c.finalize(12 * sim::kHour);
   EXPECT_NEAR(r.throughput_jobs_per_day, 24.0, 1e-9);
+}
+
+TEST(Collector, ZeroSpanThroughputIsZeroNotNan) {
+  MetricsCollector c;
+  // Finalizing at the first-sample instant: the observed span is zero, so
+  // throughput must be reported as 0 rather than dividing by zero.
+  c.on_power_sample(sim::kHour, 100.0, 150.0, 0.5);
+  c.on_job_finished(finished_job(1, 0, 0, sim::kHour,
+                                 workload::JobState::kCompleted));
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_DOUBLE_EQ(r.throughput_jobs_per_day, 0.0);
+  EXPECT_FALSE(std::isnan(r.throughput_jobs_per_day));
+}
+
+TEST(Collector, AttachedRegistryReceivesSeries) {
+  obs::MetricsRegistry registry;
+  MetricsCollector c(1000.0);
+  c.attach_registry(&registry);
+  workload::JobSpec spec;
+  c.on_job_submitted(spec);
+  c.on_power_sample(0, 1200.0, 1500.0, 0.5);  // over budget
+  c.on_job_finished(finished_job(1, 0, sim::kMinute, sim::kHour,
+                                 workload::JobState::kCompleted));
+
+  EXPECT_EQ(registry.counter("jobs.submitted").value(), 1u);
+  EXPECT_EQ(registry.counter("jobs.completed").value(), 1u);
+  EXPECT_EQ(registry.counter("power.violation_samples").value(), 1u);
+  EXPECT_EQ(registry.histogram("sched.wait_minutes", {}).count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("power.it_watts").value(), 1200.0);
+  // The registry counter is the single source of truth once attached.
+  EXPECT_EQ(c.violation_samples(), 1u);
+  const RunReport r = c.finalize(sim::kHour);
+  EXPECT_EQ(r.violation_samples, 1u);
 }
 
 TEST(Collector, CancelledJobsOnlyCountSubmitted) {

@@ -1,0 +1,201 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/profiler.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterIsStableAndMonotonic) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("sched.jobs_started");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("sched.jobs_started"), &c);
+  EXPECT_EQ(reg.metric_count(), 1u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("sim.queue_depth");
+  g.set(10.0);
+  g.set(3.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("power.capmc_call_us", {1.0, 5.0, 25.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 34.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsApplyOnFirstRegistrationOnly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(h.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, EmptyHistogramReportsZeros) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("empty", {1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricsRegistry, DisabledRegistryHandsOutScratchAndStaysEmpty) {
+  MetricsRegistry reg(false);
+  EXPECT_FALSE(reg.enabled());
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  EXPECT_EQ(&a, &b);  // shared scratch, nothing registered
+  a.add(100);
+  EXPECT_EQ(reg.metric_count(), 0u);
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_EQ(&reg.gauge("g1"), &reg.gauge("g2"));
+  EXPECT_EQ(&reg.histogram("h1", {1.0}), &reg.histogram("h2", {2.0}));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(2);
+  reg.gauge("a.gauge").set(1.5);
+  Histogram& h = reg.histogram("m.lat", {10.0});
+  h.observe(4.0);
+  h.observe(6.0);
+
+  const auto snap = reg.snapshot();
+  // 1 counter + 1 gauge + 4 histogram scalars.
+  ASSERT_EQ(snap.size(), 6u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].name, "m.lat.count");
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+  EXPECT_EQ(snap[2].name, "m.lat.max");
+  EXPECT_DOUBLE_EQ(snap[2].value, 6.0);
+  EXPECT_EQ(snap[3].name, "m.lat.mean");
+  EXPECT_DOUBLE_EQ(snap[3].value, 5.0);
+  EXPECT_EQ(snap[4].name, "m.lat.sum");
+  EXPECT_DOUBLE_EQ(snap[4].value, 10.0);
+  EXPECT_EQ(snap[5].name, "z.count");
+  EXPECT_DOUBLE_EQ(snap[5].value, 2.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsACopyNotALiveView) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(1);
+  const auto snap = reg.snapshot();
+  c.add(10);
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.0);
+}
+
+TEST(MetricsSampler, WritesTimeSeriesCsv) {
+  MetricsRegistry reg;
+  MetricsSampler sampler(reg);
+  reg.gauge("power.it_watts").set(1000.0);
+  sampler.sample(0);
+  reg.gauge("power.it_watts").set(1500.0);
+  // A metric registered after the first sample gets empty earlier cells.
+  reg.counter("sched.jobs_started").add(3);
+  sampler.sample(2 * sim::kSecond);
+  EXPECT_EQ(sampler.row_count(), 2u);
+
+  std::ostringstream out;
+  sampler.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "time_s,power.it_watts,sched.jobs_started\n"
+            "0.000,1000,\n"
+            "2.000,1500,3\n");
+}
+
+TEST(MetricsSampler, DisabledRegistrySamplesNothing) {
+  MetricsRegistry reg(false);
+  MetricsSampler sampler(reg);
+  sampler.sample(sim::kSecond);
+  EXPECT_EQ(sampler.row_count(), 0u);
+  std::ostringstream out;
+  sampler.write_csv(out);
+  EXPECT_EQ(out.str(), "time_s\n");
+}
+
+TEST(LoopProfiler, AggregatesPerCategory) {
+  LoopProfiler p;
+  static const char* const kTick = "core.control";
+  p.record(kTick, 100);
+  p.record(kTick, 300);
+  p.record("sched.pass", 50);
+  EXPECT_EQ(p.total_events(), 3u);
+  EXPECT_EQ(p.total_wall_ns(), 450);
+
+  const auto report = p.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].category, "core.control");  // most time first
+  EXPECT_EQ(report[0].count, 2u);
+  EXPECT_EQ(report[0].total_ns, 400);
+  EXPECT_EQ(report[0].max_ns, 300);
+  EXPECT_EQ(report[1].category, "sched.pass");
+  EXPECT_GT(p.events_per_sec(), 0.0);
+}
+
+TEST(LoopProfiler, MergesEqualContentCategoriesByName) {
+  LoopProfiler p;
+  // Distinct pointers with equal content must merge at report time (the
+  // hot path keys by pointer; literals can differ across TUs).
+  const char a[] = "sim.tick";
+  const char b[] = "sim.tick";
+  p.record(a, 10);
+  p.record(b, 20);
+  const auto report = p.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].count, 2u);
+  EXPECT_EQ(report[0].total_ns, 30);
+}
+
+TEST(LoopProfiler, ResetClearsEverything) {
+  LoopProfiler p;
+  p.record("x", 5);
+  p.reset();
+  EXPECT_EQ(p.total_events(), 0u);
+  EXPECT_DOUBLE_EQ(p.events_per_sec(), 0.0);
+  EXPECT_TRUE(p.report().empty());
+}
+
+TEST(LoopProfiler, FormatReportListsCategoriesAndTotals) {
+  LoopProfiler p;
+  p.record("core.control", 1000);
+  const std::string text = p.format_report();
+  EXPECT_NE(text.find("core.control"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm::obs

@@ -1,0 +1,224 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/observability.hpp"
+
+namespace epajsrm::obs {
+namespace {
+
+/// Recorder with a hand-cranked wall clock: the lambda reads `now_ns`, so
+/// tests control every timestamp and golden strings are deterministic.
+struct FakeClockRecorder {
+  std::int64_t now_ns = 0;
+  TraceRecorder recorder;
+
+  explicit FakeClockRecorder(std::size_t capacity = 64)
+      : recorder(capacity, [this] { return now_ns; }) {}
+};
+
+TEST(TraceRecorder, RingEvictsOldestBeyondCapacity) {
+  FakeClockRecorder f(4);
+  for (int i = 0; i < 10; ++i) {
+    f.recorder.instant("t", std::to_string(i));
+  }
+  EXPECT_EQ(f.recorder.capacity(), 4u);
+  EXPECT_EQ(f.recorder.size(), 4u);
+  EXPECT_EQ(f.recorder.recorded(), 10u);
+  EXPECT_EQ(f.recorder.dropped(), 6u);
+
+  const auto events = f.recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "6");  // oldest retained
+  EXPECT_EQ(events[3].name, "9");  // newest
+}
+
+TEST(TraceRecorder, ZeroCapacityClampsToOne) {
+  FakeClockRecorder f(0);
+  f.recorder.instant("t", "a");
+  f.recorder.instant("t", "b");
+  EXPECT_EQ(f.recorder.size(), 1u);
+  EXPECT_EQ(f.recorder.events()[0].name, "b");
+}
+
+TEST(TraceRecorder, ClearResetsRingAndCounters) {
+  FakeClockRecorder f(4);
+  f.recorder.instant("t", "x");
+  f.recorder.clear();
+  EXPECT_EQ(f.recorder.size(), 0u);
+  EXPECT_EQ(f.recorder.recorded(), 0u);
+  EXPECT_TRUE(f.recorder.events().empty());
+}
+
+TEST(TraceRecorder, InstantCapturesSimClockAndIds) {
+  FakeClockRecorder f;
+  sim::SimTime sim_now = 42;
+  f.recorder.set_sim_clock([&] { return sim_now; });
+  f.now_ns = 1500;
+  f.recorder.instant("sched", "job_start", 7, 3, {{"nodes", 4.0}});
+
+  const auto events = f.recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sim_time, 42);
+  EXPECT_EQ(events[0].wall_ns, 1500);
+  EXPECT_EQ(events[0].job_id, 7);
+  EXPECT_EQ(events[0].node_id, 3);
+  EXPECT_EQ(events[0].kind, TraceKind::kInstant);
+}
+
+TEST(TraceRecorder, SpanRecordsWallDurationOnFinish) {
+  FakeClockRecorder f;
+  f.now_ns = 2000;
+  ScopedSpan span = f.recorder.span("core", "pass");
+  EXPECT_TRUE(span.active());
+  span.attr("pending", 5.0);
+  f.now_ns = 2600;
+  span.finish();
+  EXPECT_FALSE(span.active());
+  span.finish();  // idempotent: no second event
+
+  const auto events = f.recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kSpan);
+  EXPECT_EQ(events[0].wall_ns, 2000);
+  EXPECT_EQ(events[0].dur_ns, 600);
+}
+
+TEST(TraceRecorder, NestedSpansRecordDepth) {
+  FakeClockRecorder f;
+  {
+    ScopedSpan outer = f.recorder.span("a", "outer");
+    {
+      ScopedSpan inner = f.recorder.span("a", "inner");
+      f.recorder.instant("a", "tick");
+    }
+  }
+  const auto events = f.recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans land when they close: instant (depth 2), inner (1), outer (0).
+  EXPECT_EQ(events[0].name, "tick");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+}
+
+TEST(TraceRecorder, DefaultSpanIsInertNoOp) {
+  ScopedSpan span;  // the disabled-observability path
+  EXPECT_FALSE(span.active());
+  span.attr("k", 1.0);
+  span.attr("k", std::string("v"));
+  span.set_job(1);
+  span.set_node(2);
+  span.finish();  // must not crash
+
+  ScopedSpan via_null = span_of(nullptr, "sched", "pass");
+  EXPECT_FALSE(via_null.active());
+}
+
+TEST(TraceRecorder, MovedFromSpanDoesNotDoubleRecord) {
+  FakeClockRecorder f;
+  {
+    ScopedSpan a = f.recorder.span("m", "only");
+    ScopedSpan b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(f.recorder.recorded(), 1u);
+}
+
+TEST(TraceRecorder, LogLineBecomesLogEventWithLevelAttr) {
+  FakeClockRecorder f;
+  f.recorder.log_line("rm", "allocated 4 nodes", "info");
+  const auto events = f.recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kLog);
+  ASSERT_EQ(events[0].attrs.size(), 2u);
+  EXPECT_EQ(events[0].attrs[0].key, "level");
+  EXPECT_EQ(events[0].attrs[0].str, "info");
+  EXPECT_EQ(events[0].attrs[1].key, "message");
+  EXPECT_EQ(events[0].attrs[1].str, "allocated 4 nodes");
+}
+
+TEST(TraceRecorder, JsonlExportGolden) {
+  FakeClockRecorder f;
+  f.now_ns = 1500;
+  f.recorder.instant("sched", "job_start", 7, 3,
+                     {{"nodes", 4.0}, {"reason", std::string("ok")}});
+  f.now_ns = 2000;
+  {
+    ScopedSpan span = f.recorder.span("core", "pass");
+    span.attr("pending", 5.0);
+    f.now_ns = 2600;
+  }
+
+  std::ostringstream out;
+  f.recorder.export_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"sim_time_us\":0,\"wall_ns\":1500,\"dur_ns\":0,\"depth\":0,"
+            "\"kind\":\"instant\",\"component\":\"sched\","
+            "\"name\":\"job_start\",\"job_id\":7,\"node_id\":3,"
+            "\"attrs\":{\"nodes\":4,\"reason\":\"ok\"}}\n"
+            "{\"sim_time_us\":0,\"wall_ns\":2000,\"dur_ns\":600,\"depth\":0,"
+            "\"kind\":\"span\",\"component\":\"core\",\"name\":\"pass\","
+            "\"attrs\":{\"pending\":5}}\n");
+}
+
+TEST(TraceRecorder, ChromeTraceExportGolden) {
+  FakeClockRecorder f;
+  f.now_ns = 1500;
+  f.recorder.instant("sched", "job_start", 7, -1, {{"nodes", 4.0}});
+  f.now_ns = 2000;
+  {
+    ScopedSpan span = f.recorder.span("core", "pass");
+    f.now_ns = 2600;
+  }
+
+  std::ostringstream out;
+  f.recorder.export_chrome_trace(out);
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"pid\":1,\"tid\":1,\"ph\":\"i\",\"s\":\"t\",\"ts\":1.500,"
+            "\"cat\":\"sched\",\"name\":\"job_start\","
+            "\"args\":{\"sim_time_us\":0,\"job_id\":7,\"nodes\":4}},\n"
+            "{\"pid\":1,\"tid\":1,\"ph\":\"X\",\"ts\":2.000,\"dur\":0.600,"
+            "\"cat\":\"core\",\"name\":\"pass\","
+            "\"args\":{\"sim_time_us\":0}}\n"
+            "]}\n");
+}
+
+TEST(TraceRecorder, JsonEscapingOfStringsAndControls) {
+  FakeClockRecorder f;
+  f.recorder.instant("c\"at", "line\nbreak", -1, -1,
+                     {{"msg", std::string("tab\there \\ \"quote\"")}});
+  std::ostringstream out;
+  f.recorder.export_jsonl(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"component\":\"c\\\"at\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"line\\nbreak\""), std::string::npos);
+  EXPECT_NE(s.find("tab\\there \\\\ \\\"quote\\\""), std::string::npos);
+}
+
+TEST(Observability, CreateIfRespectsEnabledFlag) {
+  ObsConfig off;
+  EXPECT_EQ(Observability::create_if(off), nullptr);
+
+  ObsConfig on;
+  on.enabled = true;
+  on.trace_capacity = 128;
+  const auto o = Observability::create_if(on);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->trace().capacity(), 128u);
+  EXPECT_TRUE(o->metrics().enabled());
+
+  ScopedSpan span = span_of(o.get(), "sched", "pass");
+  EXPECT_TRUE(span.active());
+}
+
+}  // namespace
+}  // namespace epajsrm::obs
