@@ -51,7 +51,7 @@ struct ReplayOptions {
 
 core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
                        double budget_watts, const std::string& label,
-                       std::vector<const workload::Job*>* finished,
+                       const char* swf_out_path, std::size_t* swf_records,
                        const ReplayOptions& opts = {}) {
   sim::Simulation sim;
   platform::Cluster cluster = platform::ClusterBuilder()
@@ -75,9 +75,14 @@ core::RunResult replay(const std::vector<workload::JobSpec>& jobs,
   solution.submit_all(std::vector<workload::JobSpec>(jobs));
   solution.run_until(30 * sim::kDay);
   core::RunResult result = solution.finalize();
-  if (finished != nullptr) {
-    finished->assign(solution.finished_jobs().begin(),
-                     solution.finished_jobs().end());
+  if (swf_out_path != nullptr) {
+    // Written here, not by the caller: finished_jobs() hands out pointers
+    // into this solution, which dies when replay() returns.
+    const std::vector<const workload::Job*> finished(
+        solution.finished_jobs().begin(), solution.finished_jobs().end());
+    std::ofstream out(swf_out_path);
+    workload::write_swf(out, finished, 32);
+    if (swf_records != nullptr) *swf_records = finished.size();
   }
 
   if (obs::Observability* o = solution.observability()) {
@@ -167,10 +172,13 @@ int main(int argc, char** argv) {
   std::printf("mapped to %zu jobs on an 8-node, 32-core/node machine\n\n",
               jobs.size());
 
-  std::vector<const workload::Job*> finished;
-  const core::RunResult unbounded = replay(jobs, 0.0, "trace", nullptr);
+  // Round-trip: the budgeted schedule is written back out as SWF.
+  const char* out_path = "trace_replay_out.swf";
+  std::size_t swf_records = 0;
+  const core::RunResult unbounded =
+      replay(jobs, 0.0, "trace", nullptr, nullptr);
   const core::RunResult budgeted =
-      replay(jobs, 8 * 220.0, "trace-budget", &finished, opts);
+      replay(jobs, 8 * 220.0, "trace-budget", out_path, &swf_records, opts);
 
   metrics::AsciiTable table({"variant", "makespan (h)", "p50 wait (min)",
                              "max power", "energy", "jobs done"});
@@ -186,11 +194,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
-  // Round-trip: write the budgeted schedule back out as SWF.
-  const char* out_path = "trace_replay_out.swf";
-  std::ofstream out(out_path);
-  workload::write_swf(out, finished, 32);
   std::printf("budgeted schedule written to %s (%zu records)\n", out_path,
-              finished.size());
+              swf_records);
   return 0;
 }

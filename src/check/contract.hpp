@@ -1,0 +1,116 @@
+// Runtime contract macros — the enforcement half of the correctness
+// plane. The simulator's value rests on physical invariants (energy
+// conservation, cap compliance, legal lifecycle transitions); contracts
+// make the assumptions behind those invariants explicit at the call sites
+// that could break them.
+//
+//   EPAJSRM_REQUIRE(cond, msg)    — precondition on the caller
+//   EPAJSRM_ENSURE(cond, msg)     — postcondition on the callee
+//   EPAJSRM_INVARIANT(cond, msg)  — internal state that must always hold
+//
+// All three throw check::ContractViolation (a std::logic_error) carrying
+// the expression, file:line and message, so tests can assert on failures
+// and a violation aborts the current run with a precise diagnostic rather
+// than corrupting downstream accounting.
+//
+// Contracts compile to nothing unless EPAJSRM_ENABLE_CHECKS is defined
+// (the EPAJSRM_CHECKS cmake option; on by default, off in Release
+// deployment builds). Conditions must therefore be side-effect free.
+//
+// Header-only on purpose: every library (sim, power, rm, ...) can use the
+// macros without linking anything, so contracts impose no dependency
+// edges on the build graph.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epajsrm::check {
+
+/// What kind of contract fired; carried in the exception for reporting.
+enum class ContractKind { kRequire, kEnsure, kInvariant };
+
+/// Human-readable kind name ("precondition", ...).
+inline const char* to_string(ContractKind kind) {
+  switch (kind) {
+    case ContractKind::kRequire:   return "precondition";
+    case ContractKind::kEnsure:    return "postcondition";
+    case ContractKind::kInvariant: return "invariant";
+  }
+  return "contract";
+}
+
+namespace detail {
+inline std::string format_violation(ContractKind kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message) {
+  std::string out = to_string(kind);
+  out += " failed: ";
+  out += expr;
+  out += " [";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  out += "]";
+  if (!message.empty()) {
+    out += " - ";
+    out += message;
+  }
+  return out;
+}
+}  // namespace detail
+
+/// Thrown when a contract fails and checks are enabled.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(ContractKind kind, const char* expr, const char* file,
+                    int line, const std::string& message)
+      : std::logic_error(
+            detail::format_violation(kind, expr, file, line, message)),
+        kind_(kind), expr_(expr), file_(file), line_(line) {}
+
+  ContractKind kind() const { return kind_; }
+  const char* expr() const { return expr_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  ContractKind kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+};
+
+/// Failure path shared by the three macros; out of the inlined checking
+/// branch so call sites stay small.
+[[noreturn]] inline void fail(ContractKind kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& message) {
+  throw ContractViolation(kind, expr, file, line, message);
+}
+
+}  // namespace epajsrm::check
+
+#if defined(EPAJSRM_ENABLE_CHECKS)
+
+#define EPAJSRM_CONTRACT_IMPL_(kind, cond, msg)                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::epajsrm::check::fail((kind), #cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+#define EPAJSRM_REQUIRE(cond, msg) \
+  EPAJSRM_CONTRACT_IMPL_(::epajsrm::check::ContractKind::kRequire, cond, msg)
+#define EPAJSRM_ENSURE(cond, msg) \
+  EPAJSRM_CONTRACT_IMPL_(::epajsrm::check::ContractKind::kEnsure, cond, msg)
+#define EPAJSRM_INVARIANT(cond, msg) \
+  EPAJSRM_CONTRACT_IMPL_(::epajsrm::check::ContractKind::kInvariant, cond, msg)
+
+#else  // contracts compiled out
+
+#define EPAJSRM_REQUIRE(cond, msg) ((void)0)
+#define EPAJSRM_ENSURE(cond, msg) ((void)0)
+#define EPAJSRM_INVARIANT(cond, msg) ((void)0)
+
+#endif

@@ -1,0 +1,223 @@
+#include "check/invariant_auditor.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/facility_coordinator.hpp"
+#include "core/solution.hpp"
+
+namespace epajsrm::check {
+
+namespace {
+
+// The documented NodeState machine (platform/node.hpp), closed over the
+// compound edges one event cascade can produce (e.g. a release moving
+// Busy -> Idle followed in the same callback by a shutdown to
+// ShuttingDown is observed as Busy -> ShuttingDown).
+bool legal_edge(platform::NodeState from, platform::NodeState to) {
+  using S = platform::NodeState;
+  if (from == to) return true;
+  switch (from) {
+    case S::kOff:
+      return to == S::kBooting;
+    case S::kBooting:
+      return to == S::kIdle || to == S::kBusy;
+    case S::kIdle:
+      return to == S::kBusy || to == S::kShuttingDown || to == S::kDraining;
+    case S::kBusy:
+      return to == S::kIdle || to == S::kDraining || to == S::kShuttingDown;
+    case S::kDraining:
+      return to == S::kIdle || to == S::kBusy;
+    case S::kShuttingDown:
+      return to == S::kOff || to == S::kSleeping;
+    case S::kSleeping:
+      return to == S::kBooting;
+  }
+  return false;
+}
+
+std::string fmt(const char* format, double a, double b) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+std::string fmt1(const char* format, double a) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), format, a);
+  return buf;
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(core::EpaJsrmSolution& solution,
+                                   AuditorConfig config)
+    : solution_(&solution), config_(config) {
+  if (config_.check_every_events == 0) config_.check_every_events = 1;
+  const platform::Cluster& cluster = solution_->cluster();
+  last_states_.reserve(cluster.node_count());
+  for (const platform::Node& node : cluster.nodes()) {
+    last_states_.push_back(node.state());
+  }
+  solution_->simulation().add_dispatch_hook(
+      [this](const char*, std::int64_t) { on_event(); });
+}
+
+void InvariantAuditor::watch(core::FacilityCoordinator& coordinator) {
+  coordinator_ = &coordinator;
+}
+
+void InvariantAuditor::on_event() {
+  ++events_seen_;
+  if (events_seen_ % config_.check_every_events != 0) return;
+  audit_now();
+}
+
+void InvariantAuditor::audit_now() {
+  ++audits_;
+  check_lifecycle();
+  check_caps();
+  check_energy();
+  check_budgets();
+}
+
+void InvariantAuditor::check_energy() {
+  const telemetry::EnergyAccountant& acc = solution_->accountant();
+  const double total = acc.total_it_joules();
+  const double eps = config_.energy_epsilon_rel * std::max(1.0, total);
+
+  if (total < last_total_joules_ - eps) {
+    record("energy", fmt("total IT energy decreased: %.9g J after %.9g J",
+                         total, last_total_joules_));
+  }
+  last_total_joules_ = std::max(last_total_joules_, total);
+
+  if (acc.overhead_joules() < -eps) {
+    record("energy",
+           fmt("overhead bucket is negative: %.9g J (total %.9g J)",
+               acc.overhead_joules(), total));
+  }
+
+  // Conservation across attribution: total = sum(job energies) + overhead.
+  // Finished jobs keep their integrals, so the identity holds for the
+  // whole run, not just the live set.
+  double attributed = 0.0;
+  for (const workload::Job* job : solution_->running_jobs()) {
+    attributed += job->energy_joules();
+  }
+  for (const workload::Job* job : solution_->finished_jobs()) {
+    attributed += job->energy_joules();
+  }
+  const double recombined = attributed + acc.overhead_joules();
+  if (std::abs(total - recombined) > eps) {
+    record("energy",
+           fmt("attribution broke conservation: total %.9g J vs "
+               "jobs+overhead %.9g J",
+               total, recombined));
+  }
+
+  // Conservation across space: the per-node integrals sum to the total.
+  const platform::Cluster& cluster = solution_->cluster();
+  double node_sum = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {
+    node_sum += acc.node_joules(node.id());
+  }
+  if (std::abs(total - node_sum) > eps) {
+    record("energy", fmt("node integrals broke conservation: total %.9g J "
+                         "vs node sum %.9g J",
+                         total, node_sum));
+  }
+}
+
+void InvariantAuditor::check_caps() {
+  using platform::NodeState;
+  const power::NodePowerModel& model = solution_->power_model();
+  const platform::PstateTable& pstates = model.pstates();
+  const platform::Cluster& cluster = solution_->cluster();
+
+  for (const platform::Node& node : cluster.nodes()) {
+    const double cap = node.power_cap_watts();
+    if (cap <= 0.0) continue;  // uncapped
+    // Transition states draw fixed boot/sleep/off power by design; caps
+    // govern only the DVFS-controllable states.
+    const NodeState s = node.state();
+    if (s != NodeState::kIdle && s != NodeState::kBusy &&
+        s != NodeState::kDraining) {
+      continue;
+    }
+    const double watts = node.current_watts();
+    const double util = node.utilization();
+    const bool feasible =
+        model.freq_ratio_for_cap(node.config(), cap, util) > 0.0;
+    if (feasible) {
+      if (watts > cap + config_.cap_epsilon_watts) {
+        record("cap", "node " + std::to_string(node.id()) +
+                          fmt(" draws %.6g W over its %.6g W cap", watts,
+                              cap));
+      }
+    } else {
+      // Cap below the idle floor: best effort is the deepest P-state.
+      const double best_effort =
+          model.watts_at(node.config(), pstates.ratio(pstates.deepest()),
+                         util);
+      if (watts > best_effort + config_.cap_epsilon_watts) {
+        record("cap", "node " + std::to_string(node.id()) +
+                          fmt(" draws %.6g W over the %.6g W best-effort "
+                              "floor of an infeasible cap",
+                              watts, best_effort));
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_lifecycle() {
+  const platform::Cluster& cluster = solution_->cluster();
+  for (const platform::Node& node : cluster.nodes()) {
+    const platform::NodeState before = last_states_[node.id()];
+    const platform::NodeState after = node.state();
+    if (!legal_edge(before, after)) {
+      record("lifecycle",
+             "node " + std::to_string(node.id()) + " made illegal edge " +
+                 platform::to_string(before) + " -> " +
+                 platform::to_string(after));
+    }
+    last_states_[node.id()] = after;
+  }
+}
+
+void InvariantAuditor::check_budgets() {
+  const sim::SimTime now = solution_->now();
+  for (const auto& policy : solution_->policies()) {
+    const double budget = policy->power_budget_watts(now);
+    if (!(budget >= 0.0) || !std::isfinite(budget)) {
+      record("budget", "policy " + policy->name() +
+                           fmt1(" reports budget %.6g W", budget));
+    }
+  }
+  if (coordinator_ == nullptr) return;
+  for (std::size_t i = 0; i < coordinator_->member_count(); ++i) {
+    const double slice = coordinator_->budget_of(i);
+    if (!(slice >= 0.0) || !std::isfinite(slice)) {
+      record("budget", "coordinator member " + std::to_string(i) +
+                           fmt1(" holds slice %.6g W", slice));
+    }
+    if (coordinator_->demand_of(i) < 0.0) {
+      record("budget", "coordinator member " + std::to_string(i) +
+                           " reports negative demand");
+    }
+  }
+}
+
+void InvariantAuditor::record(const char* invariant, std::string detail) {
+  ++violation_count_;
+  const sim::SimTime now = solution_->now();
+  if (recorded_.size() < config_.max_recorded) {
+    recorded_.push_back({now, invariant, detail});
+  }
+  if (config_.throw_on_violation) {
+    throw AuditFailure(std::string(invariant) + " invariant violated at t=" +
+                       std::to_string(now) + ": " + detail);
+  }
+}
+
+}  // namespace epajsrm::check

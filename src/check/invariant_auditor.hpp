@@ -1,0 +1,120 @@
+// InvariantAuditor: whole-system invariant checking during a run.
+//
+// Where the contract macros (contract.hpp) guard individual call sites,
+// the auditor cross-checks *global* properties that no single call site
+// can see — after every simulator event (or every Nth, configurable) it
+// verifies:
+//
+//   * energy conservation — the accountant's total IT energy equals the
+//     per-job attributions plus the overhead bucket, and equals the sum
+//     of per-node integrals; totals never decrease;
+//   * power-cap compliance — every capped node that is in a cap-governed
+//     lifecycle state draws at most its cap (or, when the cap sits below
+//     the idle floor and is flagged infeasible, at most the best-effort
+//     draw at the deepest P-state);
+//   * lifecycle legality — node state changes follow the documented
+//     state machine (platform::NodeState), including compound edges that
+//     can occur within one event cascade;
+//   * budget sanity — installed policies report non-negative, finite
+//     power budgets, and a watched FacilityCoordinator hands out
+//     non-negative slices.
+//
+// The auditor attaches to the Simulation's dispatch-hook chain (it
+// coexists with the event-loop profiler) and must therefore outlive the
+// run it watches. Violations are recorded (bounded) and counted; set
+// `throw_on_violation` to fail fast in tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "platform/node.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::core {
+class EpaJsrmSolution;
+class FacilityCoordinator;
+}  // namespace epajsrm::core
+
+namespace epajsrm::check {
+
+/// Thrown by the auditor when `throw_on_violation` is set.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Tunables of the auditor.
+struct AuditorConfig {
+  /// Audit after every Nth dispatched event (1 = every event). The
+  /// lifecycle-legality check still observes every audited snapshot pair,
+  /// so raising this trades thoroughness for speed on long runs.
+  std::uint64_t check_every_events = 1;
+  /// Absolute slack on cap compliance (actuation happens in doubles).
+  double cap_epsilon_watts = 1e-6;
+  /// Relative slack on energy conservation, scaled by max(1 J, total).
+  double energy_epsilon_rel = 1e-9;
+  /// Throw AuditFailure at the first violation instead of recording it.
+  bool throw_on_violation = false;
+  /// Retain at most this many violation records (all are still counted).
+  std::size_t max_recorded = 64;
+};
+
+/// One observed invariant violation.
+struct AuditViolation {
+  sim::SimTime sim_time = 0;
+  std::string invariant;  ///< "energy", "cap", "lifecycle", "budget"
+  std::string detail;
+};
+
+/// Attaches to a solution's simulation and audits system invariants.
+class InvariantAuditor {
+ public:
+  /// Registers a dispatch hook on `solution`'s simulation. The auditor
+  /// must outlive the simulation run it observes.
+  explicit InvariantAuditor(core::EpaJsrmSolution& solution,
+                            AuditorConfig config = {});
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  /// Additionally audits a facility coordinator's budget division.
+  void watch(core::FacilityCoordinator& coordinator);
+
+  /// Runs every check immediately (also called from the dispatch hook).
+  void audit_now();
+
+  /// Dispatched events seen on the hook so far.
+  std::uint64_t events_seen() const { return events_seen_; }
+  /// Full audit passes executed.
+  std::uint64_t audits() const { return audits_; }
+  /// Total violations observed (recorded or not).
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<AuditViolation>& violations() const { return recorded_; }
+
+  const AuditorConfig& config() const { return config_; }
+
+ private:
+  void on_event();
+  void check_energy();
+  void check_caps();
+  void check_lifecycle();
+  void check_budgets();
+  void record(const char* invariant, std::string detail);
+
+  core::EpaJsrmSolution* solution_;
+  core::FacilityCoordinator* coordinator_ = nullptr;
+  AuditorConfig config_;
+
+  std::vector<platform::NodeState> last_states_;
+  double last_total_joules_ = 0.0;
+
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t audits_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<AuditViolation> recorded_;
+};
+
+}  // namespace epajsrm::check

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace epajsrm::core {
 
 void FacilityCoordinator::add_member(EpaJsrmSolution& solution,
@@ -21,14 +23,12 @@ void FacilityCoordinator::add_member(EpaJsrmSolution& solution,
   members_.push_back(member);
 }
 
-double FacilityCoordinator::member_demand(
-    const EpaJsrmSolution& solution) const {
-  auto& mutable_solution = const_cast<EpaJsrmSolution&>(solution);
+double FacilityCoordinator::member_demand(EpaJsrmSolution& solution) const {
   // Demand is what the machine *wants* to draw, not what its current cap
   // lets it draw — otherwise a hard-capped busy machine reads as idle and
   // starves permanently (positive feedback).
-  const power::NodePowerModel& model = mutable_solution.power_model();
-  const platform::Cluster& cluster = mutable_solution.cluster();
+  const power::NodePowerModel& model = solution.power_model();
+  const platform::Cluster& cluster = solution.cluster();
   double demand = 0.0;
   for (const platform::Node& node : cluster.nodes()) {
     if (node.schedulable() ||
@@ -43,8 +43,7 @@ double FacilityCoordinator::member_demand(
   std::size_t counted = 0;
   for (const workload::Job* job : solution.pending()) {
     if (counted++ >= config_.queue_depth) break;
-    const double node_watts =
-        mutable_solution.predict_node_watts(job->spec());
+    const double node_watts = solution.predict_node_watts(job->spec());
     demand += config_.queue_pressure_weight * node_watts *
               job->spec().nodes;
   }
@@ -75,6 +74,10 @@ void FacilityCoordinator::rebalance() {
       share = surplus / static_cast<double>(members_.size());
     }
     member.current_budget = member.min_budget + share;
+    EPAJSRM_ENSURE(member.current_budget >= 0.0,
+                   "member budget must stay non-negative");
+    EPAJSRM_ENSURE(member.current_budget >= member.min_budget,
+                   "member budget must respect the guaranteed floor");
     member.budget_policy->set_budget_watts(member.current_budget);
     if (config_.hard_enforce) {
       member.solution->set_system_cap(member.current_budget);
@@ -96,11 +99,13 @@ void FacilityCoordinator::start() {
 }
 
 double FacilityCoordinator::budget_of(std::size_t i) const {
-  return members_.at(i).current_budget;
+  EPAJSRM_REQUIRE(i < members_.size(), "member index out of range");
+  return members_[i].current_budget;
 }
 
 double FacilityCoordinator::demand_of(std::size_t i) const {
-  return members_.at(i).last_demand;
+  EPAJSRM_REQUIRE(i < members_.size(), "member index out of range");
+  return members_[i].last_demand;
 }
 
 }  // namespace epajsrm::core

@@ -67,7 +67,9 @@ class FacilityCoordinator {
 
  private:
   void rebalance();
-  double member_demand(const EpaJsrmSolution& solution) const;
+  /// Non-const solution: demand estimation consults the member's power
+  /// predictor, which keeps learning state.
+  double member_demand(EpaJsrmSolution& solution) const;
 
   struct Member {
     EpaJsrmSolution* solution = nullptr;

@@ -202,22 +202,20 @@ std::uint32_t EpaJsrmSolution::allocatable_nodes() const {
   return rm_->allocatable_nodes();
 }
 
-bool EpaJsrmSolution::run_plan(epa::StartPlan& plan) const {
-  auto* self = const_cast<EpaJsrmSolution*>(this);
-  for (const auto& policy : self->policies_) {
+bool EpaJsrmSolution::run_plan(epa::StartPlan& plan) {
+  for (const auto& policy : policies_) {
     if (!policy->plan_start(plan)) return false;
   }
   return true;
 }
 
-bool EpaJsrmSolution::power_feasible(const workload::Job& job,
-                                     std::uint32_t nodes) const {
+bool EpaJsrmSolution::power_feasible(workload::Job& job,
+                                     std::uint32_t nodes) {
   epa::StartPlan plan;
-  plan.job = const_cast<workload::Job*>(&job);
+  plan.job = &job;
   plan.nodes = nodes;
   plan.dry_run = true;
-  plan.predicted_node_watts =
-      const_cast<EpaJsrmSolution*>(this)->predict_node_watts(job.spec());
+  plan.predicted_node_watts = predict_node_watts(job.spec());
   return run_plan(plan);
 }
 

@@ -150,6 +150,11 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   obs::Observability* observability() override { return obs_.get(); }
   obs::Observability* observability() const override { return obs_.get(); }
   const power::CapmcController& capmc() const { return capmc_; }
+  /// Installed EPA policies, in consultation order (read-only inspection;
+  /// the invariant auditor cross-checks their reported budgets).
+  const std::vector<std::unique_ptr<epa::EpaPolicy>>& policies() const {
+    return policies_;
+  }
   const sched::FairShareTracker& fairshare() const { return fairshare_; }
   predict::PowerPredictor& power_predictor() { return *power_predictor_; }
 
@@ -168,8 +173,7 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   }
   const platform::Cluster& cluster() const override { return *cluster_; }
   std::uint32_t allocatable_nodes() const override;
-  bool power_feasible(const workload::Job& job,
-                      std::uint32_t nodes) const override;
+  bool power_feasible(workload::Job& job, std::uint32_t nodes) override;
   bool try_start(workload::Job& job,
                  const workload::MoldableConfig* shape) override;
   sim::SimTime planned_end(const workload::Job& job) const override;
@@ -227,7 +231,7 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   void control_tick();
   double tightest_budget(sim::SimTime t) const;
   void checkpoint_energy();
-  bool run_plan(epa::StartPlan& plan) const;
+  bool run_plan(epa::StartPlan& plan);
 
   sim::Simulation* sim_;
   platform::Cluster* cluster_;

@@ -9,8 +9,7 @@ double DemandResponsePolicy::it_limit_for_event(
   // The DR limit binds the *grid* draw; dispatchable on-site generation
   // (RIKEN's gas turbines) can keep carrying load on top of it.
   double facility_limit = event.limit_watts;
-  if (const power::SupplyPortfolio* supply =
-          const_cast<DemandResponsePolicy*>(this)->host_->supply()) {
+  if (const power::SupplyPortfolio* supply = host_->supply()) {
     for (const power::EnergySource& s : supply->sources()) {
       if (s.dispatchable && s.capacity_watts > 0.0) {
         facility_limit += s.capacity_watts;
@@ -23,8 +22,7 @@ double DemandResponsePolicy::it_limit_for_event(
 
 double DemandResponsePolicy::power_budget_watts(sim::SimTime now) const {
   if (host_ == nullptr) return 0.0;
-  power::SupplyPortfolio* supply =
-      const_cast<DemandResponsePolicy*>(this)->host_->supply();
+  power::SupplyPortfolio* supply = host_->supply();
   if (supply == nullptr) return 0.0;
   if (const power::DemandResponseEvent* e = supply->active_event(now)) {
     return it_limit_for_event(*e, now);

@@ -4,6 +4,7 @@
 // system budget so power flows to the nodes that can use it.
 #pragma once
 
+#include "check/contract.hpp"
 #include "epa/policy.hpp"
 
 namespace epajsrm::epa {
@@ -24,7 +25,10 @@ class DynamicPowerSharePolicy final : public EpaPolicy {
   void on_tick(sim::SimTime now) override;
 
   double power_budget_watts(sim::SimTime) const override { return budget_; }
-  void set_budget_watts(double watts) { budget_ = watts; }
+  void set_budget_watts(double watts) {
+    EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
+    budget_ = watts;
+  }
 
   std::uint64_t redistributions() const { return redistributions_; }
 

@@ -33,16 +33,18 @@ bool EnergyToSolutionPolicy::plan_start(StartPlan& plan) {
   }
 
   // E(f)/E(f0) with P(f) = idle + dyn·r^alpha and T(f) = beta/r + (1-beta).
+  // The compared quantity is proportional to energy (watts x relative
+  // time), hence dimensionless "factor" naming rather than joules.
   std::uint32_t best_state = plan.pstate;
-  double best_energy = std::numeric_limits<double>::max();
+  double best_energy_factor = std::numeric_limits<double>::max();
   for (std::uint32_t p = plan.pstate; p <= pstates.deepest(); ++p) {
     const double r = pstates.ratio(p);
     const double time_factor = app.beta / r + (1.0 - app.beta);
     if (time_factor > slowdown_cap) break;  // deeper only gets slower
     const double watts = idle + dyn * std::pow(r, model.alpha());
-    const double energy = watts * time_factor;
-    if (energy < best_energy) {
-      best_energy = energy;
+    const double energy_factor = watts * time_factor;
+    if (energy_factor < best_energy_factor) {
+      best_energy_factor = energy_factor;
       best_state = p;
     }
   }

@@ -22,7 +22,7 @@ void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
   struct Entry {
     const workload::Job* job;
     double idle_watts = 0.0;     ///< idle floor of its nodes
-    double dyn_watts_full = 0.0; ///< dynamic demand at f_ref
+    double full_dyn_watts = 0.0; ///< dynamic demand at f_ref
     bool compute_bound = false;
   };
   std::vector<Entry> entries;
@@ -34,7 +34,7 @@ void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
     for (platform::NodeId id : job->allocated_nodes()) {
       const platform::Node& node = cluster.node(id);
       e.idle_watts += node.config().idle_watts;
-      e.dyn_watts_full += node.config().dynamic_watts *
+      e.full_dyn_watts += node.config().dynamic_watts *
                           node.config().variability * node.utilization();
     }
     e.compute_bound =
@@ -47,7 +47,7 @@ void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
   const double distributable =
       std::max(0.0, budget_ - fixed - idle_total);
   double demand_full = 0.0;
-  for (const Entry& e : entries) demand_full += e.dyn_watts_full;
+  for (const Entry& e : entries) demand_full += e.full_dyn_watts;
   if (demand_full <= 0.0) return;
 
   if (demand_full <= distributable) {
@@ -69,9 +69,9 @@ void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
   double compute_dyn_full = 0.0;
   for (const Entry& e : entries) {
     if (e.compute_bound) {
-      compute_dyn_full += e.dyn_watts_full;
+      compute_dyn_full += e.full_dyn_watts;
     } else {
-      memory_dyn += e.dyn_watts_full * deep_scale;
+      memory_dyn += e.full_dyn_watts * deep_scale;
     }
   }
 

@@ -8,6 +8,7 @@
 // headroom; if even the deepest P-state does not fit, the job waits.
 #pragma once
 
+#include "check/contract.hpp"
 #include "epa/policy.hpp"
 
 namespace epajsrm::epa {
@@ -27,7 +28,10 @@ class PowerBudgetDvfsPolicy final : public EpaPolicy {
 
   double power_budget_watts(sim::SimTime) const override { return budget_; }
 
-  void set_budget_watts(double watts) { budget_ = watts; }
+  void set_budget_watts(double watts) {
+    EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
+    budget_ = watts;
+  }
 
   std::uint64_t dvfs_degraded_starts() const { return degraded_; }
   std::uint64_t vetoed_starts() const { return vetoed_; }

@@ -7,8 +7,9 @@
 namespace epajsrm::epa {
 
 double SourceSelectionPolicy::deliverable_it_watts(sim::SimTime t) const {
-  auto* self = const_cast<SourceSelectionPolicy*>(this);
-  power::SupplyPortfolio* supply = self->host_->supply();
+  // host_ is a pointer member: the pointee stays mutable in const methods,
+  // so the host services are reachable without casting.
+  power::SupplyPortfolio* supply = host_->supply();
   if (supply == nullptr) return 0.0;
 
   double total = supply->grid_limit_watts(t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
 #include "obs/observability.hpp"
 
 namespace epajsrm::power {
@@ -36,6 +37,8 @@ void CapmcController::apply_node_cap(platform::NodeId node, double watts) {
 }
 
 void CapmcController::set_node_cap(platform::NodeId node, double watts) {
+  EPAJSRM_REQUIRE(watts >= 0.0, "node cap must be non-negative (0 clears)");
+  EPAJSRM_REQUIRE(node < cluster_->node_count(), "unknown node id");
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
   apply_node_cap(node, watts);
   if (obs_ != nullptr) {
@@ -45,6 +48,7 @@ void CapmcController::set_node_cap(platform::NodeId node, double watts) {
 
 void CapmcController::set_group_cap(std::span<const platform::NodeId> nodes,
                                     double watts) {
+  EPAJSRM_REQUIRE(watts >= 0.0, "group cap must be non-negative (0 clears)");
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
   for (platform::NodeId id : nodes) apply_node_cap(id, watts);
   if (obs_ != nullptr) {
@@ -73,6 +77,10 @@ void CapmcController::set_system_cap(double total_watts) {
     guaranteed += cap;
   }
   system_cap_error_ = std::max(0.0, guaranteed - total_watts);
+  // The evenly divided caps must guarantee at most the request plus the
+  // reported clamping error — otherwise compliance metrics lie.
+  EPAJSRM_ENSURE(guaranteed <= total_watts + system_cap_error_ + 1e-9,
+                 "per-node caps exceed the system cap beyond reported error");
   if (obs_ != nullptr) {
     record_call("system_cap", t0, -1, total_watts, static_cast<double>(n));
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace epajsrm::power {
 
 NodePowerModel::NodePowerModel(const platform::PstateTable& pstates,
@@ -24,10 +26,12 @@ double NodePowerModel::freq_ratio_for_cap(const platform::NodeConfig& cfg,
                                           double cap_watts,
                                           double utilization) const {
   utilization = std::clamp(utilization, 0.0, 1.0);
-  const double dyn = utilization * cfg.dynamic_watts * cfg.variability;
-  if (dyn <= 0.0) return 1.0;  // no dynamic draw: any frequency fits
+  // Infeasibility must be judged before the no-dynamic-draw shortcut: a
+  // cap below the idle floor cannot be met at ANY frequency, idle or not.
   const double budget = cap_watts - cfg.idle_watts;
   if (budget <= 0.0) return 0.0;  // cap below idle floor: infeasible
+  const double dyn = utilization * cfg.dynamic_watts * cfg.variability;
+  if (dyn <= 0.0) return 1.0;  // no dynamic draw: any frequency fits
   return std::min(1.0, std::pow(budget / dyn, 1.0 / alpha_));
 }
 
@@ -84,6 +88,19 @@ OperatingPoint NodePowerModel::resolve(const platform::Node& node) const {
 
 OperatingPoint NodePowerModel::apply(platform::Node& node) const {
   const OperatingPoint op = resolve(node);
+  EPAJSRM_ENSURE(op.watts >= 0.0, "modelled draw cannot be negative");
+  EPAJSRM_ENSURE(op.freq_ratio >= 0.0 && op.freq_ratio <= 1.0,
+                 "effective frequency ratio must lie in [0, 1]");
+  // A feasible binding cap must actually be honoured by the resolved
+  // draw. Caps govern only the DVFS-controllable states; transition
+  // states draw fixed boot/sleep power by design.
+  const bool cap_governed = node.state() == platform::NodeState::kIdle ||
+                            node.state() == platform::NodeState::kBusy ||
+                            node.state() == platform::NodeState::kDraining;
+  EPAJSRM_ENSURE(!cap_governed || node.power_cap_watts() <= 0.0 ||
+                     op.cap_infeasible ||
+                     op.watts <= node.power_cap_watts() + 1e-9,
+                 "resolved draw exceeds a feasible node power cap");
   node.set_current_watts(op.watts);
   node.set_effective_freq_ratio(op.freq_ratio);
   return op;

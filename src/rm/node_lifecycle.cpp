@@ -1,11 +1,14 @@
 #include "rm/node_lifecycle.hpp"
 
+#include "check/contract.hpp"
+
 namespace epajsrm::rm {
 
 void NodeLifecycle::transition(platform::NodeId id,
                                platform::NodeState during,
                                platform::NodeState after,
                                sim::SimTime delay) {
+  EPAJSRM_REQUIRE(delay >= 0, "transition latency cannot be negative");
   if (pre_) pre_();
   platform::Node& node = cluster_->node(id);
   node.set_state(during);
@@ -17,6 +20,8 @@ void NodeLifecycle::transition(platform::NodeId id,
     // A transition can only be completed by the schedule that started it;
     // state changes in between (not allowed by the callers) would be bugs.
     if (n.state() != during) return;
+    EPAJSRM_INVARIANT(in_transition_ > 0,
+                      "completing a transition nobody started");
     if (pre_) pre_();
     n.set_state(after);
     --in_transition_;

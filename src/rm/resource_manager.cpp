@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "obs/observability.hpp"
 
 namespace epajsrm::rm {
@@ -37,6 +38,9 @@ std::uint32_t ResourceManager::allocatable_nodes() const {
 
 std::vector<platform::NodeId> ResourceManager::allocate(workload::Job& job,
                                                         std::uint32_t nodes) {
+  EPAJSRM_REQUIRE(nodes > 0, "allocations are at least one node");
+  EPAJSRM_REQUIRE(job.allocated_nodes().empty(),
+                  "job is already holding an allocation");
   obs::ScopedSpan span = obs::span_of(obs_, "rm", "allocate");
   if (span.active()) {
     span.set_job(static_cast<std::int64_t>(job.id()));
@@ -45,6 +49,8 @@ std::vector<platform::NodeId> ResourceManager::allocate(workload::Job& job,
 
   const std::vector<platform::NodeId> selected =
       allocator_->select(*cluster_, nodes, eligibility());
+  EPAJSRM_ENSURE(selected.empty() || selected.size() == nodes,
+                 "allocator must fill the request exactly or not at all");
   if (selected.empty()) {
     if (obs_ != nullptr) {
       span.attr("outcome", "no_nodes");

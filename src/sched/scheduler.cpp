@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/contract.hpp"
+
 namespace epajsrm::sched {
 
 AvailabilityTimeline::AvailabilityTimeline(
@@ -64,6 +66,8 @@ sim::SimTime AvailabilityTimeline::earliest_start(std::uint32_t nodes,
 
 void AvailabilityTimeline::reserve(std::uint32_t nodes, sim::SimTime start,
                                    sim::SimTime duration) {
+  EPAJSRM_REQUIRE(nodes > 0, "reservations cover at least one node");
+  EPAJSRM_REQUIRE(duration >= 0, "reservation duration cannot be negative");
   const sim::SimTime end = start + duration;
   // Ensure breakpoints exist at start and end, then subtract inside.
   const auto ensure_point = [this](sim::SimTime t) {

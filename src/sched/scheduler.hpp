@@ -45,9 +45,10 @@ class SchedulingContext {
 
   /// True when starting `job` with `nodes` nodes now would keep the system
   /// inside the active power budget (per the installed EPA policy and
-  /// power predictor). Does not start anything.
-  virtual bool power_feasible(const workload::Job& job,
-                              std::uint32_t nodes) const = 0;
+  /// power predictor). Does not start anything. Non-const because the
+  /// probe consults the power predictor and the policy chain, which keep
+  /// internal state; the job itself is only read (the plan runs dry).
+  virtual bool power_feasible(workload::Job& job, std::uint32_t nodes) = 0;
 
   /// Attempts to start `job` now, optionally with a moldable shape
   /// (nullptr = base shape). Performs power admission, node allocation and

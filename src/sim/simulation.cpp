@@ -14,15 +14,23 @@ EventId Simulation::schedule_at(SimTime t, Callback cb,
 
 EventId Simulation::schedule_every(SimTime period, std::function<bool()> cb,
                                    const char* category) {
-  // Each firing reschedules itself; capturing `this` is safe because the
-  // queue lives inside the Simulation.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), tick, category]() {
-    if (cb()) {
-      schedule_in(period, *tick, category);
+  // Each firing reschedules a fresh value copy of itself; the shared
+  // callback must not be captured by its own closure (a self-referencing
+  // shared_ptr cycle would leak every still-pending repeater at teardown).
+  // Capturing `this` is safe because the queue lives inside the Simulation.
+  struct Repeater {
+    Simulation* sim;
+    SimTime period;
+    std::shared_ptr<std::function<bool()>> cb;
+    const char* category;
+    void operator()() const {
+      if ((*cb)()) sim->schedule_in(period, *this, category);
     }
   };
-  return schedule_in(period, *tick, category);
+  auto shared_cb = std::make_shared<std::function<bool()>>(std::move(cb));
+  return schedule_in(period,
+                     Repeater{this, period, std::move(shared_cb), category},
+                     category);
 }
 
 void Simulation::run_until(SimTime t) {
@@ -30,15 +38,19 @@ void Simulation::run_until(SimTime t) {
     auto popped = queue_.pop();
     now_ = popped.time;
     ++events_processed_;
-    if (hook_) {
-      // Timed dispatch: only taken when a profiler is attached, so the
-      // common path pays one branch, not two clock reads.
-      const auto t0 = std::chrono::steady_clock::now();
+    if (!hooks_.empty()) {
+      // Timed dispatch: only taken when an observer is attached, so the
+      // common path pays one branch, not two clock reads. The clock here
+      // measures host cost of the callback, not simulated time.
+      const auto t0 = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
       popped.callback();
-      const auto t1 = std::chrono::steady_clock::now();
-      hook_(popped.category,
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count());
+      const auto t1 = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
+      const std::int64_t wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count();
+      for (const DispatchHook& hook : hooks_) {
+        hook(popped.category, wall_ns);
+      }
     } else {
       popped.callback();
     }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -54,9 +55,21 @@ class Simulation {
   EventId schedule_every(SimTime period, std::function<bool()> cb,
                          const char* category = kDefaultEventCategory);
 
-  /// Attaches (or clears, with {}) the dispatch observer.
-  void set_dispatch_hook(DispatchHook hook) { hook_ = std::move(hook); }
-  bool has_dispatch_hook() const { return static_cast<bool>(hook_); }
+  /// Replaces every attached dispatch observer with `hook` (or clears all,
+  /// with {}).
+  void set_dispatch_hook(DispatchHook hook) {
+    hooks_.clear();
+    if (hook) hooks_.push_back(std::move(hook));
+  }
+
+  /// Appends a dispatch observer without disturbing existing ones; the
+  /// event-loop profiler and the invariant auditor can both watch the same
+  /// run. Hooks run in attachment order after every dispatched callback.
+  void add_dispatch_hook(DispatchHook hook) {
+    if (hook) hooks_.push_back(std::move(hook));
+  }
+
+  bool has_dispatch_hook() const { return !hooks_.empty(); }
 
   /// Cancels a pending event; see EventQueue::cancel.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -85,7 +98,7 @@ class Simulation {
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
-  DispatchHook hook_;
+  std::vector<DispatchHook> hooks_;
 };
 
 }  // namespace epajsrm::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
 #include "power/thermal.hpp"
 
 namespace epajsrm::telemetry {
@@ -15,6 +16,8 @@ MonitoringService::MonitoringService(sim::Simulation& sim,
   for (std::size_t i = 0; i < cluster.facility().pdus().size(); ++i) {
     pdu_power_.push_back(std::make_unique<TimeSeries>(history));
   }
+  EPAJSRM_ENSURE(pdu_power_.size() == cluster.facility().pdus().size(),
+                 "one retained series per facility PDU");
   build_sensors();
 }
 

@@ -47,8 +47,12 @@ class MonitoringService {
   const TimeSeries& facility_power() const { return facility_power_; }
   const TimeSeries& utilization() const { return utilization_; }
   const TimeSeries& max_temperature() const { return max_temperature_; }
-  const TimeSeries& pdu_power(platform::PduId pdu) const {
-    return *pdu_power_.at(pdu);
+  /// Retained series for one PDU, or nullptr for a PDU the facility does
+  /// not have — callers must handle the sentinel (telemetry quality varies
+  /// by plant; an unknown sensor is data, not a crash).
+  const TimeSeries* pdu_power(platform::PduId pdu) const {
+    if (static_cast<std::size_t>(pdu) >= pdu_power_.size()) return nullptr;
+    return pdu_power_[pdu].get();
   }
 
   /// Forces one sample now (also used by tests). Does not notify

@@ -1,0 +1,118 @@
+// The contract macros and the contracts threaded through the subsystem
+// call sites: violated preconditions throw ContractViolation with a
+// precise diagnostic, honoured ones cost nothing observable.
+#include "check/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "epa/dynamic_power_share.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "platform/cluster.hpp"
+#include "power/capmc.hpp"
+#include "power/node_power_model.hpp"
+
+namespace epajsrm {
+namespace {
+
+#if !defined(EPAJSRM_ENABLE_CHECKS)
+
+TEST(ContractMacros, CompiledOut) {
+  // Release deployment builds strip the checks entirely; the macros must
+  // still compile and do nothing.
+  EPAJSRM_REQUIRE(false, "never evaluated");
+  EPAJSRM_ENSURE(false, "never evaluated");
+  EPAJSRM_INVARIANT(false, "never evaluated");
+  SUCCEED();
+}
+
+#else  // checks enabled (the default in every test configuration)
+
+TEST(ContractMacros, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(EPAJSRM_REQUIRE(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(EPAJSRM_ENSURE(true, ""));
+  EXPECT_NO_THROW(EPAJSRM_INVARIANT(true, ""));
+}
+
+TEST(ContractMacros, FailingConditionThrowsWithDiagnostics) {
+  try {
+    EPAJSRM_REQUIRE(2 < 1, "impossible ordering");
+    FAIL() << "EPAJSRM_REQUIRE did not throw";
+  } catch (const check::ContractViolation& v) {
+    EXPECT_EQ(v.kind(), check::ContractKind::kRequire);
+    EXPECT_STREQ(v.expr(), "2 < 1");
+    EXPECT_GT(v.line(), 0);
+    const std::string what = v.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos);
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos);
+    EXPECT_NE(what.find("test_check_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(ContractMacros, KindsAreDistinguished) {
+  try {
+    EPAJSRM_ENSURE(false, "");
+    FAIL();
+  } catch (const check::ContractViolation& v) {
+    EXPECT_EQ(v.kind(), check::ContractKind::kEnsure);
+  }
+  try {
+    EPAJSRM_INVARIANT(false, "");
+    FAIL();
+  } catch (const check::ContractViolation& v) {
+    EXPECT_EQ(v.kind(), check::ContractKind::kInvariant);
+  }
+  EXPECT_STREQ(check::to_string(check::ContractKind::kEnsure),
+               "postcondition");
+}
+
+TEST(ContractMacros, ViolationIsALogicError) {
+  EXPECT_THROW(EPAJSRM_REQUIRE(false, "x"), std::logic_error);
+}
+
+// --- contracts at real call sites ------------------------------------------
+
+class ContractSiteTest : public ::testing::Test {
+ protected:
+  ContractSiteTest() {
+    core::ScenarioConfig config;
+    config.nodes = 4;
+    config.job_count = 1;
+    scenario_ = std::make_unique<core::Scenario>(config);
+  }
+
+  std::unique_ptr<core::Scenario> scenario_;
+};
+
+TEST_F(ContractSiteTest, NegativeNodeCapIsRejected) {
+  power::NodePowerModel model(scenario_->cluster().pstates());
+  power::CapmcController capmc(scenario_->cluster(), model);
+  EXPECT_THROW(capmc.set_node_cap(0, -10.0), check::ContractViolation);
+}
+
+TEST_F(ContractSiteTest, UnknownNodeCapTargetIsRejected) {
+  power::NodePowerModel model(scenario_->cluster().pstates());
+  power::CapmcController capmc(scenario_->cluster(), model);
+  EXPECT_THROW(capmc.set_node_cap(999, 200.0), check::ContractViolation);
+}
+
+TEST_F(ContractSiteTest, NegativeGroupCapIsRejected) {
+  power::NodePowerModel model(scenario_->cluster().pstates());
+  power::CapmcController capmc(scenario_->cluster(), model);
+  const platform::NodeId ids[] = {0, 1};
+  EXPECT_THROW(capmc.set_group_cap(ids, -1.0), check::ContractViolation);
+}
+
+TEST(ContractSites, NegativePolicyBudgetIsRejected) {
+  epa::PowerBudgetDvfsPolicy budget_policy(1000.0);
+  EXPECT_THROW(budget_policy.set_budget_watts(-5.0),
+               check::ContractViolation);
+  epa::DynamicPowerSharePolicy share_policy(1000.0);
+  EXPECT_THROW(share_policy.set_budget_watts(-5.0),
+               check::ContractViolation);
+}
+
+#endif  // EPAJSRM_ENABLE_CHECKS
+
+}  // namespace
+}  // namespace epajsrm

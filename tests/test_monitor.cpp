@@ -54,8 +54,17 @@ TEST_F(MonitorTest, PeriodicSamplingRecordsSeries) {
   EXPECT_EQ(monitor_.tick_count(), 6u);
   EXPECT_EQ(monitor_.machine_power().size(), 6u);
   EXPECT_EQ(monitor_.utilization().size(), 6u);
-  EXPECT_EQ(monitor_.pdu_power(0).size(), 6u);
+  ASSERT_NE(monitor_.pdu_power(0), nullptr);
+  EXPECT_EQ(monitor_.pdu_power(0)->size(), 6u);
   EXPECT_GT(monitor_.machine_power().latest()->value, 0.0);
+}
+
+TEST_F(MonitorTest, UnknownPduReturnsSentinel) {
+  // 8 nodes, 4 per rack, 1 rack per PDU -> PDUs 0 and 1 exist.
+  EXPECT_NE(monitor_.pdu_power(0), nullptr);
+  EXPECT_NE(monitor_.pdu_power(1), nullptr);
+  EXPECT_EQ(monitor_.pdu_power(2), nullptr);
+  EXPECT_EQ(monitor_.pdu_power(999), nullptr);
 }
 
 TEST_F(MonitorTest, ObserversFireEachTick) {

@@ -55,7 +55,7 @@ class MockContext final : public SchedulingContext {
   }
   const platform::Cluster& cluster() const override { return cluster_; }
   std::uint32_t allocatable_nodes() const override { return free_; }
-  bool power_feasible(const workload::Job&, std::uint32_t) const override {
+  bool power_feasible(workload::Job&, std::uint32_t) override {
     return power_ok_;
   }
   bool try_start(workload::Job& job,

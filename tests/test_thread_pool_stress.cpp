@@ -1,0 +1,135 @@
+// ThreadPool race-audit stress suite. These tests are shaped to make
+// ThreadSanitizer's life easy: heavy submit contention, wait_idle racing
+// live submitters, destruction under load, and a full parallel simulation
+// ensemble. They pass functionally everywhere and must stay data-race
+// free under the tsan preset (ctest -L tsan-stress in build-tsan).
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace epajsrm {
+namespace {
+
+TEST(ThreadPoolStress, ManyConcurrentSubmitters) {
+  sim::ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 500;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sum] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kSubmitters) * kTasksEach);
+}
+
+TEST(ThreadPoolStress, WaitIdleRacesLiveSubmitter) {
+  sim::ThreadPool pool(3);
+  std::atomic<std::uint64_t> done{0};
+  constexpr std::uint64_t kTasks = 4000;
+
+  // One thread feeds the pool while another repeatedly drains it; every
+  // wait_idle return must observe a consistent pool, and nothing may race.
+  std::thread feeder([&pool, &done] {
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  while (done.load(std::memory_order_relaxed) < kTasks) {
+    pool.wait_idle();
+  }
+  feeder.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsUnderLoad) {
+  std::atomic<std::uint64_t> executed{0};
+  constexpr int kTasks = 2000;
+  {
+    sim::ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle: the destructor must complete every pending task.
+  }
+  EXPECT_EQ(executed.load(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolStress, RepeatedConstructionTeardown) {
+  std::atomic<std::uint64_t> executed{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    sim::ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit(
+          [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 50u * 20u);
+}
+
+TEST(ThreadPoolStress, ParallelForCoversEveryIndexOnce) {
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  sim::ThreadPool::parallel_for(
+      kN,
+      [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, ParallelSimulationEnsembleIsIndependent) {
+  // The pool's actual production use: independent replications in
+  // parallel. Each task owns its whole simulation stack; TSan verifies
+  // nothing is shared by accident.
+  constexpr std::size_t kReplications = 6;
+  std::vector<double> energy_kwh(kReplications, 0.0);
+  sim::ThreadPool::parallel_for(
+      kReplications,
+      [&energy_kwh](std::size_t i) {
+        core::ScenarioConfig config;
+        config.nodes = 4;
+        config.job_count = 6;
+        config.horizon = 1 * sim::kDay;
+        config.seed = 100 + i;
+        core::Scenario scenario(config);
+        const core::RunResult result = scenario.run();
+        energy_kwh[i] = result.total_it_kwh_exact;
+      },
+      3);
+  for (std::size_t i = 0; i < kReplications; ++i) {
+    EXPECT_GT(energy_kwh[i], 0.0) << "replication " << i;
+  }
+  // Identical seeds produce identical energy; distinct seeds should not
+  // all collide (sanity that the runs were truly independent).
+  core::ScenarioConfig config;
+  config.nodes = 4;
+  config.job_count = 6;
+  config.horizon = 1 * sim::kDay;
+  config.seed = 100;
+  core::Scenario replay(config);
+  EXPECT_DOUBLE_EQ(replay.run().total_it_kwh_exact, energy_kwh[0]);
+}
+
+}  // namespace
+}  // namespace epajsrm

@@ -34,8 +34,10 @@ TEST(FatTree, RejectsDegenerateShape) {
 TEST(Torus3D, CoordinateRoundTrip) {
   Torus3DTopology t(4, 3, 2);
   EXPECT_EQ(t.node_count(), 24u);
-  const auto c = t.coord(4 + 4 * (2 + 3 * 1));  // x=0? compute: id=4+4*5=...
-  (void)c;
+  const auto c = t.coord(0 + 4 * (2 + 3 * 1));  // 20 -> x=0, y=2, z=1
+  EXPECT_EQ(c.x, 0u);
+  EXPECT_EQ(c.y, 2u);
+  EXPECT_EQ(c.z, 1u);
   const auto c2 = t.coord(13);  // 13 = 1 + 4*(3 = y + 3z) -> x=1,y=0,z=1
   EXPECT_EQ(c2.x, 1u);
   EXPECT_EQ(c2.y, 0u);

@@ -1,0 +1,345 @@
+// epajsrm_lint — project-specific correctness lint for the EPA JSRM tree.
+//
+// Rules (suppress a line with `// lint:allow(<rule>)`):
+//
+//   const-cast    src/**        `const_cast` is banned; const-correctness
+//                               holes hide mutation the energy accounting
+//                               must see.
+//   wall-clock    src/** except src/obs/
+//                               wall-clock reads (steady_clock, ...)
+//                               break simulation determinism; only the
+//                               observability plane may time real work.
+//   rand          src/** except src/obs/
+//                               nondeterministic randomness (rand(),
+//                               random_device) breaks replayability;
+//                               seeded engines are fine.
+//   unit-suffix   src/**        double/float variables whose name speaks
+//                               of power or energy must carry a unit
+//                               suffix (_watts, _joules, _kwh, ...) so
+//                               unit bugs are visible at the call site.
+//   unguarded-at  src/sim, src/platform, src/power, src/telemetry,
+//                 src/core      throwing `.at()` in hot dispatch paths;
+//                               use checked contracts + operator[].
+//
+// Usage:
+//   epajsrm_lint <src-dir>             lint the tree; exit 1 on violations
+//   epajsrm_lint --self-test <dir>     verify each rule fires on its
+//                                      bad_*.cpp fixture and stays silent
+//                                      on clean.cpp; exit 1 on mismatch
+//
+// Plain line-based scanning over comment- and string-stripped text: no
+// compiler, no dependencies, deterministic output. C++17.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string text;
+};
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Strips comments and string/char literals, replacing them with spaces so
+// column positions survive. `in_block_comment` carries /* */ state across
+// lines.
+std::string strip_noise(const std::string& line, bool& in_block_comment) {
+  std::string out(line.size(), ' ');
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+// --- unit-suffix helpers ----------------------------------------------------
+
+bool names_power_or_energy(const std::string& id_lower) {
+  return id_lower.find("power") != std::string::npos ||
+         id_lower.find("energy") != std::string::npos ||
+         id_lower.find("watt") != std::string::npos ||
+         id_lower.find("joule") != std::string::npos;
+}
+
+// A quantity name passes when, after trailing digits/underscores are
+// stripped, it ends in a unit ("watts", "kwh", ...) or a semantic ending
+// that marks a dimensionless derived value ("factor", "ratio", ...).
+bool has_unit_or_semantic_suffix(const std::string& identifier) {
+  static const std::vector<std::string> kEndings = {
+      // units
+      "watts", "watt", "_w", "mw", "kw", "gw",
+      "joules", "joule", "_j", "kj", "mj", "gj",
+      "wh", "kwh", "mwh",
+      // dimensionless / derived quantities named after what they scale
+      "alpha", "intensity", "weight", "factor", "ratio", "scale", "share",
+      "fraction", "price", "cost", "error", "sigma", "rel", "margin",
+  };
+  std::string id = to_lower(identifier);
+  while (!id.empty() && (id.back() == '_' || std::isdigit(
+                             static_cast<unsigned char>(id.back())))) {
+    id.pop_back();
+  }
+  for (const std::string& ending : kEndings) {
+    if (ends_with(id, ending)) return true;
+  }
+  return false;
+}
+
+// --- the linter -------------------------------------------------------------
+
+class Linter {
+ public:
+  // `scope_by_path` = false in self-test mode: every rule applies to every
+  // fixture regardless of directory layout.
+  explicit Linter(bool scope_by_path) : scope_by_path_(scope_by_path) {}
+
+  void lint_file(const fs::path& path, const std::string& rel) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "epajsrm_lint: cannot read " << path << "\n";
+      ++io_errors_;
+      return;
+    }
+    const bool wallclock_scope = !scope_by_path_ || !in_dir(rel, "obs");
+    const bool at_scope =
+        !scope_by_path_ || in_dir(rel, "sim") || in_dir(rel, "platform") ||
+        in_dir(rel, "power") || in_dir(rel, "telemetry") || in_dir(rel, "core");
+
+    bool in_block_comment = false;
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      const std::string code = strip_noise(raw, in_block_comment);
+
+      const auto flag = [&](const char* rule) {
+        if (raw.find(std::string("lint:allow(") + rule + ")") !=
+            std::string::npos) {
+          return;
+        }
+        violations_.push_back({rel, line_no, rule, trim(raw)});
+      };
+
+      if (code.find("const_cast") != std::string::npos) flag("const-cast");
+      if (wallclock_scope && hits_wall_clock(code)) flag("wall-clock");
+      if (wallclock_scope && hits_rand(code)) flag("rand");
+      if (at_scope && code.find(".at(") != std::string::npos) {
+        flag("unguarded-at");
+      }
+      check_unit_suffix(code, raw, rel, line_no);
+    }
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  int io_errors() const { return io_errors_; }
+
+ private:
+  static bool in_dir(const std::string& rel, const std::string& top) {
+    return rel.rfind(top + "/", 0) == 0;
+  }
+
+  static std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+  }
+
+  static bool hits_wall_clock(const std::string& code) {
+    static const std::regex re(
+        "steady_clock|system_clock|high_resolution_clock|gettimeofday|"
+        "clock_gettime|\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)");
+    return std::regex_search(code, re);
+  }
+
+  static bool hits_rand(const std::string& code) {
+    static const std::regex re("\\bs?rand\\s*\\(|random_device");
+    return std::regex_search(code, re);
+  }
+
+  void check_unit_suffix(const std::string& code, const std::string& raw,
+                         const std::string& rel, int line_no) {
+    static const std::regex decl(
+        "\\b(?:double|float)\\s*[*&]?\\s+([A-Za-z_]\\w*)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+      const std::string id = (*it)[1].str();
+      // Skip function declarations and qualified definitions — the rule
+      // targets value-carrying variables, not callables or scope names.
+      std::size_t after =
+          static_cast<std::size_t>(it->position(1)) + id.size();
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after]))) {
+        ++after;
+      }
+      if (after < code.size() && (code[after] == '(' || code[after] == ':' ||
+                                  code[after] == '<')) {
+        continue;
+      }
+      if (!names_power_or_energy(to_lower(id))) continue;
+      if (has_unit_or_semantic_suffix(id)) continue;
+      if (raw.find("lint:allow(unit-suffix)") != std::string::npos) continue;
+      violations_.push_back({rel, line_no, "unit-suffix",
+                             id + " lacks a unit suffix (_watts, _joules, "
+                                  "_kwh, ...)"});
+    }
+  }
+
+  bool scope_by_path_;
+  std::vector<Violation> violations_;
+  int io_errors_ = 0;
+};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> collect(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int lint_tree(const fs::path& root) {
+  Linter linter(/*scope_by_path=*/true);
+  for (const fs::path& file : collect(root)) {
+    linter.lint_file(file, fs::relative(file, root).generic_string());
+  }
+  for (const Violation& v : linter.violations()) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.text
+              << "\n";
+  }
+  if (!linter.violations().empty()) {
+    std::cout << linter.violations().size() << " violation(s)\n";
+    return 1;
+  }
+  if (linter.io_errors() > 0) return 1;
+  std::cout << "epajsrm_lint: clean\n";
+  return 0;
+}
+
+// Fixture contract: bad_<rule-with-underscores>.cpp must trip exactly its
+// rule; clean.cpp (which exercises suppressions) must trip nothing.
+int self_test(const fs::path& dir) {
+  static const std::map<std::string, std::string> kExpected = {
+      {"bad_const_cast.cpp", "const-cast"},
+      {"bad_wallclock.cpp", "wall-clock"},
+      {"bad_rand.cpp", "rand"},
+      {"bad_unit_suffix.cpp", "unit-suffix"},
+      {"bad_unguarded_at.cpp", "unguarded-at"},
+  };
+  int failures = 0;
+  for (const auto& [name, rule] : kExpected) {
+    const fs::path file = dir / name;
+    Linter linter(/*scope_by_path=*/false);
+    linter.lint_file(file, name);
+    std::size_t expected_hits = 0;
+    for (const Violation& v : linter.violations()) {
+      if (v.rule == rule) {
+        ++expected_hits;
+      } else {
+        std::cout << "FAIL " << name << ": stray [" << v.rule << "] at line "
+                  << v.line << "\n";
+        ++failures;
+      }
+    }
+    if (expected_hits == 0) {
+      std::cout << "FAIL " << name << ": rule [" << rule
+                << "] did not fire\n";
+      ++failures;
+    } else {
+      std::cout << "ok   " << name << ": [" << rule << "] fired "
+                << expected_hits << "x\n";
+    }
+  }
+  {
+    Linter linter(/*scope_by_path=*/false);
+    linter.lint_file(dir / "clean.cpp", "clean.cpp");
+    for (const Violation& v : linter.violations()) {
+      std::cout << "FAIL clean.cpp: unexpected [" << v.rule << "] at line "
+                << v.line << "\n";
+      ++failures;
+    }
+    if (linter.violations().empty()) std::cout << "ok   clean.cpp: silent\n";
+  }
+  if (failures > 0) {
+    std::cout << failures << " self-test failure(s)\n";
+    return 1;
+  }
+  std::cout << "epajsrm_lint: self-test passed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--self-test") {
+    return self_test(argv[2]);
+  }
+  if (argc == 2) {
+    return lint_tree(argv[1]);
+  }
+  std::cerr << "usage: epajsrm_lint <src-dir> | epajsrm_lint --self-test "
+               "<fixture-dir>\n";
+  return 2;
+}

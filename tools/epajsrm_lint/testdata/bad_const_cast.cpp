@@ -1,0 +1,5 @@
+// Fixture: the const-cast rule must fire here.
+void mutate(const int* cp) {
+  int* p = const_cast<int*>(cp);
+  *p = 1;
+}

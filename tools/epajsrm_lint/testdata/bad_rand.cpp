@@ -1,0 +1,8 @@
+// Fixture: the rand rule must fire here.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

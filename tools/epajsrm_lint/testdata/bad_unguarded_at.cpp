@@ -1,0 +1,6 @@
+// Fixture: the unguarded-at rule must fire here.
+#include <vector>
+
+int lookup(const std::vector<int>& table, unsigned i) {
+  return table.at(i);
+}

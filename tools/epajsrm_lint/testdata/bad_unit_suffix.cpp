@@ -1,0 +1,10 @@
+// Fixture: the unit-suffix rule must fire here.
+struct Sample {
+  double node_power = 0.0;
+  float total_energy = 0.0f;
+};
+
+double accumulate(const Sample& s) {
+  double wattage = static_cast<double>(s.total_energy) + s.node_power;
+  return wattage;
+}

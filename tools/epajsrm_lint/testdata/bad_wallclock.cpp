@@ -1,0 +1,11 @@
+// Fixture: the wall-clock rule must fire here.
+#include <chrono>
+
+long now_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long also_bad() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

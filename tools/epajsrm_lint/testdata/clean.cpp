@@ -1,0 +1,44 @@
+// Fixture: no rule may fire on this file. It exercises the reasons the
+// linter must NOT flag: suppression comments, comments and string
+// literals mentioning banned constructs, properly suffixed quantities,
+// function declarations, and qualified definitions.
+#include <chrono>
+#include <string>
+#include <vector>
+
+// A comment may say const_cast, rand(), steady_clock or .at(i) freely.
+static const char* kDoc = "const_cast and rand() are banned; .at( too";
+
+struct Quantities {
+  double node_watts = 90.0;
+  double total_energy_joules = 0.0;
+  double budget_kwh = 1.5;
+  double power_factor = 1.0;       // dimensionless: semantic ending
+  double energy_epsilon_rel = 1e-9;
+};
+
+// Function declarations are not quantity variables.
+double watts_at(double freq_ratio, double utilization);
+
+class PowerModel {
+ public:
+  double peak_watts() const;
+};
+
+// Qualified definitions are scope names, not variables.
+double PowerModel::peak_watts() const { return 270.0; }
+
+int checked_lookup(const std::vector<int>& table, unsigned i) {
+  return table.at(i);  // lint:allow(unguarded-at)
+}
+
+long profiled_now_ns() {
+  const auto t0 = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
+  return t0.time_since_epoch().count();
+}
+
+void legacy_api(const int* cp) {
+  int* p = const_cast<int*>(cp);  // lint:allow(const-cast)
+  (void)p;
+  (void)kDoc;
+}
