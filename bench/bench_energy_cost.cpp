@@ -7,10 +7,6 @@
 #include <memory>
 
 #include "center_bench.hpp"
-#include "core/scenario.hpp"
-#include "epa/energy_cost_order.hpp"
-#include "epa/idle_shutdown.hpp"
-#include "metrics/table.hpp"
 
 namespace {
 
@@ -18,18 +14,21 @@ using namespace epajsrm;
 
 core::RunResult run_case(bool cost_aware, bool idle_shutdown,
                          const std::string& label) {
-  core::ScenarioConfig config;
-  config.label = label;
-  config.nodes = 32;
-  config.job_count = 120;
-  config.horizon = 30 * sim::kDay;
-  config.seed = 23;
-  config.mix = core::WorkloadMix::kCapacity;
-  config.target_utilization = 0.5;
-  config.solution.enable_thermal = false;
-  config.solution.tariff =
-      power::Tariff::peak_offpeak(0.35, 0.09, 8.0, 20.0);
-  core::Scenario scenario(config);
+  core::Scenario scenario =
+      core::Scenario::builder()
+          .label(label)
+          .nodes(32)
+          .job_count(120)
+          .horizon(30 * sim::kDay)
+          .seed(23)
+          .mix(core::WorkloadMix::kCapacity)
+          .target_utilization(0.5)
+          .configure([](core::ScenarioConfig& c) {
+            c.solution.enable_thermal = false;
+            c.solution.tariff =
+                power::Tariff::peak_offpeak(0.35, 0.09, 8.0, 20.0);
+          })
+          .build();
 
   power::SupplyPortfolio supply;
   supply.add_source({.name = "grid", .capacity_watts = 0.0,

@@ -1,0 +1,160 @@
+// Kernel bench: EnsembleEngine shard scaling and determinism.
+//
+// Runs the same two-point seed×parameter grid with 1, 2, and 4 worker
+// threads, times each sweep, and verifies the aggregated statistics are
+// bit-identical across thread counts (the engine's core contract: shard
+// interleaving must never leak into results). Exits non-zero on any
+// mismatch, so the determinism check runs wherever the bench runs.
+//
+// Flags:
+//   --reps=N   replications per point (default 8)
+//   --jobs=N   jobs per replication (default 60)
+//   --smoke    tiny sizes for CI smoke runs
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "epajsrm.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+core::EnsembleResult run_grid(std::size_t threads, std::size_t reps,
+                              std::size_t jobs) {
+  core::EnsembleConfig config;
+  config.replications = reps;
+  config.base_seed = 4242;
+  config.threads = threads;
+  core::EnsembleEngine engine(config);
+  engine.add_point("uncapped", [jobs](std::uint64_t) {
+    auto b = core::Scenario::builder()
+                 .label("ens-uncapped")
+                 .nodes(16)
+                 .job_count(jobs)
+                 .mix(core::WorkloadMix::kCapacity)
+                 .horizon(10 * sim::kDay);
+    return std::move(b).take_config();
+  });
+  engine.add_point(
+      "capped",
+      [jobs](std::uint64_t) {
+        auto b = core::Scenario::builder()
+                     .label("ens-capped")
+                     .nodes(16)
+                     .job_count(jobs)
+                     .mix(core::WorkloadMix::kCapacity)
+                     .horizon(10 * sim::kDay);
+        return std::move(b).take_config();
+      },
+      [](core::Scenario& scenario) {
+        const double peak = scenario.solution().power_model().peak_watts(
+                                scenario.cluster().node(0).config()) *
+                            scenario.config().nodes;
+        scenario.solution().add_policy(
+            std::make_unique<epa::PowerBudgetDvfsPolicy>(0.7 * peak));
+      });
+  return engine.run();
+}
+
+bool same_summary(const metrics::DistributionSummary& a,
+                  const metrics::DistributionSummary& b) {
+  return a.count == b.count && a.min == b.min && a.p10 == b.p10 &&
+         a.p25 == b.p25 && a.median == b.median && a.p75 == b.p75 &&
+         a.p90 == b.p90 && a.max == b.max && a.mean == b.mean;
+}
+
+bool same_result(const core::EnsembleResult& a,
+                 const core::EnsembleResult& b) {
+  if (a.cells.size() != b.cells.size() ||
+      a.observations.size() != b.observations.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    const core::EnsembleObservation& x = a.observations[i];
+    const core::EnsembleObservation& y = b.observations[i];
+    if (x.seed != y.seed || x.sim_events != y.sim_events ||
+        x.total_kwh != y.total_kwh ||
+        x.mean_utilization != y.mean_utilization ||
+        x.median_wait_minutes != y.median_wait_minutes ||
+        x.violation_fraction != y.violation_fraction ||
+        x.jobs_completed != y.jobs_completed ||
+        x.makespan_hours != y.makespan_hours) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const core::ReplicatedResult& x = a.cells[i].stats;
+    const core::ReplicatedResult& y = b.cells[i].stats;
+    if (a.cells[i].seeds != b.cells[i].seeds ||
+        !same_summary(x.total_kwh, y.total_kwh) ||
+        !same_summary(x.mean_utilization, y.mean_utilization) ||
+        !same_summary(x.median_wait_minutes, y.median_wait_minutes) ||
+        !same_summary(x.violation_fraction, y.violation_fraction) ||
+        !same_summary(x.jobs_completed, y.jobs_completed) ||
+        !same_summary(x.makespan_hours, y.makespan_hours)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 8;
+  std::size_t jobs = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      reps = 2;
+      jobs = 12;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::BenchSummary summary("ensemble_scaling");
+  const std::vector<std::size_t> thread_counts = {1, 2, 4};
+  std::vector<core::EnsembleResult> results;
+  std::vector<double> wall_ms;
+  for (const std::size_t threads : thread_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    results.push_back(run_grid(threads, reps, jobs));
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    for (const core::EnsembleObservation& o : results.back().observations) {
+      summary.add_events(o.sim_events);
+    }
+  }
+
+  std::printf("%-8s %10s %10s   (%zu points x %zu reps, %zu jobs each)\n",
+              "threads", "wall ms", "speedup", results.front().cells.size(),
+              reps, jobs);
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%-8zu %10.1f %9.2fx\n", thread_counts[i], wall_ms[i],
+                wall_ms[i] > 0.0 ? wall_ms.front() / wall_ms[i] : 0.0);
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (!same_result(results.front(), results[i])) {
+      std::fprintf(stderr,
+                   "FAIL: ensemble statistics differ between %zu and %zu "
+                   "threads\n",
+                   thread_counts.front(), thread_counts[i]);
+      return 1;
+    }
+  }
+  std::printf("statistics bit-identical across %zu thread counts\n",
+              thread_counts.size());
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Event-loop throughput bench: drives sim::Simulation through the event
+// shapes the framework's hot paths actually produce and reports dispatched
+// events per wall second (the BenchSummary JSON line; README "Performance"
+// quotes these numbers).
+//
+// Workloads:
+//   cascade    — chains of self-rescheduling one-shot events (arrival ->
+//                completion -> arrival ... shape; pure push/pop churn);
+//   cancel     — every step schedules a guard event and cancels it before
+//                it fires (the walltime-limit pattern: most guards die);
+//   repeaters  — many same-period periodic callbacks ticking together
+//                (telemetry sensors / control loops; the batched path);
+//   mixed      — all three interleaved in one simulation.
+//
+// Flags:
+//   --events=N   approximate dispatched events per workload (default 2M)
+//   --smoke      tiny sizes for CI smoke runs (overrides --events)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using epajsrm::sim::EventId;
+using epajsrm::sim::Simulation;
+using epajsrm::sim::SimTime;
+
+/// Chains of one-shot events: `chains` concurrent chains, each link
+/// scheduling the next until `total` events have fired.
+std::uint64_t run_cascade(std::uint64_t total, std::uint64_t chains) {
+  Simulation sim;
+  std::uint64_t budget = total;
+  struct Chain {
+    Simulation* sim;
+    std::uint64_t* budget;
+    SimTime stride;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      sim->schedule_in(stride, *this, "bench.cascade");
+    }
+  };
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    sim.schedule_at(static_cast<SimTime>(c),
+                    Chain{&sim, &budget, static_cast<SimTime>(1 + c % 7)},
+                    "bench.cascade");
+  }
+  sim.run();
+  return sim.events_processed();
+}
+
+/// The walltime-guard pattern: each fired event schedules a far-future
+/// guard and cancels the guard scheduled two steps ago.
+std::uint64_t run_cancel(std::uint64_t total) {
+  Simulation sim;
+  std::uint64_t budget = total;
+  std::vector<EventId> guards;
+  guards.reserve(total + 2);
+  struct Step {
+    Simulation* sim;
+    std::uint64_t* budget;
+    std::vector<EventId>* guards;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      guards->push_back(
+          sim->schedule_in(1'000'000, [] {}, "bench.guard"));
+      if (guards->size() >= 2) {
+        const EventId victim = (*guards)[guards->size() - 2];
+        sim->cancel(victim);
+      }
+      sim->schedule_in(3, *this, "bench.cancel");
+    }
+  };
+  sim.schedule_at(0, Step{&sim, &budget, &guards}, "bench.cancel");
+  sim.run();
+  // Drain: the last guard plus the final no-op step still fire.
+  return sim.events_processed();
+}
+
+/// Many same-phase periodic callbacks: `sensors` repeaters with one shared
+/// period, ticking until each has fired `ticks` times.
+std::uint64_t run_repeaters(std::uint64_t sensors, std::uint64_t ticks) {
+  Simulation sim;
+  std::vector<std::uint64_t> fired(sensors, 0);
+  for (std::uint64_t s = 0; s < sensors; ++s) {
+    sim.schedule_every(
+        10,
+        [&fired, s, ticks]() -> bool { return ++fired[s] < ticks; },
+        "bench.sensor");
+  }
+  sim.run();
+  return sim.events_processed();
+}
+
+/// All three shapes sharing one queue.
+std::uint64_t run_mixed(std::uint64_t total) {
+  Simulation sim;
+  std::uint64_t budget = total / 2;
+  std::vector<EventId> guards;
+  guards.reserve(budget + 2);
+  struct Step {
+    Simulation* sim;
+    std::uint64_t* budget;
+    std::vector<EventId>* guards;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      guards->push_back(sim->schedule_in(500'000, [] {}, "bench.guard"));
+      if (guards->size() >= 2) {
+        sim->cancel((*guards)[guards->size() - 2]);
+      }
+      sim->schedule_in(2, *this, "bench.mixed");
+    }
+  };
+  sim.schedule_at(0, Step{&sim, &budget, &guards}, "bench.mixed");
+  const std::uint64_t sensors = 64;
+  const std::uint64_t ticks = total / 2 / sensors;
+  std::vector<std::uint64_t> fired(sensors, 0);
+  for (std::uint64_t s = 0; s < sensors; ++s) {
+    sim.schedule_every(
+        7, [&fired, s, ticks]() -> bool { return ++fired[s] < ticks; },
+        "bench.sensor");
+  }
+  sim.run();
+  return sim.events_processed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t events = 2'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      events = std::strtoull(argv[i] + 9, nullptr, 10);
+      if (events == 0) {
+        std::fprintf(stderr, "--events needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      events = 20'000;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  epajsrm::bench::BenchSummary summary("event_loop");
+  struct Row {
+    const char* name;
+    std::uint64_t dispatched;
+    double wall_ms;
+  };
+  std::vector<Row> rows;
+  const auto timed = [&](const char* name, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t n = fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    rows.push_back({name, n, ms});
+    summary.add_events(n);
+  };
+
+  timed("cascade", [&] { return run_cascade(events, 64); });
+  timed("cancel", [&] { return run_cancel(events / 2); });
+  timed("repeaters", [&] { return run_repeaters(256, events / 256); });
+  timed("mixed", [&] { return run_mixed(events); });
+
+  std::printf("%-12s %14s %10s %14s\n", "workload", "events", "wall ms",
+              "events/sec");
+  for (const Row& r : rows) {
+    const double eps = r.wall_ms > 0.0 ? r.dispatched / (r.wall_ms / 1e3) : 0.0;
+    std::printf("%-12s %14llu %10.1f %14.0f\n", r.name,
+                static_cast<unsigned long long>(r.dispatched), r.wall_ms, eps);
+  }
+  return 0;
+}

@@ -6,27 +6,26 @@
 #include <vector>
 
 #include "center_bench.hpp"
-#include "core/scenario.hpp"
-#include "epa/idle_shutdown.hpp"
-#include "metrics/table.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace {
 
 using namespace epajsrm;
 
 core::RunResult run_with_timeout(sim::SimTime timeout, bool use_sleep) {
-  core::ScenarioConfig config;
-  config.label = timeout == 0 ? "always-on" : "idle-shutdown";
-  config.nodes = 48;
-  config.horizon = 6 * sim::kDay;
-  config.seed = 31;
-  config.mix = core::WorkloadMix::kCapacity;
-  // Bursty load: low average utilisation creates real idle valleys.
-  config.target_utilization = 0.35;
-  config.job_count = 0;  // fill the horizon at that rate
-  config.solution.enable_thermal = false;
-  core::Scenario scenario(config);
+  core::Scenario scenario =
+      core::Scenario::builder()
+          .label(timeout == 0 ? "always-on" : "idle-shutdown")
+          .nodes(48)
+          .horizon(6 * sim::kDay)
+          .seed(31)
+          .mix(core::WorkloadMix::kCapacity)
+          // Bursty load: low average utilisation creates real idle valleys.
+          .target_utilization(0.35)
+          .job_count(0)  // fill the horizon at that rate
+          .configure([](core::ScenarioConfig& c) {
+            c.solution.enable_thermal = false;
+          })
+          .build();
   if (timeout > 0) {
     epa::IdleShutdownPolicy::Config cfg;
     cfg.idle_timeout = timeout;

@@ -18,13 +18,6 @@
 #include <vector>
 
 #include "center_bench.hpp"
-#include "core/scenario.hpp"
-#include "epa/dynamic_power_share.hpp"
-#include "epa/overprovision.hpp"
-#include "epa/power_budget_dvfs.hpp"
-#include "epa/static_power_cap.hpp"
-#include "metrics/table.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace {
 
@@ -40,19 +33,19 @@ struct Cell {
 };
 
 core::RunResult run_variant(const Variant& variant, double budget_fraction) {
-  core::ScenarioConfig config;
-  config.label = variant.name;
-  config.nodes = 64;
-  config.job_count = 150;
-  config.horizon = 30 * sim::kDay;
-  config.seed = 9;
-  config.mix = core::WorkloadMix::kCapacity;
   // Plenty of moldable work so overprovisioning has material.
-  core::Scenario scenario(config);
+  core::Scenario scenario = core::Scenario::builder()
+                                .label(variant.name)
+                                .nodes(64)
+                                .job_count(150)
+                                .horizon(30 * sim::kDay)
+                                .seed(9)
+                                .mix(core::WorkloadMix::kCapacity)
+                                .build();
   const double peak =
       scenario.solution().power_model().peak_watts(
           scenario.cluster().node(0).config()) *
-      config.nodes;
+      scenario.config().nodes;
   const double budget = budget_fraction * peak;
   scenario.solution().metrics_collector().set_budget_watts(budget);
   variant.install(scenario.solution(), budget);

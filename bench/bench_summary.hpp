@@ -1,0 +1,72 @@
+// BenchSummary: the one-line machine-readable JSON summary every bench
+// prints on exit. Split out of center_bench.hpp so kernel benches that
+// have nothing to do with the survey tables (bench_event_loop,
+// bench_ensemble_scaling) can emit the same line without dragging in the
+// whole EPA policy catalog. The bench-smoke CI job greps for this line
+// and fails the build when it is missing or malformed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/solution.hpp"
+
+namespace epajsrm::bench {
+
+/// RAII bench summary: prints one machine-readable JSON line when the
+/// bench exits — wall time plus simulator event throughput across every
+/// run the bench executed. Event accumulation is thread-safe because the
+/// table benches run centers on a thread pool.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string label)
+      : label_(std::move(label)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchSummary(const BenchSummary&) = delete;
+  BenchSummary& operator=(const BenchSummary&) = delete;
+
+  /// Accumulates one finished run's dispatched-event count.
+  void add_run(const core::RunResult& r) { add_events(r.sim_events); }
+  void add_events(std::uint64_t n) {
+    sim_events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Events per wall second so far (what the JSON line will report).
+  double events_per_sec() const {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::uint64_t events = sim_events_.load(std::memory_order_relaxed);
+    return wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1000.0)
+                         : 0.0;
+  }
+
+  ~BenchSummary() {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::uint64_t events =
+        sim_events_.load(std::memory_order_relaxed);
+    const double events_per_sec =
+        wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1000.0)
+                      : 0.0;
+    std::printf(
+        "{\"bench\":\"%s\",\"wall_ms\":%.1f,\"sim_events\":%llu,"
+        "\"events_per_sec\":%.0f}\n",
+        label_.c_str(), wall_ms, static_cast<unsigned long long>(events),
+        events_per_sec);
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> sim_events_{0};
+};
+
+}  // namespace epajsrm::bench

@@ -9,71 +9,15 @@
 // content) and (b) the quantitative effect of the production techniques.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/scenario.hpp"
-#include "epa/capability_window.hpp"
-#include "epa/emergency_response.hpp"
-#include "epa/energy_to_solution.hpp"
-#include "epa/group_power_cap.hpp"
-#include "epa/idle_shutdown.hpp"
-#include "epa/ms3_thermal.hpp"
-#include "epa/node_cycling_cap.hpp"
-#include "epa/power_budget_dvfs.hpp"
-#include "epa/static_power_cap.hpp"
-#include "metrics/table.hpp"
+#include "bench_summary.hpp"
+#include "epajsrm.hpp"
 #include "survey/activities.hpp"
-#include "survey/centers.hpp"
 
 namespace epajsrm::bench {
-
-/// RAII bench summary: prints one machine-readable JSON line when the
-/// bench exits — wall time plus simulator event throughput across every
-/// run the bench executed. Event accumulation is thread-safe because the
-/// table benches run centers on a thread pool.
-class BenchSummary {
- public:
-  explicit BenchSummary(std::string label)
-      : label_(std::move(label)),
-        start_(std::chrono::steady_clock::now()) {}
-
-  BenchSummary(const BenchSummary&) = delete;
-  BenchSummary& operator=(const BenchSummary&) = delete;
-
-  /// Accumulates one finished run's dispatched-event count.
-  void add_run(const core::RunResult& r) { add_events(r.sim_events); }
-  void add_events(std::uint64_t n) {
-    sim_events_.fetch_add(n, std::memory_order_relaxed);
-  }
-
-  ~BenchSummary() {
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start_)
-            .count();
-    const std::uint64_t events =
-        sim_events_.load(std::memory_order_relaxed);
-    const double events_per_sec =
-        wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1000.0)
-                      : 0.0;
-    std::printf(
-        "{\"bench\":\"%s\",\"wall_ms\":%.1f,\"sim_events\":%llu,"
-        "\"events_per_sec\":%.0f}\n",
-        label_.c_str(), wall_ms, static_cast<unsigned long long>(events),
-        events_per_sec);
-  }
-
- private:
-  std::string label_;
-  std::chrono::steady_clock::time_point start_;
-  std::atomic<std::uint64_t> sim_events_{0};
-};
 
 /// Result pair for one center.
 struct CenterRow {
@@ -186,20 +130,20 @@ inline CenterRow run_center(const std::string& name, std::size_t jobs = 120,
   row.budget_watts = budget;
 
   {
-    core::ScenarioConfig config =
-        core::Scenario::center_config(profile, jobs, seed);
-    config.label = name + "/baseline";
-    config.horizon = 30 * sim::kDay;
-    core::Scenario scenario(config);
+    core::Scenario scenario =
+        core::ScenarioBuilder::from_center(profile, jobs, seed)
+            .label(name + "/baseline")
+            .horizon(30 * sim::kDay)
+            .build();
     scenario.solution().metrics_collector().set_budget_watts(budget);
     row.baseline = scenario.run();
   }
   {
-    core::ScenarioConfig config =
-        core::Scenario::center_config(profile, jobs, seed);
-    config.label = name + "/epa";
-    config.horizon = 30 * sim::kDay;
-    core::Scenario scenario(config);
+    core::Scenario scenario =
+        core::ScenarioBuilder::from_center(profile, jobs, seed)
+            .label(name + "/epa")
+            .horizon(30 * sim::kDay)
+            .build();
     scenario.solution().metrics_collector().set_budget_watts(budget);
     install_production_policies(profile, scenario.solution(), budget);
     row.epa = scenario.run();

@@ -7,27 +7,24 @@
 // and the supply split through the event.
 #include <cstdio>
 
-#include "core/scenario.hpp"
-#include "epa/demand_response.hpp"
-#include "epa/source_selection.hpp"
-#include "metrics/table.hpp"
+#include "epajsrm.hpp"
 
 int main() {
   using namespace epajsrm;
 
-  core::ScenarioConfig config;
-  config.label = "grid-dr";
-  config.nodes = 48;
-  config.job_count = 100;
-  config.horizon = 20 * sim::kDay;
-  config.seed = 19;
-  config.mix = core::WorkloadMix::kCapacity;
-  config.target_utilization = 0.85;
-  core::Scenario scenario(config);
+  core::Scenario scenario = core::Scenario::builder()
+                                .label("grid-dr")
+                                .nodes(48)
+                                .job_count(100)
+                                .horizon(20 * sim::kDay)
+                                .seed(19)
+                                .mix(core::WorkloadMix::kCapacity)
+                                .target_utilization(0.85)
+                                .build();
 
   const double peak = scenario.solution().power_model().peak_watts(
                           scenario.cluster().node(0).config()) *
-                      config.nodes;
+                      scenario.config().nodes;
   const double facility_peak =
       peak * scenario.cluster().facility().config().base_pue;
 

@@ -6,11 +6,7 @@
 // pool runs slower but the machine's worst-case draw becomes predictable.
 #include <cstdio>
 
-#include "core/scenario.hpp"
-#include "epa/power_budget_dvfs.hpp"
-#include "epa/static_power_cap.hpp"
-#include "metrics/table.hpp"
-#include "survey/centers.hpp"
+#include "epajsrm.hpp"
 
 int main() {
   using namespace epajsrm;
@@ -23,11 +19,12 @@ int main() {
               kaust.node_idle_watts, kaust.node_peak_watts);
 
   const auto run_variant = [&](bool capped) {
-    core::ScenarioConfig config =
-        core::Scenario::center_config(kaust, /*job_count=*/150, /*seed=*/3);
-    config.label = capped ? "kaust-capped" : "kaust-uncapped";
-    config.horizon = 30 * sim::kDay;
-    core::Scenario scenario(config);
+    core::Scenario scenario =
+        core::ScenarioBuilder::from_center(kaust, /*job_count=*/150,
+                                           /*seed=*/3)
+            .label(capped ? "kaust-capped" : "kaust-uncapped")
+            .horizon(30 * sim::kDay)
+            .build();
     if (capped) {
       scenario.solution().add_policy(
           std::make_unique<epa::StaticPowerCapPolicy>(0.7, 270.0));

@@ -10,10 +10,7 @@
 
 #include <map>
 
-#include "core/scenario.hpp"
-#include "epa/energy_to_solution.hpp"
-#include "metrics/table.hpp"
-#include "survey/centers.hpp"
+#include "epajsrm.hpp"
 
 int main() {
   using namespace epajsrm;
@@ -21,15 +18,16 @@ int main() {
   const survey::CenterProfile& lrz = survey::center("LRZ");
 
   const auto run_with_goal = [&](epa::EnergyToSolutionPolicy::Goal goal) {
-    core::ScenarioConfig config =
-        core::Scenario::center_config(lrz, /*job_count=*/150, /*seed=*/29);
-    config.label =
-        goal == epa::EnergyToSolutionPolicy::Goal::kEnergyToSolution
-            ? "supermuc-energy"
-            : "supermuc-performance";
-    config.horizon = 30 * sim::kDay;
-    config.mix = core::WorkloadMix::kStandard;  // varied phase mixes
-    core::Scenario scenario(config);
+    core::Scenario scenario =
+        core::ScenarioBuilder::from_center(lrz, /*job_count=*/150,
+                                           /*seed=*/29)
+            .label(goal ==
+                           epa::EnergyToSolutionPolicy::Goal::kEnergyToSolution
+                       ? "supermuc-energy"
+                       : "supermuc-performance")
+            .horizon(30 * sim::kDay)
+            .mix(core::WorkloadMix::kStandard)  // varied phase mixes
+            .build();
     scenario.solution().add_policy(
         std::make_unique<epa::EnergyToSolutionPolicy>(goal, 1.4));
     return scenario.run();

@@ -8,10 +8,8 @@
 // exactly the get/set surface the Power API defines.
 #include <cstdio>
 
-#include "core/solution.hpp"
-#include "metrics/table.hpp"
+#include "epajsrm.hpp"
 #include "telemetry/power_api.hpp"
-#include "workload/generator.hpp"
 
 int main() {
   using namespace epajsrm;

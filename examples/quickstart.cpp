@@ -14,13 +14,7 @@
 #include <fstream>
 #include <string>
 
-#include "core/scenario.hpp"
-#include "epa/idle_shutdown.hpp"
-#include "epa/power_budget_dvfs.hpp"
-#include "metrics/collector.hpp"
-#include "obs/observability.hpp"
-#include "sim/logger.hpp"
-#include "telemetry/energy_accounting.hpp"
+#include "epajsrm.hpp"
 
 namespace {
 
@@ -49,13 +43,14 @@ int main(int argc, char** argv) {
 
   // 1. Describe the experiment: a 64-node machine, ~75 % loaded, EASY
   //    backfilling (the default scheduler).
-  core::ScenarioConfig config;
-  config.label = "quickstart";
-  config.nodes = 64;
-  config.job_count = 0;  // fill the horizon
-  config.seed = 7;
-  config.solution.obs.enabled = !trace_out.empty() || !metrics_out.empty();
-  core::Scenario scenario(config);
+  core::Scenario scenario =
+      core::Scenario::builder()
+          .label("quickstart")
+          .nodes(64)
+          .job_count(0)  // fill the horizon
+          .seed(7)
+          .observability(!trace_out.empty() || !metrics_out.empty())
+          .build();
 
   if (!log_level.empty()) {
     const auto level = sim::parse_log_level(log_level);

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/scenario.hpp"
+#include "epajsrm.hpp"
 #include "survey/report.hpp"
 #include "telemetry/user_scoreboard.hpp"
 
@@ -26,10 +26,11 @@ int main() {
 
   // 2. A run on the Tokyo Tech replica, aggregated into the user
   //    scoreboard ("gives users mark on how well they used power").
-  core::ScenarioConfig config = core::Scenario::center_config(
-      survey::center("TokyoTech"), /*job_count=*/80, /*seed=*/5);
-  config.horizon = 30 * sim::kDay;
-  core::Scenario scenario(config);
+  core::Scenario scenario =
+      core::ScenarioBuilder::from_center(survey::center("TokyoTech"),
+                                         /*job_count=*/80, /*seed=*/5)
+          .horizon(30 * sim::kDay)
+          .build();
   const core::RunResult result = scenario.run();
 
   telemetry::UserScoreboard board;

@@ -18,12 +18,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/solution.hpp"
-#include "epa/power_budget_dvfs.hpp"
-#include "metrics/table.hpp"
-#include "obs/observability.hpp"
-#include "sim/logger.hpp"
-#include "workload/swf.hpp"
+#include "epajsrm.hpp"
 
 namespace {
 

@@ -7,23 +7,22 @@
 // long time" — plus the end-of-job energy report users receive.
 #include <cstdio>
 
-#include "core/scenario.hpp"
-#include "epa/idle_shutdown.hpp"
-#include "epa/node_cycling_cap.hpp"
-#include "survey/centers.hpp"
-#include "telemetry/energy_accounting.hpp"
+#include "epajsrm.hpp"
 
 int main() {
   using namespace epajsrm;
 
   const survey::CenterProfile& tokyo = survey::center("TokyoTech");
-  core::ScenarioConfig config =
-      core::Scenario::center_config(tokyo, /*job_count=*/120, /*seed=*/11);
-  config.label = "tsubame-summer";
-  config.horizon = 30 * sim::kDay;
-  // A Tokyo summer: 29 C mean, hot afternoons.
-  config.ambient = platform::AmbientModel(29.0, 5.0);
-  core::Scenario scenario(config);
+  core::Scenario scenario =
+      core::ScenarioBuilder::from_center(tokyo, /*job_count=*/120,
+                                         /*seed=*/11)
+          .label("tsubame-summer")
+          .horizon(30 * sim::kDay)
+          .configure([](core::ScenarioConfig& c) {
+            // A Tokyo summer: 29 C mean, hot afternoons.
+            c.ambient = platform::AmbientModel(29.0, 5.0);
+          })
+          .build();
 
   // Summer-gated facility cap at 80 % of the replica's peak, enforced
   // over a 30-minute rolling window.

@@ -60,7 +60,7 @@ InvariantAuditor::InvariantAuditor(core::EpaJsrmSolution& solution,
     last_states_.push_back(node.state());
   }
   solution_->simulation().add_dispatch_hook(
-      [this](const char*, std::int64_t) { on_event(); });
+      [this](sim::EventCategory, std::int64_t) { on_event(); });
 }
 
 void InvariantAuditor::watch(core::FacilityCoordinator& coordinator) {

@@ -1,0 +1,156 @@
+#include "core/ensemble.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace epajsrm::core {
+
+namespace {
+
+/// Writes `value` in shortest round-trip form (std::to_chars: bit-exact on
+/// re-parse, locale-independent, no ostream precision truncation). JSON has
+/// no NaN/Inf, so non-finite values map to null.
+void append_json_number(std::ostream& out, const char* key, double value,
+                        bool trailing_comma = true) {
+  out << '"' << key << "\":";
+  if (std::isfinite(value)) {
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof buf, value);
+    out.write(buf, result.ptr - buf);
+  } else {
+    out << "null";
+  }
+  if (trailing_comma) out << ',';
+}
+
+/// Emits `text` as a JSON string, escaping quotes, backslashes, and control
+/// characters so arbitrary point labels cannot corrupt the JSONL stream.
+void append_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (byte < 0x20) {
+      constexpr char kHex[] = "0123456789abcdef";
+      out << "\\u00" << kHex[byte >> 4] << kHex[byte & 0xf];
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::size_t EnsembleEngine::add_point(std::string label,
+                                      MakeConfig make_config,
+                                      Customize customize) {
+  if (!make_config) throw std::invalid_argument("point needs a factory");
+  points_.push_back(Point{std::move(label), std::move(make_config),
+                          std::move(customize)});
+  return points_.size() - 1;
+}
+
+std::uint64_t EnsembleEngine::seed_for(std::size_t point,
+                                       std::size_t replication) const {
+  switch (config_.seed_stream) {
+    case SeedStream::kSplitMix:
+      return sim::splitmix64(sim::splitmix64(config_.base_seed + point) +
+                             replication);
+    case SeedStream::kSequential:
+      return config_.base_seed + replication;
+  }
+  throw std::logic_error("bad seed stream");
+}
+
+EnsembleResult EnsembleEngine::run() {
+  if (ran_) throw std::logic_error("ensemble already ran");
+  ran_ = true;
+  const std::size_t reps = config_.replications;
+  const std::size_t cells = points_.size() * reps;
+
+  // Every cell writes only its own pre-sized slot, so the sweep needs no
+  // locking and the aggregation below reads a layout that is independent
+  // of shard interleaving.
+  std::vector<RunResult> results(cells);
+  sim::ThreadPool::parallel_for(
+      cells,
+      [&](std::size_t flat) {
+        const std::size_t point = flat / reps;
+        const std::size_t rep = flat % reps;
+        const std::uint64_t seed = seed_for(point, rep);
+        ScenarioConfig config = points_[point].make_config(seed);
+        config.seed = seed;
+        Scenario scenario(std::move(config));
+        if (points_[point].customize) points_[point].customize(scenario);
+        results[flat] = scenario.run();
+      },
+      config_.threads);
+
+  EnsembleResult out;
+  out.cells.reserve(points_.size());
+  out.observations.reserve(cells);
+  for (std::size_t point = 0; point < points_.size(); ++point) {
+    std::vector<double> kwh, util, wait, viol, done, makespan;
+    kwh.reserve(reps);
+    EnsembleCell cell;
+    cell.point = point;
+    cell.seeds.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const RunResult& r = results[point * reps + rep];
+      const std::uint64_t seed = seed_for(point, rep);
+      cell.seeds.push_back(seed);
+      kwh.push_back(r.total_it_kwh_exact);
+      util.push_back(r.report.mean_core_utilization);
+      wait.push_back(r.report.wait_minutes.median);
+      viol.push_back(r.report.violation_fraction);
+      done.push_back(static_cast<double>(r.report.jobs_completed));
+      makespan.push_back(sim::to_hours(r.report.makespan));
+      out.observations.push_back(EnsembleObservation{
+          point, rep, seed, r.sim_events, kwh.back(), util.back(),
+          wait.back(), viol.back(), done.back(), makespan.back()});
+    }
+    cell.stats.label = !points_[point].label.empty()
+                           ? points_[point].label
+                           : (reps > 0 ? results[point * reps].report.label
+                                       : std::string{});
+    cell.stats.replications = reps;
+    cell.stats.total_kwh = metrics::summarize(kwh);
+    cell.stats.mean_utilization = metrics::summarize(util);
+    cell.stats.median_wait_minutes = metrics::summarize(wait);
+    cell.stats.violation_fraction = metrics::summarize(viol);
+    cell.stats.jobs_completed = metrics::summarize(done);
+    cell.stats.makespan_hours = metrics::summarize(makespan);
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+void EnsembleResult::write_jsonl(std::ostream& out) const {
+  for (const EnsembleObservation& o : observations) {
+    const std::string label =
+        o.point < cells.size() ? cells[o.point].stats.label : std::string{};
+    out << "{\"point\":" << o.point << ",\"label\":";
+    append_json_string(out, label);
+    out << ",\"replication\":" << o.replication << ",\"seed\":" << o.seed
+        << ",\"sim_events\":" << o.sim_events << ',';
+    append_json_number(out, "total_kwh", o.total_kwh);
+    append_json_number(out, "mean_utilization", o.mean_utilization);
+    append_json_number(out, "median_wait_minutes", o.median_wait_minutes);
+    append_json_number(out, "violation_fraction", o.violation_fraction);
+    append_json_number(out, "jobs_completed", o.jobs_completed);
+    append_json_number(out, "makespan_hours", o.makespan_hours,
+                       /*trailing_comma=*/false);
+    out << "}\n";
+  }
+}
+
+}  // namespace epajsrm::core

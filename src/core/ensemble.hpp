@@ -1,0 +1,124 @@
+// EnsembleEngine: sharded seed×parameter sweeps over Scenario.
+//
+// The simulator is single-threaded per replication; throughput at study
+// scale comes from running many replications at once. The engine takes a
+// grid of parameter points, fans point×replication cells out on the
+// ThreadPool, and aggregates per-point statistics in replication order —
+// so the reported numbers are bit-identical no matter how many worker
+// threads ran the sweep or how the shards interleaved.
+//
+// Seeds derive from the base seed with SplitMix64 (seed-stream scheme in
+// DESIGN.md): seed(point, rep) = splitmix64(splitmix64(base + point) + rep).
+// The derivation depends only on the cell's coordinates, never on shard
+// order, so adding a point or raising the thread count cannot disturb any
+// other cell's stream. The legacy kSequential stream (base + rep, shared
+// across points) is kept for run_replicated compatibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+
+namespace epajsrm::core {
+
+/// How per-replication seeds derive from the base seed.
+enum class SeedStream {
+  /// splitmix64(splitmix64(base + point) + rep): decorrelated across both
+  /// grid axes, shard-order independent. The default.
+  kSplitMix,
+  /// base + rep, identical across points — the historical run_replicated
+  /// scheme, kept so its statistics stay reproducible.
+  kSequential,
+};
+
+/// Engine-wide knobs; per-point configuration lives in the point itself.
+struct EnsembleConfig {
+  std::size_t replications = 8;
+  std::uint64_t base_seed = 1000;
+  /// Worker threads (0 → hardware concurrency).
+  std::size_t threads = 0;
+  SeedStream seed_stream = SeedStream::kSplitMix;
+};
+
+/// One replication's headline metrics, kept for streaming output.
+struct EnsembleObservation {
+  std::size_t point = 0;
+  std::size_t replication = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t sim_events = 0;
+  double total_kwh = 0.0;
+  double mean_utilization = 0.0;
+  double median_wait_minutes = 0.0;
+  double violation_fraction = 0.0;
+  double jobs_completed = 0.0;
+  double makespan_hours = 0.0;
+};
+
+/// Across-seed statistics for one parameter point.
+struct EnsembleCell {
+  std::size_t point = 0;
+  ReplicatedResult stats;
+  /// The seeds used, in replication order (provenance for replays).
+  std::vector<std::uint64_t> seeds;
+};
+
+struct EnsembleResult {
+  std::vector<EnsembleCell> cells;
+  /// Every replication in (point, replication) order.
+  std::vector<EnsembleObservation> observations;
+
+  /// Writes one JSON object per observation, in deterministic
+  /// (point, replication) order.
+  void write_jsonl(std::ostream& out) const;
+};
+
+/// Runs a seed×parameter grid. Usage:
+///
+///   EnsembleEngine engine({.replications = 32, .base_seed = 7});
+///   engine.add_point("cap-3MW", [](std::uint64_t seed) { ... });
+///   EnsembleResult r = engine.run();
+///
+/// add_point's factory receives the replication's derived seed and returns
+/// the ScenarioConfig to run (the engine stamps config.seed afterwards, so
+/// forgetting to copy it in is harmless). The optional customize hook runs
+/// on the built Scenario before run() — it executes on a worker thread and
+/// must not share mutable state across replications.
+class EnsembleEngine {
+ public:
+  using MakeConfig = std::function<ScenarioConfig(std::uint64_t seed)>;
+  using Customize = std::function<void(Scenario&)>;
+
+  explicit EnsembleEngine(EnsembleConfig config) : config_(config) {}
+
+  /// Adds a parameter point; returns its index in the grid.
+  std::size_t add_point(std::string label, MakeConfig make_config,
+                        Customize customize = nullptr);
+
+  /// Seed for (point, replication) under the configured stream. Pure.
+  std::uint64_t seed_for(std::size_t point, std::size_t replication) const;
+
+  std::size_t point_count() const { return points_.size(); }
+  const EnsembleConfig& config() const { return config_; }
+
+  /// Runs every (point, replication) cell on the pool and aggregates.
+  /// May be called once per engine.
+  EnsembleResult run();
+
+ private:
+  struct Point {
+    std::string label;
+    MakeConfig make_config;
+    Customize customize;
+  };
+
+  EnsembleConfig config_;
+  std::vector<Point> points_;
+  bool ran_ = false;
+};
+
+}  // namespace epajsrm::core

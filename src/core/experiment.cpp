@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "sim/thread_pool.hpp"
+#include "core/ensemble.hpp"
 
 namespace epajsrm::core {
 
@@ -18,35 +18,16 @@ ReplicatedResult run_replicated(
     const std::function<ScenarioConfig(std::uint64_t)>& make_config,
     const std::function<void(Scenario&)>& customize,
     std::size_t replications, std::uint64_t base_seed) {
-  std::vector<RunResult> results(replications);
-  sim::ThreadPool::parallel_for(replications, [&](std::size_t i) {
-    ScenarioConfig config = make_config(base_seed + i);
-    config.seed = base_seed + i;
-    Scenario scenario(config);
-    if (customize) customize(scenario);
-    results[i] = scenario.run();
-  });
-
-  std::vector<double> kwh, util, wait, viol, done, makespan;
-  for (const RunResult& r : results) {
-    kwh.push_back(r.total_it_kwh_exact);
-    util.push_back(r.report.mean_core_utilization);
-    wait.push_back(r.report.wait_minutes.median);
-    viol.push_back(r.report.violation_fraction);
-    done.push_back(static_cast<double>(r.report.jobs_completed));
-    makespan.push_back(sim::to_hours(r.report.makespan));
-  }
-
-  ReplicatedResult out;
-  out.label = results.empty() ? "" : results.front().report.label;
-  out.replications = replications;
-  out.total_kwh = metrics::summarize(kwh);
-  out.mean_utilization = metrics::summarize(util);
-  out.median_wait_minutes = metrics::summarize(wait);
-  out.violation_fraction = metrics::summarize(viol);
-  out.jobs_completed = metrics::summarize(done);
-  out.makespan_hours = metrics::summarize(makespan);
-  return out;
+  EnsembleConfig config;
+  config.replications = replications;
+  config.base_seed = base_seed;
+  // The historical sequential stream keeps statistics identical to the
+  // pre-EnsembleEngine implementation for the same base seed.
+  config.seed_stream = SeedStream::kSequential;
+  EnsembleEngine engine(config);
+  engine.add_point("", make_config, customize);
+  EnsembleResult result = engine.run();
+  return std::move(result.cells.front().stats);
 }
 
 }  // namespace epajsrm::core

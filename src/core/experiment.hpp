@@ -32,6 +32,13 @@ struct ReplicatedResult {
 /// Runs `make_config(seed)` for `replications` distinct seeds (base_seed,
 /// base_seed+1, ...) on a thread pool; `customize` (may be null) installs
 /// policies/suppliers per scenario before it runs.
+///
+/// DEPRECATED: thin compatibility wrapper over core::EnsembleEngine (one
+/// point, SeedStream::kSequential — statistics are identical for the same
+/// base seed). New code should use EnsembleEngine directly; it adds
+/// parameter grids, decorrelated seed streams, thread-count control, and
+/// JSONL output. Migration notes: DESIGN.md "From run_replicated to
+/// EnsembleEngine".
 ReplicatedResult run_replicated(
     const std::function<ScenarioConfig(std::uint64_t seed)>& make_config,
     const std::function<void(Scenario&)>& customize,

@@ -92,10 +92,13 @@ void FacilityCoordinator::start() {
   if (started_) return;
   started_ = true;
   rebalance();
-  sim_->schedule_every(config_.period, [this]() -> bool {
-    rebalance();
-    return true;
-  });
+  sim_->schedule_every(
+      config_.period,
+      [this]() -> bool {
+        rebalance();
+        return true;
+      },
+      "core.facility");
 }
 
 double FacilityCoordinator::budget_of(std::size_t i) const {

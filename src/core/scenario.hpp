@@ -62,11 +62,18 @@ double arrival_rate_for_utilization(const workload::AppCatalog& catalog,
 /// Builds the workload catalog for a mix on a machine of `nodes` nodes.
 workload::AppCatalog catalog_for(WorkloadMix mix, std::uint32_t nodes);
 
+class ScenarioBuilder;
+
 /// A runnable experiment. Construction builds the cluster and solution;
 /// callers may then customise (policies, scheduler, supply) before run().
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig config);
+
+  /// Fluent alternative to filling a ScenarioConfig by hand; see
+  /// core/scenario_builder.hpp (defined there — include it, or the
+  /// epajsrm.hpp umbrella, to call this).
+  static ScenarioBuilder builder();
 
   /// A replica of a surveyed center: its scaled node counts, per-node
   /// power envelope, facility capacity (scaled) and workload orientation.

@@ -1,0 +1,129 @@
+// Fluent construction of scenarios:
+//
+//   core::Scenario scenario = core::Scenario::builder()
+//                                 .nodes(64)
+//                                 .mix(core::WorkloadMix::kCapability)
+//                                 .seed(7)
+//                                 .build();
+//
+// The builder is a thin veneer over the ScenarioConfig POD (which remains
+// the storage and the ensemble/point-factory currency): every setter
+// assigns one field, take_config() hands the POD back for callers that
+// need it (EnsembleEngine factories), and build() constructs the Scenario
+// in place. Prefer it over aggregate-initialising ScenarioConfig by hand —
+// the project linter flags raw `ScenarioConfig{...}` outside src/core/.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/scenario.hpp"
+
+namespace epajsrm::core {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  /// Starts from an existing config (e.g. Scenario::center_config).
+  static ScenarioBuilder from(ScenarioConfig config) {
+    ScenarioBuilder b;
+    b.config_ = std::move(config);
+    return b;
+  }
+
+  /// Starts from a surveyed center's replica profile.
+  static ScenarioBuilder from_center(const survey::CenterProfile& profile,
+                                     std::size_t job_count = 300,
+                                     std::uint64_t seed = 1) {
+    return from(Scenario::center_config(profile, job_count, seed));
+  }
+
+  ScenarioBuilder& label(std::string value) {
+    config_.label = std::move(value);
+    return *this;
+  }
+  ScenarioBuilder& nodes(std::uint32_t value) {
+    config_.nodes = value;
+    return *this;
+  }
+  ScenarioBuilder& mix(WorkloadMix value) {
+    config_.mix = value;
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t value) {
+    config_.seed = value;
+    return *this;
+  }
+  /// Jobs to generate (0 = fill the horizon; see ScenarioConfig).
+  ScenarioBuilder& job_count(std::size_t value) {
+    config_.job_count = value;
+    return *this;
+  }
+  ScenarioBuilder& horizon(sim::SimTime value) {
+    config_.horizon = value;
+    return *this;
+  }
+  ScenarioBuilder& target_utilization(double value) {
+    config_.target_utilization = value;
+    return *this;
+  }
+  ScenarioBuilder& arrival_rate_per_hour(double value) {
+    config_.arrival_rate_per_hour = value;
+    return *this;
+  }
+  ScenarioBuilder& variability_sigma(double value) {
+    config_.variability_sigma = value;
+    return *this;
+  }
+  ScenarioBuilder& node_config(platform::NodeConfig value) {
+    config_.node_config = value;
+    return *this;
+  }
+  ScenarioBuilder& facility(platform::Facility::Config value) {
+    config_.facility = value;
+    return *this;
+  }
+  ScenarioBuilder& solution(SolutionConfig value) {
+    config_.solution = std::move(value);
+    return *this;
+  }
+  /// Enables (or disables) the observability plane for the run.
+  ScenarioBuilder& observability(bool enabled = true) {
+    config_.solution.obs.enabled = enabled;
+    return *this;
+  }
+  /// DVFS ladder: `steps` p-states linear in [bottom_ghz, top_ghz].
+  ScenarioBuilder& pstates(double top_ghz, double bottom_ghz,
+                           std::uint32_t steps) {
+    config_.top_ghz = top_ghz;
+    config_.bottom_ghz = bottom_ghz;
+    config_.pstate_steps = steps;
+    return *this;
+  }
+  /// Escape hatch for the rarely-set fields without leaving the chain.
+  ScenarioBuilder& configure(
+      const std::function<void(ScenarioConfig&)>& fn) {
+    fn(config_);
+    return *this;
+  }
+
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Yields the POD (for EnsembleEngine point factories and the like).
+  ScenarioConfig take_config() && { return std::move(config_); }
+
+  /// Builds the runnable Scenario. The returned prvalue is constructed in
+  /// place at the call site (Scenario itself is neither copyable nor
+  /// movable — it pins a Simulation).
+  Scenario build() && { return Scenario(std::move(config_)); }
+  Scenario build() const& { return Scenario(config_); }
+
+ private:
+  ScenarioConfig config_;
+};
+
+inline ScenarioBuilder Scenario::builder() { return ScenarioBuilder(); }
+
+}  // namespace epajsrm::core

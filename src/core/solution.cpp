@@ -49,7 +49,7 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
     obs_->trace().set_sim_clock([&sim] { return sim.now(); });
     if (obs_->config().profile_event_loop) {
       sim_->set_dispatch_hook(
-          [this](const char* category, std::int64_t wall_ns) {
+          [this](sim::EventCategory category, std::int64_t wall_ns) {
             obs_->profiler().record(category, wall_ns);
           });
     }

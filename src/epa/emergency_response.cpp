@@ -58,12 +58,17 @@ void EmergencyResponsePolicy::manual_response(sim::SimTime) {
   if (admin_dispatched_ || manual_cap_active_) return;
   admin_dispatched_ = true;
   ++emergencies_;
-  host_->simulation().schedule_in(config_.admin_latency, [this] {
-    // The admin clamps the system; the cap stays until the draw recovers.
-    host_->set_system_cap(config_.limit_watts * config_.manual_cap_fraction);
-    manual_cap_active_ = true;
-    admin_dispatched_ = false;
-  });
+  host_->simulation().schedule_in(
+      config_.admin_latency,
+      [this] {
+        // The admin clamps the system; the cap stays until the draw
+        // recovers.
+        host_->set_system_cap(config_.limit_watts *
+                              config_.manual_cap_fraction);
+        manual_cap_active_ = true;
+        admin_dispatched_ = false;
+      },
+      "epa.admin");
 }
 
 }  // namespace epajsrm::epa

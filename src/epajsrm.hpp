@@ -1,0 +1,74 @@
+// Umbrella header for the epajsrm framework: one include for examples,
+// benches, and downstream studies.
+//
+//   #include "epajsrm.hpp"
+//
+//   int main() {
+//     using namespace epajsrm;
+//     core::Scenario scenario = core::Scenario::builder()
+//                                   .nodes(64)
+//                                   .mix(core::WorkloadMix::kCapability)
+//                                   .seed(7)
+//                                   .build();
+//     scenario.solution().add_policy(
+//         std::make_unique<epa::IdleShutdownPolicy>());
+//     const core::RunResult result = scenario.run();
+//   }
+//
+// Internal layers (sched passes, rm allocator internals, check contracts)
+// are deliberately not re-exported; include their headers directly when a
+// study reaches into them.
+#pragma once
+
+// Simulation kernel.
+#include "sim/event_category.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/logger.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/time.hpp"
+
+// Platform and workload models.
+#include "platform/cluster.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/swf.hpp"
+
+// Power and supply models.
+#include "power/energy_source.hpp"
+#include "power/node_power_model.hpp"
+#include "power/tariff.hpp"
+
+// The experiment layer: scenarios, ensembles, replication statistics.
+#include "core/ensemble.hpp"
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/scenario_builder.hpp"
+#include "core/solution.hpp"
+
+// Energy/power-aware policies (paper Section VI techniques).
+#include "epa/capability_window.hpp"
+#include "epa/demand_response.hpp"
+#include "epa/dynamic_power_share.hpp"
+#include "epa/emergency_response.hpp"
+#include "epa/energy_cost_order.hpp"
+#include "epa/energy_to_solution.hpp"
+#include "epa/group_power_cap.hpp"
+#include "epa/idle_shutdown.hpp"
+#include "epa/job_power_balancer.hpp"
+#include "epa/ms3_thermal.hpp"
+#include "epa/node_cycling_cap.hpp"
+#include "epa/overprovision.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "epa/ramp_limiter.hpp"
+#include "epa/source_selection.hpp"
+#include "epa/static_power_cap.hpp"
+
+// Reporting, telemetry, observability.
+#include "metrics/collector.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "obs/observability.hpp"
+#include "survey/centers.hpp"
+#include "telemetry/energy_accounting.hpp"

@@ -3,10 +3,10 @@
 //
 // sim::Simulation invokes an attached dispatch hook with (category,
 // wall_ns) after every callback; the profiler aggregates per category.
-// Categories are static string literals supplied at scheduling time, so
-// the hot path keys the accumulation map by pointer — no string hashing
-// per event. Equal-content literals from different translation units are
-// merged by name at report time.
+// sim::EventCategory wraps a static string literal fixed at scheduling
+// time, so the hot path keys the accumulation map by the literal's
+// address — no string hashing per event. Equal-content literals from
+// different translation units are merged by name at report time.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +14,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/event_category.hpp"
+
 namespace epajsrm::obs {
 
 /// Accumulates per-category dispatch costs for one simulation run.
 class LoopProfiler {
  public:
   /// Adds one dispatched callback of `category` costing `wall_ns`.
-  /// `category` must outlive the profiler (static literals do).
-  void record(const char* category, std::int64_t wall_ns) {
-    Bucket& b = buckets_[category];
+  void record(sim::EventCategory category, std::int64_t wall_ns) {
+    Bucket& b = buckets_[category.name()];
     ++b.count;
     b.total_ns += wall_ns;
     if (wall_ns > b.max_ns) b.max_ns = wall_ns;

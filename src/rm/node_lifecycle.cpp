@@ -15,18 +15,22 @@ void NodeLifecycle::transition(platform::NodeId id,
   ++in_transition_;
   if (post_) post_(id);
 
-  sim_->schedule_in(delay, [this, id, during, after] {
-    platform::Node& n = cluster_->node(id);
-    // A transition can only be completed by the schedule that started it;
-    // state changes in between (not allowed by the callers) would be bugs.
-    if (n.state() != during) return;
-    EPAJSRM_INVARIANT(in_transition_ > 0,
-                      "completing a transition nobody started");
-    if (pre_) pre_();
-    n.set_state(after);
-    --in_transition_;
-    if (post_) post_(id);
-  });
+  sim_->schedule_in(
+      delay,
+      [this, id, during, after] {
+        platform::Node& n = cluster_->node(id);
+        // A transition can only be completed by the schedule that started
+        // it; state changes in between (not allowed by the callers) would
+        // be bugs.
+        if (n.state() != during) return;
+        EPAJSRM_INVARIANT(in_transition_ > 0,
+                          "completing a transition nobody started");
+        if (pre_) pre_();
+        n.set_state(after);
+        --in_transition_;
+        if (post_) post_(id);
+      },
+      "rm.transition");
 }
 
 bool NodeLifecycle::power_off(platform::NodeId id) {

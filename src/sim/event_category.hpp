@@ -1,0 +1,61 @@
+// EventCategory: the typed category tag events are scheduled under.
+//
+// The tag names the event for the event-loop profiler and the invariant
+// auditor. It used to be a raw `const char*` with a documented "must be a
+// static string" rule the compiler could not enforce; EventCategory closes
+// that footgun: both constructors are consteval, so only string literals
+// (or other static-storage char arrays usable in constant expressions) can
+// form one. Storage stays a single interned pointer — the type is
+// ABI-trivial, copies are one register, and the profiler keys its hot-path
+// map by that pointer with no hashing of the characters. Equal-content
+// literals from different translation units may carry distinct pointers;
+// consumers that aggregate (the profiler) merge by name at report time.
+#pragma once
+
+#include <cstddef>
+
+namespace epajsrm::sim {
+
+class Simulation;
+
+/// Interned static event tag; constructible only from string literals.
+class EventCategory {
+ public:
+  /// The default tag, "sim.event".
+  consteval EventCategory() : name_("sim.event") {}
+
+  /// Tags with a literal: EventCategory("core.control"). Consteval, so a
+  /// runtime char pointer (whose lifetime the queue could not guarantee)
+  /// does not compile.
+  template <std::size_t N>
+  consteval EventCategory(const char (&literal)[N]) : name_(literal) {
+    static_assert(N > 1, "category must be non-empty");
+  }
+
+  /// The tag's characters; static storage, never freed.
+  constexpr const char* name() const { return name_; }
+
+  /// Identity comparison (pointer equality — same literal, same TU).
+  friend constexpr bool operator==(EventCategory, EventCategory) = default;
+
+ private:
+  friend class Simulation;
+
+  /// Access key for the engine-internal constructor below.
+  struct Internal {};
+
+  /// Reserved constructor for the engine's own tags (the periodic-batch
+  /// envelope). `name` must have static storage duration; pointing it at a
+  /// *mutable* array guarantees that no constant-merging pass
+  /// (-fmerge-all-constants, linker ICF) can alias a user literal of equal
+  /// content with it, so pointer identity is a safe envelope test even
+  /// though user code can spell the same characters.
+  constexpr EventCategory(Internal, const char* name) : name_(name) {}
+
+  const char* name_;
+};
+
+/// Tag for events scheduled without an explicit category.
+inline constexpr EventCategory kDefaultEventCategory{};
+
+}  // namespace epajsrm::sim

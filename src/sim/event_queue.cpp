@@ -1,52 +1,129 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace epajsrm::sim {
 
-EventId EventQueue::push(SimTime t, Callback cb, const char* category) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, Stored{std::move(cb), category});
-  ++live_;
-  return id;
+namespace {
+constexpr std::uint32_t kArity = 4;
+}  // namespace
+
+EventId EventQueue::push(SimTime t, Callback cb, EventCategory category) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.time = t;
+  slot.seq = next_seq_++;
+  slot.category = category;
+  slot.callback = std::move(cb);
+  slot.heap_index = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(index);
+  sift_up(slot.heap_index);
+  return make_id(index, slot.generation);
+}
+
+std::uint32_t EventQueue::resolve(EventId id) const {
+  const std::uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return kNilIndex;
+  const std::uint32_t index = static_cast<std::uint32_t>(slot_plus_one - 1);
+  const Slot& slot = slots_[index];
+  if (slot.heap_index == kNilIndex) return kNilIndex;  // free slot
+  if (slot.generation != static_cast<std::uint32_t>(id)) return kNilIndex;
+  return index;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  assert(live_ > 0);
-  --live_;
+  const std::uint32_t index = resolve(id);
+  if (index == kNilIndex) return false;
+  heap_erase(slots_[index].heap_index);
+  release_slot(index);
   return true;
 }
 
-void EventQueue::skip_dead() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
-  }
-}
-
 SimTime EventQueue::next_time() const {
-  skip_dead();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return slots_[heap_.front()].time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_dead();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(e.id);
-  assert(it != callbacks_.end());
-  Popped out{e.time, e.id, std::move(it->second.callback),
-             it->second.category};
-  callbacks_.erase(it);
-  assert(live_ > 0);
-  --live_;
+  const std::uint32_t index = heap_.front();
+  Slot& slot = slots_[index];
+  Popped out{slot.time, make_id(index, slot.generation),
+             std::move(slot.callback), slot.category};
+  heap_erase(0);
+  release_slot(index);
   return out;
+}
+
+void EventQueue::sift_up(std::uint32_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_index = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_index = pos;
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const std::uint32_t count = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t moving = heap_[pos];
+  for (;;) {
+    const std::uint64_t first_child =
+        static_cast<std::uint64_t>(pos) * kArity + 1;
+    if (first_child >= count) break;
+    const std::uint32_t last_child = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(first_child + kArity - 1, count - 1));
+    std::uint32_t best = static_cast<std::uint32_t>(first_child);
+    for (std::uint32_t c = best + 1; c <= last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_index = pos;
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_index = pos;
+}
+
+void EventQueue::heap_erase(std::uint32_t pos) {
+  assert(pos < heap_.size());
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // erased the tail entry
+  heap_[pos] = last;
+  slots_[last].heap_index = pos;
+  // The displaced tail entry may need to move either way relative to its
+  // new position's neighbours.
+  sift_up(pos);
+  sift_down(slots_[last].heap_index);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilIndex) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNilIndex;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.callback = nullptr;
+  slot.heap_index = kNilIndex;
+  // Stale ids carrying the old generation are rejected from here on.
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
 }  // namespace epajsrm::sim

@@ -2,17 +2,25 @@
 //
 // Events are (time, sequence) ordered: ties in time fire in scheduling
 // order, which makes multi-component interactions (telemetry tick before
-// scheduler tick scheduled later, etc.) deterministic. Cancellation is
-// lazy: a cancelled id stays in the heap but its callback is dropped, so
-// cancel is O(log n) amortised over pops rather than O(n) heap surgery.
+// scheduler tick scheduled later, etc.) deterministic.
+//
+// Layout: events live in a slab arena (std::vector of fixed slots reused
+// through a free list) and the ordering structure is a 4-ary heap of slot
+// indices. Each slot knows its heap position, so cancellation is *eager*
+// O(log4 n) heap surgery — no tombstones, no dead entries for next_time()
+// to skip, and a cancelled event's callback is destroyed immediately.
+// Callbacks are small-buffer-optimised (SmallFn): captures up to
+// kInlineCallbackBytes live inside the slot, so the steady-state hot path
+// performs no allocation at all. EventIds encode (slot, generation), so a
+// stale id — already fired, already cancelled, or never issued — is
+// rejected in O(1).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/event_category.hpp"
 #include "sim/time.hpp"
 
 namespace epajsrm::sim {
@@ -23,30 +31,27 @@ using EventId = std::uint64_t;
 /// Sentinel for "no event" (EventId 0 is never issued).
 inline constexpr EventId kNoEvent = 0;
 
-/// Default category tag for events scheduled without one.
-inline constexpr const char* kDefaultEventCategory = "sim.event";
-
-/// A time-ordered queue of callbacks with O(log n) push/pop and lazy
-/// cancellation.
+/// A time-ordered queue of callbacks with O(log n) push/pop and eager
+/// O(log n) cancellation.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn<void()>;
 
   /// Schedules `cb` to fire at absolute time `t`. Returns a handle that can
   /// be passed to cancel(). `category` tags the event for the event-loop
-  /// profiler and must be a static string (literals; never freed).
+  /// profiler.
   EventId push(SimTime t, Callback cb,
-               const char* category = kDefaultEventCategory);
+               EventCategory category = kDefaultEventCategory);
 
   /// Cancels a pending event. Returns true if the event was still pending;
   /// false if it already fired, was already cancelled, or never existed.
   bool cancel(EventId id);
 
-  /// True when no live (non-cancelled) events remain.
-  bool empty() const { return live_ == 0; }
+  /// True when no live events remain.
+  bool empty() const { return heap_.empty(); }
 
   /// Number of live events.
-  std::size_t size() const { return live_; }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event. Must not be called when empty().
   SimTime next_time() const;
@@ -57,37 +62,55 @@ class EventQueue {
     SimTime time;
     EventId id;
     Callback callback;
-    const char* category;
+    EventCategory category;
   };
   Popped pop();
 
+  /// Slots currently held by the arena (capacity diagnostics; includes
+  /// free-listed slots awaiting reuse).
+  std::size_t arena_slots() const { return slots_.size(); }
+
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint32_t kNilIndex = 0xffffffffu;
 
-  /// Drops cancelled entries from the heap top so next_time()/pop() see a
-  /// live event.
-  void skip_dead() const;
-
-  struct Stored {
+  struct Slot {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 0;
+    /// Position in heap_, or kNilIndex when the slot is free.
+    std::uint32_t heap_index = kNilIndex;
+    std::uint32_t next_free = kNilIndex;
+    EventCategory category = kDefaultEventCategory;
     Callback callback;
-    const char* category;
   };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Stored> callbacks_;
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
+
+  /// Resolves an id to its live slot index, or kNilIndex for any stale,
+  /// fired, cancelled, or never-issued id.
+  std::uint32_t resolve(EventId id) const;
+
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.time != sb.time) return sa.time < sb.time;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  /// Removes the heap entry at `pos`, restoring the heap property.
+  void heap_erase(std::uint32_t pos);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  std::vector<Slot> slots_;          ///< slab arena
+  std::vector<std::uint32_t> heap_;  ///< 4-ary min-heap of slot indices
+  std::uint32_t free_head_ = kNilIndex;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
 };
 
 }  // namespace epajsrm::sim

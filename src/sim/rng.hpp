@@ -11,6 +11,17 @@
 
 namespace epajsrm::sim {
 
+/// SplitMix64 mixing step (Steele/Lea/Flood). Used to derive independent
+/// seed streams from a base seed: successive applications decorrelate even
+/// adjacent inputs, so grid cells and replications get unrelated streams
+/// no matter how the caller enumerates them.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Seedable pseudo-random generator wrapping std::mt19937_64 with the
 /// distributions the framework needs. Not thread-safe; use one Rng per
 /// replication (see ThreadPool::parallel_for).

@@ -1,42 +1,224 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
-#include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace epajsrm::sim {
 
+namespace {
+
+/// Category tag reserved for the internal per-tick batch entries; the run
+/// loop detects batch entries by this array's address. Deliberately
+/// *mutable*: const data of equal content can legally be folded together
+/// by -fmerge-all-constants or linker ICF, which would alias a user event
+/// tagged with the literal "sim.periodic-batch" onto the envelope path.
+/// Mutable storage is never merged, so the address stays unique.
+char kBatchTagChars[] = "sim.periodic-batch";
+
+/// Repeater handles live in their own id space (top bit set) so they can
+/// never collide with queue-issued event ids.
+constexpr EventId kRepeaterBit = EventId{1} << 63;
+
+}  // namespace
+
+EventCategory Simulation::batch_category() {
+  return EventCategory(EventCategory::Internal{}, kBatchTagChars);
+}
+
 EventId Simulation::schedule_at(SimTime t, Callback cb,
-                                const char* category) {
+                                EventCategory category) {
   return queue_.push(std::max(t, now_), std::move(cb), category);
 }
 
-EventId Simulation::schedule_every(SimTime period, std::function<bool()> cb,
-                                   const char* category) {
-  // Each firing reschedules a fresh value copy of itself; the shared
-  // callback must not be captured by its own closure (a self-referencing
-  // shared_ptr cycle would leak every still-pending repeater at teardown).
-  // Capturing `this` is safe because the queue lives inside the Simulation.
-  struct Repeater {
-    Simulation* sim;
-    SimTime period;
-    std::shared_ptr<std::function<bool()>> cb;
-    const char* category;
-    void operator()() const {
-      if ((*cb)()) sim->schedule_in(period, *this, category);
+EventId Simulation::schedule_every(SimTime period, RepeaterFn cb,
+                                   EventCategory category) {
+  if (period <= 0) {
+    // A non-positive cadence would re-enqueue ticks at or before now_ and
+    // drive the monotone clock backwards; reject it outright instead of
+    // clamping into a busy loop.
+    throw std::invalid_argument(
+        "Simulation::schedule_every: period must be positive");
+  }
+  const SimTime fire_at = now_ + period;
+  const EventId handle = next_repeater_handle_++;
+  Repeater member;
+  member.handle = handle;
+  member.seq = next_repeater_seq_++;
+  member.fn = std::move(cb);
+  member.category = category;
+  ++live_repeaters_;
+
+  const auto key = std::make_pair(period, fire_at);
+  if (const auto it = pending_batches_.find(key);
+      it != pending_batches_.end()) {
+    // A batch with this period and phase is already ticking: coalesce.
+    batches_[it->second]->members.push_back(std::move(member));
+    repeater_batch_[handle] = it->second;
+    return handle;
+  }
+  const std::size_t index = acquire_batch();
+  Batch& batch = *batches_[index];
+  batch.period = period;
+  batch.fire_at = fire_at;
+  batch.members.push_back(std::move(member));
+  repeater_batch_[handle] = index;
+  pending_batches_.emplace(key, index);
+  queue_.push(fire_at, [this, index] { fire_batch(index); },
+              batch_category());
+  return handle;
+}
+
+bool Simulation::cancel(EventId id) {
+  if ((id & kRepeaterBit) == 0) return queue_.cancel(id);
+  const auto it = repeater_batch_.find(id);
+  if (it == repeater_batch_.end()) return false;  // fired, or never issued
+  Batch& batch = *batches_[it->second];
+  for (Repeater& member : batch.members) {
+    if (member.handle == id && !member.dead) {
+      member.dead = true;
+      assert(live_repeaters_ > 0);
+      --live_repeaters_;
+      repeater_batch_.erase(it);
+      return true;
     }
-  };
-  auto shared_cb = std::make_shared<std::function<bool()>>(std::move(cb));
-  return schedule_in(period,
-                     Repeater{this, period, std::move(shared_cb), category},
-                     category);
+  }
+  assert(false && "repeater handle mapped to a batch without the member");
+  repeater_batch_.erase(it);
+  return false;
+}
+
+void Simulation::fire_batch(std::size_t index) {
+  Batch& batch = *batches_[index];
+  pending_batches_.erase({batch.period, batch.fire_at});
+  // Members fire in scheduling order; a merged batch may hold interleaved
+  // stamps, so order explicitly (cheap: the vector is already mostly
+  // sorted, and batches are small relative to the events they replace).
+  std::sort(
+      batch.members.begin(), batch.members.end(),
+      [](const Repeater& a, const Repeater& b) { return a.seq < b.seq; });
+  std::size_t i = 0;
+  for (; i < batch.members.size(); ++i) {
+    if (stopped_) break;
+    Repeater& member = batch.members[i];
+    if (member.dead) continue;
+    if (!member.fired_once) {
+      // The handle's cancellation window ends at the first firing.
+      member.fired_once = true;
+      repeater_batch_.erase(member.handle);
+    }
+    ++events_processed_;
+    bool again;
+    if (!hooks_.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
+      again = member.fn();
+      const auto t1 = std::chrono::steady_clock::now();  // lint:allow(wall-clock)
+      const std::int64_t wall_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count();
+      for (const DispatchHook& hook : hooks_) {
+        hook(member.category, wall_ns);
+      }
+    } else {
+      again = member.fn();
+    }
+    if (again) {
+      // Fresh stamp: survivors of this tick order after everything
+      // scheduled before them, mirroring the per-entry re-push order the
+      // batch replaced.
+      member.seq = next_repeater_seq_++;
+    } else {
+      member.dead = true;
+      assert(live_repeaters_ > 0);
+      --live_repeaters_;
+    }
+  }
+  if (i < batch.members.size()) {
+    // stop() landed mid-tick: the members not yet dispatched keep a queue
+    // entry at this same fire_at (as the per-entry model did — each pending
+    // repeater stayed in the queue), while this tick's survivors advance by
+    // one period below. Nothing silently loses a firing.
+    const std::size_t rest_index = acquire_batch();
+    // `batch` stays valid across acquire_batch: Batch objects are
+    // heap-allocated behind unique_ptr, so arena growth never moves them.
+    Batch& rest = *batches_[rest_index];
+    rest.period = batch.period;
+    rest.fire_at = batch.fire_at;
+    for (std::size_t j = i; j < batch.members.size(); ++j) {
+      Repeater& member = batch.members[j];
+      if (member.dead) continue;
+      if (!member.fired_once) repeater_batch_[member.handle] = rest_index;
+      rest.members.push_back(std::move(member));
+      // Moved out, still live in `rest`: flag for the erase below without
+      // touching live_repeaters_.
+      member.dead = true;
+    }
+    if (rest.members.empty()) {
+      release_batch(rest_index);
+    } else {
+      enqueue_batch(rest_index);
+    }
+  }
+  std::erase_if(batch.members,
+                [](const Repeater& m) { return m.dead; });
+  if (batch.members.empty()) {
+    release_batch(index);
+    return;
+  }
+  batch.fire_at += batch.period;
+  enqueue_batch(index);
+}
+
+void Simulation::enqueue_batch(std::size_t index) {
+  Batch& batch = *batches_[index];
+  const auto key = std::make_pair(batch.period, batch.fire_at);
+  if (const auto it = pending_batches_.find(key);
+      it != pending_batches_.end()) {
+    // Another batch with the same period converged onto this phase (it was
+    // created mid-cycle): merge into it instead of double-booking the tick.
+    Batch& target = *batches_[it->second];
+    for (Repeater& member : batch.members) {
+      if (!member.fired_once) repeater_batch_[member.handle] = it->second;
+      target.members.push_back(std::move(member));
+    }
+    batch.members.clear();
+    release_batch(index);
+    return;
+  }
+  pending_batches_.emplace(key, index);
+  queue_.push(batch.fire_at, [this, index] { fire_batch(index); },
+              batch_category());
+}
+
+std::size_t Simulation::acquire_batch() {
+  if (!free_batches_.empty()) {
+    const std::size_t index = free_batches_.back();
+    free_batches_.pop_back();
+    return index;
+  }
+  batches_.push_back(std::make_unique<Batch>());
+  return batches_.size() - 1;
+}
+
+void Simulation::release_batch(std::size_t index) {
+  batches_[index]->members.clear();
+  free_batches_.push_back(index);
 }
 
 void Simulation::run_until(SimTime t) {
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
     auto popped = queue_.pop();
     now_ = popped.time;
+    if (popped.category == batch_category()) {
+      // Tick batch (identity match on the reserved tag, so a user event
+      // spelling the same characters is never mis-routed): per-member
+      // dispatch accounting happens inside fire_batch, so the envelope
+      // entry is neither counted nor timed.
+      popped.callback();
+      continue;
+    }
     ++events_processed_;
     if (!hooks_.empty()) {
       // Timed dispatch: only taken when an observer is attached, so the

@@ -6,6 +6,10 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -22,38 +26,56 @@ namespace epajsrm::sim {
 ///
 /// The engine is single-threaded by design: determinism matters more than
 /// intra-replication parallelism at this model scale, and replications
-/// parallelise embarrassingly (see ThreadPool).
+/// parallelise embarrassingly (see ThreadPool and core::EnsembleEngine).
+///
+/// Periodic work is batched: repeaters created by schedule_every() that
+/// share a period and a phase coalesce into one queue entry per tick (a
+/// "tick batch") instead of one entry per repeater. Members of a batch
+/// dispatch consecutively in scheduling order; relative order against
+/// other events at the same instant follows the batch entry's queue
+/// position (the position its first member would have held).
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  Simulation() = default;
+  // Pending batch entries capture `this`; the engine is pinned in place.
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  using Callback = EventQueue::Callback;
+
+  /// Periodic callback; returns true to keep firing.
+  using RepeaterFn = SmallFn<bool()>;
 
   /// Observer invoked after each dispatched callback with the event's
   /// category tag and its wall-clock cost. Attaching one enables per-event
   /// timing (the event-loop profiler); detached, dispatch is not timed.
-  using DispatchHook = std::function<void(const char* category,
-                                          std::int64_t wall_ns)>;
+  using DispatchHook =
+      std::function<void(EventCategory category, std::int64_t wall_ns)>;
 
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (clamped to now() if in the past,
   /// which models "fire as soon as possible"). `category` tags the event
-  /// for profiling and must point at a static string (a literal).
+  /// for profiling.
   EventId schedule_at(SimTime t, Callback cb,
-                      const char* category = kDefaultEventCategory);
+                      EventCategory category = kDefaultEventCategory);
 
   /// Schedules `cb` at now() + dt (dt < 0 clamps to now()).
   EventId schedule_in(SimTime dt, Callback cb,
-                      const char* category = kDefaultEventCategory) {
+                      EventCategory category = kDefaultEventCategory) {
     return schedule_at(now_ + dt, std::move(cb), category);
   }
 
   /// Schedules a periodic callback firing first at now() + period and then
-  /// every `period` until it returns false. Returns the id of the *first*
-  /// firing; cancelling it stops the chain only before the first firing —
-  /// use the callback's return value for clean shutdown.
-  EventId schedule_every(SimTime period, std::function<bool()> cb,
-                         const char* category = kDefaultEventCategory);
+  /// every `period` until it returns false. Returns a handle covering the
+  /// *first* firing; cancelling it stops the chain only before the first
+  /// firing — use the callback's return value for clean shutdown.
+  /// `period` must be positive (throws std::invalid_argument otherwise): a
+  /// non-positive period has no meaningful cadence and would drive the
+  /// monotone clock backwards on re-enqueue.
+  EventId schedule_every(SimTime period, RepeaterFn cb,
+                         EventCategory category = kDefaultEventCategory);
 
   /// Replaces every attached dispatch observer with `hook` (or clears all,
   /// with {}).
@@ -71,8 +93,9 @@ class Simulation {
 
   bool has_dispatch_hook() const { return !hooks_.empty(); }
 
-  /// Cancels a pending event; see EventQueue::cancel.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Cancels a pending event or a not-yet-fired repeater; see
+  /// EventQueue::cancel.
+  bool cancel(EventId id);
 
   /// Runs until the queue is empty or stop() is called.
   void run() { run_until(std::numeric_limits<SimTime>::max()); }
@@ -87,18 +110,67 @@ class Simulation {
   /// True once stop() has been called.
   bool stopped() const { return stopped_; }
 
-  /// Total callbacks executed (for kernel benchmarks and tests).
+  /// Total callbacks executed (for kernel benchmarks and tests). Each
+  /// repeater firing counts as one event; the batch entry itself does not.
   std::uint64_t events_processed() const { return events_processed_; }
 
-  /// Live events still pending.
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Live events still pending (each live repeater counts as one).
+  std::size_t pending_events() const {
+    return queue_.size() - pending_batches_.size() + live_repeaters_;
+  }
 
  private:
+  /// One periodic callback registered via schedule_every().
+  struct Repeater {
+    EventId handle = kNoEvent;
+    /// Scheduling-order stamp; members of a (possibly merged) batch fire
+    /// in seq order, mirroring the per-entry queue order batching removed.
+    std::uint64_t seq = 0;
+    RepeaterFn fn;
+    EventCategory category = kDefaultEventCategory;
+    bool fired_once = false;
+    bool dead = false;  ///< cancelled, or returned false
+  };
+
+  /// All repeaters sharing (period, phase): one queue entry per tick.
+  struct Batch {
+    SimTime period = 0;
+    SimTime fire_at = 0;
+    std::vector<Repeater> members;
+  };
+
+  /// The reserved category tagging internal per-tick batch envelopes; its
+  /// name pointer is unique by construction (see simulation.cpp), so the
+  /// run loop detects envelopes by identity, never by tag content.
+  static EventCategory batch_category();
+
+  void fire_batch(std::size_t index);
+  /// Queues `batch` (by arena index) for its fire_at tick, merging into an
+  /// already-pending batch with the same (period, phase) if one exists.
+  void enqueue_batch(std::size_t index);
+  std::size_t acquire_batch();
+  void release_batch(std::size_t index);
+
   EventQueue queue_;
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
   std::vector<DispatchHook> hooks_;
+
+  // --- periodic-batch state -------------------------------------------------
+  std::vector<std::unique_ptr<Batch>> batches_;
+  std::vector<std::size_t> free_batches_;
+  /// (period, fire_at) -> batches_ index, for every batch with a pending
+  /// queue entry.
+  std::map<std::pair<SimTime, SimTime>, std::size_t> pending_batches_;
+  /// Repeater handle -> batches_ index, dropped at the first firing (the
+  /// window in which the handle is cancellable).
+  std::unordered_map<EventId, std::size_t> repeater_batch_;
+  std::size_t live_repeaters_ = 0;
+  std::uint64_t next_repeater_seq_ = 0;
+  /// Repeater handles carry the top bit so they never collide with
+  /// queue-issued event ids (which encode slot+1 in the upper half).
+  EventId next_repeater_handle_ = EventId{1} << 63;
 };
 
 }  // namespace epajsrm::sim

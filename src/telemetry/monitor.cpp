@@ -67,11 +67,14 @@ void MonitoringService::sample(sim::SimTime now) {
 void MonitoringService::start() {
   if (running_) return;
   running_ = true;
-  sim_->schedule_every(period_, [this]() -> bool {
-    if (!running_) return false;
-    tick(sim_->now());
-    return true;
-  });
+  sim_->schedule_every(
+      period_,
+      [this]() -> bool {
+        if (!running_) return false;
+        tick(sim_->now());
+        return true;
+      },
+      "telemetry.sample");
 }
 
 }  // namespace epajsrm::telemetry

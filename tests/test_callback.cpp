@@ -1,0 +1,85 @@
+// SmallFn (the event queue's small-buffer callback) and EventCategory.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "sim/callback.hpp"
+#include "sim/event_category.hpp"
+
+namespace epajsrm {
+namespace {
+
+TEST(SmallFn, EmptyByDefaultAndComparableToNullptr) {
+  sim::SmallFn<int()> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(fn == nullptr);
+  fn = [] { return 42; };
+  EXPECT_TRUE(fn);
+  EXPECT_TRUE(fn != nullptr);
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(SmallFn, SmallCapturesStayInline) {
+  std::uint64_t a = 1, b = 2, c = 3;
+  sim::SmallFn<std::uint64_t()> fn = [a, b, c] { return a + b + c; };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 6u);
+}
+
+TEST(SmallFn, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[sim::kInlineCallbackBytes + 1] = {};
+  };
+  Big big;
+  big.bytes[0] = 'x';
+  sim::SmallFn<char()> fn = [big] { return big.bytes[0]; };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 'x');
+}
+
+TEST(SmallFn, MoveTransfersOwnershipAndState) {
+  auto counter = std::make_shared<int>(0);
+  sim::SmallFn<void()> fn = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+
+  sim::SmallFn<void()> moved = std::move(fn);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move): contract under test
+  EXPECT_TRUE(moved);
+  moved();
+  EXPECT_EQ(*counter, 1);
+
+  moved = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed on reset
+}
+
+TEST(SmallFn, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(7);
+  sim::SmallFn<int()> fn = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(fn(), 7);
+  sim::SmallFn<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(SmallFn, ArgumentsAndReturnValuesPassThrough) {
+  sim::SmallFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(EventCategory, DefaultsAndLiteralConstruction) {
+  constexpr sim::EventCategory def;
+  EXPECT_STREQ(def.name(), "sim.event");
+  EXPECT_EQ(def, sim::kDefaultEventCategory);
+
+  constexpr sim::EventCategory tick{"core.control"};
+  EXPECT_STREQ(tick.name(), "core.control");
+  EXPECT_NE(tick, def);
+  // Identity is the literal's address: copies compare equal.
+  constexpr sim::EventCategory copy = tick;
+  EXPECT_EQ(copy, tick);
+}
+
+}  // namespace
+}  // namespace epajsrm

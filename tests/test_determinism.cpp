@@ -1,0 +1,379 @@
+// Determinism suite for the fast-path queue and the ensemble engine.
+//
+// The event queue's contract — (time, scheduling order) fire order — is
+// what every multi-component interaction in the simulator leans on. These
+// tests pin it against an independent reference model (a stable sort,
+// which is exactly what the pre-arena binary-heap implementation
+// guaranteed), exercise the eager-cancellation id lifecycle, and prove
+// the EnsembleEngine aggregates bit-identically regardless of worker
+// thread count.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.hpp"
+#include "core/scenario_builder.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace epajsrm {
+namespace {
+
+// --- EventQueue fire order vs. reference model ---------------------------------
+
+struct TraceEvent {
+  sim::SimTime time = 0;
+  std::size_t index = 0;  // insertion order
+  sim::EventId id = sim::kNoEvent;
+  bool cancelled = false;
+};
+
+TEST(QueueDeterminism, TenThousandEventTraceFiresInReferenceOrder) {
+  constexpr std::size_t kEvents = 10'000;
+  sim::EventQueue queue;
+  std::vector<TraceEvent> trace(kEvents);
+
+  // Pseudo-random times with heavy collision pressure (only 97 distinct
+  // timestamps) so the seq tie-break carries most of the ordering.
+  std::uint64_t state = 12345;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    state = sim::splitmix64(state);
+    trace[i].time = static_cast<sim::SimTime>(state % 97);
+    trace[i].index = i;
+  }
+  std::vector<std::size_t> fired;
+  fired.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    const std::size_t index = i;
+    trace[i].id = queue.push(trace[i].time,
+                             [&fired, index] { fired.push_back(index); });
+  }
+  // Cancel a deterministic ~10 % scattered through the trace.
+  for (std::size_t i = 3; i < kEvents; i += 11) {
+    EXPECT_TRUE(queue.cancel(trace[i].id));
+    trace[i].cancelled = true;
+  }
+
+  // Reference model: the stable sort the binary-heap queue implemented.
+  std::vector<std::size_t> expected(kEvents);
+  std::iota(expected.begin(), expected.end(), 0u);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&trace](std::size_t a, std::size_t b) {
+                     return trace[a].time < trace[b].time;
+                   });
+  std::erase_if(expected,
+                [&trace](std::size_t i) { return trace[i].cancelled; });
+
+  while (!queue.empty()) {
+    auto popped = queue.pop();
+    popped.callback();
+  }
+  ASSERT_EQ(fired.size(), expected.size());
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(QueueDeterminism, SimulationRunMatchesQueueOrder) {
+  // The same contract holds through Simulation::run, including events
+  // scheduled from inside callbacks at the current instant.
+  sim::Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] {
+    order.push_back(0);
+    sim.schedule_at(5, [&] { order.push_back(2); });  // same instant, later seq
+  });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  // t=5 fires first, its child fires after at the same instant (scheduled
+  // later), then the two t=10 events in scheduling order.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+}
+
+// --- cancellation id lifecycle -------------------------------------------------
+
+TEST(QueueDeterminism, CancelOfFiredAndNeverIssuedIdsReturnsFalse) {
+  sim::EventQueue queue;
+  const sim::EventId id = queue.push(1, [] {});
+  EXPECT_FALSE(queue.cancel(sim::kNoEvent));
+  EXPECT_FALSE(queue.cancel(0xdeadbeefcafef00dull));  // never issued
+
+  auto popped = queue.pop();
+  EXPECT_EQ(popped.id, id);
+  EXPECT_FALSE(queue.cancel(id));  // already fired
+
+  const sim::EventId id2 = queue.push(2, [] {});
+  EXPECT_TRUE(queue.cancel(id2));
+  EXPECT_FALSE(queue.cancel(id2));  // already cancelled
+}
+
+TEST(QueueDeterminism, StaleIdIsRejectedAfterSlotReuse) {
+  sim::EventQueue queue;
+  const sim::EventId first = queue.push(1, [] {});
+  ASSERT_TRUE(queue.cancel(first));
+  // The arena reuses the freed slot; the old id carries a stale
+  // generation and must not cancel the new occupant.
+  const sim::EventId second = queue.push(2, [] {});
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.cancel(second));
+}
+
+TEST(QueueDeterminism, SimulationCancelHandlesRepeaterHandles) {
+  sim::Simulation sim;
+  int fires = 0;
+  const sim::EventId handle =
+      sim.schedule_every(10, [&fires]() -> bool { return ++fires < 3; });
+  // Cancellable before the first firing...
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // ...but only once
+  sim.run();
+  EXPECT_EQ(fires, 0);
+
+  // After the first firing the handle is spent.
+  sim::Simulation sim2;
+  const sim::EventId h2 =
+      sim2.schedule_every(10, [&fires]() -> bool { return ++fires < 3; });
+  sim2.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(sim2.cancel(h2));
+}
+
+// --- periodic-batch semantics --------------------------------------------------
+
+TEST(QueueDeterminism, SamePeriodRepeatersCoalesceAndFireInOrder) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_every(10, [&order, i]() -> bool {
+      order.push_back(i);
+      return order.size() < 8;
+    });
+  }
+  // Four repeaters, one shared tick: the queue holds a single batch entry.
+  EXPECT_EQ(sim.pending_events(), 4u);
+  sim.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  sim.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 8u);
+}
+
+TEST(QueueDeterminism, MidCycleRepeaterJoinsTheSharedCadence) {
+  sim::Simulation sim;
+  std::vector<std::pair<sim::SimTime, int>> fires;
+  sim.schedule_every(10, [&]() -> bool {
+    fires.emplace_back(sim.now(), 0);
+    return sim.now() < 50;
+  });
+  // Created at t=15: its ticks land at 25, 35, ... offset from the first
+  // repeater's 10, 20, ... — distinct phases, both on period 10.
+  sim.schedule_at(15, [&] {
+    sim.schedule_every(10, [&]() -> bool {
+      fires.emplace_back(sim.now(), 1);
+      return sim.now() < 50;
+    });
+  });
+  sim.run();
+  const std::vector<std::pair<sim::SimTime, int>> expected = {
+      {10, 0}, {20, 0}, {25, 1}, {30, 0}, {35, 1},
+      {40, 0}, {45, 1}, {50, 0}, {55, 1}};
+  EXPECT_EQ(fires, expected);
+}
+
+TEST(QueueDeterminism, ScheduleEveryRejectsNonPositivePeriod) {
+  // A non-positive cadence would re-enqueue ticks at or before now() and
+  // drive the monotone clock backwards; it is rejected at the API edge.
+  sim::Simulation sim;
+  EXPECT_THROW(sim.schedule_every(0, []() -> bool { return false; }),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_every(-5, []() -> bool { return false; }),
+               std::invalid_argument);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(QueueDeterminism, UserEventWithBatchTagSpellingIsAnOrdinaryEvent) {
+  // Batch envelopes are detected by reserved identity, not tag content: a
+  // user event spelling the same characters must still be counted and must
+  // still reach dispatch hooks, even if the toolchain merges equal-content
+  // constants.
+  sim::Simulation sim;
+  int fired = 0;
+  std::vector<std::string> hook_tags;
+  sim.set_dispatch_hook([&](sim::EventCategory category, std::int64_t) {
+    hook_tags.push_back(category.name());
+  });
+  sim.schedule_at(
+      5, [&] { ++fired; }, sim::EventCategory("sim.periodic-batch"));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_processed(), 1u);
+  ASSERT_EQ(hook_tags.size(), 1u);
+  EXPECT_EQ(hook_tags[0], "sim.periodic-batch");
+}
+
+TEST(QueueDeterminism, StopMidBatchKeepsUnfiredMembersAtTheirTick) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  sim.schedule_every(10, [&]() -> bool {
+    order.push_back(0);
+    return true;
+  });
+  sim.schedule_every(10, [&]() -> bool {
+    order.push_back(1);
+    sim.stop();
+    return true;
+  });
+  sim.schedule_every(10, [&]() -> bool {
+    order.push_back(2);
+    return true;
+  });
+  sim.run_until(10);
+  // Member 1 stopped the loop mid-tick: member 2 never fired this tick, and
+  // it stays pending at t=10 rather than silently losing that firing to the
+  // next period.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(sim.stopped());
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(sim.pending_events(), 3u);
+}
+
+// --- EnsembleEngine ------------------------------------------------------------
+
+core::EnsembleResult run_small_grid(std::size_t threads) {
+  core::EnsembleConfig config;
+  config.replications = 3;
+  config.base_seed = 99;
+  config.threads = threads;
+  core::EnsembleEngine engine(config);
+  const auto point = [](const char* label) {
+    return [label](std::uint64_t) {
+      auto b = core::Scenario::builder()
+                   .label(label)
+                   .nodes(8)
+                   .job_count(6)
+                   .horizon(2 * sim::kDay)
+                   .configure([](core::ScenarioConfig& c) {
+                     c.solution.enable_thermal = false;
+                   });
+      return std::move(b).take_config();
+    };
+  };
+  engine.add_point("a", point("ens-a"));
+  engine.add_point("b", point("ens-b"));
+  return engine.run();
+}
+
+void expect_identical(const core::EnsembleResult& a,
+                      const core::EnsembleResult& b) {
+  ASSERT_EQ(a.observations.size(), b.observations.size());
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    const core::EnsembleObservation& x = a.observations[i];
+    const core::EnsembleObservation& y = b.observations[i];
+    EXPECT_EQ(x.seed, y.seed);
+    EXPECT_EQ(x.sim_events, y.sim_events);
+    // Bit-identity, not tolerance: aggregation order is fixed by design.
+    EXPECT_EQ(x.total_kwh, y.total_kwh);
+    EXPECT_EQ(x.mean_utilization, y.mean_utilization);
+    EXPECT_EQ(x.median_wait_minutes, y.median_wait_minutes);
+    EXPECT_EQ(x.violation_fraction, y.violation_fraction);
+    EXPECT_EQ(x.jobs_completed, y.jobs_completed);
+    EXPECT_EQ(x.makespan_hours, y.makespan_hours);
+  }
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].seeds, b.cells[i].seeds);
+    EXPECT_EQ(a.cells[i].stats.total_kwh.mean, b.cells[i].stats.total_kwh.mean);
+    EXPECT_EQ(a.cells[i].stats.makespan_hours.median,
+              b.cells[i].stats.makespan_hours.median);
+  }
+}
+
+TEST(EnsembleDeterminism, BitIdenticalAcrossThreadCounts) {
+  const std::size_t hw =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  const core::EnsembleResult one = run_small_grid(1);
+  const core::EnsembleResult four = run_small_grid(4);
+  const core::EnsembleResult native = run_small_grid(hw);
+  expect_identical(one, four);
+  expect_identical(one, native);
+}
+
+TEST(EnsembleDeterminism, SplitMixSeedsAreShardOrderIndependent) {
+  core::EnsembleConfig config;
+  config.base_seed = 7;
+  const core::EnsembleEngine engine(config);
+  // Pure function of (base, point, rep): adding points or reps never
+  // perturbs existing streams.
+  EXPECT_EQ(engine.seed_for(0, 0),
+            sim::splitmix64(sim::splitmix64(7 + 0) + 0));
+  EXPECT_EQ(engine.seed_for(3, 2),
+            sim::splitmix64(sim::splitmix64(7 + 3) + 2));
+  // Adjacent cells decorrelate.
+  EXPECT_NE(engine.seed_for(0, 0), engine.seed_for(0, 1));
+  EXPECT_NE(engine.seed_for(0, 0), engine.seed_for(1, 0));
+}
+
+TEST(EnsembleDeterminism, JsonlEscapesLabelsAndPreservesDoubleFidelity) {
+  core::EnsembleResult result;
+  core::EnsembleCell cell;
+  cell.stats.label = "cap \"3MW\"\\mix\n";
+  result.cells.push_back(std::move(cell));
+  core::EnsembleObservation o;
+  o.seed = 42;
+  o.sim_events = 7;
+  o.total_kwh = 1.0 / 3.0;  // needs 17 significant digits to round-trip
+  o.mean_utilization = std::numeric_limits<double>::quiet_NaN();
+  o.median_wait_minutes = std::numeric_limits<double>::infinity();
+  result.observations.push_back(o);
+
+  std::ostringstream out;
+  result.write_jsonl(out);
+  const std::string line = out.str();
+  // Quote, backslash, and control characters in the label are escaped, so
+  // the line stays valid JSON.
+  EXPECT_NE(line.find("\"label\":\"cap \\\"3MW\\\"\\\\mix\\u000a\""),
+            std::string::npos)
+      << line;
+  // Doubles print in shortest round-trip form, not 6-digit ostream default.
+  EXPECT_NE(line.find("\"total_kwh\":0.3333333333333333"), std::string::npos)
+      << line;
+  // JSON has no NaN/Inf: non-finite values map to null.
+  EXPECT_NE(line.find("\"mean_utilization\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"median_wait_minutes\":null"), std::string::npos)
+      << line;
+}
+
+TEST(EnsembleDeterminism, RunReplicatedWrapperKeepsSequentialSeeds) {
+  // The wrapper's statistics must match the historical implementation:
+  // seeds base, base+1, ... aggregated in replication order.
+  const core::ReplicatedResult direct = core::run_replicated(
+      [](std::uint64_t) {
+        auto b = core::Scenario::builder()
+                     .label("wrap")
+                     .nodes(8)
+                     .job_count(5)
+                     .horizon(2 * sim::kDay)
+                     .configure([](core::ScenarioConfig& c) {
+                       c.solution.enable_thermal = false;
+                     });
+        return std::move(b).take_config();
+      },
+      nullptr, /*replications=*/3, /*base_seed=*/500);
+  EXPECT_EQ(direct.replications, 3u);
+  EXPECT_EQ(direct.label, "wrap");
+  EXPECT_EQ(direct.total_kwh.count, 3u);
+  EXPECT_GT(direct.total_kwh.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace epajsrm

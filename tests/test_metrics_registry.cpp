@@ -149,7 +149,7 @@ TEST(MetricsSampler, DisabledRegistrySamplesNothing) {
 
 TEST(LoopProfiler, AggregatesPerCategory) {
   LoopProfiler p;
-  static const char* const kTick = "core.control";
+  constexpr sim::EventCategory kTick{"core.control"};
   p.record(kTick, 100);
   p.record(kTick, 300);
   p.record("sched.pass", 50);
@@ -170,10 +170,10 @@ TEST(LoopProfiler, MergesEqualContentCategoriesByName) {
   LoopProfiler p;
   // Distinct pointers with equal content must merge at report time (the
   // hot path keys by pointer; literals can differ across TUs).
-  const char a[] = "sim.tick";
-  const char b[] = "sim.tick";
-  p.record(a, 10);
-  p.record(b, 20);
+  static constexpr char a[] = "sim.tick";
+  static constexpr char b[] = "sim.tick";
+  p.record(sim::EventCategory(a), 10);
+  p.record(sim::EventCategory(b), 20);
   const auto report = p.report();
   ASSERT_EQ(report.size(), 1u);
   EXPECT_EQ(report[0].count, 2u);

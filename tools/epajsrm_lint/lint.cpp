@@ -20,6 +20,12 @@
 //   unguarded-at  src/sim, src/platform, src/power, src/telemetry,
 //                 src/core      throwing `.at()` in hot dispatch paths;
 //                               use checked contracts + operator[].
+//   scenario-aggregate
+//                 src/** except src/core/
+//                               raw `ScenarioConfig{...}` aggregate
+//                               initialization bypasses ScenarioBuilder's
+//                               validation and defaulting; construct
+//                               scenarios through core::ScenarioBuilder.
 //
 // Usage:
 //   epajsrm_lint <src-dir>             lint the tree; exit 1 on violations
@@ -159,6 +165,7 @@ class Linter {
     const bool at_scope =
         !scope_by_path_ || in_dir(rel, "sim") || in_dir(rel, "platform") ||
         in_dir(rel, "power") || in_dir(rel, "telemetry") || in_dir(rel, "core");
+    const bool aggregate_scope = !scope_by_path_ || !in_dir(rel, "core");
 
     bool in_block_comment = false;
     std::string raw;
@@ -180,6 +187,9 @@ class Linter {
       if (wallclock_scope && hits_rand(code)) flag("rand");
       if (at_scope && code.find(".at(") != std::string::npos) {
         flag("unguarded-at");
+      }
+      if (aggregate_scope && hits_scenario_aggregate(code)) {
+        flag("scenario-aggregate");
       }
       check_unit_suffix(code, raw, rel, line_no);
     }
@@ -209,6 +219,17 @@ class Linter {
   static bool hits_rand(const std::string& code) {
     static const std::regex re("\\bs?rand\\s*\\(|random_device");
     return std::regex_search(code, re);
+  }
+
+  static bool hits_scenario_aggregate(const std::string& code) {
+    // Brace-init only (anonymous or named variable): `ScenarioConfig c;`
+    // and the struct's own definition (`struct ScenarioConfig {`) stay
+    // legal.
+    static const std::regex re(
+        "\\bScenarioConfig\\s*(?:[A-Za-z_]\\w*\\s*)?\\{");
+    if (!std::regex_search(code, re)) return false;
+    static const std::regex definition("\\b(struct|class)\\s+ScenarioConfig");
+    return !std::regex_search(code, definition);
   }
 
   void check_unit_suffix(const std::string& code, const std::string& raw,
@@ -287,6 +308,7 @@ int self_test(const fs::path& dir) {
       {"bad_rand.cpp", "rand"},
       {"bad_unit_suffix.cpp", "unit-suffix"},
       {"bad_unguarded_at.cpp", "unguarded-at"},
+      {"bad_scenario_aggregate.cpp", "scenario-aggregate"},
   };
   int failures = 0;
   for (const auto& [name, rule] : kExpected) {

@@ -1,0 +1,13 @@
+// Fixture: the scenario-aggregate rule must fire here.
+struct ScenarioConfig {  // definition itself is legal (not flagged)
+  int nodes = 0;
+  unsigned long long seed = 1;
+};
+
+ScenarioConfig hand_rolled() {
+  ScenarioConfig config{};
+  config.nodes = 8;
+  auto other = ScenarioConfig{.nodes = 16, .seed = 7};
+  (void)other;
+  return config;
+}

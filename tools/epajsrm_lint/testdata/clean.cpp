@@ -42,3 +42,16 @@ void legacy_api(const int* cp) {
   (void)p;
   (void)kDoc;
 }
+
+// Plain declarations of the type are fine; brace-init needs a suppression.
+struct ScenarioConfig {
+  int nodes = 0;
+};
+
+ScenarioConfig builder_escape_hatch() {
+  ScenarioConfig config;  // no braces: not aggregate init
+  config.nodes = 4;
+  auto raw = ScenarioConfig{.nodes = 2};  // lint:allow(scenario-aggregate)
+  (void)raw;
+  return config;
+}
