@@ -1,0 +1,153 @@
+// Fault-storm throughput bench: sharded ensemble replications running
+// under increasingly hostile fault regimes — stochastic node crashes,
+// sensor dropout/noise windows, and CAPMC control-channel outages — and
+// reporting dispatched events per wall second (BenchSummary JSON line;
+// the bench-smoke CI job compares events_per_sec against
+// BENCH_baseline.json, warn-only).
+//
+// Storms:
+//   calm    — no faults; the fault-free sharded-ensemble baseline;
+//   breezy  — MTBF 200 h: occasional crashes, light sensor noise;
+//   gusty   — MTBF 48 h plus rolling sensor dropout and CAPMC latency;
+//   violent — MTBF 12 h plus hard CAPMC outages and PDU-scale churn.
+//
+// Flags:
+//   --replications=N  replications per storm cell (default 16)
+//   --smoke           tiny sizes for CI smoke runs
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "core/ensemble.hpp"
+#include "core/scenario_builder.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+struct Storm {
+  const char* name;
+  double mtbf_hours;         // 0 → no stochastic crashes
+  double dropout_probability;
+  double capmc_failure_probability;
+  double capmc_latency_us;
+};
+
+constexpr Storm kStorms[] = {
+    {"calm", 0.0, 0.0, 0.0, 0.0},
+    {"breezy", 200.0, 0.05, 0.0, 0.0},
+    {"gusty", 48.0, 0.3, 0.2, 200.0},
+    {"violent", 12.0, 0.6, 0.8, 2000.0},
+};
+
+core::ScenarioConfig storm_config(std::uint64_t seed, std::uint32_t nodes,
+                                  std::uint32_t jobs, sim::SimTime horizon) {
+  auto b = core::Scenario::builder()
+               .label("fault-storm")
+               .nodes(nodes)
+               .job_count(jobs)
+               .seed(seed)
+               .horizon(horizon)
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = false;
+                 c.solution.resilience.checkpoint_interval =
+                     30 * sim::kMinute;
+               });
+  return std::move(b).take_config();
+}
+
+void inject_storm(const Storm& storm, core::Scenario& scenario) {
+  // Hundreds of crash warnings per replication are noise at bench scale.
+  scenario.solution().logger().set_threshold(sim::LogLevel::kError);
+  const std::uint64_t seed = scenario.config().seed;
+  const sim::SimTime horizon = scenario.config().horizon;
+  fault::FaultPlan plan;
+  if (storm.mtbf_hours > 0.0) {
+    fault::FailureModel model;
+    model.mtbf_hours = storm.mtbf_hours;
+    model.repair_time = 15 * sim::kMinute;
+    plan = model.generate(scenario.config().nodes, horizon, seed);
+  }
+  // Rolling fault windows across the horizon so the degraded paths stay
+  // hot for the whole run, not just one burst.
+  for (sim::SimTime t = sim::kHour; t + sim::kHour < horizon;
+       t += 4 * sim::kHour) {
+    if (storm.dropout_probability > 0.0) {
+      plan.sensor_dropout(t, sim::kHour, storm.dropout_probability);
+      plan.sensor_noise(t + 2 * sim::kHour, sim::kHour, 0.05);
+    }
+    if (storm.capmc_failure_probability > 0.0) {
+      plan.capmc_failure(t, sim::kHour, storm.capmc_failure_probability);
+    }
+    if (storm.capmc_latency_us > 0.0) {
+      plan.capmc_latency(t + sim::kHour, sim::kHour, storm.capmc_latency_us);
+    }
+  }
+  if (plan.empty()) return;
+  fault::FaultInjector::Config config;
+  config.seed = seed;
+  fault::FaultInjector::install(scenario.solution(), plan, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replications = 16;
+  std::uint32_t nodes = 64;
+  std::uint32_t jobs = 400;
+  sim::SimTime horizon = 7 * sim::kDay;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--replications=", 15) == 0) {
+      replications = std::strtoull(argv[i] + 15, nullptr, 10);
+      if (replications == 0) {
+        std::fprintf(stderr, "--replications needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      replications = 2;
+      nodes = 16;
+      jobs = 40;
+      horizon = 2 * sim::kDay;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::BenchSummary summary("fault_storm");
+  std::printf("%-10s %8s %14s %12s %10s %10s\n", "storm", "reps", "events",
+              "mean kWh", "crashes", "requeues");
+  for (const Storm& storm : kStorms) {
+    core::EnsembleConfig config;
+    config.replications = replications;
+    config.base_seed = 90210;
+    core::EnsembleEngine engine(config);
+    engine.add_point(
+        storm.name,
+        [&](std::uint64_t seed) {
+          return storm_config(seed, nodes, jobs, horizon);
+        },
+        [&](core::Scenario& scenario) { inject_storm(storm, scenario); });
+    const core::EnsembleResult result = engine.run();
+
+    std::uint64_t events = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t requeues = 0;
+    for (const core::EnsembleObservation& obs : result.observations) {
+      events += obs.sim_events;
+      crashes += obs.node_crashes;
+      requeues += obs.jobs_requeued;
+    }
+    summary.add_events(events);
+    std::printf("%-10s %8zu %14llu %12.2f %10llu %10llu\n", storm.name,
+                replications, static_cast<unsigned long long>(events),
+                result.cells[0].stats.total_kwh.mean,
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(requeues));
+  }
+  return 0;
+}

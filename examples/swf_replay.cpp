@@ -152,9 +152,16 @@ int main(int argc, char** argv) {
 
   std::vector<workload::SwfRecord> records;
   if (!swf_path.empty()) {
-    records = workload::parse_swf_file(swf_path);
+    workload::SwfParseStats stats;
+    records = workload::parse_swf_file(swf_path, &stats);
     std::printf("replaying %zu records from %s\n", records.size(),
                 swf_path.c_str());
+    if (stats.skipped_lines > 0) {
+      std::fprintf(stderr,
+                   "warning: skipped %zu malformed line(s), first at line "
+                   "%zu\n",
+                   stats.skipped_lines, stats.first_skipped_line);
+    }
   } else {
     std::istringstream in(kBuiltinTrace);
     records = workload::parse_swf(in);

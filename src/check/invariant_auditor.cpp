@@ -176,6 +176,14 @@ void InvariantAuditor::check_lifecycle() {
     const platform::NodeState before = last_states_[node.id()];
     const platform::NodeState after = node.state();
     if (!legal_edge(before, after)) {
+      // An injected crash yanks a node straight to Off (or through Off to
+      // Booting between audits); consume its crash mark instead of
+      // flagging a false positive. Unmarked illegal edges still record.
+      if (config_.excuse_fault_edges &&
+          solution_->take_crash_mark(node.id())) {
+        last_states_[node.id()] = after;
+        continue;
+      }
       record("lifecycle",
              "node " + std::to_string(node.id()) + " made illegal edge " +
                  platform::to_string(before) + " -> " +

@@ -60,6 +60,11 @@ struct AuditorConfig {
   bool throw_on_violation = false;
   /// Retain at most this many violation records (all are still counted).
   std::size_t max_recorded = 64;
+  /// Excuse lifecycle edges caused by injected faults (a crash legally
+  /// yanks a Busy/Idle/Draining node straight to Off). Each injected crash
+  /// leaves one consumable mark on the solution, so a *genuine* illegal
+  /// edge on the same node still trips the auditor.
+  bool excuse_fault_edges = true;
 };
 
 /// One observed invariant violation.

@@ -116,7 +116,8 @@ EnsembleResult EnsembleEngine::run() {
       makespan.push_back(sim::to_hours(r.report.makespan));
       out.observations.push_back(EnsembleObservation{
           point, rep, seed, r.sim_events, kwh.back(), util.back(),
-          wait.back(), viol.back(), done.back(), makespan.back()});
+          wait.back(), viol.back(), done.back(), makespan.back(),
+          r.node_crashes, r.jobs_requeued_on_fault});
     }
     cell.stats.label = !points_[point].label.empty()
                            ? points_[point].label
@@ -147,9 +148,9 @@ void EnsembleResult::write_jsonl(std::ostream& out) const {
     append_json_number(out, "median_wait_minutes", o.median_wait_minutes);
     append_json_number(out, "violation_fraction", o.violation_fraction);
     append_json_number(out, "jobs_completed", o.jobs_completed);
-    append_json_number(out, "makespan_hours", o.makespan_hours,
-                       /*trailing_comma=*/false);
-    out << "}\n";
+    append_json_number(out, "makespan_hours", o.makespan_hours);
+    out << "\"node_crashes\":" << o.node_crashes
+        << ",\"jobs_requeued\":" << o.jobs_requeued << "}\n";
   }
 }
 

@@ -57,6 +57,9 @@ struct EnsembleObservation {
   double violation_fraction = 0.0;
   double jobs_completed = 0.0;
   double makespan_hours = 0.0;
+  /// Resilience-plane counters (nonzero only when faults were injected).
+  std::uint64_t node_crashes = 0;
+  std::uint64_t jobs_requeued = 0;
 };
 
 /// Across-seed statistics for one parameter point.

@@ -39,8 +39,38 @@ double arrival_rate_for_utilization(const workload::AppCatalog& catalog,
   return utilization * capacity_node_hours_per_hour / node_hours_per_job;
 }
 
+void validate(const ScenarioConfig& config) {
+  if (config.nodes == 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': nodes must be > 0 (empty cluster)");
+  }
+  if (config.nodes_per_rack == 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': nodes_per_rack must be > 0");
+  }
+  if (config.racks_per_pdu == 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': racks_per_pdu must be > 0");
+  }
+  if (config.horizon <= 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': horizon must be positive");
+  }
+  if (config.pstate_steps == 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': pstate_steps must be > 0");
+  }
+  if (config.top_ghz <= 0.0 || config.bottom_ghz <= 0.0 ||
+      config.bottom_ghz > config.top_ghz) {
+    throw std::invalid_argument(
+        "scenario '" + config.label +
+        "': DVFS ladder requires 0 < bottom_ghz <= top_ghz");
+  }
+}
+
 namespace {
 platform::Cluster build_cluster(const ScenarioConfig& config) {
+  validate(config);  // before any construction: throw, don't half-build
   return platform::ClusterBuilder()
       .name(config.label)
       .node_count(config.nodes)

@@ -54,6 +54,12 @@ struct ScenarioConfig {
   sim::SimTime horizon = 4 * sim::kDay;
 };
 
+/// Rejects configs that cannot form a runnable experiment (zero nodes,
+/// zero-size rack/PDU groupings, non-positive horizon, inverted DVFS
+/// ladder) with std::invalid_argument naming the offending field. Called
+/// by the Scenario constructor, so ScenarioBuilder::build() validates too.
+void validate(const ScenarioConfig& config);
+
 /// Derives a Poisson arrival rate that loads `nodes` nodes to roughly
 /// `utilization` given the catalog's mean job size and runtime.
 double arrival_rate_for_utilization(const workload::AppCatalog& catalog,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "predict/tag_history.hpp"
@@ -36,6 +37,12 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
   scheduler_ = std::make_unique<sched::EasyBackfillScheduler>();
   power_predictor_ = std::make_unique<predict::TagHistoryPowerPredictor>(
       model_.peak_watts(cluster.node(0).config()));
+
+  rm_->set_quarantine_policy(config_.resilience.flap_threshold,
+                             config_.resilience.flap_window,
+                             config_.resilience.quarantine_duration);
+  monitor_->set_stale_safety_margin(
+      config_.resilience.telemetry_safety_margin);
 
   rm_->lifecycle().set_pre_power_change([this] { checkpoint_energy(); });
   rm_->lifecycle().set_post_power_change([this](platform::NodeId id) {
@@ -186,6 +193,14 @@ RunResult EpaJsrmSolution::finalize() {
   result.sim_events = sim_->events_processed();
   result.job_reports = job_reports_;
   result.kills_by_reason = kills_by_reason_;
+  result.node_crashes = node_crashes_;
+  result.pdu_trips = pdu_trips_;
+  result.jobs_requeued_on_fault = jobs_requeued_on_fault_;
+  result.jobs_lost_on_fault = jobs_lost_on_fault_;
+  result.node_quarantines = rm_->quarantines();
+  result.capmc_retries = capmc_.retries();
+  result.capmc_failed_calls = capmc_.failed_calls();
+  result.telemetry_dropped_samples = monitor_->dropped_samples();
   return result;
 }
 
@@ -411,6 +426,144 @@ workload::JobId EpaJsrmSolution::requeue_job(workload::JobId job_id,
   const workload::JobId new_id = spec.id;
   submit(std::move(spec));
   return new_id;
+}
+
+// --- fault handling -----------------------------------------------------------
+
+void EpaJsrmSolution::requeue_after_crash(workload::Job& job,
+                                          const std::string& reason) {
+  workload::JobSpec spec = job.spec();
+  spec.id = next_synthetic_id();
+  spec.submit_time = sim_->now();
+  // Bank progress up to the crash instant before reading work_done();
+  // finish_job would do this too, but only after we have sized the clone.
+  job.update_speed(sim_->now(), min_freq_ratio(job));
+  // Checkpoint/restart model: progress up to the last completed
+  // checkpoint survives; the clone pays the restart overhead on top of
+  // the remaining hidden runtime. Without checkpointing everything is
+  // redone from scratch (still plus the restart overhead).
+  const sim::SimTime ckpt = config_.resilience.checkpoint_interval;
+  double saved_fraction = 0.0;
+  if (ckpt > 0 && job.work_total() > 0.0) {
+    const double ckpt_work_s = sim::to_seconds(ckpt);
+    const double saved_work_s =
+        std::floor(job.work_done() / ckpt_work_s) * ckpt_work_s;
+    saved_fraction =
+        std::clamp(saved_work_s / job.work_total(), 0.0, 1.0);
+  }
+  const double remaining_ref_s =
+      sim::to_seconds(spec.runtime_ref) * (1.0 - saved_fraction);
+  spec.runtime_ref = sim::from_seconds(remaining_ref_s) +
+                     config_.resilience.restart_overhead;
+  spec.runtime_ref = std::max<sim::SimTime>(spec.runtime_ref, sim::kSecond);
+  // Keep the walltime limit achievable for the restarted copy.
+  spec.walltime_estimate =
+      std::max(spec.walltime_estimate, spec.runtime_ref);
+  finish_job(job, workload::JobState::kKilled, reason);
+  submit(std::move(spec));
+}
+
+bool EpaJsrmSolution::fail_node(platform::NodeId id,
+                                const std::string& reason) {
+  if (id >= cluster_->node_count()) return false;
+  platform::Node& node = cluster_->node(id);
+  using NS = platform::NodeState;
+  const NS state = node.state();
+  // Nodes mid-transition or already down are out of scope: the lifecycle
+  // driver owns their pending completion events, and a dead node cannot
+  // die again.
+  if (state != NS::kIdle && state != NS::kBusy && state != NS::kDraining) {
+    return false;
+  }
+
+  // Drain the node's jobs first; each finish_job checkpoints energy and
+  // releases the job's whole allocation (possibly spanning other nodes).
+  std::vector<workload::JobId> victims;
+  victims.reserve(node.allocations().size());
+  for (const auto& [job_id, alloc] : node.allocations()) {
+    victims.push_back(job_id);
+  }
+  for (workload::JobId job_id : victims) {
+    workload::Job* job = find_job(job_id);
+    if (job == nullptr || job->state() != workload::JobState::kRunning) {
+      continue;
+    }
+    if (config_.resilience.requeue_on_crash) {
+      requeue_after_crash(*job, reason);
+      ++jobs_requeued_on_fault_;
+      if (obs_ != nullptr) {
+        obs_->metrics().counter("fault.jobs_requeued").add(1);
+      }
+    } else {
+      finish_job(*job, workload::JobState::kKilled, reason);
+      ++jobs_lost_on_fault_;
+      if (obs_ != nullptr) {
+        obs_->metrics().counter("fault.jobs_lost").add(1);
+      }
+    }
+  }
+
+  checkpoint_energy();
+  node.set_state(NS::kOff);  // hard power loss: no shutdown sequence
+  model_.apply(node);
+  ++crash_marks_[id];
+  ++node_crashes_;
+  rm_->record_crash(id, sim_->now());
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("fault.node_crashes").add(1);
+    obs_->trace().instant(
+        "fault", "node_crash", -1, static_cast<std::int64_t>(id),
+        {{"jobs", static_cast<double>(victims.size())}});
+  }
+  logger_.warn("fault", "node " + std::to_string(id) + " crashed (" +
+                            reason + "), " + std::to_string(victims.size()) +
+                            " job(s) affected");
+  request_schedule();
+  return true;
+}
+
+bool EpaJsrmSolution::restore_node(platform::NodeId id) {
+  if (id >= cluster_->node_count()) return false;
+  return rm_->lifecycle().power_on(id);
+}
+
+std::uint32_t EpaJsrmSolution::trip_pdu(platform::PduId pdu,
+                                        const std::string& reason) {
+  std::uint32_t downed = 0;
+  for (platform::Node& node : cluster_->nodes()) {
+    if (node.pdu() != pdu) continue;
+    if (fail_node(node.id(), reason)) ++downed;
+  }
+  ++pdu_trips_;
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("fault.pdu_trips").add(1);
+    obs_->trace().instant("fault", "pdu_trip", -1,
+                          static_cast<std::int64_t>(pdu),
+                          {{"nodes", static_cast<double>(downed)}});
+  }
+  logger_.warn("fault", "PDU " + std::to_string(pdu) + " tripped (" +
+                            reason + "), " + std::to_string(downed) +
+                            " node(s) down");
+  return downed;
+}
+
+std::uint32_t EpaJsrmSolution::restore_pdu(platform::PduId pdu) {
+  std::uint32_t booting = 0;
+  for (platform::Node& node : cluster_->nodes()) {
+    if (node.pdu() != pdu) continue;
+    if (node.state() == platform::NodeState::kOff &&
+        rm_->lifecycle().power_on(node.id())) {
+      ++booting;
+    }
+  }
+  return booting;
+}
+
+bool EpaJsrmSolution::take_crash_mark(platform::NodeId node) {
+  const auto it = crash_marks_.find(node);
+  if (it == crash_marks_.end()) return false;
+  if (--it->second == 0) crash_marks_.erase(it);
+  return true;
 }
 
 void EpaJsrmSolution::request_schedule() {

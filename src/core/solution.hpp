@@ -40,6 +40,25 @@
 
 namespace epajsrm::core {
 
+/// Graceful-degradation tunables (resilience plane, DESIGN.md §9).
+struct ResilienceConfig {
+  /// Requeue jobs whose nodes crash (false = the jobs are simply lost).
+  bool requeue_on_crash = true;
+  /// Application checkpoint interval; work since the last checkpoint is
+  /// lost on a crash. 0 = no checkpointing (requeues restart from zero).
+  sim::SimTime checkpoint_interval = 0;
+  /// Extra runtime a restarted job pays to reload its checkpoint.
+  sim::SimTime restart_overhead = 2 * sim::kMinute;
+  /// Flap detection: `flap_threshold` crashes within `flap_window`
+  /// quarantine the node for `quarantine_duration` (threshold 0 disables).
+  std::uint32_t flap_threshold = 3;
+  sim::SimTime flap_window = 1 * sim::kHour;
+  sim::SimTime quarantine_duration = 8 * sim::kHour;
+  /// Stale-telemetry safety margin applied to last-known-good power (see
+  /// telemetry::MonitoringService::measured_it_watts).
+  double telemetry_safety_margin = 1.05;
+};
+
 /// Tunables of the integrated stack.
 struct SolutionConfig {
   /// Monitoring/control-loop period (telemetry sampling, policy ticks,
@@ -64,6 +83,10 @@ struct SolutionConfig {
   /// Disabled by default: with obs.enabled false the stack allocates
   /// nothing and instrumented code paths reduce to one null check.
   obs::ObsConfig obs;
+  /// Behaviour under injected faults (node crashes, PDU trips, degraded
+  /// telemetry). Defaults are production-flavoured: requeue on crash, no
+  /// checkpointing, quarantine flappers.
+  ResilienceConfig resilience;
 };
 
 /// Result of a completed run.
@@ -79,6 +102,15 @@ struct RunResult {
   std::vector<telemetry::JobEnergyReport> job_reports;
   /// kill reason -> count (emergency responses, walltime, ...).
   std::unordered_map<std::string, std::uint64_t> kills_by_reason;
+  // --- resilience metrics (zero in fault-free runs) -----------------------
+  std::uint64_t node_crashes = 0;
+  std::uint64_t pdu_trips = 0;
+  std::uint64_t jobs_requeued_on_fault = 0;
+  std::uint64_t jobs_lost_on_fault = 0;
+  std::uint64_t node_quarantines = 0;
+  std::uint64_t capmc_retries = 0;
+  std::uint64_t capmc_failed_calls = 0;
+  std::uint64_t telemetry_dropped_samples = 0;
 };
 
 /// The integrated EPA JSRM solution.
@@ -150,6 +182,8 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   obs::Observability* observability() override { return obs_.get(); }
   obs::Observability* observability() const override { return obs_.get(); }
   const power::CapmcController& capmc() const { return capmc_; }
+  /// Mutable access for resilience wiring (retry policy, transport).
+  power::CapmcController& capmc() { return capmc_; }
   /// Installed EPA policies, in consultation order (read-only inspection;
   /// the invariant auditor cross-checks their reported budgets).
   const std::vector<std::unique_ptr<epa::EpaPolicy>>& policies() const {
@@ -161,6 +195,38 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   bool workload_drained() const {
     return pending_.empty() && running_.empty() && arrivals_outstanding_ == 0;
   }
+
+  // --- fault handling (resilience plane, DESIGN.md §9) ----------------------
+
+  /// Crashes a node: its jobs are requeued (with the checkpoint/restart
+  /// model) or lost per ResilienceConfig, the node goes hard Off, and the
+  /// flap detector may quarantine it. Only nodes in a cap-governed state
+  /// (Idle/Busy/Draining) can crash; mid-transition or already-down nodes
+  /// return false and nothing changes.
+  bool fail_node(platform::NodeId node, const std::string& reason);
+
+  /// Boots a crashed (Off) node back up through the ordinary lifecycle
+  /// (boot latency applies). Returns false unless the node is Off.
+  bool restore_node(platform::NodeId node);
+
+  /// Trips a PDU breaker: every live node on it crashes (jobs drain per
+  /// fail_node). Returns the number of nodes taken down.
+  std::uint32_t trip_pdu(platform::PduId pdu, const std::string& reason);
+
+  /// Restores every Off node on a PDU; returns the number booting.
+  std::uint32_t restore_pdu(platform::PduId pdu);
+
+  /// Consumes the crash mark for `node`: true exactly once after each
+  /// injected crash. The invariant auditor uses this to excuse the
+  /// fault-induced lifecycle edge without masking genuine bugs.
+  bool take_crash_mark(platform::NodeId node);
+
+  std::uint64_t node_crashes() const { return node_crashes_; }
+  std::uint64_t pdu_trips() const { return pdu_trips_; }
+  std::uint64_t jobs_requeued_on_fault() const {
+    return jobs_requeued_on_fault_;
+  }
+  std::uint64_t jobs_lost_on_fault() const { return jobs_lost_on_fault_; }
 
   // --- sched::SchedulingContext ---------------------------------------------
 
@@ -232,6 +298,9 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   double tightest_budget(sim::SimTime t) const;
   void checkpoint_energy();
   bool run_plan(epa::StartPlan& plan);
+  /// Requeues a job killed by a crash, crediting checkpointed progress and
+  /// charging the restart overhead on the clone's hidden runtime.
+  void requeue_after_crash(workload::Job& job, const std::string& reason);
 
   sim::Simulation* sim_;
   platform::Cluster* cluster_;
@@ -270,6 +339,14 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   workload::JobId next_synthetic_ = workload::JobId{1} << 62;
   std::unordered_map<std::string, std::uint64_t> kills_by_reason_;
   std::vector<telemetry::JobEnergyReport> job_reports_;
+
+  // --- resilience state ----------------------------------------------------
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t pdu_trips_ = 0;
+  std::uint64_t jobs_requeued_on_fault_ = 0;
+  std::uint64_t jobs_lost_on_fault_ = 0;
+  /// Nodes with an unconsumed injected-crash mark (see take_crash_mark).
+  std::unordered_map<platform::NodeId, std::uint32_t> crash_marks_;
 
   // Registry handles (null when observability is off; resolved once in the
   // constructor so hot paths never do name lookups).

@@ -7,7 +7,12 @@ namespace epajsrm::epa {
 
 void EmergencyResponsePolicy::on_tick(sim::SimTime now) {
   if (host_ == nullptr || config_.limit_watts <= 0.0) return;
-  const double draw = host_->cluster().it_power_watts();
+  // Breach detection reads the *measured* power, not the ground truth:
+  // under sensor dropout the monitor serves last-known-good with a safety
+  // margin instead of garbage (in fault-free runs the control loop samples
+  // right before this tick, so the two are identical). The kill loop below
+  // still re-reads the live draw — killing acts on reality.
+  const double draw = host_->monitor().measured_it_watts(now);
 
   if (draw <= config_.limit_watts) {
     breach_ticks_ = 0;

@@ -32,7 +32,9 @@ void NodeCyclingCapPolicy::on_tick(sim::SimTime now) {
 
   const double rolling =
       host_->monitor().machine_power().trailing_mean(config_.window);
-  const double instant = cluster.it_power_watts();
+  // Measured, not ground truth: under degraded telemetry this serves
+  // last-known-good plus a safety margin instead of reading garbage.
+  const double instant = host_->monitor().measured_it_watts(now);
   const double per_node_peak =
       host_->power_model().peak_watts(cluster.node(0).config());
 

@@ -1,0 +1,36 @@
+// The control-RPC transport abstraction the CAPMC controller calls
+// through when one is attached.
+//
+// Header-only and sim-only on purpose: power::CapmcController includes
+// this without linking the fault library (which in turn links core), so no
+// dependency cycle forms. The fault injector provides the lossy
+// implementation; tests can script their own.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace epajsrm::fault {
+
+/// One out-of-band control channel (the CAPMC REST endpoint, an IPMI
+/// bridge, ...). Implementations decide per attempt whether the RPC
+/// succeeds and how long it takes; they must be deterministic functions of
+/// simulation state and their own seeded streams.
+class ControlTransport {
+ public:
+  virtual ~ControlTransport() = default;
+
+  /// Outcome of one RPC attempt.
+  struct Attempt {
+    bool ok = true;
+    double latency_us = 0.0;
+  };
+
+  /// Performs one attempt of the named operation ("node_cap", ...).
+  virtual Attempt attempt(const char* op) = 0;
+
+  /// Current simulation time, for breaker cooldown bookkeeping (the
+  /// controller deliberately has no Simulation reference of its own).
+  virtual sim::SimTime now() const = 0;
+};
+
+}  // namespace epajsrm::fault

@@ -1,0 +1,54 @@
+// Fault taxonomy of the resilience plane (DESIGN.md §9).
+//
+// The surveyed production stacks (Trinity emergency response, Cray CAPMC,
+// LRZ/CINECA telemetry pipelines) all exist because real centers face
+// failing nodes, flaky sensors and lossy control channels. A FaultEvent is
+// one typed, timed fault; plans of them (fault_plan.hpp) are injected
+// through the ordinary event queue so every run replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::fault {
+
+/// The fault classes the injector understands.
+enum class FaultKind {
+  kNodeCrash,         ///< node dies instantly; jobs on it are lost/requeued
+  kNodeHang,          ///< node wedges; detected (and treated as a crash)
+                      ///< only after a detection latency
+  kPduTrip,           ///< a PDU breaker opens: every node on it goes down
+  kSensorDropout,     ///< machine power samples are dropped (prob=magnitude)
+  kSensorStuck,       ///< machine power sensor repeats its last reading
+  kSensorNoise,       ///< multiplicative Gaussian noise (sigma=magnitude)
+  kThermalExcursion,  ///< node temperature jumps by magnitude °C
+  kCapmcFailure,      ///< control RPCs fail with probability magnitude
+  kCapmcLatency,      ///< control RPCs slow down by magnitude µs
+};
+
+/// Stable spec-file name of a kind ("node-crash", "capmc-latency", ...).
+const char* to_string(FaultKind kind);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+FaultKind parse_fault_kind(const std::string& name);
+
+/// One scheduled fault.
+struct FaultEvent {
+  sim::SimTime at = 0;      ///< injection time
+  FaultKind kind = FaultKind::kNodeCrash;
+  /// Node id (crash/hang/thermal), PDU id (trip), or -1 for machine-wide
+  /// targets (sensor and CAPMC faults ignore it; thermal -1 = all nodes).
+  std::int64_t target = -1;
+  /// Kind-specific strength: drop/failure probability in [0,1] for
+  /// dropout/CAPMC failure, noise sigma, added RPC latency in µs, or the
+  /// temperature delta in °C. 0 means the kind's natural default.
+  double magnitude = 0.0;
+  /// Window length for windowed kinds (sensor/CAPMC faults), or the repair
+  /// time after which a crashed node/PDU is restored; 0 = no auto-repair
+  /// (crashes) / a zero-length window (sensor faults, i.e. a no-op).
+  sim::SimTime duration = 0;
+};
+
+}  // namespace epajsrm::fault

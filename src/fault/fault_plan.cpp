@@ -1,0 +1,204 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace epajsrm::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:        return "node-crash";
+    case FaultKind::kNodeHang:         return "node-hang";
+    case FaultKind::kPduTrip:          return "pdu-trip";
+    case FaultKind::kSensorDropout:    return "sensor-dropout";
+    case FaultKind::kSensorStuck:      return "sensor-stuck";
+    case FaultKind::kSensorNoise:      return "sensor-noise";
+    case FaultKind::kThermalExcursion: return "thermal-excursion";
+    case FaultKind::kCapmcFailure:     return "capmc-failure";
+    case FaultKind::kCapmcLatency:     return "capmc-latency";
+  }
+  return "?";
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kNodeCrash, FaultKind::kNodeHang, FaultKind::kPduTrip,
+        FaultKind::kSensorDropout, FaultKind::kSensorStuck,
+        FaultKind::kSensorNoise, FaultKind::kThermalExcursion,
+        FaultKind::kCapmcFailure, FaultKind::kCapmcLatency}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  if (event.at < 0) throw std::invalid_argument("fault time must be >= 0");
+  if (event.duration < 0) {
+    throw std::invalid_argument("fault duration must be >= 0");
+  }
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_node(sim::SimTime at, std::int64_t node,
+                                 sim::SimTime repair_after) {
+  return add({at, FaultKind::kNodeCrash, node, 0.0, repair_after});
+}
+
+FaultPlan& FaultPlan::hang_node(sim::SimTime at, std::int64_t node,
+                                sim::SimTime repair_after) {
+  return add({at, FaultKind::kNodeHang, node, 0.0, repair_after});
+}
+
+FaultPlan& FaultPlan::trip_pdu(sim::SimTime at, std::int64_t pdu,
+                               sim::SimTime repair_after) {
+  return add({at, FaultKind::kPduTrip, pdu, 0.0, repair_after});
+}
+
+FaultPlan& FaultPlan::sensor_dropout(sim::SimTime at, sim::SimTime duration,
+                                     double drop_probability) {
+  return add({at, FaultKind::kSensorDropout, -1, drop_probability, duration});
+}
+
+FaultPlan& FaultPlan::sensor_stuck(sim::SimTime at, sim::SimTime duration) {
+  return add({at, FaultKind::kSensorStuck, -1, 0.0, duration});
+}
+
+FaultPlan& FaultPlan::sensor_noise(sim::SimTime at, sim::SimTime duration,
+                                   double sigma) {
+  return add({at, FaultKind::kSensorNoise, -1, sigma, duration});
+}
+
+FaultPlan& FaultPlan::thermal_excursion(sim::SimTime at, std::int64_t node,
+                                        double delta_c) {
+  return add({at, FaultKind::kThermalExcursion, node, delta_c, 0});
+}
+
+FaultPlan& FaultPlan::capmc_failure(sim::SimTime at, sim::SimTime duration,
+                                    double failure_probability) {
+  return add({at, FaultKind::kCapmcFailure, -1, failure_probability,
+              duration});
+}
+
+FaultPlan& FaultPlan::capmc_latency(sim::SimTime at, sim::SimTime duration,
+                                    double added_us) {
+  return add({at, FaultKind::kCapmcLatency, -1, added_us, duration});
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#' || line[first] == ';') continue;
+
+    std::istringstream fields(line);
+    double time_s = 0.0;
+    std::string kind_name;
+    std::int64_t target = -1;
+    if (!(fields >> time_s >> kind_name >> target)) {
+      throw std::invalid_argument("fault spec line " +
+                                  std::to_string(line_no) +
+                                  ": need <time_s> <kind> <target>");
+    }
+    FaultEvent event;
+    try {
+      event.kind = parse_fault_kind(kind_name);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("fault spec line " +
+                                  std::to_string(line_no) + ": " + e.what());
+    }
+    if (time_s < 0.0) {
+      throw std::invalid_argument("fault spec line " +
+                                  std::to_string(line_no) +
+                                  ": time must be >= 0");
+    }
+    event.at = sim::from_seconds(time_s);
+    event.target = target;
+    double magnitude = 0.0;
+    double duration_s = 0.0;
+    if (fields >> magnitude) event.magnitude = magnitude;
+    if (fields >> duration_s) {
+      if (duration_s < 0.0) {
+        throw std::invalid_argument("fault spec line " +
+                                    std::to_string(line_no) +
+                                    ": duration must be >= 0");
+      }
+      event.duration = sim::from_seconds(duration_s);
+    }
+    plan.add(event);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+FaultPlan FaultPlan::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open fault spec: " + path);
+  return parse(in);
+}
+
+FaultPlan FailureModel::generate(std::uint32_t nodes, sim::SimTime horizon,
+                                 std::uint64_t seed) const {
+  if (mtbf_hours <= 0.0) {
+    throw std::invalid_argument("mtbf_hours must be positive");
+  }
+  if (weibull_shape <= 0.0) {
+    throw std::invalid_argument("weibull_shape must be positive");
+  }
+  FaultPlan plan;
+  const double mtbf_s = mtbf_hours * 3600.0;
+  // Weibull scale such that the mean stays the MTBF:
+  // mean = scale * Gamma(1 + 1/k).
+  const double scale_s =
+      mtbf_s / std::tgamma(1.0 + 1.0 / weibull_shape);
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    // Per-node stream, decorrelated from neighbours and stable under
+    // changes to any other node's draw count.
+    sim::Rng rng(sim::splitmix64(seed + 0x9e37u) ^
+                 sim::splitmix64(node + 1));
+    sim::SimTime t = 0;
+    while (true) {
+      const double gap_s =
+          distribution == Distribution::kExponential
+              ? rng.exponential(mtbf_s)
+              : std::weibull_distribution<double>(weibull_shape,
+                                                  scale_s)(rng.engine());
+      t += sim::from_seconds(std::max(1.0, gap_s));
+      // A node under repair cannot fail again before it is back.
+      if (t > horizon) break;
+      plan.crash_node(t, node, repair_time);
+      t += repair_time;
+    }
+  }
+  return plan;
+}
+
+}  // namespace epajsrm::fault

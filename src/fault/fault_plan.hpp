@@ -1,0 +1,98 @@
+// FaultPlan: an ordered set of typed fault events, built programmatically
+// or parsed from a small line-oriented spec, plus the stochastic
+// FailureModel that generates crash plans from per-node MTBF
+// distributions (exponential or Weibull) for reliability sweeps.
+//
+// Plans are plain data; the injector (injector.hpp) turns them into
+// scheduled events. Everything here is deterministic from explicit seeds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::fault {
+
+/// A deterministic schedule of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Appends one event (fluent).
+  FaultPlan& add(FaultEvent event);
+
+  /// Convenience adders for the common kinds.
+  FaultPlan& crash_node(sim::SimTime at, std::int64_t node,
+                        sim::SimTime repair_after = 0);
+  FaultPlan& hang_node(sim::SimTime at, std::int64_t node,
+                       sim::SimTime repair_after = 0);
+  FaultPlan& trip_pdu(sim::SimTime at, std::int64_t pdu,
+                      sim::SimTime repair_after = 0);
+  FaultPlan& sensor_dropout(sim::SimTime at, sim::SimTime duration,
+                            double drop_probability = 1.0);
+  FaultPlan& sensor_stuck(sim::SimTime at, sim::SimTime duration);
+  FaultPlan& sensor_noise(sim::SimTime at, sim::SimTime duration,
+                          double sigma);
+  FaultPlan& thermal_excursion(sim::SimTime at, std::int64_t node,
+                               double delta_c);
+  FaultPlan& capmc_failure(sim::SimTime at, sim::SimTime duration,
+                           double failure_probability = 1.0);
+  FaultPlan& capmc_latency(sim::SimTime at, sim::SimTime duration,
+                           double added_us);
+
+  /// Merges another plan's events into this one.
+  FaultPlan& merge(const FaultPlan& other);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events sorted by injection time (stable, so same-time events keep
+  /// plan order). Called by the injector; idempotent.
+  std::vector<FaultEvent> sorted() const;
+
+  /// Parses the line-oriented spec format:
+  ///
+  ///   # comment
+  ///   <time_s> <kind> <target> [magnitude] [duration_s]
+  ///
+  /// e.g. "3600 node-crash 12 0 1800" or "7200 capmc-failure -1 0.5 600".
+  /// Kind names are the to_string(FaultKind) names. Malformed lines throw
+  /// std::invalid_argument naming the line number (fault specs are small,
+  /// hand-written files — failing loudly beats silently skipping faults).
+  static FaultPlan parse(std::istream& in);
+  static FaultPlan parse_string(const std::string& text);
+  static FaultPlan parse_file(const std::string& path);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Stochastic per-node failure generator for open-ended reliability
+/// sweeps: samples inter-failure times per node from an exponential or
+/// Weibull MTBF distribution and emits crash events (with a fixed repair
+/// time) over a horizon. Deterministic from the seed — node i's stream is
+/// splitmix64-derived, so the plan does not depend on node count changes
+/// elsewhere.
+struct FailureModel {
+  enum class Distribution { kExponential, kWeibull };
+
+  Distribution distribution = Distribution::kExponential;
+  /// Mean time between failures per node, in hours.
+  double mtbf_hours = 2000.0;
+  /// Weibull shape (k > 1 = wear-out, k < 1 = infant mortality). The
+  /// scale is derived so the mean stays mtbf_hours.
+  double weibull_shape = 1.5;
+  /// Crashed nodes are restored this long after each failure.
+  sim::SimTime repair_time = 30 * sim::kMinute;
+
+  /// Generates the crash plan for `nodes` nodes over [0, horizon].
+  FaultPlan generate(std::uint32_t nodes, sim::SimTime horizon,
+                     std::uint64_t seed) const;
+};
+
+}  // namespace epajsrm::fault

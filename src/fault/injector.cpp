@@ -1,0 +1,186 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "core/solution.hpp"
+
+namespace epajsrm::fault {
+
+FaultInjector::FaultInjector(core::EpaJsrmSolution& solution, Config config)
+    : solution_(&solution), config_(config),
+      sensor_rng_(sim::splitmix64(config.seed ^ 0x5e4a5ull)),
+      capmc_rng_(sim::splitmix64(config.seed ^ 0xca9ccull)) {}
+
+std::shared_ptr<FaultInjector> FaultInjector::install(
+    core::EpaJsrmSolution& solution, const FaultPlan& plan, Config config) {
+  std::shared_ptr<FaultInjector> self(new FaultInjector(solution, config));
+  if (config.attach_sensor_filter) {
+    solution.monitor().set_power_sample_filter(
+        [self](sim::SimTime t, double truth_watts) {
+          return self->filter_power_sample(t, truth_watts);
+        });
+  }
+  if (config.attach_transport) {
+    solution.capmc().set_transport(self);
+  }
+  self->schedule_plan(plan);
+  return self;
+}
+
+sim::SimTime FaultInjector::now() const {
+  return solution_->simulation().now();
+}
+
+void FaultInjector::prune(std::vector<Window>& windows, sim::SimTime t) {
+  windows.erase(std::remove_if(windows.begin(), windows.end(),
+                               [t](const Window& w) { return w.until <= t; }),
+                windows.end());
+}
+
+void FaultInjector::schedule_plan(const FaultPlan& plan) {
+  sim::Simulation& sim = solution_->simulation();
+  for (const FaultEvent& event : plan.sorted()) {
+    std::shared_ptr<FaultInjector> self = shared_from_this();
+    sim.schedule_at(
+        event.at, [self, event] { self->apply(event); }, "fault.inject");
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  ++injected_;
+  sim::Simulation& sim = solution_->simulation();
+  std::shared_ptr<FaultInjector> self = shared_from_this();
+  const sim::SimTime t = sim.now();
+
+  switch (event.kind) {
+    case FaultKind::kNodeCrash: {
+      if (event.target < 0) break;
+      const auto node = static_cast<platform::NodeId>(event.target);
+      if (solution_->fail_node(node, "node-crash") && event.duration > 0) {
+        sim.schedule_in(
+            event.duration, [self, node] { self->solution_->restore_node(node); },
+            "fault.recover");
+      }
+      break;
+    }
+    case FaultKind::kNodeHang: {
+      if (event.target < 0) break;
+      const auto node = static_cast<platform::NodeId>(event.target);
+      const sim::SimTime repair = event.duration;
+      // The hang itself is invisible; the health check notices after the
+      // detection latency and the node is then handled as a crash.
+      sim.schedule_in(
+          config_.hang_detection_latency,
+          [self, node, repair] {
+            if (self->solution_->fail_node(node, "node-hang") && repair > 0) {
+              self->solution_->simulation().schedule_in(
+                  repair,
+                  [self, node] { self->solution_->restore_node(node); },
+                  "fault.recover");
+            }
+          },
+          "fault.inject");
+      break;
+    }
+    case FaultKind::kPduTrip: {
+      if (event.target < 0) break;
+      const auto pdu = static_cast<platform::PduId>(event.target);
+      solution_->trip_pdu(pdu, "pdu-trip");
+      if (event.duration > 0) {
+        sim.schedule_in(
+            event.duration, [self, pdu] { self->solution_->restore_pdu(pdu); },
+            "fault.recover");
+      }
+      break;
+    }
+    case FaultKind::kSensorDropout:
+    case FaultKind::kSensorStuck:
+    case FaultKind::kSensorNoise:
+      if (event.duration > 0) {
+        sensor_windows_.push_back(
+            {event.kind, t + event.duration, event.magnitude});
+      }
+      break;
+    case FaultKind::kThermalExcursion: {
+      platform::Cluster& cluster = solution_->cluster();
+      if (event.target >= 0) {
+        if (static_cast<std::uint64_t>(event.target) <
+            cluster.node_count()) {
+          platform::Node& node =
+              cluster.node(static_cast<platform::NodeId>(event.target));
+          node.set_temperature_c(node.temperature_c() + event.magnitude);
+        }
+      } else {
+        for (platform::Node& node : cluster.nodes()) {
+          node.set_temperature_c(node.temperature_c() + event.magnitude);
+        }
+      }
+      break;
+    }
+    case FaultKind::kCapmcFailure:
+    case FaultKind::kCapmcLatency:
+      if (event.duration > 0) {
+        capmc_windows_.push_back(
+            {event.kind, t + event.duration, event.magnitude});
+      }
+      break;
+  }
+}
+
+std::optional<double> FaultInjector::filter_power_sample(sim::SimTime t,
+                                                         double truth_watts) {
+  prune(sensor_windows_, t);
+  bool dropped = false;
+  bool stuck = false;
+  double sigma = 0.0;
+  for (const Window& w : sensor_windows_) {
+    switch (w.kind) {
+      case FaultKind::kSensorDropout: {
+        const double p = w.magnitude <= 0.0 ? 1.0 : w.magnitude;
+        // Draw the coin unconditionally so the stream stays aligned no
+        // matter how windows overlap.
+        if (sensor_rng_.bernoulli(p)) dropped = true;
+        break;
+      }
+      case FaultKind::kSensorStuck:
+        stuck = true;
+        break;
+      case FaultKind::kSensorNoise:
+        sigma += w.magnitude;
+        break;
+      default:
+        break;
+    }
+  }
+  if (dropped) return std::nullopt;
+  double value_watts = truth_watts;
+  if (stuck) {
+    if (!stuck_watts_.has_value()) stuck_watts_ = truth_watts;
+    value_watts = *stuck_watts_;
+  } else {
+    stuck_watts_.reset();
+  }
+  if (sigma > 0.0) {
+    value_watts =
+        std::max(0.0, value_watts * (1.0 + sensor_rng_.normal(0.0, sigma)));
+  }
+  return value_watts;
+}
+
+ControlTransport::Attempt FaultInjector::attempt(const char* op) {
+  (void)op;
+  prune(capmc_windows_, now());
+  Attempt result;
+  result.latency_us = config_.base_rpc_latency_us;
+  for (const Window& w : capmc_windows_) {
+    if (w.kind == FaultKind::kCapmcFailure) {
+      const double p = w.magnitude <= 0.0 ? 1.0 : w.magnitude;
+      if (capmc_rng_.bernoulli(p)) result.ok = false;
+    } else if (w.kind == FaultKind::kCapmcLatency) {
+      result.latency_us += w.magnitude;
+    }
+  }
+  return result;
+}
+
+}  // namespace epajsrm::fault

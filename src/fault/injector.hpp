@@ -1,0 +1,93 @@
+// FaultInjector: turns a FaultPlan into scheduled simulation events and
+// wires the lossy paths into the stack — node/PDU failures through
+// core::EpaJsrmSolution, sensor faults through the monitoring service's
+// power-sample filter, and CAPMC control-RPC faults by acting as the
+// controller's ControlTransport.
+//
+// Determinism: all injections ride the ordinary event queue under the
+// "fault.inject"/"fault.recover" categories, and all randomness (drop
+// coins, noise, RPC failures) comes from two Rng streams seeded from the
+// injector seed — so a run with a given (plan, seed) replays
+// bit-identically, including inside ensemble shards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fault/control_transport.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/rng.hpp"
+
+namespace epajsrm::core {
+class EpaJsrmSolution;
+}
+
+namespace epajsrm::fault {
+
+/// Injects a FaultPlan into a solution. Create via install(); the returned
+/// shared_ptr co-owns the injector with the scheduled callbacks, so it
+/// survives ensemble Customize hooks that drop their local handle.
+class FaultInjector : public ControlTransport,
+                      public std::enable_shared_from_this<FaultInjector> {
+ public:
+  struct Config {
+    /// Seeds the sensor and control-channel randomness streams.
+    std::uint64_t seed = 1;
+    /// A hung node is detected (and handled as a crash) this long after
+    /// the hang begins — modelling the health-check lag.
+    sim::SimTime hang_detection_latency = 60 * sim::kSecond;
+    /// Baseline out-of-band RPC latency in healthy conditions.
+    double base_rpc_latency_us = 50.0;
+    /// Wire this injector as the CAPMC controller's transport.
+    bool attach_transport = true;
+    /// Install the monitor's power-sample filter for sensor faults.
+    bool attach_sensor_filter = true;
+  };
+
+  /// Schedules every plan event on the solution's simulation and attaches
+  /// the sensor/control hooks. Call before (or during) the run; events in
+  /// the past fire immediately, per Simulation::schedule_at.
+  static std::shared_ptr<FaultInjector> install(
+      core::EpaJsrmSolution& solution, const FaultPlan& plan, Config config);
+  static std::shared_ptr<FaultInjector> install(
+      core::EpaJsrmSolution& solution, const FaultPlan& plan) {
+    return install(solution, plan, Config{});
+  }
+
+  // --- ControlTransport (the lossy CAPMC channel) --------------------------
+  Attempt attempt(const char* op) override;
+  sim::SimTime now() const override;
+
+  /// Fault events applied so far.
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  FaultInjector(core::EpaJsrmSolution& solution, Config config);
+
+  void schedule_plan(const FaultPlan& plan);
+  void apply(const FaultEvent& event);
+  std::optional<double> filter_power_sample(sim::SimTime t,
+                                            double truth_watts);
+
+  /// One active windowed fault.
+  struct Window {
+    FaultKind kind;
+    sim::SimTime until = 0;
+    double magnitude = 0.0;
+  };
+  static void prune(std::vector<Window>& windows, sim::SimTime t);
+
+  core::EpaJsrmSolution* solution_;
+  Config config_;
+  sim::Rng sensor_rng_;
+  sim::Rng capmc_rng_;
+  std::vector<Window> sensor_windows_;
+  std::vector<Window> capmc_windows_;
+  /// Held reading while a sensor-stuck window is active.
+  std::optional<double> stuck_watts_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace epajsrm::fault

@@ -1,0 +1,55 @@
+// Retry policy for lossy control channels: bounded exponential backoff
+// with deterministic jitter and a circuit breaker.
+//
+// Header-only and dependency-free below sim/ so the power control plane
+// can adopt it without linking the fault library. Jitter is derived from
+// splitmix64 over an explicit stream counter — never wall-clock or
+// std::rand — so a retried run replays bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::fault {
+
+/// Tunables of one control channel's retry behaviour.
+struct RetryPolicy {
+  /// Attempts per logical call (1 = no retries).
+  std::uint32_t max_attempts = 3;
+  /// An attempt slower than this counts as failed even if the transport
+  /// delivered it (client-side timeout).
+  double timeout_us = 500.0;
+  /// Backoff before attempt k (k >= 2) is base * 2^(k-2), capped at max.
+  double backoff_base_us = 100.0;
+  double backoff_max_us = 10000.0;
+  /// Backoff is multiplied by a factor in [1 - j/2, 1 + j/2].
+  double jitter_fraction = 0.25;
+  /// Consecutive *call* (not attempt) failures that open the breaker;
+  /// 0 disables the breaker.
+  std::uint32_t breaker_threshold = 5;
+  /// While open, calls fast-fail until this much sim time has passed; the
+  /// first call after the cooldown is the half-open probe.
+  sim::SimTime breaker_cooldown = 5 * sim::kMinute;
+};
+
+/// Deterministic backoff before attempt `attempt` (2-based; attempt 1 has
+/// none). `stream` selects the jitter draw — pass a per-call-site counter
+/// so successive calls decorrelate but replay identically.
+inline double backoff_us(const RetryPolicy& policy, std::uint32_t attempt,
+                         std::uint64_t stream) {
+  if (attempt < 2) return 0.0;
+  const std::uint32_t exp = std::min(attempt - 2, 62u);
+  const double base = std::min(policy.backoff_base_us *
+                                   static_cast<double>(std::uint64_t{1} << exp),
+                               policy.backoff_max_us);
+  // splitmix64 output mapped to [0,1): 53 high bits as a double mantissa.
+  const double unit = static_cast<double>(sim::splitmix64(stream) >> 11) *
+                      (1.0 / 9007199254740992.0);
+  const double factor = 1.0 + policy.jitter_fraction * (unit - 0.5);
+  return base * std::max(0.0, factor);
+}
+
+}  // namespace epajsrm::fault

@@ -11,12 +11,87 @@ void CapmcController::set_observability(obs::Observability* o) {
   obs_ = o;
   if (o == nullptr) {
     calls_counter_ = nullptr;
+    retries_counter_ = nullptr;
+    failures_counter_ = nullptr;
     latency_hist_ = nullptr;
+    attempts_hist_ = nullptr;
     return;
   }
   calls_counter_ = &o->metrics().counter("power.capmc_calls");
+  retries_counter_ = &o->metrics().counter("power.capmc_retries");
+  failures_counter_ = &o->metrics().counter("power.capmc_failures");
   latency_hist_ = &o->metrics().histogram(
       "power.capmc_call_us", {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0});
+  attempts_hist_ = &o->metrics().histogram(
+      "power.capmc_attempts", {1.0, 2.0, 3.0, 5.0, 8.0});
+}
+
+bool CapmcController::rpc(const char* op) {
+  if (!transport_) {
+    last_call_ok_ = true;
+    return true;  // ideal channel
+  }
+
+  const sim::SimTime now = transport_->now();
+  if (breaker_open_) {
+    if (now < breaker_until_) {
+      // Fast-fail while the breaker is open; no attempts hit the channel.
+      ++breaker_fast_fails_;
+      ++failed_calls_;
+      last_call_ok_ = false;
+      if (failures_counter_ != nullptr) failures_counter_->add(1);
+      return false;
+    }
+    // Cooldown elapsed: this call is the half-open probe.
+    breaker_open_ = false;
+  }
+
+  const std::uint32_t max_attempts = std::max(1u, retry_.max_attempts);
+  double call_latency_us = 0.0;
+  bool delivered = false;
+  std::uint32_t attempts = 0;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    attempts = attempt;
+    call_latency_us += fault::backoff_us(retry_, attempt, jitter_stream_++);
+    const fault::ControlTransport::Attempt result = transport_->attempt(op);
+    call_latency_us += result.latency_us;
+    if (result.ok && result.latency_us <= retry_.timeout_us) {
+      delivered = true;
+      break;
+    }
+    if (attempt < max_attempts) {
+      ++retries_;
+      if (retries_counter_ != nullptr) retries_counter_->add(1);
+    }
+  }
+  total_rpc_latency_us_ += call_latency_us;
+  if (attempts_hist_ != nullptr) {
+    attempts_hist_->observe(static_cast<double>(attempts));
+  }
+
+  last_call_ok_ = delivered;
+  if (delivered) {
+    consecutive_failures_ = 0;
+    return true;
+  }
+
+  ++failed_calls_;
+  if (failures_counter_ != nullptr) failures_counter_->add(1);
+  ++consecutive_failures_;
+  if (retry_.breaker_threshold > 0 &&
+      consecutive_failures_ >= retry_.breaker_threshold) {
+    breaker_open_ = true;
+    breaker_until_ = now + retry_.breaker_cooldown;
+    consecutive_failures_ = 0;
+    ++breaker_opens_;
+    if (obs_ != nullptr) {
+      obs_->metrics().counter("power.capmc_breaker_opens").add(1);
+      obs_->trace().instant("capmc", "breaker_open", -1, -1,
+                            {{"cooldown_s",
+                              sim::to_seconds(retry_.breaker_cooldown)}});
+    }
+  }
+  return false;
 }
 
 void CapmcController::record_call(const char* name, std::int64_t t0_ns,
@@ -36,35 +111,39 @@ void CapmcController::apply_node_cap(platform::NodeId node, double watts) {
   model_->apply(n);
 }
 
-void CapmcController::set_node_cap(platform::NodeId node, double watts) {
+bool CapmcController::set_node_cap(platform::NodeId node, double watts) {
   EPAJSRM_REQUIRE(watts >= 0.0, "node cap must be non-negative (0 clears)");
   EPAJSRM_REQUIRE(node < cluster_->node_count(), "unknown node id");
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  if (!rpc("node_cap")) return false;
   apply_node_cap(node, watts);
   if (obs_ != nullptr) {
     record_call("node_cap", t0, static_cast<std::int64_t>(node), watts, 1.0);
   }
+  return true;
 }
 
-void CapmcController::set_group_cap(std::span<const platform::NodeId> nodes,
+bool CapmcController::set_group_cap(std::span<const platform::NodeId> nodes,
                                     double watts) {
   EPAJSRM_REQUIRE(watts >= 0.0, "group cap must be non-negative (0 clears)");
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  if (!rpc("group_cap")) return false;
   for (platform::NodeId id : nodes) apply_node_cap(id, watts);
   if (obs_ != nullptr) {
     record_call("group_cap", t0, -1, watts,
                 static_cast<double>(nodes.size()));
   }
+  return true;
 }
 
-void CapmcController::set_system_cap(double total_watts) {
+bool CapmcController::set_system_cap(double total_watts) {
   const std::uint32_t n = cluster_->node_count();
-  if (n == 0) return;
+  if (n == 0) return true;
   if (total_watts <= 0.0) {
-    clear_all_caps();
-    return;
+    return clear_all_caps();
   }
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  if (!rpc("system_cap")) return false;
   const double per_node = total_watts / n;
   double guaranteed = 0.0;
   for (platform::Node& node : cluster_->nodes()) {
@@ -84,10 +163,12 @@ void CapmcController::set_system_cap(double total_watts) {
   if (obs_ != nullptr) {
     record_call("system_cap", t0, -1, total_watts, static_cast<double>(n));
   }
+  return true;
 }
 
-void CapmcController::clear_all_caps() {
+bool CapmcController::clear_all_caps() {
   const std::int64_t t0 = obs_ != nullptr ? obs_->trace().wall_now_ns() : 0;
+  if (!rpc("clear_caps")) return false;
   for (platform::Node& node : cluster_->nodes()) {
     node.set_power_cap_watts(0.0);
     model_->apply(node);
@@ -97,6 +178,7 @@ void CapmcController::clear_all_caps() {
     record_call("clear_caps", t0, -1, 0.0,
                 static_cast<double>(cluster_->node_count()));
   }
+  return true;
 }
 
 double CapmcController::worst_case_watts() const {

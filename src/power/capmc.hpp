@@ -3,12 +3,23 @@
 // LANL+Sandia (Tables I/II). Provides administrator-facing system-wide and
 // node-level caps, translated into per-node cap values that the
 // NodePowerModel honours.
+//
+// The control channel is lossy in production; when a fault::ControlTransport
+// is attached every public call runs as one logical RPC under a
+// fault::RetryPolicy — timeout, bounded exponential backoff with
+// deterministic jitter, and a circuit breaker after N consecutive call
+// failures. A failed call applies nothing and returns false; degraded()
+// surfaces the channel state so policies can react instead of silently
+// assuming their caps landed.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "fault/control_transport.hpp"
+#include "fault/retry.hpp"
 #include "platform/cluster.hpp"
 #include "power/node_power_model.hpp"
 
@@ -32,22 +43,34 @@ class CapmcController {
   /// instant — modelling the out-of-band control path's cost.
   void set_observability(obs::Observability* o);
 
-  /// Sets (or clears, with watts == 0) a node-level cap.
-  void set_node_cap(platform::NodeId node, double watts);
+  /// Attaches a control transport; calls then run through the retry
+  /// machinery. Null restores the ideal (always-succeeding) channel.
+  void set_transport(std::shared_ptr<fault::ControlTransport> transport) {
+    transport_ = std::move(transport);
+  }
+
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Sets (or clears, with watts == 0) a node-level cap. Returns false
+  /// when the control RPC failed (no cap was applied).
+  bool set_node_cap(platform::NodeId node, double watts);
 
   /// Sets the same cap on a set of nodes — JCAHPC's "power caps for groups
   /// of nodes via the resource manager".
-  void set_group_cap(std::span<const platform::NodeId> nodes, double watts);
+  bool set_group_cap(std::span<const platform::NodeId> nodes, double watts);
 
   /// Distributes a system-wide IT cap evenly across all nodes
   /// (administrator "system-wide power cap" in the LANL+Sandia row).
   /// Caps below a node's idle floor are clamped to the floor so the cap is
   /// always individually feasible; the residual error is reported by
   /// system_cap_error().
-  void set_system_cap(double total_watts);
+  bool set_system_cap(double total_watts);
 
   /// Clears every node cap.
-  void clear_all_caps();
+  bool clear_all_caps();
 
   /// Sum of active node caps (0-capped nodes contribute their model peak),
   /// i.e. the guaranteed worst-case system draw.
@@ -61,8 +84,30 @@ class CapmcController {
   /// clamping).
   double system_cap_error() const { return system_cap_error_; }
 
+  // --- channel health -------------------------------------------------------
+
+  /// True while the channel is unhealthy: the breaker is open, or the most
+  /// recent call failed. Always false on the ideal channel.
+  bool degraded() const {
+    return breaker_open_ || !last_call_ok_;
+  }
+  bool last_call_ok() const { return last_call_ok_; }
+  bool breaker_open() const { return breaker_open_; }
+
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t failed_calls() const { return failed_calls_; }
+  std::uint64_t breaker_opens() const { return breaker_opens_; }
+  std::uint64_t breaker_fast_fails() const { return breaker_fast_fails_; }
+  /// Modelled RPC latency accumulated over all attempts (µs of simulated
+  /// control-plane time; not added to the event clock — control RPCs are
+  /// fast relative to the control period).
+  double total_rpc_latency_us() const { return total_rpc_latency_us_; }
+
  private:
   void apply_node_cap(platform::NodeId node, double watts);
+  /// Runs the retry loop for one logical call; true = the channel
+  /// delivered it (or no transport is attached).
+  bool rpc(const char* op);
   /// Records one control call (counter + latency + trace instant).
   void record_call(const char* name, std::int64_t t0_ns,
                    std::int64_t node_id, double watts, double node_count);
@@ -71,9 +116,25 @@ class CapmcController {
   const NodePowerModel* model_;
   double system_cap_error_ = 0.0;
 
+  std::shared_ptr<fault::ControlTransport> transport_;
+  fault::RetryPolicy retry_;
+  bool last_call_ok_ = true;
+  bool breaker_open_ = false;
+  sim::SimTime breaker_until_ = 0;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_calls_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_fast_fails_ = 0;
+  std::uint64_t jitter_stream_ = 0;
+  double total_rpc_latency_us_ = 0.0;
+
   obs::Observability* obs_ = nullptr;
   obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
   obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* attempts_hist_ = nullptr;
 };
 
 }  // namespace epajsrm::power

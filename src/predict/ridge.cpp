@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace epajsrm::predict {
 
@@ -31,11 +30,11 @@ void RidgePowerPredictor::observe(const workload::JobSpec& spec,
   dirty_ = true;
 }
 
-void RidgePowerPredictor::solve() {
+bool RidgePowerPredictor::try_solve(double lambda) {
   // Cholesky factorisation of (XᵀX + lambda·I); kDim is tiny so this is
   // essentially free.
   std::array<double, kDim * kDim> a = xtx_;
-  for (std::size_t i = 0; i < kDim; ++i) a[i * kDim + i] += lambda_;
+  for (std::size_t i = 0; i < kDim; ++i) a[i * kDim + i] += lambda;
 
   std::array<double, kDim * kDim> l{};
   for (std::size_t i = 0; i < kDim; ++i) {
@@ -45,7 +44,9 @@ void RidgePowerPredictor::solve() {
         sum -= l[i * kDim + k] * l[j * kDim + k];
       }
       if (i == j) {
-        if (sum <= 0.0) throw std::runtime_error("ridge: matrix not SPD");
+        // A collapsed pivot means the normal matrix is (numerically)
+        // singular at this penalty — report instead of dividing by zero.
+        if (sum <= 0.0) return false;
         l[i * kDim + i] = std::sqrt(sum);
       } else {
         l[i * kDim + j] = sum / l[j * kDim + j];
@@ -67,6 +68,24 @@ void RidgePowerPredictor::solve() {
     }
     weights_[ii] = sum / l[ii * kDim + ii];
   }
+  return true;
+}
+
+void RidgePowerPredictor::solve() {
+  // Degenerate data (duplicated samples, a constant feature column, or a
+  // caller-supplied lambda of 0) can make XᵀX + lambda·I numerically
+  // singular; boost the penalty instead of crashing, and fall back to the
+  // prior if even a heavy penalty cannot stabilise the factorisation.
+  double lambda = std::max(0.0, lambda_);
+  for (int boost = 0; boost < 6; ++boost) {
+    if (try_solve(lambda)) {
+      degenerate_ = false;
+      dirty_ = false;
+      return;
+    }
+    lambda = lambda <= 0.0 ? 1e-6 : lambda * 1e3;
+  }
+  degenerate_ = true;
   dirty_ = false;
 }
 
@@ -78,6 +97,7 @@ std::array<double, RidgePowerPredictor::kDim> RidgePowerPredictor::weights() {
 double RidgePowerPredictor::predict_node_watts(const workload::JobSpec& spec) {
   if (samples_ < min_samples_) return prior_;
   if (dirty_) solve();
+  if (degenerate_) return prior_;
   const auto x = features(spec);
   double y = 0.0;
   for (std::size_t i = 0; i < kDim; ++i) y += weights_[i] * x[i];

@@ -40,15 +40,24 @@ class RidgePowerPredictor final : public PowerPredictor {
   /// Current weight vector (for tests / introspection). Solves lazily.
   std::array<double, kDim> weights();
 
+  /// True when the last solve could not factor the normal matrix even with
+  /// a boosted penalty (degenerate data, e.g. lambda 0 with a constant
+  /// feature column); predictions then fall back to the prior.
+  bool degenerate() const { return degenerate_; }
+
  private:
   static std::array<double, kDim> features(const workload::JobSpec& spec);
   void solve();
+  /// One Cholesky attempt at penalty `lambda`; returns false (leaving
+  /// weights_ untouched) if a pivot collapses instead of dividing by zero.
+  bool try_solve(double lambda);
 
   double prior_;
   double lambda_;
   std::uint64_t min_samples_;
   std::uint64_t samples_ = 0;
   bool dirty_ = false;
+  bool degenerate_ = false;
 
   std::array<double, kDim * kDim> xtx_;
   std::array<double, kDim> xty_;

@@ -1,5 +1,6 @@
 #include "rm/resource_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "check/contract.hpp"
@@ -11,9 +12,56 @@ ResourceManager::ResourceManager(sim::Simulation& sim,
                                  platform::Cluster& cluster,
                                  const power::NodePowerModel& model,
                                  std::unique_ptr<Allocator> allocator)
-    : cluster_(&cluster), model_(&model), allocator_(std::move(allocator)),
-      layout_(cluster), lifecycle_(sim, cluster) {
+    : sim_(&sim), cluster_(&cluster), model_(&model),
+      allocator_(std::move(allocator)), layout_(cluster),
+      lifecycle_(sim, cluster) {
   if (!allocator_) throw std::invalid_argument("allocator required");
+}
+
+void ResourceManager::set_quarantine_policy(std::uint32_t threshold,
+                                            sim::SimTime window,
+                                            sim::SimTime duration) {
+  EPAJSRM_REQUIRE(window >= 0 && duration >= 0,
+                  "quarantine times cannot be negative");
+  flap_threshold_ = threshold;
+  flap_window_ = window;
+  quarantine_duration_ = duration;
+}
+
+bool ResourceManager::record_crash(platform::NodeId node, sim::SimTime now) {
+  if (flap_threshold_ == 0) return false;
+  std::vector<sim::SimTime>& history = crash_history_[node];
+  history.push_back(now);
+  history.erase(std::remove_if(history.begin(), history.end(),
+                               [this, now](sim::SimTime t) {
+                                 return t + flap_window_ < now;
+                               }),
+                history.end());
+  if (history.size() < flap_threshold_) return false;
+  // Flapping: fence the node off so the scheduler stops feeding it jobs.
+  history.clear();
+  quarantine_until_[node] = now + quarantine_duration_;
+  ++quarantines_;
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("rm.quarantines").add(1);
+    obs_->trace().instant(
+        "rm", "quarantine", -1, static_cast<std::int64_t>(node),
+        {{"until_s", sim::to_seconds(now + quarantine_duration_)}});
+  }
+  return true;
+}
+
+bool ResourceManager::quarantined(platform::NodeId node) const {
+  const auto it = quarantine_until_.find(node);
+  return it != quarantine_until_.end() && sim_->now() < it->second;
+}
+
+std::uint32_t ResourceManager::quarantined_count() const {
+  std::uint32_t count = 0;
+  for (const auto& [node, until] : quarantine_until_) {
+    if (sim_->now() < until) ++count;
+  }
+  return count;
 }
 
 void ResourceManager::set_allocator(std::unique_ptr<Allocator> allocator) {
@@ -24,9 +72,12 @@ void ResourceManager::set_allocator(std::unique_ptr<Allocator> allocator) {
 EligibilityFn ResourceManager::eligibility() const {
   const LayoutService* layout = &layout_;
   const EligibilityFn extra = extra_eligibility_;
-  return [layout, extra](const platform::Node& node) {
+  return [this, layout, extra](const platform::Node& node) {
     if (!Allocator::default_eligible(node)) return false;
     if (!layout->plant_ok(node)) return false;
+    // Quarantined flappers are fenced off; backfill sees them as
+    // unavailable through allocatable_nodes()/try_start.
+    if (quarantined(node.id())) return false;
     if (extra && !extra(node)) return false;
     return true;
   };

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -62,18 +63,50 @@ class ResourceManager {
   platform::Cluster& cluster() { return *cluster_; }
   const power::NodePowerModel& power_model() const { return *model_; }
 
+  // --- crash quarantine (resilience plane, DESIGN.md §9) -------------------
+
+  /// Flap-detection policy: a node that crashes `threshold` times within
+  /// `window` is quarantined (ineligible for allocation) for `duration`.
+  /// threshold 0 disables quarantining.
+  void set_quarantine_policy(std::uint32_t threshold, sim::SimTime window,
+                             sim::SimTime duration);
+
+  /// Records one crash of `node` at `now`; returns true when this crash
+  /// tripped the flap detector and the node is now quarantined.
+  bool record_crash(platform::NodeId node, sim::SimTime now);
+
+  /// True while `node` sits in quarantine (expiry is lazy against the
+  /// simulation clock).
+  bool quarantined(platform::NodeId node) const;
+
+  /// Nodes currently quarantined.
+  std::uint32_t quarantined_count() const;
+
+  /// Total quarantines imposed over the run.
+  std::uint64_t quarantines() const { return quarantines_; }
+
   /// Attaches (or with null, detaches) the observability plane; allocate/
   /// release then record spans, instants and rm.* counters.
   void set_observability(obs::Observability* o) { obs_ = o; }
 
  private:
   obs::Observability* obs_ = nullptr;
+  sim::Simulation* sim_;
   platform::Cluster* cluster_;
   const power::NodePowerModel* model_;
   std::unique_ptr<Allocator> allocator_;
   LayoutService layout_;
   NodeLifecycle lifecycle_;
   EligibilityFn extra_eligibility_;
+
+  std::uint32_t flap_threshold_ = 3;
+  sim::SimTime flap_window_ = 1 * sim::kHour;
+  sim::SimTime quarantine_duration_ = 8 * sim::kHour;
+  /// Recent crash times per node (pruned to the flap window on record).
+  std::map<platform::NodeId, std::vector<sim::SimTime>> crash_history_;
+  /// node -> quarantine expiry time (expired entries are ignored lazily).
+  std::map<platform::NodeId, sim::SimTime> quarantine_until_;
+  std::uint64_t quarantines_ = 0;
 };
 
 }  // namespace epajsrm::rm

@@ -49,9 +49,37 @@ void MonitoringService::build_sensors() {
   }
 }
 
+double MonitoringService::measured_it_watts(sim::SimTime now) const {
+  const std::optional<Sample> last = machine_power_.latest();
+  // Nothing retained yet (start-up, or the series was configured away):
+  // the live reading is the only information there is.
+  if (!last.has_value()) return cluster_->it_power_watts();
+  if (now - last->time <= 2 * period_) return last->value;
+  // Stale: serve last-known-good inflated by the safety margin so cap
+  // policies err on the conservative side while the sensor is out.
+  return last->value * stale_safety_margin_;
+}
+
+bool MonitoringService::telemetry_degraded(sim::SimTime now) const {
+  const std::optional<Sample> last = machine_power_.latest();
+  return last.has_value() && now - last->time > 2 * period_;
+}
+
 void MonitoringService::sample(sim::SimTime now) {
   const double it_watts = cluster_->it_power_watts();
-  machine_power_.record(now, it_watts);
+  bool record_machine = true;
+  double machine_watts = it_watts;
+  if (power_filter_) {
+    const std::optional<double> filtered = power_filter_(now, it_watts);
+    if (!filtered.has_value()) {
+      record_machine = false;
+      ++dropped_samples_;
+    } else {
+      machine_watts = *filtered;
+      if (machine_watts != it_watts) ++altered_samples_;
+    }
+  }
+  if (record_machine) machine_power_.record(now, machine_watts);
   facility_power_.record(now,
                          cluster_->facility().facility_watts(it_watts, now));
   utilization_.record(now, cluster_->core_utilization());

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,41 @@ class MonitoringService {
     return pdu_power_[pdu].get();
   }
 
+  // --- degraded-telemetry support (resilience plane, DESIGN.md §9) --------
+
+  /// Intercepts the machine power sample: given (now, truth) it returns
+  /// the value to record, or nullopt to drop the sample entirely (sensor
+  /// dropout). The fault injector installs this; null removes it.
+  using PowerSampleFilter =
+      std::function<std::optional<double>(sim::SimTime, double)>;
+  void set_power_sample_filter(PowerSampleFilter filter) {
+    power_filter_ = std::move(filter);
+  }
+
+  /// Multiplier applied to last-known-good power while the machine power
+  /// series is stale (conservative over-estimate so cap policies keep a
+  /// safety margin under degraded telemetry).
+  void set_stale_safety_margin(double factor) {
+    stale_safety_margin_ = factor;
+  }
+
+  /// Best available measured machine IT power: the latest retained sample
+  /// while fresh (within two periods), last-known-good times the safety
+  /// margin while stale, and the live cluster reading before any sample
+  /// exists (start-up). Cap policies read this instead of the cluster
+  /// ground truth so sensor faults degrade them gracefully instead of
+  /// feeding them garbage.
+  double measured_it_watts(sim::SimTime now) const;
+
+  /// True while measured_it_watts is serving a stale (margin-inflated)
+  /// value.
+  bool telemetry_degraded(sim::SimTime now) const;
+
+  /// Machine power samples dropped by the filter so far.
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+  /// Machine power samples the filter altered (stuck/noisy sensors).
+  std::uint64_t altered_samples() const { return altered_samples_; }
+
   /// Forces one sample now (also used by tests). Does not notify
   /// observers; use tick() for the full sampling + notification step.
   void sample(sim::SimTime now);
@@ -84,6 +120,11 @@ class MonitoringService {
   TimeSeries utilization_;
   TimeSeries max_temperature_;
   std::vector<std::unique_ptr<TimeSeries>> pdu_power_;
+
+  PowerSampleFilter power_filter_;
+  double stale_safety_margin_ = 1.05;
+  std::uint64_t dropped_samples_ = 0;
+  std::uint64_t altered_samples_ = 0;
 
   std::vector<std::function<void(sim::SimTime)>> observers_;
 };

@@ -7,8 +7,9 @@
 
 namespace epajsrm::workload {
 
-std::vector<SwfRecord> parse_swf(std::istream& in) {
+std::vector<SwfRecord> parse_swf(std::istream& in, SwfParseStats* stats) {
   std::vector<SwfRecord> records;
+  SwfParseStats local;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -17,6 +18,7 @@ std::vector<SwfRecord> parse_swf(std::istream& in) {
     if (first == std::string::npos) continue;
     if (line[first] == ';') continue;  // comment/header
 
+    ++local.data_lines;
     std::istringstream fields(line);
     SwfRecord r;
     if (!(fields >> r.job_number >> r.submit_time >> r.wait_time >>
@@ -25,18 +27,23 @@ std::vector<SwfRecord> parse_swf(std::istream& in) {
           r.requested_memory >> r.status >> r.user_id >> r.group_id >>
           r.executable >> r.queue >> r.partition >> r.preceding_job >>
           r.think_time)) {
-      throw std::runtime_error("malformed SWF line " +
-                               std::to_string(line_no));
+      // Archive traces routinely carry truncated tails and hand-edits;
+      // skip and count rather than abort the whole load.
+      ++local.skipped_lines;
+      if (local.first_skipped_line == 0) local.first_skipped_line = line_no;
+      continue;
     }
     records.push_back(r);
   }
+  if (stats != nullptr) *stats = local;
   return records;
 }
 
-std::vector<SwfRecord> parse_swf_file(const std::string& path) {
+std::vector<SwfRecord> parse_swf_file(const std::string& path,
+                                      SwfParseStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open SWF file: " + path);
-  return parse_swf(in);
+  return parse_swf(in, stats);
 }
 
 std::vector<JobSpec> to_jobs(const std::vector<SwfRecord>& records,

@@ -37,10 +37,23 @@ struct SwfRecord {
   long long think_time = -1;
 };
 
-/// Parses SWF text (';' comment lines ignored). Throws std::runtime_error
-/// on malformed data lines.
-std::vector<SwfRecord> parse_swf(std::istream& in);
-std::vector<SwfRecord> parse_swf_file(const std::string& path);
+/// Parse diagnostics: real archive traces carry truncated or hand-edited
+/// lines, so the parser skips what it cannot read instead of aborting a
+/// multi-million-line load.
+struct SwfParseStats {
+  std::size_t data_lines = 0;     ///< non-comment, non-blank lines seen
+  std::size_t skipped_lines = 0;  ///< malformed/short lines dropped
+  /// 1-based line number of the first skip (0 = none), for the warning.
+  std::size_t first_skipped_line = 0;
+};
+
+/// Parses SWF text (';' comment lines ignored). Malformed or short data
+/// lines are skipped and counted in `stats` (pass null to discard the
+/// counts); only an unreadable stream is an error.
+std::vector<SwfRecord> parse_swf(std::istream& in,
+                                 SwfParseStats* stats = nullptr);
+std::vector<SwfRecord> parse_swf_file(const std::string& path,
+                                      SwfParseStats* stats = nullptr);
 
 /// Converts SWF records to JobSpecs for a machine with `cores_per_node`
 /// cores per node. Processor counts are rounded up to whole nodes; records

@@ -1,0 +1,343 @@
+// End-to-end resilience-plane tests: the FaultInjector driving node
+// crashes, PDU trips, hangs, sensor faults and CAPMC control-RPC faults
+// through a live EpaJsrmSolution, and the stack degrading gracefully —
+// requeues, quarantine, telemetry fallback, retry/breaker — with the
+// invariant auditor watching for false positives.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/invariant_auditor.hpp"
+#include "core/solution.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace epajsrm::fault {
+namespace {
+
+platform::Cluster test_cluster(std::uint32_t nodes = 4) {
+  platform::NodeConfig cfg;
+  cfg.cores = 16;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  return platform::ClusterBuilder()
+      .node_count(nodes)
+      .node_config(cfg)
+      .nodes_per_rack(4)
+      .racks_per_pdu(1)
+      .pstates(platform::PstateTable::linear(2.0, 1.0, 5))
+      .build();
+}
+
+workload::JobSpec job_spec(workload::JobId id, std::uint32_t nodes,
+                           sim::SimTime runtime, sim::SimTime submit = 0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.nodes = nodes;
+  spec.runtime_ref = runtime;
+  spec.walltime_estimate = runtime * 3;
+  spec.submit_time = submit;
+  spec.profile.freq_sensitive_fraction = 0.5;
+  spec.profile.comm_fraction = 0.0;
+  return spec;
+}
+
+core::SolutionConfig no_thermal() {
+  core::SolutionConfig config;
+  config.enable_thermal = false;
+  return config;
+}
+
+TEST(FaultInjection, NodeCrashRequeuesVictimAndRerunsIt) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+  check::InvariantAuditor auditor(solution);
+  solution.submit(job_spec(1, 2, 30 * sim::kMinute));
+
+  FaultPlan plan;
+  plan.crash_node(10 * sim::kMinute, 0, /*repair_after=*/10 * sim::kMinute);
+  auto injector = FaultInjector::install(solution, plan);
+
+  solution.run_until(6 * sim::kHour);
+  const core::RunResult result = solution.finalize();
+
+  EXPECT_EQ(injector->injected(), 1u);
+  EXPECT_EQ(result.node_crashes, 1u);
+  EXPECT_EQ(result.jobs_requeued_on_fault, 1u);
+  EXPECT_EQ(result.jobs_lost_on_fault, 0u);
+  EXPECT_EQ(result.kills_by_reason.at("node-crash"), 1u);
+  // The original is killed; its clone completes the work.
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kKilled);
+  const auto& finished = solution.finished_jobs();
+  const auto completed =
+      std::count_if(finished.begin(), finished.end(),
+                    [](const workload::Job* j) {
+                      return j->state() == workload::JobState::kCompleted;
+                    });
+  EXPECT_EQ(completed, 1);
+  // The crash edge is excused via its crash mark; nothing else may trip.
+  EXPECT_EQ(auditor.violation_count(), 0u)
+      << auditor.violations().front().invariant << ": "
+      << auditor.violations().front().detail;
+}
+
+TEST(FaultInjection, CrashWithoutRequeueLosesTheJob) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config = no_thermal();
+  config.resilience.requeue_on_crash = false;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+  solution.submit(job_spec(1, 2, 30 * sim::kMinute));
+
+  FaultPlan plan;
+  plan.crash_node(10 * sim::kMinute, 0);
+  FaultInjector::install(solution, plan);
+
+  solution.run_until(6 * sim::kHour);
+  const core::RunResult result = solution.finalize();
+  EXPECT_EQ(result.jobs_requeued_on_fault, 0u);
+  EXPECT_EQ(result.jobs_lost_on_fault, 1u);
+  EXPECT_EQ(solution.find_job(1)->state(), workload::JobState::kKilled);
+}
+
+TEST(FaultInjection, CheckpointRestartShortensTheRerun) {
+  // Same crash at 20 min into a 30 min job; the checkpointing run saves
+  // 20 min of work and must finish strictly earlier.
+  const auto run_makespan = [](sim::SimTime checkpoint_interval) {
+    sim::Simulation sim;
+    platform::Cluster cluster = test_cluster(4);
+    core::SolutionConfig config;
+    config.enable_thermal = false;
+    config.resilience.checkpoint_interval = checkpoint_interval;
+    config.resilience.restart_overhead = sim::kMinute;
+    core::EpaJsrmSolution solution(sim, cluster, config);
+    solution.submit(job_spec(1, 2, 30 * sim::kMinute));
+    FaultPlan plan;
+    plan.crash_node(20 * sim::kMinute, 0, 5 * sim::kMinute);
+    FaultInjector::install(solution, plan);
+    solution.run_until(8 * sim::kHour);
+    const core::RunResult result = solution.finalize();
+    EXPECT_EQ(result.jobs_requeued_on_fault, 1u);
+    sim::SimTime last_end = 0;
+    for (const workload::Job* job : solution.finished_jobs()) {
+      if (job->state() == workload::JobState::kCompleted) {
+        last_end = std::max(last_end, job->end_time());
+      }
+    }
+    EXPECT_GT(last_end, 0);
+    return last_end;
+  };
+
+  const sim::SimTime without = run_makespan(0);
+  const sim::SimTime with = run_makespan(5 * sim::kMinute);
+  EXPECT_LT(with, without);
+}
+
+TEST(FaultInjection, PduTripCrashesEveryNodeOnThePdu) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(8);  // 2 PDUs x 4 nodes
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+  check::InvariantAuditor auditor(solution);
+
+  FaultPlan plan;
+  plan.trip_pdu(sim::kMinute, 0, /*repair_after=*/30 * sim::kMinute);
+  FaultInjector::install(solution, plan);
+
+  solution.start();
+  sim.run_until(10 * sim::kMinute);
+  EXPECT_EQ(solution.pdu_trips(), 1u);
+  EXPECT_EQ(solution.node_crashes(), 4u);
+  for (platform::NodeId id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.node(id).state(), platform::NodeState::kOff);
+  }
+  for (platform::NodeId id = 4; id < 8; ++id) {
+    EXPECT_EQ(cluster.node(id).state(), platform::NodeState::kIdle);
+  }
+
+  // Restoration boots the tripped PDU's nodes back to service.
+  sim.run_until(2 * sim::kHour);
+  for (platform::NodeId id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.node(id).state(), platform::NodeState::kIdle);
+  }
+  EXPECT_EQ(auditor.violation_count(), 0u);
+}
+
+TEST(FaultInjection, HangIsDetectedAfterTheHealthCheckLatency) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+
+  FaultPlan plan;
+  plan.hang_node(10 * sim::kMinute, 0, /*repair_after=*/5 * sim::kMinute);
+  FaultInjector::Config config;
+  config.hang_detection_latency = 60 * sim::kSecond;
+  FaultInjector::install(solution, plan, config);
+
+  solution.start();
+  // The hang is invisible until the health check notices.
+  sim.run_until(10 * sim::kMinute + 30 * sim::kSecond);
+  EXPECT_EQ(cluster.node(0).state(), platform::NodeState::kIdle);
+  EXPECT_EQ(solution.node_crashes(), 0u);
+  sim.run_until(11 * sim::kMinute + sim::kSecond);
+  EXPECT_EQ(solution.node_crashes(), 1u);
+  EXPECT_EQ(cluster.node(0).state(), platform::NodeState::kOff);
+}
+
+TEST(FaultInjection, FlappingNodeIsQuarantinedAndNotAllocatable) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::SolutionConfig config = no_thermal();
+  config.resilience.flap_threshold = 2;
+  config.resilience.flap_window = sim::kHour;
+  config.resilience.quarantine_duration = 8 * sim::kHour;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+
+  FaultPlan plan;
+  plan.crash_node(5 * sim::kMinute, 0, sim::kMinute)
+      .crash_node(20 * sim::kMinute, 0, sim::kMinute);
+  FaultInjector::install(solution, plan);
+
+  solution.start();
+  sim.run_until(40 * sim::kMinute);
+  EXPECT_TRUE(solution.resource_manager().quarantined(0));
+  EXPECT_EQ(solution.resource_manager().quarantines(), 1u);
+  EXPECT_EQ(solution.resource_manager().quarantined_count(), 1u);
+  // The node is back up (Idle) but fenced off from the scheduler.
+  EXPECT_EQ(cluster.node(0).state(), platform::NodeState::kIdle);
+  EXPECT_EQ(solution.allocatable_nodes(), 3u);
+
+  // Quarantine expires on the simulation clock.
+  sim.run_until(9 * sim::kHour);
+  EXPECT_FALSE(solution.resource_manager().quarantined(0));
+  EXPECT_EQ(solution.allocatable_nodes(), 4u);
+}
+
+TEST(FaultInjection, SensorFaultsDegradeTelemetryGracefully) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+  solution.submit(job_spec(1, 2, 2 * sim::kHour));
+
+  FaultPlan plan;
+  plan.sensor_dropout(10 * sim::kMinute, 20 * sim::kMinute, 1.0)
+      .sensor_noise(40 * sim::kMinute, 10 * sim::kMinute, 0.1);
+  FaultInjector::install(solution, plan);
+
+  bool degraded_seen = false;
+  double measured_while_degraded_watts = -1.0;
+  sim.schedule_at(25 * sim::kMinute, [&] {
+    degraded_seen = solution.monitor().telemetry_degraded(sim.now());
+    measured_while_degraded_watts =
+        solution.monitor().measured_it_watts(sim.now());
+  });
+
+  solution.run_until(3 * sim::kHour);
+  const core::RunResult result = solution.finalize();
+
+  EXPECT_GT(solution.monitor().dropped_samples(), 0u);
+  EXPECT_GT(solution.monitor().altered_samples(), 0u);
+  EXPECT_EQ(result.telemetry_dropped_samples,
+            solution.monitor().dropped_samples());
+  // Mid-dropout the monitor served last-known-good x safety margin.
+  EXPECT_TRUE(degraded_seen);
+  EXPECT_GT(measured_while_degraded_watts, 0.0);
+}
+
+TEST(FaultInjection, CapmcFaultsDriveRetriesAndTheCircuitBreaker) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+
+  FaultPlan plan;
+  plan.capmc_failure(0, sim::kHour, 1.0);  // hard outage for the first hour
+  FaultInjector::Config config;
+  config.attach_sensor_filter = false;
+  FaultInjector::install(solution, plan, config);
+
+  solution.start();
+  // Faults flow through the event queue: run past t=0 so the outage
+  // window installs before we start issuing control RPCs.
+  sim.run_until(sim::kSecond);
+  power::CapmcController& capmc = solution.capmc();
+  const fault::RetryPolicy& retry = capmc.retry_policy();
+
+  // Every call fails after the full retry budget; the breaker opens at the
+  // configured threshold, then fast-fails without burning attempts.
+  for (std::uint32_t i = 0; i < retry.breaker_threshold; ++i) {
+    EXPECT_FALSE(capmc.set_system_cap(800.0));
+  }
+  EXPECT_TRUE(capmc.breaker_open());
+  EXPECT_TRUE(capmc.degraded());
+  EXPECT_EQ(capmc.breaker_opens(), 1u);
+  EXPECT_EQ(capmc.retries(),
+            static_cast<std::uint64_t>(retry.breaker_threshold) *
+                (retry.max_attempts - 1));
+  const std::uint64_t failed_before = capmc.failed_calls();
+  EXPECT_FALSE(capmc.set_node_cap(0, 150.0));
+  EXPECT_EQ(capmc.breaker_fast_fails(), 1u);
+  EXPECT_EQ(capmc.failed_calls(), failed_before + 1);
+  EXPECT_EQ(capmc.capped_node_count(), 0u);  // nothing ever applied
+
+  // Past the outage window and the breaker cooldown the channel heals.
+  sim.run_until(2 * sim::kHour);
+  EXPECT_TRUE(capmc.set_system_cap(800.0));
+  EXPECT_FALSE(capmc.breaker_open());
+  EXPECT_FALSE(capmc.degraded());
+  EXPECT_GT(capmc.capped_node_count(), 0u);
+  EXPECT_GT(capmc.total_rpc_latency_us(), 0.0);
+}
+
+TEST(FaultInjection, CapmcLatencyAboveTimeoutFailsTheCall) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+
+  FaultPlan plan;
+  // +10 ms on every RPC against the default 500 us timeout.
+  plan.capmc_latency(0, sim::kHour, 10000.0);
+  FaultInjector::Config config;
+  config.attach_sensor_filter = false;
+  FaultInjector::install(solution, plan, config);
+
+  solution.start();
+  sim.run_until(sim::kSecond);  // let the latency window install
+  EXPECT_FALSE(solution.capmc().set_node_cap(1, 150.0));
+  EXPECT_GT(solution.capmc().failed_calls(), 0u);
+  EXPECT_TRUE(solution.capmc().degraded());
+}
+
+TEST(FaultInjection, ThermalExcursionBumpsTargetNode) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+
+  FaultPlan plan;
+  plan.thermal_excursion(sim::kMinute, 0, 15.0);
+  FaultInjector::install(solution, plan);
+
+  solution.start();
+  const double before_c = cluster.node(0).temperature_c();
+  sim.run_until(2 * sim::kMinute);
+  EXPECT_NEAR(cluster.node(0).temperature_c(), before_c + 15.0, 1e-9);
+  EXPECT_NEAR(cluster.node(1).temperature_c(),
+              cluster.node(0).temperature_c() - 15.0, 1e-9);
+}
+
+TEST(FaultInjection, FailedNodeRestoreAndDoubleFailAreSafe) {
+  sim::Simulation sim;
+  platform::Cluster cluster = test_cluster(4);
+  core::EpaJsrmSolution solution(sim, cluster, no_thermal());
+  solution.start();
+  sim.run_until(sim::kMinute);
+
+  EXPECT_TRUE(solution.fail_node(0, "test"));
+  EXPECT_FALSE(solution.fail_node(0, "test"));   // already down
+  EXPECT_FALSE(solution.restore_node(1));        // not down
+  EXPECT_TRUE(solution.restore_node(0));
+  EXPECT_FALSE(solution.fail_node(99, "test"));  // out of range
+}
+
+}  // namespace
+}  // namespace epajsrm::fault

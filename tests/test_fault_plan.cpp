@@ -1,0 +1,207 @@
+// FaultPlan model: fluent construction, the line-oriented spec parser, the
+// stochastic FailureModel, and the retry/backoff policy math.
+#include "fault/fault_plan.hpp"
+#include "fault/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace epajsrm::fault {
+namespace {
+
+TEST(FaultKindNames, RoundTripThroughParser) {
+  for (const FaultKind kind :
+       {FaultKind::kNodeCrash, FaultKind::kNodeHang, FaultKind::kPduTrip,
+        FaultKind::kSensorDropout, FaultKind::kSensorStuck,
+        FaultKind::kSensorNoise, FaultKind::kThermalExcursion,
+        FaultKind::kCapmcFailure, FaultKind::kCapmcLatency}) {
+    EXPECT_EQ(parse_fault_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_fault_kind("meteor-strike"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FluentAddersRecordKindAndTarget) {
+  FaultPlan plan;
+  plan.crash_node(sim::kHour, 3, 10 * sim::kMinute)
+      .sensor_dropout(2 * sim::kHour, sim::kHour, 0.5)
+      .capmc_latency(3 * sim::kHour, sim::kMinute, 900.0);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events()[0].target, 3);
+  EXPECT_EQ(plan.events()[0].duration, 10 * sim::kMinute);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kSensorDropout);
+  EXPECT_DOUBLE_EQ(plan.events()[1].magnitude, 0.5);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kCapmcLatency);
+  EXPECT_DOUBLE_EQ(plan.events()[2].magnitude, 900.0);
+}
+
+TEST(FaultPlan, RejectsNegativeTimeAndDuration) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.crash_node(-1, 0), std::invalid_argument);
+  EXPECT_THROW(plan.add({sim::kHour, FaultKind::kNodeCrash, 0, 0.0, -5}),
+               std::invalid_argument);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, SortedIsStableByTime) {
+  FaultPlan plan;
+  plan.crash_node(2 * sim::kHour, 1)
+      .crash_node(sim::kHour, 2)
+      .sensor_stuck(sim::kHour, sim::kMinute);  // same instant as node 2
+  const auto sorted = plan.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].target, 2);  // earliest first
+  EXPECT_EQ(sorted[1].kind, FaultKind::kSensorStuck);  // plan order kept
+  EXPECT_EQ(sorted[2].target, 1);
+}
+
+TEST(FaultPlan, MergeConcatenates) {
+  FaultPlan a;
+  a.crash_node(sim::kHour, 0);
+  FaultPlan b;
+  b.trip_pdu(2 * sim::kHour, 1);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.events()[1].kind, FaultKind::kPduTrip);
+}
+
+TEST(FaultPlanParse, ReadsSpecWithCommentsAndDefaults) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "# storm scenario\n"
+      "; alt comment style\n"
+      "\n"
+      "3600 node-crash 12 0 1800\n"
+      "7200 capmc-failure -1 0.5 600\n"
+      "100.5 thermal-excursion 2 7.5\n");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].at, 3600 * sim::kSecond);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events()[0].target, 12);
+  EXPECT_EQ(plan.events()[0].duration, 1800 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(plan.events()[1].magnitude, 0.5);
+  // Magnitude given, duration defaulted.
+  EXPECT_DOUBLE_EQ(plan.events()[2].magnitude, 7.5);
+  EXPECT_EQ(plan.events()[2].duration, 0);
+}
+
+TEST(FaultPlanParse, MalformedLinesThrowWithLineNumber) {
+  try {
+    FaultPlan::parse_string("# ok\n3600 node-crash\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(FaultPlan::parse_string("10 bogus-kind 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_string("-5 node-crash 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_string("5 node-crash 0 0 -1\n"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanParse, MissingFileThrows) {
+  EXPECT_THROW(FaultPlan::parse_file("/nonexistent/faults.spec"),
+               std::invalid_argument);
+}
+
+TEST(FailureModel, DeterministicFromSeed) {
+  FailureModel model;
+  model.mtbf_hours = 50.0;
+  const FaultPlan a = model.generate(16, 30 * sim::kDay, 7);
+  const FaultPlan b = model.generate(16, 30 * sim::kDay, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+  }
+  const FaultPlan c = model.generate(16, 30 * sim::kDay, 8);
+  EXPECT_NE(a.size(), 0u);
+  // A different seed must not reproduce the same schedule.
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events()[i].at != c.events()[i].at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FailureModel, EventsStayInHorizonAndRespectRepair) {
+  FailureModel model;
+  model.mtbf_hours = 10.0;
+  model.repair_time = sim::kHour;
+  const sim::SimTime horizon = 10 * sim::kDay;
+  const FaultPlan plan = model.generate(4, horizon, 3);
+  ASSERT_FALSE(plan.empty());
+  sim::SimTime last_per_node[4] = {-1, -1, -1, -1};
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_EQ(e.kind, FaultKind::kNodeCrash);
+    EXPECT_LE(e.at, horizon);
+    EXPECT_EQ(e.duration, sim::kHour);
+    ASSERT_GE(e.target, 0);
+    ASSERT_LT(e.target, 4);
+    // A node cannot fail again while it is still being repaired.
+    if (last_per_node[e.target] >= 0) {
+      EXPECT_GE(e.at, last_per_node[e.target] + model.repair_time);
+    }
+    last_per_node[e.target] = e.at;
+  }
+}
+
+TEST(FailureModel, WeibullMeanRoughlyMatchesMtbf) {
+  FailureModel model;
+  model.distribution = FailureModel::Distribution::kWeibull;
+  model.mtbf_hours = 24.0;
+  model.weibull_shape = 1.5;
+  model.repair_time = 0;
+  // 64 nodes over 100 days at MTBF 24 h: expect ~100 failures per node,
+  // loose 25 % band on the aggregate count.
+  const FaultPlan plan = model.generate(64, 100 * sim::kDay, 11);
+  const double expected = 64.0 * 100.0 * 24.0 / 24.0;
+  EXPECT_GT(static_cast<double>(plan.size()), expected * 0.75);
+  EXPECT_LT(static_cast<double>(plan.size()), expected * 1.25);
+}
+
+TEST(FailureModel, RejectsNonPositiveParameters) {
+  FailureModel model;
+  model.mtbf_hours = 0.0;
+  EXPECT_THROW(model.generate(4, sim::kDay, 1), std::invalid_argument);
+  model.mtbf_hours = 10.0;
+  model.weibull_shape = 0.0;
+  EXPECT_THROW(model.generate(4, sim::kDay, 1), std::invalid_argument);
+}
+
+TEST(RetryPolicy, FirstAttemptHasNoBackoff) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 0, 42), 0.0);
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 1, 42), 0.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsAndStaysBounded) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 100.0;
+  policy.backoff_max_us = 5000.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 2, 1), 100.0);
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 3, 1), 200.0);
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 4, 1), 400.0);
+  // Far attempts clamp to the max instead of overflowing.
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 40, 1), 5000.0);
+  EXPECT_DOUBLE_EQ(backoff_us(policy, 200, 1), 5000.0);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndCentered) {
+  RetryPolicy policy;
+  policy.backoff_base_us = 1000.0;
+  policy.jitter_fraction = 0.5;
+  const double a = backoff_us(policy, 2, 7);
+  const double b = backoff_us(policy, 2, 7);
+  EXPECT_DOUBLE_EQ(a, b);  // same stream value, same jitter
+  EXPECT_NE(backoff_us(policy, 2, 8), a);
+  // jitter 0.5 maps into [0.75, 1.25] x base.
+  EXPECT_GE(a, 750.0);
+  EXPECT_LE(a, 1250.0);
+}
+
+}  // namespace
+}  // namespace epajsrm::fault

@@ -26,9 +26,39 @@ TEST(Swf, ParsesDataLinesSkipsComments) {
   EXPECT_EQ(records[2].status, 0);
 }
 
-TEST(Swf, MalformedLineThrows) {
+TEST(Swf, MalformedLineSkippedAndCounted) {
   std::istringstream in("1 2 3\n");
-  EXPECT_THROW(parse_swf(in), std::runtime_error);
+  SwfParseStats stats;
+  const auto records = parse_swf(in, &stats);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(stats.data_lines, 1u);
+  EXPECT_EQ(stats.skipped_lines, 1u);
+  EXPECT_EQ(stats.first_skipped_line, 1u);
+}
+
+TEST(Swf, CorruptTraceKeepsGoodLines) {
+  // A realistic corrupt fixture: truncated tail, a non-numeric edit, and a
+  // blank-ish short line interleaved with two good records.
+  std::istringstream in(
+      "; corrupt fixture\n"
+      "1 0 10 3600 64 -1 -1 64 7200 -1 1 5 1 2 1 1 -1 -1\n"
+      "2 100 0 1800 32 -1 -1 32 3600\n"                       // truncated
+      "3 oops 5 900 16 -1 -1 16 900 -1 0 7 1 2 1 1 -1 -1\n"   // non-numeric
+      "   \t\n"
+      "4 200 5 900 16 -1 -1 16 900 -1 1 7 1 2 1 1 -1 -1\n");
+  SwfParseStats stats;
+  const auto records = parse_swf(in, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_EQ(records[1].job_number, 4);
+  EXPECT_EQ(stats.data_lines, 4u);
+  EXPECT_EQ(stats.skipped_lines, 2u);
+  EXPECT_EQ(stats.first_skipped_line, 3u);
+}
+
+TEST(Swf, StatsPointerIsOptional) {
+  std::istringstream in("garbage line\n");
+  EXPECT_TRUE(parse_swf(in).empty());  // no throw, no stats needed
 }
 
 TEST(Swf, MissingFileThrows) {
