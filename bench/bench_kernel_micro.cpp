@@ -5,6 +5,7 @@
 
 #include "center_bench.hpp"
 #include "platform/cluster.hpp"
+#include "power/ledger.hpp"
 #include "power/node_power_model.hpp"
 #include "predict/ridge.hpp"
 #include "rm/allocator.hpp"
@@ -112,11 +113,17 @@ BENCHMARK(BM_RidgeObservePredict);
 void BM_EnergyCheckpoint(benchmark::State& state) {
   platform::Cluster cluster =
       platform::ClusterBuilder().node_count(512).build();
+  power::PowerLedger ledger(cluster);
   for (platform::Node& node : cluster.nodes()) {
     node.set_current_watts(200.0);
+    power::PowerLedger::NodeSample sample;
+    sample.watts = 200.0;
+    sample.demand_watts = 200.0;
+    ledger.post(node.id(), sample);
   }
   telemetry::EnergyAccountant accountant(
-      cluster, [](workload::JobId) -> workload::Job* { return nullptr; });
+      cluster, ledger,
+      [](workload::JobId) -> workload::Job* { return nullptr; });
   sim::SimTime t = 0;
   for (auto _ : state) {
     t += sim::kSecond;

@@ -1,0 +1,188 @@
+// Sweep-vs-ledger bench: the cost of answering "what is the cluster
+// drawing right now?" by brute-force sweep of every node versus the
+// PowerLedger's O(1) incremental aggregates, across node counts, on two
+// scenario shapes:
+//
+//   power-dense — every node allocated hot with a cap set; the query mix
+//                 (IT watts, per-rack watts, hottest node, capped count)
+//                 runs against a churning ledger;
+//   fault-storm — a live faulted run (stochastic crashes, sensor
+//                 windows) with the same query mix probing every minute,
+//                 demonstrating ledger reads stay cheap while producers
+//                 hammer it.
+//
+// The per-query table is the acceptance artifact: sweep cost grows with
+// node count, ledger cost does not. BenchSummary JSON on exit; the
+// bench-smoke CI job compares events_per_sec against BENCH_baseline.json
+// (warn-only).
+//
+// Flags:
+//   --queries=N   query repetitions per cell (default 20000)
+//   --smoke       tiny sizes for CI smoke runs
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "core/scenario.hpp"
+#include "core/scenario_builder.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "platform/cluster.hpp"
+#include "power/ledger.hpp"
+#include "power/node_power_model.hpp"
+
+namespace {
+
+using namespace epajsrm;
+using Clock = std::chrono::steady_clock;
+
+// The query mix both sides answer — total IT draw, rack 0's draw, the
+// hottest node temperature and the capped-node count — i.e. what the
+// telemetry API, thermal policy and budget policies ask every control
+// tick. The ledger answers each in O(1); the sweep pays O(nodes) per
+// query. Returns a checksum so the optimizer cannot delete the loops.
+double sweep_queries(const platform::Cluster& cluster, std::size_t reps) {
+  double checksum = 0.0;
+  for (std::size_t q = 0; q < reps; ++q) {
+    double it_watts = 0.0;
+    double rack0_watts = 0.0;
+    double max_temp_c = -1e300;
+    std::uint32_t capped = 0;
+    for (const platform::Node& node : cluster.nodes()) {
+      const double w = node.current_watts();
+      it_watts += w;
+      if (node.rack() == 0) rack0_watts += w;
+      if (node.temperature_c() > max_temp_c) max_temp_c = node.temperature_c();
+      if (node.power_cap_watts() > 0.0) ++capped;
+    }
+    checksum += it_watts + rack0_watts + max_temp_c + capped;
+  }
+  return checksum;
+}
+
+double ledger_queries(const power::PowerLedger& ledger, std::size_t reps) {
+  double checksum = 0.0;
+  for (std::size_t q = 0; q < reps; ++q) {
+    checksum += ledger.it_power_watts() + ledger.rack_power_watts(0) +
+                ledger.max_temperature_c() + ledger.capped_node_count();
+  }
+  return checksum;
+}
+
+double ns_per_query(Clock::time_point t0, Clock::time_point t1,
+                    std::size_t reps) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+void run_power_dense(std::uint32_t nodes, std::size_t queries) {
+  platform::NodeConfig cfg;
+  cfg.cores = 32;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 220.0;
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(nodes)
+                                  .node_config(cfg)
+                                  .nodes_per_rack(16)
+                                  .racks_per_pdu(4)
+                                  .build();
+  power::NodePowerModel model(cluster.pstates());
+  power::PowerLedger ledger(cluster);
+  model.attach_ledger(&ledger);
+  for (platform::Node& node : cluster.nodes()) {
+    node.allocate(1, node.cores_total(), 0.9);
+    node.set_power_cap_watts(250.0);
+  }
+  ledger.prime(cluster, model);
+
+  const auto t0 = Clock::now();
+  const double sweep_sum = sweep_queries(cluster, queries);
+  const auto t1 = Clock::now();
+  const double ledger_sum = ledger_queries(ledger, queries);
+  const auto t2 = Clock::now();
+
+  const double sweep_ns = ns_per_query(t0, t1, queries);
+  const double ledger_ns = ns_per_query(t1, t2, queries);
+  std::printf("%-12s %8u %14.1f %14.1f %9.1fx  (checksum %.3g/%.3g)\n",
+              "power-dense", nodes, sweep_ns, ledger_ns,
+              ledger_ns > 0.0 ? sweep_ns / ledger_ns : 0.0, sweep_sum,
+              ledger_sum);
+}
+
+std::uint64_t run_fault_storm(std::uint32_t nodes, std::uint32_t jobs,
+                              sim::SimTime horizon, std::size_t queries) {
+  core::Scenario scenario = core::Scenario::builder()
+                                .label("ledger-storm")
+                                .nodes(nodes)
+                                .job_count(jobs)
+                                .seed(4242)
+                                .horizon(horizon)
+                                .build();
+  scenario.solution().logger().set_threshold(sim::LogLevel::kError);
+  fault::FailureModel failure;
+  failure.mtbf_hours = 24.0;
+  failure.repair_time = 15 * sim::kMinute;
+  fault::FaultPlan plan = failure.generate(nodes, horizon, 4242);
+  plan.sensor_dropout(2 * sim::kHour, sim::kHour, 0.5)
+      .sensor_noise(5 * sim::kHour, sim::kHour, 0.05);
+  fault::FaultInjector::Config fconfig;
+  fconfig.seed = 4242;
+  fault::FaultInjector::install(scenario.solution(), plan, fconfig);
+
+  // Probe the ledger every simulated minute while the storm churns it.
+  double probe_sum = 0.0;
+  const std::size_t reps_per_probe =
+      std::max<std::size_t>(1, queries / 1024);
+  for (sim::SimTime t = sim::kMinute; t < horizon; t += sim::kMinute) {
+    scenario.simulation().schedule_at(t, [&scenario, &probe_sum,
+                                          reps_per_probe] {
+      probe_sum +=
+          ledger_queries(scenario.solution().ledger(), reps_per_probe);
+    });
+  }
+  const core::RunResult result = scenario.run();
+  std::printf("%-12s %8u %14s %14s %9s  (probe checksum %.3g)\n",
+              "fault-storm", nodes, "-", "-", "-", probe_sum);
+  return result.sim_events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t queries = 20000;
+  std::vector<std::uint32_t> node_counts = {64, 256, 1024};
+  std::uint32_t storm_nodes = 64;
+  std::uint32_t storm_jobs = 200;
+  sim::SimTime storm_horizon = 2 * sim::kDay;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      queries = std::strtoull(argv[i] + 10, nullptr, 10);
+      if (queries == 0) {
+        std::fprintf(stderr, "--queries needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      queries = 2000;
+      node_counts = {16, 64};
+      storm_nodes = 16;
+      storm_jobs = 40;
+      storm_horizon = sim::kDay;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::BenchSummary summary("power_ledger");
+  std::printf("%-12s %8s %14s %14s %10s\n", "scenario", "nodes",
+              "sweep ns/qry", "ledger ns/qry", "speedup");
+  for (const std::uint32_t nodes : node_counts) {
+    run_power_dense(nodes, queries);
+  }
+  summary.add_events(
+      run_fault_storm(storm_nodes, storm_jobs, storm_horizon, queries));
+  return 0;
+}

@@ -37,7 +37,7 @@ int main() {
   // control inside a solution prefer the PolicyHost funnel; this agent
   // only reads until the workload drains.)
   telemetry::PowerApiContext api(
-      cluster, nullptr,
+      cluster, solution.ledger(), nullptr,
       [&solution](platform::NodeId id) {
         return solution.accountant().node_joules(id);
       });

@@ -5,6 +5,7 @@
 
 #include "core/facility_coordinator.hpp"
 #include "core/solution.hpp"
+#include "power/ledger.hpp"
 
 namespace epajsrm::check {
 
@@ -79,6 +80,7 @@ void InvariantAuditor::audit_now() {
   check_caps();
   check_energy();
   check_budgets();
+  check_ledger();
 }
 
 void InvariantAuditor::check_energy() {
@@ -130,28 +132,30 @@ void InvariantAuditor::check_energy() {
 }
 
 void InvariantAuditor::check_caps() {
-  using platform::NodeState;
   const power::NodePowerModel& model = solution_->power_model();
   const platform::PstateTable& pstates = model.pstates();
+  const power::PowerLedger& ledger = solution_->ledger();
   const platform::Cluster& cluster = solution_->cluster();
 
-  for (const platform::Node& node : cluster.nodes()) {
-    const double cap = node.power_cap_watts();
+  // Fast path: nothing capped, nothing to check (the common case). The
+  // candidate scan below reads only the ledger's SoA arrays; the cluster
+  // node is touched only for the capped-and-governed minority that needs
+  // config/utilization for the feasibility call.
+  if (ledger.capped_node_count() == 0) return;
+  for (platform::NodeId id = 0; id < ledger.node_count(); ++id) {
+    const double cap = ledger.node_cap_watts(id);
     if (cap <= 0.0) continue;  // uncapped
     // Transition states draw fixed boot/sleep/off power by design; caps
     // govern only the DVFS-controllable states.
-    const NodeState s = node.state();
-    if (s != NodeState::kIdle && s != NodeState::kBusy &&
-        s != NodeState::kDraining) {
-      continue;
-    }
-    const double watts = node.current_watts();
+    if (!ledger.node_cap_governed(id)) continue;
+    const double watts = ledger.node_watts(id);
+    const platform::Node& node = cluster.node(id);
     const double util = node.utilization();
     const bool feasible =
         model.freq_ratio_for_cap(node.config(), cap, util) > 0.0;
     if (feasible) {
       if (watts > cap + config_.cap_epsilon_watts) {
-        record("cap", "node " + std::to_string(node.id()) +
+        record("cap", "node " + std::to_string(id) +
                           fmt(" draws %.6g W over its %.6g W cap", watts,
                               cap));
       }
@@ -161,12 +165,73 @@ void InvariantAuditor::check_caps() {
           model.watts_at(node.config(), pstates.ratio(pstates.deepest()),
                          util);
       if (watts > best_effort + config_.cap_epsilon_watts) {
-        record("cap", "node " + std::to_string(node.id()) +
+        record("cap", "node " + std::to_string(id) +
                           fmt(" draws %.6g W over the %.6g W best-effort "
                               "floor of an infeasible cap",
                               watts, best_effort));
       }
     }
+  }
+}
+
+void InvariantAuditor::check_ledger() {
+  const power::PowerLedger& ledger = solution_->ledger();
+
+  // Internal parity: every incremental aggregate must equal a brute-force
+  // recompute of the quantized per-node values *exactly*.
+  std::string parity = ledger.audit_parity();
+  if (!parity.empty()) {
+    record("ledger", std::move(parity));
+  }
+
+  // External fidelity: the ledger is the only sanctioned power view, so it
+  // must mirror the node sensor caches verbatim. This is the brute-force
+  // ground-truth sweep the rest of the codebase no longer does.
+  const platform::Cluster& cluster = solution_->cluster();
+  double sweep_watts = 0.0;
+  for (const platform::Node& node : cluster.nodes()) {  // lint:allow(power-sweep)
+    const platform::NodeId id = node.id();
+    if (ledger.node_watts(id) != node.current_watts()) {
+      record("ledger", "node " + std::to_string(id) +
+                           fmt(" power diverged: ledger %.9g W vs node "
+                               "%.9g W",
+                               ledger.node_watts(id), node.current_watts()));
+    }
+    if (ledger.node_cap_watts(id) != node.power_cap_watts()) {
+      record("ledger", "node " + std::to_string(id) +
+                           fmt(" cap diverged: ledger %.9g W vs node %.9g W",
+                               ledger.node_cap_watts(id),
+                               node.power_cap_watts()));
+    }
+    if (ledger.node_temperature_c(id) != node.temperature_c()) {
+      record("ledger", "node " + std::to_string(id) +
+                           fmt(" temperature diverged: ledger %.9g C vs "
+                               "node %.9g C",
+                               ledger.node_temperature_c(id),
+                               node.temperature_c()));
+    }
+    if (ledger.node_state(id) != node.state()) {
+      record("ledger", "node " + std::to_string(id) + " state diverged: " +
+                           platform::to_string(ledger.node_state(id)) +
+                           " vs " + platform::to_string(node.state()));
+    }
+    if (ledger.node_allocated(id) != !node.allocations().empty()) {
+      record("ledger",
+             "node " + std::to_string(id) + " allocation flag diverged");
+    }
+    sweep_watts += node.current_watts();
+  }
+
+  // The fixed-point total may differ from the double-precision sweep by at
+  // most half a quantum per node (plus double summation noise, orders of
+  // magnitude smaller).
+  const double bound = std::max(
+      config_.cap_epsilon_watts,
+      static_cast<double>(cluster.node_count()) *
+          power::PowerLedger::quantum_watts());
+  if (std::abs(ledger.it_power_watts() - sweep_watts) > bound) {
+    record("ledger", fmt("IT total diverged: ledger %.9g W vs sweep %.9g W",
+                         ledger.it_power_watts(), sweep_watts));
   }
 }
 

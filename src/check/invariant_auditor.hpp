@@ -17,7 +17,12 @@
 //     can occur within one event cascade;
 //   * budget sanity — installed policies report non-negative, finite
 //     power budgets, and a watched FacilityCoordinator hands out
-//     non-negative slices.
+//     non-negative slices;
+//   * ledger fidelity — the PowerLedger's per-node facts match the node
+//     sensor caches verbatim, its incremental fixed-point aggregates
+//     survive an exact brute-force recompute (audit_parity), and the
+//     cluster total agrees with a double-precision sweep to within the
+//     quantization bound.
 //
 // The auditor attaches to the Simulation's dispatch-hook chain (it
 // coexists with the event-loop profiler) and must therefore outlive the
@@ -107,6 +112,7 @@ class InvariantAuditor {
   void check_caps();
   void check_lifecycle();
   void check_budgets();
+  void check_ledger();
   void record(const char* invariant, std::string detail);
 
   core::EpaJsrmSolution* solution_;

@@ -27,19 +27,9 @@ double FacilityCoordinator::member_demand(EpaJsrmSolution& solution) const {
   // Demand is what the machine *wants* to draw, not what its current cap
   // lets it draw — otherwise a hard-capped busy machine reads as idle and
   // starves permanently (positive feedback).
-  const power::NodePowerModel& model = solution.power_model();
-  const platform::Cluster& cluster = solution.cluster();
-  double demand = 0.0;
-  for (const platform::Node& node : cluster.nodes()) {
-    if (node.schedulable() ||
-        node.state() == platform::NodeState::kDraining) {
-      demand += model.watts_at(node.config(),
-                               cluster.pstates().ratio(node.pstate()),
-                               node.utilization());
-    } else {
-      demand += node.current_watts();
-    }
-  }
+  // The ledger's demand aggregate is exactly that: uncapped draw at the
+  // selected P-state for cap-governed nodes, actual fixed draw otherwise.
+  double demand = solution.ledger().total_demand_watts();
   std::size_t counted = 0;
   for (const workload::Job* job : solution.pending()) {
     if (counted++ >= config_.queue_depth) break;

@@ -25,13 +25,21 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
     : sim_(&sim), cluster_(&cluster), config_(config),
       logger_([&sim] { return sim.now(); }),
       model_(cluster.pstates(), config.power_alpha, config.cap_mode),
-      capmc_(cluster, model_), thermal_() {
+      capmc_(cluster, model_), thermal_(), ledger_(cluster) {
+  // Attach the ledger before anything applies the model: from here on
+  // every NodePowerModel::apply (lifecycle, allocation, cap, P-state) and
+  // every thermal step posts its delta into the ledger, and all read
+  // paths below consume O(1) aggregates instead of sweeping the cluster.
+  model_.attach_ledger(&ledger_);
+  thermal_.attach_ledger(&ledger_);
+  ledger_.prime(cluster, model_);
+
   rm_ = std::make_unique<rm::ResourceManager>(
       sim, cluster, model_, std::make_unique<rm::FirstFitAllocator>());
   monitor_ = std::make_unique<telemetry::MonitoringService>(
-      sim, cluster, config_.control_period);
+      sim, cluster, ledger_, config_.control_period);
   accountant_ = std::make_unique<telemetry::EnergyAccountant>(
-      cluster, [this](workload::JobId id) { return find_job(id); });
+      cluster, ledger_, [this](workload::JobId id) { return find_job(id); });
   metrics_ = std::make_unique<metrics::MetricsCollector>(
       0.0, config_.tariff ? &*config_.tariff : nullptr);
   scheduler_ = std::make_unique<sched::EasyBackfillScheduler>();
@@ -530,9 +538,14 @@ bool EpaJsrmSolution::restore_node(platform::NodeId id) {
 std::uint32_t EpaJsrmSolution::trip_pdu(platform::PduId pdu,
                                         const std::string& reason) {
   std::uint32_t downed = 0;
-  for (platform::Node& node : cluster_->nodes()) {
-    if (node.pdu() != pdu) continue;
-    if (fail_node(node.id(), reason)) ++downed;
+  if (pdu < cluster_->facility().pdus().size()) {
+    // The facility's membership list is the PDU's node set; no need to
+    // scan the whole machine for matches.
+    const std::vector<platform::NodeId> members =
+        cluster_->facility().pdu(pdu).nodes;
+    for (platform::NodeId id : members) {
+      if (fail_node(id, reason)) ++downed;
+    }
   }
   ++pdu_trips_;
   if (obs_ != nullptr) {
@@ -549,10 +562,10 @@ std::uint32_t EpaJsrmSolution::trip_pdu(platform::PduId pdu,
 
 std::uint32_t EpaJsrmSolution::restore_pdu(platform::PduId pdu) {
   std::uint32_t booting = 0;
-  for (platform::Node& node : cluster_->nodes()) {
-    if (node.pdu() != pdu) continue;
-    if (node.state() == platform::NodeState::kOff &&
-        rm_->lifecycle().power_on(node.id())) {
+  if (pdu >= cluster_->facility().pdus().size()) return booting;
+  for (platform::NodeId id : cluster_->facility().pdu(pdu).nodes) {
+    if (cluster_->node(id).state() == platform::NodeState::kOff &&
+        rm_->lifecycle().power_on(id)) {
       ++booting;
     }
   }
@@ -744,7 +757,7 @@ void EpaJsrmSolution::control_tick() {
   // budget (baseline runs) is kept when no policy declares one.
   const double budget = tightest_budget(t);
   if (budget > 0.0) metrics_->set_budget_watts(budget);
-  const double it_watts = cluster_->it_power_watts();
+  const double it_watts = ledger_.it_power_watts();
   metrics_->on_power_sample(t, it_watts,
                             cluster_->facility().facility_watts(it_watts, t),
                             cluster_->core_utilization());

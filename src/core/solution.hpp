@@ -25,6 +25,7 @@
 #include "platform/cluster.hpp"
 #include "power/capmc.hpp"
 #include "power/energy_source.hpp"
+#include "power/ledger.hpp"
 #include "power/node_power_model.hpp"
 #include "power/thermal.hpp"
 #include "predict/predictor.hpp"
@@ -184,6 +185,9 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   const power::CapmcController& capmc() const { return capmc_; }
   /// Mutable access for resilience wiring (retry policy, transport).
   power::CapmcController& capmc() { return capmc_; }
+  /// Mutable ledger access for producers outside the power-model funnel
+  /// (the fault injector posts injected thermal excursions here).
+  power::PowerLedger& ledger() { return ledger_; }
   /// Installed EPA policies, in consultation order (read-only inspection;
   /// the invariant auditor cross-checks their reported budgets).
   const std::vector<std::unique_ptr<epa::EpaPolicy>>& policies() const {
@@ -251,6 +255,7 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   platform::Cluster& cluster() override { return *cluster_; }
   rm::ResourceManager& resource_manager() override { return *rm_; }
   const power::NodePowerModel& power_model() const override { return model_; }
+  const power::PowerLedger& ledger() const override { return ledger_; }
   telemetry::MonitoringService& monitor() override { return *monitor_; }
   power::SupplyPortfolio* supply() override {
     return supply_ ? &*supply_ : nullptr;
@@ -313,6 +318,7 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   power::NodePowerModel model_;
   power::CapmcController capmc_;
   power::ThermalModel thermal_;
+  power::PowerLedger ledger_;
   std::unique_ptr<rm::ResourceManager> rm_;
   std::unique_ptr<telemetry::MonitoringService> monitor_;
   std::unique_ptr<telemetry::EnergyAccountant> accountant_;

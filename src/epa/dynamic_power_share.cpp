@@ -12,37 +12,28 @@ void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
   obs::ScopedSpan span =
       obs::span_of(host_->observability(), "epa", "power_rebalance");
   platform::Cluster& cluster = host_->cluster();
-  const power::NodePowerModel& model = host_->power_model();
-  const platform::PstateTable& pstates = cluster.pstates();
+  const power::PowerLedger& ledger = host_->ledger();
 
   // Demand = what each powered-on node would draw uncapped at its selected
   // P-state and current load; off/sleeping nodes keep their fixed draws and
-  // consume part of the budget off the top.
-  std::vector<double> demand(cluster.node_count(), 0.0);
-  std::vector<double> floor(cluster.node_count(), 0.0);
-  double fixed = 0.0;
-  double total_demand = 0.0;
-  for (const platform::Node& node : cluster.nodes()) {
-    if (!node.schedulable() &&
-        node.state() != platform::NodeState::kDraining) {
-      fixed += node.current_watts();
-      continue;
-    }
-    const double uncapped = model.watts_at(
-        node.config(), pstates.ratio(node.pstate()), node.utilization());
-    demand[node.id()] = uncapped;
-    floor[node.id()] = node.config().idle_watts * (1.0 + floor_margin_);
-    total_demand += uncapped;
-  }
+  // consume part of the budget off the top. The ledger maintains both
+  // incrementally (fixed = non-governed draw; per-node uncapped demand is
+  // posted by the power model on every change), so no cluster sweep.
+  const double fixed = ledger.fixed_power_watts();
+  const double total_demand = ledger.total_demand_watts() - fixed;
 
   const double distributable = std::max(0.0, budget_ - fixed);
-  for (platform::Node& node : cluster.nodes()) {
-    const platform::NodeId id = node.id();
-    if (demand[id] <= 0.0) continue;
-    double cap = total_demand > 0.0
-                     ? distributable * demand[id] / total_demand
-                     : floor[id];
-    cap = std::max(cap, floor[id]);
+  for (platform::NodeId id = 0; id < cluster.node_count(); ++id) {
+    // Setting caps inside the loop is safe: caps never change a node's
+    // uncapped demand, so the shares stay fixed while we distribute.
+    if (!ledger.node_cap_governed(id)) continue;
+    const double demand = ledger.node_demand_watts(id);
+    if (demand <= 0.0) continue;
+    const double floor =
+        cluster.node(id).config().idle_watts * (1.0 + floor_margin_);
+    double cap = total_demand > 0.0 ? distributable * demand / total_demand
+                                    : floor;
+    cap = std::max(cap, floor);
     // Give idle nodes only their floor; the freed watts implicitly flow to
     // busy nodes on the next tick (their demand share grows).
     host_->set_node_cap(id, cap);

@@ -49,7 +49,7 @@ void EmergencyResponsePolicy::automated_kill() {
             });
 
   for (workload::Job* job : victims) {
-    if (host_->cluster().it_power_watts() <= config_.limit_watts) break;
+    if (host_->ledger().it_power_watts() <= config_.limit_watts) break;
     if (config_.requeue_victims) {
       host_->requeue_job(job->id(), "emergency-power-limit");
     } else {

@@ -11,13 +11,11 @@ void GroupPowerCapPolicy::install(PolicyHost& host) {
 
   budget_ = 0.0;
   for (const platform::Pdu& pdu : pdus) {
+    // Per-PDU peak sums are static; the ledger keeps them precomputed.
+    const double pdu_peak = host.ledger().pdu_peak_watts(pdu.id);
     double cap = 0.0;
     if (uniform_fraction_ > 0.0) {
-      double peak = 0.0;
-      for (platform::NodeId id : pdu.nodes) {
-        peak += host.power_model().peak_watts(cluster.node(id).config());
-      }
-      cap = peak * uniform_fraction_;
+      cap = pdu_peak * uniform_fraction_;
     } else if (pdu.id < group_caps_.size()) {
       cap = group_caps_[pdu.id];
     }
@@ -26,9 +24,7 @@ void GroupPowerCapPolicy::install(PolicyHost& host) {
                          cap / static_cast<double>(pdu.nodes.size()));
       budget_ += cap;
     } else {
-      for (platform::NodeId id : pdu.nodes) {
-        budget_ += host.power_model().peak_watts(cluster.node(id).config());
-      }
+      budget_ += pdu_peak;
     }
   }
 }

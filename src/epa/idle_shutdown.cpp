@@ -16,17 +16,10 @@ std::uint32_t IdleShutdownPolicy::shortfall() const {
     wanted += job->spec().nodes;
     if (wanted > host_->cluster().node_count()) break;
   }
-  std::uint32_t usable = 0;
-  for (const platform::Node& node : host_->cluster().nodes()) {
-    switch (node.state()) {
-      case platform::NodeState::kIdle:
-      case platform::NodeState::kBooting:
-        ++usable;
-        break;
-      default:
-        break;
-    }
-  }
+  const power::PowerLedger& ledger = host_->ledger();
+  const std::uint32_t usable =
+      ledger.count_in_state(platform::NodeState::kIdle) +
+      ledger.count_in_state(platform::NodeState::kBooting);
   return wanted > usable ? wanted - usable : 0;
 }
 
@@ -72,7 +65,8 @@ void IdleShutdownPolicy::on_tick(sim::SimTime now) {
 
   // Supply side: power off nodes idle past the timeout, keeping the
   // reserve.
-  std::uint32_t idle_online = cluster.count_in_state(platform::NodeState::kIdle);
+  std::uint32_t idle_online =
+      host_->ledger().count_in_state(platform::NodeState::kIdle);
   for (const auto& [id, since] : idle_since_) {
     if (idle_online <= config_.min_idle_online) break;
     if (now - since < config_.idle_timeout) continue;

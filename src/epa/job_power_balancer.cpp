@@ -13,10 +13,8 @@ void JobPowerBalancerPolicy::on_tick(sim::SimTime) {
   const platform::PstateTable& pstates = cluster.pstates();
 
   // Fixed charges first: idle/off/transitioning nodes keep their draw.
-  double fixed = 0.0;
-  for (const platform::Node& node : cluster.nodes()) {
-    if (node.allocations().empty()) fixed += node.current_watts();
-  }
+  // The ledger tracks the allocation-empty draw incrementally.
+  const double fixed = host_->ledger().unallocated_power_watts();
 
   // Classify running jobs and collect their full-speed demand.
   struct Entry {

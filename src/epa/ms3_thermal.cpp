@@ -2,14 +2,12 @@
 
 #include <algorithm>
 
-#include "power/thermal.hpp"
-
 namespace epajsrm::epa {
 
 void Ms3ThermalPolicy::on_tick(sim::SimTime now) {
   if (host_ == nullptr) return;
   platform::Cluster& cluster = host_->cluster();
-  const double hottest = power::ThermalModel::max_temperature_c(cluster);
+  const double hottest = host_->ledger().max_temperature_c();
   const double ambient = cluster.facility().ambient().temperature_c(now);
 
   if (hot_ && last_tick_ > 0) throttled_time_ += now - last_tick_;

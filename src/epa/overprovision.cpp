@@ -17,7 +17,7 @@ bool OverprovisionPolicy::plan_start(StartPlan& plan) {
   const double dyn_per_node =
       std::max(0.0, plan.predicted_node_watts - idle);
 
-  const double headroom = budget_ - cluster.it_power_watts();
+  const double headroom = budget_ - host_->ledger().it_power_watts();
 
   // Candidate shapes: the planned one plus any moldable alternatives.
   struct Candidate {

@@ -22,6 +22,7 @@
 
 #include "platform/cluster.hpp"
 #include "power/energy_source.hpp"
+#include "power/ledger.hpp"
 #include "power/node_power_model.hpp"
 #include "rm/resource_manager.hpp"
 #include "sim/simulation.hpp"
@@ -70,6 +71,10 @@ class PolicyHost {
   virtual platform::Cluster& cluster() = 0;
   virtual rm::ResourceManager& resource_manager() = 0;
   virtual const power::NodePowerModel& power_model() const = 0;
+  /// The incremental power view (DESIGN.md §10): policies read cluster/
+  /// rack/PDU totals, demand, worst-case and state censuses here in O(1)
+  /// instead of sweeping cluster().nodes().
+  virtual const power::PowerLedger& ledger() const = 0;
   virtual telemetry::MonitoringService& monitor() = 0;
 
   /// The supply portfolio (tariffs, sources, DR calendar); may be null

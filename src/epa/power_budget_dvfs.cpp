@@ -15,7 +15,7 @@ bool PowerBudgetDvfsPolicy::plan_start(StartPlan& plan) {
 
   // Incremental admission: the job's nodes are already drawing idle power
   // (they are on and idle), so only the dynamic part is new draw.
-  const double current = cluster.it_power_watts();
+  const double current = host_->ledger().it_power_watts();
   const double headroom = budget_ - current;
   const double dynamic_ref =
       std::max(0.0, plan.predicted_node_watts - idle) * plan.nodes;

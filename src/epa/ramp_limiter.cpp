@@ -11,7 +11,7 @@ void RampLimiterPolicy::install(PolicyHost& host) {
   // Seed the ramp base so admissions before the first tick are bounded
   // against the pre-existing draw.
   samples_.emplace_back(host.simulation().now(),
-                        host.cluster().it_power_watts());
+                        host.ledger().it_power_watts());
 }
 
 double RampLimiterPolicy::window_min() const {
@@ -21,7 +21,7 @@ double RampLimiterPolicy::window_min() const {
 }
 
 double RampLimiterPolicy::headroom() const {
-  const double current = host_->cluster().it_power_watts();
+  const double current = host_->ledger().it_power_watts();
   return config_.max_ramp_watts - (current - window_min());
 }
 
@@ -63,7 +63,7 @@ bool RampLimiterPolicy::plan_start(StartPlan& plan) {
 
 void RampLimiterPolicy::on_tick(sim::SimTime now) {
   if (host_ == nullptr) return;
-  const double watts = host_->cluster().it_power_watts();
+  const double watts = host_->ledger().it_power_watts();
   samples_.emplace_back(now, watts);
   while (!samples_.empty() &&
          samples_.front().first < now - config_.window) {

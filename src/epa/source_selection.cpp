@@ -42,7 +42,7 @@ bool SourceSelectionPolicy::plan_start(StartPlan& plan) {
   const double ratio = cluster.pstates().ratio(plan.pstate);
   const double delta =
       dyn * std::pow(ratio, host_->power_model().alpha());
-  return cluster.it_power_watts() + delta <= budget;
+  return host_->ledger().it_power_watts() + delta <= budget;
 }
 
 void SourceSelectionPolicy::on_tick(sim::SimTime now) {
@@ -50,7 +50,7 @@ void SourceSelectionPolicy::on_tick(sim::SimTime now) {
   power::SupplyPortfolio* supply = host_->supply();
   if (supply == nullptr) return;
 
-  const double it_watts = host_->cluster().it_power_watts();
+  const double it_watts = host_->ledger().it_power_watts();
   const double facility_watts =
       host_->cluster().facility().facility_watts(it_watts, now);
   const power::SupplyPortfolio::Dispatch dispatch =

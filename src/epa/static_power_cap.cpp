@@ -19,12 +19,9 @@ void StaticPowerCapPolicy::install(PolicyHost& host) {
   }
   host.set_group_cap(capped, cap_watts_);
 
-  budget_ = 0.0;
-  for (const platform::Node& node : cluster.nodes()) {
-    budget_ += node.power_cap_watts() > 0.0
-                   ? node.power_cap_watts()
-                   : host.power_model().peak_watts(node.config());
-  }
+  // The ledger's worst-case aggregate is exactly the CAPMC guarantee:
+  // sum of caps over capped nodes plus model peaks over uncapped ones.
+  budget_ = host.ledger().worst_case_it_watts();
 }
 
 }  // namespace epajsrm::epa

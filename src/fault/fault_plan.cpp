@@ -26,6 +26,51 @@ const char* to_string(FaultKind kind) {
   return "?";
 }
 
+namespace {
+
+// Parses the spec's time field. Plain numbers are absolute seconds; an
+// optional s/m/h/d unit suffix scales the value; a leading '+' makes it
+// an offset from the previous event's (absolute) time, so storm scripts
+// read as a cadence: "+90m sensor-stuck ...". Throws std::invalid_argument
+// without the line prefix — the caller adds the line number.
+sim::SimTime parse_time_token(const std::string& token,
+                              sim::SimTime previous) {
+  std::string body = token;
+  const bool relative = !body.empty() && body[0] == '+';
+  if (relative) body.erase(0, 1);
+
+  double unit_s = 1.0;
+  if (!body.empty()) {
+    switch (body.back()) {
+      case 's': unit_s = 1.0;       body.pop_back(); break;
+      case 'm': unit_s = 60.0;      body.pop_back(); break;
+      case 'h': unit_s = 3600.0;    body.pop_back(); break;
+      case 'd': unit_s = 86400.0;   body.pop_back(); break;
+      default: break;
+    }
+  }
+
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(body, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;  // fall through to the shared error
+  }
+  if (consumed != body.size() || body.empty()) {
+    throw std::invalid_argument("bad time '" + token +
+                                "' (want <seconds> or [+]<n>[s|m|h|d])");
+  }
+  if (value < 0.0) {
+    throw std::invalid_argument(relative ? "offset must be >= 0"
+                                         : "time must be >= 0");
+  }
+  const sim::SimTime t = sim::from_seconds(value * unit_s);
+  return relative ? previous + t : t;
+}
+
+}  // namespace
+
 FaultKind parse_fault_kind(const std::string& name) {
   for (const FaultKind kind :
        {FaultKind::kNodeCrash, FaultKind::kNodeHang, FaultKind::kPduTrip,
@@ -109,6 +154,7 @@ FaultPlan FaultPlan::parse(std::istream& in) {
   FaultPlan plan;
   std::string line;
   std::size_t line_no = 0;
+  sim::SimTime previous = 0;  // base for '+' relative offsets
   while (std::getline(in, line)) {
     ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
@@ -116,27 +162,22 @@ FaultPlan FaultPlan::parse(std::istream& in) {
     if (line[first] == '#' || line[first] == ';') continue;
 
     std::istringstream fields(line);
-    double time_s = 0.0;
+    std::string time_token;
     std::string kind_name;
     std::int64_t target = -1;
-    if (!(fields >> time_s >> kind_name >> target)) {
+    if (!(fields >> time_token >> kind_name >> target)) {
       throw std::invalid_argument("fault spec line " +
                                   std::to_string(line_no) +
-                                  ": need <time_s> <kind> <target>");
+                                  ": need <time> <kind> <target>");
     }
     FaultEvent event;
     try {
       event.kind = parse_fault_kind(kind_name);
+      event.at = parse_time_token(time_token, previous);
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("fault spec line " +
                                   std::to_string(line_no) + ": " + e.what());
     }
-    if (time_s < 0.0) {
-      throw std::invalid_argument("fault spec line " +
-                                  std::to_string(line_no) +
-                                  ": time must be >= 0");
-    }
-    event.at = sim::from_seconds(time_s);
     event.target = target;
     double magnitude = 0.0;
     double duration_s = 0.0;
@@ -150,6 +191,7 @@ FaultPlan FaultPlan::parse(std::istream& in) {
       event.duration = sim::from_seconds(duration_s);
     }
     plan.add(event);
+    previous = event.at;
   }
   return plan;
 }

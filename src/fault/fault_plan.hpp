@@ -58,12 +58,16 @@ class FaultPlan {
   /// Parses the line-oriented spec format:
   ///
   ///   # comment
-  ///   <time_s> <kind> <target> [magnitude] [duration_s]
+  ///   <time> <kind> <target> [magnitude] [duration_s]
   ///
   /// e.g. "3600 node-crash 12 0 1800" or "7200 capmc-failure -1 0.5 600".
-  /// Kind names are the to_string(FaultKind) names. Malformed lines throw
-  /// std::invalid_argument naming the line number (fault specs are small,
-  /// hand-written files — failing loudly beats silently skipping faults).
+  /// The time field is absolute seconds by default; an s/m/h/d unit
+  /// suffix scales it ("90m"), and a leading '+' makes it an offset from
+  /// the previous event's time ("+90m", "+6h") so cadenced storm scripts
+  /// need no running arithmetic. Kind names are the to_string(FaultKind)
+  /// names. Malformed lines throw std::invalid_argument naming the line
+  /// number (fault specs are small, hand-written files — failing loudly
+  /// beats silently skipping faults).
   static FaultPlan parse(std::istream& in);
   static FaultPlan parse_string(const std::string& text);
   static FaultPlan parse_file(const std::string& path);

@@ -103,16 +103,19 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
     case FaultKind::kThermalExcursion: {
       platform::Cluster& cluster = solution_->cluster();
+      power::PowerLedger& ledger = solution_->ledger();
       if (event.target >= 0) {
         if (static_cast<std::uint64_t>(event.target) <
             cluster.node_count()) {
           platform::Node& node =
               cluster.node(static_cast<platform::NodeId>(event.target));
           node.set_temperature_c(node.temperature_c() + event.magnitude);
+          ledger.post_temperature(node.id(), node.temperature_c());
         }
       } else {
         for (platform::Node& node : cluster.nodes()) {
           node.set_temperature_c(node.temperature_c() + event.magnitude);
+          ledger.post_temperature(node.id(), node.temperature_c());
         }
       }
       break;

@@ -4,6 +4,7 @@
 
 #include "check/contract.hpp"
 #include "obs/observability.hpp"
+#include "power/ledger.hpp"
 
 namespace epajsrm::power {
 
@@ -182,18 +183,15 @@ bool CapmcController::clear_all_caps() {
 }
 
 double CapmcController::worst_case_watts() const {
-  double total = 0.0;
-  for (const platform::Node& node : cluster_->nodes()) {
-    const double cap = node.power_cap_watts();
-    total += cap > 0.0 ? cap : model_->peak_watts(node.config());
-  }
-  return total;
+  EPAJSRM_REQUIRE(model_->ledger() != nullptr,
+                  "CAPMC worst-case read needs an attached power ledger");
+  return model_->ledger()->worst_case_it_watts();
 }
 
 std::uint32_t CapmcController::capped_node_count() const {
-  return static_cast<std::uint32_t>(std::count_if(
-      cluster_->nodes().begin(), cluster_->nodes().end(),
-      [](const platform::Node& n) { return n.power_cap_watts() > 0.0; }));
+  EPAJSRM_REQUIRE(model_->ledger() != nullptr,
+                  "CAPMC cap census needs an attached power ledger");
+  return model_->ledger()->capped_node_count();
 }
 
 }  // namespace epajsrm::power

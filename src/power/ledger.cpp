@@ -1,0 +1,351 @@
+#include "power/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "check/contract.hpp"
+#include "power/node_power_model.hpp"
+
+namespace epajsrm::power {
+
+std::int64_t PowerLedger::to_fixed(double watts) {
+  return std::llround(watts * kScale);
+}
+
+PowerLedger::PowerLedger(const platform::Cluster& cluster) {
+  const std::uint32_t n = cluster.node_count();
+  rack_of_.reserve(n);
+  pdu_of_.reserve(n);
+  cooling_of_.reserve(n);
+
+  std::uint32_t racks = 0;
+  for (const platform::Node& node : cluster.nodes()) {
+    rack_of_.push_back(node.rack());
+    pdu_of_.push_back(node.pdu());
+    cooling_of_.push_back(node.cooling_loop());
+    racks = std::max(racks, node.rack() + 1);
+  }
+
+  watts_.assign(n, 0.0);
+  demand_.assign(n, 0.0);
+  cap_.assign(n, 0.0);
+  worst_.assign(n, 0.0);
+  peak_.assign(n, 0.0);
+  temp_.assign(n, 0.0);
+  state_.assign(n, platform::NodeState::kIdle);
+  allocated_.assign(n, 0);
+  version_.assign(n, 0);
+  dirty_flag_.assign(n, 0);
+
+  rack_q_.assign(racks, 0);
+  rack_cap_q_.assign(racks, 0);
+  rack_capped_.assign(racks, 0);
+  rack_nodes_.assign(racks, 0);
+  pdu_q_.assign(cluster.facility().pdus().size(), 0);
+  pdu_peak_q_.assign(cluster.facility().pdus().size(), 0);
+  cooling_q_.assign(cluster.facility().cooling_loops().size(), 0);
+
+  // Seed per-node state from the node sensor caches so the ledger is
+  // consistent with the cluster from the first instant, model or not.
+  for (const platform::Node& node : cluster.nodes()) {
+    const platform::NodeId id = node.id();
+    EPAJSRM_REQUIRE(node.pdu() < pdu_q_.size(), "node PDU outside facility");
+    EPAJSRM_REQUIRE(node.cooling_loop() < cooling_q_.size(),
+                    "node cooling loop outside facility");
+    watts_[id] = node.current_watts();
+    demand_[id] = node.current_watts();
+    cap_[id] = node.power_cap_watts();
+    worst_[id] = cap_[id] > 0.0 ? cap_[id] : 0.0;
+    temp_[id] = node.temperature_c();
+    state_[id] = node.state();
+    allocated_[id] = node.allocations().empty() ? 0 : 1;
+
+    const std::int64_t w = to_fixed(watts_[id]);
+    it_q_ += w;
+    rack_q_[rack_of_[id]] += w;
+    pdu_q_[pdu_of_[id]] += w;
+    cooling_q_[cooling_of_[id]] += w;
+    demand_q_ += to_fixed(demand_[id]);
+    worst_q_ += to_fixed(worst_[id]);
+    if (!cap_governed(state_[id])) fixed_q_ += w;
+    if (allocated_[id] == 0) unalloc_q_ += w;
+    if (cap_[id] > 0.0) {
+      cap_sum_q_ += to_fixed(cap_[id]);
+      rack_cap_q_[rack_of_[id]] += to_fixed(cap_[id]);
+      ++capped_count_;
+      ++rack_capped_[rack_of_[id]];
+    }
+    ++rack_nodes_[rack_of_[id]];
+    ++state_counts_[static_cast<std::size_t>(state_[id])];
+  }
+  recompute_max_temp();
+}
+
+void PowerLedger::prime(platform::Cluster& cluster,
+                        const NodePowerModel& model) {
+  EPAJSRM_REQUIRE(cluster.node_count() == node_count(),
+                  "prime against the cluster the ledger was built from");
+  std::fill(pdu_peak_q_.begin(), pdu_peak_q_.end(), 0);
+  for (const platform::Node& node : cluster.nodes()) {
+    peak_[node.id()] = model.peak_watts(node.config());
+    pdu_peak_q_[pdu_of_[node.id()]] += to_fixed(peak_[node.id()]);
+  }
+  // Re-apply every node: the applies post back here, folding the new peak
+  // table into the worst-case aggregate and syncing every sensor cache.
+  for (platform::Node& node : cluster.nodes()) {
+    model.apply(node);
+    post_temperature(node.id(), node.temperature_c());
+  }
+}
+
+void PowerLedger::mark_dirty(platform::NodeId id) {
+  if (dirty_flag_[id] == dirty_generation_) return;
+  dirty_flag_[id] = dirty_generation_;
+  dirty_.push_back(id);
+}
+
+void PowerLedger::clear_dirty() {
+  dirty_.clear();
+  ++dirty_generation_;
+}
+
+void PowerLedger::post(platform::NodeId id, const NodeSample& s) {
+  EPAJSRM_REQUIRE(id < node_count(), "post for an unknown node id");
+  const double new_worst = s.cap_watts > 0.0 ? s.cap_watts : peak_[id];
+  if (s.watts == watts_[id] && s.demand_watts == demand_[id] &&
+      s.cap_watts == cap_[id] && new_worst == worst_[id] &&
+      s.state == state_[id] &&
+      (s.allocated ? 1 : 0) == allocated_[id]) {
+    ++posts_ignored_;
+    return;
+  }
+
+  const std::int64_t old_w = to_fixed(watts_[id]);
+  const std::int64_t new_w = to_fixed(s.watts);
+  const std::int64_t d_w = new_w - old_w;
+
+  it_q_ += d_w;
+  rack_q_[rack_of_[id]] += d_w;
+  pdu_q_[pdu_of_[id]] += d_w;
+  cooling_q_[cooling_of_[id]] += d_w;
+  demand_q_ += to_fixed(s.demand_watts) - to_fixed(demand_[id]);
+  worst_q_ += to_fixed(new_worst) - to_fixed(worst_[id]);
+
+  if (!cap_governed(state_[id])) fixed_q_ -= old_w;
+  if (!cap_governed(s.state)) fixed_q_ += new_w;
+  if (allocated_[id] == 0) unalloc_q_ -= old_w;
+  if (!s.allocated) unalloc_q_ += new_w;
+
+  const bool was_capped = cap_[id] > 0.0;
+  const bool now_capped = s.cap_watts > 0.0;
+  if (was_capped) {
+    cap_sum_q_ -= to_fixed(cap_[id]);
+    rack_cap_q_[rack_of_[id]] -= to_fixed(cap_[id]);
+    --capped_count_;
+    --rack_capped_[rack_of_[id]];
+  }
+  if (now_capped) {
+    cap_sum_q_ += to_fixed(s.cap_watts);
+    rack_cap_q_[rack_of_[id]] += to_fixed(s.cap_watts);
+    ++capped_count_;
+    ++rack_capped_[rack_of_[id]];
+  }
+
+  if (s.state != state_[id]) {
+    --state_counts_[static_cast<std::size_t>(state_[id])];
+    ++state_counts_[static_cast<std::size_t>(s.state)];
+  }
+
+  watts_[id] = s.watts;
+  demand_[id] = s.demand_watts;
+  cap_[id] = s.cap_watts;
+  worst_[id] = new_worst;
+  state_[id] = s.state;
+  allocated_[id] = s.allocated ? 1 : 0;
+
+  version_[id] = ++epoch_;
+  ++posts_applied_;
+  mark_dirty(id);
+}
+
+void PowerLedger::post_temperature(platform::NodeId id, double celsius) {
+  EPAJSRM_REQUIRE(id < node_count(), "temperature post for an unknown node");
+  if (celsius == temp_[id]) return;
+  temp_[id] = celsius;
+  ++epoch_;
+  // max_temp_ is always an upper bound on every stored temperature, so a
+  // post at or above it is provably the new maximum; only cooling the
+  // argmax node itself can invalidate the cache.
+  if (celsius >= max_temp_) {
+    max_temp_ = celsius;
+    max_temp_node_ = id;
+    max_temp_stale_ = false;
+  } else if (id == max_temp_node_) {
+    max_temp_stale_ = true;
+  }
+}
+
+void PowerLedger::recompute_max_temp() const {
+  max_temp_ = -1e9;
+  max_temp_node_ = 0;
+  for (std::size_t i = 0; i < temp_.size(); ++i) {
+    if (temp_[i] > max_temp_) {
+      max_temp_ = temp_[i];
+      max_temp_node_ = static_cast<platform::NodeId>(i);
+    }
+  }
+  max_temp_stale_ = false;
+}
+
+double PowerLedger::max_temperature_c() const {
+  if (max_temp_stale_) recompute_max_temp();
+  return max_temp_;
+}
+
+double PowerLedger::rack_power_watts(platform::RackId rack) const {
+  EPAJSRM_REQUIRE(rack < rack_q_.size(), "unknown rack id");
+  return from_fixed(rack_q_[rack]);
+}
+
+double PowerLedger::pdu_power_watts(platform::PduId pdu) const {
+  EPAJSRM_REQUIRE(pdu < pdu_q_.size(), "unknown PDU id");
+  return from_fixed(pdu_q_[pdu]);
+}
+
+double PowerLedger::cooling_load_watts(platform::CoolingId loop) const {
+  EPAJSRM_REQUIRE(loop < cooling_q_.size(), "unknown cooling loop id");
+  return from_fixed(cooling_q_[loop]);
+}
+
+double PowerLedger::rack_cap_sum_watts(platform::RackId rack) const {
+  EPAJSRM_REQUIRE(rack < rack_cap_q_.size(), "unknown rack id");
+  return from_fixed(rack_cap_q_[rack]);
+}
+
+double PowerLedger::pdu_peak_watts(platform::PduId pdu) const {
+  EPAJSRM_REQUIRE(pdu < pdu_peak_q_.size(), "unknown PDU id");
+  return from_fixed(pdu_peak_q_[pdu]);
+}
+
+std::uint32_t PowerLedger::rack_capped_count(platform::RackId rack) const {
+  EPAJSRM_REQUIRE(rack < rack_capped_.size(), "unknown rack id");
+  return rack_capped_[rack];
+}
+
+std::uint32_t PowerLedger::rack_node_count(platform::RackId rack) const {
+  EPAJSRM_REQUIRE(rack < rack_nodes_.size(), "unknown rack id");
+  return rack_nodes_[rack];
+}
+
+namespace {
+
+std::string mismatch(const char* what, double have, double want) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: incremental %.9f W vs recomputed %.9f W", what, have,
+                want);
+  return buf;
+}
+
+}  // namespace
+
+std::string PowerLedger::audit_parity() const {
+  std::int64_t it = 0, demand = 0, worst = 0, fixed = 0, unalloc = 0,
+               cap_sum = 0;
+  std::vector<std::int64_t> rack(rack_q_.size(), 0);
+  std::vector<std::int64_t> rack_cap(rack_cap_q_.size(), 0);
+  std::vector<std::int64_t> pdu(pdu_q_.size(), 0);
+  std::vector<std::int64_t> cooling(cooling_q_.size(), 0);
+  std::vector<std::uint32_t> rack_capped(rack_capped_.size(), 0);
+  std::uint32_t capped = 0;
+  std::uint32_t states[7] = {};
+
+  for (std::uint32_t id = 0; id < node_count(); ++id) {
+    const std::int64_t w = to_fixed(watts_[id]);
+    it += w;
+    rack[rack_of_[id]] += w;
+    pdu[pdu_of_[id]] += w;
+    cooling[cooling_of_[id]] += w;
+    demand += to_fixed(demand_[id]);
+    worst += to_fixed(worst_[id]);
+    if (!cap_governed(state_[id])) fixed += w;
+    if (allocated_[id] == 0) unalloc += w;
+    if (cap_[id] > 0.0) {
+      cap_sum += to_fixed(cap_[id]);
+      rack_cap[rack_of_[id]] += to_fixed(cap_[id]);
+      ++capped;
+      ++rack_capped[rack_of_[id]];
+    }
+    ++states[static_cast<std::size_t>(state_[id])];
+    const double expect_worst = cap_[id] > 0.0 ? cap_[id] : peak_[id];
+    if (worst_[id] != expect_worst) {
+      return "node " + std::to_string(id) +
+             mismatch(" worst-case", worst_[id], expect_worst);
+    }
+  }
+
+  if (it != it_q_) return mismatch("it_power", from_fixed(it_q_), from_fixed(it));
+  if (demand != demand_q_) {
+    return mismatch("demand", from_fixed(demand_q_), from_fixed(demand));
+  }
+  if (worst != worst_q_) {
+    return mismatch("worst_case", from_fixed(worst_q_), from_fixed(worst));
+  }
+  if (fixed != fixed_q_) {
+    return mismatch("fixed", from_fixed(fixed_q_), from_fixed(fixed));
+  }
+  if (unalloc != unalloc_q_) {
+    return mismatch("unallocated", from_fixed(unalloc_q_), from_fixed(unalloc));
+  }
+  if (cap_sum != cap_sum_q_) {
+    return mismatch("cap_sum", from_fixed(cap_sum_q_), from_fixed(cap_sum));
+  }
+  if (capped != capped_count_) return "capped node count drifted";
+  for (std::size_t r = 0; r < rack.size(); ++r) {
+    if (rack[r] != rack_q_[r]) {
+      return "rack " + std::to_string(r) +
+             mismatch(" power", from_fixed(rack_q_[r]), from_fixed(rack[r]));
+    }
+    if (rack_cap[r] != rack_cap_q_[r] || rack_capped[r] != rack_capped_[r]) {
+      return "rack " + std::to_string(r) + " cap aggregates drifted";
+    }
+  }
+  std::vector<std::int64_t> pdu_peak(pdu_peak_q_.size(), 0);
+  for (std::uint32_t id = 0; id < node_count(); ++id) {
+    pdu_peak[pdu_of_[id]] += to_fixed(peak_[id]);
+  }
+  for (std::size_t p = 0; p < pdu.size(); ++p) {
+    if (pdu[p] != pdu_q_[p]) {
+      return "pdu " + std::to_string(p) +
+             mismatch(" power", from_fixed(pdu_q_[p]), from_fixed(pdu[p]));
+    }
+    if (pdu_peak[p] != pdu_peak_q_[p]) {
+      return "pdu " + std::to_string(p) +
+             mismatch(" peak", from_fixed(pdu_peak_q_[p]),
+                      from_fixed(pdu_peak[p]));
+    }
+  }
+  for (std::size_t c = 0; c < cooling.size(); ++c) {
+    if (cooling[c] != cooling_q_[c]) {
+      return "cooling loop " + std::to_string(c) +
+             mismatch(" load", from_fixed(cooling_q_[c]),
+                      from_fixed(cooling[c]));
+    }
+  }
+  for (std::size_t s = 0; s < 7; ++s) {
+    if (states[s] != state_counts_[s]) {
+      return std::string("state count drifted for ") +
+             platform::to_string(static_cast<platform::NodeState>(s));
+    }
+  }
+
+  double true_max = -1e9;
+  for (double t : temp_) true_max = std::max(true_max, t);
+  if (node_count() > 0 && max_temperature_c() != true_max) {
+    return mismatch("max temperature", max_temperature_c(), true_max);
+  }
+  return {};
+}
+
+}  // namespace epajsrm::power

@@ -1,0 +1,244 @@
+// PowerLedger: the single incremental power/energy view of the machine —
+// the "monitoring plane" box of the survey's Figure 1 as a data structure.
+//
+// Every component that *changes* node power (NodePowerModel::apply on
+// lifecycle/P-state/cap/load changes, ThermalModel on temperature steps)
+// posts a per-node delta; every component that *reads* power (telemetry,
+// the Power API facade, EPA policies, the facility coordinator, the
+// invariant auditor) queries O(1) cached aggregates instead of re-walking
+// `cluster.nodes()`. The struct-of-arrays layout keeps per-node reads
+// cache-friendly and the hierarchy (node -> rack -> PDU / cooling loop ->
+// cluster) is maintained on every post.
+//
+// Determinism & exactness (DESIGN.md §10):
+//   * Aggregates are summed in *fixed point* (integer 2^-24 W quanta), so
+//     incremental maintenance is exactly associative — the ledger total is
+//     bit-identical to a brute-force recompute of the same quantized
+//     per-node values no matter how many posts happened in between, and
+//     independent of thread count (each ensemble shard owns its ledger).
+//   * Per-node values are additionally stored verbatim as doubles; the
+//     ledger never rounds what a consumer reads for a single node.
+//   * Epoch versioning: every accepted post bumps the ledger epoch and
+//     stamps the node, so consumers can cheaply detect staleness; the
+//     dirty set records which nodes changed since the last harvest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace epajsrm::power {
+
+class NodePowerModel;
+
+/// Incremental, hierarchically aggregated power state store.
+class PowerLedger {
+ public:
+  /// One node's power facts, posted as a unit by the power model. The
+  /// per-node worst case (cap if capped, model peak otherwise) is derived
+  /// by the ledger from cap_watts and the primed peak table.
+  struct NodeSample {
+    double watts = 0.0;        ///< modelled draw (what telemetry reads)
+    double demand_watts = 0.0; ///< uncapped draw at the selected P-state
+                               ///< for cap-governed states; == watts else
+    double cap_watts = 0.0;    ///< active node cap; 0 = uncapped
+    platform::NodeState state = platform::NodeState::kIdle;
+    bool allocated = false;    ///< node has resident job allocations
+  };
+
+  /// Builds the membership tables (rack/PDU/cooling of every node) and
+  /// zero aggregates. Call prime() once producers are attached.
+  explicit PowerLedger(const platform::Cluster& cluster);
+
+  /// Records the static per-node model peaks, then resolves and applies
+  /// the model to every node (the model must already be attached so the
+  /// applies post back here). After prime the ledger, the node sensor
+  /// caches and the model agree exactly. Brute force by design — this is
+  /// the one full sweep the ledger ever does on the happy path.
+  void prime(platform::Cluster& cluster, const NodePowerModel& model);
+
+  // --- delta protocol (producers) -----------------------------------------
+
+  /// Posts one node's power facts. No-ops (no epoch bump, no dirty mark)
+  /// when nothing changed; otherwise applies exact fixed-point deltas to
+  /// every aggregate the node participates in.
+  void post(platform::NodeId id, const NodeSample& sample);
+
+  /// Posts one node's temperature (thermal model step or injected
+  /// excursion). Maintains the cached cluster maximum.
+  void post_temperature(platform::NodeId id, double celsius);
+
+  // --- O(1) hierarchical power aggregates ---------------------------------
+
+  /// Sum of node draws (IT power only, watts).
+  double it_power_watts() const { return from_fixed(it_q_); }
+  double rack_power_watts(platform::RackId rack) const;
+  double pdu_power_watts(platform::PduId pdu) const;
+  double cooling_load_watts(platform::CoolingId loop) const;
+
+  /// Guaranteed worst-case system draw: sum of caps over capped nodes
+  /// plus model peaks over uncapped ones (CAPMC semantics).
+  double worst_case_it_watts() const { return from_fixed(worst_q_); }
+
+  /// Sum of per-node demand: uncapped draw for cap-governed nodes
+  /// (Idle/Busy/Draining), actual fixed draw for transition states.
+  double total_demand_watts() const { return from_fixed(demand_q_); }
+
+  /// Draw of nodes outside the cap-governed states (boot/shutdown/sleep/
+  /// off transients that DVFS cannot shape).
+  double fixed_power_watts() const { return from_fixed(fixed_q_); }
+
+  /// Draw of nodes with no resident job allocations (the balancer's
+  /// "system overhead" floor).
+  double unallocated_power_watts() const { return from_fixed(unalloc_q_); }
+
+  /// Sum of active node caps, cluster-wide and per rack (0-capped nodes
+  /// contribute nothing; pair with the capped counts for "is everything
+  /// capped" questions).
+  double cap_sum_watts() const { return from_fixed(cap_sum_q_); }
+  double rack_cap_sum_watts(platform::RackId rack) const;
+
+  /// Static per-PDU sum of model peak draws (admission planning).
+  double pdu_peak_watts(platform::PduId pdu) const;
+
+  std::uint32_t capped_node_count() const { return capped_count_; }
+  std::uint32_t rack_capped_count(platform::RackId rack) const;
+  std::uint32_t rack_node_count(platform::RackId rack) const;
+  std::uint32_t count_in_state(platform::NodeState state) const {
+    return state_counts_[static_cast<std::size_t>(state)];
+  }
+
+  /// Hottest node temperature (lazily recomputed only when the previous
+  /// argmax node cooled down).
+  double max_temperature_c() const;
+
+  // --- per-node reads (verbatim doubles, never quantized) -----------------
+
+  double node_watts(platform::NodeId id) const { return watts_[id]; }
+  double node_demand_watts(platform::NodeId id) const { return demand_[id]; }
+  double node_cap_watts(platform::NodeId id) const { return cap_[id]; }
+  double node_peak_watts(platform::NodeId id) const { return peak_[id]; }
+  double node_temperature_c(platform::NodeId id) const { return temp_[id]; }
+  platform::NodeState node_state(platform::NodeId id) const {
+    return state_[id];
+  }
+  bool node_allocated(platform::NodeId id) const {
+    return allocated_[id] != 0;
+  }
+  /// True for the DVFS-controllable states (Idle/Busy/Draining).
+  bool node_cap_governed(platform::NodeId id) const {
+    return cap_governed(state_[id]);
+  }
+
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(watts_.size());
+  }
+  std::uint32_t rack_count() const {
+    return static_cast<std::uint32_t>(rack_q_.size());
+  }
+  std::uint32_t pdu_count() const {
+    return static_cast<std::uint32_t>(pdu_q_.size());
+  }
+  std::uint32_t cooling_count() const {
+    return static_cast<std::uint32_t>(cooling_q_.size());
+  }
+
+  // --- epochs & dirty set -------------------------------------------------
+
+  /// Bumped on every accepted post (power or temperature).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Epoch of the last accepted power post for `id` (0 = never posted).
+  std::uint64_t node_version(platform::NodeId id) const {
+    return version_[id];
+  }
+
+  /// Nodes whose power facts changed since the last clear_dirty(), in
+  /// post order (deduplicated).
+  const std::vector<platform::NodeId>& dirty_nodes() const { return dirty_; }
+  void clear_dirty();
+
+  /// Total posts accepted / ignored as no-ops (instrumentation).
+  std::uint64_t posts_applied() const { return posts_applied_; }
+  std::uint64_t posts_ignored() const { return posts_ignored_; }
+
+  // --- debug parity -------------------------------------------------------
+
+  /// Recomputes every aggregate brute-force from the per-node arrays and
+  /// compares *exactly* (integer equality — incremental fixed-point
+  /// maintenance must not drift by even one quantum). Returns an empty
+  /// string when consistent, else a description of the first mismatch.
+  std::string audit_parity() const;
+
+  /// Fixed-point quantum (watts) — the resolution aggregates carry.
+  static double quantum_watts() { return 1.0 / kScale; }
+
+  static bool cap_governed(platform::NodeState s) {
+    return s == platform::NodeState::kIdle ||
+           s == platform::NodeState::kBusy ||
+           s == platform::NodeState::kDraining;
+  }
+
+ private:
+  // 2^-24 W quanta: fine enough that a 4096-node sum differs from the
+  // double-precision reference by < 1e-4 W, coarse enough that exawatt-
+  // scale sums stay far from int64 overflow.
+  static constexpr double kScale = 16777216.0;  // 2^24
+  static std::int64_t to_fixed(double watts);
+  static double from_fixed(std::int64_t q) {
+    return static_cast<double>(q) / kScale;
+  }
+
+  void mark_dirty(platform::NodeId id);
+  void recompute_max_temp() const;
+
+  // membership (immutable after construction)
+  std::vector<platform::RackId> rack_of_;
+  std::vector<platform::PduId> pdu_of_;
+  std::vector<platform::CoolingId> cooling_of_;
+
+  // per-node state (struct of arrays)
+  std::vector<double> watts_;
+  std::vector<double> demand_;
+  std::vector<double> cap_;
+  std::vector<double> worst_;
+  std::vector<double> peak_;
+  std::vector<double> temp_;
+  std::vector<platform::NodeState> state_;
+  std::vector<std::uint8_t> allocated_;
+  std::vector<std::uint64_t> version_;
+
+  // fixed-point aggregates
+  std::int64_t it_q_ = 0;
+  std::int64_t worst_q_ = 0;
+  std::int64_t demand_q_ = 0;
+  std::int64_t fixed_q_ = 0;
+  std::int64_t unalloc_q_ = 0;
+  std::int64_t cap_sum_q_ = 0;
+  std::vector<std::int64_t> rack_q_;
+  std::vector<std::int64_t> pdu_q_;
+  std::vector<std::int64_t> cooling_q_;
+  std::vector<std::int64_t> rack_cap_q_;
+  std::vector<std::int64_t> pdu_peak_q_;
+  std::vector<std::uint32_t> rack_capped_;
+  std::vector<std::uint32_t> rack_nodes_;
+  std::uint32_t capped_count_ = 0;
+  std::uint32_t state_counts_[7] = {};
+
+  // temperature max cache (argmax-tracked, lazily recomputed)
+  mutable double max_temp_ = -1e9;
+  mutable platform::NodeId max_temp_node_ = 0;
+  mutable bool max_temp_stale_ = false;
+
+  // epoch / dirty tracking
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> dirty_flag_;  // epoch stamps, not bools
+  std::uint64_t dirty_generation_ = 1;
+  std::vector<platform::NodeId> dirty_;
+  std::uint64_t posts_applied_ = 0;
+  std::uint64_t posts_ignored_ = 0;
+};
+
+}  // namespace epajsrm::power

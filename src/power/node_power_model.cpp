@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/contract.hpp"
+#include "power/ledger.hpp"
 
 namespace epajsrm::power {
 
@@ -43,15 +44,18 @@ OperatingPoint NodePowerModel::resolve(const platform::Node& node) const {
   switch (node.state()) {
     case NodeState::kOff:
       op.watts = cfg.off_watts;
+      op.uncapped_watts = cfg.off_watts;
       op.freq_ratio = 0.0;
       return op;
     case NodeState::kBooting:
     case NodeState::kShuttingDown:
       op.watts = cfg.boot_watts;
+      op.uncapped_watts = cfg.boot_watts;
       op.freq_ratio = 0.0;
       return op;
     case NodeState::kSleeping:
       op.watts = cfg.sleep_watts;
+      op.uncapped_watts = cfg.sleep_watts;
       op.freq_ratio = 0.0;
       return op;
     case NodeState::kIdle:
@@ -64,9 +68,11 @@ OperatingPoint NodePowerModel::resolve(const platform::Node& node) const {
       std::min<std::uint32_t>(node.pstate(), pstates_.deepest()));
   const double util = node.utilization();
   double freq = pstate_ratio;
+  const double uncapped = watts_at(cfg, pstate_ratio, util);
+  op.uncapped_watts = uncapped;
 
   const double cap = node.power_cap_watts();
-  if (cap > 0.0 && watts_at(cfg, freq, util) > cap) {
+  if (cap > 0.0 && uncapped > cap) {
     op.cap_binding = true;
     double clamped = freq_ratio_for_cap(cfg, cap, util);
     if (clamped <= 0.0) {
@@ -77,12 +83,14 @@ OperatingPoint NodePowerModel::resolve(const platform::Node& node) const {
       clamped = pstates_.ratio(pstates_.state_at_or_below(clamped));
     }
     freq = std::min(freq, clamped);
+    op.watts = watts_at(cfg, freq, util);
+  } else {
+    op.watts = uncapped;
   }
 
   // A node that is on but has no work still burns idle power; frequency
   // ratio stays meaningful for when work lands.
   op.freq_ratio = freq;
-  op.watts = watts_at(cfg, freq, util);
   return op;
 }
 
@@ -103,6 +111,15 @@ OperatingPoint NodePowerModel::apply(platform::Node& node) const {
                  "resolved draw exceeds a feasible node power cap");
   node.set_current_watts(op.watts);
   node.set_effective_freq_ratio(op.freq_ratio);
+  if (ledger_ != nullptr) {
+    PowerLedger::NodeSample sample;
+    sample.watts = op.watts;
+    sample.demand_watts = op.uncapped_watts;
+    sample.cap_watts = node.power_cap_watts();
+    sample.state = node.state();
+    sample.allocated = !node.allocations().empty();
+    ledger_->post(node.id(), sample);
+  }
   return op;
 }
 

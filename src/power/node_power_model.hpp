@@ -29,9 +29,13 @@ enum class CapMode {
   kDiscrete,
 };
 
+class PowerLedger;
+
 /// Result of resolving a node's operating point.
 struct OperatingPoint {
   double watts = 0.0;        ///< modelled draw
+  double uncapped_watts = 0.0;  ///< draw at the selected P-state ignoring
+                                ///< the cap (== watts for fixed-draw states)
   double freq_ratio = 1.0;   ///< effective f/f_ref actually achieved
   bool cap_binding = false;  ///< the power cap forced a slowdown
   bool cap_infeasible = false;  ///< cap below idle floor; cannot be met
@@ -49,6 +53,12 @@ class NodePowerModel {
   double alpha() const { return alpha_; }
   CapMode cap_mode() const { return cap_mode_; }
   void set_cap_mode(CapMode m) { cap_mode_ = m; }
+
+  /// Attaches (or with null, detaches) the power ledger. apply() is the
+  /// only writer of node power sensor caches, so attaching here makes
+  /// every existing call site a ledger delta producer for free.
+  void attach_ledger(PowerLedger* ledger) { ledger_ = ledger; }
+  PowerLedger* ledger() const { return ledger_; }
 
   /// Draw at an explicit operating point for a powered-on node.
   double watts_at(const platform::NodeConfig& cfg, double freq_ratio,
@@ -79,6 +89,7 @@ class NodePowerModel {
   const platform::PstateTable& pstates_;
   double alpha_;
   CapMode cap_mode_;
+  PowerLedger* ledger_ = nullptr;
 };
 
 }  // namespace epajsrm::power

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "power/ledger.hpp"
+
 namespace epajsrm::power {
 
 void ThermalModel::step_node(platform::Node& node, double inlet_c,
@@ -13,6 +15,9 @@ void ThermalModel::step_node(platform::Node& node, double inlet_c,
   const double t = node.temperature_c();
   const double decay = std::exp(-sim::to_seconds(dt) / tau);
   node.set_temperature_c(target + (t - target) * decay);
+  if (ledger_ != nullptr) {
+    ledger_->post_temperature(node.id(), node.temperature_c());
+  }
 }
 
 double ThermalModel::inlet_c(const platform::Cluster& cluster,
@@ -23,7 +28,9 @@ double ThermalModel::inlet_c(const platform::Cluster& cluster,
   // Overloaded loop: supply temperature creeps up proportionally to the
   // overload fraction (coarse but monotone — what MS3 needs to react to).
   if (loop.heat_capacity_watts > 0.0) {
-    const double load = cluster.cooling_load_watts(loop.id);
+    const double load = ledger_ != nullptr
+                            ? ledger_->cooling_load_watts(loop.id)
+                            : cluster.cooling_load_watts(loop.id);
     const double overload = load / loop.heat_capacity_watts - 1.0;
     if (overload > 0.0) inlet += 10.0 * overload;
   }

@@ -13,6 +13,8 @@
 
 namespace epajsrm::power {
 
+class PowerLedger;
+
 /// Advances node temperatures and reports thermal excursions.
 class ThermalModel {
  public:
@@ -20,6 +22,11 @@ class ThermalModel {
   /// loop supply (rack recirculation).
   explicit ThermalModel(double inlet_offset_c = 4.0)
       : inlet_offset_c_(inlet_offset_c) {}
+
+  /// Attaches the power ledger: step_node then posts every temperature it
+  /// writes, and inlet_c reads the O(1) cooling-loop load instead of
+  /// summing the loop's nodes (which made step_cluster quadratic).
+  void attach_ledger(PowerLedger* ledger) { ledger_ = ledger; }
 
   /// Steady-state temperature of a node drawing `watts` with inlet
   /// `inlet_c`.
@@ -46,6 +53,7 @@ class ThermalModel {
 
  private:
   double inlet_offset_c_;
+  PowerLedger* ledger_ = nullptr;
 };
 
 }  // namespace epajsrm::power

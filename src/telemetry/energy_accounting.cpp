@@ -11,8 +11,12 @@ void EnergyAccountant::checkpoint(sim::SimTime now) {
     return;
   }
   const double dt = sim::to_seconds(now - last_);
+  // Attribution is inherently O(nodes) per distinct checkpoint time (every
+  // node banks P·dt), but the power values come from the ledger — exact
+  // mirrors of the node sensor caches — so this stays lint-clean and the
+  // cluster is never re-swept for power elsewhere in telemetry.
   for (const platform::Node& node : cluster_->nodes()) {
-    const double joules = node.current_watts() * dt;
+    const double joules = ledger_->node_watts(node.id()) * dt;
     node_energy_[node.id()] += joules;
     total_joules_ += joules;
 

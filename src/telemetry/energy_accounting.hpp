@@ -17,19 +17,24 @@
 #include <vector>
 
 #include "platform/cluster.hpp"
+#include "power/ledger.hpp"
 #include "sim/time.hpp"
 #include "workload/job.hpp"
 
 namespace epajsrm::telemetry {
 
-/// Integrates node power and attributes it to jobs.
+/// Integrates node power and attributes it to jobs. Power is read from
+/// the ledger (identical to the node sensor caches by construction);
+/// allocation shares still come from the cluster.
 class EnergyAccountant {
  public:
   /// `job_resolver` maps a JobId to its runtime record (nullptr when the
   /// job is no longer tracked; its share then falls into overhead).
   EnergyAccountant(platform::Cluster& cluster,
+                   const power::PowerLedger& ledger,
                    std::function<workload::Job*(workload::JobId)> job_resolver)
-      : cluster_(&cluster), resolve_(std::move(job_resolver)),
+      : cluster_(&cluster), ledger_(&ledger),
+        resolve_(std::move(job_resolver)),
         node_energy_(cluster.node_count(), 0.0) {}
 
   /// Banks energy for [last checkpoint, now] using the *current* cached
@@ -50,6 +55,7 @@ class EnergyAccountant {
 
  private:
   platform::Cluster* cluster_;
+  const power::PowerLedger* ledger_;
   std::function<workload::Job*(workload::JobId)> resolve_;
   std::vector<double> node_energy_;
   double total_joules_ = 0.0;

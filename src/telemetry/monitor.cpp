@@ -3,16 +3,18 @@
 #include <algorithm>
 
 #include "check/contract.hpp"
-#include "power/thermal.hpp"
 
 namespace epajsrm::telemetry {
 
 MonitoringService::MonitoringService(sim::Simulation& sim,
                                      platform::Cluster& cluster,
+                                     const power::PowerLedger& ledger,
                                      sim::SimTime period, std::size_t history)
-    : sim_(&sim), cluster_(&cluster), period_(period),
+    : sim_(&sim), cluster_(&cluster), ledger_(&ledger), period_(period),
       machine_power_(history), facility_power_(history),
       utilization_(history), max_temperature_(history) {
+  EPAJSRM_REQUIRE(ledger.node_count() == cluster.node_count(),
+                  "ledger must cover the monitored cluster");
   for (std::size_t i = 0; i < cluster.facility().pdus().size(); ++i) {
     pdu_power_.push_back(std::make_unique<TimeSeries>(history));
   }
@@ -24,9 +26,10 @@ MonitoringService::MonitoringService(sim::Simulation& sim,
 void MonitoringService::build_sensors() {
   const std::string root = cluster_->name();
   platform::Cluster* cluster = cluster_;
+  const power::PowerLedger* ledger = ledger_;
 
   registry_.add({root + ".power", SensorKind::kPowerWatts,
-                 [cluster] { return cluster->it_power_watts(); }});
+                 [ledger] { return ledger->it_power_watts(); }});
   registry_.add({root + ".utilization", SensorKind::kUtilization,
                  [cluster] { return cluster->core_utilization(); }});
 
@@ -34,7 +37,7 @@ void MonitoringService::build_sensors() {
     const platform::PduId id = pdu.id;
     registry_.add({root + ".plant." + pdu.name + ".power",
                    SensorKind::kPowerWatts,
-                   [cluster, id] { return cluster->pdu_power_watts(id); }});
+                   [ledger, id] { return ledger->pdu_power_watts(id); }});
   }
 
   for (const platform::Node& node : cluster_->nodes()) {
@@ -42,9 +45,9 @@ void MonitoringService::build_sensors() {
     const std::string base = root + ".rack" + std::to_string(node.rack()) +
                              ".node" + std::to_string(id);
     registry_.add({base + ".power", SensorKind::kPowerWatts,
-                   [cluster, id] { return cluster->node(id).current_watts(); }});
-    registry_.add({base + ".temp", SensorKind::kTemperatureC, [cluster, id] {
-                     return cluster->node(id).temperature_c();
+                   [ledger, id] { return ledger->node_watts(id); }});
+    registry_.add({base + ".temp", SensorKind::kTemperatureC, [ledger, id] {
+                     return ledger->node_temperature_c(id);
                    }});
   }
 }
@@ -53,7 +56,7 @@ double MonitoringService::measured_it_watts(sim::SimTime now) const {
   const std::optional<Sample> last = machine_power_.latest();
   // Nothing retained yet (start-up, or the series was configured away):
   // the live reading is the only information there is.
-  if (!last.has_value()) return cluster_->it_power_watts();
+  if (!last.has_value()) return ledger_->it_power_watts();
   if (now - last->time <= 2 * period_) return last->value;
   // Stale: serve last-known-good inflated by the safety margin so cap
   // policies err on the conservative side while the sensor is out.
@@ -66,7 +69,7 @@ bool MonitoringService::telemetry_degraded(sim::SimTime now) const {
 }
 
 void MonitoringService::sample(sim::SimTime now) {
-  const double it_watts = cluster_->it_power_watts();
+  const double it_watts = ledger_->it_power_watts();
   bool record_machine = true;
   double machine_watts = it_watts;
   if (power_filter_) {
@@ -83,11 +86,10 @@ void MonitoringService::sample(sim::SimTime now) {
   facility_power_.record(now,
                          cluster_->facility().facility_watts(it_watts, now));
   utilization_.record(now, cluster_->core_utilization());
-  max_temperature_.record(now,
-                          power::ThermalModel::max_temperature_c(*cluster_));
+  max_temperature_.record(now, ledger_->max_temperature_c());
   for (std::size_t i = 0; i < pdu_power_.size(); ++i) {
     pdu_power_[i]->record(
-        now, cluster_->pdu_power_watts(static_cast<platform::PduId>(i)));
+        now, ledger_->pdu_power_watts(static_cast<platform::PduId>(i)));
   }
   ++ticks_;
 }

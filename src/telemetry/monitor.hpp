@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "platform/cluster.hpp"
+#include "power/ledger.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/sensor.hpp"
 #include "telemetry/time_series.hpp"
@@ -18,10 +19,14 @@
 namespace epajsrm::telemetry {
 
 /// Samples cluster sensors on a fixed period and retains key series.
+/// All power readings come from the PowerLedger's O(1) aggregates — the
+/// monitor is a pure consumer of the Figure 1 monitoring plane.
 class MonitoringService {
  public:
   /// Builds node/PDU/machine sensors under "<cluster name>." in `registry`.
+  /// `ledger` must cover `cluster` and outlive the service.
   MonitoringService(sim::Simulation& sim, platform::Cluster& cluster,
+                    const power::PowerLedger& ledger,
                     sim::SimTime period = 10 * sim::kSecond,
                     std::size_t history = 16384);
 
@@ -110,6 +115,7 @@ class MonitoringService {
 
   sim::Simulation* sim_;
   platform::Cluster* cluster_;
+  const power::PowerLedger* ledger_;
   sim::SimTime period_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;

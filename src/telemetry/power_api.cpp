@@ -29,13 +29,12 @@ PwrNotImplemented::PwrNotImplemented(const PwrObject& object, PwrAttr attr)
                        to_string(object.type) + " '" + object.name + "'") {}
 
 PowerApiContext::PowerApiContext(
-    platform::Cluster& cluster, power::CapmcController* capmc,
+    platform::Cluster& cluster, const power::PowerLedger& ledger,
+    power::CapmcController* capmc,
     std::function<double(platform::NodeId)> energy_meter)
-    : cluster_(&cluster), capmc_(capmc),
+    : cluster_(&cluster), ledger_(&ledger), capmc_(capmc),
       energy_meter_(std::move(energy_meter)) {
-  for (const platform::Node& node : cluster.nodes()) {
-    rack_count_ = std::max(rack_count_, node.rack() + 1);
-  }
+  rack_count_ = static_cast<std::uint32_t>(ledger.rack_count());
 }
 
 PwrObject PowerApiContext::entry_point() const {
@@ -104,31 +103,36 @@ std::vector<platform::NodeId> PowerApiContext::nodes_of(
 
 double PowerApiContext::attr_get(const PwrObject& object, PwrAttr attr) const {
   switch (attr) {
-    case PwrAttr::kPower: {
-      double sum = 0.0;
-      for (platform::NodeId id : nodes_of(object)) {
-        sum += cluster_->node(id).current_watts();
+    case PwrAttr::kPower:
+      // The ledger's hierarchical aggregates make these O(1) regardless of
+      // how many nodes the object spans.
+      switch (object.type) {
+        case PwrObjType::kPlatform: return ledger_->it_power_watts();
+        case PwrObjType::kCabinet:  return ledger_->rack_power_watts(object.index);
+        case PwrObjType::kNode:     return ledger_->node_watts(object.index);
       }
-      return sum;
-    }
-    case PwrAttr::kPowerLimitMax: {
-      if (object.type != PwrObjType::kNode) {
-        // Aggregate limit: sum of node caps; 0 if any member is uncapped.
-        double sum = 0.0;
-        for (platform::NodeId id : nodes_of(object)) {
-          const double cap = cluster_->node(id).power_cap_watts();
-          if (cap <= 0.0) return 0.0;
-          sum += cap;
-        }
-        return sum;
+      throw PwrNotImplemented(object, attr);
+    case PwrAttr::kPowerLimitMax:
+      // Aggregate limit: sum of node caps; 0 if any member is uncapped.
+      switch (object.type) {
+        case PwrObjType::kPlatform:
+          return ledger_->capped_node_count() < ledger_->node_count()
+                     ? 0.0
+                     : ledger_->cap_sum_watts();
+        case PwrObjType::kCabinet:
+          return ledger_->rack_capped_count(object.index) <
+                         ledger_->rack_node_count(object.index)
+                     ? 0.0
+                     : ledger_->rack_cap_sum_watts(object.index);
+        case PwrObjType::kNode:
+          return ledger_->node_cap_watts(object.index);
       }
-      return cluster_->node(object.index).power_cap_watts();
-    }
+      throw PwrNotImplemented(object, attr);
     case PwrAttr::kTemp:
       if (object.type != PwrObjType::kNode) {
         throw PwrNotImplemented(object, attr);
       }
-      return cluster_->node(object.index).temperature_c();
+      return ledger_->node_temperature_c(object.index);
     case PwrAttr::kFreq:
       if (object.type != PwrObjType::kNode) {
         throw PwrNotImplemented(object, attr);

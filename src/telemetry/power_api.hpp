@@ -24,6 +24,7 @@
 
 #include "platform/cluster.hpp"
 #include "power/capmc.hpp"
+#include "power/ledger.hpp"
 
 namespace epajsrm::telemetry {
 
@@ -61,10 +62,12 @@ class PwrNotImplemented : public std::logic_error {
 /// Navigation + attribute access over a cluster.
 class PowerApiContext {
  public:
-  /// `capmc` may be null for a read-only context; writes then throw.
-  /// `energy_meter` supplies kEnergy reads per node (e.g. the accountant's
-  /// node_joules); null disables kEnergy.
+  /// `ledger` serves all power/cap/temperature reads in O(1); it must
+  /// cover `cluster`. `capmc` may be null for a read-only context; writes
+  /// then throw. `energy_meter` supplies kEnergy reads per node (e.g. the
+  /// accountant's node_joules); null disables kEnergy.
   PowerApiContext(platform::Cluster& cluster,
+                  const power::PowerLedger& ledger,
                   power::CapmcController* capmc = nullptr,
                   std::function<double(platform::NodeId)> energy_meter = {});
 
@@ -95,6 +98,7 @@ class PowerApiContext {
   std::vector<platform::NodeId> nodes_of(const PwrObject& object) const;
 
   platform::Cluster* cluster_;
+  const power::PowerLedger* ledger_;
   power::CapmcController* capmc_;
   std::function<double(platform::NodeId)> energy_meter_;
   std::uint32_t rack_count_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "power/ledger.hpp"
+
 namespace epajsrm::power {
 namespace {
 
@@ -13,7 +15,11 @@ class CapmcTest : public ::testing::Test {
                      .node_config(node_config())
                      .pstates(platform::PstateTable::linear(2.0, 1.0, 4))
                      .build()),
-        model_(cluster_.pstates()), capmc_(cluster_, model_) {}
+        model_(cluster_.pstates()), ledger_(cluster_),
+        capmc_(cluster_, model_) {
+    model_.attach_ledger(&ledger_);
+    ledger_.prime(cluster_, model_);
+  }
 
   static platform::NodeConfig node_config() {
     platform::NodeConfig cfg;
@@ -24,6 +30,7 @@ class CapmcTest : public ::testing::Test {
 
   platform::Cluster cluster_;
   NodePowerModel model_;
+  PowerLedger ledger_;
   CapmcController capmc_;
 };
 

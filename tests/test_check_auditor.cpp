@@ -10,6 +10,7 @@
 #include "epa/dynamic_power_share.hpp"
 #include "epa/idle_shutdown.hpp"
 #include "epa/power_budget_dvfs.hpp"
+#include "power/ledger.hpp"
 
 namespace epajsrm {
 namespace {
@@ -22,6 +23,24 @@ core::ScenarioConfig small_scenario(std::uint64_t seed) {
   config.seed = seed;
   config.mix = core::WorkloadMix::kCapacity;
   return config;
+}
+
+// Injects buggy power facts the way a buggy actuator would reach the
+// system: through the node sensor caches AND the ledger together.
+// (Tampering with only one side is the *mirror-break* bug class, covered
+// by the ledger fidelity tests in test_power_ledger.cpp.)
+void tamper_power(core::Scenario& scenario, platform::NodeId id,
+                  double watts, double cap_watts) {
+  platform::Node& node = scenario.cluster().node(id);
+  node.set_power_cap_watts(cap_watts);
+  node.set_current_watts(watts);
+  power::PowerLedger::NodeSample sample;
+  sample.watts = watts;
+  sample.demand_watts = watts;
+  sample.cap_watts = cap_watts;
+  sample.state = node.state();
+  sample.allocated = !node.allocations().empty();
+  scenario.solution().ledger().post(id, sample);
 }
 
 TEST(InvariantAuditor, CleanRunReportsZeroViolations) {
@@ -77,9 +96,7 @@ TEST(InvariantAuditor, TripsOnCapViolation) {
   // which honours caps — so the injection bypasses it on purpose.
   core::Scenario scenario(small_scenario(24));
   check::InvariantAuditor auditor(scenario.solution());
-  platform::Node& node = scenario.cluster().node(0);
-  node.set_power_cap_watts(200.0);
-  node.set_current_watts(500.0);
+  tamper_power(scenario, 0, /*watts=*/500.0, /*cap_watts=*/200.0);
   auditor.audit_now();
   ASSERT_GT(auditor.violation_count(), 0u);
   EXPECT_EQ(auditor.violations().front().invariant, "cap");
@@ -90,9 +107,9 @@ TEST(InvariantAuditor, HonoursBestEffortFloorOfInfeasibleCap) {
   // deepest-P-state best effort, not demand the impossible.
   core::Scenario scenario(small_scenario(25));
   check::InvariantAuditor auditor(scenario.solution());
-  platform::Node& node = scenario.cluster().node(0);
-  node.set_power_cap_watts(1.0);  // far below the idle floor
-  scenario.solution();            // draw stays the modelled idle draw
+  // Cap far below the idle floor; draw stays the modelled idle draw.
+  tamper_power(scenario, 0, scenario.cluster().node(0).current_watts(),
+               /*cap_watts=*/1.0);
   auditor.audit_now();
   EXPECT_EQ(auditor.violation_count(), 0u);
 }
@@ -136,9 +153,7 @@ TEST(InvariantAuditor, RecordingIsBoundedButCountingIsNot) {
   check::AuditorConfig cfg;
   cfg.max_recorded = 2;
   check::InvariantAuditor auditor(scenario.solution(), cfg);
-  platform::Node& node = scenario.cluster().node(0);
-  node.set_power_cap_watts(200.0);
-  node.set_current_watts(500.0);
+  tamper_power(scenario, 0, /*watts=*/500.0, /*cap_watts=*/200.0);
   for (int i = 0; i < 5; ++i) auditor.audit_now();
   EXPECT_EQ(auditor.violations().size(), 2u);
   EXPECT_EQ(auditor.violation_count(), 5u);

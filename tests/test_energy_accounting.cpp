@@ -11,7 +11,8 @@ class AccountingTest : public ::testing::Test {
  protected:
   AccountingTest()
       : cluster_(platform::ClusterBuilder().node_count(4).build()),
-        accountant_(cluster_, [this](workload::JobId id) {
+        ledger_(cluster_),
+        accountant_(cluster_, ledger_, [this](workload::JobId id) {
           const auto it = jobs_.find(id);
           return it == jobs_.end() ? nullptr : it->second.get();
         }) {}
@@ -23,19 +24,37 @@ class AccountingTest : public ::testing::Test {
     return *jobs_[id];
   }
 
+  /// Sets a node's draw the way the power model would: cache + ledger post.
+  void set_watts(platform::NodeId id, double watts) {
+    platform::Node& node = cluster_.node(id);
+    node.set_current_watts(watts);
+    power::PowerLedger::NodeSample sample;
+    sample.watts = watts;
+    sample.demand_watts = watts;
+    sample.cap_watts = node.power_cap_watts();
+    sample.state = node.state();
+    sample.allocated = !node.allocations().empty();
+    ledger_.post(id, sample);
+  }
+
   platform::Cluster cluster_;
+  power::PowerLedger ledger_;
   std::unordered_map<workload::JobId, std::unique_ptr<workload::Job>> jobs_;
   EnergyAccountant accountant_;
 };
 
 TEST_F(AccountingTest, IntegratesConstantPower) {
-  for (platform::Node& n : cluster_.nodes()) n.set_current_watts(100.0);
+  for (platform::NodeId id = 0; id < cluster_.node_count(); ++id) {
+    set_watts(id, 100.0);
+  }
   accountant_.checkpoint(10 * sim::kSecond);
   EXPECT_NEAR(accountant_.total_it_joules(), 4 * 100.0 * 10.0, 1e-9);
 }
 
 TEST_F(AccountingTest, EmptyNodesAreOverhead) {
-  for (platform::Node& n : cluster_.nodes()) n.set_current_watts(50.0);
+  for (platform::NodeId id = 0; id < cluster_.node_count(); ++id) {
+    set_watts(id, 50.0);
+  }
   accountant_.checkpoint(sim::kSecond);
   EXPECT_NEAR(accountant_.overhead_joules(), 200.0, 1e-9);
 }
@@ -44,7 +63,7 @@ TEST_F(AccountingTest, AttributesByCoreShare) {
   workload::Job& job = add_job(1);
   platform::Node& node = cluster_.node(0);
   node.allocate(1, node.cores_total() / 2);  // half the node
-  node.set_current_watts(200.0);
+  set_watts(0, 200.0);
   accountant_.checkpoint(10 * sim::kSecond);
   EXPECT_NEAR(job.energy_joules(), 200.0 * 10.0 / 2, 1e-9);
   // Other half of node 0 (1000 J) + 3 idle nodes (0 W) are overhead.
@@ -58,23 +77,22 @@ TEST_F(AccountingTest, MultipleJobsSplitNode) {
   const std::uint32_t cores = node.cores_total();
   node.allocate(1, cores / 4);
   node.allocate(2, 3 * cores / 4);
-  node.set_current_watts(400.0);
+  set_watts(0, 400.0);
   accountant_.checkpoint(sim::kSecond);
   EXPECT_NEAR(a.energy_joules(), 100.0, 1e-9);
   EXPECT_NEAR(b.energy_joules(), 300.0, 1e-9);
 }
 
 TEST_F(AccountingTest, PiecewiseConstantAcrossChanges) {
-  platform::Node& node = cluster_.node(0);
-  node.set_current_watts(100.0);
+  set_watts(0, 100.0);
   accountant_.checkpoint(5 * sim::kSecond);
-  node.set_current_watts(300.0);
+  set_watts(0, 300.0);
   accountant_.checkpoint(10 * sim::kSecond);
   EXPECT_NEAR(accountant_.node_joules(0), 100.0 * 5 + 300.0 * 5, 1e-9);
 }
 
 TEST_F(AccountingTest, BackwardCheckpointIsNoop) {
-  cluster_.node(0).set_current_watts(100.0);
+  set_watts(0, 100.0);
   accountant_.checkpoint(10 * sim::kSecond);
   const double before = accountant_.total_it_joules();
   accountant_.checkpoint(5 * sim::kSecond);  // ignored
@@ -84,7 +102,7 @@ TEST_F(AccountingTest, BackwardCheckpointIsNoop) {
 TEST_F(AccountingTest, UntrackedJobFallsToOverhead) {
   platform::Node& node = cluster_.node(0);
   node.allocate(999, node.cores_total());  // job id with no Job record
-  node.set_current_watts(100.0);
+  set_watts(0, 100.0);
   accountant_.checkpoint(sim::kSecond);
   EXPECT_NEAR(accountant_.overhead_joules(), 100.0, 1e-9);
 }

@@ -101,6 +101,49 @@ TEST(FaultPlanParse, MalformedLinesThrowWithLineNumber) {
                std::invalid_argument);
 }
 
+TEST(FaultPlanParse, RelativeOffsetsAndUnitSuffixes) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "30m node-crash 3 0 1800\n"   // absolute with a unit suffix
+      "+90m sensor-stuck -1 0 60\n" // 30m + 90m = 2h
+      "+6h pdu-trip 0\n"            // 2h + 6h = 8h
+      "+45s capmc-failure -1 1.0 30\n"
+      "10 thermal-excursion 1 5.0\n");  // absolute resets the clock
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan.events()[0].at, 30 * sim::kMinute);
+  EXPECT_EQ(plan.events()[1].at, 2 * sim::kHour);
+  EXPECT_EQ(plan.events()[2].at, 8 * sim::kHour);
+  EXPECT_EQ(plan.events()[3].at, 8 * sim::kHour + 45 * sim::kSecond);
+  EXPECT_EQ(plan.events()[4].at, 10 * sim::kSecond);
+}
+
+TEST(FaultPlanParse, RelativeOffsetOnFirstLineIsFromZero) {
+  const FaultPlan plan = FaultPlan::parse_string("+2h node-crash 0\n");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.events()[0].at, 2 * sim::kHour);
+}
+
+TEST(FaultPlanParse, BadTimeTokensThrowWithLineNumber) {
+  try {
+    FaultPlan::parse_string("0 node-crash 1\n+90x node-crash 2\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("+90x"), std::string::npos);
+  }
+  try {
+    FaultPlan::parse_string("# header\n\n+ node-crash 0\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  // A negative offset cannot rewind the clock.
+  EXPECT_THROW(FaultPlan::parse_string("3600 node-crash 0\n+-60 pdu-trip 0\n"),
+               std::invalid_argument);
+  // Suffix without a number.
+  EXPECT_THROW(FaultPlan::parse_string("m node-crash 0\n"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlanParse, MissingFileThrows) {
   EXPECT_THROW(FaultPlan::parse_file("/nonexistent/faults.spec"),
                std::invalid_argument);

@@ -16,14 +16,16 @@ class MonitorTest : public ::testing::Test {
                      .nodes_per_rack(4)
                      .racks_per_pdu(1)
                      .build()),
-        model_(cluster_.pstates()),
-        monitor_(sim_, cluster_, 10 * sim::kSecond) {
-    for (platform::Node& n : cluster_.nodes()) model_.apply(n);
+        model_(cluster_.pstates()), ledger_(cluster_),
+        monitor_(sim_, cluster_, ledger_, 10 * sim::kSecond) {
+    model_.attach_ledger(&ledger_);
+    ledger_.prime(cluster_, model_);
   }
 
   sim::Simulation sim_;
   platform::Cluster cluster_;
   power::NodePowerModel model_;
+  power::PowerLedger ledger_;
   MonitoringService monitor_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "power/ledger.hpp"
 #include "power/node_power_model.hpp"
 
 namespace epajsrm::telemetry {
@@ -15,14 +16,17 @@ class PowerApiTest : public ::testing::Test {
                      .node_count(8)
                      .nodes_per_rack(4)
                      .build()),
-        model_(cluster_.pstates()), capmc_(cluster_, model_),
-        ctx_(cluster_, &capmc_,
+        model_(cluster_.pstates()), ledger_(cluster_),
+        capmc_(cluster_, model_),
+        ctx_(cluster_, ledger_, &capmc_,
              [this](platform::NodeId id) { return 100.0 * (id + 1); }) {
-    for (platform::Node& n : cluster_.nodes()) model_.apply(n);
+    model_.attach_ledger(&ledger_);
+    ledger_.prime(cluster_, model_);
   }
 
   platform::Cluster cluster_;
   power::NodePowerModel model_;
+  power::PowerLedger ledger_;
   power::CapmcController capmc_;
   PowerApiContext ctx_;
 };
@@ -72,7 +76,7 @@ TEST_F(PowerApiTest, EnergyUsesMeter) {
   const PwrObject root = ctx_.entry_point();
   // Meter returns 100*(id+1): platform total = 100*(1+..+8) = 3600.
   EXPECT_NEAR(ctx_.attr_get(root, PwrAttr::kEnergy), 3600.0, 1e-9);
-  PowerApiContext no_meter(cluster_, &capmc_);
+  PowerApiContext no_meter(cluster_, ledger_, &capmc_);
   EXPECT_THROW(no_meter.attr_get(root, PwrAttr::kEnergy),
                PwrNotImplemented);
 }
@@ -104,7 +108,7 @@ TEST_F(PowerApiTest, AggregateLimitZeroWhenAnyUncapped) {
 }
 
 TEST_F(PowerApiTest, WritesRejectedWithoutController) {
-  PowerApiContext read_only(cluster_);
+  PowerApiContext read_only(cluster_, ledger_);
   EXPECT_THROW(
       read_only.attr_set(read_only.entry_point(), PwrAttr::kPowerLimitMax,
                          1000.0),

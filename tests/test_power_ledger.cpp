@@ -1,0 +1,210 @@
+// Ledger-parity tests: the PowerLedger's incrementally maintained
+// aggregates must match a brute-force sweep of the cluster to 1e-9 at
+// arbitrary probe points of randomized fault-on runs — crashes, PDU
+// trips, sensor faults, thermal excursions and control-channel outages
+// all mutate power state through different producers, and none may let
+// the ledger drift from ground truth. The invariant auditor's ledger
+// fidelity check stays armed throughout.
+#include "power/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "check/invariant_auditor.hpp"
+#include "core/scenario.hpp"
+#include "core/scenario_builder.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+
+namespace epajsrm::power {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Recomputes every externally observable aggregate from the cluster and
+// compares it against the ledger's O(1) answers; also checks the
+// per-node mirrors and the ledger's own internal (exact, fixed-point)
+// aggregate parity.
+void expect_ledger_parity(const PowerLedger& ledger,
+                          const platform::Cluster& cluster,
+                          const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(ledger.node_count(), cluster.node_count());
+  EXPECT_EQ(ledger.audit_parity(), "");
+
+  double it_watts = 0.0;
+  double cap_sum_watts = 0.0;
+  double max_temp_c = -std::numeric_limits<double>::infinity();
+  std::vector<double> rack_watts(ledger.rack_count(), 0.0);
+  std::vector<double> pdu_watts(ledger.pdu_count(), 0.0);
+  std::vector<std::uint32_t> rack_capped(ledger.rack_count(), 0);
+  std::array<std::uint32_t, 7> state_counts{};
+  std::uint32_t capped = 0;
+
+  for (const platform::Node& node : cluster.nodes()) {
+    const platform::NodeId id = node.id();
+    // Per-node mirrors are exact: posts store the doubles verbatim.
+    EXPECT_EQ(ledger.node_watts(id), node.current_watts());
+    EXPECT_EQ(ledger.node_cap_watts(id), node.power_cap_watts());
+    EXPECT_EQ(ledger.node_temperature_c(id), node.temperature_c());
+    EXPECT_EQ(ledger.node_state(id), node.state());
+    EXPECT_EQ(ledger.node_allocated(id), !node.allocations().empty());
+    EXPECT_EQ(ledger.node_cap_governed(id),
+              PowerLedger::cap_governed(node.state()));
+
+    const double w = node.current_watts();
+    it_watts += w;
+    rack_watts[node.rack()] += w;
+    pdu_watts[node.pdu()] += w;
+    max_temp_c = std::max(max_temp_c, node.temperature_c());
+    ++state_counts[static_cast<std::size_t>(node.state())];
+    if (node.power_cap_watts() > 0.0) {
+      ++capped;
+      ++rack_capped[node.rack()];
+      cap_sum_watts += node.power_cap_watts();
+    }
+  }
+
+  EXPECT_NEAR(ledger.it_power_watts(), it_watts, kTol);
+  EXPECT_NEAR(ledger.cap_sum_watts(), cap_sum_watts, kTol);
+  EXPECT_EQ(ledger.capped_node_count(), capped);
+  if (cluster.node_count() > 0) {
+    EXPECT_NEAR(ledger.max_temperature_c(), max_temp_c, kTol);
+  }
+  for (platform::RackId rack = 0; rack < ledger.rack_count(); ++rack) {
+    EXPECT_NEAR(ledger.rack_power_watts(rack), rack_watts[rack], kTol);
+    EXPECT_EQ(ledger.rack_capped_count(rack), rack_capped[rack]);
+  }
+  for (platform::PduId pdu = 0; pdu < ledger.pdu_count(); ++pdu) {
+    EXPECT_NEAR(ledger.pdu_power_watts(pdu), pdu_watts[pdu], kTol);
+  }
+  for (std::size_t s = 0; s < state_counts.size(); ++s) {
+    EXPECT_EQ(ledger.count_in_state(static_cast<platform::NodeState>(s)),
+              state_counts[s])
+        << "state " << s;
+  }
+}
+
+core::Scenario faulty_scenario(std::uint64_t seed) {
+  return core::Scenario::builder()
+      .label("ledger-parity")
+      .nodes(16)
+      .job_count(24)
+      .seed(seed)
+      .horizon(sim::kDay)
+      .build();
+}
+
+void install_fault_storm(core::Scenario& scenario, std::uint64_t seed) {
+  fault::FailureModel model;
+  model.mtbf_hours = 24.0;  // several crash/repair cycles across 16 nodes
+  model.repair_time = 15 * sim::kMinute;
+  fault::FaultPlan plan = model.generate(
+      scenario.config().nodes, scenario.config().horizon, seed);
+  plan.trip_pdu(3 * sim::kHour, 0, /*repair_after=*/40 * sim::kMinute)
+      .sensor_dropout(2 * sim::kHour, sim::kHour, 0.7)
+      .sensor_stuck(5 * sim::kHour, 30 * sim::kMinute)
+      .sensor_noise(8 * sim::kHour, 2 * sim::kHour, 0.08)
+      .thermal_excursion(6 * sim::kHour, 3, 12.0)
+      .thermal_excursion(14 * sim::kHour, 7, 9.0)
+      .capmc_failure(10 * sim::kHour, sim::kHour, 0.6);
+  fault::FaultInjector::Config config;
+  config.seed = seed;
+  fault::FaultInjector::install(scenario.solution(), plan, config);
+}
+
+TEST(PowerLedgerParity, MatchesBruteForceUnderRandomizedFaultStorms) {
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    core::Scenario scenario = faulty_scenario(seed);
+    install_fault_storm(scenario, seed);
+    check::InvariantAuditor auditor(scenario.solution());
+
+    // Probe parity at a cadence that lands mid-crash, mid-repair,
+    // mid-dropout and mid-excursion across the day.
+    for (sim::SimTime t = 20 * sim::kMinute;
+         t < scenario.config().horizon; t += 20 * sim::kMinute) {
+      scenario.simulation().schedule_at(t, [&scenario, t, seed] {
+        expect_ledger_parity(
+            scenario.solution().ledger(), scenario.cluster(),
+            "seed " + std::to_string(seed) + " t=" +
+                std::to_string(t / sim::kMinute) + "min");
+      });
+    }
+
+    scenario.run();
+
+    expect_ledger_parity(scenario.solution().ledger(), scenario.cluster(),
+                         "seed " + std::to_string(seed) + " final");
+    const PowerLedger& ledger = scenario.solution().ledger();
+    EXPECT_GT(ledger.posts_applied(), 0u);
+    EXPECT_GT(ledger.epoch(), 0u);
+    EXPECT_EQ(auditor.violation_count(), 0u)
+        << auditor.violations().front().invariant << ": "
+        << auditor.violations().front().detail;
+  }
+}
+
+TEST(PowerLedgerParity, AuditorDetectsAnOutOfBandPost) {
+  // A post that bypasses the node sensor caches is exactly the bug class
+  // the auditor's ledger fidelity check exists to catch.
+  core::Scenario scenario = faulty_scenario(99);
+  check::InvariantAuditor auditor(scenario.solution());
+  scenario.simulation().schedule_at(sim::kHour, [&scenario] {
+    PowerLedger::NodeSample bogus;
+    bogus.watts = 123456.0;
+    bogus.demand_watts = 123456.0;
+    scenario.solution().ledger().post(0, bogus);
+  });
+  scenario.simulation().schedule_at(sim::kHour + sim::kMinute, [&auditor] {
+    auditor.audit_now();
+  });
+  scenario.simulation().run_until(2 * sim::kHour);
+  EXPECT_GT(auditor.violation_count(), 0u);
+  bool ledger_violation = false;
+  for (const check::AuditViolation& v : auditor.violations()) {
+    if (std::string(v.invariant) == "ledger") ledger_violation = true;
+  }
+  EXPECT_TRUE(ledger_violation);
+}
+
+TEST(PowerLedgerParity, EpochAndDirtySetTrackAcceptedPostsOnly) {
+  platform::NodeConfig cfg;
+  cfg.idle_watts = 100.0;
+  cfg.dynamic_watts = 200.0;
+  platform::Cluster cluster = platform::ClusterBuilder()
+                                  .node_count(4)
+                                  .node_config(cfg)
+                                  .nodes_per_rack(2)
+                                  .build();
+  PowerLedger ledger(cluster);
+  const std::uint64_t epoch0 = ledger.epoch();
+
+  PowerLedger::NodeSample sample;
+  sample.watts = 150.0;
+  sample.demand_watts = 180.0;
+  ledger.post(1, sample);
+  EXPECT_EQ(ledger.epoch(), epoch0 + 1);
+  EXPECT_EQ(ledger.posts_applied(), 1u);
+  ASSERT_EQ(ledger.dirty_nodes().size(), 1u);
+  EXPECT_EQ(ledger.dirty_nodes()[0], 1u);
+
+  // Re-posting identical facts is a no-op: no epoch bump, no dirty mark.
+  ledger.clear_dirty();
+  ledger.post(1, sample);
+  EXPECT_EQ(ledger.epoch(), epoch0 + 1);
+  EXPECT_EQ(ledger.posts_ignored(), 1u);
+  EXPECT_TRUE(ledger.dirty_nodes().empty());
+
+  EXPECT_NEAR(ledger.it_power_watts(), 150.0, kTol);
+  EXPECT_NEAR(ledger.total_demand_watts(), 180.0, kTol);
+  EXPECT_EQ(ledger.audit_parity(), "");
+}
+
+}  // namespace
+}  // namespace epajsrm::power

@@ -26,6 +26,16 @@
 //                               initialization bypasses ScenarioBuilder's
 //                               validation and defaulting; construct
 //                               scenarios through core::ScenarioBuilder.
+//   power-sweep   src/** except src/platform/ and src/power/ledger.*
+//                               aggregating power by sweeping
+//                               cluster.nodes() (reading current_watts()
+//                               or power_cap_watts() inside a range-for
+//                               over .nodes()) duplicates PowerLedger
+//                               state O(n) per query; read the ledger's
+//                               O(1) aggregates instead. A suppression on
+//                               the loop header covers the whole loop
+//                               body (the auditor's brute-force parity
+//                               sweep is the sanctioned exception).
 //
 // Usage:
 //   epajsrm_lint <src-dir>             lint the tree; exit 1 on violations
@@ -166,10 +176,21 @@ class Linter {
         !scope_by_path_ || in_dir(rel, "sim") || in_dir(rel, "platform") ||
         in_dir(rel, "power") || in_dir(rel, "telemetry") || in_dir(rel, "core");
     const bool aggregate_scope = !scope_by_path_ || !in_dir(rel, "core");
+    const bool sweep_scope =
+        !scope_by_path_ ||
+        (!in_dir(rel, "platform") && rel.rfind("power/ledger.", 0) != 0);
 
     bool in_block_comment = false;
     std::string raw;
     int line_no = 0;
+    // power-sweep is the one context-sensitive rule: a range-for over
+    // .nodes() opens a "sweep" region (tracked by brace depth) inside
+    // which the power getters are banned. A suppression on the header
+    // line covers the whole loop.
+    int brace_depth = 0;
+    int sweep_entry_depth = -1;   // -1: not inside a nodes() sweep
+    bool sweep_allowed = false;   // header carried lint:allow(power-sweep)
+    bool sweep_body_open = false; // saw the body's opening brace
     while (std::getline(in, raw)) {
       ++line_no;
       const std::string code = strip_noise(raw, in_block_comment);
@@ -192,6 +213,36 @@ class Linter {
         flag("scenario-aggregate");
       }
       check_unit_suffix(code, raw, rel, line_no);
+
+      if (sweep_scope) {
+        if (sweep_entry_depth < 0 && hits_nodes_sweep_header(code)) {
+          sweep_entry_depth = brace_depth;
+          sweep_allowed =
+              raw.find("lint:allow(power-sweep)") != std::string::npos;
+          sweep_body_open = false;
+        }
+        if (sweep_entry_depth >= 0 && !sweep_allowed &&
+            hits_power_getter(code)) {
+          flag("power-sweep");
+        }
+      }
+
+      for (const char c : code) {
+        if (c == '{') ++brace_depth;
+        if (c == '}') --brace_depth;
+      }
+      if (sweep_entry_depth >= 0) {
+        if (brace_depth > sweep_entry_depth) {
+          sweep_body_open = true;
+        } else if (sweep_body_open ||
+                   code.find(';') != std::string::npos) {
+          // Braced body closed, or a brace-less single-statement body
+          // (no ';' can appear in a range-for header itself) ended.
+          sweep_entry_depth = -1;
+          sweep_allowed = false;
+          sweep_body_open = false;
+        }
+      }
     }
   }
 
@@ -218,6 +269,29 @@ class Linter {
 
   static bool hits_rand(const std::string& code) {
     static const std::regex re("\\bs?rand\\s*\\(|random_device");
+    return std::regex_search(code, re);
+  }
+
+  // A line that opens (or is the continuation tail of) a range-for over
+  // cluster.nodes() / cluster_->nodes(). Two shapes: the whole header on
+  // one line, or a wrapped header whose final line ends `...nodes()) {`.
+  // A range-for header contains no ';', which the caller exploits to
+  // detect brace-less single-statement bodies.
+  static bool hits_nodes_sweep_header(const std::string& code) {
+    static const std::regex for_header(
+        "\\bfor\\s*\\([^;]*(\\.|->)\\s*nodes\\s*\\(\\s*\\)");
+    static const std::regex wrapped_tail(
+        "(\\.|->)\\s*nodes\\s*\\(\\s*\\)\\s*\\)\\s*\\{?\\s*$");
+    return std::regex_search(code, for_header) ||
+           std::regex_search(code, wrapped_tail);
+  }
+
+  // Power-state getters whose per-node reads inside a sweep amount to
+  // re-aggregating what the ledger already holds. Getter calls only —
+  // `set_current_watts(...)` does not match.
+  static bool hits_power_getter(const std::string& code) {
+    static const std::regex re(
+        "(\\.|->)\\s*(current_watts|power_cap_watts)\\s*\\(\\s*\\)");
     return std::regex_search(code, re);
   }
 
@@ -309,6 +383,7 @@ int self_test(const fs::path& dir) {
       {"bad_unit_suffix.cpp", "unit-suffix"},
       {"bad_unguarded_at.cpp", "unguarded-at"},
       {"bad_scenario_aggregate.cpp", "scenario-aggregate"},
+      {"bad_power_sweep.cpp", "power-sweep"},
   };
   int failures = 0;
   for (const auto& [name, rule] : kExpected) {

@@ -1,0 +1,32 @@
+// Fixture: aggregating power by sweeping a nodes() range-for must trip
+// power-sweep (the PowerLedger already holds these totals in O(1)).
+struct Node {
+  double current_watts() const { return 100.0; }
+  double power_cap_watts() const { return 200.0; }
+  void set_current_watts(double) {}
+};
+struct Cluster {
+  Node nodes_[4];
+  const Node* nodes() const { return nodes_; }
+};
+
+double sweep_it_watts(const Cluster& cluster) {
+  double total_watts = 0.0;
+  for (const Node& node : cluster.nodes()) {
+    total_watts += node.current_watts();    // violation
+    total_watts += node.power_cap_watts();  // violation
+  }
+  return total_watts;
+}
+
+double sweep_one_liner_watts(const Cluster& cluster) {
+  double cap_watts = 0.0;
+  for (const Node& node : cluster.nodes()) cap_watts += node.current_watts();
+  return cap_watts;  // the one-liner above is a violation too
+}
+
+void writes_are_fine(Cluster& cluster) {
+  for (Node& node : cluster.nodes_) {
+    node.set_current_watts(90.0);  // setter: not a power read, no violation
+  }
+}

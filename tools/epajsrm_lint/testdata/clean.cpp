@@ -55,3 +55,32 @@ ScenarioConfig builder_escape_hatch() {
   (void)raw;
   return config;
 }
+
+// power-sweep: a suppression on the loop header covers the whole body
+// (this is how the invariant auditor's brute-force parity sweep is
+// sanctioned), and state-only sweeps with no power getters are free.
+struct SweepNode {
+  double current_watts() const { return 90.0; }
+  bool schedulable() const { return true; }
+  void set_current_watts(double) {}
+};
+struct SweepCluster {
+  SweepNode* nodes() const { return nullptr; }
+};
+
+double sanctioned_parity_sweep(const SweepCluster& cluster) {
+  double total_watts = 0.0;
+  for (const SweepNode& node : cluster.nodes()) {  // lint:allow(power-sweep)
+    total_watts += node.current_watts();
+  }
+  return total_watts;
+}
+
+int state_only_sweep(SweepCluster& cluster) {
+  int usable = 0;
+  for (SweepNode& node : cluster.nodes()) {
+    if (node.schedulable()) ++usable;  // no power read: fine
+    node.set_current_watts(90.0);      // setters are writes, not reads
+  }
+  return usable;
+}
