@@ -7,13 +7,19 @@
 // mismatch, so the determinism check runs wherever the bench runs.
 //
 // Flags:
-//   --reps=N   replications per point (default 8)
-//   --jobs=N   jobs per replication (default 60)
-//   --smoke    tiny sizes for CI smoke runs
+//   --reps=N           replications per point (default 8)
+//   --jobs=N           jobs per replication (default 60)
+//   --smoke            tiny sizes for CI smoke runs
+//   --report-out=PATH  merge every shard's metrics registry and write the
+//                      cross-shard run report (JSON, or HTML for .html
+//                      paths) with per-shard merge provenance; also turns
+//                      on the engine's live progress lines and extends the
+//                      determinism check to the merged metrics frames
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,11 +31,21 @@ namespace {
 using namespace epajsrm;
 
 core::EnsembleResult run_grid(std::size_t threads, std::size_t reps,
-                              std::size_t jobs) {
+                              std::size_t jobs, bool merge_metrics) {
   core::EnsembleConfig config;
   config.replications = reps;
   config.base_seed = 4242;
   config.threads = threads;
+  config.merge_metrics = merge_metrics;
+  if (merge_metrics) {
+    config.on_progress = [threads](const core::EnsembleProgress& p) {
+      std::fprintf(stderr,
+                   "[%zu threads] shards %zu/%zu, %.0f events/sec, "
+                   "eta %.1fs\n",
+                   threads, p.shards_done, p.shards_total, p.events_per_sec,
+                   p.eta_seconds);
+    };
+  }
   core::EnsembleEngine engine(config);
   engine.add_point("uncapped", [jobs](std::uint64_t) {
     auto b = core::Scenario::builder()
@@ -108,6 +124,7 @@ bool same_result(const core::EnsembleResult& a,
 int main(int argc, char** argv) {
   std::size_t reps = 8;
   std::size_t jobs = 60;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       reps = 2;
@@ -116,11 +133,14 @@ int main(int argc, char** argv) {
       reps = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
+  const bool merge_metrics = !report_out.empty();
 
   bench::BenchSummary summary("ensemble_scaling");
   const std::vector<std::size_t> thread_counts = {1, 2, 4};
@@ -128,7 +148,7 @@ int main(int argc, char** argv) {
   std::vector<double> wall_ms;
   for (const std::size_t threads : thread_counts) {
     const auto t0 = std::chrono::steady_clock::now();
-    results.push_back(run_grid(threads, reps, jobs));
+    results.push_back(run_grid(threads, reps, jobs, merge_metrics));
     const auto t1 = std::chrono::steady_clock::now();
     wall_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -153,8 +173,58 @@ int main(int argc, char** argv) {
                    thread_counts.front(), thread_counts[i]);
       return 1;
     }
+    // The merged metrics frame is part of the determinism contract:
+    // counters, gauges, and full histogram bucket vectors must agree bit
+    // for bit regardless of worker count.
+    if (merge_metrics &&
+        !(results.front().merged_metrics == results[i].merged_metrics)) {
+      std::fprintf(stderr,
+                   "FAIL: merged metrics differ between %zu and %zu "
+                   "threads\n",
+                   thread_counts.front(), thread_counts[i]);
+      return 1;
+    }
   }
   std::printf("statistics bit-identical across %zu thread counts\n",
               thread_counts.size());
+
+  if (merge_metrics) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open report output: %s\n",
+                   report_out.c_str());
+      return 1;
+    }
+    const core::EnsembleResult& merged = results.front();
+    obs::RunReportBuilder report("ensemble_scaling");
+    report.add_scalar("points",
+                      static_cast<double>(merged.cells.size()));
+    report.add_scalar("replications", static_cast<double>(reps));
+    report.add_scalar("speedup_4_threads",
+                      wall_ms.back() > 0.0 ? wall_ms.front() / wall_ms.back()
+                                           : 0.0);
+    report.set_metrics(merged.merged_metrics);
+    report.set_merged(true);
+    for (const core::ShardMetricsProvenance& shard :
+         merged.metrics_provenance) {
+      char label[64];
+      std::snprintf(label, sizeof label, "point%zu/rep%zu", shard.point,
+                    shard.replication);
+      report.add_shard({label, shard.seed, shard.sim_events,
+                        shard.metric_count,
+                        static_cast<std::uint32_t>(
+                            shard.point * reps + shard.replication)});
+    }
+    const bool html =
+        report_out.size() >= 5 &&
+        report_out.compare(report_out.size() - 5, 5, ".html") == 0;
+    if (html) {
+      report.write_html(out);
+    } else {
+      report.write_json(out);
+    }
+    std::printf("merged run report (%zu shards) -> %s\n",
+                merged.metrics_provenance.size(), report_out.c_str());
+  }
   return 0;
 }

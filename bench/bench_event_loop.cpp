@@ -15,13 +15,20 @@
 // Flags:
 //   --events=N   approximate dispatched events per workload (default 2M)
 //   --smoke      tiny sizes for CI smoke runs (overrides --events)
+//   --obs        attach the event-loop profiler + sim.dispatch_ns histogram
+//                with the production sampling stride (64); the summary line
+//                is labelled event_loop_obs so CI can compare instrumented
+//                vs bare throughput (must stay within a few percent)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_summary.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profiler.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -30,10 +37,16 @@ using epajsrm::sim::EventId;
 using epajsrm::sim::Simulation;
 using epajsrm::sim::SimTime;
 
+/// Run-prep callback: --obs uses it to attach the sampled dispatch hook to
+/// each workload's freshly built simulation.
+using Instrument = std::function<void(Simulation&)>;
+
 /// Chains of one-shot events: `chains` concurrent chains, each link
 /// scheduling the next until `total` events have fired.
-std::uint64_t run_cascade(std::uint64_t total, std::uint64_t chains) {
+std::uint64_t run_cascade(std::uint64_t total, std::uint64_t chains,
+                          const Instrument& instrument) {
   Simulation sim;
+  instrument(sim);
   std::uint64_t budget = total;
   struct Chain {
     Simulation* sim;
@@ -56,8 +69,9 @@ std::uint64_t run_cascade(std::uint64_t total, std::uint64_t chains) {
 
 /// The walltime-guard pattern: each fired event schedules a far-future
 /// guard and cancels the guard scheduled two steps ago.
-std::uint64_t run_cancel(std::uint64_t total) {
+std::uint64_t run_cancel(std::uint64_t total, const Instrument& instrument) {
   Simulation sim;
+  instrument(sim);
   std::uint64_t budget = total;
   std::vector<EventId> guards;
   guards.reserve(total + 2);
@@ -85,8 +99,10 @@ std::uint64_t run_cancel(std::uint64_t total) {
 
 /// Many same-phase periodic callbacks: `sensors` repeaters with one shared
 /// period, ticking until each has fired `ticks` times.
-std::uint64_t run_repeaters(std::uint64_t sensors, std::uint64_t ticks) {
+std::uint64_t run_repeaters(std::uint64_t sensors, std::uint64_t ticks,
+                            const Instrument& instrument) {
   Simulation sim;
+  instrument(sim);
   std::vector<std::uint64_t> fired(sensors, 0);
   for (std::uint64_t s = 0; s < sensors; ++s) {
     sim.schedule_every(
@@ -99,8 +115,9 @@ std::uint64_t run_repeaters(std::uint64_t sensors, std::uint64_t ticks) {
 }
 
 /// All three shapes sharing one queue.
-std::uint64_t run_mixed(std::uint64_t total) {
+std::uint64_t run_mixed(std::uint64_t total, const Instrument& instrument) {
   Simulation sim;
+  instrument(sim);
   std::uint64_t budget = total / 2;
   std::vector<EventId> guards;
   guards.reserve(budget + 2);
@@ -135,6 +152,7 @@ std::uint64_t run_mixed(std::uint64_t total) {
 
 int main(int argc, char** argv) {
   std::uint64_t events = 2'000'000;
+  bool obs_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--events=", 9) == 0) {
       events = std::strtoull(argv[i] + 9, nullptr, 10);
@@ -144,13 +162,39 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       events = 20'000;
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs_mode = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
     }
   }
 
-  epajsrm::bench::BenchSummary summary("event_loop");
+  // With --obs, wire the same instruments core::Solution attaches in
+  // production: the sampled per-event profiler plus the sim.dispatch_ns
+  // histogram, at the default stride. The sim only reads the clock on
+  // sampled events, so throughput must stay within a few percent of bare.
+  epajsrm::obs::MetricsRegistry registry;
+  epajsrm::obs::LoopProfiler profiler;
+  constexpr std::uint32_t kObsStride = 64;
+  Instrument instrument = [](Simulation&) {};
+  if (obs_mode) {
+    epajsrm::obs::Histogram* dispatch_ns =
+        &registry.histogram("sim.dispatch_ns");
+    profiler.set_sample_stride(kObsStride);
+    instrument = [&profiler, dispatch_ns](Simulation& sim) {
+      sim.set_dispatch_sample_stride(kObsStride);
+      sim.set_dispatch_hook([&profiler, dispatch_ns](
+                                epajsrm::sim::EventCategory category,
+                                std::int64_t wall_ns) {
+        profiler.record(category, wall_ns);
+        dispatch_ns->observe(static_cast<double>(wall_ns));
+      });
+    };
+  }
+
+  epajsrm::bench::BenchSummary summary(obs_mode ? "event_loop_obs"
+                                                : "event_loop");
   struct Row {
     const char* name;
     std::uint64_t dispatched;
@@ -167,10 +211,11 @@ int main(int argc, char** argv) {
     summary.add_events(n);
   };
 
-  timed("cascade", [&] { return run_cascade(events, 64); });
-  timed("cancel", [&] { return run_cancel(events / 2); });
-  timed("repeaters", [&] { return run_repeaters(256, events / 256); });
-  timed("mixed", [&] { return run_mixed(events); });
+  timed("cascade", [&] { return run_cascade(events, 64, instrument); });
+  timed("cancel", [&] { return run_cancel(events / 2, instrument); });
+  timed("repeaters",
+        [&] { return run_repeaters(256, events / 256, instrument); });
+  timed("mixed", [&] { return run_mixed(events, instrument); });
 
   std::printf("%-12s %14s %10s %14s\n", "workload", "events", "wall ms",
               "events/sec");
@@ -178,6 +223,14 @@ int main(int argc, char** argv) {
     const double eps = r.wall_ms > 0.0 ? r.dispatched / (r.wall_ms / 1e3) : 0.0;
     std::printf("%-12s %14llu %10.1f %14.0f\n", r.name,
                 static_cast<unsigned long long>(r.dispatched), r.wall_ms, eps);
+  }
+  if (obs_mode) {
+    const epajsrm::obs::Histogram& h = registry.histogram("sim.dispatch_ns");
+    std::printf("\nsampled dispatch cost (every %u-th event, %llu samples): "
+                "p50<=%.0fns p99<=%.0fns max=%.0fns\n",
+                kObsStride, static_cast<unsigned long long>(h.count()),
+                h.quantile(0.50), h.quantile(0.99), h.max());
+    std::fputs(profiler.format_report().c_str(), stdout);
   }
   return 0;
 }

@@ -6,15 +6,19 @@
 //   --trace-out=<path>    write a Chrome trace_event JSON (Perfetto /
 //                         chrome://tracing loadable) of the run
 //   --metrics-out=<path>  write the periodic metrics snapshots as CSV
+//   --report-out=<path>   write the self-contained run report (.html gets
+//                         the rendered page, anything else the JSON)
+//   --prom-out=<path>     write the final metrics in Prometheus text format
 //   --log-level=<level>   logger threshold (trace..error, off)
-// Passing either output flag enables the observability plane; without
-// them the run is exactly the zero-overhead disabled configuration.
+// Passing any output flag enables the observability plane; without them
+// the run is exactly the zero-overhead disabled configuration.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "epajsrm.hpp"
+#include "obs/exposition.hpp"
 
 namespace {
 
@@ -32,10 +36,14 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string metrics_out;
+  std::string report_out;
+  std::string prom_out;
   std::string log_level;
   for (int i = 1; i < argc; ++i) {
     if (flag_value(argv[i], "--trace-out=", &trace_out)) continue;
     if (flag_value(argv[i], "--metrics-out=", &metrics_out)) continue;
+    if (flag_value(argv[i], "--report-out=", &report_out)) continue;
+    if (flag_value(argv[i], "--prom-out=", &prom_out)) continue;
     if (flag_value(argv[i], "--log-level=", &log_level)) continue;
     std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
     return 2;
@@ -49,7 +57,8 @@ int main(int argc, char** argv) {
           .nodes(64)
           .job_count(0)  // fill the horizon
           .seed(7)
-          .observability(!trace_out.empty() || !metrics_out.empty())
+          .observability(!trace_out.empty() || !metrics_out.empty() ||
+                         !report_out.empty() || !prom_out.empty())
           .build();
 
   if (!log_level.empty()) {
@@ -120,6 +129,56 @@ int main(int argc, char** argv) {
       std::printf("metrics: %zu instruments, %zu rows -> %s\n",
                   o->metrics().metric_count(), o->sampler().row_count(),
                   metrics_out.c_str());
+    }
+    if (!report_out.empty()) {
+      std::ofstream out(report_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open report output: %s\n",
+                     report_out.c_str());
+        return 1;
+      }
+      obs::RunReportBuilder report("quickstart");
+      report.add_scalar("total_it_kwh_exact", result.total_it_kwh_exact);
+      report.add_scalar("overhead_kwh", result.overhead_kwh);
+      report.add_scalar("total_facility_kwh", result.report.total_facility_kwh);
+      report.add_scalar("mean_it_watts", result.report.mean_it_watts);
+      report.add_scalar("mean_core_utilization",
+                        result.report.mean_core_utilization);
+      report.add_scalar("jobs_completed",
+                        static_cast<double>(result.report.jobs_completed));
+      const telemetry::MonitoringService& mon = scenario.solution().monitor();
+      report.add_series("power.it_watts", mon.machine_power());
+      report.add_series("power.facility_watts", mon.facility_power());
+      report.add_series("utilization", mon.utilization());
+      report.add_series("energy.it_joules",
+                        scenario.solution().accountant().energy_series());
+      report.set_metrics(o->metrics().export_frame());
+      // A single run is its own (sole) shard: merged stays false but the
+      // provenance block still records seed and event count.
+      report.set_merged(false);
+      report.add_shard({"quickstart", 7, result.sim_events,
+                        o->metrics().metric_count(), 0});
+      const bool html = report_out.size() >= 5 &&
+                        report_out.compare(report_out.size() - 5, 5,
+                                           ".html") == 0;
+      if (html) {
+        report.write_html(out);
+      } else {
+        report.write_json(out);
+      }
+      std::printf("run report (%s) -> %s\n", html ? "html" : "json",
+                  report_out.c_str());
+    }
+    if (!prom_out.empty()) {
+      std::ofstream out(prom_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open prometheus output: %s\n",
+                     prom_out.c_str());
+        return 1;
+      }
+      obs::write_prometheus(o->metrics(), out);
+      std::printf("prometheus metrics (%zu instruments) -> %s\n",
+                  o->metrics().metric_count(), prom_out.c_str());
     }
     std::printf("%s", o->profiler().format_report().c_str());
   }

@@ -2,11 +2,13 @@
 
 #include <charconv>
 #include <cmath>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
 
+#include "obs/wall.hpp"
 #include "sim/rng.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -79,8 +81,20 @@ EnsembleResult EnsembleEngine::run() {
 
   // Every cell writes only its own pre-sized slot, so the sweep needs no
   // locking and the aggregation below reads a layout that is independent
-  // of shard interleaving.
+  // of shard interleaving. Metric frames get the same treatment: workers
+  // export into per-cell slots and the merge below walks them in flat
+  // order, so the merged registry is bit-identical across thread counts.
   std::vector<RunResult> results(cells);
+  std::vector<obs::MetricsFrame> frames(config_.merge_metrics ? cells : 0);
+
+  // Progress is the one shared mutable piece; it sits behind its own lock
+  // and never feeds back into any result, so it cannot perturb determinism.
+  std::mutex progress_mutex;
+  std::size_t shards_done = 0;
+  std::uint64_t events_done = 0;
+  const std::int64_t sweep_t0 = obs::wall_now_ns();
+  std::int64_t last_emit_ns = 0;
+
   sim::ThreadPool::parallel_for(
       cells,
       [&](std::size_t flat) {
@@ -89,13 +103,63 @@ EnsembleResult EnsembleEngine::run() {
         const std::uint64_t seed = seed_for(point, rep);
         ScenarioConfig config = points_[point].make_config(seed);
         config.seed = seed;
+        if (config_.merge_metrics) {
+          // Shard frames must be pure functions of the simulated run:
+          // strip every wall-clock-derived instrument before the solution
+          // is built (see EnsembleConfig::merge_metrics).
+          config.solution.obs.enabled = true;
+          config.solution.obs.wall_instruments = false;
+          config.solution.obs.profile_event_loop = false;
+          config.solution.obs.trace_log_lines = false;
+        }
         Scenario scenario(std::move(config));
         if (points_[point].customize) points_[point].customize(scenario);
         results[flat] = scenario.run();
+        if (config_.merge_metrics) {
+          frames[flat] =
+              scenario.solution().observability()->metrics().export_frame();
+        }
+        if (config_.on_progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          ++shards_done;
+          events_done += results[flat].sim_events;
+          const std::int64_t now = obs::wall_now_ns();
+          const bool final_shard = shards_done == cells;
+          if (!final_shard &&
+              now - last_emit_ns <
+                  config_.progress_interval_ms * 1'000'000) {
+            return;
+          }
+          last_emit_ns = now;
+          EnsembleProgress progress;
+          progress.shards_done = shards_done;
+          progress.shards_total = cells;
+          progress.sim_events = events_done;
+          const double elapsed_s =
+              static_cast<double>(now - sweep_t0) / 1e9;
+          if (elapsed_s > 0.0) {
+            progress.events_per_sec =
+                static_cast<double>(events_done) / elapsed_s;
+            progress.eta_seconds =
+                elapsed_s / static_cast<double>(shards_done) *
+                static_cast<double>(cells - shards_done);
+          }
+          config_.on_progress(progress);
+        }
       },
       config_.threads);
 
   EnsembleResult out;
+  out.metrics_merged = config_.merge_metrics;
+  if (config_.merge_metrics) {
+    out.metrics_provenance.reserve(cells);
+    for (std::size_t flat = 0; flat < cells; ++flat) {
+      obs::merge_frame(out.merged_metrics, frames[flat]);
+      out.metrics_provenance.push_back(ShardMetricsProvenance{
+          flat / reps, flat % reps, seed_for(flat / reps, flat % reps),
+          results[flat].sim_events, frames[flat].metric_count()});
+    }
+  }
   out.cells.reserve(points_.size());
   out.observations.reserve(cells);
   for (std::size_t point = 0; point < points_.size(); ++point) {

@@ -23,6 +23,7 @@
 
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace epajsrm::core {
 
@@ -36,6 +37,18 @@ enum class SeedStream {
   kSequential,
 };
 
+/// Live sweep progress, delivered through EnsembleConfig::on_progress.
+struct EnsembleProgress {
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  /// Simulator events dispatched by the finished shards.
+  std::uint64_t sim_events = 0;
+  /// Wall-clock event throughput of the sweep so far (events/sec).
+  double events_per_sec = 0.0;
+  /// Naive remaining-shards estimate (seconds); 0 until one shard lands.
+  double eta_seconds = 0.0;
+};
+
 /// Engine-wide knobs; per-point configuration lives in the point itself.
 struct EnsembleConfig {
   std::size_t replications = 8;
@@ -43,6 +56,21 @@ struct EnsembleConfig {
   /// Worker threads (0 → hardware concurrency).
   std::size_t threads = 0;
   SeedStream seed_stream = SeedStream::kSplitMix;
+  /// Merge every shard's metrics registry into EnsembleResult's
+  /// merged_metrics. Forces observability on for each cell with wall
+  /// instruments, event-loop profiling and log tracing off, so each
+  /// shard's frame is a pure function of its simulated run and the merge
+  /// (counters sum, gauges last-write in fixed shard order, histograms
+  /// bucket-wise add — all associative) is bit-identical no matter how
+  /// many threads ran the sweep.
+  bool merge_metrics = false;
+  /// Rate-limited live progress callback. Invoked from worker threads
+  /// under the engine's progress lock — keep it cheap and don't assume a
+  /// particular thread. Never invoked concurrently with itself.
+  std::function<void(const EnsembleProgress&)> on_progress;
+  /// Minimum wall-clock spacing between on_progress calls; the final
+  /// (shards_done == shards_total) call always fires.
+  std::int64_t progress_interval_ms = 250;
 };
 
 /// One replication's headline metrics, kept for streaming output.
@@ -70,10 +98,29 @@ struct EnsembleCell {
   std::vector<std::uint64_t> seeds;
 };
 
+/// Where one shard's slice of the merged metrics came from.
+struct ShardMetricsProvenance {
+  std::size_t point = 0;
+  std::size_t replication = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t sim_events = 0;
+  /// Metrics the shard's frame contributed (counters + gauges +
+  /// histograms).
+  std::size_t metric_count = 0;
+};
+
 struct EnsembleResult {
   std::vector<EnsembleCell> cells;
   /// Every replication in (point, replication) order.
   std::vector<EnsembleObservation> observations;
+
+  /// True when EnsembleConfig::merge_metrics produced merged_metrics.
+  bool metrics_merged = false;
+  /// Union of every shard's registry, merged in flat (point, replication)
+  /// order regardless of which thread ran which shard.
+  obs::MetricsFrame merged_metrics;
+  /// One entry per shard, in the merge order.
+  std::vector<ShardMetricsProvenance> metrics_provenance;
 
   /// Writes one JSON object per observation, in deterministic
   /// (point, replication) order.

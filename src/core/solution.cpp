@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/wall.hpp"
 #include "predict/tag_history.hpp"
 #include "sched/fcfs.hpp"
 
@@ -62,10 +63,17 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
   obs_ = obs::Observability::create_if(config_.obs);
   if (obs_ != nullptr) {
     obs_->trace().set_sim_clock([&sim] { return sim.now(); });
-    if (obs_->config().profile_event_loop) {
+    // Event-loop profiling reads the wall clock per dispatched event, so
+    // it is a wall instrument too: under wall_instruments=false the hook
+    // never attaches and the dispatch loop keeps its untimed fast path.
+    if (obs_->config().profile_event_loop &&
+        obs_->config().wall_instruments) {
+      sim_->set_dispatch_sample_stride(obs_->config().profile_sample_stride);
+      obs_->profiler().set_sample_stride(sim_->dispatch_sample_stride());
       sim_->set_dispatch_hook(
           [this](sim::EventCategory category, std::int64_t wall_ns) {
             obs_->profiler().record(category, wall_ns);
+            dispatch_ns_hist_->observe(static_cast<double>(wall_ns));
           });
     }
     if (obs_->config().trace_log_lines) {
@@ -78,6 +86,7 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
     capmc_.set_observability(obs_.get());
     rm_->set_observability(obs_.get());
     metrics_->attach_registry(&obs_->metrics());
+    monitor_->attach_registry(&obs_->metrics());
 
     obs::MetricsRegistry& reg = obs_->metrics();
     jobs_started_counter_ = &reg.counter("sched.jobs_started");
@@ -86,6 +95,12 @@ EpaJsrmSolution::EpaJsrmSolution(sim::Simulation& sim,
     queue_depth_gauge_ = &reg.gauge("sim.queue_depth");
     pending_gauge_ = &reg.gauge("sched.pending_jobs");
     running_gauge_ = &reg.gauge("sched.running_jobs");
+    if (obs_->config().wall_instruments) {
+      dispatch_ns_hist_ = &reg.histogram("sim.dispatch_ns");
+      pass_us_hist_ = &reg.histogram("sched.pass_us");
+      ledger_.set_post_latency_histogram(
+          &reg.histogram("power.ledger_post_ns"));
+    }
   }
 }
 
@@ -622,6 +637,8 @@ void EpaJsrmSolution::schedule_pass() {
   if (in_pass_ || stopping_) return;
   in_pass_ = true;
   ++passes_;
+  const std::int64_t t0 =
+      pass_us_hist_ != nullptr ? obs::wall_now_ns() : 0;
   obs::ScopedSpan span = obs::span_of(obs_.get(), "core", "schedule_pass");
   const std::size_t pending_before = pending_.size();
   sort_pending();
@@ -631,6 +648,10 @@ void EpaJsrmSolution::schedule_pass() {
     span.attr("pending", static_cast<double>(pending_before));
     span.attr("started", static_cast<double>(pending_before) -
                              static_cast<double>(pending_.size()));
+  }
+  if (pass_us_hist_ != nullptr) {
+    pass_us_hist_->observe(
+        static_cast<double>(obs::wall_now_ns() - t0) / 1000.0);
   }
   in_pass_ = false;
 }

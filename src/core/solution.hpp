@@ -362,6 +362,11 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Gauge* pending_gauge_ = nullptr;
   obs::Gauge* running_gauge_ = nullptr;
+  // Wall-clock latency instruments; only resolved when wall_instruments is
+  // on, so metric frames stay pure functions of the simulated run without
+  // them (the ensemble's bit-identical merge relies on that).
+  obs::Histogram* dispatch_ns_hist_ = nullptr;
+  obs::Histogram* pass_us_hist_ = nullptr;
 };
 
 }  // namespace epajsrm::core

@@ -4,13 +4,18 @@
 #include <vector>
 
 #include "obs/observability.hpp"
+#include "obs/wall.hpp"
 
 namespace epajsrm::epa {
 
 void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
   if (host_ == nullptr || budget_ <= 0.0) return;
-  obs::ScopedSpan span =
-      obs::span_of(host_->observability(), "epa", "power_rebalance");
+  obs::Observability* o = host_->observability();
+  // Rebalance latency is wall-clock-derived: only measured when wall
+  // instruments are on, so metric frames stay shard-merge deterministic.
+  const bool timed = o != nullptr && o->config().wall_instruments;
+  const std::int64_t t0 = timed ? obs::wall_now_ns() : 0;
+  obs::ScopedSpan span = obs::span_of(o, "epa", "power_rebalance");
   platform::Cluster& cluster = host_->cluster();
   const power::PowerLedger& ledger = host_->ledger();
 
@@ -44,6 +49,10 @@ void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
     span.attr("fixed_watts", fixed);
     span.attr("total_demand_watts", total_demand);
     host_->observability()->metrics().counter("epa.rebalances").add(1);
+  }
+  if (timed) {
+    o->metrics().histogram("epa.rebalance_us")
+        .observe(static_cast<double>(obs::wall_now_ns() - t0) / 1000.0);
   }
 }
 

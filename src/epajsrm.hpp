@@ -69,6 +69,7 @@
 #include "metrics/collector.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "obs/exposition.hpp"
 #include "obs/observability.hpp"
 #include "survey/centers.hpp"
 #include "telemetry/energy_accounting.hpp"

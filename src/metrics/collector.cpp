@@ -28,8 +28,7 @@ void MetricsCollector::attach_registry(obs::MetricsRegistry* registry) {
   facility_watts_gauge_ = &registry->gauge("power.facility_watts");
   utilization_gauge_ = &registry->gauge("util.core_fraction");
   budget_gauge_ = &registry->gauge("power.budget_watts");
-  wait_minutes_hist_ = &registry->histogram(
-      "sched.wait_minutes", {1.0, 5.0, 15.0, 60.0, 240.0, 1440.0});
+  wait_minutes_hist_ = &registry->histogram("sched.wait_minutes");
 }
 
 void MetricsCollector::on_job_finished(const workload::Job& job) {

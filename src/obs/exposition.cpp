@@ -1,0 +1,366 @@
+#include "obs/exposition.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string_view>
+
+namespace epajsrm::obs {
+
+namespace {
+
+/// Shortest round-trip double rendering (std::to_chars: bit-exact on
+/// re-parse, locale-independent).
+void write_double(std::ostream& out, double value) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof buf, value);
+  out.write(buf, result.ptr - buf);
+}
+
+// --- JSON helpers -------------------------------------------------------------
+
+void json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (byte < 0x20) {
+      constexpr char kHex[] = "0123456789abcdef";
+      out << "\\u00" << kHex[byte >> 4] << kHex[byte & 0xf];
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+/// JSON has no NaN/Inf; non-finite values render as null.
+void json_number(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    write_double(out, value);
+  } else {
+    out << "null";
+  }
+}
+
+void json_quantile(std::ostream& out, const char* key,
+                   const QuantileBounds& q) {
+  out << '"' << key << "\":{\"lower\":";
+  json_number(out, q.lower);
+  out << ",\"upper\":";
+  json_number(out, q.upper);
+  out << '}';
+}
+
+// --- Prometheus helpers -------------------------------------------------------
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (dots and other separators become '_').
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 8);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || (digit && i > 0)) {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void prom_value(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    write_double(out, value);
+  }
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsFrame& frame, std::ostream& out) {
+  for (const auto& [name, value] : frame.counters) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " counter\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : frame.gauges) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << ' ';
+    prom_value(out, value);
+    out << '\n';
+  }
+  for (const auto& [name, hist] : frame.histograms) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cum = 0;
+    for (const auto& [index, count] : hist.buckets) {
+      cum += count;
+      const double le = Histogram::bucket_upper_bound(index);
+      if (std::isinf(le)) continue;  // folded into the +Inf line below
+      out << p << "_bucket{le=\"";
+      prom_value(out, le);
+      out << "\"} " << cum << '\n';
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << hist.count << '\n';
+    out << p << "_sum ";
+    prom_value(out, hist.sum());
+    out << '\n' << p << "_count " << hist.count << '\n';
+  }
+}
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out) {
+  write_prometheus(registry.export_frame(), out);
+}
+
+// --- RunReportBuilder: JSON ---------------------------------------------------
+
+void RunReportBuilder::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"epajsrm.run_report.v1\",\"label\":";
+  json_string(out, label_);
+
+  out << ",\"scalars\":{";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) out << ',';
+    json_string(out, scalars_[i].first);
+    out << ':';
+    json_number(out, scalars_[i].second);
+  }
+  out << '}';
+
+  out << ",\"counters\":{";
+  for (std::size_t i = 0; i < metrics_.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    json_string(out, metrics_.counters[i].first);
+    out << ':' << metrics_.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < metrics_.gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    json_string(out, metrics_.gauges[i].first);
+    out << ':';
+    json_number(out, metrics_.gauges[i].second);
+  }
+  out << '}';
+
+  out << ",\"histograms\":{";
+  for (std::size_t i = 0; i < metrics_.histograms.size(); ++i) {
+    const auto& [name, h] = metrics_.histograms[i];
+    if (i > 0) out << ',';
+    json_string(out, name);
+    out << ":{\"count\":" << h.count << ",\"sum\":";
+    json_number(out, h.sum());
+    out << ",\"mean\":";
+    json_number(out, h.mean());
+    out << ",\"min\":";
+    json_number(out, h.minmax_count > 0 ? h.min : 0.0);
+    out << ",\"max\":";
+    json_number(out, h.minmax_count > 0 ? h.max : 0.0);
+    out << ',';
+    json_quantile(out, "p50", h.quantile_bounds(0.5));
+    out << ',';
+    json_quantile(out, "p90", h.quantile_bounds(0.9));
+    out << ',';
+    json_quantile(out, "p99", h.quantile_bounds(0.99));
+    out << ",\"buckets\":[";
+    bool first = true;
+    for (const auto& [index, count] : h.buckets) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"le\":";
+      json_number(out, Histogram::bucket_upper_bound(index));
+      out << ",\"count\":" << count << '}';
+    }
+    out << "]}";
+  }
+  out << '}';
+
+  out << ",\"series\":{";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const auto& [name, s] = series_[i];
+    if (i > 0) out << ',';
+    json_string(out, name);
+    out << ":{\"budget\":" << s.budget()
+        << ",\"bucket_width_us\":" << s.bucket_width()
+        << ",\"coarsenings\":" << s.coarsenings()
+        << ",\"total_samples\":" << s.total_samples() << ",\"min\":";
+    json_number(out, s.overall_min());
+    out << ",\"max\":";
+    json_number(out, s.overall_max());
+    out << ",\"buckets\":[";
+    bool first = true;
+    for (const SeriesBucket& b : s.buckets()) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"t_us\":" << b.last_time << ",\"first_us\":" << b.first_time
+          << ",\"count\":" << b.count << ",\"min\":";
+      json_number(out, b.min);
+      out << ",\"max\":";
+      json_number(out, b.max);
+      out << ",\"mean\":";
+      json_number(out, b.mean());
+      out << ",\"last\":";
+      json_number(out, b.last);
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << '}';
+
+  out << ",\"merge\":{\"merged\":" << (merged_ ? "true" : "false")
+      << ",\"order\":\"fixed-shard-index\",\"shards\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ReportShard& s = shards_[i];
+    if (i > 0) out << ',';
+    out << "{\"label\":";
+    json_string(out, s.label);
+    out << ",\"seed\":" << s.seed << ",\"sim_events\":" << s.sim_events
+        << ",\"metric_count\":" << s.metric_count
+        << ",\"merge_order\":" << s.merge_order << '}';
+  }
+  out << "]}}";
+  out << '\n';
+}
+
+// --- RunReportBuilder: HTML ---------------------------------------------------
+
+namespace {
+
+void html_escape(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '&': out << "&amp;"; break;
+      case '<': out << "&lt;"; break;
+      case '>': out << "&gt;"; break;
+      case '"': out << "&quot;"; break;
+      default: out << c;
+    }
+  }
+}
+
+void html_number(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    write_double(out, value);
+  } else {
+    out << "&ndash;";
+  }
+}
+
+}  // namespace
+
+void RunReportBuilder::write_html(std::ostream& out) const {
+  out << "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>";
+  html_escape(out, label_);
+  out << "</title><style>body{font-family:sans-serif;margin:2em}"
+         "table{border-collapse:collapse;margin:1em 0}"
+         "th,td{border:1px solid #999;padding:.25em .6em;text-align:right}"
+         "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+         "</style></head>\n<body><h1>";
+  html_escape(out, label_);
+  out << "</h1>\n";
+
+  if (!scalars_.empty()) {
+    out << "<h2>Summary</h2><table><tr><th>metric</th><th>value</th></tr>\n";
+    for (const auto& [name, value] : scalars_) {
+      out << "<tr><td>";
+      html_escape(out, name);
+      out << "</td><td>";
+      html_number(out, value);
+      out << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  if (have_metrics_ && !metrics_.counters.empty()) {
+    out << "<h2>Counters</h2><table><tr><th>counter</th><th>value</th></tr>\n";
+    for (const auto& [name, value] : metrics_.counters) {
+      out << "<tr><td>";
+      html_escape(out, name);
+      out << "</td><td>" << value << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  if (have_metrics_ && !metrics_.gauges.empty()) {
+    out << "<h2>Gauges</h2><table><tr><th>gauge</th><th>value</th></tr>\n";
+    for (const auto& [name, value] : metrics_.gauges) {
+      out << "<tr><td>";
+      html_escape(out, name);
+      out << "</td><td>";
+      html_number(out, value);
+      out << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  if (have_metrics_ && !metrics_.histograms.empty()) {
+    out << "<h2>Histograms</h2><table><tr><th>histogram</th><th>count</th>"
+           "<th>mean</th><th>p50 &le;</th><th>p90 &le;</th><th>p99 &le;</th>"
+           "<th>max</th></tr>\n";
+    for (const auto& [name, h] : metrics_.histograms) {
+      out << "<tr><td>";
+      html_escape(out, name);
+      out << "</td><td>" << h.count << "</td><td>";
+      html_number(out, h.mean());
+      out << "</td><td>";
+      html_number(out, h.quantile(0.5));
+      out << "</td><td>";
+      html_number(out, h.quantile(0.9));
+      out << "</td><td>";
+      html_number(out, h.quantile(0.99));
+      out << "</td><td>";
+      html_number(out, h.minmax_count > 0 ? h.max : 0.0);
+      out << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  if (!series_.empty()) {
+    out << "<h2>Series</h2><table><tr><th>series</th><th>samples</th>"
+           "<th>buckets</th><th>width (s)</th><th>min</th><th>max</th>"
+           "<th>last</th></tr>\n";
+    for (const auto& [name, s] : series_) {
+      out << "<tr><td>";
+      html_escape(out, name);
+      out << "</td><td>" << s.total_samples() << "</td><td>" << s.size()
+          << "</td><td>";
+      html_number(out, sim::to_seconds(s.bucket_width()));
+      out << "</td><td>";
+      html_number(out, s.overall_min());
+      out << "</td><td>";
+      html_number(out, s.overall_max());
+      out << "</td><td>";
+      html_number(out, s.latest().has_value() ? s.latest()->value : 0.0);
+      out << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  if (!shards_.empty()) {
+    out << "<h2>Shards (" << (merged_ ? "merged" : "single run")
+        << ", fixed-shard-index order)</h2><table><tr><th>shard</th>"
+           "<th>seed</th><th>sim events</th><th>metrics</th>"
+           "<th>merge order</th></tr>\n";
+    for (const ReportShard& s : shards_) {
+      out << "<tr><td>";
+      html_escape(out, s.label);
+      out << "</td><td>" << s.seed << "</td><td>" << s.sim_events
+          << "</td><td>" << s.metric_count << "</td><td>" << s.merge_order
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  out << "</body></html>\n";
+}
+
+}  // namespace epajsrm::obs

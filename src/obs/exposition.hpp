@@ -1,0 +1,94 @@
+// Exposition layer: renders the obs plane's state for external consumers.
+//
+// Two formats (DESIGN.md §11):
+//   - Prometheus text exposition (v0.0.4): counters, gauges and
+//     log-bucketed histograms (cumulative `_bucket{le=...}` series plus
+//     `_sum`/`_count`), suitable for scraping or for pushing through a
+//     textfile collector. Metric names are sanitised to the Prometheus
+//     grammar.
+//   - RunReport: one self-contained JSON document (schema
+//     `epajsrm.run_report.v1`) bundling headline scalars, retained
+//     DownsamplingSeries, histograms with exact-bound p50/p90/p99, and —
+//     for ensemble runs — per-shard merge provenance in the fixed shard
+//     order the merge folded over. An optional HTML rendering inlines the
+//     same data as summary tables (no external assets).
+//
+// The builder copies everything it is given: reports outlive the
+// simulation state they describe.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/series.hpp"
+
+namespace epajsrm::obs {
+
+/// Writes `frame` in Prometheus text exposition format.
+void write_prometheus(const MetricsFrame& frame, std::ostream& out);
+
+/// Convenience: exports and writes a live registry.
+void write_prometheus(const MetricsRegistry& registry, std::ostream& out);
+
+/// Provenance of one shard that contributed to a merged metrics frame.
+/// `merge_order` is the fixed shard index the deterministic merge folded
+/// in — the determinism argument rests on this order being a pure function
+/// of the grid, never of thread scheduling.
+struct ReportShard {
+  std::string label;
+  std::uint64_t seed = 0;
+  std::uint64_t sim_events = 0;
+  std::size_t metric_count = 0;
+  std::size_t merge_order = 0;
+};
+
+/// Accumulates one run's (or one merged ensemble's) observable output and
+/// renders it as JSON or HTML.
+class RunReportBuilder {
+ public:
+  explicit RunReportBuilder(std::string label) : label_(std::move(label)) {}
+
+  /// Adds a headline scalar (kWh, utilisation, ...). Insertion order is
+  /// preserved in the output.
+  void add_scalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+  }
+
+  /// Adds a retained series (copied).
+  void add_series(const std::string& name, const DownsamplingSeries& series) {
+    series_.emplace_back(name, series);
+  }
+
+  /// Sets the metrics frame (counters/gauges/histograms).
+  void set_metrics(MetricsFrame frame) {
+    metrics_ = std::move(frame);
+    have_metrics_ = true;
+  }
+
+  /// `merged` marks the frame as a cross-shard merge (vs a single run).
+  void set_merged(bool merged) { merged_ = merged; }
+
+  /// Appends one shard's provenance, in merge order.
+  void add_shard(ReportShard shard) { shards_.push_back(std::move(shard)); }
+
+  /// Single self-contained JSON document.
+  void write_json(std::ostream& out) const;
+
+  /// Single self-contained HTML page with inline summary tables.
+  void write_html(std::ostream& out) const;
+
+ private:
+  std::string label_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, DownsamplingSeries>> series_;
+  MetricsFrame metrics_;
+  bool have_metrics_ = false;
+  bool merged_ = false;
+  std::vector<ReportShard> shards_;
+};
+
+}  // namespace epajsrm::obs

@@ -1,30 +1,164 @@
 #include "obs/metrics_registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
+
+#include "obs/wall.hpp"
 
 namespace epajsrm::obs {
 
+namespace {
+
+/// Quantizes a value to 2^-16 fixed-point, saturating far outside the
+/// bucket grid so one absurd observation cannot wrap the sum by itself
+/// (wrapping across *many* adds is fine — it stays associative).
+std::uint64_t quantize(double v) {
+  if (!std::isfinite(v)) return 0;
+  constexpr double kSaturation = 9.0e18;  // < 2^63, conservative
+  double q = v * 65536.0;
+  if (q > kSaturation) q = kSaturation;
+  if (q < -kSaturation) q = -kSaturation;
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(std::llround(q)));
+}
+
+/// Shared quantile walk over dense or sparse bucket counts. `cum_at` must
+/// yield (bucket_index, count) pairs in index order.
+template <typename BucketRange>
+QuantileBounds quantile_from_buckets(const BucketRange& buckets,
+                                     std::uint64_t total, double q,
+                                     double exact_min, double exact_max,
+                                     std::uint64_t minmax_count) {
+  QuantileBounds out;
+  if (total == 0) return out;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (const auto& [index, count] : buckets) {
+    cum += count;
+    if (cum >= rank) {
+      out.lower = Histogram::bucket_lower_bound(index);
+      out.upper = Histogram::bucket_upper_bound(index);
+      if (minmax_count > 0) {
+        out.lower = std::max(out.lower, exact_min);
+        out.upper = std::min(out.upper, exact_max);
+        if (out.upper < out.lower) out.upper = out.lower;
+      }
+      return out;
+    }
+  }
+  return out;  // unreachable when counts sum to total
+}
+
+}  // namespace
+
 // --- Histogram ----------------------------------------------------------------
 
-Histogram::Histogram(std::vector<double> upper_bounds)
-    : upper_bounds_(std::move(upper_bounds)),
-      counts_(upper_bounds_.size() + 1, 0) {}
+Histogram::Histogram() : counts_(kBucketCount, 0) {}
+
+std::size_t Histogram::bucket_index(double v) {
+  if (std::isnan(v) || v <= 0.0) return 0;  // underflow: zero/negative/NaN
+  if (std::isinf(v)) return kBucketCount - 1;
+  int exp2 = 0;
+  const double mantissa = std::frexp(v, &exp2);  // v = mantissa * 2^exp2
+  const int octave = exp2 - 1;                   // v in [2^octave, 2^(octave+1))
+  if (octave < kMinOctave) return 0;
+  if (octave > kMaxOctave) return kBucketCount - 1;
+  // mantissa in [0.5, 1): 2*mantissa - 1 in [0, 1) picks the sub-bucket.
+  auto sub = static_cast<std::size_t>(
+      (2.0 * mantissa - 1.0) * static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + static_cast<std::size_t>(octave - kMinOctave) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower_bound(std::size_t i) {
+  if (i == 0) return 0.0;
+  if (i >= kBucketCount - 1) return std::ldexp(1.0, kMaxOctave + 1);
+  const std::size_t grid = i - 1;
+  const int octave = kMinOctave + static_cast<int>(grid / kSubBuckets);
+  const std::size_t sub = grid % kSubBuckets;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / static_cast<double>(kSubBuckets),
+      octave);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i == 0) return std::ldexp(1.0, kMinOctave);
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  const std::size_t grid = i - 1;
+  const int octave = kMinOctave + static_cast<int>(grid / kSubBuckets);
+  const std::size_t sub = grid % kSubBuckets;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / static_cast<double>(kSubBuckets),
+      octave);
+}
 
 void Histogram::observe(double v) {
-  const auto it =
-      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
-  if (count_ == 0) {
-    min_ = v;
-    max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
+  ++counts_[bucket_index(v)];
   ++count_;
-  sum_ += v;
+  sum_quanta_bits_ += quantize(v);
+  if (!std::isnan(v)) {
+    if (minmax_count_ == 0) {
+      min_ = v;
+      max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++minmax_count_;
+  }
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.minmax_count_ > 0) {
+    if (minmax_count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  minmax_count_ += other.minmax_count_;
+  count_ += other.count_;
+  sum_quanta_bits_ += other.sum_quanta_bits_;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+namespace {
+/// Adapts the dense count vector to (index, count) pairs for the shared
+/// quantile walk without materialising them.
+struct DenseBuckets {
+  const std::vector<std::uint64_t>* counts;
+  struct Iter {
+    const std::vector<std::uint64_t>* counts;
+    std::size_t i;
+    bool operator!=(const Iter& o) const { return i != o.i; }
+    void operator++() { ++i; }
+    std::pair<std::size_t, std::uint64_t> operator*() const {
+      return {i, (*counts)[i]};
+    }
+  };
+  Iter begin() const { return {counts, 0}; }
+  Iter end() const { return {counts, counts->size()}; }
+};
+}  // namespace
+
+QuantileBounds Histogram::quantile_bounds(double q) const {
+  return quantile_from_buckets(DenseBuckets{&counts_}, count_, q, min_, max_,
+                               minmax_count_);
+}
+
+QuantileBounds FrameHistogram::quantile_bounds(double q) const {
+  return quantile_from_buckets(buckets, count, q, min, max, minmax_count);
 }
 
 // --- MetricsRegistry ----------------------------------------------------------
@@ -43,18 +177,17 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
-Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      std::vector<double> upper_bounds) {
+Histogram& MetricsRegistry::histogram(const std::string& name) {
   if (!enabled_) return scratch_histogram_;
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
   std::vector<MetricSample> out;
   if (!enabled_) return out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 7);
   for (const auto& [name, c] : counters_) {
     out.push_back({name, MetricKind::kCounter,
                    static_cast<double>(c->value())});
@@ -68,6 +201,9 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     out.push_back({name + ".sum", MetricKind::kHistogram, h->sum()});
     out.push_back({name + ".mean", MetricKind::kHistogram, h->mean()});
     out.push_back({name + ".max", MetricKind::kHistogram, h->max()});
+    out.push_back({name + ".p50", MetricKind::kHistogram, h->quantile(0.5)});
+    out.push_back({name + ".p90", MetricKind::kHistogram, h->quantile(0.9)});
+    out.push_back({name + ".p99", MetricKind::kHistogram, h->quantile(0.99)});
   }
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {
@@ -76,43 +212,184 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+MetricsFrame MetricsRegistry::export_frame() const {
+  MetricsFrame frame;
+  if (!enabled_) return frame;
+  frame.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    frame.counters.emplace_back(name, c->value());
+  }
+  frame.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    frame.gauges.emplace_back(name, g->value());
+  }
+  frame.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    FrameHistogram fh;
+    fh.count = h->count();
+    fh.sum_quanta_bits = h->sum_quanta_bits();
+    fh.minmax_count = h->minmax_count();
+    fh.min = h->min();
+    fh.max = h->max();
+    const auto& counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] != 0) {
+        fh.buckets.emplace_back(static_cast<std::uint32_t>(i), counts[i]);
+      }
+    }
+    frame.histograms.emplace_back(name, std::move(fh));
+  }
+  return frame;
+}
+
+namespace {
+
+void merge_histogram(FrameHistogram& dst, const FrameHistogram& src) {
+  if (src.minmax_count > 0) {
+    if (dst.minmax_count == 0) {
+      dst.min = src.min;
+      dst.max = src.max;
+    } else {
+      dst.min = std::min(dst.min, src.min);
+      dst.max = std::max(dst.max, src.max);
+    }
+  }
+  dst.minmax_count += src.minmax_count;
+  dst.count += src.count;
+  dst.sum_quanta_bits += src.sum_quanta_bits;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(dst.buckets.size() + src.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < dst.buckets.size() || b < src.buckets.size()) {
+    if (b >= src.buckets.size() ||
+        (a < dst.buckets.size() &&
+         dst.buckets[a].first < src.buckets[b].first)) {
+      merged.push_back(dst.buckets[a++]);
+    } else if (a >= dst.buckets.size() ||
+               src.buckets[b].first < dst.buckets[a].first) {
+      merged.push_back(src.buckets[b++]);
+    } else {
+      merged.emplace_back(dst.buckets[a].first,
+                          dst.buckets[a].second + src.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  dst.buckets = std::move(merged);
+}
+
+/// Sorted-vector merge with a per-match combiner; names absent on one side
+/// are copied through.
+template <typename V, typename Combine>
+void merge_named(std::vector<std::pair<std::string, V>>& dst,
+                 const std::vector<std::pair<std::string, V>>& src,
+                 Combine combine) {
+  std::vector<std::pair<std::string, V>> merged;
+  merged.reserve(dst.size() + src.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < dst.size() || b < src.size()) {
+    if (b >= src.size() ||
+        (a < dst.size() && dst[a].first < src[b].first)) {
+      merged.push_back(std::move(dst[a++]));
+    } else if (a >= dst.size() || src[b].first < dst[a].first) {
+      merged.push_back(src[b++]);
+    } else {
+      combine(dst[a].second, src[b].second);
+      merged.push_back(std::move(dst[a]));
+      ++a;
+      ++b;
+    }
+  }
+  dst = std::move(merged);
+}
+
+}  // namespace
+
+void merge_frame(MetricsFrame& dst, const MetricsFrame& src) {
+  merge_named(dst.counters, src.counters,
+              [](std::uint64_t& d, const std::uint64_t& s) { d += s; });
+  merge_named(dst.gauges, src.gauges,
+              [](double& d, const double& s) { d = s; });
+  merge_named(dst.histograms, src.histograms, merge_histogram);
+}
+
 // --- MetricsSampler -----------------------------------------------------------
 
 void MetricsSampler::sample(sim::SimTime now) {
   if (!registry_->enabled()) return;
-  rows_.push_back({now, registry_->snapshot()});
+  const std::int64_t t0 = overhead_ns_ != nullptr ? wall_now_ns() : 0;
+  for (const MetricSample& s : registry_->snapshot()) {
+    auto [it, inserted] = series_.try_emplace(s.name, budget_, width_);
+    it->second.record(now, s.value);
+  }
+  ++samples_taken_;
+  // Keep every column at the same bucket width so rows stay aligned: a
+  // column that just hit its budget and coarsened drags the others along.
+  sim::SimTime widest = width_;
+  for (const auto& [name, series] : series_) {
+    widest = std::max(widest, series.bucket_width());
+  }
+  if (widest != width_) {
+    width_ = widest;
+    for (auto& [name, series] : series_) series.coarsen_to(width_);
+  }
+  if (overhead_ns_ != nullptr) {
+    overhead_ns_->add(static_cast<std::uint64_t>(wall_now_ns() - t0));
+  }
 }
 
-void MetricsSampler::write_csv(std::ostream& out) const {
-  // Column union across all rows (snapshots are name-sorted; late-registered
-  // metrics appear in later rows only).
-  std::vector<std::string> columns;
-  for (const Row& row : rows_) {
-    for (const MetricSample& s : row.samples) {
-      const auto it =
-          std::lower_bound(columns.begin(), columns.end(), s.name);
-      if (it == columns.end() || *it != s.name) columns.insert(it, s.name);
-    }
-  }
+const DownsamplingSeries* MetricsSampler::series(
+    const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
 
+namespace {
+
+/// RFC 4180: quote fields containing separators/quotes/newlines, doubling
+/// embedded quotes.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void MetricsSampler::write_csv(std::ostream& out) const {
   out << "time_s";
-  for (const std::string& c : columns) out << ',' << c;
+  for (const auto& [name, series] : series_) out << ',' << csv_escape(name);
   out << '\n';
 
+  // One CSV row per distinct bucket end-time. All columns share bucket
+  // boundaries (lockstep coarsening above), so a bucket's last-sample time
+  // identifies the row; columns registered later simply lack early rows.
+  std::map<sim::SimTime, std::vector<std::pair<std::size_t, double>>> rows;
+  std::size_t column = 0;
+  for (const auto& [name, series] : series_) {
+    for (const SeriesBucket& b : series.buckets()) {
+      rows[b.last_time].emplace_back(column, b.last);
+    }
+    ++column;
+  }
+
   char buf[64];
-  for (const Row& row : rows_) {
-    std::snprintf(buf, sizeof(buf), "%.3f", sim::to_seconds(row.time));
+  for (const auto& [time, cells] : rows) {
+    std::snprintf(buf, sizeof(buf), "%.3f", sim::to_seconds(time));
     out << buf;
     std::size_t cursor = 0;
-    for (const std::string& c : columns) {
+    for (std::size_t c = 0; c < column; ++c) {
       out << ',';
-      // Row samples are sorted by name too; advance a cursor instead of
-      // searching from scratch.
-      while (cursor < row.samples.size() && row.samples[cursor].name < c) {
-        ++cursor;
-      }
-      if (cursor < row.samples.size() && row.samples[cursor].name == c) {
-        std::snprintf(buf, sizeof(buf), "%g", row.samples[cursor].value);
+      while (cursor < cells.size() && cells[cursor].first < c) ++cursor;
+      if (cursor < cells.size() && cells[cursor].first == c) {
+        std::snprintf(buf, sizeof(buf), "%g", cells[cursor].second);
         out << buf;
       }
     }

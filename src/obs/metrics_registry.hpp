@@ -1,11 +1,21 @@
-// Runtime metrics registry: named counters, gauges and fixed-bucket
+// Runtime metrics registry: named counters, gauges and log-bucketed
 // histograms that components update on the hot path.
 //
 // Registration (name lookup, allocation) happens once, when a component
 // attaches; after that the component holds a stable reference and updates
 // are a single add/store — no hashing, no locks (the simulator is
 // single-threaded). Snapshots copy values on demand, and a MetricsSampler
-// turns periodic snapshots into a time-series CSV.
+// turns periodic snapshots into a memory-bounded CSV time series.
+//
+// Histograms are HDR-style: a fixed grid of logarithmic buckets (16 linear
+// sub-buckets per power of two) covering ~1e-6..1.7e13, so one layout
+// serves nanoseconds and megawatts alike with <= 6.25 % relative bucket
+// width. Quantile queries return exact bounds (the true pN lies inside the
+// reported [lower, upper]); min/max are tracked exactly. The sum is
+// accumulated in fixed-point 2^-16 quanta with wrapping uint64 arithmetic,
+// so histogram merging (bucket-wise add) is fully associative and
+// bit-exact — the property the ensemble's cross-shard metric merge needs
+// to stay independent of thread count.
 //
 // A registry constructed disabled hands out shared scratch instruments and
 // reports nothing: the no-op path for observability-off runs.
@@ -16,8 +26,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/series.hpp"
 #include "sim/time.hpp"
 
 namespace epajsrm::obs {
@@ -44,30 +56,78 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Fixed-bucket histogram: counts per (v <= bound) bucket plus an overflow
-/// bucket, with running count/sum/min/max.
+/// The quantile answer a log-bucketed histogram can give exactly: the true
+/// quantile lies in [lower, upper].
+struct QuantileBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Log-bucketed (HDR-style) fixed-footprint histogram.
 class Histogram {
  public:
-  /// `upper_bounds` must be sorted ascending; an implicit +inf bucket is
-  /// appended.
-  explicit Histogram(std::vector<double> upper_bounds);
+  /// Linear sub-buckets per octave (power of two): bucket relative width
+  /// is 1/kSubBuckets.
+  static constexpr std::size_t kSubBuckets = 16;
+  /// Octave range [2^kMinOctave, 2^(kMaxOctave+1)); values below land in
+  /// the underflow bucket (with zero, negatives and NaN), values at or
+  /// above in the overflow bucket.
+  static constexpr int kMinOctave = -20;
+  static constexpr int kMaxOctave = 43;
+  static constexpr std::size_t kOctaves =
+      static_cast<std::size_t>(kMaxOctave - kMinOctave + 1);
+  /// Underflow + log grid + overflow.
+  static constexpr std::size_t kBucketCount = kOctaves * kSubBuckets + 2;
+  /// Fixed-point quantum of the sum accumulator.
+  static constexpr double kSumQuantum = 1.0 / 65536.0;
+
+  Histogram();
 
   void observe(double v);
 
+  /// Bucket-wise accumulation of `other`. Associative and commutative
+  /// bit-exact (counts and the fixed-point sum use wrapping uint64 adds;
+  /// min/max are exact), so any merge tree over the same multiset of
+  /// histograms produces identical bits.
+  void merge_from(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
-  double min() const { return count_ > 0 ? min_ : 0.0; }
-  double max() const { return count_ > 0 ? max_ : 0.0; }
-  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
-  /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
+  double sum() const {
+    return static_cast<double>(static_cast<std::int64_t>(sum_quanta_bits_)) *
+           kSumQuantum;
+  }
+  double mean() const {
+    return count_ > 0 ? sum() / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return minmax_count_ > 0 ? min_ : 0.0; }
+  double max() const { return minmax_count_ > 0 ? max_ : 0.0; }
+  /// Raw fixed-point sum bits (for bit-exact comparison and frames).
+  std::uint64_t sum_quanta_bits() const { return sum_quanta_bits_; }
+  std::uint64_t minmax_count() const { return minmax_count_; }
+
+  /// Exact bounds containing the q-quantile (q in [0,1], clamped), further
+  /// clamped to the exact [min, max]. {0, 0} when empty.
+  QuantileBounds quantile_bounds(double q) const;
+  /// Upper quantile bound — the conservative single-number answer.
+  double quantile(double q) const { return quantile_bounds(q).upper; }
+
+  /// Per-bucket counts; size kBucketCount, underflow first, overflow last.
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
 
+  /// Grid geometry: bucket i covers [lower, upper). Bucket 0 is
+  /// (-inf, 2^kMinOctave), the last bucket [2^(kMaxOctave+1), +inf).
+  static std::size_t bucket_index(double v);
+  static double bucket_lower_bound(std::size_t i);
+  static double bucket_upper_bound(std::size_t i);
+
  private:
-  std::vector<double> upper_bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  /// Sum in 2^-16 quanta, two's complement in a uint64 so accumulation
+  /// wraps instead of hitting signed overflow UB.
+  std::uint64_t sum_quanta_bits_ = 0;
+  /// Observations that participated in min/max (non-NaN).
+  std::uint64_t minmax_count_ = 0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
@@ -75,12 +135,62 @@ class Histogram {
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 /// One scalar of a snapshot. Histograms expand to `<name>.count`,
-/// `<name>.sum`, `<name>.mean` and `<name>.max` samples.
+/// `<name>.sum`, `<name>.mean`, `<name>.max`, `<name>.p50`, `<name>.p90`
+/// and `<name>.p99` samples.
 struct MetricSample {
   std::string name;
   MetricKind kind;
   double value;
 };
+
+/// A histogram's mergeable state, detached from the registry. Buckets are
+/// sparse (index, count) pairs sorted by index — only non-empty buckets
+/// travel between shards.
+struct FrameHistogram {
+  std::uint64_t count = 0;
+  std::uint64_t sum_quanta_bits = 0;
+  std::uint64_t minmax_count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  double sum() const {
+    return static_cast<double>(static_cast<std::int64_t>(sum_quanta_bits)) *
+           Histogram::kSumQuantum;
+  }
+  double mean() const {
+    return count > 0 ? sum() / static_cast<double>(count) : 0.0;
+  }
+  QuantileBounds quantile_bounds(double q) const;
+  double quantile(double q) const { return quantile_bounds(q).upper; }
+
+  bool operator==(const FrameHistogram&) const = default;
+};
+
+/// A registry's exported state: plain sorted vectors, safe to move across
+/// threads and to merge deterministically. This is the unit the ensemble
+/// engine aggregates across shards and the exposition layer renders.
+struct MetricsFrame {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, FrameHistogram>> histograms;
+
+  std::size_t metric_count() const {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  bool operator==(const MetricsFrame&) const = default;
+};
+
+/// Merges `src` into `dst`: counters sum, gauges take `src`'s value when
+/// present (so folding frames in fixed shard order gives last-write-by-
+/// fixed-shard-index), histograms add bucket-wise. Associative — folding
+/// left-to-right over any bracketing of the same frame sequence yields
+/// bit-identical results.
+void merge_frame(MetricsFrame& dst, const MetricsFrame& src);
 
 /// Owner of all named instruments.
 class MetricsRegistry {
@@ -94,9 +204,7 @@ class MetricsRegistry {
   /// instrument is returned and nothing is registered.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  /// `upper_bounds` applies on first registration only.
-  Histogram& histogram(const std::string& name,
-                       std::vector<double> upper_bounds);
+  Histogram& histogram(const std::string& name);
 
   /// Number of registered instruments.
   std::size_t metric_count() const {
@@ -107,6 +215,9 @@ class MetricsRegistry {
   /// empty snapshot.
   std::vector<MetricSample> snapshot() const;
 
+  /// Exports the registry's full mergeable state (empty when disabled).
+  MetricsFrame export_frame() const;
+
  private:
   bool enabled_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -114,31 +225,50 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   Counter scratch_counter_;
   Gauge scratch_gauge_;
-  Histogram scratch_histogram_{{}};
+  Histogram scratch_histogram_;
 };
 
-/// Collects periodic registry snapshots and renders them as a CSV time
-/// series (`time_s` column + one column per metric; metrics registered
-/// after the first sample get empty cells in earlier rows).
+/// Collects periodic registry snapshots into one DownsamplingSeries per
+/// metric and renders them as a CSV time series (`time_s` column + one
+/// column per metric). Memory is bounded: each column keeps at most
+/// `budget_per_metric` buckets, and all columns coarsen in lockstep so
+/// rows stay aligned. Metric names containing commas, quotes or newlines
+/// are RFC 4180-escaped in the header; the header is the sorted union of
+/// every metric ever sampled, so late-registered metrics get a stable
+/// column (with empty cells for rows before their first sample).
 class MetricsSampler {
  public:
-  explicit MetricsSampler(const MetricsRegistry& registry)
-      : registry_(&registry) {}
+  explicit MetricsSampler(const MetricsRegistry& registry,
+                          std::size_t budget_per_metric = 1024)
+      : registry_(&registry), budget_(budget_per_metric) {}
 
   /// Appends one row stamped at `now`. No-op on a disabled registry.
   void sample(sim::SimTime now);
 
-  std::size_t row_count() const { return rows_.size(); }
+  /// Rows sampled so far (CSV rows may be fewer after coarsening).
+  std::size_t row_count() const {
+    return static_cast<std::size_t>(samples_taken_);
+  }
 
   void write_csv(std::ostream& out) const;
 
+  /// The retained column for one snapshot scalar, or null if never seen.
+  const DownsamplingSeries* series(const std::string& name) const;
+  const std::map<std::string, DownsamplingSeries>& all_series() const {
+    return series_;
+  }
+
+  /// Attaches the self-overhead meter: every sample() adds its own wall
+  /// cost (ns) to `counter`. Null detaches.
+  void set_overhead_counter(Counter* counter) { overhead_ns_ = counter; }
+
  private:
-  struct Row {
-    sim::SimTime time;
-    std::vector<MetricSample> samples;
-  };
   const MetricsRegistry* registry_;
-  std::vector<Row> rows_;
+  std::size_t budget_;
+  sim::SimTime width_ = 1;  // shared column bucket width (µs)
+  std::map<std::string, DownsamplingSeries> series_;
+  std::uint64_t samples_taken_ = 0;
+  Counter* overhead_ns_ = nullptr;
 };
 
 }  // namespace epajsrm::obs

@@ -26,6 +26,18 @@ struct ObsConfig {
   bool profile_event_loop = true;
   /// Route sim::Logger lines into the trace ring.
   bool trace_log_lines = true;
+  /// Wire wall-clock-derived instruments (latency histograms such as
+  /// power.capmc_call_us, the sampler's obs.overhead_ns self-meter).
+  /// Disabled, the metrics registry is a pure function of the simulated
+  /// run — what the ensemble needs to merge shard metrics bit-identically
+  /// regardless of thread count.
+  bool wall_instruments = true;
+  /// Time every Nth dispatched event when profiling the event loop
+  /// (1 = every event, full fidelity; larger strides trade per-category
+  /// exactness for near-zero steady-state overhead).
+  std::uint32_t profile_sample_stride = 1;
+  /// Per-metric bucket budget of the CSV sampler's downsampling store.
+  std::size_t sampler_budget = 1024;
 };
 
 /// Owner of the three observability pieces.
@@ -35,7 +47,13 @@ class Observability {
       : config_(config),
         trace_(config.trace_capacity),
         metrics_(true),
-        sampler_(metrics_) {}
+        sampler_(metrics_, config.sampler_budget) {
+    if (config_.wall_instruments) {
+      // Self-overhead meter: the sampler bills its own wall cost here, so
+      // "what does watching cost" is itself observable.
+      sampler_.set_overhead_counter(&metrics_.counter("obs.overhead_ns"));
+    }
+  }
 
   /// Builds the plane when `config.enabled`, else returns null (the
   /// disabled path components check for).

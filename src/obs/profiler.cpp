@@ -53,6 +53,11 @@ std::string LoopProfiler::format_report() const {
                 static_cast<unsigned long long>(total_events_),
                 static_cast<double>(total_ns_) / 1e6, events_per_sec());
   out += buf;
+  if (stride_ > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "  sampled: every %u-th dispatched event\n", stride_);
+    out += buf;
+  }
   return out;
 }
 

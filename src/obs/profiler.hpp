@@ -41,6 +41,15 @@ class LoopProfiler {
   std::uint64_t total_events() const { return total_events_; }
   std::int64_t total_wall_ns() const { return total_ns_; }
 
+  /// Declares that only every Nth dispatched event reaches record() (the
+  /// simulation's dispatch sampling stride). Counts and totals stay raw
+  /// sample counts; events_per_sec is a per-event ratio and is unbiased
+  /// under sampling. Purely informational — surfaced in format_report.
+  void set_sample_stride(std::uint32_t stride) {
+    stride_ = stride == 0 ? 1 : stride;
+  }
+  std::uint32_t sample_stride() const { return stride_; }
+
   /// Dispatched events per wall second (0 when nothing was recorded).
   double events_per_sec() const;
 
@@ -61,6 +70,7 @@ class LoopProfiler {
   std::unordered_map<const char*, Bucket> buckets_;
   std::uint64_t total_events_ = 0;
   std::int64_t total_ns_ = 0;
+  std::uint32_t stride_ = 1;
 };
 
 }  // namespace epajsrm::obs

@@ -1,0 +1,135 @@
+#include "obs/series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epajsrm::obs {
+
+DownsamplingSeries::DownsamplingSeries(std::size_t budget,
+                                       sim::SimTime initial_width)
+    : budget_(budget), width_(initial_width) {
+  if (budget < 2) {
+    throw std::invalid_argument(
+        "series budget must be >= 2 (one bucket cannot coarsen)");
+  }
+  if (initial_width <= 0) {
+    throw std::invalid_argument("series bucket width must be positive");
+  }
+  buckets_.reserve(budget);
+}
+
+void DownsamplingSeries::record(sim::SimTime t, double value) {
+  if (t < 0) throw std::invalid_argument("series time must be >= 0");
+  if (latest_.has_value() && t < latest_->time) {
+    throw std::invalid_argument("series time went backwards");
+  }
+
+  if (total_samples_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_samples_;
+  latest_ = SeriesSample{t, value};
+
+  std::uint64_t idx = index_of(t);
+  if (!buckets_.empty() && buckets_.back().index == idx) {
+    SeriesBucket& b = buckets_.back();
+    b.last_time = t;
+    ++b.count;
+    b.min = std::min(b.min, value);
+    b.max = std::max(b.max, value);
+    b.sum += value;
+    b.last = value;
+    return;
+  }
+
+  // New window. If the ring is full, coarsen until a slot frees up (each
+  // doubling merges at least the new sample's neighbourhood eventually;
+  // the loop terminates because the width grows geometrically towards the
+  // whole recorded span, at which point everything merges into one
+  // bucket).
+  while (buckets_.size() >= budget_) {
+    coarsen_once();
+    idx = index_of(t);
+    if (!buckets_.empty() && buckets_.back().index == idx) {
+      SeriesBucket& b = buckets_.back();
+      b.last_time = t;
+      ++b.count;
+      b.min = std::min(b.min, value);
+      b.max = std::max(b.max, value);
+      b.sum += value;
+      b.last = value;
+      return;
+    }
+  }
+  buckets_.push_back(SeriesBucket{idx, t, t, 1, value, value, value, value});
+}
+
+void DownsamplingSeries::coarsen_once() {
+  width_ *= 2;
+  ++coarsenings_;
+  std::size_t write = 0;
+  std::size_t read = 0;
+  while (read < buckets_.size()) {
+    SeriesBucket merged = buckets_[read];
+    merged.index /= 2;
+    std::size_t next = read + 1;
+    if (next < buckets_.size() && buckets_[next].index / 2 == merged.index) {
+      const SeriesBucket& b = buckets_[next];
+      merged.last_time = b.last_time;
+      merged.count += b.count;
+      merged.min = std::min(merged.min, b.min);
+      merged.max = std::max(merged.max, b.max);
+      merged.sum += b.sum;
+      merged.last = b.last;
+      ++next;
+    }
+    buckets_[write++] = merged;
+    read = next;
+  }
+  buckets_.resize(write);
+}
+
+void DownsamplingSeries::coarsen_to(sim::SimTime width) {
+  while (width_ < width) coarsen_once();
+}
+
+const SeriesBucket& DownsamplingSeries::bucket(std::size_t i) const {
+  if (i >= buckets_.size()) throw std::out_of_range("series bucket index");
+  return buckets_[i];
+}
+
+DownsamplingSeries::WindowStats DownsamplingSeries::window_stats(
+    sim::SimTime begin, sim::SimTime end) const {
+  WindowStats stats;
+  double sum = 0.0;
+  for (const SeriesBucket& b : buckets_) {
+    if (b.last_time < begin) continue;
+    if (b.first_time > end) break;
+    if (stats.count == 0) {
+      stats.min = b.min;
+      stats.max = b.max;
+    } else {
+      stats.min = std::min(stats.min, b.min);
+      stats.max = std::max(stats.max, b.max);
+    }
+    stats.count += static_cast<std::size_t>(b.count);
+    sum += b.sum;
+  }
+  if (stats.count > 0) sum /= static_cast<double>(stats.count);
+  stats.mean = sum;
+  return stats;
+}
+
+double DownsamplingSeries::trailing_mean(sim::SimTime window) const {
+  if (!latest_.has_value()) return 0.0;
+  const sim::SimTime end = latest_->time;
+  const sim::SimTime begin = end - window;
+  const WindowStats stats = window_stats(begin < 0 ? 0 : begin, end);
+  return stats.count > 0 ? stats.mean : 0.0;
+}
+
+}  // namespace epajsrm::obs

@@ -1,0 +1,129 @@
+// DownsamplingSeries: a memory-bounded time-series store.
+//
+// The obs plane's answer to million-job traces (DESIGN.md §11): instead of
+// an unbounded sample vector or a ring that silently drops history, the
+// series keeps at most `budget` time buckets over the *whole* recorded
+// range. Each bucket aggregates min/max/mean(sum,count)/first/last of the
+// samples that fell into its window. When an append would exceed the
+// budget, the bucket width doubles and adjacent bucket pairs merge (2×
+// temporal coarsening) until the series fits again — so memory stays fixed
+// while resolution degrades gracefully, and the aggregates that matter for
+// power work (peaks, floors, totals) are preserved exactly across any
+// coarsening sequence.
+//
+// Bucket windows are aligned to absolute time (bucket i covers
+// [i·width, (i+1)·width)), which makes the coarsened layout a pure
+// function of the recorded (time, value) stream: replaying the same
+// samples always yields bit-identical buckets, and two series fed the same
+// timestamps at the same width stay column-aligned (the CSV sampler relies
+// on this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+
+/// One recorded point (exact, pre-coarsening).
+struct SeriesSample {
+  sim::SimTime time = 0;
+  double value = 0.0;
+};
+
+/// One aggregated time bucket covering [index·width, (index+1)·width).
+struct SeriesBucket {
+  /// Absolute window index under the series' current bucket width.
+  std::uint64_t index = 0;
+  /// Time of the first / last sample that landed in this window.
+  sim::SimTime first_time = 0;
+  sim::SimTime last_time = 0;
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  /// Most recent value in the window (gauge semantics).
+  double last = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-budget, self-coarsening series. Not thread-safe (one simulator
+/// thread owns each series, like every obs instrument).
+class DownsamplingSeries {
+ public:
+  struct WindowStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// `budget` is the maximum bucket count (>= 2, or std::invalid_argument:
+  /// a single bucket could never halve). `initial_width` is the starting
+  /// bucket window; callers with a known sampling period pass it so the
+  /// series stays exact (one sample per bucket) until the budget forces
+  /// coarsening. Must be positive.
+  explicit DownsamplingSeries(std::size_t budget,
+                              sim::SimTime initial_width = sim::kSecond);
+
+  /// Appends a sample. Time must be >= 0 and non-decreasing (throws
+  /// std::invalid_argument otherwise — telemetry time never rewinds).
+  void record(sim::SimTime t, double value);
+
+  std::size_t budget() const { return budget_; }
+  /// Current bucket count; never exceeds budget().
+  std::size_t size() const { return buckets_.size(); }
+  bool empty() const { return buckets_.empty(); }
+  /// Samples ever recorded (sum of bucket counts).
+  std::uint64_t total_samples() const { return total_samples_; }
+  /// Width doublings performed so far.
+  std::uint64_t coarsenings() const { return coarsenings_; }
+  sim::SimTime bucket_width() const { return width_; }
+
+  /// Bucket `i` in time order (throws std::out_of_range past size()).
+  const SeriesBucket& bucket(std::size_t i) const;
+  const std::vector<SeriesBucket>& buckets() const { return buckets_; }
+
+  /// The exact most recent sample (not a bucket aggregate).
+  std::optional<SeriesSample> latest() const { return latest_; }
+  /// Exact all-time extrema (0 when empty) — preserved across coarsening.
+  double overall_min() const { return total_samples_ > 0 ? min_ : 0.0; }
+  double overall_max() const { return total_samples_ > 0 ? max_ : 0.0; }
+
+  /// Aggregates over buckets overlapping [begin, end] (inclusive). Exact
+  /// while every bucket holds one sample; bucket-granular after
+  /// coarsening (a bucket straddling the window edge is included whole).
+  WindowStats window_stats(sim::SimTime begin, sim::SimTime end) const;
+
+  /// Mean over the trailing `window` ending at the latest sample
+  /// (0 when empty).
+  double trailing_mean(sim::SimTime window) const;
+
+  /// Doubles the bucket width until it is >= `width`, merging pairs each
+  /// step. Used by the CSV sampler to keep sibling series column-aligned;
+  /// a width smaller than the current one is a no-op.
+  void coarsen_to(sim::SimTime width);
+
+ private:
+  void coarsen_once();
+  std::uint64_t index_of(sim::SimTime t) const {
+    return static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(width_);
+  }
+
+  std::size_t budget_;
+  sim::SimTime width_;
+  std::vector<SeriesBucket> buckets_;
+  std::optional<SeriesSample> latest_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t coarsenings_ = 0;
+};
+
+}  // namespace epajsrm::obs

@@ -21,10 +21,13 @@ void CapmcController::set_observability(obs::Observability* o) {
   calls_counter_ = &o->metrics().counter("power.capmc_calls");
   retries_counter_ = &o->metrics().counter("power.capmc_retries");
   failures_counter_ = &o->metrics().counter("power.capmc_failures");
-  latency_hist_ = &o->metrics().histogram(
-      "power.capmc_call_us", {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0});
-  attempts_hist_ = &o->metrics().histogram(
-      "power.capmc_attempts", {1.0, 2.0, 3.0, 5.0, 8.0});
+  // Call latency is wall-clock-derived, so it only exists when wall
+  // instruments are on — with them off the registry stays a pure function
+  // of the simulated run (bit-identical across ensemble shards).
+  latency_hist_ = o->config().wall_instruments
+                      ? &o->metrics().histogram("power.capmc_call_us")
+                      : nullptr;
+  attempts_hist_ = &o->metrics().histogram("power.capmc_attempts");
 }
 
 bool CapmcController::rpc(const char* op) {
@@ -99,8 +102,10 @@ void CapmcController::record_call(const char* name, std::int64_t t0_ns,
                                   std::int64_t node_id, double watts,
                                   double node_count) {
   calls_counter_->add(1);
-  const std::int64_t dt_ns = obs_->trace().wall_now_ns() - t0_ns;
-  latency_hist_->observe(static_cast<double>(dt_ns) / 1000.0);
+  if (latency_hist_ != nullptr) {
+    const std::int64_t dt_ns = obs_->trace().wall_now_ns() - t0_ns;
+    latency_hist_->observe(static_cast<double>(dt_ns) / 1000.0);
+  }
   obs_->trace().instant(
       "capmc", name, -1, node_id,
       {{"watts", watts}, {"nodes", node_count}});

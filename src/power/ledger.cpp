@@ -5,9 +5,34 @@
 #include <cstdio>
 
 #include "check/contract.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/wall.hpp"
 #include "power/node_power_model.hpp"
 
 namespace epajsrm::power {
+
+namespace {
+
+/// Times the enclosing scope into a histogram (nanoseconds) when one is
+/// passed; a null histogram makes the guard free apart from two branches.
+class ScopedPostTimer {
+ public:
+  explicit ScopedPostTimer(obs::Histogram* hist)
+      : hist_(hist), t0_(hist != nullptr ? obs::wall_now_ns() : 0) {}
+  ~ScopedPostTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(static_cast<double>(obs::wall_now_ns() - t0_));
+    }
+  }
+  ScopedPostTimer(const ScopedPostTimer&) = delete;
+  ScopedPostTimer& operator=(const ScopedPostTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::int64_t t0_;
+};
+
+}  // namespace
 
 std::int64_t PowerLedger::to_fixed(double watts) {
   return std::llround(watts * kScale);
@@ -111,6 +136,12 @@ void PowerLedger::clear_dirty() {
 }
 
 void PowerLedger::post(platform::NodeId id, const NodeSample& s) {
+  obs::Histogram* timed = nullptr;
+  if (post_hist_ != nullptr && ++posts_since_timed_ >= post_hist_stride_) {
+    posts_since_timed_ = 0;
+    timed = post_hist_;
+  }
+  const ScopedPostTimer timer(timed);
   EPAJSRM_REQUIRE(id < node_count(), "post for an unknown node id");
   const double new_worst = s.cap_watts > 0.0 ? s.cap_watts : peak_[id];
   if (s.watts == watts_[id] && s.demand_watts == demand_[id] &&

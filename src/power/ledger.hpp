@@ -29,6 +29,10 @@
 
 #include "platform/cluster.hpp"
 
+namespace epajsrm::obs {
+class Histogram;
+}  // namespace epajsrm::obs
+
 namespace epajsrm::power {
 
 class NodePowerModel;
@@ -164,6 +168,17 @@ class PowerLedger {
   std::uint64_t posts_applied() const { return posts_applied_; }
   std::uint64_t posts_ignored() const { return posts_ignored_; }
 
+  /// Attaches a wall-clock latency histogram for post(): every `stride`-th
+  /// call is timed end to end and recorded in nanoseconds. Sampling keeps
+  /// the hot path hot — post() is the single most frequent mutation in the
+  /// model. Null detaches; stride 0 is clamped to 1.
+  void set_post_latency_histogram(obs::Histogram* hist,
+                                  std::uint32_t stride = 64) {
+    post_hist_ = hist;
+    post_hist_stride_ = stride == 0 ? 1 : stride;
+    posts_since_timed_ = 0;
+  }
+
   // --- debug parity -------------------------------------------------------
 
   /// Recomputes every aggregate brute-force from the per-node arrays and
@@ -239,6 +254,9 @@ class PowerLedger {
   std::vector<platform::NodeId> dirty_;
   std::uint64_t posts_applied_ = 0;
   std::uint64_t posts_ignored_ = 0;
+  obs::Histogram* post_hist_ = nullptr;
+  std::uint32_t post_hist_stride_ = 64;
+  std::uint32_t posts_since_timed_ = 0;
 };
 
 }  // namespace epajsrm::power

@@ -40,6 +40,7 @@ void EnergyAccountant::checkpoint(sim::SimTime now) {
     overhead_joules_ += joules - attributed;
   }
   last_ = now;
+  energy_series_.record(now, total_joules_);
 }
 
 JobEnergyReport make_energy_report(const workload::Job& job,

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/series.hpp"
 #include "platform/cluster.hpp"
 #include "power/ledger.hpp"
 #include "sim/time.hpp"
@@ -44,6 +45,13 @@ class EnergyAccountant {
   /// Total IT energy integrated so far (J).
   double total_it_joules() const { return total_joules_; }
 
+  /// Cumulative total-energy curve, one point per checkpoint, retained in
+  /// a fixed-budget downsampling store (checkpoints happen on every power
+  /// change, so an unbounded record would dwarf the accountant itself).
+  const obs::DownsamplingSeries& energy_series() const {
+    return energy_series_;
+  }
+
   /// Energy of one node so far (J).
   double node_joules(platform::NodeId id) const { return node_energy_[id]; }
 
@@ -58,6 +66,7 @@ class EnergyAccountant {
   const power::PowerLedger* ledger_;
   std::function<workload::Job*(workload::JobId)> resolve_;
   std::vector<double> node_energy_;
+  obs::DownsamplingSeries energy_series_{1024, sim::kMinute};
   double total_joules_ = 0.0;
   double overhead_joules_ = 0.0;
   sim::SimTime last_ = 0;

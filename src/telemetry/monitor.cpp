@@ -11,16 +11,32 @@ MonitoringService::MonitoringService(sim::Simulation& sim,
                                      const power::PowerLedger& ledger,
                                      sim::SimTime period, std::size_t history)
     : sim_(&sim), cluster_(&cluster), ledger_(&ledger), period_(period),
-      machine_power_(history), facility_power_(history),
-      utilization_(history), max_temperature_(history) {
+      machine_power_(history, period > 0 ? period : sim::kSecond),
+      facility_power_(history, period > 0 ? period : sim::kSecond),
+      utilization_(history, period > 0 ? period : sim::kSecond),
+      max_temperature_(history, period > 0 ? period : sim::kSecond) {
   EPAJSRM_REQUIRE(ledger.node_count() == cluster.node_count(),
                   "ledger must cover the monitored cluster");
+  const sim::SimTime width = period > 0 ? period : sim::kSecond;
   for (std::size_t i = 0; i < cluster.facility().pdus().size(); ++i) {
-    pdu_power_.push_back(std::make_unique<TimeSeries>(history));
+    pdu_power_.push_back(
+        std::make_unique<obs::DownsamplingSeries>(history, width));
   }
   EPAJSRM_ENSURE(pdu_power_.size() == cluster.facility().pdus().size(),
                  "one retained series per facility PDU");
   build_sensors();
+}
+
+void MonitoringService::attach_registry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    stale_served_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    altered_counter_ = nullptr;
+    return;
+  }
+  stale_served_counter_ = &registry->counter("telemetry.stale_served");
+  dropped_counter_ = &registry->counter("telemetry.dropped_samples");
+  altered_counter_ = &registry->counter("telemetry.altered_samples");
 }
 
 void MonitoringService::build_sensors() {
@@ -53,18 +69,20 @@ void MonitoringService::build_sensors() {
 }
 
 double MonitoringService::measured_it_watts(sim::SimTime now) const {
-  const std::optional<Sample> last = machine_power_.latest();
+  const std::optional<obs::SeriesSample> last = machine_power_.latest();
   // Nothing retained yet (start-up, or the series was configured away):
   // the live reading is the only information there is.
   if (!last.has_value()) return ledger_->it_power_watts();
   if (now - last->time <= 2 * period_) return last->value;
   // Stale: serve last-known-good inflated by the safety margin so cap
   // policies err on the conservative side while the sensor is out.
+  ++stale_served_;
+  if (stale_served_counter_ != nullptr) stale_served_counter_->add(1);
   return last->value * stale_safety_margin_;
 }
 
 bool MonitoringService::telemetry_degraded(sim::SimTime now) const {
-  const std::optional<Sample> last = machine_power_.latest();
+  const std::optional<obs::SeriesSample> last = machine_power_.latest();
   return last.has_value() && now - last->time > 2 * period_;
 }
 
@@ -77,9 +95,13 @@ void MonitoringService::sample(sim::SimTime now) {
     if (!filtered.has_value()) {
       record_machine = false;
       ++dropped_samples_;
+      if (dropped_counter_ != nullptr) dropped_counter_->add(1);
     } else {
       machine_watts = *filtered;
-      if (machine_watts != it_watts) ++altered_samples_;
+      if (machine_watts != it_watts) {
+        ++altered_samples_;
+        if (altered_counter_ != nullptr) altered_counter_->add(1);
+      }
     }
   }
   if (record_machine) machine_power_.record(now, machine_watts);

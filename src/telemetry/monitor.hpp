@@ -2,6 +2,11 @@
 // and samples the headline series every tick. This is the "monitoring"
 // half of Figure 1; control policies subscribe as observers to close the
 // loop.
+//
+// Retained series are obs::DownsamplingSeries ring stores: memory per
+// series is fixed at `history` buckets and long runs coarsen 2× instead of
+// growing or dropping history — million-job traces keep bounded telemetry
+// with exact peaks/floors (DESIGN.md §11).
 #pragma once
 
 #include <functional>
@@ -10,11 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/series.hpp"
 #include "platform/cluster.hpp"
 #include "power/ledger.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/sensor.hpp"
-#include "telemetry/time_series.hpp"
 
 namespace epajsrm::telemetry {
 
@@ -24,7 +30,10 @@ namespace epajsrm::telemetry {
 class MonitoringService {
  public:
   /// Builds node/PDU/machine sensors under "<cluster name>." in `registry`.
-  /// `ledger` must cover `cluster` and outlive the service.
+  /// `ledger` must cover `cluster` and outlive the service. `history` is
+  /// the per-series bucket budget; the sampling period seeds the bucket
+  /// width, so series stay sample-exact until the budget forces
+  /// coarsening.
   MonitoringService(sim::Simulation& sim, platform::Cluster& cluster,
                     const power::PowerLedger& ledger,
                     sim::SimTime period = 10 * sim::kSecond,
@@ -47,16 +56,28 @@ class MonitoringService {
   /// The sensor hierarchy (Power API shape).
   const SensorRegistry& registry() const { return registry_; }
 
+  /// Attaches (or with null, detaches) the metrics registry. The monitor
+  /// then keeps `telemetry.stale_served` (stale-fallback reads served),
+  /// `telemetry.dropped_samples` and `telemetry.altered_samples` counters
+  /// live — degraded telemetry becomes observable instead of silent.
+  void attach_registry(obs::MetricsRegistry* registry);
+
   // --- retained series ----------------------------------------------------
 
-  const TimeSeries& machine_power() const { return machine_power_; }
-  const TimeSeries& facility_power() const { return facility_power_; }
-  const TimeSeries& utilization() const { return utilization_; }
-  const TimeSeries& max_temperature() const { return max_temperature_; }
+  const obs::DownsamplingSeries& machine_power() const {
+    return machine_power_;
+  }
+  const obs::DownsamplingSeries& facility_power() const {
+    return facility_power_;
+  }
+  const obs::DownsamplingSeries& utilization() const { return utilization_; }
+  const obs::DownsamplingSeries& max_temperature() const {
+    return max_temperature_;
+  }
   /// Retained series for one PDU, or nullptr for a PDU the facility does
   /// not have — callers must handle the sentinel (telemetry quality varies
   /// by plant; an unknown sensor is data, not a crash).
-  const TimeSeries* pdu_power(platform::PduId pdu) const {
+  const obs::DownsamplingSeries* pdu_power(platform::PduId pdu) const {
     if (static_cast<std::size_t>(pdu) >= pdu_power_.size()) return nullptr;
     return pdu_power_[pdu].get();
   }
@@ -84,7 +105,8 @@ class MonitoringService {
   /// margin while stale, and the live cluster reading before any sample
   /// exists (start-up). Cap policies read this instead of the cluster
   /// ground truth so sensor faults degrade them gracefully instead of
-  /// feeding them garbage.
+  /// feeding them garbage. Stale serves increment telemetry.stale_served
+  /// when a registry is attached.
   double measured_it_watts(sim::SimTime now) const;
 
   /// True while measured_it_watts is serving a stale (margin-inflated)
@@ -95,6 +117,8 @@ class MonitoringService {
   std::uint64_t dropped_samples() const { return dropped_samples_; }
   /// Machine power samples the filter altered (stuck/noisy sensors).
   std::uint64_t altered_samples() const { return altered_samples_; }
+  /// Stale fallback reads served so far.
+  std::uint64_t stale_served() const { return stale_served_; }
 
   /// Forces one sample now (also used by tests). Does not notify
   /// observers; use tick() for the full sampling + notification step.
@@ -121,16 +145,22 @@ class MonitoringService {
   std::uint64_t ticks_ = 0;
 
   SensorRegistry registry_;
-  TimeSeries machine_power_;
-  TimeSeries facility_power_;
-  TimeSeries utilization_;
-  TimeSeries max_temperature_;
-  std::vector<std::unique_ptr<TimeSeries>> pdu_power_;
+  obs::DownsamplingSeries machine_power_;
+  obs::DownsamplingSeries facility_power_;
+  obs::DownsamplingSeries utilization_;
+  obs::DownsamplingSeries max_temperature_;
+  std::vector<std::unique_ptr<obs::DownsamplingSeries>> pdu_power_;
 
   PowerSampleFilter power_filter_;
   double stale_safety_margin_ = 1.05;
   std::uint64_t dropped_samples_ = 0;
   std::uint64_t altered_samples_ = 0;
+  // Mutable-through-pointer so the const read path (measured_it_watts) can
+  // count the stale serves it performs.
+  mutable std::uint64_t stale_served_ = 0;
+  obs::Counter* stale_served_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* altered_counter_ = nullptr;
 
   std::vector<std::function<void(sim::SimTime)>> observers_;
 };

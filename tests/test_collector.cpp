@@ -147,7 +147,7 @@ TEST(Collector, AttachedRegistryReceivesSeries) {
   EXPECT_EQ(registry.counter("jobs.submitted").value(), 1u);
   EXPECT_EQ(registry.counter("jobs.completed").value(), 1u);
   EXPECT_EQ(registry.counter("power.violation_samples").value(), 1u);
-  EXPECT_EQ(registry.histogram("sched.wait_minutes", {}).count(), 1u);
+  EXPECT_EQ(registry.histogram("sched.wait_minutes").count(), 1u);
   EXPECT_DOUBLE_EQ(registry.gauge("power.it_watts").value(), 1200.0);
   // The registry counter is the single source of truth once attached.
   EXPECT_EQ(c.violation_samples(), 1u);

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -306,6 +307,106 @@ TEST(EnsembleDeterminism, BitIdenticalAcrossThreadCounts) {
   const core::EnsembleResult native = run_small_grid(hw);
   expect_identical(one, four);
   expect_identical(one, native);
+}
+
+core::EnsembleResult run_small_grid_with_metrics(std::size_t threads) {
+  core::EnsembleConfig config;
+  config.replications = 3;
+  config.base_seed = 99;
+  config.threads = threads;
+  config.merge_metrics = true;
+  core::EnsembleEngine engine(config);
+  const auto point = [](const char* label) {
+    return [label](std::uint64_t) {
+      auto b = core::Scenario::builder()
+                   .label(label)
+                   .nodes(8)
+                   .job_count(6)
+                   .horizon(2 * sim::kDay)
+                   .configure([](core::ScenarioConfig& c) {
+                     c.solution.enable_thermal = false;
+                   });
+      return std::move(b).take_config();
+    };
+  };
+  engine.add_point("a", point("ens-a"));
+  engine.add_point("b", point("ens-b"));
+  return engine.run();
+}
+
+TEST(EnsembleDeterminism, MergedMetricsAreBitIdenticalAcrossThreadCounts) {
+  const core::EnsembleResult one = run_small_grid_with_metrics(1);
+  const core::EnsembleResult four = run_small_grid_with_metrics(4);
+  const core::EnsembleResult eight = run_small_grid_with_metrics(8);
+
+  ASSERT_TRUE(one.metrics_merged);
+  ASSERT_FALSE(one.merged_metrics.empty());
+  // Frame-level bit identity: counters, gauges, and full histogram bucket
+  // vectors compare equal, not just summary statistics.
+  EXPECT_TRUE(one.merged_metrics == four.merged_metrics);
+  EXPECT_TRUE(one.merged_metrics == eight.merged_metrics);
+
+  // Provenance is emitted in fixed shard order regardless of which worker
+  // finished first.
+  ASSERT_EQ(one.metrics_provenance.size(), 6u);
+  ASSERT_EQ(four.metrics_provenance.size(), 6u);
+  for (std::size_t i = 0; i < one.metrics_provenance.size(); ++i) {
+    const core::ShardMetricsProvenance& x = one.metrics_provenance[i];
+    const core::ShardMetricsProvenance& y = four.metrics_provenance[i];
+    EXPECT_EQ(x.point, y.point);
+    EXPECT_EQ(x.replication, y.replication);
+    EXPECT_EQ(x.seed, y.seed);
+    EXPECT_EQ(x.sim_events, y.sim_events);
+    EXPECT_EQ(x.metric_count, y.metric_count);
+  }
+
+  // Merging the metrics must not perturb the observation stream itself.
+  const core::EnsembleResult plain = run_small_grid(1);
+  ASSERT_EQ(plain.observations.size(), one.observations.size());
+  for (std::size_t i = 0; i < plain.observations.size(); ++i) {
+    EXPECT_EQ(plain.observations[i].total_kwh, one.observations[i].total_kwh);
+    EXPECT_EQ(plain.observations[i].sim_events,
+              one.observations[i].sim_events);
+  }
+}
+
+TEST(EnsembleDeterminism, ProgressCallbackReportsMonotoneCompletion) {
+  core::EnsembleConfig config;
+  config.replications = 2;
+  config.base_seed = 5;
+  config.threads = 2;
+  config.progress_interval_ms = 0;  // emit on every shard completion
+  std::vector<core::EnsembleProgress> seen;
+  std::mutex seen_mu;
+  config.on_progress = [&](const core::EnsembleProgress& p) {
+    const std::lock_guard<std::mutex> lock(seen_mu);
+    seen.push_back(p);
+  };
+  core::EnsembleEngine engine(config);
+  engine.add_point("only", [](std::uint64_t) {
+    auto b = core::Scenario::builder()
+                 .label("prog")
+                 .nodes(8)
+                 .job_count(4)
+                 .horizon(sim::kDay)
+                 .configure([](core::ScenarioConfig& c) {
+                   c.solution.enable_thermal = false;
+                 });
+    return std::move(b).take_config();
+  });
+  engine.run();
+  ASSERT_FALSE(seen.empty());
+  std::size_t prev = 0;
+  for (const core::EnsembleProgress& p : seen) {
+    EXPECT_EQ(p.shards_total, 2u);
+    EXPECT_GE(p.shards_done, prev);
+    EXPECT_LE(p.shards_done, p.shards_total);
+    prev = p.shards_done;
+  }
+  // The final emission always fires, reporting a complete sweep.
+  EXPECT_EQ(seen.back().shards_done, 2u);
+  EXPECT_GE(seen.back().events_per_sec, 0.0);
+  EXPECT_EQ(seen.back().eta_seconds, 0.0);
 }
 
 TEST(EnsembleDeterminism, SplitMixSeedsAreShardOrderIndependent) {

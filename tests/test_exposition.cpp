@@ -1,0 +1,368 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/series.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+namespace {
+
+// --- a minimal JSON well-formedness checker ----------------------------------
+// Recursive descent over the grammar (objects, arrays, strings, numbers,
+// true/false/null). Good enough to prove the report is machine-parseable
+// without dragging a JSON library into the test image.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : text_(std::move(text)) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- a Prometheus text-format (v0.0.4) grammar checker -----------------------
+
+bool prom_name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool prom_value_ok(const std::string& v) {
+  if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end == v.c_str() + v.size();
+}
+
+/// Validates every line as `# TYPE name kind`, `name value`, or
+/// `name{le="..."} value`.
+::testing::AssertionResult prom_grammar_ok(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, kind, extra;
+      fields >> name >> kind;
+      if (!prom_name_ok(name) ||
+          (kind != "counter" && kind != "gauge" && kind != "histogram") ||
+          (fields >> extra)) {
+        return ::testing::AssertionFailure()
+               << "bad TYPE line " << line_no << ": " << line;
+      }
+      continue;
+    }
+    std::string name = line;
+    std::string rest;
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find("\"} ", brace);
+      if (close == std::string::npos ||
+          line.compare(brace, 5, "{le=\"") != 0 ||
+          !prom_value_ok(line.substr(brace + 5, close - brace - 5))) {
+        return ::testing::AssertionFailure()
+               << "bad label set at line " << line_no << ": " << line;
+      }
+      name = line.substr(0, brace);
+      rest = line.substr(close + 3);
+    } else {
+      if (space == std::string::npos) {
+        return ::testing::AssertionFailure()
+               << "no sample value at line " << line_no << ": " << line;
+      }
+      name = line.substr(0, space);
+      rest = line.substr(space + 1);
+    }
+    if (!prom_name_ok(name)) {
+      return ::testing::AssertionFailure()
+             << "bad metric name at line " << line_no << ": " << line;
+    }
+    if (!prom_value_ok(rest)) {
+      return ::testing::AssertionFailure()
+             << "bad sample value at line " << line_no << ": " << line;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Prometheus exposition ---------------------------------------------------
+
+TEST(Exposition, PrometheusOutputParsesUnderGrammar) {
+  MetricsRegistry reg;
+  reg.counter("sched.jobs_started").add(42);
+  reg.gauge("power.it_watts").set(123456.5);
+  reg.gauge("weird name!metric").set(1.0);  // must sanitise
+  Histogram& h = reg.histogram("power.capmc_call_us");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+
+  std::ostringstream out;
+  write_prometheus(reg, out);
+  const std::string text = out.str();
+
+  EXPECT_TRUE(prom_grammar_ok(text));
+  EXPECT_NE(text.find("# TYPE sched_jobs_started counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sched_jobs_started 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE weird_name_metric gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE power_capmc_call_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("power_capmc_call_us_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("power_capmc_call_us_count 100"), std::string::npos);
+  EXPECT_NE(text.find("power_capmc_call_us_sum 5050"), std::string::npos);
+}
+
+TEST(Exposition, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+
+  std::ostringstream out;
+  write_prometheus(reg, out);
+
+  // Walk the bucket lines: cumulative counts must be non-decreasing and
+  // end at the +Inf bucket equal to the total count.
+  std::istringstream in(out.str());
+  std::string line;
+  std::uint64_t prev = 0;
+  std::uint64_t inf_count = 0;
+  while (std::getline(in, line)) {
+    const std::size_t brace = line.find("_bucket{le=\"");
+    if (brace == std::string::npos) continue;
+    const std::uint64_t cum =
+        std::strtoull(line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    EXPECT_GE(cum, prev) << line;
+    prev = cum;
+    if (line.find("+Inf") != std::string::npos) inf_count = cum;
+  }
+  EXPECT_EQ(inf_count, 3u);
+}
+
+// --- run report --------------------------------------------------------------
+
+RunReportBuilder sample_report() {
+  RunReportBuilder report("baseline-2rack");
+  report.add_scalar("total_kwh", 1234.5);
+  report.add_scalar("mean_utilization", 0.87);
+
+  DownsamplingSeries power(16, sim::kMinute);
+  for (int i = 0; i < 500; ++i) {
+    power.record(i * sim::kMinute, 1000.0 + 5.0 * (i % 13));
+  }
+  report.add_series("power.it_watts", power);
+
+  MetricsRegistry reg;
+  reg.counter("sched.jobs_started").add(12);
+  reg.gauge("sched.pending_jobs").set(3.0);
+  Histogram& h = reg.histogram("sched.wait_minutes");
+  for (int i = 1; i <= 50; ++i) h.observe(static_cast<double>(i));
+  report.set_metrics(reg.export_frame());
+
+  report.set_merged(true);
+  report.add_shard({"point0/rep0", 101, 5000, 3, 0});
+  report.add_shard({"point0/rep1 \"quoted\"", 102, 5100, 3, 1});
+  return report;
+}
+
+TEST(Exposition, RunReportJsonIsWellFormed) {
+  std::ostringstream out;
+  sample_report().write_json(out);
+  const std::string json = out.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+
+  EXPECT_NE(json.find("\"schema\":\"epajsrm.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"baseline-2rack\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_kwh\":1234.5"), std::string::npos);
+  EXPECT_NE(json.find("\"sched.jobs_started\":12"), std::string::npos);
+  // Histograms carry count and exact-bound quantiles.
+  EXPECT_NE(json.find("\"count\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":{\"lower\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":{\"lower\":"), std::string::npos);
+  // Series survive with their downsampling provenance.
+  EXPECT_NE(json.find("\"power.it_watts\":{\"budget\":16"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_samples\":500"), std::string::npos);
+  // Merge provenance: fixed order, escaped labels.
+  EXPECT_NE(json.find("\"order\":\"fixed-shard-index\""), std::string::npos);
+  EXPECT_NE(json.find("\"merged\":true"), std::string::npos);
+  EXPECT_NE(json.find("point0/rep1 \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Exposition, RunReportJsonEscapesControlCharacters) {
+  RunReportBuilder report("tab\there\nnewline");
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string json = out.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\\u0009"), std::string::npos);
+  EXPECT_NE(json.find("\\u000a"), std::string::npos);
+}
+
+TEST(Exposition, RunReportHtmlIsSelfContainedAndEscaped) {
+  RunReportBuilder report("a<b & \"c\"");
+  report.add_scalar("total_kwh", 10.0);
+  DownsamplingSeries s(8, sim::kSecond);
+  s.record(0, 5.0);
+  report.add_series("power", s);
+  report.add_shard({"shard<0>", 1, 2, 3, 0});
+
+  std::ostringstream out;
+  report.write_html(out);
+  const std::string html = out.str();
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_NE(html.find("shard&lt;0&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("shard<0>"), std::string::npos);
+  // Self-contained: no external scripts, stylesheets or images.
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("href="), std::string::npos);
+}
+
+TEST(Exposition, EmptyReportStillValidates) {
+  RunReportBuilder report("empty");
+  std::ostringstream json_out, html_out;
+  report.write_json(json_out);
+  report.write_html(html_out);
+  JsonChecker checker(json_out.str());
+  EXPECT_TRUE(checker.valid()) << json_out.str();
+  EXPECT_NE(html_out.str().find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epajsrm::obs

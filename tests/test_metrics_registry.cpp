@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -33,39 +35,89 @@ TEST(MetricsRegistry, GaugeLastWriteWins) {
   EXPECT_DOUBLE_EQ(g.value(), 4.5);
 }
 
-TEST(MetricsRegistry, HistogramBucketsAndStats) {
-  MetricsRegistry reg;
-  Histogram& h = reg.histogram("power.capmc_call_us", {1.0, 5.0, 25.0});
+// --- histogram ---------------------------------------------------------------
+
+TEST(Histogram, CountsSumMinMaxAreExact) {
+  Histogram h;
   h.observe(0.5);
   h.observe(3.0);
-  h.observe(100.0);  // overflow bucket
+  h.observe(100.0);
   EXPECT_EQ(h.count(), 3u);
   EXPECT_DOUBLE_EQ(h.sum(), 103.5);
   EXPECT_DOUBLE_EQ(h.mean(), 34.5);
   EXPECT_DOUBLE_EQ(h.min(), 0.5);
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
-  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow
-  EXPECT_EQ(h.bucket_counts()[0], 1u);
-  EXPECT_EQ(h.bucket_counts()[1], 1u);
-  EXPECT_EQ(h.bucket_counts()[2], 0u);
-  EXPECT_EQ(h.bucket_counts()[3], 1u);
 }
 
-TEST(MetricsRegistry, HistogramBoundsApplyOnFirstRegistrationOnly) {
-  MetricsRegistry reg;
-  Histogram& h = reg.histogram("h", {1.0, 2.0});
-  Histogram& again = reg.histogram("h", {99.0});
-  EXPECT_EQ(&h, &again);
-  EXPECT_EQ(h.upper_bounds().size(), 2u);
+TEST(Histogram, BucketGeometryCoversValuesTightly) {
+  // Every observable positive value must land in a bucket whose bounds
+  // contain it, with relative width <= 1/kSubBuckets.
+  for (const double v : {1e-5, 0.37, 1.0, 4.0, 6.0, 1000.0, 3.7e9}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    const double lo = Histogram::bucket_lower_bound(i);
+    const double hi = Histogram::bucket_upper_bound(i);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_GT(hi, v) << v;
+    EXPECT_LE((hi - lo) / lo,
+              1.0 / static_cast<double>(Histogram::kSubBuckets) + 1e-12)
+        << v;
+  }
 }
 
-TEST(MetricsRegistry, EmptyHistogramReportsZeros) {
-  MetricsRegistry reg;
-  Histogram& h = reg.histogram("empty", {1.0});
+TEST(Histogram, NonPositiveAndNanLandInUnderflowInfinityInOverflow) {
+  Histogram h;
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_counts().front(), 3u);  // 0, -5, NaN
+  EXPECT_EQ(h.bucket_counts().back(), 1u);   // +inf
+  // NaN never pollutes min/max; the finite observations define them.
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_TRUE(std::isinf(h.max()));
+}
+
+TEST(Histogram, QuantileBoundsBracketTheTrueQuantile) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const QuantileBounds b = h.quantile_bounds(q);
+    const double truth = q * 1000.0;  // uniform 1..1000
+    EXPECT_LE(b.lower, truth + 1.0) << q;
+    EXPECT_GE(b.upper, truth - 1.0) << q;
+    // Exact-bound guarantee: bracket width <= one bucket's width.
+    EXPECT_LE(b.upper / b.lower, 1.0 + 1.0 / Histogram::kSubBuckets + 1e-12);
+  }
+  // p100 is the exact max, p0 clamps to the exact min.
+  EXPECT_DOUBLE_EQ(h.quantile_bounds(1.0).upper, 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile_bounds(0.0).lower, 1.0);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, MergeMatchesDirectObservationBitExactly) {
+  Histogram direct, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 0.1 * i * i + 0.3;
+    direct.observe(v);
+    (i % 2 == 0 ? a : b).observe(v);
+  }
+  Histogram merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.sum_quanta_bits(), direct.sum_quanta_bits());
+  EXPECT_EQ(merged.bucket_counts(), direct.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
 }
 
 TEST(MetricsRegistry, DisabledRegistryHandsOutScratchAndStaysEmpty) {
@@ -77,21 +129,22 @@ TEST(MetricsRegistry, DisabledRegistryHandsOutScratchAndStaysEmpty) {
   a.add(100);
   EXPECT_EQ(reg.metric_count(), 0u);
   EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_TRUE(reg.export_frame().empty());
   EXPECT_EQ(&reg.gauge("g1"), &reg.gauge("g2"));
-  EXPECT_EQ(&reg.histogram("h1", {1.0}), &reg.histogram("h2", {2.0}));
+  EXPECT_EQ(&reg.histogram("h1"), &reg.histogram("h2"));
 }
 
 TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
   MetricsRegistry reg;
   reg.counter("z.count").add(2);
   reg.gauge("a.gauge").set(1.5);
-  Histogram& h = reg.histogram("m.lat", {10.0});
+  Histogram& h = reg.histogram("m.lat");
   h.observe(4.0);
   h.observe(6.0);
 
   const auto snap = reg.snapshot();
-  // 1 counter + 1 gauge + 4 histogram scalars.
-  ASSERT_EQ(snap.size(), 6u);
+  // 1 counter + 1 gauge + 7 histogram scalars.
+  ASSERT_EQ(snap.size(), 9u);
   for (std::size_t i = 1; i < snap.size(); ++i) {
     EXPECT_LT(snap[i - 1].name, snap[i].name);
   }
@@ -103,10 +156,16 @@ TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
   EXPECT_DOUBLE_EQ(snap[2].value, 6.0);
   EXPECT_EQ(snap[3].name, "m.lat.mean");
   EXPECT_DOUBLE_EQ(snap[3].value, 5.0);
-  EXPECT_EQ(snap[4].name, "m.lat.sum");
-  EXPECT_DOUBLE_EQ(snap[4].value, 10.0);
-  EXPECT_EQ(snap[5].name, "z.count");
-  EXPECT_DOUBLE_EQ(snap[5].value, 2.0);
+  EXPECT_EQ(snap[4].name, "m.lat.p50");
+  EXPECT_DOUBLE_EQ(snap[4].value, 4.25);  // upper bound of 4.0's bucket
+  EXPECT_EQ(snap[5].name, "m.lat.p90");
+  EXPECT_DOUBLE_EQ(snap[5].value, 6.0);  // bucket bound clamped to max
+  EXPECT_EQ(snap[6].name, "m.lat.p99");
+  EXPECT_DOUBLE_EQ(snap[6].value, 6.0);
+  EXPECT_EQ(snap[7].name, "m.lat.sum");
+  EXPECT_DOUBLE_EQ(snap[7].value, 10.0);
+  EXPECT_EQ(snap[8].name, "z.count");
+  EXPECT_DOUBLE_EQ(snap[8].value, 2.0);
 }
 
 TEST(MetricsRegistry, SnapshotIsACopyNotALiveView) {
@@ -117,6 +176,88 @@ TEST(MetricsRegistry, SnapshotIsACopyNotALiveView) {
   c.add(10);
   EXPECT_DOUBLE_EQ(snap[0].value, 1.0);
 }
+
+// --- frames and cross-shard merge -------------------------------------------
+
+TEST(MetricsFrame, ExportRoundTripsRegistryState) {
+  MetricsRegistry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").observe(12.0);
+
+  const MetricsFrame frame = reg.export_frame();
+  ASSERT_EQ(frame.counters.size(), 1u);
+  EXPECT_EQ(frame.counters[0].first, "c");
+  EXPECT_EQ(frame.counters[0].second, 7u);
+  ASSERT_EQ(frame.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(frame.gauges[0].second, 2.5);
+  ASSERT_EQ(frame.histograms.size(), 1u);
+  const FrameHistogram& fh = frame.histograms[0].second;
+  EXPECT_EQ(fh.count, 1u);
+  EXPECT_DOUBLE_EQ(fh.sum(), 12.0);
+  ASSERT_EQ(fh.buckets.size(), 1u);  // sparse: only the hit bucket travels
+  EXPECT_EQ(fh.buckets[0].first, Histogram::bucket_index(12.0));
+}
+
+TEST(MetricsFrame, MergeSumsCountersOverwritesGaugesAddsHistograms) {
+  MetricsRegistry a, b;
+  a.counter("shared").add(3);
+  a.counter("only_a").add(1);
+  a.gauge("g").set(1.0);
+  a.histogram("h").observe(2.0);
+  b.counter("shared").add(4);
+  b.gauge("g").set(9.0);
+  b.histogram("h").observe(8.0);
+
+  MetricsFrame merged = a.export_frame();
+  merge_frame(merged, b.export_frame());
+
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].first, "only_a");
+  EXPECT_EQ(merged.counters[0].second, 1u);
+  EXPECT_EQ(merged.counters[1].second, 7u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].second, 9.0);  // src (later shard) wins
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].second.count, 2u);
+  EXPECT_DOUBLE_EQ(merged.histograms[0].second.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(merged.histograms[0].second.min, 2.0);
+  EXPECT_DOUBLE_EQ(merged.histograms[0].second.max, 8.0);
+}
+
+TEST(MetricsFrame, MergeIsAssociativeBitExactly) {
+  // Three shards, two bracketings: (A+B)+C must equal A+(B+C) bit-for-bit
+  // — the property that makes the ensemble merge thread-count invariant.
+  const auto make_shard = [](int salt) {
+    MetricsRegistry reg;
+    reg.counter("events").add(static_cast<std::uint64_t>(salt) * 11u);
+    reg.gauge("last").set(salt * 0.75);
+    Histogram& h = reg.histogram("lat");
+    for (int i = 0; i < 50; ++i) {
+      h.observe(0.013 * static_cast<double>((i * salt) % 97 + 1));
+    }
+    return reg.export_frame();
+  };
+  const MetricsFrame s1 = make_shard(1);
+  const MetricsFrame s2 = make_shard(2);
+  const MetricsFrame s3 = make_shard(3);
+
+  MetricsFrame left = s1;
+  merge_frame(left, s2);
+  merge_frame(left, s3);
+
+  MetricsFrame right_tail = s2;
+  merge_frame(right_tail, s3);
+  MetricsFrame right = s1;
+  merge_frame(right, right_tail);
+
+  EXPECT_EQ(left, right);
+  ASSERT_EQ(left.histograms.size(), 1u);
+  EXPECT_EQ(left.histograms[0].second.sum_quanta_bits,
+            right.histograms[0].second.sum_quanta_bits);
+}
+
+// --- sampler -----------------------------------------------------------------
 
 TEST(MetricsSampler, WritesTimeSeriesCsv) {
   MetricsRegistry reg;
@@ -137,6 +278,57 @@ TEST(MetricsSampler, WritesTimeSeriesCsv) {
             "2.000,1500,3\n");
 }
 
+TEST(MetricsSampler, EscapesMetricNamesInCsvHeader) {
+  MetricsRegistry reg;
+  MetricsSampler sampler(reg);
+  reg.gauge("watts,\"cab 1\"").set(5.0);
+  reg.gauge("plain").set(1.0);
+  sampler.sample(0);
+
+  std::ostringstream out;
+  sampler.write_csv(out);
+  // RFC 4180: the comma-carrying name is quoted, inner quotes doubled;
+  // columns are sorted by raw name.
+  EXPECT_EQ(out.str(),
+            "time_s,plain,\"watts,\"\"cab 1\"\"\"\n"
+            "0.000,1,5\n");
+}
+
+TEST(MetricsSampler, MemoryStaysBoundedUnderManySamples) {
+  MetricsRegistry reg;
+  MetricsSampler sampler(reg, /*budget_per_metric=*/16);
+  Gauge& g = reg.gauge("g");
+  for (int i = 0; i < 10000; ++i) {
+    g.set(static_cast<double>(i));
+    sampler.sample(static_cast<sim::SimTime>(i) * sim::kSecond);
+  }
+  EXPECT_EQ(sampler.row_count(), 10000u);
+  const DownsamplingSeries* series = sampler.series("g");
+  ASSERT_NE(series, nullptr);
+  EXPECT_LE(series->size(), 16u);
+  EXPECT_GT(series->coarsenings(), 0u);
+  // The newest value survives coarsening exactly.
+  EXPECT_DOUBLE_EQ(series->latest()->value, 9999.0);
+  std::ostringstream out;
+  sampler.write_csv(out);
+  // Bounded output too: at most budget rows + header.
+  std::size_t rows = 0;
+  for (const char c : out.str()) rows += c == '\n' ? 1 : 0;
+  EXPECT_LE(rows, 17u);
+}
+
+TEST(MetricsSampler, OverheadCounterBillsSampling) {
+  MetricsRegistry reg;
+  MetricsSampler sampler(reg);
+  Counter& overhead = reg.counter("obs.overhead_ns");
+  sampler.set_overhead_counter(&overhead);
+  reg.gauge("g").set(1.0);
+  for (int i = 0; i < 50; ++i) {
+    sampler.sample(static_cast<sim::SimTime>(i) * sim::kSecond);
+  }
+  EXPECT_GT(overhead.value(), 0u);
+}
+
 TEST(MetricsSampler, DisabledRegistrySamplesNothing) {
   MetricsRegistry reg(false);
   MetricsSampler sampler(reg);
@@ -146,6 +338,8 @@ TEST(MetricsSampler, DisabledRegistrySamplesNothing) {
   sampler.write_csv(out);
   EXPECT_EQ(out.str(), "time_s\n");
 }
+
+// --- loop profiler -----------------------------------------------------------
 
 TEST(LoopProfiler, AggregatesPerCategory) {
   LoopProfiler p;
@@ -195,6 +389,14 @@ TEST(LoopProfiler, FormatReportListsCategoriesAndTotals) {
   const std::string text = p.format_report();
   EXPECT_NE(text.find("core.control"), std::string::npos);
   EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(LoopProfiler, SampledStrideIsReported) {
+  LoopProfiler p;
+  p.set_sample_stride(64);
+  EXPECT_EQ(p.sample_stride(), 64u);
+  p.record("core.control", 100);
+  EXPECT_NE(p.format_report().find("every 64-th"), std::string::npos);
 }
 
 }  // namespace

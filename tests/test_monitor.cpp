@@ -92,6 +92,25 @@ TEST_F(MonitorTest, FacilityPowerIncludesPue) {
   EXPECT_GT(facility, it);
 }
 
+TEST_F(MonitorTest, StaleTelemetryServesMarginAndCountsIt) {
+  obs::MetricsRegistry registry;
+  monitor_.attach_registry(&registry);
+  monitor_.sample(0);
+  const double fresh = monitor_.measured_it_watts(5 * sim::kSecond);
+  EXPECT_EQ(monitor_.stale_served(), 0u);
+  // Beyond two sampling periods the last reading counts as stale: it is
+  // served inflated by the safety margin, and the fallback is counted.
+  const double stale = monitor_.measured_it_watts(25 * sim::kSecond);
+  EXPECT_GT(stale, fresh);
+  EXPECT_EQ(monitor_.stale_served(), 1u);
+  EXPECT_EQ(registry.counter("telemetry.stale_served").value(), 1u);
+  // Detaching stops the registry feed but keeps the local count.
+  monitor_.attach_registry(nullptr);
+  monitor_.measured_it_watts(25 * sim::kSecond);
+  EXPECT_EQ(monitor_.stale_served(), 2u);
+  EXPECT_EQ(registry.counter("telemetry.stale_served").value(), 1u);
+}
+
 TEST_F(MonitorTest, StartIsIdempotent) {
   monitor_.start();
   monitor_.start();

@@ -1,0 +1,168 @@
+#include "obs/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::obs {
+namespace {
+
+TEST(DownsamplingSeries, RejectsBadConstructionAndInput) {
+  EXPECT_THROW(DownsamplingSeries(1), std::invalid_argument);
+  EXPECT_THROW(DownsamplingSeries(8, 0), std::invalid_argument);
+  DownsamplingSeries s(8);
+  EXPECT_THROW(s.record(-1, 1.0), std::invalid_argument);
+  s.record(5 * sim::kSecond, 1.0);
+  // Time must be non-decreasing (the simulator clock is monotone).
+  EXPECT_THROW(s.record(4 * sim::kSecond, 1.0), std::invalid_argument);
+}
+
+TEST(DownsamplingSeries, ExactUntilBudgetForcesCoarsening) {
+  DownsamplingSeries s(8, sim::kSecond);
+  for (int i = 0; i < 8; ++i) {
+    s.record(i * sim::kSecond, static_cast<double>(i));
+  }
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.coarsenings(), 0u);
+  EXPECT_EQ(s.bucket_width(), sim::kSecond);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.bucket(i).count, 1u);
+    EXPECT_DOUBLE_EQ(s.bucket(i).mean(), static_cast<double>(i));
+  }
+}
+
+TEST(DownsamplingSeries, CountNeverExceedsBudget) {
+  DownsamplingSeries s(16, sim::kSecond);
+  for (int i = 0; i < 100000; ++i) {
+    s.record(i * sim::kSecond, static_cast<double>(i % 777));
+    ASSERT_LE(s.size(), 16u);
+  }
+  EXPECT_EQ(s.total_samples(), 100000u);
+  EXPECT_GT(s.coarsenings(), 0u);
+}
+
+TEST(DownsamplingSeries, CoarseningPreservesCountSumMinMaxExactly) {
+  DownsamplingSeries s(8, sim::kSecond);
+  double sum = 0.0, lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>((i * 37) % 211) - 50.0;
+    s.record(i * sim::kSecond, v);
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::uint64_t bucket_count = 0;
+  double bucket_sum = 0.0;
+  double bucket_min = 1e300, bucket_max = -1e300;
+  for (const SeriesBucket& b : s.buckets()) {
+    bucket_count += b.count;
+    bucket_sum += b.sum;
+    bucket_min = std::min(bucket_min, b.min);
+    bucket_max = std::max(bucket_max, b.max);
+  }
+  EXPECT_EQ(bucket_count, 1000u);
+  EXPECT_NEAR(bucket_sum, sum, 1e-9);
+  // min/max survive coarsening exactly — peaks are never averaged away.
+  EXPECT_DOUBLE_EQ(bucket_min, lo);
+  EXPECT_DOUBLE_EQ(bucket_max, hi);
+  EXPECT_DOUBLE_EQ(s.overall_min(), lo);
+  EXPECT_DOUBLE_EQ(s.overall_max(), hi);
+}
+
+TEST(DownsamplingSeries, LatestIsExactAfterCoarsening) {
+  DownsamplingSeries s(4, sim::kSecond);
+  for (int i = 0; i <= 500; ++i) {
+    s.record(i * sim::kSecond, 3.0 * i);
+  }
+  ASSERT_TRUE(s.latest().has_value());
+  EXPECT_EQ(s.latest()->time, 500 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(s.latest()->value, 1500.0);
+}
+
+TEST(DownsamplingSeries, DeterministicUnderReplay) {
+  // Same input stream → identical bucket layout, bit for bit. The bucket
+  // grid is anchored at absolute t=0 (index = t / width), so replays and
+  // shards agree regardless of when the first sample landed.
+  const auto run = [] {
+    DownsamplingSeries s(16, sim::kSecond);
+    for (int i = 0; i < 5000; ++i) {
+      s.record(i * 700 * sim::kMillisecond,
+               static_cast<double>((i * 13) % 97));
+    }
+    return s;
+  };
+  const DownsamplingSeries a = run();
+  const DownsamplingSeries b = run();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.bucket_width(), b.bucket_width());
+  EXPECT_EQ(a.coarsenings(), b.coarsenings());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.bucket(i).index, b.bucket(i).index);
+    EXPECT_EQ(a.bucket(i).count, b.bucket(i).count);
+    EXPECT_EQ(a.bucket(i).first_time, b.bucket(i).first_time);
+    EXPECT_EQ(a.bucket(i).last_time, b.bucket(i).last_time);
+    EXPECT_DOUBLE_EQ(a.bucket(i).min, b.bucket(i).min);
+    EXPECT_DOUBLE_EQ(a.bucket(i).max, b.bucket(i).max);
+    EXPECT_DOUBLE_EQ(a.bucket(i).sum, b.bucket(i).sum);
+    EXPECT_DOUBLE_EQ(a.bucket(i).last, b.bucket(i).last);
+  }
+}
+
+TEST(DownsamplingSeries, SamplesInTheSameBucketMerge) {
+  DownsamplingSeries s(8, sim::kSecond);
+  s.record(100, 10.0);  // all three land in bucket [0, 1s)
+  s.record(200, 30.0);
+  s.record(300, 20.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.bucket(0).count, 3u);
+  EXPECT_DOUBLE_EQ(s.bucket(0).min, 10.0);
+  EXPECT_DOUBLE_EQ(s.bucket(0).max, 30.0);
+  EXPECT_DOUBLE_EQ(s.bucket(0).mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.bucket(0).last, 20.0);
+  EXPECT_EQ(s.bucket(0).first_time, 100);
+  EXPECT_EQ(s.bucket(0).last_time, 300);
+}
+
+TEST(DownsamplingSeries, WindowStatsAggregateTheRequestedRange) {
+  DownsamplingSeries s(100, sim::kSecond);
+  for (int i = 0; i < 60; ++i) {
+    s.record(i * sim::kSecond, static_cast<double>(i));
+  }
+  const DownsamplingSeries::WindowStats w =
+      s.window_stats(50 * sim::kSecond, 59 * sim::kSecond);
+  EXPECT_EQ(w.count, 10u);
+  EXPECT_DOUBLE_EQ(w.min, 50.0);
+  EXPECT_DOUBLE_EQ(w.max, 59.0);
+  EXPECT_DOUBLE_EQ(w.mean, 54.5);
+  // Trailing window [49s, 59s] is inclusive at both ends: 11 samples.
+  EXPECT_DOUBLE_EQ(s.trailing_mean(10 * sim::kSecond), 54.0);
+}
+
+TEST(DownsamplingSeries, EmptySeriesIsWellDefined) {
+  DownsamplingSeries s(8);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.latest().has_value());
+  EXPECT_DOUBLE_EQ(s.overall_min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.overall_max(), 0.0);
+  EXPECT_EQ(s.window_stats(0, sim::kHour).count, 0u);
+  EXPECT_DOUBLE_EQ(s.trailing_mean(sim::kMinute), 0.0);
+  EXPECT_THROW(s.bucket(0), std::out_of_range);
+}
+
+TEST(DownsamplingSeries, ManualCoarsenToAlignsWidths) {
+  DownsamplingSeries s(64, sim::kSecond);
+  for (int i = 0; i < 32; ++i) {
+    s.record(i * sim::kSecond, 1.0);
+  }
+  s.coarsen_to(4 * sim::kSecond);
+  EXPECT_EQ(s.bucket_width(), 4 * sim::kSecond);
+  EXPECT_EQ(s.size(), 8u);
+  for (const SeriesBucket& b : s.buckets()) EXPECT_EQ(b.count, 4u);
+}
+
+}  // namespace
+}  // namespace epajsrm::obs

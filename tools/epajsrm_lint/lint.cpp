@@ -26,6 +26,14 @@
 //                               initialization bypasses ScenarioBuilder's
 //                               validation and defaulting; construct
 //                               scenarios through core::ScenarioBuilder.
+//   unbounded-series
+//                 src/telemetry/
+//                               push_back/emplace_back into containers
+//                               named like retained sample stores
+//                               (*series*, *samples*, *history*,
+//                               *readings*) grows without bound over a
+//                               run; retain telemetry in the fixed-budget
+//                               obs::DownsamplingSeries ring store.
 //   power-sweep   src/** except src/platform/ and src/power/ledger.*
 //                               aggregating power by sweeping
 //                               cluster.nodes() (reading current_watts()
@@ -176,6 +184,7 @@ class Linter {
         !scope_by_path_ || in_dir(rel, "sim") || in_dir(rel, "platform") ||
         in_dir(rel, "power") || in_dir(rel, "telemetry") || in_dir(rel, "core");
     const bool aggregate_scope = !scope_by_path_ || !in_dir(rel, "core");
+    const bool series_scope = !scope_by_path_ || in_dir(rel, "telemetry");
     const bool sweep_scope =
         !scope_by_path_ ||
         (!in_dir(rel, "platform") && rel.rfind("power/ledger.", 0) != 0);
@@ -211,6 +220,9 @@ class Linter {
       }
       if (aggregate_scope && hits_scenario_aggregate(code)) {
         flag("scenario-aggregate");
+      }
+      if (series_scope && hits_unbounded_series(code)) {
+        flag("unbounded-series");
       }
       check_unit_suffix(code, raw, rel, line_no);
 
@@ -293,6 +305,27 @@ class Linter {
     static const std::regex re(
         "(\\.|->)\\s*(current_watts|power_cap_watts)\\s*\\(\\s*\\)");
     return std::regex_search(code, re);
+  }
+
+  // Appending to a container whose name marks it as a retained sample
+  // store: over a long run that is unbounded telemetry growth. The ring
+  // store (obs::DownsamplingSeries) coarsens instead of growing; the
+  // receiver-name heuristic keeps transient output vectors (out, ids, ...)
+  // out of scope.
+  static bool hits_unbounded_series(const std::string& code) {
+    static const std::regex re(
+        "([A-Za-z_]\\w*)\\s*(\\.|->)\\s*(push_back|emplace_back)\\s*\\(");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string receiver = to_lower((*it)[1].str());
+      if (receiver.find("series") != std::string::npos ||
+          receiver.find("samples") != std::string::npos ||
+          receiver.find("history") != std::string::npos ||
+          receiver.find("readings") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
   }
 
   static bool hits_scenario_aggregate(const std::string& code) {
@@ -384,6 +417,7 @@ int self_test(const fs::path& dir) {
       {"bad_unguarded_at.cpp", "unguarded-at"},
       {"bad_scenario_aggregate.cpp", "scenario-aggregate"},
       {"bad_power_sweep.cpp", "power-sweep"},
+      {"bad_unbounded_series.cpp", "unbounded-series"},
   };
   int failures = 0;
   for (const auto& [name, rule] : kExpected) {

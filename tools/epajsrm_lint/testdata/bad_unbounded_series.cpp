@@ -1,0 +1,24 @@
+// Fixture: unbounded-series must fire here (and only unbounded-series).
+// Appending every tick into a growing vector named like a sample store is
+// exactly the pattern the DownsamplingSeries ring store replaces.
+#include <utility>
+#include <vector>
+
+struct TickSample {
+  long t_us = 0;
+  double node_watts = 0.0;
+};
+
+class NaiveRetention {
+ public:
+  void on_tick(long t_us, double node_watts) {
+    samples_.push_back({t_us, node_watts});
+    utilization_series_.emplace_back(t_us, 0.5);
+    cap_history_->push_back({t_us, node_watts});
+  }
+
+ private:
+  std::vector<TickSample> samples_;
+  std::vector<std::pair<long, double>> utilization_series_;
+  std::vector<TickSample>* cap_history_ = nullptr;
+};

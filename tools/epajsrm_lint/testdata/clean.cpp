@@ -76,6 +76,33 @@ double sanctioned_parity_sweep(const SweepCluster& cluster) {
   return total_watts;
 }
 
+// unbounded-series: bounded-by-construction stores may keep sample-store
+// names when suppressed, and transient output vectors are out of scope by
+// name.
+struct SeriesPoint {
+  long t_us = 0;
+  double value = 0.0;
+};
+
+class BoundedRetention {
+ public:
+  void on_tick(long t_us, double value) {
+    // Pruned to a fixed window right below: bounded despite the name.
+    window_samples_.push_back({t_us, value});  // lint:allow(unbounded-series)
+    if (window_samples_.size() > 16) window_samples_.erase(
+        window_samples_.begin());
+  }
+
+  std::vector<long> snapshot_times() const {
+    std::vector<long> out;
+    for (const SeriesPoint& p : window_samples_) out.push_back(p.t_us);
+    return out;  // `out` is not a sample store: no suppression needed
+  }
+
+ private:
+  std::vector<SeriesPoint> window_samples_;
+};
+
 int state_only_sweep(SweepCluster& cluster) {
   int usable = 0;
   for (SweepNode& node : cluster.nodes()) {
