@@ -7,7 +7,7 @@
 // some idle nodes on for responsiveness.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "epa/policy.hpp"
 
@@ -40,7 +40,11 @@ class IdleShutdownPolicy final : public EpaPolicy {
   std::uint32_t shortfall() const;
 
   Config config_{};
-  std::unordered_map<platform::NodeId, sim::SimTime> idle_since_;
+  /// Ordered by node id: on_tick picks shutdown victims by iterating this
+  /// map while a reserve budget counts down, so iteration order decides
+  /// *which* nodes power off. Hash order would make that choice differ
+  /// across runs and partitions.
+  std::map<platform::NodeId, sim::SimTime> idle_since_;
   std::uint64_t shutdowns_ = 0;
   std::uint64_t boots_ = 0;
 };

@@ -16,7 +16,8 @@ std::vector<LoopProfiler::CategoryStats> LoopProfiler::report() const {
   // Merge by name: the same literal text may live at different addresses
   // across translation units.
   std::map<std::string, CategoryStats> merged;
-  for (const auto& [category, bucket] : buckets_) {
+  // Sum/max per key commute, so hash order cannot leak into the output.
+  for (const auto& [category, bucket] : buckets_) {  // lint:allow(unordered-iter) order-independent merge
     CategoryStats& s = merged[category];
     s.category = category;
     s.count += bucket.count;

@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "sim/time.hpp"
 
@@ -39,7 +39,9 @@ class FairShareTracker {
     sim::SimTime as_of = 0;
   };
   sim::SimTime half_life_;
-  std::unordered_map<std::string, Entry> usage_;
+  /// Ordered so usage_factor's scan over all users (max + FP compares)
+  /// visits entries in one canonical order on every run and partition.
+  std::map<std::string, Entry> usage_;
 };
 
 /// Effective priority for queue ordering: static job priority minus the

@@ -16,7 +16,7 @@ namespace {
 /// by -fmerge-all-constants or linker ICF, which would alias a user event
 /// tagged with the literal "sim.periodic-batch" onto the envelope path.
 /// Mutable storage is never merged, so the address stays unique.
-char kBatchTagChars[] = "sim.periodic-batch";
+char kBatchTagChars[] = "sim.periodic-batch";  // lint:allow(mutable-global) never written; mutable only to defeat constant merging
 
 /// Repeater handles live in their own id space (top bit set) so they can
 /// never collide with queue-issued event ids.

@@ -1,0 +1,342 @@
+// Include-graph builder and layer-DAG checker (tools/epajsrm_analyze)
+// over synthetic file trees written into a temp dir: resolution rules
+// (root-relative vs includer-relative vs angled), diamond includes,
+// `..` normalization, cycle detection and dedup, DAG conformance with
+// crosscut modules, allow-edges, and line-level suppressions, plus
+// layers.conf validation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "epajsrm_analyze/config.hpp"
+#include "epajsrm_analyze/include_graph.hpp"
+#include "epajsrm_analyze/layer_check.hpp"
+
+namespace az = epajsrm::analyze;
+namespace ts = epajsrm::toolsupport;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Writes a synthetic tree into a unique temp directory and removes it
+// on teardown.
+class TempTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("epajsrm_analyze_") + info->test_suite_name() + "_" +
+             info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    ASSERT_TRUE(out.good()) << rel;
+    out << content;
+  }
+
+  std::map<std::string, ts::SourceFile> load() const {
+    return az::load_tree(root_, az::collect_tree(root_));
+  }
+
+  az::IncludeGraph graph() const { return az::build_include_graph(load()); }
+
+  // Resolved targets of `from`'s include edges, in declaration order.
+  static std::vector<std::string> targets(const az::IncludeGraph& g,
+                                          const std::string& from) {
+    std::vector<std::string> out;
+    const auto it = g.edges.find(from);
+    if (it == g.edges.end()) return out;
+    for (const az::IncludeEdge& e : it->second) out.push_back(e.to);
+    return out;
+  }
+
+  static std::vector<std::string> rules_of(const az::Findings& findings) {
+    std::vector<std::string> out;
+    for (const az::Finding& f : findings) out.push_back(f.rule);
+    return out;
+  }
+
+  fs::path root_;
+};
+
+using IncludeGraphTest = TempTree;
+using LayerCheckTest = TempTree;
+
+TEST_F(IncludeGraphTest, CollectsOnlyAnalyzableFilesSorted) {
+  write("b/impl.cpp", "");
+  write("a/header.hpp", "");
+  write("a/legacy.h", "");
+  write("a/notes.md", "");
+  write("README", "");
+  const std::vector<std::string> files = az::collect_tree(root_);
+  EXPECT_EQ(files, (std::vector<std::string>{"a/header.hpp", "a/legacy.h",
+                                             "b/impl.cpp"}));
+}
+
+TEST_F(IncludeGraphTest, ResolvesRootRelativeAndIncluderRelativeQuotes) {
+  write("sim/clock.hpp", "#pragma once\n");
+  write("sim/util.hpp", "#pragma once\n");
+  write("sim/engine.cpp",
+        "#include \"sim/clock.hpp\"\n"   // root-relative
+        "#include \"util.hpp\"\n"        // includer-relative sibling
+        "#include \"missing.hpp\"\n");   // external: no edge
+  const az::IncludeGraph g = graph();
+  EXPECT_EQ(targets(g, "sim/engine.cpp"),
+            (std::vector<std::string>{"sim/clock.hpp", "sim/util.hpp"}));
+}
+
+TEST_F(IncludeGraphTest, RootRelativeSpellingWinsOverSibling) {
+  // When both resolutions exist, the canonical root-relative spelling is
+  // the one the analyzer must pick.
+  write("util.hpp", "#pragma once\n");
+  write("sim/util.hpp", "#pragma once\n");
+  write("sim/engine.cpp", "#include \"util.hpp\"\n");
+  EXPECT_EQ(targets(graph(), "sim/engine.cpp"),
+            (std::vector<std::string>{"util.hpp"}));
+}
+
+TEST_F(IncludeGraphTest, AngledIncludesResolveRootRelativeOnly) {
+  write("sim/clock.hpp", "#pragma once\n");
+  write("sim/util.hpp", "#pragma once\n");
+  write("sim/engine.cpp",
+        "#include <sim/clock.hpp>\n"   // root-relative: resolves
+        "#include <util.hpp>\n"        // sibling form: system header, no edge
+        "#include <vector>\n");
+  const az::IncludeGraph g = graph();
+  EXPECT_EQ(targets(g, "sim/engine.cpp"),
+            (std::vector<std::string>{"sim/clock.hpp"}));
+  const az::IncludeEdge& e = g.edges.at("sim/engine.cpp").front();
+  EXPECT_TRUE(e.angled);
+  EXPECT_EQ(e.line, 1);
+}
+
+TEST_F(IncludeGraphTest, NormalizesDotDotInRelativeIncludes) {
+  write("base/core.hpp", "#pragma once\n");
+  write("top/util.hpp", "#include \"../base/core.hpp\"\n");
+  EXPECT_EQ(targets(graph(), "top/util.hpp"),
+            (std::vector<std::string>{"base/core.hpp"}));
+}
+
+TEST_F(IncludeGraphTest, DiamondReachabilityVisitsSharedBaseOnce) {
+  write("base/core.hpp", "#pragma once\n");
+  write("mid/a.hpp", "#include \"base/core.hpp\"\n");
+  write("mid/b.hpp", "#include \"base/core.hpp\"\n");
+  write("top/use.cpp",
+        "#include \"mid/a.hpp\"\n"
+        "#include \"mid/b.hpp\"\n");
+  const az::IncludeGraph g = graph();
+  const std::set<std::string> reach = g.reachable_from("top/use.cpp");
+  EXPECT_EQ(reach, (std::set<std::string>{"base/core.hpp", "mid/a.hpp",
+                                          "mid/b.hpp"}));
+}
+
+TEST_F(IncludeGraphTest, IncludesInCommentsOrStringsAreIgnoredButRealOnesScan) {
+  write("sim/clock.hpp", "#pragma once\n");
+  write("sim/engine.cpp",
+        "// #include \"sim/clock.hpp\" — commented out, still a directive?\n"
+        "#include \"sim/clock.hpp\"\n");
+  // The directive scan runs over raw lines (spelled paths are string
+  // literals), so the commented line must be rejected by the leading-#
+  // check, not by the stripper.
+  EXPECT_EQ(targets(graph(), "sim/engine.cpp"),
+            (std::vector<std::string>{"sim/clock.hpp"}));
+}
+
+TEST_F(IncludeGraphTest, DetectsTwoFileCycleOnce) {
+  write("a/x.hpp", "#include \"a/y.hpp\"\n");
+  write("a/y.hpp", "#include \"a/x.hpp\"\n");
+  az::Findings findings;
+  az::find_include_cycles(graph(), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_NE(findings[0].message.find("a/x.hpp -> a/y.hpp -> a/x.hpp"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST_F(IncludeGraphTest, DetectsLongerCycleWithFullChain) {
+  write("a/x.hpp", "#include \"b/y.hpp\"\n");
+  write("b/y.hpp", "#include \"c/z.hpp\"\n");
+  write("c/z.hpp", "#include \"a/x.hpp\"\n");
+  az::Findings findings;
+  az::find_include_cycles(graph(), &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(
+      findings[0].message.find("a/x.hpp -> b/y.hpp -> c/z.hpp -> a/x.hpp"),
+      std::string::npos)
+      << findings[0].message;
+}
+
+TEST_F(IncludeGraphTest, DiamondIsNotReportedAsCycle) {
+  write("base/core.hpp", "#pragma once\n");
+  write("mid/a.hpp", "#include \"base/core.hpp\"\n");
+  write("mid/b.hpp", "#include \"base/core.hpp\"\n");
+  write("top/use.cpp",
+        "#include \"mid/a.hpp\"\n"
+        "#include \"mid/b.hpp\"\n");
+  az::Findings findings;
+  az::find_include_cycles(graph(), &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- layer checker ----------------------------------------------------------
+
+az::LayerConfig parse_or_die(const std::string& text) {
+  az::LayerConfig config;
+  std::vector<std::string> errors;
+  EXPECT_TRUE(az::parse_layer_config(text, &config, &errors));
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  return config;
+}
+
+TEST_F(LayerCheckTest, FlagsDagViolatingEdgeWithDeclaredDeps) {
+  write("sim/clock.hpp", "#pragma once\n");
+  write("power/cap.hpp", "#include \"sim/clock.hpp\"\n");
+  write("sim/bad.cpp", "#include \"power/cap.hpp\"\n");
+  const az::LayerConfig config = parse_or_die(
+      "layer sim\n"
+      "layer power : sim\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_EQ(findings[0].file, "sim/bad.cpp");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("`sim` may not include `power`"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST_F(LayerCheckTest, DeclaredDepsSelfAndCrosscutEdgesAreAllowed) {
+  write("sim/clock.hpp", "#pragma once\n");
+  write("sim/engine.hpp", "#include \"sim/clock.hpp\"\n");  // self edge
+  write("power/cap.hpp", "#include \"sim/clock.hpp\"\n");   // declared dep
+  write("obs/probe.hpp", "#include \"power/cap.hpp\"\n");   // crosscut out
+  write("power/meter.hpp", "#include \"obs/probe.hpp\"\n"); // crosscut in
+  const az::LayerConfig config = parse_or_die(
+      "layer sim\n"
+      "layer power : sim\n"
+      "crosscut obs\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  EXPECT_TRUE(findings.empty()) << findings.size();
+}
+
+TEST_F(LayerCheckTest, AllowEdgeGrantsExactlyThatEdge) {
+  write("ext/helper.hpp", "#pragma once\n");
+  write("top/use.cpp", "#include \"ext/helper.hpp\"\n");
+  write("ext/back.cpp", "#include \"top/use.hpp\"\n");
+  write("top/use.hpp", "#pragma once\n");
+  const az::LayerConfig config = parse_or_die(
+      "layer top\n"
+      "layer ext\n"
+      "allow top -> ext\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  // top -> ext is sanctioned; the reverse edge ext -> top is not.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "ext/back.cpp");
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+}
+
+TEST_F(LayerCheckTest, SuppressionOnIncludeLineIsHonored) {
+  write("ext/helper.hpp", "#pragma once\n");
+  write("top/use.cpp",
+        "#include \"ext/helper.hpp\"  // lint:allow(layer-violation) vendored\n");
+  const az::LayerConfig config = parse_or_die(
+      "layer top\n"
+      "layer ext\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST_F(LayerCheckTest, UndeclaredModuleReportedOncePerModule) {
+  write("rogue/a.hpp", "#pragma once\n");
+  write("rogue/b.hpp", "#pragma once\n");
+  write("sim/ok.hpp", "#pragma once\n");
+  const az::LayerConfig config = parse_or_die("layer sim\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"undeclared-layer"}));
+}
+
+TEST_F(LayerCheckTest, RootFilesMapToRootModule) {
+  write("api.hpp", "#include \"sim/clock.hpp\"\n");
+  write("sim/clock.hpp", "#pragma once\n");
+  const az::LayerConfig config = parse_or_die(
+      "layer sim\n"
+      "layer api : sim\n"
+      "root-module api\n");
+  az::Findings findings;
+  az::check_layers(graph(), load(), config, &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- layers.conf validation -------------------------------------------------
+
+TEST(LayerConfigTest, RejectsUndeclaredDependency) {
+  az::LayerConfig config;
+  std::vector<std::string> errors;
+  EXPECT_FALSE(az::parse_layer_config("layer sim : ghost\n", &config, &errors));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("undeclared module `ghost`"), std::string::npos)
+      << errors[0];
+}
+
+TEST(LayerConfigTest, RejectsDeclaredDepCycle) {
+  az::LayerConfig config;
+  std::vector<std::string> errors;
+  EXPECT_FALSE(az::parse_layer_config(
+      "layer a : b\n"
+      "layer b : a\n",
+      &config, &errors));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("cycle"), std::string::npos) << errors[0];
+}
+
+TEST(LayerConfigTest, RejectsMalformedDirectives) {
+  az::LayerConfig config;
+  std::vector<std::string> errors;
+  EXPECT_FALSE(az::parse_layer_config(
+      "layer\n"
+      "allow a b\n"
+      "warp speed\n",
+      &config, &errors));
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+TEST(LayerConfigTest, ParsesCommentsSanctionsAndCrosscut) {
+  const az::LayerConfig config = parse_or_die(
+      "# full-line comment\n"
+      "layer sim   # trailing comment\n"
+      "layer power : sim\n"
+      "crosscut obs\n"
+      "allow power -> obs\n"
+      "sanction-shared-state obs/\n"
+      "root-module api\n");
+  EXPECT_TRUE(config.declared("sim"));
+  EXPECT_TRUE(config.declared("obs"));
+  EXPECT_EQ(config.root_module, "api");
+  EXPECT_TRUE(config.edge_allowed("power", "sim"));
+  EXPECT_FALSE(config.edge_allowed("sim", "power"));
+  EXPECT_TRUE(config.edge_allowed("anything", "obs"));  // crosscut
+  EXPECT_TRUE(config.shared_state_sanctioned("obs/registry.hpp"));
+  EXPECT_FALSE(config.shared_state_sanctioned("sim/engine.hpp"));
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+// epajsrm_analyze — cross-TU static analyzer for the EPA JSRM tree.
+//
+// Three passes (see finding.hpp for the rule catalog):
+//
+//   1. Architecture conformance: the include graph over the tree must
+//      respect the layer DAG declared in layers.conf, and contain no
+//      include cycles.
+//   2. Determinism rules: no order-sensitive iteration over unordered
+//      containers, no floating-point accumulation in hash order, no
+//      pointer-keyed ordered containers.
+//   3. Shared-state audit: inventory namespace-scope globals, static
+//      members and function-local statics; flag the mutable ones and
+//      emit the inventory as JSON (the lax-sync refactor's worklist).
+//
+// Usage:
+//   epajsrm_analyze <root> [--layers <layers.conf>] [--sarif <out.sarif>]
+//                   [--shared-state-out <out.json>]
+//                   [--shared-state-baseline <baseline.json>]
+//       Analyze the tree; exit 1 on any unsuppressed finding or on
+//       baseline drift. Pass 1 runs only when --layers is given.
+//
+//   epajsrm_analyze --self-test <testdata-dir>
+//       Prove every rule fires on its bad_*.cpp / tree_* fixture and
+//       stays silent on clean.cpp / tree_clean; exit 1 on mismatch.
+//
+// Dependency-free C++17; plain text in, deterministic text out.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epajsrm_analyze/config.hpp"
+#include "epajsrm_analyze/determinism.hpp"
+#include "epajsrm_analyze/finding.hpp"
+#include "epajsrm_analyze/include_graph.hpp"
+#include "epajsrm_analyze/layer_check.hpp"
+#include "epajsrm_analyze/sarif.hpp"
+#include "epajsrm_analyze/shared_state.hpp"
+#include "support/source_text.hpp"
+
+namespace fs = std::filesystem;
+namespace az = epajsrm::analyze;
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "epajsrm_analyze: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+struct TreeAnalysis {
+  az::Findings findings;
+  az::SharedStateInventory inventory;
+  int file_count = 0;
+  bool io_error = false;
+};
+
+// Runs all passes over `root`. Pass 1 needs `config` (skipped when
+// `run_layers` is false); passes 2–3 always run.
+TreeAnalysis analyze_tree(const fs::path& root, const az::LayerConfig& config,
+                          bool run_layers) {
+  TreeAnalysis result;
+  const std::vector<std::string> rel_paths = az::collect_tree(root);
+  std::map<std::string, ts::SourceFile> sources = az::load_tree(root, rel_paths);
+  result.file_count = static_cast<int>(sources.size());
+  for (const auto& [rel, sf] : sources) {
+    if (!sf.ok) {
+      std::cerr << "epajsrm_analyze: cannot read " << rel << "\n";
+      result.io_error = true;
+    }
+  }
+
+  const az::IncludeGraph graph = az::build_include_graph(sources);
+  if (run_layers) {
+    az::check_layers(graph, sources, config, &result.findings);
+    az::find_include_cycles(graph, &result.findings);
+  }
+
+  const az::DeclIndex decls = az::index_declarations(sources);
+  az::check_determinism(sources, graph, decls, &result.findings);
+
+  result.inventory =
+      az::audit_shared_state(sources, config, &result.findings);
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            az::finding_before);
+  return result;
+}
+
+// --- self-test --------------------------------------------------------------
+
+// Single-file fixtures exercise passes 2–3; tree fixtures (a directory
+// holding layers.conf + src/) exercise pass 1. The contract matches
+// epajsrm_lint: each bad fixture trips exactly its rule, the clean
+// fixtures trip nothing.
+int self_test(const fs::path& dir) {
+  int failures = 0;
+
+  const auto run_expect = [&](const std::string& label,
+                              const az::Findings& findings,
+                              const std::string& rule) {
+    int expected_hits = 0;
+    for (const az::Finding& f : findings) {
+      if (f.rule == rule) {
+        ++expected_hits;
+      } else {
+        std::cout << "FAIL " << label << ": stray [" << f.rule
+                  << "] at line " << f.line << ": " << f.message << "\n";
+        ++failures;
+      }
+    }
+    if (expected_hits == 0) {
+      std::cout << "FAIL " << label << ": rule [" << rule
+                << "] did not fire\n";
+      ++failures;
+    } else {
+      std::cout << "ok   " << label << ": [" << rule << "] fired "
+                << expected_hits << "x\n";
+    }
+  };
+
+  const auto analyze_one_file = [&](const std::string& name) {
+    std::map<std::string, ts::SourceFile> sources;
+    sources.emplace(name, ts::load_source(dir / name));
+    az::Findings findings;
+    const az::IncludeGraph graph = az::build_include_graph(sources);
+    const az::DeclIndex decls = az::index_declarations(sources);
+    az::check_determinism(sources, graph, decls, &findings);
+    az::LayerConfig no_config;
+    az::audit_shared_state(sources, no_config, &findings);
+    std::sort(findings.begin(), findings.end(), az::finding_before);
+    return findings;
+  };
+
+  static const std::map<std::string, std::string> kFileFixtures = {
+      {"bad_unordered_iter.cpp", "unordered-iter"},
+      {"bad_float_accum.cpp", "float-accum-unordered"},
+      {"bad_pointer_key.cpp", "pointer-key-order"},
+      {"bad_mutable_global.cpp", "mutable-global"},
+      {"bad_local_static.cpp", "local-static"},
+  };
+  for (const auto& [name, rule] : kFileFixtures) {
+    run_expect(name, analyze_one_file(name), rule);
+  }
+  {
+    const az::Findings findings = analyze_one_file("clean.cpp");
+    for (const az::Finding& f : findings) {
+      std::cout << "FAIL clean.cpp: unexpected [" << f.rule << "] at line "
+                << f.line << ": " << f.message << "\n";
+      ++failures;
+    }
+    if (findings.empty()) std::cout << "ok   clean.cpp: silent\n";
+  }
+
+  const auto analyze_one_tree = [&](const std::string& tree) {
+    az::LayerConfig config;
+    std::vector<std::string> errors;
+    az::Findings findings;
+    if (!az::load_layer_config((dir / tree / "layers.conf").string(),
+                               &config, &errors)) {
+      for (const std::string& e : errors) {
+        std::cout << "FAIL " << tree << ": config error: " << e << "\n";
+      }
+      ++failures;
+      return findings;
+    }
+    const TreeAnalysis analysis =
+        analyze_tree(dir / tree / "src", config, /*run_layers=*/true);
+    return analysis.findings;
+  };
+
+  static const std::map<std::string, std::string> kTreeFixtures = {
+      {"tree_layer_violation", "layer-violation"},
+      {"tree_cycle", "include-cycle"},
+      {"tree_undeclared", "undeclared-layer"},
+  };
+  for (const auto& [tree, rule] : kTreeFixtures) {
+    run_expect(tree, analyze_one_tree(tree), rule);
+  }
+  {
+    const az::Findings findings = analyze_one_tree("tree_clean");
+    for (const az::Finding& f : findings) {
+      std::cout << "FAIL tree_clean: unexpected [" << f.rule << "] in "
+                << f.file << ":" << f.line << ": " << f.message << "\n";
+      ++failures;
+    }
+    if (findings.empty()) std::cout << "ok   tree_clean: silent\n";
+  }
+
+  if (failures > 0) {
+    std::cout << failures << " self-test failure(s)\n";
+    return 1;
+  }
+  std::cout << "epajsrm_analyze: self-test passed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--self-test") {
+    return self_test(args[1]);
+  }
+
+  std::string root;
+  std::string layers_path;
+  std::string sarif_path;
+  std::string shared_state_path;
+  std::string baseline_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "epajsrm_analyze: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--layers") {
+      layers_path = next();
+    } else if (a == "--sarif") {
+      sarif_path = next();
+    } else if (a == "--shared-state-out") {
+      shared_state_path = next();
+    } else if (a == "--shared-state-baseline") {
+      baseline_path = next();
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "epajsrm_analyze: unknown option " << a << "\n";
+      return 2;
+    } else if (root.empty()) {
+      root = a;
+    } else {
+      std::cerr << "epajsrm_analyze: unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr
+        << "usage: epajsrm_analyze <root> [--layers <layers.conf>]\n"
+        << "           [--sarif <out.sarif>] [--shared-state-out <out.json>]\n"
+        << "           [--shared-state-baseline <baseline.json>]\n"
+        << "       epajsrm_analyze --self-test <testdata-dir>\n";
+    return 2;
+  }
+
+  az::LayerConfig config;
+  if (!layers_path.empty()) {
+    std::vector<std::string> errors;
+    if (!az::load_layer_config(layers_path, &config, &errors)) {
+      for (const std::string& e : errors) {
+        std::cerr << "epajsrm_analyze: " << e << "\n";
+      }
+      return 2;
+    }
+  }
+
+  const TreeAnalysis analysis =
+      analyze_tree(root, config, /*run_layers=*/!layers_path.empty());
+
+  for (const az::Finding& f : analysis.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  bool ok = analysis.findings.empty() && !analysis.io_error;
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, az::to_sarif(analysis.findings, root))) {
+    ok = false;
+  }
+  if (!shared_state_path.empty() &&
+      !write_file(shared_state_path,
+                  az::shared_state_json(analysis.inventory, root))) {
+    ok = false;
+  }
+  if (!baseline_path.empty()) {
+    std::string message;
+    if (!az::check_shared_state_baseline(analysis.inventory, baseline_path,
+                                         &message)) {
+      std::cout << message << "\n";
+      ok = false;
+    }
+  }
+
+  if (!analysis.findings.empty()) {
+    std::cout << analysis.findings.size() << " finding(s)\n";
+  }
+  if (ok) {
+    std::cout << "epajsrm_analyze: clean (" << analysis.file_count
+              << " files, " << analysis.inventory.total()
+              << " shared-state entries, "
+              << analysis.inventory.mutable_count() << " mutable, "
+              << analysis.inventory.flagged_count() << " flagged)\n";
+  }
+  return ok ? 0 : 1;
+}

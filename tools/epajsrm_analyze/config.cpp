@@ -1,0 +1,168 @@
+#include "epajsrm_analyze/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+// Depth-first cycle check over the declared layer deps (crosscut modules
+// are outside the DAG by design).
+bool declared_dag_has_cycle(const LayerConfig& config,
+                            std::vector<std::string>* cycle) {
+  std::map<std::string, int> state;  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& module) {
+        state[module] = 1;
+        stack.push_back(module);
+        const auto it = config.layers.find(module);
+        if (it != config.layers.end()) {
+          for (const std::string& dep : it->second) {
+            if (config.crosscut.count(dep) > 0) continue;
+            const int s = state[dep];
+            if (s == 1) {
+              const auto at =
+                  std::find(stack.begin(), stack.end(), dep);
+              cycle->assign(at, stack.end());
+              cycle->push_back(dep);
+              return true;
+            }
+            if (s == 0 && visit(dep)) return true;
+          }
+        }
+        stack.pop_back();
+        state[module] = 2;
+        return false;
+      };
+  for (const auto& [module, deps] : config.layers) {
+    (void)deps;
+    if (state[module] == 0 && visit(module)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_layer_config(const std::string& text, LayerConfig* config,
+                        std::vector<std::string>* errors) {
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = ts::trim(line);
+    if (line.empty()) continue;
+
+    const std::vector<std::string> head = split_ws(line);
+    const std::string& directive = head[0];
+    if (directive == "layer") {
+      const std::size_t colon = line.find(':');
+      std::string name_part =
+          colon == std::string::npos ? line.substr(5) : line.substr(5, colon - 5);
+      const std::vector<std::string> names = split_ws(name_part);
+      if (names.size() != 1) {
+        errors->push_back("layers.conf:" + std::to_string(line_no) +
+                          ": expected `layer <name> [: deps...]`");
+        continue;
+      }
+      std::set<std::string>& deps = (*config).layers[names[0]];
+      if (colon != std::string::npos) {
+        for (const std::string& dep : split_ws(line.substr(colon + 1))) {
+          deps.insert(dep);
+        }
+      }
+    } else if (directive == "crosscut") {
+      if (head.size() != 2) {
+        errors->push_back("layers.conf:" + std::to_string(line_no) +
+                          ": expected `crosscut <name>`");
+        continue;
+      }
+      config->crosscut.insert(head[1]);
+    } else if (directive == "allow") {
+      // allow <from> -> <to>
+      if (head.size() != 4 || head[2] != "->") {
+        errors->push_back("layers.conf:" + std::to_string(line_no) +
+                          ": expected `allow <from> -> <to>`");
+        continue;
+      }
+      config->allowed_edges.insert({head[1], head[3]});
+    } else if (directive == "sanction-shared-state") {
+      if (head.size() != 2) {
+        errors->push_back("layers.conf:" + std::to_string(line_no) +
+                          ": expected `sanction-shared-state <prefix>`");
+        continue;
+      }
+      config->shared_state_sanctions.push_back(head[1]);
+    } else if (directive == "root-module") {
+      if (head.size() != 2) {
+        errors->push_back("layers.conf:" + std::to_string(line_no) +
+                          ": expected `root-module <name>`");
+        continue;
+      }
+      config->root_module = head[1];
+    } else {
+      errors->push_back("layers.conf:" + std::to_string(line_no) +
+                        ": unknown directive `" + directive + "`");
+    }
+  }
+
+  // Validate: deps and exception endpoints must name declared modules.
+  for (const auto& [module, deps] : config->layers) {
+    for (const std::string& dep : deps) {
+      if (!config->declared(dep)) {
+        errors->push_back("layers.conf: layer `" + module +
+                          "` depends on undeclared module `" + dep + "`");
+      }
+    }
+  }
+  for (const auto& [from, to] : config->allowed_edges) {
+    if (!config->declared(from) || !config->declared(to)) {
+      errors->push_back("layers.conf: allow edge `" + from + " -> " + to +
+                        "` names an undeclared module");
+    }
+  }
+  std::vector<std::string> cycle;
+  if (errors->empty() && declared_dag_has_cycle(*config, &cycle)) {
+    std::string path;
+    for (const std::string& m : cycle) {
+      if (!path.empty()) path += " -> ";
+      path += m;
+    }
+    errors->push_back("layers.conf: declared layer deps form a cycle: " +
+                      path);
+  }
+  return errors->empty();
+}
+
+bool load_layer_config(const std::string& path, LayerConfig* config,
+                       std::vector<std::string>* errors) {
+  std::ifstream in(path);
+  if (!in) {
+    errors->push_back("cannot read layer config: " + path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layer_config(buffer.str(), config, errors);
+}
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,80 @@
+// layers.conf parser: the declared layer DAG plus the analyzer's
+// per-tree policy knobs (exception edges, shared-state sanctions).
+//
+// Syntax (one directive per line, `#` starts a comment):
+//
+//   layer <name> [: dep1 dep2 ...]
+//       Declares a module (a top-level directory under the analyzed
+//       root; files directly at the root map to the module named by
+//       `root-module`, default "api"). The module may include itself
+//       and the listed deps. Layer deps must form a DAG.
+//
+//   crosscut <name>
+//       Declares a cross-cutting module (observability, contracts):
+//       every module may include it and it may include every module.
+//       Excluded from the layer DAG; file-level include cycles are
+//       still detected.
+//
+//   allow <from> -> <to>   # reason
+//       Records a sanctioned exception edge outside the DAG. Use
+//       sparingly; each carries its justification in the trailing
+//       comment.
+//
+//   sanction-shared-state <path-prefix>
+//       Mutable globals in files under this root-relative prefix are
+//       inventoried but not flagged (e.g. obs/ metric registries).
+//
+//   root-module <name>
+//       Module name for files sitting directly in the analyzed root.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "epajsrm_analyze/finding.hpp"
+
+namespace epajsrm::analyze {
+
+struct LayerConfig {
+  // module -> allowed dependency modules (self always allowed)
+  std::map<std::string, std::set<std::string>> layers;
+  std::set<std::string> crosscut;
+  std::set<std::pair<std::string, std::string>> allowed_edges;
+  std::vector<std::string> shared_state_sanctions;
+  std::string root_module = "api";
+
+  bool declared(const std::string& module) const {
+    return layers.count(module) > 0 || crosscut.count(module) > 0;
+  }
+
+  /// True when module `from` may include module `to`.
+  bool edge_allowed(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    if (crosscut.count(from) > 0 || crosscut.count(to) > 0) return true;
+    if (allowed_edges.count({from, to}) > 0) return true;
+    const auto it = layers.find(from);
+    return it != layers.end() && it->second.count(to) > 0;
+  }
+
+  bool shared_state_sanctioned(const std::string& rel_path) const {
+    for (const std::string& prefix : shared_state_sanctions) {
+      if (rel_path.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Parses `path`. On success returns true; on failure returns false and
+/// appends line-numbered messages to `errors`. Declared-DAG validation
+/// (unknown dep names, cycles among layer deps) happens here too, so a
+/// bad config fails loudly before any file is scanned.
+bool load_layer_config(const std::string& path, LayerConfig* config,
+                       std::vector<std::string>* errors);
+
+/// Same, over in-memory text (for tests).
+bool parse_layer_config(const std::string& text, LayerConfig* config,
+                        std::vector<std::string>* errors);
+
+}  // namespace epajsrm::analyze

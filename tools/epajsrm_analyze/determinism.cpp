@@ -1,0 +1,390 @@
+#include "epajsrm_analyze/determinism.hpp"
+
+#include <algorithm>
+
+#include "epajsrm_analyze/scopes.hpp"
+
+namespace epajsrm::analyze {
+
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+// Joins up to `n` code lines starting at `li` into one string (newlines
+// become spaces) so declarations and for-headers that wrap survive.
+std::string joined_window(const ts::SourceFile& sf, std::size_t li,
+                          std::size_t n) {
+  std::string out;
+  for (std::size_t i = li; i < sf.code.size() && i < li + n; ++i) {
+    out += sf.code[i];
+    out += ' ';
+  }
+  return out;
+}
+
+// From `lt` (index of '<'), returns the first top-level template
+// argument, or "" when the angle bracket never closes in the window.
+std::string first_template_arg(const std::string& s, std::size_t lt) {
+  int angle = 1;
+  int paren = 0;
+  std::size_t i = lt + 1;
+  const std::size_t begin = i;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>') {
+      --angle;
+      if (angle == 0) return s.substr(begin, i - begin);
+    }
+    if (c == ',' && angle == 1) return s.substr(begin, i - begin);
+  }
+  return "";
+}
+
+// Index just past the matching '>' for the '<' at `lt`, or npos.
+std::size_t template_close(const std::string& s, std::size_t lt) {
+  int angle = 1;
+  int paren = 0;
+  for (std::size_t i = lt + 1; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>' && --angle == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// The identifier a declarator introduces after its type: skips
+// cv-qualifiers, references, pointers. Returns "" when what follows is
+// not a plain named declarator (e.g. a function signature).
+std::string declared_name_after(const std::string& s, std::size_t from) {
+  std::size_t i = from;
+  while (i < s.size()) {
+    i = ts::skip_ws(s, i);
+    if (i < s.size() && (s[i] == '&' || s[i] == '*')) {
+      ++i;
+      continue;
+    }
+    const std::string word = ts::ident_at(s, i);
+    if (word == "const" || word == "constexpr") {
+      i += word.size();
+      continue;
+    }
+    if (word.empty()) return "";
+    const std::size_t after = ts::skip_ws(s, i + word.size());
+    if (after < s.size() && s[after] == '(') return "";  // function
+    return word;
+  }
+  return "";
+}
+
+// The trailing identifier of a range expression: `usage_`,
+// `this->idle_since_`, `obj.member_`. Calls (trailing ')') yield "".
+std::string trailing_identifier(const std::string& expr) {
+  std::string e = ts::trim(expr);
+  if (e.empty() || !ts::is_ident_char(e.back())) return "";
+  const std::size_t b = ts::ident_start_before(e, e.size());
+  return e.substr(b);
+}
+
+struct ForLoop {
+  int line = 0;                 // 1-based line of the `for`
+  std::string header;           // text inside the for parentheses
+  bool range_based = false;
+  std::string range_expr;       // text after the top-level ':'
+};
+
+// Finds every for-loop whose header starts on line `li`; wrapped
+// headers are joined across up to 8 lines.
+void collect_for_loops(const ts::SourceFile& sf, std::size_t li,
+                       std::vector<ForLoop>* out) {
+  const std::string window = joined_window(sf, li, 8);
+  std::size_t search = 0;
+  // Only headers that *start* on this line; later lines get their own
+  // window so nothing is counted twice.
+  const std::size_t line_len = sf.code[li].size();
+  while (true) {
+    const std::size_t kw = ts::find_word(window, "for", search);
+    if (kw == std::string::npos || kw >= line_len) return;
+    search = kw + 3;
+    const std::size_t open = ts::skip_ws(window, kw + 3);
+    if (open >= window.size() || window[open] != '(') continue;
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = open; i < window.size(); ++i) {
+      const char c = window[i];
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        const bool double_colon =
+            (i + 1 < window.size() && window[i + 1] == ':') ||
+            (i > 0 && window[i - 1] == ':');
+        if (!double_colon) colon = i;
+      }
+    }
+    if (close == std::string::npos) continue;
+    ForLoop loop;
+    loop.line = static_cast<int>(li + 1);
+    loop.header = window.substr(open + 1, close - open - 1);
+    if (colon != std::string::npos) {
+      loop.range_based = true;
+      loop.range_expr = window.substr(colon + 1, close - colon - 1);
+    }
+    out->push_back(std::move(loop));
+  }
+}
+
+// For the iterator form `for (auto it = x.begin(); ...)`, the iterated
+// container is the receiver of `.begin()` / `->begin()`.
+std::string iterator_receiver(const std::string& header) {
+  const std::size_t begin = ts::find_word(header, "begin");
+  if (begin == std::string::npos) return "";
+  std::size_t i = begin;
+  while (i > 0 && (header[i - 1] == ' ' || header[i - 1] == '\t')) --i;
+  if (i >= 2 && header[i - 1] == '>' && header[i - 2] == '-') {
+    i -= 2;
+  } else if (i >= 1 && header[i - 1] == '.') {
+    i -= 1;
+  } else {
+    return "";
+  }
+  while (i > 0 && (header[i - 1] == ' ' || header[i - 1] == '\t')) --i;
+  const std::size_t b = ts::ident_start_before(header, i);
+  return b < i ? header.substr(b, i - b) : "";
+}
+
+// Output/aggregation/scheduling indicators: effects whose order is
+// observable. Integer accumulation is commutative and deliberately not
+// listed; FP accumulation has its own rule.
+const char* find_order_sensitive_effect(const std::string& code) {
+  if (code.find("<<") != std::string::npos &&
+      code.find("<<=") == std::string::npos) {
+    return "streamed output (<<)";
+  }
+  for (const char* fn :
+       {"printf", "fprintf", "snprintf", "sprintf", "puts", "fputs",
+        "fwrite"}) {
+    if (ts::contains_word(code, fn)) return "formatted output";
+  }
+  if (ts::contains_word(code, "push_back") ||
+      ts::contains_word(code, "emplace_back")) {
+    return "ordered container append";
+  }
+  if (code.find(".add(") != std::string::npos ||
+      code.find("->add(") != std::string::npos) {
+    return "metric accumulation (.add)";
+  }
+  std::size_t pos = code.find("schedule_");
+  while (pos != std::string::npos) {
+    if (pos == 0 || !ts::is_ident_char(code[pos - 1])) {
+      return "event scheduling (schedule_*)";
+    }
+    pos = code.find("schedule_", pos + 1);
+  }
+  return nullptr;
+}
+
+// Loop body extent in lines: brace-delimited bodies span to the
+// matching close; brace-less bodies end at the next ';'.
+int loop_end_line(const ts::SourceFile& sf, int for_line) {
+  int depth = 0;
+  bool body_open = false;
+  for (std::size_t li = static_cast<std::size_t>(for_line - 1);
+       li < sf.code.size(); ++li) {
+    for (const char c : sf.code[li]) {
+      if (c == '{') {
+        ++depth;
+        body_open = true;
+      }
+      if (c == '}') {
+        if (--depth <= 0 && body_open) return static_cast<int>(li + 1);
+      }
+      if (c == ';' && !body_open && depth == 0 &&
+          li > static_cast<std::size_t>(for_line - 1)) {
+        return static_cast<int>(li + 1);
+      }
+    }
+  }
+  return static_cast<int>(sf.code.size());
+}
+
+}  // namespace
+
+DeclIndex index_declarations(
+    const std::map<std::string, ts::SourceFile>& sources) {
+  DeclIndex index;
+  for (const auto& [rel, sf] : sources) {
+    std::set<std::string>& unordered = index.unordered_ids[rel];
+    std::set<std::string>& floats = index.float_ids[rel];
+    for (std::size_t li = 0; li < sf.code.size(); ++li) {
+      const std::string& line = sf.code[li];
+      for (const char* container : {"unordered_map", "unordered_set"}) {
+        std::size_t pos = 0;
+        while ((pos = ts::find_word(line, container, pos)) !=
+               std::string::npos) {
+          const std::string window = joined_window(sf, li, 4);
+          const std::size_t lt = ts::skip_ws(window, pos + std::string(container).size());
+          pos += std::string(container).size();
+          if (lt >= window.size() || window[lt] != '<') continue;
+          const std::size_t after = template_close(window, lt);
+          if (after == std::string::npos) continue;
+          const std::string name = declared_name_after(window, after);
+          if (!name.empty()) unordered.insert(name);
+        }
+      }
+      for (const char* fp : {"double", "float"}) {
+        std::size_t pos = 0;
+        while ((pos = ts::find_word(line, fp, pos)) != std::string::npos) {
+          const std::size_t after = pos + std::string(fp).size();
+          pos = after;
+          const std::string name = declared_name_after(line, after);
+          if (!name.empty() && name != "const" && name != "constexpr") {
+            floats.insert(name);
+          }
+        }
+      }
+    }
+  }
+  return index;
+}
+
+void check_determinism(const std::map<std::string, ts::SourceFile>& sources,
+                       const IncludeGraph& graph, const DeclIndex& decls,
+                       Findings* findings) {
+  for (const auto& [rel, sf] : sources) {
+    // Effective identifier sets: this file plus everything it includes,
+    // so member declarations in headers resolve cross-TU.
+    std::set<std::string> unordered = decls.unordered_ids.count(rel)
+                                          ? decls.unordered_ids.at(rel)
+                                          : std::set<std::string>{};
+    std::set<std::string> floats = decls.float_ids.count(rel)
+                                       ? decls.float_ids.at(rel)
+                                       : std::set<std::string>{};
+    for (const std::string& dep : graph.reachable_from(rel)) {
+      const auto u = decls.unordered_ids.find(dep);
+      if (u != decls.unordered_ids.end()) {
+        unordered.insert(u->second.begin(), u->second.end());
+      }
+      const auto f = decls.float_ids.find(dep);
+      if (f != decls.float_ids.end()) {
+        floats.insert(f->second.begin(), f->second.end());
+      }
+    }
+
+    ScopeWalk walk;
+    bool walked = false;
+
+    for (std::size_t li = 0; li < sf.code.size(); ++li) {
+      const std::string& code = sf.code[li];
+
+      // pointer-key-order: ordered containers keyed by a pointer sort by
+      // address; ASLR makes that order differ run to run.
+      for (const char* container : {"map", "set"}) {
+        std::size_t pos = 0;
+        while ((pos = ts::find_word(code, container, pos)) !=
+               std::string::npos) {
+          const std::string window = joined_window(sf, li, 3);
+          const std::size_t lt =
+              ts::skip_ws(window, pos + std::string(container).size());
+          pos += std::string(container).size();
+          if (lt >= window.size() || window[lt] != '<') continue;
+          const std::string key = ts::trim(first_template_arg(window, lt));
+          if (key.empty() || key.back() != '*') continue;
+          if (ts::has_allow_marker(sf.raw[li], "pointer-key-order")) continue;
+          findings->push_back(Finding{
+              rel, static_cast<int>(li + 1), "pointer-key-order",
+              "std::" + std::string(container) + " keyed by pointer (`" +
+                  key + "`): iteration order is address order, which "
+                  "varies across runs; key by a stable id instead"});
+        }
+      }
+
+      if (ts::find_word(code, "for") == std::string::npos) continue;
+      std::vector<ForLoop> loops;
+      collect_for_loops(sf, li, &loops);
+      for (const ForLoop& loop : loops) {
+        std::string container;
+        if (loop.range_based) {
+          container = trailing_identifier(loop.range_expr);
+        } else {
+          container = iterator_receiver(loop.header);
+        }
+        if (container.empty() || unordered.count(container) == 0) continue;
+
+        if (!walked) {
+          walk = walk_scopes(sf);
+          walked = true;
+        }
+
+        // unordered-iter: only when the enclosing function's effects make
+        // the iteration order observable.
+        if (!ts::has_allow_marker(sf.raw[li], "unordered-iter")) {
+          const int fn = walk.function_at_line(loop.line);
+          if (fn >= 0) {
+            const ScopeWalk::Function& f =
+                walk.functions[static_cast<std::size_t>(fn)];
+            const int last = f.last_line > 0
+                                 ? f.last_line
+                                 : static_cast<int>(sf.code.size());
+            const char* effect = nullptr;
+            for (int l = f.first_line; l <= last && effect == nullptr; ++l) {
+              effect = find_order_sensitive_effect(
+                  sf.code[static_cast<std::size_t>(l - 1)]);
+            }
+            if (effect != nullptr) {
+              findings->push_back(Finding{
+                  rel, loop.line, "unordered-iter",
+                  "iteration over unordered container `" + container +
+                      "` in `" + (f.name.empty() ? "<lambda>" : f.name) +
+                      "` whose effects include " + effect +
+                      "; hash order is not deterministic across "
+                      "partitions — use a sorted container or sort "
+                      "before emitting"});
+            }
+          }
+        }
+
+        // float-accum-unordered: FP accumulation inside the loop body.
+        const int end = loop_end_line(sf, loop.line);
+        for (int l = loop.line; l <= end; ++l) {
+          const std::string& body = sf.code[static_cast<std::size_t>(l - 1)];
+          for (const char* op : {"+=", "-="}) {
+            std::size_t p = body.find(op);
+            while (p != std::string::npos) {
+              std::size_t e = p;
+              while (e > 0 && (body[e - 1] == ' ' || body[e - 1] == '\t')) {
+                --e;
+              }
+              const std::size_t b = ts::ident_start_before(body, e);
+              const std::string lhs = b < e ? body.substr(b, e - b) : "";
+              if (!lhs.empty() && floats.count(lhs) > 0 &&
+                  !ts::has_allow_marker(sf.raw[static_cast<std::size_t>(l - 1)],
+                                        "float-accum-unordered")) {
+                findings->push_back(Finding{
+                    rel, l, "float-accum-unordered",
+                    "floating-point accumulation `" + lhs + " " + op +
+                        "` inside a loop over unordered container `" +
+                        container + "`: FP addition is not associative, "
+                        "so hash order changes the bits; accumulate into "
+                        "an exact (integer/fixed-point) sum or iterate "
+                        "in sorted order"});
+              }
+              p = body.find(op, p + 2);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace epajsrm::analyze

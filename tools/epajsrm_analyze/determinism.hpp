@@ -1,0 +1,49 @@
+// Pass 2: determinism rules.
+//
+// The repo's replay/caching story (bit-identical ensembles across shard
+// counts, the planned scenario-result cache, and the lax-sync
+// partitioned core) only holds while no observable effect depends on
+// hash-table iteration order or on floating-point accumulation order.
+// Three rules police that statically:
+//
+//   unordered-iter         iterating an unordered_map/unordered_set in a
+//                          function that emits output, aggregates into
+//                          sinks, or schedules events
+//   float-accum-unordered  `+=`/`-=` on a double/float inside a loop
+//                          over an unordered container
+//   pointer-key-order      std::map/std::set keyed by a pointer type
+//
+// Member-type resolution is cross-TU: identifiers declared as unordered
+// containers in any header a TU (transitively) includes are recognized
+// when the TU iterates them, so `for (auto& [k, v] : buckets_)` in a
+// .cpp is matched against the member declaration in its header.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "epajsrm_analyze/finding.hpp"
+#include "epajsrm_analyze/include_graph.hpp"
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+/// Identifiers per file that name unordered containers / floating-point
+/// variables, harvested from declarations (members, locals, params).
+struct DeclIndex {
+  std::map<std::string, std::set<std::string>> unordered_ids;
+  std::map<std::string, std::set<std::string>> float_ids;
+};
+
+DeclIndex index_declarations(
+    const std::map<std::string, toolsupport::SourceFile>& sources);
+
+/// Runs the three determinism rules over every file, resolving member
+/// types through `graph`. Suppress with `lint:allow(<rule>)` on the
+/// flagged line.
+void check_determinism(
+    const std::map<std::string, toolsupport::SourceFile>& sources,
+    const IncludeGraph& graph, const DeclIndex& decls, Findings* findings);
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,48 @@
+// Common finding record for all epajsrm_analyze passes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epajsrm::analyze {
+
+// Rule identifiers (also the SARIF ruleId and the `lint:allow(<rule>)`
+// suppression key):
+//
+//   layer-violation        pass 1: include edge not permitted by the
+//                          declared layer DAG in layers.conf
+//   undeclared-layer       pass 1: src/ subdirectory missing from
+//                          layers.conf
+//   include-cycle          pass 1: cyclic include chain (full path
+//                          reported)
+//   unordered-iter         pass 2: iteration over an unordered container
+//                          in a function that emits output, aggregates,
+//                          or schedules events — hash order is not part
+//                          of the replay contract
+//   float-accum-unordered  pass 2: floating-point accumulation inside a
+//                          loop over an unordered container (FP addition
+//                          is not associative; order changes bits)
+//   pointer-key-order      pass 2: std::map/std::set keyed by pointer —
+//                          iteration order is address order, which ASLR
+//                          reshuffles run to run
+//   mutable-global         pass 3: mutable namespace-scope variable
+//                          (partition-unsafe shared state)
+//   local-static           pass 3: mutable function-local static
+//                          (hidden shared state across calls/partitions)
+struct Finding {
+  std::string file;     // path relative to the analyzed root
+  int line = 0;         // 1-based
+  std::string rule;
+  std::string message;
+};
+
+inline bool finding_before(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+using Findings = std::vector<Finding>;
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,187 @@
+#include "epajsrm_analyze/include_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace epajsrm::analyze {
+
+namespace fs = std::filesystem;
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+// Lexically normalizes `a/b/../c` style paths without touching the
+// filesystem (the joined relative spelling may mix `..` with plain
+// segments).
+std::string normalize_rel(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  const auto flush = [&] {
+    if (cur.empty() || cur == ".") {
+      // skip
+    } else if (cur == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else {
+      parts.push_back(cur);
+    }
+    cur.clear();
+  };
+  for (const char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string dir_of(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash);
+}
+
+}  // namespace
+
+bool analyzable_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::string> collect_tree(const fs::path& root) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && analyzable_file(entry.path())) {
+      files.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::map<std::string, ts::SourceFile> load_tree(
+    const fs::path& root, const std::vector<std::string>& rel_paths) {
+  std::map<std::string, ts::SourceFile> out;
+  for (const std::string& rel : rel_paths) {
+    out.emplace(rel, ts::load_source(root / rel));
+  }
+  return out;
+}
+
+IncludeGraph build_include_graph(
+    const std::map<std::string, ts::SourceFile>& sources) {
+  IncludeGraph graph;
+  for (const auto& [rel, sf] : sources) graph.files.push_back(rel);
+
+  const auto exists = [&](const std::string& rel) {
+    return sources.count(rel) > 0;
+  };
+
+  for (const auto& [rel, sf] : sources) {
+    std::vector<IncludeEdge>& edges = graph.edges[rel];
+    for (std::size_t i = 0; i < sf.raw.size(); ++i) {
+      // Directives survive in the raw text; the spelled path is a string
+      // literal, so the stripped view cannot be used here.
+      const std::string& line = sf.raw[i];
+      std::size_t p = ts::skip_ws(line, 0);
+      if (p >= line.size() || line[p] != '#') continue;
+      p = ts::skip_ws(line, p + 1);
+      if (line.compare(p, 7, "include") != 0) continue;
+      p = ts::skip_ws(line, p + 7);
+      if (p >= line.size()) continue;
+      const char open = line[p];
+      const char close = open == '<' ? '>' : '"';
+      if (open != '<' && open != '"') continue;
+      const std::size_t end = line.find(close, p + 1);
+      if (end == std::string::npos) continue;
+      const std::string spelled = line.substr(p + 1, end - p - 1);
+
+      std::string resolved;
+      if (exists(spelled)) {
+        resolved = spelled;  // canonical root-relative spelling
+      } else if (open == '"') {
+        const std::string sibling =
+            normalize_rel(dir_of(rel).empty() ? spelled
+                                              : dir_of(rel) + "/" + spelled);
+        if (exists(sibling)) resolved = sibling;
+      }
+      if (resolved.empty()) continue;  // external header
+      edges.push_back(IncludeEdge{resolved, spelled,
+                                  static_cast<int>(i + 1), open == '<'});
+    }
+  }
+  return graph;
+}
+
+std::set<std::string> IncludeGraph::reachable_from(
+    const std::string& file) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{file};
+  while (!stack.empty()) {
+    const std::string cur = stack.back();
+    stack.pop_back();
+    const auto it = edges.find(cur);
+    if (it == edges.end()) continue;
+    for (const IncludeEdge& e : it->second) {
+      if (seen.insert(e.to).second) stack.push_back(e.to);
+    }
+  }
+  seen.erase(file);
+  return seen;
+}
+
+void find_include_cycles(const IncludeGraph& graph, Findings* findings) {
+  // Iterative DFS with colors; each back edge closes one cycle. Cycles
+  // are canonicalized (rotated to the smallest member) and deduplicated.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+  std::set<std::vector<std::string>> reported;
+
+  std::function<void(const std::string&)> visit = [&](const std::string& f) {
+    color[f] = 1;
+    path.push_back(f);
+    const auto it = graph.edges.find(f);
+    if (it != graph.edges.end()) {
+      for (const IncludeEdge& e : it->second) {
+        const int c = color[e.to];
+        if (c == 0) {
+          visit(e.to);
+        } else if (c == 1) {
+          const auto at = std::find(path.begin(), path.end(), e.to);
+          std::vector<std::string> cycle(at, path.end());
+          const auto smallest =
+              std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), smallest, cycle.end());
+          if (reported.insert(cycle).second) {
+            std::string chain;
+            for (const std::string& m : cycle) chain += m + " -> ";
+            chain += cycle.front();
+            findings->push_back(Finding{f, e.line, "include-cycle",
+                                        "include cycle: " + chain});
+          }
+        }
+      }
+    }
+    path.pop_back();
+    color[f] = 2;
+  };
+
+  for (const std::string& f : graph.files) {
+    if (color[f] == 0) visit(f);
+  }
+}
+
+std::string module_of(const std::string& rel_path,
+                      const std::string& root_module) {
+  const std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return root_module;
+  return rel_path.substr(0, slash);
+}
+
+}  // namespace epajsrm::analyze

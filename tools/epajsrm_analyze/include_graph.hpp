@@ -1,0 +1,66 @@
+// Include-graph builder over a source tree.
+//
+// Scans every C++ file under the root for `#include` directives and
+// resolves the ones that name project files. Resolution tries, in
+// order: root-relative (the project's canonical spelling), then
+// relative to the including file's directory; `<...>` includes resolve
+// root-relative only (anything else is an external header and is
+// ignored). The graph feeds the layer-conformance check, file-level
+// cycle detection, and the cross-TU member-type resolution used by the
+// determinism pass.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "epajsrm_analyze/finding.hpp"
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+struct IncludeEdge {
+  std::string to;        // resolved root-relative path
+  std::string spelled;   // text between the quotes/brackets
+  int line = 0;          // 1-based line of the directive
+  bool angled = false;   // `<...>` form
+};
+
+struct IncludeGraph {
+  // Root-relative paths of every scanned file, sorted.
+  std::vector<std::string> files;
+  // file -> project includes, in directive order.
+  std::map<std::string, std::vector<IncludeEdge>> edges;
+
+  /// Transitive project includes of `file` (not including itself).
+  std::set<std::string> reachable_from(const std::string& file) const;
+};
+
+/// True for the extensions the analyzer scans.
+bool analyzable_file(const std::filesystem::path& p);
+
+/// Collects analyzable files under `root`, sorted by relative path.
+std::vector<std::string> collect_tree(const std::filesystem::path& root);
+
+/// Loads and strips every file in `rel_paths`; keyed by relative path.
+std::map<std::string, toolsupport::SourceFile> load_tree(
+    const std::filesystem::path& root, const std::vector<std::string>& rel_paths);
+
+/// Builds the include graph from already-stripped sources.
+IncludeGraph build_include_graph(
+    const std::map<std::string, toolsupport::SourceFile>& sources);
+
+/// Appends one `include-cycle` finding per distinct cycle, with the full
+/// chain in the message. Deterministic: files are visited in sorted
+/// order and each cycle is reported once, rotated to start at its
+/// lexicographically smallest member.
+void find_include_cycles(const IncludeGraph& graph, Findings* findings);
+
+/// Module (layer) of a root-relative path: the first directory
+/// component, or `root_module` for files directly at the root.
+std::string module_of(const std::string& rel_path,
+                      const std::string& root_module);
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,53 @@
+#include "epajsrm_analyze/layer_check.hpp"
+
+#include <set>
+
+namespace epajsrm::analyze {
+
+namespace ts = epajsrm::toolsupport;
+
+void check_layers(const IncludeGraph& graph,
+                  const std::map<std::string, ts::SourceFile>& sources,
+                  const LayerConfig& config, Findings* findings) {
+  std::set<std::string> undeclared_reported;
+  for (const std::string& file : graph.files) {
+    const std::string from = module_of(file, config.root_module);
+    if (!config.declared(from) && undeclared_reported.insert(from).second) {
+      findings->push_back(
+          Finding{file, 1, "undeclared-layer",
+                  "module `" + from +
+                      "` is not declared in layers.conf; add a `layer " +
+                      from + ": ...` (or `crosscut`) entry"});
+    }
+    const auto eit = graph.edges.find(file);
+    if (eit == graph.edges.end()) continue;
+    const auto sit = sources.find(file);
+    for (const IncludeEdge& edge : eit->second) {
+      const std::string to = module_of(edge.to, config.root_module);
+      if (config.edge_allowed(from, to)) continue;
+      if (sit != sources.end() && edge.line >= 1 &&
+          static_cast<std::size_t>(edge.line) <= sit->second.raw.size() &&
+          ts::has_allow_marker(sit->second.raw[edge.line - 1],
+                               "layer-violation")) {
+        continue;
+      }
+      std::string allowed;
+      const auto lit = config.layers.find(from);
+      if (lit != config.layers.end()) {
+        for (const std::string& dep : lit->second) {
+          if (!allowed.empty()) allowed += ", ";
+          allowed += dep;
+        }
+      }
+      findings->push_back(Finding{
+          file, edge.line, "layer-violation",
+          "`" + from + "` may not include `" + to + "` (edge " + file +
+              " -> " + edge.to + "); declared deps of `" + from + "`: [" +
+              (allowed.empty() ? "none" : allowed) +
+              "] — restructure, or add an `allow " + from + " -> " + to +
+              "` exception with justification to layers.conf"});
+    }
+  }
+}
+
+}  // namespace epajsrm::analyze

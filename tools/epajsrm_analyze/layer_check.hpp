@@ -1,0 +1,24 @@
+// Pass 1: architecture conformance — every project include edge must be
+// permitted by the declared layer DAG in layers.conf.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "epajsrm_analyze/config.hpp"
+#include "epajsrm_analyze/finding.hpp"
+#include "epajsrm_analyze/include_graph.hpp"
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+/// Checks every include edge in `graph` against `config`. Appends
+/// `layer-violation` findings (with the allowed-dependency list in the
+/// message so the fix is obvious) and `undeclared-layer` findings for
+/// directories layers.conf does not know. A `lint:allow(layer-violation)`
+/// marker on the #include line suppresses that edge.
+void check_layers(const IncludeGraph& graph,
+                  const std::map<std::string, toolsupport::SourceFile>& sources,
+                  const LayerConfig& config, Findings* findings);
+
+}  // namespace epajsrm::analyze

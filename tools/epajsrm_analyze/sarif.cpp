@@ -1,0 +1,91 @@
+#include "epajsrm_analyze/sarif.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace epajsrm::analyze {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& rule_descriptions() {
+  static const std::map<std::string, std::string> kRules = {
+      {"layer-violation",
+       "Include edge not permitted by the declared layer DAG"},
+      {"undeclared-layer", "Directory missing from layers.conf"},
+      {"include-cycle", "Cyclic include chain"},
+      {"unordered-iter",
+       "Order-sensitive iteration over an unordered container"},
+      {"float-accum-unordered",
+       "Floating-point accumulation in hash order"},
+      {"pointer-key-order", "Ordered container keyed by pointer"},
+      {"mutable-global", "Mutable namespace-scope shared state"},
+      {"local-static", "Mutable function-local static shared state"},
+  };
+  return kRules;
+}
+
+}  // namespace
+
+std::string to_sarif(const Findings& findings, const std::string& root_label) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"epajsrm_analyze\",\n"
+      << "      \"informationUri\": "
+         "\"https://github.com/epajsrm/epajsrm\",\n"
+      << "      \"rules\": [\n";
+  const auto& rules = rule_descriptions();
+  std::size_t ri = 0;
+  for (const auto& [id, description] : rules) {
+    out << "        {\"id\": \"" << id << "\", \"shortDescription\": "
+        << "{\"text\": \"" << escape(description) << "\"}}"
+        << (++ri < rules.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }},\n"
+      << "    \"originalUriBaseIds\": {\"SRCROOT\": {\"description\": "
+      << "{\"text\": \"" << escape(root_label) << "\"}}},\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << escape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << escape(f.file)
+        << "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": "
+        << f.line << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,14 @@
+// Minimal SARIF 2.1.0 emitter so CI can annotate findings on PRs.
+#pragma once
+
+#include <string>
+
+#include "epajsrm_analyze/finding.hpp"
+
+namespace epajsrm::analyze {
+
+/// Serializes `findings` as a single-run SARIF 2.1.0 log. `root_label`
+/// becomes the uriBaseId description (finding paths stay root-relative).
+std::string to_sarif(const Findings& findings, const std::string& root_label);
+
+}  // namespace epajsrm::analyze

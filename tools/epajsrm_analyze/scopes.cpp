@@ -1,0 +1,221 @@
+#include "epajsrm_analyze/scopes.hpp"
+
+#include <algorithm>
+
+namespace epajsrm::analyze {
+
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+struct ActiveScope {
+  ScopeKind kind;
+  int function_ordinal = -1;  // set for kFunction scopes
+  int saved_paren_depth = 0;  // statement paren depth at entry
+  int open_line = 0;
+};
+
+std::string last_token(const std::string& head) {
+  std::size_t end = head.size();
+  while (end > 0 && (head[end - 1] == ' ' || head[end - 1] == '\t')) --end;
+  if (end == 0) return "";
+  if (!ts::is_ident_char(head[end - 1])) return std::string(1, head[end - 1]);
+  const std::size_t b = ts::ident_start_before(head, end);
+  return head.substr(b, end - b);
+}
+
+// Identifier immediately before the first '(' — the would-be function
+// name (qualified names yield the last component).
+std::string name_before_paren(const std::string& head) {
+  const std::size_t paren = head.find('(');
+  if (paren == std::string::npos) return "";
+  std::size_t end = paren;
+  while (end > 0 && (head[end - 1] == ' ' || head[end - 1] == '\t')) --end;
+  const std::size_t b = ts::ident_start_before(head, end);
+  return head.substr(b, end - b);
+}
+
+bool is_control_keyword(const std::string& name) {
+  return name == "if" || name == "for" || name == "while" ||
+         name == "switch" || name == "catch" || name == "return" ||
+         name == "sizeof" || name == "alignof" || name == "decltype";
+}
+
+ScopeKind classify_head(const std::string& head, bool inside_function) {
+  if (head.empty()) return ScopeKind::kBlock;
+  if (ts::contains_word(head, "namespace")) return ScopeKind::kNamespace;
+  const bool has_paren = head.find('(') != std::string::npos;
+  if (!has_paren && (ts::contains_word(head, "class") ||
+                     ts::contains_word(head, "struct") ||
+                     ts::contains_word(head, "union") ||
+                     ts::contains_word(head, "enum"))) {
+    return ScopeKind::kType;
+  }
+  if (has_paren) {
+    const std::string callee = name_before_paren(head);
+    if (is_control_keyword(callee)) return ScopeKind::kBlock;
+    if (inside_function) return ScopeKind::kBlock;  // lambda / control flow
+    const std::string tail = last_token(head);
+    if (tail == ")" || tail == ">" || tail == "const" || tail == "noexcept" ||
+        tail == "override" || tail == "final" || tail == "try" ||
+        tail == "mutable") {
+      return ScopeKind::kFunction;
+    }
+    // `Foo::Foo() : member_{` — an init brace inside a constructor
+    // initializer list; the head ends with the member's identifier.
+    if (!tail.empty() && ts::is_ident_char(tail.back())) {
+      return ScopeKind::kInit;
+    }
+    return ScopeKind::kBlock;
+  }
+  if (head.find('=') != std::string::npos) return ScopeKind::kInit;
+  const std::string tail = last_token(head);
+  if (tail == "else" || tail == "do" || tail == "try") return ScopeKind::kBlock;
+  if (!tail.empty() && ts::is_ident_char(tail.back())) {
+    // `std::vector<int> v{` / `return Foo{` — brace initialization.
+    return ScopeKind::kInit;
+  }
+  return ScopeKind::kBlock;
+}
+
+}  // namespace
+
+int ScopeWalk::function_at_line(int line) const {
+  int best = -1;
+  int best_span = 0;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const Function& f = functions[i];
+    if (line < f.first_line || (f.last_line > 0 && line > f.last_line)) {
+      continue;
+    }
+    const int span = (f.last_line > 0 ? f.last_line : 1 << 30) - f.first_line;
+    if (best < 0 || span < best_span) {
+      best = static_cast<int>(i);
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+ScopeWalk walk_scopes(const ts::SourceFile& sf) {
+  ScopeWalk walk;
+  std::vector<ActiveScope> stack;
+  std::string pending;
+  int pending_line = 0;
+  int paren_depth = 0;
+  bool in_preprocessor = false;
+
+  const auto snapshot = [&](const std::string& head, int line) {
+    ScopeWalk::Statement st;
+    st.head = ts::trim(head);
+    st.line = line;
+    st.at_namespace_scope = true;
+    for (const ActiveScope& s : stack) {
+      if (s.kind != ScopeKind::kNamespace) st.at_namespace_scope = false;
+      if (s.kind == ScopeKind::kInit) st.inside_initializer = true;
+      if (s.kind == ScopeKind::kFunction) {
+        st.function_ordinal = s.function_ordinal;
+      }
+    }
+    st.at_type_scope = !stack.empty() && stack.back().kind == ScopeKind::kType;
+    return st;
+  };
+
+  const auto append_char = [&](char c, int line) {
+    if (c == ' ' || c == '\t') {
+      if (!pending.empty() && pending.back() != ' ') pending += ' ';
+      return;
+    }
+    if (pending.empty() || ts::trim(pending).empty()) pending_line = line;
+    pending += c;
+  };
+
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    const int line_no = static_cast<int>(li + 1);
+    const std::string& code = sf.code[li];
+    const std::string& raw = li < sf.raw.size() ? sf.raw[li] : code;
+
+    if (in_preprocessor) {
+      in_preprocessor = !raw.empty() && raw.back() == '\\';
+      continue;
+    }
+    const std::size_t first = ts::skip_ws(code, 0);
+    if (first < code.size() && code[first] == '#') {
+      in_preprocessor = !raw.empty() && raw.back() == '\\';
+      continue;
+    }
+
+    for (std::size_t ci = 0; ci < code.size(); ++ci) {
+      const char c = code[ci];
+      if (c == '(') {
+        ++paren_depth;
+        append_char(c, line_no);
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+        append_char(c, line_no);
+      } else if (c == '{' && paren_depth == 0) {
+        const bool inside_function = std::any_of(
+            stack.begin(), stack.end(), [](const ActiveScope& s) {
+              return s.kind == ScopeKind::kFunction;
+            });
+        const std::string head = ts::trim(pending);
+        const ScopeKind kind = classify_head(head, inside_function);
+        ActiveScope scope;
+        scope.kind = kind;
+        scope.saved_paren_depth = paren_depth;
+        scope.open_line = line_no;
+        if (kind == ScopeKind::kFunction) {
+          ScopeWalk::Function fn;
+          fn.name = name_before_paren(head);
+          fn.first_line = pending_line > 0 ? pending_line : line_no;
+          scope.function_ordinal = static_cast<int>(walk.functions.size());
+          walk.functions.push_back(fn);
+        }
+        if (kind == ScopeKind::kInit && !head.empty()) {
+          // Brace-initialized declarations surface as statements at the
+          // scope *outside* the initializer (snapshot before push).
+          walk.statements.push_back(
+              snapshot(head, pending_line > 0 ? pending_line : line_no));
+        }
+        stack.push_back(scope);
+        pending.clear();
+        paren_depth = 0;
+      } else if (c == '{') {
+        // Brace inside parentheses (lambda argument, list in a call):
+        // anonymous block; statement parens resume when it closes.
+        ActiveScope scope;
+        scope.kind = ScopeKind::kBlock;
+        scope.saved_paren_depth = paren_depth;
+        scope.open_line = line_no;
+        stack.push_back(scope);
+        pending.clear();
+        paren_depth = 0;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          const ActiveScope done = stack.back();
+          stack.pop_back();
+          if (done.kind == ScopeKind::kFunction &&
+              done.function_ordinal >= 0) {
+            walk.functions[static_cast<std::size_t>(done.function_ordinal)]
+                .last_line = line_no;
+          }
+          paren_depth = done.saved_paren_depth;
+        }
+        pending.clear();
+      } else if (c == ';' && paren_depth == 0) {
+        const std::string head = ts::trim(pending);
+        if (!head.empty()) {
+          walk.statements.push_back(
+              snapshot(head, pending_line > 0 ? pending_line : line_no));
+        }
+        pending.clear();
+      } else {
+        append_char(c, line_no);
+      }
+    }
+    append_char(' ', line_no);
+  }
+  return walk;
+}
+
+}  // namespace epajsrm::analyze

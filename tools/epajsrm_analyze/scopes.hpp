@@ -1,0 +1,48 @@
+// Lightweight scope tracker: classifies every brace-delimited region of
+// a stripped source file as namespace / type / function / initializer /
+// block, collects statement heads with their scope context, and records
+// function extents. This is deliberately a heuristic classifier — no
+// parsing of the full grammar — tuned so the determinism and
+// shared-state passes get reliable answers to two questions: "which
+// function encloses this line?" and "is this statement a declaration at
+// namespace/class scope?".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+enum class ScopeKind { kNamespace, kType, kFunction, kInit, kBlock };
+
+struct ScopeWalk {
+  struct Statement {
+    std::string head;        // whitespace-collapsed code text of the
+                             // statement, up to its `;` or `{`
+    int line = 0;            // 1-based line where the statement began
+    bool at_namespace_scope = false;  // every enclosing scope is a namespace
+    bool at_type_scope = false;       // innermost scope is a class/struct
+    bool inside_initializer = false;  // some enclosing scope is an init brace
+    int function_ordinal = -1;        // innermost enclosing function, -1 none
+  };
+
+  struct Function {
+    std::string name;        // identifier before the parameter list ("" if
+                             // unrecognized, e.g. a lambda)
+    int first_line = 0;      // line of the opening brace
+    int last_line = 0;       // line of the closing brace
+  };
+
+  std::vector<Statement> statements;
+  std::vector<Function> functions;
+
+  /// Ordinal of the innermost function whose extent contains `line`
+  /// (1-based), or -1.
+  int function_at_line(int line) const;
+};
+
+ScopeWalk walk_scopes(const toolsupport::SourceFile& sf);
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,282 @@
+#include "epajsrm_analyze/shared_state.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "epajsrm_analyze/scopes.hpp"
+
+namespace epajsrm::analyze {
+
+namespace ts = epajsrm::toolsupport;
+
+namespace {
+
+const char* kDeclBlacklist[] = {
+    "using",    "typedef",  "template", "friend",  "static_assert",
+    "return",   "if",       "for",      "while",   "switch",
+    "case",     "break",    "continue", "goto",    "else",
+    "do",       "public",   "private",  "protected", "namespace",
+    "struct",   "class",    "union",    "enum",    "extern",
+    "operator", "delete",   "new",      "throw",   "co_return",
+};
+
+bool first_token_blacklisted(const std::string& head) {
+  std::size_t i = ts::skip_ws(head, 0);
+  std::string first = ts::ident_at(head, i);
+  if (first == "static" || first == "inline" || first == "thread_local") {
+    // Storage-class specifiers precede the part that decides.
+    i = ts::skip_ws(head, i + first.size());
+    first = ts::ident_at(head, i);
+    if (first == "static" || first == "inline" || first == "thread_local") {
+      i = ts::skip_ws(head, i + first.size());
+      first = ts::ident_at(head, i);
+    }
+  }
+  if (first.empty()) return true;  // starts with punctuation: not a decl
+  for (const char* kw : kDeclBlacklist) {
+    if (first == kw) return true;
+  }
+  return false;
+}
+
+// True for statement heads that declare a named variable. Function
+// declarations/definitions carry parentheses and are excluded; so are
+// expression fragments.
+bool looks_like_variable_decl(const std::string& head) {
+  if (head.empty()) return false;
+  if (head.find('(') != std::string::npos) return false;
+  if (first_token_blacklisted(head)) return false;
+  // Require at least two identifier tokens (type + name).
+  int idents = 0;
+  for (std::size_t i = 0; i < head.size();) {
+    const std::string id = ts::ident_at(head, i);
+    if (!id.empty()) {
+      ++idents;
+      i += id.size();
+    } else {
+      ++i;
+    }
+  }
+  return idents >= 2;
+}
+
+std::string declared_variable_name(const std::string& head) {
+  std::size_t end = head.find('=');
+  if (end == std::string::npos) end = head.size();
+  while (end > 0 && (head[end - 1] == ' ' || head[end - 1] == '\t')) --end;
+  // Skip a trailing array extent `[...]`.
+  if (end > 0 && head[end - 1] == ']') {
+    const std::size_t open = head.rfind('[', end - 1);
+    if (open != std::string::npos) {
+      end = open;
+      while (end > 0 && (head[end - 1] == ' ' || head[end - 1] == '\t')) {
+        --end;
+      }
+    }
+  }
+  const std::size_t b = ts::ident_start_before(head, end);
+  return b < end ? head.substr(b, end - b) : "";
+}
+
+bool declares_const(const std::string& head) {
+  return ts::contains_word(head, "const") ||
+         ts::contains_word(head, "constexpr") ||
+         ts::contains_word(head, "constinit");
+}
+
+bool starts_with_static(const std::string& head) {
+  std::size_t i = ts::skip_ws(head, 0);
+  std::string first = ts::ident_at(head, i);
+  if (first == "inline") {
+    i = ts::skip_ws(head, i + first.size());
+    first = ts::ident_at(head, i);
+  }
+  return first == "static";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Minimal `"key": <int>` extraction — the baseline file is written by
+// this tool, so the shape is fixed.
+bool extract_int(const std::string& text, const std::string& key, int* out) {
+  const std::size_t at = text.find("\"" + key + "\"");
+  if (at == std::string::npos) return false;
+  std::size_t i = text.find(':', at);
+  if (i == std::string::npos) return false;
+  ++i;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  int value = 0;
+  bool any = false;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + (text[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int SharedStateInventory::mutable_count() const {
+  return static_cast<int>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const SharedStateEntry& e) { return e.is_mutable; }));
+}
+
+int SharedStateInventory::flagged_count() const {
+  return static_cast<int>(std::count_if(
+      entries.begin(), entries.end(), [](const SharedStateEntry& e) {
+        return e.is_mutable && !e.sanctioned && !e.suppressed;
+      }));
+}
+
+SharedStateInventory audit_shared_state(
+    const std::map<std::string, ts::SourceFile>& sources,
+    const LayerConfig& config, Findings* findings) {
+  SharedStateInventory inventory;
+  for (const auto& [rel, sf] : sources) {
+    const ScopeWalk walk = walk_scopes(sf);
+    for (const ScopeWalk::Statement& st : walk.statements) {
+      if (st.inside_initializer) continue;
+
+      SharedStateEntry entry;
+      if (st.at_namespace_scope) {
+        if (!looks_like_variable_decl(st.head)) continue;
+        entry.scope = "namespace";
+      } else if (st.at_type_scope && st.function_ordinal < 0) {
+        if (!starts_with_static(st.head) ||
+            !looks_like_variable_decl(st.head)) {
+          continue;
+        }
+        entry.scope = "static-member";
+      } else if (st.function_ordinal >= 0) {
+        if (!starts_with_static(st.head) ||
+            !looks_like_variable_decl(st.head)) {
+          continue;
+        }
+        entry.scope = "function-local";
+      } else {
+        continue;
+      }
+
+      entry.file = rel;
+      entry.line = st.line;
+      entry.name = declared_variable_name(st.head);
+      if (entry.name.empty()) continue;
+      entry.declaration = st.head;
+      entry.is_mutable = !declares_const(st.head);
+      entry.sanctioned = config.shared_state_sanctioned(rel);
+      const std::string rule =
+          entry.scope == "function-local" ? "local-static" : "mutable-global";
+      const std::size_t raw_index = static_cast<std::size_t>(st.line - 1);
+      entry.suppressed = raw_index < sf.raw.size() &&
+                         ts::has_allow_marker(sf.raw[raw_index], rule);
+      inventory.entries.push_back(entry);
+
+      if (entry.is_mutable && !entry.sanctioned && !entry.suppressed) {
+        findings->push_back(Finding{
+            rel, st.line, rule,
+            (entry.scope == "function-local"
+                 ? "mutable function-local static `"
+                 : "mutable " + entry.scope + "-scope variable `") +
+                entry.name +
+                "` is partition-unsafe shared state; confine it to a "
+                "per-partition object, make it const, or sanction it "
+                "explicitly (lint:allow(" + rule + ") with justification)"});
+      }
+    }
+  }
+  std::sort(inventory.entries.begin(), inventory.entries.end(),
+            [](const SharedStateEntry& a, const SharedStateEntry& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.name < b.name;
+            });
+  return inventory;
+}
+
+std::string shared_state_json(const SharedStateInventory& inventory,
+                              const std::string& root_label) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"epajsrm_analyze\",\n";
+  out << "  \"root\": \"" << json_escape(root_label) << "\",\n";
+  out << "  \"total\": " << inventory.total() << ",\n";
+  out << "  \"mutable\": " << inventory.mutable_count() << ",\n";
+  out << "  \"flagged\": " << inventory.flagged_count() << ",\n";
+  out << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < inventory.entries.size(); ++i) {
+    const SharedStateEntry& e = inventory.entries[i];
+    out << "    {\"file\": \"" << json_escape(e.file) << "\", \"line\": "
+        << e.line << ", \"name\": \"" << json_escape(e.name)
+        << "\", \"scope\": \"" << e.scope << "\", \"mutable\": "
+        << (e.is_mutable ? "true" : "false") << ", \"sanctioned\": "
+        << (e.sanctioned ? "true" : "false") << ", \"suppressed\": "
+        << (e.suppressed ? "true" : "false") << ", \"declaration\": \""
+        << json_escape(e.declaration) << "\"}"
+        << (i + 1 < inventory.entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool check_shared_state_baseline(const SharedStateInventory& inventory,
+                                 const std::string& baseline_path,
+                                 std::string* message) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    *message = "cannot read shared-state baseline: " + baseline_path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  int want_total = 0;
+  int want_mutable = 0;
+  if (!extract_int(text, "total", &want_total) ||
+      !extract_int(text, "mutable", &want_mutable)) {
+    *message = "malformed shared-state baseline (need \"total\" and "
+               "\"mutable\" integer fields): " + baseline_path;
+    return false;
+  }
+  if (inventory.total() == want_total &&
+      inventory.mutable_count() == want_mutable) {
+    return true;
+  }
+  std::ostringstream msg;
+  msg << "shared-state inventory drifted from baseline: total "
+      << inventory.total() << " (baseline " << want_total << "), mutable "
+      << inventory.mutable_count() << " (baseline " << want_mutable
+      << "). New mutable globals/statics need review: either remove the "
+         "shared state, sanction it, or refresh " << baseline_path
+      << " with the new counts in the same change that justifies them.";
+  *message = msg.str();
+  return false;
+}
+
+}  // namespace epajsrm::analyze

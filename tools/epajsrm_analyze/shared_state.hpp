@@ -1,0 +1,63 @@
+// Pass 3: shared-state audit.
+//
+// The lax-sync partitioned core can only run cluster partitions
+// concurrently if no mutable state hides outside the per-partition
+// objects and the sanctioned coupling points. This pass inventories
+// every namespace-scope variable, static class data member, and
+// function-local static in the tree, flags the mutable ones
+// (`mutable-global` / `local-static`), and emits the full inventory as
+// machine-readable JSON — the refactor's worklist.
+//
+// Sanctions: files under a `sanction-shared-state` prefix from
+// layers.conf (the obs registries) are inventoried but not flagged, as
+// are entries carrying a `lint:allow(<rule>)` marker with a
+// justification comment. Const/constexpr entries are recorded with
+// `mutable: false` and never flagged.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "epajsrm_analyze/config.hpp"
+#include "epajsrm_analyze/finding.hpp"
+#include "support/source_text.hpp"
+
+namespace epajsrm::analyze {
+
+struct SharedStateEntry {
+  std::string file;
+  int line = 0;
+  std::string name;
+  std::string declaration;  // collapsed statement head
+  std::string scope;        // "namespace" | "static-member" | "function-local"
+  bool is_mutable = false;
+  bool sanctioned = false;  // directory sanction from layers.conf
+  bool suppressed = false;  // lint:allow marker on the line
+};
+
+struct SharedStateInventory {
+  std::vector<SharedStateEntry> entries;  // sorted by (file, line)
+  int total() const { return static_cast<int>(entries.size()); }
+  int mutable_count() const;
+  int flagged_count() const;  // mutable, unsanctioned, unsuppressed
+};
+
+/// Audits the tree; appends findings for flagged entries and returns
+/// the full inventory.
+SharedStateInventory audit_shared_state(
+    const std::map<std::string, toolsupport::SourceFile>& sources,
+    const LayerConfig& config, Findings* findings);
+
+/// Serializes the inventory as pretty-printed JSON.
+std::string shared_state_json(const SharedStateInventory& inventory,
+                              const std::string& root_label);
+
+/// Compares the inventory against a checked-in baseline file
+/// (`{"total": N, "mutable": M}`). Returns true when counts match;
+/// otherwise fills `message` with a diff and refresh instructions.
+bool check_shared_state_baseline(const SharedStateInventory& inventory,
+                                 const std::string& baseline_path,
+                                 std::string* message);
+
+}  // namespace epajsrm::analyze

@@ -1,0 +1,17 @@
+// Fixture: floating-point accumulation in hash order. Must trip
+// float-accum-unordered (and only that: the enclosing function has no
+// order-sensitive output effect, so unordered-iter stays quiet).
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double total_power(const std::unordered_map<std::string, double>& draw) {
+  double total_watts = 0.0;
+  for (const auto& [node, watts] : draw) {
+    total_watts += watts;
+  }
+  return total_watts;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: mutable function-local static. Must trip local-static; the
+// const local static is inventoried but not flagged.
+namespace fixture {
+
+int next_ticket() {
+  static int issued = 0;
+  static const int kStride = 1;
+  return issued += kStride;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: mutable namespace-scope shared state. Must trip
+// mutable-global; the const companion is inventoried but not flagged.
+namespace fixture {
+
+constexpr int kMaxRetries = 3;
+
+int g_tick_counter = 0;
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: ordered container keyed by pointer — iteration order is
+// address order, which ASLR changes run to run. Must trip
+// pointer-key-order.
+#include <map>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+struct Tracker {
+  std::map<const Node*, int> pending_by_node;
+};
+
+}  // namespace fixture

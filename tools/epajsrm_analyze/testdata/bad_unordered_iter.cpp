@@ -1,0 +1,21 @@
+// Fixture: iterating an unordered container in a function whose effects
+// are order-sensitive (streamed output). Must trip unordered-iter.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Report {
+ public:
+  void dump() const {
+    for (const auto& [node, watts] : draw_) {
+      std::cout << node << " " << watts << "\n";
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, int> draw_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,76 @@
+// Fixture: every rule's trigger pattern either suppressed with a
+// justified lint:allow marker or rewritten the sanctioned way. The
+// analyzer must stay silent on this file.
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// Sanctioned: merge into a sorted map first, so emission order is
+// deterministic regardless of hash order.
+class SortedReport {
+ public:
+  void dump() const {
+    std::map<std::string, int> sorted;
+    for (const auto& [node, watts] : draw_) {  // lint:allow(unordered-iter) merge into sorted map is order-independent
+      sorted[node] = watts;
+    }
+    for (const auto& [node, watts] : sorted) {
+      std::cout << node << " " << watts << "\n";
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, int> draw_;
+};
+
+// Integer accumulation over an unordered container is commutative —
+// no rule fires without an order-sensitive effect in the function.
+long total_jobs(const std::unordered_map<std::string, long>& counts) {
+  long total = 0;
+  for (const auto& [node, n] : counts) {
+    total += n;
+  }
+  return total;
+}
+
+// Kahan-style compensation is still order-dependent; this one carries a
+// reviewed suppression instead of a rewrite.
+double debug_sum(const std::unordered_map<std::string, double>& draw) {
+  double approx_watts = 0.0;
+  for (const auto& [node, watts] : draw) {
+    approx_watts += watts;  // lint:allow(float-accum-unordered) debug-only estimate, never compared bit-exactly
+  }
+  return approx_watts;
+}
+
+struct Node {
+  int id;
+};
+
+struct Tracker {
+  // Keyed by stable id, not address: deterministic iteration order.
+  std::map<int, int> pending_by_id;
+  std::map<const Node*, int> scratch_by_addr;  // lint:allow(pointer-key-order) cleared before any ordered traversal
+};
+
+constexpr int kMaxRetries = 3;
+
+int g_debug_hook_count = 0;  // lint:allow(mutable-global) test-only counter, reset per scenario
+
+int next_ticket() {
+  static int issued = 0;  // lint:allow(local-static) ticket ids are diagnostic labels, never replayed
+  static const int kStride = 1;
+  return issued += kStride;
+}
+
+// Lookup (no iteration) over an unordered container is always fine.
+int lookup(const std::unordered_map<std::string, int>& draw,
+           const std::string& node) {
+  const auto it = draw.find(node);
+  return it == draw.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::base {
+inline int unit() { return 1; }
+}  // namespace fixture::base

@@ -1,0 +1,8 @@
+#pragma once
+
+// Crosscut module: may include anything, includable from anywhere.
+#include "top/util.hpp"
+
+namespace fixture::dbg {
+inline int trace() { return fixture::top::twice(); }
+}  // namespace fixture::dbg

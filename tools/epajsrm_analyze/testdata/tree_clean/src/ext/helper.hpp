@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::ext {
+inline int helper() { return 7; }
+}  // namespace fixture::ext

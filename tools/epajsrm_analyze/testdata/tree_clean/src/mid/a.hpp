@@ -1,0 +1,7 @@
+#pragma once
+
+#include "base/core.hpp"
+
+namespace fixture::mid {
+inline int a() { return fixture::base::unit(); }
+}  // namespace fixture::mid

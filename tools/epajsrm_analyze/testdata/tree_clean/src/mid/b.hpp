@@ -1,0 +1,7 @@
+#pragma once
+
+#include "base/core.hpp"
+
+namespace fixture::mid {
+inline int b() { return fixture::base::unit() + 1; }
+}  // namespace fixture::mid

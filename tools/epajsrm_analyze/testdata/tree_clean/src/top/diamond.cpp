@@ -1,0 +1,17 @@
+// Diamond over base via mid/a and mid/b, an angled root-relative
+// include, a same-directory relative include, a crosscut include, and
+// the sanctioned allow edge into ext.
+#include <base/core.hpp>
+
+#include "dbg/trace.hpp"
+#include "ext/helper.hpp"
+#include "mid/a.hpp"
+#include "mid/b.hpp"
+#include "util.hpp"
+
+namespace fixture::top {
+int all() {
+  return fixture::mid::a() + fixture::mid::b() + fixture::ext::helper() +
+         twice() + fixture::base::unit() + fixture::dbg::trace();
+}
+}  // namespace fixture::top

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "../base/core.hpp"
+
+namespace fixture::top {
+inline int twice() { return 2 * fixture::base::unit(); }
+}  // namespace fixture::top

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/y.hpp"
+
+namespace fixture::a {
+struct X {};
+}  // namespace fixture::a

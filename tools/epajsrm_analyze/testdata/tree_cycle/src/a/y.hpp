@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/x.hpp"
+
+namespace fixture::a {
+struct Y {};
+}  // namespace fixture::a

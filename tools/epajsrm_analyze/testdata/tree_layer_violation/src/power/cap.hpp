@@ -1,0 +1,7 @@
+#pragma once
+
+#include "sim/clock.hpp"
+
+namespace fixture::power {
+inline long cap_at() { return fixture::sim::now_ps(); }
+}  // namespace fixture::power

@@ -1,0 +1,6 @@
+// sim must not reach up into power: this include violates the DAG.
+#include "power/cap.hpp"
+
+namespace fixture::sim {
+long drift() { return fixture::power::cap_at(); }
+}  // namespace fixture::sim

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::sim {
+inline long now_ps() { return 0; }
+}  // namespace fixture::sim

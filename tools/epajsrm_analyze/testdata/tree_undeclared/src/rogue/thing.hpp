@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::rogue {
+struct Thing {};
+}  // namespace fixture::rogue

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::sim {
+struct Ok {};
+}  // namespace fixture::sim

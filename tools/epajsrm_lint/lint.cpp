@@ -51,20 +51,22 @@
 //                                      bad_*.cpp fixture and stays silent
 //                                      on clean.cpp; exit 1 on mismatch
 //
-// Plain line-based scanning over comment- and string-stripped text: no
-// compiler, no dependencies, deterministic output. C++17.
+// Plain line-based scanning over comment- and string-stripped text (the
+// stripper is shared with epajsrm_analyze, see tools/support): no
+// compiler, no regex engine, no dependencies, deterministic output.
+// C++17.
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <regex>
 #include <string>
 #include <vector>
 
+#include "support/source_text.hpp"
+
 namespace fs = std::filesystem;
+namespace ts = epajsrm::toolsupport;
 
 namespace {
 
@@ -74,62 +76,6 @@ struct Violation {
   std::string rule;
   std::string text;
 };
-
-std::string to_lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// Strips comments and string/char literals, replacing them with spaces so
-// column positions survive. `in_block_comment` carries /* */ state across
-// lines.
-std::string strip_noise(const std::string& line, bool& in_block_comment) {
-  std::string out(line.size(), ' ');
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (in_block_comment) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block_comment = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\') {
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) {
-          ++i;
-          break;
-        }
-        ++i;
-      }
-      continue;
-    }
-    out[i] = c;
-    ++i;
-  }
-  return out;
-}
 
 // --- unit-suffix helpers ----------------------------------------------------
 
@@ -153,15 +99,214 @@ bool has_unit_or_semantic_suffix(const std::string& identifier) {
       "alpha", "intensity", "weight", "factor", "ratio", "scale", "share",
       "fraction", "price", "cost", "error", "sigma", "rel", "margin",
   };
-  std::string id = to_lower(identifier);
-  while (!id.empty() && (id.back() == '_' || std::isdigit(
-                             static_cast<unsigned char>(id.back())))) {
+  std::string id = ts::to_lower(identifier);
+  while (!id.empty() && (id.back() == '_' ||
+                         (id.back() >= '0' && id.back() <= '9'))) {
     id.pop_back();
   }
   for (const std::string& ending : kEndings) {
-    if (ends_with(id, ending)) return true;
+    if (ts::ends_with(id, ending)) return true;
   }
   return false;
+}
+
+// --- hand-rolled matchers ---------------------------------------------------
+//
+// Each replaces a former std::regex. They scan the stripped code view,
+// so literals and comments can never match; word searches respect
+// identifier boundaries.
+
+// True when the identifier immediately before `at` (skipping whitespace
+// backwards) equals `word`.
+bool preceded_by_word(const std::string& s, std::size_t at,
+                      const std::string& word) {
+  std::size_t i = at;
+  while (i > 0 && (s[i - 1] == ' ' || s[i - 1] == '\t')) --i;
+  const std::size_t b = ts::ident_start_before(s, i);
+  return b < i && s.compare(b, i - b, word) == 0;
+}
+
+// True when `.` or `->` ends just before `at` (skipping whitespace);
+// sets `*before` to the index in front of the accessor.
+bool member_access_before(const std::string& s, std::size_t at,
+                          std::size_t* before) {
+  std::size_t i = at;
+  while (i > 0 && (s[i - 1] == ' ' || s[i - 1] == '\t')) --i;
+  if (i >= 2 && s[i - 1] == '>' && s[i - 2] == '-') {
+    *before = i - 2;
+    return true;
+  }
+  if (i >= 1 && s[i - 1] == '.') {
+    *before = i - 1;
+    return true;
+  }
+  return false;
+}
+
+// True when `s` continues, from `i`, with `( <ws> )` — an empty
+// argument list.
+bool empty_call_after(const std::string& s, std::size_t i) {
+  i = ts::skip_ws(s, i);
+  if (i >= s.size() || s[i] != '(') return false;
+  i = ts::skip_ws(s, i + 1);
+  return i < s.size() && s[i] == ')';
+}
+
+// steady_clock | system_clock | high_resolution_clock | gettimeofday |
+// clock_gettime | time(nullptr|NULL|0)
+bool hits_wall_clock(const std::string& code) {
+  for (const char* id :
+       {"steady_clock", "system_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime"}) {
+    if (ts::contains_word(code, id)) return true;
+  }
+  std::size_t pos = 0;
+  while ((pos = ts::find_word(code, "time", pos)) != std::string::npos) {
+    std::size_t i = ts::skip_ws(code, pos + 4);
+    pos += 4;
+    if (i >= code.size() || code[i] != '(') continue;
+    i = ts::skip_ws(code, i + 1);
+    std::size_t end = i;
+    if (ts::ident_at(code, i) == "nullptr" || ts::ident_at(code, i) == "NULL") {
+      end = i + ts::ident_at(code, i).size();
+    } else if (i < code.size() && code[i] == '0') {
+      end = i + 1;
+    } else {
+      continue;
+    }
+    end = ts::skip_ws(code, end);
+    if (end < code.size() && code[end] == ')') return true;
+  }
+  return false;
+}
+
+// rand( | srand( | random_device
+bool hits_rand(const std::string& code) {
+  if (ts::contains_word(code, "random_device")) return true;
+  for (const char* fn : {"rand", "srand"}) {
+    std::size_t pos = 0;
+    while ((pos = ts::find_word(code, fn, pos)) != std::string::npos) {
+      const std::size_t i = ts::skip_ws(code, pos + std::string(fn).size());
+      pos += std::string(fn).size();
+      if (i < code.size() && code[i] == '(') return true;
+    }
+  }
+  return false;
+}
+
+// `.nodes ( )` / `-> nodes ( )` ending at or after `from`; returns the
+// index of the accessor or npos.
+std::size_t nodes_call_at(const std::string& code, std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = ts::find_word(code, "nodes", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 5;
+    std::size_t before = 0;
+    if (!member_access_before(code, at, &before)) continue;
+    if (!empty_call_after(code, at + 5)) continue;
+    return at;
+  }
+  return std::string::npos;
+}
+
+// A line that opens (or is the continuation tail of) a range-for over
+// cluster.nodes() / cluster_->nodes(). Two shapes: the whole header on
+// one line (`for (... : x.nodes())`, no ';' between the for-paren and
+// the call), or a wrapped header whose final line ends `...nodes()) {`.
+// A range-for header contains no ';', which the caller exploits to
+// detect brace-less single-statement bodies.
+bool hits_nodes_sweep_header(const std::string& code) {
+  std::size_t pos = 0;
+  while ((pos = ts::find_word(code, "for", pos)) != std::string::npos) {
+    const std::size_t open = ts::skip_ws(code, pos + 3);
+    pos += 3;
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t call = nodes_call_at(code, open);
+    if (call == std::string::npos) continue;
+    if (code.find(';', open) < call) continue;  // classic for, not range
+    return true;
+  }
+  // Wrapped tail: `... .nodes() ) {` at end of line.
+  const std::size_t call = nodes_call_at(code, 0);
+  if (call == std::string::npos) return false;
+  std::size_t i = ts::skip_ws(code, call + 5);
+  i = ts::skip_ws(code, code.find(')', i) + 1);  // close of nodes()
+  if (i >= code.size() || code[i] != ')') return false;
+  i = ts::skip_ws(code, i + 1);
+  if (i < code.size() && code[i] == '{') i = ts::skip_ws(code, i + 1);
+  return i >= code.size();
+}
+
+// Power-state getters whose per-node reads inside a sweep amount to
+// re-aggregating what the ledger already holds. Getter calls only —
+// `set_current_watts(...)` does not match.
+bool hits_power_getter(const std::string& code) {
+  for (const char* getter : {"current_watts", "power_cap_watts"}) {
+    std::size_t pos = 0;
+    while ((pos = ts::find_word(code, getter, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      const std::size_t len = std::string(getter).size();
+      pos += len;
+      std::size_t before = 0;
+      if (!member_access_before(code, at, &before)) continue;
+      if (empty_call_after(code, at + len)) return true;
+    }
+  }
+  return false;
+}
+
+// Appending to a container whose name marks it as a retained sample
+// store: over a long run that is unbounded telemetry growth. The ring
+// store (obs::DownsamplingSeries) coarsens instead of growing; the
+// receiver-name heuristic keeps transient output vectors (out, ids, ...)
+// out of scope.
+bool hits_unbounded_series(const std::string& code) {
+  for (const char* method : {"push_back", "emplace_back"}) {
+    std::size_t pos = 0;
+    while ((pos = ts::find_word(code, method, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      const std::size_t len = std::string(method).size();
+      pos += len;
+      std::size_t i = ts::skip_ws(code, at + len);
+      if (i >= code.size() || code[i] != '(') continue;
+      std::size_t before = 0;
+      if (!member_access_before(code, at, &before)) continue;
+      std::size_t r = before;
+      while (r > 0 && (code[r - 1] == ' ' || code[r - 1] == '\t')) --r;
+      const std::size_t b = ts::ident_start_before(code, r);
+      if (b >= r) continue;
+      const std::string receiver = ts::to_lower(code.substr(b, r - b));
+      if (receiver.find("series") != std::string::npos ||
+          receiver.find("samples") != std::string::npos ||
+          receiver.find("history") != std::string::npos ||
+          receiver.find("readings") != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// `ScenarioConfig{...}` / `ScenarioConfig name{...}` brace-init. Plain
+// declarations (`ScenarioConfig c;`) and the struct's own definition
+// (`struct ScenarioConfig {`) stay legal.
+bool hits_scenario_aggregate(const std::string& code) {
+  bool brace_init = false;
+  std::size_t pos = 0;
+  while ((pos = ts::find_word(code, "ScenarioConfig", pos)) !=
+         std::string::npos) {
+    const std::size_t at = pos;
+    pos += 14;
+    if (preceded_by_word(code, at, "struct") ||
+        preceded_by_word(code, at, "class")) {
+      return false;  // a line holding the type's own definition is legal
+    }
+    std::size_t i = ts::skip_ws(code, at + 14);
+    const std::string name = ts::ident_at(code, i);
+    if (!name.empty()) i = ts::skip_ws(code, i + name.size());
+    if (i < code.size() && code[i] == '{') brace_init = true;
+  }
+  return brace_init;
 }
 
 // --- the linter -------------------------------------------------------------
@@ -173,8 +318,8 @@ class Linter {
   explicit Linter(bool scope_by_path) : scope_by_path_(scope_by_path) {}
 
   void lint_file(const fs::path& path, const std::string& rel) {
-    std::ifstream in(path);
-    if (!in) {
+    const ts::SourceFile sf = ts::load_source(path);
+    if (!sf.ok) {
       std::cerr << "epajsrm_lint: cannot read " << path << "\n";
       ++io_errors_;
       return;
@@ -189,9 +334,6 @@ class Linter {
         !scope_by_path_ ||
         (!in_dir(rel, "platform") && rel.rfind("power/ledger.", 0) != 0);
 
-    bool in_block_comment = false;
-    std::string raw;
-    int line_no = 0;
     // power-sweep is the one context-sensitive rule: a range-for over
     // .nodes() opens a "sweep" region (tracked by brace depth) inside
     // which the power getters are banned. A suppression on the header
@@ -200,19 +342,17 @@ class Linter {
     int sweep_entry_depth = -1;   // -1: not inside a nodes() sweep
     bool sweep_allowed = false;   // header carried lint:allow(power-sweep)
     bool sweep_body_open = false; // saw the body's opening brace
-    while (std::getline(in, raw)) {
-      ++line_no;
-      const std::string code = strip_noise(raw, in_block_comment);
+    for (std::size_t li = 0; li < sf.code.size(); ++li) {
+      const std::string& code = sf.code[li];
+      const std::string& raw = sf.raw[li];
+      const int line_no = static_cast<int>(li + 1);
 
       const auto flag = [&](const char* rule) {
-        if (raw.find(std::string("lint:allow(") + rule + ")") !=
-            std::string::npos) {
-          return;
-        }
-        violations_.push_back({rel, line_no, rule, trim(raw)});
+        if (ts::has_allow_marker(raw, rule)) return;
+        violations_.push_back({rel, line_no, rule, ts::trim(raw)});
       };
 
-      if (code.find("const_cast") != std::string::npos) flag("const-cast");
+      if (ts::contains_word(code, "const_cast")) flag("const-cast");
       if (wallclock_scope && hits_wall_clock(code)) flag("wall-clock");
       if (wallclock_scope && hits_rand(code)) flag("rand");
       if (at_scope && code.find(".at(") != std::string::npos) {
@@ -229,8 +369,7 @@ class Linter {
       if (sweep_scope) {
         if (sweep_entry_depth < 0 && hits_nodes_sweep_header(code)) {
           sweep_entry_depth = brace_depth;
-          sweep_allowed =
-              raw.find("lint:allow(power-sweep)") != std::string::npos;
+          sweep_allowed = ts::has_allow_marker(raw, "power-sweep");
           sweep_body_open = false;
         }
         if (sweep_entry_depth >= 0 && !sweep_allowed &&
@@ -266,104 +405,40 @@ class Linter {
     return rel.rfind(top + "/", 0) == 0;
   }
 
-  static std::string trim(const std::string& s) {
-    const auto b = s.find_first_not_of(" \t");
-    if (b == std::string::npos) return "";
-    return s.substr(b, s.find_last_not_of(" \t") - b + 1);
-  }
-
-  static bool hits_wall_clock(const std::string& code) {
-    static const std::regex re(
-        "steady_clock|system_clock|high_resolution_clock|gettimeofday|"
-        "clock_gettime|\\btime\\s*\\(\\s*(nullptr|NULL|0)\\s*\\)");
-    return std::regex_search(code, re);
-  }
-
-  static bool hits_rand(const std::string& code) {
-    static const std::regex re("\\bs?rand\\s*\\(|random_device");
-    return std::regex_search(code, re);
-  }
-
-  // A line that opens (or is the continuation tail of) a range-for over
-  // cluster.nodes() / cluster_->nodes(). Two shapes: the whole header on
-  // one line, or a wrapped header whose final line ends `...nodes()) {`.
-  // A range-for header contains no ';', which the caller exploits to
-  // detect brace-less single-statement bodies.
-  static bool hits_nodes_sweep_header(const std::string& code) {
-    static const std::regex for_header(
-        "\\bfor\\s*\\([^;]*(\\.|->)\\s*nodes\\s*\\(\\s*\\)");
-    static const std::regex wrapped_tail(
-        "(\\.|->)\\s*nodes\\s*\\(\\s*\\)\\s*\\)\\s*\\{?\\s*$");
-    return std::regex_search(code, for_header) ||
-           std::regex_search(code, wrapped_tail);
-  }
-
-  // Power-state getters whose per-node reads inside a sweep amount to
-  // re-aggregating what the ledger already holds. Getter calls only —
-  // `set_current_watts(...)` does not match.
-  static bool hits_power_getter(const std::string& code) {
-    static const std::regex re(
-        "(\\.|->)\\s*(current_watts|power_cap_watts)\\s*\\(\\s*\\)");
-    return std::regex_search(code, re);
-  }
-
-  // Appending to a container whose name marks it as a retained sample
-  // store: over a long run that is unbounded telemetry growth. The ring
-  // store (obs::DownsamplingSeries) coarsens instead of growing; the
-  // receiver-name heuristic keeps transient output vectors (out, ids, ...)
-  // out of scope.
-  static bool hits_unbounded_series(const std::string& code) {
-    static const std::regex re(
-        "([A-Za-z_]\\w*)\\s*(\\.|->)\\s*(push_back|emplace_back)\\s*\\(");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
-         it != std::sregex_iterator(); ++it) {
-      const std::string receiver = to_lower((*it)[1].str());
-      if (receiver.find("series") != std::string::npos ||
-          receiver.find("samples") != std::string::npos ||
-          receiver.find("history") != std::string::npos ||
-          receiver.find("readings") != std::string::npos) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  static bool hits_scenario_aggregate(const std::string& code) {
-    // Brace-init only (anonymous or named variable): `ScenarioConfig c;`
-    // and the struct's own definition (`struct ScenarioConfig {`) stay
-    // legal.
-    static const std::regex re(
-        "\\bScenarioConfig\\s*(?:[A-Za-z_]\\w*\\s*)?\\{");
-    if (!std::regex_search(code, re)) return false;
-    static const std::regex definition("\\b(struct|class)\\s+ScenarioConfig");
-    return !std::regex_search(code, definition);
-  }
-
   void check_unit_suffix(const std::string& code, const std::string& raw,
                          const std::string& rel, int line_no) {
-    static const std::regex decl(
-        "\\b(?:double|float)\\s*[*&]?\\s+([A-Za-z_]\\w*)");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
-         it != std::sregex_iterator(); ++it) {
-      const std::string id = (*it)[1].str();
-      // Skip function declarations and qualified definitions — the rule
-      // targets value-carrying variables, not callables or scope names.
-      std::size_t after =
-          static_cast<std::size_t>(it->position(1)) + id.size();
-      while (after < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[after]))) {
-        ++after;
+    // `double`/`float`, optionally one `*`/`&`, then whitespace and the
+    // declared identifier. Function declarations and qualified
+    // definitions — identifier followed by `(`, `:` or `<` — are not
+    // value-carrying variables and stay out of scope.
+    for (const char* type : {"double", "float"}) {
+      const std::size_t type_len = std::string(type).size();
+      std::size_t pos = 0;
+      while ((pos = ts::find_word(code, type, pos)) != std::string::npos) {
+        std::size_t i = pos + type_len;
+        pos += type_len;
+        std::size_t j = ts::skip_ws(code, i);
+        bool saw_ws = j > i;
+        if (j < code.size() && (code[j] == '*' || code[j] == '&')) {
+          i = j + 1;
+          j = ts::skip_ws(code, i);
+          saw_ws = j > i;
+        }
+        if (!saw_ws) continue;  // `double*x` / no separator: not a decl
+        const std::string id = ts::ident_at(code, j);
+        if (id.empty()) continue;
+        const std::size_t after = ts::skip_ws(code, j + id.size());
+        if (after < code.size() &&
+            (code[after] == '(' || code[after] == ':' || code[after] == '<')) {
+          continue;
+        }
+        if (!names_power_or_energy(ts::to_lower(id))) continue;
+        if (has_unit_or_semantic_suffix(id)) continue;
+        if (ts::has_allow_marker(raw, "unit-suffix")) continue;
+        violations_.push_back({rel, line_no, "unit-suffix",
+                               id + " lacks a unit suffix (_watts, _joules, "
+                                    "_kwh, ...)"});
       }
-      if (after < code.size() && (code[after] == '(' || code[after] == ':' ||
-                                  code[after] == '<')) {
-        continue;
-      }
-      if (!names_power_or_energy(to_lower(id))) continue;
-      if (has_unit_or_semantic_suffix(id)) continue;
-      if (raw.find("lint:allow(unit-suffix)") != std::string::npos) continue;
-      violations_.push_back({rel, line_no, "unit-suffix",
-                             id + " lacks a unit suffix (_watts, _joules, "
-                                  "_kwh, ...)"});
     }
   }
 

@@ -1,0 +1,227 @@
+#include "support/source_text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace epajsrm::toolsupport {
+
+namespace {
+
+// True when content[i] starts a raw-string literal: `R"` possibly behind
+// an encoding prefix (u8R, uR, UR, LR), with no identifier character in
+// front (so `FOOBAR"` never matches).
+bool raw_string_starts_at(const std::string& c, std::size_t i,
+                          std::size_t* quote_index) {
+  std::size_t r = i;
+  if (c[r] == 'u' && r + 1 < c.size() && c[r + 1] == '8') {
+    r += 2;
+  } else if (c[r] == 'u' || c[r] == 'U' || c[r] == 'L') {
+    r += 1;
+  }
+  if (r >= c.size() || c[r] != 'R') return false;
+  if (r + 1 >= c.size() || c[r + 1] != '"') return false;
+  if (i > 0 && is_ident_char(c[i - 1])) return false;
+  *quote_index = r + 1;
+  return true;
+}
+
+}  // namespace
+
+SourceFile strip_source(const std::string& content, std::string path) {
+  std::string stripped = content;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // `)delim"` that ends the active raw string
+  std::size_t i = 0;
+  while (i < content.size()) {
+    const char c = content[i];
+    switch (state) {
+      case State::kCode: {
+        std::size_t quote = 0;
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          stripped[i] = stripped[i + 1] = ' ';
+          i += 2;
+        } else if (c == '/' && i + 1 < content.size() &&
+                   content[i + 1] == '*') {
+          state = State::kBlockComment;
+          stripped[i] = stripped[i + 1] = ' ';
+          i += 2;
+        } else if (raw_string_starts_at(content, i, &quote)) {
+          // Collect the delimiter between `"` and `(`.
+          std::size_t d = quote + 1;
+          while (d < content.size() && content[d] != '(' &&
+                 content[d] != '"' && content[d] != '\n') {
+            ++d;
+          }
+          if (d < content.size() && content[d] == '(') {
+            raw_terminator =
+                ")" + content.substr(quote + 1, d - quote - 1) + "\"";
+            state = State::kRawString;
+            for (std::size_t k = i; k <= d; ++k) stripped[k] = ' ';
+            i = d + 1;
+          } else {
+            // Malformed prefix; treat as ordinary code.
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          stripped[i] = ' ';
+          ++i;
+        } else if (c == '\'' &&
+                   (i == 0 || !std::isdigit(static_cast<unsigned char>(
+                                  content[i - 1])))) {
+          // Apostrophes inside numeric literals (1'000'000) are digit
+          // separators, not char literals.
+          state = State::kChar;
+          stripped[i] = ' ';
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      }
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          stripped[i] = ' ';
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          stripped[i] = stripped[i + 1] = ' ';
+          state = State::kCode;
+          i += 2;
+        } else {
+          if (c != '\n') stripped[i] = ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < content.size()) {
+          stripped[i] = ' ';
+          if (content[i + 1] != '\n') stripped[i + 1] = ' ';
+          i += 2;
+        } else if (c == quote || c == '\n') {
+          // Unterminated-at-newline closes too: keeps a stray quote in a
+          // macro from swallowing the rest of the file.
+          if (c != '\n') stripped[i] = ' ';
+          state = State::kCode;
+          ++i;
+        } else {
+          if (c != '\n') stripped[i] = ' ';
+          ++i;
+        }
+        break;
+      }
+      case State::kRawString:
+        if (c == ')' &&
+            content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (std::size_t k = i; k < i + raw_terminator.size(); ++k) {
+            stripped[k] = ' ';
+          }
+          i += raw_terminator.size();
+          state = State::kCode;
+        } else {
+          if (c != '\n') stripped[i] = ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+
+  SourceFile out;
+  out.path = std::move(path);
+  out.ok = true;
+  std::istringstream raw_in(content);
+  std::istringstream code_in(stripped);
+  std::string line;
+  while (std::getline(raw_in, line)) out.raw.push_back(line);
+  while (std::getline(code_in, line)) out.code.push_back(line);
+  // getline drops a final unterminated line pair-wise, so the two views
+  // always have equal length.
+  return out;
+}
+
+SourceFile load_source(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SourceFile bad;
+    bad.path = path.string();
+    return bad;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return strip_source(buffer.str(), path.string());
+}
+
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t from) {
+  if (word.empty()) return std::string::npos;
+  std::size_t pos = from;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i;
+}
+
+std::size_t ident_start_before(const std::string& s, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && is_ident_char(s[b - 1])) --b;
+  return b;
+}
+
+std::string ident_at(const std::string& s, std::size_t i) {
+  if (i >= s.size() || !is_ident_char(s[i]) ||
+      std::isdigit(static_cast<unsigned char>(s[i]))) {
+    return "";
+  }
+  std::size_t e = i;
+  while (e < s.size() && is_ident_char(s[e])) ++e;
+  return s.substr(i, e - i);
+}
+
+bool has_allow_marker(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+}
+
+}  // namespace epajsrm::toolsupport

@@ -1,0 +1,75 @@
+// Shared source-text layer for the project's dependency-free analysis
+// tools (epajsrm_lint, epajsrm_analyze).
+//
+// `load_source` reads a file and produces, next to the raw lines, a
+// "code" view with comments, string literals, char literals, and raw
+// string literals blanked out by spaces — same length per line, so
+// column positions survive and word searches cannot match inside
+// literals or commentary. Suppression markers (`lint:allow(...)`) are
+// looked up in the raw lines because they live in comments.
+//
+// The matcher helpers below replace std::regex: identifier-boundary
+// word search over the stripped text is both faster and more precise
+// than regex alternation, and keeps the tools free of regex-engine
+// startup cost on every scanned line.
+//
+// C++17, no dependencies beyond the standard library.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace epajsrm::toolsupport {
+
+struct SourceFile {
+  std::string path;                // as handed to load_source
+  std::vector<std::string> raw;    // verbatim lines (no trailing newline)
+  std::vector<std::string> code;   // comment/string-stripped lines
+  bool ok = false;                 // false: file could not be read
+};
+
+/// Reads `path` and strips comments (`//`, `/*...*/`), string literals
+/// (including raw strings `R"delim(...)delim"` and encoding-prefixed
+/// forms), and character literals. Stripped characters become spaces;
+/// newlines are preserved so raw/code line up index-for-index.
+SourceFile load_source(const std::filesystem::path& path);
+
+/// Strips `content` as load_source does; `path` only labels the result.
+SourceFile strip_source(const std::string& content, std::string path);
+
+// --- identifier-boundary matchers ------------------------------------------
+
+inline bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// First occurrence of `word` in `s` at or after `from` where neither
+/// neighbour is an identifier character; npos if absent.
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t from = 0);
+
+inline bool contains_word(const std::string& s, const std::string& word) {
+  return find_word(s, word) != std::string::npos;
+}
+
+/// Index of the first non-space/tab character at or after `i`.
+std::size_t skip_ws(const std::string& s, std::size_t i);
+
+/// If an identifier ends at `end` (exclusive), returns its start index;
+/// otherwise returns `end`.
+std::size_t ident_start_before(const std::string& s, std::size_t end);
+
+/// The identifier starting at `i` (empty if `s[i]` does not start one).
+std::string ident_at(const std::string& s, std::size_t i);
+
+/// True when the line carries `lint:allow(<rule>)` (checked on raw text,
+/// where the marker lives inside a comment).
+bool has_allow_marker(const std::string& raw_line, const std::string& rule);
+
+std::string to_lower(std::string s);
+bool ends_with(const std::string& s, const std::string& suffix);
+std::string trim(const std::string& s);
+
+}  // namespace epajsrm::toolsupport
