@@ -1,0 +1,183 @@
+// Kernel bench: the energy-budget scheduler family and the EDC boundary.
+//
+// Runs the same depleting-budget workload twice — the internal
+// epa::EnergyBudgetScheduler, then the identical kernel behind the
+// serialized loopback EDC transport — and reports job throughput plus the
+// per-exchange decision latency distribution (p50/p99) of the boundary.
+// The two runs must agree on every headline number (the EDC bit-identity
+// contract); any mismatch exits non-zero, so the check runs wherever the
+// bench runs.
+//
+// Flags:
+//   --jobs=N   jobs per run (default 400)
+//   --smoke    tiny sizes for CI smoke runs
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "epajsrm.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+epa::EnergyBudgetConfig bench_budget() {
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  // Start full and accrue slower than the workload burns: the allowance
+  // depletes over the run, tightening the cap and forcing the ranked
+  // queue / emergency paths the bench is here to exercise.
+  eb.window_budget_joules = 4.0e7;
+  eb.window = sim::kHour;
+  eb.initial_fraction = 1.0;
+  eb.emergency_timeout = 20 * sim::kMinute;
+  eb.cap_floor_fraction = 0.85;
+  return eb;
+}
+
+core::ScenarioConfig bench_config(const char* label, std::size_t jobs) {
+  auto b = core::Scenario::builder()
+               .label(label)
+               .nodes(32)
+               .job_count(jobs)
+               .mix(core::WorkloadMix::kCapacity)
+               .seed(4242)
+               .horizon(20 * sim::kDay)
+               .energy_budget(bench_budget())
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = false;
+               });
+  return std::move(b).take_config();
+}
+
+/// Decorates any transport with wall-clock per-exchange timing.
+class TimingTransport final : public edc::Transport {
+ public:
+  explicit TimingTransport(std::shared_ptr<edc::Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) override {
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::string> replies = inner_->exchange(lines);
+    const auto end = std::chrono::steady_clock::now();
+    latencies_us_.push_back(
+        std::chrono::duration<double, std::micro>(end - begin).count());
+    return replies;
+  }
+
+  std::string describe() const override {
+    return "timing:" + inner_->describe();
+  }
+
+  double percentile_us(double p) const {
+    if (latencies_us_.empty()) return 0.0;
+    std::vector<double> sorted = latencies_us_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+
+  std::size_t exchanges() const { return latencies_us_.size(); }
+
+ private:
+  std::shared_ptr<edc::Transport> inner_;
+  std::vector<double> latencies_us_;
+};
+
+struct Headline {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t scheduling_passes = 0;
+  std::uint64_t sim_events = 0;
+  double total_it_kwh = 0.0;
+  sim::SimTime makespan = 0;
+};
+
+Headline headline_of(const core::RunResult& r) {
+  return {r.report.jobs_completed, r.scheduling_passes, r.sim_events,
+          r.report.total_it_kwh, r.report.makespan};
+}
+
+bool same_headline(const Headline& a, const Headline& b) {
+  return a.jobs_completed == b.jobs_completed &&
+         a.scheduling_passes == b.scheduling_passes &&
+         a.sim_events == b.sim_events && a.total_it_kwh == b.total_it_kwh &&
+         a.makespan == b.makespan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      jobs = 40;
+    }
+  }
+
+  bench::BenchSummary summary("budget_sched");
+
+  // Internal run: the policy wired straight into the solution.
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Scenario internal(bench_config("budget-internal", jobs));
+  const core::RunResult internal_result = internal.run();
+  const double internal_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  summary.add_run(internal_result);
+  std::printf(
+      "internal: %llu jobs in %.1f ms (%.0f jobs/sec), %llu passes\n",
+      static_cast<unsigned long long>(internal_result.report.jobs_completed),
+      internal_ms,
+      internal_ms > 0.0
+          ? static_cast<double>(internal_result.report.jobs_completed) /
+                (internal_ms / 1000.0)
+          : 0.0,
+      static_cast<unsigned long long>(internal_result.scheduling_passes));
+
+  // Loopback run: the same kernel behind the serialized EDC boundary.
+  core::ScenarioConfig loopback_config = bench_config("budget-loopback", jobs);
+  auto timing = std::make_shared<TimingTransport>(
+      std::make_shared<edc::LoopbackTransport>(
+          std::make_shared<edc::EnergyBudgetAgent>(bench_budget())));
+  loopback_config.external_transport = timing;
+  const auto t1 = std::chrono::steady_clock::now();
+  core::Scenario loopback(std::move(loopback_config));
+  const core::RunResult loopback_result = loopback.run();
+  const double loopback_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t1)
+          .count();
+  summary.add_run(loopback_result);
+  std::printf(
+      "loopback: %llu jobs in %.1f ms (%.0f jobs/sec), %zu exchanges, "
+      "decision latency p50 %.1f us, p99 %.1f us\n",
+      static_cast<unsigned long long>(loopback_result.report.jobs_completed),
+      loopback_ms,
+      loopback_ms > 0.0
+          ? static_cast<double>(loopback_result.report.jobs_completed) /
+                (loopback_ms / 1000.0)
+          : 0.0,
+      timing->exchanges(), timing->percentile_us(0.5),
+      timing->percentile_us(0.99));
+
+  if (!same_headline(headline_of(internal_result),
+                     headline_of(loopback_result))) {
+    std::fprintf(stderr,
+                 "FAIL: internal and loopback runs diverged — the EDC "
+                 "bit-identity contract is broken\n");
+    return 1;
+  }
+  std::printf("internal == loopback: headline numbers bit-identical\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Minimal external scheduler over the EDC protocol (DESIGN.md §13).
+//
+// The whole point of the external-decision boundary: a scheduler is just
+// a program that reads JSONL decision-point lines and writes JSONL reply
+// lines. EchoAgent below is a complete greedy-FCFS implementation in ~40
+// lines — it tracks job_submitted/job_ended, and on every scheduling_pass
+// replies start_job for each pending job that fits the free nodes, in
+// queue order. Swap the LoopbackTransport for a socket transport and the
+// identical agent runs out of process.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epajsrm.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+class EchoAgent final : public edc::Agent {
+ public:
+  std::vector<std::string> on_messages(
+      const std::vector<std::string>& lines) override {
+    std::vector<std::string> replies;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const edc::Message m = edc::parse_message(lines[i], i + 1);
+      switch (m.type) {
+        case edc::Message::Type::kJobSubmitted:
+          nodes_of_[m.job] = m.nodes;
+          break;
+        case edc::Message::Type::kJobEnded:
+          nodes_of_.erase(m.job);
+          break;
+        case edc::Message::Type::kSchedulingPass: {
+          // Greedy FCFS: start everything that fits, in queue order.
+          std::uint32_t free_nodes = m.free_nodes;
+          for (const workload::JobId job : m.pending) {
+            const auto it = nodes_of_.find(job);
+            if (it == nodes_of_.end() || it->second > free_nodes) continue;
+            free_nodes -= it->second;
+            edc::Reply start;
+            start.type = edc::Reply::Type::kStartJob;
+            start.job = job;
+            replies.push_back(edc::serialize(start));
+          }
+          break;
+        }
+        default:
+          break;  // begins/ends/ticks need no bookkeeping here
+      }
+    }
+    return replies;
+  }
+
+  std::string name() const override { return "echo-fcfs"; }
+
+ private:
+  std::map<workload::JobId, std::uint32_t> nodes_of_;
+};
+
+}  // namespace
+
+int main() {
+  auto scenario =
+      core::Scenario::builder()
+          .label("edc-echo")
+          .nodes(32)
+          .job_count(40)
+          .seed(7)
+          .external_scheduler(std::make_shared<edc::LoopbackTransport>(
+              std::make_shared<EchoAgent>()))
+          .build();
+  const core::RunResult result = scenario.run();
+
+  std::printf("external scheduler: loopback:echo-fcfs\n");
+  std::printf("jobs completed:     %llu / %llu\n",
+              static_cast<unsigned long long>(result.report.jobs_completed),
+              static_cast<unsigned long long>(result.report.jobs_submitted));
+  std::printf("scheduling passes:  %llu\n",
+              static_cast<unsigned long long>(result.scheduling_passes));
+  std::printf("mean wait:          %.1f min\n", result.report.wait_minutes.mean);
+  std::printf("total IT energy:    %.1f kWh\n", result.report.total_it_kwh);
+  return result.report.jobs_completed > 0 ? 0 : 1;
+}

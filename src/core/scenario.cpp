@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "edc/external_scheduler.hpp"
+
 namespace epajsrm::core {
 
 workload::AppCatalog catalog_for(WorkloadMix mix, std::uint32_t nodes) {
@@ -66,6 +68,34 @@ void validate(const ScenarioConfig& config) {
         "scenario '" + config.label +
         "': DVFS ladder requires 0 < bottom_ghz <= top_ghz");
   }
+  if (config.energy_budget.has_value()) {
+    const epa::EnergyBudgetConfig& eb = *config.energy_budget;
+    if (eb.mode != epa::EnergyBudgetMode::kPowerCap &&
+        eb.window_budget_joules <= 0.0) {
+      throw std::invalid_argument(
+          "scenario '" + config.label +
+          "': energy budget requires window_budget_joules > 0");
+    }
+    if (eb.window <= 0) {
+      throw std::invalid_argument("scenario '" + config.label +
+                                  "': energy-budget window must be > 0");
+    }
+    if (eb.accrual_rate_watts < 0.0) {
+      throw std::invalid_argument(
+          "scenario '" + config.label +
+          "': energy-budget accrual rate must be >= 0");
+    }
+    if (eb.initial_fraction < 0.0 || eb.initial_fraction > 1.0) {
+      throw std::invalid_argument(
+          "scenario '" + config.label +
+          "': energy-budget initial_fraction must be in [0,1]");
+    }
+    if (eb.cap_floor_fraction < 0.0 || eb.cap_floor_fraction > 1.0) {
+      throw std::invalid_argument(
+          "scenario '" + config.label +
+          "': energy-budget cap_floor_fraction must be in [0,1]");
+    }
+  }
 }
 
 namespace {
@@ -93,6 +123,13 @@ Scenario::Scenario(ScenarioConfig config)
   solution_ =
       std::make_unique<EpaJsrmSolution>(sim_, cluster_, config_.solution);
   solution_->metrics_collector().set_label(config_.label);
+  if (config_.external_transport != nullptr) {
+    solution_->set_scheduler(std::make_unique<edc::ExternalScheduler>(
+        config_.external_transport));
+  } else if (config_.energy_budget.has_value()) {
+    solution_->set_scheduler(
+        std::make_unique<epa::EnergyBudgetScheduler>(*config_.energy_budget));
+  }
 }
 
 ScenarioConfig Scenario::center_config(const survey::CenterProfile& profile,

@@ -9,6 +9,8 @@
 #include <string>
 
 #include "core/solution.hpp"
+#include "edc/transport.hpp"
+#include "epa/energy_budget.hpp"
 #include "platform/cluster.hpp"
 #include "sim/simulation.hpp"
 #include "survey/centers.hpp"
@@ -49,6 +51,18 @@ struct ScenarioConfig {
 
   // Solution.
   SolutionConfig solution{};
+
+  /// Energy-budget scheduling: when set, the scenario installs an
+  /// epa::EnergyBudgetScheduler with this config instead of the default
+  /// EASY backfill (prefer ScenarioBuilder::energy_budget).
+  std::optional<epa::EnergyBudgetConfig> energy_budget;
+
+  /// External decision component: when set, the scenario installs an
+  /// edc::ExternalScheduler over this transport as the scheduling policy
+  /// (prefer ScenarioBuilder::external_scheduler). Takes precedence over
+  /// `energy_budget` — set both to drive the energy-budget family through
+  /// the loopback boundary.
+  std::shared_ptr<edc::Transport> external_transport;
 
   /// Wall-clock horizon; the run also ends when the workload drains.
   sim::SimTime horizon = 4 * sim::kDay;

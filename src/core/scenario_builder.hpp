@@ -15,6 +15,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -100,6 +102,51 @@ class ScenarioBuilder {
     config_.top_ghz = top_ghz;
     config_.bottom_ghz = bottom_ghz;
     config_.pstate_steps = steps;
+    return *this;
+  }
+  /// Sliding energy-budget scheduling: `window_joules` accrue over
+  /// `window` (at `accrual_rate_watts` when > 0, else budget/window) and
+  /// jobs start only when their estimated energy fits the accrued
+  /// allowance. Installs epa::EnergyBudgetScheduler at build time.
+  /// Non-positive budget or window throws std::invalid_argument here, at
+  /// the fluent call, not at build().
+  ScenarioBuilder& energy_budget(double window_joules,
+                                 sim::SimTime window = sim::kHour,
+                                 double accrual_rate_watts = 0.0) {
+    if (window_joules <= 0.0) {
+      throw std::invalid_argument(
+          "energy_budget: window_joules must be > 0");
+    }
+    if (window <= 0) {
+      throw std::invalid_argument("energy_budget: window must be > 0");
+    }
+    if (accrual_rate_watts < 0.0) {
+      throw std::invalid_argument(
+          "energy_budget: accrual_rate_watts must be >= 0");
+    }
+    epa::EnergyBudgetConfig eb;
+    eb.window_budget_joules = window_joules;
+    eb.window = window;
+    eb.accrual_rate_watts = accrual_rate_watts;
+    config_.energy_budget = eb;
+    return *this;
+  }
+  /// Full-config variant (mode, emergency timeout, cap floor, ...);
+  /// validated at build().
+  ScenarioBuilder& energy_budget(epa::EnergyBudgetConfig value) {
+    config_.energy_budget = value;
+    return *this;
+  }
+  /// Hands the scheduling boundary to an external decision component
+  /// reached over `transport` (edc::ExternalScheduler). A null transport
+  /// throws std::invalid_argument.
+  ScenarioBuilder& external_scheduler(
+      std::shared_ptr<edc::Transport> transport) {
+    if (!transport) {
+      throw std::invalid_argument(
+          "external_scheduler: transport must not be null");
+    }
+    config_.external_transport = std::move(transport);
     return *this;
   }
   /// Escape hatch for the rarely-set fields without leaving the chain.

@@ -160,8 +160,17 @@ void EpaJsrmSolution::on_arrival(workload::JobId id) {
   assert(arrivals_outstanding_ > 0);
   --arrivals_outstanding_;
   pending_.push_back(job);
+  // Freeze the planning-time energy estimate at submission: predicted
+  // per-node draw × nodes × the walltime limit. Energy-budget admission
+  // ranks and charges against this number, and the EDC job_submitted
+  // message carries it verbatim so external planners see the same value.
+  job->set_estimated_energy_joules(
+      predict_node_watts(job->spec()) *
+      static_cast<double>(job->spec().nodes) *
+      sim::to_seconds(job->spec().walltime_estimate));
   metrics_->on_job_submitted(job->spec());
-  request_schedule();
+  emit_decision_point(sched::DecisionPoint::Kind::kJobSubmitted, id, 0.0,
+                      job->estimated_energy_joules());
 }
 
 // --- execution -----------------------------------------------------------------
@@ -191,6 +200,7 @@ void EpaJsrmSolution::start() {
         return true;
       },
       "core.reschedule");
+  emit_decision_point(sched::DecisionPoint::Kind::kSimulationBegins);
   request_schedule();
 }
 
@@ -203,7 +213,11 @@ void EpaJsrmSolution::run_until(sim::SimTime until) {
 }
 
 RunResult EpaJsrmSolution::finalize() {
+  // stopping_ first: the final decision point is delivered (external
+  // schedulers flush their last exchange on it) but can no longer provoke
+  // a pass.
   stopping_ = true;
+  emit_decision_point(sched::DecisionPoint::Kind::kSimulationEnds);
   checkpoint_energy();
 
   RunResult result;
@@ -431,6 +445,10 @@ void EpaJsrmSolution::kill_job(workload::JobId job_id,
     finished_.push_back(job);
     ++kills_by_reason_[reason];
     metrics_->on_job_finished(*job);
+    // A cancellation ends the job's scheduling life too: external
+    // decision components must see it leave the queue.
+    emit_decision_point(sched::DecisionPoint::Kind::kJobEnded, job_id, 0.0,
+                        job->energy_joules());
   }
 }
 
@@ -606,6 +624,48 @@ void EpaJsrmSolution::request_schedule() {
       "sched.pass");
 }
 
+void EpaJsrmSolution::emit_decision_point(sched::DecisionPoint::Kind kind,
+                                          workload::JobId job,
+                                          double budget_watts,
+                                          double energy_joules) {
+  sched::DecisionPoint point;
+  point.kind = kind;
+  point.time = sim_->now();
+  point.seq = decision_seq_++;
+  point.job = job;
+  point.budget_watts = budget_watts;
+  point.energy_joules = energy_joules;
+  if (config_.record_decision_log) decision_log_.push_back(point);
+  if (obs_ != nullptr) {
+    obs_->metrics()
+        .counter(std::string("sched.decision_points.") +
+                 sched::to_string(kind))
+        .add(1);
+  }
+  scheduler_->on_decision_point(point, *this);
+  if (scheduler_->wants_pass(kind)) request_schedule();
+}
+
+void EpaJsrmSolution::notify_power_budget_changed(double watts) {
+  // Dedup on value: re-applying an identical cap is not a decision point,
+  // which is also what makes cap-change -> pass -> same-cap loops reach a
+  // fixpoint instead of recursing forever.
+  if (watts == last_emitted_budget_watts_) return;
+  last_emitted_budget_watts_ = watts;
+  emit_decision_point(sched::DecisionPoint::Kind::kPowerBudgetChanged,
+                      platform::kNoJob, watts);
+}
+
+bool EpaJsrmSolution::apply_power_cap(double watts) {
+  set_system_cap(watts);
+  notify_power_budget_changed(watts);
+  return true;
+}
+
+workload::JobId EpaJsrmSolution::requeue(workload::JobId job) {
+  return requeue_job(job, "edc-requeue");
+}
+
 // --- internals ------------------------------------------------------------------
 
 void EpaJsrmSolution::checkpoint_energy() {
@@ -754,7 +814,10 @@ void EpaJsrmSolution::finish_job(workload::Job& job,
 
   // Shared nodes' utilisation changed.
   refresh_jobs_on_nodes(nodes);
-  request_schedule();
+  // Energy is exact here (checkpointed on entry, banked through release),
+  // so the decision point carries the job's final attributed joules.
+  emit_decision_point(sched::DecisionPoint::Kind::kJobEnded, job.id(), 0.0,
+                      job.energy_joules());
 }
 
 double EpaJsrmSolution::tightest_budget(sim::SimTime t) const {
@@ -773,6 +836,14 @@ void EpaJsrmSolution::control_tick() {
   }
   monitor_->tick(t);  // sample + external observers
   for (auto& policy : policies_) policy->on_tick(t);
+
+  // The periodic budget-accrual decision point. Classic schedulers ignore
+  // it (wants_pass false keeps today's cadence); budget-aware schedulers
+  // take a pass here so newly accrued joules admit promptly. Policies may
+  // have moved the budget above (BudgetTracker window crossings) — that
+  // emission happened first, in the same deterministic order both the
+  // internal and the EDC-driven run observe.
+  emit_decision_point(sched::DecisionPoint::Kind::kBudgetTick);
 
   // Policies provide the compliance budget; a manually set reporting
   // budget (baseline runs) is kept when no policy declares one.

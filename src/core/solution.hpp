@@ -88,6 +88,10 @@ struct SolutionConfig {
   /// telemetry). Defaults are production-flavoured: requeue on crash, no
   /// checkpointing, quarantine flappers.
   ResilienceConfig resilience;
+  /// Record every sched::DecisionPoint the run emits (decision_log()).
+  /// The log is the replay/audit artifact of the explicit decision-point
+  /// enumeration; off by default to keep long runs lean.
+  bool record_decision_log = false;
 };
 
 /// Result of a completed run.
@@ -195,6 +199,11 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   }
   const sched::FairShareTracker& fairshare() const { return fairshare_; }
   predict::PowerPredictor& power_predictor() { return *power_predictor_; }
+  /// Every decision point emitted so far, in emission (= seq) order.
+  /// Empty unless SolutionConfig::record_decision_log is set.
+  const std::vector<sched::DecisionPoint>& decision_log() const {
+    return decision_log_;
+  }
 
   bool workload_drained() const {
     return pending_.empty() && running_.empty() && arrivals_outstanding_ == 0;
@@ -248,6 +257,8 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
                  const workload::MoldableConfig* shape) override;
   sim::SimTime planned_end(const workload::Job& job) const override;
   sim::SimTime earliest_admission(const workload::Job& job) const override;
+  bool apply_power_cap(double watts) override;
+  workload::JobId requeue(workload::JobId job) override;
 
   // --- epa::PolicyHost --------------------------------------------------------
 
@@ -282,6 +293,7 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   workload::JobId requeue_job(workload::JobId job,
                               const std::string& reason) override;
   void request_schedule() override;
+  void notify_power_budget_changed(double watts) override;
 
  private:
   /// Ids for internally created jobs (requeues) live in a high range that
@@ -289,6 +301,13 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   workload::JobId next_synthetic_id() { return next_synthetic_++; }
 
   void on_arrival(workload::JobId id);
+  /// The single funnel every decision point flows through: stamps time and
+  /// sequence, records to the decision log, delivers to the scheduler, and
+  /// requests a (coalesced) pass when the scheduler wants one for `kind`.
+  void emit_decision_point(sched::DecisionPoint::Kind kind,
+                           workload::JobId job = platform::kNoJob,
+                           double budget_watts = 0.0,
+                           double energy_joules = 0.0);
   void schedule_pass();
   void sort_pending();
   void schedule_completion(workload::Job& job);
@@ -342,6 +361,11 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   bool pass_requested_ = false;
   bool in_pass_ = false;
   std::uint64_t passes_ = 0;
+  std::uint64_t decision_seq_ = 0;
+  /// Last budget a kPowerBudgetChanged was emitted for (-1 = none yet);
+  /// the dedup that keeps cap-change -> pass -> same-cap loops finite.
+  double last_emitted_budget_watts_ = -1.0;
+  std::vector<sched::DecisionPoint> decision_log_;
   workload::JobId next_synthetic_ = workload::JobId{1} << 62;
   std::unordered_map<std::string, std::uint64_t> kills_by_reason_;
   std::vector<telemetry::JobEnergyReport> job_reports_;

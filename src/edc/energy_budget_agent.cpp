@@ -1,0 +1,68 @@
+#include "edc/energy_budget_agent.hpp"
+
+namespace epajsrm::edc {
+
+std::string EnergyBudgetAgent::name() const {
+  return std::string("energy-budget-agent:") +
+         epa::to_string(core_.config().mode);
+}
+
+std::vector<std::string> EnergyBudgetAgent::on_messages(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> replies;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Message m = parse_message(lines[i], i + 1);
+    switch (m.type) {
+      case Message::Type::kSimulationBegins:
+        core_.begin(m.time, m.total_nodes, m.peak_node_watts);
+        break;
+      case Message::Type::kJobSubmitted:
+        jobs_[m.job] = {m.submit_time, m.nodes, m.estimated_energy_joules};
+        break;
+      case Message::Type::kJobEnded:
+        core_.job_ended(m.job, m.energy_joules);
+        jobs_.erase(m.job);
+        break;
+      case Message::Type::kBudgetTick:
+      case Message::Type::kPowerBudgetChanged:
+      case Message::Type::kSimulationEnds:
+        // Accrual is lazy (anchored on pass times) and the cap is the
+        // kernel's own output echoed back — nothing to mirror.
+        break;
+      case Message::Type::kSchedulingPass: {
+        epa::EnergyBudgetCore::PassInput input;
+        input.now = m.time;
+        input.free_nodes = m.free_nodes;
+        input.pending.reserve(m.pending.size());
+        for (platform::JobId id : m.pending) {
+          const auto it = jobs_.find(id);
+          if (it == jobs_.end()) {
+            throw ProtocolError(i + 1,
+                                "scheduling_pass references unknown job " +
+                                    std::to_string(id));
+          }
+          input.pending.push_back({id, it->second.submit_time,
+                                   it->second.nodes,
+                                   it->second.estimated_energy_joules});
+        }
+        for (const epa::EnergyBudgetCore::Decision& decision :
+             core_.decide(input)) {
+          Reply reply;
+          if (decision.type ==
+              epa::EnergyBudgetCore::Decision::Type::kStartJob) {
+            reply.type = Reply::Type::kStartJob;
+            reply.job = decision.job;
+          } else {
+            reply.type = Reply::Type::kSetPowerCap;
+            reply.watts = decision.watts;
+          }
+          replies.push_back(serialize(reply));
+        }
+        break;
+      }
+    }
+  }
+  return replies;
+}
+
+}  // namespace epajsrm::edc

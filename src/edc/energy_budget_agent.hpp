@@ -1,0 +1,49 @@
+// EnergyBudgetAgent: the energy-budget scheduling family as an external
+// decision component.
+//
+// Runs the exact same epa::EnergyBudgetCore kernel as the in-process
+// epa::EnergyBudgetScheduler, but fed *exclusively* from EDC protocol
+// messages — it never touches the simulation. Because every kernel input
+// crosses the boundary losslessly (round-trip-exact doubles, authoritative
+// free-node counts in the pass snapshot), a run driven through this agent
+// over a LoopbackTransport produces bit-identical RunResults to the
+// internal scheduler. test_edc_loopback.cpp holds the proof.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/protocol.hpp"
+#include "edc/transport.hpp"
+#include "epa/energy_budget.hpp"
+
+namespace epajsrm::edc {
+
+class EnergyBudgetAgent final : public Agent {
+ public:
+  explicit EnergyBudgetAgent(epa::EnergyBudgetConfig config)
+      : core_(config) {}
+
+  std::vector<std::string> on_messages(
+      const std::vector<std::string>& lines) override;
+
+  std::string name() const override;
+
+  const epa::EnergyBudgetCore& core() const { return core_; }
+
+ private:
+  /// Submission records mirrored from job_submitted messages — the only
+  /// state the agent keeps besides the kernel itself. std::map for
+  /// deterministic iteration.
+  struct JobRecord {
+    sim::SimTime submit_time = 0;
+    std::uint32_t nodes = 0;
+    double estimated_energy_joules = 0.0;
+  };
+
+  epa::EnergyBudgetCore core_;
+  std::map<platform::JobId, JobRecord> jobs_;
+};
+
+}  // namespace epajsrm::edc

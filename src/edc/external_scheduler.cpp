@@ -1,0 +1,187 @@
+#include "edc/external_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "obs/observability.hpp"
+#include "obs/wall.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::edc {
+
+ExternalScheduler::ExternalScheduler(std::shared_ptr<Transport> transport,
+                                     ExternalSchedulerConfig config)
+    : transport_(std::move(transport)), config_(config) {
+  if (!transport_) {
+    throw std::invalid_argument("external scheduler needs a transport");
+  }
+}
+
+std::string ExternalScheduler::name() const {
+  return "edc:" + transport_->describe();
+}
+
+bool ExternalScheduler::wants_pass(sched::DecisionPoint::Kind kind) const {
+  switch (kind) {
+    case sched::DecisionPoint::Kind::kJobSubmitted:
+    case sched::DecisionPoint::Kind::kJobEnded:
+    case sched::DecisionPoint::Kind::kPowerBudgetChanged:
+      return true;
+    case sched::DecisionPoint::Kind::kBudgetTick:
+      return config_.pass_on_budget_tick;
+    case sched::DecisionPoint::Kind::kSimulationBegins:
+    case sched::DecisionPoint::Kind::kSimulationEnds:
+      return false;
+  }
+  return false;
+}
+
+void ExternalScheduler::on_decision_point(const sched::DecisionPoint& point,
+                                          sched::SchedulingContext& ctx) {
+  Message m;
+  m.time = point.time;
+  m.seq = point.seq;
+  switch (point.kind) {
+    case sched::DecisionPoint::Kind::kSimulationBegins: {
+      m.type = Message::Type::kSimulationBegins;
+      const platform::Cluster& cluster = ctx.cluster();
+      const platform::NodeConfig& node = cluster.node(0).config();
+      m.total_nodes = cluster.node_count();
+      m.peak_node_watts = node.idle_watts + node.dynamic_watts;
+      break;
+    }
+    case sched::DecisionPoint::Kind::kJobSubmitted: {
+      m.type = Message::Type::kJobSubmitted;
+      m.job = point.job;
+      // The job is in the queue at this decision point by construction;
+      // its spec fills the submission record.
+      for (const workload::Job* job : ctx.pending()) {
+        if (job->id() == point.job) {
+          m.submit_time = job->submit_time();
+          m.nodes = job->spec().nodes;
+          m.walltime = job->spec().walltime_estimate;
+          break;
+        }
+      }
+      m.estimated_energy_joules = point.energy_joules;
+      break;
+    }
+    case sched::DecisionPoint::Kind::kJobEnded:
+      m.type = Message::Type::kJobEnded;
+      m.job = point.job;
+      m.energy_joules = point.energy_joules;
+      break;
+    case sched::DecisionPoint::Kind::kBudgetTick:
+      m.type = Message::Type::kBudgetTick;
+      break;
+    case sched::DecisionPoint::Kind::kPowerBudgetChanged:
+      m.type = Message::Type::kPowerBudgetChanged;
+      m.budget_watts = point.budget_watts;
+      break;
+    case sched::DecisionPoint::Kind::kSimulationEnds:
+      m.type = Message::Type::kSimulationEnds;
+      break;
+  }
+  outbox_.push_back(serialize(m));
+  if (obs::Observability* obs = ctx.observability()) {
+    obs->metrics().counter("edc.messages_sent").add(1);
+  }
+
+  // The final decision point cannot provoke a pass, so flush the batch
+  // here; the component sees a complete event stream for the run. Any
+  // replies are necessarily too late to apply.
+  if (point.kind == sched::DecisionPoint::Kind::kSimulationEnds) {
+    std::vector<std::string> batch;
+    batch.swap(outbox_);
+    const std::vector<std::string> replies = transport_->exchange(batch);
+    ++exchanges_;
+    replies_rejected_ += replies.size();
+    if (obs::Observability* obs = ctx.observability()) {
+      if (!replies.empty()) {
+        obs->metrics().counter("edc.replies_rejected").add(replies.size());
+      }
+    }
+  }
+}
+
+std::vector<std::string> ExternalScheduler::run_exchange(
+    sched::SchedulingContext& ctx) {
+  Message pass;
+  pass.type = Message::Type::kSchedulingPass;
+  pass.time = ctx.now();
+  pass.seq = passes_++;
+  pass.free_nodes = ctx.allocatable_nodes();
+  pass.pending.reserve(ctx.pending().size());
+  for (const workload::Job* job : ctx.pending()) {
+    pass.pending.push_back(job->id());
+  }
+  outbox_.push_back(serialize(pass));
+
+  std::vector<std::string> batch;
+  batch.swap(outbox_);
+
+  obs::Observability* obs = ctx.observability();
+  const bool timed = obs != nullptr && obs->config().wall_instruments;
+  const std::int64_t t0 = timed ? obs::wall_now_ns() : 0;
+  std::vector<std::string> replies = transport_->exchange(batch);
+  ++exchanges_;
+  if (obs != nullptr) {
+    obs->metrics().counter("edc.messages_sent").add(1);  // the pass line
+    obs->metrics().counter("edc.exchanges").add(1);
+    if (timed) {
+      // Decision latency: the wall cost of one full round trip (serialize
+      // is already done; this times transport + remote decision + reply).
+      obs->metrics()
+          .histogram("edc.decision_latency_us")
+          .observe(static_cast<double>(obs::wall_now_ns() - t0) / 1000.0);
+    }
+  }
+  return replies;
+}
+
+void ExternalScheduler::apply_replies(const std::vector<std::string>& lines,
+                                      sched::SchedulingContext& ctx) {
+  obs::Observability* obs = ctx.observability();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Reply reply = parse_reply(lines[i], i + 1);
+    bool applied = false;
+    switch (reply.type) {
+      case Reply::Type::kStartJob:
+        for (workload::Job* job : ctx.pending()) {
+          if (job->id() == reply.job) {
+            applied = ctx.try_start(*job, nullptr);
+            break;
+          }
+        }
+        break;
+      case Reply::Type::kSetPowerCap:
+        applied = ctx.apply_power_cap(reply.watts);
+        break;
+      case Reply::Type::kHold:
+        applied = true;
+        break;
+      case Reply::Type::kRequeue:
+        applied = ctx.requeue(reply.job) != platform::kNoJob;
+        break;
+    }
+    if (applied) {
+      ++replies_applied_;
+    } else {
+      // Unknown job, job no longer pending/running, or a cap the context
+      // cannot actuate: reject quietly — external lag must not be able to
+      // corrupt core state.
+      ++replies_rejected_;
+    }
+    if (obs != nullptr) {
+      obs->metrics()
+          .counter(applied ? "edc.replies_applied" : "edc.replies_rejected")
+          .add(1);
+    }
+  }
+}
+
+void ExternalScheduler::schedule(sched::SchedulingContext& ctx) {
+  const std::vector<std::string> replies = run_exchange(ctx);
+  apply_replies(replies, ctx);
+}
+
+}  // namespace epajsrm::edc

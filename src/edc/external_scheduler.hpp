@@ -1,0 +1,67 @@
+// ExternalScheduler: makes any EDC Transport look like a normal
+// sched::SchedulerPolicy.
+//
+// The core keeps driving its ordinary loop — decision points, coalesced
+// passes — and this adapter serializes every decision point into the
+// outbox, closes each pass with a scheduling_pass snapshot, exchanges the
+// batch over the transport, and applies the decision replies back through
+// the SchedulingContext:
+//
+//   start_job       -> ctx.try_start (pending lookup by id)
+//   set_power_cap   -> ctx.apply_power_cap
+//   hold            -> nothing (an explicit "no decision")
+//   requeue         -> ctx.requeue
+//
+// Unknown-job or out-of-order replies are counted and skipped — a remote
+// component can never corrupt core state, only waste its own decisions.
+// Malformed reply lines throw edc::ProtocolError with the line number.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/protocol.hpp"
+#include "edc/transport.hpp"
+#include "sched/scheduler.hpp"
+
+namespace epajsrm::edc {
+
+struct ExternalSchedulerConfig {
+  /// Pass cadence mirror: must match the wants_pass behaviour of the
+  /// policy running on the far side, or the two runs see different pass
+  /// sequences. Energy-budget components want budget-tick passes.
+  bool pass_on_budget_tick = true;
+};
+
+class ExternalScheduler final : public sched::SchedulerPolicy {
+ public:
+  explicit ExternalScheduler(std::shared_ptr<Transport> transport,
+                             ExternalSchedulerConfig config = {});
+
+  void schedule(sched::SchedulingContext& ctx) override;
+  void on_decision_point(const sched::DecisionPoint& point,
+                         sched::SchedulingContext& ctx) override;
+  bool wants_pass(sched::DecisionPoint::Kind kind) const override;
+  std::string name() const override;
+
+  std::uint64_t exchanges() const { return exchanges_; }
+  std::uint64_t replies_applied() const { return replies_applied_; }
+  std::uint64_t replies_rejected() const { return replies_rejected_; }
+
+ private:
+  void apply_replies(const std::vector<std::string>& lines,
+                     sched::SchedulingContext& ctx);
+  std::vector<std::string> run_exchange(sched::SchedulingContext& ctx);
+
+  std::shared_ptr<Transport> transport_;
+  ExternalSchedulerConfig config_;
+  std::vector<std::string> outbox_;
+  std::uint64_t passes_ = 0;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t replies_applied_ = 0;
+  std::uint64_t replies_rejected_ = 0;
+};
+
+}  // namespace epajsrm::edc

@@ -1,0 +1,120 @@
+// EDC wire protocol: the serialized form of the scheduling decision
+// boundary (DESIGN.md §13).
+//
+// Every decision point the core emits (sched::DecisionPoint) plus the
+// scheduling-pass snapshot crosses the boundary as one line-oriented JSON
+// object; the external decision component answers with decision lines
+// (start_job / set_power_cap / hold / requeue). The format is
+// deliberately flat and dependency-free:
+//
+//   {"type":"job_submitted","time":12000000,"seq":3,"job":7,
+//    "submit_time":12000000,"nodes":4,"walltime":3600000000,
+//    "estimated_energy_joules":1.0368e6}
+//   {"type":"start_job","job":7}
+//
+// Doubles are printed with std::to_chars (shortest form that round-trips
+// exactly) and parsed with std::from_chars, so a value survives
+// serialize -> parse bit-identically — the property the internal-vs-
+// loopback determinism guarantee rests on. Parse failures throw
+// ProtocolError carrying the 1-based line number of the offending line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/ids.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::edc {
+
+/// A malformed or out-of-contract protocol line. `line` is the 1-based
+/// position within the batch that failed; the what() string repeats it.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::size_t line, const std::string& detail)
+      : std::runtime_error("edc: line " + std::to_string(line) + ": " +
+                           detail),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Core -> external component: a decision point or a pass snapshot.
+struct Message {
+  enum class Type : std::uint8_t {
+    kSimulationBegins,
+    kJobSubmitted,
+    kJobEnded,
+    kBudgetTick,
+    kPowerBudgetChanged,
+    kSimulationEnds,
+    /// The pass snapshot: sent when the core opens a scheduling pass and
+    /// expects decisions back. Carries the authoritative allocatable-node
+    /// count and the queue (ids, in queue order) so the component never
+    /// has to mirror resource state.
+    kSchedulingPass,
+  };
+
+  Type type = Type::kBudgetTick;
+  sim::SimTime time = 0;
+  /// DecisionPoint sequence number (kSchedulingPass carries the pass
+  /// counter here instead).
+  std::uint64_t seq = 0;
+
+  // kSimulationBegins
+  std::uint32_t total_nodes = 0;
+  double peak_node_watts = 0.0;
+
+  // kJobSubmitted / kJobEnded
+  platform::JobId job = platform::kNoJob;
+  sim::SimTime submit_time = 0;
+  std::uint32_t nodes = 0;
+  sim::SimTime walltime = 0;
+  double estimated_energy_joules = 0.0;  // kJobSubmitted (planning estimate)
+  double energy_joules = 0.0;            // kJobEnded (actual attributed)
+
+  // kPowerBudgetChanged
+  double budget_watts = 0.0;
+
+  // kSchedulingPass
+  std::uint32_t free_nodes = 0;
+  std::vector<platform::JobId> pending;
+};
+
+/// External component -> core: one decision.
+struct Reply {
+  enum class Type : std::uint8_t {
+    kStartJob,      ///< start `job` now (base shape)
+    kSetPowerCap,   ///< apply a system power cap of `watts`
+    kHold,          ///< explicit no-op: keep the queue as it is
+    kRequeue,       ///< kill running `job` and resubmit it at the back
+  };
+
+  Type type = Type::kHold;
+  platform::JobId job = platform::kNoJob;
+  double watts = 0.0;
+};
+
+const char* to_string(Message::Type type);
+const char* to_string(Reply::Type type);
+
+/// One JSON object, no trailing newline.
+std::string serialize(const Message& message);
+std::string serialize(const Reply& reply);
+
+/// Parses one line. `line_number` is 1-based and only used for errors.
+Message parse_message(std::string_view line, std::size_t line_number);
+Reply parse_reply(std::string_view line, std::size_t line_number);
+
+/// Shortest decimal form of `value` that std::from_chars parses back to
+/// the identical bits (std::to_chars default semantics).
+std::string format_double(double value);
+
+}  // namespace epajsrm::edc

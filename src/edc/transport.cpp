@@ -1,0 +1,21 @@
+#include "edc/transport.hpp"
+
+#include <stdexcept>
+
+namespace epajsrm::edc {
+
+LoopbackTransport::LoopbackTransport(std::shared_ptr<Agent> agent)
+    : agent_(std::move(agent)) {
+  if (!agent_) throw std::invalid_argument("loopback transport needs an agent");
+}
+
+std::vector<std::string> LoopbackTransport::exchange(
+    const std::vector<std::string>& lines) {
+  return agent_->on_messages(lines);
+}
+
+std::string LoopbackTransport::describe() const {
+  return "loopback:" + agent_->name();
+}
+
+}  // namespace epajsrm::edc

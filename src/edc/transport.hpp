@@ -1,0 +1,62 @@
+// EDC transport: how serialized decision batches reach the external
+// decision component and how its decisions come back.
+//
+// The unit of exchange is a batch: every event line accumulated since the
+// previous exchange plus the closing scheduling_pass (or simulation_ends)
+// line. Batching keeps the decision boundary synchronous-per-pass — the
+// simulation blocks on exchange(), so external decisions land at exact,
+// reproducible simulated instants regardless of how slow the component is
+// in wall time.
+//
+// LoopbackTransport is the in-process implementation used today; a socket
+// transport only has to ship the same lines and can slot in unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace epajsrm::edc {
+
+/// An in-process external decision component: consumes one batch of
+/// serialized messages, returns serialized reply lines.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual std::vector<std::string> on_messages(
+      const std::vector<std::string>& lines) = 0;
+
+  /// Diagnostic name (shows up in the scheduler's name()).
+  virtual std::string name() const = 0;
+};
+
+/// Carries serialized batches to the decision component and back.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `lines` and blocks for the component's reply lines.
+  virtual std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// In-process loopback: hands each batch straight to an Agent. The lines
+/// still go through full serialize/parse, so the loopback path exercises
+/// the identical wire contract a socket transport would.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(std::shared_ptr<Agent> agent);
+
+  std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) override;
+
+  std::string describe() const override;
+
+ private:
+  std::shared_ptr<Agent> agent_;
+};
+
+}  // namespace epajsrm::edc

@@ -1,0 +1,76 @@
+#include "epa/budget_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "check/contract.hpp"
+#include "epa/policy.hpp"
+
+namespace epajsrm::epa {
+
+FixedBudgetSource::FixedBudgetSource(double watts) : watts_(watts) {
+  EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
+}
+
+std::string FixedBudgetSource::describe() const {
+  return "fixed(" + std::to_string(watts_) + " W)";
+}
+
+ScheduleBudgetSource::ScheduleBudgetSource(double initial_watts,
+                                           std::vector<Window> windows)
+    : initial_watts_(initial_watts), windows_(std::move(windows)) {
+  EPAJSRM_REQUIRE(initial_watts >= 0.0, "power budget must be non-negative");
+  for (const Window& w : windows_) {
+    EPAJSRM_REQUIRE(w.watts >= 0.0, "power budget must be non-negative");
+  }
+  std::stable_sort(
+      windows_.begin(), windows_.end(),
+      [](const Window& a, const Window& b) { return a.from < b.from; });
+}
+
+double ScheduleBudgetSource::watts_at(sim::SimTime now) const {
+  double watts = initial_watts_;
+  for (const Window& w : windows_) {
+    if (w.from > now) break;
+    watts = w.watts;  // duplicate `from` keeps the later entry
+  }
+  return watts;
+}
+
+std::string ScheduleBudgetSource::describe() const {
+  return "schedule(" + std::to_string(windows_.size()) + " windows)";
+}
+
+MutableBudgetSource::MutableBudgetSource(double initial_watts)
+    : watts_(initial_watts) {
+  EPAJSRM_REQUIRE(initial_watts >= 0.0, "power budget must be non-negative");
+}
+
+std::string MutableBudgetSource::describe() const {
+  return "mutable(" + std::to_string(watts_) + " W)";
+}
+
+void MutableBudgetSource::set_watts(double watts) {
+  EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
+  if (watts == watts_) return;
+  watts_ = watts;
+  if (listener_) listener_(watts_);
+}
+
+BudgetTracker::BudgetTracker(std::shared_ptr<BudgetSource> source)
+    : source_(std::move(source)) {
+  if (!source_) throw std::invalid_argument("budget source required");
+}
+
+double BudgetTracker::refresh(sim::SimTime now, PolicyHost* host) {
+  const double watts = source_->watts_at(now);
+  if (watts != last_watts_) {
+    const bool first = last_watts_ < 0.0;
+    last_watts_ = watts;
+    // The first resolution is the initial budget, not a change.
+    if (!first && host != nullptr) host->notify_power_budget_changed(watts);
+  }
+  return watts;
+}
+
+}  // namespace epajsrm::epa

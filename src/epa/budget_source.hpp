@@ -1,0 +1,128 @@
+// BudgetSource: the one way a power budget enters an EPA policy.
+//
+// Every budget-enforcing policy answers power_budget_watts(now), but the
+// pre-unification implementations disagreed on where the number came from:
+// fixed constructor doubles, ad-hoc set_budget_watts setters, install-time
+// sums. A BudgetSource makes the budget an explicit, time-varying input so
+// tariff windows (Kiselev et al., arXiv 2111.08978), facility rebalancing
+// and external-decision-component `set_power_cap` replies plug into every
+// policy uniformly.
+//
+// Migration notes (the old setters are deprecated, not removed):
+//   * DynamicPowerSharePolicy::set_budget_watts / PowerBudgetDvfsPolicy::
+//     set_budget_watts keep working when the policy was constructed from a
+//     plain watts value (they mutate the implicit MutableBudgetSource and
+//     notify the host so a scheduling pass fires promptly). Constructing
+//     from an explicit non-mutable source makes them throw
+//     std::logic_error — mutate the source instead.
+//   * New code should construct policies from a shared BudgetSource:
+//     a FixedBudgetSource for constants, a ScheduleBudgetSource for
+//     tariff/capability windows, a MutableBudgetSource for budgets driven
+//     at runtime (admin knobs, facility coordinators, EDC replies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::epa {
+
+class PolicyHost;
+
+/// A time-varying IT power budget. 0 watts means "no budget" (uncapped) —
+/// the same convention EpaPolicy::power_budget_watts has always used.
+class BudgetSource {
+ public:
+  virtual ~BudgetSource() = default;
+
+  /// The budget in force at `now`.
+  virtual double watts_at(sim::SimTime now) const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// A constant budget.
+class FixedBudgetSource final : public BudgetSource {
+ public:
+  explicit FixedBudgetSource(double watts);
+
+  double watts_at(sim::SimTime) const override { return watts_; }
+  std::string describe() const override;
+
+ private:
+  double watts_;
+};
+
+/// A piecewise-constant budget schedule — tariff windows, capability
+/// windows, planned demand-response setbacks. Windows activate at their
+/// `from` time and stay in force until the next one.
+class ScheduleBudgetSource final : public BudgetSource {
+ public:
+  struct Window {
+    sim::SimTime from = 0;
+    double watts = 0.0;
+  };
+
+  /// `initial_watts` applies before the first window. Windows are sorted
+  /// by `from`; duplicate `from` keeps the later entry.
+  ScheduleBudgetSource(double initial_watts, std::vector<Window> windows);
+
+  double watts_at(sim::SimTime now) const override;
+  std::string describe() const override;
+
+ private:
+  double initial_watts_;
+  std::vector<Window> windows_;
+};
+
+/// A budget driven at runtime (admin knob, facility coordinator share,
+/// EDC `set_power_cap`). An optional listener observes changes — the core
+/// wires it to its budget-changed decision point so mutations provoke a
+/// prompt scheduling pass instead of waiting for the next periodic tick.
+/// The listener must outlive the source (or be cleared before it dies).
+class MutableBudgetSource final : public BudgetSource {
+ public:
+  explicit MutableBudgetSource(double initial_watts);
+
+  double watts_at(sim::SimTime) const override { return watts_; }
+  std::string describe() const override;
+
+  /// Updates the budget; invokes the listener when the value moved.
+  void set_watts(double watts);
+
+  void set_listener(std::function<void(double)> listener) {
+    listener_ = std::move(listener);
+  }
+
+ private:
+  double watts_;
+  std::function<void(double)> listener_;
+};
+
+/// Embeddable helper: resolves a policy's budget each consultation and
+/// reports movements to the host exactly once per change (the host turns
+/// that into a kPowerBudgetChanged decision point + prompt pass).
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(std::shared_ptr<BudgetSource> source);
+
+  double watts_at(sim::SimTime now) const { return source_->watts_at(now); }
+
+  /// Resolves the budget at `now`; when it moved since the last refresh,
+  /// notifies `host` (null host: just tracks).
+  double refresh(sim::SimTime now, PolicyHost* host);
+
+  BudgetSource& source() { return *source_; }
+  const BudgetSource& source() const { return *source_; }
+  const std::shared_ptr<BudgetSource>& shared() const { return source_; }
+
+ private:
+  std::shared_ptr<BudgetSource> source_;
+  double last_watts_ = -1.0;  // -1 = never resolved
+};
+
+}  // namespace epajsrm::epa

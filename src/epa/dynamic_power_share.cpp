@@ -1,6 +1,7 @@
 #include "epa/dynamic_power_share.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/observability.hpp"
@@ -8,8 +9,21 @@
 
 namespace epajsrm::epa {
 
-void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
-  if (host_ == nullptr || budget_ <= 0.0) return;
+void DynamicPowerSharePolicy::set_budget_watts(double watts) {
+  auto* mutable_source = dynamic_cast<MutableBudgetSource*>(&budget_.source());
+  if (mutable_source == nullptr) {
+    throw std::logic_error(
+        "dynamic-power-share: budget is source-driven; mutate the "
+        "BudgetSource instead of calling the deprecated setter");
+  }
+  mutable_source->set_watts(watts);
+  if (host_ != nullptr) host_->notify_power_budget_changed(watts);
+}
+
+void DynamicPowerSharePolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr) return;
+  const double budget_watts = budget_.refresh(now, host_);
+  if (budget_watts <= 0.0) return;
   obs::Observability* o = host_->observability();
   // Rebalance latency is wall-clock-derived: only measured when wall
   // instruments are on, so metric frames stay shard-merge deterministic.
@@ -27,7 +41,7 @@ void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
   const double fixed = ledger.fixed_power_watts();
   const double total_demand = ledger.total_demand_watts() - fixed;
 
-  const double distributable = std::max(0.0, budget_ - fixed);
+  const double distributable = std::max(0.0, budget_watts - fixed);
   for (platform::NodeId id = 0; id < cluster.node_count(); ++id) {
     // Setting caps inside the loop is safe: caps never change a node's
     // uncapped demand, so the shares stay fixed while we distribute.
@@ -45,7 +59,7 @@ void DynamicPowerSharePolicy::on_tick(sim::SimTime) {
   }
   ++redistributions_;
   if (span.active()) {
-    span.attr("budget_watts", budget_);
+    span.attr("budget_watts", budget_watts);
     span.attr("fixed_watts", fixed);
     span.attr("total_demand_watts", total_demand);
     host_->observability()->metrics().counter("epa.rebalances").add(1);

@@ -4,36 +4,51 @@
 // system budget so power flows to the nodes that can use it.
 #pragma once
 
-#include "check/contract.hpp"
+#include <memory>
+
+#include "epa/budget_source.hpp"
 #include "epa/policy.hpp"
 
 namespace epajsrm::epa {
 
 /// Periodic proportional re-division of a system power budget into node
-/// caps.
+/// caps. The budget is a BudgetSource, so tariff windows and externally
+/// driven budgets re-divide automatically.
 class DynamicPowerSharePolicy final : public EpaPolicy {
  public:
-  /// `budget_watts`: the global IT budget to divide. `floor_margin`: each
-  /// node's cap never drops below idle_watts × (1 + floor_margin) so nodes
-  /// stay responsive.
+  /// `source`: the global IT budget to divide (time-varying).
+  /// `floor_margin`: each node's cap never drops below idle_watts ×
+  /// (1 + floor_margin) so nodes stay responsive.
+  explicit DynamicPowerSharePolicy(std::shared_ptr<BudgetSource> source,
+                                   double floor_margin = 0.02)
+      : budget_(std::move(source)), floor_margin_(floor_margin) {}
+
+  /// Convenience: a fixed `budget_watts` budget that set_budget_watts may
+  /// still mutate (wrapped in a MutableBudgetSource).
   explicit DynamicPowerSharePolicy(double budget_watts,
                                    double floor_margin = 0.02)
-      : budget_(budget_watts), floor_margin_(floor_margin) {}
+      : DynamicPowerSharePolicy(
+            std::make_shared<MutableBudgetSource>(budget_watts),
+            floor_margin) {}
 
   std::string name() const override { return "dynamic-power-share"; }
 
   void on_tick(sim::SimTime now) override;
 
-  double power_budget_watts(sim::SimTime) const override { return budget_; }
-  void set_budget_watts(double watts) {
-    EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
-    budget_ = watts;
+  double power_budget_watts(sim::SimTime now) const override {
+    return budget_.watts_at(now);
   }
+
+  /// Deprecated: construct from a MutableBudgetSource and call its
+  /// set_watts instead (see budget_source.hpp migration notes). Kept for
+  /// the double-constructor path; throws std::logic_error when the policy
+  /// was built from an explicit non-mutable source.
+  void set_budget_watts(double watts);
 
   std::uint64_t redistributions() const { return redistributions_; }
 
  private:
-  double budget_;
+  BudgetTracker budget_;
   double floor_margin_;
   std::uint64_t redistributions_ = 0;
 };

@@ -1,0 +1,243 @@
+#include "epa/energy_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/contract.hpp"
+
+namespace epajsrm::epa {
+
+const char* to_string(EnergyBudgetMode mode) {
+  switch (mode) {
+    case EnergyBudgetMode::kEnergyBudget:
+      return "energy-budget";
+    case EnergyBudgetMode::kReducePowerCap:
+      return "reduce-power-cap";
+    case EnergyBudgetMode::kPowerCap:
+      return "power-cap";
+  }
+  return "?";
+}
+
+EnergyBudgetCore::EnergyBudgetCore(EnergyBudgetConfig config)
+    : config_(config) {
+  if (config_.mode != EnergyBudgetMode::kPowerCap) {
+    EPAJSRM_REQUIRE(config_.window_budget_joules > 0.0,
+                    "energy budget requires a positive joules-per-window");
+    EPAJSRM_REQUIRE(config_.window > 0, "energy budget window must be > 0");
+  }
+  EPAJSRM_REQUIRE(config_.accrual_rate_watts >= 0.0,
+                  "accrual rate must be >= 0");
+  EPAJSRM_REQUIRE(
+      config_.initial_fraction >= 0.0 && config_.initial_fraction <= 1.0,
+      "initial fraction must be in [0,1]");
+  EPAJSRM_REQUIRE(config_.power_cap_watts >= 0.0, "power cap must be >= 0");
+  EPAJSRM_REQUIRE(config_.cap_floor_fraction >= 0.0 &&
+                      config_.cap_floor_fraction <= 1.0,
+                  "cap floor fraction must be in [0,1]");
+}
+
+void EnergyBudgetCore::begin(sim::SimTime now, std::uint32_t total_nodes,
+                             double peak_node_watts) {
+  begun_ = true;
+  last_accrual_ = now;
+  last_start_ = now;
+  accrual_rate_w_ =
+      config_.accrual_rate_watts > 0.0
+          ? config_.accrual_rate_watts
+          : config_.window_budget_joules / sim::to_seconds(config_.window);
+  cap_ceiling_watts_ = config_.power_cap_watts > 0.0
+                           ? config_.power_cap_watts
+                           : peak_node_watts * total_nodes;
+  available_j_ = config_.initial_fraction * config_.window_budget_joules;
+}
+
+void EnergyBudgetCore::accrue(sim::SimTime now) {
+  if (now <= last_accrual_) return;
+  available_j_ += accrual_rate_w_ * sim::to_seconds(now - last_accrual_);
+  // Upper clamp only: the window cannot bank more than its budget, but
+  // emergency starts may legitimately leave the allowance in debt.
+  available_j_ = std::min(available_j_, config_.window_budget_joules);
+  last_accrual_ = now;
+}
+
+void EnergyBudgetCore::job_ended(workload::JobId id,
+                                 double actual_energy_joules) {
+  auto it = charged_j_.find(id);
+  if (it == charged_j_.end()) return;
+  // Refund the difference between the charged estimate and the energy the
+  // job actually drew (estimates are usually walltime-based overestimates).
+  available_j_ += it->second - actual_energy_joules;
+  available_j_ = std::min(available_j_, config_.window_budget_joules);
+  charged_j_.erase(it);
+}
+
+double EnergyBudgetCore::rank_priority(double wait_seconds,
+                                       double estimated_joules) {
+  // batsim-prj JobPriorityCompare: waiting time per estimated joule, so a
+  // long-waiting cheap job beats a fresh expensive one.
+  return wait_seconds / std::max(estimated_joules, 1.0);
+}
+
+double EnergyBudgetCore::cap_for_allowance() const {
+  const double floor_watts = cap_ceiling_watts_ * config_.cap_floor_fraction;
+  const double fill = std::clamp(
+      available_j_ / config_.window_budget_joules, 0.0, 1.0);
+  return floor_watts + (cap_ceiling_watts_ - floor_watts) * fill;
+}
+
+std::vector<EnergyBudgetCore::Decision> EnergyBudgetCore::decide(
+    const PassInput& input) {
+  std::vector<Decision> decisions;
+  if (!begun_) return decisions;
+
+  if (uses_energy_accounting()) {
+    accrue(input.now);
+    // Reconcile: a job both pending and charged means an earlier start
+    // decision could not be applied (e.g. power admission vetoed it).
+    // Refund so the allowance does not leak; both sides of the EDC
+    // boundary see the same pending list, so this stays in lockstep.
+    for (const QueuedJob& job : input.pending) {
+      auto it = charged_j_.find(job.id);
+      if (it != charged_j_.end()) {
+        available_j_ =
+            std::min(available_j_ + it->second,
+                     config_.window_budget_joules);
+        charged_j_.erase(it);
+      }
+    }
+  }
+
+  // Rank: priority desc, id asc on ties (ids are unique, so the order is
+  // total — no dependence on the incoming queue order).
+  std::vector<const QueuedJob*> ranked;
+  ranked.reserve(input.pending.size());
+  for (const QueuedJob& job : input.pending) ranked.push_back(&job);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const QueuedJob* a, const QueuedJob* b) {
+              const double pa = rank_priority(
+                  sim::to_seconds(input.now - a->submit_time),
+                  a->estimated_energy_joules);
+              const double pb = rank_priority(
+                  sim::to_seconds(input.now - b->submit_time),
+                  b->estimated_energy_joules);
+              if (pa != pb) return pa > pb;
+              return a->id < b->id;
+            });
+
+  // Emergency anti-deadlock: the ranked head has seen no start anywhere in
+  // the system for the whole timeout — admit it regardless of the
+  // allowance (the allowance goes into debt and must re-accrue).
+  emergency_ = false;
+  if (uses_energy_accounting() && config_.emergency_timeout > 0 &&
+      !ranked.empty()) {
+    const sim::SimTime anchor =
+        std::max(last_start_, ranked.front()->submit_time);
+    emergency_ = input.now - anchor >= config_.emergency_timeout;
+  }
+
+  std::uint32_t free_nodes = input.free_nodes;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const QueuedJob& job = *ranked[i];
+    if (job.nodes > free_nodes) continue;  // IDLE variants walk past holes
+    const bool emergency_head = emergency_ && i == 0;
+    if (uses_energy_accounting() && !emergency_head &&
+        job.estimated_energy_joules > available_j_) {
+      continue;
+    }
+    if (uses_energy_accounting()) {
+      available_j_ -= job.estimated_energy_joules;
+      charged_j_[job.id] = job.estimated_energy_joules;
+    }
+    if (emergency_head) ++emergency_starts_;
+    free_nodes -= job.nodes;
+    last_start_ = input.now;
+    decisions.push_back({Decision::Type::kStartJob, job.id, 0.0});
+  }
+
+  // Cap move last: reducePC reads the post-admission allowance, so the cap
+  // a pass leaves behind reflects the starts it just made.
+  double cap_watts = -1.0;
+  if (config_.mode == EnergyBudgetMode::kReducePowerCap) {
+    cap_watts = cap_for_allowance();
+  } else if (config_.mode == EnergyBudgetMode::kPowerCap) {
+    cap_watts = cap_ceiling_watts_;
+  }
+  if (cap_watts >= 0.0 && cap_watts != last_cap_watts_) {
+    last_cap_watts_ = cap_watts;
+    decisions.push_back(
+        {Decision::Type::kSetPowerCap, platform::kNoJob, cap_watts});
+  }
+  return decisions;
+}
+
+// --- EnergyBudgetScheduler ---------------------------------------------------
+
+std::string EnergyBudgetScheduler::name() const {
+  return std::string("energy-budget-sched:") +
+         epa::to_string(core_.config().mode);
+}
+
+bool EnergyBudgetScheduler::wants_pass(sched::DecisionPoint::Kind kind) const {
+  // Budget accrual makes previously-infeasible jobs feasible, so ticks
+  // schedule too (unlike the classic cadence).
+  return kind == sched::DecisionPoint::Kind::kJobSubmitted ||
+         kind == sched::DecisionPoint::Kind::kJobEnded ||
+         kind == sched::DecisionPoint::Kind::kBudgetTick ||
+         kind == sched::DecisionPoint::Kind::kPowerBudgetChanged;
+}
+
+void EnergyBudgetScheduler::on_decision_point(
+    const sched::DecisionPoint& point, sched::SchedulingContext& ctx) {
+  switch (point.kind) {
+    case sched::DecisionPoint::Kind::kSimulationBegins: {
+      const platform::Cluster& cluster = ctx.cluster();
+      const platform::NodeConfig& node = cluster.node(0).config();
+      core_.begin(point.time, cluster.node_count(),
+                  node.idle_watts + node.dynamic_watts);
+      break;
+    }
+    case sched::DecisionPoint::Kind::kJobEnded:
+      core_.job_ended(point.job, point.energy_joules);
+      break;
+    default:
+      break;
+  }
+}
+
+EnergyBudgetCore::PassInput EnergyBudgetScheduler::snapshot(
+    sched::SchedulingContext& ctx) {
+  EnergyBudgetCore::PassInput input;
+  input.now = ctx.now();
+  input.free_nodes = ctx.allocatable_nodes();
+  input.pending.reserve(ctx.pending().size());
+  for (const workload::Job* job : ctx.pending()) {
+    input.pending.push_back({job->id(), job->submit_time(),
+                             job->spec().nodes,
+                             job->estimated_energy_joules()});
+  }
+  return input;
+}
+
+void EnergyBudgetScheduler::schedule(sched::SchedulingContext& ctx) {
+  const EnergyBudgetCore::PassInput input = snapshot(ctx);
+  const std::vector<EnergyBudgetCore::Decision> decisions =
+      core_.decide(input);
+  for (const EnergyBudgetCore::Decision& decision : decisions) {
+    switch (decision.type) {
+      case EnergyBudgetCore::Decision::Type::kStartJob:
+        for (workload::Job* job : ctx.pending()) {
+          if (job->id() == decision.job) {
+            ctx.try_start(*job, nullptr);
+            break;
+          }
+        }
+        break;
+      case EnergyBudgetCore::Decision::Type::kSetPowerCap:
+        ctx.apply_power_cap(decision.watts);
+        break;
+    }
+  }
+}
+
+}  // namespace epajsrm::epa

@@ -1,0 +1,186 @@
+// Sliding energy-budget scheduling — the batsim-prj family
+// (EnergyBud_IDLE / reducePC_IDLE / PC_IDLE), ported onto this repo's
+// scheduler boundary.
+//
+// The model (Kiselev et al., arXiv 2111.08978, motivates the shape):
+// shared facilities schedule against a *joules-per-tariff-window*
+// allowance, not just an instantaneous watts cap. A budget of joules
+// accrues at a rate; a job may start only when its estimated energy fits
+// the accrued allowance; the queue is ranked by waiting-time versus
+// estimated energy so small/starved jobs drain first; in the reducePC
+// variant a system power cap tightens as the allowance depletes; and an
+// emergency anti-deadlock mode guarantees the head job eventually runs
+// even when the allowance alone would starve it.
+//
+// The decision logic lives in EnergyBudgetCore, a pure deterministic
+// kernel with *no* simulator dependencies: it consumes explicit decision
+// events and pass snapshots and returns an ordered decision list. Two
+// adapters drive it:
+//   * EnergyBudgetScheduler (below) — a sched::SchedulerPolicy running the
+//     kernel in-process against live SchedulingContext state;
+//   * edc::EnergyBudgetAgent — the same kernel fed exclusively from
+//     serialized EDC protocol messages on the far side of a Transport.
+// Because every input the kernel reads crosses the EDC boundary losslessly
+// (round-trip-exact doubles), an internal run and a loopback-driven
+// external run produce bit-identical RunResults — the boundary proof the
+// EDC layer rests on (DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace epajsrm::epa {
+
+/// The three ported batsim-prj variants.
+enum class EnergyBudgetMode : std::uint8_t {
+  /// EnergyBud_IDLE: pure joules-allowance admission, no power cap.
+  kEnergyBudget,
+  /// reducePC_IDLE: joules admission + a system cap that tightens
+  /// linearly as the allowance depletes.
+  kReducePowerCap,
+  /// PC_IDLE: constant system power cap, no joules accounting.
+  kPowerCap,
+};
+
+const char* to_string(EnergyBudgetMode mode);
+
+struct EnergyBudgetConfig {
+  EnergyBudgetMode mode = EnergyBudgetMode::kEnergyBudget;
+
+  /// Allowance ceiling: accrued joules are clamped to this (the sliding
+  /// window's capacity). Required > 0 in the joules-accounting modes.
+  double window_budget_joules = 0.0;
+
+  /// Window the budget notionally covers; with accrual_rate_watts unset
+  /// the accrual rate is window_budget_joules / window.
+  sim::SimTime window = sim::kHour;
+
+  /// Joules made available per second (watts). 0 = budget/window.
+  double accrual_rate_watts = 0.0;
+
+  /// Fraction of the window budget available at simulation begin.
+  double initial_fraction = 0.0;
+
+  /// Anti-deadlock: when the ranked head job has waited this long with no
+  /// start anywhere in between, it is admitted regardless of the
+  /// allowance (the allowance goes into debt). 0 disables.
+  sim::SimTime emergency_timeout = 30 * sim::kMinute;
+
+  /// Cap ceiling for the capping modes; 0 = the cluster's IT peak.
+  double power_cap_watts = 0.0;
+
+  /// reducePC: the tightest cap, as a fraction of the ceiling.
+  double cap_floor_fraction = 0.25;
+};
+
+/// Pure decision kernel shared by the in-process scheduler and the EDC
+/// agent. All state transitions are driven by explicit calls; all floating
+/// math is plain double arithmetic in a fixed order.
+class EnergyBudgetCore {
+ public:
+  /// One queued job as the kernel sees it. `estimated_energy_joules` is
+  /// the submission-time estimate frozen by the core solution (and carried
+  /// verbatim in EDC job_submitted messages).
+  struct QueuedJob {
+    workload::JobId id = platform::kNoJob;
+    sim::SimTime submit_time = 0;
+    std::uint32_t nodes = 0;
+    double estimated_energy_joules = 0.0;
+  };
+
+  /// Snapshot of one scheduling pass. `free_nodes` is the authoritative
+  /// allocatable count at pass start (carried in the EDC scheduling_pass
+  /// message so both sides decrement the same number).
+  struct PassInput {
+    sim::SimTime now = 0;
+    std::uint32_t free_nodes = 0;
+    std::vector<QueuedJob> pending;
+  };
+
+  struct Decision {
+    enum class Type : std::uint8_t { kStartJob, kSetPowerCap };
+    Type type = Type::kStartJob;
+    workload::JobId job = platform::kNoJob;
+    double watts = 0.0;
+  };
+
+  explicit EnergyBudgetCore(EnergyBudgetConfig config);
+
+  /// Simulation begins: anchors accrual and derives the cap ceiling from
+  /// the machine's IT peak when the config left it 0.
+  void begin(sim::SimTime now, std::uint32_t total_nodes,
+             double peak_node_watts);
+
+  /// A charged job ended; the difference between its charged estimate and
+  /// its actual energy is refunded into the allowance.
+  void job_ended(workload::JobId id, double actual_energy_joules);
+
+  /// One scheduling pass: accrues, ranks, admits, and emits cap moves.
+  /// Decisions are returned in application order.
+  std::vector<Decision> decide(const PassInput& input);
+
+  /// Ranking priority (higher starts first): waiting time over estimated
+  /// energy — starved-but-cheap jobs drain the queue.
+  static double rank_priority(double wait_seconds, double estimated_joules);
+
+  const EnergyBudgetConfig& config() const { return config_; }
+  double available_joules() const { return available_j_; }
+  bool emergency_active() const { return emergency_; }
+  std::uint64_t emergency_starts() const { return emergency_starts_; }
+  double current_cap_watts() const { return last_cap_watts_; }
+
+ private:
+  void accrue(sim::SimTime now);
+  double cap_for_allowance() const;
+  bool uses_energy_accounting() const {
+    return config_.mode != EnergyBudgetMode::kPowerCap;
+  }
+
+  EnergyBudgetConfig config_;
+  double accrual_rate_w_ = 0.0;
+  double cap_ceiling_watts_ = 0.0;
+
+  bool begun_ = false;
+  sim::SimTime last_accrual_ = 0;
+  sim::SimTime last_start_ = 0;
+  double available_j_ = 0.0;
+  /// Estimates charged for running jobs, refunded at job end. std::map:
+  /// deterministic iteration is part of the replay contract.
+  std::map<workload::JobId, double> charged_j_;
+  double last_cap_watts_ = -1.0;  // -1 = no cap decided yet
+  bool emergency_ = false;
+  std::uint64_t emergency_starts_ = 0;
+};
+
+/// The in-process adapter: runs the kernel as a normal scheduling policy.
+/// Requests passes on budget ticks and budget changes (cap tightening is
+/// prompt), applies start decisions through try_start and cap decisions
+/// through apply_power_cap.
+class EnergyBudgetScheduler final : public sched::SchedulerPolicy {
+ public:
+  explicit EnergyBudgetScheduler(EnergyBudgetConfig config)
+      : core_(config) {}
+
+  void schedule(sched::SchedulingContext& ctx) override;
+  void on_decision_point(const sched::DecisionPoint& point,
+                         sched::SchedulingContext& ctx) override;
+  bool wants_pass(sched::DecisionPoint::Kind kind) const override;
+  std::string name() const override;
+
+  const EnergyBudgetCore& core() const { return core_; }
+
+  /// Builds the kernel's pass snapshot from a live context (shared with
+  /// tests; the EDC agent builds the identical snapshot from messages).
+  static EnergyBudgetCore::PassInput snapshot(sched::SchedulingContext& ctx);
+
+ private:
+  EnergyBudgetCore core_;
+};
+
+}  // namespace epajsrm::epa

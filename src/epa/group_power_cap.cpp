@@ -4,10 +4,46 @@
 
 namespace epajsrm::epa {
 
+void GroupPowerCapPolicy::apply_source_caps(PolicyHost& host,
+                                            double budget_watts) {
+  const auto& pdus = host.cluster().facility().pdus();
+  double total_peak = 0.0;
+  for (const platform::Pdu& pdu : pdus) {
+    total_peak += host.ledger().pdu_peak_watts(pdu.id);
+  }
+  for (const platform::Pdu& pdu : pdus) {
+    if (pdu.nodes.empty()) continue;
+    const double pdu_peak = host.ledger().pdu_peak_watts(pdu.id);
+    // Budget 0 = uncapped: restore every node to its peak.
+    const double group_watts =
+        budget_watts > 0.0 && total_peak > 0.0
+            ? budget_watts * pdu_peak / total_peak
+            : pdu_peak;
+    host.set_group_cap(pdu.nodes,
+                       group_watts / static_cast<double>(pdu.nodes.size()));
+  }
+  applied_source_watts_ = budget_watts;
+}
+
+void GroupPowerCapPolicy::on_tick(sim::SimTime now) {
+  if (host_ == nullptr || !source_.has_value()) return;
+  const double budget_watts = source_->refresh(now, host_);
+  if (budget_watts != applied_source_watts_) {
+    apply_source_caps(*host_, budget_watts);
+  }
+}
+
 void GroupPowerCapPolicy::install(PolicyHost& host) {
   EpaPolicy::install(host);
   platform::Cluster& cluster = host.cluster();
   const auto& pdus = cluster.facility().pdus();
+
+  if (source_.has_value()) {
+    const double budget_watts =
+        source_->refresh(host.simulation().now(), nullptr);
+    apply_source_caps(host, budget_watts);
+    return;
+  }
 
   budget_ = 0.0;
   for (const platform::Pdu& pdu : pdus) {

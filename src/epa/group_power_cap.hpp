@@ -5,13 +5,23 @@
 // its PDU breaker capacity.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "epa/budget_source.hpp"
 #include "epa/policy.hpp"
 
 namespace epajsrm::epa {
 
 /// Per-PDU (node-group) power capping set via the resource-manager path.
+///
+/// Three construction modes:
+///   * explicit per-group caps (the legacy vector constructor);
+///   * uniform_fraction — every group capped at a fraction of its peak;
+///   * from_source — a time-varying BudgetSource whose watts are divided
+///     across groups proportionally to their peak sums, re-actuated on
+///     every source movement (tariff windows, EDC set_power_cap).
 class GroupPowerCapPolicy final : public EpaPolicy {
  public:
   /// `group_cap_watts[p]` caps the nodes of PDU p; groups beyond the
@@ -28,18 +38,41 @@ class GroupPowerCapPolicy final : public EpaPolicy {
     return p;
   }
 
+  /// Time-varying variant: divides source->watts_at(now) across PDU
+  /// groups proportionally to their peak sums and re-caps whenever the
+  /// source moves.
+  static GroupPowerCapPolicy from_source(
+      std::shared_ptr<BudgetSource> source) {
+    GroupPowerCapPolicy p({});
+    p.source_.emplace(std::move(source));
+    return p;
+  }
+
   std::string name() const override { return "group-power-cap"; }
 
   void install(PolicyHost& host) override;
+  void on_tick(sim::SimTime now) override;
 
-  double power_budget_watts(sim::SimTime) const override { return budget_; }
+  /// Source-driven: the source's value at `now`. Legacy modes: the sum of
+  /// installed group caps (0 before install — prefer from_source, which
+  /// answers uniformly at any time).
+  double power_budget_watts(sim::SimTime now) const override {
+    if (source_.has_value()) return source_->watts_at(now);
+    return budget_;
+  }
 
-  /// Re-caps one group at runtime (the manual admin knob).
+  /// Re-caps one group at runtime (the manual admin knob). Deprecated for
+  /// source-driven policies — mutate the BudgetSource instead (see
+  /// budget_source.hpp migration notes).
   void set_group_cap(PolicyHost& host, platform::PduId group, double watts);
 
  private:
+  void apply_source_caps(PolicyHost& host, double budget_watts);
+
   std::vector<double> group_caps_;
   double uniform_fraction_ = 0.0;
+  std::optional<BudgetTracker> source_;
+  double applied_source_watts_ = -1.0;
   double budget_ = 0.0;
 };
 

@@ -117,6 +117,13 @@ class PolicyHost {
   /// event cascade).
   virtual void request_schedule() = 0;
 
+  /// Tells the core the effective power budget moved (set_budget_watts
+  /// delegations, BudgetSource window crossings, EDC set_power_cap). The
+  /// core emits a kPowerBudgetChanged decision point and fires a prompt
+  /// scheduling pass — budget tightening no longer waits for the next
+  /// periodic tick. Default no-op keeps bare test hosts working.
+  virtual void notify_power_budget_changed(double watts) { (void)watts; }
+
   /// The run's observability plane (trace + metrics), or null when
   /// observability is disabled — policies must treat null as "record
   /// nothing".

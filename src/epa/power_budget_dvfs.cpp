@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace epajsrm::epa {
 
+void PowerBudgetDvfsPolicy::set_budget_watts(double watts) {
+  auto* mutable_source = dynamic_cast<MutableBudgetSource*>(&budget_.source());
+  if (mutable_source == nullptr) {
+    throw std::logic_error(
+        "power-budget-dvfs: budget is source-driven; mutate the "
+        "BudgetSource instead of calling the deprecated setter");
+  }
+  mutable_source->set_watts(watts);
+  if (host_ != nullptr) host_->notify_power_budget_changed(watts);
+}
+
+void PowerBudgetDvfsPolicy::on_tick(sim::SimTime now) {
+  budget_.refresh(now, host_);
+}
+
 bool PowerBudgetDvfsPolicy::plan_start(StartPlan& plan) {
-  if (budget_ <= 0.0 || host_ == nullptr) return true;
+  if (host_ == nullptr) return true;
+  const double budget_watts =
+      budget_.watts_at(host_->simulation().now());
+  if (budget_watts <= 0.0) return true;
 
   const platform::Cluster& cluster = host_->cluster();
   const power::NodePowerModel& model = host_->power_model();
@@ -16,7 +35,7 @@ bool PowerBudgetDvfsPolicy::plan_start(StartPlan& plan) {
   // Incremental admission: the job's nodes are already drawing idle power
   // (they are on and idle), so only the dynamic part is new draw.
   const double current = host_->ledger().it_power_watts();
-  const double headroom = budget_ - current;
+  const double headroom = budget_watts - current;
   const double dynamic_ref =
       std::max(0.0, plan.predicted_node_watts - idle) * plan.nodes;
 

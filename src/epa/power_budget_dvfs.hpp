@@ -8,36 +8,56 @@
 // headroom; if even the deepest P-state does not fit, the job waits.
 #pragma once
 
-#include "check/contract.hpp"
+#include <memory>
+
+#include "epa/budget_source.hpp"
 #include "epa/policy.hpp"
 
 namespace epajsrm::epa {
 
-/// Budgeted admission with per-job DVFS selection.
+/// Budgeted admission with per-job DVFS selection. The budget is a
+/// BudgetSource, so the admission ceiling follows tariff windows and
+/// facility-coordinator shares without bespoke setters.
 class PowerBudgetDvfsPolicy final : public EpaPolicy {
  public:
-  /// `budget_watts`: the IT power budget. `allow_dvfs`: when false the
+  /// `source`: the IT power budget over time. `allow_dvfs`: when false the
   /// policy only admits at full frequency (pure power-aware admission, no
   /// frequency trading — the Bodas [8] variant).
+  explicit PowerBudgetDvfsPolicy(std::shared_ptr<BudgetSource> source,
+                                 bool allow_dvfs = true)
+      : budget_(std::move(source)), allow_dvfs_(allow_dvfs) {}
+
+  /// Convenience: a fixed `budget_watts` budget that set_budget_watts may
+  /// still mutate (wrapped in a MutableBudgetSource).
   explicit PowerBudgetDvfsPolicy(double budget_watts, bool allow_dvfs = true)
-      : budget_(budget_watts), allow_dvfs_(allow_dvfs) {}
+      : PowerBudgetDvfsPolicy(
+            std::make_shared<MutableBudgetSource>(budget_watts), allow_dvfs) {
+  }
 
   std::string name() const override { return "power-budget-dvfs"; }
 
   bool plan_start(StartPlan& plan) override;
 
-  double power_budget_watts(sim::SimTime) const override { return budget_; }
+  /// Tracks BudgetSource movements (tariff-window crossings) so the core
+  /// fires a prompt pass when the admission ceiling moves.
+  void on_tick(sim::SimTime now) override;
 
-  void set_budget_watts(double watts) {
-    EPAJSRM_REQUIRE(watts >= 0.0, "power budget must be non-negative");
-    budget_ = watts;
+  double power_budget_watts(sim::SimTime now) const override {
+    return budget_.watts_at(now);
   }
+
+  /// Deprecated: construct from a MutableBudgetSource and call its
+  /// set_watts instead (see budget_source.hpp migration notes). Kept for
+  /// the double-constructor path (and the facility coordinator's share
+  /// pushes); throws std::logic_error when the policy was built from an
+  /// explicit non-mutable source.
+  void set_budget_watts(double watts);
 
   std::uint64_t dvfs_degraded_starts() const { return degraded_; }
   std::uint64_t vetoed_starts() const { return vetoed_; }
 
  private:
-  double budget_;
+  BudgetTracker budget_;
   bool allow_dvfs_;
   std::uint64_t degraded_ = 0;
   std::uint64_t vetoed_ = 0;

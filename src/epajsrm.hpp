@@ -47,10 +47,18 @@
 #include "core/scenario_builder.hpp"
 #include "core/solution.hpp"
 
+// External-decision boundary (EDC protocol, DESIGN.md §13).
+#include "edc/energy_budget_agent.hpp"
+#include "edc/external_scheduler.hpp"
+#include "edc/protocol.hpp"
+#include "edc/transport.hpp"
+
 // Energy/power-aware policies (paper Section VI techniques).
+#include "epa/budget_source.hpp"
 #include "epa/capability_window.hpp"
 #include "epa/demand_response.hpp"
 #include "epa/dynamic_power_share.hpp"
+#include "epa/energy_budget.hpp"
 #include "epa/emergency_response.hpp"
 #include "epa/energy_cost_order.hpp"
 #include "epa/energy_to_solution.hpp"

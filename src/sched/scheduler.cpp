@@ -7,6 +7,19 @@
 
 namespace epajsrm::sched {
 
+const char* to_string(DecisionPoint::Kind kind) {
+  switch (kind) {
+    case DecisionPoint::Kind::kSimulationBegins: return "simulation_begins";
+    case DecisionPoint::Kind::kJobSubmitted: return "job_submitted";
+    case DecisionPoint::Kind::kJobEnded: return "job_ended";
+    case DecisionPoint::Kind::kBudgetTick: return "budget_tick";
+    case DecisionPoint::Kind::kPowerBudgetChanged:
+      return "power_budget_changed";
+    case DecisionPoint::Kind::kSimulationEnds: return "simulation_ends";
+  }
+  return "unknown";
+}
+
 AvailabilityTimeline::AvailabilityTimeline(
     std::uint32_t free_now, const std::vector<workload::Job*>& running,
     const SchedulingContext& ctx) {

@@ -23,6 +23,38 @@ class Observability;
 
 namespace epajsrm::sched {
 
+/// One decision point of the scheduling loop, made explicit so the same
+/// loop can be replayed, logged, or driven by an external decision
+/// component (src/edc/). The core enumerates these instead of burying the
+/// triggers in ad-hoc request_schedule() calls: every point is delivered
+/// to the installed SchedulerPolicy before the (coalesced) pass it may
+/// provoke, in deterministic simulation order.
+struct DecisionPoint {
+  enum class Kind : std::uint8_t {
+    kSimulationBegins,     ///< once, when the control loops start
+    kJobSubmitted,         ///< a job arrived in the queue
+    kJobEnded,             ///< a job completed / was killed / cancelled
+    kBudgetTick,           ///< periodic control tick (budget accrual point)
+    kPowerBudgetChanged,   ///< the effective power budget moved
+    kSimulationEnds,       ///< once, when the run finalizes
+  };
+
+  Kind kind = Kind::kBudgetTick;
+  sim::SimTime time = 0;
+  /// Monotone sequence number within the run (replay ordering).
+  std::uint64_t seq = 0;
+  /// The job concerned (kJobSubmitted / kJobEnded), else kNoJob.
+  workload::JobId job = platform::kNoJob;
+  /// New budget (kPowerBudgetChanged), else 0.
+  double budget_watts = 0.0;
+  /// Actual energy attributed to the job (kJobEnded) or its planning-time
+  /// estimate (kJobSubmitted), else 0. Energy-budget schedulers refund
+  /// charged estimates from this; the EDC messages carry it verbatim.
+  double energy_joules = 0.0;
+};
+
+const char* to_string(DecisionPoint::Kind kind);
+
 /// The core's services exposed to a scheduling policy during one pass.
 class SchedulingContext {
  public:
@@ -68,6 +100,26 @@ class SchedulingContext {
   /// observability is disabled — policies must treat null as "record
   /// nothing".
   virtual obs::Observability* observability() const { return nullptr; }
+
+  // --- decision application (external-decision boundary) --------------------
+
+  /// Applies a system power cap decided by the scheduler (internal
+  /// energy-budget policies and EDC `set_power_cap` replies both land
+  /// here). The core checkpoints energy, actuates the cap, and emits a
+  /// kPowerBudgetChanged decision point when the value actually moved.
+  /// Returns false when the context cannot actuate caps (mock contexts).
+  virtual bool apply_power_cap(double watts) {
+    (void)watts;
+    return false;
+  }
+
+  /// Kills a *running* job and resubmits a fresh copy at the back of the
+  /// queue (EDC `requeue` reply). Returns the requeued id, or kNoJob when
+  /// the job was not running or the context cannot requeue.
+  virtual workload::JobId requeue(workload::JobId job) {
+    (void)job;
+    return platform::kNoJob;
+  }
 };
 
 /// A scheduling policy: orders and places the queue.
@@ -78,6 +130,25 @@ class SchedulerPolicy {
   /// One scheduling pass. Implementations call ctx.try_start for each job
   /// they decide to launch now.
   virtual void schedule(SchedulingContext& ctx) = 0;
+
+  /// Delivered for every decision point, before the pass it may provoke
+  /// (several points can coalesce into one pass; each is still delivered).
+  /// Default is a no-op so classic queue-order schedulers stay oblivious.
+  virtual void on_decision_point(const DecisionPoint& point,
+                                 SchedulingContext& ctx) {
+    (void)point;
+    (void)ctx;
+  }
+
+  /// Whether `kind` should trigger a scheduling pass. The default
+  /// reproduces the classic cadence (arrivals and completions reschedule;
+  /// ticks do not). Budget-aware schedulers also want kBudgetTick and
+  /// kPowerBudgetChanged passes so cap tightening is prompt.
+  virtual bool wants_pass(DecisionPoint::Kind kind) const {
+    return kind == DecisionPoint::Kind::kJobSubmitted ||
+           kind == DecisionPoint::Kind::kJobEnded ||
+           kind == DecisionPoint::Kind::kPowerBudgetChanged;
+  }
 
   virtual std::string name() const = 0;
 };

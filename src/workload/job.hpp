@@ -166,6 +166,14 @@ class Job {
   double energy_joules() const { return energy_joules_; }
   void add_energy_joules(double j) { energy_joules_ += j; }
 
+  /// Planning-time estimate of the whole allocation's energy (predicted
+  /// per-node draw × nodes × walltime estimate), frozen by the core at
+  /// submission. Energy-budget admission ranks and charges against this,
+  /// and the EDC `job_submitted` message carries it verbatim so external
+  /// schedulers plan with the identical number.
+  double estimated_energy_joules() const { return estimated_energy_j_; }
+  void set_estimated_energy_joules(double j) { estimated_energy_j_ = j; }
+
  private:
   JobSpec spec_;
   JobState state_ = JobState::kQueued;
@@ -185,6 +193,7 @@ class Job {
   std::uint64_t completion_gen_ = 0;
 
   double energy_joules_ = 0.0;
+  double estimated_energy_j_ = 0.0;
 };
 
 }  // namespace epajsrm::workload

@@ -1,0 +1,310 @@
+// The EDC boundary's load-bearing guarantee: a run driven through the
+// serialized loopback transport is bit-identical to the same policy run
+// internally — single runs and ensemble sweeps at any thread count — and
+// rogue or malformed replies can be rejected without corrupting the core.
+#include "edc/external_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "core/scenario_builder.hpp"
+#include "core/solution.hpp"
+#include "edc/energy_budget_agent.hpp"
+#include "edc/protocol.hpp"
+#include "edc/transport.hpp"
+#include "epa/energy_budget.hpp"
+#include "platform/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace epajsrm {
+namespace {
+
+// Sized so the budget binds on a 16-node machine: jobs queue against the
+// accrual rate and the reduce-power-cap mode keeps moving the system cap.
+epa::EnergyBudgetConfig study_budget() {
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  eb.window_budget_joules = 5.0e6;
+  eb.window = sim::kHour;
+  eb.initial_fraction = 0.0;
+  eb.emergency_timeout = 20 * sim::kMinute;
+  // High floor: the cap still tracks the allowance (so set_power_cap
+  // replies flow), but never throttles so hard that jobs overrun their
+  // walltime and die instead of completing.
+  eb.cap_floor_fraction = 0.85;
+  return eb;
+}
+
+core::ScenarioConfig study_config(std::uint64_t seed) {
+  auto b = core::Scenario::builder()
+               .label("edc-study")
+               .nodes(16)
+               .job_count(16)
+               .seed(seed)
+               .horizon(sim::kDay)
+               .energy_budget(study_budget())
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = false;
+               });
+  return std::move(b).take_config();
+}
+
+// The same experiment with the scheduling boundary externalized: the
+// identical kernel, but reached through serialize -> loopback -> parse.
+core::ScenarioConfig loopback_config(std::uint64_t seed) {
+  core::ScenarioConfig config = study_config(seed);
+  config.external_transport = std::make_shared<edc::LoopbackTransport>(
+      std::make_shared<edc::EnergyBudgetAgent>(study_budget()));
+  return config;
+}
+
+void expect_summary_identical(const metrics::DistributionSummary& a,
+                              const metrics::DistributionSummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.p10, b.p10);
+  EXPECT_EQ(a.p25, b.p25);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.p75, b.p75);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+}
+
+// Every field, exact double equality: "bit-identical" is the contract,
+// not "statistically close".
+void expect_bit_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.report.jobs_submitted, b.report.jobs_submitted);
+  EXPECT_EQ(a.report.jobs_completed, b.report.jobs_completed);
+  EXPECT_EQ(a.report.jobs_killed, b.report.jobs_killed);
+  expect_summary_identical(a.report.wait_minutes, b.report.wait_minutes);
+  expect_summary_identical(a.report.bounded_slowdown,
+                           b.report.bounded_slowdown);
+  expect_summary_identical(a.report.job_node_counts, b.report.job_node_counts);
+  expect_summary_identical(a.report.job_runtime_minutes,
+                           b.report.job_runtime_minutes);
+  EXPECT_EQ(a.report.throughput_jobs_per_day, b.report.throughput_jobs_per_day);
+  EXPECT_EQ(a.report.mean_it_watts, b.report.mean_it_watts);
+  EXPECT_EQ(a.report.max_it_watts, b.report.max_it_watts);
+  EXPECT_EQ(a.report.total_it_kwh, b.report.total_it_kwh);
+  EXPECT_EQ(a.report.total_facility_kwh, b.report.total_facility_kwh);
+  EXPECT_EQ(a.report.electricity_cost, b.report.electricity_cost);
+  EXPECT_EQ(a.report.budget_watts, b.report.budget_watts);
+  EXPECT_EQ(a.report.violation_samples, b.report.violation_samples);
+  EXPECT_EQ(a.report.violation_fraction, b.report.violation_fraction);
+  EXPECT_EQ(a.report.worst_violation_watts, b.report.worst_violation_watts);
+  EXPECT_EQ(a.report.violation_kwh, b.report.violation_kwh);
+  EXPECT_EQ(a.report.mean_core_utilization, b.report.mean_core_utilization);
+  EXPECT_EQ(a.report.core_hours_per_mwh, b.report.core_hours_per_mwh);
+  EXPECT_EQ(a.report.makespan, b.report.makespan);
+
+  EXPECT_EQ(a.total_it_kwh_exact, b.total_it_kwh_exact);
+  EXPECT_EQ(a.overhead_kwh, b.overhead_kwh);
+  EXPECT_EQ(a.node_boots, b.node_boots);
+  EXPECT_EQ(a.node_shutdowns, b.node_shutdowns);
+  EXPECT_EQ(a.scheduling_passes, b.scheduling_passes);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.kills_by_reason, b.kills_by_reason);
+
+  ASSERT_EQ(a.job_reports.size(), b.job_reports.size());
+  for (std::size_t i = 0; i < a.job_reports.size(); ++i) {
+    EXPECT_EQ(a.job_reports[i].job, b.job_reports[i].job);
+    EXPECT_EQ(a.job_reports[i].energy_kwh, b.job_reports[i].energy_kwh);
+    EXPECT_EQ(a.job_reports[i].average_watts, b.job_reports[i].average_watts);
+    EXPECT_EQ(a.job_reports[i].node_hours, b.job_reports[i].node_hours);
+    EXPECT_EQ(a.job_reports[i].kwh_per_node_hour,
+              b.job_reports[i].kwh_per_node_hour);
+    EXPECT_EQ(a.job_reports[i].grade, b.job_reports[i].grade);
+  }
+}
+
+TEST(EdcLoopback, InternalAndLoopbackRunsAreBitIdentical) {
+  core::Scenario internal(study_config(42));
+  const core::RunResult a = internal.run();
+
+  core::Scenario loopback(loopback_config(42));
+  const core::RunResult b = loopback.run();
+
+  // The run must be non-trivial for the comparison to mean anything: jobs
+  // completed, passes happened, and the budget actually made jobs wait.
+  EXPECT_GT(a.report.jobs_completed, 0u);
+  EXPECT_GT(a.scheduling_passes, 0u);
+  EXPECT_GT(a.report.wait_minutes.mean, 0.0);
+
+  expect_bit_identical(a, b);
+}
+
+core::EnsembleResult run_ensemble(bool loopback, std::size_t threads) {
+  core::EnsembleConfig config;
+  config.replications = 3;
+  config.base_seed = 777;
+  config.threads = threads;
+  core::EnsembleEngine engine(config);
+  // The agent holds per-run state, so every replication builds a fresh
+  // transport+agent inside the factory — sharing one across cells would
+  // bleed decisions between runs.
+  engine.add_point("edc", [loopback](std::uint64_t seed) {
+    return loopback ? loopback_config(seed) : study_config(seed);
+  });
+  return engine.run();
+}
+
+void expect_observations_identical(const core::EnsembleResult& a,
+                                   const core::EnsembleResult& b) {
+  ASSERT_EQ(a.observations.size(), b.observations.size());
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    EXPECT_EQ(a.observations[i].seed, b.observations[i].seed);
+    EXPECT_EQ(a.observations[i].sim_events, b.observations[i].sim_events);
+    EXPECT_EQ(a.observations[i].total_kwh, b.observations[i].total_kwh);
+    EXPECT_EQ(a.observations[i].mean_utilization,
+              b.observations[i].mean_utilization);
+    EXPECT_EQ(a.observations[i].median_wait_minutes,
+              b.observations[i].median_wait_minutes);
+    EXPECT_EQ(a.observations[i].violation_fraction,
+              b.observations[i].violation_fraction);
+    EXPECT_EQ(a.observations[i].jobs_completed,
+              b.observations[i].jobs_completed);
+    EXPECT_EQ(a.observations[i].makespan_hours,
+              b.observations[i].makespan_hours);
+  }
+}
+
+TEST(EdcLoopback, EnsembleBitIdenticalAcrossThreadCountsAndBoundary) {
+  // Reference: the internal policy, serial.
+  const core::EnsembleResult internal_serial = run_ensemble(false, 1);
+  ASSERT_EQ(internal_serial.observations.size(), 3u);
+
+  // The loopback boundary at 1, 4, and 8 worker threads all reproduce the
+  // internal serial observations exactly.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const core::EnsembleResult loopback = run_ensemble(true, threads);
+    expect_observations_identical(internal_serial, loopback);
+  }
+  // And the internal family is itself thread-count invariant.
+  const core::EnsembleResult internal_parallel = run_ensemble(false, 8);
+  expect_observations_identical(internal_serial, internal_parallel);
+}
+
+// --- rogue replies: rejected, never UB ----------------------------------------
+
+// Replies with unknown jobs, a duplicate start, and an unknown requeue —
+// everything a buggy external component could throw at the core.
+class RogueAgent final : public edc::Agent {
+ public:
+  std::vector<std::string> on_messages(
+      const std::vector<std::string>& lines) override {
+    bool pass = false;
+    workload::JobId head = platform::kNoJob;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const edc::Message m = edc::parse_message(lines[i], i + 1);
+      if (m.type == edc::Message::Type::kSchedulingPass) {
+        pass = true;
+        if (!m.pending.empty()) head = m.pending.front();
+      }
+    }
+    std::vector<std::string> replies;
+    if (!pass) return replies;
+    edc::Reply reply;
+    reply.type = edc::Reply::Type::kStartJob;
+    reply.job = 999'999;  // never submitted
+    replies.push_back(edc::serialize(reply));
+    reply.type = edc::Reply::Type::kRequeue;
+    reply.job = 888'888;  // unknown to the core
+    replies.push_back(edc::serialize(reply));
+    edc::Reply hold;
+    hold.type = edc::Reply::Type::kHold;
+    replies.push_back(edc::serialize(hold));
+    if (head != platform::kNoJob) {
+      edc::Reply start;
+      start.type = edc::Reply::Type::kStartJob;
+      start.job = head;
+      replies.push_back(edc::serialize(start));
+      // Stale duplicate: by the time it is applied the job already
+      // started, so it must be rejected, not double-started.
+      replies.push_back(edc::serialize(start));
+    }
+    return replies;
+  }
+
+  std::string name() const override { return "rogue"; }
+};
+
+TEST(EdcLoopback, RogueRepliesAreRejectedWithoutCorruptingTheRun) {
+  sim::Simulation sim;
+  platform::Cluster cluster = platform::ClusterBuilder().node_count(8).build();
+  core::EpaJsrmSolution solution(sim, cluster);
+
+  auto scheduler = std::make_unique<edc::ExternalScheduler>(
+      std::make_shared<edc::LoopbackTransport>(std::make_shared<RogueAgent>()));
+  const edc::ExternalScheduler* sched = scheduler.get();
+  solution.set_scheduler(std::move(scheduler));
+
+  for (workload::JobId id = 1; id <= 2; ++id) {
+    workload::JobSpec spec;
+    spec.id = id;
+    spec.nodes = 2;
+    spec.runtime_ref = 10 * sim::kMinute;
+    spec.walltime_estimate = sim::kHour;
+    solution.submit(spec);
+  }
+  solution.run_until(4 * sim::kHour);
+  const core::RunResult result = solution.finalize();
+
+  // Valid starts went through despite the noise; both jobs finished.
+  EXPECT_EQ(result.report.jobs_completed, 2u);
+  EXPECT_GT(sched->replies_applied(), 0u);
+  // Unknown-job starts, unknown requeues, and the stale duplicate were
+  // all counted out without disturbing core state.
+  EXPECT_GT(sched->replies_rejected(), 0u);
+}
+
+// --- malformed replies: line-numbered ProtocolError ---------------------------
+
+class GarbageAgent final : public edc::Agent {
+ public:
+  std::vector<std::string> on_messages(
+      const std::vector<std::string>& lines) override {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const edc::Message m = edc::parse_message(lines[i], i + 1);
+      if (m.type == edc::Message::Type::kSchedulingPass) {
+        edc::Reply hold;
+        hold.type = edc::Reply::Type::kHold;
+        return {edc::serialize(hold), "this is not a reply"};
+      }
+    }
+    return {};
+  }
+
+  std::string name() const override { return "garbage"; }
+};
+
+TEST(EdcLoopback, MalformedReplySurfacesLineNumberedProtocolError) {
+  sim::Simulation sim;
+  platform::Cluster cluster = platform::ClusterBuilder().node_count(4).build();
+  core::EpaJsrmSolution solution(sim, cluster);
+  solution.set_scheduler(std::make_unique<edc::ExternalScheduler>(
+      std::make_shared<edc::LoopbackTransport>(
+          std::make_shared<GarbageAgent>())));
+
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.nodes = 1;
+  spec.runtime_ref = sim::kMinute;
+  solution.submit(spec);
+
+  try {
+    solution.run_until(sim::kHour);
+    FAIL() << "expected edc::ProtocolError";
+  } catch (const edc::ProtocolError& e) {
+    EXPECT_EQ(e.line(), 2u);  // the garbage line, not the valid hold
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace epajsrm

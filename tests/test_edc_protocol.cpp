@@ -1,0 +1,235 @@
+// EDC wire protocol: serialize -> parse round-trips for every message and
+// reply type (bit-exact doubles included), and line-numbered rejection of
+// malformed input.
+#include "edc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace epajsrm::edc {
+namespace {
+
+// --- round trips: every message type ----------------------------------------
+
+TEST(EdcProtocol, SimulationBeginsRoundTrips) {
+  Message m;
+  m.type = Message::Type::kSimulationBegins;
+  m.time = 0;
+  m.seq = 0;
+  m.total_nodes = 64;
+  m.peak_node_watts = 270.0;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kSimulationBegins);
+  EXPECT_EQ(back.time, m.time);
+  EXPECT_EQ(back.seq, m.seq);
+  EXPECT_EQ(back.total_nodes, m.total_nodes);
+  EXPECT_EQ(back.peak_node_watts, m.peak_node_watts);
+}
+
+TEST(EdcProtocol, JobSubmittedRoundTripsBitExactDoubles) {
+  Message m;
+  m.type = Message::Type::kJobSubmitted;
+  m.time = 12'345'678;
+  m.seq = 42;
+  m.job = 7;
+  m.submit_time = 12'345'678;
+  m.nodes = 4;
+  m.walltime = 2 * sim::kHour;
+  // A value with no short decimal form: the shortest-round-trip printer
+  // must still bring the identical bits back.
+  m.estimated_energy_joules = 1.0368e6 * (1.0 / 3.0);
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kJobSubmitted);
+  EXPECT_EQ(back.job, m.job);
+  EXPECT_EQ(back.submit_time, m.submit_time);
+  EXPECT_EQ(back.nodes, m.nodes);
+  EXPECT_EQ(back.walltime, m.walltime);
+  EXPECT_EQ(back.estimated_energy_joules, m.estimated_energy_joules);
+}
+
+TEST(EdcProtocol, JobEndedRoundTrips) {
+  Message m;
+  m.type = Message::Type::kJobEnded;
+  m.time = 99;
+  m.seq = 3;
+  m.job = 12;
+  m.energy_joules = 987654.321;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kJobEnded);
+  EXPECT_EQ(back.job, m.job);
+  EXPECT_EQ(back.energy_joules, m.energy_joules);
+}
+
+TEST(EdcProtocol, BudgetTickRoundTrips) {
+  Message m;
+  m.type = Message::Type::kBudgetTick;
+  m.time = 10 * sim::kSecond;
+  m.seq = 5;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kBudgetTick);
+  EXPECT_EQ(back.time, m.time);
+  EXPECT_EQ(back.seq, m.seq);
+}
+
+TEST(EdcProtocol, PowerBudgetChangedRoundTrips) {
+  Message m;
+  m.type = Message::Type::kPowerBudgetChanged;
+  m.time = 1;
+  m.seq = 9;
+  m.budget_watts = 12345.6789;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kPowerBudgetChanged);
+  EXPECT_EQ(back.budget_watts, m.budget_watts);
+}
+
+TEST(EdcProtocol, SimulationEndsRoundTrips) {
+  Message m;
+  m.type = Message::Type::kSimulationEnds;
+  m.time = 4 * sim::kDay;
+  m.seq = 1000;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kSimulationEnds);
+  EXPECT_EQ(back.time, m.time);
+}
+
+TEST(EdcProtocol, SchedulingPassRoundTripsPendingIds) {
+  Message m;
+  m.type = Message::Type::kSchedulingPass;
+  m.time = 30 * sim::kSecond;
+  m.seq = 2;
+  m.free_nodes = 17;
+  m.pending = {5, 3, 9, 1};
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_EQ(back.type, Message::Type::kSchedulingPass);
+  EXPECT_EQ(back.free_nodes, m.free_nodes);
+  EXPECT_EQ(back.pending, m.pending);  // order preserved
+}
+
+TEST(EdcProtocol, EmptyPendingArrayRoundTrips) {
+  Message m;
+  m.type = Message::Type::kSchedulingPass;
+  m.free_nodes = 0;
+  const Message back = parse_message(serialize(m), 1);
+  EXPECT_TRUE(back.pending.empty());
+}
+
+// --- round trips: every reply type -------------------------------------------
+
+TEST(EdcProtocol, StartJobReplyRoundTrips) {
+  Reply r;
+  r.type = Reply::Type::kStartJob;
+  r.job = 77;
+  const Reply back = parse_reply(serialize(r), 1);
+  EXPECT_EQ(back.type, Reply::Type::kStartJob);
+  EXPECT_EQ(back.job, r.job);
+}
+
+TEST(EdcProtocol, SetPowerCapReplyRoundTripsBitExact) {
+  Reply r;
+  r.type = Reply::Type::kSetPowerCap;
+  r.watts = 17280.0 * std::sqrt(2.0);
+  const Reply back = parse_reply(serialize(r), 1);
+  EXPECT_EQ(back.type, Reply::Type::kSetPowerCap);
+  EXPECT_EQ(back.watts, r.watts);
+}
+
+TEST(EdcProtocol, HoldReplyRoundTrips) {
+  Reply r;
+  r.type = Reply::Type::kHold;
+  const Reply back = parse_reply(serialize(r), 1);
+  EXPECT_EQ(back.type, Reply::Type::kHold);
+}
+
+TEST(EdcProtocol, RequeueReplyRoundTrips) {
+  Reply r;
+  r.type = Reply::Type::kRequeue;
+  r.job = 8;
+  const Reply back = parse_reply(serialize(r), 1);
+  EXPECT_EQ(back.type, Reply::Type::kRequeue);
+  EXPECT_EQ(back.job, r.job);
+}
+
+// --- double exactness ---------------------------------------------------------
+
+TEST(EdcProtocol, FormatDoubleIsShortestExactForm) {
+  const double values[] = {0.0,    1.0,        0.1,    1.0 / 3.0,
+                           2.5e-9, 1.7976e308, 1e-300, 123456.789};
+  for (const double v : values) {
+    const std::string text = format_double(v);
+    Message m;
+    m.type = Message::Type::kJobEnded;
+    m.job = 1;
+    m.energy_joules = v;
+    const Message back = parse_message(serialize(m), 1);
+    EXPECT_EQ(back.energy_joules, v) << "via " << text;
+  }
+}
+
+// --- malformed input: line-numbered rejection ---------------------------------
+
+TEST(EdcProtocol, MalformedJsonReportsLineNumber) {
+  try {
+    parse_reply("{\"type\":\"start_job\",\"job\":", 7);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.line(), 7u);
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+  }
+}
+
+TEST(EdcProtocol, UnknownMessageTypeRejected) {
+  EXPECT_THROW(
+      parse_message("{\"type\":\"launch_missiles\",\"time\":0,\"seq\":0}", 2),
+      ProtocolError);
+}
+
+TEST(EdcProtocol, UnknownReplyTypeRejected) {
+  EXPECT_THROW(parse_reply("{\"type\":\"abort\"}", 1), ProtocolError);
+}
+
+TEST(EdcProtocol, MissingRequiredFieldRejected) {
+  // start_job without a job id.
+  EXPECT_THROW(parse_reply("{\"type\":\"start_job\"}", 1), ProtocolError);
+  // job_submitted without its energy estimate.
+  EXPECT_THROW(
+      parse_message("{\"type\":\"job_submitted\",\"time\":0,\"seq\":0,"
+                    "\"job\":1,\"submit_time\":0,\"nodes\":1,\"walltime\":1}",
+                    1),
+      ProtocolError);
+}
+
+TEST(EdcProtocol, WrongFieldTypeRejected) {
+  EXPECT_THROW(parse_reply("{\"type\":\"start_job\",\"job\":\"seven\"}", 1),
+               ProtocolError);
+}
+
+TEST(EdcProtocol, BadNumberRejected) {
+  EXPECT_THROW(parse_reply("{\"type\":\"set_power_cap\",\"watts\":1.2.3}", 1),
+               ProtocolError);
+}
+
+TEST(EdcProtocol, NegativeCapRejected) {
+  EXPECT_THROW(parse_reply("{\"type\":\"set_power_cap\",\"watts\":-5}", 1),
+               ProtocolError);
+}
+
+TEST(EdcProtocol, NoJobSentinelRejectedInReplies) {
+  EXPECT_THROW(parse_reply("{\"type\":\"start_job\",\"job\":0}", 1),
+               ProtocolError);
+  EXPECT_THROW(parse_reply("{\"type\":\"requeue\",\"job\":0}", 1),
+               ProtocolError);
+}
+
+TEST(EdcProtocol, TrailingGarbageRejected) {
+  EXPECT_THROW(parse_reply("{\"type\":\"hold\"} extra", 3), ProtocolError);
+}
+
+TEST(EdcProtocol, WhitespaceTolerated) {
+  const Reply r = parse_reply("  { \"type\" : \"hold\" }  ", 1);
+  EXPECT_EQ(r.type, Reply::Type::kHold);
+}
+
+}  // namespace
+}  // namespace epajsrm::edc

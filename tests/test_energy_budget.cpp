@@ -1,0 +1,331 @@
+// The energy-budget scheduler family: kernel decision logic (accrual,
+// ranking, refunds, cap tightening) and the anti-deadlock guarantee, both
+// at kernel level and through a full simulated run.
+#include "epa/energy_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/scenario_builder.hpp"
+#include "core/solution.hpp"
+#include "epa/budget_source.hpp"
+#include "epa/power_budget_dvfs.hpp"
+#include "platform/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace epajsrm {
+namespace {
+
+using epa::EnergyBudgetConfig;
+using epa::EnergyBudgetCore;
+using epa::EnergyBudgetMode;
+
+EnergyBudgetCore::PassInput pass_at(sim::SimTime now, std::uint32_t free,
+                                    std::vector<EnergyBudgetCore::QueuedJob> q) {
+  EnergyBudgetCore::PassInput input;
+  input.now = now;
+  input.free_nodes = free;
+  input.pending = std::move(q);
+  return input;
+}
+
+// --- kernel: accrual and admission -------------------------------------------
+
+TEST(EnergyBudgetCore, JobWaitsUntilAllowanceAccrues) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 3600.0;  // 1 W accrual over an hour
+  config.window = sim::kHour;
+  config.emergency_timeout = 0;  // isolate the accrual path
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  // 100 J job: affordable only after 100 s of accrual.
+  const EnergyBudgetCore::QueuedJob job{1, 0, 2, 100.0};
+  EXPECT_TRUE(core.decide(pass_at(50 * sim::kSecond, 8, {job})).empty());
+  const auto decisions = core.decide(pass_at(150 * sim::kSecond, 8, {job}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].type, EnergyBudgetCore::Decision::Type::kStartJob);
+  EXPECT_EQ(decisions[0].job, 1u);
+  // The estimate was charged against the allowance.
+  EXPECT_LT(core.available_joules(), 51.0);
+}
+
+TEST(EnergyBudgetCore, AccrualClampsAtWindowBudget) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1000.0;
+  config.window = sim::kHour;
+  config.emergency_timeout = 0;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+  core.decide(pass_at(10 * sim::kHour, 8, {}));  // accrue way past the window
+  EXPECT_DOUBLE_EQ(core.available_joules(), 1000.0);
+}
+
+TEST(EnergyBudgetCore, RankingPrefersWaitPerJoule) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.initial_fraction = 1.0;
+  config.emergency_timeout = 0;
+  EnergyBudgetCore core(config);
+  core.begin(0, 2, 270.0);  // room for only one 2-node job at a time
+
+  // Same wait; job 2 is 10x cheaper -> higher priority -> starts first.
+  const EnergyBudgetCore::QueuedJob expensive{1, 0, 2, 1000.0};
+  const EnergyBudgetCore::QueuedJob cheap{2, 0, 2, 100.0};
+  const auto decisions =
+      core.decide(pass_at(sim::kMinute, 2, {expensive, cheap}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 2u);
+}
+
+TEST(EnergyBudgetCore, SkipsInfeasibleAndWalksDownTheQueue) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.initial_fraction = 1.0;
+  config.emergency_timeout = 0;
+  EnergyBudgetCore core(config);
+  core.begin(0, 4, 270.0);
+
+  // Head wants 8 nodes (infeasible); the IDLE variants walk past it.
+  const EnergyBudgetCore::QueuedJob wide{1, 0, 8, 10.0};
+  const EnergyBudgetCore::QueuedJob narrow{2, 0, 4, 10000.0};
+  const auto decisions = core.decide(pass_at(sim::kMinute, 4, {wide, narrow}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 2u);
+}
+
+TEST(EnergyBudgetCore, JobEndRefundsOverestimate) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1000.0;
+  config.initial_fraction = 1.0;
+  config.emergency_timeout = 0;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  const EnergyBudgetCore::QueuedJob job{1, 0, 2, 800.0};
+  ASSERT_EQ(core.decide(pass_at(0, 8, {job})).size(), 1u);
+  const double after_charge = core.available_joules();
+  EXPECT_DOUBLE_EQ(after_charge, 200.0);
+  // The job actually drew 300 J: 500 J come back.
+  core.job_ended(1, 300.0);
+  EXPECT_DOUBLE_EQ(core.available_joules(), 700.0);
+  // Unknown jobs refund nothing.
+  core.job_ended(99, 1e9);
+  EXPECT_DOUBLE_EQ(core.available_joules(), 700.0);
+}
+
+// --- kernel: anti-deadlock emergency mode -------------------------------------
+
+TEST(EnergyBudgetCore, EmergencyAdmitsStarvedHeadDespiteEmptyAllowance) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1000.0;  // accrues ~0.28 W
+  config.window = sim::kHour;
+  config.emergency_timeout = 10 * sim::kMinute;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  // 1 MJ estimate: the allowance alone would starve this job forever.
+  const EnergyBudgetCore::QueuedJob huge{1, 0, 4, 1e6};
+  EXPECT_TRUE(core.decide(pass_at(9 * sim::kMinute, 8, {huge})).empty());
+  EXPECT_FALSE(core.emergency_active());
+
+  const auto decisions = core.decide(pass_at(10 * sim::kMinute, 8, {huge}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 1u);
+  EXPECT_EQ(core.emergency_starts(), 1u);
+  // The allowance went into debt and must re-accrue.
+  EXPECT_LT(core.available_joules(), 0.0);
+}
+
+TEST(EnergyBudgetCore, EmergencyOnlyCoversTheHead) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1000.0;
+  config.window = sim::kHour;
+  config.emergency_timeout = 10 * sim::kMinute;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  const EnergyBudgetCore::QueuedJob a{1, 0, 2, 1e6};
+  const EnergyBudgetCore::QueuedJob b{2, 0, 2, 2e6};
+  const auto decisions = core.decide(pass_at(sim::kHour, 8, {a, b}));
+  // Only the ranked head starts on the emergency ticket.
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].job, 1u);  // higher wait/energy priority
+}
+
+TEST(EnergyBudgetCore, StartsResetTheEmergencyClock) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.initial_fraction = 1.0;
+  config.emergency_timeout = 10 * sim::kMinute;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  // An affordable start at t=9min moves last_start; the expensive job's
+  // emergency anchor restarts from there.
+  const EnergyBudgetCore::QueuedJob cheap{1, 9 * sim::kMinute, 2, 10.0};
+  const EnergyBudgetCore::QueuedJob huge{2, 0, 2, 1e9};
+  ASSERT_EQ(core.decide(pass_at(9 * sim::kMinute, 8, {cheap, huge})).size(),
+            1u);
+  // 10 minutes after the huge job's submit — but only 1 after the last
+  // start: no emergency yet.
+  EXPECT_TRUE(core.decide(pass_at(10 * sim::kMinute, 8, {huge})).empty());
+  // 10 minutes after the last start: emergency fires.
+  EXPECT_EQ(core.decide(pass_at(19 * sim::kMinute, 8, {huge})).size(), 1u);
+}
+
+// --- kernel: cap modes --------------------------------------------------------
+
+TEST(EnergyBudgetCore, ReducePcTightensCapAsAllowanceDepletes) {
+  EnergyBudgetConfig config;
+  config.mode = EnergyBudgetMode::kReducePowerCap;
+  config.window_budget_joules = 1000.0;
+  config.initial_fraction = 1.0;
+  config.emergency_timeout = 0;
+  config.power_cap_watts = 1000.0;
+  config.cap_floor_fraction = 0.25;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  // Full allowance -> cap at the ceiling.
+  auto decisions = core.decide(pass_at(0, 8, {}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].type, EnergyBudgetCore::Decision::Type::kSetPowerCap);
+  EXPECT_DOUBLE_EQ(decisions[0].watts, 1000.0);
+
+  // Start a 500 J job: allowance at 50 % -> cap halfway between floor
+  // (250 W) and ceiling: 625 W. Starts are emitted before the cap move.
+  const EnergyBudgetCore::QueuedJob job{1, 0, 2, 500.0};
+  decisions = core.decide(pass_at(0, 8, {job}));
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].type, EnergyBudgetCore::Decision::Type::kStartJob);
+  EXPECT_EQ(decisions[1].type, EnergyBudgetCore::Decision::Type::kSetPowerCap);
+  EXPECT_DOUBLE_EQ(decisions[1].watts, 625.0);
+
+  // Unchanged allowance -> no repeated cap decision (the fixpoint that
+  // keeps cap-change passes finite).
+  EXPECT_TRUE(core.decide(pass_at(0, 8, {})).empty());
+}
+
+TEST(EnergyBudgetCore, PowerCapModeEmitsConstantCapAndNoAccounting) {
+  EnergyBudgetConfig config;
+  config.mode = EnergyBudgetMode::kPowerCap;
+  config.power_cap_watts = 750.0;
+  EnergyBudgetCore core(config);
+  core.begin(0, 8, 270.0);
+
+  const EnergyBudgetCore::QueuedJob job{1, 0, 2, 1e12};  // energy ignored
+  const auto decisions = core.decide(pass_at(0, 8, {job}));
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].type, EnergyBudgetCore::Decision::Type::kStartJob);
+  EXPECT_DOUBLE_EQ(decisions[1].watts, 750.0);
+  // And the cap is emitted exactly once.
+  EXPECT_TRUE(core.decide(pass_at(sim::kMinute, 8, {})).empty());
+}
+
+// --- full stack: anti-deadlock through a real run -----------------------------
+
+TEST(EnergyBudgetScheduler, HeadJobStartsEvenWhenBudgetAloneWouldStarveIt) {
+  sim::Simulation sim;
+  platform::Cluster cluster = platform::ClusterBuilder().node_count(8).build();
+  core::SolutionConfig config;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+
+  EnergyBudgetConfig eb;
+  eb.window_budget_joules = 1000.0;  // ~0.28 W accrual: hopeless
+  eb.window = sim::kHour;
+  eb.emergency_timeout = 5 * sim::kMinute;
+  solution.set_scheduler(std::make_unique<epa::EnergyBudgetScheduler>(eb));
+
+  // Estimated energy = predicted watts x 4 nodes x 1 h >> any accrual the
+  // run could bank. Without the emergency path this job never starts.
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.nodes = 4;
+  spec.walltime_estimate = sim::kHour;
+  spec.runtime_ref = 10 * sim::kMinute;
+  solution.submit(spec);
+
+  solution.run_until(2 * sim::kHour);
+  const core::RunResult result = solution.finalize();
+  EXPECT_EQ(result.report.jobs_completed, 1u);
+
+  const workload::Job* job = solution.find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state(), workload::JobState::kCompleted);
+  // It started via the emergency ticket at (or just after) the timeout,
+  // not at submission.
+  EXPECT_GE(job->start_time(), 5 * sim::kMinute);
+  EXPECT_LE(job->start_time(), 6 * sim::kMinute);
+}
+
+// --- budget-change decision points (the prompt-pass fix) ----------------------
+
+TEST(EnergyBudgetScheduler, BudgetSourceMovementFiresPromptPass) {
+  // A tariff-window BudgetSource crossing mid-run must emit a
+  // kPowerBudgetChanged decision point (and with it a prompt pass), not
+  // wait for the next periodic reschedule.
+  sim::Simulation sim;
+  platform::Cluster cluster = platform::ClusterBuilder().node_count(8).build();
+  core::SolutionConfig config;
+  config.record_decision_log = true;
+  core::EpaJsrmSolution solution(sim, cluster, config);
+
+  auto source = std::make_shared<epa::ScheduleBudgetSource>(
+      5000.0, std::vector<epa::ScheduleBudgetSource::Window>{
+                  {30 * sim::kMinute, 2000.0}});
+  solution.add_policy(
+      std::make_unique<epa::PowerBudgetDvfsPolicy>(source, true));
+
+  // Keep the system busy past the crossing: the run ends early once the
+  // workload drains, so an idle hour would never reach the 30 min mark.
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.nodes = 1;
+  spec.runtime_ref = 45 * sim::kMinute;
+  spec.walltime_estimate = sim::kHour;
+  solution.submit(spec);
+
+  solution.run_until(sim::kHour);
+  solution.finalize();
+
+  bool saw_change = false;
+  for (const sched::DecisionPoint& point : solution.decision_log()) {
+    if (point.kind == sched::DecisionPoint::Kind::kPowerBudgetChanged &&
+        point.budget_watts == 2000.0) {
+      saw_change = true;
+      // The window crossed at 30 min; the control loop notices within one
+      // control period (10 s).
+      EXPECT_GE(point.time, 30 * sim::kMinute);
+      EXPECT_LE(point.time, 30 * sim::kMinute + 10 * sim::kSecond);
+    }
+  }
+  EXPECT_TRUE(saw_change);
+}
+
+// --- builder validation -------------------------------------------------------
+
+TEST(ScenarioBuilderEnergyBudget, RejectsNonPositiveInputs) {
+  EXPECT_THROW(core::Scenario::builder().energy_budget(0.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::builder().energy_budget(-1.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::builder().energy_budget(1e6, 0),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::builder().energy_budget(1e6, sim::kHour, -2.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::builder().external_scheduler(nullptr),
+               std::invalid_argument);
+}
+
+TEST(ScenarioBuilderEnergyBudget, FullConfigValidatedAtBuild) {
+  EnergyBudgetConfig eb;  // window_budget_joules left 0
+  EXPECT_THROW(
+      core::Scenario::builder().nodes(4).energy_budget(eb).build(),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epajsrm
