@@ -1,0 +1,211 @@
+// Scenario-service throughput bench: a real epajsrmd server on an
+// in-process loopback socket, hammered by concurrent client connections.
+//
+// Phase 1 (populate) submits each distinct scenario once so the timed
+// phase measures the *service* path — protocol parse, admission, cache
+// lookup, response framing — rather than simulator throughput. Phase 2
+// fans `--clients` connections each issuing `--requests` submits
+// round-robin over the distinct seeds (all cache hits after phase 1) and
+// records per-request wall latency.
+//
+// Output: per-phase breakdown, then the machine-readable BenchSummary
+// line the CI bench-smoke job greps, extended with the two
+// service-level numbers this bench exists for:
+//
+//   {"bench":"service_throughput", "wall_ms":..., "sim_events":...,
+//    "events_per_sec":..., "requests_per_sec":..., "p99_ms":...}
+//
+// sim_events counts the events behind every *response served* (cached
+// responses re-count the run they replay), so events_per_sec is the
+// effective simulation throughput the cache multiplies.
+//
+// Flags:
+//   --clients=N    concurrent client connections (default 4)
+//   --requests=N   timed submits per client (default 200)
+//   --distinct=N   distinct scenarios in the working set (default 8)
+//   --smoke        small sizes for CI smoke runs
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/carrier.hpp"
+#include "net/jsonl.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string submit_line(std::uint64_t seed) {
+  svc::Request request;
+  request.op = svc::Request::Op::kSubmit;
+  request.template_name = "smoke";
+  request.has_seed = true;
+  request.seed = seed;
+  return svc::serialize_request(request);
+}
+
+struct ClientTally {
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t sim_events = 0;
+  std::vector<double> latency_ms;
+};
+
+/// One client connection issuing `requests` submits over `distinct` seeds.
+ClientTally run_client(std::uint16_t port, std::uint64_t requests,
+                       std::uint64_t distinct, std::uint64_t phase_shift) {
+  ClientTally tally;
+  tally.latency_ms.reserve(requests);
+  net::LineChannel channel = net::connect_tcp(port);
+  std::string line;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const std::uint64_t seed = 1 + (i + phase_shift) % distinct;
+    const double t0 = now_ms();
+    channel.write_line(submit_line(seed));
+    if (!channel.read_line(line)) break;
+    const svc::Envelope envelope = svc::parse_envelope(line);
+    for (std::uint64_t n = 0; n < envelope.payload_lines; ++n) {
+      if (!channel.read_line(line)) return tally;
+      if (n == 0 && envelope.status == "done") {
+        const net::LineParser payload(line, 1);
+        tally.sim_events += payload.get_u64_or("sim_events", 0);
+      }
+    }
+    tally.latency_ms.push_back(now_ms() - t0);
+    if (envelope.status == "done") ++tally.ok;
+    if (envelope.cached) ++tally.cached;
+  }
+  return tally;
+}
+
+double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const std::size_t at = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t clients = 4;
+  std::uint64_t requests = 200;
+  std::uint64_t distinct = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--distinct=", 11) == 0) {
+      distinct = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      clients = 2;
+      requests = 50;
+      distinct = 4;
+    }
+  }
+  if (clients == 0 || requests == 0 || distinct == 0) {
+    std::fprintf(stderr, "bench_service_throughput: sizes must be > 0\n");
+    return 2;
+  }
+
+  svc::ServiceConfig service_config;
+  service_config.cache_capacity = distinct + 4;
+  svc::ServerConfig server_config;
+  server_config.endpoint = "tcp:0";
+  svc::Server server(service_config, std::move(server_config));
+  std::thread serving([&server] { server.serve(); });
+  const std::uint16_t port = server.port();
+
+  // Phase 1: populate the cache (the only simulator work in the bench).
+  const double populate_t0 = now_ms();
+  const ClientTally populate = run_client(port, distinct, distinct, 0);
+  const double populate_ms = now_ms() - populate_t0;
+  std::printf("populate: %llu scenarios in %.1f ms\n",
+              static_cast<unsigned long long>(populate.ok), populate_ms);
+
+  // Phase 2: concurrent cached submits.
+  const double t0 = now_ms();
+  std::vector<std::thread> workers;
+  std::vector<ClientTally> tallies(clients);
+  for (std::uint64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      tallies[c] = run_client(port, requests, distinct, c);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_ms = now_ms() - t0;
+
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t sim_events = populate.sim_events;
+  std::vector<double> latency_ms;
+  for (const ClientTally& tally : tallies) {
+    ok += tally.ok;
+    cached += tally.cached;
+    sim_events += tally.sim_events;
+    latency_ms.insert(latency_ms.end(), tally.latency_ms.begin(),
+                      tally.latency_ms.end());
+  }
+
+  // Shut the server down over the wire like any client would.
+  {
+    net::LineChannel channel = net::connect_tcp(port);
+    svc::Request request;
+    request.op = svc::Request::Op::kShutdown;
+    channel.write_line(svc::serialize_request(request));
+    std::string line;
+    channel.read_line(line);
+  }
+  serving.join();
+
+  const double total_ms = populate_ms + wall_ms;
+  const double requests_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(ok) / (wall_ms / 1000.0) : 0.0;
+  const double events_per_sec =
+      total_ms > 0.0 ? static_cast<double>(sim_events) / (total_ms / 1000.0)
+                     : 0.0;
+  const double p50 = percentile(latency_ms, 0.50);
+  const double p99 = percentile(latency_ms, 0.99);
+
+  std::printf("clients: %llu  requests: %llu (%llu ok, %llu cached)\n",
+              static_cast<unsigned long long>(clients),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(cached));
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms\n", p50, p99);
+  std::printf(
+      "{\"bench\":\"service_throughput\",\"wall_ms\":%.1f,"
+      "\"sim_events\":%llu,\"events_per_sec\":%.0f,"
+      "\"requests_per_sec\":%.0f,\"p99_ms\":%.3f}\n",
+      total_ms, static_cast<unsigned long long>(sim_events), events_per_sec,
+      requests_per_sec, p99);
+
+  // A service bench where nothing came from cache measured the simulator,
+  // not the service: fail loudly so CI can't silently drift.
+  const std::uint64_t expected = clients * requests;
+  if (ok != expected || cached == 0) {
+    std::fprintf(stderr,
+                 "bench_service_throughput: %llu/%llu ok, %llu cached\n",
+                 static_cast<unsigned long long>(ok),
+                 static_cast<unsigned long long>(expected),
+                 static_cast<unsigned long long>(cached));
+    return 1;
+  }
+  return 0;
+}

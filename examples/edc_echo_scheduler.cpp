@@ -5,12 +5,16 @@
 // lines. EchoAgent below is a complete greedy-FCFS implementation in ~40
 // lines — it tracks job_submitted/job_ended, and on every scheduling_pass
 // replies start_job for each pending job that fits the free nodes, in
-// queue order. Swap the LoopbackTransport for a socket transport and the
-// identical agent runs out of process.
+// queue order.
+//
+// The example then proves the carrier claim: the identical agent is served
+// on the far side of a real TCP socket (serve_one_connection on a
+// background thread) and the run reproduces the loopback results exactly.
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "epajsrm.hpp"
@@ -60,27 +64,62 @@ class EchoAgent final : public edc::Agent {
   std::map<workload::JobId, std::uint32_t> nodes_of_;
 };
 
+core::RunResult run_with(std::shared_ptr<edc::Transport> transport) {
+  auto scenario = core::Scenario::builder()
+                      .label("edc-echo")
+                      .nodes(32)
+                      .job_count(40)
+                      .seed(7)
+                      .external_scheduler(std::move(transport))
+                      .build();
+  return scenario.run();
+}
+
 }  // namespace
 
 int main() {
-  auto scenario =
-      core::Scenario::builder()
-          .label("edc-echo")
-          .nodes(32)
-          .job_count(40)
-          .seed(7)
-          .external_scheduler(std::make_shared<edc::LoopbackTransport>(
-              std::make_shared<EchoAgent>()))
-          .build();
-  const core::RunResult result = scenario.run();
+  // In-process reference: the agent behind the serialized loopback.
+  const core::RunResult loopback =
+      run_with(std::make_shared<edc::LoopbackTransport>(
+          std::make_shared<EchoAgent>()));
 
-  std::printf("external scheduler: loopback:echo-fcfs\n");
+  // The same agent out of process: served over a real TCP connection on an
+  // ephemeral loopback port. A fresh agent, because EchoAgent holds
+  // per-run state.
+  net::Listener listener = net::Listener::tcp(0);
+  auto transport = edc::SocketTransport::connect_tcp(listener.port());
+  std::size_t batches = 0;
+  std::thread server([&listener, &batches] {
+    EchoAgent agent;
+    batches = edc::serve_one_connection(listener, agent);
+  });
+  core::RunResult socket;
+  {
+    // Scoped so the transport (and with it the connection) closes before
+    // the join, ending the serve loop.
+    const core::RunResult result = run_with(std::move(transport));
+    socket = result;
+  }
+  server.join();
+
+  std::printf("external scheduler: echo-fcfs (loopback, then tcp socket)\n");
   std::printf("jobs completed:     %llu / %llu\n",
-              static_cast<unsigned long long>(result.report.jobs_completed),
-              static_cast<unsigned long long>(result.report.jobs_submitted));
+              static_cast<unsigned long long>(loopback.report.jobs_completed),
+              static_cast<unsigned long long>(loopback.report.jobs_submitted));
   std::printf("scheduling passes:  %llu\n",
-              static_cast<unsigned long long>(result.scheduling_passes));
-  std::printf("mean wait:          %.1f min\n", result.report.wait_minutes.mean);
-  std::printf("total IT energy:    %.1f kWh\n", result.report.total_it_kwh);
-  return result.report.jobs_completed > 0 ? 0 : 1;
+              static_cast<unsigned long long>(loopback.scheduling_passes));
+  std::printf("mean wait:          %.1f min\n",
+              loopback.report.wait_minutes.mean);
+  std::printf("total IT energy:    %.1f kWh\n", loopback.report.total_it_kwh);
+  std::printf("socket batches:     %llu\n",
+              static_cast<unsigned long long>(batches));
+
+  const bool identical =
+      loopback.sim_events == socket.sim_events &&
+      loopback.report.jobs_completed == socket.report.jobs_completed &&
+      loopback.report.makespan == socket.report.makespan &&
+      loopback.report.total_it_kwh == socket.report.total_it_kwh;
+  std::printf("socket == loopback: %s\n", identical ? "bit-identical" : "DIVERGED");
+  return (loopback.report.jobs_completed > 0 && identical && batches > 0) ? 0
+                                                                          : 1;
 }

@@ -69,6 +69,10 @@ std::uint64_t EnsembleEngine::seed_for(std::size_t point,
                              replication);
     case SeedStream::kSequential:
       return config_.base_seed + replication;
+    case SeedStream::kConfig:
+      // The factory's config.seed is authoritative; there is no derived
+      // seed. The constant keeps the MakeConfig signature uniform.
+      return config_.base_seed;
   }
   throw std::logic_error("bad seed stream");
 }
@@ -86,6 +90,9 @@ EnsembleResult EnsembleEngine::run() {
   // order, so the merged registry is bit-identical across thread counts.
   std::vector<RunResult> results(cells);
   std::vector<obs::MetricsFrame> frames(config_.merge_metrics ? cells : 0);
+  // The seed each cell actually ran with (provenance): the derived seed in
+  // the stamping streams, the factory's own config.seed under kConfig.
+  std::vector<std::uint64_t> used_seeds(cells, 0);
 
   // Progress is the one shared mutable piece; it sits behind its own lock
   // and never feeds back into any result, so it cannot perturb determinism.
@@ -102,7 +109,8 @@ EnsembleResult EnsembleEngine::run() {
         const std::size_t rep = flat % reps;
         const std::uint64_t seed = seed_for(point, rep);
         ScenarioConfig config = points_[point].make_config(seed);
-        config.seed = seed;
+        if (config_.seed_stream != SeedStream::kConfig) config.seed = seed;
+        used_seeds[flat] = config.seed;
         if (config_.merge_metrics) {
           // Shard frames must be pure functions of the simulated run:
           // strip every wall-clock-derived instrument before the solution
@@ -156,7 +164,7 @@ EnsembleResult EnsembleEngine::run() {
     for (std::size_t flat = 0; flat < cells; ++flat) {
       obs::merge_frame(out.merged_metrics, frames[flat]);
       out.metrics_provenance.push_back(ShardMetricsProvenance{
-          flat / reps, flat % reps, seed_for(flat / reps, flat % reps),
+          flat / reps, flat % reps, used_seeds[flat],
           results[flat].sim_events, frames[flat].metric_count()});
     }
   }
@@ -170,7 +178,7 @@ EnsembleResult EnsembleEngine::run() {
     cell.seeds.reserve(reps);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       const RunResult& r = results[point * reps + rep];
-      const std::uint64_t seed = seed_for(point, rep);
+      const std::uint64_t seed = used_seeds[point * reps + rep];
       cell.seeds.push_back(seed);
       kwh.push_back(r.total_it_kwh_exact);
       util.push_back(r.report.mean_core_utilization);
@@ -196,6 +204,7 @@ EnsembleResult EnsembleEngine::run() {
     cell.stats.makespan_hours = metrics::summarize(makespan);
     out.cells.push_back(std::move(cell));
   }
+  if (config_.keep_run_results) out.run_results = std::move(results);
   return out;
 }
 

@@ -35,6 +35,12 @@ enum class SeedStream {
   /// base + rep, identical across points — the historical run_replicated
   /// scheme, kept so its statistics stay reproducible.
   kSequential,
+  /// The factory's returned config.seed is authoritative; the engine does
+  /// not stamp a derived seed over it. For callers whose points are
+  /// already-complete configs (the scenario service batches requests this
+  /// way) — the cache key covers config.seed, so the engine must not
+  /// perturb it. seed_for() degenerates to base_seed under this stream.
+  kConfig,
 };
 
 /// Live sweep progress, delivered through EnsembleConfig::on_progress.
@@ -64,6 +70,11 @@ struct EnsembleConfig {
   /// bucket-wise add — all associative) is bit-identical no matter how
   /// many threads ran the sweep.
   bool merge_metrics = false;
+  /// Keep every cell's full RunResult in EnsembleResult::run_results
+  /// (flat (point, replication) order). Off by default: study-scale sweeps
+  /// only need the aggregated statistics, and per-cell job reports are the
+  /// bulk of a result's footprint.
+  bool keep_run_results = false;
   /// Rate-limited live progress callback. Invoked from worker threads
   /// under the engine's progress lock — keep it cheap and don't assume a
   /// particular thread. Never invoked concurrently with itself.
@@ -114,6 +125,10 @@ struct EnsembleResult {
   /// Every replication in (point, replication) order.
   std::vector<EnsembleObservation> observations;
 
+  /// Full per-cell results in flat (point, replication) order; empty
+  /// unless EnsembleConfig::keep_run_results was set.
+  std::vector<RunResult> run_results;
+
   /// True when EnsembleConfig::merge_metrics produced merged_metrics.
   bool metrics_merged = false;
   /// Union of every shard's registry, merged in flat (point, replication)
@@ -135,7 +150,8 @@ struct EnsembleResult {
 ///
 /// add_point's factory receives the replication's derived seed and returns
 /// the ScenarioConfig to run (the engine stamps config.seed afterwards, so
-/// forgetting to copy it in is harmless). The optional customize hook runs
+/// forgetting to copy it in is harmless — except under SeedStream::kConfig,
+/// where the returned config's own seed is authoritative). The optional customize hook runs
 /// on the built Scenario before run() — it executes on a worker thread and
 /// must not share mutable state across replications.
 class EnsembleEngine {

@@ -1,0 +1,213 @@
+#include "core/scenario_hash.hpp"
+
+#include <stdexcept>
+#include <type_traits>
+
+#include "net/jsonl.hpp"
+
+namespace epajsrm::core {
+
+namespace {
+
+/// Appends `key=value` lines; one writer per serialization so the order is
+/// exactly the call order below.
+class CanonicalWriter {
+ public:
+  void field(const char* key, const std::string& value) {
+    out_ += key;
+    out_ += '=';
+    out_ += value;
+    out_ += '\n';
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const char* key, double value) {
+    field(key, net::format_double(value));
+  }
+  void field(const char* key, bool value) {
+    field(key, value ? "1" : "0");
+  }
+  // One template covers every integer width (SimTime, size_t, uint32_t...)
+  // without the duplicate-overload trap of platform-dependent typedefs.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void field(const char* key, T value) {
+    field(key, std::to_string(value));
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+const char* mix_name(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kStandard:
+      return "standard";
+    case WorkloadMix::kCapability:
+      return "capability";
+    case WorkloadMix::kCapacity:
+      return "capacity";
+  }
+  return "?";
+}
+
+const char* cap_mode_name(power::CapMode mode) {
+  switch (mode) {
+    case power::CapMode::kContinuous:
+      return "continuous";
+    case power::CapMode::kDiscrete:
+      return "discrete";
+  }
+  return "?";
+}
+
+void write_node(CanonicalWriter& w, const platform::NodeConfig& node) {
+  w.field("node.cores", node.cores);
+  w.field("node.memory_gib", node.memory_gib);
+  w.field("node.idle_watts", node.idle_watts);
+  w.field("node.dynamic_watts", node.dynamic_watts);
+  w.field("node.sleep_watts", node.sleep_watts);
+  w.field("node.off_watts", node.off_watts);
+  w.field("node.boot_watts", node.boot_watts);
+  w.field("node.boot_time", node.boot_time);
+  w.field("node.shutdown_time", node.shutdown_time);
+  w.field("node.sleep_time", node.sleep_time);
+  w.field("node.wake_time", node.wake_time);
+  w.field("node.variability", node.variability);
+  w.field("node.thermal_resistance", node.thermal_resistance);
+  w.field("node.thermal_capacitance", node.thermal_capacitance);
+}
+
+void write_facility(CanonicalWriter& w,
+                    const platform::Facility::Config& facility,
+                    const platform::AmbientModel& ambient) {
+  w.field("facility.site_power_capacity_watts",
+          facility.site_power_capacity_watts);
+  w.field("facility.cooling_capacity_watts", facility.cooling_capacity_watts);
+  w.field("facility.base_pue", facility.base_pue);
+  w.field("facility.pue_slope_per_c", facility.pue_slope_per_c);
+  w.field("facility.free_cooling_threshold_c",
+          facility.free_cooling_threshold_c);
+  w.field("ambient.mean_c", ambient.mean_c());
+  w.field("ambient.daily_swing_c", ambient.daily_swing_c());
+  w.field("ambient.peak_hour", ambient.peak_hour());
+}
+
+void write_solution(CanonicalWriter& w, const SolutionConfig& solution) {
+  w.field("solution.control_period", solution.control_period);
+  w.field("solution.reschedule_period", solution.reschedule_period);
+  w.field("solution.enforce_walltime", solution.enforce_walltime);
+  w.field("solution.power_alpha", solution.power_alpha);
+  w.field("solution.cap_mode", cap_mode_name(solution.cap_mode));
+  w.field("solution.fairshare_weight", solution.fairshare_weight);
+  w.field("solution.enable_thermal", solution.enable_thermal);
+  w.field("solution.record_decision_log", solution.record_decision_log);
+
+  w.field("tariff.set", solution.tariff.has_value());
+  if (solution.tariff.has_value()) {
+    const power::Tariff& tariff = *solution.tariff;
+    w.field("tariff.bands", tariff.bands().size());
+    for (std::size_t i = 0; i < tariff.bands().size(); ++i) {
+      const power::Tariff::Band& band = tariff.bands()[i];
+      const std::string prefix = "tariff.band" + std::to_string(i);
+      w.field((prefix + ".begin_hour").c_str(), band.begin_hour);
+      w.field((prefix + ".end_hour").c_str(), band.end_hour);
+      w.field((prefix + ".price_per_kwh").c_str(), band.price_per_kwh);
+    }
+    w.field("tariff.demand_charge_per_kw", tariff.demand_charge_per_kw);
+  }
+
+  const obs::ObsConfig& obs = solution.obs;
+  w.field("obs.enabled", obs.enabled);
+  w.field("obs.trace_capacity", obs.trace_capacity);
+  w.field("obs.profile_event_loop", obs.profile_event_loop);
+  w.field("obs.trace_log_lines", obs.trace_log_lines);
+  w.field("obs.wall_instruments", obs.wall_instruments);
+  w.field("obs.profile_sample_stride", obs.profile_sample_stride);
+  w.field("obs.sampler_budget", obs.sampler_budget);
+
+  const ResilienceConfig& res = solution.resilience;
+  w.field("resilience.requeue_on_crash", res.requeue_on_crash);
+  w.field("resilience.checkpoint_interval", res.checkpoint_interval);
+  w.field("resilience.restart_overhead", res.restart_overhead);
+  w.field("resilience.flap_threshold", res.flap_threshold);
+  w.field("resilience.flap_window", res.flap_window);
+  w.field("resilience.quarantine_duration", res.quarantine_duration);
+  w.field("resilience.telemetry_safety_margin", res.telemetry_safety_margin);
+}
+
+void write_energy_budget(CanonicalWriter& w,
+                         const std::optional<epa::EnergyBudgetConfig>& eb) {
+  w.field("energy_budget.set", eb.has_value());
+  if (!eb.has_value()) return;
+  w.field("energy_budget.mode", epa::to_string(eb->mode));
+  w.field("energy_budget.window_budget_joules", eb->window_budget_joules);
+  w.field("energy_budget.window", eb->window);
+  w.field("energy_budget.accrual_rate_watts", eb->accrual_rate_watts);
+  w.field("energy_budget.initial_fraction", eb->initial_fraction);
+  w.field("energy_budget.emergency_timeout", eb->emergency_timeout);
+  w.field("energy_budget.power_cap_watts", eb->power_cap_watts);
+  w.field("energy_budget.cap_floor_fraction", eb->cap_floor_fraction);
+  w.field("energy_budget.charge_idle_power", eb->charge_idle_power);
+}
+
+}  // namespace
+
+std::string canonical_serialize(const ScenarioConfig& config) {
+  if (config.external_transport) {
+    throw std::invalid_argument(
+        "canonical_serialize: config holds an external_transport; live "
+        "handles have no canonical value form and cannot key a cache");
+  }
+  CanonicalWriter w;
+  // Version tag: bump when the canonical form changes so stale persisted
+  // hashes can never alias a new field layout.
+  w.field("epajsrm.scenario", "v1");
+  w.field("label", config.label);
+  w.field("nodes", config.nodes);
+  write_node(w, config.node_config);
+  w.field("variability_sigma", config.variability_sigma);
+  write_facility(w, config.facility, config.ambient);
+  w.field("pstate_steps", config.pstate_steps);
+  w.field("top_ghz", config.top_ghz);
+  w.field("bottom_ghz", config.bottom_ghz);
+  w.field("nodes_per_rack", config.nodes_per_rack);
+  w.field("racks_per_pdu", config.racks_per_pdu);
+  w.field("racks_per_cooling_loop", config.racks_per_cooling_loop);
+  w.field("mix", mix_name(config.mix));
+  w.field("job_count", config.job_count);
+  w.field("target_utilization", config.target_utilization);
+  w.field("arrival_rate_per_hour", config.arrival_rate_per_hour);
+  w.field("seed", config.seed);
+  write_solution(w, config.solution);
+  write_energy_budget(w, config.energy_budget);
+  w.field("horizon", config.horizon);
+  return w.take();
+}
+
+std::uint64_t scenario_fingerprint(const ScenarioConfig& config) {
+  const std::string canonical = canonical_serialize(config);
+  // FNV-1a 64-bit: stable across platforms, no dependence on size_t width.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string scenario_hash(const ScenarioConfig& config) {
+  std::uint64_t h = scenario_fingerprint(config);
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = "0123456789abcdef"[h & 0xf];
+    h >>= 4;
+  }
+  return hex;
+}
+
+}  // namespace epajsrm::core

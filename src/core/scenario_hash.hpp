@@ -1,0 +1,42 @@
+// Canonical ScenarioConfig serialization and the determinism cache key.
+//
+// A run is a pure function of its ScenarioConfig (DESIGN.md §13 proves the
+// boundary cases; the obs plane is deterministic with wall_instruments
+// off). The scenario service exploits that: two requests whose configs
+// serialize to the same canonical form must produce byte-identical result
+// payloads, so the canonical hash is a sound cache key.
+//
+// Soundness rests on three properties of canonical_serialize:
+//   * total   — every semantic field of ScenarioConfig (including every
+//               nested config) is emitted; adding a field without emitting
+//               it silently aliases distinct scenarios, so the test suite
+//               pins sensitivity per field;
+//   * exact   — doubles are rendered with the shortest round-trip form
+//               (net::format_double), the same renderer the EDC wire uses,
+//               so distinct bit patterns never collide;
+//   * ordered — keys are written in one fixed order with no dependence on
+//               map iteration or locale.
+//
+// Configs carrying live state (an external_transport) are not pure values
+// and are rejected with std::invalid_argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace epajsrm::core {
+
+/// Renders the config as `key=value` lines in a fixed canonical order.
+/// Throws std::invalid_argument when the config holds an
+/// external_transport (live handles have no canonical value form).
+std::string canonical_serialize(const ScenarioConfig& config);
+
+/// FNV-1a 64-bit over canonical_serialize(config).
+std::uint64_t scenario_fingerprint(const ScenarioConfig& config);
+
+/// The fingerprint as 16 lowercase hex digits — the service cache key.
+std::string scenario_hash(const ScenarioConfig& config);
+
+}  // namespace epajsrm::core

@@ -14,7 +14,8 @@ std::vector<std::string> EnergyBudgetAgent::on_messages(
     const Message m = parse_message(lines[i], i + 1);
     switch (m.type) {
       case Message::Type::kSimulationBegins:
-        core_.begin(m.time, m.total_nodes, m.peak_node_watts);
+        core_.begin(m.time, m.total_nodes, m.peak_node_watts,
+                    m.idle_node_watts);
         break;
       case Message::Type::kJobSubmitted:
         jobs_[m.job] = {m.submit_time, m.nodes, m.estimated_energy_joules};

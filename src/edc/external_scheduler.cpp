@@ -47,6 +47,7 @@ void ExternalScheduler::on_decision_point(const sched::DecisionPoint& point,
       const platform::NodeConfig& node = cluster.node(0).config();
       m.total_nodes = cluster.node_count();
       m.peak_node_watts = node.idle_watts + node.dynamic_watts;
+      m.idle_node_watts = node.idle_watts;
       break;
     }
     case sched::DecisionPoint::Kind::kJobSubmitted: {

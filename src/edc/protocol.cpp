@@ -1,7 +1,6 @@
 #include "edc/protocol.hpp"
 
-#include <charconv>
-#include <map>
+#include "net/jsonl.hpp"
 
 namespace epajsrm::edc {
 
@@ -39,268 +38,10 @@ const char* to_string(Reply::Type type) {
   return "?";
 }
 
-std::string format_double(double value) {
-  char buffer[32];
-  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
-  return std::string(buffer, result.ptr);
-}
-
-namespace {
-
-/// Minimal writer for the flat objects this protocol uses. Keys are
-/// emitted in call order, so serialization is byte-stable.
-class Writer {
- public:
-  void field(std::string_view key, std::string_view string_value) {
-    open(key);
-    out_ += '"';
-    out_.append(string_value);
-    out_ += '"';
-  }
-
-  void field(std::string_view key, std::uint64_t value) {
-    open(key);
-    out_ += std::to_string(value);
-  }
-
-  void field(std::string_view key, std::int64_t value) {
-    open(key);
-    out_ += std::to_string(value);
-  }
-
-  void field(std::string_view key, double value) {
-    open(key);
-    out_ += format_double(value);
-  }
-
-  void field(std::string_view key, const std::vector<platform::JobId>& ids) {
-    open(key);
-    out_ += '[';
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      if (i > 0) out_ += ',';
-      out_ += std::to_string(ids[i]);
-    }
-    out_ += ']';
-  }
-
-  std::string finish() {
-    out_ += '}';
-    return std::move(out_);
-  }
-
- private:
-  void open(std::string_view key) {
-    out_ += out_.empty() ? '{' : ',';
-    out_ += '"';
-    out_.append(key);
-    out_ += "\":";
-  }
-
-  std::string out_;
-};
-
-/// One parsed value: the raw numeric token (converted lazily so integers
-/// and doubles both go through std::from_chars exactly once), a string,
-/// or an array of raw numeric tokens.
-struct Field {
-  enum class Kind : std::uint8_t { kNumber, kString, kArray };
-  Kind kind = Kind::kNumber;
-  std::string text;
-  std::vector<std::string> items;
-};
-
-/// Flat-JSON tokenizer for one protocol line. Not a general JSON parser:
-/// exactly the subset the writer above produces (one object, string /
-/// number / number-array values, no nesting, \" and \\ escapes).
-class LineParser {
- public:
-  LineParser(std::string_view line, std::size_t line_number)
-      : line_(line), line_number_(line_number) {
-    parse();
-  }
-
-  const std::string& get_string(std::string_view key) const {
-    const Field& f = require(key, Field::Kind::kString);
-    return f.text;
-  }
-
-  std::uint64_t get_u64(std::string_view key) const {
-    return number<std::uint64_t>(require(key, Field::Kind::kNumber).text,
-                                 key);
-  }
-
-  std::int64_t get_i64(std::string_view key) const {
-    return number<std::int64_t>(require(key, Field::Kind::kNumber).text, key);
-  }
-
-  std::uint32_t get_u32(std::string_view key) const {
-    return number<std::uint32_t>(require(key, Field::Kind::kNumber).text,
-                                 key);
-  }
-
-  double get_double(std::string_view key) const {
-    return number<double>(require(key, Field::Kind::kNumber).text, key);
-  }
-
-  std::vector<platform::JobId> get_id_array(std::string_view key) const {
-    const Field& f = require(key, Field::Kind::kArray);
-    std::vector<platform::JobId> ids;
-    ids.reserve(f.items.size());
-    for (const std::string& item : f.items) {
-      ids.push_back(number<platform::JobId>(item, key));
-    }
-    return ids;
-  }
-
-  [[noreturn]] void fail(const std::string& detail) const {
-    throw ProtocolError(line_number_, detail);
-  }
-
- private:
-  template <typename T>
-  T number(const std::string& text, std::string_view key) const {
-    T value{};
-    const auto result =
-        std::from_chars(text.data(), text.data() + text.size(), value);
-    if (result.ec != std::errc() ||
-        result.ptr != text.data() + text.size()) {
-      fail("field \"" + std::string(key) + "\": bad number '" + text + "'");
-    }
-    return value;
-  }
-
-  const Field& require(std::string_view key, Field::Kind kind) const {
-    const auto it = fields_.find(std::string(key));
-    if (it == fields_.end()) {
-      fail("missing field \"" + std::string(key) + "\"");
-    }
-    if (it->second.kind != kind) {
-      fail("field \"" + std::string(key) + "\" has the wrong type");
-    }
-    return it->second;
-  }
-
-  void parse() {
-    pos_ = 0;
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-    } else {
-      while (true) {
-        skip_ws();
-        std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        skip_ws();
-        fields_.emplace(std::move(key), parse_value());
-        skip_ws();
-        const char c = next();
-        if (c == '}') break;
-        if (c != ',') fail("expected ',' or '}'");
-      }
-    }
-    skip_ws();
-    if (pos_ != line_.size()) fail("trailing characters after object");
-  }
-
-  Field parse_value() {
-    Field field;
-    const char c = peek();
-    if (c == '"') {
-      field.kind = Field::Kind::kString;
-      field.text = parse_string();
-    } else if (c == '[') {
-      field.kind = Field::Kind::kArray;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-      } else {
-        while (true) {
-          skip_ws();
-          field.items.push_back(parse_number_token());
-          skip_ws();
-          const char d = next();
-          if (d == ']') break;
-          if (d != ',') fail("expected ',' or ']'");
-        }
-      }
-    } else {
-      field.kind = Field::Kind::kNumber;
-      field.text = parse_number_token();
-    }
-    return field;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= line_.size()) fail("unterminated string");
-      const char c = line_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        if (pos_ >= line_.size()) fail("unterminated escape");
-        const char e = line_[pos_++];
-        if (e != '"' && e != '\\') fail("unsupported escape");
-        out += e;
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  std::string parse_number_token() {
-    const std::size_t start = pos_;
-    while (pos_ < line_.size()) {
-      const char c = line_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
-          c == 'e' || c == 'E') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) fail("expected a value");
-    return std::string(line_.substr(start, pos_ - start));
-  }
-
-  char peek() const {
-    if (pos_ >= line_.size()) fail_eof();
-    return line_[pos_];
-  }
-
-  char next() {
-    if (pos_ >= line_.size()) fail_eof();
-    return line_[pos_++];
-  }
-
-  void expect(char c) {
-    if (next() != c) fail(std::string("expected '") + c + "'");
-  }
-
-  void skip_ws() {
-    while (pos_ < line_.size() &&
-           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-
-  [[noreturn]] void fail_eof() const { fail("unexpected end of line"); }
-
-  std::string_view line_;
-  std::size_t line_number_;
-  std::size_t pos_ = 0;
-  std::map<std::string, Field> fields_;
-};
-
-}  // namespace
+std::string format_double(double value) { return net::format_double(value); }
 
 std::string serialize(const Message& message) {
-  Writer w;
+  net::LineWriter w;
   w.field("type", to_string(message.type));
   w.field("time", static_cast<std::int64_t>(message.time));
   w.field("seq", message.seq);
@@ -308,6 +49,7 @@ std::string serialize(const Message& message) {
     case Message::Type::kSimulationBegins:
       w.field("total_nodes", static_cast<std::uint64_t>(message.total_nodes));
       w.field("peak_node_watts", message.peak_node_watts);
+      w.field("idle_node_watts", message.idle_node_watts);
       break;
     case Message::Type::kJobSubmitted:
       w.field("job", message.job);
@@ -335,7 +77,7 @@ std::string serialize(const Message& message) {
 }
 
 std::string serialize(const Reply& reply) {
-  Writer w;
+  net::LineWriter w;
   w.field("type", to_string(reply.type));
   switch (reply.type) {
     case Reply::Type::kStartJob:
@@ -352,65 +94,79 @@ std::string serialize(const Reply& reply) {
 }
 
 Message parse_message(std::string_view line, std::size_t line_number) {
-  const LineParser p(line, line_number);
-  const std::string& type = p.get_string("type");
-  Message m;
-  m.time = p.get_i64("time");
-  m.seq = p.get_u64("seq");
-  if (type == "simulation_begins") {
-    m.type = Message::Type::kSimulationBegins;
-    m.total_nodes = p.get_u32("total_nodes");
-    m.peak_node_watts = p.get_double("peak_node_watts");
-  } else if (type == "job_submitted") {
-    m.type = Message::Type::kJobSubmitted;
-    m.job = p.get_u64("job");
-    m.submit_time = p.get_i64("submit_time");
-    m.nodes = p.get_u32("nodes");
-    m.walltime = p.get_i64("walltime");
-    m.estimated_energy_joules = p.get_double("estimated_energy_joules");
-  } else if (type == "job_ended") {
-    m.type = Message::Type::kJobEnded;
-    m.job = p.get_u64("job");
-    m.energy_joules = p.get_double("energy_joules");
-  } else if (type == "budget_tick") {
-    m.type = Message::Type::kBudgetTick;
-  } else if (type == "power_budget_changed") {
-    m.type = Message::Type::kPowerBudgetChanged;
-    m.budget_watts = p.get_double("budget_watts");
-  } else if (type == "simulation_ends") {
-    m.type = Message::Type::kSimulationEnds;
-  } else if (type == "scheduling_pass") {
-    m.type = Message::Type::kSchedulingPass;
-    m.free_nodes = p.get_u32("free_nodes");
-    m.pending = p.get_id_array("pending");
-  } else {
-    p.fail("unknown message type \"" + type + "\"");
+  try {
+    const net::LineParser p(line, line_number);
+    const std::string& type = p.get_string("type");
+    Message m;
+    m.time = p.get_i64("time");
+    m.seq = p.get_u64("seq");
+    if (type == "simulation_begins") {
+      m.type = Message::Type::kSimulationBegins;
+      m.total_nodes = p.get_u32("total_nodes");
+      m.peak_node_watts = p.get_double("peak_node_watts");
+      // Optional for wire compatibility with pre-idle-accrual senders.
+      m.idle_node_watts = p.get_double_or("idle_node_watts", 0.0);
+    } else if (type == "job_submitted") {
+      m.type = Message::Type::kJobSubmitted;
+      m.job = p.get_u64("job");
+      m.submit_time = p.get_i64("submit_time");
+      m.nodes = p.get_u32("nodes");
+      m.walltime = p.get_i64("walltime");
+      m.estimated_energy_joules = p.get_double("estimated_energy_joules");
+    } else if (type == "job_ended") {
+      m.type = Message::Type::kJobEnded;
+      m.job = p.get_u64("job");
+      m.energy_joules = p.get_double("energy_joules");
+    } else if (type == "budget_tick") {
+      m.type = Message::Type::kBudgetTick;
+    } else if (type == "power_budget_changed") {
+      m.type = Message::Type::kPowerBudgetChanged;
+      m.budget_watts = p.get_double("budget_watts");
+    } else if (type == "simulation_ends") {
+      m.type = Message::Type::kSimulationEnds;
+    } else if (type == "scheduling_pass") {
+      m.type = Message::Type::kSchedulingPass;
+      m.free_nodes = p.get_u32("free_nodes");
+      m.pending = p.get_id_array("pending");
+    } else {
+      p.fail("unknown message type \"" + type + "\"");
+    }
+    return m;
+  } catch (const net::LineError& e) {
+    throw ProtocolError(e.line(), e.detail());
   }
-  return m;
 }
 
 Reply parse_reply(std::string_view line, std::size_t line_number) {
-  const LineParser p(line, line_number);
-  const std::string& type = p.get_string("type");
-  Reply r;
-  if (type == "start_job") {
-    r.type = Reply::Type::kStartJob;
-    r.job = p.get_u64("job");
-    if (r.job == platform::kNoJob) p.fail("start_job: job 0 is the no-job sentinel");
-  } else if (type == "set_power_cap") {
-    r.type = Reply::Type::kSetPowerCap;
-    r.watts = p.get_double("watts");
-    if (!(r.watts >= 0.0)) p.fail("set_power_cap: watts must be >= 0");
-  } else if (type == "hold") {
-    r.type = Reply::Type::kHold;
-  } else if (type == "requeue") {
-    r.type = Reply::Type::kRequeue;
-    r.job = p.get_u64("job");
-    if (r.job == platform::kNoJob) p.fail("requeue: job 0 is the no-job sentinel");
-  } else {
-    p.fail("unknown reply type \"" + type + "\"");
+  try {
+    const net::LineParser p(line, line_number);
+    const std::string& type = p.get_string("type");
+    Reply r;
+    if (type == "start_job") {
+      r.type = Reply::Type::kStartJob;
+      r.job = p.get_u64("job");
+      if (r.job == platform::kNoJob) {
+        p.fail("start_job: job 0 is the no-job sentinel");
+      }
+    } else if (type == "set_power_cap") {
+      r.type = Reply::Type::kSetPowerCap;
+      r.watts = p.get_double("watts");
+      if (!(r.watts >= 0.0)) p.fail("set_power_cap: watts must be >= 0");
+    } else if (type == "hold") {
+      r.type = Reply::Type::kHold;
+    } else if (type == "requeue") {
+      r.type = Reply::Type::kRequeue;
+      r.job = p.get_u64("job");
+      if (r.job == platform::kNoJob) {
+        p.fail("requeue: job 0 is the no-job sentinel");
+      }
+    } else {
+      p.fail("unknown reply type \"" + type + "\"");
+    }
+    return r;
+  } catch (const net::LineError& e) {
+    throw ProtocolError(e.line(), e.detail());
   }
-  return r;
 }
 
 }  // namespace epajsrm::edc

@@ -15,8 +15,10 @@
 // Doubles are printed with std::to_chars (shortest form that round-trips
 // exactly) and parsed with std::from_chars, so a value survives
 // serialize -> parse bit-identically — the property the internal-vs-
-// loopback determinism guarantee rests on. Parse failures throw
-// ProtocolError carrying the 1-based line number of the offending line.
+// loopback determinism guarantee rests on. The flat-object codec itself
+// is shared project-wide (net/jsonl.hpp); this layer owns only the
+// message vocabulary. Parse failures throw ProtocolError carrying the
+// 1-based line number of the offending line.
 #pragma once
 
 #include <cstddef>
@@ -71,6 +73,10 @@ struct Message {
   // kSimulationBegins
   std::uint32_t total_nodes = 0;
   double peak_node_watts = 0.0;
+  /// Per-node idle draw, for components that debit idle power from an
+  /// energy allowance (EnergyBudgetConfig::charge_idle_power). Optional
+  /// on the wire; absent parses as 0.
+  double idle_node_watts = 0.0;
 
   // kJobSubmitted / kJobEnded
   platform::JobId job = platform::kNoJob;

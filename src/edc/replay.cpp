@@ -1,0 +1,59 @@
+#include "edc/replay.hpp"
+
+#include <stdexcept>
+
+#include "edc/protocol.hpp"
+
+namespace epajsrm::edc {
+
+RecordingTransport::RecordingTransport(std::shared_ptr<Transport> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) {
+    throw std::invalid_argument("recording transport needs an inner one");
+  }
+}
+
+std::string RecordingTransport::describe() const {
+  return "record:" + inner_->describe();
+}
+
+std::vector<std::string> RecordingTransport::exchange(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> replies = inner_->exchange(lines);
+  recording_.push_back(RecordedExchange{lines, replies});
+  return replies;
+}
+
+ReplayTransport::ReplayTransport(Recording recording)
+    : recording_(std::move(recording)) {}
+
+std::string ReplayTransport::describe() const { return "replay"; }
+
+std::vector<std::string> ReplayTransport::exchange(
+    const std::vector<std::string>& lines) {
+  if (next_ >= recording_.size()) {
+    throw ProtocolError(1, "replay: run produced exchange " +
+                               std::to_string(next_ + 1) +
+                               " but the recording holds only " +
+                               std::to_string(recording_.size()));
+  }
+  const RecordedExchange& expected = recording_[next_];
+  if (lines.size() != expected.request.size()) {
+    throw ProtocolError(
+        1, "replay: exchange " + std::to_string(next_ + 1) + " sent " +
+               std::to_string(lines.size()) + " line(s), recording has " +
+               std::to_string(expected.request.size()));
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] != expected.request[i]) {
+      throw ProtocolError(i + 1, "replay: exchange " +
+                                     std::to_string(next_ + 1) +
+                                     " diverges from the recording: got " +
+                                     lines[i] + ", recorded " +
+                                     expected.request[i]);
+    }
+  }
+  return recording_[next_++].replies;
+}
+
+}  // namespace epajsrm::edc

@@ -1,0 +1,76 @@
+// Decision-log recording and replay over the EDC boundary.
+//
+// RecordingTransport wraps any inner transport and captures every
+// exchange verbatim — the request batch the core sent and the reply
+// batch the component returned. The recording is the run's complete
+// external-decision transcript.
+//
+// ReplayTransport plays a recording back: each exchange asserts that the
+// core produced byte-identical request lines to the recorded run (any
+// divergence throws ProtocolError naming the first differing line) and
+// returns the recorded replies. A full replayed run therefore re-derives
+// the original schedule without the original component present — and the
+// assertion doubles as the determinism witness the svc result cache
+// rests on: if re-running a config could produce different request
+// bytes, replay would throw, not silently diverge (DESIGN.md §13/§14).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/transport.hpp"
+
+namespace epajsrm::edc {
+
+/// One recorded exchange: the request batch and the component's replies.
+struct RecordedExchange {
+  std::vector<std::string> request;
+  std::vector<std::string> replies;
+};
+
+/// The transcript of a run's exchanges, in exchange order.
+using Recording = std::vector<RecordedExchange>;
+
+/// Pass-through transport that records every exchange.
+class RecordingTransport final : public Transport {
+ public:
+  explicit RecordingTransport(std::shared_ptr<Transport> inner);
+
+  std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) override;
+
+  std::string describe() const override;
+
+  const Recording& recording() const { return recording_; }
+  /// Hands the transcript out for a ReplayTransport.
+  Recording take_recording() { return std::move(recording_); }
+
+ private:
+  std::shared_ptr<Transport> inner_;
+  Recording recording_;
+};
+
+/// Replays a recorded transcript, asserting the request stream matches
+/// bit-for-bit. Throws ProtocolError on any divergence (extra exchanges,
+/// missing exchanges are reported via exhausted()/exchanges_replayed()).
+class ReplayTransport final : public Transport {
+ public:
+  explicit ReplayTransport(Recording recording);
+
+  std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) override;
+
+  std::string describe() const override;
+
+  std::size_t exchanges_replayed() const { return next_; }
+  /// True when every recorded exchange was consumed — a complete replay.
+  bool exhausted() const { return next_ == recording_.size(); }
+
+ private:
+  Recording recording_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace epajsrm::edc

@@ -1,0 +1,50 @@
+#include "edc/socket_transport.hpp"
+
+namespace epajsrm::edc {
+
+SocketTransport::SocketTransport(net::LineChannel channel,
+                                 std::string describe)
+    : channel_(std::move(channel)), describe_(std::move(describe)) {}
+
+std::shared_ptr<SocketTransport> SocketTransport::connect_tcp(
+    std::uint16_t port) {
+  return std::make_shared<SocketTransport>(
+      net::connect_tcp(port), "tcp:127.0.0.1:" + std::to_string(port));
+}
+
+std::shared_ptr<SocketTransport> SocketTransport::connect_unix(
+    const std::string& path) {
+  return std::make_shared<SocketTransport>(net::connect_unix(path),
+                                           "unix:" + path);
+}
+
+std::string SocketTransport::describe() const { return describe_; }
+
+std::vector<std::string> SocketTransport::exchange(
+    const std::vector<std::string>& lines) {
+  channel_.write_batch(lines);
+  auto replies = channel_.read_batch();
+  if (!replies.has_value()) {
+    throw net::CarrierError("peer closed during exchange (" + describe_ +
+                            ")");
+  }
+  return std::move(*replies);
+}
+
+std::size_t serve_agent(net::LineChannel& channel, Agent& agent) {
+  std::size_t batches = 0;
+  while (true) {
+    auto batch = channel.read_batch();
+    if (!batch.has_value()) return batches;  // orderly hang-up
+    channel.write_batch(agent.on_messages(*batch));
+    ++batches;
+  }
+}
+
+std::size_t serve_one_connection(net::Listener& listener, Agent& agent) {
+  auto channel = listener.accept();
+  if (!channel.has_value()) return 0;
+  return serve_agent(*channel, agent);
+}
+
+}  // namespace epajsrm::edc

@@ -1,0 +1,60 @@
+// Out-of-process EDC transport over the net socket carrier.
+//
+// The loopback transport already speaks the full wire contract, so going
+// out of process is purely a carrier change: SocketTransport ships each
+// batch over a connected line channel (batch framing per net/carrier.hpp)
+// and blocks for the reply batch; serve_agent() is the far side's loop,
+// feeding received batches to an Agent and returning its replies until
+// the peer hangs up.
+//
+// Because the exact same serialized lines cross the socket that cross the
+// loopback, a simulation driven through a socket-served agent produces
+// bit-identical results to the in-process run — test_edc_socket.cpp holds
+// that proof over a real socketpair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/transport.hpp"
+#include "net/carrier.hpp"
+
+namespace epajsrm::edc {
+
+/// Transport over a connected line channel. Construction connects; every
+/// exchange() writes the batch and blocks for the framed reply batch.
+class SocketTransport final : public Transport {
+ public:
+  /// Connects to a loopback TCP port.
+  static std::shared_ptr<SocketTransport> connect_tcp(std::uint16_t port);
+
+  /// Connects to a unix-domain socket path.
+  static std::shared_ptr<SocketTransport> connect_unix(
+      const std::string& path);
+
+  /// Adopts an already-connected channel (tests use socketpairs).
+  SocketTransport(net::LineChannel channel, std::string describe);
+
+  std::vector<std::string> exchange(
+      const std::vector<std::string>& lines) override;
+
+  std::string describe() const override;
+
+ private:
+  net::LineChannel channel_;
+  std::string describe_;
+};
+
+/// Serves `agent` on `channel`: reads request batches, writes the agent's
+/// reply batches, returns when the peer closes the stream. Returns the
+/// number of batches served. ProtocolError from the agent propagates —
+/// a malformed peer is the caller's problem, not silently swallowed.
+std::size_t serve_agent(net::LineChannel& channel, Agent& agent);
+
+/// Convenience: accepts exactly one connection on `listener` and serves
+/// `agent` on it (the one-scenario smoke-test shape).
+std::size_t serve_one_connection(net::Listener& listener, Agent& agent);
+
+}  // namespace epajsrm::edc

@@ -38,10 +38,13 @@ EnergyBudgetCore::EnergyBudgetCore(EnergyBudgetConfig config)
 }
 
 void EnergyBudgetCore::begin(sim::SimTime now, std::uint32_t total_nodes,
-                             double peak_node_watts) {
+                             double peak_node_watts,
+                             double idle_node_watts) {
   begun_ = true;
   last_accrual_ = now;
   last_start_ = now;
+  idle_node_watts_ = idle_node_watts;
+  idle_nodes_ = total_nodes;
   accrual_rate_w_ =
       config_.accrual_rate_watts > 0.0
           ? config_.accrual_rate_watts
@@ -54,9 +57,18 @@ void EnergyBudgetCore::begin(sim::SimTime now, std::uint32_t total_nodes,
 
 void EnergyBudgetCore::accrue(sim::SimTime now) {
   if (now <= last_accrual_) return;
-  available_j_ += accrual_rate_w_ * sim::to_seconds(now - last_accrual_);
+  const double dt_s = sim::to_seconds(now - last_accrual_);
+  double rate_w = accrual_rate_w_;
+  if (config_.charge_idle_power) {
+    // _IDLE parity: idle nodes burn static power against the allowance.
+    // The count is the previous pass's post-admission free count, which
+    // both sides of the EDC boundary derived from the same pass input.
+    rate_w -= idle_node_watts_ * static_cast<double>(idle_nodes_);
+  }
+  available_j_ += rate_w * dt_s;
   // Upper clamp only: the window cannot bank more than its budget, but
-  // emergency starts may legitimately leave the allowance in debt.
+  // emergency starts (and the idle debit) may legitimately leave the
+  // allowance in debt.
   available_j_ = std::min(available_j_, config_.window_budget_joules);
   last_accrual_ = now;
 }
@@ -168,6 +180,10 @@ std::vector<EnergyBudgetCore::Decision> EnergyBudgetCore::decide(
     decisions.push_back(
         {Decision::Type::kSetPowerCap, platform::kNoJob, cap_watts});
   }
+
+  // The nodes left free after this pass's admissions idle until the next
+  // one; they price the next accrual interval's idle debit.
+  idle_nodes_ = free_nodes;
   return decisions;
 }
 
@@ -194,7 +210,7 @@ void EnergyBudgetScheduler::on_decision_point(
       const platform::Cluster& cluster = ctx.cluster();
       const platform::NodeConfig& node = cluster.node(0).config();
       core_.begin(point.time, cluster.node_count(),
-                  node.idle_watts + node.dynamic_watts);
+                  node.idle_watts + node.dynamic_watts, node.idle_watts);
       break;
     }
     case sched::DecisionPoint::Kind::kJobEnded:

@@ -77,6 +77,14 @@ struct EnergyBudgetConfig {
 
   /// reducePC: the tightest cap, as a fraction of the ceiling.
   double cap_floor_fraction = 0.25;
+
+  /// batsim-prj parity knob: when set, the static draw of *idle* nodes is
+  /// debited from the allowance as it accrues (the _IDLE suffix in the
+  /// ported variant names). The idle-node count is the post-admission free
+  /// count of the previous pass — an input both sides of the EDC boundary
+  /// reconstruct identically, so the debit is replay-safe. Off by default:
+  /// the historical allowance semantics are unchanged.
+  bool charge_idle_power = false;
 };
 
 /// Pure decision kernel shared by the in-process scheduler and the EDC
@@ -113,9 +121,11 @@ class EnergyBudgetCore {
   explicit EnergyBudgetCore(EnergyBudgetConfig config);
 
   /// Simulation begins: anchors accrual and derives the cap ceiling from
-  /// the machine's IT peak when the config left it 0.
+  /// the machine's IT peak when the config left it 0. `idle_node_watts`
+  /// feeds the charge_idle_power debit; with the flag off it is inert (the
+  /// default keeps older three-argument call sites byte-compatible).
   void begin(sim::SimTime now, std::uint32_t total_nodes,
-             double peak_node_watts);
+             double peak_node_watts, double idle_node_watts = 0.0);
 
   /// A charged job ended; the difference between its charged estimate and
   /// its actual energy is refunded into the allowance.
@@ -131,6 +141,7 @@ class EnergyBudgetCore {
 
   const EnergyBudgetConfig& config() const { return config_; }
   double available_joules() const { return available_j_; }
+  std::uint32_t idle_nodes() const { return idle_nodes_; }
   bool emergency_active() const { return emergency_; }
   std::uint64_t emergency_starts() const { return emergency_starts_; }
   double current_cap_watts() const { return last_cap_watts_; }
@@ -145,8 +156,12 @@ class EnergyBudgetCore {
   EnergyBudgetConfig config_;
   double accrual_rate_w_ = 0.0;
   double cap_ceiling_watts_ = 0.0;
+  double idle_node_watts_ = 0.0;
 
   bool begun_ = false;
+  /// Idle-node count the next accrual interval is billed at: total_nodes
+  /// at begin, then each pass's post-admission free count.
+  std::uint32_t idle_nodes_ = 0;
   sim::SimTime last_accrual_ = 0;
   sim::SimTime last_start_ = 0;
   double available_j_ = 0.0;

@@ -51,6 +51,8 @@
 #include "edc/energy_budget_agent.hpp"
 #include "edc/external_scheduler.hpp"
 #include "edc/protocol.hpp"
+#include "edc/replay.hpp"
+#include "edc/socket_transport.hpp"
 #include "edc/transport.hpp"
 
 // Energy/power-aware policies (paper Section VI techniques).

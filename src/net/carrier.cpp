@@ -1,0 +1,335 @@
+#include "net/carrier.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace epajsrm::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw CarrierError(what + ": " + std::strerror(errno));
+}
+
+/// Full write with EINTR retry.
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+// --- LineChannel ------------------------------------------------------------
+
+LineChannel::LineChannel(int fd) : fd_(fd) {}
+
+LineChannel::~LineChannel() { close(); }
+
+LineChannel::LineChannel(LineChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inbox_(std::move(other.inbox_)),
+      consumed_(std::exchange(other.consumed_, 0)),
+      eof_(std::exchange(other.eof_, false)) {}
+
+LineChannel& LineChannel::operator=(LineChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbox_ = std::move(other.inbox_);
+    consumed_ = std::exchange(other.consumed_, 0);
+    eof_ = std::exchange(other.eof_, false);
+  }
+  return *this;
+}
+
+void LineChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void LineChannel::fill_buffer() {
+  if (consumed_ > 0) {
+    inbox_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  char chunk[4096];
+  const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+  if (n < 0) {
+    if (errno == EINTR) return;
+    fail_errno("read");
+  }
+  if (n == 0) {
+    eof_ = true;
+    return;
+  }
+  inbox_.append(chunk, static_cast<std::size_t>(n));
+}
+
+bool LineChannel::read_line(std::string& line) {
+  if (fd_ < 0) throw CarrierError("read on a closed channel");
+  while (true) {
+    const std::size_t nl = inbox_.find('\n', consumed_);
+    if (nl != std::string::npos) {
+      line.assign(inbox_, consumed_, nl - consumed_);
+      consumed_ = nl + 1;
+      return true;
+    }
+    if (eof_) {
+      if (consumed_ < inbox_.size()) {
+        throw CarrierError("stream ended mid-line");
+      }
+      return false;
+    }
+    fill_buffer();
+  }
+}
+
+void LineChannel::write_line(std::string_view line) {
+  if (fd_ < 0) throw CarrierError("write on a closed channel");
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed += '\n';
+  write_all(fd_, framed.data(), framed.size());
+}
+
+void LineChannel::write_batch(const std::vector<std::string>& lines) {
+  if (fd_ < 0) throw CarrierError("write on a closed channel");
+  std::size_t total = 1;
+  for (const std::string& line : lines) total += line.size() + 1;
+  std::string framed;
+  framed.reserve(total);
+  for (const std::string& line : lines) {
+    framed.append(line);
+    framed += '\n';
+  }
+  framed += '\n';  // the empty terminator line
+  write_all(fd_, framed.data(), framed.size());
+}
+
+std::optional<std::vector<std::string>> LineChannel::read_batch() {
+  std::vector<std::string> lines;
+  std::string line;
+  while (true) {
+    if (!read_line(line)) {
+      if (lines.empty()) return std::nullopt;  // orderly EOF between batches
+      throw CarrierError("stream ended mid-batch");
+    }
+    if (line.empty()) return lines;  // terminator
+    lines.push_back(line);
+  }
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1)),
+      port_(std::exchange(other.port_, 0)),
+      describe_(std::move(other.describe_)),
+      unlink_path_(std::move(other.unlink_path_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = std::exchange(other.port_, 0);
+    describe_ = std::move(other.describe_);
+    unlink_path_ = std::move(other.unlink_path_);
+  }
+  return *this;
+}
+
+void Listener::close() {
+  // exchange() elects exactly one closer when stop() is reached from two
+  // threads at once (e.g. a shutdown op racing the owner's destructor).
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
+  // shutdown() unblocks a concurrent accept() before the close.
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+Listener Listener::tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    fail_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    fail_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    fail_errno("getsockname");
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  listener.describe_ = "tcp:127.0.0.1:" + std::to_string(listener.port_);
+  return listener;
+}
+
+Listener Listener::unix_path(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw CarrierError("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  ::unlink(path.c_str());  // stale socket file from a crashed daemon
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    fail_errno("bind " + path);
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    fail_errno("listen");
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.describe_ = "unix:" + path;
+  listener.unlink_path_ = path;
+  return listener;
+}
+
+std::optional<LineChannel> Listener::accept() {
+  while (true) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return std::nullopt;  // already closed
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      // Multi-line responses go out as several small writes; without
+      // NODELAY, Nagle holds the tail until the peer's delayed ACK
+      // (~40ms per response). Fails harmlessly on unix-domain sockets.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return LineChannel(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL: close() raced us — the orderly shutdown path.
+    return std::nullopt;
+  }
+}
+
+// --- connect ----------------------------------------------------------------
+
+LineChannel connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    fail_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return LineChannel(fd);
+}
+
+LineChannel connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw CarrierError("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    fail_errno("connect " + path);
+  }
+  return LineChannel(fd);
+}
+
+LineChannel connect_endpoint(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    return connect_unix(endpoint.substr(5));
+  }
+  std::string port_text = endpoint;
+  if (endpoint.rfind("tcp:", 0) == 0) port_text = endpoint.substr(4);
+  const std::size_t colon = port_text.rfind(':');
+  if (colon != std::string::npos) port_text = port_text.substr(colon + 1);
+  int port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw CarrierError("bad endpoint '" + endpoint +
+                         "' (want PORT, tcp:PORT or unix:PATH)");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) throw CarrierError("port out of range: " + endpoint);
+  }
+  if (port_text.empty() || port == 0) {
+    throw CarrierError("bad endpoint '" + endpoint +
+                       "' (want PORT, tcp:PORT or unix:PATH)");
+  }
+  return connect_tcp(static_cast<std::uint16_t>(port));
+}
+
+Listener listen_endpoint(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    return Listener::unix_path(endpoint.substr(5));
+  }
+  std::string port_text = endpoint;
+  if (endpoint.rfind("tcp:", 0) == 0) port_text = endpoint.substr(4);
+  if (port_text.empty()) {
+    throw CarrierError("bad listen endpoint '" + endpoint +
+                       "' (want PORT, tcp:PORT or unix:PATH)");
+  }
+  int port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw CarrierError("bad listen endpoint '" + endpoint +
+                         "' (want PORT, tcp:PORT or unix:PATH)");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      throw CarrierError("port out of range: " + endpoint);
+    }
+  }
+  return Listener::tcp(static_cast<std::uint16_t>(port));
+}
+
+}  // namespace epajsrm::net

@@ -1,0 +1,134 @@
+// The socket carrier: the one place in the tree that touches raw
+// socket(2) / bind / listen / accept / connect (the raw-socket lint rule
+// confines those calls to net/carrier.*). Everything above it — the EDC
+// socket transport, the epajsrmd scenario server, the client CLI — works
+// in terms of line-framed channels and batches of lines.
+//
+// Framing: a batch is a sequence of non-empty lines terminated by one
+// empty line. Protocol lines are JSON objects (net/jsonl.hpp) and can
+// never be empty, so the terminator is unambiguous. Both directions of
+// every protocol built on the carrier use the same framing.
+//
+// Dependency-free POSIX sockets, loopback TCP and unix-domain only —
+// this is a service boundary for co-located processes, not an exposed
+// network listener.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace epajsrm::net {
+
+/// A carrier-level failure (connect refused, bind in use, peer reset).
+class CarrierError : public std::runtime_error {
+ public:
+  explicit CarrierError(const std::string& detail)
+      : std::runtime_error("net: " + detail) {}
+};
+
+/// One connected byte stream with line framing. Reads are buffered;
+/// writes are flushed per batch. Not thread-safe: one channel belongs to
+/// one conversation.
+class LineChannel {
+ public:
+  /// Takes ownership of a connected file descriptor.
+  explicit LineChannel(int fd);
+  ~LineChannel();
+
+  LineChannel(LineChannel&& other) noexcept;
+  LineChannel& operator=(LineChannel&& other) noexcept;
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+
+  /// Reads one '\n'-terminated line (the newline is stripped). Returns
+  /// false on orderly EOF with no buffered partial line; throws
+  /// CarrierError on transport errors.
+  bool read_line(std::string& line);
+
+  /// Writes `line` plus a trailing newline. Throws CarrierError when the
+  /// peer is gone.
+  void write_line(std::string_view line);
+
+  /// Writes a full batch: every line followed by the empty terminator
+  /// line, in one buffered flush.
+  void write_batch(const std::vector<std::string>& lines);
+
+  /// Reads lines until the empty terminator line. Returns nullopt on
+  /// orderly EOF before any line of a new batch arrived; throws
+  /// CarrierError when the stream dies mid-batch.
+  std::optional<std::vector<std::string>> read_batch();
+
+  /// Closes the descriptor early (destruction also closes).
+  void close();
+
+ private:
+  void fill_buffer();
+
+  int fd_ = -1;
+  std::string inbox_;       // bytes received, not yet consumed
+  std::size_t consumed_ = 0;  // prefix of inbox_ already handed out
+  bool eof_ = false;
+};
+
+/// A listening endpoint: loopback TCP (`port`, 0 = ephemeral) or a
+/// unix-domain socket path.
+class Listener {
+ public:
+  /// Binds 127.0.0.1:`port` and listens. Port 0 picks an ephemeral port;
+  /// read it back with port().
+  static Listener tcp(std::uint16_t port);
+
+  /// Binds a unix-domain socket at `path` (unlinking a stale file first).
+  static Listener unix_path(const std::string& path);
+
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks for the next connection. Returns nullopt when the listener
+  /// was closed from another thread (the orderly-shutdown path).
+  std::optional<LineChannel> accept();
+
+  /// The bound TCP port (0 for unix-domain listeners).
+  std::uint16_t port() const { return port_; }
+
+  /// Human-readable endpoint ("tcp:127.0.0.1:4117" / "unix:/run/x.sock").
+  std::string describe() const { return describe_; }
+
+  /// Unblocks accept() from any thread; subsequent accepts return nullopt.
+  void close();
+
+ private:
+  Listener() = default;
+
+  // Atomic because close() races accept() (and a second close()) by
+  // design: it is the cross-thread shutdown signal.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+  std::string describe_;
+  std::string unlink_path_;  // unix-domain: remove the file on close
+};
+
+/// Connects to a loopback TCP endpoint.
+LineChannel connect_tcp(std::uint16_t port);
+
+/// Connects to a unix-domain socket path.
+LineChannel connect_unix(const std::string& path);
+
+/// Parses "PORT", "tcp:PORT" or "unix:PATH" and connects accordingly.
+LineChannel connect_endpoint(const std::string& endpoint);
+
+/// Parses "PORT", "tcp:PORT" or "unix:PATH" and binds a listener (unlike
+/// connect_endpoint, port 0 is allowed and picks an ephemeral port).
+Listener listen_endpoint(const std::string& endpoint);
+
+}  // namespace epajsrm::net

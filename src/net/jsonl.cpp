@@ -1,0 +1,217 @@
+#include "net/jsonl.hpp"
+
+#include <charconv>
+
+namespace epajsrm::net {
+
+std::string format_double(double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+LineParser::LineParser(std::string_view line, std::size_t line_number)
+    : line_(line), line_number_(line_number) {
+  parse();
+}
+
+const std::string& LineParser::get_string(std::string_view key) const {
+  return require(key, Field::Kind::kString).text;
+}
+
+std::uint64_t LineParser::get_u64(std::string_view key) const {
+  return number<std::uint64_t>(require(key, Field::Kind::kNumber).text, key);
+}
+
+std::int64_t LineParser::get_i64(std::string_view key) const {
+  return number<std::int64_t>(require(key, Field::Kind::kNumber).text, key);
+}
+
+std::uint32_t LineParser::get_u32(std::string_view key) const {
+  return number<std::uint32_t>(require(key, Field::Kind::kNumber).text, key);
+}
+
+double LineParser::get_double(std::string_view key) const {
+  return number<double>(require(key, Field::Kind::kNumber).text, key);
+}
+
+std::vector<std::uint64_t> LineParser::get_id_array(
+    std::string_view key) const {
+  const Field& f = require(key, Field::Kind::kArray);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(f.items.size());
+  for (const std::string& item : f.items) {
+    ids.push_back(number<std::uint64_t>(item, key));
+  }
+  return ids;
+}
+
+std::string LineParser::get_string_or(std::string_view key,
+                                      std::string_view fallback) const {
+  const Field* f = find(key, Field::Kind::kString);
+  return f != nullptr ? f->text : std::string(fallback);
+}
+
+std::uint64_t LineParser::get_u64_or(std::string_view key,
+                                     std::uint64_t fallback) const {
+  const Field* f = find(key, Field::Kind::kNumber);
+  return f != nullptr ? number<std::uint64_t>(f->text, key) : fallback;
+}
+
+double LineParser::get_double_or(std::string_view key, double fallback) const {
+  const Field* f = find(key, Field::Kind::kNumber);
+  return f != nullptr ? number<double>(f->text, key) : fallback;
+}
+
+template <typename T>
+T LineParser::number(const std::string& text, std::string_view key) const {
+  T value{};
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    fail("field \"" + std::string(key) + "\": bad number '" + text + "'");
+  }
+  return value;
+}
+
+const LineParser::Field& LineParser::require(std::string_view key,
+                                             Field::Kind kind) const {
+  const auto it = fields_.find(std::string(key));
+  if (it == fields_.end()) {
+    fail("missing field \"" + std::string(key) + "\"");
+  }
+  if (it->second.kind != kind) {
+    fail("field \"" + std::string(key) + "\" has the wrong type");
+  }
+  return it->second;
+}
+
+const LineParser::Field* LineParser::find(std::string_view key,
+                                          Field::Kind kind) const {
+  const auto it = fields_.find(std::string(key));
+  if (it == fields_.end()) return nullptr;
+  if (it->second.kind != kind) {
+    fail("field \"" + std::string(key) + "\" has the wrong type");
+  }
+  return &it->second;
+}
+
+void LineParser::parse() {
+  pos_ = 0;
+  skip_ws();
+  expect('{');
+  skip_ws();
+  if (peek() == '}') {
+    ++pos_;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      fields_.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+  skip_ws();
+  if (pos_ != line_.size()) fail("trailing characters after object");
+}
+
+LineParser::Field LineParser::parse_value() {
+  Field field;
+  const char c = peek();
+  if (c == '"') {
+    field.kind = Field::Kind::kString;
+    field.text = parse_string();
+  } else if (c == '[') {
+    field.kind = Field::Kind::kArray;
+    ++pos_;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        field.items.push_back(parse_number_token());
+        skip_ws();
+        const char d = next();
+        if (d == ']') break;
+        if (d != ',') fail("expected ',' or ']'");
+      }
+    }
+  } else {
+    field.kind = Field::Kind::kNumber;
+    field.text = parse_number_token();
+  }
+  return field;
+}
+
+std::string LineParser::parse_string() {
+  expect('"');
+  std::string out;
+  while (true) {
+    if (pos_ >= line_.size()) fail("unterminated string");
+    const char c = line_[pos_++];
+    if (c == '"') break;
+    if (c == '\\') {
+      if (pos_ >= line_.size()) fail("unterminated escape");
+      const char e = line_[pos_++];
+      if (e != '"' && e != '\\') fail("unsupported escape");
+      out += e;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string LineParser::parse_number_token() {
+  const std::size_t start = pos_;
+  while (pos_ < line_.size()) {
+    const char c = line_[pos_];
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+        c == 'e' || c == 'E') {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  if (pos_ == start) fail("expected a value");
+  return std::string(line_.substr(start, pos_ - start));
+}
+
+char LineParser::peek() const {
+  if (pos_ >= line_.size()) fail_eof();
+  return line_[pos_];
+}
+
+char LineParser::next() {
+  if (pos_ >= line_.size()) fail_eof();
+  return line_[pos_++];
+}
+
+void LineParser::expect(char c) {
+  if (next() != c) fail(std::string("expected '") + c + "'");
+}
+
+void LineParser::skip_ws() {
+  while (pos_ < line_.size() && (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+    ++pos_;
+  }
+}
+
+}  // namespace epajsrm::net

@@ -1,0 +1,167 @@
+// Line-oriented flat-JSON codec shared by every wire boundary in the
+// project (the EDC decision protocol and the svc scenario service).
+//
+// One serialized message is one JSON object on one line. The writer emits
+// keys in call order, so serialization is byte-stable; doubles are printed
+// with std::to_chars (shortest form that round-trips exactly) and parsed
+// with std::from_chars, so a value survives serialize -> parse
+// bit-identically — the property every determinism guarantee built on top
+// of this codec rests on.
+//
+// The parser accepts exactly the subset the writer produces: one flat
+// object, string / number / number-array values, \" and \\ escapes, no
+// nesting. Failures throw LineError carrying the 1-based line number of
+// the offending line within its batch; protocol layers translate that
+// into their own error types without losing the position.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epajsrm::net {
+
+/// A malformed or out-of-contract line. `line` is the 1-based position
+/// within the batch that failed; the what() string repeats it.
+class LineError : public std::runtime_error {
+ public:
+  LineError(std::size_t line, const std::string& detail)
+      : std::runtime_error("line " + std::to_string(line) + ": " + detail),
+        line_(line),
+        detail_(detail) {}
+
+  std::size_t line() const { return line_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  std::size_t line_;
+  std::string detail_;
+};
+
+/// Shortest decimal form of `value` that std::from_chars parses back to
+/// the identical bits (std::to_chars default semantics).
+std::string format_double(double value);
+
+/// Escapes `text` for embedding in a JSON string: `"` and `\` get a
+/// backslash (the only escapes the parser understands — keep payload
+/// strings free of control characters).
+std::string escape(std::string_view text);
+
+/// Minimal writer for flat one-line JSON objects. Keys are emitted in
+/// call order, so serialization is byte-stable.
+class LineWriter {
+ public:
+  void field(std::string_view key, std::string_view string_value) {
+    open(key);
+    out_ += '"';
+    out_ += escape(string_value);
+    out_ += '"';
+  }
+
+  void field(std::string_view key, std::uint64_t value) {
+    open(key);
+    out_ += std::to_string(value);
+  }
+
+  void field(std::string_view key, std::int64_t value) {
+    open(key);
+    out_ += std::to_string(value);
+  }
+
+  void field(std::string_view key, double value) {
+    open(key);
+    out_ += format_double(value);
+  }
+
+  void field(std::string_view key, const std::vector<std::uint64_t>& ids) {
+    open(key);
+    out_ += '[';
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) out_ += ',';
+      out_ += std::to_string(ids[i]);
+    }
+    out_ += ']';
+  }
+
+  std::string finish() {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void open(std::string_view key) {
+    out_ += out_.empty() ? '{' : ',';
+    out_ += '"';
+    out_.append(key);
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
+
+/// Flat-JSON tokenizer for one line of the subset LineWriter produces.
+/// All accessors throw LineError (with the constructor's line number) on
+/// missing keys, wrong types, or malformed numbers.
+class LineParser {
+ public:
+  LineParser(std::string_view line, std::size_t line_number);
+
+  const std::string& get_string(std::string_view key) const;
+  std::uint64_t get_u64(std::string_view key) const;
+  std::int64_t get_i64(std::string_view key) const;
+  std::uint32_t get_u32(std::string_view key) const;
+  double get_double(std::string_view key) const;
+  std::vector<std::uint64_t> get_id_array(std::string_view key) const;
+
+  /// Optional lookups for protocol evolution: the default is returned
+  /// when the key is absent (wrong types still throw).
+  std::string get_string_or(std::string_view key,
+                            std::string_view fallback) const;
+  std::uint64_t get_u64_or(std::string_view key, std::uint64_t fallback) const;
+  double get_double_or(std::string_view key, double fallback) const;
+
+  bool has(std::string_view key) const {
+    return fields_.find(std::string(key)) != fields_.end();
+  }
+
+  [[noreturn]] void fail(const std::string& detail) const {
+    throw LineError(line_number_, detail);
+  }
+
+ private:
+  /// One parsed value: the raw numeric token (converted lazily so
+  /// integers and doubles both go through std::from_chars exactly once),
+  /// a string, or an array of raw numeric tokens.
+  struct Field {
+    enum class Kind : std::uint8_t { kNumber, kString, kArray };
+    Kind kind = Kind::kNumber;
+    std::string text;
+    std::vector<std::string> items;
+  };
+
+  template <typename T>
+  T number(const std::string& text, std::string_view key) const;
+  const Field& require(std::string_view key, Field::Kind kind) const;
+  const Field* find(std::string_view key, Field::Kind kind) const;
+
+  void parse();
+  Field parse_value();
+  std::string parse_string();
+  std::string parse_number_token();
+  char peek() const;
+  char next();
+  void expect(char c);
+  void skip_ws();
+  [[noreturn]] void fail_eof() const { fail("unexpected end of line"); }
+
+  std::string_view line_;
+  std::size_t line_number_;
+  std::size_t pos_ = 0;
+  std::map<std::string, Field> fields_;
+};
+
+}  // namespace epajsrm::net

@@ -49,6 +49,7 @@ class AmbientModel {
   double mean_c() const { return mean_c_; }
   void set_mean_c(double c) { mean_c_ = c; }
   double daily_swing_c() const { return swing_c_; }
+  double peak_hour() const { return peak_hour_; }
 
  private:
   double mean_c_;

@@ -1,0 +1,46 @@
+#include "svc/admission.hpp"
+
+namespace epajsrm::svc {
+
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueueFull:
+      return "queue_full";
+    case AdmissionOutcome::kTenantQuota:
+      return "tenant_quota";
+  }
+  return "?";
+}
+
+AdmissionOutcome AdmissionController::try_admit(const std::string& tenant) {
+  if (inflight_total_ >= config_.max_queue) {
+    return AdmissionOutcome::kQueueFull;
+  }
+  const auto [it, inserted] = inflight_.try_emplace(tenant, 0);
+  if (it->second >= config_.max_inflight_per_tenant) {
+    // Don't let a rejected first request leave a zero entry behind: the
+    // map doubles as the active-tenant inventory in stats.
+    if (inserted) inflight_.erase(it);
+    return AdmissionOutcome::kTenantQuota;
+  }
+  ++it->second;
+  ++inflight_total_;
+  return AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  const auto it = inflight_.find(tenant);
+  if (it == inflight_.end() || it->second == 0) return;
+  --it->second;
+  --inflight_total_;
+  if (it->second == 0) inflight_.erase(it);
+}
+
+std::size_t AdmissionController::inflight(const std::string& tenant) const {
+  const auto it = inflight_.find(tenant);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+}  // namespace epajsrm::svc

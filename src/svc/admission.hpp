@@ -1,0 +1,61 @@
+// Admission control: bounded queue + per-tenant in-flight quotas.
+//
+// The service never buffers unboundedly: past `max_queue` pending
+// requests, new work is rejected with an explicit retry hint, and a tenant
+// already holding `max_inflight_per_tenant` uncompleted requests is
+// rejected regardless of queue headroom (one noisy client cannot starve
+// the rest). Rejections are cheap and stateless — the client retries after
+// `retry_after_ms`.
+//
+// Not thread-safe by itself; ScenarioService serializes access under its
+// own lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace epajsrm::svc {
+
+struct AdmissionConfig {
+  /// Maximum queued (admitted, not yet finished) requests service-wide.
+  std::size_t max_queue = 64;
+  /// Maximum uncompleted requests a single tenant may hold.
+  std::size_t max_inflight_per_tenant = 16;
+  /// Retry hint attached to rejections.
+  std::int64_t retry_after_ms = 250;
+};
+
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmitted,
+  kQueueFull,
+  kTenantQuota,
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Accounts one admission attempt. On kAdmitted the tenant's in-flight
+  /// count is incremented; the caller must release() once the request
+  /// reaches a terminal state.
+  AdmissionOutcome try_admit(const std::string& tenant);
+
+  /// Request reached a terminal state (done / failed / cancelled).
+  void release(const std::string& tenant);
+
+  std::size_t inflight_total() const { return inflight_total_; }
+  std::size_t inflight(const std::string& tenant) const;
+  std::size_t tenant_count() const { return inflight_.size(); }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  /// std::map: stats render in deterministic tenant order.
+  std::map<std::string, std::size_t> inflight_;
+  std::size_t inflight_total_ = 0;
+};
+
+}  // namespace epajsrm::svc

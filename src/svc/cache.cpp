@@ -1,0 +1,33 @@
+#include "svc/cache.hpp"
+
+namespace epajsrm::svc {
+
+const std::vector<std::string>* ResultCache::find(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::vector<std::string> payload) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  index_[key] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace epajsrm::svc

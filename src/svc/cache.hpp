@@ -1,0 +1,55 @@
+// Determinism-keyed LRU result cache.
+//
+// The key is core::scenario_hash(normalized config); the value is the
+// response payload stored verbatim as lines. Because a run is a pure
+// function of its config and the payload renderer is byte-stable, a cache
+// hit returns exactly the bytes a recompute would produce — the svc test
+// suite proves this by evicting an entry, recomputing, and comparing.
+//
+// Not thread-safe by itself; ScenarioService serializes access under its
+// own lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace epajsrm::svc {
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum retained entries (>= 1 enforced; a zero-capacity
+  /// cache would turn every insert into an immediate self-eviction).
+  explicit ResultCache(std::size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// Payload for `key`, or nullptr. A hit refreshes LRU recency. The
+  /// pointer stays valid until the next insert().
+  const std::vector<std::string>* find(const std::string& key);
+
+  /// Stores (or refreshes) `key`, evicting the least-recently-used entry
+  /// beyond capacity.
+  void insert(const std::string& key, std::vector<std::string> payload);
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<std::string, std::vector<std::string>>;
+
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace epajsrm::svc

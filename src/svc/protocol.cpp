@@ -1,0 +1,228 @@
+#include "svc/protocol.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "net/jsonl.hpp"
+#include "obs/exposition.hpp"
+
+namespace epajsrm::svc {
+
+namespace {
+
+Request::Op op_from_name(const std::string& name, const net::LineParser& p) {
+  if (name == "submit") return Request::Op::kSubmit;
+  if (name == "sweep") return Request::Op::kSweep;
+  if (name == "poll") return Request::Op::kPoll;
+  if (name == "cancel") return Request::Op::kCancel;
+  if (name == "stats") return Request::Op::kStats;
+  if (name == "templates") return Request::Op::kTemplates;
+  if (name == "shutdown") return Request::Op::kShutdown;
+  p.fail("unknown op \"" + name + "\"");
+}
+
+}  // namespace
+
+const char* to_string(Request::Op op) {
+  switch (op) {
+    case Request::Op::kSubmit:
+      return "submit";
+    case Request::Op::kSweep:
+      return "sweep";
+    case Request::Op::kPoll:
+      return "poll";
+    case Request::Op::kCancel:
+      return "cancel";
+    case Request::Op::kStats:
+      return "stats";
+    case Request::Op::kTemplates:
+      return "templates";
+    case Request::Op::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  const net::LineParser p(line, 1);
+  Request r;
+  r.op = op_from_name(p.get_string("op"), p);
+  r.tenant = p.get_string_or("tenant", "anon");
+  switch (r.op) {
+    case Request::Op::kSubmit:
+    case Request::Op::kSweep:
+      r.template_name = p.get_string("template");
+      r.label = p.get_string_or("label", "");
+      if (p.has("seed")) {
+        r.has_seed = true;
+        r.seed = p.get_u64("seed");
+      }
+      if (p.has("nodes")) {
+        r.has_nodes = true;
+        r.nodes = p.get_u32("nodes");
+      }
+      if (p.has("job_count")) {
+        r.has_job_count = true;
+        r.job_count = p.get_u64("job_count");
+      }
+      r.wait = p.get_u64_or("wait", 1) != 0;
+      r.want_report = p.get_u64_or("report", 0) != 0;
+      if (r.op == Request::Op::kSweep) {
+        r.seeds = p.get_id_array("seeds");
+        if (r.seeds.empty()) p.fail("sweep needs a non-empty seeds array");
+      }
+      break;
+    case Request::Op::kPoll:
+    case Request::Op::kCancel:
+      r.id = p.get_u64("id");
+      break;
+    case Request::Op::kStats:
+    case Request::Op::kTemplates:
+    case Request::Op::kShutdown:
+      break;
+  }
+  return r;
+}
+
+std::string serialize_request(const Request& request) {
+  net::LineWriter w;
+  w.field("op", to_string(request.op));
+  w.field("tenant", request.tenant);
+  switch (request.op) {
+    case Request::Op::kSubmit:
+    case Request::Op::kSweep:
+      w.field("template", request.template_name);
+      if (!request.label.empty()) w.field("label", request.label);
+      if (request.has_seed) w.field("seed", request.seed);
+      if (request.has_nodes) {
+        w.field("nodes", static_cast<std::uint64_t>(request.nodes));
+      }
+      if (request.has_job_count) w.field("job_count", request.job_count);
+      w.field("wait", static_cast<std::uint64_t>(request.wait ? 1 : 0));
+      if (request.want_report) {
+        w.field("report", static_cast<std::uint64_t>(1));
+      }
+      if (request.op == Request::Op::kSweep) w.field("seeds", request.seeds);
+      break;
+    case Request::Op::kPoll:
+    case Request::Op::kCancel:
+      w.field("id", request.id);
+      break;
+    case Request::Op::kStats:
+    case Request::Op::kTemplates:
+    case Request::Op::kShutdown:
+      break;
+  }
+  return w.finish();
+}
+
+std::string serialize_envelope(const Envelope& envelope) {
+  net::LineWriter w;
+  w.field("op", envelope.op);
+  w.field("status", envelope.status);
+  w.field("id", envelope.id);
+  w.field("cached", static_cast<std::uint64_t>(envelope.cached ? 1 : 0));
+  if (envelope.status == "rejected") {
+    w.field("retry_after_ms", envelope.retry_after_ms);
+  }
+  if (!envelope.error.empty()) w.field("error", envelope.error);
+  if (!envelope.ids.empty()) w.field("ids", envelope.ids);
+  w.field("payload_lines", envelope.payload_lines);
+  return w.finish();
+}
+
+Envelope parse_envelope(const std::string& line, std::size_t line_number) {
+  const net::LineParser p(line, line_number);
+  Envelope e;
+  e.op = p.get_string("op");
+  e.status = p.get_string("status");
+  e.id = p.get_u64("id");
+  e.cached = p.get_u64_or("cached", 0) != 0;
+  e.retry_after_ms =
+      static_cast<std::int64_t>(p.get_u64_or("retry_after_ms", 0));
+  e.error = p.get_string_or("error", "");
+  if (p.has("ids")) e.ids = p.get_id_array("ids");
+  e.payload_lines = p.get_u64("payload_lines");
+  return e;
+}
+
+std::string serialize_result(const std::string& scenario_hash,
+                             std::uint64_t seed,
+                             const core::RunResult& result) {
+  net::LineWriter w;
+  w.field("kind", "result");
+  w.field("hash", scenario_hash);
+  w.field("label", result.report.label);
+  w.field("seed", seed);
+  w.field("jobs_completed", result.report.jobs_completed);
+  w.field("sim_events", result.sim_events);
+  w.field("scheduling_passes", result.scheduling_passes);
+  w.field("total_kwh", result.total_it_kwh_exact);
+  w.field("overhead_kwh", result.overhead_kwh);
+  w.field("mean_utilization", result.report.mean_core_utilization);
+  w.field("median_wait_minutes", result.report.wait_minutes.median);
+  w.field("violation_fraction", result.report.violation_fraction);
+  w.field("makespan_hours", sim::to_hours(result.report.makespan));
+  w.field("node_boots", result.node_boots);
+  w.field("node_shutdowns", result.node_shutdowns);
+  // Sorted reason:count pairs: the source map is unordered and its
+  // iteration order must not reach the wire.
+  std::vector<std::pair<std::string, std::uint64_t>> kills(
+      result.kills_by_reason.begin(), result.kills_by_reason.end());
+  std::sort(kills.begin(), kills.end());
+  std::string kill_text;
+  for (const auto& [reason, count] : kills) {
+    if (!kill_text.empty()) kill_text += ',';
+    kill_text += reason + ":" + std::to_string(count);
+  }
+  w.field("kills", kill_text);
+  w.field("node_crashes", result.node_crashes);
+  w.field("jobs_requeued", result.jobs_requeued_on_fault);
+  return w.finish();
+}
+
+std::vector<std::string> serialize_report(const std::string& label,
+                                          const std::string& scenario_hash,
+                                          std::uint64_t seed,
+                                          const core::RunResult& result) {
+  obs::RunReportBuilder builder(label);
+  builder.add_scalar("jobs_completed",
+                     static_cast<double>(result.report.jobs_completed));
+  builder.add_scalar("total_kwh", result.total_it_kwh_exact);
+  builder.add_scalar("overhead_kwh", result.overhead_kwh);
+  builder.add_scalar("mean_utilization", result.report.mean_core_utilization);
+  builder.add_scalar("median_wait_minutes", result.report.wait_minutes.median);
+  builder.add_scalar("violation_fraction", result.report.violation_fraction);
+  builder.add_scalar("makespan_hours", sim::to_hours(result.report.makespan));
+  builder.add_scalar("scheduling_passes",
+                     static_cast<double>(result.scheduling_passes));
+  builder.add_scalar("sim_events", static_cast<double>(result.sim_events));
+  obs::ReportShard shard;
+  shard.label = scenario_hash;
+  shard.seed = seed;
+  shard.sim_events = result.sim_events;
+  builder.add_shard(shard);
+  std::ostringstream out;
+  builder.write_json(out);
+  const std::string document = out.str();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= document.size()) {
+    const std::size_t nl = document.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < document.size()) lines.push_back(document.substr(start));
+      break;
+    }
+    lines.push_back(document.substr(start, nl - start));
+    start = nl + 1;
+  }
+  // Blank lines would collide with any empty-line batch framing a carrier
+  // might layer on; the report writer never emits them, but keep the
+  // payload contract airtight regardless.
+  lines.erase(std::remove(lines.begin(), lines.end(), std::string{}),
+              lines.end());
+  return lines;
+}
+
+}  // namespace epajsrm::svc

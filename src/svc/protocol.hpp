@@ -1,0 +1,104 @@
+// Wire protocol of the scenario service (DESIGN.md §14).
+//
+// Requests are single flat-JSON lines on the shared net carrier; every
+// request gets one *envelope* line back, followed by exactly
+// `payload_lines` payload lines. The envelope carries the request outcome
+// (ok / queued / done / rejected / error / ...) so clients never have to
+// sniff payload shapes, and `payload_lines` makes the response
+// self-framing — a client reads the envelope, then that many lines, and
+// the connection is ready for the next request.
+//
+// Result payloads are rendered with the same exact-double writer the EDC
+// wire uses, so a result payload is a byte-stable pure function of the
+// RunResult it renders — the property that lets the result cache store
+// payload lines verbatim and still be indistinguishable from recompute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace epajsrm::svc {
+
+/// One parsed client request.
+struct Request {
+  enum class Op : std::uint8_t {
+    kSubmit,     ///< run one scenario (template + overrides)
+    kSweep,      ///< expand one template across a seed list
+    kPoll,       ///< query a request id
+    kCancel,     ///< cancel a queued request id
+    kStats,      ///< service counters snapshot
+    kTemplates,  ///< list warm scenario templates
+    kShutdown,   ///< stop the server
+  };
+
+  Op op = Op::kSubmit;
+  std::string tenant = "anon";
+
+  // submit / sweep.
+  std::string template_name;
+  std::string label;  ///< empty = keep the template's label
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  bool has_nodes = false;
+  std::uint32_t nodes = 0;
+  bool has_job_count = false;
+  std::uint64_t job_count = 0;
+  /// submit: block until the result is ready (default). With wait=0 the
+  /// reply is the queued id; the client polls.
+  bool wait = true;
+  /// Attach the run-report JSON document to the payload.
+  bool want_report = false;
+
+  // sweep.
+  std::vector<std::uint64_t> seeds;
+
+  // poll / cancel.
+  std::uint64_t id = 0;
+};
+
+const char* to_string(Request::Op op);
+
+/// Parses one request line. Throws net::LineError on malformed input or an
+/// unknown op; the server turns that into a status="error" envelope.
+Request parse_request(const std::string& line);
+
+/// Serializes a request (the client-side counterpart of parse_request).
+std::string serialize_request(const Request& request);
+
+/// The envelope ahead of every response.
+struct Envelope {
+  std::string op;
+  /// ok | queued | running | done | cancelled | too_late | rejected | error
+  std::string status;
+  std::uint64_t id = 0;
+  bool cached = false;
+  /// Backpressure hint; only emitted when status == "rejected".
+  std::int64_t retry_after_ms = 0;
+  std::string error;  ///< only emitted when non-empty
+  std::vector<std::uint64_t> ids;  ///< sweep: admitted request ids
+  std::uint64_t payload_lines = 0;
+};
+
+std::string serialize_envelope(const Envelope& envelope);
+
+/// Parses an envelope line (client side). Throws net::LineError.
+Envelope parse_envelope(const std::string& line, std::size_t line_number = 1);
+
+/// Renders one RunResult as the deterministic single-line result payload.
+/// Every field is either integral or an exact-round-trip double; the kill
+/// histogram is flattened to a sorted `reason:count` list so unordered-map
+/// iteration order can never leak into the bytes.
+std::string serialize_result(const std::string& scenario_hash,
+                             std::uint64_t seed, const core::RunResult& result);
+
+/// Renders the run-report document (obs exposition layer) for a result.
+/// Returns the report JSON split into lines, ready to append to a payload.
+std::vector<std::string> serialize_report(const std::string& label,
+                                          const std::string& scenario_hash,
+                                          std::uint64_t seed,
+                                          const core::RunResult& result);
+
+}  // namespace epajsrm::svc

@@ -1,0 +1,235 @@
+#include "svc/server.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "net/jsonl.hpp"
+#include "svc/protocol.hpp"
+
+namespace epajsrm::svc {
+
+Server::Server(ServiceConfig service_config, ServerConfig config,
+               TemplateStore templates)
+    : service_(service_config, std::move(templates)),
+      config_(std::move(config)),
+      listener_(net::listen_endpoint(config_.endpoint)) {}
+
+void Server::serve() {
+  while (true) {
+    std::optional<net::LineChannel> channel = listener_.accept();
+    if (!channel.has_value()) break;  // listener closed: shutdown
+    const std::lock_guard<std::mutex> lk(threads_mutex_);
+    threads_.emplace_back(
+        [this, ch = std::move(*channel)]() mutable {
+          handle_connection(std::move(ch));
+        });
+  }
+  service_.stop();
+  write_prom_file();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lk(threads_mutex_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  listener_.close();
+}
+
+void Server::handle_connection(net::LineChannel channel) {
+  std::string line;
+  try {
+    while (channel.read_line(line)) {
+      if (line.empty()) continue;  // tolerate stray blank lines
+      if (!handle_line(line, channel)) {
+        stop();
+        break;
+      }
+    }
+  } catch (const net::CarrierError&) {
+    // Peer vanished mid-conversation; nothing to clean up — admitted
+    // requests keep running and stay pollable from a new connection.
+  }
+}
+
+bool Server::handle_line(const std::string& line, net::LineChannel& channel) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const net::LineError& e) {
+    Envelope envelope;
+    envelope.op = "?";
+    envelope.status = "error";
+    envelope.error = e.detail();
+    write_response(channel, envelope, {});
+    return true;
+  }
+
+  Envelope envelope;
+  envelope.op = to_string(request.op);
+  std::vector<std::string> payload;
+
+  switch (request.op) {
+    case Request::Op::kSubmit: {
+      TemplateOverrides overrides;
+      if (request.has_seed) overrides.seed = request.seed;
+      if (request.has_nodes) overrides.nodes = request.nodes;
+      if (request.has_job_count) overrides.job_count = request.job_count;
+      overrides.label = request.label;
+      ScenarioService::SubmitOutcome outcome;
+      try {
+        outcome = service_.submit_template(request.tenant,
+                                           request.template_name, overrides,
+                                           request.want_report);
+      } catch (const std::invalid_argument& e) {
+        envelope.status = "error";
+        envelope.error = e.what();
+        break;
+      }
+      if (outcome.admission != AdmissionOutcome::kAdmitted &&
+          !outcome.served_from_cache) {
+        envelope.status = "rejected";
+        envelope.error = to_string(outcome.admission);
+        envelope.retry_after_ms = outcome.retry_after_ms;
+        break;
+      }
+      envelope.id = outcome.id;
+      if (outcome.served_from_cache || request.wait) {
+        const RequestStatus status = service_.wait(outcome.id);
+        envelope.cached = status.cached;
+        if (status.state == RequestState::kDone) {
+          envelope.status = "done";
+          payload = status.payload;
+        } else {
+          envelope.status = "error";
+          envelope.error = status.error.empty()
+                               ? std::string(to_string(status.state))
+                               : status.error;
+        }
+      } else {
+        envelope.status = "queued";
+      }
+      break;
+    }
+    case Request::Op::kSweep: {
+      std::uint64_t rejected = 0;
+      for (const std::uint64_t seed : request.seeds) {
+        TemplateOverrides overrides;
+        overrides.seed = seed;
+        if (request.has_nodes) overrides.nodes = request.nodes;
+        if (request.has_job_count) overrides.job_count = request.job_count;
+        overrides.label = request.label;
+        ScenarioService::SubmitOutcome outcome;
+        try {
+          outcome = service_.submit_template(request.tenant,
+                                             request.template_name, overrides,
+                                             request.want_report);
+        } catch (const std::invalid_argument& e) {
+          envelope.status = "error";
+          envelope.error = e.what();
+          break;
+        }
+        if (outcome.id != 0) {
+          envelope.ids.push_back(outcome.id);
+        } else {
+          ++rejected;
+          envelope.retry_after_ms = outcome.retry_after_ms;
+        }
+      }
+      if (envelope.status.empty()) {
+        envelope.status = rejected == 0 ? "ok" : "rejected";
+        if (rejected > 0) {
+          envelope.error = std::to_string(rejected) + " of " +
+                           std::to_string(request.seeds.size()) +
+                           " rejected";
+        }
+      }
+      break;
+    }
+    case Request::Op::kPoll: {
+      const RequestStatus status = service_.status(request.id);
+      envelope.id = request.id;
+      if (!status.known) {
+        envelope.status = "error";
+        envelope.error = "unknown id";
+        break;
+      }
+      envelope.cached = status.cached;
+      switch (status.state) {
+        case RequestState::kDone:
+          envelope.status = "done";
+          payload = status.payload;
+          break;
+        case RequestState::kFailed:
+          envelope.status = "error";
+          envelope.error = status.error;
+          break;
+        case RequestState::kCancelled:
+          envelope.status = "cancelled";
+          break;
+        case RequestState::kQueued:
+          envelope.status = "queued";
+          break;
+        case RequestState::kRunning:
+          envelope.status = "running";
+          break;
+      }
+      break;
+    }
+    case Request::Op::kCancel:
+      envelope.id = request.id;
+      envelope.status = service_.cancel(request.id) ? "cancelled" : "too_late";
+      break;
+    case Request::Op::kStats:
+      envelope.status = "ok";
+      payload.push_back(serialize_stats(service_.stats()));
+      write_prom_file();
+      break;
+    case Request::Op::kTemplates: {
+      envelope.status = "ok";
+      for (const std::string& name : service_.templates().names()) {
+        const core::ScenarioConfig* t = service_.templates().find(name);
+        net::LineWriter w;
+        w.field("template", name);
+        w.field("label", t->label);
+        w.field("nodes", static_cast<std::uint64_t>(t->nodes));
+        w.field("job_count", static_cast<std::uint64_t>(t->job_count));
+        w.field("seed", t->seed);
+        w.field("energy_budget",
+                static_cast<std::uint64_t>(t->energy_budget ? 1 : 0));
+        payload.push_back(w.finish());
+      }
+      break;
+    }
+    case Request::Op::kShutdown:
+      envelope.status = "ok";
+      write_response(channel, envelope, {});
+      return false;
+  }
+
+  write_response(channel, envelope, payload);
+  return true;
+}
+
+void Server::write_response(net::LineChannel& channel,
+                            const Envelope& envelope,
+                            const std::vector<std::string>& payload) {
+  Envelope framed = envelope;
+  framed.payload_lines = payload.size();
+  channel.write_line(serialize_envelope(framed));
+  for (const std::string& line : payload) channel.write_line(line);
+}
+
+void Server::write_prom_file() {
+  if (config_.prom_out.empty()) return;
+  const std::string text = service_.prometheus_text();
+  std::ofstream out(config_.prom_out, std::ios::trunc);
+  out << text;
+}
+
+}  // namespace epajsrm::svc

@@ -1,0 +1,69 @@
+// The epajsrmd socket front end: accepts connections on the shared net
+// carrier and speaks the svc protocol (one request line in, one envelope
+// plus counted payload lines out — see protocol.hpp).
+//
+// One thread per connection; every connection multiplexes any number of
+// sequential requests. The shutdown op (or stop()) closes the listener,
+// which unblocks the accept loop; serve() then joins the connection
+// threads and returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/carrier.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace epajsrm::svc {
+
+struct ServerConfig {
+  /// "PORT", "tcp:PORT" (0 = ephemeral) or "unix:PATH".
+  std::string endpoint = "tcp:0";
+  /// When non-empty, the service metrics registry is written here in
+  /// Prometheus text format after every stats request and at shutdown.
+  std::string prom_out;
+};
+
+class Server {
+ public:
+  explicit Server(ServiceConfig service_config = {}, ServerConfig config = {},
+                  TemplateStore templates = TemplateStore::with_builtins());
+
+  /// Bound TCP port (0 for unix endpoints) — lets tests bind port 0 and
+  /// discover the real port.
+  std::uint16_t port() const { return listener_.port(); }
+  std::string describe() const { return listener_.describe(); }
+
+  ScenarioService& service() { return service_; }
+
+  /// Accept loop; blocks until a shutdown request or stop(). Joins every
+  /// connection thread before returning.
+  void serve();
+
+  /// Thread-safe: unblocks serve(). Connections still being served finish
+  /// their current request and end when the peer disconnects.
+  void stop();
+
+ private:
+  void handle_connection(net::LineChannel channel);
+  /// One request line -> one response (envelope + payload) on `channel`.
+  /// Returns false when the request was a shutdown.
+  bool handle_line(const std::string& line, net::LineChannel& channel);
+  void write_response(net::LineChannel& channel, const Envelope& envelope,
+                      const std::vector<std::string>& payload);
+  void write_prom_file();
+
+  ScenarioService service_;
+  ServerConfig config_;
+  net::Listener listener_;
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace epajsrm::svc

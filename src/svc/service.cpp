@@ -1,0 +1,391 @@
+#include "svc/service.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/ensemble.hpp"
+#include "core/scenario_hash.hpp"
+#include "net/jsonl.hpp"
+#include "obs/exposition.hpp"
+#include "svc/protocol.hpp"
+
+namespace epajsrm::svc {
+
+const char* to_string(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kDone:
+      return "done";
+    case RequestState::kCancelled:
+      return "cancelled";
+    case RequestState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+std::string serialize_stats(const ServiceStats& stats) {
+  net::LineWriter w;
+  w.field("kind", "stats");
+  w.field("queue_depth", static_cast<std::uint64_t>(stats.queue_depth));
+  w.field("inflight", static_cast<std::uint64_t>(stats.inflight));
+  w.field("tenants", static_cast<std::uint64_t>(stats.tenants));
+  w.field("submitted", stats.submitted);
+  w.field("completed", stats.completed);
+  w.field("failed", stats.failed);
+  w.field("cancelled", stats.cancelled);
+  w.field("rejected_queue_full", stats.rejected_queue_full);
+  w.field("rejected_tenant_quota", stats.rejected_tenant_quota);
+  w.field("batches", stats.batches);
+  w.field("cache_hits", stats.cache_hits);
+  w.field("cache_misses", stats.cache_misses);
+  w.field("cache_evictions", stats.cache_evictions);
+  w.field("cache_size", static_cast<std::uint64_t>(stats.cache_size));
+  w.field("cache_capacity", static_cast<std::uint64_t>(stats.cache_capacity));
+  return w.finish();
+}
+
+ScenarioService::ScenarioService(ServiceConfig config, TemplateStore templates)
+    : config_(config),
+      templates_(std::move(templates)),
+      cache_(config.cache_capacity),
+      admission_(config.admission),
+      obs_(obs::Observability::create_if(config.obs)) {
+  batcher_ = std::thread([this] { batcher_main(); });
+}
+
+ScenarioService::~ScenarioService() { stop(); }
+
+core::ScenarioConfig ScenarioService::normalize(core::ScenarioConfig config) {
+  // Fields that cannot reach the result payload: the per-run obs plane
+  // only instruments (RunResult is computed from simulation state), and
+  // the decision log is an audit artifact the payload never renders.
+  // Normalizing them widens cache hits without weakening soundness —
+  // every field that *can* reach the payload stays in the hash.
+  config.solution.obs = obs::ObsConfig{};
+  config.solution.record_decision_log = false;
+  return config;
+}
+
+ScenarioService::SubmitOutcome ScenarioService::submit(
+    const std::string& tenant, const core::ScenarioConfig& config,
+    bool want_report) {
+  core::ScenarioConfig normalized = normalize(config);
+  // Throws on external_transport — the one config field that is live
+  // state rather than value. Validation throws on unrunnable configs.
+  const std::string hash = core::scenario_hash(normalized);
+  core::validate(normalized);
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  ++submitted_;
+  SubmitOutcome outcome;
+
+  // want_report changes the payload shape, so reported and unreported
+  // requests must not share a cache entry.
+  const std::string key = want_report ? hash + ":report" : hash;
+  if (const std::vector<std::string>* payload = cache_.find(key)) {
+    auto entry = std::make_unique<Entry>();
+    entry->id = next_id_++;
+    entry->tenant = tenant;
+    entry->hash = hash;
+    entry->want_report = want_report;
+    entry->state = RequestState::kDone;
+    entry->cached = true;
+    entry->payload = *payload;
+    outcome.id = entry->id;
+    outcome.served_from_cache = true;
+    if (obs_) {
+      obs_->metrics().counter("svc.requests").add(1);
+      obs_->metrics().counter("svc.cache_hits").add(1);
+      obs_->trace().instant("svc", "cache_hit",
+                            static_cast<std::int64_t>(entry->id));
+    }
+    entries_.emplace(entry->id, std::move(entry));
+    ++completed_;
+    return outcome;
+  }
+
+  const AdmissionOutcome admitted = admission_.try_admit(tenant);
+  outcome.admission = admitted;
+  if (admitted != AdmissionOutcome::kAdmitted) {
+    outcome.retry_after_ms = admission_.config().retry_after_ms;
+    if (admitted == AdmissionOutcome::kQueueFull) {
+      ++rejected_queue_full_;
+    } else {
+      ++rejected_tenant_quota_;
+    }
+    if (obs_) {
+      obs_->metrics().counter("svc.requests").add(1);
+      obs_->metrics()
+          .counter(admitted == AdmissionOutcome::kQueueFull
+                       ? "svc.rejected_queue_full"
+                       : "svc.rejected_tenant_quota")
+          .add(1);
+    }
+    return outcome;
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->tenant = tenant;
+  entry->config = std::move(normalized);
+  entry->hash = hash;
+  entry->want_report = want_report;
+  outcome.id = entry->id;
+  if (obs_) {
+    obs_->metrics().counter("svc.requests").add(1);
+    obs_->metrics().counter("svc.cache_misses").add(1);
+    entry->span = obs_->trace().span("svc", "request");
+    entry->span.attr("tenant", tenant);
+    entry->span.attr("hash", hash);
+    entry->span.set_job(static_cast<std::int64_t>(entry->id));
+  }
+  pending_.push_back(entry->id);
+  if (obs_) {
+    obs_->metrics().gauge("svc.queue_depth").set(
+        static_cast<double>(pending_.size()));
+  }
+  entries_.emplace(entry->id, std::move(entry));
+  batch_cv_.notify_one();
+  return outcome;
+}
+
+ScenarioService::SubmitOutcome ScenarioService::submit_template(
+    const std::string& tenant, const std::string& template_name,
+    const TemplateOverrides& overrides, bool want_report) {
+  return submit(tenant, templates_.instantiate(template_name, overrides),
+                want_report);
+}
+
+RequestStatus ScenarioService::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  RequestStatus out;
+  out.id = id;
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return out;
+  const Entry& entry = *it->second;
+  out.known = true;
+  out.state = entry.state;
+  out.cached = entry.cached;
+  out.scenario_hash = entry.hash;
+  out.error = entry.error;
+  if (entry.state == RequestState::kDone) out.payload = entry.payload;
+  return out;
+}
+
+RequestStatus ScenarioService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [&] {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return true;  // unknown id: nothing to await
+    const RequestState s = it->second->state;
+    return s != RequestState::kQueued && s != RequestState::kRunning;
+  });
+  lk.unlock();
+  return status(id);
+}
+
+bool ScenarioService::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || it->second->state != RequestState::kQueued) {
+    return false;
+  }
+  for (auto qit = pending_.begin(); qit != pending_.end(); ++qit) {
+    if (*qit == id) {
+      pending_.erase(qit);
+      break;
+    }
+  }
+  finish_entry(*it->second, RequestState::kCancelled);
+  cv_.notify_all();
+  return true;
+}
+
+ServiceStats ScenarioService::stats_locked() const {
+  ServiceStats s;
+  s.queue_depth = pending_.size();
+  s.inflight = admission_.inflight_total();
+  s.tenants = admission_.tenant_count();
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_tenant_quota = rejected_tenant_quota_;
+  s.batches = batches_;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_size = cache_.size();
+  s.cache_capacity = cache_.capacity();
+  return s;
+}
+
+ServiceStats ScenarioService::stats() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return stats_locked();
+}
+
+std::string ScenarioService::prometheus_text() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (!obs_) return {};
+  std::ostringstream out;
+  obs::write_prometheus(obs_->metrics(), out);
+  return out.str();
+}
+
+void ScenarioService::finish_entry(Entry& entry, RequestState state) {
+  entry.state = state;
+  admission_.release(entry.tenant);
+  switch (state) {
+    case RequestState::kDone:
+      ++completed_;
+      break;
+    case RequestState::kFailed:
+      ++failed_;
+      break;
+    case RequestState::kCancelled:
+      ++cancelled_;
+      break;
+    case RequestState::kQueued:
+    case RequestState::kRunning:
+      break;
+  }
+  if (obs_) {
+    obs_->metrics()
+        .counter(std::string("svc.finished_") + to_string(state))
+        .add(1);
+    if (entry.span.active()) {
+      entry.span.attr("state", std::string(to_string(state)));
+      entry.span.finish();
+    }
+  }
+}
+
+std::vector<std::string> ScenarioService::render_payload(
+    const Entry& entry, const core::RunResult& result) const {
+  std::vector<std::string> payload;
+  payload.push_back(
+      serialize_result(entry.hash, entry.config.seed, result));
+  if (entry.want_report) {
+    std::vector<std::string> report = serialize_report(
+        entry.config.label, entry.hash, entry.config.seed, result);
+    payload.insert(payload.end(), std::make_move_iterator(report.begin()),
+                   std::make_move_iterator(report.end()));
+  }
+  return payload;
+}
+
+void ScenarioService::run_batch(std::vector<Entry*> batch,
+                                std::unique_lock<std::mutex>& lk) {
+  ++batches_;
+  obs::ScopedSpan span;
+  if (obs_) {
+    obs_->metrics().counter("svc.batches").add(1);
+    obs_->metrics().histogram("svc.batch_size").observe(
+        static_cast<double>(batch.size()));
+    span = obs_->trace().span("svc", "batch");
+    span.attr("requests", static_cast<double>(batch.size()));
+  }
+  for (Entry* entry : batch) entry->state = RequestState::kRunning;
+
+  core::EnsembleConfig engine_config;
+  engine_config.replications = 1;
+  engine_config.base_seed = 0;
+  engine_config.threads = config_.ensemble_threads;
+  engine_config.seed_stream = core::SeedStream::kConfig;
+  engine_config.keep_run_results = true;
+  core::EnsembleEngine engine(engine_config);
+  for (const Entry* entry : batch) {
+    // The captured copy is the engine's whole input: under kConfig the
+    // engine never stamps a seed over it, so the run is exactly the
+    // hashed config.
+    engine.add_point(entry->config.label,
+                     [config = entry->config](std::uint64_t) {
+                       return config;
+                     });
+  }
+
+  lk.unlock();
+  core::EnsembleResult result;
+  std::string batch_error;
+  try {
+    result = engine.run();
+  } catch (const std::exception& e) {
+    batch_error = e.what();
+  }
+  lk.lock();
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Entry& entry = *batch[i];
+    if (batch_error.empty() && i < result.run_results.size()) {
+      entry.payload = render_payload(entry, result.run_results[i]);
+      const std::string key =
+          entry.want_report ? entry.hash + ":report" : entry.hash;
+      cache_.insert(key, entry.payload);
+      finish_entry(entry, RequestState::kDone);
+    } else {
+      entry.error = batch_error.empty() ? "missing batch result"
+                                        : batch_error;
+      finish_entry(entry, RequestState::kFailed);
+    }
+  }
+  if (obs_) {
+    obs_->metrics().counter("svc.scenarios_run").add(batch.size());
+    span.finish();
+  }
+  cv_.notify_all();
+}
+
+void ScenarioService::batcher_main() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (true) {
+    batch_cv_.wait(lk, [&] { return stopping_ || !pending_.empty(); });
+    if (stopping_) break;
+    std::vector<Entry*> batch;
+    while (!pending_.empty() && batch.size() < config_.max_batch) {
+      const std::uint64_t id = pending_.front();
+      pending_.pop_front();
+      const auto it = entries_.find(id);
+      if (it != entries_.end() &&
+          it->second->state == RequestState::kQueued) {
+        batch.push_back(it->second.get());
+      }
+    }
+    if (obs_) {
+      obs_->metrics().gauge("svc.queue_depth").set(
+          static_cast<double>(pending_.size()));
+    }
+    if (batch.empty()) continue;
+    run_batch(std::move(batch), lk);
+  }
+  // Drain: everything still queued fails deterministically on stop.
+  for (const std::uint64_t id : pending_) {
+    const auto it = entries_.find(id);
+    if (it != entries_.end() && it->second->state == RequestState::kQueued) {
+      it->second->error = "service stopped";
+      finish_entry(*it->second, RequestState::kFailed);
+    }
+  }
+  pending_.clear();
+  cv_.notify_all();
+}
+
+void ScenarioService::stop() {
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) {
+      // Already stopping; fall through to join below (idempotent).
+    }
+    stopping_ = true;
+  }
+  batch_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+}  // namespace epajsrm::svc

@@ -1,0 +1,219 @@
+// ScenarioService: scenario-as-a-service execution engine.
+//
+// Requests (complete ScenarioConfigs, usually instantiated from warm
+// templates) flow through:
+//
+//   submit -> normalize -> hash -> cache?  -- hit --> done (cached bytes)
+//                                   | miss
+//                                   v
+//                      admission (tenant quota, bounded queue)
+//                                   | admitted
+//                                   v
+//                        pending queue -> batcher thread
+//
+// The batcher coalesces up to `max_batch` pending requests into one
+// core::EnsembleEngine grid (one point per request, one replication,
+// SeedStream::kConfig so each request's own seed is authoritative) and
+// fans the batch across the thread pool. Results are rendered to payload
+// lines once, stored in the cache, and handed to waiters byte-for-byte.
+//
+// Soundness of the cache (DESIGN.md §14): runs are bit-deterministic in
+// their config, configs are normalized before hashing so the key covers
+// exactly the fields that can reach the payload, and the payload renderer
+// is byte-stable. Hence cached bytes == recomputed bytes, which
+// test_svc_service proves by evict-and-recompute.
+//
+// Thread model: one mutex guards every mutable member (entries, queue,
+// cache, admission, obs plane — the obs registry itself is not
+// thread-safe); the batcher drops the lock while the ensemble runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "obs/observability.hpp"
+#include "svc/admission.hpp"
+#include "svc/cache.hpp"
+#include "svc/templates.hpp"
+
+namespace epajsrm::svc {
+
+struct ServiceConfig {
+  AdmissionConfig admission;
+  /// Result-cache entries retained (LRU beyond this).
+  std::size_t cache_capacity = 128;
+  /// Pending requests coalesced into one ensemble batch.
+  std::size_t max_batch = 8;
+  /// Ensemble worker threads per batch (0 = hardware concurrency).
+  std::size_t ensemble_threads = 0;
+  /// Service-plane observability (svc.* metrics, per-request trace spans).
+  obs::ObsConfig obs{.enabled = true,
+                     .profile_event_loop = false,
+                     .trace_log_lines = false,
+                     .wall_instruments = false};
+};
+
+enum class RequestState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kCancelled,
+  kFailed,
+};
+
+const char* to_string(RequestState state);
+
+/// Snapshot of one request's lifecycle.
+struct RequestStatus {
+  std::uint64_t id = 0;
+  RequestState state = RequestState::kQueued;
+  bool known = false;   ///< false = the id was never issued (or was pruned)
+  bool cached = false;  ///< payload came from the result cache
+  std::string scenario_hash;
+  std::string error;
+  /// Response payload lines; filled when state == kDone.
+  std::vector<std::string> payload;
+};
+
+/// Aggregate service counters (stats op / run exposition).
+struct ServiceStats {
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;
+  std::size_t tenants = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_tenant_quota = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_size = 0;
+  std::size_t cache_capacity = 0;
+};
+
+/// Serializes stats as one flat JSON payload line.
+std::string serialize_stats(const ServiceStats& stats);
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig config = {},
+                           TemplateStore templates =
+                               TemplateStore::with_builtins());
+  ~ScenarioService();
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  struct SubmitOutcome {
+    AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+    /// Issued request id; 0 when rejected.
+    std::uint64_t id = 0;
+    /// The request completed immediately from the cache.
+    bool served_from_cache = false;
+    /// Backpressure hint when rejected.
+    std::int64_t retry_after_ms = 0;
+  };
+
+  /// Submits a complete config. Throws std::invalid_argument when the
+  /// config is not a pure value (external_transport) or fails validation.
+  SubmitOutcome submit(const std::string& tenant,
+                       const core::ScenarioConfig& config,
+                       bool want_report = false);
+
+  /// Template + overrides convenience (the wire path). Throws
+  /// std::invalid_argument on unknown template / invalid overrides.
+  SubmitOutcome submit_template(const std::string& tenant,
+                                const std::string& template_name,
+                                const TemplateOverrides& overrides,
+                                bool want_report = false);
+
+  /// Non-blocking state snapshot.
+  RequestStatus status(std::uint64_t id) const;
+
+  /// Blocks until the request reaches a terminal state.
+  RequestStatus wait(std::uint64_t id);
+
+  /// True when the request was still queued and is now cancelled.
+  bool cancel(std::uint64_t id);
+
+  ServiceStats stats() const;
+  const TemplateStore& templates() const { return templates_; }
+
+  /// Normalization applied before hashing: strips fields that cannot
+  /// influence the result payload (per-run obs plane, decision-log
+  /// recording), so configs differing only there share a cache entry.
+  static core::ScenarioConfig normalize(core::ScenarioConfig config);
+
+  /// The service-plane obs (svc.* metrics, request spans); null when
+  /// ServiceConfig::obs.enabled is false. Callers must not touch it while
+  /// the service is live (it shares the service lock) — it is exposed for
+  /// post-stop inspection and the server's exposition writer.
+  obs::Observability* observability() { return obs_.get(); }
+
+  /// Renders the service metrics registry in Prometheus text format.
+  std::string prometheus_text() const;
+
+  /// Stops the batcher; queued requests are failed. Idempotent.
+  void stop();
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::string tenant;
+    core::ScenarioConfig config;
+    std::string hash;
+    bool want_report = false;
+    RequestState state = RequestState::kQueued;
+    bool cached = false;
+    std::string error;
+    std::vector<std::string> payload;
+    obs::ScopedSpan span;
+  };
+
+  void batcher_main();
+  /// Runs one drained batch; called with the lock *held*, drops it for the
+  /// ensemble run, reacquires to publish.
+  void run_batch(std::vector<Entry*> batch, std::unique_lock<std::mutex>& lk);
+  void finish_entry(Entry& entry, RequestState state);
+  std::vector<std::string> render_payload(const Entry& entry,
+                                          const core::RunResult& result) const;
+  ServiceStats stats_locked() const;
+
+  ServiceConfig config_;
+  TemplateStore templates_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        ///< waiters: request state changes
+  std::condition_variable batch_cv_;  ///< batcher: queue/stop changes
+  bool stopping_ = false;
+
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Entry>> entries_;
+  std::deque<std::uint64_t> pending_;
+  ResultCache cache_;
+  AdmissionController admission_;
+  std::unique_ptr<obs::Observability> obs_;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_tenant_quota_ = 0;
+  std::uint64_t batches_ = 0;
+
+  std::thread batcher_;
+};
+
+}  // namespace epajsrm::svc

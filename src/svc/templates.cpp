@@ -1,0 +1,88 @@
+#include "svc/templates.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "epa/energy_budget.hpp"
+
+namespace epajsrm::svc {
+
+TemplateStore TemplateStore::with_builtins() {
+  TemplateStore store;
+
+  core::ScenarioConfig smoke;
+  smoke.label = "smoke";
+  smoke.nodes = 8;
+  smoke.nodes_per_rack = 8;
+  smoke.job_count = 12;
+  smoke.seed = 1;
+  smoke.horizon = 12 * sim::kHour;
+  smoke.solution.enable_thermal = false;
+  store.put("smoke", smoke);
+
+  core::ScenarioConfig study;
+  study.label = "study";
+  study.nodes = 16;
+  study.job_count = 32;
+  study.seed = 1;
+  study.horizon = sim::kDay;
+  store.put("study", study);
+
+  core::ScenarioConfig budget;
+  budget.label = "energy-budget";
+  budget.nodes = 16;
+  budget.job_count = 16;
+  budget.seed = 1;
+  budget.horizon = sim::kDay;
+  budget.solution.enable_thermal = false;
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  eb.window_budget_joules = 5.0e6;
+  eb.window = sim::kHour;
+  eb.initial_fraction = 0.0;
+  eb.emergency_timeout = 20 * sim::kMinute;
+  eb.cap_floor_fraction = 0.85;
+  budget.energy_budget = eb;
+  store.put("energy-budget", budget);
+
+  return store;
+}
+
+void TemplateStore::put(const std::string& name, core::ScenarioConfig config) {
+  if (config.external_transport) {
+    throw std::invalid_argument(
+        "template \"" + name + "\" carries an external_transport; the "
+        "service only runs pure-value configs");
+  }
+  core::validate(config);
+  templates_.insert_or_assign(name, std::move(config));
+}
+
+const core::ScenarioConfig* TemplateStore::find(const std::string& name) const {
+  const auto it = templates_.find(name);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+core::ScenarioConfig TemplateStore::instantiate(
+    const std::string& name, const TemplateOverrides& overrides) const {
+  const core::ScenarioConfig* base = find(name);
+  if (base == nullptr) {
+    throw std::invalid_argument("unknown template \"" + name + "\"");
+  }
+  core::ScenarioConfig config = *base;
+  if (overrides.seed) config.seed = *overrides.seed;
+  if (overrides.nodes) config.nodes = *overrides.nodes;
+  if (overrides.job_count) config.job_count = *overrides.job_count;
+  if (!overrides.label.empty()) config.label = overrides.label;
+  core::validate(config);
+  return config;
+}
+
+std::vector<std::string> TemplateStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [name, config] : templates_) out.push_back(name);
+  return out;
+}
+
+}  // namespace epajsrm::svc

@@ -1,0 +1,59 @@
+// Warm scenario templates: named, pre-validated ScenarioConfig prototypes
+// the service instantiates per request.
+//
+// The wire protocol is flat and small — clients name a template and
+// override a handful of knobs (seed, nodes, job_count, label) rather than
+// shipping a full config. Templates are validated at registration, so a
+// submit can only fail validation through its overrides.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace epajsrm::svc {
+
+/// Per-request knobs layered over a template's prototype config.
+struct TemplateOverrides {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> nodes;
+  std::optional<std::size_t> job_count;
+  std::string label;  ///< empty = keep the template's label
+};
+
+class TemplateStore {
+ public:
+  /// The built-in warm set:
+  ///   smoke         — 8 nodes / 12 jobs, thermal off; sized for smoke
+  ///                   tests and the service bench.
+  ///   study         — 16 nodes / 32 jobs, the default EASY stack.
+  ///   energy-budget — 16 nodes / 16 jobs under reduce-power-cap budget
+  ///                   accounting (mirrors the EDC study scenario).
+  static TemplateStore with_builtins();
+
+  /// Registers (or replaces) a template. Throws std::invalid_argument when
+  /// the prototype fails core::validate or carries an external_transport.
+  void put(const std::string& name, core::ScenarioConfig config);
+
+  const core::ScenarioConfig* find(const std::string& name) const;
+
+  /// Copies the prototype and applies overrides. Throws
+  /// std::invalid_argument on an unknown template or when the overridden
+  /// config fails validation.
+  core::ScenarioConfig instantiate(const std::string& name,
+                                   const TemplateOverrides& overrides) const;
+
+  /// Template names in deterministic (sorted) order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return templates_.size(); }
+
+ private:
+  std::map<std::string, core::ScenarioConfig> templates_;
+};
+
+}  // namespace epajsrm::svc

@@ -1,0 +1,151 @@
+// Decision-log replay: a recorded run's transcript re-derives the
+// original schedule with the external component absent, and the replay
+// transport's request assertion doubles as the determinism witness the
+// svc result cache rests on — if re-running a config could emit different
+// request bytes, replay throws instead of silently diverging.
+#include "edc/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scenario_builder.hpp"
+#include "core/solution.hpp"
+#include "edc/energy_budget_agent.hpp"
+#include "edc/protocol.hpp"
+#include "edc/transport.hpp"
+#include "epa/energy_budget.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm {
+namespace {
+
+epa::EnergyBudgetConfig study_budget() {
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  eb.window_budget_joules = 5.0e6;
+  eb.window = sim::kHour;
+  eb.initial_fraction = 0.0;
+  eb.emergency_timeout = 20 * sim::kMinute;
+  eb.cap_floor_fraction = 0.85;
+  return eb;
+}
+
+core::ScenarioConfig study_config(std::uint64_t seed) {
+  auto b = core::Scenario::builder()
+               .label("edc-replay")
+               .nodes(16)
+               .job_count(16)
+               .seed(seed)
+               .horizon(sim::kDay)
+               .energy_budget(study_budget())
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = false;
+               });
+  return std::move(b).take_config();
+}
+
+// Runs the scenario once through a recording transport and hands back the
+// result plus the captured transcript.
+std::pair<core::RunResult, edc::Recording> record_run(std::uint64_t seed) {
+  auto recorder = std::make_shared<edc::RecordingTransport>(
+      std::make_shared<edc::LoopbackTransport>(
+          std::make_shared<edc::EnergyBudgetAgent>(study_budget())));
+  core::ScenarioConfig config = study_config(seed);
+  config.external_transport = recorder;
+  core::Scenario scenario(std::move(config));
+  core::RunResult result = scenario.run();
+  return {std::move(result), recorder->take_recording()};
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.scheduling_passes, b.scheduling_passes);
+  EXPECT_EQ(a.report.jobs_completed, b.report.jobs_completed);
+  EXPECT_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_EQ(a.report.wait_minutes.mean, b.report.wait_minutes.mean);
+  EXPECT_EQ(a.report.total_it_kwh, b.report.total_it_kwh);
+  EXPECT_EQ(a.total_it_kwh_exact, b.total_it_kwh_exact);
+  EXPECT_EQ(a.kills_by_reason, b.kills_by_reason);
+}
+
+TEST(EdcReplay, ReplayedRecordingReDerivesTheOriginalRun) {
+  auto [original, recording] = record_run(42);
+  ASSERT_GT(original.report.jobs_completed, 0u);
+  ASSERT_FALSE(recording.empty());
+
+  // Replay: no agent anywhere — the transcript is the component.
+  auto replay = std::make_shared<edc::ReplayTransport>(recording);
+  core::ScenarioConfig config = study_config(42);
+  config.external_transport = replay;
+  core::Scenario scenario(std::move(config));
+  const core::RunResult replayed = scenario.run();
+
+  expect_identical(original, replayed);
+  EXPECT_TRUE(replay->exhausted());
+  EXPECT_EQ(replay->exchanges_replayed(), recording.size());
+}
+
+TEST(EdcReplay, RecordingCapturesVerbatimExchanges) {
+  auto [original, recording] = record_run(7);
+  (void)original;
+  ASSERT_FALSE(recording.empty());
+  // Every exchange has at least one request line, and the transcript
+  // round-trips through a loopback replay of itself at the line level.
+  for (const edc::RecordedExchange& exchange : recording) {
+    ASSERT_FALSE(exchange.request.empty());
+  }
+  edc::ReplayTransport replay(recording);
+  for (const edc::RecordedExchange& exchange : recording) {
+    EXPECT_EQ(replay.exchange(exchange.request), exchange.replies);
+  }
+  EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(EdcReplay, DivergingRequestLineThrowsProtocolError) {
+  auto [original, recording] = record_run(42);
+  (void)original;
+  ASSERT_FALSE(recording.empty());
+
+  // Tamper with one recorded request line: the core re-derives the
+  // original bytes, so the replay assertion must fire on that exchange.
+  const std::size_t victim = recording.size() / 2;
+  ASSERT_FALSE(recording[victim].request.empty());
+  recording[victim].request[0] += " tampered";
+
+  core::ScenarioConfig config = study_config(42);
+  config.external_transport =
+      std::make_shared<edc::ReplayTransport>(std::move(recording));
+  core::Scenario scenario(std::move(config));
+  try {
+    scenario.run();
+    FAIL() << "expected edc::ProtocolError";
+  } catch (const edc::ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("diverges"), std::string::npos);
+  }
+}
+
+TEST(EdcReplay, TruncatedRecordingFailsLoudlyNotSilently) {
+  auto [original, recording] = record_run(42);
+  (void)original;
+  ASSERT_GT(recording.size(), 1u);
+  recording.pop_back();
+
+  core::ScenarioConfig config = study_config(42);
+  config.external_transport =
+      std::make_shared<edc::ReplayTransport>(std::move(recording));
+  core::Scenario scenario(std::move(config));
+  try {
+    scenario.run();
+    FAIL() << "expected edc::ProtocolError";
+  } catch (const edc::ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("recording holds only"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace epajsrm

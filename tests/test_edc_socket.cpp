@@ -1,0 +1,151 @@
+// The out-of-process EDC proof: a run whose scheduling boundary crosses a
+// real socket (agent served on the far side of a TCP or unix connection)
+// is bit-identical to the same policy run internally. This is the carrier
+// upgrade of the loopback proof in test_edc_loopback.cpp — the same
+// serialized lines, now actually leaving the process boundary.
+#include "edc/socket_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/scenario_builder.hpp"
+#include "core/solution.hpp"
+#include "edc/energy_budget_agent.hpp"
+#include "epa/energy_budget.hpp"
+#include "net/carrier.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm {
+namespace {
+
+epa::EnergyBudgetConfig study_budget(bool charge_idle) {
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  eb.window_budget_joules = 5.0e6;
+  eb.window = sim::kHour;
+  eb.initial_fraction = 0.0;
+  eb.emergency_timeout = 20 * sim::kMinute;
+  eb.cap_floor_fraction = 0.85;
+  eb.charge_idle_power = charge_idle;
+  return eb;
+}
+
+core::ScenarioConfig study_config(std::uint64_t seed, bool charge_idle) {
+  auto b = core::Scenario::builder()
+               .label("edc-socket")
+               .nodes(16)
+               .job_count(16)
+               .seed(seed)
+               .horizon(sim::kDay)
+               .energy_budget(study_budget(charge_idle))
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = false;
+               });
+  return std::move(b).take_config();
+}
+
+// Exact equality on the result fields that summarize every layer of the
+// run: schedule shape, event count, energy, and the per-job breakdown.
+// Any divergence anywhere upstream lands in at least one of these.
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.scheduling_passes, b.scheduling_passes);
+  EXPECT_EQ(a.report.jobs_completed, b.report.jobs_completed);
+  EXPECT_EQ(a.report.jobs_killed, b.report.jobs_killed);
+  EXPECT_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_EQ(a.report.wait_minutes.mean, b.report.wait_minutes.mean);
+  EXPECT_EQ(a.report.total_it_kwh, b.report.total_it_kwh);
+  EXPECT_EQ(a.report.total_facility_kwh, b.report.total_facility_kwh);
+  EXPECT_EQ(a.total_it_kwh_exact, b.total_it_kwh_exact);
+  EXPECT_EQ(a.kills_by_reason, b.kills_by_reason);
+  ASSERT_EQ(a.job_reports.size(), b.job_reports.size());
+  for (std::size_t i = 0; i < a.job_reports.size(); ++i) {
+    EXPECT_EQ(a.job_reports[i].job, b.job_reports[i].job);
+    EXPECT_EQ(a.job_reports[i].energy_kwh, b.job_reports[i].energy_kwh);
+    EXPECT_EQ(a.job_reports[i].node_hours, b.job_reports[i].node_hours);
+  }
+}
+
+// Runs the scenario with the agent on the far side of `listener`, served
+// by a background thread. The transport closes when the scenario is
+// destroyed, which ends serve_one_connection and lets the thread join.
+core::RunResult run_over_socket(net::Listener listener,
+                                std::shared_ptr<edc::SocketTransport> transport,
+                                std::uint64_t seed, bool charge_idle,
+                                std::size_t* batches_served) {
+  std::thread server([&listener, charge_idle, batches_served] {
+    edc::EnergyBudgetAgent agent(study_budget(charge_idle));
+    *batches_served = edc::serve_one_connection(listener, agent);
+  });
+  core::RunResult result;
+  {
+    core::ScenarioConfig config = study_config(seed, charge_idle);
+    config.external_transport = std::move(transport);
+    core::Scenario scenario(std::move(config));
+    result = scenario.run();
+  }
+  server.join();
+  return result;
+}
+
+TEST(EdcSocket, TcpServedAgentIsBitIdenticalToInternalRun) {
+  core::Scenario internal(study_config(42, false));
+  const core::RunResult a = internal.run();
+  ASSERT_GT(a.report.jobs_completed, 0u);
+  ASSERT_GT(a.scheduling_passes, 0u);
+
+  net::Listener listener = net::Listener::tcp(0);
+  auto transport = edc::SocketTransport::connect_tcp(listener.port());
+  EXPECT_NE(transport->describe().find("tcp"), std::string::npos);
+  std::size_t batches = 0;
+  const core::RunResult b =
+      run_over_socket(std::move(listener), std::move(transport), 42, false,
+                      &batches);
+  EXPECT_GT(batches, 0u);
+  expect_identical(a, b);
+}
+
+TEST(EdcSocket, UnixServedAgentIsBitIdenticalToInternalRun) {
+  const std::string path =
+      ::testing::TempDir() + "epajsrm_edc_socket_test.sock";
+  core::Scenario internal(study_config(7, false));
+  const core::RunResult a = internal.run();
+
+  net::Listener listener = net::Listener::unix_path(path);
+  auto transport = edc::SocketTransport::connect_unix(path);
+  std::size_t batches = 0;
+  const core::RunResult b = run_over_socket(
+      std::move(listener), std::move(transport), 7, false, &batches);
+  EXPECT_GT(batches, 0u);
+  expect_identical(a, b);
+  std::remove(path.c_str());
+}
+
+// The idle-power debit is pass-state both sides reconstruct from the same
+// wire inputs, so the _IDLE variant must survive the socket boundary too.
+TEST(EdcSocket, IdleChargeVariantSurvivesTheSocketBoundary) {
+  core::Scenario internal(study_config(13, true));
+  const core::RunResult a = internal.run();
+  ASSERT_GT(a.report.jobs_completed, 0u);
+
+  net::Listener listener = net::Listener::tcp(0);
+  auto transport = edc::SocketTransport::connect_tcp(listener.port());
+  std::size_t batches = 0;
+  const core::RunResult b = run_over_socket(
+      std::move(listener), std::move(transport), 13, true, &batches);
+  EXPECT_GT(batches, 0u);
+  expect_identical(a, b);
+
+  // And the debit is not inert: the idle-charged run differs from the
+  // uncharged one (otherwise this test proves nothing).
+  core::Scenario uncharged(study_config(13, false));
+  const core::RunResult c = uncharged.run();
+  EXPECT_NE(a.report.wait_minutes.mean, c.report.wait_minutes.mean);
+}
+
+}  // namespace
+}  // namespace epajsrm

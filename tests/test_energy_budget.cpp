@@ -63,6 +63,77 @@ TEST(EnergyBudgetCore, AccrualClampsAtWindowBudget) {
   EXPECT_DOUBLE_EQ(core.available_joules(), 1000.0);
 }
 
+// --- kernel: idle-power debit (_IDLE parity, charge_idle_power) ---------------
+
+TEST(EnergyBudgetCore, IdleChargeDebitsStaticDrawFromAccrual) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.accrual_rate_watts = 10.0;
+  config.emergency_timeout = 0;
+  config.charge_idle_power = true;
+  EnergyBudgetCore core(config);
+  // 4 nodes idling at 2 W each: net accrual is 10 - 8 = 2 W.
+  core.begin(0, 4, 270.0, 2.0);
+  EXPECT_EQ(core.idle_nodes(), 4u);
+
+  core.decide(pass_at(100 * sim::kSecond, 4, {}));
+  EXPECT_DOUBLE_EQ(core.available_joules(), 200.0);
+}
+
+TEST(EnergyBudgetCore, IdleCountTracksPostAdmissionFreeNodes) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.accrual_rate_watts = 10.0;
+  config.emergency_timeout = 0;
+  config.charge_idle_power = true;
+  EnergyBudgetCore core(config);
+  core.begin(0, 4, 270.0, 2.0);
+
+  // t=100s: 200 J accrued at the 4-idle rate; a 2-node 100 J job starts,
+  // leaving 2 nodes idle for the next interval.
+  const EnergyBudgetCore::QueuedJob job{1, 0, 2, 100.0};
+  const auto decisions = core.decide(pass_at(100 * sim::kSecond, 4, {job}));
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(core.idle_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(core.available_joules(), 100.0);  // 200 - 100 charged
+
+  // Next 100 s bill only 2 idle nodes: net 10 - 4 = 6 W -> +600 J.
+  core.decide(pass_at(200 * sim::kSecond, 2, {}));
+  EXPECT_DOUBLE_EQ(core.available_joules(), 700.0);
+}
+
+TEST(EnergyBudgetCore, IdleChargeCanDriveTheAllowanceIntoDebt) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.accrual_rate_watts = 1.0;
+  config.emergency_timeout = 0;
+  config.charge_idle_power = true;
+  EnergyBudgetCore core(config);
+  // 8 idle nodes at 2 W swamp the 1 W accrual: net -15 W. There is no
+  // lower clamp — debt must re-accrue, exactly like an emergency start.
+  core.begin(0, 8, 270.0, 2.0);
+  core.decide(pass_at(100 * sim::kSecond, 8, {}));
+  EXPECT_DOUBLE_EQ(core.available_joules(), -1500.0);
+}
+
+TEST(EnergyBudgetCore, IdleChargeOffKeepsHistoricalAccrualBytes) {
+  EnergyBudgetConfig config;
+  config.window_budget_joules = 1e6;
+  config.accrual_rate_watts = 10.0;
+  config.emergency_timeout = 0;
+  EnergyBudgetCore with_watts(config);
+  // idle_node_watts is supplied (the EDC wire always carries it now) but
+  // the flag is off: the debit must be inert so pre-flag runs reproduce.
+  with_watts.begin(0, 4, 270.0, 2.0);
+  EnergyBudgetCore without_watts(config);
+  without_watts.begin(0, 4, 270.0);
+
+  with_watts.decide(pass_at(100 * sim::kSecond, 4, {}));
+  without_watts.decide(pass_at(100 * sim::kSecond, 4, {}));
+  EXPECT_DOUBLE_EQ(with_watts.available_joules(), 1000.0);
+  EXPECT_DOUBLE_EQ(without_watts.available_joules(), 1000.0);
+}
+
 TEST(EnergyBudgetCore, RankingPrefersWaitPerJoule) {
   EnergyBudgetConfig config;
   config.window_budget_joules = 1e6;

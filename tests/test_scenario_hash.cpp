@@ -1,0 +1,183 @@
+// The canonical scenario serializer + hash: the cache key the scenario
+// service's soundness argument rests on (DESIGN.md §14). Pins the three
+// properties the header sells — total (per-field sensitivity), exact
+// (distinct double bit patterns never collide), ordered (same config =>
+// same bytes) — and the live-handle rejection.
+#include "core/scenario_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario_builder.hpp"
+#include "edc/transport.hpp"
+#include "epa/energy_budget.hpp"
+#include "power/tariff.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm {
+namespace {
+
+core::ScenarioConfig base_config() {
+  auto b = core::Scenario::builder()
+               .label("hash-base")
+               .nodes(16)
+               .job_count(8)
+               .seed(11)
+               .horizon(sim::kDay);
+  return std::move(b).take_config();
+}
+
+TEST(ScenarioHash, SameConfigSameBytesSameHash) {
+  const core::ScenarioConfig a = base_config();
+  const core::ScenarioConfig b = base_config();
+  EXPECT_EQ(core::canonical_serialize(a), core::canonical_serialize(b));
+  EXPECT_EQ(core::scenario_hash(a), core::scenario_hash(b));
+  // A copy is the same value.
+  const core::ScenarioConfig c = a;
+  EXPECT_EQ(core::scenario_hash(a), core::scenario_hash(c));
+}
+
+TEST(ScenarioHash, HashIsSixteenLowercaseHexDigits) {
+  const std::string hash = core::scenario_hash(base_config());
+  ASSERT_EQ(hash.size(), 16u);
+  for (const char c : hash) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hash;
+  }
+}
+
+TEST(ScenarioHash, SerializationIsVersionedAndLineOriented) {
+  const std::string text = core::canonical_serialize(base_config());
+  EXPECT_EQ(text.rfind("epajsrm.scenario=v1\n", 0), 0u) << text;
+  EXPECT_NE(text.find("label=hash-base\n"), std::string::npos);
+  EXPECT_NE(text.find("seed=11\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// Every semantic field must reach the canonical form: a mutation that
+// does not move the hash would silently alias distinct scenarios.
+TEST(ScenarioHash, EverySemanticFieldMovesTheHash) {
+  struct Mutation {
+    const char* name;
+    std::function<void(core::ScenarioConfig&)> apply;
+  };
+  const std::vector<Mutation> mutations = {
+      {"label", [](auto& c) { c.label = "other"; }},
+      {"nodes", [](auto& c) { c.nodes = 32; }},
+      {"node.idle_watts", [](auto& c) { c.node_config.idle_watts += 1.0; }},
+      {"node.dynamic_watts",
+       [](auto& c) { c.node_config.dynamic_watts += 1.0; }},
+      {"variability_sigma", [](auto& c) { c.variability_sigma = 0.05; }},
+      {"facility.base_pue", [](auto& c) { c.facility.base_pue += 0.01; }},
+      {"ambient", [](auto& c) { c.ambient = platform::AmbientModel(30.0); }},
+      {"pstate_steps", [](auto& c) { c.pstate_steps += 1; }},
+      {"top_ghz", [](auto& c) { c.top_ghz += 0.1; }},
+      {"bottom_ghz", [](auto& c) { c.bottom_ghz -= 0.1; }},
+      {"nodes_per_rack", [](auto& c) { c.nodes_per_rack = 8; }},
+      {"racks_per_pdu", [](auto& c) { c.racks_per_pdu = 4; }},
+      {"racks_per_cooling_loop",
+       [](auto& c) { c.racks_per_cooling_loop = 8; }},
+      {"mix", [](auto& c) { c.mix = core::WorkloadMix::kCapability; }},
+      {"job_count", [](auto& c) { c.job_count = 9; }},
+      {"target_utilization", [](auto& c) { c.target_utilization = 0.5; }},
+      {"arrival_rate_per_hour",
+       [](auto& c) { c.arrival_rate_per_hour = 3.0; }},
+      {"seed", [](auto& c) { c.seed = 12; }},
+      {"horizon", [](auto& c) { c.horizon = 2 * sim::kDay; }},
+      {"solution.control_period",
+       [](auto& c) { c.solution.control_period += sim::kSecond; }},
+      {"solution.enforce_walltime",
+       [](auto& c) { c.solution.enforce_walltime = false; }},
+      {"solution.power_alpha", [](auto& c) { c.solution.power_alpha += 0.1; }},
+      {"solution.enable_thermal",
+       [](auto& c) { c.solution.enable_thermal = !c.solution.enable_thermal; }},
+      {"solution.tariff",
+       [](auto& c) {
+         c.solution.tariff = power::Tariff::peak_offpeak(0.25, 0.10);
+       }},
+      {"energy_budget",
+       [](auto& c) {
+         epa::EnergyBudgetConfig eb;
+         eb.window_budget_joules = 1.0e6;
+         c.energy_budget = eb;
+       }},
+  };
+
+  const std::string base_hash = core::scenario_hash(base_config());
+  for (const Mutation& mutation : mutations) {
+    core::ScenarioConfig mutated = base_config();
+    mutation.apply(mutated);
+    EXPECT_NE(core::scenario_hash(mutated), base_hash)
+        << "field not covered by canonical_serialize: " << mutation.name;
+  }
+}
+
+TEST(ScenarioHash, EnergyBudgetFieldsAreCovered) {
+  core::ScenarioConfig with_budget = base_config();
+  epa::EnergyBudgetConfig eb;
+  eb.mode = epa::EnergyBudgetMode::kReducePowerCap;
+  eb.window_budget_joules = 5.0e6;
+  with_budget.energy_budget = eb;
+  const std::string base_hash = core::scenario_hash(with_budget);
+
+  struct Mutation {
+    const char* name;
+    std::function<void(epa::EnergyBudgetConfig&)> apply;
+  };
+  const std::vector<Mutation> mutations = {
+      {"mode", [](auto& b) { b.mode = epa::EnergyBudgetMode::kPowerCap; }},
+      {"window_budget_joules",
+       [](auto& b) { b.window_budget_joules += 1.0; }},
+      {"window", [](auto& b) { b.window += sim::kSecond; }},
+      {"accrual_rate_watts", [](auto& b) { b.accrual_rate_watts = 100.0; }},
+      {"initial_fraction", [](auto& b) { b.initial_fraction = 0.5; }},
+      {"emergency_timeout",
+       [](auto& b) { b.emergency_timeout += sim::kMinute; }},
+      {"power_cap_watts", [](auto& b) { b.power_cap_watts = 4000.0; }},
+      {"cap_floor_fraction", [](auto& b) { b.cap_floor_fraction = 0.5; }},
+      {"charge_idle_power", [](auto& b) { b.charge_idle_power = true; }},
+  };
+  for (const Mutation& mutation : mutations) {
+    core::ScenarioConfig mutated = with_budget;
+    mutation.apply(*mutated.energy_budget);
+    EXPECT_NE(core::scenario_hash(mutated), base_hash)
+        << "energy-budget field not covered: " << mutation.name;
+  }
+}
+
+// Exactness: adjacent double bit patterns are distinct canonical values.
+TEST(ScenarioHash, AdjacentDoubleBitPatternsDoNotCollide) {
+  core::ScenarioConfig a = base_config();
+  core::ScenarioConfig b = base_config();
+  a.target_utilization = 0.75;
+  b.target_utilization =
+      std::nextafter(0.75, 1.0);  // one ulp away, prints differently
+  EXPECT_NE(core::canonical_serialize(a), core::canonical_serialize(b));
+  EXPECT_NE(core::scenario_hash(a), core::scenario_hash(b));
+}
+
+class InertAgent final : public edc::Agent {
+ public:
+  std::vector<std::string> on_messages(
+      const std::vector<std::string>&) override {
+    return {};
+  }
+  std::string name() const override { return "inert"; }
+};
+
+// A config holding a live transport handle is not a pure value and must
+// be rejected, never silently hashed by pointer identity.
+TEST(ScenarioHash, ExternalTransportIsRejected) {
+  core::ScenarioConfig config = base_config();
+  config.external_transport = std::make_shared<edc::LoopbackTransport>(
+      std::make_shared<InertAgent>());
+  EXPECT_THROW(core::canonical_serialize(config), std::invalid_argument);
+  EXPECT_THROW(core::scenario_hash(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epajsrm

@@ -1,0 +1,223 @@
+// epajsrmd end-to-end over a real socket: the server fixture binds an
+// ephemeral TCP port, clients speak the request/envelope protocol through
+// the shared carrier, and the acceptance property holds on the wire —
+// a repeated identical scenario request is served from cache with a
+// byte-identical payload.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/carrier.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace epajsrm {
+namespace {
+
+svc::ServiceConfig quick_service() {
+  svc::ServiceConfig config;
+  config.max_batch = 4;
+  return config;
+}
+
+// Binds tcp:0, serves on a background thread, joins on destruction.
+class ServerFixture {
+ public:
+  explicit ServerFixture(svc::ServiceConfig config = quick_service())
+      : server_(config), thread_([this] { server_.serve(); }) {}
+
+  ~ServerFixture() {
+    server_.stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t port() const { return server_.port(); }
+  svc::Server& server() { return server_; }
+
+ private:
+  svc::Server server_;
+  std::thread thread_;
+};
+
+struct Response {
+  svc::Envelope envelope;
+  std::vector<std::string> payload;
+};
+
+Response read_response(net::LineChannel& channel) {
+  Response response;
+  std::string line;
+  if (!channel.read_line(line)) {
+    throw std::runtime_error("server closed before the envelope");
+  }
+  response.envelope = svc::parse_envelope(line);
+  for (std::uint64_t i = 0; i < response.envelope.payload_lines; ++i) {
+    if (!channel.read_line(line)) {
+      throw std::runtime_error("server closed mid-payload");
+    }
+    response.payload.push_back(line);
+  }
+  return response;
+}
+
+Response roundtrip(net::LineChannel& channel, const svc::Request& request) {
+  channel.write_line(svc::serialize_request(request));
+  return read_response(channel);
+}
+
+svc::Request smoke_submit(std::uint64_t seed) {
+  svc::Request request;
+  request.op = svc::Request::Op::kSubmit;
+  request.template_name = "smoke";
+  request.has_seed = true;
+  request.seed = seed;
+  return request;
+}
+
+TEST(SvcServer, RepeatedSubmitAcrossConnectionsIsCachedByteIdentical) {
+  ServerFixture fixture;
+
+  net::LineChannel first = net::connect_tcp(fixture.port());
+  const Response a = roundtrip(first, smoke_submit(42));
+  ASSERT_EQ(a.envelope.status, "done");
+  EXPECT_EQ(a.envelope.op, "submit");
+  EXPECT_FALSE(a.envelope.cached);
+  ASSERT_EQ(a.payload.size(), 1u);
+  EXPECT_NE(a.payload[0].find("\"seed\":42"), std::string::npos);
+  first.close();
+
+  // A fresh connection, same scenario: the acceptance property — served
+  // from cache, payload bytes identical to the recompute.
+  net::LineChannel second = net::connect_tcp(fixture.port());
+  const Response b = roundtrip(second, smoke_submit(42));
+  ASSERT_EQ(b.envelope.status, "done");
+  EXPECT_TRUE(b.envelope.cached);
+  ASSERT_EQ(b.payload.size(), 1u);
+  EXPECT_EQ(a.payload[0], b.payload[0]);
+
+  // A different seed is a different scenario: recomputed, not aliased.
+  const Response c = roundtrip(second, smoke_submit(43));
+  ASSERT_EQ(c.envelope.status, "done");
+  EXPECT_FALSE(c.envelope.cached);
+  EXPECT_NE(c.payload[0], b.payload[0]);
+}
+
+TEST(SvcServer, MalformedLineYieldsErrorEnvelopeAndConnectionSurvives) {
+  ServerFixture fixture;
+  net::LineChannel channel = net::connect_tcp(fixture.port());
+
+  channel.write_line("this is not a request");
+  const Response bad = read_response(channel);
+  EXPECT_EQ(bad.envelope.status, "error");
+  EXPECT_FALSE(bad.envelope.error.empty());
+  EXPECT_EQ(bad.payload.size(), 0u);
+
+  // The connection keeps multiplexing requests after the error.
+  svc::Request request;
+  request.op = svc::Request::Op::kTemplates;
+  const Response templates = roundtrip(channel, request);
+  EXPECT_EQ(templates.envelope.status, "ok");
+  EXPECT_EQ(templates.payload.size(), 3u);  // smoke, study, energy-budget
+  bool saw_smoke = false;
+  for (const std::string& line : templates.payload) {
+    if (line.find("\"template\":\"smoke\"") != std::string::npos) {
+      saw_smoke = true;
+    }
+  }
+  EXPECT_TRUE(saw_smoke);
+
+  // Unknown template: a structured error, not a dropped connection.
+  svc::Request missing = smoke_submit(1);
+  missing.template_name = "no-such-template";
+  const Response error = roundtrip(channel, missing);
+  EXPECT_EQ(error.envelope.status, "error");
+  EXPECT_NE(error.envelope.error.find("no-such-template"), std::string::npos);
+}
+
+TEST(SvcServer, SweepReturnsIdsAndPollDrainsThem) {
+  ServerFixture fixture;
+  net::LineChannel channel = net::connect_tcp(fixture.port());
+
+  svc::Request sweep;
+  sweep.op = svc::Request::Op::kSweep;
+  sweep.template_name = "smoke";
+  sweep.seeds = {11, 12, 13};
+  const Response admitted = roundtrip(channel, sweep);
+  ASSERT_EQ(admitted.envelope.status, "ok");
+  ASSERT_EQ(admitted.envelope.ids.size(), 3u);
+
+  for (const std::uint64_t id : admitted.envelope.ids) {
+    svc::Request poll;
+    poll.op = svc::Request::Op::kPoll;
+    poll.id = id;
+    Response status = roundtrip(channel, poll);
+    while (status.envelope.status == "queued" ||
+           status.envelope.status == "running") {
+      status = roundtrip(channel, poll);
+    }
+    ASSERT_EQ(status.envelope.status, "done") << status.envelope.error;
+    ASSERT_EQ(status.payload.size(), 1u);
+  }
+
+  svc::Request stats;
+  stats.op = svc::Request::Op::kStats;
+  const Response counters = roundtrip(channel, stats);
+  EXPECT_EQ(counters.envelope.status, "ok");
+  ASSERT_EQ(counters.payload.size(), 1u);
+  EXPECT_NE(counters.payload[0].find("\"completed\":3"), std::string::npos);
+}
+
+TEST(SvcServer, NoWaitSubmitQueuesThenPollsToDone) {
+  ServerFixture fixture;
+  net::LineChannel channel = net::connect_tcp(fixture.port());
+
+  svc::Request submit = smoke_submit(77);
+  submit.wait = false;
+  const Response queued = roundtrip(channel, submit);
+  ASSERT_EQ(queued.envelope.status, "queued");
+  ASSERT_NE(queued.envelope.id, 0u);
+  EXPECT_EQ(queued.payload.size(), 0u);
+
+  svc::Request poll;
+  poll.op = svc::Request::Op::kPoll;
+  poll.id = queued.envelope.id;
+  Response status = roundtrip(channel, poll);
+  while (status.envelope.status == "queued" ||
+         status.envelope.status == "running") {
+    status = roundtrip(channel, poll);
+  }
+  ASSERT_EQ(status.envelope.status, "done") << status.envelope.error;
+  ASSERT_EQ(status.payload.size(), 1u);
+
+  // Polling an id nobody issued is an error envelope.
+  poll.id = 999'999;
+  const Response unknown = roundtrip(channel, poll);
+  EXPECT_EQ(unknown.envelope.status, "error");
+  EXPECT_EQ(unknown.envelope.error, "unknown id");
+}
+
+TEST(SvcServer, ShutdownOpAcknowledgesAndStopsTheServer) {
+  auto fixture = std::make_unique<ServerFixture>();
+  net::LineChannel channel = net::connect_tcp(fixture->port());
+
+  const Response warm = roundtrip(channel, smoke_submit(5));
+  ASSERT_EQ(warm.envelope.status, "done");
+
+  svc::Request shutdown;
+  shutdown.op = svc::Request::Op::kShutdown;
+  const Response ack = roundtrip(channel, shutdown);
+  EXPECT_EQ(ack.envelope.status, "ok");
+
+  // serve() returns; the fixture destructor join is now prompt.
+  fixture.reset();
+}
+
+}  // namespace
+}  // namespace epajsrm

@@ -1,0 +1,330 @@
+// ScenarioService: the determinism-keyed result cache (hit / miss /
+// eviction, and the evict-and-recompute byte-identity proof the cache's
+// soundness argument rests on), admission control (deterministic quota
+// and queue-full rejects, concurrent backpressure), and the LRU /
+// admission primitives themselves.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/admission.hpp"
+#include "svc/cache.hpp"
+#include "svc/templates.hpp"
+
+namespace epajsrm {
+namespace {
+
+using svc::AdmissionOutcome;
+using svc::ScenarioService;
+
+core::ScenarioConfig smoke_config(std::uint64_t seed) {
+  svc::TemplateOverrides overrides;
+  overrides.seed = seed;
+  return svc::TemplateStore::with_builtins().instantiate("smoke", overrides);
+}
+
+// --- ResultCache ------------------------------------------------------------
+
+TEST(ResultCache, MissThenHitThenLruEviction) {
+  svc::ResultCache cache(2);
+  EXPECT_EQ(cache.find("a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert("a", {"payload-a"});
+  cache.insert("b", {"payload-b"});
+  const std::vector<std::string>* a = cache.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ((*a)[0], "payload-a");
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // "a" was just refreshed, so inserting "c" evicts "b", not "a".
+  cache.insert("c", {"payload-c"});
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_EQ(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+}
+
+TEST(ResultCache, InsertRefreshesExistingEntry) {
+  svc::ResultCache cache(2);
+  cache.insert("a", {"v1"});
+  cache.insert("a", {"v2"});
+  EXPECT_EQ(cache.size(), 1u);
+  const std::vector<std::string>* a = cache.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ((*a)[0], "v2");
+}
+
+TEST(ResultCache, ZeroCapacityIsClampedToOne) {
+  svc::ResultCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.insert("a", {"v"});
+  EXPECT_NE(cache.find("a"), nullptr);
+}
+
+// --- AdmissionController ----------------------------------------------------
+
+TEST(Admission, QuotaCountsPerTenantAndReleases) {
+  svc::AdmissionConfig config;
+  config.max_queue = 64;
+  config.max_inflight_per_tenant = 2;
+  svc::AdmissionController admission(config);
+
+  EXPECT_EQ(admission.try_admit("alice"), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.try_admit("alice"), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.try_admit("alice"), AdmissionOutcome::kTenantQuota);
+  // A quota reject charges nothing and other tenants are unaffected.
+  EXPECT_EQ(admission.inflight("alice"), 2u);
+  EXPECT_EQ(admission.try_admit("bob"), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.inflight_total(), 3u);
+
+  admission.release("alice");
+  EXPECT_EQ(admission.try_admit("alice"), AdmissionOutcome::kAdmitted);
+
+  // Draining a tenant drops its stats entry entirely.
+  admission.release("alice");
+  admission.release("alice");
+  admission.release("bob");
+  EXPECT_EQ(admission.inflight_total(), 0u);
+  EXPECT_EQ(admission.tenant_count(), 0u);
+}
+
+TEST(Admission, QueueBoundIsServiceWide) {
+  svc::AdmissionConfig config;
+  config.max_queue = 2;
+  config.max_inflight_per_tenant = 16;
+  svc::AdmissionController admission(config);
+  EXPECT_EQ(admission.try_admit("a"), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.try_admit("b"), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(admission.try_admit("c"), AdmissionOutcome::kQueueFull);
+  admission.release("a");
+  EXPECT_EQ(admission.try_admit("c"), AdmissionOutcome::kAdmitted);
+}
+
+// --- ScenarioService: cache soundness ---------------------------------------
+
+TEST(SvcService, RepeatSubmitIsServedFromCacheByteIdentical) {
+  ScenarioService service;
+
+  const ScenarioService::SubmitOutcome first =
+      service.submit("t", smoke_config(5));
+  ASSERT_EQ(first.admission, AdmissionOutcome::kAdmitted);
+  EXPECT_FALSE(first.served_from_cache);
+  const svc::RequestStatus done = service.wait(first.id);
+  ASSERT_EQ(done.state, svc::RequestState::kDone);
+  EXPECT_FALSE(done.cached);
+  ASSERT_FALSE(done.payload.empty());
+
+  const ScenarioService::SubmitOutcome second =
+      service.submit("t", smoke_config(5));
+  EXPECT_TRUE(second.served_from_cache);
+  const svc::RequestStatus cached = service.wait(second.id);
+  ASSERT_EQ(cached.state, svc::RequestState::kDone);
+  EXPECT_TRUE(cached.cached);
+  EXPECT_EQ(cached.payload, done.payload);  // byte-identical
+  EXPECT_EQ(cached.scenario_hash, done.scenario_hash);
+
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  service.stop();
+}
+
+// The acceptance proof: evict the entry, force a recompute, and the
+// recomputed payload is byte-for-byte the bytes the cache would have
+// returned. Cached responses are indistinguishable from fresh ones.
+TEST(SvcService, EvictAndRecomputeProducesByteIdenticalPayload) {
+  svc::ServiceConfig config;
+  config.cache_capacity = 1;
+  ScenarioService service(config);
+
+  const auto first = service.submit("t", smoke_config(1));
+  const svc::RequestStatus original = service.wait(first.id);
+  ASSERT_EQ(original.state, svc::RequestState::kDone);
+
+  // A different scenario evicts seed 1 from the capacity-1 cache.
+  const auto evictor = service.submit("t", smoke_config(2));
+  ASSERT_EQ(service.wait(evictor.id).state, svc::RequestState::kDone);
+  EXPECT_GE(service.stats().cache_evictions, 1u);
+
+  // Seed 1 again: a miss (recompute), not a hit.
+  const auto recompute = service.submit("t", smoke_config(1));
+  EXPECT_FALSE(recompute.served_from_cache);
+  const svc::RequestStatus fresh = service.wait(recompute.id);
+  ASSERT_EQ(fresh.state, svc::RequestState::kDone);
+  EXPECT_FALSE(fresh.cached);
+
+  EXPECT_EQ(fresh.payload, original.payload);
+  service.stop();
+}
+
+TEST(SvcService, NormalizationWidensCacheAcrossObsOnlyDifferences) {
+  ScenarioService service;
+  const auto first = service.submit("t", smoke_config(3));
+  ASSERT_EQ(service.wait(first.id).state, svc::RequestState::kDone);
+
+  // Same scenario, different obs plane + decision-log recording: fields
+  // that cannot reach the result payload must not fracture the cache.
+  core::ScenarioConfig traced = smoke_config(3);
+  traced.solution.obs.enabled = true;
+  traced.solution.obs.trace_log_lines = true;
+  traced.solution.record_decision_log = true;
+  const auto second = service.submit("t", traced);
+  EXPECT_TRUE(second.served_from_cache);
+  service.stop();
+}
+
+TEST(SvcService, ReportPayloadIsCachedUnderItsOwnKey) {
+  ScenarioService service;
+  const auto plain = service.submit("t", smoke_config(4), false);
+  const svc::RequestStatus plain_done = service.wait(plain.id);
+  ASSERT_EQ(plain_done.state, svc::RequestState::kDone);
+  EXPECT_EQ(plain_done.payload.size(), 1u);
+
+  // want_report renders a different payload shape, so the first report
+  // request is a miss even though the scenario itself is cached.
+  const auto report = service.submit("t", smoke_config(4), true);
+  EXPECT_FALSE(report.served_from_cache);
+  const svc::RequestStatus report_done = service.wait(report.id);
+  ASSERT_EQ(report_done.state, svc::RequestState::kDone);
+  EXPECT_GT(report_done.payload.size(), 1u);
+  EXPECT_EQ(report_done.payload[0], plain_done.payload[0]);
+
+  const auto report_again = service.submit("t", smoke_config(4), true);
+  EXPECT_TRUE(report_again.served_from_cache);
+  EXPECT_EQ(service.wait(report_again.id).payload, report_done.payload);
+  service.stop();
+}
+
+// --- ScenarioService: admission + lifecycle ---------------------------------
+
+TEST(SvcService, QueueFullRejectCarriesRetryHint) {
+  svc::ServiceConfig config;
+  config.admission.max_queue = 0;
+  config.admission.retry_after_ms = 333;
+  ScenarioService service(config);
+
+  const auto outcome = service.submit("t", smoke_config(1));
+  EXPECT_EQ(outcome.admission, AdmissionOutcome::kQueueFull);
+  EXPECT_EQ(outcome.id, 0u);
+  EXPECT_EQ(outcome.retry_after_ms, 333);
+  EXPECT_EQ(service.stats().rejected_queue_full, 1u);
+  service.stop();
+}
+
+TEST(SvcService, TenantQuotaRejectIsDeterministic) {
+  svc::ServiceConfig config;
+  config.admission.max_inflight_per_tenant = 0;
+  ScenarioService service(config);
+
+  const auto outcome = service.submit("t", smoke_config(1));
+  EXPECT_EQ(outcome.admission, AdmissionOutcome::kTenantQuota);
+  EXPECT_EQ(service.stats().rejected_tenant_quota, 1u);
+  service.stop();
+}
+
+TEST(SvcService, InvalidConfigAndUnknownTemplateThrow) {
+  ScenarioService service;
+  core::ScenarioConfig broken = smoke_config(1);
+  broken.nodes = 0;
+  EXPECT_THROW(service.submit("t", broken), std::invalid_argument);
+  EXPECT_THROW(service.submit_template("t", "no-such-template",
+                                       svc::TemplateOverrides{}),
+               std::invalid_argument);
+  service.stop();
+}
+
+TEST(SvcService, UnknownIdAndLateCancel) {
+  ScenarioService service;
+  EXPECT_FALSE(service.status(999).known);
+  // wait() on an unknown id returns immediately instead of blocking.
+  EXPECT_FALSE(service.wait(999).known);
+
+  const auto outcome = service.submit("t", smoke_config(6));
+  ASSERT_EQ(service.wait(outcome.id).state, svc::RequestState::kDone);
+  EXPECT_FALSE(service.cancel(outcome.id));  // terminal: too late
+  service.stop();
+}
+
+TEST(SvcService, StopFailsQueuedRequestsInsteadOfHanging) {
+  ScenarioService service;
+  // Race stop() against freshly queued work: every submitted request must
+  // still reach a terminal state.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    const auto outcome = service.submit("t", smoke_config(seed));
+    if (outcome.id != 0) ids.push_back(outcome.id);
+  }
+  service.stop();
+  for (const std::uint64_t id : ids) {
+    const svc::RequestStatus status = service.wait(id);
+    EXPECT_TRUE(status.state == svc::RequestState::kDone ||
+                status.state == svc::RequestState::kFailed)
+        << to_string(status.state);
+  }
+}
+
+// Concurrent clients against tight quotas: the tsan payload. Counts are
+// load-dependent, but the accounting invariants are not.
+TEST(SvcService, ConcurrentSubmissionsRespectBackpressureInvariants) {
+  svc::ServiceConfig config;
+  config.admission.max_queue = 4;
+  config.admission.max_inflight_per_tenant = 2;
+  config.max_batch = 2;
+  ScenarioService service(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 6;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string tenant = "tenant-" + std::to_string(t);
+      // Fire all submissions back-to-back (no waiting in between) so the
+      // tenant quota and queue bound actually engage, then await the
+      // admitted ones.
+      std::vector<std::uint64_t> ids;
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t seed =
+            100 + static_cast<std::uint64_t>(t * kPerThread + i);
+        const auto outcome = service.submit(tenant, smoke_config(seed));
+        if (outcome.admission == AdmissionOutcome::kAdmitted) {
+          admitted.fetch_add(1);
+          ids.push_back(outcome.id);
+        } else {
+          rejected.fetch_add(1);
+          EXPECT_GT(outcome.retry_after_ms, 0);
+        }
+      }
+      for (const std::uint64_t id : ids) {
+        EXPECT_EQ(service.wait(id).state, svc::RequestState::kDone);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(admitted.load() + rejected.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(admitted.load(), 0u);
+
+  const svc::ServiceStats stats = service.stats();
+  // submitted counts every attempt (admitted, cached, or rejected).
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, admitted.load());
+  EXPECT_EQ(stats.rejected_queue_full + stats.rejected_tenant_quota,
+            rejected.load());
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace epajsrm

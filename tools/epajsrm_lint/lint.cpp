@@ -44,6 +44,13 @@
 //                               the loop header covers the whole loop
 //                               body (the auditor's brute-force parity
 //                               sweep is the sanctioned exception).
+//   raw-socket    src/** except src/net/carrier.*
+//                               raw socket(2) use — socket-header
+//                               includes (<sys/socket.h>, <sys/un.h>,
+//                               <netinet/*.h>, <arpa/inet.h>) or direct
+//                               `socket(...)` calls — outside the shared
+//                               carrier scatters transport concerns;
+//                               every wire goes through net::LineChannel.
 //
 // Usage:
 //   epajsrm_lint <src-dir>             lint the tree; exit 1 on violations
@@ -287,6 +294,28 @@ bool hits_unbounded_series(const std::string& code) {
   return false;
 }
 
+// Socket-header include or a word-boundary `socket(` call. Includes are
+// matched on the raw line (the code view of an #include directive is
+// uninteresting either way); calls on the stripped view so comments and
+// strings can never match.
+bool hits_raw_socket(const std::string& code, const std::string& raw) {
+  const std::string trimmed = ts::trim(raw);
+  if (trimmed.rfind("#include", 0) == 0) {
+    for (const char* header :
+         {"sys/socket.h", "sys/un.h", "netinet/in.h", "netinet/tcp.h",
+          "arpa/inet.h"}) {
+      if (trimmed.find(header) != std::string::npos) return true;
+    }
+  }
+  std::size_t pos = 0;
+  while ((pos = ts::find_word(code, "socket", pos)) != std::string::npos) {
+    const std::size_t i = ts::skip_ws(code, pos + 6);
+    pos += 6;
+    if (i < code.size() && code[i] == '(') return true;
+  }
+  return false;
+}
+
 // `ScenarioConfig{...}` / `ScenarioConfig name{...}` brace-init. Plain
 // declarations (`ScenarioConfig c;`) and the struct's own definition
 // (`struct ScenarioConfig {`) stay legal.
@@ -333,6 +362,8 @@ class Linter {
     const bool sweep_scope =
         !scope_by_path_ ||
         (!in_dir(rel, "platform") && rel.rfind("power/ledger.", 0) != 0);
+    const bool socket_scope =
+        !scope_by_path_ || rel.rfind("net/carrier.", 0) != 0;
 
     // power-sweep is the one context-sensitive rule: a range-for over
     // .nodes() opens a "sweep" region (tracked by brace depth) inside
@@ -363,6 +394,9 @@ class Linter {
       }
       if (series_scope && hits_unbounded_series(code)) {
         flag("unbounded-series");
+      }
+      if (socket_scope && hits_raw_socket(code, raw)) {
+        flag("raw-socket");
       }
       check_unit_suffix(code, raw, rel, line_no);
 
@@ -493,6 +527,7 @@ int self_test(const fs::path& dir) {
       {"bad_scenario_aggregate.cpp", "scenario-aggregate"},
       {"bad_power_sweep.cpp", "power-sweep"},
       {"bad_unbounded_series.cpp", "unbounded-series"},
+      {"bad_raw_socket.cpp", "raw-socket"},
   };
   int failures = 0;
   for (const auto& [name, rule] : kExpected) {

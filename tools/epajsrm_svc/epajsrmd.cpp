@@ -1,0 +1,104 @@
+// epajsrmd — the scenario-as-a-service daemon (DESIGN.md §14).
+//
+// Binds the svc server on a carrier endpoint and serves until a client
+// sends a shutdown request (or the process is killed). All scheduling,
+// batching, caching and admission logic lives in src/svc; this binary is
+// only flag parsing around svc::Server.
+//
+//   epajsrmd [--endpoint tcp:PORT|unix:PATH] [--prom-out FILE]
+//            [--port-file FILE] [--max-batch N] [--cache N]
+//            [--max-queue N] [--max-inflight N] [--threads N]
+//
+// --port-file writes the bound TCP port (one line) after listen succeeds
+// so scripts can bind tcp:0 and discover the ephemeral port race-free.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "svc/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int exit_code) {
+  std::cerr
+      << "usage: epajsrmd [--endpoint tcp:PORT|unix:PATH] [--prom-out FILE]\n"
+         "                [--port-file FILE] [--max-batch N] [--cache N]\n"
+         "                [--max-queue N] [--max-inflight N] [--threads N]\n";
+  std::exit(exit_code);
+}
+
+std::uint64_t parse_count(const std::string& flag, const std::string& text) {
+  if (text.empty()) usage(2);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      std::cerr << "epajsrmd: " << flag << " wants a number, got '" << text
+                << "'\n";
+      std::exit(2);
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  epajsrm::svc::ServiceConfig service_config;
+  epajsrm::svc::ServerConfig server_config;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--endpoint") {
+      server_config.endpoint = value();
+    } else if (arg == "--prom-out") {
+      server_config.prom_out = value();
+    } else if (arg == "--port-file") {
+      port_file = value();
+    } else if (arg == "--max-batch") {
+      service_config.max_batch =
+          static_cast<std::size_t>(parse_count(arg, value()));
+    } else if (arg == "--cache") {
+      service_config.cache_capacity =
+          static_cast<std::size_t>(parse_count(arg, value()));
+    } else if (arg == "--max-queue") {
+      service_config.admission.max_queue =
+          static_cast<std::size_t>(parse_count(arg, value()));
+    } else if (arg == "--max-inflight") {
+      service_config.admission.max_inflight_per_tenant =
+          static_cast<std::size_t>(parse_count(arg, value()));
+    } else if (arg == "--threads") {
+      service_config.ensemble_threads =
+          static_cast<std::size_t>(parse_count(arg, value()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "epajsrmd: unknown flag '" << arg << "'\n";
+      usage(2);
+    }
+  }
+
+  try {
+    epajsrm::svc::Server server(service_config, server_config);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << server.port() << "\n";
+    }
+    std::printf("epajsrmd: listening on %s\n", server.describe().c_str());
+    std::fflush(stdout);
+    server.serve();
+    std::printf("epajsrmd: shut down\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "epajsrmd: " << e.what() << "\n";
+    return 1;
+  }
+}
