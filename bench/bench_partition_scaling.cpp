@@ -1,0 +1,165 @@
+// Kernel bench: lax-sync partitioned scenario core scaling and
+// determinism (DESIGN.md §15).
+//
+// Runs one power-dense 16k-node scenario — thermal stepping on, a small
+// set of long capability jobs keeping the floor hot — at 1, 2, 4 and 8
+// rack/PDU partitions, times each run, and verifies the RunResult digest
+// (every double compared by bit pattern) and the power ledger's exact
+// aggregate parity are identical across partition counts. Exits non-zero
+// on any divergence, so the bit-identity contract is enforced wherever
+// the bench runs.
+//
+// Events/s uses the coordinator's sim_events, which is partition-count
+// invariant by construction — so the events/s ratio across rows is
+// exactly the wall-time speedup of the partition fan-out.
+//
+// Flags:
+//   --smoke            tiny sizes for CI smoke runs (1k nodes, 2h)
+//   --nodes=N          cluster size (default 16384)
+//   --hours=H          horizon in hours (default 6)
+//   --partitions=a,b   comma-separated partition counts (default 1,2,4,8)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_summary.hpp"
+#include "core/run_result_digest.hpp"
+#include "core/scenario_builder.hpp"
+
+namespace {
+
+using namespace epajsrm;
+
+struct RunRow {
+  std::uint32_t partitions = 0;
+  double wall_ms = 0.0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t local_events = 0;
+  std::string digest;
+  std::string ledger_parity;
+};
+
+core::ScenarioConfig dense_config(std::uint32_t nodes, sim::SimTime horizon,
+                                  std::uint32_t partitions) {
+  auto b = core::Scenario::builder()
+               .label("partition-scaling")
+               .nodes(nodes)
+               .job_count(64)
+               .mix(core::WorkloadMix::kCapability)
+               .target_utilization(0.9)
+               .seed(20180521)  // the survey's IPPS year+month+day
+               .horizon(horizon)
+               .partitions(partitions)
+               .configure([](core::ScenarioConfig& c) {
+                 c.solution.enable_thermal = true;
+               });
+  return std::move(b).take_config();
+}
+
+RunRow run_once(std::uint32_t nodes, sim::SimTime horizon,
+                std::uint32_t partitions) {
+  core::Scenario scenario(dense_config(nodes, horizon, partitions));
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RunResult result = scenario.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  RunRow row;
+  row.partitions = partitions;
+  row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.sim_events = result.sim_events;
+  row.local_events = scenario.partition_domain() != nullptr
+                         ? scenario.partition_domain()->local_events()
+                         : 0;
+  row.digest = core::run_result_digest(result);
+  row.ledger_parity = scenario.solution().ledger().audit_parity();
+  return row;
+}
+
+std::vector<std::uint32_t> parse_partitions(const char* text) {
+  std::vector<std::uint32_t> out;
+  for (const char* p = text; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || v == 0) {
+      std::fprintf(stderr, "bad --partitions list: %s\n", text);
+      std::exit(2);
+    }
+    out.push_back(static_cast<std::uint32_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty --partitions list\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t nodes = 16384;
+  sim::SimTime horizon = 6 * sim::kHour;
+  std::vector<std::uint32_t> partition_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      nodes = 1024;
+      horizon = 2 * sim::kHour;
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes = static_cast<std::uint32_t>(
+          std::strtoul(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--hours=", 8) == 0) {
+      horizon = static_cast<sim::SimTime>(
+                    std::strtoul(argv[i] + 8, nullptr, 10)) *
+                sim::kHour;
+    } else if (std::strncmp(argv[i], "--partitions=", 13) == 0) {
+      partition_counts = parse_partitions(argv[i] + 13);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::BenchSummary summary("partition_scaling");
+  std::vector<RunRow> rows;
+  for (const std::uint32_t partitions : partition_counts) {
+    rows.push_back(run_once(nodes, horizon, partitions));
+    summary.add_events(rows.back().sim_events);
+  }
+
+  std::printf("%u nodes, %.0fh horizon, 64 capability jobs\n", nodes,
+              sim::to_hours(horizon));
+  std::printf("%-12s %10s %12s %12s %10s\n", "partitions", "wall ms",
+              "events/s", "local evts", "speedup");
+  for (const RunRow& row : rows) {
+    const double events_per_sec =
+        row.wall_ms > 0.0
+            ? static_cast<double>(row.sim_events) / (row.wall_ms / 1000.0)
+            : 0.0;
+    std::printf("%-12u %10.1f %12.0f %12llu %9.2fx\n", row.partitions,
+                row.wall_ms, events_per_sec,
+                static_cast<unsigned long long>(row.local_events),
+                row.wall_ms > 0.0 ? rows.front().wall_ms / row.wall_ms : 0.0);
+  }
+
+  int failures = 0;
+  for (const RunRow& row : rows) {
+    if (row.digest != rows.front().digest) {
+      std::fprintf(stderr,
+                   "FAIL: RunResult digest at %u partitions diverged from "
+                   "%u partitions\n",
+                   row.partitions, rows.front().partitions);
+      ++failures;
+    }
+    if (!row.ledger_parity.empty()) {
+      std::fprintf(stderr, "FAIL: ledger parity at %u partitions: %s\n",
+                   row.partitions, row.ledger_parity.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("RunResult bit-identical across %zu partition counts\n",
+              rows.size());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/facility_coordinator.hpp"
+#include "core/partition_domain.hpp"
 #include "core/solution.hpp"
 #include "power/ledger.hpp"
 
@@ -66,6 +67,46 @@ InvariantAuditor::InvariantAuditor(core::EpaJsrmSolution& solution,
 
 void InvariantAuditor::watch(core::FacilityCoordinator& coordinator) {
   coordinator_ = &coordinator;
+}
+
+void InvariantAuditor::watch(core::PartitionDomain& domain) {
+  domain.add_epoch_observer(
+      [this](const core::PartitionDomain& d) { check_partition_epoch(d); });
+}
+
+void InvariantAuditor::check_partition_epoch(
+    const core::PartitionDomain& domain) {
+  ++epoch_audits_;
+
+  // The shard merge just folded parallel per-partition temperature writes
+  // into the ledger's incremental aggregates; an exact brute-force
+  // recompute must agree verbatim, for any partition count.
+  std::string parity = solution_->ledger().audit_parity();
+  if (!parity.empty()) {
+    record("partition", "post-merge ledger parity: " + std::move(parity));
+  }
+
+  // Cross-partition core conservation: the per-partition exact-int census
+  // must fold to the same integers as the cluster's O(N) sweep, and hence
+  // the bit-identical derived utilization the metrics plane records.
+  const platform::Cluster& cluster = solution_->cluster();
+  const std::uint64_t swept_total = cluster.cores_total();
+  const std::uint64_t swept_free = cluster.cores_free();
+  if (domain.cores_total() != swept_total ||
+      domain.cores_free() != swept_free) {
+    record("partition",
+           "census broke conservation: folded " +
+               std::to_string(domain.cores_free()) + "/" +
+               std::to_string(domain.cores_total()) + " free/total vs swept " +
+               std::to_string(swept_free) + "/" +
+               std::to_string(swept_total));
+  }
+  if (domain.core_utilization() != cluster.core_utilization()) {
+    record("partition", fmt("folded utilization %.17g diverged from swept "
+                            "%.17g",
+                            domain.core_utilization(),
+                            cluster.core_utilization()));
+  }
 }
 
 void InvariantAuditor::on_event() {

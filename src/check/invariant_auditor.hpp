@@ -41,6 +41,7 @@
 namespace epajsrm::core {
 class EpaJsrmSolution;
 class FacilityCoordinator;
+class PartitionDomain;
 }  // namespace epajsrm::core
 
 namespace epajsrm::check {
@@ -93,6 +94,16 @@ class InvariantAuditor {
   /// Additionally audits a facility coordinator's budget division.
   void watch(core::FacilityCoordinator& coordinator);
 
+  /// Additionally audits cross-partition conservation after every merged
+  /// coupling epoch of a lax-sync partitioned run (DESIGN.md §15): the
+  /// ledger's incremental aggregates must survive an exact brute-force
+  /// recompute right after the temperature-shard merge, and the domain's
+  /// per-partition core census must fold to the same integers — and
+  /// therefore the bit-identical utilization — as the cluster's O(N)
+  /// sweep. Registers an epoch observer; the auditor must outlive the
+  /// domain's run.
+  void watch(core::PartitionDomain& domain);
+
   /// Runs every check immediately (also called from the dispatch hook).
   void audit_now();
 
@@ -100,6 +111,8 @@ class InvariantAuditor {
   std::uint64_t events_seen() const { return events_seen_; }
   /// Full audit passes executed.
   std::uint64_t audits() const { return audits_; }
+  /// Coupling-epoch conservation audits executed (watched domains only).
+  std::uint64_t epoch_audits() const { return epoch_audits_; }
   /// Total violations observed (recorded or not).
   std::uint64_t violation_count() const { return violation_count_; }
   const std::vector<AuditViolation>& violations() const { return recorded_; }
@@ -108,6 +121,7 @@ class InvariantAuditor {
 
  private:
   void on_event();
+  void check_partition_epoch(const core::PartitionDomain& domain);
   void check_energy();
   void check_caps();
   void check_lifecycle();
@@ -124,6 +138,7 @@ class InvariantAuditor {
 
   std::uint64_t events_seen_ = 0;
   std::uint64_t audits_ = 0;
+  std::uint64_t epoch_audits_ = 0;
   std::uint64_t violation_count_ = 0;
   std::vector<AuditViolation> recorded_;
 };

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "obs/wall.hpp"
@@ -119,6 +120,19 @@ EnsembleResult EnsembleEngine::run() {
           config.solution.obs.wall_instruments = false;
           config.solution.obs.profile_event_loop = false;
           config.solution.obs.trace_log_lines = false;
+        }
+        if (config.partitions > 1) {
+          // Replication-level and partition-level parallelism compose
+          // without oversubscription: each cell's partition pool gets the
+          // hardware share left after the sweep's own workers. Execution
+          // knob only — results are worker-count invariant, so clamping
+          // here cannot change a cell's output.
+          const std::size_t hw = std::max<std::size_t>(
+              1, std::thread::hardware_concurrency());
+          const std::size_t sweep_threads = std::min<std::size_t>(
+              cells, config_.threads == 0 ? hw : config_.threads);
+          config.partition_workers = std::max<std::size_t>(
+              1, hw / std::max<std::size_t>(1, sweep_threads));
         }
         Scenario scenario(std::move(config));
         if (points_[point].customize) points_[point].customize(scenario);

@@ -1,0 +1,101 @@
+// PartitionDomain: the partition-local half of a control tick. Owns the
+// partition map, the PartitionedSimulation driving one local engine per
+// rack/PDU partition, the ledger temperature shards, and the per-partition
+// core census. Each coupling epoch (one control period) it runs the
+// embarrassingly parallel node work — thermal RC steps and the
+// schedulable-core census — across worker threads, then merges in fixed
+// partition-index order so the outcome is bit-identical to the classic
+// single-threaded sweep for any partition count, worker count and skew
+// window (DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/partition_map.hpp"
+#include "platform/cluster.hpp"
+#include "power/ledger.hpp"
+#include "power/thermal.hpp"
+#include "sim/partitioned.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::core {
+
+struct PartitionDomainConfig {
+  std::uint32_t partitions = 1;
+  /// Worker threads; 0 = min(partitions, hardware).
+  std::size_t workers = 0;
+  /// Skew window for the local phase; 0 = one control period (epoch-wide
+  /// freedom, the default — coupling is what the epochs are for).
+  sim::SimTime skew_window = 0;
+  /// Coupling-epoch length == the solution's control period.
+  sim::SimTime control_period = 0;
+  /// Step node temperatures in the local phase (SolutionConfig's
+  /// enable_thermal). The census always runs.
+  bool step_thermal = true;
+  std::uint64_t seed = 0;
+};
+
+class PartitionDomain {
+ public:
+  /// Observer called after every merged epoch, on the coordinator thread
+  /// (the InvariantAuditor's cross-partition conservation hook).
+  using EpochObserver = std::function<void(const PartitionDomain&)>;
+
+  PartitionDomain(platform::Cluster& cluster, power::PowerLedger& ledger,
+                  const power::ThermalModel& thermal,
+                  PartitionDomainConfig config);
+
+  const PartitionMap& map() const { return map_; }
+  sim::PartitionedSimulation& partitions() { return psim_; }
+  const sim::PartitionedSimulation& partitions() const { return psim_; }
+
+  /// True while partition-local callbacks may be running on worker
+  /// threads; coordinator-side actuation (caps, trips, scheduling) is
+  /// contractually forbidden in that window.
+  bool in_local_phase() const { return psim_.in_local_phase(); }
+
+  /// Runs one coupling epoch ending at `t` (a control-tick instant):
+  /// parallel local phase, then temperature-shard merge and census fold
+  /// in partition-index order.
+  void run_epoch(sim::SimTime t);
+
+  /// Census folded at the last epoch — exact integers, so the derived
+  /// utilization is the identical double Cluster::core_utilization()
+  /// computes with its O(N) sweep.
+  std::uint64_t cores_total() const { return cores_total_; }
+  std::uint64_t cores_free() const { return cores_free_; }
+  double core_utilization() const;
+
+  std::uint64_t epochs() const { return epochs_; }
+  /// Events executed inside the local engines (not counted in the
+  /// coordinator's RunResult.sim_events, which stays partition-count
+  /// invariant).
+  std::uint64_t local_events() const { return psim_.local_events(); }
+
+  void add_epoch_observer(EpochObserver observer);
+
+ private:
+  void local_tick(std::uint32_t p);
+
+  platform::Cluster& cluster_;
+  power::PowerLedger& ledger_;
+  const power::ThermalModel& thermal_;
+  PartitionDomainConfig config_;
+  PartitionMap map_;
+  sim::PartitionedSimulation psim_;
+  std::vector<power::PowerLedger::TemperatureShard> shards_;
+
+  struct Census {
+    std::uint64_t total = 0;
+    std::uint64_t free = 0;
+  };
+  std::vector<Census> census_;
+  std::uint64_t cores_total_ = 0;
+  std::uint64_t cores_free_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::vector<EpochObserver> observers_;
+};
+
+}  // namespace epajsrm::core

@@ -1,0 +1,97 @@
+#include "core/partition_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "check/contract.hpp"
+
+namespace epajsrm::core {
+
+PartitionMap PartitionMap::build(const platform::Cluster& cluster,
+                                 std::uint32_t partitions) {
+  const std::uint32_t nodes = cluster.node_count();
+  if (nodes == 0) {
+    throw std::invalid_argument("partition map needs a non-empty cluster");
+  }
+
+  // Recover each PDU's node range and insist it is contiguous ascending —
+  // the layout ClusterBuilder produces. Anything else would force
+  // non-slice temperature shards and a merge order different from node
+  // order, so it is rejected rather than silently supported.
+  std::uint32_t pdu_count = 0;
+  for (const platform::Node& node : cluster.nodes()) {
+    pdu_count = std::max(pdu_count, node.pdu() + 1);
+  }
+  std::vector<platform::NodeId> pdu_first(pdu_count, nodes);
+  std::vector<platform::NodeId> pdu_last(pdu_count, 0);
+  for (const platform::Node& node : cluster.nodes()) {
+    pdu_first[node.pdu()] = std::min(pdu_first[node.pdu()], node.id());
+    pdu_last[node.pdu()] = std::max(pdu_last[node.pdu()], node.id());
+  }
+  platform::NodeId expect = 0;
+  for (std::uint32_t pdu = 0; pdu < pdu_count; ++pdu) {
+    if (pdu_first[pdu] != expect) {
+      throw std::invalid_argument(
+          "partition map: PDU " + std::to_string(pdu) +
+          "'s nodes are not a contiguous ascending range");
+    }
+    expect = pdu_last[pdu] + 1;
+  }
+  if (expect != nodes) {
+    throw std::invalid_argument(
+        "partition map: PDU ranges do not tile the cluster");
+  }
+
+  const std::uint32_t want =
+      std::clamp<std::uint32_t>(partitions, 1, pdu_count);
+
+  PartitionMap map;
+  map.total_nodes_ = nodes;
+  map.pdu_partition_.resize(pdu_count);
+  map.bounds_.push_back(0);
+  std::uint32_t current = 0;
+  for (std::uint32_t pdu = 0; pdu < pdu_count; ++pdu) {
+    // Proportional by node position: monotone in pdu, so every
+    // partition is one contiguous PDU run, balanced by node count.
+    const std::uint32_t target = static_cast<std::uint32_t>(
+        (std::uint64_t{pdu_first[pdu]} * want) / nodes);
+    if (target > current) {
+      map.bounds_.push_back(pdu_first[pdu]);
+      ++current;
+    }
+    map.pdu_partition_[pdu] = current;
+  }
+  map.bounds_.push_back(nodes);
+
+  EPAJSRM_ENSURE(map.count() >= 1 && map.count() <= want,
+                 "partition count within the requested bound");
+  return map;
+}
+
+platform::NodeId PartitionMap::node_begin(std::uint32_t p) const {
+  EPAJSRM_REQUIRE(p < count(), "unknown partition");
+  return bounds_[p];
+}
+
+platform::NodeId PartitionMap::node_end(std::uint32_t p) const {
+  EPAJSRM_REQUIRE(p < count(), "unknown partition");
+  return bounds_[p + 1];
+}
+
+std::uint32_t PartitionMap::node_count(std::uint32_t p) const {
+  return node_end(p) - node_begin(p);
+}
+
+std::uint32_t PartitionMap::partition_of_node(platform::NodeId id) const {
+  EPAJSRM_REQUIRE(id < total_nodes_, "unknown node");
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), id);
+  return static_cast<std::uint32_t>(it - bounds_.begin()) - 1;
+}
+
+std::uint32_t PartitionMap::partition_of_pdu(platform::PduId pdu) const {
+  EPAJSRM_REQUIRE(pdu < pdu_partition_.size(), "unknown PDU");
+  return pdu_partition_[pdu];
+}
+
+}  // namespace epajsrm::core

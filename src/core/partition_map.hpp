@@ -1,0 +1,54 @@
+// PartitionMap: the static cluster -> partition assignment behind the
+// lax-sync partitioned core (DESIGN.md §15). Partitions are PDU-aligned
+// contiguous node ranges: the PDU is the smallest unit whose power
+// aggregation the paper's Figure-1 control loop treats as one box, and
+// contiguity is what lets ledger temperature shards be disjoint array
+// slices and lets the fixed partition-index merge order equal node order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace epajsrm::core {
+
+class PartitionMap {
+ public:
+  /// Splits `cluster` into at most `partitions` PDU-aligned ranges,
+  /// balanced by node count (each PDU lands in partition
+  /// floor(first_node * P / node_count), which is monotone, so ranges
+  /// stay contiguous). The count is clamped to [1, pdu_count]; wildly
+  /// uneven PDU sizes may merge neighbours further. Throws
+  /// std::invalid_argument if the cluster's PDU node sets are not
+  /// contiguous ascending ranges (ClusterBuilder always lays them out
+  /// that way).
+  static PartitionMap build(const platform::Cluster& cluster,
+                            std::uint32_t partitions);
+
+  std::uint32_t count() const {
+    return static_cast<std::uint32_t>(bounds_.size() - 1);
+  }
+
+  /// Node range owned by partition `p`: [node_begin(p), node_end(p)).
+  /// Ranges tile [0, node_count) in ascending partition order.
+  platform::NodeId node_begin(std::uint32_t p) const;
+  platform::NodeId node_end(std::uint32_t p) const;
+  std::uint32_t node_count(std::uint32_t p) const;
+
+  std::uint32_t partition_of_node(platform::NodeId id) const;
+  std::uint32_t partition_of_pdu(platform::PduId pdu) const;
+
+  std::uint32_t total_nodes() const { return total_nodes_; }
+  std::uint32_t pdu_count() const {
+    return static_cast<std::uint32_t>(pdu_partition_.size());
+  }
+
+ private:
+  /// count()+1 fenceposts: partition p owns [bounds_[p], bounds_[p+1]).
+  std::vector<platform::NodeId> bounds_;
+  std::vector<std::uint32_t> pdu_partition_;
+  std::uint32_t total_nodes_ = 0;
+};
+
+}  // namespace epajsrm::core

@@ -1,0 +1,131 @@
+#include "core/run_result_digest.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace epajsrm::core {
+
+namespace {
+
+void hex_u64(std::string& out, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  out.append(buf, 16);
+}
+
+void field(std::string& out, const char* name, std::uint64_t v) {
+  out += name;
+  out += '=';
+  hex_u64(out, v);
+  out += '\n';
+}
+
+void field(std::string& out, const char* name, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  field(out, name, bits);
+}
+
+void dist(std::string& out, const char* name,
+          const metrics::DistributionSummary& d) {
+  out += name;
+  out += ":\n";
+  field(out, "  count", static_cast<std::uint64_t>(d.count));
+  field(out, "  min", d.min);
+  field(out, "  p10", d.p10);
+  field(out, "  p25", d.p25);
+  field(out, "  median", d.median);
+  field(out, "  p75", d.p75);
+  field(out, "  p90", d.p90);
+  field(out, "  max", d.max);
+  field(out, "  mean", d.mean);
+}
+
+}  // namespace
+
+std::string run_result_digest(const RunResult& r, bool include_sim_events) {
+  std::string out;
+  out.reserve(4096 + r.job_reports.size() * 160);
+  const metrics::RunReport& rep = r.report;
+  out += "label=" + rep.label + "\n";
+  field(out, "jobs_submitted", rep.jobs_submitted);
+  field(out, "jobs_completed", rep.jobs_completed);
+  field(out, "jobs_killed", rep.jobs_killed);
+  dist(out, "wait_minutes", rep.wait_minutes);
+  dist(out, "bounded_slowdown", rep.bounded_slowdown);
+  dist(out, "job_node_counts", rep.job_node_counts);
+  dist(out, "job_runtime_minutes", rep.job_runtime_minutes);
+  field(out, "throughput_jobs_per_day", rep.throughput_jobs_per_day);
+  field(out, "mean_it_watts", rep.mean_it_watts);
+  field(out, "max_it_watts", rep.max_it_watts);
+  field(out, "total_it_kwh", rep.total_it_kwh);
+  field(out, "total_facility_kwh", rep.total_facility_kwh);
+  field(out, "electricity_cost", rep.electricity_cost);
+  field(out, "budget_watts", rep.budget_watts);
+  field(out, "violation_samples", rep.violation_samples);
+  field(out, "violation_fraction", rep.violation_fraction);
+  field(out, "worst_violation_watts", rep.worst_violation_watts);
+  field(out, "violation_kwh", rep.violation_kwh);
+  field(out, "mean_core_utilization", rep.mean_core_utilization);
+  field(out, "core_hours_per_mwh", rep.core_hours_per_mwh);
+  field(out, "makespan", static_cast<std::uint64_t>(rep.makespan));
+
+  field(out, "total_it_kwh_exact", r.total_it_kwh_exact);
+  field(out, "overhead_kwh", r.overhead_kwh);
+  field(out, "node_boots", r.node_boots);
+  field(out, "node_shutdowns", r.node_shutdowns);
+  field(out, "scheduling_passes", r.scheduling_passes);
+  if (include_sim_events) field(out, "sim_events", r.sim_events);
+  field(out, "node_crashes", r.node_crashes);
+  field(out, "pdu_trips", r.pdu_trips);
+  field(out, "jobs_requeued_on_fault", r.jobs_requeued_on_fault);
+  field(out, "jobs_lost_on_fault", r.jobs_lost_on_fault);
+  field(out, "node_quarantines", r.node_quarantines);
+  field(out, "capmc_retries", r.capmc_retries);
+  field(out, "capmc_failed_calls", r.capmc_failed_calls);
+  field(out, "telemetry_dropped_samples", r.telemetry_dropped_samples);
+
+  out += "job_reports:\n";
+  for (const telemetry::JobEnergyReport& j : r.job_reports) {
+    out += "  job=";
+    hex_u64(out, static_cast<std::uint64_t>(j.job));
+    out += " user=" + j.user + " tag=" + j.tag + " grade=";
+    out += j.grade;
+    out += " e=";
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &j.energy_kwh, sizeof(bits));
+    hex_u64(out, bits);
+    std::memcpy(&bits, &j.average_watts, sizeof(bits));
+    out += " w=";
+    hex_u64(out, bits);
+    std::memcpy(&bits, &j.node_hours, sizeof(bits));
+    out += " nh=";
+    hex_u64(out, bits);
+    std::memcpy(&bits, &j.kwh_per_node_hour, sizeof(bits));
+    out += " eff=";
+    hex_u64(out, bits);
+    out += '\n';
+  }
+
+  // kills_by_reason is unordered; render in sorted-key order so the
+  // digest is a pure function of the run, not of hashing.
+  std::vector<std::pair<std::string, std::uint64_t>> kills(
+      r.kills_by_reason.begin(), r.kills_by_reason.end());
+  std::sort(kills.begin(), kills.end());
+  out += "kills_by_reason:\n";
+  for (const auto& [reason, count] : kills) {
+    out += "  " + reason + "=";
+    hex_u64(out, count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace epajsrm::core

@@ -1,0 +1,22 @@
+// Canonical byte-exact digest of a RunResult. Doubles are rendered as
+// the hex of their bit patterns, so two digests compare equal iff every
+// field is bit-identical — the determinism oracle behind the ensemble
+// thread-count proof and the partitioned core's cross-partition-count
+// identity checks (bench_partition_scaling, the tsan determinism suite).
+#pragma once
+
+#include <string>
+
+#include "core/solution.hpp"
+
+namespace epajsrm::core {
+
+/// One deterministic line per field, kills map in sorted-key order.
+/// `sim_events` is excluded by default: it counts coordinator callbacks,
+/// which is partition-count invariant by design, but callers comparing
+/// across *feature* configurations (obs on/off) may want it out anyway —
+/// pass include_sim_events = true to pin it too.
+std::string run_result_digest(const RunResult& result,
+                              bool include_sim_events = true);
+
+}  // namespace epajsrm::core

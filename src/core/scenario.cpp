@@ -68,6 +68,14 @@ void validate(const ScenarioConfig& config) {
         "scenario '" + config.label +
         "': DVFS ladder requires 0 < bottom_ghz <= top_ghz");
   }
+  if (config.partitions == 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': partitions must be >= 1");
+  }
+  if (config.skew_window < 0) {
+    throw std::invalid_argument("scenario '" + config.label +
+                                "': skew_window must be >= 0");
+  }
   if (config.energy_budget.has_value()) {
     const epa::EnergyBudgetConfig& eb = *config.energy_budget;
     if (eb.mode != epa::EnergyBudgetMode::kPowerCap &&
@@ -129,6 +137,18 @@ Scenario::Scenario(ScenarioConfig config)
   } else if (config_.energy_budget.has_value()) {
     solution_->set_scheduler(
         std::make_unique<epa::EnergyBudgetScheduler>(*config_.energy_budget));
+  }
+  if (config_.partitions > 1) {
+    PartitionDomainConfig pd;
+    pd.partitions = config_.partitions;
+    pd.workers = config_.partition_workers;
+    pd.skew_window = config_.skew_window;
+    pd.control_period = config_.solution.control_period;
+    pd.step_thermal = config_.solution.enable_thermal;
+    pd.seed = config_.seed;
+    domain_ = std::make_unique<PartitionDomain>(cluster_, solution_->ledger(),
+                                                solution_->thermal(), pd);
+    solution_->attach_partition_domain(domain_.get());
   }
 }
 

@@ -66,6 +66,21 @@ struct ScenarioConfig {
 
   /// Wall-clock horizon; the run also ends when the workload drains.
   sim::SimTime horizon = 4 * sim::kDay;
+
+  // Partitioned execution (lax-sync core, DESIGN.md §15). Execution
+  // knobs only: results are bit-identical for every setting, so none of
+  // these enter the canonical hash (scenario_hash.cpp) — the service
+  // cache hits across differing partition counts by construction.
+
+  /// Rack/PDU partitions the single simulation fans out across; 1 (the
+  /// default) is the classic single-threaded engine.
+  std::uint32_t partitions = 1;
+  /// Worker threads for the partition phase; 0 = min(partitions,
+  /// hardware). The ensemble engine clamps this per cell so replication-
+  /// and partition-level parallelism compose without oversubscription.
+  std::size_t partition_workers = 0;
+  /// Bounded clock-skew window within an epoch; 0 = one control period.
+  sim::SimTime skew_window = 0;
 };
 
 /// Rejects configs that cannot form a runnable experiment (zero nodes,
@@ -104,6 +119,8 @@ class Scenario {
   sim::Simulation& simulation() { return sim_; }
   platform::Cluster& cluster() { return cluster_; }
   EpaJsrmSolution& solution() { return *solution_; }
+  /// The lax-sync partition domain, or null when partitions == 1.
+  PartitionDomain* partition_domain() { return domain_.get(); }
   const ScenarioConfig& config() const { return config_; }
 
   /// Generates the workload (deterministic from the seed), submits it,
@@ -115,6 +132,9 @@ class Scenario {
   sim::Simulation sim_;
   platform::Cluster cluster_;
   std::unique_ptr<EpaJsrmSolution> solution_;
+  /// Declared after solution_: the domain shards the solution's ledger,
+  /// so it must be destroyed first.
+  std::unique_ptr<PartitionDomain> domain_;
   bool ran_ = false;
 };
 

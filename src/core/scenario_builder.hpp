@@ -67,6 +67,21 @@ class ScenarioBuilder {
     config_.horizon = value;
     return *this;
   }
+  /// Rack/PDU partitions the simulation fans out across (lax-sync core,
+  /// DESIGN.md §15). Execution knob only: results are bit-identical for
+  /// any value, so it never enters the canonical scenario hash.
+  ScenarioBuilder& partitions(std::uint32_t value,
+                              std::size_t workers = 0) {
+    config_.partitions = value;
+    config_.partition_workers = workers;
+    return *this;
+  }
+  /// Bounded clock-skew window for the partition phase; 0 (default) =
+  /// one control period.
+  ScenarioBuilder& skew_window(sim::SimTime value) {
+    config_.skew_window = value;
+    return *this;
+  }
   ScenarioBuilder& target_utilization(double value) {
     config_.target_utilization = value;
     return *this;

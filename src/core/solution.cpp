@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "obs/wall.hpp"
 #include "predict/tag_history.hpp"
 #include "sched/fcfs.hpp"
@@ -174,6 +175,21 @@ void EpaJsrmSolution::on_arrival(workload::JobId id) {
 }
 
 // --- execution -----------------------------------------------------------------
+
+void EpaJsrmSolution::attach_partition_domain(PartitionDomain* domain) {
+  EPAJSRM_REQUIRE(!started_, "attach the partition domain before start()");
+  domain_ = domain;
+  if (domain_ != nullptr) {
+    EPAJSRM_REQUIRE(domain_->map().total_nodes() == cluster_->node_count(),
+                    "partition domain maps a different machine");
+    // The folded census replaces the monitor's O(N) utilization sweep:
+    // exact integers, identical double (PartitionDomain docs).
+    monitor_->set_utilization_provider(
+        [domain] { return domain->core_utilization(); });
+  } else {
+    monitor_->set_utilization_provider({});
+  }
+}
 
 void EpaJsrmSolution::start() {
   if (started_) return;
@@ -374,6 +390,8 @@ void EpaJsrmSolution::set_node_cap(platform::NodeId node, double watts) {
 
 void EpaJsrmSolution::set_group_cap(std::span<const platform::NodeId> nodes,
                                     double watts) {
+  EPAJSRM_REQUIRE(!in_partition_local_phase(),
+                  "group caps actuate only at coupling-epoch boundaries");
   checkpoint_energy();
   capmc_.set_group_cap(nodes, watts);
   refresh_jobs_on_nodes(nodes);
@@ -381,6 +399,8 @@ void EpaJsrmSolution::set_group_cap(std::span<const platform::NodeId> nodes,
 }
 
 void EpaJsrmSolution::set_system_cap(double watts) {
+  EPAJSRM_REQUIRE(!in_partition_local_phase(),
+                  "system caps actuate only at coupling-epoch boundaries");
   checkpoint_energy();
   capmc_.set_system_cap(watts);
   for (workload::Job* job : std::vector<workload::Job*>(running_)) {
@@ -506,6 +526,10 @@ void EpaJsrmSolution::requeue_after_crash(workload::Job& job,
 
 bool EpaJsrmSolution::fail_node(platform::NodeId id,
                                 const std::string& reason) {
+  // Faults (including every node of a PDU trip) are cross-partition
+  // events; the injector delivers them between epochs.
+  EPAJSRM_REQUIRE(!in_partition_local_phase(),
+                  "faults are coupling-epoch events");
   if (id >= cluster_->node_count()) return false;
   platform::Node& node = cluster_->node(id);
   using NS = platform::NodeState;
@@ -694,6 +718,8 @@ void EpaJsrmSolution::sort_pending() {
 }
 
 void EpaJsrmSolution::schedule_pass() {
+  EPAJSRM_REQUIRE(!in_partition_local_phase(),
+                  "scheduling passes are coupling-epoch decision points");
   if (in_pass_ || stopping_) return;
   in_pass_ = true;
   ++passes_;
@@ -831,7 +857,15 @@ double EpaJsrmSolution::tightest_budget(sim::SimTime t) const {
 
 void EpaJsrmSolution::control_tick() {
   const sim::SimTime t = sim_->now();
-  if (config_.enable_thermal) {
+  if (domain_ != nullptr) {
+    // Partition-local phase: thermal stepping + core census fan out
+    // across the partitions' own engines and merge in partition-index
+    // order — bit-identical to the inline sweep below, O(N/P) wall time.
+    // Runs inside the tick so the coordinator events of this instant
+    // (walltime kills precede the control batch) stay classically
+    // ordered against it.
+    domain_->run_epoch(t);
+  } else if (config_.enable_thermal) {
     thermal_.step_cluster(*cluster_, config_.control_period);
   }
   monitor_->tick(t);  // sample + external observers
@@ -852,7 +886,8 @@ void EpaJsrmSolution::control_tick() {
   const double it_watts = ledger_.it_power_watts();
   metrics_->on_power_sample(t, it_watts,
                             cluster_->facility().facility_watts(it_watts, t),
-                            cluster_->core_utilization());
+                            domain_ != nullptr ? domain_->core_utilization()
+                                               : cluster_->core_utilization());
 
   if (obs_ != nullptr) {
     queue_depth_gauge_->set(static_cast<double>(sim_->pending_events()));

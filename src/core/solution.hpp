@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/partition_domain.hpp"
 #include "epa/policy.hpp"
 #include "metrics/collector.hpp"
 #include "obs/observability.hpp"
@@ -192,6 +193,29 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   /// Mutable ledger access for producers outside the power-model funnel
   /// (the fault injector posts injected thermal excursions here).
   power::PowerLedger& ledger() { return ledger_; }
+  /// The thermal model the control loop steps (the partition domain runs
+  /// the identical model over per-partition node ranges).
+  const power::ThermalModel& thermal() const { return thermal_; }
+
+  // --- partitioned execution (DESIGN.md §15) --------------------------------
+
+  /// Attaches the lax-sync partition domain. Must be called before
+  /// start(); the domain must outlive the solution's run. With a domain
+  /// attached, control ticks delegate the partition-local phase (thermal
+  /// stepping + core census) to it instead of sweeping the cluster
+  /// inline, and read the folded census for utilization — bit-identical
+  /// results, O(N/P) wall time per tick. Null detaches.
+  void attach_partition_domain(PartitionDomain* domain);
+  PartitionDomain* partition_domain() { return domain_; }
+
+  /// True while the attached domain's partition-local phase is running on
+  /// worker threads. Every cross-partition actuation funnel (caps, trips,
+  /// scheduling passes, decision points) requires this to be false:
+  /// cross-partition events are pinned to coupling-epoch boundaries.
+  /// Overrides both sched::SchedulingContext and epa::PolicyHost.
+  bool in_partition_local_phase() const override {
+    return domain_ != nullptr && domain_->in_local_phase();
+  }
   /// Installed EPA policies, in consultation order (read-only inspection;
   /// the invariant auditor cross-checks their reported budgets).
   const std::vector<std::unique_ptr<epa::EpaPolicy>>& policies() const {
@@ -338,6 +362,9 @@ class EpaJsrmSolution final : public sched::SchedulingContext,
   power::CapmcController capmc_;
   power::ThermalModel thermal_;
   power::PowerLedger ledger_;
+  /// Lax-sync partition domain; null (the default) = classic inline
+  /// control ticks. Not owned — the scenario wires it (DESIGN.md §15).
+  PartitionDomain* domain_ = nullptr;
   std::unique_ptr<rm::ResourceManager> rm_;
   std::unique_ptr<telemetry::MonitoringService> monitor_;
   std::unique_ptr<telemetry::EnergyAccountant> accountant_;

@@ -84,6 +84,14 @@ class PolicyHost {
   virtual const std::vector<workload::Job*>& running_jobs() const = 0;
   virtual const std::vector<workload::Job*>& pending_jobs() const = 0;
 
+  /// True while the host's partition-local phase is running on worker
+  /// threads (lax-sync partitioned core, DESIGN.md §15). Policy
+  /// actuation — group caps, emergency response, anything funnelled
+  /// through the host — is pinned to coupling-epoch boundaries, where
+  /// this is false. Hosts without a partition domain never enter the
+  /// phase.
+  virtual bool in_partition_local_phase() const { return false; }
+
   /// Predicted per-node draw (reference frequency) for a job.
   virtual double predict_node_watts(const workload::JobSpec& spec) = 0;
 

@@ -69,6 +69,51 @@ sim::SimTime parse_time_token(const std::string& token,
   return relative ? previous + t : t;
 }
 
+// Parses the period of an `every` line: a plain positive duration with an
+// optional unit suffix. '+' is a chaining operator on event times, not a
+// duration, so it is rejected here.
+sim::SimTime parse_period_token(const std::string& token) {
+  if (!token.empty() && token[0] == '+') {
+    throw std::invalid_argument("period '" + token +
+                                "' must be a plain <n>[s|m|h|d] duration");
+  }
+  const sim::SimTime period = parse_time_token(token, 0);
+  if (period <= 0) {
+    throw std::invalid_argument("period '" + token + "' must be > 0");
+  }
+  return period;
+}
+
+std::int64_t parse_target_token(const std::string& token) {
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != token.size()) {
+    throw std::invalid_argument("bad target '" + token +
+                                "' (want a node/pdu id, or -1 for all)");
+  }
+  return value;
+}
+
+double parse_double_token(const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != token.size()) {
+    throw std::invalid_argument(std::string("bad ") + what + " '" + token +
+                                "'");
+  }
+  return value;
+}
+
 }  // namespace
 
 FaultKind parse_fault_kind(const std::string& name) {
@@ -150,7 +195,7 @@ std::vector<FaultEvent> FaultPlan::sorted() const {
   return out;
 }
 
-FaultPlan FaultPlan::parse(std::istream& in) {
+FaultPlan FaultPlan::parse(std::istream& in, sim::SimTime repeat_horizon) {
   FaultPlan plan;
   std::string line;
   std::size_t line_no = 0;
@@ -162,49 +207,111 @@ FaultPlan FaultPlan::parse(std::istream& in) {
     if (line[first] == '#' || line[first] == ';') continue;
 
     std::istringstream fields(line);
-    std::string time_token;
-    std::string kind_name;
-    std::int64_t target = -1;
-    if (!(fields >> time_token >> kind_name >> target)) {
-      throw std::invalid_argument("fault spec line " +
-                                  std::to_string(line_no) +
-                                  ": need <time> <kind> <target>");
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+
+    const auto fail = [line_no](const std::string& what) {
+      return std::invalid_argument("fault spec line " +
+                                   std::to_string(line_no) + ": " + what);
+    };
+
+    std::size_t i = 0;
+    bool repeating = false;
+    sim::SimTime period = 0;
+    if (tokens[0] == "every") {
+      repeating = true;
+      if (tokens.size() < 2) throw fail("'every' needs a period");
+      try {
+        period = parse_period_token(tokens[1]);
+      } catch (const std::invalid_argument& e) {
+        throw fail(e.what());
+      }
+      i = 2;
     }
+    if (tokens.size() - i < 3) throw fail("need <time> <kind> <target>");
+
     FaultEvent event;
     try {
-      event.kind = parse_fault_kind(kind_name);
-      event.at = parse_time_token(time_token, previous);
+      event.kind = parse_fault_kind(tokens[i + 1]);
+      event.at = parse_time_token(tokens[i], previous);
+      event.target = parse_target_token(tokens[i + 2]);
     } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("fault spec line " +
-                                  std::to_string(line_no) + ": " + e.what());
+      throw fail(e.what());
     }
-    event.target = target;
-    double magnitude = 0.0;
-    double duration_s = 0.0;
-    if (fields >> magnitude) event.magnitude = magnitude;
-    if (fields >> duration_s) {
-      if (duration_s < 0.0) {
-        throw std::invalid_argument("fault spec line " +
-                                    std::to_string(line_no) +
-                                    ": duration must be >= 0");
+    i += 3;
+
+    try {
+      if (i < tokens.size() && tokens[i] != "until") {
+        event.magnitude = parse_double_token(tokens[i], "magnitude");
+        ++i;
       }
-      event.duration = sim::from_seconds(duration_s);
+      if (i < tokens.size() && tokens[i] != "until") {
+        const double duration_s =
+            parse_double_token(tokens[i], "duration");
+        if (duration_s < 0.0) throw fail("duration must be >= 0");
+        event.duration = sim::from_seconds(duration_s);
+        ++i;
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      throw what.rfind("fault spec line", 0) == 0 ? std::invalid_argument(e)
+                                                  : fail(what);
     }
-    plan.add(event);
+
+    bool has_until = false;
+    sim::SimTime until_t = 0;
+    if (i < tokens.size() && tokens[i] == "until") {
+      if (!repeating) {
+        throw fail("'until' needs an 'every' repeat on the same line");
+      }
+      if (i + 1 >= tokens.size()) throw fail("'until' needs a time");
+      try {
+        // '+' chains from the first occurrence, so "until +4h" bounds the
+        // cadence relative to its own start.
+        until_t = parse_time_token(tokens[i + 1], event.at);
+      } catch (const std::invalid_argument& e) {
+        throw fail(e.what());
+      }
+      has_until = true;
+      i += 2;
+    }
+    if (i != tokens.size()) {
+      throw fail("unexpected trailing token '" + tokens[i] + "'");
+    }
+
+    if (repeating) {
+      if (!has_until) until_t = event.at + repeat_horizon;
+      if (until_t < event.at) {
+        throw fail("'until' precedes the first occurrence");
+      }
+      for (sim::SimTime t = event.at; t <= until_t; t += period) {
+        FaultEvent occurrence = event;
+        occurrence.at = t;
+        plan.add(occurrence);
+      }
+    } else {
+      plan.add(event);
+    }
+    // The next '+' offset chains from the first occurrence, so a cadence
+    // line reads as "starting here, every N" without moving the cursor to
+    // its far-future last repeat.
     previous = event.at;
   }
   return plan;
 }
 
-FaultPlan FaultPlan::parse_string(const std::string& text) {
+FaultPlan FaultPlan::parse_string(const std::string& text,
+                                  sim::SimTime repeat_horizon) {
   std::istringstream in(text);
-  return parse(in);
+  return parse(in, repeat_horizon);
 }
 
-FaultPlan FaultPlan::parse_file(const std::string& path) {
+FaultPlan FaultPlan::parse_file(const std::string& path,
+                                sim::SimTime repeat_horizon) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open fault spec: " + path);
-  return parse(in);
+  return parse(in, repeat_horizon);
 }
 
 FaultPlan FailureModel::generate(std::uint32_t nodes, sim::SimTime horizon,

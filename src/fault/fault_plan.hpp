@@ -55,22 +55,45 @@ class FaultPlan {
   /// plan order). Called by the injector; idempotent.
   std::vector<FaultEvent> sorted() const;
 
+  /// Horizon an `every` line repeats to when it carries no `until` clause.
+  static constexpr sim::SimTime kDefaultRepeatHorizon = 30 * sim::kDay;
+
   /// Parses the line-oriented spec format:
   ///
   ///   # comment
   ///   <time> <kind> <target> [magnitude] [duration_s]
+  ///   every <n>[smhd] <time> <kind> <target> [magnitude] [duration_s]
+  ///       [until <t>]
   ///
   /// e.g. "3600 node-crash 12 0 1800" or "7200 capmc-failure -1 0.5 600".
   /// The time field is absolute seconds by default; an s/m/h/d unit
   /// suffix scales it ("90m"), and a leading '+' makes it an offset from
   /// the previous event's time ("+90m", "+6h") so cadenced storm scripts
   /// need no running arithmetic. Kind names are the to_string(FaultKind)
-  /// names. Malformed lines throw std::invalid_argument naming the line
-  /// number (fault specs are small, hand-written files — failing loudly
-  /// beats silently skipping faults).
-  static FaultPlan parse(std::istream& in);
-  static FaultPlan parse_string(const std::string& text);
-  static FaultPlan parse_file(const std::string& path);
+  /// names.
+  ///
+  /// An `every` prefix repeats the event at the given period, expanded at
+  /// parse time: occurrences land at first, first+period, ... up to and
+  /// including the `until` time (absolute, or '+' relative to the first
+  /// occurrence) — or up to first + `repeat_horizon` when no `until` is
+  /// given. The period is a plain positive duration (no '+'), `until`
+  /// must not precede the first occurrence, and the *first* occurrence is
+  /// what the next line's '+' offset chains from, so cadences compose:
+  ///
+  ///   every 30m +10m sensor-noise -1 0.05 600 until 4h
+  ///   +1h pdu-trip 0          # 10m (first occurrence) + 1h
+  ///
+  /// Malformed lines throw std::invalid_argument naming the line number
+  /// (fault specs are small, hand-written files — failing loudly beats
+  /// silently skipping faults).
+  static FaultPlan parse(std::istream& in,
+                         sim::SimTime repeat_horizon = kDefaultRepeatHorizon);
+  static FaultPlan parse_string(
+      const std::string& text,
+      sim::SimTime repeat_horizon = kDefaultRepeatHorizon);
+  static FaultPlan parse_file(
+      const std::string& path,
+      sim::SimTime repeat_horizon = kDefaultRepeatHorizon);
 
  private:
   std::vector<FaultEvent> events_;

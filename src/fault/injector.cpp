@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
+#include "core/partition_map.hpp"
 #include "core/solution.hpp"
 
 namespace epajsrm::fault {
@@ -31,6 +33,45 @@ sim::SimTime FaultInjector::now() const {
   return solution_->simulation().now();
 }
 
+void FaultInjector::attach_partition_map(const core::PartitionMap* map) {
+  partition_map_ = map;
+  injected_by_partition_.assign(map != nullptr ? map->count() : 0, 0);
+}
+
+void FaultInjector::attribute(const FaultEvent& event) {
+  if (partition_map_ == nullptr) return;
+  const core::PartitionMap& map = *partition_map_;
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeHang:
+      if (event.target >= 0 &&
+          static_cast<std::uint64_t>(event.target) < map.total_nodes()) {
+        ++injected_by_partition_[map.partition_of_node(
+            static_cast<platform::NodeId>(event.target))];
+      }
+      break;
+    case FaultKind::kPduTrip:
+      if (event.target >= 0 &&
+          static_cast<std::uint64_t>(event.target) < map.pdu_count()) {
+        ++injected_by_partition_[map.partition_of_pdu(
+            static_cast<platform::PduId>(event.target))];
+      }
+      break;
+    case FaultKind::kThermalExcursion:
+      if (event.target >= 0) {
+        if (static_cast<std::uint64_t>(event.target) < map.total_nodes()) {
+          ++injected_by_partition_[map.partition_of_node(
+              static_cast<platform::NodeId>(event.target))];
+        }
+      } else {
+        for (std::uint64_t& count : injected_by_partition_) ++count;
+      }
+      break;
+    default:
+      break;  // telemetry/control-plane faults own no partition
+  }
+}
+
 void FaultInjector::prune(std::vector<Window>& windows, sim::SimTime t) {
   windows.erase(std::remove_if(windows.begin(), windows.end(),
                                [t](const Window& w) { return w.until <= t; }),
@@ -47,7 +88,13 @@ void FaultInjector::schedule_plan(const FaultPlan& plan) {
 }
 
 void FaultInjector::apply(const FaultEvent& event) {
+  // Faults mutate cluster/ledger state the partition workers read (and,
+  // for thermal excursions, the very arrays the temperature shards write),
+  // so they are coordinator-only, coupling-epoch-safe events by contract.
+  EPAJSRM_REQUIRE(!solution_->in_partition_local_phase(),
+                  "faults are epoch-coupled coordinator events");
   ++injected_;
+  attribute(event);
   sim::Simulation& sim = solution_->simulation();
   std::shared_ptr<FaultInjector> self = shared_from_this();
   const sim::SimTime t = sim.now();

@@ -22,7 +22,8 @@
 
 namespace epajsrm::core {
 class EpaJsrmSolution;
-}
+class PartitionMap;
+}  // namespace epajsrm::core
 
 namespace epajsrm::fault {
 
@@ -63,11 +64,27 @@ class FaultInjector : public ControlTransport,
   /// Fault events applied so far.
   std::uint64_t injected() const { return injected_; }
 
+  /// Attributes injections to their owning rack/PDU partitions
+  /// (DESIGN.md §15). With a map attached, every node- or PDU-targeted
+  /// event is counted against the partition owning the target; a
+  /// cluster-wide thermal excursion counts against every partition.
+  /// Sensor and control-channel faults live on the telemetry/control
+  /// plane and are attributed to no partition. Accounting only — routing
+  /// and results never depend on the map (all faults apply on the
+  /// coordinator at coupling-epoch-safe instants, enforced by contract in
+  /// apply()). The map must outlive the injector.
+  void attach_partition_map(const core::PartitionMap* map);
+  /// Injections per partition (empty until a map is attached).
+  const std::vector<std::uint64_t>& injected_by_partition() const {
+    return injected_by_partition_;
+  }
+
  private:
   FaultInjector(core::EpaJsrmSolution& solution, Config config);
 
   void schedule_plan(const FaultPlan& plan);
   void apply(const FaultEvent& event);
+  void attribute(const FaultEvent& event);
   std::optional<double> filter_power_sample(sim::SimTime t,
                                             double truth_watts);
 
@@ -88,6 +105,8 @@ class FaultInjector : public ControlTransport,
   /// Held reading while a sensor-stuck window is active.
   std::optional<double> stuck_watts_;
   std::uint64_t injected_ = 0;
+  const core::PartitionMap* partition_map_ = nullptr;
+  std::vector<std::uint64_t> injected_by_partition_;
 };
 
 }  // namespace epajsrm::fault

@@ -217,6 +217,77 @@ void PowerLedger::post_temperature(platform::NodeId id, double celsius) {
   }
 }
 
+void PowerLedger::TemperatureShard::write(platform::NodeId id,
+                                          double celsius) {
+  EPAJSRM_REQUIRE(id >= begin_ && id < end_,
+                  "temperature write outside the shard's node range");
+  // Same accept/no-op rule as post_temperature; the slice write is
+  // race-free because shards tile disjoint ranges of temp_.
+  if (celsius == ledger_->temp_[id]) return;
+  ledger_->temp_[id] = celsius;
+  ++accepted_;
+  if (id == watch_node_) watch_changed_ = true;
+  if (!has_max_ || celsius >= max_c_) {
+    max_c_ = celsius;
+    max_node_ = id;
+    has_max_ = true;
+  }
+}
+
+PowerLedger::TemperatureShard PowerLedger::temperature_shard(
+    platform::NodeId begin, platform::NodeId end) {
+  EPAJSRM_REQUIRE(begin <= end && end <= node_count(),
+                  "shard range out of bounds");
+  return TemperatureShard(this, begin, end);
+}
+
+void PowerLedger::begin_temperature_epoch(
+    std::vector<TemperatureShard>& shards) {
+  for (auto& shard : shards) {
+    EPAJSRM_REQUIRE(shard.ledger_ == this, "shard from a different ledger");
+    shard.accepted_ = 0;
+    shard.has_max_ = false;
+    shard.max_c_ = 0.0;
+    shard.max_node_ = 0;
+    // Re-arm the stale-watch every epoch: out-of-band posts between
+    // epochs (fault excursions) move the argmax.
+    shard.watch_node_ = max_temp_node_;
+    shard.watch_changed_ = false;
+  }
+}
+
+void PowerLedger::merge_temperature_shards(
+    const std::vector<TemperatureShard>& shards) {
+  // Fixed partition-index order. Shards tile ascending node ranges and
+  // write in ascending node order, so the `>=` fold reproduces the
+  // classic sweep's running max exactly: the merged argmax is the last
+  // node (in node order) holding the epoch's maximum accepted value.
+  double epoch_max = 0.0;
+  platform::NodeId epoch_argmax = 0;
+  bool any = false;
+  bool watch_changed = false;
+  for (const auto& shard : shards) {
+    EPAJSRM_REQUIRE(shard.ledger_ == this, "shard from a different ledger");
+    epoch_ += shard.accepted_;
+    watch_changed = watch_changed || shard.watch_changed_;
+    if (shard.has_max_ && (!any || shard.max_c_ >= epoch_max)) {
+      epoch_max = shard.max_c_;
+      epoch_argmax = shard.max_node_;
+      any = true;
+    }
+  }
+  if (any && epoch_max >= max_temp_) {
+    max_temp_ = epoch_max;
+    max_temp_node_ = epoch_argmax;
+    max_temp_stale_ = false;
+  } else if (watch_changed) {
+    // The pre-epoch argmax node changed but nothing reached the cached
+    // maximum, so it necessarily cooled — the same lazy invalidation
+    // post_temperature performs.
+    max_temp_stale_ = true;
+  }
+}
+
 void PowerLedger::recompute_max_temp() const {
   max_temp_ = -1e9;
   max_temp_node_ = 0;

@@ -74,6 +74,64 @@ class PowerLedger {
   /// excursion). Maintains the cached cluster maximum.
   void post_temperature(platform::NodeId id, double celsius);
 
+  // --- partitioned temperature epochs (DESIGN.md §15) ---------------------
+
+  /// A per-partition window into the temperature plane. During a
+  /// partition-local phase each worker writes its own contiguous node
+  /// range directly (disjoint slices of the same array — race-free by
+  /// construction) while folding the summary the epoch merge needs to
+  /// reproduce the classic sequential sweep exactly. Writes must arrive
+  /// in ascending node order within a shard (the thermal step iterates
+  /// nodes in order): that makes the shard argmax "last node at the
+  /// running max", the same tie-break post_temperature's `>=` update
+  /// rule produces.
+  class TemperatureShard {
+   public:
+    /// Posts `celsius` for `id` (must lie in [begin, end)) with
+    /// post_temperature's exact accept/no-op semantics.
+    void write(platform::NodeId id, double celsius);
+
+    platform::NodeId begin() const { return begin_; }
+    platform::NodeId end() const { return end_; }
+    /// Writes accepted (non-no-op) since the last arm.
+    std::uint64_t accepted() const { return accepted_; }
+
+   private:
+    friend class PowerLedger;
+    TemperatureShard(PowerLedger* ledger, platform::NodeId begin,
+                     platform::NodeId end)
+        : ledger_(ledger), begin_(begin), end_(end) {}
+
+    PowerLedger* ledger_;
+    platform::NodeId begin_;
+    platform::NodeId end_;
+    // fold state, armed by begin_temperature_epoch
+    std::uint64_t accepted_ = 0;
+    double max_c_ = 0.0;
+    platform::NodeId max_node_ = 0;
+    bool has_max_ = false;
+    platform::NodeId watch_node_ = 0;  ///< pre-epoch argmax, for staleness
+    bool watch_changed_ = false;
+  };
+
+  /// Shard over nodes [begin, end). One epoch's shards must tile disjoint
+  /// ranges in ascending order (PartitionMap guarantees this).
+  TemperatureShard temperature_shard(platform::NodeId begin,
+                                     platform::NodeId end);
+
+  /// Arms `shards` for one partition-local phase: clears the fold state
+  /// and points every stale-watch at the current argmax node. Call after
+  /// any out-of-band post_temperature (fault excursions between epochs
+  /// move the argmax) and before workers write.
+  void begin_temperature_epoch(std::vector<TemperatureShard>& shards);
+
+  /// Folds the shard summaries back in fixed partition-index order. The
+  /// resulting epoch count and max-temperature cache (value, argmax,
+  /// staleness) are exactly what the classic node-order sweep of the
+  /// same writes would have left — the bit-determinism anchor of the
+  /// partitioned core.
+  void merge_temperature_shards(const std::vector<TemperatureShard>& shards);
+
   // --- O(1) hierarchical power aggregates ---------------------------------
 
   /// Sum of node draws (IT power only, watts).

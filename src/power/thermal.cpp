@@ -44,6 +44,23 @@ void ThermalModel::step_cluster(platform::Cluster& cluster,
   }
 }
 
+void ThermalModel::step_range(platform::Cluster& cluster, sim::SimTime dt,
+                              PowerLedger::TemperatureShard& sink) const {
+  // Ascending node order is load-bearing: the shard's argmax fold relies
+  // on it to reproduce the classic sweep's tie-break (ledger.hpp).
+  for (platform::NodeId id = sink.begin(); id < sink.end(); ++id) {
+    platform::Node& node = cluster.node(id);
+    const platform::NodeConfig& cfg = node.config();
+    const double tau = cfg.thermal_resistance * cfg.thermal_capacitance;
+    const double target =
+        steady_state_c(cfg, node.current_watts(), inlet_c(cluster, node));
+    const double t = node.temperature_c();
+    const double decay = std::exp(-sim::to_seconds(dt) / tau);
+    node.set_temperature_c(target + (t - target) * decay);
+    sink.write(id, node.temperature_c());
+  }
+}
+
 double ThermalModel::max_temperature_c(const platform::Cluster& cluster) {
   double max_t = -1e9;
   for (const platform::Node& node : cluster.nodes()) {

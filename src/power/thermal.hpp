@@ -9,11 +9,10 @@
 #pragma once
 
 #include "platform/cluster.hpp"
+#include "power/ledger.hpp"
 #include "sim/time.hpp"
 
 namespace epajsrm::power {
-
-class PowerLedger;
 
 /// Advances node temperatures and reports thermal excursions.
 class ThermalModel {
@@ -43,6 +42,18 @@ class ThermalModel {
   /// the node's cooling loop supply plus the recirculation offset, degraded
   /// when the loop is overloaded.
   void step_cluster(platform::Cluster& cluster, sim::SimTime dt) const;
+
+  /// Steps nodes [begin, end) — `sink`'s exact range — with the same
+  /// update step_cluster applies, but posts temperatures into the shard
+  /// instead of the attached ledger. The partitioned scenario core runs
+  /// one call per partition concurrently: node writes and shard slices
+  /// are disjoint, and the inlet reads (cooling-loop aggregates) are
+  /// const for the whole phase because temperature posts never change
+  /// power aggregates. Merge the shards afterwards
+  /// (PowerLedger::merge_temperature_shards) to restore the classic
+  /// sequential outcome bit for bit.
+  void step_range(platform::Cluster& cluster, sim::SimTime dt,
+                  PowerLedger::TemperatureShard& sink) const;
 
   /// Inlet temperature seen by `node` right now.
   double inlet_c(const platform::Cluster& cluster,

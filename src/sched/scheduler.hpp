@@ -71,6 +71,12 @@ class SchedulingContext {
 
   virtual const platform::Cluster& cluster() const = 0;
 
+  /// True while the context's partition-local phase is running on worker
+  /// threads (lax-sync partitioned core, DESIGN.md §15). Scheduling
+  /// passes are coupling-epoch decision points and require this to be
+  /// false; contexts without a partition domain never enter the phase.
+  virtual bool in_partition_local_phase() const { return false; }
+
   /// Nodes an allocation could use right now (idle or booting-toward-idle
   /// are not counted; whole-node allocations).
   virtual std::uint32_t allocatable_nodes() const = 0;

@@ -1,0 +1,169 @@
+#include "sim/partitioned.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "check/contract.hpp"
+
+namespace epajsrm::sim {
+
+namespace {
+/// Statistically independent stream salt per (seed, partition): two
+/// rounds of splitmix64 with an odd partition multiplier, so partition 0
+/// of seed s never collides with partition 1 of seed s-1 and friends.
+std::uint64_t partition_salt(std::uint64_t seed, std::uint32_t partition) {
+  return splitmix64(splitmix64(seed) ^
+                    (0xa02bdbf7bb3c0a7ull * (std::uint64_t{partition} + 1)));
+}
+}  // namespace
+
+PartitionedSimulation::PartitionedSimulation(PartitionedConfig config)
+    : barrier_(std::max<std::uint32_t>(1, config.partitions),
+               config.skew_window) {
+  EPAJSRM_REQUIRE(config.partitions > 0, "need at least one partition");
+  locals_.reserve(config.partitions);
+  for (std::uint32_t p = 0; p < config.partitions; ++p) {
+    locals_.push_back(std::make_unique<Simulation>());
+    salts_.push_back(partition_salt(config.seed, p));
+    rngs_.emplace_back(salts_.back());
+  }
+  errors_.resize(config.partitions);
+  mail_seq_.assign(std::size_t{config.partitions} + 1, 0);
+
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_ = std::min<std::size_t>(workers, config.partitions);
+  if (config.partitions > 1 && workers_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(workers_);
+  } else {
+    workers_ = 1;
+  }
+}
+
+Simulation& PartitionedSimulation::local(std::uint32_t p) {
+  EPAJSRM_REQUIRE(p < locals_.size(), "unknown partition");
+  return *locals_[p];
+}
+
+const Simulation& PartitionedSimulation::local(std::uint32_t p) const {
+  EPAJSRM_REQUIRE(p < locals_.size(), "unknown partition");
+  return *locals_[p];
+}
+
+Rng& PartitionedSimulation::rng(std::uint32_t p) {
+  EPAJSRM_REQUIRE(p < rngs_.size(), "unknown partition");
+  return rngs_[p];
+}
+
+std::uint64_t PartitionedSimulation::rng_salt(std::uint32_t p) const {
+  EPAJSRM_REQUIRE(p < salts_.size(), "unknown partition");
+  return salts_[p];
+}
+
+void PartitionedSimulation::post(std::uint32_t from, std::uint32_t to,
+                                 SimTime at, Simulation::Callback fn,
+                                 EventCategory category) {
+  EPAJSRM_REQUIRE(to < locals_.size(), "mail addressed to unknown partition");
+  EPAJSRM_REQUIRE(from == kCoordinator || from < locals_.size(),
+                  "mail from unknown sender");
+  const std::size_t sender =
+      from == kCoordinator ? locals_.size() : std::size_t{from};
+  const std::lock_guard<std::mutex> lk(mail_mutex_);
+  Mail m;
+  m.at = at;
+  m.from = from;
+  m.to = to;
+  m.seq = mail_seq_[sender]++;
+  m.fn = std::move(fn);
+  m.category = category;
+  mail_.push_back(std::move(m));
+}
+
+void PartitionedSimulation::deliver_mail() {
+  std::vector<Mail> batch;
+  {
+    const std::lock_guard<std::mutex> lk(mail_mutex_);
+    batch.swap(mail_);
+  }
+  if (batch.empty()) return;
+  // Fixed delivery order (at, sender rank, per-sender seq): independent
+  // of which worker thread posted first. Coordinator mail ranks last so
+  // its rank is a constant, not a partition-count-dependent value.
+  std::sort(batch.begin(), batch.end(), [](const Mail& a, const Mail& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.from != b.from) return a.from < b.from;  // kCoordinator sorts last
+    return a.seq < b.seq;
+  });
+  for (auto& m : batch) {
+    // Pin to the epoch boundary: never earlier than the last epoch end.
+    locals_[m.to]->schedule_at(std::max(m.at, epoch_), std::move(m.fn),
+                               m.category);
+  }
+}
+
+void PartitionedSimulation::run_partition(std::uint32_t p, SimTime epoch_end) {
+  Simulation& local = *locals_[p];
+  for (;;) {
+    const SimTime next = local.next_event_time();
+    if (next > epoch_end) {
+      // Drained: advancing a quiescent clock executes nothing, so no
+      // clearance is needed — publish and leave so peers never wait.
+      barrier_.publish(p, epoch_end);
+      local.run_until(epoch_end);
+      return;
+    }
+    barrier_.acquire(p, next);
+    local.run_until(next);
+  }
+}
+
+void PartitionedSimulation::run_epoch(SimTime epoch_end) {
+  EPAJSRM_REQUIRE(epoch_end >= epoch_, "epoch ends must be non-decreasing");
+  EPAJSRM_REQUIRE(!in_local_phase(), "run_epoch is not reentrant");
+  deliver_mail();
+  if (pool_ == nullptr) {
+    // Inline path (single partition, or one worker): identical event
+    // order by construction, zero synchronization cost. partitions=1
+    // stays exactly as fast and as debuggable as the classic engine.
+    for (std::uint32_t p = 0; p < locals_.size(); ++p) {
+      barrier_.publish(p, epoch_end);
+      locals_[p]->run_until(epoch_end);
+    }
+  } else {
+    in_local_phase_.store(true, std::memory_order_release);
+    for (std::uint32_t p = 0; p < locals_.size(); ++p) {
+      pool_->submit([this, p, epoch_end] {
+        try {
+          run_partition(p, epoch_end);
+        } catch (...) {
+          errors_[p] = std::current_exception();
+          // Release peers blocked on our horizon; the epoch's results
+          // are void anyway — run_epoch rethrows below.
+          barrier_.publish(p, epoch_end);
+        }
+      });
+    }
+    pool_->wait_idle();
+    in_local_phase_.store(false, std::memory_order_release);
+    for (auto& error : errors_) {
+      if (error != nullptr) {
+        const std::exception_ptr first = std::exchange(error, nullptr);
+        for (auto& rest : errors_) rest = nullptr;
+        std::rethrow_exception(first);
+      }
+    }
+  }
+  epoch_ = epoch_end;
+  ++epochs_;
+}
+
+std::uint64_t PartitionedSimulation::local_events() const {
+  std::uint64_t total = 0;
+  for (const auto& local : locals_) total += local->events_processed();
+  return total;
+}
+
+}  // namespace epajsrm::sim

@@ -1,0 +1,135 @@
+// PartitionedSimulation: one simulation, many event queues. The cluster
+// is split into partitions, each owning a private Simulation (clock +
+// slab-arena queue) that advances freely within the skew window, and the
+// engine hard-synchronizes them only at coupling epochs (run_epoch).
+// Cross-partition communication goes through the mailbox (post), which
+// delivers at the next epoch boundary in a fixed deterministic order, so
+// results are bit-identical for any partition count, worker count and
+// skew window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/skew_barrier.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/time.hpp"
+
+namespace epajsrm::sim {
+
+struct PartitionedConfig {
+  std::uint32_t partitions = 1;
+  /// Worker threads driving the partitions; 0 = min(partitions, hardware).
+  /// A resolved value of 1 (or a single partition) runs epochs inline on
+  /// the calling thread with no pool and no barrier traffic.
+  std::size_t workers = 0;
+  /// Maximum clock skew between partitions inside an epoch; 0 means
+  /// epoch-wide freedom (the barrier never blocks between epoch ends).
+  SimTime skew_window = 0;
+  /// Salts the per-partition rng streams (splitmix64 over the seed and
+  /// the partition index).
+  std::uint64_t seed = 0;
+};
+
+class PartitionedSimulation {
+ public:
+  /// Mailbox sender id for posts originating outside any partition.
+  static constexpr std::uint32_t kCoordinator = 0xffffffffu;
+
+  explicit PartitionedSimulation(PartitionedConfig config);
+  // Local engines capture partition state; the whole ensemble is pinned.
+  PartitionedSimulation(const PartitionedSimulation&) = delete;
+  PartitionedSimulation& operator=(const PartitionedSimulation&) = delete;
+
+  std::uint32_t partition_count() const {
+    return static_cast<std::uint32_t>(locals_.size());
+  }
+
+  /// Partition `p`'s private engine, for wiring partition-local models
+  /// (repeaters, initial events). Outside the local phase this is
+  /// coordinator-side setup; during the phase only partition `p`'s own
+  /// callbacks may touch it.
+  Simulation& local(std::uint32_t p);
+  const Simulation& local(std::uint32_t p) const;
+
+  /// Partition `p`'s private random stream. Anything drawn from it that
+  /// can affect results must be keyed per node (not per partition), or
+  /// results stop being invariant in the partition count.
+  Rng& rng(std::uint32_t p);
+  std::uint64_t rng_salt(std::uint32_t p) const;
+
+  /// Posts `fn` to partition `to`: it runs inside `to`'s local engine at
+  /// time max(at, start of the next epoch) — cross-partition events are
+  /// pinned to epoch boundaries. Delivery order is the fixed sort
+  /// (at, sender, per-sender seq), independent of thread timing. Safe to
+  /// call from partition callbacks during an epoch and from the
+  /// coordinator between epochs.
+  void post(std::uint32_t from, std::uint32_t to, SimTime at,
+            Simulation::Callback fn,
+            EventCategory category = kDefaultEventCategory);
+
+  /// Delivers pending mail, then advances every partition to exactly
+  /// `epoch_end` (executing all local events at times <= epoch_end) under
+  /// the skew barrier. Blocks until all partitions arrive; a partition
+  /// failure releases its peers and rethrows here, lowest partition index
+  /// first. Epoch ends must be non-decreasing.
+  void run_epoch(SimTime epoch_end);
+
+  /// True while partition callbacks may be running on worker threads —
+  /// the window in which cross-partition shared state must not be
+  /// touched (see EPAJSRM_REQUIRE call sites in core/epa/sched).
+  bool in_local_phase() const {
+    return in_local_phase_.load(std::memory_order_acquire);
+  }
+
+  /// End of the last completed epoch.
+  SimTime now() const { return epoch_; }
+  std::uint64_t epochs_run() const { return epochs_; }
+
+  /// Total events executed across all local engines.
+  std::uint64_t local_events() const;
+
+  const SkewBarrier& barrier() const { return barrier_; }
+  std::size_t workers() const { return workers_; }
+
+ private:
+  struct Mail {
+    SimTime at = 0;
+    std::uint32_t from = kCoordinator;
+    std::uint32_t to = 0;
+    std::uint64_t seq = 0;
+    Simulation::Callback fn;
+    EventCategory category = kDefaultEventCategory;
+  };
+
+  /// One partition's event loop for the epoch: announce the next event
+  /// time, wait for skew clearance, execute, repeat; drain to epoch_end.
+  void run_partition(std::uint32_t p, SimTime epoch_end);
+  void deliver_mail();
+
+  SkewBarrier barrier_;
+  std::vector<std::unique_ptr<Simulation>> locals_;
+  std::vector<Rng> rngs_;
+  std::vector<std::uint64_t> salts_;
+  std::vector<std::exception_ptr> errors_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when epochs run inline
+  std::size_t workers_ = 1;
+
+  std::mutex mail_mutex_;
+  std::vector<Mail> mail_;
+  /// Per-sender sequence counters; slot partition_count() is the
+  /// coordinator's.
+  std::vector<std::uint64_t> mail_seq_;
+
+  SimTime epoch_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::atomic<bool> in_local_phase_{false};
+};
+
+}  // namespace epajsrm::sim

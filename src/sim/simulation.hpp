@@ -55,6 +55,18 @@ class Simulation {
   /// Current simulation time. Monotonically non-decreasing.
   SimTime now() const { return now_; }
 
+  /// next_event_time() when nothing is pending.
+  static constexpr SimTime kNoPendingEvent =
+      std::numeric_limits<SimTime>::max();
+
+  /// Absolute time of the earliest pending event (batch envelopes
+  /// included), or kNoPendingEvent on an empty queue. This is the
+  /// conservative lookahead horizon the partitioned engine's skew
+  /// barrier coordinates on (see sim/skew_barrier.hpp).
+  SimTime next_event_time() const {
+    return queue_.empty() ? kNoPendingEvent : queue_.next_time();
+  }
+
   /// Schedules `cb` at absolute time `t` (clamped to now() if in the past,
   /// which models "fire as soon as possible"). `category` tags the event
   /// for profiling.

@@ -1,0 +1,58 @@
+#include "sim/skew_barrier.hpp"
+
+#include "check/contract.hpp"
+
+namespace epajsrm::sim {
+
+SkewBarrier::SkewBarrier(std::uint32_t partitions, SimTime window)
+    : window_(window), horizon_(partitions, 0) {
+  EPAJSRM_REQUIRE(partitions > 0, "a barrier needs at least one partition");
+  EPAJSRM_REQUIRE(window >= 0, "skew windows are non-negative");
+}
+
+bool SkewBarrier::peers_reached(std::uint32_t p, SimTime floor) const {
+  for (std::uint32_t q = 0; q < horizon_.size(); ++q) {
+    if (q != p && horizon_[q] < floor) return false;
+  }
+  return true;
+}
+
+void SkewBarrier::acquire(std::uint32_t p, SimTime horizon) {
+  std::unique_lock lock(mutex_);
+  EPAJSRM_REQUIRE(p < horizon_.size(), "unknown partition");
+  EPAJSRM_REQUIRE(horizon >= horizon_[p],
+                  "published horizons must be monotone");
+  horizon_[p] = horizon;
+  advanced_.notify_all();
+  if (horizon_.size() == 1) return;
+  // floor may go negative when horizon < window; every start-of-run
+  // horizon (0) satisfies it, as it must.
+  const SimTime floor = horizon - window_;
+  if (!peers_reached(p, floor)) {
+    ++waits_;
+    advanced_.wait(lock, [&] { return peers_reached(p, floor); });
+  }
+}
+
+void SkewBarrier::publish(std::uint32_t p, SimTime horizon) {
+  {
+    std::unique_lock lock(mutex_);
+    EPAJSRM_REQUIRE(p < horizon_.size(), "unknown partition");
+    if (horizon <= horizon_[p]) return;  // error path may lag; keep monotone
+    horizon_[p] = horizon;
+  }
+  advanced_.notify_all();
+}
+
+SimTime SkewBarrier::horizon(std::uint32_t p) const {
+  std::unique_lock lock(mutex_);
+  EPAJSRM_REQUIRE(p < horizon_.size(), "unknown partition");
+  return horizon_[p];
+}
+
+std::uint64_t SkewBarrier::waits() const {
+  std::unique_lock lock(mutex_);
+  return waits_;
+}
+
+}  // namespace epajsrm::sim

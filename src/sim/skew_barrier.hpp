@@ -1,0 +1,75 @@
+// SkewBarrier: bounded-clock-skew coordination for the partitioned
+// engine (PartitionedSimulation). The relaxed-synchronization idea is
+// Graphite's ClockSkewMinimizationClient: partitions advance their local
+// clocks freely, constrained only to stay within a window of the slowest
+// peer, and hard-synchronize at coupling epochs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace epajsrm::sim {
+
+/// Keeps N partition clocks within `window` of each other without a
+/// central scheduler.
+///
+/// Protocol, per partition, inside one epoch:
+///   1. compute `horizon` = the time of the next local event;
+///   2. acquire(p, horizon) — publish the horizon, then block until every
+///      other partition's published horizon has reached horizon - window;
+///   3. execute the local events at `horizon`; goto 1.
+/// A partition with nothing left before the epoch end calls
+/// publish(p, epoch_end) and leaves — advancing a clock past quiescent
+/// time executes nothing, so it needs no permission.
+///
+/// Publishing the *next pending* event time before blocking (conservative
+/// lookahead) is what makes the protocol deadlock-free: the partition
+/// holding the globally minimal horizon observes every peer horizon >= its
+/// own, so its wait condition is already satisfied and it proceeds — the
+/// same argument null-message PDES protocols make. Horizons are monotone
+/// within and across epochs, so no per-epoch reset is needed.
+///
+/// Window semantics: a partition may execute events at time t only once
+/// every peer has announced progress to at least t - window. window = 0 is
+/// timestamp lockstep; the partitioned scenario core defaults to one
+/// coupling period, under which the barrier never blocks inside an epoch.
+class SkewBarrier {
+ public:
+  SkewBarrier(std::uint32_t partitions, SimTime window);
+
+  /// Publishes partition `p`'s lookahead horizon, then blocks until every
+  /// other partition has published at least `horizon - window`. Horizons
+  /// must be non-decreasing per partition.
+  void acquire(std::uint32_t p, SimTime horizon);
+
+  /// Publishes without blocking — the epoch-drain fast path, and the
+  /// escape hatch a partition uses on error so peers never wait on it.
+  void publish(std::uint32_t p, SimTime horizon);
+
+  /// Last horizon published by `p` (diagnostics and tests).
+  SimTime horizon(std::uint32_t p) const;
+
+  std::uint32_t partitions() const {
+    return static_cast<std::uint32_t>(horizon_.size());
+  }
+  SimTime window() const { return window_; }
+
+  /// Times acquire() actually blocked (contention diagnostics).
+  std::uint64_t waits() const;
+
+ private:
+  /// min over q != p of horizon_[q] >= floor; caller holds mutex_.
+  bool peers_reached(std::uint32_t p, SimTime floor) const;
+
+  SimTime window_;
+  mutable std::mutex mutex_;
+  std::condition_variable advanced_;
+  std::vector<SimTime> horizon_;
+  std::uint64_t waits_ = 0;
+};
+
+}  // namespace epajsrm::sim

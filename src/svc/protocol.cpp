@@ -66,6 +66,10 @@ Request parse_request(const std::string& line) {
         r.has_job_count = true;
         r.job_count = p.get_u64("job_count");
       }
+      if (p.has("partitions")) {
+        r.has_partitions = true;
+        r.partitions = p.get_u32("partitions");
+      }
       r.wait = p.get_u64_or("wait", 1) != 0;
       r.want_report = p.get_u64_or("report", 0) != 0;
       if (r.op == Request::Op::kSweep) {
@@ -99,6 +103,9 @@ std::string serialize_request(const Request& request) {
         w.field("nodes", static_cast<std::uint64_t>(request.nodes));
       }
       if (request.has_job_count) w.field("job_count", request.job_count);
+      if (request.has_partitions) {
+        w.field("partitions", static_cast<std::uint64_t>(request.partitions));
+      }
       w.field("wait", static_cast<std::uint64_t>(request.wait ? 1 : 0));
       if (request.want_report) {
         w.field("report", static_cast<std::uint64_t>(1));

@@ -46,6 +46,12 @@ struct Request {
   std::uint32_t nodes = 0;
   bool has_job_count = false;
   std::uint64_t job_count = 0;
+  /// Rack/PDU partitions driving the lax-sync core (DESIGN.md §15). An
+  /// execution knob: results are bit-identical for any value, so it is
+  /// excluded from the canonical scenario hash and two submits differing
+  /// only here share one cache entry.
+  bool has_partitions = false;
+  std::uint32_t partitions = 0;
   /// submit: block until the result is ready (default). With wait=0 the
   /// reply is the queued id; the client polls.
   bool wait = true;

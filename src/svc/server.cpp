@@ -80,6 +80,7 @@ bool Server::handle_line(const std::string& line, net::LineChannel& channel) {
       if (request.has_seed) overrides.seed = request.seed;
       if (request.has_nodes) overrides.nodes = request.nodes;
       if (request.has_job_count) overrides.job_count = request.job_count;
+      if (request.has_partitions) overrides.partitions = request.partitions;
       overrides.label = request.label;
       ScenarioService::SubmitOutcome outcome;
       try {
@@ -123,6 +124,7 @@ bool Server::handle_line(const std::string& line, net::LineChannel& channel) {
         overrides.seed = seed;
         if (request.has_nodes) overrides.nodes = request.nodes;
         if (request.has_job_count) overrides.job_count = request.job_count;
+        if (request.has_partitions) overrides.partitions = request.partitions;
         overrides.label = request.label;
         ScenarioService::SubmitOutcome outcome;
         try {

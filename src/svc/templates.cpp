@@ -73,6 +73,7 @@ core::ScenarioConfig TemplateStore::instantiate(
   if (overrides.seed) config.seed = *overrides.seed;
   if (overrides.nodes) config.nodes = *overrides.nodes;
   if (overrides.job_count) config.job_count = *overrides.job_count;
+  if (overrides.partitions) config.partitions = *overrides.partitions;
   if (!overrides.label.empty()) config.label = overrides.label;
   core::validate(config);
   return config;

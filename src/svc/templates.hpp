@@ -22,6 +22,8 @@ struct TemplateOverrides {
   std::optional<std::uint64_t> seed;
   std::optional<std::uint32_t> nodes;
   std::optional<std::size_t> job_count;
+  /// Lax-sync partition count (execution knob; outside the result hash).
+  std::optional<std::uint32_t> partitions;
   std::string label;  ///< empty = keep the template's label
 };
 

@@ -107,7 +107,9 @@ void MonitoringService::sample(sim::SimTime now) {
   if (record_machine) machine_power_.record(now, machine_watts);
   facility_power_.record(now,
                          cluster_->facility().facility_watts(it_watts, now));
-  utilization_.record(now, cluster_->core_utilization());
+  utilization_.record(now, utilization_provider_
+                               ? utilization_provider_()
+                               : cluster_->core_utilization());
   max_temperature_.record(now, ledger_->max_temperature_c());
   for (std::size_t i = 0; i < pdu_power_.size(); ++i) {
     pdu_power_[i]->record(

@@ -56,6 +56,16 @@ class MonitoringService {
   /// The sensor hierarchy (Power API shape).
   const SensorRegistry& registry() const { return registry_; }
 
+  /// Replaces the utilization source for the retained series (null
+  /// restores the cluster sweep). The partition domain installs its
+  /// folded exact-integer census here: the identical double, without an
+  /// O(N) sweep per tick (DESIGN.md §15). Valid whenever sample() runs —
+  /// in partitioned runs ticks are driven by the control loop strictly
+  /// after the epoch merge.
+  void set_utilization_provider(std::function<double()> provider) {
+    utilization_provider_ = std::move(provider);
+  }
+
   /// Attaches (or with null, detaches) the metrics registry. The monitor
   /// then keeps `telemetry.stale_served` (stale-fallback reads served),
   /// `telemetry.dropped_samples` and `telemetry.altered_samples` counters
@@ -148,6 +158,7 @@ class MonitoringService {
   obs::DownsamplingSeries machine_power_;
   obs::DownsamplingSeries facility_power_;
   obs::DownsamplingSeries utilization_;
+  std::function<double()> utilization_provider_;
   obs::DownsamplingSeries max_temperature_;
   std::vector<std::unique_ptr<obs::DownsamplingSeries>> pdu_power_;
 

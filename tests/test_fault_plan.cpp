@@ -144,6 +144,74 @@ TEST(FaultPlanParse, BadTimeTokensThrowWithLineNumber) {
                std::invalid_argument);
 }
 
+TEST(FaultPlanParse, EveryExpandsPeriodicRepetitions) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "every 30m 1h sensor-noise -1 0.05 600 until 2h\n");
+  // 1h, 1h30, 2h — the bound is inclusive.
+  ASSERT_EQ(plan.size(), 3u);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_EQ(e.kind, FaultKind::kSensorNoise);
+    EXPECT_DOUBLE_EQ(e.magnitude, 0.05);
+    EXPECT_EQ(e.duration, 600 * sim::kSecond);
+  }
+  EXPECT_EQ(plan.events()[0].at, sim::kHour);
+  EXPECT_EQ(plan.events()[1].at, sim::kHour + 30 * sim::kMinute);
+  EXPECT_EQ(plan.events()[2].at, 2 * sim::kHour);
+}
+
+TEST(FaultPlanParse, EveryComposesWithRelativeOffsets) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "2h node-crash 5\n"
+      "every 1h +30m pdu-trip 0 0 60 until +2h\n"  // first at 2h30
+      "+1h capmc-failure -1 1.0 30\n");            // chains from 2h30
+  ASSERT_EQ(plan.size(), 5u);
+  // The cadence starts relative to the previous line...
+  EXPECT_EQ(plan.events()[1].at, 2 * sim::kHour + 30 * sim::kMinute);
+  // ...its `until +2h` bounds relative to its own first occurrence...
+  EXPECT_EQ(plan.events()[3].at, 4 * sim::kHour + 30 * sim::kMinute);
+  // ...and the next line chains from the first occurrence, not the last.
+  EXPECT_EQ(plan.events()[4].kind, FaultKind::kCapmcFailure);
+  EXPECT_EQ(plan.events()[4].at, 3 * sim::kHour + 30 * sim::kMinute);
+}
+
+TEST(FaultPlanParse, EveryWithoutUntilStopsAtTheRepeatHorizon) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "every 1h 0 sensor-stuck -1 0 60\n", /*repeat_horizon=*/4 * sim::kHour);
+  ASSERT_EQ(plan.size(), 5u);  // 0..4h inclusive
+  EXPECT_EQ(plan.events()[4].at, 4 * sim::kHour);
+}
+
+TEST(FaultPlanParse, EveryErrorsCarryLineNumbers) {
+  // Zero or relative periods are rejected.
+  try {
+    FaultPlan::parse_string("0 node-crash 1\nevery 0m 1h node-crash 2\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("> 0"), std::string::npos);
+  }
+  EXPECT_THROW(FaultPlan::parse_string("every +30m 1h node-crash 0\n"),
+               std::invalid_argument);
+  // `until` must not precede the first occurrence.
+  EXPECT_THROW(
+      FaultPlan::parse_string("every 30m 2h node-crash 0 0 0 until 1h\n"),
+      std::invalid_argument);
+  // `until` without `every` is meaningless.
+  try {
+    FaultPlan::parse_string("1h node-crash 0 0 60 until 2h\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("every"), std::string::npos);
+  }
+  // Trailing junk fails loudly instead of silently dropping.
+  EXPECT_THROW(
+      FaultPlan::parse_string("every 30m 1h node-crash 0 0 60 until 2h x\n"),
+      std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_string("every 30m 1h node-crash 0 until\n"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlanParse, MissingFileThrows) {
   EXPECT_THROW(FaultPlan::parse_file("/nonexistent/faults.spec"),
                std::invalid_argument);

@@ -1,0 +1,171 @@
+// PartitionedSimulation and SkewBarrier: the lax-sync engine underneath
+// the partitioned scenario core (DESIGN.md §15) — barrier lookahead
+// protocol, deterministic mailbox delivery, epoch mechanics, inline vs
+// threaded parity, and error propagation.
+#include "sim/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/contract.hpp"
+#include "sim/skew_barrier.hpp"
+
+namespace epajsrm::sim {
+namespace {
+
+PartitionedConfig config(std::uint32_t partitions, std::size_t workers,
+                         SimTime skew_window = 0) {
+  PartitionedConfig c;
+  c.partitions = partitions;
+  c.workers = workers;
+  c.skew_window = skew_window;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SkewBarrier, PublishIsMonotoneAndNeverBlocks) {
+  SkewBarrier barrier(3, kMinute);
+  EXPECT_EQ(barrier.partitions(), 3u);
+  EXPECT_EQ(barrier.window(), kMinute);
+  barrier.publish(0, 10 * kSecond);
+  EXPECT_EQ(barrier.horizon(0), 10 * kSecond);
+  // A lower horizon is a no-op, not a rewind.
+  barrier.publish(0, 5 * kSecond);
+  EXPECT_EQ(barrier.horizon(0), 10 * kSecond);
+  EXPECT_EQ(barrier.waits(), 0u);
+}
+
+TEST(SkewBarrier, SinglePartitionAcquiresWithoutPeers) {
+  SkewBarrier barrier(1, 0);
+  barrier.acquire(0, kHour);
+  barrier.acquire(0, 2 * kHour);
+  EXPECT_EQ(barrier.waits(), 0u);
+  EXPECT_EQ(barrier.horizon(0), 2 * kHour);
+}
+
+// Interleaved event times under a zero-width window force timestamp
+// lockstep: with two real workers, whichever partition reaches its first
+// acquire first must block for the other (publish-then-check is atomic),
+// so the barrier records at least one wait — and the run still finishes,
+// which is the deadlock-freedom half of the protocol.
+TEST(PartitionedSim, ZeroWindowLockstepBlocksButCompletes) {
+  PartitionedSimulation ps(config(2, 2, /*skew_window=*/0));
+  if (ps.workers() < 2) GTEST_SKIP() << "needs two real workers";
+  std::vector<SimTime> seen0, seen1;  // each written by one partition only
+  for (int i = 1; i <= 5; ++i) {
+    const SimTime even = 2 * i * kSecond;
+    const SimTime odd = (2 * i + 1) * kSecond;
+    ps.local(0).schedule_at(even, [&seen0, even] { seen0.push_back(even); });
+    ps.local(1).schedule_at(odd, [&seen1, odd] { seen1.push_back(odd); });
+  }
+  ps.run_epoch(kMinute);
+  ASSERT_EQ(seen0.size(), 5u);
+  ASSERT_EQ(seen1.size(), 5u);
+  EXPECT_GE(ps.barrier().waits(), 1u);
+  EXPECT_EQ(ps.local_events(), 10u);
+  EXPECT_EQ(ps.now(), kMinute);
+  EXPECT_EQ(ps.epochs_run(), 1u);
+}
+
+TEST(PartitionedSim, InlineAndThreadedRunsExecuteIdentically) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    PartitionedSimulation ps(config(4, workers));
+    std::vector<std::vector<SimTime>> fired(4);
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      ps.local(p).schedule_every((p + 1) * kMinute, [&fired, p, &ps] {
+        fired[p].push_back(ps.local(p).now());
+        return true;
+      });
+    }
+    ps.run_epoch(10 * kMinute);
+    ps.run_epoch(20 * kMinute);
+    EXPECT_EQ(fired[0].size(), 20u) << workers << " workers";
+    EXPECT_EQ(fired[1].size(), 10u);
+    EXPECT_EQ(fired[2].size(), 6u);
+    EXPECT_EQ(fired[3].size(), 5u);
+    // Each partition saw its own clock strictly advance in order.
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      for (std::size_t i = 1; i < fired[p].size(); ++i) {
+        EXPECT_LT(fired[p][i - 1], fired[p][i]);
+      }
+    }
+    EXPECT_EQ(ps.workers(), workers == 1 ? 1u : 4u);
+  }
+}
+
+TEST(PartitionedSim, MailboxDeliversInFixedSortedOrder) {
+  PartitionedSimulation ps(config(3, 3));
+  std::vector<std::string> log;  // only partition 0's callbacks write
+  const auto tag = [&log](std::string s) {
+    return [&log, s] { log.push_back(s); };
+  };
+  // Posted out of order, from mixed senders, some with past timestamps.
+  const SimTime t = 5 * kMinute;
+  ps.post(PartitionedSimulation::kCoordinator, 0, t, tag("coord@5m"));
+  ps.post(2, 0, t, tag("p2@5m"));
+  ps.post(1, 0, t, tag("p1@5m"));
+  ps.post(1, 0, t, tag("p1@5m#2"));
+  ps.post(1, 0, 2 * kMinute, tag("p1@2m"));
+  ps.post(PartitionedSimulation::kCoordinator, 0, 0, tag("coord@past"));
+  ps.run_epoch(10 * kMinute);
+  // Sort is (at, sender with the coordinator last, per-sender seq); the
+  // past post is pinned to the epoch start (time 0 here).
+  const std::vector<std::string> want = {"coord@past", "p1@2m", "p1@5m",
+                                         "p1@5m#2", "p2@5m", "coord@5m"};
+  EXPECT_EQ(log, want);
+}
+
+TEST(PartitionedSim, LatePostsArePinnedToTheNextEpochBoundary) {
+  PartitionedSimulation ps(config(2, 1));
+  ps.run_epoch(kHour);
+  std::vector<SimTime> at;
+  ps.post(PartitionedSimulation::kCoordinator, 1, 10 * kMinute,
+          [&at, &ps] { at.push_back(ps.local(1).now()); });
+  ps.run_epoch(2 * kHour);
+  // The 10-minute timestamp is in the past of epoch 2's start; delivery
+  // is pinned to the boundary instead of rewinding partition 1's clock.
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], kHour);
+}
+
+TEST(PartitionedSim, PartitionFailureReleasesPeersAndRethrows) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    PartitionedSimulation ps(config(4, workers));
+    ps.local(2).schedule_at(kMinute, [] {
+      throw std::runtime_error("partition 2 exploded");
+    });
+    // Peers have their own work and must not hang on the dead partition.
+    for (const std::uint32_t p : {0u, 1u, 3u}) {
+      ps.local(p).schedule_at(2 * kMinute, [] {});
+    }
+    try {
+      ps.run_epoch(kHour);
+      FAIL() << "expected the partition error to surface";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "partition 2 exploded");
+    }
+  }
+}
+
+TEST(PartitionedSim, RngSaltsAreDistinctPerPartition) {
+  PartitionedSimulation ps(config(4, 1));
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = a + 1; b < 4; ++b) {
+      EXPECT_NE(ps.rng_salt(a), ps.rng_salt(b));
+    }
+  }
+}
+
+#if defined(EPAJSRM_ENABLE_CHECKS)
+TEST(PartitionedSim, RejectsRewindingEpochs) {
+  PartitionedSimulation ps(config(2, 1));
+  ps.run_epoch(kHour);
+  EXPECT_THROW(ps.run_epoch(30 * kMinute), check::ContractViolation);
+}
+#endif
+
+}  // namespace
+}  // namespace epajsrm::sim

@@ -116,6 +116,20 @@ TEST(ScenarioHash, EverySemanticFieldMovesTheHash) {
   }
 }
 
+TEST(ScenarioHash, PartitionExecutionKnobsAreExcluded) {
+  // The lax-sync partition knobs are pure execution shape: the run is
+  // bit-identical for any partition count / worker count / skew window
+  // (DESIGN.md §15), so they must stay outside the cache key — differing
+  // values hash (and serialize) identically.
+  const core::ScenarioConfig classic = base_config();
+  core::ScenarioConfig fanned = base_config();
+  fanned.partitions = 8;
+  fanned.partition_workers = 4;
+  fanned.skew_window = 6 * sim::kHour;
+  EXPECT_EQ(core::canonical_serialize(classic), core::canonical_serialize(fanned));
+  EXPECT_EQ(core::scenario_hash(classic), core::scenario_hash(fanned));
+}
+
 TEST(ScenarioHash, EnergyBudgetFieldsAreCovered) {
   core::ScenarioConfig with_budget = base_config();
   epa::EnergyBudgetConfig eb;

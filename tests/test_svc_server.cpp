@@ -109,6 +109,35 @@ TEST(SvcServer, RepeatedSubmitAcrossConnectionsIsCachedByteIdentical) {
   EXPECT_NE(c.payload[0], b.payload[0]);
 }
 
+TEST(SvcServer, PartitionsFieldRoundTripsAndSharesTheCacheEntry) {
+  // The wire knob survives serialize -> parse untouched...
+  svc::Request fanned = smoke_submit(21);
+  fanned.has_partitions = true;
+  fanned.partitions = 4;
+  const svc::Request reparsed =
+      svc::parse_request(svc::serialize_request(fanned));
+  EXPECT_TRUE(reparsed.has_partitions);
+  EXPECT_EQ(reparsed.partitions, 4u);
+  const svc::Request plain = svc::parse_request(
+      svc::serialize_request(smoke_submit(21)));
+  EXPECT_FALSE(plain.has_partitions);
+
+  // ...and on the live server it only shapes execution: a submit that
+  // fans the run across partitions is served from the cache entry the
+  // classic run populated, byte for byte.
+  ServerFixture fixture;
+  net::LineChannel channel = net::connect_tcp(fixture.port());
+  const Response classic = roundtrip(channel, smoke_submit(21));
+  ASSERT_EQ(classic.envelope.status, "done");
+  EXPECT_FALSE(classic.envelope.cached);
+
+  const Response partitioned = roundtrip(channel, fanned);
+  ASSERT_EQ(partitioned.envelope.status, "done");
+  EXPECT_TRUE(partitioned.envelope.cached);
+  ASSERT_EQ(partitioned.payload.size(), 1u);
+  EXPECT_EQ(partitioned.payload[0], classic.payload[0]);
+}
+
 TEST(SvcServer, MalformedLineYieldsErrorEnvelopeAndConnectionSurvives) {
   ServerFixture fixture;
   net::LineChannel channel = net::connect_tcp(fixture.port());

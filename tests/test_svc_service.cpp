@@ -180,6 +180,26 @@ TEST(SvcService, NormalizationWidensCacheAcrossObsOnlyDifferences) {
   service.stop();
 }
 
+TEST(SvcService, PartitionCountIsAnExecutionKnobOutsideTheCacheKey) {
+  ScenarioService service;
+  const auto classic = service.submit("t", smoke_config(9));
+  const svc::RequestStatus classic_done = service.wait(classic.id);
+  ASSERT_EQ(classic_done.state, svc::RequestState::kDone);
+
+  // Same scenario fanned out across the lax-sync partition core: the run
+  // is bit-identical by construction (DESIGN.md §15), so the partition
+  // count must not fracture the cache — every count aliases one entry.
+  for (const std::uint32_t partitions : {2u, 4u, 8u}) {
+    core::ScenarioConfig partitioned = smoke_config(9);
+    partitioned.partitions = partitions;
+    const auto again = service.submit("t", partitioned);
+    EXPECT_TRUE(again.served_from_cache) << partitions << " partitions";
+    EXPECT_EQ(service.wait(again.id).payload, classic_done.payload);
+  }
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+  service.stop();
+}
+
 TEST(SvcService, ReportPayloadIsCachedUnderItsOwnKey) {
   ScenarioService service;
   const auto plain = service.submit("t", smoke_config(4), false);

@@ -144,6 +144,7 @@ int self_test(const fs::path& dir) {
 
   static const std::map<std::string, std::string> kFileFixtures = {
       {"bad_unordered_iter.cpp", "unordered-iter"},
+      {"bad_partition_map_iter.cpp", "unordered-iter"},
       {"bad_float_accum.cpp", "float-accum-unordered"},
       {"bad_pointer_key.cpp", "pointer-key-order"},
       {"bad_mutable_global.cpp", "mutable-global"},

@@ -1,0 +1,29 @@
+// Fixture: the partition-merge hazard DESIGN.md §15 legislates against —
+// folding per-partition shards by iterating an unordered container
+// instead of fixed partition-index order. The stream below makes the
+// effects order-sensitive. Must trip unordered-iter.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Shard {
+  std::uint64_t accepted = 0;
+  double max_celsius = 0.0;
+};
+
+class EpochMerge {
+ public:
+  void merge() const {
+    for (const auto& [partition, shard] : shards_) {
+      std::cout << partition << " " << shard.accepted << " "
+                << shard.max_celsius << "\n";
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Shard> shards_;
+};
+
+}  // namespace fixture
